@@ -1,0 +1,84 @@
+"""Ablation A2: exact boundary refinement on vs off.
+
+Quantifies what the hybrid representation costs (Section 5.1): the
+exact mode pays vector PIP tests only for points in boundary pixels, so
+its overhead over the approximate mode should stay small — while fixing
+all the boundary-pixel misclassifications the approximate mode makes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.geometry.predicates import points_in_polygon
+from repro.core.queries import polygonal_select_points
+from benchmarks.conftest import write_series
+
+RESOLUTION = 512
+N_POINTS = 300_000
+
+
+def _workload(mbr_points, query_polygons):
+    xs, ys = mbr_points
+    n = min(N_POINTS, len(xs))
+    return xs[:n], ys[:n], query_polygons[0]
+
+
+@pytest.mark.parametrize("exact", [True, False], ids=["exact", "approximate"])
+def test_boundary_modes(benchmark, exact, mbr_points, query_polygons):
+    xs, ys, polygon = _workload(mbr_points, query_polygons)
+    benchmark.group = "ablation:boundary-refinement"
+    benchmark.pedantic(
+        polygonal_select_points, args=(xs, ys, polygon),
+        kwargs={"resolution": RESOLUTION, "exact": exact},
+        rounds=3, iterations=1,
+    )
+
+
+def test_boundary_report(benchmark, mbr_points, query_polygons):
+    def run_report():
+        xs, ys, polygon = _workload(mbr_points, query_polygons)
+
+        start = time.perf_counter()
+        exact = polygonal_select_points(
+            xs, ys, polygon, resolution=RESOLUTION
+        )
+        t_exact = time.perf_counter() - start
+
+        start = time.perf_counter()
+        approx = polygonal_select_points(
+            xs, ys, polygon, resolution=RESOLUTION, exact=False
+        )
+        t_approx = time.perf_counter() - start
+
+        truth = set(
+            np.nonzero(points_in_polygon(xs, ys, polygon))[0].tolist()
+        )
+        exact_wrong = len(set(exact.ids.tolist()) ^ truth)
+        approx_wrong = len(set(approx.ids.tolist()) ^ truth)
+        overhead = t_exact / max(t_approx, 1e-9)
+        lines = [
+            f"# boundary refinement ablation (resolution={RESOLUTION})",
+            f"exact   time={t_exact:.4f}s wrong={exact_wrong} "
+            f"boundary_tests={exact.n_exact_tests}",
+            f"approx  time={t_approx:.4f}s wrong={approx_wrong}",
+            f"refinement overhead = {overhead:.2f}x",
+        ]
+        write_series("ablation_boundary", lines)
+        for line in lines:
+            print(line)
+        return exact_wrong, approx_wrong, overhead
+
+    exact_wrong, approx_wrong, overhead = benchmark.pedantic(
+        run_report, rounds=1, iterations=1
+    )
+    # "No loss in accuracy": the hybrid result is perfect.
+    assert exact_wrong == 0
+    # The approximate mode does make boundary mistakes at this
+    # resolution (otherwise the ablation is vacuous).
+    assert approx_wrong > 0
+    # And exactness is cheap: well under 2x the approximate runtime.
+    assert overhead < 2.0

@@ -1,0 +1,96 @@
+"""Ablation A3: blended-constraints plan vs per-polygon plan (Fig 8b).
+
+Sweeps the number of disjunctive constraint polygons.  The traditional
+plan re-tests every point per polygon (cost grows linearly in the
+constraint count); the canvas plan only adds one cheap constraint
+blend per polygon.  The optimizer's cost model must track the
+measured crossover direction.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.gpu_baseline import gpu_baseline_select_multi
+from repro.data.polygons import hand_drawn_polygon, rescale_to_box
+from repro.core.optimizer import selection_plans
+from repro.core.queries import multi_polygonal_select
+from benchmarks.conftest import QUERY_MBR, write_series
+
+RESOLUTION = 1024
+N_POINTS = 300_000
+POLYGON_COUNTS = [1, 2, 4, 8]
+
+
+@pytest.fixture(scope="module")
+def constraint_pool():
+    return [
+        rescale_to_box(
+            hand_drawn_polygon(n_vertices=24, irregularity=0.4, seed=300 + i),
+            QUERY_MBR,
+        )
+        for i in range(max(POLYGON_COUNTS))
+    ]
+
+
+def _slice(mbr_points):
+    xs, ys = mbr_points
+    n = min(N_POINTS, len(xs))
+    return xs[:n], ys[:n]
+
+
+@pytest.mark.parametrize("n_polys", POLYGON_COUNTS)
+@pytest.mark.parametrize("plan", ["blended-canvas", "per-polygon-pip"])
+def test_plans(benchmark, plan, n_polys, mbr_points, constraint_pool):
+    xs, ys = _slice(mbr_points)
+    polys = constraint_pool[:n_polys]
+    benchmark.group = f"ablation-plans:polys={n_polys}"
+    if plan == "blended-canvas":
+        benchmark.pedantic(
+            multi_polygonal_select, args=(xs, ys, polys),
+            kwargs={"resolution": RESOLUTION}, rounds=2, iterations=1,
+        )
+    else:
+        benchmark.pedantic(
+            gpu_baseline_select_multi, args=(xs, ys, polys),
+            rounds=2, iterations=1,
+        )
+
+
+def test_plans_report(benchmark, mbr_points, constraint_pool):
+    def run_report():
+        xs, ys = _slice(mbr_points)
+        rows = []
+        for n_polys in POLYGON_COUNTS:
+            polys = constraint_pool[:n_polys]
+            start = time.perf_counter()
+            multi_polygonal_select(xs, ys, polys, resolution=RESOLUTION)
+            t_canvas = time.perf_counter() - start
+            start = time.perf_counter()
+            gpu_baseline_select_multi(xs, ys, polys)
+            t_pip = time.perf_counter() - start
+            rows.append((n_polys, t_canvas, t_pip))
+        lines = ["# polys, blended-canvas [s], per-polygon-pip [s]"]
+        lines += [f"{n:2d} {a:.4f} {b:.4f}" for n, a, b in rows]
+        write_series("ablation_plans", lines)
+        for line in lines:
+            print(line)
+        return rows
+
+    rows = benchmark.pedantic(run_report, rounds=1, iterations=1)
+
+    # Per-polygon cost grows ~linearly in the constraint count; the
+    # blended plan grows far slower.  Compare growth from 1 to 8.
+    growth_canvas = rows[-1][1] / rows[0][1]
+    growth_pip = rows[-1][2] / rows[0][2]
+    assert growth_pip > 2.0 * growth_canvas, (growth_canvas, growth_pip)
+
+    # With 8 constraints the canvas plan wins outright.
+    assert rows[-1][1] < rows[-1][2]
+
+    # The cost model ranks consistently at the extremes.
+    many = selection_plans(N_POINTS, constraint_pool, (RESOLUTION, RESOLUTION))
+    assert many[0].name == "blended-canvas"

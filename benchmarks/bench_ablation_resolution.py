@@ -1,0 +1,80 @@
+"""Ablation A1: canvas resolution vs time and approximate error.
+
+Section 5.1: "the texture size can be adjusted in order to
+appropriately bound the error in the query result".  This sweep
+measures, per resolution: exact-mode runtime, the number of exact
+boundary tests the hybrid pays, and the approximate mode's result
+error.  Expectations: error falls with resolution; boundary tests fall
+with resolution; exact results are identical at every resolution.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import Device
+from repro.core.queries import polygonal_select_points
+from benchmarks.conftest import write_series
+
+RESOLUTIONS = [64, 128, 256, 512, 1024, 2048]
+N_POINTS = 200_000
+
+
+def _workload(mbr_points, query_polygons):
+    xs, ys = mbr_points
+    n = min(N_POINTS, len(xs))
+    return xs[:n], ys[:n], query_polygons[0]
+
+
+@pytest.mark.parametrize("resolution", RESOLUTIONS)
+def test_resolution_sweep(benchmark, resolution, mbr_points, query_polygons):
+    xs, ys, polygon = _workload(mbr_points, query_polygons)
+    benchmark.group = "ablation:resolution"
+    benchmark.pedantic(
+        polygonal_select_points, args=(xs, ys, polygon),
+        kwargs={"resolution": resolution}, rounds=2, iterations=1,
+    )
+
+
+def test_resolution_report(benchmark, mbr_points, query_polygons):
+    def run_report():
+        xs, ys, polygon = _workload(mbr_points, query_polygons)
+        reference = None
+        rows = []
+        for resolution in RESOLUTIONS:
+            start = time.perf_counter()
+            exact = polygonal_select_points(
+                xs, ys, polygon, resolution=resolution
+            )
+            elapsed = time.perf_counter() - start
+            approx = polygonal_select_points(
+                xs, ys, polygon, resolution=resolution, exact=False
+            )
+            if reference is None:
+                reference = set(exact.ids.tolist())
+            assert set(exact.ids.tolist()) == reference  # exactness invariant
+            err = (
+                len(set(approx.ids.tolist()) ^ reference)
+                / max(len(reference), 1)
+            )
+            rows.append((resolution, elapsed, exact.n_exact_tests, err))
+        lines = [
+            "# resolution, exact time [s], boundary exact tests, "
+            "approx symmetric-difference error",
+        ]
+        lines += [
+            f"{r:5d} {t:.4f} {bt:8d} {e:.5f}" for r, t, bt, e in rows
+        ]
+        write_series("ablation_resolution", lines)
+        for line in lines:
+            print(line)
+        return rows
+
+    rows = benchmark.pedantic(run_report, rounds=1, iterations=1)
+    # Error and boundary-test counts fall monotonically-ish with
+    # resolution: compare the coarsest and finest points.
+    assert rows[-1][3] <= rows[0][3]
+    assert rows[-1][2] < rows[0][2]

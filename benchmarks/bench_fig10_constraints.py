@@ -1,0 +1,115 @@
+"""Figure 10: varying the polygonal constraint (E5).
+
+The paper fixes the input and sweeps five hand-drawn polygons with a
+common MBR and selectivities from roughly 3% to 83%.  Its observations:
+
+- every approach's runtime varies across constraints, but the
+  *baseline's* variation is larger because its PIP-test count scales
+  with polygon size/complexity;
+- the canvas approach stays nearly flat — its per-point cost is one
+  texture gather regardless of the constraint.
+
+Groups ``fig10:sel=<pct>`` reproduce the per-polygon comparison;
+``bench_fig10_report`` writes the series and asserts the
+variation-ratio claim.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu_pip import cpu_select_multi
+from repro.baselines.gpu_baseline import gpu_baseline_select_multi
+from repro.gpu.device import Device
+from repro.core.queries import polygonal_select_points
+from benchmarks.conftest import write_series
+
+N_POINTS = 300_000
+RESOLUTION = 1024
+
+APPROACHES = ["cpu", "gpu-baseline", "canvas-discrete", "canvas-integrated"]
+
+
+def _slice(mbr_points):
+    xs, ys = mbr_points
+    n = min(N_POINTS, len(xs))
+    return xs[:n], ys[:n]
+
+
+def _run(approach, xs, ys, polygon):
+    if approach == "cpu":
+        return cpu_select_multi(xs, ys, [polygon])
+    if approach == "gpu-baseline":
+        return gpu_baseline_select_multi(xs, ys, [polygon])
+    if approach == "canvas-discrete":
+        return polygonal_select_points(
+            xs, ys, polygon, resolution=RESOLUTION, device=Device.discrete()
+        ).ids
+    if approach == "canvas-integrated":
+        return polygonal_select_points(
+            xs, ys, polygon, resolution=RESOLUTION,
+            device=Device.integrated(tile_rows=16),
+        ).ids
+    raise ValueError(approach)
+
+
+@pytest.mark.parametrize("poly_index", range(5))
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_fig10(benchmark, approach, poly_index, mbr_points, fig10_polygons):
+    xs, ys = _slice(mbr_points)
+    polygon, selectivity = fig10_polygons[poly_index]
+    benchmark.group = f"fig10:sel={selectivity:.0%}"
+    rounds = 1 if approach == "cpu" else 3
+    benchmark.pedantic(
+        _run, args=(approach, xs, ys, polygon), rounds=rounds, iterations=1
+    )
+
+
+def test_fig10_report(benchmark, mbr_points, fig10_polygons):
+    """Series + the flatness claim: the canvas runtime varies less
+    across constraints than the per-point-PIP baseline's."""
+
+    def run_report():
+        xs, ys = _slice(mbr_points)
+        times: dict[str, list[float]] = {a: [] for a in APPROACHES}
+        for polygon, _sel in fig10_polygons:
+            for approach in APPROACHES:
+                repeats = 1 if approach == "cpu" else 3
+                best = float("inf")
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    _run(approach, xs, ys, polygon)
+                    best = min(best, time.perf_counter() - start)
+                times[approach].append(best)
+        lines = [
+            "# fig10: runtime seconds across 5 polygonal constraints",
+            "# selectivities = "
+            + " ".join(f"{sel:.2f}" for _, sel in fig10_polygons),
+        ]
+        for approach in APPROACHES:
+            row = " ".join(f"{t:.4f}" for t in times[approach])
+            spread = max(times[approach]) / min(times[approach])
+            lines.append(f"{approach:18s} {row}   max/min={spread:.2f}")
+        write_series("fig10", lines)
+        for line in lines:
+            print(line)
+        return times
+
+    times = benchmark.pedantic(run_report, rounds=1, iterations=1)
+
+    def spread(approach):
+        ts = times[approach]
+        return max(ts) / min(ts)
+
+    # The canvas approach's variation across constraints is smaller
+    # than the vectorized-PIP baseline's (paper: "this variation is
+    # higher for the baseline").
+    assert spread("canvas-discrete") < spread("gpu-baseline"), (
+        spread("canvas-discrete"), spread("gpu-baseline"),
+    )
+    # And every constraint still completes far faster than the CPU.
+    for i in range(5):
+        assert times["canvas-discrete"][i] < times["cpu"][i]

@@ -1,0 +1,125 @@
+"""RasterJoin plan vs join-then-aggregate (E15 / A3, Section 5.2).
+
+The paper's argument: merging all points into one canvas first
+(``B*[+](CP)``) shrinks the blend's left side, so per-polygon work is
+bounded by the texture instead of the point count.  With many points
+and many polygons RasterJoin wins; the classic plan wins when points
+are few.  The optimizer (Section 7) must pick accordingly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.join_baselines import (
+    indexed_join_aggregate,
+    nested_loop_join_aggregate,
+)
+from repro.data.polygons import hand_drawn_polygon
+from repro.core.optimizer import choose_aggregation_plan
+from repro.core.queries import join_aggregate
+from repro.core.rasterjoin import raster_join_aggregate
+from benchmarks.conftest import QUERY_MBR, write_series
+
+RESOLUTION = 512
+N_POINTS = 400_000
+N_POLYGONS = 12
+
+
+@pytest.fixture(scope="module")
+def districts():
+    rng = np.random.default_rng(111)
+    return [
+        hand_drawn_polygon(
+            n_vertices=16, irregularity=0.3, seed=200 + i,
+            center=(
+                float(rng.uniform(QUERY_MBR.xmin + 2, QUERY_MBR.xmax - 2)),
+                float(rng.uniform(QUERY_MBR.ymin + 3, QUERY_MBR.ymax - 3)),
+            ),
+            radius=3.0,
+        )
+        for i in range(N_POLYGONS)
+    ]
+
+
+def _slice(mbr_points):
+    xs, ys = mbr_points
+    n = min(N_POINTS, len(xs))
+    return xs[:n], ys[:n]
+
+
+PLANS = ["rasterjoin", "join-then-aggregate", "nested-loop", "indexed-join"]
+
+
+def _run(plan, xs, ys, districts):
+    if plan == "rasterjoin":
+        return raster_join_aggregate(
+            xs, ys, districts, aggregate="count", resolution=RESOLUTION
+        )
+    if plan == "join-then-aggregate":
+        return join_aggregate(
+            xs, ys, districts, aggregate="count", resolution=RESOLUTION
+        )
+    if plan == "nested-loop":
+        return nested_loop_join_aggregate(xs, ys, districts, aggregate="count")
+    if plan == "indexed-join":
+        return indexed_join_aggregate(xs, ys, districts, aggregate="count")
+    raise ValueError(plan)
+
+
+@pytest.mark.parametrize("plan", PLANS)
+def test_aggregation_plans(benchmark, plan, mbr_points, districts):
+    xs, ys = _slice(mbr_points)
+    benchmark.group = f"rasterjoin-ablation:n={len(xs)}:polys={N_POLYGONS}"
+    benchmark.pedantic(_run, args=(plan, xs, ys, districts),
+                       rounds=2, iterations=1)
+
+
+def test_rasterjoin_report(benchmark, mbr_points, districts):
+    """Accuracy + plan-choice report for the RasterJoin trade."""
+
+    def run_report():
+        xs, ys = _slice(mbr_points)
+        times = {}
+        for plan in PLANS:
+            best = float("inf")
+            for _ in range(2):
+                start = time.perf_counter()
+                result = _run(plan, xs, ys, districts)
+                best = min(best, time.perf_counter() - start)
+            times[plan] = best
+
+        exact = nested_loop_join_aggregate(xs, ys, districts,
+                                           aggregate="count")
+        approx = raster_join_aggregate(xs, ys, districts, aggregate="count",
+                                       resolution=RESOLUTION)
+        max_rel_err = max(
+            abs(approx.as_dict()[pid] - exact[pid]) / max(exact[pid], 1.0)
+            for pid in exact
+        )
+        lines = [
+            f"# rasterjoin ablation: n={len(xs)} polygons={N_POLYGONS} "
+            f"resolution={RESOLUTION}",
+            *(f"{plan:22s} {times[plan]:.4f}s" for plan in PLANS),
+            f"max relative count error (rasterjoin): {max_rel_err:.4f}",
+        ]
+        write_series("rasterjoin_ablation", lines)
+        for line in lines:
+            print(line)
+        return times, max_rel_err
+
+    times, max_rel_err = benchmark.pedantic(run_report, rounds=1, iterations=1)
+
+    # RasterJoin beats the exact canvas join-then-aggregate at this
+    # scale (many points x many polygons), with bounded error.
+    assert times["rasterjoin"] < times["join-then-aggregate"]
+    assert max_rel_err < 0.10
+
+    # The cost model agrees with the measurement.
+    choice = choose_aggregation_plan(
+        N_POINTS, districts, (RESOLUTION, RESOLUTION)
+    )
+    assert choice.name == "rasterjoin"

@@ -1,0 +1,102 @@
+"""Shared benchmark workloads.
+
+The evaluation setup mirrors Section 6 of the paper:
+
+- input points are synthetic taxi pickups *filtered to the query MBR*
+  (the paper assumes the index-filtering stage happened upstream and
+  measures only the refinement step);
+- all constraint polygons are "hand-drawn-like" and rescaled to the
+  same MBR;
+- input size is swept via the trip count (standing in for the paper's
+  pickup-time-range knob — see DESIGN.md, substitutions).
+
+Scale with ``REPRO_BENCH_SCALE`` (default 1.0): sizes multiply by it,
+so CI can run quick and a workstation can run closer to paper scale.
+
+Figure series (the rows the paper plots) are written to
+``benchmarks/out/*.txt`` by the report benchmarks in addition to the
+pytest-benchmark tables.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data.polygons import calibrate_selectivity, hand_drawn_polygon, rescale_to_box
+from repro.data.taxi import generate_taxi_trips
+from repro.geometry.bbox import BoundingBox
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Input sizes for the Figure 9 sweep (points inside the query MBR).
+#: Scaled down from the paper's 35M..571M to laptop/CI budgets; the
+#: per-point work of every approach is identical, so the curve shapes
+#: survive the rescale once fixed raster costs amortize (>= ~10^5).
+FIG9_SIZES = [int(n * SCALE) for n in (50_000, 200_000, 800_000)]
+
+#: The common query MBR inside the taxi window (the paper normalizes
+#: all hand-drawn polygons to one MBR).
+QUERY_MBR = BoundingBox(3.0, 6.0, 17.0, 34.0)
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def write_series(name: str, lines: list[str]) -> None:
+    """Persist a figure's series so it survives output capturing."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text("\n".join(lines) + "\n")
+
+
+@pytest.fixture(scope="session")
+def taxi_pool():
+    """A large pool of trips; benchmarks slice prefixes from it."""
+    n = max(FIG9_SIZES) * 3
+    return generate_taxi_trips(n, seed=101)
+
+
+@pytest.fixture(scope="session")
+def mbr_points(taxi_pool):
+    """Pickup points filtered to the query MBR (the filtering stage)."""
+    xs, ys = taxi_pool.pickup_x, taxi_pool.pickup_y
+    inside = (
+        (xs >= QUERY_MBR.xmin) & (xs <= QUERY_MBR.xmax)
+        & (ys >= QUERY_MBR.ymin) & (ys <= QUERY_MBR.ymax)
+    )
+    return xs[inside], ys[inside]
+
+
+@pytest.fixture(scope="session")
+def query_polygons(mbr_points):
+    """Two hand-drawn constraint polygons with the common MBR."""
+    return [
+        rescale_to_box(
+            hand_drawn_polygon(n_vertices=24, irregularity=0.45, seed=7),
+            QUERY_MBR,
+        ),
+        rescale_to_box(
+            hand_drawn_polygon(n_vertices=32, irregularity=0.55, seed=8),
+            QUERY_MBR,
+        ),
+    ]
+
+
+@pytest.fixture(scope="session")
+def fig10_polygons(mbr_points):
+    """Five polygons with selectivities spanning the paper's ~3%..83%."""
+    xs, ys = mbr_points
+    sample = slice(0, min(len(xs), 20_000))
+    polys = []
+    for target, vertices, seed in [
+        (0.05, 64, 21), (0.20, 32, 22), (0.45, 24, 23),
+        (0.65, 20, 24), (0.83, 16, 25),
+    ]:
+        poly, achieved = calibrate_selectivity(
+            xs[sample], ys[sample], target, QUERY_MBR,
+            n_vertices=vertices, seed=seed,
+        )
+        polys.append((poly, achieved))
+    return polys

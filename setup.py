@@ -1,0 +1,23 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file
+exists so that ``pip install -e .`` works in offline environments where
+the ``wheel`` package (needed for PEP 660 editable builds) is not
+available: ``pip install -e . --no-build-isolation --no-use-pep517``
+takes the legacy ``setup.py develop`` path, which needs only setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "GPU-friendly geometric data model and canvas algebra for spatial "
+        "queries (SIGMOD 2020 reproduction)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.23"],
+)

@@ -1,0 +1,70 @@
+"""repro — reproduction of "A GPU-friendly Geometric Data Model and
+Algebra for Spatial Queries" (Doraiswamy & Freire, SIGMOD 2020).
+
+Public surface:
+
+- :mod:`repro.core` — the canvas data model, the five-operator algebra,
+  and the standard spatial queries of Section 4;
+- :mod:`repro.geometry` — the computational-geometry substrate;
+- :mod:`repro.gpu` — the simulated GPU raster pipeline;
+- :mod:`repro.index` — classical spatial indexes (filtering stage);
+- :mod:`repro.baselines` — the CPU / parallel-CPU / traditional-GPU
+  comparators of the paper's evaluation;
+- :mod:`repro.data` — taxi-like workload generators;
+- :mod:`repro.relational` — relational interop (canvas-tuple duality).
+
+Quickstart::
+
+    import numpy as np
+    from repro import polygonal_select_points
+    from repro.geometry import Polygon
+
+    xs, ys = np.random.rand(2, 100_000)
+    q = Polygon([(0.2, 0.2), (0.8, 0.3), (0.7, 0.8), (0.3, 0.7)])
+    result = polygonal_select_points(xs, ys, q)
+    print(len(result.ids), "points inside")
+"""
+
+from repro.core import (
+    AggregateResult,
+    Canvas,
+    CanvasSet,
+    SelectionResult,
+    aggregate_over_select,
+    distance_select,
+    join_aggregate,
+    knn,
+    multi_polygonal_select,
+    od_select,
+    polygonal_select_objects,
+    polygonal_select_points,
+    polygonal_select_polygons,
+    range_select,
+    raster_join_aggregate,
+    spatial_join_points_polygons,
+    voronoi,
+)
+from repro.gpu import Device
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateResult",
+    "Canvas",
+    "CanvasSet",
+    "Device",
+    "SelectionResult",
+    "aggregate_over_select",
+    "distance_select",
+    "join_aggregate",
+    "knn",
+    "multi_polygonal_select",
+    "od_select",
+    "polygonal_select_objects",
+    "polygonal_select_points",
+    "polygonal_select_polygons",
+    "range_select",
+    "raster_join_aggregate",
+    "spatial_join_points_polygons",
+    "voronoi",
+]

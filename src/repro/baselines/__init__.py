@@ -1,0 +1,35 @@
+"""Baselines the paper's evaluation compares against (Section 6).
+
+- :mod:`repro.baselines.cpu_pip` — the single-threaded CPU baseline:
+  a scalar ray-casting PIP test per (point, polygon) pair;
+- :mod:`repro.baselines.cpu_parallel` — the parallel-CPU (OpenMP-role)
+  baseline: the same tests chunked across workers;
+- :mod:`repro.baselines.gpu_baseline` — the traditional GPU approach:
+  all points x all edges tested in one data-parallel pass (the
+  vectorized port of the custom GPU solutions the paper cites);
+- :mod:`repro.baselines.join_baselines` — nested-loop and
+  index-filtered join / join-then-aggregate baselines.
+
+Per the paper's experimental setup, all baselines implement only the
+*refinement* step (PIP tests); the filtering stage is assumed upstream.
+"""
+
+from repro.baselines.cpu_pip import cpu_select, cpu_select_multi
+from repro.baselines.cpu_parallel import parallel_cpu_select
+from repro.baselines.gpu_baseline import gpu_baseline_select, gpu_baseline_select_multi
+from repro.baselines.join_baselines import (
+    indexed_join_aggregate,
+    nested_loop_join,
+    nested_loop_join_aggregate,
+)
+
+__all__ = [
+    "cpu_select",
+    "cpu_select_multi",
+    "gpu_baseline_select",
+    "gpu_baseline_select_multi",
+    "indexed_join_aggregate",
+    "nested_loop_join",
+    "nested_loop_join_aggregate",
+    "parallel_cpu_select",
+]

@@ -1,0 +1,167 @@
+"""Join and join-aggregation baselines.
+
+The traditional plan for spatial aggregation — "a spatial join of the
+points and polygons followed by the aggregation of the join results"
+(Section 1) — in two flavours: a nested loop over (polygon, point)
+pairs and an R-tree-filtered variant.  Both produce exact results and
+serve as ground truth and cost comparators for the RasterJoin-plan
+ablation (DESIGN.md experiment E15/A3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.predicates import points_in_polygon
+from repro.geometry.primitives import Polygon
+from repro.index.grid import GridIndex
+from repro.index.rtree import RTree
+from repro.geometry.bbox import BoundingBox
+
+
+def nested_loop_join(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    polygons: Sequence[Polygon],
+    polygon_ids: Sequence[int] | None = None,
+) -> list[tuple[int, int]]:
+    """Exact Type I join pairs via vectorized nested loops."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    ids = (
+        list(polygon_ids)
+        if polygon_ids is not None
+        else list(range(len(polygons)))
+    )
+    pairs: list[tuple[int, int]] = []
+    for poly, pid in zip(polygons, ids):
+        inside = points_in_polygon(xs, ys, poly)
+        pairs.extend((int(i), int(pid)) for i in np.nonzero(inside)[0])
+    pairs.sort()
+    return pairs
+
+
+def nested_loop_join_aggregate(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    polygons: Sequence[Polygon],
+    values: np.ndarray | None = None,
+    aggregate: str = "count",
+    polygon_ids: Sequence[int] | None = None,
+) -> dict[int, float]:
+    """Join-then-aggregate: materialize pairs, then group-by reduce."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    vals = (
+        np.asarray(values, dtype=np.float64)
+        if values is not None
+        else np.zeros(len(xs), dtype=np.float64)
+    )
+    ids = (
+        list(polygon_ids)
+        if polygon_ids is not None
+        else list(range(len(polygons)))
+    )
+    out: dict[int, float] = {}
+    for poly, pid in zip(polygons, ids):
+        inside = points_in_polygon(xs, ys, poly)
+        n = int(inside.sum())
+        if aggregate == "count":
+            out[int(pid)] = float(n)
+        elif aggregate == "sum":
+            out[int(pid)] = float(vals[inside].sum())
+        elif aggregate == "avg":
+            out[int(pid)] = float(vals[inside].mean()) if n else 0.0
+        elif aggregate == "min":
+            out[int(pid)] = float(vals[inside].min()) if n else float("inf")
+        elif aggregate == "max":
+            out[int(pid)] = float(vals[inside].max()) if n else float("-inf")
+        else:
+            raise ValueError(f"unsupported aggregate {aggregate!r}")
+    return out
+
+
+def indexed_join_aggregate(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    polygons: Sequence[Polygon],
+    values: np.ndarray | None = None,
+    aggregate: str = "count",
+    polygon_ids: Sequence[int] | None = None,
+    grid: int = 64,
+) -> dict[int, float]:
+    """Index-filtered join-then-aggregate.
+
+    Points are bulk-loaded into a grid index; each polygon only tests
+    the points its MBR admits — the classic filter/refine pipeline the
+    paper describes as the state of the art.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    vals = (
+        np.asarray(values, dtype=np.float64)
+        if values is not None
+        else np.zeros(len(xs), dtype=np.float64)
+    )
+    ids = (
+        list(polygon_ids)
+        if polygon_ids is not None
+        else list(range(len(polygons)))
+    )
+    if len(xs) == 0:
+        return {int(pid): 0.0 for pid in ids}
+    window = BoundingBox(
+        float(xs.min()), float(ys.min()), float(xs.max()), float(ys.max())
+    ).expand(1e-9)
+    index = GridIndex(window, grid, grid)
+    index.bulk_load_points(xs, ys)
+
+    out: dict[int, float] = {}
+    for poly, pid in zip(polygons, ids):
+        candidates = np.asarray(index.query(poly.bounds), dtype=np.int64)
+        if len(candidates) == 0:
+            out[int(pid)] = 0.0 if aggregate in ("count", "sum", "avg") else (
+                float("inf") if aggregate == "min" else float("-inf")
+            )
+            continue
+        inside = points_in_polygon(xs[candidates], ys[candidates], poly)
+        sel = candidates[inside]
+        n = len(sel)
+        if aggregate == "count":
+            out[int(pid)] = float(n)
+        elif aggregate == "sum":
+            out[int(pid)] = float(vals[sel].sum())
+        elif aggregate == "avg":
+            out[int(pid)] = float(vals[sel].mean()) if n else 0.0
+        elif aggregate == "min":
+            out[int(pid)] = float(vals[sel].min()) if n else float("inf")
+        elif aggregate == "max":
+            out[int(pid)] = float(vals[sel].max()) if n else float("-inf")
+        else:
+            raise ValueError(f"unsupported aggregate {aggregate!r}")
+    return out
+
+
+def rtree_filter_candidates(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    box: BoundingBox,
+    leaf_capacity: int = 32,
+) -> np.ndarray:
+    """The upstream filtering stage the paper's evaluation assumes.
+
+    Bulk-loads point MBRs into an STR R-tree and returns the indices of
+    points inside *box* — used by benchmarks to restrict inputs to the
+    query MBR, mirroring the paper's setup ("use as input only taxi
+    trips that have their pickup location within this MBR").
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    items = [
+        (i, BoundingBox(float(xs[i]), float(ys[i]), float(xs[i]), float(ys[i])))
+        for i in range(len(xs))
+    ]
+    tree = RTree(items, leaf_capacity=leaf_capacity)
+    return np.asarray(sorted(tree.query(box)), dtype=np.int64)

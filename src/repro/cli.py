@@ -1,0 +1,201 @@
+"""Command-line interface: run spatial queries over data files.
+
+A thin adoption layer over the library: load point/geometry data from
+CSV (WKT geometry column) or GeoJSON, run a canvas-algebra query, and
+print or save the result.
+
+Usage::
+
+    python -m repro select   --data points.csv --query region.geojson
+    python -m repro count    --data points.csv --query region.geojson
+    python -m repro nearest  --data points.csv --at 40.7,-74.0 -k 5
+    python -m repro info     --data points.csv
+
+Geometry files may be ``.csv`` (with a ``geometry`` WKT column) or
+``.geojson`` / ``.json`` FeatureCollections.  The query file's first
+polygon is the constraint.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.data.datasets import read_csv, read_geojson
+from repro.geometry.primitives import Geometry, Point, Polygon
+from repro.core.queries import (
+    aggregate_over_select,
+    knn,
+    polygonal_select_objects,
+    polygonal_select_points,
+)
+
+
+def _load_file(path: str) -> tuple[list[Geometry], list[dict[str, Any]]]:
+    suffix = Path(path).suffix.lower()
+    if suffix == ".csv":
+        return read_csv(path)
+    if suffix in (".geojson", ".json"):
+        return read_geojson(path)
+    raise SystemExit(f"unsupported file type: {path} (use .csv or .geojson)")
+
+
+def _load_points(path: str) -> tuple[np.ndarray, np.ndarray, list[dict]]:
+    geometries, properties = _load_file(path)
+    xs = np.empty(len(geometries))
+    ys = np.empty(len(geometries))
+    for i, geom in enumerate(geometries):
+        if not isinstance(geom, Point):
+            raise SystemExit(
+                f"{path}: record {i} is {type(geom).__name__}, expected Point"
+            )
+        xs[i] = geom.x
+        ys[i] = geom.y
+    return xs, ys, properties
+
+
+def _load_query_polygon(path: str) -> Polygon:
+    geometries, _ = _load_file(path)
+    for geom in geometries:
+        if isinstance(geom, Polygon):
+            return geom
+    raise SystemExit(f"{path}: no polygon found to use as the constraint")
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    query = _load_query_polygon(args.query)
+    geometries, _ = _load_file(args.data)
+    if all(isinstance(g, Point) for g in geometries):
+        xs = np.array([g.x for g in geometries])  # type: ignore[union-attr]
+        ys = np.array([g.y for g in geometries])  # type: ignore[union-attr]
+        result = polygonal_select_points(
+            xs, ys, query, resolution=args.resolution
+        )
+    else:
+        result = polygonal_select_objects(
+            geometries, query, resolution=args.resolution
+        )
+    payload = {
+        "matched": int(len(result.ids)),
+        "total": len(geometries),
+        "exact_boundary_tests": int(result.n_exact_tests),
+        "ids": result.ids.tolist() if args.ids else None,
+    }
+    json.dump(payload, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    query = _load_query_polygon(args.query)
+    xs, ys, properties = _load_points(args.data)
+    values = None
+    aggregate = "count"
+    if args.sum_column:
+        aggregate = "sum"
+        try:
+            values = np.array(
+                [float(p[args.sum_column]) for p in properties]
+            )
+        except (KeyError, ValueError) as exc:
+            raise SystemExit(
+                f"cannot read numeric column {args.sum_column!r}: {exc}"
+            ) from exc
+    value = aggregate_over_select(
+        xs, ys, query, values=values, aggregate=aggregate,
+        resolution=args.resolution,
+    )
+    print(json.dumps({"aggregate": aggregate, "value": value}))
+    return 0
+
+
+def _cmd_nearest(args: argparse.Namespace) -> int:
+    xs, ys, _ = _load_points(args.data)
+    try:
+        qx, qy = (float(v) for v in args.at.split(","))
+    except ValueError as exc:
+        raise SystemExit("--at expects 'x,y'") from exc
+    result = knn(xs, ys, (qx, qy), args.k, resolution=args.resolution)
+    d = np.hypot(xs[result.ids] - qx, ys[result.ids] - qy)
+    order = np.argsort(d)
+    payload = [
+        {"id": int(result.ids[i]), "distance": float(d[i])}
+        for i in order
+    ]
+    json.dump(payload, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    geometries, properties = _load_file(args.data)
+    kinds: dict[str, int] = {}
+    for geom in geometries:
+        kinds[type(geom).__name__] = kinds.get(type(geom).__name__, 0) + 1
+    from repro.geometry.bbox import BoundingBox
+
+    bounds = BoundingBox.union_all([g.bounds for g in geometries])
+    payload = {
+        "records": len(geometries),
+        "geometry_types": kinds,
+        "bounds": list(bounds),
+        "property_keys": sorted({k for p in properties for k in p}),
+    }
+    json.dump(payload, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Spatial queries via the canvas algebra (SIGMOD'20).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--data", required=True, help="data file (.csv/.geojson)")
+        p.add_argument("--resolution", type=int, default=1024,
+                       help="canvas resolution (default 1024)")
+
+    p_select = sub.add_parser("select", help="polygonal selection")
+    add_common(p_select)
+    p_select.add_argument("--query", required=True,
+                          help="constraint polygon file")
+    p_select.add_argument("--ids", action="store_true",
+                          help="include matched record ids in the output")
+    p_select.set_defaults(func=_cmd_select)
+
+    p_count = sub.add_parser("count", help="aggregate over a selection")
+    add_common(p_count)
+    p_count.add_argument("--query", required=True)
+    p_count.add_argument("--sum-column", default=None,
+                         help="numeric property to SUM instead of COUNT(*)")
+    p_count.set_defaults(func=_cmd_count)
+
+    p_nearest = sub.add_parser("nearest", help="k nearest neighbors")
+    add_common(p_nearest)
+    p_nearest.add_argument("--at", required=True, help="query point 'x,y'")
+    p_nearest.add_argument("-k", type=int, default=5)
+    p_nearest.set_defaults(func=_cmd_nearest)
+
+    p_info = sub.add_parser("info", help="describe a data file")
+    p_info.add_argument("--data", required=True)
+    p_info.set_defaults(func=_cmd_info)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    raise SystemExit(main())

@@ -1,0 +1,116 @@
+"""The paper's contribution: canvas data model + GPU-friendly algebra.
+
+Layering (bottom to top):
+
+- :mod:`repro.core.objectinfo` — the S^3 object-information layout;
+- :mod:`repro.core.canvas` / :mod:`repro.core.canvas_set` — dense and
+  sparse canvas realizations;
+- :mod:`repro.core.blendfuncs` / :mod:`repro.core.masks` — the blend
+  functions and mask sets the paper's queries parameterize operators
+  with;
+- :mod:`repro.core.algebra` — the five fundamental operators plus
+  derived and utility operators;
+- :mod:`repro.core.expressions` — composable expression trees and
+  ASCII plan diagrams;
+- :mod:`repro.core.queries` — the standard queries of Section 4 as
+  algebraic expressions with exact boundary refinement;
+- :mod:`repro.core.rasterjoin` — Figure 8(c)'s RasterJoin plan;
+- :mod:`repro.core.optimizer` — cost-based plan choice (Section 7).
+"""
+
+from repro.core.canvas import Canvas
+from repro.core.canvas_set import CanvasSet
+from repro.core.blendfuncs import AGG_ADD, PIP_MERGE, POLY_MERGE
+from repro.core.masks import (
+    FieldCompare,
+    IsNull,
+    MaskPredicate,
+    NotNull,
+    mask_point_in_all_polygons,
+    mask_point_in_any_polygon,
+    mask_point_in_polygon,
+    mask_polygon_intersection,
+)
+from repro.core.algebra import (
+    blend,
+    circ,
+    dissect,
+    geometric_transform,
+    geometric_transform_by_value,
+    halfspace,
+    map_canvas,
+    mask,
+    multiway_blend,
+    rect,
+    value_transform,
+)
+from repro.core.procedures import convex_hull_query, spatial_skyline
+from repro.core.queries import (
+    AggregateResult,
+    SelectionResult,
+    aggregate_over_select,
+    distance_join,
+    distance_select,
+    halfspace_select,
+    join_aggregate,
+    knn,
+    multi_polygonal_select,
+    od_select,
+    polygonal_select_lines,
+    polygonal_select_objects,
+    polygonal_select_points,
+    polygonal_select_polygons,
+    range_select,
+    spatial_join_points_polygons,
+    spatial_join_polygons_polygons,
+    voronoi,
+)
+from repro.core.rasterjoin import raster_join_aggregate
+
+__all__ = [
+    "AGG_ADD",
+    "AggregateResult",
+    "Canvas",
+    "CanvasSet",
+    "FieldCompare",
+    "IsNull",
+    "MaskPredicate",
+    "NotNull",
+    "PIP_MERGE",
+    "POLY_MERGE",
+    "SelectionResult",
+    "aggregate_over_select",
+    "blend",
+    "circ",
+    "dissect",
+    "distance_join",
+    "distance_select",
+    "geometric_transform",
+    "geometric_transform_by_value",
+    "halfspace",
+    "halfspace_select",
+    "join_aggregate",
+    "knn",
+    "map_canvas",
+    "mask",
+    "mask_point_in_all_polygons",
+    "mask_point_in_any_polygon",
+    "mask_point_in_polygon",
+    "mask_polygon_intersection",
+    "multi_polygonal_select",
+    "multiway_blend",
+    "od_select",
+    "convex_hull_query",
+    "polygonal_select_lines",
+    "polygonal_select_objects",
+    "polygonal_select_points",
+    "polygonal_select_polygons",
+    "spatial_skyline",
+    "range_select",
+    "raster_join_aggregate",
+    "rect",
+    "spatial_join_points_polygons",
+    "spatial_join_polygons_polygons",
+    "value_transform",
+    "voronoi",
+]

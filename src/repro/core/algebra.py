@@ -1,0 +1,380 @@
+"""The five fundamental operators, derived operators and utilities.
+
+Section 3 of the paper.  Every operator consumes and produces canvases
+(dense :class:`~repro.core.canvas.Canvas` or sparse
+:class:`~repro.core.canvas_set.CanvasSet`), so the algebra is *closed*
+and arbitrary compositions type-check.
+
+Operator summary (paper notation on the left):
+
+========================  =====================================================
+``G[γ](C)``               :func:`geometric_transform`
+``V[f](C)``               :func:`value_transform`
+``M[M](C)``               :func:`mask`
+``B[⊙](C1, C2)``          :func:`blend`
+``D(C)``                  :func:`dissect`
+``B*[⊙](C1..Cn)``         :func:`multiway_blend`
+``D*[γ](C)``              :func:`map_canvas`
+``Circ[(x,y), r]()``      :func:`circ`
+``Rect[l1, l2]()``        :func:`rect`
+``HS[a, b, c]()``         :func:`halfspace`
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Union
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.transforms import AffineTransform
+from repro.gpu.blendmodes import BlendMode
+from repro.gpu.device import DEFAULT_DEVICE, Device
+from repro.gpu.framebuffer import Framebuffer
+from repro.core.blendfuncs import AGG_ADD
+from repro.core.canvas import Canvas, Resolution
+from repro.core.canvas_set import CanvasSet
+from repro.core.masks import MaskPredicate
+from repro.core.objectinfo import DIM_POINT, FIELD_COUNT, channel
+
+AnyCanvas = Union[Canvas, CanvasSet]
+
+#: Positional gamma: R^2 -> R^2 (an affine map or a vectorized callable).
+PositionalGamma = Union[
+    AffineTransform,
+    Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]],
+]
+#: Value gamma: S^3 -> R^2 (vectorized over samples).
+ValueGamma = Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]
+
+
+# ----------------------------------------------------------------------
+# G — Geometric Transform
+# ----------------------------------------------------------------------
+def geometric_transform(
+    canvas: AnyCanvas,
+    gamma: PositionalGamma,
+) -> AnyCanvas:
+    """``G[γ]`` with positional ``γ : R^2 -> R^2``.
+
+    The geometry moves: ``C'(γ(x, y)) = C(x, y)``.  Dense canvases warp
+    their pixel grid (inverse mapping for affine ``γ``, forward scatter
+    otherwise); sparse sets rewrite sample positions.
+    """
+    if isinstance(canvas, CanvasSet):
+        if isinstance(gamma, AffineTransform):
+            coords = np.stack([canvas.xs, canvas.ys], axis=1)
+            moved = gamma.apply_array(coords)
+            return canvas.transform_positions(moved[:, 0], moved[:, 1])
+        new_xs, new_ys = gamma(canvas.xs, canvas.ys)
+        return canvas.transform_positions(
+            np.asarray(new_xs, float), np.asarray(new_ys, float)
+        )
+
+    out = canvas.blank_like()
+    out.geometries = {
+        rid: (gamma.apply_geometry(g) if isinstance(gamma, AffineTransform) else g)
+        for rid, g in canvas.geometries.items()
+    }
+    if isinstance(gamma, AffineTransform):
+        # Inverse mapping: every target pixel samples its source pixel.
+        inv = gamma.inverse()
+        tx, ty = out.pixel_center_grids()
+        flat = np.stack([tx.ravel(), ty.ravel()], axis=1)
+        src = inv.apply_array(flat)
+        spx, spy = canvas.world_to_pixel(src[:, 0], src[:, 1])
+        rows = np.floor(spy).astype(np.int64)
+        cols = np.floor(spx).astype(np.int64)
+        data, valid = canvas.texture.gather(rows, cols)
+        out.texture.data = data.reshape(out.height, out.width, -1)
+        out.texture.valid = valid.reshape(out.height, out.width, -1)
+        in_range = (
+            (rows >= 0) & (rows < canvas.height)
+            & (cols >= 0) & (cols < canvas.width)
+        )
+        safe_r = np.clip(rows, 0, canvas.height - 1)
+        safe_c = np.clip(cols, 0, canvas.width - 1)
+        bnd = canvas.boundary[safe_r, safe_c] & in_range
+        out.boundary = bnd.reshape(out.height, out.width)
+        return out
+
+    # Arbitrary gamma: forward-scatter the non-null pixels.
+    rows, cols = canvas.nonnull_pixels()
+    wx, wy = canvas.pixel_to_world(rows, cols)
+    nx, ny = gamma(wx, wy)
+    tpx, tpy = out.world_to_pixel(np.asarray(nx, float), np.asarray(ny, float))
+    trows = np.floor(tpy).astype(np.int64)
+    tcols = np.floor(tpx).astype(np.int64)
+    inside = (
+        (trows >= 0) & (trows < out.height)
+        & (tcols >= 0) & (tcols < out.width)
+    )
+    out.texture.data[trows[inside], tcols[inside]] = (
+        canvas.texture.data[rows[inside], cols[inside]]
+    )
+    out.texture.valid[trows[inside], tcols[inside]] = (
+        canvas.texture.valid[rows[inside], cols[inside]]
+    )
+    out.boundary[trows[inside], tcols[inside]] = (
+        canvas.boundary[rows[inside], cols[inside]]
+    )
+    return out
+
+
+def geometric_transform_by_value(
+    canvas: AnyCanvas,
+    gamma: ValueGamma,
+    scatter_add: bool = True,
+) -> AnyCanvas:
+    """``G[γ]`` with value-driven ``γ : S^3 -> R^2``.
+
+    ``C'(γ(C(x, y))) = C(x, y)``: each sample moves to a position
+    computed from its own information triple.  This is the aggregation
+    workhorse — e.g. ``γc(s) = (s[2][0], 0)`` moves every sample to a
+    slot indexed by its containing polygon's id (Figure 7).
+
+    On dense canvases, samples landing on the same target pixel are
+    merged additively in the point slot when *scatter_add* is set
+    (matching the ``+`` blend that always follows this transform in the
+    paper's plans).
+    """
+    if isinstance(canvas, CanvasSet):
+        nx, ny = gamma(canvas.data, canvas.valid)
+        return canvas.transform_positions(
+            np.asarray(nx, float), np.asarray(ny, float)
+        )
+
+    rows, cols = canvas.nonnull_pixels()
+    data = canvas.texture.data[rows, cols]
+    valid = canvas.texture.valid[rows, cols]
+    nx, ny = gamma(data, valid)
+    out = canvas.blank_like()
+    tpx, tpy = out.world_to_pixel(np.asarray(nx, float), np.asarray(ny, float))
+    trows = np.floor(tpy).astype(np.int64)
+    tcols = np.floor(tpx).astype(np.int64)
+    inside = (
+        (trows >= 0) & (trows < out.height)
+        & (tcols >= 0) & (tcols < out.width)
+    )
+    trows, tcols = trows[inside], tcols[inside]
+    data, valid = data[inside], valid[inside]
+    if scatter_add:
+        cnt_ch = channel(DIM_POINT, FIELD_COUNT)
+        val_ch = cnt_ch + 1
+        vpt = valid[:, DIM_POINT]
+        np.add.at(out.texture.data[:, :, cnt_ch], (trows, tcols),
+                  np.where(vpt, data[:, cnt_ch], 0.0))
+        np.add.at(out.texture.data[:, :, val_ch], (trows, tcols),
+                  np.where(vpt, data[:, val_ch], 0.0))
+        np.logical_or.at(
+            out.texture.valid[:, :, DIM_POINT], (trows, tcols), vpt
+        )
+    else:
+        out.texture.data[trows, tcols] = data
+        out.texture.valid[trows, tcols] = valid
+    return out
+
+
+# ----------------------------------------------------------------------
+# V — Value Transform
+# ----------------------------------------------------------------------
+def value_transform(
+    canvas: AnyCanvas,
+    f: Callable[[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+                tuple[np.ndarray, np.ndarray]],
+) -> AnyCanvas:
+    """``V[f]``: ``C'(x, y) = f(x, y, C(x, y))``.
+
+    *f* receives vectorized ``(xs, ys, data, valid)`` and returns new
+    ``(data, valid)``.  On a dense canvas it runs as a full-screen
+    fragment pass (tile-by-tile per the canvas device); on a sparse set
+    it maps over samples.
+    """
+    if isinstance(canvas, CanvasSet):
+        return canvas.map_values(f)
+
+    out = canvas.copy()
+    gx, gy = canvas.pixel_center_grids()
+
+    def fragment_pass(rows: slice) -> None:
+        data, valid = f(
+            gx[rows], gy[rows],
+            canvas.texture.data[rows], canvas.texture.valid[rows],
+        )
+        out.texture.data[rows] = data
+        out.texture.valid[rows] = valid
+
+    canvas.device.run_rows(canvas.height, fragment_pass)
+    return out
+
+
+# ----------------------------------------------------------------------
+# M — Mask
+# ----------------------------------------------------------------------
+def mask(canvas: AnyCanvas, predicate: MaskPredicate) -> AnyCanvas:
+    """``M[M]``: keep points whose triple is in the mask set, null the rest."""
+    if isinstance(canvas, CanvasSet):
+        keep = predicate.test(canvas.data, canvas.valid)
+        return canvas.filter_rows(keep)
+
+    out = canvas.copy()
+    keep = predicate.test(canvas.texture.data, canvas.texture.valid)
+    out.texture.data[~keep] = 0.0
+    out.texture.valid[~keep] = False
+    out.boundary &= keep
+    return out
+
+
+# ----------------------------------------------------------------------
+# B — Blend
+# ----------------------------------------------------------------------
+def blend(
+    left: AnyCanvas,
+    right: Canvas,
+    mode: BlendMode,
+) -> AnyCanvas:
+    """``B[⊙](C1, C2)``: merge two canvases under blend function ⊙.
+
+    Dense x dense runs a full-frame blend pass; sparse x dense runs the
+    texture-gather path (one fetch per member-canvas sample) — the two
+    realizations agree on shared queries (verified by tests).
+    """
+    if isinstance(left, CanvasSet):
+        return left.blend_with_canvas(right, mode)
+    if not left.compatible_with(right):
+        raise ValueError(
+            "dense blend requires canvases with identical window/resolution"
+        )
+    out = left.copy()
+    Framebuffer(out.texture, blend=mode, device=left.device).blend_texture(
+        right.texture
+    )
+    out.boundary |= right.boundary
+    out.geometries.update(right.geometries)
+    return out
+
+
+def multiway_blend(
+    canvases: Sequence[Canvas],
+    mode: BlendMode,
+) -> Canvas:
+    """``B*[⊙]``: left fold of :func:`blend` over *canvases*.
+
+    When *mode* is associative the grouping is semantically free
+    (Section 3.2); the fold is the canonical order.
+    """
+    if not canvases:
+        raise ValueError("multiway blend requires at least one canvas")
+    out = canvases[0].copy()
+    for other in canvases[1:]:
+        out = blend(out, other, mode)  # type: ignore[assignment]
+    return out
+
+
+# ----------------------------------------------------------------------
+# D — Dissect
+# ----------------------------------------------------------------------
+def dissect(canvas: Canvas) -> CanvasSet:
+    """``D(C)``: one canvas per non-null point of ``C``.
+
+    The result is columnar (one sample per output canvas) rather than a
+    Python list of n dense canvases; Section 3.2's note licenses
+    treating the collection itself as the operand of later operators.
+    Sample keys are the flattened pixel indices.
+    """
+    rows, cols = canvas.nonnull_pixels()
+    keys = rows * canvas.width + cols
+    xs, ys = canvas.pixel_to_world(rows, cols)
+    return CanvasSet(
+        keys, xs, ys,
+        canvas.texture.data[rows, cols].copy(),
+        canvas.texture.valid[rows, cols].copy(),
+        boundary=canvas.boundary[rows, cols].copy(),
+        geometries=dict(canvas.geometries),
+    )
+
+
+def map_canvas(
+    canvas: Canvas,
+    gamma: ValueGamma | PositionalGamma,
+    by_value: bool = False,
+) -> CanvasSet:
+    """``D*[γ] = G[γ](D(C))`` — dissect then transform (Section 3.2)."""
+    pieces = dissect(canvas)
+    if by_value:
+        return geometric_transform_by_value(pieces, gamma)  # type: ignore[arg-type]
+    return geometric_transform(pieces, gamma)  # type: ignore[return-value]
+
+
+def constant_gamma(xc: float, yc: float) -> PositionalGamma:
+    """The constant ``γ(x, y) = (xc, yc)`` used by Map to align canvases."""
+
+    def gamma(xs: np.ndarray, ys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return (
+            np.full_like(np.asarray(xs, float), xc),
+            np.full_like(np.asarray(ys, float), yc),
+        )
+
+    return gamma
+
+
+# ----------------------------------------------------------------------
+# Utility operators (Section 3.3)
+# ----------------------------------------------------------------------
+def circ(
+    center: tuple[float, float],
+    radius: float,
+    window: BoundingBox,
+    resolution: Resolution = 512,
+    record_id: int = 1,
+    device: Device = DEFAULT_DEVICE,
+) -> Canvas:
+    """``Circ[(x, y), r]()`` — generate a circle canvas."""
+    return Canvas.circle(center, radius, window, resolution, record_id, device)
+
+
+def rect(
+    l1: tuple[float, float],
+    l2: tuple[float, float],
+    window: BoundingBox,
+    resolution: Resolution = 512,
+    record_id: int = 1,
+    device: Device = DEFAULT_DEVICE,
+) -> Canvas:
+    """``Rect[l1, l2]()`` — generate a rectangle canvas."""
+    return Canvas.rectangle(l1, l2, window, resolution, record_id, device)
+
+
+def halfspace(
+    a: float,
+    b: float,
+    c: float,
+    window: BoundingBox,
+    resolution: Resolution = 512,
+    record_id: int = 1,
+    device: Device = DEFAULT_DEVICE,
+) -> Canvas:
+    """``HS[a, b, c]()`` — generate a half-space canvas."""
+    return Canvas.halfspace(a, b, c, window, resolution, record_id, device)
+
+
+# ----------------------------------------------------------------------
+# Aggregation helper built from G and B* (Figure 7's tail)
+# ----------------------------------------------------------------------
+def aggregate_canvas_set(
+    samples: CanvasSet,
+    gamma: ValueGamma,
+    window: BoundingBox,
+    resolution: tuple[int, int],
+) -> Canvas:
+    """``B*[+](G[γ](samples))`` — transform samples then merge-add.
+
+    The standard aggregation tail: move every sample to its group slot
+    (e.g. ``(polygon_id, 0)``) and fold with the ``+`` blend.  Dense
+    accumulation happens via scatter-add, the GPU additive-blending
+    equivalent.
+    """
+    moved = geometric_transform_by_value(samples, gamma)
+    assert isinstance(moved, CanvasSet)
+    return moved.accumulate_by_position(window, resolution)

@@ -1,0 +1,575 @@
+"""The canvas: uniform representation of spatial data (Section 2.2).
+
+A canvas is conceptually a function ``C : R^2 -> S^3``.  The dense
+realization here follows the paper's prototype (Section 5.1): a world
+window plus a texture whose channels carry the object-information
+triples, created on the fly by *rendering* geometry through the
+simulated graphics pipeline.  Two extras make results exact despite
+discretization, exactly as in the paper:
+
+- **conservative boundary flags** — every pixel touched by a geometry
+  boundary is marked, so a pixel is trusted as pure interior/exterior
+  only when unflagged;
+- a **hybrid index** mapping record ids to their vector geometry, so
+  boundary pixels can fall back to exact tests
+  (:mod:`repro.core.accuracy`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import (
+    Geometry,
+    GeometryCollection,
+    LinearRing,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+from repro.gpu.device import DEFAULT_DEVICE, Device
+from repro.gpu.rasterizer import (
+    disk_mask,
+    halfspace_mask,
+    rasterize_points,
+    rasterize_segments,
+    ring_boundary_cells,
+)
+from repro.gpu.scanline import parity_fill
+from repro.gpu.texture import Texture
+from repro.core.objectinfo import (
+    DIM_AREA,
+    DIM_LINE,
+    DIM_POINT,
+    FIELD_COUNT,
+    FIELD_ID,
+    FIELD_VALUE,
+    N_CHANNELS,
+    N_GROUPS,
+    channel,
+)
+
+Resolution = int | tuple[int, int]
+
+
+def _resolve_resolution(
+    window: BoundingBox, resolution: Resolution
+) -> tuple[int, int]:
+    """Turn a resolution spec into ``(height, width)``.
+
+    An integer fixes the longer window side; the shorter side scales by
+    the window aspect ratio (at least one pixel).
+    """
+    if isinstance(resolution, tuple):
+        height, width = resolution
+    else:
+        size = int(resolution)
+        if window.width >= window.height:
+            width = size
+            height = max(int(round(size * window.height / max(window.width, 1e-300))), 1)
+        else:
+            height = size
+            width = max(int(round(size * window.width / max(window.height, 1e-300))), 1)
+    if height < 1 or width < 1:
+        raise ValueError("canvas resolution must be positive")
+    return height, width
+
+
+class Canvas:
+    """A discrete canvas over a world window.
+
+    Attributes
+    ----------
+    window:
+        World-space extent the texture covers.
+    texture:
+        ``(H, W, 9)`` data channels + per-dimension validity planes.
+    boundary:
+        ``(H, W)`` conservative boundary flags.
+    geometries:
+        Hybrid index: record id -> vector geometry for exact
+        refinement of boundary pixels.
+    device:
+        Execution profile for raster passes.
+    """
+
+    def __init__(
+        self,
+        window: BoundingBox,
+        resolution: Resolution = 512,
+        device: Device = DEFAULT_DEVICE,
+    ) -> None:
+        if window.width <= 0 or window.height <= 0:
+            raise ValueError("canvas window must have positive area")
+        self.window = window
+        height, width = _resolve_resolution(window, resolution)
+        self.texture = Texture(height, width, N_CHANNELS, N_GROUPS)
+        self.boundary = np.zeros((height, width), dtype=bool)
+        self.geometries: dict[int, Geometry] = {}
+        self.device = device
+
+    # ------------------------------------------------------------------
+    # Shape & coordinate mapping
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        return self.texture.height
+
+    @property
+    def width(self) -> int:
+        return self.texture.width
+
+    @property
+    def dx(self) -> float:
+        return self.window.width / self.width
+
+    @property
+    def dy(self) -> float:
+        return self.window.height / self.height
+
+    def world_to_pixel(
+        self, xs: np.ndarray, ys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Continuous pixel coordinates of world points (col-x, row-y)."""
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        px = (xs - self.window.xmin) / self.dx
+        py = (ys - self.window.ymin) / self.dy
+        return px, py
+
+    def pixel_to_world(
+        self, rows: np.ndarray, cols: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """World coordinates of pixel centers."""
+        rows = np.asarray(rows, dtype=np.float64)
+        cols = np.asarray(cols, dtype=np.float64)
+        xs = self.window.xmin + (cols + 0.5) * self.dx
+        ys = self.window.ymin + (rows + 0.5) * self.dy
+        return xs, ys
+
+    def pixel_center_grids(self) -> tuple[np.ndarray, np.ndarray]:
+        """World-coordinate grids ``(X, Y)`` of all pixel centers."""
+        xs = self.window.xmin + (np.arange(self.width) + 0.5) * self.dx
+        ys = self.window.ymin + (np.arange(self.height) + 0.5) * self.dy
+        return np.broadcast_to(xs, (self.height, self.width)), np.broadcast_to(
+            ys[:, None], (self.height, self.width)
+        )
+
+    def _ring_pixels(self, ring: LinearRing) -> np.ndarray:
+        px, py = self.world_to_pixel(
+            ring.vertex_array()[:, 0], ring.vertex_array()[:, 1]
+        )
+        return np.stack([px, py], axis=1)
+
+    # ------------------------------------------------------------------
+    # Null / copy
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """Definition 5: a canvas is empty iff every point maps to ∅."""
+        return not bool(self.texture.valid.any())
+
+    def copy(self) -> "Canvas":
+        out = Canvas.__new__(Canvas)
+        out.window = self.window
+        out.texture = self.texture.copy()
+        out.boundary = self.boundary.copy()
+        out.geometries = dict(self.geometries)
+        out.device = self.device
+        return out
+
+    def blank_like(self) -> "Canvas":
+        """An empty canvas with the same window/resolution/device."""
+        out = Canvas.__new__(Canvas)
+        out.window = self.window
+        out.texture = Texture.like(self.texture)
+        out.boundary = np.zeros((self.height, self.width), dtype=bool)
+        out.geometries = {}
+        out.device = self.device
+        return out
+
+    def compatible_with(self, other: "Canvas") -> bool:
+        """Same window and resolution (required by dense binary blends)."""
+        return (
+            self.window == other.window
+            and self.height == other.height
+            and self.width == other.width
+        )
+
+    # ------------------------------------------------------------------
+    # Channel accessors
+    # ------------------------------------------------------------------
+    def field(self, dim: int, field: int) -> np.ndarray:
+        """View of one S^3 channel, shape ``(H, W)``."""
+        return self.texture.data[:, :, channel(dim, field)]
+
+    def valid(self, dim: int) -> np.ndarray:
+        """Validity plane of primitive dimension *dim*."""
+        return self.texture.group_valid(dim)
+
+    def sample(self, x: float, y: float) -> tuple[np.ndarray, np.ndarray]:
+        """Evaluate the canvas function at one world point.
+
+        Returns ``(data[9], valid[3])`` — the S^3 triple at the pixel
+        containing ``(x, y)``; out-of-window points sample ∅.
+        """
+        px, py = self.world_to_pixel(np.array([x]), np.array([y]))
+        rows = np.floor(py).astype(np.int64)
+        cols = np.floor(px).astype(np.int64)
+        data, valid = self.texture.gather(rows, cols)
+        return data[0], valid[0]
+
+    # ------------------------------------------------------------------
+    # Rendering (canvas creation, Definition 6)
+    # ------------------------------------------------------------------
+    def draw_points(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        ids: np.ndarray | None = None,
+        values: np.ndarray | None = None,
+        accumulate: bool = True,
+    ) -> "Canvas":
+        """Render 0-primitives.
+
+        With ``accumulate=True`` (GPU additive blending) the count
+        channel sums points landing on the same pixel and the value
+        channel sums their attribute values — this single call realizes
+        the multiway blend ``B*[+]`` over per-point canvases that the
+        RasterJoin plan starts with (Section 5.2).  The id channel
+        keeps the id of the *last* point drawn on a pixel, matching the
+        paper's note that ids are only meaningful pre-merge.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        n = len(xs)
+        ids_arr = (
+            np.asarray(ids, dtype=np.float64)
+            if ids is not None
+            else np.arange(n, dtype=np.float64)
+        )
+        vals = (
+            np.asarray(values, dtype=np.float64)
+            if values is not None
+            else np.zeros(n, dtype=np.float64)
+        )
+        px, py = self.world_to_pixel(xs, ys)
+        rows, cols, inside = (
+            np.floor(py).astype(np.int64),
+            np.floor(px).astype(np.int64),
+            None,
+        )
+        inside = (
+            (rows >= 0) & (rows < self.height)
+            & (cols >= 0) & (cols < self.width)
+        )
+        rows, cols = rows[inside], cols[inside]
+        ids_in, vals_in = ids_arr[inside], vals[inside]
+
+        id_ch = channel(DIM_POINT, FIELD_ID)
+        cnt_ch = channel(DIM_POINT, FIELD_COUNT)
+        val_ch = channel(DIM_POINT, FIELD_VALUE)
+        data = self.texture.data
+        if accumulate:
+            np.add.at(data[:, :, cnt_ch], (rows, cols), 1.0)
+            np.add.at(data[:, :, val_ch], (rows, cols), vals_in)
+            data[rows, cols, id_ch] = ids_in
+        else:
+            data[rows, cols, id_ch] = ids_in
+            data[rows, cols, cnt_ch] = 1.0
+            data[rows, cols, val_ch] = vals_in
+        self.texture.valid[rows, cols, DIM_POINT] = True
+        return self
+
+    def draw_polygon(
+        self,
+        polygon: Polygon,
+        record_id: int,
+        value: float = 0.0,
+        accumulate_count: bool = False,
+    ) -> "Canvas":
+        """Render a 2-primitive: even-odd interior fill + conservative
+        boundary flags + hybrid-index entry.
+
+        With ``accumulate_count=True`` the count channel adds 1 per
+        polygon on covered pixels — the ``⊕`` blend used by
+        polygon-polygon queries and multi-constraint disjunctions.
+        """
+        rings = [self._ring_pixels(polygon.shell)]
+        rings.extend(self._ring_pixels(h) for h in polygon.holes)
+        interior = parity_fill(rings, self.height, self.width, device=self.device)
+
+        brows_list = []
+        bcols_list = []
+        for ring_px in rings:
+            br, bc = ring_boundary_cells(ring_px, self.height, self.width)
+            brows_list.append(br)
+            bcols_list.append(bc)
+        brows = np.concatenate(brows_list)
+        bcols = np.concatenate(bcols_list)
+
+        covered = interior.copy()
+        covered[brows, bcols] = True
+
+        id_ch = channel(DIM_AREA, FIELD_ID)
+        cnt_ch = channel(DIM_AREA, FIELD_COUNT)
+        val_ch = channel(DIM_AREA, FIELD_VALUE)
+        data = self.texture.data
+        data[:, :, id_ch][covered] = float(record_id)
+        if accumulate_count:
+            data[:, :, cnt_ch][covered] += 1.0
+        else:
+            data[:, :, cnt_ch][covered] = 1.0
+        data[:, :, val_ch][covered] = value
+        self.texture.valid[:, :, DIM_AREA] |= covered
+        self.boundary[brows, bcols] = True
+        self.geometries[int(record_id)] = polygon
+        return self
+
+    def draw_linestring(
+        self, line: LineString, record_id: int, value: float = 0.0
+    ) -> "Canvas":
+        """Render a 1-primitive with conservative (supercover) coverage."""
+        arr = line.vertex_array()
+        px, py = self.world_to_pixel(arr[:, 0], arr[:, 1])
+        pts = np.stack([px, py], axis=1)
+        segments = np.concatenate([pts[:-1], pts[1:]], axis=1)
+        rows, cols = rasterize_segments(segments, self.height, self.width)
+        id_ch = channel(DIM_LINE, FIELD_ID)
+        cnt_ch = channel(DIM_LINE, FIELD_COUNT)
+        val_ch = channel(DIM_LINE, FIELD_VALUE)
+        self.texture.data[rows, cols, id_ch] = float(record_id)
+        self.texture.data[rows, cols, cnt_ch] = 1.0
+        self.texture.data[rows, cols, val_ch] = value
+        self.texture.valid[rows, cols, DIM_LINE] = True
+        self.boundary[rows, cols] = True
+        self.geometries[int(record_id)] = line
+        return self
+
+    def draw_geometry(
+        self, geometry: Geometry, record_id: int, value: float = 0.0
+    ) -> "Canvas":
+        """Render any geometry — heterogeneous collections included.
+
+        Every primitive of the object carries the *same* record id
+        (Figure 3 of the paper: all primitives of one object share its
+        id), landing in the S^3 slot of its own dimension.
+        """
+        if isinstance(geometry, Point):
+            return self.draw_points(
+                np.array([geometry.x]), np.array([geometry.y]),
+                ids=np.array([record_id]), values=np.array([value]),
+                accumulate=False,
+            )
+        if isinstance(geometry, MultiPoint):
+            arr = geometry.vertex_array()
+            n = len(arr)
+            return self.draw_points(
+                arr[:, 0], arr[:, 1],
+                ids=np.full(n, record_id), values=np.full(n, value),
+                accumulate=False,
+            )
+        if isinstance(geometry, LineString):
+            return self.draw_linestring(geometry, record_id, value)
+        if isinstance(geometry, MultiLineString):
+            for line in geometry.lines:
+                self.draw_linestring(line, record_id, value)
+            self.geometries[int(record_id)] = geometry
+            return self
+        if isinstance(geometry, Polygon):
+            return self.draw_polygon(geometry, record_id, value)
+        if isinstance(geometry, MultiPolygon):
+            for poly in geometry.polygons:
+                self.draw_polygon(poly, record_id, value)
+            self.geometries[int(record_id)] = geometry
+            return self
+        if isinstance(geometry, GeometryCollection):
+            for part in geometry.geometries:
+                self.draw_geometry(part, record_id, value)
+            self.geometries[int(record_id)] = geometry
+            return self
+        raise TypeError(f"cannot render {type(geometry).__name__}")
+
+    # ------------------------------------------------------------------
+    # Factory constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(
+        cls,
+        window: BoundingBox,
+        resolution: Resolution = 512,
+        device: Device = DEFAULT_DEVICE,
+    ) -> "Canvas":
+        """The empty canvas (Definition 5)."""
+        return cls(window, resolution, device)
+
+    @classmethod
+    def from_polygon(
+        cls,
+        polygon: Polygon,
+        window: BoundingBox,
+        resolution: Resolution = 512,
+        record_id: int = 1,
+        value: float = 0.0,
+        device: Device = DEFAULT_DEVICE,
+    ) -> "Canvas":
+        """Canvas of one polygon record (the query-canvas of Section 4.1)."""
+        out = cls(window, resolution, device)
+        out.draw_polygon(polygon, record_id, value)
+        return out
+
+    @classmethod
+    def from_points(
+        cls,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        window: BoundingBox,
+        resolution: Resolution = 512,
+        ids: np.ndarray | None = None,
+        values: np.ndarray | None = None,
+        device: Device = DEFAULT_DEVICE,
+    ) -> "Canvas":
+        """Merged point canvas: ``B*[+]`` over all per-point canvases."""
+        out = cls(window, resolution, device)
+        out.draw_points(xs, ys, ids=ids, values=values, accumulate=True)
+        return out
+
+    # ------------------------------------------------------------------
+    # Utility operators (Section 3.3)
+    # ------------------------------------------------------------------
+    @classmethod
+    def circle(
+        cls,
+        center: tuple[float, float],
+        radius: float,
+        window: BoundingBox,
+        resolution: Resolution = 512,
+        record_id: int = 1,
+        device: Device = DEFAULT_DEVICE,
+    ) -> "Canvas":
+        """``Circ[(x, y), r]()`` — canvas of a disk 2-primitive.
+
+        The exact disk is kept in the hybrid index (as a dense regular
+        polygon approximation for the vector fallback, plus exact
+        center/radius refinement in :mod:`repro.core.accuracy`).
+        """
+        if radius <= 0:
+            raise ValueError("circle radius must be positive")
+        out = cls(window, resolution, device)
+        cx, cy = center
+        pcx, pcy = out.world_to_pixel(np.array([cx]), np.array([cy]))
+        pr_x = radius / out.dx
+        pr_y = radius / out.dy
+        # Interior: pixel centers within the (possibly anisotropic) disk.
+        ys = np.arange(out.height, dtype=np.float64) + 0.5
+        xs = np.arange(out.width, dtype=np.float64) + 0.5
+        norm = (
+            ((xs[None, :] - pcx[0]) / pr_x) ** 2
+            + ((ys[:, None] - pcy[0]) / pr_y) ** 2
+        )
+        covered = norm <= 1.0
+        # Conservative boundary: cells crossed by the circle — flag the
+        # ring where the normalized distance straddles 1 within a cell
+        # diagonal.
+        cell_margin = (1.0 / pr_x + 1.0 / pr_y)
+        near = np.abs(np.sqrt(norm) - 1.0) <= cell_margin
+        id_ch = channel(DIM_AREA, FIELD_ID)
+        cnt_ch = channel(DIM_AREA, FIELD_COUNT)
+        cover_or_near = covered | near
+        out.texture.data[:, :, id_ch][cover_or_near] = float(record_id)
+        out.texture.data[:, :, cnt_ch][cover_or_near] = 1.0
+        out.texture.valid[:, :, DIM_AREA] |= cover_or_near
+        out.boundary |= near
+        out.geometries[int(record_id)] = _circle_polygon(cx, cy, radius)
+        return out
+
+    @classmethod
+    def rectangle(
+        cls,
+        l1: tuple[float, float],
+        l2: tuple[float, float],
+        window: BoundingBox,
+        resolution: Resolution = 512,
+        record_id: int = 1,
+        device: Device = DEFAULT_DEVICE,
+    ) -> "Canvas":
+        """``Rect[l1, l2]()`` — canvas of an axis-aligned rectangle."""
+        box = BoundingBox(
+            min(l1[0], l2[0]), min(l1[1], l2[1]),
+            max(l1[0], l2[0]), max(l1[1], l2[1]),
+        )
+        if box.area <= 0:
+            raise ValueError("rectangle must have positive area")
+        polygon = Polygon(box.corners)
+        return cls.from_polygon(
+            polygon, window, resolution, record_id=record_id, device=device
+        )
+
+    @classmethod
+    def halfspace(
+        cls,
+        a: float,
+        b: float,
+        c: float,
+        window: BoundingBox,
+        resolution: Resolution = 512,
+        record_id: int = 1,
+        device: Device = DEFAULT_DEVICE,
+    ) -> "Canvas":
+        """``HS[a, b, c]()`` — canvas of the half space ``ax + by + c < 0``.
+
+        The half space is clipped to the canvas window (the infinite
+        region cannot be discretized); the hybrid index stores the
+        clipped polygon.
+        """
+        if a == 0 and b == 0:
+            raise ValueError("half space requires a or b nonzero")
+        out = cls(window, resolution, device)
+        # Transform the inequality to pixel space:
+        #  x = xmin + px*dx, y = ymin + py*dy.
+        pa = a * out.dx
+        pb = b * out.dy
+        pc = c + a * window.xmin + b * window.ymin
+        covered = halfspace_mask(pa, pb, pc, out.height, out.width)
+        id_ch = channel(DIM_AREA, FIELD_ID)
+        cnt_ch = channel(DIM_AREA, FIELD_COUNT)
+        out.texture.data[:, :, id_ch][covered] = float(record_id)
+        out.texture.data[:, :, cnt_ch][covered] = 1.0
+        out.texture.valid[:, :, DIM_AREA] |= covered
+        # Conservative boundary: cells the line a*x+b*y+c=0 passes through.
+        from repro.geometry.clipping import clip_polygon_halfplane
+
+        clipped = clip_polygon_halfplane(window.corners, a, b, c)
+        if len(clipped) >= 3:
+            poly = Polygon(clipped)
+            px_ring = out._ring_pixels(poly.shell)
+            br, bc = ring_boundary_cells(px_ring, out.height, out.width)
+            out.boundary[br, bc] = True
+            out.geometries[int(record_id)] = poly
+        return out
+
+    # ------------------------------------------------------------------
+    def nonnull_pixels(self) -> tuple[np.ndarray, np.ndarray]:
+        """Rows and columns of all non-null pixels."""
+        return np.nonzero(self.texture.any_valid())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"<Canvas {self.height}x{self.width} window={tuple(self.window)} "
+            f"nonnull={self.texture.nonnull_count()} device={self.device.name}>"
+        )
+
+
+def _circle_polygon(cx: float, cy: float, radius: float, n: int = 128) -> Polygon:
+    """Dense regular-polygon approximation of a circle for the hybrid index."""
+    angles = np.linspace(0.0, 2.0 * np.pi, n, endpoint=False)
+    coords = [
+        (cx + radius * float(np.cos(t)), cy + radius * float(np.sin(t)))
+        for t in angles
+    ]
+    return Polygon(coords)

@@ -1,0 +1,414 @@
+"""Sparse, columnar collections of per-record canvases.
+
+Section 4 models a data set as *one canvas per record* (``CP = {C1,
+..., Cn}``), and the prototype "creates the canvases on the fly"
+rather than materializing n full textures (Section 5.1).  This module
+is that on-the-fly representation: a :class:`CanvasSet` stores every
+non-null sample of every record canvas in structure-of-arrays form —
+record key, world position, and the S^3 triple — so operators become
+bulk array kernels:
+
+- blending the set with a dense canvas is a *texture gather* at the
+  sample positions (GPU texture-fetch semantics);
+- the value-driven geometric transform ``G[γ: S^3 -> R^2]`` rewrites
+  sample positions from sample data;
+- the multiway blend ``B*[+]`` of transformed samples is a
+  *scatter-add* into an accumulator canvas (GPU additive blending).
+
+For point data sets there is exactly one sample per record; for
+polygon data sets, one sample per covered pixel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import Geometry, Polygon
+from repro.gpu.blendmodes import BlendMode
+from repro.core.canvas import Canvas
+from repro.core.objectinfo import (
+    DIM_AREA,
+    DIM_LINE,
+    DIM_POINT,
+    FIELD_COUNT,
+    FIELD_ID,
+    FIELD_VALUE,
+    N_CHANNELS,
+    N_GROUPS,
+    channel,
+)
+
+
+class CanvasSet:
+    """A columnar multiset of canvas samples across many records.
+
+    Attributes
+    ----------
+    keys:
+        ``(m,)`` int64 — record key of each sample (the paper's
+        record-identifying ``id`` stored in ``v0``).
+    xs, ys:
+        ``(m,)`` float64 — world position of each sample.
+    data, valid:
+        ``(m, 9)`` float64 and ``(m, 3)`` bool — the S^3 triple.
+    boundary:
+        ``(m,)`` bool — conservative boundary flag of the sample's
+        source pixel (used by exact refinement).
+    geometries:
+        Hybrid index: record key -> vector geometry (present for
+        polygon sets; empty for pure point sets, whose samples are
+        already exact).
+    """
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        data: np.ndarray,
+        valid: np.ndarray,
+        boundary: np.ndarray | None = None,
+        geometries: dict[int, Geometry] | None = None,
+    ) -> None:
+        self.keys = np.asarray(keys, dtype=np.int64)
+        self.xs = np.asarray(xs, dtype=np.float64)
+        self.ys = np.asarray(ys, dtype=np.float64)
+        self.data = np.asarray(data, dtype=np.float64)
+        self.valid = np.asarray(valid, dtype=bool)
+        m = len(self.keys)
+        if not (len(self.xs) == len(self.ys) == m and len(self.data) == m
+                and len(self.valid) == m):
+            raise ValueError("all sample arrays must have equal length")
+        if self.data.shape != (m, N_CHANNELS) or self.valid.shape != (m, N_GROUPS):
+            raise ValueError("data must be (m, 9) and valid (m, 3)")
+        self.boundary = (
+            np.asarray(boundary, dtype=bool)
+            if boundary is not None
+            else np.zeros(m, dtype=bool)
+        )
+        if len(self.boundary) != m:
+            raise ValueError("boundary mask must match sample count")
+        self.geometries: dict[int, Geometry] = dict(geometries or {})
+
+    # ------------------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        return len(self.keys)
+
+    @property
+    def n_records(self) -> int:
+        return len(np.unique(self.keys)) if len(self.keys) else 0
+
+    def record_keys(self) -> np.ndarray:
+        """Sorted unique record keys present in the set."""
+        return np.unique(self.keys)
+
+    def field(self, dim: int, field: int) -> np.ndarray:
+        """One S^3 channel across all samples, shape ``(m,)``."""
+        return self.data[:, channel(dim, field)]
+
+    def is_empty(self) -> bool:
+        return self.n_samples == 0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_points(
+        xs: np.ndarray,
+        ys: np.ndarray,
+        ids: np.ndarray | None = None,
+        values: np.ndarray | None = None,
+    ) -> "CanvasSet":
+        """Per-record point canvases (Section 4.1's ``CP``).
+
+        Each record canvas has a single non-null sample carrying
+        ``s[0] = (id, 1, value)``.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        n = len(xs)
+        if len(ys) != n:
+            raise ValueError("xs and ys must have equal length")
+        keys = (
+            np.asarray(ids, dtype=np.int64)
+            if ids is not None
+            else np.arange(n, dtype=np.int64)
+        )
+        vals = (
+            np.asarray(values, dtype=np.float64)
+            if values is not None
+            else np.zeros(n, dtype=np.float64)
+        )
+        data = np.zeros((n, N_CHANNELS), dtype=np.float64)
+        valid = np.zeros((n, N_GROUPS), dtype=bool)
+        data[:, channel(DIM_POINT, FIELD_ID)] = keys
+        data[:, channel(DIM_POINT, FIELD_COUNT)] = 1.0
+        data[:, channel(DIM_POINT, FIELD_VALUE)] = vals
+        valid[:, DIM_POINT] = True
+        return CanvasSet(keys, xs, ys, data, valid)
+
+    @staticmethod
+    def from_polygons(
+        polygons: Sequence[Polygon],
+        frame: Canvas,
+        ids: Sequence[int] | None = None,
+        values: Sequence[float] | None = None,
+    ) -> "CanvasSet":
+        """Per-record polygon canvases rendered against *frame*'s grid.
+
+        Each polygon contributes one sample per covered pixel (interior
+        plus conservative boundary) carrying ``s[2] = (id, 1, value)``.
+        *frame* supplies window, resolution and device; it is not
+        modified.
+        """
+        id_list = list(ids) if ids is not None else list(range(len(polygons)))
+        val_list = (
+            list(values) if values is not None else [0.0] * len(polygons)
+        )
+        if len(id_list) != len(polygons) or len(val_list) != len(polygons):
+            raise ValueError("ids/values must match polygon count")
+
+        keys_parts: list[np.ndarray] = []
+        xs_parts: list[np.ndarray] = []
+        ys_parts: list[np.ndarray] = []
+        data_parts: list[np.ndarray] = []
+        boundary_parts: list[np.ndarray] = []
+        geometries: dict[int, Geometry] = {}
+
+        for polygon, rid, val in zip(polygons, id_list, val_list):
+            scratch = frame.blank_like()
+            scratch.draw_polygon(polygon, rid, value=val)
+            covered = scratch.valid(DIM_AREA)
+            rows, cols = np.nonzero(covered)
+            wx, wy = scratch.pixel_to_world(rows, cols)
+            m = len(rows)
+            data = np.zeros((m, N_CHANNELS), dtype=np.float64)
+            data[:, channel(DIM_AREA, FIELD_ID)] = rid
+            data[:, channel(DIM_AREA, FIELD_COUNT)] = 1.0
+            data[:, channel(DIM_AREA, FIELD_VALUE)] = val
+            keys_parts.append(np.full(m, rid, dtype=np.int64))
+            xs_parts.append(wx)
+            ys_parts.append(wy)
+            data_parts.append(data)
+            boundary_parts.append(scratch.boundary[rows, cols])
+            geometries[int(rid)] = polygon
+
+        if not keys_parts:
+            return CanvasSet.empty()
+        keys = np.concatenate(keys_parts)
+        m_total = len(keys)
+        valid = np.zeros((m_total, N_GROUPS), dtype=bool)
+        valid[:, DIM_AREA] = True
+        return CanvasSet(
+            keys,
+            np.concatenate(xs_parts),
+            np.concatenate(ys_parts),
+            np.concatenate(data_parts),
+            valid,
+            boundary=np.concatenate(boundary_parts),
+            geometries=geometries,
+        )
+
+    @staticmethod
+    def from_linestrings(
+        lines: Sequence["LineString"],
+        frame: Canvas,
+        ids: Sequence[int] | None = None,
+        values: Sequence[float] | None = None,
+    ) -> "CanvasSet":
+        """Per-record polyline canvases rendered against *frame*'s grid.
+
+        Each line contributes one sample per supercover-touched pixel
+        carrying ``s[1] = (id, 1, value)``.  Samples are *not* flagged
+        boundary themselves: after blending with a constraint canvas,
+        an unflagged sample proves the line touches a pure-interior
+        pixel of the constraint (certain hit), while constraint
+        boundary pixels flag the sample for exact refinement.
+        """
+        from repro.geometry.primitives import LineString
+
+        id_list = list(ids) if ids is not None else list(range(len(lines)))
+        val_list = list(values) if values is not None else [0.0] * len(lines)
+        if len(id_list) != len(lines) or len(val_list) != len(lines):
+            raise ValueError("ids/values must match line count")
+
+        keys_parts: list[np.ndarray] = []
+        xs_parts: list[np.ndarray] = []
+        ys_parts: list[np.ndarray] = []
+        data_parts: list[np.ndarray] = []
+        geometries: dict[int, Geometry] = {}
+
+        for line, rid, val in zip(lines, id_list, val_list):
+            scratch = frame.blank_like()
+            scratch.draw_linestring(line, rid, value=val)
+            rows, cols = np.nonzero(scratch.valid(DIM_LINE))
+            wx, wy = scratch.pixel_to_world(rows, cols)
+            m = len(rows)
+            data = np.zeros((m, N_CHANNELS), dtype=np.float64)
+            data[:, channel(DIM_LINE, FIELD_ID)] = rid
+            data[:, channel(DIM_LINE, FIELD_COUNT)] = 1.0
+            data[:, channel(DIM_LINE, FIELD_VALUE)] = val
+            keys_parts.append(np.full(m, rid, dtype=np.int64))
+            xs_parts.append(wx)
+            ys_parts.append(wy)
+            data_parts.append(data)
+            geometries[int(rid)] = line
+
+        if not keys_parts:
+            return CanvasSet.empty()
+        keys = np.concatenate(keys_parts)
+        valid = np.zeros((len(keys), N_GROUPS), dtype=bool)
+        valid[:, DIM_LINE] = True
+        return CanvasSet(
+            keys,
+            np.concatenate(xs_parts),
+            np.concatenate(ys_parts),
+            np.concatenate(data_parts),
+            valid,
+            geometries=geometries,
+        )
+
+    @staticmethod
+    def empty() -> "CanvasSet":
+        """A set with zero samples (all member canvases pruned)."""
+        return CanvasSet(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=np.float64),
+            np.empty((0, N_CHANNELS), dtype=np.float64),
+            np.empty((0, N_GROUPS), dtype=bool),
+        )
+
+    # ------------------------------------------------------------------
+    # Core operator kernels (invoked by repro.core.algebra)
+    # ------------------------------------------------------------------
+    def blend_with_canvas(self, other: Canvas, mode: BlendMode) -> "CanvasSet":
+        """``B[mode](self_i, other)`` for every member canvas ``i``.
+
+        Implemented as a texture gather: each sample fetches the dense
+        canvas's S^3 triple at its own position and combines the two
+        triples with *mode*.  Boundary flags are OR-combined so exact
+        refinement knows which results are pixel-uncertain.
+        """
+        px, py = other.world_to_pixel(self.xs, self.ys)
+        rows = np.floor(py).astype(np.int64)
+        cols = np.floor(px).astype(np.int64)
+        gathered_data, gathered_valid = other.texture.gather(
+            rows, cols, groups=other.texture.live_groups()
+        )
+        data, valid = mode(self.data, self.valid, gathered_data, gathered_valid)
+
+        in_range = (
+            (rows >= 0) & (rows < other.height)
+            & (cols >= 0) & (cols < other.width)
+        )
+        safe_r = np.clip(rows, 0, other.height - 1)
+        safe_c = np.clip(cols, 0, other.width - 1)
+        on_boundary = self.boundary | (
+            in_range & other.boundary[safe_r, safe_c]
+        )
+        geometries = dict(self.geometries)
+        geometries.update(other.geometries)
+        return CanvasSet(
+            self.keys, self.xs, self.ys, data, valid,
+            boundary=on_boundary, geometries=geometries,
+        )
+
+    def filter_rows(self, keep: np.ndarray) -> "CanvasSet":
+        """A new set with only the samples where *keep* is true."""
+        keep = np.asarray(keep, dtype=bool)
+        return CanvasSet(
+            self.keys[keep], self.xs[keep], self.ys[keep],
+            self.data[keep], self.valid[keep],
+            boundary=self.boundary[keep], geometries=self.geometries,
+        )
+
+    def transform_positions(
+        self,
+        new_xs: np.ndarray,
+        new_ys: np.ndarray,
+    ) -> "CanvasSet":
+        """Samples moved to explicit new positions (both flavours of G)."""
+        return CanvasSet(
+            self.keys, np.asarray(new_xs, float), np.asarray(new_ys, float),
+            self.data.copy(), self.valid.copy(),
+            boundary=self.boundary.copy(), geometries=dict(self.geometries),
+        )
+
+    def map_values(
+        self,
+        f: Callable[[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+                    tuple[np.ndarray, np.ndarray]],
+    ) -> "CanvasSet":
+        """``V[f]``: rewrite sample triples; f(xs, ys, data, valid)."""
+        data, valid = f(self.xs, self.ys, self.data, self.valid)
+        return CanvasSet(
+            self.keys, self.xs, self.ys, np.asarray(data, float),
+            np.asarray(valid, bool),
+            boundary=self.boundary.copy(), geometries=dict(self.geometries),
+        )
+
+    def concat(self, other: "CanvasSet") -> "CanvasSet":
+        """Union of two sets of member canvases."""
+        geometries = dict(self.geometries)
+        geometries.update(other.geometries)
+        return CanvasSet(
+            np.concatenate([self.keys, other.keys]),
+            np.concatenate([self.xs, other.xs]),
+            np.concatenate([self.ys, other.ys]),
+            np.concatenate([self.data, other.data]),
+            np.concatenate([self.valid, other.valid]),
+            boundary=np.concatenate([self.boundary, other.boundary]),
+            geometries=geometries,
+        )
+
+    def accumulate_by_position(
+        self,
+        window: BoundingBox,
+        resolution: tuple[int, int],
+    ) -> Canvas:
+        """``B*[+]`` of all member canvases into a dense accumulator.
+
+        Samples are scattered into an accumulator canvas over *window*;
+        point counts and values add per pixel (GPU additive blending
+        via ``np.add.at``).  This is the final merge of the aggregation
+        plans in Figures 7 and 8(c).
+        """
+        out = Canvas(window, resolution)
+        px, py = out.world_to_pixel(self.xs, self.ys)
+        rows = np.floor(py).astype(np.int64)
+        cols = np.floor(px).astype(np.int64)
+        inside = (
+            (rows >= 0) & (rows < out.height)
+            & (cols >= 0) & (cols < out.width)
+        )
+        rows, cols = rows[inside], cols[inside]
+        cnt = self.field(DIM_POINT, FIELD_COUNT)[inside]
+        val = self.field(DIM_POINT, FIELD_VALUE)[inside]
+        vpt = self.valid[inside, DIM_POINT]
+        cnt_ch = channel(DIM_POINT, FIELD_COUNT)
+        val_ch = channel(DIM_POINT, FIELD_VALUE)
+        np.add.at(out.texture.data[:, :, cnt_ch], (rows, cols),
+                  np.where(vpt, cnt, 0.0))
+        np.add.at(out.texture.data[:, :, val_ch], (rows, cols),
+                  np.where(vpt, val, 0.0))
+        np.logical_or.at(out.texture.valid[:, :, DIM_POINT], (rows, cols), vpt)
+        # Area slot: propagate the (id, count, value) of the last sample
+        # per pixel, matching the + blend's "s2[2][*]" rule.
+        varea = self.valid[inside, DIM_AREA]
+        if varea.any():
+            ar, ac = rows[varea], cols[varea]
+            out.texture.data[ar, ac, DIM_AREA * 3 : DIM_AREA * 3 + 3] = (
+                self.data[inside][varea, DIM_AREA * 3 : DIM_AREA * 3 + 3]
+            )
+            out.texture.valid[ar, ac, DIM_AREA] = True
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"<CanvasSet samples={self.n_samples} records={self.n_records}>"
+        )

@@ -1,0 +1,240 @@
+"""Composable algebraic expressions and plan diagrams.
+
+The paper visualizes query expressions as *plan diagrams* (Figures 5–8).
+This module gives the algebra an explicit expression-tree form: every
+operator of :mod:`repro.core.algebra` has a node type, trees evaluate
+to canvases, and :func:`render_plan` prints the ASCII analogue of the
+paper's diagrams.  Because every node produces a canvas (or canvas
+collection), trees compose arbitrarily — the algebra's closure made
+syntactic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.gpu.blendmodes import BlendMode
+from repro.core import algebra
+from repro.core.algebra import AnyCanvas, PositionalGamma, ValueGamma
+from repro.core.canvas import Canvas
+from repro.core.canvas_set import CanvasSet
+from repro.core.masks import MaskPredicate
+
+
+class Node:
+    """Base expression node: children + evaluation + diagram label."""
+
+    children: tuple["Node", ...] = ()
+
+    def evaluate(self) -> AnyCanvas:
+        raise NotImplementedError
+
+    def label(self) -> str:
+        raise NotImplementedError
+
+    # Fluent builders so plans read top-down like the paper's text.
+    def mask(self, predicate: MaskPredicate) -> "MaskNode":
+        return MaskNode(predicate, self)
+
+    def blend(self, other: "Node", mode: BlendMode) -> "BlendNode":
+        return BlendNode(mode, self, other)
+
+    def transform(self, gamma: PositionalGamma) -> "GeomTransformNode":
+        return GeomTransformNode(gamma, self)
+
+    def transform_by_value(self, gamma: ValueGamma) -> "GeomTransformNode":
+        return GeomTransformNode(gamma, self, by_value=True)
+
+    def value_transform(self, f: Callable, name: str = "f") -> "ValueTransformNode":
+        return ValueTransformNode(f, self, name=name)
+
+    def dissect(self) -> "DissectNode":
+        return DissectNode(self)
+
+
+class InputNode(Node):
+    """A leaf holding an already-materialized canvas or canvas set."""
+
+    def __init__(self, value: AnyCanvas, name: str = "C") -> None:
+        self.value = value
+        self.name = name
+
+    def evaluate(self) -> AnyCanvas:
+        return self.value
+
+    def label(self) -> str:
+        if isinstance(self.value, CanvasSet):
+            return f"{self.name} (canvas set, {self.value.n_records} records)"
+        return f"{self.name} (canvas {self.value.height}x{self.value.width})"
+
+
+class UtilityNode(Node):
+    """A leaf produced by a utility operator (Circ / Rect / HS)."""
+
+    def __init__(self, kind: str, factory: Callable[[], Canvas],
+                 params: str = "") -> None:
+        self.kind = kind
+        self.factory = factory
+        self.params = params
+
+    def evaluate(self) -> AnyCanvas:
+        return self.factory()
+
+    def label(self) -> str:
+        return f"{self.kind}[{self.params}]()"
+
+
+class BlendNode(Node):
+    """``B[⊙](left, right)`` — right must evaluate to a dense canvas."""
+
+    def __init__(self, mode: BlendMode, left: Node, right: Node) -> None:
+        self.mode = mode
+        self.children = (left, right)
+
+    def evaluate(self) -> AnyCanvas:
+        left = self.children[0].evaluate()
+        right = self.children[1].evaluate()
+        if not isinstance(right, Canvas):
+            raise TypeError("blend right operand must be a dense canvas")
+        return algebra.blend(left, right, self.mode)
+
+    def label(self) -> str:
+        return f"B[{self.mode.name}]"
+
+
+class MultiwayBlendNode(Node):
+    """``B*[⊙](C1, ..., Cn)`` over dense canvases."""
+
+    def __init__(self, mode: BlendMode, children: Sequence[Node]) -> None:
+        if not children:
+            raise ValueError("multiway blend requires at least one child")
+        self.mode = mode
+        self.children = tuple(children)
+
+    def evaluate(self) -> AnyCanvas:
+        values = [child.evaluate() for child in self.children]
+        canvases = []
+        for value in values:
+            if not isinstance(value, Canvas):
+                raise TypeError("multiway blend children must be dense canvases")
+            canvases.append(value)
+        return algebra.multiway_blend(canvases, self.mode)
+
+    def label(self) -> str:
+        return f"B*[{self.mode.name}] (n={len(self.children)})"
+
+
+class MaskNode(Node):
+    """``M[M](child)``."""
+
+    def __init__(self, predicate: MaskPredicate, child: Node) -> None:
+        self.predicate = predicate
+        self.children = (child,)
+
+    def evaluate(self) -> AnyCanvas:
+        return algebra.mask(self.children[0].evaluate(), self.predicate)
+
+    def label(self) -> str:
+        return f"M[{self.predicate.describe()}]"
+
+
+class GeomTransformNode(Node):
+    """``G[γ](child)`` — positional or value-driven."""
+
+    def __init__(
+        self, gamma, child: Node, by_value: bool = False, name: str = "γ"
+    ) -> None:
+        self.gamma = gamma
+        self.by_value = by_value
+        self.name = name
+        self.children = (child,)
+
+    def evaluate(self) -> AnyCanvas:
+        value = self.children[0].evaluate()
+        if self.by_value:
+            return algebra.geometric_transform_by_value(value, self.gamma)
+        return algebra.geometric_transform(value, self.gamma)
+
+    def label(self) -> str:
+        kind = "S3→R2" if self.by_value else "R2→R2"
+        return f"G[{self.name}: {kind}]"
+
+
+class ValueTransformNode(Node):
+    """``V[f](child)``."""
+
+    def __init__(self, f: Callable, child: Node, name: str = "f") -> None:
+        self.f = f
+        self.name = name
+        self.children = (child,)
+
+    def evaluate(self) -> AnyCanvas:
+        return algebra.value_transform(self.children[0].evaluate(), self.f)
+
+    def label(self) -> str:
+        return f"V[{self.name}]"
+
+
+class DissectNode(Node):
+    """``D(child)`` — child must evaluate to a dense canvas."""
+
+    def __init__(self, child: Node) -> None:
+        self.children = (child,)
+
+    def evaluate(self) -> AnyCanvas:
+        value = self.children[0].evaluate()
+        if not isinstance(value, Canvas):
+            raise TypeError("dissect operates on dense canvases")
+        return algebra.dissect(value)
+
+    def label(self) -> str:
+        return "D"
+
+
+class AccumulateNode(Node):
+    """``B*[+](G[γ](child))`` — the aggregation tail of Figure 7."""
+
+    def __init__(
+        self,
+        gamma: ValueGamma,
+        window,
+        resolution: tuple[int, int],
+        child: Node,
+        name: str = "γc",
+    ) -> None:
+        self.gamma = gamma
+        self.window = window
+        self.resolution = resolution
+        self.name = name
+        self.children = (child,)
+
+    def evaluate(self) -> AnyCanvas:
+        value = self.children[0].evaluate()
+        if isinstance(value, Canvas):
+            value = algebra.dissect(value)
+        return algebra.aggregate_canvas_set(
+            value, self.gamma, self.window, self.resolution
+        )
+
+    def label(self) -> str:
+        return f"B*[+] ∘ G[{self.name}]"
+
+
+def render_plan(root: Node) -> str:
+    """ASCII plan diagram (the textual analogue of Figures 5–8)."""
+    lines: list[str] = []
+
+    def walk(node: Node, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(node.label())
+            child_prefix = ""
+        else:
+            connector = "└─ " if is_last else "├─ "
+            lines.append(prefix + connector + node.label())
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        kids = node.children
+        for i, child in enumerate(kids):
+            walk(child, child_prefix, i == len(kids) - 1, False)
+
+    walk(root, "", True, True)
+    return "\n".join(lines)

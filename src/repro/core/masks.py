@@ -1,0 +1,185 @@
+"""Mask predicates: the condition sets ``M ⊂ S^3`` of the Mask operator.
+
+Section 3.1 defines ``M[M](C)`` as keeping the points whose triple lies
+in a subset ``M`` of ``S^3``.  A :class:`MaskPredicate` describes such a
+subset as a vectorized test over ``(data, valid)`` arrays and composes
+with ``&``, ``|`` and ``~``.  The module exports the three mask sets the
+paper's standard queries use: ``Mp``, ``My`` and ``Mp'``.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable
+
+import numpy as np
+
+from repro.core.objectinfo import (
+    DIM_AREA,
+    DIM_POINT,
+    FIELD_COUNT,
+    FIELD_ID,
+    channel,
+)
+
+_OPS: dict[str, Callable[[np.ndarray, float], np.ndarray]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class MaskPredicate:
+    """A subset of S^3 expressed as a vectorized membership test."""
+
+    def test(self, data: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        """Boolean membership over any leading shape.
+
+        *data* has shape ``(..., 9)`` and *valid* ``(..., 3)``; the
+        result drops the channel axis.
+        """
+        raise NotImplementedError
+
+    def __and__(self, other: "MaskPredicate") -> "MaskPredicate":
+        return _And(self, other)
+
+    def __or__(self, other: "MaskPredicate") -> "MaskPredicate":
+        return _Or(self, other)
+
+    def __invert__(self) -> "MaskPredicate":
+        return _Not(self)
+
+    def describe(self) -> str:
+        """Human-readable condition (used in plan diagrams)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"Mask{{{self.describe()}}}"
+
+
+class NotNull(MaskPredicate):
+    """``s[dim] != ∅``."""
+
+    def __init__(self, dim: int) -> None:
+        self.dim = dim
+
+    def test(self, data: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        return valid[..., self.dim]
+
+    def describe(self) -> str:
+        return f"s[{self.dim}] != ∅"
+
+
+class IsNull(MaskPredicate):
+    """``s[dim] == ∅``."""
+
+    def __init__(self, dim: int) -> None:
+        self.dim = dim
+
+    def test(self, data: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        return ~valid[..., self.dim]
+
+    def describe(self) -> str:
+        return f"s[{self.dim}] == ∅"
+
+
+class FieldCompare(MaskPredicate):
+    """``s[dim][field] <op> value`` (implies ``s[dim] != ∅``)."""
+
+    def __init__(self, dim: int, field: int, op: str, value: float) -> None:
+        if op not in _OPS:
+            raise ValueError(f"unknown comparison operator {op!r}")
+        self.dim = dim
+        self.field = field
+        self.op = op
+        self.value = float(value)
+
+    def test(self, data: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        ch = channel(self.dim, self.field)
+        return valid[..., self.dim] & _OPS[self.op](data[..., ch], self.value)
+
+    def describe(self) -> str:
+        return f"s[{self.dim}][{self.field}] {self.op} {self.value:g}"
+
+
+class _And(MaskPredicate):
+    def __init__(self, a: MaskPredicate, b: MaskPredicate) -> None:
+        self.a, self.b = a, b
+
+    def test(self, data: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        return self.a.test(data, valid) & self.b.test(data, valid)
+
+    def describe(self) -> str:
+        return f"({self.a.describe()}) and ({self.b.describe()})"
+
+
+class _Or(MaskPredicate):
+    def __init__(self, a: MaskPredicate, b: MaskPredicate) -> None:
+        self.a, self.b = a, b
+
+    def test(self, data: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        return self.a.test(data, valid) | self.b.test(data, valid)
+
+    def describe(self) -> str:
+        return f"({self.a.describe()}) or ({self.b.describe()})"
+
+
+class _Not(MaskPredicate):
+    def __init__(self, a: MaskPredicate) -> None:
+        self.a = a
+
+    def test(self, data: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        return ~self.a.test(data, valid)
+
+    def describe(self) -> str:
+        return f"not ({self.a.describe()})"
+
+
+class Lambda(MaskPredicate):
+    """Escape hatch: an arbitrary vectorized membership function."""
+
+    def __init__(
+        self,
+        fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        description: str = "custom",
+    ) -> None:
+        self.fn = fn
+        self.description = description
+
+    def test(self, data: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        return np.asarray(self.fn(data, valid), dtype=bool)
+
+    def describe(self) -> str:
+        return self.description
+
+
+def mask_point_in_polygon(query_id: float = 1.0) -> MaskPredicate:
+    """The paper's ``Mp``: ``s[0] != ∅ and s[2][0] == query_id``."""
+    return NotNull(DIM_POINT) & FieldCompare(DIM_AREA, FIELD_ID, "==", query_id)
+
+
+def mask_polygon_intersection(count: float = 2.0) -> MaskPredicate:
+    """The paper's ``My``: ``s[2][1] == count`` (two 2-primitives incident)."""
+    return FieldCompare(DIM_AREA, FIELD_COUNT, "==", count)
+
+
+def mask_point_in_any_polygon(min_count: float = 1.0) -> MaskPredicate:
+    """The paper's ``Mp'``: ``s[0] != ∅ and s[2][1] >= min_count``.
+
+    Valid for single or multiple (disjunctive) polygon constraints —
+    the prototype uses this form unconditionally (Section 5.1).
+    """
+    return NotNull(DIM_POINT) & FieldCompare(
+        DIM_AREA, FIELD_COUNT, ">=", min_count
+    )
+
+
+def mask_point_in_all_polygons(count: float) -> MaskPredicate:
+    """Conjunctive variant of ``Mp'``: the point must lie in all
+    *count* constraint polygons (Section 5.1's closing remark)."""
+    return NotNull(DIM_POINT) & FieldCompare(
+        DIM_AREA, FIELD_COUNT, "==", count
+    )

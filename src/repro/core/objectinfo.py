@@ -1,0 +1,92 @@
+"""Object Information Set layout (Definition 7).
+
+A canvas maps every plane point to a triple ``(s[0], s[1], s[2])`` —
+one slot per primitive dimension — where each slot is itself a triple
+``(id, count, value)`` or the null tuple ``∅`` (Definitions 4 and 7;
+the paper's range is a 3x3 matrix).
+
+In the discrete realization the nine scalars live in the nine channels
+of a :class:`repro.gpu.texture.Texture`, one validity plane per
+primitive dimension.  This module pins down the channel layout and
+provides named accessors so the rest of the code never hard-codes
+channel arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Primitive dimensions (Definition 2): points, lines, areas.
+DIM_POINT = 0
+DIM_LINE = 1
+DIM_AREA = 2
+DIMS = (DIM_POINT, DIM_LINE, DIM_AREA)
+
+#: Fields of one object-information tuple (Definition 7): v0 is the
+#: record identifier, v1 and v2 are query-defined metadata.  The
+#: paper's examples consistently use v1 as an incidence *count* and v2
+#: as an attribute *value*, and so do we.
+FIELD_ID = 0
+FIELD_COUNT = 1
+FIELD_VALUE = 2
+FIELDS = (FIELD_ID, FIELD_COUNT, FIELD_VALUE)
+
+#: Total data channels of a canvas texture: 3 dims x 3 fields.
+N_CHANNELS = 9
+#: Validity groups: one per primitive dimension.
+N_GROUPS = 3
+
+
+def channel(dim: int, field: int) -> int:
+    """Flat channel index of ``s[dim][field]``."""
+    if dim not in DIMS:
+        raise ValueError(f"dimension must be 0, 1 or 2, got {dim}")
+    if field not in FIELDS:
+        raise ValueError(f"field must be 0, 1 or 2, got {field}")
+    return dim * 3 + field
+
+
+@dataclass(frozen=True)
+class Info:
+    """One object-information tuple ``(id, count, value)``."""
+
+    id: float
+    count: float = 1.0
+    value: float = 0.0
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.id, self.count, self.value], dtype=np.float64)
+
+
+def triple_values(
+    point: Info | None = None,
+    line: Info | None = None,
+    area: Info | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build flat ``(values[9], groups[3])`` arrays for a draw call.
+
+    ``None`` slots are null: their channels stay zero and their
+    validity bit stays clear.
+    """
+    values = np.zeros(N_CHANNELS, dtype=np.float64)
+    groups = np.zeros(N_GROUPS, dtype=bool)
+    for dim, info in ((DIM_POINT, point), (DIM_LINE, line), (DIM_AREA, area)):
+        if info is None:
+            continue
+        values[dim * 3 : dim * 3 + 3] = info.as_array()
+        groups[dim] = True
+    return values, groups
+
+
+def format_triple(data: np.ndarray, valid: np.ndarray) -> str:
+    """Human-readable rendering of one pixel's S^3 triple."""
+    parts = []
+    for dim in DIMS:
+        if valid[dim]:
+            vid, cnt, val = data[dim * 3 : dim * 3 + 3]
+            parts.append(f"s[{dim}]=({vid:g}, {cnt:g}, {val:g})")
+        else:
+            parts.append(f"s[{dim}]=∅")
+    return "(" + ", ".join(parts) + ")"

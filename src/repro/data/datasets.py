@@ -1,0 +1,89 @@
+"""Data-set IO: CSV with WKT geometry columns, and GeoJSON files.
+
+The lightweight stand-in for the geopandas layer: spatial tables
+round-trip through plain files with no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.geometry.geojson import (
+    feature,
+    feature_collection,
+    from_geojson,
+    to_geojson,
+)
+from repro.geometry.primitives import Geometry
+from repro.geometry.wkt import from_wkt, to_wkt
+
+
+def write_csv(
+    path: str | Path,
+    geometries: Sequence[Geometry],
+    properties: Sequence[dict[str, Any]] | None = None,
+    geometry_column: str = "geometry",
+) -> None:
+    """Write geometries (as WKT) plus property columns to a CSV file."""
+    props = list(properties) if properties is not None else [{}] * len(geometries)
+    if len(props) != len(geometries):
+        raise ValueError("properties length must match geometry count")
+    keys: list[str] = []
+    for p in props:
+        for key in p:
+            if key not in keys:
+                keys.append(key)
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow([geometry_column, *keys])
+        for geom, p in zip(geometries, props):
+            writer.writerow([to_wkt(geom), *[p.get(k, "") for k in keys]])
+
+
+def read_csv(
+    path: str | Path,
+    geometry_column: str = "geometry",
+) -> tuple[list[Geometry], list[dict[str, str]]]:
+    """Read a CSV written by :func:`write_csv`."""
+    geometries: list[Geometry] = []
+    properties: list[dict[str, str]] = []
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        if reader.fieldnames is None or geometry_column not in reader.fieldnames:
+            raise ValueError(f"CSV lacks a {geometry_column!r} column")
+        for row in reader:
+            geometries.append(from_wkt(row.pop(geometry_column)))
+            properties.append(dict(row))
+    return geometries, properties
+
+
+def write_geojson(
+    path: str | Path,
+    geometries: Sequence[Geometry],
+    properties: Sequence[dict[str, Any]] | None = None,
+) -> None:
+    """Write geometries as a GeoJSON FeatureCollection."""
+    props = list(properties) if properties is not None else [{}] * len(geometries)
+    doc = feature_collection(
+        [feature(g, p) for g, p in zip(geometries, props)]
+    )
+    with open(path, "w") as f:
+        json.dump(doc, f)
+
+
+def read_geojson(
+    path: str | Path,
+) -> tuple[list[Geometry], list[dict[str, Any]]]:
+    """Read a GeoJSON FeatureCollection (or bare geometry) file."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("type") == "FeatureCollection":
+        geometries = [from_geojson(ft["geometry"]) for ft in doc["features"]]
+        properties = [ft.get("properties") or {} for ft in doc["features"]]
+        return geometries, properties
+    if doc.get("type") == "Feature":
+        return [from_geojson(doc["geometry"])], [doc.get("properties") or {}]
+    return [from_geojson(doc)], [{}]

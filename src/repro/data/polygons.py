@@ -1,0 +1,170 @@
+"""Constraint-polygon generators.
+
+Section 6: "all the query polygons used in these queries were
+'hand-drawn' using a visual interface and adjusted to have the same
+MBR", with selectivities from roughly 3% to 83%.  The generators here
+produce the equivalent: star-shaped simple polygons with controllable
+complexity (vertex count) and irregularity, rescaled to a common MBR,
+and a calibration helper that searches for a polygon hitting a target
+selectivity against a given point set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.predicates import points_in_polygon
+from repro.geometry.primitives import LinearRing, Polygon
+from repro.geometry.transforms import AffineTransform
+
+
+def hand_drawn_polygon(
+    n_vertices: int = 24,
+    irregularity: float = 0.45,
+    seed: int = 0,
+    center: tuple[float, float] = (0.0, 0.0),
+    radius: float = 1.0,
+) -> Polygon:
+    """A star-shaped simple polygon that looks hand-drawn.
+
+    Vertices sit at stratified random angles (one per angular sector,
+    jittered within it) with radii jittered by *irregularity* (0 =
+    regular n-gon, -> 1 = very spiky).  Stratified sampling keeps every
+    angular gap below pi, so the anchor stays inside the hull and the
+    angular-sort construction is guaranteed simple.
+    """
+    if n_vertices < 3:
+        raise ValueError("a polygon needs at least 3 vertices")
+    if not 0.0 <= irregularity < 1.0:
+        raise ValueError("irregularity must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    sector = 2.0 * np.pi / n_vertices
+    angles = (
+        np.arange(n_vertices) + rng.uniform(0.05, 0.95, n_vertices)
+    ) * sector
+    # Base radius traces the boundary of the bounding square, so an
+    # irregularity of 0 fills the whole MBR (selectivity -> 1 after
+    # rescaling) and large irregularity yields spiky low-selectivity
+    # shapes — together spanning the paper's 3%..83% range.
+    cos_a = np.cos(angles)
+    sin_a = np.sin(angles)
+    base = radius / np.maximum(np.abs(cos_a), np.abs(sin_a))
+    # The jitter is skewed toward deep cuts (u^0.25 concentrates near
+    # 1) so high irregularity reaches genuinely low selectivities.
+    jitter = rng.uniform(0.0, 1.0, n_vertices) ** 0.25
+    radii = base * (1.0 - irregularity * jitter)
+    cx, cy = center
+    coords = [
+        (cx + r * float(np.cos(a)), cy + r * float(np.sin(a)))
+        for r, a in zip(radii, angles)
+    ]
+    return Polygon(coords)
+
+
+def polygon_with_holes(
+    seed: int = 0,
+    center: tuple[float, float] = (0.0, 0.0),
+    radius: float = 1.0,
+    n_holes: int = 2,
+) -> Polygon:
+    """A hand-drawn-like polygon with interior holes.
+
+    Holes are small star polygons placed at interior positions,
+    shrunken until fully inside the shell.
+    """
+    rng = np.random.default_rng(seed)
+    shell = hand_drawn_polygon(
+        n_vertices=20, irregularity=0.25, seed=seed,
+        center=center, radius=radius,
+    )
+    holes: list[LinearRing] = []
+    attempts = 0
+    while len(holes) < n_holes and attempts < 64:
+        attempts += 1
+        hx = center[0] + rng.uniform(-0.4, 0.4) * radius
+        hy = center[1] + rng.uniform(-0.4, 0.4) * radius
+        hole_poly = hand_drawn_polygon(
+            n_vertices=8, irregularity=0.2, seed=seed + attempts,
+            center=(hx, hy), radius=0.15 * radius,
+        )
+        inside = all(
+            shell.contains_point(x, y) and not shell.on_boundary(x, y)
+            for x, y in hole_poly.shell.coords
+        )
+        overlaps = any(
+            existing_inside(hole_poly, LinearRing(h.coords))
+            for h in holes
+        )
+        if inside and not overlaps:
+            holes.append(hole_poly.shell)
+    return Polygon(shell.shell, holes)
+
+
+def existing_inside(poly: Polygon, ring: LinearRing) -> bool:
+    """``True`` when *ring*'s bounds intersect *poly*'s bounds (coarse)."""
+    return poly.bounds.intersects(ring.bounds)
+
+
+def rescale_to_box(polygon: Polygon, box: BoundingBox) -> Polygon:
+    """Rescale a polygon so its MBR equals *box* (the paper's
+    equal-MBR normalization across query polygons)."""
+    src = polygon.bounds
+    transform = AffineTransform.window_to_window(
+        (src.xmin, src.ymin, src.xmax, src.ymax),
+        (box.xmin, box.ymin, box.xmax, box.ymax),
+    )
+    result = transform.apply_geometry(polygon)
+    assert isinstance(result, Polygon)
+    return result
+
+
+def calibrate_selectivity(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    target: float,
+    mbr: BoundingBox,
+    n_vertices: int = 24,
+    seed: int = 0,
+    tolerance: float = 0.02,
+    max_attempts: int = 48,
+) -> tuple[Polygon, float]:
+    """Search for a hand-drawn polygon with the target selectivity.
+
+    The polygon always has MBR equal to *mbr* (rescaled after shaping),
+    so selectivity is tuned through irregularity — spikier polygons
+    cover less of their MBR.  Returns the best polygon found and its
+    achieved selectivity over the given points.
+    """
+    if not 0.0 < target < 1.0:
+        raise ValueError("target selectivity must be in (0, 1)")
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    n = len(xs)
+    if n == 0:
+        raise ValueError("cannot calibrate against zero points")
+
+    best: tuple[Polygon, float] | None = None
+    # Irregularity sweeps from full coverage (0) to very sparse (0.95).
+    lo_irr, hi_irr = 0.0, 0.99
+    for attempt in range(max_attempts):
+        irregularity = (lo_irr + hi_irr) / 2.0
+        poly = rescale_to_box(
+            hand_drawn_polygon(
+                n_vertices=n_vertices,
+                irregularity=irregularity,
+                seed=seed + attempt % 7,
+            ),
+            mbr,
+        )
+        selectivity = float(points_in_polygon(xs, ys, poly).sum()) / n
+        if best is None or abs(selectivity - target) < abs(best[1] - target):
+            best = (poly, selectivity)
+        if abs(selectivity - target) <= tolerance:
+            return poly, selectivity
+        if selectivity > target:
+            lo_irr = irregularity
+        else:
+            hi_irr = irregularity
+    assert best is not None
+    return best

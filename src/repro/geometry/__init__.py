@@ -1,0 +1,78 @@
+"""Computational-geometry substrate.
+
+This package implements, from scratch, every geometric primitive and
+predicate that the canvas algebra (:mod:`repro.core`) and its baselines
+need: typed geometries, bounding boxes, robust orientation and
+intersection predicates, point-in-polygon tests (scalar and vectorized),
+polygon clipping, ear-clipping triangulation, convex hulls, affine
+transforms, distances, and WKT/GeoJSON serialization.
+"""
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import (
+    Geometry,
+    GeometryCollection,
+    LineSegment,
+    LineString,
+    LinearRing,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+from repro.geometry.predicates import (
+    orientation,
+    point_in_polygon,
+    point_in_ring,
+    point_on_segment,
+    points_in_polygon,
+    polygon_intersects_polygon,
+    segment_intersection,
+    segments_intersect,
+)
+from repro.geometry.transforms import AffineTransform
+from repro.geometry.convexhull import convex_hull
+from repro.geometry.clipping import (
+    clip_polygon_convex,
+    clip_polygon_halfplane,
+    clip_segment_rect,
+)
+from repro.geometry.triangulate import triangulate_polygon
+from repro.geometry.distance import geometry_distance, point_segment_distance
+from repro.geometry.wkt import from_wkt, to_wkt
+from repro.geometry.geojson import from_geojson, to_geojson
+
+__all__ = [
+    "AffineTransform",
+    "BoundingBox",
+    "Geometry",
+    "GeometryCollection",
+    "LineSegment",
+    "LineString",
+    "LinearRing",
+    "MultiLineString",
+    "MultiPoint",
+    "MultiPolygon",
+    "Point",
+    "Polygon",
+    "clip_polygon_convex",
+    "clip_polygon_halfplane",
+    "clip_segment_rect",
+    "convex_hull",
+    "from_geojson",
+    "from_wkt",
+    "geometry_distance",
+    "orientation",
+    "point_in_polygon",
+    "point_in_ring",
+    "point_on_segment",
+    "point_segment_distance",
+    "points_in_polygon",
+    "polygon_intersects_polygon",
+    "segment_intersection",
+    "segments_intersect",
+    "to_geojson",
+    "to_wkt",
+    "triangulate_polygon",
+]

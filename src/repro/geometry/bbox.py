@@ -1,0 +1,169 @@
+"""Axis-aligned bounding boxes (minimum bounding rectangles).
+
+The MBR is the workhorse of the filtering stage in classical spatial query
+processing (Section 1 of the paper) and of every index in
+:mod:`repro.index`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned rectangle ``[xmin, xmax] x [ymin, ymax]``.
+
+    Instances are immutable; all mutating-style operations return new
+    boxes.  Degenerate boxes (zero width and/or height) are allowed — a
+    point's MBR is degenerate.
+    """
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise ValueError(
+                f"invalid bounding box: ({self.xmin}, {self.ymin}, "
+                f"{self.xmax}, {self.ymax})"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_points(points: Iterable[tuple[float, float]]) -> "BoundingBox":
+        """Smallest box containing every ``(x, y)`` pair in *points*."""
+        xs: list[float] = []
+        ys: list[float] = []
+        for x, y in points:
+            xs.append(float(x))
+            ys.append(float(y))
+        if not xs:
+            raise ValueError("cannot build a bounding box from zero points")
+        return BoundingBox(min(xs), min(ys), max(xs), max(ys))
+
+    @staticmethod
+    def union_all(boxes: Sequence["BoundingBox"]) -> "BoundingBox":
+        """Smallest box containing every box in *boxes*."""
+        if not boxes:
+            raise ValueError("cannot union zero bounding boxes")
+        return BoundingBox(
+            min(b.xmin for b in boxes),
+            min(b.ymin for b in boxes),
+            max(b.xmax for b in boxes),
+            max(b.ymax for b in boxes),
+        )
+
+    # ------------------------------------------------------------------
+    # Scalar properties
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def perimeter(self) -> float:
+        return 2.0 * (self.width + self.height)
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    @property
+    def corners(self) -> list[tuple[float, float]]:
+        """The four corners in counter-clockwise order from ``(xmin, ymin)``."""
+        return [
+            (self.xmin, self.ymin),
+            (self.xmax, self.ymin),
+            (self.xmax, self.ymax),
+            (self.xmin, self.ymax),
+        ]
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, x: float, y: float) -> bool:
+        """``True`` if ``(x, y)`` lies inside or on the boundary."""
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+    def contains_box(self, other: "BoundingBox") -> bool:
+        """``True`` if *other* lies fully inside (or equals) this box."""
+        return (
+            self.xmin <= other.xmin
+            and self.ymin <= other.ymin
+            and self.xmax >= other.xmax
+            and self.ymax >= other.ymax
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """``True`` if the boxes share at least one point (closed boxes)."""
+        return not (
+            other.xmin > self.xmax
+            or other.xmax < self.xmin
+            or other.ymin > self.ymax
+            or other.ymax < self.ymin
+        )
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        return BoundingBox(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    def intersection(self, other: "BoundingBox") -> "BoundingBox | None":
+        """The overlapping region, or ``None`` when disjoint."""
+        if not self.intersects(other):
+            return None
+        return BoundingBox(
+            max(self.xmin, other.xmin),
+            max(self.ymin, other.ymin),
+            min(self.xmax, other.xmax),
+            min(self.ymax, other.ymax),
+        )
+
+    def expand(self, margin: float) -> "BoundingBox":
+        """Grow (or shrink, for negative *margin*) every side by *margin*."""
+        return BoundingBox(
+            self.xmin - margin,
+            self.ymin - margin,
+            self.xmax + margin,
+            self.ymax + margin,
+        )
+
+    def scaled(self, factor: float) -> "BoundingBox":
+        """Scale about the center by *factor* (> 0)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        cx, cy = self.center
+        hw = self.width * factor / 2.0
+        hh = self.height * factor / 2.0
+        return BoundingBox(cx - hw, cy - hh, cx + hw, cy + hh)
+
+    def distance_to_point(self, x: float, y: float) -> float:
+        """Euclidean distance from ``(x, y)`` to the box (0 when inside)."""
+        dx = max(self.xmin - x, 0.0, x - self.xmax)
+        dy = max(self.ymin - y, 0.0, y - self.ymax)
+        return math.hypot(dx, dy)
+
+    def __iter__(self) -> Iterator[float]:
+        """Unpack as ``xmin, ymin, xmax, ymax``."""
+        return iter((self.xmin, self.ymin, self.xmax, self.ymax))

@@ -1,0 +1,155 @@
+"""Polygon and segment clipping.
+
+Used by the raster pipeline to restrict geometry to the canvas window
+(the world-space viewport) before rasterization, and by the utility
+operators to materialize half-space canvases over a finite window.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import LinearRing, Polygon
+
+Coord = tuple[float, float]
+
+
+def clip_polygon_halfplane(
+    ring: Sequence[Coord], a: float, b: float, c: float
+) -> list[Coord]:
+    """Clip a ring against the half-plane ``a*x + b*y + c <= 0``.
+
+    Sutherland–Hodgman single-plane step.  Returns the clipped ring's
+    vertices (may be empty when the ring lies entirely outside).
+    """
+    if not ring:
+        return []
+
+    def inside(p: Coord) -> bool:
+        return a * p[0] + b * p[1] + c <= 0.0
+
+    def intersect(p: Coord, q: Coord) -> Coord:
+        # Line through p,q meets a*x + b*y + c = 0.
+        fp = a * p[0] + b * p[1] + c
+        fq = a * q[0] + b * q[1] + c
+        t = fp / (fp - fq)
+        return (p[0] + t * (q[0] - p[0]), p[1] + t * (q[1] - p[1]))
+
+    output: list[Coord] = []
+    n = len(ring)
+    for i in range(n):
+        current = ring[i]
+        previous = ring[i - 1]
+        cur_in = inside(current)
+        prev_in = inside(previous)
+        if cur_in:
+            if not prev_in:
+                output.append(intersect(previous, current))
+            output.append(current)
+        elif prev_in:
+            output.append(intersect(previous, current))
+    return output
+
+
+def clip_polygon_convex(
+    ring: Sequence[Coord], clip_ring: Sequence[Coord]
+) -> list[Coord]:
+    """Sutherland–Hodgman clip of *ring* by a convex *clip_ring*.
+
+    *clip_ring* must be convex and counter-clockwise; *ring* may be any
+    simple polygon (the result can be degenerate for concave subjects,
+    which is inherent to Sutherland–Hodgman).
+    """
+    output = list(ring)
+    n = len(clip_ring)
+    for i in range(n):
+        if not output:
+            return []
+        ax, ay = clip_ring[i]
+        bx, by = clip_ring[(i + 1) % n]
+        # Keep the half-plane to the left of edge (a->b):
+        # cross((b-a), (p-a)) >= 0, i.e. -cross(...) <= 0.
+        ca = by - ay
+        cb = -(bx - ax)
+        cc = -(ca * ax + cb * ay)
+        output = clip_polygon_halfplane(output, ca, cb, cc)
+    return output
+
+
+def clip_polygon_bbox(ring: Sequence[Coord], box: BoundingBox) -> list[Coord]:
+    """Clip a ring to an axis-aligned box (convex clip specialization)."""
+    return clip_polygon_convex(ring, box.corners)
+
+
+def clip_polygon_to_window(polygon: Polygon, box: BoundingBox) -> Polygon | None:
+    """Clip a polygon (shell and holes) to a window box.
+
+    Returns ``None`` when the polygon lies entirely outside the window.
+    Holes that survive clipping are retained.
+    """
+    shell = clip_polygon_bbox(polygon.shell.coords, box)
+    if len(shell) < 3:
+        return None
+    holes = []
+    for hole in polygon.holes:
+        clipped = clip_polygon_bbox(hole.coords, box)
+        if len(clipped) >= 3:
+            holes.append(LinearRing(clipped))
+    return Polygon(LinearRing(shell), holes)
+
+
+# ----------------------------------------------------------------------
+# Cohen–Sutherland segment clipping
+# ----------------------------------------------------------------------
+_INSIDE, _LEFT, _RIGHT, _BOTTOM, _TOP = 0, 1, 2, 4, 8
+
+
+def _outcode(x: float, y: float, box: BoundingBox) -> int:
+    code = _INSIDE
+    if x < box.xmin:
+        code |= _LEFT
+    elif x > box.xmax:
+        code |= _RIGHT
+    if y < box.ymin:
+        code |= _BOTTOM
+    elif y > box.ymax:
+        code |= _TOP
+    return code
+
+
+def clip_segment_rect(
+    ax: float, ay: float, bx: float, by: float, box: BoundingBox
+) -> tuple[Coord, Coord] | None:
+    """Cohen–Sutherland clip of segment ``ab`` to *box*.
+
+    Returns the clipped endpoints, or ``None`` when the segment misses
+    the box entirely.
+    """
+    code_a = _outcode(ax, ay, box)
+    code_b = _outcode(bx, by, box)
+
+    while True:
+        if not (code_a | code_b):
+            return ((ax, ay), (bx, by))
+        if code_a & code_b:
+            return None
+        out = code_a if code_a else code_b
+        if out & _TOP:
+            x = ax + (bx - ax) * (box.ymax - ay) / (by - ay)
+            y = box.ymax
+        elif out & _BOTTOM:
+            x = ax + (bx - ax) * (box.ymin - ay) / (by - ay)
+            y = box.ymin
+        elif out & _RIGHT:
+            y = ay + (by - ay) * (box.xmax - ax) / (bx - ax)
+            x = box.xmax
+        else:  # _LEFT
+            y = ay + (by - ay) * (box.xmin - ax) / (bx - ax)
+            x = box.xmin
+        if out == code_a:
+            ax, ay = x, y
+            code_a = _outcode(ax, ay, box)
+        else:
+            bx, by = x, y
+            code_b = _outcode(bx, by, box)

@@ -1,0 +1,45 @@
+"""Convex hull (Andrew's monotone chain).
+
+One of the computational-geometry queries Section 4.5 of the paper
+delegates to stored procedures; also used by polygon generators to
+produce convex constraint shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+Coord = tuple[float, float]
+
+
+def _cross(o: Coord, a: Coord, b: Coord) -> float:
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def convex_hull(points: Iterable[Sequence[float]]) -> list[Coord]:
+    """Convex hull in counter-clockwise order, no repeated last vertex.
+
+    Collinear points on hull edges are dropped.  Degenerate inputs
+    (fewer than three distinct points, or all collinear) return the
+    distinct points in sorted order.
+    """
+    pts = sorted({(float(p[0]), float(p[1])) for p in points})
+    if len(pts) <= 2:
+        return pts
+
+    lower: list[Coord] = []
+    for p in pts:
+        while len(lower) >= 2 and _cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+
+    upper: list[Coord] = []
+    for p in reversed(pts):
+        while len(upper) >= 2 and _cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 3:
+        return pts
+    return hull

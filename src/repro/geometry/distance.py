@@ -1,0 +1,188 @@
+"""Euclidean distance functions between geometries.
+
+Distance-based selections and distance joins (Sections 4.1 and 4.2)
+reduce to circles in the canvas algebra, but exact distances are still
+needed by the kNN baseline, the hybrid boundary refinement, and tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.primitives import (
+    Geometry,
+    GeometryCollection,
+    LineSegment,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+
+def point_segment_distance(
+    px: float, py: float, ax: float, ay: float, bx: float, by: float
+) -> float:
+    """Distance from point ``p`` to the closed segment ``ab``."""
+    dx, dy = bx - ax, by - ay
+    seg_len_sq = dx * dx + dy * dy
+    if seg_len_sq == 0.0:
+        return math.hypot(px - ax, py - ay)
+    t = ((px - ax) * dx + (py - ay) * dy) / seg_len_sq
+    t = max(0.0, min(1.0, t))
+    return math.hypot(px - (ax + t * dx), py - (ay + t * dy))
+
+
+def points_segment_distance(
+    xs: np.ndarray, ys: np.ndarray,
+    ax: float, ay: float, bx: float, by: float,
+) -> np.ndarray:
+    """Vectorized distance from many points to one segment."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    dx, dy = bx - ax, by - ay
+    seg_len_sq = dx * dx + dy * dy
+    if seg_len_sq == 0.0:
+        return np.hypot(xs - ax, ys - ay)
+    t = ((xs - ax) * dx + (ys - ay) * dy) / seg_len_sq
+    t = np.clip(t, 0.0, 1.0)
+    return np.hypot(xs - (ax + t * dx), ys - (ay + t * dy))
+
+
+def point_ring_distance(
+    px: float, py: float, ring: list[tuple[float, float]]
+) -> float:
+    """Distance from a point to the boundary of a ring."""
+    best = math.inf
+    n = len(ring)
+    for i in range(n):
+        ax, ay = ring[i]
+        bx, by = ring[(i + 1) % n]
+        best = min(best, point_segment_distance(px, py, ax, ay, bx, by))
+    return best
+
+
+def point_polygon_distance(px: float, py: float, polygon: Polygon) -> float:
+    """Distance from a point to a polygonal region (0 when inside)."""
+    if polygon.contains_point(px, py):
+        return 0.0
+    best = point_ring_distance(px, py, polygon.shell.coords)
+    for hole in polygon.holes:
+        best = min(best, point_ring_distance(px, py, hole.coords))
+    return best
+
+
+def point_linestring_distance(px: float, py: float, line: LineString) -> float:
+    best = math.inf
+    for seg in line.segments():
+        best = min(
+            best, point_segment_distance(px, py, seg.ax, seg.ay, seg.bx, seg.by)
+        )
+    return best
+
+
+def segment_segment_distance(a: LineSegment, b: LineSegment) -> float:
+    """Distance between two closed segments (0 when intersecting)."""
+    if a.intersects(b):
+        return 0.0
+    return min(
+        point_segment_distance(a.ax, a.ay, b.ax, b.ay, b.bx, b.by),
+        point_segment_distance(a.bx, a.by, b.ax, b.ay, b.bx, b.by),
+        point_segment_distance(b.ax, b.ay, a.ax, a.ay, a.bx, a.by),
+        point_segment_distance(b.bx, b.by, a.ax, a.ay, a.bx, a.by),
+    )
+
+
+def geometry_distance(a: Geometry, b: Geometry) -> float:
+    """Euclidean distance between two geometries (0 when intersecting).
+
+    Dispatches on type pairs; collections take the minimum over members.
+    """
+    if isinstance(a, GeometryCollection):
+        return min(geometry_distance(g, b) for g in a.geometries)
+    if isinstance(b, GeometryCollection):
+        return min(geometry_distance(a, g) for g in b.geometries)
+    if isinstance(a, (MultiPoint, MultiLineString, MultiPolygon)):
+        return min(geometry_distance(part, b) for part in _parts(a))
+    if isinstance(b, (MultiPoint, MultiLineString, MultiPolygon)):
+        return min(geometry_distance(a, part) for part in _parts(b))
+
+    if isinstance(a, Point):
+        return _point_to(a, b)
+    if isinstance(b, Point):
+        return _point_to(b, a)
+
+    if isinstance(a, LineSegment) and isinstance(b, LineSegment):
+        return segment_segment_distance(a, b)
+    if isinstance(a, LineString):
+        return min(geometry_distance(seg, b) for seg in a.segments())
+    if isinstance(b, LineString):
+        return min(geometry_distance(a, seg) for seg in b.segments())
+
+    if isinstance(a, Polygon) and isinstance(b, Polygon):
+        from repro.geometry.predicates import polygon_intersects_polygon
+
+        if polygon_intersects_polygon(a, b):
+            return 0.0
+        best = math.inf
+        for x, y in a.shell.coords:
+            best = min(best, point_polygon_distance(x, y, b))
+        for x, y in b.shell.coords:
+            best = min(best, point_polygon_distance(x, y, a))
+        # Also check segment pairs between the shells for the true minimum.
+        a_ring = a.shell.coords
+        b_ring = b.shell.coords
+        for i in range(len(a_ring)):
+            seg_a = LineSegment(a_ring[i], a_ring[(i + 1) % len(a_ring)])
+            for j in range(len(b_ring)):
+                seg_b = LineSegment(b_ring[j], b_ring[(j + 1) % len(b_ring)])
+                best = min(best, segment_segment_distance(seg_a, seg_b))
+        return best
+
+    if isinstance(a, Polygon) and isinstance(b, LineSegment):
+        if a.contains_point(b.ax, b.ay) or a.contains_point(b.bx, b.by):
+            return 0.0
+        best = math.inf
+        ring = a.shell.coords
+        for i in range(len(ring)):
+            seg = LineSegment(ring[i], ring[(i + 1) % len(ring)])
+            best = min(best, segment_segment_distance(seg, b))
+        return best
+    if isinstance(a, LineSegment) and isinstance(b, Polygon):
+        return geometry_distance(b, a)
+
+    raise TypeError(
+        f"unsupported distance pair: {type(a).__name__}, {type(b).__name__}"
+    )
+
+
+def _parts(geom: Geometry) -> list[Geometry]:
+    if isinstance(geom, MultiPoint):
+        return [Point(x, y) for x, y in geom.coords]
+    if isinstance(geom, MultiLineString):
+        return list(geom.lines)
+    if isinstance(geom, MultiPolygon):
+        return list(geom.polygons)
+    raise TypeError(type(geom).__name__)
+
+
+def _point_to(p: Point, other: Geometry) -> float:
+    if isinstance(other, Point):
+        return p.distance_to(other)
+    if isinstance(other, LineSegment):
+        return point_segment_distance(
+            p.x, p.y, other.ax, other.ay, other.bx, other.by
+        )
+    if isinstance(other, LineString):
+        return point_linestring_distance(p.x, p.y, other)
+    if isinstance(other, Polygon):
+        return point_polygon_distance(p.x, p.y, other)
+    if isinstance(other, (MultiPoint, MultiLineString, MultiPolygon)):
+        return min(_point_to(p, part) for part in _parts(other))
+    if isinstance(other, GeometryCollection):
+        return min(_point_to(p, g) for g in other.geometries)
+    raise TypeError(f"unsupported geometry type: {type(other).__name__}")

@@ -1,0 +1,124 @@
+"""GeoJSON (RFC 7946) serialization for the geometry types."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.geometry.primitives import (
+    Geometry,
+    GeometryCollection,
+    LinearRing,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+
+class GeoJSONError(ValueError):
+    """Raised when a GeoJSON document is malformed."""
+
+
+def _ring_coords(ring: LinearRing) -> list[list[float]]:
+    coords = [[x, y] for x, y in ring.coords]
+    coords.append(list(coords[0]))  # GeoJSON rings are explicitly closed
+    return coords
+
+
+def _polygon_coords(polygon: Polygon) -> list[list[list[float]]]:
+    rings = [_ring_coords(polygon.shell)]
+    rings.extend(_ring_coords(h) for h in polygon.holes)
+    return rings
+
+
+def to_geojson(geometry: Geometry) -> dict[str, Any]:
+    """Convert a geometry to a GeoJSON geometry mapping."""
+    if isinstance(geometry, Point):
+        return {"type": "Point", "coordinates": [geometry.x, geometry.y]}
+    if isinstance(geometry, MultiPoint):
+        return {
+            "type": "MultiPoint",
+            "coordinates": [[x, y] for x, y in geometry.coords],
+        }
+    if isinstance(geometry, (LineString,)):
+        return {
+            "type": "LineString",
+            "coordinates": [[x, y] for x, y in geometry.coords],
+        }
+    if isinstance(geometry, MultiLineString):
+        return {
+            "type": "MultiLineString",
+            "coordinates": [
+                [[x, y] for x, y in line.coords] for line in geometry.lines
+            ],
+        }
+    if isinstance(geometry, Polygon):
+        return {"type": "Polygon", "coordinates": _polygon_coords(geometry)}
+    if isinstance(geometry, MultiPolygon):
+        return {
+            "type": "MultiPolygon",
+            "coordinates": [_polygon_coords(p) for p in geometry.polygons],
+        }
+    if isinstance(geometry, GeometryCollection):
+        return {
+            "type": "GeometryCollection",
+            "geometries": [to_geojson(g) for g in geometry.geometries],
+        }
+    raise TypeError(f"unsupported geometry type: {type(geometry).__name__}")
+
+
+def from_geojson(obj: dict[str, Any] | str) -> Geometry:
+    """Parse a GeoJSON geometry mapping (or JSON string) into a geometry."""
+    if isinstance(obj, str):
+        obj = json.loads(obj)
+    if not isinstance(obj, dict) or "type" not in obj:
+        raise GeoJSONError("not a GeoJSON geometry object")
+    kind = obj["type"]
+
+    if kind == "Point":
+        x, y = obj["coordinates"][:2]
+        return Point(x, y)
+    if kind == "MultiPoint":
+        return MultiPoint(obj["coordinates"])
+    if kind == "LineString":
+        return LineString(obj["coordinates"])
+    if kind == "MultiLineString":
+        return MultiLineString([LineString(c) for c in obj["coordinates"]])
+    if kind == "Polygon":
+        rings = obj["coordinates"]
+        if not rings:
+            raise GeoJSONError("polygon with no rings")
+        return Polygon(
+            LinearRing(rings[0]), [LinearRing(r) for r in rings[1:]]
+        )
+    if kind == "MultiPolygon":
+        polygons = []
+        for rings in obj["coordinates"]:
+            if not rings:
+                raise GeoJSONError("polygon with no rings")
+            polygons.append(
+                Polygon(LinearRing(rings[0]), [LinearRing(r) for r in rings[1:]])
+            )
+        return MultiPolygon(polygons)
+    if kind == "GeometryCollection":
+        return GeometryCollection(
+            [from_geojson(g) for g in obj.get("geometries", [])]
+        )
+    raise GeoJSONError(f"unsupported GeoJSON type: {kind}")
+
+
+def feature(geometry: Geometry, properties: dict[str, Any] | None = None) -> dict:
+    """Wrap a geometry in a GeoJSON Feature."""
+    return {
+        "type": "Feature",
+        "geometry": to_geojson(geometry),
+        "properties": properties or {},
+    }
+
+
+def feature_collection(features: list[dict]) -> dict:
+    """Wrap features in a GeoJSON FeatureCollection."""
+    return {"type": "FeatureCollection", "features": list(features)}

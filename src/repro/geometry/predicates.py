@@ -1,0 +1,291 @@
+"""Geometric predicates: orientation, intersection and containment tests.
+
+These are the exact scalar tests used by the CPU baselines and by the
+hybrid boundary refinement of the canvas prototype (Section 5.1 of the
+paper), plus NumPy-vectorized batch variants used by the simulated-GPU
+baseline (all points tested against all polygon edges in parallel).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.geometry.primitives import Polygon
+
+# Relative tolerance used to absorb floating-point noise in collinearity
+# tests.  The inputs we care about (sensor coordinates, hand-drawn query
+# polygons) are far from adversarial, so a scaled epsilon is sufficient;
+# exact rational arithmetic would be overkill for this substrate.
+_EPS = 1e-12
+
+
+def orientation(
+    ax: float, ay: float, bx: float, by: float, cx: float, cy: float
+) -> int:
+    """Orientation of the ordered triple ``a, b, c``.
+
+    Returns ``+1`` for counter-clockwise, ``-1`` for clockwise and ``0``
+    for (numerically) collinear points.
+    """
+    cross = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+    scale = abs(bx - ax) + abs(by - ay) + abs(cx - ax) + abs(cy - ay)
+    if abs(cross) <= _EPS * max(scale, 1.0) ** 2:
+        return 0
+    return 1 if cross > 0 else -1
+
+
+def point_on_segment(
+    px: float, py: float, ax: float, ay: float, bx: float, by: float
+) -> bool:
+    """``True`` if point ``p`` lies on the closed segment ``ab``."""
+    if orientation(ax, ay, bx, by, px, py) != 0:
+        return False
+    return (
+        min(ax, bx) - _EPS <= px <= max(ax, bx) + _EPS
+        and min(ay, by) - _EPS <= py <= max(ay, by) + _EPS
+    )
+
+
+def segments_intersect(
+    ax: float, ay: float, bx: float, by: float,
+    cx: float, cy: float, dx: float, dy: float,
+) -> bool:
+    """``True`` if closed segments ``ab`` and ``cd`` share a point."""
+    o1 = orientation(ax, ay, bx, by, cx, cy)
+    o2 = orientation(ax, ay, bx, by, dx, dy)
+    o3 = orientation(cx, cy, dx, dy, ax, ay)
+    o4 = orientation(cx, cy, dx, dy, bx, by)
+
+    if o1 != o2 and o3 != o4:
+        return True
+
+    # Collinear overlap / endpoint-touching cases.
+    if o1 == 0 and point_on_segment(cx, cy, ax, ay, bx, by):
+        return True
+    if o2 == 0 and point_on_segment(dx, dy, ax, ay, bx, by):
+        return True
+    if o3 == 0 and point_on_segment(ax, ay, cx, cy, dx, dy):
+        return True
+    if o4 == 0 and point_on_segment(bx, by, cx, cy, dx, dy):
+        return True
+    return False
+
+
+def segment_intersection(
+    ax: float, ay: float, bx: float, by: float,
+    cx: float, cy: float, dx: float, dy: float,
+) -> tuple[float, float] | None:
+    """Intersection point of segments ``ab`` and ``cd``.
+
+    Returns ``None`` when the segments do not cross or are (numerically)
+    parallel.  For collinear overlapping segments one witness point is
+    returned.
+    """
+    r_x, r_y = bx - ax, by - ay
+    s_x, s_y = dx - cx, dy - cy
+    denom = r_x * s_y - r_y * s_x
+    qp_x, qp_y = cx - ax, cy - ay
+
+    if abs(denom) <= _EPS * max(abs(r_x) + abs(r_y) + abs(s_x) + abs(s_y), 1.0) ** 2:
+        # Parallel.  Report a witness for collinear overlap, else None.
+        if not segments_intersect(ax, ay, bx, by, cx, cy, dx, dy):
+            return None
+        for px, py in ((cx, cy), (dx, dy), (ax, ay), (bx, by)):
+            if point_on_segment(px, py, ax, ay, bx, by) and point_on_segment(
+                px, py, cx, cy, dx, dy
+            ):
+                return (px, py)
+        return None
+
+    t = (qp_x * s_y - qp_y * s_x) / denom
+    u = (qp_x * r_y - qp_y * r_x) / denom
+    if -_EPS <= t <= 1.0 + _EPS and -_EPS <= u <= 1.0 + _EPS:
+        return (ax + t * r_x, ay + t * r_y)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Point-in-ring / point-in-polygon
+# ----------------------------------------------------------------------
+def point_on_ring(px: float, py: float, ring: Sequence[tuple[float, float]]) -> bool:
+    """``True`` if ``p`` lies on an edge of the (closed) *ring*."""
+    n = len(ring)
+    for i in range(n):
+        ax, ay = ring[i]
+        bx, by = ring[(i + 1) % n]
+        if point_on_segment(px, py, ax, ay, bx, by):
+            return True
+    return False
+
+
+def point_in_ring(
+    px: float, py: float, ring: Sequence[tuple[float, float]]
+) -> bool:
+    """Ray-casting containment test against a simple ring.
+
+    The ring is a sequence of vertices; the closing edge from the last
+    vertex back to the first is implicit.  Boundary points count as
+    inside (closed-region semantics, matching ``INSIDE`` in the paper's
+    SQL examples).
+    """
+    if point_on_ring(px, py, ring):
+        return True
+    inside = False
+    n = len(ring)
+    j = n - 1
+    for i in range(n):
+        xi, yi = ring[i]
+        xj, yj = ring[j]
+        if (yi > py) != (yj > py):
+            x_cross = (xj - xi) * (py - yi) / (yj - yi) + xi
+            if px < x_cross:
+                inside = not inside
+        j = i
+    return inside
+
+
+def point_in_polygon(px: float, py: float, polygon: "Polygon") -> bool:
+    """Containment test honouring polygon holes.
+
+    A point inside a hole is *outside* the polygon; a point on the hole
+    boundary is on the polygon boundary and therefore inside.
+    """
+    shell = polygon.shell.coords
+    if not point_in_ring(px, py, shell):
+        return False
+    for hole in polygon.holes:
+        coords = hole.coords
+        if point_on_ring(px, py, coords):
+            return True
+        if point_in_ring(px, py, coords):
+            return False
+    return True
+
+
+def points_in_ring(
+    xs: np.ndarray, ys: np.ndarray, ring: Sequence[tuple[float, float]]
+) -> np.ndarray:
+    """Vectorized ray-casting: test many points against one ring.
+
+    This is the data-parallel kernel the traditional GPU baseline is
+    built from — every point is tested against every ring edge with no
+    data-dependent branching, exactly the shape of work a GPU thread
+    block performs.  Boundary points may fall on either side due to
+    floating-point edge cases; exact boundary handling is the job of the
+    hybrid refinement (:mod:`repro.core.accuracy`).
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    coords = np.asarray(ring, dtype=np.float64)
+    x1 = coords[:, 0]
+    y1 = coords[:, 1]
+    x2 = np.roll(x1, -1)
+    y2 = np.roll(y1, -1)
+
+    # For each edge, which points' horizontal rays cross it.
+    # Shapes: points (n, 1) against edges (1, m).
+    px = xs[:, None]
+    py = ys[:, None]
+    crosses = (y1[None, :] > py) != (y2[None, :] > py)
+    # Guard the division: edges parallel to the ray never satisfy
+    # `crosses`, so the slope value there is irrelevant.
+    dy = y2 - y1
+    dy = np.where(dy == 0.0, 1.0, dy)
+    x_cross = (x2 - x1)[None, :] * (py - y1[None, :]) / dy[None, :] + x1[None, :]
+    hits = crosses & (px < x_cross)
+    return (hits.sum(axis=1) % 2).astype(bool)
+
+
+def points_in_polygon(
+    xs: np.ndarray, ys: np.ndarray, polygon: "Polygon"
+) -> np.ndarray:
+    """Vectorized containment of many points in a polygon with holes."""
+    inside = points_in_ring(xs, ys, polygon.shell.coords)
+    for hole in polygon.holes:
+        inside &= ~points_in_ring(xs, ys, hole.coords)
+    return inside
+
+
+# ----------------------------------------------------------------------
+# Polygon-polygon predicates
+# ----------------------------------------------------------------------
+def _rings_edges_intersect(
+    ring_a: Sequence[tuple[float, float]], ring_b: Sequence[tuple[float, float]]
+) -> bool:
+    na, nb = len(ring_a), len(ring_b)
+    for i in range(na):
+        ax, ay = ring_a[i]
+        bx, by = ring_a[(i + 1) % na]
+        for j in range(nb):
+            cx, cy = ring_b[j]
+            dx, dy = ring_b[(j + 1) % nb]
+            if segments_intersect(ax, ay, bx, by, cx, cy, dx, dy):
+                return True
+    return False
+
+
+def polygon_intersects_polygon(a: "Polygon", b: "Polygon") -> bool:
+    """``True`` if the closed regions of *a* and *b* share a point.
+
+    Covers all cases: boundary crossings, full containment of either
+    polygon in the other, and containment inside holes (which does *not*
+    count as intersection).
+    """
+    if not a.bounds.intersects(b.bounds):
+        return False
+    if _rings_edges_intersect(a.shell.coords, b.shell.coords):
+        return True
+    # No shell crossings: either disjoint or one shell inside the other.
+    ax, ay = a.shell.coords[0]
+    bx, by = b.shell.coords[0]
+    if point_in_polygon(ax, ay, b) or point_in_polygon(bx, by, a):
+        return True
+    # A vertex on a hole boundary may sit exactly on the other boundary.
+    for hole in a.holes:
+        if _rings_edges_intersect(hole.coords, b.shell.coords):
+            return True
+    for hole in b.holes:
+        if _rings_edges_intersect(hole.coords, a.shell.coords):
+            return True
+    return False
+
+
+def linestring_intersects_polygon(coords: Sequence[tuple[float, float]],
+                                  polygon: "Polygon") -> bool:
+    """``True`` if a polyline shares a point with a closed polygon.
+
+    Either some vertex lies inside the polygon, or some polyline
+    segment crosses a ring of the polygon (a segment may also pass
+    through a hole wall, which still touches the polygon's closure).
+    """
+    if any(point_in_polygon(x, y, polygon) for x, y in coords):
+        return True
+    rings = [polygon.shell.coords] + [h.coords for h in polygon.holes]
+    for (ax, ay), (bx, by) in zip(coords, coords[1:]):
+        for ring in rings:
+            n = len(ring)
+            for i in range(n):
+                cx, cy = ring[i]
+                dx, dy = ring[(i + 1) % n]
+                if segments_intersect(ax, ay, bx, by, cx, cy, dx, dy):
+                    return True
+    return False
+
+
+def ring_signed_area(ring: Sequence[tuple[float, float]]) -> float:
+    """Shoelace signed area: positive for counter-clockwise rings."""
+    area = 0.0
+    n = len(ring)
+    for i in range(n):
+        x1, y1 = ring[i]
+        x2, y2 = ring[(i + 1) % n]
+        area += x1 * y2 - x2 * y1
+    return area / 2.0
+
+
+def ring_is_ccw(ring: Sequence[tuple[float, float]]) -> bool:
+    """``True`` when the ring winds counter-clockwise."""
+    return ring_signed_area(ring) > 0.0

@@ -1,0 +1,427 @@
+"""Typed geometries: the concrete 0-, 1- and 2-primitives of the model.
+
+Definition 2 of the paper calls a *d-primitive* a d-manifold; in real
+data sets these are points (d=0), polylines (d=1) and polygonal regions
+(d=2).  A *geometric object* (Definition 1) is a collection of
+primitives, realized here by :class:`GeometryCollection` and the
+``Multi*`` types.
+
+Coordinates are plain ``(x, y)`` float tuples; bulk accessors return
+NumPy arrays so the raster pipeline can consume geometry without
+per-vertex Python overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.predicates import (
+    point_in_polygon,
+    point_on_ring,
+    ring_is_ccw,
+    ring_signed_area,
+    segments_intersect,
+)
+
+Coord = tuple[float, float]
+
+
+def _as_coords(points: Iterable[Sequence[float]]) -> list[Coord]:
+    coords = [(float(p[0]), float(p[1])) for p in points]
+    return coords
+
+
+class Geometry:
+    """Abstract base for all geometry types.
+
+    Subclasses expose:
+
+    - :attr:`dimension` — the manifold dimension d in {0, 1, 2},
+    - :attr:`bounds` — the MBR,
+    - :meth:`vertex_array` — an ``(n, 2)`` float64 array of vertices.
+    """
+
+    #: Manifold dimension of the primitive (overridden by subclasses).
+    dimension: int = -1
+
+    @property
+    def bounds(self) -> BoundingBox:
+        raise NotImplementedError
+
+    def vertex_array(self) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self.vertex_array()) == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        name = type(self).__name__
+        n = len(self.vertex_array())
+        return f"<{name} vertices={n} bounds={tuple(self.bounds)}>"
+
+
+class Point(Geometry):
+    """A 0-primitive: a single location."""
+
+    dimension = 0
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: float, y: float) -> None:
+        self.x = float(x)
+        self.y = float(y)
+
+    @property
+    def coord(self) -> Coord:
+        return (self.x, self.y)
+
+    @property
+    def bounds(self) -> BoundingBox:
+        return BoundingBox(self.x, self.y, self.x, self.y)
+
+    def vertex_array(self) -> np.ndarray:
+        return np.array([[self.x, self.y]], dtype=np.float64)
+
+    def distance_to(self, other: "Point") -> float:
+        return float(np.hypot(self.x - other.x, self.y - other.y))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Point) and self.x == other.x and self.y == other.y
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.x, self.y))
+
+    def __iter__(self) -> Iterator[float]:
+        return iter((self.x, self.y))
+
+
+class MultiPoint(Geometry):
+    """A collection of 0-primitives forming one geometric object."""
+
+    dimension = 0
+
+    def __init__(self, points: Iterable[Sequence[float]]) -> None:
+        self.coords: list[Coord] = _as_coords(points)
+        if not self.coords:
+            raise ValueError("MultiPoint requires at least one point")
+
+    @property
+    def bounds(self) -> BoundingBox:
+        return BoundingBox.from_points(self.coords)
+
+    def vertex_array(self) -> np.ndarray:
+        return np.asarray(self.coords, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self.coords)
+
+    def __iter__(self) -> Iterator[Point]:
+        return (Point(x, y) for x, y in self.coords)
+
+
+class LineSegment(Geometry):
+    """A straight 1-primitive between two endpoints."""
+
+    dimension = 1
+
+    __slots__ = ("ax", "ay", "bx", "by")
+
+    def __init__(self, a: Sequence[float], b: Sequence[float]) -> None:
+        self.ax, self.ay = float(a[0]), float(a[1])
+        self.bx, self.by = float(b[0]), float(b[1])
+
+    @property
+    def length(self) -> float:
+        return float(np.hypot(self.bx - self.ax, self.by - self.ay))
+
+    @property
+    def bounds(self) -> BoundingBox:
+        return BoundingBox.from_points([(self.ax, self.ay), (self.bx, self.by)])
+
+    def vertex_array(self) -> np.ndarray:
+        return np.array(
+            [[self.ax, self.ay], [self.bx, self.by]], dtype=np.float64
+        )
+
+    def intersects(self, other: "LineSegment") -> bool:
+        return segments_intersect(
+            self.ax, self.ay, self.bx, self.by,
+            other.ax, other.ay, other.bx, other.by,
+        )
+
+
+class LineString(Geometry):
+    """A polyline 1-primitive."""
+
+    dimension = 1
+
+    def __init__(self, points: Iterable[Sequence[float]]) -> None:
+        self.coords: list[Coord] = _as_coords(points)
+        if len(self.coords) < 2:
+            raise ValueError("LineString requires at least two points")
+
+    @property
+    def length(self) -> float:
+        arr = self.vertex_array()
+        return float(np.hypot(np.diff(arr[:, 0]), np.diff(arr[:, 1])).sum())
+
+    @property
+    def bounds(self) -> BoundingBox:
+        return BoundingBox.from_points(self.coords)
+
+    def vertex_array(self) -> np.ndarray:
+        return np.asarray(self.coords, dtype=np.float64)
+
+    def segments(self) -> Iterator[LineSegment]:
+        for a, b in zip(self.coords, self.coords[1:]):
+            yield LineSegment(a, b)
+
+    def __len__(self) -> int:
+        return len(self.coords)
+
+
+class MultiLineString(Geometry):
+    """A collection of polylines forming one geometric object."""
+
+    dimension = 1
+
+    def __init__(self, lines: Iterable[LineString | Iterable[Sequence[float]]]) -> None:
+        self.lines: list[LineString] = [
+            line if isinstance(line, LineString) else LineString(line)
+            for line in lines
+        ]
+        if not self.lines:
+            raise ValueError("MultiLineString requires at least one line")
+
+    @property
+    def bounds(self) -> BoundingBox:
+        return BoundingBox.union_all([line.bounds for line in self.lines])
+
+    def vertex_array(self) -> np.ndarray:
+        return np.concatenate([line.vertex_array() for line in self.lines])
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+    def __iter__(self) -> Iterator[LineString]:
+        return iter(self.lines)
+
+
+class LinearRing(Geometry):
+    """A closed simple polyline bounding an area.
+
+    The closing edge (last vertex back to first) is implicit; a
+    duplicated closing vertex in the input is dropped.
+    """
+
+    dimension = 1
+
+    def __init__(self, points: Iterable[Sequence[float]]) -> None:
+        coords = _as_coords(points)
+        if len(coords) >= 2 and coords[0] == coords[-1]:
+            coords = coords[:-1]
+        if len(coords) < 3:
+            raise ValueError("LinearRing requires at least three distinct points")
+        self.coords: list[Coord] = coords
+
+    @property
+    def signed_area(self) -> float:
+        return ring_signed_area(self.coords)
+
+    @property
+    def area(self) -> float:
+        return abs(self.signed_area)
+
+    @property
+    def is_ccw(self) -> bool:
+        return ring_is_ccw(self.coords)
+
+    def reversed(self) -> "LinearRing":
+        return LinearRing(list(reversed(self.coords)))
+
+    def oriented(self, ccw: bool = True) -> "LinearRing":
+        """A copy winding counter-clockwise (or clockwise)."""
+        if self.is_ccw == ccw:
+            return self
+        return self.reversed()
+
+    @property
+    def bounds(self) -> BoundingBox:
+        return BoundingBox.from_points(self.coords)
+
+    def vertex_array(self) -> np.ndarray:
+        return np.asarray(self.coords, dtype=np.float64)
+
+    def closed_array(self) -> np.ndarray:
+        """Vertex array with the first vertex repeated at the end."""
+        arr = self.vertex_array()
+        return np.concatenate([arr, arr[:1]])
+
+    def contains_point(self, x: float, y: float) -> bool:
+        from repro.geometry.predicates import point_in_ring
+
+        return point_in_ring(x, y, self.coords)
+
+    def is_simple(self) -> bool:
+        """``True`` when no two non-adjacent edges intersect."""
+        n = len(self.coords)
+        for i in range(n):
+            ax, ay = self.coords[i]
+            bx, by = self.coords[(i + 1) % n]
+            for j in range(i + 1, n):
+                # Skip adjacent edges (they share a vertex by design).
+                if j == i or (j + 1) % n == i or (i + 1) % n == j:
+                    continue
+                cx, cy = self.coords[j]
+                dx, dy = self.coords[(j + 1) % n]
+                if segments_intersect(ax, ay, bx, by, cx, cy, dx, dy):
+                    return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self.coords)
+
+
+class Polygon(Geometry):
+    """A 2-primitive: a shell ring with zero or more hole rings.
+
+    The shell is normalized to counter-clockwise and holes to clockwise
+    winding, the convention the scanline rasterizer and triangulator
+    rely on.
+    """
+
+    dimension = 2
+
+    def __init__(
+        self,
+        shell: LinearRing | Iterable[Sequence[float]],
+        holes: Iterable[LinearRing | Iterable[Sequence[float]]] = (),
+    ) -> None:
+        shell_ring = shell if isinstance(shell, LinearRing) else LinearRing(shell)
+        self.shell: LinearRing = shell_ring.oriented(ccw=True)
+        self.holes: list[LinearRing] = [
+            (h if isinstance(h, LinearRing) else LinearRing(h)).oriented(ccw=False)
+            for h in holes
+        ]
+
+    @property
+    def area(self) -> float:
+        return self.shell.area - sum(h.area for h in self.holes)
+
+    @property
+    def bounds(self) -> BoundingBox:
+        return self.shell.bounds
+
+    def vertex_array(self) -> np.ndarray:
+        parts = [self.shell.vertex_array()]
+        parts.extend(h.vertex_array() for h in self.holes)
+        return np.concatenate(parts)
+
+    def rings(self) -> Iterator[LinearRing]:
+        yield self.shell
+        yield from self.holes
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return point_in_polygon(x, y, self)
+
+    def on_boundary(self, x: float, y: float) -> bool:
+        return any(point_on_ring(x, y, ring.coords) for ring in self.rings())
+
+    def representative_point(self) -> Point:
+        """An interior point (the shell centroid if inside, else a scan).
+
+        Useful for containment seeding in polygon-polygon predicates.
+        """
+        arr = self.shell.vertex_array()
+        cx, cy = float(arr[:, 0].mean()), float(arr[:, 1].mean())
+        if self.contains_point(cx, cy) and not self.on_boundary(cx, cy):
+            return Point(cx, cy)
+        # Scan midpoints between consecutive-vertex pairs until one hits
+        # the interior; guaranteed to terminate for simple polygons.
+        b = self.bounds
+        for frac in (0.5, 0.25, 0.75, 0.4, 0.6, 0.1, 0.9):
+            y = b.ymin + frac * b.height
+            xs = np.linspace(b.xmin, b.xmax, 64)
+            for x in xs:
+                if self.contains_point(float(x), y) and not self.on_boundary(
+                    float(x), y
+                ):
+                    return Point(float(x), y)
+        raise ValueError("could not find an interior point (degenerate polygon?)")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"<Polygon shell={len(self.shell)} holes={len(self.holes)} "
+            f"area={self.area:.4g}>"
+        )
+
+
+class MultiPolygon(Geometry):
+    """A collection of polygons forming one geometric object."""
+
+    dimension = 2
+
+    def __init__(self, polygons: Iterable[Polygon]) -> None:
+        self.polygons: list[Polygon] = list(polygons)
+        if not self.polygons:
+            raise ValueError("MultiPolygon requires at least one polygon")
+
+    @property
+    def area(self) -> float:
+        return sum(p.area for p in self.polygons)
+
+    @property
+    def bounds(self) -> BoundingBox:
+        return BoundingBox.union_all([p.bounds for p in self.polygons])
+
+    def vertex_array(self) -> np.ndarray:
+        return np.concatenate([p.vertex_array() for p in self.polygons])
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return any(p.contains_point(x, y) for p in self.polygons)
+
+    def __len__(self) -> int:
+        return len(self.polygons)
+
+    def __iter__(self) -> Iterator[Polygon]:
+        return iter(self.polygons)
+
+
+class GeometryCollection(Geometry):
+    """A heterogeneous geometric object (Definition 1, Figure 3).
+
+    May mix primitives of different dimensions — e.g. the paper's
+    Figure 3 object: two polygons joined by a line, plus a point.
+    """
+
+    def __init__(self, geometries: Iterable[Geometry]) -> None:
+        self.geometries: list[Geometry] = list(geometries)
+        if not self.geometries:
+            raise ValueError("GeometryCollection requires at least one geometry")
+
+    @property
+    def dimension(self) -> int:  # type: ignore[override]
+        return max(g.dimension for g in self.geometries)
+
+    @property
+    def bounds(self) -> BoundingBox:
+        return BoundingBox.union_all([g.bounds for g in self.geometries])
+
+    def vertex_array(self) -> np.ndarray:
+        return np.concatenate([g.vertex_array() for g in self.geometries])
+
+    def primitives_of_dimension(self, d: int) -> list[Geometry]:
+        """All member primitives with manifold dimension *d*."""
+        return [g for g in self.geometries if g.dimension == d]
+
+    def __len__(self) -> int:
+        return len(self.geometries)
+
+    def __iter__(self) -> Iterator[Geometry]:
+        return iter(self.geometries)

@@ -1,0 +1,182 @@
+"""Affine transformations of the plane.
+
+These back the positional flavour of the Geometric Transform operator
+``G[gamma: R^2 -> R^2]`` (Section 3.1): rotation, translation, scaling
+and their compositions, plus coordinate-system changes between data sets
+(the paper's motivating use case for ``G``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.primitives import (
+    Geometry,
+    GeometryCollection,
+    LinearRing,
+    LineSegment,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+
+class AffineTransform:
+    """A 2D affine map ``p -> A @ p + t`` stored as a 3x3 matrix.
+
+    Supports composition with ``@`` (matching matrix semantics: the
+    right-hand transform applies first), inversion, and application to
+    scalars, arrays and geometry objects.
+    """
+
+    __slots__ = ("matrix",)
+
+    def __init__(self, matrix: np.ndarray | Sequence[Sequence[float]]) -> None:
+        m = np.asarray(matrix, dtype=np.float64)
+        if m.shape != (3, 3):
+            raise ValueError(f"affine matrix must be 3x3, got {m.shape}")
+        self.matrix = m
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def identity() -> "AffineTransform":
+        return AffineTransform(np.eye(3))
+
+    @staticmethod
+    def translation(dx: float, dy: float) -> "AffineTransform":
+        m = np.eye(3)
+        m[0, 2] = dx
+        m[1, 2] = dy
+        return AffineTransform(m)
+
+    @staticmethod
+    def scaling(sx: float, sy: float | None = None) -> "AffineTransform":
+        if sy is None:
+            sy = sx
+        m = np.eye(3)
+        m[0, 0] = sx
+        m[1, 1] = sy
+        return AffineTransform(m)
+
+    @staticmethod
+    def rotation(
+        angle_radians: float, center: tuple[float, float] = (0.0, 0.0)
+    ) -> "AffineTransform":
+        """Counter-clockwise rotation about *center*."""
+        c, s = math.cos(angle_radians), math.sin(angle_radians)
+        rot = AffineTransform(
+            np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+        )
+        if center == (0.0, 0.0):
+            return rot
+        cx, cy = center
+        return (
+            AffineTransform.translation(cx, cy)
+            @ rot
+            @ AffineTransform.translation(-cx, -cy)
+        )
+
+    @staticmethod
+    def window_to_window(
+        src: tuple[float, float, float, float],
+        dst: tuple[float, float, float, float],
+    ) -> "AffineTransform":
+        """Map one axis-aligned window onto another.
+
+        This is the coordinate-system conversion the paper cites as a
+        primary use of ``G`` — e.g. reprojecting data sets recorded in
+        different local frames into a common canvas window.
+        """
+        sx0, sy0, sx1, sy1 = src
+        dx0, dy0, dx1, dy1 = dst
+        if sx1 == sx0 or sy1 == sy0:
+            raise ValueError("source window is degenerate")
+        sx = (dx1 - dx0) / (sx1 - sx0)
+        sy = (dy1 - dy0) / (sy1 - sy0)
+        return (
+            AffineTransform.translation(dx0, dy0)
+            @ AffineTransform.scaling(sx, sy)
+            @ AffineTransform.translation(-sx0, -sy0)
+        )
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __matmul__(self, other: "AffineTransform") -> "AffineTransform":
+        return AffineTransform(self.matrix @ other.matrix)
+
+    def inverse(self) -> "AffineTransform":
+        return AffineTransform(np.linalg.inv(self.matrix))
+
+    @property
+    def is_identity(self) -> bool:
+        return bool(np.allclose(self.matrix, np.eye(3)))
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def apply_point(self, x: float, y: float) -> tuple[float, float]:
+        m = self.matrix
+        return (
+            m[0, 0] * x + m[0, 1] * y + m[0, 2],
+            m[1, 0] * x + m[1, 1] * y + m[1, 2],
+        )
+
+    def apply_array(self, coords: np.ndarray) -> np.ndarray:
+        """Apply to an ``(n, 2)`` coordinate array, returning a new array."""
+        coords = np.asarray(coords, dtype=np.float64)
+        m = self.matrix
+        out = np.empty_like(coords)
+        out[:, 0] = m[0, 0] * coords[:, 0] + m[0, 1] * coords[:, 1] + m[0, 2]
+        out[:, 1] = m[1, 0] * coords[:, 0] + m[1, 1] * coords[:, 1] + m[1, 2]
+        return out
+
+    def apply_geometry(self, geometry: Geometry) -> Geometry:
+        """Apply to any geometry, returning a new geometry of the same type."""
+        if isinstance(geometry, Point):
+            return Point(*self.apply_point(geometry.x, geometry.y))
+        if isinstance(geometry, MultiPoint):
+            return MultiPoint(self.apply_array(geometry.vertex_array()))
+        if isinstance(geometry, LineSegment):
+            return LineSegment(
+                self.apply_point(geometry.ax, geometry.ay),
+                self.apply_point(geometry.bx, geometry.by),
+            )
+        if isinstance(geometry, LineString):
+            return LineString(self.apply_array(geometry.vertex_array()))
+        if isinstance(geometry, MultiLineString):
+            return MultiLineString(
+                [LineString(self.apply_array(line.vertex_array()))
+                 for line in geometry.lines]
+            )
+        if isinstance(geometry, LinearRing):
+            return LinearRing(self.apply_array(geometry.vertex_array()))
+        if isinstance(geometry, Polygon):
+            return Polygon(
+                LinearRing(self.apply_array(geometry.shell.vertex_array())),
+                [LinearRing(self.apply_array(h.vertex_array()))
+                 for h in geometry.holes],
+            )
+        if isinstance(geometry, MultiPolygon):
+            return MultiPolygon(
+                [self.apply_geometry(p) for p in geometry.polygons]  # type: ignore[misc]
+            )
+        if isinstance(geometry, GeometryCollection):
+            return GeometryCollection(
+                [self.apply_geometry(g) for g in geometry.geometries]
+            )
+        raise TypeError(f"unsupported geometry type: {type(geometry).__name__}")
+
+    def __call__(self, x: float, y: float) -> tuple[float, float]:
+        return self.apply_point(x, y)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"AffineTransform({self.matrix.tolist()})"

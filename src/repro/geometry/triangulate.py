@@ -1,0 +1,190 @@
+"""Ear-clipping triangulation.
+
+Triangles are the native primitive of the graphics pipeline; the
+rasterizer in :mod:`repro.gpu.rasterizer` fills polygons either via a
+scanline pass or by rasterizing a triangulation.  Holes are handled by
+bridging each hole to the outer ring with a mutually visible vertex
+pair, yielding a single (weakly simple) ring that ear clipping accepts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.geometry.predicates import (
+    orientation,
+    point_in_ring,
+    segments_intersect,
+)
+from repro.geometry.primitives import Polygon
+
+Coord = tuple[float, float]
+Triangle = tuple[Coord, Coord, Coord]
+
+
+def _triangle_contains(
+    ax: float, ay: float, bx: float, by: float, cx: float, cy: float,
+    px: float, py: float,
+) -> bool:
+    """Strict containment of ``p`` in ccw triangle ``abc`` (boundary excluded)."""
+    d1 = (bx - ax) * (py - ay) - (by - ay) * (px - ax)
+    d2 = (cx - bx) * (py - by) - (cy - by) * (px - bx)
+    d3 = (ax - cx) * (py - cy) - (ay - cy) * (px - cx)
+    return d1 > 0 and d2 > 0 and d3 > 0
+
+
+def triangulate_ring(ring: Sequence[Coord]) -> list[Triangle]:
+    """Ear-clip a simple counter-clockwise ring into triangles.
+
+    Runs in O(n^2), which is ample for query polygons (tens to hundreds
+    of vertices).  Collinear vertices are tolerated; they simply never
+    become ears and are dropped when degenerate.
+    """
+    coords = list(ring)
+    n = len(coords)
+    if n < 3:
+        return []
+    if n == 3:
+        return [(coords[0], coords[1], coords[2])]
+
+    indices = list(range(n))
+    triangles: list[Triangle] = []
+    guard = 0
+    max_iters = 2 * n * n + 16
+
+    while len(indices) > 3 and guard < max_iters:
+        guard += 1
+        made_progress = False
+        m = len(indices)
+        for k in range(m):
+            i_prev = indices[(k - 1) % m]
+            i_curr = indices[k]
+            i_next = indices[(k + 1) % m]
+            ax, ay = coords[i_prev]
+            bx, by = coords[i_curr]
+            cx, cy = coords[i_next]
+            orient = orientation(ax, ay, bx, by, cx, cy)
+            if orient < 0:
+                continue  # reflex vertex, not an ear
+            if orient == 0:
+                # Degenerate (collinear) — drop the middle vertex.
+                indices.pop(k)
+                made_progress = True
+                break
+            # Convex: an ear iff no other ring vertex is inside.
+            is_ear = True
+            for j in indices:
+                if j in (i_prev, i_curr, i_next):
+                    continue
+                px, py = coords[j]
+                if _triangle_contains(ax, ay, bx, by, cx, cy, px, py):
+                    is_ear = False
+                    break
+            if is_ear:
+                triangles.append(((ax, ay), (bx, by), (cx, cy)))
+                indices.pop(k)
+                made_progress = True
+                break
+        if not made_progress:
+            # Numerically stuck (nearly degenerate ring): emit a fan of
+            # the remaining vertices rather than looping forever.
+            break
+
+    if len(indices) >= 3:
+        anchor = coords[indices[0]]
+        for a, b in zip(indices[1:], indices[2:]):
+            tri = (anchor, coords[a], coords[b])
+            if orientation(*tri[0], *tri[1], *tri[2]) != 0:
+                triangles.append(tri)
+    return triangles
+
+
+def _mutually_visible(
+    outer: list[Coord], hole: list[Coord]
+) -> tuple[int, int]:
+    """Find indices ``(i_outer, i_hole)`` of a mutually visible vertex pair.
+
+    Brute-force visibility: the bridge segment must cross no edge of the
+    outer ring or the hole (except at its own endpoints).
+    """
+    def blocked(p: Coord, q: Coord, ring: list[Coord]) -> bool:
+        n = len(ring)
+        for i in range(n):
+            a = ring[i]
+            b = ring[(i + 1) % n]
+            if a in (p, q) or b in (p, q):
+                continue
+            if segments_intersect(*p, *q, *a, *b):
+                return True
+        return False
+
+    # Try hole vertices ordered by x (rightmost first, classic heuristic)
+    hole_order = sorted(range(len(hole)), key=lambda i: -hole[i][0])
+    outer_order = sorted(
+        range(len(outer)),
+        key=lambda i: (outer[i][0], outer[i][1]),
+    )
+    for hi in hole_order:
+        hp = hole[hi]
+        # Prefer nearby outer vertices for shorter, more robust bridges.
+        candidates = sorted(
+            outer_order,
+            key=lambda oi: math.hypot(outer[oi][0] - hp[0], outer[oi][1] - hp[1]),
+        )
+        for oi in candidates:
+            op = outer[oi]
+            if not blocked(hp, op, outer) and not blocked(hp, op, hole):
+                return oi, hi
+    raise ValueError("no mutually visible bridge found (degenerate input?)")
+
+
+def _bridge_hole(outer: list[Coord], hole: list[Coord]) -> list[Coord]:
+    """Merge one clockwise *hole* into a ccw *outer* ring via a bridge."""
+    oi, hi = _mutually_visible(outer, hole)
+    rotated_hole = hole[hi:] + hole[:hi]
+    # Walk outer up to and including oi, detour around the hole, then
+    # return through duplicated bridge vertices and continue.
+    return (
+        outer[: oi + 1]
+        + rotated_hole
+        + [rotated_hole[0]]
+        + outer[oi:]
+    )
+
+
+def triangulate_polygon(polygon: Polygon) -> list[Triangle]:
+    """Triangulate a polygon with holes.
+
+    Returns triangles whose union covers the polygon's interior.  The
+    result length is ``n_vertices - 2 + 2 * n_holes`` for simple inputs.
+    """
+    ring = list(polygon.shell.oriented(ccw=True).coords)
+    for hole in polygon.holes:
+        hole_coords = list(hole.oriented(ccw=False).coords)
+        ring = _bridge_hole(ring, hole_coords)
+    return triangulate_ring(ring)
+
+
+def triangulation_area(triangles: Sequence[Triangle]) -> float:
+    """Total (unsigned) area of a triangle set."""
+    total = 0.0
+    for (ax, ay), (bx, by), (cx, cy) in triangles:
+        total += abs((bx - ax) * (cy - ay) - (by - ay) * (cx - ax)) / 2.0
+    return total
+
+
+def triangle_centroid(tri: Triangle) -> Coord:
+    """Centroid of a triangle."""
+    (ax, ay), (bx, by), (cx, cy) = tri
+    return ((ax + bx + cx) / 3.0, (ay + by + cy) / 3.0)
+
+
+def point_in_triangulation(
+    x: float, y: float, triangles: Sequence[Triangle]
+) -> bool:
+    """Membership test against a triangulated region (boundary-inclusive)."""
+    for (ax, ay), (bx, by), (cx, cy) in triangles:
+        if point_in_ring(x, y, [(ax, ay), (bx, by), (cx, cy)]):
+            return True
+    return False

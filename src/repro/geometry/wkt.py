@@ -1,0 +1,187 @@
+"""Well-Known Text serialization.
+
+Stands in for the ``geopandas`` data-handling layer the reproduction
+hint mentions: spatial tables round-trip their geometry columns through
+WKT (and GeoJSON, see :mod:`repro.geometry.geojson`), so data sets can
+be stored in plain CSV files.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from repro.geometry.primitives import (
+    Geometry,
+    GeometryCollection,
+    LinearRing,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+Coord = tuple[float, float]
+
+
+# ----------------------------------------------------------------------
+# Writing
+# ----------------------------------------------------------------------
+def _fmt(value: float) -> str:
+    text = f"{value:.10g}"
+    return text
+
+
+def _coords_text(coords: Sequence[Coord], close: bool = False) -> str:
+    pts = list(coords)
+    if close and pts and pts[0] != pts[-1]:
+        pts.append(pts[0])
+    return ", ".join(f"{_fmt(x)} {_fmt(y)}" for x, y in pts)
+
+
+def _polygon_text(polygon: Polygon) -> str:
+    rings = [f"({_coords_text(polygon.shell.coords, close=True)})"]
+    rings.extend(
+        f"({_coords_text(h.coords, close=True)})" for h in polygon.holes
+    )
+    return ", ".join(rings)
+
+
+def to_wkt(geometry: Geometry) -> str:
+    """Serialize a geometry to its WKT string."""
+    if isinstance(geometry, Point):
+        return f"POINT ({_fmt(geometry.x)} {_fmt(geometry.y)})"
+    if isinstance(geometry, MultiPoint):
+        inner = ", ".join(f"({_fmt(x)} {_fmt(y)})" for x, y in geometry.coords)
+        return f"MULTIPOINT ({inner})"
+    if isinstance(geometry, LineString):
+        return f"LINESTRING ({_coords_text(geometry.coords)})"
+    if isinstance(geometry, LinearRing):
+        return f"LINESTRING ({_coords_text(geometry.coords, close=True)})"
+    if isinstance(geometry, MultiLineString):
+        inner = ", ".join(
+            f"({_coords_text(line.coords)})" for line in geometry.lines
+        )
+        return f"MULTILINESTRING ({inner})"
+    if isinstance(geometry, Polygon):
+        return f"POLYGON ({_polygon_text(geometry)})"
+    if isinstance(geometry, MultiPolygon):
+        inner = ", ".join(f"({_polygon_text(p)})" for p in geometry.polygons)
+        return f"MULTIPOLYGON ({inner})"
+    if isinstance(geometry, GeometryCollection):
+        inner = ", ".join(to_wkt(g) for g in geometry.geometries)
+        return f"GEOMETRYCOLLECTION ({inner})"
+    raise TypeError(f"unsupported geometry type: {type(geometry).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+class WKTParseError(ValueError):
+    """Raised when a WKT string is malformed."""
+
+
+_TYPE_RE = re.compile(r"^\s*([A-Za-z]+)\s*(.*)$", re.DOTALL)
+
+
+def _parse_coord_pair(text: str) -> Coord:
+    parts = text.split()
+    if len(parts) < 2:
+        raise WKTParseError(f"expected 'x y' coordinates, got {text!r}")
+    return (float(parts[0]), float(parts[1]))
+
+
+def _split_top_level(text: str) -> list[str]:
+    """Split a comma-separated list, respecting nested parentheses."""
+    items: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+            current.append(ch)
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise WKTParseError("unbalanced parentheses")
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            items.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        items.append(tail)
+    return items
+
+
+def _strip_parens(text: str) -> str:
+    text = text.strip()
+    if not (text.startswith("(") and text.endswith(")")):
+        raise WKTParseError(f"expected parenthesized body, got {text!r}")
+    return text[1:-1].strip()
+
+
+def _parse_coord_list(text: str) -> list[Coord]:
+    return [_parse_coord_pair(item) for item in _split_top_level(text)]
+
+
+def _parse_polygon_body(text: str) -> Polygon:
+    rings = [
+        _parse_coord_list(_strip_parens(item))
+        for item in _split_top_level(text)
+    ]
+    if not rings:
+        raise WKTParseError("polygon with no rings")
+    try:
+        return Polygon(
+            LinearRing(rings[0]), [LinearRing(r) for r in rings[1:]]
+        )
+    except ValueError as exc:
+        raise WKTParseError(f"invalid polygon ring: {exc}") from exc
+
+
+def from_wkt(text: str) -> Geometry:
+    """Parse a WKT string into a geometry object."""
+    match = _TYPE_RE.match(text)
+    if not match:
+        raise WKTParseError(f"not a WKT string: {text!r}")
+    kind = match.group(1).upper()
+    body = match.group(2).strip()
+
+    if kind == "POINT":
+        return Point(*_parse_coord_pair(_strip_parens(body)))
+    if kind == "MULTIPOINT":
+        inner = _strip_parens(body)
+        coords = []
+        for item in _split_top_level(inner):
+            item = item.strip()
+            if item.startswith("("):
+                item = _strip_parens(item)
+            coords.append(_parse_coord_pair(item))
+        return MultiPoint(coords)
+    if kind == "LINESTRING":
+        return LineString(_parse_coord_list(_strip_parens(body)))
+    if kind == "MULTILINESTRING":
+        inner = _strip_parens(body)
+        return MultiLineString(
+            [LineString(_parse_coord_list(_strip_parens(item)))
+             for item in _split_top_level(inner)]
+        )
+    if kind == "POLYGON":
+        return _parse_polygon_body(_strip_parens(body))
+    if kind == "MULTIPOLYGON":
+        inner = _strip_parens(body)
+        return MultiPolygon(
+            [_parse_polygon_body(_strip_parens(item))
+             for item in _split_top_level(inner)]
+        )
+    if kind == "GEOMETRYCOLLECTION":
+        inner = _strip_parens(body)
+        return GeometryCollection(
+            [from_wkt(item) for item in _split_top_level(inner)]
+        )
+    raise WKTParseError(f"unsupported WKT type: {kind}")

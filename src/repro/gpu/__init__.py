@@ -1,0 +1,27 @@
+"""Simulated GPU substrate: a data-parallel raster pipeline in NumPy.
+
+The paper's prototype is built on the OpenGL rasterization pipeline
+(Section 5).  This package recreates the pieces of that pipeline the
+canvas algebra needs, with the same *data-parallel structure* — whole
+pixel grids processed per pass, no per-primitive Python work in inner
+loops — so that the performance characteristics the paper exploits
+(constraint-independent per-point cost, cheap blending) carry over:
+
+- :mod:`repro.gpu.device` — execution model: discrete vs integrated
+  device profiles (tile budgets emulate memory-bandwidth differences);
+- :mod:`repro.gpu.texture` — channelled pixel arrays, the discrete
+  canvas storage;
+- :mod:`repro.gpu.rasterizer` — point / line (supercover, i.e.
+  conservative) / triangle rasterization;
+- :mod:`repro.gpu.scanline` — even-odd polygon fill honouring holes;
+- :mod:`repro.gpu.framebuffer` — off-screen render target with
+  configurable blend state;
+- :mod:`repro.gpu.blendmodes` — the vectorized blend-function library.
+"""
+
+from repro.gpu.device import Device
+from repro.gpu.texture import Texture
+from repro.gpu.framebuffer import Framebuffer
+from repro.gpu.blendmodes import BlendMode
+
+__all__ = ["BlendMode", "Device", "Framebuffer", "Texture"]

@@ -1,0 +1,134 @@
+"""Blend-function library.
+
+A blend function in the algebra is ``⊙ : S^3 x S^3 -> S^3``
+(Section 3.1).  At the texture level it combines two ``(data, valid)``
+pairs elementwise.  All modes here are vectorized over arbitrary
+leading dimensions: ``data`` has shape ``(..., channels)`` and
+``valid`` has shape ``(..., groups)`` with channels grouped as in
+:class:`repro.gpu.texture.Texture`.
+
+The paper's query-specific blend functions (its ``⊙``, ``⊕`` and ``+``)
+are built in :mod:`repro.core.blendfuncs` on top of these primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+#: ``(data1, valid1, data2, valid2) -> (data, valid)``
+BlendKernel = Callable[
+    [np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    tuple[np.ndarray, np.ndarray],
+]
+
+
+@dataclass(frozen=True)
+class BlendMode:
+    """A named, vectorized blend function with algebraic metadata.
+
+    *associative* and *commutative* describe the blend as a binary
+    operation on S^3; the optimizer uses associativity to regroup
+    multiway blends (Section 3.2: "if the blend function is
+    associative ... more flexibility while optimizing queries").
+    """
+
+    name: str
+    kernel: BlendKernel
+    associative: bool = False
+    commutative: bool = False
+
+    def __call__(
+        self,
+        data1: np.ndarray,
+        valid1: np.ndarray,
+        data2: np.ndarray,
+        valid2: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return self.kernel(data1, valid1, data2, valid2)
+
+
+def _expand_valid(valid: np.ndarray, channels: int) -> np.ndarray:
+    """Broadcast per-group validity over that group's channels."""
+    groups = valid.shape[-1]
+    per = channels // groups
+    return np.repeat(valid, per, axis=-1)
+
+
+def _source_over(
+    data1: np.ndarray, valid1: np.ndarray,
+    data2: np.ndarray, valid2: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Painter's blend: the second canvas is drawn over the first."""
+    mask = _expand_valid(valid2, data1.shape[-1])
+    data = np.where(mask, data2, data1)
+    return data, valid1 | valid2
+
+
+def _add(
+    data1: np.ndarray, valid1: np.ndarray,
+    data2: np.ndarray, valid2: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Additive blend: sum where both valid, copy where one valid."""
+    channels = data1.shape[-1]
+    m1 = _expand_valid(valid1, channels)
+    m2 = _expand_valid(valid2, channels)
+    data = np.where(m1, data1, 0.0) + np.where(m2, data2, 0.0)
+    return data, valid1 | valid2
+
+
+def _maximum(
+    data1: np.ndarray, valid1: np.ndarray,
+    data2: np.ndarray, valid2: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    channels = data1.shape[-1]
+    m1 = _expand_valid(valid1, channels)
+    m2 = _expand_valid(valid2, channels)
+    neg_inf = -np.inf
+    a = np.where(m1, data1, neg_inf)
+    b = np.where(m2, data2, neg_inf)
+    data = np.maximum(a, b)
+    data = np.where(np.isfinite(data), data, 0.0)
+    return data, valid1 | valid2
+
+
+def _minimum(
+    data1: np.ndarray, valid1: np.ndarray,
+    data2: np.ndarray, valid2: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    channels = data1.shape[-1]
+    m1 = _expand_valid(valid1, channels)
+    m2 = _expand_valid(valid2, channels)
+    pos_inf = np.inf
+    a = np.where(m1, data1, pos_inf)
+    b = np.where(m2, data2, pos_inf)
+    data = np.minimum(a, b)
+    data = np.where(np.isfinite(data), data, 0.0)
+    return data, valid1 | valid2
+
+
+def _keep_first(
+    data1: np.ndarray, valid1: np.ndarray,
+    data2: np.ndarray, valid2: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Destination-over: the first canvas wins where both are valid."""
+    channels = data1.shape[-1]
+    m1 = _expand_valid(valid1, channels)
+    m2 = _expand_valid(valid2, channels)
+    data = np.where(m1, data1, np.where(m2, data2, 0.0))
+    return data, valid1 | valid2
+
+
+SOURCE_OVER = BlendMode("source-over", _source_over, associative=True)
+DESTINATION_OVER = BlendMode("destination-over", _keep_first, associative=True)
+ADD = BlendMode("add", _add, associative=True, commutative=True)
+MAX = BlendMode("max", _maximum, associative=True, commutative=True)
+MIN = BlendMode("min", _minimum, associative=True, commutative=True)
+
+#: Registry of the built-in modes by name.
+BUILTIN_MODES: dict[str, BlendMode] = {
+    mode.name: mode
+    for mode in (SOURCE_OVER, DESTINATION_OVER, ADD, MAX, MIN)
+}

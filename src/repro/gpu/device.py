@@ -1,0 +1,95 @@
+"""Device execution model.
+
+The paper evaluates its prototype on two GPUs: a discrete Nvidia GTX
+1070 Max-Q and the integrated Intel UHD 630 of the same laptop
+(Section 6).  Both run the identical algebra; the integrated part is
+slower chiefly because of its lower memory bandwidth and narrower
+execution width.
+
+We model a device as a *tile budget*: every raster pass over a pixel
+grid is split into horizontal tiles of at most ``tile_rows`` rows that
+execute serially.  The discrete profile processes whole frames in one
+vectorized pass; the integrated profile uses small tiles, so the same
+pass genuinely costs more wall-clock time (more kernel launches /
+interpreter transitions, worse cache behaviour) — no artificial sleeps
+are involved, mirroring the real bandwidth gap in an honest way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Device:
+    """An execution profile for raster passes.
+
+    Attributes
+    ----------
+    name:
+        Human-readable profile name used in benchmark reports.
+    tile_rows:
+        Maximum number of pixel rows processed per serial tile.  ``0``
+        means "whole frame in one pass".
+    """
+
+    name: str
+    tile_rows: int = 0
+
+    @staticmethod
+    def discrete(name: str = "discrete-gpu") -> "Device":
+        """Whole-frame passes: models the discrete (Nvidia-class) GPU."""
+        return Device(name=name, tile_rows=0)
+
+    @staticmethod
+    def integrated(name: str = "integrated-gpu", tile_rows: int = 16) -> "Device":
+        """Small-tile passes: models the integrated (Intel-class) GPU."""
+        if tile_rows < 1:
+            raise ValueError("tile_rows must be positive for a tiled device")
+        return Device(name=name, tile_rows=tile_rows)
+
+    # ------------------------------------------------------------------
+    def row_tiles(self, height: int) -> Iterator[slice]:
+        """Yield row slices covering ``range(height)`` per the tile budget."""
+        if height < 0:
+            raise ValueError("height must be non-negative")
+        if height == 0:
+            return
+        if self.tile_rows <= 0 or self.tile_rows >= height:
+            yield slice(0, height)
+            return
+        for start in range(0, height, self.tile_rows):
+            yield slice(start, min(start + self.tile_rows, height))
+
+    def run_rows(
+        self,
+        height: int,
+        kernel: Callable[[slice], None],
+    ) -> None:
+        """Execute *kernel* once per row tile (the 'render pass' loop)."""
+        for rows in self.row_tiles(height):
+            kernel(rows)
+
+    def elementwise(
+        self,
+        arrays: tuple[np.ndarray, ...],
+        kernel: Callable[..., np.ndarray],
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """Apply a vectorized *kernel* tile-by-tile over row-major arrays.
+
+        All *arrays* and *out* must share the same leading (row)
+        dimension.  This is the software analogue of a full-screen
+        fragment pass.
+        """
+        height = out.shape[0]
+        for rows in self.row_tiles(height):
+            out[rows] = kernel(*(a[rows] for a in arrays))
+        return out
+
+
+#: Default device used when callers do not specify one.
+DEFAULT_DEVICE = Device.discrete()

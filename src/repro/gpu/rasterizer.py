@@ -1,0 +1,236 @@
+"""Rasterization kernels: points, lines (conservative), triangles.
+
+All kernels work in *pixel space*.  World-to-pixel mapping is the
+responsibility of the caller (:class:`repro.core.canvas.Canvas` holds
+the window transform).  The convention matches
+:mod:`repro.gpu.texture`: pixel ``(r, c)`` covers the half-open cell
+``[c, c+1) x [r, r+1)`` in pixel coordinates, with the sample point at
+the cell center ``(c + 0.5, r + 0.5)``.
+
+The line kernel implements *supercover* traversal: it reports every
+cell the segment touches, the software equivalent of the conservative
+rasterization extension the paper's prototype uses to flag boundary
+pixels (Section 5.1).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def points_to_cells(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    height: int,
+    width: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Map pixel-space point coordinates to cell indices.
+
+    Returns ``(rows, cols, inside)`` where *inside* marks points whose
+    cell lies within the grid.  Points exactly on the top/right grid
+    border are pulled into the last cell (closed-window semantics).
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    cols = np.floor(xs).astype(np.int64)
+    rows = np.floor(ys).astype(np.int64)
+    # Closed upper border: a point at exactly x == width belongs to the
+    # last column (analogous for rows).
+    cols = np.where((xs == width) & (cols == width), width - 1, cols)
+    rows = np.where((ys == height) & (rows == height), height - 1, rows)
+    inside = (rows >= 0) & (rows < height) & (cols >= 0) & (cols < width)
+    return rows, cols, inside
+
+
+def rasterize_points(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    height: int,
+    width: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cells hit by each in-window point (out-of-window points dropped)."""
+    rows, cols, inside = points_to_cells(xs, ys, height, width)
+    return rows[inside], cols[inside]
+
+
+# ----------------------------------------------------------------------
+# Supercover (conservative) line rasterization
+# ----------------------------------------------------------------------
+def supercover_cells(
+    x0: float, y0: float, x1: float, y1: float,
+    height: int, width: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Every grid cell the closed segment touches, clipped to the grid.
+
+    Uses the crossing-parameter method: the segment is cut at every
+    vertical and horizontal grid line it crosses; the cell between two
+    consecutive cuts is identified by the midpoint of that piece.  This
+    covers all touched cells, including corner touches — conservative
+    by construction.
+    """
+    ts = [0.0, 1.0]
+    dx = x1 - x0
+    dy = y1 - y0
+
+    if dx != 0.0:
+        first = math.ceil(min(x0, x1))
+        last = math.floor(max(x0, x1))
+        if first <= last:
+            grid_x = np.arange(first, last + 1, dtype=np.float64)
+            ts_x = (grid_x - x0) / dx
+            ts.extend(ts_x.tolist())
+    if dy != 0.0:
+        first = math.ceil(min(y0, y1))
+        last = math.floor(max(y0, y1))
+        if first <= last:
+            grid_y = np.arange(first, last + 1, dtype=np.float64)
+            ts_y = (grid_y - y0) / dy
+            ts.extend(ts_y.tolist())
+
+    t = np.unique(np.clip(np.asarray(ts, dtype=np.float64), 0.0, 1.0))
+    if len(t) < 2:
+        t = np.array([0.0, 1.0])
+    mid = (t[:-1] + t[1:]) / 2.0
+    mx = x0 + mid * dx
+    my = y0 + mid * dy
+    cols = np.floor(mx).astype(np.int64)
+    rows = np.floor(my).astype(np.int64)
+
+    # A cut exactly on a grid line belongs to both adjacent cells; the
+    # midpoint picks one.  Add the cells of the endpoints too so corner
+    # touches at t=0/1 are never missed.
+    end_cols = np.floor(np.array([x0, x1])).astype(np.int64)
+    end_rows = np.floor(np.array([y0, y1])).astype(np.int64)
+    cols = np.concatenate([cols, end_cols])
+    rows = np.concatenate([rows, end_rows])
+
+    keep = (rows >= 0) & (rows < height) & (cols >= 0) & (cols < width)
+    rows, cols = rows[keep], cols[keep]
+    if len(rows) == 0:
+        return rows, cols
+    flat = rows * width + cols
+    flat = np.unique(flat)
+    return flat // width, flat % width
+
+
+def rasterize_segments(
+    segments: np.ndarray,
+    height: int,
+    width: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Supercover-rasterize many segments.
+
+    *segments* is an ``(n, 4)`` array of ``(x0, y0, x1, y1)`` rows in
+    pixel space.  Returns deduplicated ``(rows, cols)`` covering every
+    touched cell.
+    """
+    segments = np.asarray(segments, dtype=np.float64)
+    if segments.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    all_rows: list[np.ndarray] = []
+    all_cols: list[np.ndarray] = []
+    for x0, y0, x1, y1 in segments:
+        r, c = supercover_cells(x0, y0, x1, y1, height, width)
+        all_rows.append(r)
+        all_cols.append(c)
+    rows = np.concatenate(all_rows)
+    cols = np.concatenate(all_cols)
+    if len(rows) == 0:
+        return rows, cols
+    flat = np.unique(rows * width + cols)
+    return flat // width, flat % width
+
+
+def ring_boundary_cells(
+    ring: np.ndarray, height: int, width: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Conservative boundary cells of a closed ring (pixel-space vertices)."""
+    ring = np.asarray(ring, dtype=np.float64)
+    closed = np.concatenate([ring, ring[:1]])
+    segments = np.concatenate([closed[:-1], closed[1:]], axis=1)
+    return rasterize_segments(segments, height, width)
+
+
+# ----------------------------------------------------------------------
+# Triangle rasterization (edge functions)
+# ----------------------------------------------------------------------
+def rasterize_triangle(
+    ax: float, ay: float, bx: float, by: float, cx: float, cy: float,
+    height: int, width: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cells whose centers lie inside triangle ``abc`` (either winding).
+
+    Uses half-plane edge functions evaluated on the triangle's bounding
+    subgrid, the standard GPU rasterization rule with center sampling.
+    Boundary-center cells are included (top-left tie-breaking is not
+    needed for our single-pass fills).
+    """
+    r0 = max(int(math.floor(min(ay, by, cy))), 0)
+    r1 = min(int(math.ceil(max(ay, by, cy))), height)
+    c0 = max(int(math.floor(min(ax, bx, cx))), 0)
+    c1 = min(int(math.ceil(max(ax, bx, cx))), width)
+    if r0 >= r1 or c0 >= c1:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+
+    ys = np.arange(r0, r1, dtype=np.float64) + 0.5
+    xs = np.arange(c0, c1, dtype=np.float64) + 0.5
+    px = xs[None, :]
+    py = ys[:, None]
+
+    def edge(x0: float, y0: float, x1: float, y1: float) -> np.ndarray:
+        return (x1 - x0) * (py - y0) - (y1 - y0) * (px - x0)
+
+    e0 = edge(ax, ay, bx, by)
+    e1 = edge(bx, by, cx, cy)
+    e2 = edge(cx, cy, ax, ay)
+    inside = ((e0 >= 0) & (e1 >= 0) & (e2 >= 0)) | (
+        (e0 <= 0) & (e1 <= 0) & (e2 <= 0)
+    )
+    rr, cc = np.nonzero(inside)
+    return rr + r0, cc + c0
+
+
+def rasterize_triangles(
+    triangles: np.ndarray, height: int, width: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Union of cells covered by many triangles ``(n, 6)`` (deduplicated)."""
+    triangles = np.asarray(triangles, dtype=np.float64)
+    if triangles.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    all_rows: list[np.ndarray] = []
+    all_cols: list[np.ndarray] = []
+    for ax, ay, bx, by, cx, cy in triangles:
+        r, c = rasterize_triangle(ax, ay, bx, by, cx, cy, height, width)
+        all_rows.append(r)
+        all_cols.append(c)
+    rows = np.concatenate(all_rows)
+    cols = np.concatenate(all_cols)
+    if len(rows) == 0:
+        return rows, cols
+    flat = np.unique(rows * width + cols)
+    return flat // width, flat % width
+
+
+def disk_mask(
+    cx: float, cy: float, radius: float, height: int, width: int
+) -> np.ndarray:
+    """Boolean mask of cells whose centers lie within a disk (pixel space)."""
+    ys = np.arange(height, dtype=np.float64) + 0.5
+    xs = np.arange(width, dtype=np.float64) + 0.5
+    dy2 = (ys[:, None] - cy) ** 2
+    dx2 = (xs[None, :] - cx) ** 2
+    return dx2 + dy2 <= radius * radius
+
+
+def halfspace_mask(
+    a: float, b: float, c: float, height: int, width: int
+) -> np.ndarray:
+    """Boolean mask of cells whose centers satisfy ``a*x + b*y + c < 0``."""
+    ys = np.arange(height, dtype=np.float64) + 0.5
+    xs = np.arange(width, dtype=np.float64) + 0.5
+    return a * xs[None, :] + b * ys[:, None] + c < 0.0

@@ -1,0 +1,103 @@
+"""Even-odd polygon fill over the pixel grid.
+
+Fills a polygon (shell plus holes) by computing, for every pixel
+center, the parity of ring-edge crossings of a rightward ray — the
+even-odd rule the OpenGL stencil trick implements in hardware.  The
+kernel is fully vectorized:
+
+1. For every (edge, pixel-row) pair, decide whether the edge crosses
+   the row's center line and at which x (``O(E x H)`` array work).
+2. Scatter ``+1`` into a per-row counter at the first pixel column
+   whose center lies at or right of the crossing, and track per-row
+   totals.
+3. A column-wise cumulative sum turns the counters into "crossings to
+   the left or at each center"; parity of (total - left) is the fill.
+
+Total cost ``O(E*H + H*W)`` — independent of polygon complexity per
+pixel, the property the paper's performance argument rests on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.gpu.device import DEFAULT_DEVICE, Device
+
+
+def parity_fill(
+    rings: Sequence[np.ndarray],
+    height: int,
+    width: int,
+    device: Device = DEFAULT_DEVICE,
+) -> np.ndarray:
+    """Boolean interior mask of a polygon given pixel-space rings.
+
+    *rings* is a sequence of ``(n_i, 2)`` vertex arrays (shell and
+    holes; winding is irrelevant under the even-odd rule).  A pixel is
+    interior when its center sees an odd number of crossings to its
+    right.
+    """
+    if height < 1 or width < 1:
+        raise ValueError("grid dimensions must be positive")
+
+    edges: list[np.ndarray] = []
+    for ring in rings:
+        ring = np.asarray(ring, dtype=np.float64)
+        if ring.ndim != 2 or ring.shape[1] != 2 or len(ring) < 3:
+            raise ValueError("each ring must be an (n>=3, 2) array")
+        closed = np.concatenate([ring, ring[:1]])
+        edges.append(
+            np.concatenate([closed[:-1], closed[1:]], axis=1)
+        )
+    if not edges:
+        return np.zeros((height, width), dtype=bool)
+    e = np.concatenate(edges)  # (E, 4): x0, y0, x1, y1
+    x0, y0, x1, y1 = e[:, 0], e[:, 1], e[:, 2], e[:, 3]
+
+    out = np.zeros((height, width), dtype=bool)
+
+    def fill_rows(rows: slice) -> None:
+        yc = np.arange(rows.start, rows.stop, dtype=np.float64) + 0.5
+        n_rows = rows.stop - rows.start
+        # crosses[i, j]: edge i crosses the center line of local row j.
+        crosses = (y0[:, None] > yc[None, :]) != (y1[:, None] > yc[None, :])
+        if not crosses.any():
+            return
+        ei, rj = np.nonzero(crosses)
+        dy = y1[ei] - y0[ei]
+        x_cross = (x1[ei] - x0[ei]) * (yc[rj] - y0[ei]) / dy + x0[ei]
+        # First column whose center (c + 0.5) >= x_cross:
+        col = np.ceil(x_cross - 0.5).astype(np.int64)
+        col = np.maximum(col, 0)
+
+        counts = np.zeros((n_rows, width), dtype=np.int64)
+        totals = np.zeros(n_rows, dtype=np.int64)
+        in_grid = col < width
+        np.add.at(counts, (rj[in_grid], col[in_grid]), 1)
+        np.add.at(totals, rj, 1)
+        left_or_at = np.cumsum(counts, axis=1)
+        right = totals[:, None] - left_or_at
+        out[rows] = (right % 2) == 1
+
+    device.run_rows(height, fill_rows)
+    return out
+
+
+def parity_fill_multi(
+    polygons: Sequence[Sequence[np.ndarray]],
+    height: int,
+    width: int,
+    device: Device = DEFAULT_DEVICE,
+) -> np.ndarray:
+    """Stacked fill: per-pixel count of how many polygons cover it.
+
+    Each element of *polygons* is that polygon's ring list.  Returns an
+    int64 grid — the "number of 2-primitives incident on the pixel"
+    that the paper's polygon-polygon blend function ``⊕`` accumulates.
+    """
+    cover = np.zeros((height, width), dtype=np.int64)
+    for rings in polygons:
+        cover += parity_fill(rings, height, width, device=device)
+    return cover

@@ -1,0 +1,176 @@
+"""Textures: channelled pixel grids, the discrete canvas storage.
+
+The prototype in the paper stores a canvas as a texture whose color
+components carry the object-information triple (Section 5.1).  Here a
+texture is a float64 array of shape ``(height, width, channels)`` plus
+an explicit per-pixel validity mask per *channel group* — the paper's
+null value ``∅`` is represented by mask bits, never by sentinel values
+in the data channels.
+
+Pixel convention: row 0 is the *bottom* row (world ``ymin``); pixel
+``(r, c)`` covers the world rectangle
+``[xmin + c*dx, xmin + (c+1)*dx) x [ymin + r*dy, ymin + (r+1)*dy)``
+and its sample position is the pixel center.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+class Texture:
+    """A ``(height, width, channels)`` float64 image with validity planes.
+
+    Parameters
+    ----------
+    height, width:
+        Pixel grid dimensions (both >= 1).
+    channels:
+        Number of data channels.
+    groups:
+        Number of validity planes.  Each group owns
+        ``channels // groups`` consecutive channels; a pixel's data in a
+        group is meaningful only where the group's validity bit is set.
+    """
+
+    __slots__ = ("data", "valid")
+
+    def __init__(
+        self,
+        height: int,
+        width: int,
+        channels: int = 4,
+        groups: int = 1,
+    ) -> None:
+        if height < 1 or width < 1:
+            raise ValueError("texture dimensions must be positive")
+        if channels < 1 or groups < 1 or channels % groups != 0:
+            raise ValueError(
+                "channels must be a positive multiple of groups"
+            )
+        self.data = np.zeros((height, width, channels), dtype=np.float64)
+        self.valid = np.zeros((height, width, groups), dtype=bool)
+
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def width(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def channels(self) -> int:
+        return self.data.shape[2]
+
+    @property
+    def groups(self) -> int:
+        return self.valid.shape[2]
+
+    @property
+    def channels_per_group(self) -> int:
+        return self.channels // self.groups
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return self.data.shape  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def copy(self) -> "Texture":
+        out = Texture.__new__(Texture)
+        out.data = self.data.copy()
+        out.valid = self.valid.copy()
+        return out
+
+    @staticmethod
+    def like(other: "Texture") -> "Texture":
+        """An all-null texture with the same shape as *other*."""
+        return Texture(
+            other.height, other.width, other.channels, other.groups
+        )
+
+    def clear(self) -> None:
+        """Reset every pixel to null."""
+        self.data.fill(0.0)
+        self.valid.fill(False)
+
+    def group_slice(self, group: int) -> slice:
+        """Channel slice owned by validity *group*."""
+        if not 0 <= group < self.groups:
+            raise IndexError(f"group {group} out of range")
+        step = self.channels_per_group
+        return slice(group * step, (group + 1) * step)
+
+    def group_data(self, group: int) -> np.ndarray:
+        """View of the data channels owned by *group*."""
+        return self.data[:, :, self.group_slice(group)]
+
+    def group_valid(self, group: int) -> np.ndarray:
+        """View of the validity plane of *group*."""
+        return self.valid[:, :, group]
+
+    def any_valid(self) -> np.ndarray:
+        """Per-pixel mask: true where any group is valid (non-null pixel)."""
+        return self.valid.any(axis=2)
+
+    def nonnull_count(self) -> int:
+        """Number of non-null pixels."""
+        return int(self.any_valid().sum())
+
+    def iter_groups(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(data_view, valid_view)`` for each group."""
+        for g in range(self.groups):
+            yield self.group_data(g), self.group_valid(g)
+
+    # ------------------------------------------------------------------
+    def live_groups(self) -> list[int]:
+        """Groups with at least one valid pixel.
+
+        Lets gather-heavy callers skip fetching channels that are null
+        everywhere (e.g. a constraint canvas only populates the area
+        group) — the software analogue of fetching only the texture
+        components a shader actually samples.
+        """
+        return [g for g in range(self.groups) if self.valid[:, :, g].any()]
+
+    def gather(
+        self, rows: np.ndarray, cols: np.ndarray,
+        groups: list[int] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Texture fetch at integer pixel coordinates.
+
+        Returns ``(data, valid)`` arrays of shapes ``(n, channels)`` and
+        ``(n, groups)``.  Out-of-range coordinates fetch null.  When
+        *groups* is given, only those groups' data channels are fetched
+        (the rest stay zero); validity is always fetched in full.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        in_range = (
+            (rows >= 0) & (rows < self.height)
+            & (cols >= 0) & (cols < self.width)
+        )
+        safe_r = np.where(in_range, rows, 0)
+        safe_c = np.where(in_range, cols, 0)
+        if groups is None:
+            data = self.data[safe_r, safe_c, :]
+            data[~in_range] = 0.0
+        else:
+            n = len(rows)
+            data = np.zeros((n, self.channels), dtype=np.float64)
+            for g in groups:
+                sl = self.group_slice(g)
+                data[:, sl] = self.data[safe_r, safe_c, sl]
+            data[~in_range] = 0.0
+        valid = self.valid[safe_r, safe_c, :]
+        valid &= in_range[:, None]
+        return data, valid
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"<Texture {self.height}x{self.width}x{self.channels} "
+            f"groups={self.groups} nonnull={self.nonnull_count()}>"
+        )

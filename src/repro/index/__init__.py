@@ -1,0 +1,18 @@
+"""Spatial index substrate.
+
+Classical spatial indexes (Section 8 of the paper lists them as the
+standard machinery of spatial query processing).  In this reproduction
+they serve two roles:
+
+1. the *filtering stage* that the paper's evaluation assumes exists
+   upstream of the refinement step it measures, and
+2. index-accelerated baselines (:mod:`repro.baselines.join_baselines`)
+   against which the canvas-algebra plans are compared.
+"""
+
+from repro.index.grid import GridIndex
+from repro.index.rtree import RTree
+from repro.index.quadtree import QuadTree
+from repro.index.kdtree import KDTree
+
+__all__ = ["GridIndex", "KDTree", "QuadTree", "RTree"]

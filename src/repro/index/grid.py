@@ -1,0 +1,100 @@
+"""Uniform grid index over boxed items.
+
+The simplest filtering structure: items are binned by the grid cells
+their MBRs overlap.  Query cost is proportional to the number of cells
+a query box covers plus candidate count, which is excellent for the
+dense, skewed point sets the paper's workloads use.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+
+
+class GridIndex:
+    """A fixed-resolution uniform grid over a world window.
+
+    Parameters
+    ----------
+    window:
+        The world extent covered by the grid.  Items outside the window
+        are clamped into the border cells, so no item is ever lost.
+    nx, ny:
+        Number of cells along x and y.
+    """
+
+    def __init__(self, window: BoundingBox, nx: int = 64, ny: int = 64) -> None:
+        if nx < 1 or ny < 1:
+            raise ValueError("grid resolution must be at least 1x1")
+        self.window = window
+        self.nx = int(nx)
+        self.ny = int(ny)
+        self._cells: dict[tuple[int, int], list[tuple[Hashable, BoundingBox]]]
+        self._cells = defaultdict(list)
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    def _cell_range(self, box: BoundingBox) -> tuple[int, int, int, int]:
+        w = self.window
+        fx = self.nx / max(w.width, 1e-300)
+        fy = self.ny / max(w.height, 1e-300)
+        i0 = int(np.clip((box.xmin - w.xmin) * fx, 0, self.nx - 1))
+        i1 = int(np.clip((box.xmax - w.xmin) * fx, 0, self.nx - 1))
+        j0 = int(np.clip((box.ymin - w.ymin) * fy, 0, self.ny - 1))
+        j1 = int(np.clip((box.ymax - w.ymin) * fy, 0, self.ny - 1))
+        return i0, i1, j0, j1
+
+    def insert(self, item: Hashable, box: BoundingBox) -> None:
+        """Insert *item* with bounding box *box*."""
+        i0, i1, j0, j1 = self._cell_range(box)
+        for i in range(i0, i1 + 1):
+            for j in range(j0, j1 + 1):
+                self._cells[(i, j)].append((item, box))
+        self._count += 1
+
+    def bulk_load_points(
+        self, xs: np.ndarray, ys: np.ndarray, ids: Iterable[Hashable] | None = None
+    ) -> None:
+        """Vectorized insertion of a point set (degenerate boxes)."""
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        id_list = list(ids) if ids is not None else list(range(len(xs)))
+        if len(id_list) != len(xs):
+            raise ValueError("ids length must match point count")
+        w = self.window
+        fx = self.nx / max(w.width, 1e-300)
+        fy = self.ny / max(w.height, 1e-300)
+        ci = np.clip(((xs - w.xmin) * fx).astype(int), 0, self.nx - 1)
+        cj = np.clip(((ys - w.ymin) * fy).astype(int), 0, self.ny - 1)
+        for idx in range(len(xs)):
+            box = BoundingBox(xs[idx], ys[idx], xs[idx], ys[idx])
+            self._cells[(int(ci[idx]), int(cj[idx]))].append((id_list[idx], box))
+        self._count += len(xs)
+
+    # ------------------------------------------------------------------
+    def query(self, box: BoundingBox) -> list[Hashable]:
+        """All item ids whose MBR intersects *box* (deduplicated)."""
+        i0, i1, j0, j1 = self._cell_range(box)
+        seen: set[Hashable] = set()
+        out: list[Hashable] = []
+        for i in range(i0, i1 + 1):
+            for j in range(j0, j1 + 1):
+                for item, item_box in self._cells.get((i, j), ()):
+                    if item in seen:
+                        continue
+                    if item_box.intersects(box):
+                        seen.add(item)
+                        out.append(item)
+        return out
+
+    def query_point(self, x: float, y: float) -> list[Hashable]:
+        """All item ids whose MBR contains ``(x, y)``."""
+        return self.query(BoundingBox(x, y, x, y))
+
+    def __len__(self) -> int:
+        return self._count

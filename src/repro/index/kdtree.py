@@ -1,0 +1,134 @@
+"""A static 2D k-d tree over points.
+
+Backs the exact kNN baseline against which the paper's concentric-circle
+kNN plan (Section 4.4) is validated.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Hashable, Sequence
+
+import numpy as np
+
+
+class _KDNode:
+    __slots__ = ("x", "y", "item", "axis", "left", "right")
+
+    def __init__(
+        self, x: float, y: float, item: Hashable, axis: int
+    ) -> None:
+        self.x = x
+        self.y = y
+        self.item = item
+        self.axis = axis
+        self.left: "_KDNode | None" = None
+        self.right: "_KDNode | None" = None
+
+
+class KDTree:
+    """A balanced, build-once k-d tree for 2D nearest-neighbor queries."""
+
+    def __init__(
+        self,
+        points: Sequence[tuple[float, float]] | np.ndarray,
+        items: Sequence[Hashable] | None = None,
+    ) -> None:
+        coords = np.asarray(points, dtype=np.float64)
+        if coords.ndim != 2 or coords.shape[1] != 2:
+            raise ValueError("points must be an (n, 2) array-like")
+        ids: list[Hashable] = (
+            list(items) if items is not None else list(range(len(coords)))
+        )
+        if len(ids) != len(coords):
+            raise ValueError("items length must match point count")
+        self._size = len(coords)
+        records = [
+            (float(coords[i, 0]), float(coords[i, 1]), ids[i])
+            for i in range(len(coords))
+        ]
+        self._root = self._build(records, axis=0)
+
+    def _build(
+        self, records: list[tuple[float, float, Hashable]], axis: int
+    ) -> _KDNode | None:
+        if not records:
+            return None
+        records.sort(key=lambda r: r[axis])
+        mid = len(records) // 2
+        x, y, item = records[mid]
+        node = _KDNode(x, y, item, axis)
+        next_axis = 1 - axis
+        node.left = self._build(records[:mid], next_axis)
+        node.right = self._build(records[mid + 1 :], next_axis)
+        return node
+
+    # ------------------------------------------------------------------
+    def nearest(self, x: float, y: float, k: int = 1) -> list[tuple[Hashable, float]]:
+        """The *k* nearest points to ``(x, y)`` as ``(item, distance)``.
+
+        Results are sorted by increasing distance; ties are broken
+        arbitrarily (the paper assumes total order via perturbation).
+        """
+        if self._root is None or k < 1:
+            return []
+        # Max-heap of (-distance, seq, item) keeps the k best so far.
+        best: list[tuple[float, int, Hashable]] = []
+        counter = 0
+
+        def visit(node: _KDNode | None) -> None:
+            nonlocal counter
+            if node is None:
+                return
+            d = math.hypot(node.x - x, node.y - y)
+            counter += 1
+            if len(best) < k:
+                heapq.heappush(best, (-d, counter, node.item))
+            elif d < -best[0][0]:
+                heapq.heapreplace(best, (-d, counter, node.item))
+            coord, target = (
+                (node.x, x) if node.axis == 0 else (node.y, y)
+            )
+            near, far = (
+                (node.left, node.right)
+                if target <= coord
+                else (node.right, node.left)
+            )
+            visit(near)
+            plane_dist = abs(target - coord)
+            if len(best) < k or plane_dist < -best[0][0]:
+                visit(far)
+
+        visit(self._root)
+        ordered = sorted(best, key=lambda t: -t[0])
+        return [(item, -neg_d) for neg_d, _, item in ordered]
+
+    def within_radius(
+        self, x: float, y: float, radius: float
+    ) -> list[tuple[Hashable, float]]:
+        """All points within *radius* of ``(x, y)`` as ``(item, distance)``."""
+        out: list[tuple[Hashable, float]] = []
+        if self._root is None or radius < 0:
+            return out
+
+        stack: list[_KDNode | None] = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            d = math.hypot(node.x - x, node.y - y)
+            if d <= radius:
+                out.append((node.item, d))
+            coord, target = (
+                (node.x, x) if node.axis == 0 else (node.y, y)
+            )
+            if target - radius <= coord:
+                stack.append(node.left)
+            if target + radius >= coord:
+                stack.append(node.right)
+        out.sort(key=lambda t: t[1])
+        return out
+
+    def __len__(self) -> int:
+        return self._size

@@ -1,0 +1,118 @@
+"""Point-region quadtree.
+
+A dynamic alternative to the STR R-tree for point data [Finkel &
+Bentley'74]; used by tests as an independent filtering oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.geometry.bbox import BoundingBox
+
+
+class _QuadNode:
+    __slots__ = ("box", "points", "children")
+
+    def __init__(self, box: BoundingBox) -> None:
+        self.box = box
+        self.points: list[tuple[float, float, Hashable]] | None = []
+        self.children: list["_QuadNode"] | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class QuadTree:
+    """A PR quadtree over 2D points with a fixed world window."""
+
+    def __init__(
+        self,
+        window: BoundingBox,
+        capacity: int = 32,
+        max_depth: int = 24,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("leaf capacity must be at least 1")
+        self.window = window
+        self.capacity = capacity
+        self.max_depth = max_depth
+        self._root = _QuadNode(window)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    def insert(self, x: float, y: float, item: Hashable) -> None:
+        """Insert a point; points outside the window raise ``ValueError``."""
+        if not self.window.contains_point(x, y):
+            raise ValueError(f"point ({x}, {y}) outside index window")
+        node = self._root
+        depth = 0
+        while not node.is_leaf:
+            node = self._child_for(node, x, y)
+            depth += 1
+        assert node.points is not None
+        node.points.append((x, y, item))
+        self._size += 1
+        if len(node.points) > self.capacity and depth < self.max_depth:
+            self._split(node)
+
+    def _child_for(self, node: _QuadNode, x: float, y: float) -> _QuadNode:
+        assert node.children is not None
+        cx, cy = node.box.center
+        index = (1 if x > cx else 0) | (2 if y > cy else 0)
+        return node.children[index]
+
+    def _split(self, node: _QuadNode) -> None:
+        b = node.box
+        cx, cy = b.center
+        node.children = [
+            _QuadNode(BoundingBox(b.xmin, b.ymin, cx, cy)),
+            _QuadNode(BoundingBox(cx, b.ymin, b.xmax, cy)),
+            _QuadNode(BoundingBox(b.xmin, cy, cx, b.ymax)),
+            _QuadNode(BoundingBox(cx, cy, b.xmax, b.ymax)),
+        ]
+        points = node.points or []
+        node.points = None
+        for x, y, item in points:
+            child = self._child_for(node, x, y)
+            assert child.points is not None
+            child.points.append((x, y, item))
+
+    # ------------------------------------------------------------------
+    def query(self, box: BoundingBox) -> list[Hashable]:
+        """Ids of all points falling inside *box* (boundary inclusive)."""
+        out: list[Hashable] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.box.intersects(box):
+                continue
+            if node.is_leaf:
+                assert node.points is not None
+                out.extend(
+                    item
+                    for x, y, item in node.points
+                    if box.contains_point(x, y)
+                )
+            else:
+                assert node.children is not None
+                stack.extend(node.children)
+        return out
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def depth(self) -> int:
+        """Maximum leaf depth currently in the tree."""
+        best = 0
+        stack = [(self._root, 0)]
+        while stack:
+            node, d = stack.pop()
+            if node.is_leaf:
+                best = max(best, d)
+            else:
+                assert node.children is not None
+                stack.extend((c, d + 1) for c in node.children)
+        return best

@@ -1,0 +1,214 @@
+"""R-tree with Sort-Tile-Recursive (STR) bulk loading.
+
+The R-tree [Guttman'84] is the reference index for the filtering stage
+of spatial selections and joins (Sections 1 and 8).  STR bulk loading
+produces well-packed leaves in O(n log n) without the complexity of
+dynamic splits, which is all the baselines here need — the data sets
+are loaded once and queried many times.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Hashable, Iterator, Sequence
+
+from repro.geometry.bbox import BoundingBox
+
+
+class _Node:
+    __slots__ = ("box", "children", "entries")
+
+    def __init__(
+        self,
+        box: BoundingBox,
+        children: list["_Node"] | None = None,
+        entries: list[tuple[Hashable, BoundingBox]] | None = None,
+    ) -> None:
+        self.box = box
+        self.children = children
+        self.entries = entries
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.entries is not None
+
+
+class RTree:
+    """A static, STR bulk-loaded R-tree over ``(item, BoundingBox)`` pairs."""
+
+    def __init__(
+        self,
+        items: Sequence[tuple[Hashable, BoundingBox]],
+        leaf_capacity: int = 16,
+        fanout: int = 16,
+    ) -> None:
+        if leaf_capacity < 2 or fanout < 2:
+            raise ValueError("leaf capacity and fanout must be at least 2")
+        self.leaf_capacity = leaf_capacity
+        self.fanout = fanout
+        self._size = len(items)
+        self._root = self._build(list(items)) if items else None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self, items: list[tuple[Hashable, BoundingBox]]) -> _Node:
+        leaves = self._str_pack_leaves(items)
+        level: list[_Node] = leaves
+        while len(level) > 1:
+            level = self._str_pack_nodes(level)
+        return level[0]
+
+    def _str_pack_leaves(
+        self, items: list[tuple[Hashable, BoundingBox]]
+    ) -> list[_Node]:
+        n = len(items)
+        cap = self.leaf_capacity
+        n_leaves = math.ceil(n / cap)
+        n_slices = math.ceil(math.sqrt(n_leaves))
+        items.sort(key=lambda it: it[1].center[0])
+        slice_size = math.ceil(n / n_slices)
+        leaves: list[_Node] = []
+        for s in range(0, n, slice_size):
+            strip = items[s : s + slice_size]
+            strip.sort(key=lambda it: it[1].center[1])
+            for k in range(0, len(strip), cap):
+                chunk = strip[k : k + cap]
+                box = BoundingBox.union_all([b for _, b in chunk])
+                leaves.append(_Node(box, entries=chunk))
+        return leaves
+
+    def _str_pack_nodes(self, nodes: list[_Node]) -> list[_Node]:
+        n = len(nodes)
+        cap = self.fanout
+        n_parents = math.ceil(n / cap)
+        n_slices = math.ceil(math.sqrt(n_parents))
+        nodes.sort(key=lambda nd: nd.box.center[0])
+        slice_size = math.ceil(n / n_slices)
+        parents: list[_Node] = []
+        for s in range(0, n, slice_size):
+            strip = nodes[s : s + slice_size]
+            strip.sort(key=lambda nd: nd.box.center[1])
+            for k in range(0, len(strip), cap):
+                chunk = strip[k : k + cap]
+                box = BoundingBox.union_all([nd.box for nd in chunk])
+                parents.append(_Node(box, children=chunk))
+        return parents
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, box: BoundingBox) -> list[Hashable]:
+        """Ids of all items whose MBR intersects *box*.
+
+        Subtrees whose MBR lies fully inside *box* are reported without
+        per-item tests — the standard containment fast path, which
+        keeps filtering cheap even for high-selectivity windows.
+        """
+        out: list[Hashable] = []
+        if self._root is None:
+            return out
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.box.intersects(box):
+                continue
+            if box.contains_box(node.box):
+                self._collect_all(node, out)
+                continue
+            if node.is_leaf:
+                assert node.entries is not None
+                out.extend(
+                    item for item, b in node.entries if b.intersects(box)
+                )
+            else:
+                assert node.children is not None
+                stack.extend(node.children)
+        return out
+
+    @staticmethod
+    def _collect_all(node: _Node, out: list[Hashable]) -> None:
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                assert current.entries is not None
+                out.extend(item for item, _ in current.entries)
+            else:
+                assert current.children is not None
+                stack.extend(current.children)
+
+    def query_point(self, x: float, y: float) -> list[Hashable]:
+        """Ids of all items whose MBR contains ``(x, y)``."""
+        return self.query(BoundingBox(x, y, x, y))
+
+    def nearest(
+        self,
+        x: float,
+        y: float,
+        k: int = 1,
+        distance: Callable[[Hashable], float] | None = None,
+    ) -> list[tuple[Hashable, float]]:
+        """The *k* items nearest to ``(x, y)`` with their distances.
+
+        By default the MBR distance is the item distance (exact for
+        point items).  Pass *distance* for exact geometry refinement;
+        MBR distance is still used as the (admissible) search bound.
+        """
+        if self._root is None or k < 1:
+            return []
+        import heapq
+
+        # Best-first search over nodes by MBR distance.
+        counter = 0
+        heap: list[tuple[float, int, _Node]] = [(0.0, counter, self._root)]
+        results: list[tuple[float, Hashable]] = []
+        while heap:
+            node_dist, _, node = heapq.heappop(heap)
+            if len(results) == k and node_dist > results[-1][0]:
+                break
+            if node.is_leaf:
+                assert node.entries is not None
+                for item, b in node.entries:
+                    d = b.distance_to_point(x, y)
+                    if distance is not None:
+                        d = distance(item)
+                    results.append((d, item))
+                results.sort(key=lambda t: t[0])
+                del results[k:]
+            else:
+                assert node.children is not None
+                for child in node.children:
+                    counter += 1
+                    heapq.heappush(
+                        heap,
+                        (child.box.distance_to_point(x, y), counter, child),
+                    )
+        return [(item, d) for d, item in results]
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Tree height (0 for an empty tree, 1 for a single leaf)."""
+        h = 0
+        node = self._root
+        while node is not None:
+            h += 1
+            node = None if node.is_leaf else node.children[0]  # type: ignore[index]
+        return h
+
+    def iter_leaf_boxes(self) -> Iterator[BoundingBox]:
+        """Yield every leaf MBR (useful for introspection and tests)."""
+        if self._root is None:
+            return
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield node.box
+            else:
+                assert node.children is not None
+                stack.extend(node.children)

@@ -1,0 +1,18 @@
+"""Relational interoperability (Section 7).
+
+The paper argues the canvas and the relational tuple are *duals*: the
+first element of every object-information tuple is the record id, so a
+canvas result can always switch back to its tuples, and a tuple's
+storage can link to its canvas.  This package provides:
+
+- :mod:`repro.relational.table` — a minimal columnar table with
+  predicates and projection;
+- :mod:`repro.relational.spatial_table` — a table with geometry
+  columns that creates canvases on demand and joins canvas-algebra
+  results back to rows via the id duality.
+"""
+
+from repro.relational.table import Column, Table
+from repro.relational.spatial_table import SpatialTable
+
+__all__ = ["Column", "SpatialTable", "Table"]

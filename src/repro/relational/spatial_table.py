@@ -1,0 +1,174 @@
+"""Spatial tables: relational tuples with canvas duality (Section 7).
+
+A :class:`SpatialTable` is a :class:`~repro.relational.table.Table`
+whose schema includes one or more geometry columns (Definition 3: "a
+spatial data set consists of one or more attributes of type geometric
+object").  Canvases are created on demand — exactly the strategy of the
+paper's prototype — and query results flow back as row selections via
+the id stored in ``v0``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import Geometry, Point, Polygon
+from repro.gpu.device import DEFAULT_DEVICE, Device
+from repro.core.canvas import Canvas, Resolution
+from repro.core.canvas_set import CanvasSet
+from repro.core.queries import (
+    SelectionResult,
+    polygonal_select_points,
+    polygonal_select_polygons,
+)
+from repro.relational.table import Table
+
+
+class SpatialTable(Table):
+    """A columnar table with declared geometry columns.
+
+    Geometry columns hold :class:`~repro.geometry.primitives.Geometry`
+    objects; point-only columns can also be declared as coordinate
+    column pairs for zero-copy canvas-set creation.
+    """
+
+    def __init__(
+        self,
+        columns: Mapping[str, Sequence[Any] | np.ndarray],
+        geometry_columns: Sequence[str] = ("geometry",),
+        row_ids: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(columns, row_ids=row_ids)
+        self.geometry_columns = list(geometry_columns)
+        for name in self.geometry_columns:
+            if name not in self.columns:
+                raise KeyError(f"geometry column {name!r} not in table")
+
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "SpatialTable":
+        """Row subsetting preserves spatiality (and geometry columns),
+        so relational and spatial verbs interleave freely (Section 7)."""
+        base = super().take(indices)
+        return SpatialTable(
+            {name: col.values for name, col in base.columns.items()},
+            geometry_columns=self.geometry_columns,
+            row_ids=base.row_ids,
+        )
+
+    # ------------------------------------------------------------------
+    def geometries(self, column: str | None = None) -> list[Geometry]:
+        """The geometry objects of one geometry column."""
+        name = column or self.geometry_columns[0]
+        if name not in self.geometry_columns:
+            raise KeyError(f"{name!r} is not a geometry column")
+        return list(self.column(name))
+
+    def geometry_bounds(self, column: str | None = None) -> BoundingBox:
+        """Union MBR of a geometry column."""
+        geoms = self.geometries(column)
+        if not geoms:
+            raise ValueError("empty geometry column")
+        return BoundingBox.union_all([g.bounds for g in geoms])
+
+    # ------------------------------------------------------------------
+    # Canvas duality
+    # ------------------------------------------------------------------
+    def to_canvas_set(self, column: str | None = None) -> CanvasSet:
+        """Per-record canvases for a *point* geometry column.
+
+        The sample keys are the table's row ids — the ``v0`` linkage of
+        Section 7.
+        """
+        geoms = self.geometries(column)
+        xs = np.empty(len(geoms), dtype=np.float64)
+        ys = np.empty(len(geoms), dtype=np.float64)
+        for i, g in enumerate(geoms):
+            if not isinstance(g, Point):
+                raise TypeError(
+                    "to_canvas_set requires a point geometry column; "
+                    f"row {i} holds {type(g).__name__}"
+                )
+            xs[i] = g.x
+            ys[i] = g.y
+        return CanvasSet.from_points(xs, ys, ids=self.row_ids)
+
+    def to_canvas(
+        self,
+        window: BoundingBox | None = None,
+        resolution: Resolution = 512,
+        column: str | None = None,
+        device: Device = DEFAULT_DEVICE,
+    ) -> Canvas:
+        """Render the whole geometry column into one dense canvas."""
+        geoms = self.geometries(column)
+        if window is None:
+            window = self.geometry_bounds(column).expand(
+                0.01 * max(self.geometry_bounds(column).width, 1e-12)
+            )
+        canvas = Canvas(window, resolution, device)
+        for rid, geom in zip(self.row_ids, geoms):
+            canvas.draw_geometry(geom, int(rid))
+        return canvas
+
+    def from_selection(self, result: SelectionResult) -> "SpatialTable":
+        """Rows named by a canvas-algebra result (tuple side of the dual)."""
+        sub = self.take_row_ids(result.ids)
+        return SpatialTable(
+            {name: col.values for name, col in sub.columns.items()},
+            geometry_columns=self.geometry_columns,
+            row_ids=sub.row_ids,
+        )
+
+    # ------------------------------------------------------------------
+    # SQL-like spatial verbs (the paper's example queries end-to-end)
+    # ------------------------------------------------------------------
+    def where_inside(
+        self,
+        query: Polygon,
+        column: str | None = None,
+        resolution: Resolution = 1024,
+        device: Device = DEFAULT_DEVICE,
+    ) -> "SpatialTable":
+        """``SELECT * FROM self WHERE <column> INSIDE query``.
+
+        Dispatches on the geometry type of the column: points run the
+        Figure 5 plan, polygons the Figure 6 plan — the "same operators,
+        different data" reuse the paper motivates with Figure 1.
+        """
+        geoms = self.geometries(column)
+        if not geoms:
+            return self._empty_like()
+        if isinstance(geoms[0], Point):
+            xs = np.array([g.x for g in geoms])  # type: ignore[union-attr]
+            ys = np.array([g.y for g in geoms])  # type: ignore[union-attr]
+            result = polygonal_select_points(
+                xs, ys, query, ids=self.row_ids,
+                resolution=resolution, device=device,
+            )
+        elif isinstance(geoms[0], Polygon):
+            result = polygonal_select_polygons(
+                [g for g in geoms if isinstance(g, Polygon)], query,
+                ids=self.row_ids.tolist(),
+                resolution=resolution, device=device,
+            )
+        else:
+            raise TypeError(
+                f"where_inside does not support {type(geoms[0]).__name__}"
+            )
+        return self.from_selection(result)
+
+    def _empty_like(self) -> "SpatialTable":
+        return SpatialTable(
+            {name: col.values[:0] for name, col in self.columns.items()},
+            geometry_columns=self.geometry_columns,
+            row_ids=self.row_ids[:0],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"<SpatialTable rows={self.n_rows} columns={self.column_names} "
+            f"geometry={self.geometry_columns}>"
+        )

@@ -1,0 +1,166 @@
+"""A minimal columnar relational table.
+
+Just enough of the relational model to demonstrate Section 7's duality:
+typed columns, row ids, selection by vectorized predicates, projection,
+and equi-joins on id columns.  NumPy arrays back numeric columns;
+object arrays back everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+
+class Column:
+    """A named, typed column."""
+
+    def __init__(self, name: str, values: Sequence[Any] | np.ndarray) -> None:
+        self.name = name
+        arr = np.asarray(values)
+        if arr.dtype == object or arr.dtype.kind in "US":
+            self.values = np.asarray(values, dtype=object)
+        else:
+            self.values = arr
+        if self.values.ndim != 1:
+            raise ValueError("columns must be one-dimensional")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def take(self, indices: np.ndarray) -> "Column":
+        return Column(self.name, self.values[indices])
+
+
+class Table:
+    """An immutable columnar table with an implicit row-id column.
+
+    Row ids are stable across selections: they always refer back to
+    positions in the original base table, which is what lets a canvas
+    result (carrying ids in ``v0``) rejoin its tuples.
+    """
+
+    def __init__(
+        self,
+        columns: Mapping[str, Sequence[Any] | np.ndarray],
+        row_ids: np.ndarray | None = None,
+    ) -> None:
+        self.columns: dict[str, Column] = {
+            name: Column(name, values) for name, values in columns.items()
+        }
+        lengths = {len(col) for col in self.columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"column lengths differ: {lengths}")
+        n = lengths.pop() if lengths else 0
+        self.row_ids = (
+            np.asarray(row_ids, dtype=np.int64)
+            if row_ids is not None
+            else np.arange(n, dtype=np.int64)
+        )
+        if len(self.row_ids) != n:
+            raise ValueError("row_ids length must match column length")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return len(self.row_ids)
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self.columns)
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def column(self, name: str) -> np.ndarray:
+        if name not in self.columns:
+            raise KeyError(f"no column {name!r}")
+        return self.columns[name].values
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    def row(self, position: int) -> dict[str, Any]:
+        """One row as a mapping (by position, not row id)."""
+        return {name: col.values[position] for name, col in self.columns.items()}
+
+    def iter_rows(self) -> Iterator[dict[str, Any]]:
+        for i in range(self.n_rows):
+            yield self.row(i)
+
+    # ------------------------------------------------------------------
+    # Relational operators
+    # ------------------------------------------------------------------
+    def select(self, predicate: Callable[["Table"], np.ndarray]) -> "Table":
+        """σ: rows where ``predicate(table)`` is true (vectorized)."""
+        keep = np.asarray(predicate(self), dtype=bool)
+        if keep.shape != (self.n_rows,):
+            raise ValueError("predicate must return one boolean per row")
+        indices = np.nonzero(keep)[0]
+        return self.take(indices)
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Rows at the given positions, preserving original row ids."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Table(
+            {name: col.values[indices] for name, col in self.columns.items()},
+            row_ids=self.row_ids[indices],
+        )
+
+    def take_row_ids(self, row_ids: np.ndarray) -> "Table":
+        """Rows whose *original* row id is in *row_ids* — the
+        canvas-to-tuple hop of Section 7."""
+        wanted = np.asarray(row_ids, dtype=np.int64)
+        mask = np.isin(self.row_ids, wanted)
+        return self.take(np.nonzero(mask)[0])
+
+    def project(self, names: Sequence[str]) -> "Table":
+        """π: keep only the named columns."""
+        missing = [n for n in names if n not in self.columns]
+        if missing:
+            raise KeyError(f"no such columns: {missing}")
+        return Table(
+            {n: self.columns[n].values for n in names}, row_ids=self.row_ids
+        )
+
+    def with_column(self, name: str, values: Sequence[Any] | np.ndarray) -> "Table":
+        """A copy with one column added or replaced."""
+        cols = {n: c.values for n, c in self.columns.items()}
+        cols[name] = np.asarray(values)
+        return Table(cols, row_ids=self.row_ids)
+
+    def equi_join(
+        self, other: "Table", left_on: str, right_on: str,
+        suffix: str = "_right",
+    ) -> "Table":
+        """Hash equi-join on two id-like columns."""
+        left_keys = self.column(left_on)
+        right_keys = other.column(right_on)
+        buckets: dict[Any, list[int]] = {}
+        for j, key in enumerate(right_keys):
+            buckets.setdefault(key, []).append(j)
+        li: list[int] = []
+        ri: list[int] = []
+        for i, key in enumerate(left_keys):
+            for j in buckets.get(key, ()):
+                li.append(i)
+                ri.append(j)
+        left_idx = np.asarray(li, dtype=np.int64)
+        right_idx = np.asarray(ri, dtype=np.int64)
+        cols: dict[str, np.ndarray] = {
+            name: col.values[left_idx] for name, col in self.columns.items()
+        }
+        for name, col in other.columns.items():
+            out_name = name if name not in cols else name + suffix
+            cols[out_name] = col.values[right_idx]
+        return Table(cols, row_ids=self.row_ids[left_idx])
+
+    def sort_by(self, name: str, descending: bool = False) -> "Table":
+        order = np.argsort(self.column(name), kind="stable")
+        if descending:
+            order = order[::-1]
+        return self.take(order)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"<Table rows={self.n_rows} columns={self.column_names}>"

@@ -1,0 +1,5 @@
+"""Shared utilities: timing harness and small statistics helpers."""
+
+from repro.utils.timing import Timer, benchmark_callable
+
+__all__ = ["Timer", "benchmark_callable"]

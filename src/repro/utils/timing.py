@@ -1,0 +1,73 @@
+"""Wall-clock timing helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class BenchResult:
+    """Repeated-measurement summary for one benchmark target."""
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    value: Any = None
+
+    @property
+    def best(self) -> float:
+        return min(self.times)
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.times)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.times)
+
+    def speedup_over(self, other: "BenchResult") -> float:
+        """``other.median / self.median`` — how much faster *self* is."""
+        if self.median == 0.0:
+            return float("inf")
+        return other.median / self.median
+
+
+def benchmark_callable(
+    name: str,
+    fn: Callable[[], Any],
+    repeats: int = 3,
+    warmup: int = 0,
+) -> BenchResult:
+    """Time *fn* a few times and keep its last return value."""
+    for _ in range(warmup):
+        fn()
+    result = BenchResult(name=name)
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        result.value = fn()
+        result.times.append(time.perf_counter() - start)
+    return result

@@ -1,0 +1,55 @@
+"""Tests for the parallel CPU baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu_parallel import parallel_cpu_select
+from repro.baselines.cpu_pip import cpu_select
+from repro.geometry.primitives import Polygon
+
+SQUARE = Polygon([(20, 20), (80, 20), (80, 80), (20, 80)])
+
+
+class TestFallbackPath:
+    def test_single_process_matches_scalar(self, uniform_cloud):
+        xs, ys = uniform_cloud
+        xs, ys = xs[:3000], ys[:3000]
+        got = parallel_cpu_select(xs, ys, SQUARE, processes=1)
+        expected = cpu_select(xs, ys, SQUARE)
+        assert got.tolist() == sorted(expected.tolist())
+
+    def test_empty_input(self):
+        got = parallel_cpu_select(
+            np.array([]), np.array([]), SQUARE, processes=1
+        )
+        assert got.tolist() == []
+
+    def test_single_polygon_arg_accepted(self):
+        got = parallel_cpu_select(
+            np.array([50.0]), np.array([50.0]), SQUARE, processes=1
+        )
+        assert got.tolist() == [0]
+
+
+class TestPoolPath:
+    def test_two_workers_match_scalar(self, uniform_cloud):
+        xs, ys = uniform_cloud
+        xs, ys = xs[:4000], ys[:4000]
+        got = parallel_cpu_select(xs, ys, SQUARE, processes=2)
+        expected = sorted(cpu_select(xs, ys, SQUARE).tolist())
+        assert got.tolist() == expected
+
+    def test_multi_polygon_modes(self, uniform_cloud):
+        xs, ys = uniform_cloud
+        xs, ys = xs[:2000], ys[:2000]
+        other = Polygon([(60, 60), (95, 60), (95, 95), (60, 95)])
+        any_result = parallel_cpu_select(
+            xs, ys, [SQUARE, other], mode="any", processes=2
+        )
+        all_result = parallel_cpu_select(
+            xs, ys, [SQUARE, other], mode="all", processes=2
+        )
+        assert len(all_result) <= len(any_result)
+        seq = parallel_cpu_select(xs, ys, [SQUARE, other], mode="any",
+                                  processes=1)
+        assert any_result.tolist() == seq.tolist()

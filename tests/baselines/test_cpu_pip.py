@@ -1,0 +1,85 @@
+"""Tests for the scalar CPU baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu_pip import (
+    cpu_select,
+    cpu_select_multi,
+    point_in_polygon_scalar,
+)
+from repro.geometry.predicates import points_in_polygon
+from repro.geometry.primitives import Polygon
+
+SQUARE = Polygon([(20, 20), (80, 20), (80, 80), (20, 80)])
+HOLED = Polygon(
+    [(10, 10), (90, 10), (90, 90), (10, 90)],
+    holes=[[(40, 40), (60, 40), (60, 60), (40, 60)]],
+)
+
+
+class TestScalarPip:
+    def test_inside_outside(self):
+        assert point_in_polygon_scalar(50, 50, SQUARE)
+        assert not point_in_polygon_scalar(5, 5, SQUARE)
+
+    def test_hole(self):
+        assert not point_in_polygon_scalar(50, 50, HOLED)
+        assert point_in_polygon_scalar(20, 20, HOLED)
+
+
+class TestCpuSelect:
+    def test_matches_vectorized(self, uniform_cloud):
+        xs, ys = uniform_cloud
+        xs, ys = xs[:2000], ys[:2000]
+        got = set(cpu_select(xs, ys, SQUARE).tolist())
+        expected = set(np.nonzero(points_in_polygon(xs, ys, SQUARE))[0].tolist())
+        assert got == expected
+
+    def test_with_holes(self, uniform_cloud):
+        xs, ys = uniform_cloud
+        xs, ys = xs[:2000], ys[:2000]
+        got = set(cpu_select(xs, ys, HOLED).tolist())
+        expected = set(np.nonzero(points_in_polygon(xs, ys, HOLED))[0].tolist())
+        assert got == expected
+
+    def test_empty_input(self):
+        assert cpu_select(np.array([]), np.array([]), SQUARE).tolist() == []
+
+
+class TestCpuSelectMulti:
+    POLYS = [
+        SQUARE,
+        Polygon([(60, 60), (95, 60), (95, 95), (60, 95)]),
+    ]
+
+    def test_disjunction(self, uniform_cloud):
+        xs, ys = uniform_cloud
+        xs, ys = xs[:2000], ys[:2000]
+        got = set(cpu_select_multi(xs, ys, self.POLYS, mode="any").tolist())
+        expected = set(
+            np.nonzero(
+                points_in_polygon(xs, ys, self.POLYS[0])
+                | points_in_polygon(xs, ys, self.POLYS[1])
+            )[0].tolist()
+        )
+        assert got == expected
+
+    def test_conjunction(self, uniform_cloud):
+        xs, ys = uniform_cloud
+        xs, ys = xs[:2000], ys[:2000]
+        got = set(cpu_select_multi(xs, ys, self.POLYS, mode="all").tolist())
+        expected = set(
+            np.nonzero(
+                points_in_polygon(xs, ys, self.POLYS[0])
+                & points_in_polygon(xs, ys, self.POLYS[1])
+            )[0].tolist()
+        )
+        assert got == expected
+
+    def test_single_polygon_equivalence(self, uniform_cloud):
+        xs, ys = uniform_cloud
+        xs, ys = xs[:500], ys[:500]
+        assert cpu_select_multi(xs, ys, [SQUARE]).tolist() == cpu_select(
+            xs, ys, SQUARE
+        ).tolist()

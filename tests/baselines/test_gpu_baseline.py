@@ -1,0 +1,75 @@
+"""Tests for the traditional-GPU (vectorized PIP) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gpu_baseline import (
+    gpu_baseline_select,
+    gpu_baseline_select_multi,
+)
+from repro.geometry.predicates import points_in_polygon
+from repro.geometry.primitives import Polygon
+
+SQUARE = Polygon([(20, 20), (80, 20), (80, 80), (20, 80)])
+OTHER = Polygon([(60, 60), (95, 60), (95, 95), (60, 95)])
+
+
+class TestSingle:
+    def test_matches_reference(self, uniform_cloud):
+        xs, ys = uniform_cloud
+        got = set(gpu_baseline_select(xs, ys, SQUARE).tolist())
+        expected = set(np.nonzero(points_in_polygon(xs, ys, SQUARE))[0].tolist())
+        assert got == expected
+
+    def test_batching_equivalence(self, uniform_cloud):
+        xs, ys = uniform_cloud
+        whole = gpu_baseline_select(xs, ys, SQUARE, batch=10**9)
+        chunked = gpu_baseline_select(xs, ys, SQUARE, batch=1000)
+        assert whole.tolist() == chunked.tolist()
+
+    def test_empty_input(self):
+        assert gpu_baseline_select(
+            np.array([]), np.array([]), SQUARE
+        ).tolist() == []
+
+
+class TestMulti:
+    def test_disjunction(self, uniform_cloud):
+        xs, ys = uniform_cloud
+        got = set(
+            gpu_baseline_select_multi(xs, ys, [SQUARE, OTHER], mode="any")
+            .tolist()
+        )
+        expected = set(
+            np.nonzero(
+                points_in_polygon(xs, ys, SQUARE)
+                | points_in_polygon(xs, ys, OTHER)
+            )[0].tolist()
+        )
+        assert got == expected
+
+    def test_conjunction(self, uniform_cloud):
+        xs, ys = uniform_cloud
+        got = set(
+            gpu_baseline_select_multi(xs, ys, [SQUARE, OTHER], mode="all")
+            .tolist()
+        )
+        expected = set(
+            np.nonzero(
+                points_in_polygon(xs, ys, SQUARE)
+                & points_in_polygon(xs, ys, OTHER)
+            )[0].tolist()
+        )
+        assert got == expected
+
+    def test_no_polygons(self, uniform_cloud):
+        xs, ys = uniform_cloud
+        assert gpu_baseline_select_multi(xs, ys, []).tolist() == []
+
+    def test_batched_multi(self, uniform_cloud):
+        xs, ys = uniform_cloud
+        whole = gpu_baseline_select_multi(xs, ys, [SQUARE, OTHER])
+        chunked = gpu_baseline_select_multi(
+            xs, ys, [SQUARE, OTHER], batch=777
+        )
+        assert whole.tolist() == chunked.tolist()

@@ -1,0 +1,98 @@
+"""Tests for join-then-aggregate baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.join_baselines import (
+    indexed_join_aggregate,
+    nested_loop_join,
+    nested_loop_join_aggregate,
+    rtree_filter_candidates,
+)
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.predicates import points_in_polygon
+from repro.geometry.primitives import Polygon
+
+POLYS = [
+    Polygon([(10, 10), (40, 10), (40, 40), (10, 40)]),
+    Polygon([(30, 30), (70, 30), (70, 70), (30, 70)]),  # overlaps first
+]
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(81)
+    return (
+        rng.uniform(0, 100, 4000),
+        rng.uniform(0, 100, 4000),
+        rng.uniform(0, 10, 4000),
+    )
+
+
+class TestNestedLoopJoin:
+    def test_pairs_match_reference(self, cloud):
+        xs, ys, _ = cloud
+        pairs = nested_loop_join(xs, ys, POLYS)
+        truth = sorted(
+            (int(i), pid)
+            for pid, poly in enumerate(POLYS)
+            for i in np.nonzero(points_in_polygon(xs, ys, poly))[0]
+        )
+        assert pairs == truth
+
+    def test_custom_ids(self):
+        pairs = nested_loop_join(
+            np.array([20.0]), np.array([20.0]), POLYS, polygon_ids=[7, 8]
+        )
+        assert pairs == [(0, 7)]
+
+
+class TestJoinAggregates:
+    @pytest.mark.parametrize("aggregate", ["count", "sum", "avg", "min", "max"])
+    def test_nested_loop_aggregates(self, cloud, aggregate):
+        xs, ys, values = cloud
+        result = nested_loop_join_aggregate(
+            xs, ys, POLYS, values=values, aggregate=aggregate
+        )
+        for pid, poly in enumerate(POLYS):
+            inside = points_in_polygon(xs, ys, poly)
+            sel = values[inside]
+            expected = {
+                "count": float(inside.sum()),
+                "sum": float(sel.sum()),
+                "avg": float(sel.mean()),
+                "min": float(sel.min()),
+                "max": float(sel.max()),
+            }[aggregate]
+            assert result[pid] == pytest.approx(expected)
+
+    def test_indexed_matches_nested_loop(self, cloud):
+        xs, ys, values = cloud
+        a = nested_loop_join_aggregate(xs, ys, POLYS, values=values,
+                                       aggregate="sum")
+        b = indexed_join_aggregate(xs, ys, POLYS, values=values,
+                                   aggregate="sum")
+        for pid in a:
+            assert a[pid] == pytest.approx(b[pid])
+
+    def test_indexed_empty_polygon(self, cloud):
+        xs, ys, _ = cloud
+        far = Polygon([(500, 500), (510, 500), (510, 510), (500, 510)])
+        result = indexed_join_aggregate(xs, ys, [far], aggregate="count")
+        assert result[0] == 0.0
+
+    def test_unknown_aggregate_raises(self, cloud):
+        xs, ys, _ = cloud
+        with pytest.raises(ValueError):
+            nested_loop_join_aggregate(xs, ys, POLYS, aggregate="median")
+
+
+class TestRtreeFilter:
+    def test_filter_matches_brute_force(self, cloud):
+        xs, ys, _ = cloud
+        box = BoundingBox(25, 25, 60, 75)
+        got = rtree_filter_candidates(xs, ys, box)
+        expected = np.nonzero(
+            (xs >= 25) & (xs <= 60) & (ys >= 25) & (ys <= 75)
+        )[0]
+        assert got.tolist() == sorted(expected.tolist())

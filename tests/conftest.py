@@ -1,0 +1,58 @@
+"""Shared fixtures: deterministic point clouds, polygons and windows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import Polygon
+from repro.data.polygons import hand_drawn_polygon
+from repro.data.taxi import generate_taxi_trips
+
+
+@pytest.fixture(scope="session")
+def unit_window() -> BoundingBox:
+    return BoundingBox(0.0, 0.0, 100.0, 100.0)
+
+
+@pytest.fixture(scope="session")
+def uniform_cloud(unit_window) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(42)
+    n = 20_000
+    return (
+        rng.uniform(unit_window.xmin, unit_window.xmax, n),
+        rng.uniform(unit_window.ymin, unit_window.ymax, n),
+    )
+
+
+@pytest.fixture(scope="session")
+def concave_polygon() -> Polygon:
+    """A concave pentagon used across selection tests."""
+    return Polygon([(20, 20), (60, 25), (70, 60), (40, 80), (15, 55), (35, 45)])
+
+
+@pytest.fixture(scope="session")
+def holed_polygon() -> Polygon:
+    """A square with a square hole."""
+    return Polygon(
+        [(10, 10), (90, 10), (90, 90), (10, 90)],
+        holes=[[(40, 40), (60, 40), (60, 60), (40, 60)]],
+    )
+
+
+@pytest.fixture(scope="session")
+def star_polygons() -> list[Polygon]:
+    """Five hand-drawn-like polygons of varying complexity."""
+    return [
+        hand_drawn_polygon(
+            n_vertices=8 + 8 * i, irregularity=0.1 + 0.15 * i,
+            seed=i, center=(50, 50), radius=35,
+        )
+        for i in range(5)
+    ]
+
+
+@pytest.fixture(scope="session")
+def taxi_trips():
+    return generate_taxi_trips(10_000, seed=11)

@@ -1,0 +1,106 @@
+"""Hybrid boundary refinement (Section 5.1) (A2)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import Polygon
+from repro.core import algebra
+from repro.core.accuracy import exact_candidate_mask, refine_point_samples
+from repro.core.blendfuncs import PIP_MERGE
+from repro.core.canvas import Canvas
+from repro.core.canvas_set import CanvasSet
+from repro.core.masks import mask_point_in_any_polygon
+
+WINDOW = BoundingBox(0.0, 0.0, 100.0, 100.0)
+SQUARE = Polygon([(20.0, 20.0), (80.0, 20.0), (80.0, 80.0), (20.0, 80.0)])
+
+
+def _masked_candidates(xs, ys, polygon, resolution):
+    constraint = Canvas.from_polygon(polygon, WINDOW, resolution=resolution)
+    cs = CanvasSet.from_points(np.asarray(xs, float), np.asarray(ys, float))
+    blended = algebra.blend(cs, constraint, PIP_MERGE)
+    return algebra.mask(blended, mask_point_in_any_polygon(1.0))
+
+
+class TestRefinement:
+    def test_false_positives_on_boundary_removed(self):
+        # At a coarse resolution, a point just outside the polygon's
+        # edge shares a pixel with the boundary and passes the raster
+        # mask; refinement must remove it.
+        xs = [19.2, 50.0]
+        ys = [50.0, 50.0]
+        candidates = _masked_candidates(xs, ys, SQUARE, resolution=32)
+        assert candidates.n_samples == 2  # both pass the raster stage
+        refined, n_tests = refine_point_samples(candidates, [SQUARE])
+        assert refined.keys.tolist() == [1]
+        assert n_tests >= 1
+
+    def test_interior_points_never_tested(self):
+        xs = [50.0, 51.0, 52.0]
+        ys = [50.0, 51.0, 52.0]
+        candidates = _masked_candidates(xs, ys, SQUARE, resolution=512)
+        refined, n_tests = refine_point_samples(candidates, [SQUARE])
+        assert n_tests == 0
+        assert refined.n_samples == 3
+
+    def test_empty_input(self):
+        refined, n_tests = refine_point_samples(CanvasSet.empty(), [SQUARE])
+        assert refined.is_empty() and n_tests == 0
+
+    def test_polygons_default_to_hybrid_index(self):
+        xs = [19.2]
+        ys = [50.0]
+        candidates = _masked_candidates(xs, ys, SQUARE, resolution=32)
+        # No explicit polygon list: the hybrid index supplies it.
+        refined, n_tests = refine_point_samples(candidates)
+        assert refined.is_empty()
+        assert n_tests == 1
+
+    def test_min_containing_conjunction(self):
+        other = Polygon([(40.0, 20.0), (95.0, 20.0), (95.0, 80.0), (40.0, 80.0)])
+        # Boundary point of SQUARE that is inside `other` only.
+        xs = [81.0]
+        ys = [50.0]
+        candidates = _masked_candidates(xs, ys, SQUARE, resolution=16)
+        if candidates.n_samples:
+            refined, _ = refine_point_samples(
+                candidates, [SQUARE, other], min_containing=2
+            )
+            assert refined.is_empty()
+
+
+class TestCandidateSplit:
+    def test_split_masks_partition(self):
+        xs = np.linspace(15, 85, 40)
+        ys = np.full(40, 50.0)
+        candidates = _masked_candidates(xs, ys, SQUARE, resolution=64)
+        certain, uncertain = exact_candidate_mask(candidates)
+        assert (certain ^ uncertain).all()
+        assert certain.sum() + uncertain.sum() == candidates.n_samples
+
+
+class TestResolutionInvariance:
+    @pytest.mark.parametrize("resolution", [16, 64, 256, 1024])
+    def test_exact_at_every_resolution(self, resolution):
+        rng = np.random.default_rng(71)
+        xs = rng.uniform(0, 100, 3000)
+        ys = rng.uniform(0, 100, 3000)
+        from repro.geometry.predicates import points_in_polygon
+
+        candidates = _masked_candidates(xs, ys, SQUARE, resolution=resolution)
+        refined, _ = refine_point_samples(candidates, [SQUARE])
+        truth = set(np.nonzero(points_in_polygon(xs, ys, SQUARE))[0].tolist())
+        assert set(refined.keys.tolist()) == truth
+
+    def test_coarser_resolution_needs_more_tests(self):
+        rng = np.random.default_rng(72)
+        xs = rng.uniform(0, 100, 5000)
+        ys = rng.uniform(0, 100, 5000)
+        tests_by_resolution = []
+        for resolution in (32, 128, 512):
+            candidates = _masked_candidates(xs, ys, SQUARE,
+                                            resolution=resolution)
+            _, n_tests = refine_point_samples(candidates, [SQUARE])
+            tests_by_resolution.append(n_tests)
+        assert tests_by_resolution[0] > tests_by_resolution[2]

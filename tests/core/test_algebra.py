@@ -1,0 +1,238 @@
+"""Tests for the fundamental operators: laws and closure."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import Polygon
+from repro.geometry.transforms import AffineTransform
+from repro.core import algebra
+from repro.core.blendfuncs import PIP_MERGE, POLY_MERGE
+from repro.core.canvas import Canvas
+from repro.core.canvas_set import CanvasSet
+from repro.core.masks import NotNull, mask_point_in_any_polygon
+from repro.core.objectinfo import (
+    DIM_AREA,
+    DIM_POINT,
+    FIELD_COUNT,
+    FIELD_ID,
+    channel,
+)
+
+WINDOW = BoundingBox(0.0, 0.0, 100.0, 100.0)
+SQUARE = Polygon([(20, 20), (80, 20), (80, 80), (20, 80)])
+
+
+def _point_canvas(xs, ys, **kwargs):
+    return Canvas.from_points(
+        np.asarray(xs, float), np.asarray(ys, float), WINDOW,
+        resolution=100, **kwargs,
+    )
+
+
+class TestGeometricTransform:
+    def test_affine_translation_dense(self):
+        canvas = _point_canvas([10.0], [10.0])
+        moved = algebra.geometric_transform(
+            canvas, AffineTransform.translation(30, 40)
+        )
+        assert isinstance(moved, Canvas)
+        _, valid = moved.sample(40, 50)
+        assert valid[DIM_POINT]
+        _, old = moved.sample(10, 10)
+        assert not old[DIM_POINT]
+
+    def test_affine_rotation_dense_polygon(self):
+        canvas = Canvas.from_polygon(SQUARE, WINDOW, resolution=100)
+        rotated = algebra.geometric_transform(
+            canvas, AffineTransform.rotation(np.pi / 2, center=(50, 50))
+        )
+        # The square is symmetric under this rotation: coverage holds.
+        _, valid = rotated.sample(50, 50)
+        assert valid[DIM_AREA]
+
+    def test_callable_gamma_dense(self):
+        canvas = _point_canvas([10.0], [10.0])
+        moved = algebra.geometric_transform(
+            canvas, lambda xs, ys: (xs + 50.0, ys)
+        )
+        _, valid = moved.sample(60, 10)
+        assert valid[DIM_POINT]
+
+    def test_sparse_positions_rewritten(self):
+        cs = CanvasSet.from_points(np.array([1.0]), np.array([2.0]))
+        out = algebra.geometric_transform(
+            cs, AffineTransform.translation(10, 20)
+        )
+        assert isinstance(out, CanvasSet)
+        assert (out.xs[0], out.ys[0]) == (11.0, 22.0)
+
+    def test_value_gamma_groups_by_id(self):
+        """γc(s) = (s[2][0], 0) groups samples by their polygon id."""
+        cs = CanvasSet.from_points(
+            np.array([1.0, 2.0, 3.0]), np.array([1.0, 1.0, 1.0])
+        )
+        # Stamp area ids 5, 5, 7 on the three samples.
+        cs.data[:, channel(DIM_AREA, FIELD_ID)] = [5.0, 5.0, 7.0]
+        cs.valid[:, DIM_AREA] = True
+
+        def gamma(data, valid):
+            return data[:, channel(DIM_AREA, FIELD_ID)] + 0.5, np.full(3, 0.5)
+
+        moved = algebra.geometric_transform_by_value(cs, gamma)
+        assert isinstance(moved, CanvasSet)
+        assert moved.xs.tolist() == [5.5, 5.5, 7.5]
+
+
+class TestValueTransform:
+    def test_dense_fragment_pass(self):
+        canvas = _point_canvas([10.0], [10.0])
+
+        def bump_count(xs, ys, data, valid):
+            out = data.copy()
+            out[..., channel(DIM_POINT, FIELD_COUNT)] += 1.0
+            return out, valid
+
+        out = algebra.value_transform(canvas, bump_count)
+        assert isinstance(out, Canvas)
+        data, _ = out.sample(10, 10)
+        assert data[channel(DIM_POINT, FIELD_COUNT)] == 2.0
+
+    def test_dense_receives_world_coordinates(self):
+        canvas = Canvas(WINDOW, resolution=10)
+        seen = {}
+
+        def probe(xs, ys, data, valid):
+            seen["x_range"] = (float(xs.min()), float(xs.max()))
+            return data, valid
+
+        algebra.value_transform(canvas, probe)
+        assert seen["x_range"] == (5.0, 95.0)
+
+    def test_sparse(self):
+        cs = CanvasSet.from_points(np.array([1.0]), np.array([1.0]))
+
+        def nullify(xs, ys, data, valid):
+            return data, np.zeros_like(valid)
+
+        out = algebra.value_transform(cs, nullify)
+        assert isinstance(out, CanvasSet)
+        assert not out.valid.any()
+
+
+class TestMask:
+    def test_dense_mask_nulls_nonmatching(self):
+        canvas = _point_canvas([10.0, 50.0], [10.0, 50.0])
+        constraint = Canvas.from_polygon(SQUARE, WINDOW, resolution=100)
+        blended = algebra.blend(canvas, constraint, PIP_MERGE)
+        masked = algebra.mask(blended, mask_point_in_any_polygon(1.0))
+        assert isinstance(masked, Canvas)
+        _, v_in = masked.sample(50, 50)
+        _, v_out = masked.sample(10, 10)
+        assert v_in[DIM_POINT] and not v_out.any()
+
+    def test_mask_idempotent(self):
+        canvas = _point_canvas([50.0], [50.0])
+        pred = NotNull(DIM_POINT)
+        once = algebra.mask(canvas, pred)
+        twice = algebra.mask(once, pred)
+        assert isinstance(once, Canvas) and isinstance(twice, Canvas)
+        assert np.array_equal(once.texture.data, twice.texture.data)
+        assert np.array_equal(once.texture.valid, twice.texture.valid)
+
+    def test_sparse_mask_filters(self):
+        cs = CanvasSet.from_points(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+        cs.valid[1, DIM_POINT] = False
+        out = algebra.mask(cs, NotNull(DIM_POINT))
+        assert isinstance(out, CanvasSet)
+        assert out.n_samples == 1
+
+
+class TestBlend:
+    def test_dense_dense_requires_compatibility(self):
+        a = Canvas(WINDOW, resolution=32)
+        b = Canvas(WINDOW, resolution=64)
+        with pytest.raises(ValueError):
+            algebra.blend(a, b, PIP_MERGE)
+
+    def test_dense_dense_merges(self):
+        pts = _point_canvas([50.0], [50.0])
+        constraint = Canvas.from_polygon(SQUARE, WINDOW, resolution=100)
+        out = algebra.blend(pts, constraint, PIP_MERGE)
+        assert isinstance(out, Canvas)
+        data, valid = out.sample(50, 50)
+        assert valid[DIM_POINT] and valid[DIM_AREA]
+
+    def test_closure_output_types(self):
+        """Every operator yields a canvas (set) — the algebra is closed."""
+        pts_sparse = CanvasSet.from_points(np.array([50.0]), np.array([50.0]))
+        constraint = Canvas.from_polygon(SQUARE, WINDOW, resolution=64)
+        blended = algebra.blend(pts_sparse, constraint, PIP_MERGE)
+        masked = algebra.mask(blended, NotNull(DIM_POINT))
+        moved = algebra.geometric_transform(
+            masked, AffineTransform.translation(1, 1)
+        )
+        assert isinstance(moved, CanvasSet)
+
+    def test_multiway_blend_fold(self):
+        c1 = Canvas.from_polygon(SQUARE, WINDOW, resolution=64, record_id=1)
+        c2 = Canvas.from_polygon(
+            Polygon([(10, 10), (40, 10), (40, 40), (10, 40)]),
+            WINDOW, resolution=64, record_id=2,
+        )
+        out = algebra.multiway_blend([c1, c2], POLY_MERGE)
+        data, valid = out.sample(30, 30)  # overlap of both squares
+        assert data[channel(DIM_AREA, FIELD_COUNT)] == 2.0
+
+    def test_multiway_blend_empty_raises(self):
+        with pytest.raises(ValueError):
+            algebra.multiway_blend([], POLY_MERGE)
+
+
+class TestDissect:
+    def test_one_sample_per_nonnull_pixel(self):
+        canvas = _point_canvas([10.0, 50.0], [10.0, 50.0])
+        pieces = algebra.dissect(canvas)
+        assert pieces.n_samples == 2
+        assert pieces.valid[:, DIM_POINT].all()
+
+    def test_dissect_accumulate_roundtrip(self):
+        """D then B*[+] back into the same frame preserves totals."""
+        canvas = _point_canvas(
+            [10.0, 10.2, 50.0], [10.0, 10.2, 50.0],
+            values=np.array([1.0, 2.0, 4.0]),
+        )
+        pieces = algebra.dissect(canvas)
+        acc = pieces.accumulate_by_position(
+            WINDOW, (canvas.height, canvas.width)
+        )
+        total_before = canvas.field(DIM_POINT, FIELD_COUNT).sum()
+        total_after = acc.field(DIM_POINT, FIELD_COUNT).sum()
+        assert total_before == total_after == 3.0
+
+    def test_map_canvas_constant_gamma(self):
+        canvas = _point_canvas([10.0, 90.0], [10.0, 90.0])
+        aligned = algebra.map_canvas(
+            canvas, algebra.constant_gamma(50.0, 50.0)
+        )
+        assert isinstance(aligned, CanvasSet)
+        assert (aligned.xs == 50.0).all()
+        assert (aligned.ys == 50.0).all()
+
+
+class TestUtilityOperators:
+    def test_circ(self):
+        c = algebra.circ((50, 50), 10, WINDOW, resolution=64)
+        _, valid = c.sample(50, 50)
+        assert valid[DIM_AREA]
+
+    def test_rect(self):
+        c = algebra.rect((10, 10), (30, 30), WINDOW, resolution=64)
+        _, valid = c.sample(20, 20)
+        assert valid[DIM_AREA]
+
+    def test_halfspace(self):
+        c = algebra.halfspace(0, 1, -50, WINDOW, resolution=64)  # y < 50
+        _, v_low = c.sample(50, 20)
+        _, v_high = c.sample(50, 80)
+        assert v_low[DIM_AREA] and not v_high[DIM_AREA]

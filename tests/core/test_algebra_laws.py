@@ -1,0 +1,161 @@
+"""Property-based algebraic laws of the operators.
+
+Section 3's design claims, checked as properties: closure, the
+identity behaviour of the empty canvas under blending, associativity
+consequences for multiway blends, transform composition, and
+mask/blend commutation where it must hold.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import Polygon
+from repro.geometry.transforms import AffineTransform
+from repro.core import algebra
+from repro.core.blendfuncs import AGG_ADD, PIP_MERGE, POLY_MERGE
+from repro.core.canvas import Canvas
+from repro.core.canvas_set import CanvasSet
+from repro.core.masks import NotNull, mask_point_in_any_polygon
+from repro.core.objectinfo import DIM_AREA, DIM_POINT, FIELD_COUNT, channel
+
+WINDOW = BoundingBox(0.0, 0.0, 100.0, 100.0)
+
+coords = st.lists(
+    st.tuples(st.floats(1, 99), st.floats(1, 99)),
+    min_size=1, max_size=40,
+)
+
+
+def _points_canvas(pts):
+    xs = np.array([p[0] for p in pts])
+    ys = np.array([p[1] for p in pts])
+    return Canvas.from_points(xs, ys, WINDOW, resolution=64)
+
+
+def _square(x0, y0, size):
+    return Polygon([
+        (x0, y0), (x0 + size, y0), (x0 + size, y0 + size), (x0, y0 + size),
+    ])
+
+
+class TestEmptyCanvasIdentity:
+    @given(coords)
+    @settings(max_examples=30, deadline=None)
+    def test_blend_with_empty_preserves_nonnull(self, pts):
+        """Blending with the empty canvas adds no information."""
+        canvas = _points_canvas(pts)
+        empty = canvas.blank_like()
+        out = algebra.blend(canvas, empty, AGG_ADD)
+        assert isinstance(out, Canvas)
+        np.testing.assert_array_equal(
+            out.texture.valid, canvas.texture.valid
+        )
+        # The + blend zeroes the id field by definition (Section 4.3);
+        # counts and values must be untouched.
+        for ch in (channel(DIM_POINT, 1), channel(DIM_POINT, 2)):
+            np.testing.assert_allclose(
+                out.texture.data[:, :, ch], canvas.texture.data[:, :, ch]
+            )
+
+    @given(coords)
+    @settings(max_examples=30, deadline=None)
+    def test_mask_of_empty_is_empty(self, pts):
+        empty = _points_canvas(pts).blank_like()
+        out = algebra.mask(empty, NotNull(DIM_POINT))
+        assert isinstance(out, Canvas)
+        assert out.is_empty()
+
+
+class TestMultiwayBlendRegrouping:
+    @given(
+        st.lists(
+            st.tuples(st.floats(5, 60), st.floats(5, 60), st.floats(5, 30)),
+            min_size=2, max_size=5,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_associative_fold_groupings_agree(self, squares):
+        """⊕ is associative: left and right folds agree on counts
+        (Section 3.2's optimizer-freedom claim)."""
+        canvases = [
+            Canvas.from_polygon(_square(x, y, s), WINDOW, resolution=64,
+                                record_id=i + 1)
+            for i, (x, y, s) in enumerate(squares)
+        ]
+        left = algebra.multiway_blend(canvases, POLY_MERGE)
+        right = canvases[-1].copy()
+        for other in reversed(canvases[:-1]):
+            right = algebra.blend(right, other, POLY_MERGE)
+        cnt = channel(DIM_AREA, FIELD_COUNT)
+        np.testing.assert_allclose(
+            left.texture.data[:, :, cnt], right.texture.data[:, :, cnt]
+        )
+        np.testing.assert_array_equal(
+            left.texture.valid[:, :, DIM_AREA],
+            right.texture.valid[:, :, DIM_AREA],
+        )
+
+
+class TestTransformComposition:
+    @given(
+        st.floats(-20, 20), st.floats(-20, 20),
+        st.floats(-20, 20), st.floats(-20, 20),
+        coords,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sparse_translation_composes(self, dx1, dy1, dx2, dy2, pts):
+        """G[t2](G[t1](C)) == G[t2 ∘ t1](C) on canvas sets."""
+        xs = np.array([p[0] for p in pts])
+        ys = np.array([p[1] for p in pts])
+        cs = CanvasSet.from_points(xs, ys)
+        t1 = AffineTransform.translation(dx1, dy1)
+        t2 = AffineTransform.translation(dx2, dy2)
+        stepwise = algebra.geometric_transform(
+            algebra.geometric_transform(cs, t1), t2
+        )
+        composed = algebra.geometric_transform(cs, t2 @ t1)
+        assert isinstance(stepwise, CanvasSet)
+        assert isinstance(composed, CanvasSet)
+        np.testing.assert_allclose(stepwise.xs, composed.xs, atol=1e-9)
+        np.testing.assert_allclose(stepwise.ys, composed.ys, atol=1e-9)
+
+    @given(coords)
+    @settings(max_examples=20, deadline=None)
+    def test_identity_transform_is_noop_sparse(self, pts):
+        xs = np.array([p[0] for p in pts])
+        ys = np.array([p[1] for p in pts])
+        cs = CanvasSet.from_points(xs, ys)
+        out = algebra.geometric_transform(cs, AffineTransform.identity())
+        assert isinstance(out, CanvasSet)
+        np.testing.assert_array_equal(out.xs, cs.xs)
+        np.testing.assert_array_equal(out.ys, cs.ys)
+
+
+class TestMaskProperties:
+    @given(coords, st.floats(10, 50), st.floats(10, 50), st.floats(5, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_mask_monotone(self, pts, x0, y0, size):
+        """Masked output's non-null set is a subset of the input's."""
+        xs = np.array([p[0] for p in pts])
+        ys = np.array([p[1] for p in pts])
+        cs = CanvasSet.from_points(xs, ys)
+        constraint = Canvas.from_polygon(
+            _square(x0, y0, size), WINDOW, resolution=64
+        )
+        blended = algebra.blend(cs, constraint, PIP_MERGE)
+        masked = algebra.mask(blended, mask_point_in_any_polygon(1.0))
+        assert isinstance(blended, CanvasSet)
+        assert isinstance(masked, CanvasSet)
+        assert masked.n_samples <= blended.n_samples
+        assert set(masked.keys.tolist()) <= set(blended.keys.tolist())
+
+    @given(coords)
+    @settings(max_examples=20, deadline=None)
+    def test_dissect_preserves_sample_count(self, pts):
+        """D(C) yields exactly one member canvas per non-null point."""
+        canvas = _points_canvas(pts)
+        pieces = algebra.dissect(canvas)
+        assert pieces.n_samples == canvas.texture.nonnull_count()

@@ -1,0 +1,150 @@
+"""Tests for the paper's blend functions ⊙, ⊕ and +."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blendfuncs import AGG_ADD, PAPER_MODES, PIP_MERGE, POLY_MERGE
+from repro.core.objectinfo import (
+    DIM_AREA,
+    DIM_LINE,
+    DIM_POINT,
+    Info,
+    N_CHANNELS,
+    N_GROUPS,
+    channel,
+    triple_values,
+)
+
+
+def _sample(point=None, line=None, area=None):
+    values, groups = triple_values(point=point, line=line, area=area)
+    return values[None, :], groups[None, :]
+
+
+class TestPipMerge:
+    """The ⊙ of Section 4.1: s[0] from left, s[2] from right."""
+
+    def test_takes_point_from_left_area_from_right(self):
+        d1, v1 = _sample(point=Info(id=5, count=1, value=2.0))
+        d2, v2 = _sample(area=Info(id=1, count=1))
+        d, v = PIP_MERGE(d1, v1, d2, v2)
+        assert v[0, DIM_POINT] and v[0, DIM_AREA]
+        assert d[0, channel(DIM_POINT, 0)] == 5.0
+        assert d[0, channel(DIM_AREA, 0)] == 1.0
+
+    def test_line_slot_always_null(self):
+        d1, v1 = _sample(point=Info(id=1), line=Info(id=1))
+        d2, v2 = _sample(line=Info(id=2), area=Info(id=2))
+        _, v = PIP_MERGE(d1, v1, d2, v2)
+        assert not v[0, DIM_LINE]
+
+    def test_right_point_slot_ignored(self):
+        d1, v1 = _sample()
+        d2, v2 = _sample(point=Info(id=9), area=Info(id=2))
+        d, v = PIP_MERGE(d1, v1, d2, v2)
+        assert not v[0, DIM_POINT]
+        assert v[0, DIM_AREA]
+
+
+class TestPolyMerge:
+    """The ⊕ of Section 4.1: left id/value, counts added."""
+
+    def test_counts_add(self):
+        d1, v1 = _sample(area=Info(id=3, count=1, value=7.0))
+        d2, v2 = _sample(area=Info(id=1, count=1))
+        d, v = POLY_MERGE(d1, v1, d2, v2)
+        assert d[0, channel(DIM_AREA, 1)] == 2.0
+        assert d[0, channel(DIM_AREA, 0)] == 3.0  # left id kept
+        assert d[0, channel(DIM_AREA, 2)] == 7.0  # left value kept
+
+    def test_singleton_right_passes_through(self):
+        d1, v1 = _sample()
+        d2, v2 = _sample(area=Info(id=4, count=1))
+        d, v = POLY_MERGE(d1, v1, d2, v2)
+        assert v[0, DIM_AREA]
+        assert d[0, channel(DIM_AREA, 0)] == 4.0
+        assert d[0, channel(DIM_AREA, 1)] == 1.0
+
+    def test_null_both_stays_null(self):
+        d1, v1 = _sample()
+        d2, v2 = _sample()
+        _, v = POLY_MERGE(d1, v1, d2, v2)
+        assert not v.any()
+
+    @given(
+        st.integers(0, 5), st.integers(0, 5), st.integers(0, 5),
+        st.booleans(), st.booleans(), st.booleans(),
+    )
+    @settings(max_examples=60)
+    def test_associative_in_count(self, c1, c2, c3, a1, a2, a3):
+        def mk(count, on):
+            return _sample(area=Info(id=1, count=count) if on else None)
+
+        d1, v1 = mk(c1, a1)
+        d2, v2 = mk(c2, a2)
+        d3, v3 = mk(c3, a3)
+        left = POLY_MERGE(*POLY_MERGE(d1, v1, d2, v2), d3, v3)
+        right = POLY_MERGE(d1, v1, *POLY_MERGE(d2, v2, d3, v3))
+        cnt = channel(DIM_AREA, 1)
+        assert left[0][0, cnt] == right[0][0, cnt]
+        assert (left[1] == right[1]).all()
+
+
+class TestAggAdd:
+    """The + of Section 4.3: point count/value sums, right area slot."""
+
+    def test_counts_and_values_sum(self):
+        d1, v1 = _sample(point=Info(id=1, count=2, value=10.0))
+        d2, v2 = _sample(point=Info(id=2, count=3, value=5.0))
+        d, v = AGG_ADD(d1, v1, d2, v2)
+        assert d[0, channel(DIM_POINT, 1)] == 5.0
+        assert d[0, channel(DIM_POINT, 2)] == 15.0
+        assert d[0, channel(DIM_POINT, 0)] == 0.0  # id zeroed per paper
+
+    def test_area_slot_from_right(self):
+        d1, v1 = _sample(point=Info(id=1), area=Info(id=7, count=1))
+        d2, v2 = _sample(point=Info(id=2), area=Info(id=9, count=1))
+        d, v = AGG_ADD(d1, v1, d2, v2)
+        assert d[0, channel(DIM_AREA, 0)] == 9.0
+
+    def test_area_slot_survives_null_right(self):
+        d1, v1 = _sample(point=Info(id=1), area=Info(id=7, count=1))
+        d2, v2 = _sample(point=Info(id=2))
+        d, v = AGG_ADD(d1, v1, d2, v2)
+        assert v[0, DIM_AREA]
+        assert d[0, channel(DIM_AREA, 0)] == 7.0
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 4), st.floats(-10, 10)),
+                 min_size=2, max_size=6),
+    )
+    @settings(max_examples=40)
+    def test_fold_order_independent_for_sums(self, items):
+        """Summing point slots is fold-order independent (associativity
+        licenses the optimizer's regrouping, Section 3.2)."""
+        samples = [
+            _sample(point=Info(id=0, count=c, value=val))
+            for c, val in items
+        ]
+
+        def fold(seq):
+            d, v = seq[0]
+            for d2, v2 in seq[1:]:
+                d, v = AGG_ADD(d, v, d2, v2)
+            return d
+
+        forward = fold(samples)
+        backward = fold(samples[::-1])
+        cnt, val = channel(DIM_POINT, 1), channel(DIM_POINT, 2)
+        assert forward[0, cnt] == backward[0, cnt]
+        assert forward[0, val] == pytest.approx(backward[0, val])
+
+
+class TestRegistry:
+    def test_paper_modes_named(self):
+        assert set(PAPER_MODES) == {
+            "pip-merge", "line-merge", "poly-merge", "agg-add",
+        }
+        assert PAPER_MODES["poly-merge"].associative

@@ -1,0 +1,207 @@
+"""Tests for the dense canvas."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import (
+    GeometryCollection,
+    LineString,
+    Point,
+    Polygon,
+)
+from repro.gpu.device import Device
+from repro.core.canvas import Canvas
+from repro.core.objectinfo import (
+    DIM_AREA,
+    DIM_LINE,
+    DIM_POINT,
+    FIELD_COUNT,
+    FIELD_ID,
+    FIELD_VALUE,
+)
+
+WINDOW = BoundingBox(0.0, 0.0, 100.0, 100.0)
+
+
+class TestConstruction:
+    def test_empty_canvas_is_empty(self):
+        canvas = Canvas.empty(WINDOW, resolution=64)
+        assert canvas.is_empty()
+
+    def test_degenerate_window_raises(self):
+        with pytest.raises(ValueError):
+            Canvas(BoundingBox(0, 0, 0, 10), 64)
+
+    def test_resolution_int_respects_aspect(self):
+        canvas = Canvas(BoundingBox(0, 0, 100, 50), resolution=128)
+        assert canvas.width == 128
+        assert canvas.height == 64
+
+    def test_resolution_tuple(self):
+        canvas = Canvas(WINDOW, resolution=(32, 64))
+        assert (canvas.height, canvas.width) == (32, 64)
+
+
+class TestCoordinateMapping:
+    def test_world_pixel_roundtrip(self):
+        canvas = Canvas(WINDOW, resolution=100)
+        xs, ys = canvas.pixel_to_world(np.array([0]), np.array([0]))
+        assert (xs[0], ys[0]) == (0.5, 0.5)
+        px, py = canvas.world_to_pixel(xs, ys)
+        assert (px[0], py[0]) == (0.5, 0.5)
+
+    def test_pixel_center_grids_shape(self):
+        canvas = Canvas(WINDOW, resolution=(10, 20))
+        gx, gy = canvas.pixel_center_grids()
+        assert gx.shape == (10, 20) and gy.shape == (10, 20)
+        assert gx[0, 0] == canvas.window.xmin + 0.5 * canvas.dx
+
+
+class TestDrawPoints:
+    def test_accumulate_counts(self):
+        canvas = Canvas(WINDOW, resolution=10)
+        canvas.draw_points(
+            np.array([5.0, 5.0, 50.0]), np.array([5.0, 5.0, 50.0])
+        )
+        assert canvas.field(DIM_POINT, FIELD_COUNT)[0, 0] == 2.0
+        assert canvas.field(DIM_POINT, FIELD_COUNT)[5, 5] == 1.0
+
+    def test_values_summed(self):
+        canvas = Canvas(WINDOW, resolution=10)
+        canvas.draw_points(
+            np.array([5.0, 5.0]), np.array([5.0, 5.0]),
+            values=np.array([2.0, 3.0]),
+        )
+        assert canvas.field(DIM_POINT, FIELD_VALUE)[0, 0] == 5.0
+
+    def test_out_of_window_points_dropped(self):
+        canvas = Canvas(WINDOW, resolution=10)
+        canvas.draw_points(np.array([-5.0, 500.0]), np.array([5.0, 5.0]))
+        assert canvas.is_empty()
+
+    def test_sample_at_point(self):
+        canvas = Canvas(WINDOW, resolution=10)
+        canvas.draw_points(np.array([25.0]), np.array([35.0]),
+                           ids=np.array([42]))
+        data, valid = canvas.sample(25.0, 35.0)
+        assert valid[DIM_POINT]
+        assert data[0] == 42.0
+
+
+class TestDrawPolygon:
+    def test_interior_and_boundary(self):
+        canvas = Canvas(WINDOW, resolution=100)
+        poly = Polygon([(10, 10), (60, 10), (60, 60), (10, 60)])
+        canvas.draw_polygon(poly, record_id=7)
+        data, valid = canvas.sample(30, 30)
+        assert valid[DIM_AREA]
+        assert data[DIM_AREA * 3 + FIELD_ID] == 7.0
+        # The boundary ribbon is flagged.
+        px, py = canvas.world_to_pixel(np.array([10.0]), np.array([30.0]))
+        assert canvas.boundary[int(py[0]), int(px[0])]
+        # Hybrid index remembers the vector polygon.
+        assert canvas.geometries[7] is poly
+
+    def test_hole_is_null(self):
+        canvas = Canvas(WINDOW, resolution=200)
+        poly = Polygon(
+            [(10, 10), (90, 10), (90, 90), (10, 90)],
+            holes=[[(40, 40), (60, 40), (60, 60), (40, 60)]],
+        )
+        canvas.draw_polygon(poly, record_id=1)
+        _, valid_mid = canvas.sample(50, 50)
+        assert not valid_mid[DIM_AREA]
+        _, valid_ring = canvas.sample(20, 20)
+        assert valid_ring[DIM_AREA]
+
+    def test_accumulate_count_for_overlaps(self):
+        canvas = Canvas(WINDOW, resolution=100)
+        canvas.draw_polygon(
+            Polygon([(10, 10), (60, 10), (60, 60), (10, 60)]), 1,
+            accumulate_count=True,
+        )
+        canvas.draw_polygon(
+            Polygon([(30, 30), (80, 30), (80, 80), (30, 80)]), 2,
+            accumulate_count=True,
+        )
+        data, _ = canvas.sample(45, 45)  # overlap region
+        assert data[DIM_AREA * 3 + FIELD_COUNT] == 2.0
+        data, _ = canvas.sample(15, 15)  # only polygon 1
+        assert data[DIM_AREA * 3 + FIELD_COUNT] == 1.0
+
+
+class TestDrawLineAndCollection:
+    def test_linestring_conservative(self):
+        canvas = Canvas(WINDOW, resolution=50)
+        line = LineString([(5, 5), (95, 5)])
+        canvas.draw_linestring(line, record_id=3)
+        data, valid = canvas.sample(50, 5)
+        assert valid[DIM_LINE]
+        assert data[DIM_LINE * 3 + FIELD_ID] == 3.0
+
+    def test_figure3_heterogeneous_object(self):
+        """All primitives of one object share its id (Figure 3)."""
+        obj = GeometryCollection([
+            Polygon([(10, 10), (30, 10), (30, 30), (10, 30)]),
+            LineString([(30, 20), (60, 20)]),
+            Point(70, 20),
+        ])
+        canvas = Canvas(WINDOW, resolution=100)
+        canvas.draw_geometry(obj, record_id=9)
+        d_area, v_area = canvas.sample(20, 20)
+        d_line, v_line = canvas.sample(45, 20)
+        d_point, v_point = canvas.sample(70, 20)
+        assert v_area[DIM_AREA] and d_area[DIM_AREA * 3 + FIELD_ID] == 9.0
+        assert v_line[DIM_LINE] and d_line[DIM_LINE * 3 + FIELD_ID] == 9.0
+        assert v_point[DIM_POINT] and d_point[DIM_POINT * 3 + FIELD_ID] == 9.0
+
+
+class TestUtilityCanvases:
+    def test_circle_coverage(self):
+        canvas = Canvas.circle((50, 50), 20, WINDOW, resolution=200)
+        _, v_in = canvas.sample(50, 50)
+        _, v_out = canvas.sample(90, 90)
+        assert v_in[DIM_AREA] and not v_out[DIM_AREA]
+
+    def test_circle_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            Canvas.circle((0, 0), -1, WINDOW)
+
+    def test_rectangle(self):
+        canvas = Canvas.rectangle((20, 20), (60, 40), WINDOW, resolution=100)
+        _, v_in = canvas.sample(40, 30)
+        _, v_out = canvas.sample(40, 60)
+        assert v_in[DIM_AREA] and not v_out[DIM_AREA]
+
+    def test_rectangle_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Canvas.rectangle((1, 1), (1, 5), WINDOW)
+
+    def test_halfspace(self):
+        # x - 50 < 0: left half of the window.
+        canvas = Canvas.halfspace(1, 0, -50, WINDOW, resolution=100)
+        _, v_left = canvas.sample(20, 50)
+        _, v_right = canvas.sample(80, 50)
+        assert v_left[DIM_AREA] and not v_right[DIM_AREA]
+
+    def test_halfspace_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Canvas.halfspace(0, 0, 1, WINDOW)
+
+
+class TestCopying:
+    def test_copy_independent(self):
+        canvas = Canvas(WINDOW, resolution=16)
+        canvas.draw_points(np.array([5.0]), np.array([5.0]))
+        clone = canvas.copy()
+        clone.texture.clear()
+        assert not canvas.is_empty()
+
+    def test_blank_like_matches_frame(self):
+        canvas = Canvas(WINDOW, resolution=(16, 32),
+                        device=Device.integrated())
+        blank = canvas.blank_like()
+        assert blank.compatible_with(canvas)
+        assert blank.device == canvas.device
+        assert blank.is_empty()

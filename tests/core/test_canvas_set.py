@@ -1,0 +1,166 @@
+"""Tests for the sparse canvas-set representation."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import Polygon
+from repro.core.blendfuncs import PIP_MERGE, POLY_MERGE
+from repro.core.canvas import Canvas
+from repro.core.canvas_set import CanvasSet
+from repro.core.objectinfo import (
+    DIM_AREA,
+    DIM_POINT,
+    FIELD_COUNT,
+    FIELD_ID,
+    FIELD_VALUE,
+)
+
+WINDOW = BoundingBox(0.0, 0.0, 100.0, 100.0)
+
+
+class TestFromPoints:
+    def test_one_sample_per_record(self):
+        cs = CanvasSet.from_points(
+            np.array([1.0, 2.0]), np.array([3.0, 4.0])
+        )
+        assert cs.n_samples == 2 and cs.n_records == 2
+        assert cs.valid[:, DIM_POINT].all()
+        assert not cs.valid[:, DIM_AREA].any()
+
+    def test_ids_and_values(self):
+        cs = CanvasSet.from_points(
+            np.array([1.0]), np.array([2.0]),
+            ids=np.array([42]), values=np.array([3.5]),
+        )
+        assert cs.field(DIM_POINT, FIELD_ID)[0] == 42.0
+        assert cs.field(DIM_POINT, FIELD_VALUE)[0] == 3.5
+        assert cs.field(DIM_POINT, FIELD_COUNT)[0] == 1.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            CanvasSet.from_points(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_empty(self):
+        cs = CanvasSet.empty()
+        assert cs.is_empty()
+        assert cs.n_records == 0
+
+
+class TestFromPolygons:
+    def test_samples_cover_polygon(self):
+        frame = Canvas(WINDOW, resolution=100)
+        poly = Polygon([(10, 10), (40, 10), (40, 40), (10, 40)])
+        cs = CanvasSet.from_polygons([poly], frame, ids=[5])
+        assert cs.n_records == 1
+        assert (cs.keys == 5).all()
+        assert cs.valid[:, DIM_AREA].all()
+        # Roughly (30/1)^2 = 900 interior pixels at 1-unit pixels.
+        assert 800 <= cs.n_samples <= 1100
+        assert cs.boundary.any() and not cs.boundary.all()
+        assert cs.geometries[5] is poly
+
+    def test_empty_polygon_list(self):
+        assert CanvasSet.from_polygons([], Canvas(WINDOW, 10)).is_empty()
+
+
+class TestBlendGather:
+    def test_gather_inside_polygon(self):
+        constraint = Canvas.from_polygon(
+            Polygon([(20, 20), (80, 20), (80, 80), (20, 80)]),
+            WINDOW, resolution=100, record_id=1,
+        )
+        cs = CanvasSet.from_points(
+            np.array([50.0, 5.0]), np.array([50.0, 5.0])
+        )
+        out = cs.blend_with_canvas(constraint, PIP_MERGE)
+        assert out.valid[0, DIM_AREA]       # inside: area slot filled
+        assert not out.valid[1, DIM_AREA]   # outside: still null
+        assert out.valid[0, DIM_POINT]      # point slot preserved
+        assert out.field(DIM_AREA, FIELD_ID)[0] == 1.0
+
+    def test_out_of_window_point_gathers_null(self):
+        constraint = Canvas.from_polygon(
+            Polygon([(20, 20), (80, 20), (80, 80), (20, 80)]),
+            WINDOW, resolution=64,
+        )
+        cs = CanvasSet.from_points(np.array([500.0]), np.array([500.0]))
+        out = cs.blend_with_canvas(constraint, PIP_MERGE)
+        assert not out.valid[0, DIM_AREA]
+
+    def test_boundary_flag_propagates(self):
+        constraint = Canvas.from_polygon(
+            Polygon([(20, 20), (80, 20), (80, 80), (20, 80)]),
+            WINDOW, resolution=50,
+        )
+        cs = CanvasSet.from_points(np.array([20.0]), np.array([50.0]))
+        out = cs.blend_with_canvas(constraint, PIP_MERGE)
+        assert out.boundary[0]
+
+    def test_geometries_merged(self):
+        poly = Polygon([(20, 20), (80, 20), (80, 80), (20, 80)])
+        constraint = Canvas.from_polygon(poly, WINDOW, resolution=32,
+                                         record_id=3)
+        cs = CanvasSet.from_points(np.array([50.0]), np.array([50.0]))
+        out = cs.blend_with_canvas(constraint, PIP_MERGE)
+        assert out.geometries[3] is poly
+
+
+class TestTransforms:
+    def test_filter_rows(self):
+        cs = CanvasSet.from_points(
+            np.array([1.0, 2.0, 3.0]), np.array([1.0, 2.0, 3.0])
+        )
+        out = cs.filter_rows(np.array([True, False, True]))
+        assert out.n_samples == 2
+        assert out.keys.tolist() == [0, 2]
+
+    def test_transform_positions(self):
+        cs = CanvasSet.from_points(np.array([1.0]), np.array([2.0]))
+        out = cs.transform_positions(np.array([10.0]), np.array([20.0]))
+        assert (out.xs[0], out.ys[0]) == (10.0, 20.0)
+        # Original untouched (value semantics).
+        assert (cs.xs[0], cs.ys[0]) == (1.0, 2.0)
+
+    def test_map_values(self):
+        cs = CanvasSet.from_points(np.array([1.0]), np.array([2.0]),
+                                   values=np.array([5.0]))
+
+        def double_value(xs, ys, data, valid):
+            out = data.copy()
+            out[:, 2] *= 2.0
+            return out, valid
+
+        out = cs.map_values(double_value)
+        assert out.field(DIM_POINT, FIELD_VALUE)[0] == 10.0
+
+    def test_concat(self):
+        a = CanvasSet.from_points(np.array([1.0]), np.array([1.0]),
+                                  ids=np.array([0]))
+        b = CanvasSet.from_points(np.array([2.0]), np.array([2.0]),
+                                  ids=np.array([1]))
+        ab = a.concat(b)
+        assert ab.n_samples == 2
+        assert ab.keys.tolist() == [0, 1]
+
+
+class TestAccumulate:
+    def test_scatter_add_counts_and_values(self):
+        cs = CanvasSet.from_points(
+            np.array([0.5, 0.5, 2.5]), np.array([0.5, 0.5, 0.5]),
+            values=np.array([1.0, 2.0, 4.0]),
+        )
+        acc = cs.accumulate_by_position(
+            BoundingBox(0, 0, 4, 1), resolution=(1, 4)
+        )
+        counts = acc.field(DIM_POINT, FIELD_COUNT)[0]
+        values = acc.field(DIM_POINT, FIELD_VALUE)[0]
+        assert counts.tolist() == [2.0, 0.0, 1.0, 0.0]
+        assert values.tolist() == [3.0, 0.0, 4.0, 0.0]
+
+    def test_out_of_window_samples_dropped(self):
+        cs = CanvasSet.from_points(np.array([99.0]), np.array([0.5]))
+        acc = cs.accumulate_by_position(
+            BoundingBox(0, 0, 4, 1), resolution=(1, 4)
+        )
+        assert acc.is_empty()

@@ -1,0 +1,150 @@
+"""Tests for expression trees and plan diagrams."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import Polygon
+from repro.core.blendfuncs import PIP_MERGE, POLY_MERGE
+from repro.core.canvas import Canvas
+from repro.core.canvas_set import CanvasSet
+from repro.core.expressions import (
+    AccumulateNode,
+    BlendNode,
+    InputNode,
+    MaskNode,
+    MultiwayBlendNode,
+    UtilityNode,
+    render_plan,
+)
+from repro.core.masks import mask_point_in_any_polygon
+from repro.core.objectinfo import DIM_AREA, DIM_POINT, FIELD_COUNT, FIELD_ID, channel
+
+WINDOW = BoundingBox(0.0, 0.0, 100.0, 100.0)
+SQUARE = Polygon([(20, 20), (80, 20), (80, 80), (20, 80)])
+
+
+def _points_node():
+    return InputNode(
+        CanvasSet.from_points(
+            np.array([50.0, 5.0]), np.array([50.0, 5.0])
+        ),
+        name="CP",
+    )
+
+
+def _query_node():
+    return InputNode(
+        Canvas.from_polygon(SQUARE, WINDOW, resolution=64), name="CQ"
+    )
+
+
+class TestEvaluation:
+    def test_figure5_selection_plan(self):
+        """M[Mp'](B[⊙](CP, CQ)) evaluates to the selected points."""
+        plan = _points_node().blend(_query_node(), PIP_MERGE).mask(
+            mask_point_in_any_polygon(1.0)
+        )
+        result = plan.evaluate()
+        assert isinstance(result, CanvasSet)
+        assert result.keys.tolist() == [0]  # only the (50, 50) point
+
+    def test_fluent_equals_explicit(self):
+        explicit = MaskNode(
+            mask_point_in_any_polygon(1.0),
+            BlendNode(PIP_MERGE, _points_node(), _query_node()),
+        )
+        fluent = _points_node().blend(_query_node(), PIP_MERGE).mask(
+            mask_point_in_any_polygon(1.0)
+        )
+        a = explicit.evaluate()
+        b = fluent.evaluate()
+        assert a.keys.tolist() == b.keys.tolist()
+
+    def test_blend_right_must_be_dense(self):
+        bad = BlendNode(PIP_MERGE, _points_node(), _points_node())
+        with pytest.raises(TypeError):
+            bad.evaluate()
+
+    def test_multiway_blend_node(self):
+        c1 = InputNode(
+            Canvas.from_polygon(SQUARE, WINDOW, resolution=64, record_id=1)
+        )
+        c2 = InputNode(
+            Canvas.from_polygon(
+                Polygon([(10, 10), (40, 10), (40, 40), (10, 40)]),
+                WINDOW, resolution=64, record_id=2,
+            )
+        )
+        merged = MultiwayBlendNode(POLY_MERGE, [c1, c2]).evaluate()
+        assert isinstance(merged, Canvas)
+        data, _ = merged.sample(30, 30)
+        assert data[channel(DIM_AREA, FIELD_COUNT)] == 2.0
+
+    def test_multiway_requires_children(self):
+        with pytest.raises(ValueError):
+            MultiwayBlendNode(POLY_MERGE, [])
+
+    def test_utility_node(self):
+        node = UtilityNode(
+            "Circ",
+            lambda: Canvas.circle((50, 50), 10, WINDOW, resolution=64),
+            params="(50,50), 10",
+        )
+        canvas = node.evaluate()
+        assert isinstance(canvas, Canvas)
+        assert "Circ[(50,50), 10]()" == node.label()
+
+    def test_accumulate_node_counts(self):
+        """The Figure 7 aggregation tail as a node."""
+        selected = _points_node().blend(_query_node(), PIP_MERGE).mask(
+            mask_point_in_any_polygon(1.0)
+        )
+
+        def gamma(data, valid):
+            gx = data[:, channel(DIM_AREA, FIELD_ID)] + 0.5
+            return gx, np.full_like(gx, 0.5)
+
+        acc_node = AccumulateNode(
+            gamma, BoundingBox(0, 0, 2, 1), (1, 2), selected
+        )
+        acc = acc_node.evaluate()
+        assert isinstance(acc, Canvas)
+        assert acc.field(DIM_POINT, FIELD_COUNT)[0, 1] == 1.0
+
+
+class TestPlanDiagrams:
+    def test_render_matches_figure5_shape(self):
+        plan = _points_node().blend(_query_node(), PIP_MERGE).mask(
+            mask_point_in_any_polygon(1.0)
+        )
+        text = render_plan(plan)
+        lines = text.splitlines()
+        assert lines[0].startswith("M[")
+        assert "B[pip-merge]" in text
+        assert "CP" in text and "CQ" in text
+        assert "└─" in text and "├─" in text
+
+    def test_render_nested_multiway(self):
+        """Figure 8(b): constraints blended before the point blend."""
+        constraints = MultiwayBlendNode(
+            POLY_MERGE, [_query_node(), _query_node()]
+        )
+        plan = _points_node().blend(constraints, POLY_MERGE)
+        text = render_plan(plan)
+        assert "B*[poly-merge] (n=2)" in text
+        # Children are indented under the multiway node.
+        multiway_line = next(
+            i for i, line in enumerate(text.splitlines())
+            if "B*[poly-merge]" in line
+        )
+        child_line = text.splitlines()[multiway_line + 1]
+        assert child_line.startswith("   ") or "│" in child_line
+
+    def test_labels_for_transform_nodes(self):
+        node = _points_node().transform_by_value(
+            lambda d, v: (d[:, 0], d[:, 0])
+        )
+        assert "S3→R2" in node.label()
+        node2 = _points_node().transform(lambda xs, ys: (xs, ys))
+        assert "R2→R2" in node2.label()

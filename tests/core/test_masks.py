@@ -1,0 +1,133 @@
+"""Tests for mask predicates."""
+
+import numpy as np
+import pytest
+
+from repro.core.masks import (
+    FieldCompare,
+    IsNull,
+    Lambda,
+    NotNull,
+    mask_point_in_all_polygons,
+    mask_point_in_any_polygon,
+    mask_point_in_polygon,
+    mask_polygon_intersection,
+)
+from repro.core.objectinfo import DIM_AREA, DIM_POINT, Info, triple_values
+
+
+def _rows(*specs):
+    data = []
+    valid = []
+    for spec in specs:
+        d, v = triple_values(**spec)
+        data.append(d)
+        valid.append(v)
+    return np.stack(data), np.stack(valid)
+
+
+class TestAtoms:
+    def test_not_null(self):
+        data, valid = _rows({"point": Info(id=1)}, {})
+        assert NotNull(DIM_POINT).test(data, valid).tolist() == [True, False]
+
+    def test_is_null(self):
+        data, valid = _rows({"point": Info(id=1)}, {})
+        assert IsNull(DIM_POINT).test(data, valid).tolist() == [False, True]
+
+    def test_field_compare_implies_valid(self):
+        # A null tuple never satisfies a comparison, even if channels
+        # happen to hold a matching (zero) value.
+        data, valid = _rows({"area": Info(id=0, count=0)}, {})
+        pred = FieldCompare(DIM_AREA, 1, "==", 0)
+        assert pred.test(data, valid).tolist() == [True, False]
+
+    def test_all_operators(self):
+        data, valid = _rows({"area": Info(id=5, count=3)})
+        for op, expected in [
+            ("==", False), ("!=", True), ("<", False),
+            ("<=", False), (">", True), (">=", True),
+        ]:
+            assert FieldCompare(DIM_AREA, 1, op, 2).test(data, valid)[0] == expected
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(ValueError):
+            FieldCompare(DIM_AREA, 1, "~=", 2)
+
+    def test_lambda_escape_hatch(self):
+        data, valid = _rows({"point": Info(id=1)}, {"point": Info(id=2)})
+        pred = Lambda(lambda d, v: d[..., 0] > 1.5, "id > 1.5")
+        assert pred.test(data, valid).tolist() == [False, True]
+        assert pred.describe() == "id > 1.5"
+
+
+class TestCombinators:
+    def test_and_or_not(self):
+        data, valid = _rows(
+            {"point": Info(id=1), "area": Info(id=1, count=1)},
+            {"point": Info(id=2)},
+            {"area": Info(id=1, count=1)},
+        )
+        p = NotNull(DIM_POINT)
+        a = NotNull(DIM_AREA)
+        assert (p & a).test(data, valid).tolist() == [True, False, False]
+        assert (p | a).test(data, valid).tolist() == [True, True, True]
+        assert (~p).test(data, valid).tolist() == [False, False, True]
+
+    def test_describe_composes(self):
+        pred = NotNull(0) & ~IsNull(2)
+        text = pred.describe()
+        assert "and" in text and "not" in text
+
+
+class TestPaperMasks:
+    def test_mp_point_in_polygon(self):
+        """Mp: s[0] != ∅ and s[2][0] == 1."""
+        data, valid = _rows(
+            {"point": Info(id=3), "area": Info(id=1, count=1)},  # hit
+            {"point": Info(id=4)},                               # no polygon
+            {"area": Info(id=1, count=1)},                       # no point
+        )
+        got = mask_point_in_polygon(1.0).test(data, valid)
+        assert got.tolist() == [True, False, False]
+
+    def test_my_polygon_intersection(self):
+        """My: s[2][1] == 2."""
+        data, valid = _rows(
+            {"area": Info(id=1, count=2)},
+            {"area": Info(id=1, count=1)},
+            {},
+        )
+        got = mask_polygon_intersection(2.0).test(data, valid)
+        assert got.tolist() == [True, False, False]
+
+    def test_mp_prime_disjunction(self):
+        """Mp': s[0] != ∅ and s[2][1] >= 1 — valid for 1..n polygons."""
+        data, valid = _rows(
+            {"point": Info(id=1), "area": Info(id=1, count=1)},
+            {"point": Info(id=2), "area": Info(id=2, count=3)},
+            {"point": Info(id=3)},
+        )
+        got = mask_point_in_any_polygon(1.0).test(data, valid)
+        assert got.tolist() == [True, True, False]
+
+    def test_conjunction_mask(self):
+        data, valid = _rows(
+            {"point": Info(id=1), "area": Info(id=1, count=2)},
+            {"point": Info(id=2), "area": Info(id=1, count=1)},
+        )
+        got = mask_point_in_all_polygons(2.0).test(data, valid)
+        assert got.tolist() == [True, False]
+
+
+class TestGridShapes:
+    def test_masks_work_on_pixel_grids(self):
+        """Predicates accept (H, W, ...) arrays, not just rows."""
+        d, v = triple_values(point=Info(id=1), area=Info(id=1, count=1))
+        data = np.tile(d, (4, 5, 1))
+        valid = np.tile(v, (4, 5, 1))
+        valid[0, 0, :] = False
+        got = mask_point_in_any_polygon(1.0).test(data, valid)
+        assert got.shape == (4, 5)
+        assert not got[0, 0]
+        assert got[1:].all()

@@ -1,0 +1,83 @@
+"""Tests for the S^3 object-information layout."""
+
+import numpy as np
+import pytest
+
+from repro.core.objectinfo import (
+    DIM_AREA,
+    DIM_LINE,
+    DIM_POINT,
+    FIELD_COUNT,
+    FIELD_ID,
+    FIELD_VALUE,
+    Info,
+    N_CHANNELS,
+    N_GROUPS,
+    channel,
+    format_triple,
+    triple_values,
+)
+
+
+class TestChannelLayout:
+    def test_nine_channels_three_groups(self):
+        assert N_CHANNELS == 9 and N_GROUPS == 3
+
+    def test_channel_indices_distinct(self):
+        indices = {
+            channel(d, f)
+            for d in (DIM_POINT, DIM_LINE, DIM_AREA)
+            for f in (FIELD_ID, FIELD_COUNT, FIELD_VALUE)
+        }
+        assert indices == set(range(9))
+
+    def test_channel_arithmetic(self):
+        assert channel(DIM_POINT, FIELD_ID) == 0
+        assert channel(DIM_AREA, FIELD_VALUE) == 8
+
+    def test_invalid_dim_raises(self):
+        with pytest.raises(ValueError):
+            channel(3, 0)
+
+    def test_invalid_field_raises(self):
+        with pytest.raises(ValueError):
+            channel(0, 5)
+
+
+class TestInfo:
+    def test_defaults(self):
+        info = Info(id=7)
+        assert info.as_array().tolist() == [7.0, 1.0, 0.0]
+
+    def test_explicit_fields(self):
+        info = Info(id=3, count=2, value=1.5)
+        assert info.as_array().tolist() == [3.0, 2.0, 1.5]
+
+
+class TestTripleValues:
+    def test_all_null(self):
+        values, groups = triple_values()
+        assert (values == 0).all()
+        assert not groups.any()
+
+    def test_point_slot_only(self):
+        values, groups = triple_values(point=Info(id=4, value=2.0))
+        assert groups.tolist() == [True, False, False]
+        assert values[channel(DIM_POINT, FIELD_ID)] == 4.0
+        assert values[channel(DIM_POINT, FIELD_VALUE)] == 2.0
+        assert values[channel(DIM_AREA, FIELD_ID)] == 0.0
+
+    def test_mixed_dimensions(self):
+        values, groups = triple_values(
+            point=Info(id=1), line=Info(id=1), area=Info(id=1)
+        )
+        assert groups.all()
+
+
+class TestFormatting:
+    def test_format_with_nulls(self):
+        values, groups = triple_values(point=Info(id=2, count=1, value=0))
+        text = format_triple(values, groups)
+        assert "s[0]=(2, 1, 0)" in text
+        assert "s[1]=∅" in text
+        assert "s[2]=∅" in text

@@ -1,0 +1,99 @@
+"""Cost-based plan choice (Section 7) (A3)."""
+
+import pytest
+
+from repro.data.polygons import hand_drawn_polygon
+from repro.core.optimizer import (
+    CostModel,
+    aggregation_plans,
+    choose_aggregation_plan,
+    choose_selection_plan,
+    explain,
+    selection_plans,
+)
+
+
+def _polys(n, vertices=24):
+    return [
+        hand_drawn_polygon(n_vertices=vertices, seed=i, center=(50, 50),
+                           radius=30)
+        for i in range(n)
+    ]
+
+
+class TestSelectionPlans:
+    def test_two_candidates(self):
+        plans = selection_plans(10_000, _polys(1), (512, 512))
+        assert {p.name for p in plans} == {"blended-canvas", "per-polygon-pip"}
+
+    def test_sorted_cheapest_first(self):
+        plans = selection_plans(10_000, _polys(1), (512, 512))
+        assert plans[0].cost <= plans[1].cost
+
+    def test_small_input_prefers_pip(self):
+        """Tiny point sets don't amortize rasterizing the frame."""
+        choice = choose_selection_plan(50, _polys(1), (2048, 2048))
+        assert choice.name == "per-polygon-pip"
+
+    def test_large_input_prefers_blended(self):
+        choice = choose_selection_plan(50_000_000, _polys(1), (512, 512))
+        assert choice.name == "blended-canvas"
+
+    def test_more_polygons_push_toward_blended(self):
+        """The crossover moves left as constraints multiply — the
+        Figure 9(c) effect."""
+        def crossover_points(polys):
+            lo, hi = 1, 1 << 36
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if choose_selection_plan(mid, polys, (512, 512)).name == (
+                    "blended-canvas"
+                ):
+                    hi = mid
+                else:
+                    lo = mid + 1
+            return lo
+
+        assert crossover_points(_polys(8)) < crossover_points(_polys(1))
+
+    def test_complex_polygons_push_toward_blended(self):
+        simple = crossover = choose_selection_plan(
+            200_000, _polys(1, vertices=6), (512, 512)
+        )
+        complex_choice = choose_selection_plan(
+            200_000, _polys(1, vertices=600), (512, 512)
+        )
+        # With 600 edges the PIP cost explodes; blended must win at
+        # least as often as with 6 edges.
+        if simple.name == "blended-canvas":
+            assert complex_choice.name == "blended-canvas"
+
+
+class TestAggregationPlans:
+    def test_two_candidates(self):
+        plans = aggregation_plans(100_000, _polys(4), (512, 512))
+        assert {p.name for p in plans} == {"rasterjoin", "join-then-aggregate"}
+
+    def test_many_points_prefer_rasterjoin(self):
+        choice = choose_aggregation_plan(100_000_000, _polys(16), (256, 256))
+        assert choice.name == "rasterjoin"
+
+    def test_few_points_prefer_join_then_aggregate(self):
+        choice = choose_aggregation_plan(100, _polys(2), (1024, 1024))
+        assert choice.name == "join-then-aggregate"
+
+
+class TestExplain:
+    def test_renders_table(self):
+        plans = selection_plans(10_000, _polys(2), (256, 256))
+        text = explain(plans)
+        lines = text.splitlines()
+        assert "plan" in lines[0] and "est. cost" in lines[0]
+        assert len(lines) == 3
+
+    def test_custom_cost_model(self):
+        expensive_gather = CostModel(gather=1000.0)
+        choice = choose_selection_plan(
+            10_000, _polys(1), (64, 64), model=expensive_gather
+        )
+        assert choice.name == "per-polygon-pip"

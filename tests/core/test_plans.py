@@ -1,0 +1,111 @@
+"""The plan library evaluates to the same results as the query API."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.predicates import points_in_polygon
+from repro.geometry.primitives import Polygon
+from repro.core.canvas import Canvas
+from repro.core.canvas_set import CanvasSet
+from repro.core.expressions import render_plan
+from repro.core.objectinfo import DIM_POINT, FIELD_COUNT
+from repro.core.plans import (
+    count_plan,
+    distance_selection_plan,
+    polygon_selection_plan,
+    selection_plan,
+)
+
+WINDOW = BoundingBox(0.0, 0.0, 100.0, 100.0)
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(131)
+    return rng.uniform(0, 100, 3000), rng.uniform(0, 100, 3000)
+
+
+@pytest.fixture(scope="module")
+def pentagon():
+    return Polygon([(20, 20), (70, 25), (75, 65), (45, 85), (15, 55)])
+
+
+class TestSelectionPlan:
+    def test_single_polygon_is_figure5(self, cloud, pentagon):
+        xs, ys = cloud
+        plan = selection_plan(xs, ys, pentagon, WINDOW, resolution=256)
+        text = render_plan(plan)
+        assert text.splitlines()[0].startswith("M[")
+        assert "B[pip-merge]" in text and "CP" in text and "CQ1" in text
+        assert "B*[" not in text  # single constraint: no multiway blend
+
+    def test_multi_polygon_is_figure8b(self, cloud, pentagon):
+        xs, ys = cloud
+        other = Polygon([(50, 50), (90, 50), (90, 90), (50, 90)])
+        plan = selection_plan(xs, ys, [pentagon, other], WINDOW,
+                              resolution=256)
+        assert "B*[poly-merge] (n=2)" in render_plan(plan)
+
+    def test_evaluates_to_candidates(self, cloud, pentagon):
+        xs, ys = cloud
+        plan = selection_plan(xs, ys, pentagon, WINDOW, resolution=512)
+        out = plan.evaluate()
+        assert isinstance(out, CanvasSet)
+        truth = set(np.nonzero(points_in_polygon(xs, ys, pentagon))[0]
+                    .tolist())
+        got = set(out.keys.tolist())
+        # The plan output is the pre-refinement candidate set:
+        # a superset of the truth, off only by boundary pixels.
+        assert truth <= got
+        assert len(got) - len(truth) < 0.05 * max(len(truth), 1) + 10
+
+    def test_empty_constraints_raise(self, cloud):
+        xs, ys = cloud
+        with pytest.raises(ValueError):
+            selection_plan(xs, ys, [], WINDOW)
+
+
+class TestPolygonSelectionPlan:
+    def test_figure6_shape_and_result(self, pentagon):
+        data = [
+            Polygon([(30, 30), (40, 30), (40, 40), (30, 40)]),   # overlaps
+            Polygon([(90, 90), (95, 90), (95, 95), (90, 95)]),   # disjoint
+        ]
+        plan = polygon_selection_plan(data, pentagon, WINDOW, resolution=256)
+        text = render_plan(plan)
+        assert "B[poly-merge]" in text and "CY" in text
+        out = plan.evaluate()
+        assert isinstance(out, CanvasSet)
+        assert set(out.keys.tolist()) == {0}
+
+
+class TestCountPlan:
+    def test_count_read_at_slot(self, cloud, pentagon):
+        xs, ys = cloud
+        plan = count_plan(xs, ys, pentagon, WINDOW, resolution=512)
+        acc = plan.evaluate()
+        assert isinstance(acc, Canvas)
+        counted = float(acc.field(DIM_POINT, FIELD_COUNT)[0, 1])
+        truth = int(points_in_polygon(xs, ys, pentagon).sum())
+        # Pre-refinement plan: within the boundary-pixel margin.
+        assert abs(counted - truth) <= 0.05 * truth + 10
+
+    def test_diagram_mentions_aggregation_tail(self, cloud, pentagon):
+        xs, ys = cloud
+        plan = count_plan(xs, ys, pentagon, WINDOW, resolution=64)
+        assert "B*[+] ∘ G[γc]" in render_plan(plan)
+
+
+class TestDistancePlan:
+    def test_circ_utility_leaf(self, cloud):
+        xs, ys = cloud
+        plan = distance_selection_plan(xs, ys, (50, 50), 15, WINDOW,
+                                       resolution=512)
+        assert "Circ[(50,50), 15]()" in render_plan(plan)
+        out = plan.evaluate()
+        truth = set(
+            np.nonzero(np.hypot(xs - 50, ys - 50) <= 15)[0].tolist()
+        )
+        got = set(out.keys.tolist())
+        assert truth <= got

@@ -1,0 +1,100 @@
+"""Stored procedures: convex hull and spatial skyline (Section 4.5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.procedures import convex_hull_query, spatial_skyline
+
+
+class TestConvexHullQuery:
+    def test_square_corners(self):
+        xs = np.array([0.0, 4.0, 4.0, 0.0, 2.0])
+        ys = np.array([0.0, 0.0, 4.0, 4.0, 2.0])
+        hull, on_hull = convex_hull_query(xs, ys)
+        assert hull.area == pytest.approx(16.0)
+        assert on_hull.tolist() == [0, 1, 2, 3]
+
+    def test_all_points_contained(self):
+        rng = np.random.default_rng(7)
+        xs = rng.uniform(0, 100, 300)
+        ys = rng.uniform(0, 100, 300)
+        hull, _ = convex_hull_query(xs, ys)
+        for i in range(0, 300, 7):
+            assert hull.contains_point(xs[i], ys[i])
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            convex_hull_query(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+
+    def test_collinear_raises(self):
+        xs = np.array([0.0, 1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            convex_hull_query(xs, xs)
+
+
+class TestSpatialSkyline:
+    def test_single_query_point_is_nearest_neighbor(self):
+        """With |Q| = 1 the skyline degenerates to the 1-NN."""
+        rng = np.random.default_rng(8)
+        xs = rng.uniform(0, 100, 200)
+        ys = rng.uniform(0, 100, 200)
+        q = np.array([[40.0, 60.0]])
+        skyline = spatial_skyline(xs, ys, q)
+        d = np.hypot(xs - 40, ys - 60)
+        assert skyline.tolist() == [int(np.argmin(d))]
+
+    def test_two_query_points_manual(self):
+        # Points on a line between the two query points are skyline;
+        # a point dominated in both distances is not.
+        xs = np.array([2.0, 5.0, 8.0, 5.0])
+        ys = np.array([0.0, 0.0, 0.0, 9.0])
+        q = np.array([[0.0, 0.0], [10.0, 0.0]])
+        skyline = spatial_skyline(xs, ys, q)
+        assert set(skyline.tolist()) == {0, 1, 2}
+
+    def test_no_skyline_point_dominated(self):
+        rng = np.random.default_rng(9)
+        xs = rng.uniform(0, 100, 150)
+        ys = rng.uniform(0, 100, 150)
+        q = np.array([[20.0, 20.0], [80.0, 30.0], [50.0, 90.0]])
+        skyline = set(spatial_skyline(xs, ys, q).tolist())
+        dists = np.hypot(
+            xs[:, None] - q[None, :, 0], ys[:, None] - q[None, :, 1]
+        )
+        # Brute-force the definition.
+        for i in range(150):
+            dominated = any(
+                (dists[j] <= dists[i]).all() and (dists[j] < dists[i]).any()
+                for j in range(150) if j != i
+            )
+            assert (i in skyline) == (not dominated)
+
+    def test_empty_points(self):
+        q = np.array([[0.0, 0.0]])
+        assert spatial_skyline(np.array([]), np.array([]), q).tolist() == []
+
+    def test_bad_query_shape_raises(self):
+        with pytest.raises(ValueError):
+            spatial_skyline(np.array([1.0]), np.array([1.0]),
+                            np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            spatial_skyline(np.array([1.0]), np.array([1.0]),
+                            np.zeros((0, 2)))
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_skyline_contains_per_query_nearest(self, seed):
+        """Every query point's nearest neighbor is never dominated."""
+        rng = np.random.default_rng(seed)
+        xs = rng.uniform(0, 50, 80)
+        ys = rng.uniform(0, 50, 80)
+        q = rng.uniform(0, 50, (3, 2))
+        skyline = set(spatial_skyline(xs, ys, q).tolist())
+        for qx, qy in q:
+            nearest = int(np.argmin(np.hypot(xs - qx, ys - qy)))
+            d = np.hypot(xs - qx, ys - qy)
+            # Ties could allow an equally-near dominator; skip ties.
+            if (d == d[nearest]).sum() == 1:
+                assert nearest in skyline

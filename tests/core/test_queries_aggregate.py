@@ -1,0 +1,122 @@
+"""Aggregation queries (Figure 7 and Section 4.3) vs ground truth (E8, E9)."""
+
+import numpy as np
+import pytest
+
+from repro.data.polygons import hand_drawn_polygon
+from repro.geometry.predicates import points_in_polygon
+from repro.geometry.primitives import Polygon
+from repro.core.queries import aggregate_over_select, join_aggregate
+
+
+@pytest.fixture(scope="module")
+def cloud_with_values():
+    rng = np.random.default_rng(31)
+    xs = rng.uniform(0, 100, 5000)
+    ys = rng.uniform(0, 100, 5000)
+    values = rng.uniform(1, 10, 5000)
+    return xs, ys, values
+
+
+@pytest.fixture(scope="module")
+def districts():
+    return [
+        hand_drawn_polygon(n_vertices=12, irregularity=0.3, seed=i,
+                           center=(30 + 20 * i, 50), radius=16)
+        for i in range(3)
+    ]
+
+
+class TestAggregateOverSelect:
+    def test_count(self, cloud_with_values, concave_polygon):
+        xs, ys, _ = cloud_with_values
+        count = aggregate_over_select(xs, ys, concave_polygon,
+                                      aggregate="count", resolution=512)
+        truth = int(points_in_polygon(xs, ys, concave_polygon).sum())
+        assert count == truth
+
+    def test_sum(self, cloud_with_values, concave_polygon):
+        xs, ys, values = cloud_with_values
+        total = aggregate_over_select(
+            xs, ys, concave_polygon, values=values,
+            aggregate="sum", resolution=512,
+        )
+        inside = points_in_polygon(xs, ys, concave_polygon)
+        assert total == pytest.approx(float(values[inside].sum()))
+
+    def test_avg(self, cloud_with_values, concave_polygon):
+        xs, ys, values = cloud_with_values
+        avg = aggregate_over_select(
+            xs, ys, concave_polygon, values=values,
+            aggregate="avg", resolution=512,
+        )
+        inside = points_in_polygon(xs, ys, concave_polygon)
+        assert avg == pytest.approx(float(values[inside].mean()))
+
+    def test_min_max(self, cloud_with_values, concave_polygon):
+        xs, ys, values = cloud_with_values
+        inside = points_in_polygon(xs, ys, concave_polygon)
+        mn = aggregate_over_select(xs, ys, concave_polygon, values=values,
+                                   aggregate="min", resolution=256)
+        mx = aggregate_over_select(xs, ys, concave_polygon, values=values,
+                                   aggregate="max", resolution=256)
+        assert mn == pytest.approx(float(values[inside].min()))
+        assert mx == pytest.approx(float(values[inside].max()))
+
+    def test_empty_selection_count_zero(self, cloud_with_values):
+        xs, ys, _ = cloud_with_values
+        faraway = Polygon([(500, 500), (510, 500), (510, 510), (500, 510)])
+        count = aggregate_over_select(xs, ys, faraway, resolution=64)
+        assert count == 0.0
+
+    def test_unsupported_aggregate_raises(self, cloud_with_values,
+                                          concave_polygon):
+        xs, ys, _ = cloud_with_values
+        with pytest.raises(ValueError):
+            aggregate_over_select(xs, ys, concave_polygon,
+                                  aggregate="median", resolution=64)
+
+
+class TestJoinAggregate:
+    def test_group_by_count(self, cloud_with_values, districts):
+        xs, ys, _ = cloud_with_values
+        result = join_aggregate(xs, ys, districts, aggregate="count",
+                                resolution=512)
+        for pid, poly in enumerate(districts):
+            truth = int(points_in_polygon(xs, ys, poly).sum())
+            assert result.as_dict()[pid] == truth
+
+    def test_group_by_sum(self, cloud_with_values, districts):
+        xs, ys, values = cloud_with_values
+        result = join_aggregate(xs, ys, districts, values=values,
+                                aggregate="sum", resolution=512)
+        for pid, poly in enumerate(districts):
+            inside = points_in_polygon(xs, ys, poly)
+            assert result.as_dict()[pid] == pytest.approx(
+                float(values[inside].sum())
+            )
+
+    def test_custom_polygon_ids(self, cloud_with_values, districts):
+        xs, ys, _ = cloud_with_values
+        result = join_aggregate(
+            xs, ys, districts, aggregate="count",
+            polygon_ids=[10, 20, 30], resolution=256,
+        )
+        assert result.groups.tolist() == [10, 20, 30]
+
+    def test_overlapping_districts_count_in_both(self):
+        xs = np.array([50.0])
+        ys = np.array([50.0])
+        polys = [
+            Polygon([(40, 40), (60, 40), (60, 60), (40, 60)]),
+            Polygon([(45, 45), (65, 45), (65, 65), (45, 65)]),
+        ]
+        result = join_aggregate(xs, ys, polys, aggregate="count",
+                                resolution=128)
+        assert result.values.tolist() == [1.0, 1.0]
+
+    def test_result_len_and_dict(self, cloud_with_values, districts):
+        xs, ys, _ = cloud_with_values
+        result = join_aggregate(xs, ys, districts, resolution=128)
+        assert len(result) == 3
+        assert set(result.as_dict()) == {0, 1, 2}

@@ -1,0 +1,122 @@
+"""Join queries (Type I/II/III) vs brute-force ground truth (E10)."""
+
+import numpy as np
+import pytest
+
+from repro.data.polygons import hand_drawn_polygon
+from repro.geometry.predicates import (
+    points_in_polygon,
+    polygon_intersects_polygon,
+)
+from repro.geometry.primitives import Polygon
+from repro.core.queries import (
+    distance_join,
+    spatial_join_points_polygons,
+    spatial_join_polygons_polygons,
+)
+
+
+@pytest.fixture(scope="module")
+def small_cloud():
+    rng = np.random.default_rng(21)
+    return rng.uniform(0, 100, 3000), rng.uniform(0, 100, 3000)
+
+
+@pytest.fixture(scope="module")
+def neighborhood_polys():
+    return [
+        hand_drawn_polygon(n_vertices=10, irregularity=0.25, seed=i,
+                           center=(25 + 25 * (i % 3), 25 + 25 * (i // 3)),
+                           radius=14)
+        for i in range(6)
+    ]
+
+
+class TestTypeIJoin:
+    def test_matches_brute_force(self, small_cloud, neighborhood_polys):
+        xs, ys = small_cloud
+        pairs = spatial_join_points_polygons(
+            xs, ys, neighborhood_polys, resolution=512
+        )
+        truth = sorted(
+            (int(i), pid)
+            for pid, poly in enumerate(neighborhood_polys)
+            for i in np.nonzero(points_in_polygon(xs, ys, poly))[0]
+        )
+        assert pairs == truth
+
+    def test_overlapping_polygons_produce_multiple_pairs(self):
+        xs = np.array([50.0])
+        ys = np.array([50.0])
+        polys = [
+            Polygon([(40, 40), (60, 40), (60, 60), (40, 60)]),
+            Polygon([(45, 45), (65, 45), (65, 65), (45, 65)]),
+        ]
+        pairs = spatial_join_points_polygons(xs, ys, polys, resolution=128)
+        assert pairs == [(0, 0), (0, 1)]
+
+    def test_custom_ids(self):
+        xs = np.array([50.0])
+        ys = np.array([50.0])
+        polys = [Polygon([(40, 40), (60, 40), (60, 60), (40, 60)])]
+        pairs = spatial_join_points_polygons(
+            xs, ys, polys, point_ids=np.array([7]), polygon_ids=[99],
+            resolution=64,
+        )
+        assert pairs == [(7, 99)]
+
+    def test_empty_inputs(self):
+        pairs = spatial_join_points_polygons(
+            np.array([1.0]), np.array([1.0]), [], resolution=64
+        )
+        assert pairs == []
+
+
+class TestTypeIIJoin:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(5)
+        left = [
+            hand_drawn_polygon(n_vertices=8, seed=i,
+                               center=(rng.uniform(15, 85), rng.uniform(15, 85)),
+                               radius=8)
+            for i in range(8)
+        ]
+        right = [
+            hand_drawn_polygon(n_vertices=8, seed=100 + i,
+                               center=(rng.uniform(15, 85), rng.uniform(15, 85)),
+                               radius=12)
+            for i in range(4)
+        ]
+        pairs = spatial_join_polygons_polygons(left, right, resolution=512)
+        truth = sorted(
+            (li, ri)
+            for ri, rp in enumerate(right)
+            for li, lp in enumerate(left)
+            if polygon_intersects_polygon(lp, rp)
+        )
+        assert pairs == truth
+
+
+class TestTypeIIIDistanceJoin:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(6)
+        lx = rng.uniform(0, 50, 400)
+        ly = rng.uniform(0, 50, 400)
+        rx = rng.uniform(0, 50, 5)
+        ry = rng.uniform(0, 50, 5)
+        d = 6.0
+        pairs = distance_join(lx, ly, rx, ry, d, resolution=512)
+        truth = sorted(
+            (int(i), j)
+            for j in range(len(rx))
+            for i in np.nonzero(np.hypot(lx - rx[j], ly - ry[j]) <= d)[0]
+        )
+        assert pairs == truth
+
+    def test_zero_matches(self):
+        pairs = distance_join(
+            np.array([0.0]), np.array([0.0]),
+            np.array([50.0]), np.array([50.0]),
+            1.0, resolution=64,
+        )
+        assert pairs == []

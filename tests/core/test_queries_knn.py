@@ -1,0 +1,63 @@
+"""kNN via concentric circles (Section 4.4) vs the k-d tree oracle (E11)."""
+
+import numpy as np
+import pytest
+
+from repro.index.kdtree import KDTree
+from repro.core.queries import knn
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(41)
+    return rng.uniform(0, 100, 2000), rng.uniform(0, 100, 2000)
+
+
+class TestKnn:
+    @pytest.mark.parametrize("k", [1, 5, 10, 50])
+    def test_matches_kdtree(self, cloud, k):
+        xs, ys = cloud
+        query = (47.0, 53.0)
+        result = knn(xs, ys, query, k, resolution=512)
+        tree = KDTree(np.stack([xs, ys], axis=1))
+        expected = {item for item, _ in tree.nearest(*query, k=k)}
+        assert set(result.ids.tolist()) == expected
+
+    def test_query_point_outside_cloud(self, cloud):
+        xs, ys = cloud
+        result = knn(xs, ys, (-20.0, -20.0), 3, resolution=256)
+        d = np.hypot(xs + 20, ys + 20)
+        assert set(result.ids.tolist()) == set(np.argsort(d)[:3].tolist())
+
+    def test_k_equals_n(self):
+        xs = np.array([1.0, 2.0, 3.0])
+        ys = np.array([1.0, 2.0, 3.0])
+        result = knn(xs, ys, (0.0, 0.0), 3, resolution=64)
+        assert set(result.ids.tolist()) == {0, 1, 2}
+
+    def test_invalid_k_raises(self, cloud):
+        xs, ys = cloud
+        with pytest.raises(ValueError):
+            knn(xs, ys, (50, 50), 0)
+        with pytest.raises(ValueError):
+            knn(xs, ys, (50, 50), len(xs) + 1)
+
+    def test_duplicate_distance_ties_resolved(self):
+        """Four symmetric points with k=2: exactly two must come back
+        (the paper's ϵ-perturbation total-order assumption)."""
+        xs = np.array([1.0, -1.0, 0.0, 0.0, 5.0])
+        ys = np.array([0.0, 0.0, 1.0, -1.0, 5.0])
+        result = knn(xs, ys, (0.0, 0.0), 2, resolution=128)
+        assert len(result.ids) == 2
+        assert set(result.ids.tolist()) <= {0, 1, 2, 3}
+
+    def test_clustered_points(self):
+        rng = np.random.default_rng(7)
+        xs = np.concatenate([rng.normal(20, 1, 500), rng.normal(80, 1, 500)])
+        ys = np.concatenate([rng.normal(20, 1, 500), rng.normal(80, 1, 500)])
+        result = knn(xs, ys, (20.0, 20.0), 25, resolution=512)
+        # All results must come from the nearby cluster.
+        assert (result.ids < 500).all()
+        tree = KDTree(np.stack([xs, ys], axis=1))
+        expected = {item for item, _ in tree.nearest(20.0, 20.0, k=25)}
+        assert set(result.ids.tolist()) == expected

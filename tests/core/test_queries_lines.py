@@ -1,0 +1,130 @@
+"""Polyline selection: the 1-primitive path of the algebra.
+
+Section 4: "It is straightforward to express similar queries for other
+types of spatial data sets with lines" — this is that query, exact
+against the segment-polygon brute-force predicate.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.polygons import hand_drawn_polygon
+from repro.geometry.predicates import linestring_intersects_polygon
+from repro.geometry.primitives import LineString, Polygon
+from repro.core.queries import polygonal_select_lines
+
+
+def _random_lines(rng, n, span=100.0, segments=4):
+    lines = []
+    for _ in range(n):
+        start = rng.uniform(0, span, 2)
+        steps = rng.normal(0, span * 0.06, (segments, 2))
+        pts = np.vstack([start, start + np.cumsum(steps, axis=0)])
+        lines.append(LineString(np.clip(pts, 0, span)))
+    return lines
+
+
+@pytest.fixture(scope="module")
+def road_network():
+    return _random_lines(np.random.default_rng(121), 120)
+
+
+@pytest.fixture(scope="module")
+def district():
+    return hand_drawn_polygon(n_vertices=14, irregularity=0.3, seed=5,
+                              center=(50, 50), radius=30)
+
+
+class TestSelectLines:
+    def test_exact_vs_brute_force(self, road_network, district):
+        result = polygonal_select_lines(road_network, district,
+                                        resolution=512)
+        truth = {
+            i for i, line in enumerate(road_network)
+            if linestring_intersects_polygon(line.coords, district)
+        }
+        assert set(result.ids.tolist()) == truth
+
+    def test_low_resolution_still_exact(self, road_network, district):
+        fine = polygonal_select_lines(road_network, district, resolution=512)
+        coarse = polygonal_select_lines(road_network, district, resolution=48)
+        assert coarse.ids.tolist() == fine.ids.tolist()
+
+    def test_line_fully_inside(self, district):
+        p = district.representative_point()
+        inside_line = LineString([(p.x, p.y), (p.x + 0.5, p.y + 0.5)])
+        result = polygonal_select_lines([inside_line], district,
+                                        resolution=256)
+        assert result.ids.tolist() == [0]
+
+    def test_line_crossing_without_interior_vertex(self):
+        # A segment whose endpoints are outside but which crosses the
+        # polygon: coverage + refinement must still catch it.
+        square = Polygon([(40, 40), (60, 40), (60, 60), (40, 60)])
+        crossing = LineString([(0, 50), (100, 50)])
+        missing = LineString([(0, 90), (100, 90)])
+        result = polygonal_select_lines([crossing, missing], square,
+                                        resolution=128)
+        assert result.ids.tolist() == [0]
+
+    def test_custom_ids(self, district):
+        p = district.representative_point()
+        line = LineString([(p.x, p.y), (p.x + 1, p.y)])
+        result = polygonal_select_lines([line], district, ids=[77],
+                                        resolution=128)
+        assert result.ids.tolist() == [77]
+
+    def test_empty_result(self):
+        square = Polygon([(40, 40), (60, 40), (60, 60), (40, 60)])
+        line = LineString([(0, 0), (10, 10)])
+        result = polygonal_select_lines([line], square, resolution=128)
+        assert len(result.ids) == 0
+
+    def test_approximate_mode(self, road_network, district):
+        approx = polygonal_select_lines(road_network, district,
+                                        resolution=512, exact=False)
+        exact = polygonal_select_lines(road_network, district,
+                                       resolution=512)
+        # Conservative coverage: approximate is a superset.
+        assert set(exact.ids.tolist()) <= set(approx.ids.tolist())
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=10, deadline=None)
+    def test_random_property(self, seed):
+        rng = np.random.default_rng(seed)
+        lines = _random_lines(rng, 25)
+        poly = hand_drawn_polygon(
+            n_vertices=10, irregularity=0.4, seed=seed,
+            center=(50, 50), radius=35,
+        )
+        result = polygonal_select_lines(lines, poly, resolution=256)
+        truth = {
+            i for i, line in enumerate(lines)
+            if linestring_intersects_polygon(line.coords, poly)
+        }
+        assert set(result.ids.tolist()) == truth
+
+
+class TestLinePredicates:
+    def test_vertex_inside(self):
+        square = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        assert linestring_intersects_polygon([(5, 5), (20, 20)], square)
+
+    def test_crossing_only(self):
+        square = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        assert linestring_intersects_polygon([(-5, 5), (15, 5)], square)
+
+    def test_disjoint(self):
+        square = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        assert not linestring_intersects_polygon([(20, 20), (30, 30)], square)
+
+    def test_inside_hole_not_intersecting(self):
+        holed = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(3, 3), (7, 3), (7, 7), (3, 7)]],
+        )
+        assert not linestring_intersects_polygon([(4, 4), (6, 6)], holed)
+        # Crossing the hole wall does touch the polygon.
+        assert linestring_intersects_polygon([(4, 4), (8, 8)], holed)

@@ -1,0 +1,110 @@
+"""Heterogeneous-object selection (Figures 1 & 3): one expression,
+any geometry type."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.predicates import (
+    linestring_intersects_polygon,
+    point_in_polygon,
+    polygon_intersects_polygon,
+)
+from repro.geometry.primitives import (
+    GeometryCollection,
+    LineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+from repro.core.queries import polygonal_select_objects
+
+QUERY = Polygon([(30, 30), (70, 30), (70, 70), (30, 70)])
+
+
+class TestMixedRecords:
+    def test_each_type_dispatches(self):
+        records = [
+            Point(50, 50),                                     # inside
+            Point(5, 5),                                       # outside
+            LineString([(0, 50), (100, 50)]),                  # crosses
+            LineString([(0, 90), (100, 90)]),                  # misses
+            Polygon([(60, 60), (80, 60), (80, 80), (60, 80)]),  # overlaps
+            Polygon([(85, 85), (95, 85), (95, 95), (85, 95)]),  # disjoint
+        ]
+        result = polygonal_select_objects(records, QUERY, resolution=256)
+        assert result.ids.tolist() == [0, 2, 4]
+
+    def test_figure3_object_selected_via_any_primitive(self):
+        """A complex object (two polygons + line + point, one id) is
+        selected when any primitive touches the query."""
+        complex_object = GeometryCollection([
+            Polygon([(0, 45), (10, 45), (10, 55), (0, 55)]),   # outside
+            LineString([(10, 50), (40, 50)]),                  # reaches in
+            Point(5, 50),                                      # outside
+        ])
+        lonely_object = GeometryCollection([
+            Point(5, 5),
+            LineString([(0, 0), (10, 10)]),
+        ])
+        result = polygonal_select_objects(
+            [complex_object, lonely_object], QUERY, resolution=256
+        )
+        assert result.ids.tolist() == [0]
+
+    def test_multi_variants(self):
+        records = [
+            MultiPoint([(5, 5), (50, 50)]),        # one member inside
+            MultiPoint([(5, 5), (10, 90)]),        # all outside
+            MultiPolygon([
+                Polygon([(0, 0), (5, 0), (5, 5), (0, 5)]),
+                Polygon([(40, 40), (45, 40), (45, 45), (40, 45)]),
+            ]),                                     # second member inside
+        ]
+        result = polygonal_select_objects(records, QUERY, resolution=256)
+        assert result.ids.tolist() == [0, 2]
+
+    def test_custom_ids(self):
+        result = polygonal_select_objects(
+            [Point(50, 50), Point(5, 5)], QUERY, ids=[700, 800],
+            resolution=128,
+        )
+        assert result.ids.tolist() == [700]
+
+    def test_ids_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            polygonal_select_objects([Point(0, 0)], QUERY, ids=[1, 2])
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            polygonal_select_objects(["not a geometry"], QUERY)
+
+    def test_randomized_against_per_type_truth(self):
+        rng = np.random.default_rng(141)
+        records = []
+        for i in range(60):
+            kind = i % 3
+            cx, cy = rng.uniform(0, 100, 2)
+            if kind == 0:
+                records.append(Point(cx, cy))
+            elif kind == 1:
+                dx, dy = rng.uniform(-15, 15, 2)
+                records.append(LineString([(cx, cy), (cx + dx, cy + dy)]))
+            else:
+                r = rng.uniform(2, 8)
+                records.append(Polygon([
+                    (cx - r, cy - r), (cx + r, cy - r),
+                    (cx + r, cy + r), (cx - r, cy + r),
+                ]))
+        result = polygonal_select_objects(records, QUERY, resolution=512)
+        truth = set()
+        for i, geom in enumerate(records):
+            if isinstance(geom, Point):
+                hit = point_in_polygon(geom.x, geom.y, QUERY)
+            elif isinstance(geom, LineString):
+                hit = linestring_intersects_polygon(geom.coords, QUERY)
+            else:
+                hit = polygon_intersects_polygon(geom, QUERY)
+            if hit:
+                truth.add(i)
+        assert set(result.ids.tolist()) == truth

@@ -1,0 +1,94 @@
+"""Origin-destination double-constraint selection (Fig. 8a) (E13)."""
+
+import numpy as np
+import pytest
+
+from repro.data.polygons import hand_drawn_polygon
+from repro.data.taxi import generate_taxi_trips
+from repro.geometry.predicates import points_in_polygon
+from repro.geometry.primitives import Polygon
+from repro.core.queries import od_select
+
+
+@pytest.fixture(scope="module")
+def od_data():
+    rng = np.random.default_rng(51)
+    n = 4000
+    return (
+        rng.uniform(0, 100, n), rng.uniform(0, 100, n),
+        rng.uniform(0, 100, n), rng.uniform(0, 100, n),
+    )
+
+
+@pytest.fixture(scope="module")
+def q1():
+    return hand_drawn_polygon(n_vertices=12, irregularity=0.3, seed=1,
+                              center=(30, 35), radius=20)
+
+
+@pytest.fixture(scope="module")
+def q2():
+    return hand_drawn_polygon(n_vertices=12, irregularity=0.3, seed=2,
+                              center=(70, 65), radius=22)
+
+
+def _truth(ox, oy, dx, dy, q1, q2):
+    return set(
+        np.nonzero(
+            points_in_polygon(ox, oy, q1) & points_in_polygon(dx, dy, q2)
+        )[0].tolist()
+    )
+
+
+class TestOdSelect:
+    def test_matches_brute_force(self, od_data, q1, q2):
+        ox, oy, dx, dy = od_data
+        result = od_select(ox, oy, dx, dy, q1, q2, resolution=512)
+        assert set(result.ids.tolist()) == _truth(ox, oy, dx, dy, q1, q2)
+
+    def test_empty_when_constraints_disjoint_from_data(self, od_data):
+        ox, oy, dx, dy = od_data
+        far1 = Polygon([(500, 500), (510, 500), (510, 510), (500, 510)])
+        far2 = Polygon([(600, 600), (610, 600), (610, 610), (600, 610)])
+        result = od_select(ox, oy, dx, dy, far1, far2, resolution=64)
+        assert len(result.ids) == 0
+
+    def test_custom_ids(self, q1, q2):
+        # One trip from inside q1 to inside q2.
+        p1 = q1.representative_point()
+        p2 = q2.representative_point()
+        result = od_select(
+            np.array([p1.x, 0.0]), np.array([p1.y, 0.0]),
+            np.array([p2.x, 0.0]), np.array([p2.y, 0.0]),
+            q1, q2, ids=np.array([111, 222]), resolution=256,
+        )
+        assert result.ids.tolist() == [111]
+
+    def test_on_taxi_trips(self, q1, q2):
+        trips = generate_taxi_trips(3000, seed=3)
+        # Rescale constraints into the taxi window.
+        from repro.data.polygons import rescale_to_box
+        from repro.geometry.bbox import BoundingBox
+
+        qa = rescale_to_box(q1, BoundingBox(2, 5, 12, 20))
+        qb = rescale_to_box(q2, BoundingBox(8, 20, 18, 35))
+        result = od_select(
+            trips.pickup_x, trips.pickup_y,
+            trips.dropoff_x, trips.dropoff_y,
+            qa, qb, resolution=512,
+        )
+        truth = _truth(
+            trips.pickup_x, trips.pickup_y,
+            trips.dropoff_x, trips.dropoff_y, qa, qb,
+        )
+        assert set(result.ids.tolist()) == truth
+
+    def test_order_of_constraints_matters(self, od_data, q1, q2):
+        """Origin in q1 AND dest in q2 differs from the swap."""
+        ox, oy, dx, dy = od_data
+        forward = od_select(ox, oy, dx, dy, q1, q2, resolution=256)
+        swapped = od_select(ox, oy, dx, dy, q2, q1, resolution=256)
+        t_forward = _truth(ox, oy, dx, dy, q1, q2)
+        t_swapped = _truth(ox, oy, dx, dy, q2, q1)
+        assert set(forward.ids.tolist()) == t_forward
+        assert set(swapped.ids.tolist()) == t_swapped

@@ -1,0 +1,218 @@
+"""Selection queries vs brute-force ground truth (E6, E7, E14)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.polygons import hand_drawn_polygon
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.predicates import (
+    points_in_polygon,
+    polygon_intersects_polygon,
+)
+from repro.geometry.primitives import Polygon
+from repro.gpu.device import Device
+from repro.core.queries import (
+    distance_select,
+    halfspace_select,
+    multi_polygonal_select,
+    polygonal_select_points,
+    polygonal_select_polygons,
+    range_select,
+)
+
+
+def _truth(xs, ys, polygon):
+    return set(np.nonzero(points_in_polygon(xs, ys, polygon))[0].tolist())
+
+
+class TestPolygonalSelectPoints:
+    def test_exact_vs_brute_force(self, uniform_cloud, concave_polygon):
+        xs, ys = uniform_cloud
+        result = polygonal_select_points(xs, ys, concave_polygon,
+                                         resolution=512)
+        assert set(result.ids.tolist()) == _truth(xs, ys, concave_polygon)
+
+    def test_exact_with_holes(self, uniform_cloud, holed_polygon):
+        xs, ys = uniform_cloud
+        result = polygonal_select_points(xs, ys, holed_polygon,
+                                         resolution=512)
+        assert set(result.ids.tolist()) == _truth(xs, ys, holed_polygon)
+
+    def test_low_resolution_still_exact(self, uniform_cloud, concave_polygon):
+        """Exactness must not depend on texture size — only speed does
+        (the paper's hybrid-accuracy claim)."""
+        xs, ys = uniform_cloud
+        result = polygonal_select_points(xs, ys, concave_polygon,
+                                         resolution=48)
+        assert set(result.ids.tolist()) == _truth(xs, ys, concave_polygon)
+
+    def test_approximate_mode_close(self, uniform_cloud, concave_polygon):
+        xs, ys = uniform_cloud
+        exact = polygonal_select_points(xs, ys, concave_polygon,
+                                        resolution=512)
+        approx = polygonal_select_points(xs, ys, concave_polygon,
+                                         resolution=512, exact=False)
+        n = len(exact.ids)
+        assert abs(len(approx.ids) - n) <= max(0.02 * n, 8)
+        assert approx.n_exact_tests == 0
+
+    def test_custom_ids_respected(self, concave_polygon):
+        xs = np.array([40.0, 5.0])
+        ys = np.array([50.0, 5.0])
+        result = polygonal_select_points(
+            xs, ys, concave_polygon, ids=np.array([100, 200]),
+            resolution=128,
+        )
+        assert result.ids.tolist() == [100]
+
+    def test_integrated_device_same_result(self, uniform_cloud, concave_polygon):
+        xs, ys = uniform_cloud
+        discrete = polygonal_select_points(
+            xs, ys, concave_polygon, resolution=256,
+            device=Device.discrete(),
+        )
+        integrated = polygonal_select_points(
+            xs, ys, concave_polygon, resolution=256,
+            device=Device.integrated(tile_rows=16),
+        )
+        assert discrete.ids.tolist() == integrated.ids.tolist()
+
+    def test_no_polygons_raises(self, uniform_cloud):
+        xs, ys = uniform_cloud
+        with pytest.raises(ValueError):
+            polygonal_select_points(xs, ys, [], resolution=64)
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_random_polygons_property(self, seed):
+        rng = np.random.default_rng(seed)
+        xs = rng.uniform(0, 100, 2000)
+        ys = rng.uniform(0, 100, 2000)
+        poly = hand_drawn_polygon(
+            n_vertices=int(rng.integers(5, 30)),
+            irregularity=float(rng.uniform(0, 0.8)),
+            seed=seed, center=(50, 50), radius=40,
+        )
+        result = polygonal_select_points(xs, ys, poly, resolution=256)
+        assert set(result.ids.tolist()) == _truth(xs, ys, poly)
+
+
+class TestMultiPolygonSelect:
+    def test_disjunction(self, uniform_cloud, star_polygons):
+        xs, ys = uniform_cloud
+        polys = star_polygons[:3]
+        result = multi_polygonal_select(xs, ys, polys, mode="any",
+                                        resolution=512)
+        truth = set()
+        for p in polys:
+            truth |= _truth(xs, ys, p)
+        assert set(result.ids.tolist()) == truth
+
+    def test_conjunction(self, uniform_cloud, star_polygons):
+        xs, ys = uniform_cloud
+        polys = star_polygons[:3]
+        result = multi_polygonal_select(xs, ys, polys, mode="all",
+                                        resolution=512)
+        truth = _truth(xs, ys, polys[0])
+        for p in polys[1:]:
+            truth &= _truth(xs, ys, p)
+        assert set(result.ids.tolist()) == truth
+
+    def test_single_polygon_equals_plain_select(self, uniform_cloud,
+                                                concave_polygon):
+        """Mp' with one polygon reproduces Mp (Section 5.1)."""
+        xs, ys = uniform_cloud
+        multi = multi_polygonal_select(xs, ys, [concave_polygon],
+                                       resolution=256)
+        single = polygonal_select_points(xs, ys, concave_polygon,
+                                         resolution=256)
+        assert multi.ids.tolist() == single.ids.tolist()
+
+
+class TestRangeAndHalfspaceAndDistance:
+    def test_range_select(self, uniform_cloud):
+        xs, ys = uniform_cloud
+        result = range_select(xs, ys, (20, 30), (60, 70), resolution=256)
+        truth = set(
+            np.nonzero((xs >= 20) & (xs <= 60) & (ys >= 30) & (ys <= 70))[0]
+            .tolist()
+        )
+        assert set(result.ids.tolist()) == truth
+
+    def test_halfspace_select(self, uniform_cloud):
+        xs, ys = uniform_cloud
+        # x + y - 100 < 0.
+        result = halfspace_select(xs, ys, 1.0, 1.0, -100.0, resolution=256)
+        truth = set(np.nonzero(xs + ys < 100.0)[0].tolist())
+        got = set(result.ids.tolist())
+        # The half-space boundary is refined against the clipped
+        # polygon; points exactly on the line may go either way.
+        on_line = set(np.nonzero(np.abs(xs + ys - 100.0) < 1e-9)[0].tolist())
+        assert got - on_line == truth - on_line
+
+    def test_halfspace_nothing_selected(self, uniform_cloud):
+        xs, ys = uniform_cloud
+        result = halfspace_select(xs, ys, 1.0, 0.0, 1000.0, resolution=64)
+        assert len(result.ids) == 0
+
+    def test_distance_select(self, uniform_cloud):
+        xs, ys = uniform_cloud
+        result = distance_select(xs, ys, (50, 50), 18.0, resolution=512)
+        truth = set(
+            np.nonzero(np.hypot(xs - 50, ys - 50) <= 18.0)[0].tolist()
+        )
+        assert set(result.ids.tolist()) == truth
+
+    def test_distance_select_small_radius(self, uniform_cloud):
+        xs, ys = uniform_cloud
+        result = distance_select(xs, ys, (50, 50), 1.5, resolution=512)
+        truth = set(
+            np.nonzero(np.hypot(xs - 50, ys - 50) <= 1.5)[0].tolist()
+        )
+        assert set(result.ids.tolist()) == truth
+
+
+class TestPolygonalSelectPolygons:
+    def test_exact_vs_brute_force(self, star_polygons):
+        rng = np.random.default_rng(3)
+        data_polys = [
+            hand_drawn_polygon(
+                n_vertices=9, irregularity=0.3, seed=100 + i,
+                center=(rng.uniform(10, 90), rng.uniform(10, 90)),
+                radius=rng.uniform(3, 12),
+            )
+            for i in range(30)
+        ]
+        query = star_polygons[2]
+        result = polygonal_select_polygons(data_polys, query, resolution=512)
+        truth = {
+            i for i, p in enumerate(data_polys)
+            if polygon_intersects_polygon(p, query)
+        }
+        assert set(result.ids.tolist()) == truth
+
+    def test_contained_polygon_selected(self):
+        big = Polygon([(0, 0), (100, 0), (100, 100), (0, 100)])
+        small = Polygon([(40, 40), (60, 40), (60, 60), (40, 60)])
+        result = polygonal_select_polygons([small], big, resolution=128)
+        assert result.ids.tolist() == [0]
+
+    def test_empty_result(self):
+        data = [Polygon([(0, 0), (5, 0), (5, 5), (0, 5)])]
+        query = Polygon([(50, 50), (60, 50), (60, 60), (50, 60)])
+        result = polygonal_select_polygons(data, query, resolution=128)
+        assert len(result.ids) == 0
+
+    def test_same_operators_for_points_and_polygons(self, concave_polygon):
+        """Figure 1's motivation: switching the data type from points to
+        polygons does not change the expression — both run blend+mask."""
+        # Points version.
+        xs = np.array([40.0])
+        ys = np.array([50.0])
+        pr = polygonal_select_points(xs, ys, concave_polygon, resolution=128)
+        # Polygon version with a tiny polygon around the same location.
+        tiny = Polygon([(39, 49), (41, 49), (41, 51), (39, 51)])
+        yr = polygonal_select_polygons([tiny], concave_polygon, resolution=128)
+        assert len(pr.ids) == 1 and len(yr.ids) == 1

@@ -1,0 +1,84 @@
+"""Voronoi stored procedure (Section 4.5) vs scipy and brute force (E12)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.bbox import BoundingBox
+from repro.gpu.device import Device
+from repro.core.queries import voronoi
+from repro.core.objectinfo import DIM_AREA, FIELD_COUNT, FIELD_ID
+
+WINDOW = BoundingBox(0.0, 0.0, 100.0, 100.0)
+
+
+def _brute_force_owner(canvas, points):
+    gx, gy = canvas.pixel_center_grids()
+    d2 = (
+        (gx[None, :, :] - points[:, 0, None, None]) ** 2
+        + (gy[None, :, :] - points[:, 1, None, None]) ** 2
+    )
+    return d2.argmin(axis=0)
+
+
+class TestVoronoi:
+    def test_three_sites_regions(self):
+        pts = np.array([[20.0, 20.0], [80.0, 30.0], [50.0, 80.0]])
+        canvas = voronoi(pts, WINDOW, resolution=64)
+        owner = canvas.field(DIM_AREA, FIELD_ID)
+        expected = _brute_force_owner(canvas, pts)
+        # Ties on pixel centers are measure-zero for generic sites.
+        assert (owner == expected).mean() > 0.999
+
+    def test_whole_canvas_claimed(self):
+        pts = np.array([[50.0, 50.0]])
+        canvas = voronoi(pts, WINDOW, resolution=32)
+        assert canvas.valid(DIM_AREA).all()
+        assert (canvas.field(DIM_AREA, FIELD_ID) == 0).all()
+
+    def test_distance_squared_stored(self):
+        """The paper's f stores d^2 in the second tuple element."""
+        pts = np.array([[50.0, 50.0]])
+        canvas = voronoi(pts, WINDOW, resolution=32)
+        d2 = canvas.field(DIM_AREA, FIELD_COUNT)
+        gx, gy = canvas.pixel_center_grids()
+        expected = (gx - 50.0) ** 2 + (gy - 50.0) ** 2
+        np.testing.assert_allclose(d2, expected)
+
+    def test_insertion_order_irrelevant(self):
+        rng = np.random.default_rng(9)
+        pts = rng.uniform(10, 90, (8, 2))
+        a = voronoi(pts, WINDOW, resolution=48)
+        perm = rng.permutation(8)
+        b = voronoi(pts[perm], WINDOW, resolution=48)
+        remap = np.empty(8, dtype=int)
+        remap[np.arange(8)] = perm  # b's site i is a's site perm[i]
+        owner_a = a.field(DIM_AREA, FIELD_ID).astype(int)
+        owner_b = b.field(DIM_AREA, FIELD_ID).astype(int)
+        assert (remap[owner_b] == owner_a).mean() > 0.995
+
+    def test_matches_scipy_region_assignment(self):
+        scipy_spatial = pytest.importorskip("scipy.spatial")
+        rng = np.random.default_rng(10)
+        pts = rng.uniform(10, 90, (12, 2))
+        canvas = voronoi(pts, WINDOW, resolution=64)
+        owner = canvas.field(DIM_AREA, FIELD_ID).astype(int)
+        tree = scipy_spatial.cKDTree(pts)
+        gx, gy = canvas.pixel_center_grids()
+        _, nearest = tree.query(
+            np.stack([gx.ravel(), gy.ravel()], axis=1)
+        )
+        agreement = (owner.ravel() == nearest).mean()
+        assert agreement > 0.999
+
+    def test_device_equivalence(self):
+        pts = np.array([[30.0, 30.0], [70.0, 70.0]])
+        a = voronoi(pts, WINDOW, resolution=32, device=Device.discrete())
+        b = voronoi(pts, WINDOW, resolution=32,
+                    device=Device.integrated(tile_rows=5))
+        np.testing.assert_array_equal(
+            a.field(DIM_AREA, FIELD_ID), b.field(DIM_AREA, FIELD_ID)
+        )
+
+    def test_bad_points_shape_raises(self):
+        with pytest.raises(ValueError):
+            voronoi(np.zeros((3, 3)), WINDOW, resolution=16)

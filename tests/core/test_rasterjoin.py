@@ -1,0 +1,104 @@
+"""RasterJoin plan (Fig. 8c) vs the exact join-aggregate (E15)."""
+
+import numpy as np
+import pytest
+
+from repro.data.polygons import hand_drawn_polygon
+from repro.geometry.predicates import points_in_polygon
+from repro.geometry.primitives import Polygon
+from repro.core.queries import join_aggregate
+from repro.core.rasterjoin import raster_join_aggregate
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(61)
+    xs = rng.uniform(0, 100, 8000)
+    ys = rng.uniform(0, 100, 8000)
+    values = rng.uniform(0, 5, 8000)
+    polys = [
+        hand_drawn_polygon(n_vertices=10, irregularity=0.25, seed=i,
+                           center=(30 + 20 * i, 50), radius=18)
+        for i in range(3)
+    ]
+    return xs, ys, values, polys
+
+
+class TestApproximation:
+    def test_count_within_resolution_error(self, workload):
+        xs, ys, _, polys = workload
+        approx = raster_join_aggregate(xs, ys, polys, aggregate="count",
+                                       resolution=512)
+        for pid, poly in enumerate(polys):
+            truth = int(points_in_polygon(xs, ys, poly).sum())
+            rel_err = abs(approx.as_dict()[pid] - truth) / max(truth, 1)
+            assert rel_err < 0.06
+
+    def test_error_shrinks_with_resolution(self, workload):
+        """The paper: texture size bounds the approximation error."""
+        xs, ys, _, polys = workload
+        errors = []
+        for resolution in (64, 256, 1024):
+            approx = raster_join_aggregate(
+                xs, ys, polys, aggregate="count", resolution=resolution
+            )
+            total_err = 0.0
+            for pid, poly in enumerate(polys):
+                truth = int(points_in_polygon(xs, ys, poly).sum())
+                total_err += abs(approx.as_dict()[pid] - truth) / max(truth, 1)
+            errors.append(total_err)
+        assert errors[2] <= errors[0]
+
+    def test_sum_and_avg(self, workload):
+        xs, ys, values, polys = workload
+        s = raster_join_aggregate(xs, ys, polys, values=values,
+                                  aggregate="sum", resolution=512)
+        a = raster_join_aggregate(xs, ys, polys, values=values,
+                                  aggregate="avg", resolution=512)
+        for pid, poly in enumerate(polys):
+            inside = points_in_polygon(xs, ys, poly)
+            truth_sum = float(values[inside].sum())
+            rel = abs(s.as_dict()[pid] - truth_sum) / max(truth_sum, 1e-9)
+            assert rel < 0.06
+            truth_avg = float(values[inside].mean())
+            assert a.as_dict()[pid] == pytest.approx(truth_avg, rel=0.05)
+
+    def test_unsupported_aggregate_raises(self, workload):
+        xs, ys, _, polys = workload
+        with pytest.raises(ValueError):
+            raster_join_aggregate(xs, ys, polys, aggregate="min")
+
+
+class TestAgainstExactPlan:
+    def test_error_bounded_by_boundary_ribbon(self):
+        """RasterJoin can only miscount points in boundary pixels: its
+        error is bounded by the conservative boundary ribbon's point
+        population (the paper's texture-size error bound)."""
+        rng = np.random.default_rng(62)
+        xs = rng.uniform(0, 100, 3000)
+        ys = rng.uniform(0, 100, 3000)
+        polys = [
+            Polygon([(10, 10), (40, 10), (40, 40), (10, 40)]),
+            Polygon([(60, 60), (90, 60), (90, 90), (60, 90)]),
+        ]
+        exact = join_aggregate(xs, ys, polys, aggregate="count",
+                               resolution=256)
+        approx = raster_join_aggregate(xs, ys, polys, aggregate="count",
+                                       resolution=256)
+        for pid, poly in enumerate(polys):
+            # Ribbon bound: perimeter / pixel-size pixels, ~n/area
+            # points per pixel; use a generous 3x factor.
+            perimeter = 2 * (30 + 30)
+            pixel = 100.0 / 256.0
+            ribbon_points = 3.0 * perimeter * 2 * pixel * (3000 / 10_000.0)
+            assert abs(approx.as_dict()[pid] - exact.as_dict()[pid]) <= (
+                ribbon_points
+            )
+
+    def test_group_ids_preserved(self, workload):
+        xs, ys, _, polys = workload
+        result = raster_join_aggregate(
+            xs, ys, polys, aggregate="count",
+            polygon_ids=[5, 6, 7], resolution=128,
+        )
+        assert result.groups.tolist() == [5, 6, 7]

@@ -1,0 +1,77 @@
+"""Tests for CSV/GeoJSON data-set IO."""
+
+import pytest
+
+from repro.data.datasets import read_csv, read_geojson, write_csv, write_geojson
+from repro.geometry.primitives import Point, Polygon
+
+
+@pytest.fixture
+def sample_data():
+    geometries = [
+        Point(1, 2),
+        Polygon([(0, 0), (4, 0), (4, 4), (0, 4)],
+                holes=[[(1, 1), (2, 1), (2, 2), (1, 2)]]),
+    ]
+    properties = [{"name": "depot", "fare": 3.5}, {"name": "zone"}]
+    return geometries, properties
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path, sample_data):
+        geometries, properties = sample_data
+        path = tmp_path / "data.csv"
+        write_csv(path, geometries, properties)
+        back_geoms, back_props = read_csv(path)
+        assert len(back_geoms) == 2
+        assert isinstance(back_geoms[0], Point)
+        assert isinstance(back_geoms[1], Polygon)
+        assert back_geoms[1].area == pytest.approx(15.0)
+        assert back_props[0]["name"] == "depot"
+        # Missing keys become empty strings (CSV has a uniform header).
+        assert back_props[1]["fare"] == ""
+
+    def test_geometry_only(self, tmp_path):
+        path = tmp_path / "geo.csv"
+        write_csv(path, [Point(5, 6)])
+        geoms, props = read_csv(path)
+        assert geoms[0].x == 5 and props == [{}]
+
+    def test_length_mismatch_raises(self, tmp_path, sample_data):
+        geometries, _ = sample_data
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "bad.csv", geometries, [{}])
+
+    def test_missing_geometry_column_raises(self, tmp_path):
+        path = tmp_path / "plain.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+
+class TestGeojson:
+    def test_roundtrip(self, tmp_path, sample_data):
+        geometries, properties = sample_data
+        path = tmp_path / "data.geojson"
+        write_geojson(path, geometries, properties)
+        back_geoms, back_props = read_geojson(path)
+        assert len(back_geoms) == 2
+        assert back_props[0] == {"name": "depot", "fare": 3.5}
+        assert isinstance(back_geoms[1], Polygon)
+        assert len(back_geoms[1].holes) == 1
+
+    def test_reads_bare_geometry(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text('{"type": "Point", "coordinates": [3, 4]}')
+        geoms, props = read_geojson(path)
+        assert geoms[0].x == 3 and props == [{}]
+
+    def test_reads_single_feature(self, tmp_path):
+        path = tmp_path / "feature.json"
+        path.write_text(
+            '{"type": "Feature", "geometry": '
+            '{"type": "Point", "coordinates": [1, 1]}, '
+            '"properties": {"k": 1}}'
+        )
+        geoms, props = read_geojson(path)
+        assert len(geoms) == 1 and props[0]["k"] == 1

@@ -1,0 +1,116 @@
+"""Tests for constraint-polygon generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.polygons import (
+    calibrate_selectivity,
+    hand_drawn_polygon,
+    polygon_with_holes,
+    rescale_to_box,
+)
+from repro.data.synthetic import uniform_points
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.predicates import points_in_polygon
+
+
+class TestHandDrawn:
+    def test_vertex_count(self):
+        poly = hand_drawn_polygon(n_vertices=17, seed=0)
+        assert len(poly.shell) == 17
+
+    def test_deterministic(self):
+        a = hand_drawn_polygon(seed=3)
+        b = hand_drawn_polygon(seed=3)
+        assert a.shell.coords == b.shell.coords
+
+    @given(st.integers(0, 2000), st.integers(3, 40),
+           st.floats(0.0, 0.9))
+    @settings(max_examples=80, deadline=None)
+    def test_always_simple(self, seed, n_vertices, irregularity):
+        poly = hand_drawn_polygon(
+            n_vertices=n_vertices, irregularity=irregularity, seed=seed
+        )
+        assert poly.shell.is_simple()
+        assert poly.area > 0
+
+    def test_irregularity_shrinks_area(self):
+        regular = hand_drawn_polygon(n_vertices=30, irregularity=0.0, seed=1)
+        spiky = hand_drawn_polygon(n_vertices=30, irregularity=0.8, seed=1)
+        assert spiky.area < regular.area
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            hand_drawn_polygon(n_vertices=2)
+        with pytest.raises(ValueError):
+            hand_drawn_polygon(irregularity=1.0)
+
+    def test_center_and_radius_respected(self):
+        poly = hand_drawn_polygon(seed=4, center=(50, 60), radius=10)
+        b = poly.bounds
+        assert 40 <= b.xmin and b.xmax <= 60
+        assert 50 <= b.ymin and b.ymax <= 70
+
+
+class TestHoles:
+    def test_holes_inside_shell(self):
+        poly = polygon_with_holes(seed=5, center=(0, 0), radius=10,
+                                  n_holes=2)
+        assert len(poly.holes) >= 1
+        for hole in poly.holes:
+            for x, y in hole.coords:
+                assert poly.shell.contains_point(x, y)
+
+    def test_area_less_than_shell(self):
+        poly = polygon_with_holes(seed=6, n_holes=2)
+        assert poly.area < poly.shell.area
+
+
+class TestRescale:
+    def test_mbr_matches_target(self):
+        poly = hand_drawn_polygon(seed=7)
+        target = BoundingBox(10, 20, 110, 70)
+        scaled = rescale_to_box(poly, target)
+        b = scaled.bounds
+        assert tuple(b) == pytest.approx(tuple(target), abs=1e-9)
+
+    def test_shape_preserved_up_to_affine(self):
+        poly = hand_drawn_polygon(seed=8)
+        target = BoundingBox(0, 0, 10, 10)
+        scaled = rescale_to_box(poly, target)
+        assert len(scaled.shell) == len(poly.shell)
+
+
+class TestSelectivityCalibration:
+    @pytest.mark.parametrize("target", [0.1, 0.4, 0.8])
+    def test_hits_target(self, target):
+        # Selectivity is measured over the points handed in; mirroring
+        # the paper's setup, those are the points inside the query MBR.
+        window = BoundingBox(0, 0, 100, 100)
+        all_x, all_y = uniform_points(20_000, window, seed=10)
+        mbr = BoundingBox(10, 10, 90, 90)
+        in_mbr = (
+            (all_x >= 10) & (all_x <= 90) & (all_y >= 10) & (all_y <= 90)
+        )
+        xs, ys = all_x[in_mbr], all_y[in_mbr]
+        poly, achieved = calibrate_selectivity(
+            xs, ys, target, mbr, seed=11
+        )
+        assert abs(achieved - target) < 0.05
+        assert tuple(poly.bounds) == pytest.approx(tuple(mbr), abs=1e-6)
+        # Achieved selectivity must describe the polygon faithfully.
+        actual = points_in_polygon(xs, ys, poly).mean()
+        assert actual == pytest.approx(achieved, abs=1e-9)
+
+    def test_invalid_target_raises(self):
+        xs, ys = uniform_points(100, BoundingBox(0, 0, 1, 1), seed=0)
+        with pytest.raises(ValueError):
+            calibrate_selectivity(xs, ys, 1.5, BoundingBox(0, 0, 1, 1))
+
+    def test_empty_points_raises(self):
+        with pytest.raises(ValueError):
+            calibrate_selectivity(
+                np.array([]), np.array([]), 0.5, BoundingBox(0, 0, 1, 1)
+            )

@@ -1,0 +1,62 @@
+"""Tests for synthetic point generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import gaussian_mixture_points, uniform_points
+from repro.geometry.bbox import BoundingBox
+
+WINDOW = BoundingBox(0.0, 0.0, 100.0, 50.0)
+
+
+class TestUniform:
+    def test_count_and_bounds(self):
+        xs, ys = uniform_points(1000, WINDOW, seed=1)
+        assert len(xs) == len(ys) == 1000
+        assert (xs >= 0).all() and (xs <= 100).all()
+        assert (ys >= 0).all() and (ys <= 50).all()
+
+    def test_deterministic_per_seed(self):
+        a = uniform_points(100, WINDOW, seed=5)
+        b = uniform_points(100, WINDOW, seed=5)
+        c = uniform_points(100, WINDOW, seed=6)
+        assert np.array_equal(a[0], b[0])
+        assert not np.array_equal(a[0], c[0])
+
+    def test_roughly_uniform(self):
+        xs, ys = uniform_points(20_000, WINDOW, seed=2)
+        # Left and right halves should hold similar counts.
+        left = (xs < 50).sum()
+        assert 0.45 < left / 20_000 < 0.55
+
+
+class TestGaussianMixture:
+    def test_count_and_bounds(self):
+        xs, ys = gaussian_mixture_points(5000, WINDOW, seed=3)
+        assert len(xs) == 5000
+        assert (xs >= 0).all() and (xs <= 100).all()
+        assert (ys >= 0).all() and (ys <= 50).all()
+
+    def test_skewed_compared_to_uniform(self):
+        """Hotspot data concentrates mass: the densest decile cell of
+        the mixture holds more points than uniform's densest cell."""
+        n = 20_000
+        gx, gy = gaussian_mixture_points(n, WINDOW, n_clusters=4,
+                                         spread=0.03, seed=4)
+        ux, uy = uniform_points(n, WINDOW, seed=4)
+
+        def max_cell(xs, ys):
+            h, _, _ = np.histogram2d(xs, ys, bins=10,
+                                     range=[[0, 100], [0, 50]])
+            return h.max()
+
+        assert max_cell(gx, gy) > 1.5 * max_cell(ux, uy)
+
+    def test_invalid_cluster_count(self):
+        with pytest.raises(ValueError):
+            gaussian_mixture_points(100, WINDOW, n_clusters=0)
+
+    def test_deterministic(self):
+        a = gaussian_mixture_points(500, WINDOW, seed=9)
+        b = gaussian_mixture_points(500, WINDOW, seed=9)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])

@@ -1,0 +1,74 @@
+"""Tests for the synthetic taxi-trip generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.taxi import NYC_WINDOW, TaxiTrips, generate_taxi_trips
+
+
+class TestGeneration:
+    def test_count_and_window(self):
+        trips = generate_taxi_trips(5000, seed=1)
+        assert len(trips) == 5000
+        for arr in (trips.pickup_x, trips.dropoff_x):
+            assert (arr >= NYC_WINDOW.xmin).all()
+            assert (arr <= NYC_WINDOW.xmax).all()
+        for arr in (trips.pickup_y, trips.dropoff_y):
+            assert (arr >= NYC_WINDOW.ymin).all()
+            assert (arr <= NYC_WINDOW.ymax).all()
+
+    def test_deterministic(self):
+        a = generate_taxi_trips(100, seed=2)
+        b = generate_taxi_trips(100, seed=2)
+        assert np.array_equal(a.pickup_x, b.pickup_x)
+        assert np.array_equal(a.fare, b.fare)
+
+    def test_sorted_by_pickup_time(self):
+        trips = generate_taxi_trips(1000, seed=3)
+        assert (np.diff(trips.pickup_time) >= 0).all()
+
+    def test_fares_positive_and_correlated_with_length(self):
+        trips = generate_taxi_trips(5000, seed=4)
+        assert (trips.fare >= 2.5).all()
+        length = np.hypot(
+            trips.dropoff_x - trips.pickup_x,
+            trips.dropoff_y - trips.pickup_y,
+        )
+        corr = np.corrcoef(length, trips.fare)[0, 1]
+        assert corr > 0.7
+
+    def test_pickups_are_skewed(self):
+        trips = generate_taxi_trips(20_000, seed=5)
+        h, _, _ = np.histogram2d(
+            trips.pickup_x, trips.pickup_y, bins=10,
+            range=[[0, 20], [0, 40]],
+        )
+        # Hotspot structure: top cell well above the uniform mean.
+        assert h.max() > 3 * h.mean()
+
+
+class TestFiltering:
+    def test_time_range_scales_input(self):
+        """The paper's input-size knob: narrower time range, fewer trips."""
+        trips = generate_taxi_trips(10_000, seed=6)
+        half = trips.filter_time_range(0.0, 12.0)
+        quarter = trips.filter_time_range(0.0, 6.0)
+        assert 0.4 < len(half) / len(trips) < 0.6
+        assert 0.15 < len(quarter) / len(trips) < 0.35
+        assert len(quarter) < len(half)
+
+    def test_filter_preserves_columns_consistently(self):
+        trips = generate_taxi_trips(1000, seed=7)
+        sub = trips.filter_time_range(6.0, 18.0)
+        assert len(sub.pickup_x) == len(sub.fare) == len(sub.dropoff_y)
+        assert ((sub.pickup_time >= 6.0) & (sub.pickup_time < 18.0)).all()
+
+    def test_head(self):
+        trips = generate_taxi_trips(1000, seed=8)
+        sub = trips.head(10)
+        assert len(sub) == 10
+        assert np.array_equal(sub.pickup_x, trips.pickup_x[:10])
+
+    def test_ids(self):
+        trips = generate_taxi_trips(10, seed=9)
+        assert trips.ids.tolist() == list(range(10))

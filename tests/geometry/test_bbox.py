@@ -1,0 +1,132 @@
+"""Unit tests for bounding boxes."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.bbox import BoundingBox
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+def box_strategy():
+    return st.builds(
+        lambda x0, y0, w, h: BoundingBox(x0, y0, x0 + w, y0 + h),
+        finite, finite,
+        st.floats(0.0, 1e6), st.floats(0.0, 1e6),
+    )
+
+
+class TestConstruction:
+    def test_invalid_order_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1.0, 0.0, 0.0, 1.0)
+
+    def test_degenerate_point_box_allowed(self):
+        box = BoundingBox(3.0, 4.0, 3.0, 4.0)
+        assert box.area == 0.0
+        assert box.contains_point(3.0, 4.0)
+
+    def test_from_points(self):
+        box = BoundingBox.from_points([(1, 2), (5, -1), (3, 7)])
+        assert tuple(box) == (1, -1, 5, 7)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox.from_points([])
+
+    def test_union_all(self):
+        boxes = [BoundingBox(0, 0, 1, 1), BoundingBox(2, -1, 3, 0.5)]
+        assert tuple(BoundingBox.union_all(boxes)) == (0, -1, 3, 1)
+
+    def test_union_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox.union_all([])
+
+
+class TestProperties:
+    def test_dimensions(self):
+        box = BoundingBox(0, 0, 4, 3)
+        assert box.width == 4 and box.height == 3
+        assert box.area == 12 and box.perimeter == 14
+        assert box.center == (2.0, 1.5)
+
+    def test_corners_ccw(self):
+        corners = BoundingBox(0, 0, 2, 1).corners
+        assert corners == [(0, 0), (2, 0), (2, 1), (0, 1)]
+
+
+class TestPredicates:
+    def test_contains_point_boundary(self):
+        box = BoundingBox(0, 0, 1, 1)
+        assert box.contains_point(0, 0)
+        assert box.contains_point(1, 1)
+        assert not box.contains_point(1.0001, 0.5)
+
+    def test_intersects_touching_edges(self):
+        a = BoundingBox(0, 0, 1, 1)
+        b = BoundingBox(1, 0, 2, 1)
+        assert a.intersects(b)
+
+    def test_disjoint(self):
+        a = BoundingBox(0, 0, 1, 1)
+        b = BoundingBox(2, 2, 3, 3)
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+
+    def test_contains_box(self):
+        outer = BoundingBox(0, 0, 10, 10)
+        inner = BoundingBox(2, 2, 5, 5)
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+
+
+class TestCombinators:
+    def test_intersection_value(self):
+        a = BoundingBox(0, 0, 2, 2)
+        b = BoundingBox(1, 1, 3, 3)
+        assert tuple(a.intersection(b)) == (1, 1, 2, 2)
+
+    def test_expand_and_shrink(self):
+        box = BoundingBox(0, 0, 2, 2).expand(1.0)
+        assert tuple(box) == (-1, -1, 3, 3)
+
+    def test_scaled_preserves_center(self):
+        box = BoundingBox(0, 0, 4, 2).scaled(0.5)
+        assert box.center == (2.0, 1.0)
+        assert box.width == 2.0 and box.height == 1.0
+
+    def test_scaled_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, 1, 1).scaled(0.0)
+
+    def test_distance_to_point(self):
+        box = BoundingBox(0, 0, 1, 1)
+        assert box.distance_to_point(0.5, 0.5) == 0.0
+        assert box.distance_to_point(2, 1) == 1.0
+        assert box.distance_to_point(2, 2) == pytest.approx(math.sqrt(2))
+
+
+class TestPropertyBased:
+    @given(box_strategy(), box_strategy())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_box(a) and u.contains_box(b)
+
+    @given(box_strategy(), box_strategy())
+    def test_intersection_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+        ia, ib = a.intersection(b), b.intersection(a)
+        assert (ia is None) == (ib is None)
+        if ia is not None:
+            assert tuple(ia) == pytest.approx(tuple(ib))
+
+    @given(box_strategy())
+    def test_intersection_with_self_is_self(self, a):
+        assert tuple(a.intersection(a)) == tuple(a)
+
+    @given(box_strategy(), st.floats(0.0, 100.0))
+    def test_expand_monotone(self, a, margin):
+        assert a.expand(margin).contains_box(a)

@@ -1,0 +1,120 @@
+"""Tests for polygon and segment clipping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.clipping import (
+    clip_polygon_bbox,
+    clip_polygon_convex,
+    clip_polygon_halfplane,
+    clip_polygon_to_window,
+    clip_segment_rect,
+)
+from repro.geometry.predicates import ring_signed_area
+from repro.geometry.primitives import Polygon
+
+SQUARE = [(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]
+
+
+class TestHalfplaneClip:
+    def test_fully_inside(self):
+        # x <= 10 keeps everything.
+        out = clip_polygon_halfplane(SQUARE, 1, 0, -10)
+        assert ring_signed_area(out) == pytest.approx(16.0)
+
+    def test_fully_outside(self):
+        # x <= -1 removes everything.
+        assert clip_polygon_halfplane(SQUARE, 1, 0, 1) == []
+
+    def test_half_cut(self):
+        # x <= 2 keeps the left half.
+        out = clip_polygon_halfplane(SQUARE, 1, 0, -2)
+        assert ring_signed_area(out) == pytest.approx(8.0)
+
+    def test_diagonal_cut(self):
+        # x + y <= 4 keeps the lower-left triangle.
+        out = clip_polygon_halfplane(SQUARE, 1, 1, -4)
+        assert ring_signed_area(out) == pytest.approx(8.0)
+
+    def test_empty_input(self):
+        assert clip_polygon_halfplane([], 1, 0, 0) == []
+
+
+class TestConvexClip:
+    def test_square_by_square(self):
+        clip = [(2.0, 2.0), (6.0, 2.0), (6.0, 6.0), (2.0, 6.0)]
+        out = clip_polygon_convex(SQUARE, clip)
+        assert ring_signed_area(out) == pytest.approx(4.0)
+
+    def test_disjoint_clip(self):
+        clip = [(10.0, 10.0), (12.0, 10.0), (12.0, 12.0), (10.0, 12.0)]
+        assert clip_polygon_convex(SQUARE, clip) == []
+
+    def test_bbox_specialization(self):
+        out = clip_polygon_bbox(SQUARE, BoundingBox(1, 1, 3, 3))
+        assert ring_signed_area(out) == pytest.approx(4.0)
+
+    @given(
+        st.floats(-3, 3), st.floats(-3, 3),
+        st.floats(0.5, 6), st.floats(0.5, 6),
+    )
+    @settings(max_examples=100)
+    def test_clipped_area_never_exceeds_either(self, x0, y0, w, h):
+        box = BoundingBox(x0, y0, x0 + w, y0 + h)
+        out = clip_polygon_bbox(SQUARE, box)
+        if len(out) >= 3:
+            area = abs(ring_signed_area(out))
+            assert area <= 16.0 + 1e-9
+            assert area <= box.area + 1e-9
+
+
+class TestClipToWindow:
+    def test_holes_survive(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(2, 2), (4, 2), (4, 4), (2, 4)]],
+        )
+        clipped = clip_polygon_to_window(poly, BoundingBox(-1, -1, 11, 11))
+        assert clipped is not None
+        assert len(clipped.holes) == 1
+        assert clipped.area == pytest.approx(96.0)
+
+    def test_outside_returns_none(self):
+        poly = Polygon(SQUARE)
+        assert clip_polygon_to_window(poly, BoundingBox(10, 10, 20, 20)) is None
+
+    def test_partial_clip_drops_outside_hole(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(7, 7), (9, 7), (9, 9), (7, 9)]],
+        )
+        clipped = clip_polygon_to_window(poly, BoundingBox(0, 0, 5, 5))
+        assert clipped is not None
+        assert clipped.holes == []
+        assert clipped.area == pytest.approx(25.0)
+
+
+class TestSegmentClip:
+    def test_inside_unchanged(self):
+        box = BoundingBox(0, 0, 10, 10)
+        out = clip_segment_rect(1, 1, 9, 9, box)
+        assert out == ((1, 1), (9, 9))
+
+    def test_crossing_clipped(self):
+        box = BoundingBox(0, 0, 10, 10)
+        out = clip_segment_rect(-5, 5, 15, 5, box)
+        assert out == ((0, 5), (10, 5))
+
+    def test_miss_returns_none(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert clip_segment_rect(-5, -5, -1, 20, box) is None
+
+    def test_corner_clip(self):
+        box = BoundingBox(0, 0, 10, 10)
+        out = clip_segment_rect(-5, 5, 5, -5, box)
+        assert out is not None
+        (x0, y0), (x1, y1) = out
+        for x, y in ((x0, y0), (x1, y1)):
+            assert box.contains_point(x, y)

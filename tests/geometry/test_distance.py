@@ -1,0 +1,124 @@
+"""Tests for geometry distances."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.distance import (
+    geometry_distance,
+    point_polygon_distance,
+    point_segment_distance,
+    points_segment_distance,
+    segment_segment_distance,
+)
+from repro.geometry.primitives import (
+    LineSegment,
+    LineString,
+    MultiPoint,
+    Point,
+    Polygon,
+)
+
+coord = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+
+
+class TestPointSegment:
+    def test_perpendicular_foot(self):
+        assert point_segment_distance(1, 1, 0, 0, 2, 0) == 1.0
+
+    def test_clamped_to_endpoint(self):
+        assert point_segment_distance(5, 0, 0, 0, 2, 0) == 3.0
+
+    def test_degenerate_segment(self):
+        assert point_segment_distance(3, 4, 0, 0, 0, 0) == 5.0
+
+    def test_vectorized_matches_scalar(self):
+        xs = np.array([1.0, 5.0, -1.0])
+        ys = np.array([1.0, 0.0, 2.0])
+        vec = points_segment_distance(xs, ys, 0, 0, 2, 0)
+        for i in range(3):
+            assert vec[i] == pytest.approx(
+                point_segment_distance(xs[i], ys[i], 0, 0, 2, 0)
+            )
+
+
+class TestSegmentSegment:
+    def test_intersecting_is_zero(self):
+        a = LineSegment((0, 0), (2, 2))
+        b = LineSegment((0, 2), (2, 0))
+        assert segment_segment_distance(a, b) == 0.0
+
+    def test_parallel(self):
+        a = LineSegment((0, 0), (2, 0))
+        b = LineSegment((0, 1), (2, 1))
+        assert segment_segment_distance(a, b) == 1.0
+
+
+class TestPointPolygon:
+    def test_inside_is_zero(self):
+        poly = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert point_polygon_distance(2, 2, poly) == 0.0
+
+    def test_outside(self):
+        poly = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert point_polygon_distance(6, 2, poly) == 2.0
+
+    def test_inside_hole_uses_hole_boundary(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]],
+        )
+        assert point_polygon_distance(5, 5, poly) == 1.0
+
+
+class TestDispatch:
+    def test_point_point(self):
+        assert geometry_distance(Point(0, 0), Point(3, 4)) == 5.0
+
+    def test_point_linestring(self):
+        line = LineString([(0, 0), (10, 0)])
+        assert geometry_distance(Point(5, 2), line) == 2.0
+
+    def test_point_multipoint(self):
+        mp = MultiPoint([(0, 0), (10, 10)])
+        assert geometry_distance(Point(1, 0), mp) == 1.0
+
+    def test_polygon_polygon_disjoint(self):
+        a = Polygon([(0, 0), (2, 0), (2, 2), (0, 2)])
+        b = Polygon([(5, 0), (7, 0), (7, 2), (5, 2)])
+        assert geometry_distance(a, b) == 3.0
+
+    def test_polygon_polygon_overlap_zero(self):
+        a = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        b = Polygon([(2, 2), (6, 2), (6, 6), (2, 6)])
+        assert geometry_distance(a, b) == 0.0
+
+    def test_polygon_closest_edge_pair(self):
+        # Closest approach is between two edges, not vertex to vertex.
+        a = Polygon([(0, 0), (2, 0), (2, 2), (0, 2)])
+        b = Polygon([(3, -1), (5, -1), (5, 3), (3, 3)])
+        assert geometry_distance(a, b) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        a = Polygon([(0, 0), (2, 0), (2, 2), (0, 2)])
+        p = Point(5, 1)
+        assert geometry_distance(a, p) == geometry_distance(p, a)
+
+    @given(coord, coord, coord, coord)
+    @settings(max_examples=60)
+    def test_nonnegative_and_zero_iff_same(self, x1, y1, x2, y2):
+        d = geometry_distance(Point(x1, y1), Point(x2, y2))
+        assert d >= 0.0
+        if (x1, y1) == (x2, y2):
+            assert d == 0.0
+
+    @given(coord, coord, coord, coord, coord, coord)
+    @settings(max_examples=60)
+    def test_triangle_inequality_points(self, ax, ay, bx, by, cx, cy):
+        a, b, c = Point(ax, ay), Point(bx, by), Point(cx, cy)
+        assert geometry_distance(a, c) <= (
+            geometry_distance(a, b) + geometry_distance(b, c) + 1e-9
+        )

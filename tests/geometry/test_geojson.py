@@ -1,0 +1,101 @@
+"""Tests for GeoJSON serialization."""
+
+import json
+
+import pytest
+
+from repro.geometry.geojson import (
+    GeoJSONError,
+    feature,
+    feature_collection,
+    from_geojson,
+    to_geojson,
+)
+from repro.geometry.primitives import (
+    GeometryCollection,
+    LineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+
+class TestWriting:
+    def test_point(self):
+        assert to_geojson(Point(1, 2)) == {
+            "type": "Point", "coordinates": [1.0, 2.0],
+        }
+
+    def test_polygon_rings_closed(self):
+        poly = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        doc = to_geojson(poly)
+        ring = doc["coordinates"][0]
+        assert ring[0] == ring[-1]
+
+    def test_polygon_with_hole_has_two_rings(self):
+        poly = Polygon(
+            [(0, 0), (4, 0), (4, 4), (0, 4)],
+            holes=[[(1, 1), (2, 1), (2, 2), (1, 2)]],
+        )
+        assert len(to_geojson(poly)["coordinates"]) == 2
+
+
+class TestParsing:
+    def test_accepts_json_string(self):
+        p = from_geojson('{"type": "Point", "coordinates": [1, 2]}')
+        assert isinstance(p, Point)
+
+    def test_polygon(self):
+        doc = {
+            "type": "Polygon",
+            "coordinates": [
+                [[0, 0], [4, 0], [4, 4], [0, 4], [0, 0]],
+                [[1, 1], [2, 1], [2, 2], [1, 2], [1, 1]],
+            ],
+        }
+        poly = from_geojson(doc)
+        assert isinstance(poly, Polygon)
+        assert poly.area == pytest.approx(15.0)
+
+    def test_bad_document_raises(self):
+        with pytest.raises(GeoJSONError):
+            from_geojson({"no": "type"})
+        with pytest.raises(GeoJSONError):
+            from_geojson({"type": "Hexagon", "coordinates": []})
+        with pytest.raises(GeoJSONError):
+            from_geojson({"type": "Polygon", "coordinates": []})
+
+
+class TestRoundTrips:
+    CASES = [
+        Point(1.5, -2.25),
+        MultiPoint([(0, 0), (3, 4)]),
+        LineString([(0, 0), (1, 1), (2, 0)]),
+        Polygon([(0, 0), (4, 0), (4, 4), (0, 4)],
+                holes=[[(1, 1), (2, 1), (2, 2), (1, 2)]]),
+        MultiPolygon([
+            Polygon([(0, 0), (1, 0), (1, 1)]),
+            Polygon([(5, 5), (6, 5), (6, 6), (5, 6)]),
+        ]),
+        GeometryCollection([Point(0, 0), LineString([(0, 0), (1, 1)])]),
+    ]
+
+    @pytest.mark.parametrize("geom", CASES, ids=lambda g: type(g).__name__)
+    def test_roundtrip(self, geom):
+        doc = to_geojson(geom)
+        json.dumps(doc)  # must be JSON-serializable
+        back = from_geojson(doc)
+        assert to_geojson(back) == doc
+
+
+class TestFeatures:
+    def test_feature_wraps_properties(self):
+        ft = feature(Point(1, 1), {"name": "depot"})
+        assert ft["type"] == "Feature"
+        assert ft["properties"]["name"] == "depot"
+
+    def test_feature_collection(self):
+        fc = feature_collection([feature(Point(0, 0)), feature(Point(1, 1))])
+        assert fc["type"] == "FeatureCollection"
+        assert len(fc["features"]) == 2

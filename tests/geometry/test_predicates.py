@@ -1,0 +1,174 @@
+"""Tests for orientation, intersection and containment predicates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.predicates import (
+    orientation,
+    point_in_polygon,
+    point_in_ring,
+    point_on_ring,
+    point_on_segment,
+    points_in_polygon,
+    points_in_ring,
+    polygon_intersects_polygon,
+    ring_is_ccw,
+    ring_signed_area,
+    segment_intersection,
+    segments_intersect,
+)
+from repro.geometry.primitives import Polygon
+
+SQUARE = [(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]
+
+coord = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+
+
+class TestOrientation:
+    def test_ccw(self):
+        assert orientation(0, 0, 1, 0, 1, 1) == 1
+
+    def test_cw(self):
+        assert orientation(0, 0, 1, 1, 1, 0) == -1
+
+    def test_collinear(self):
+        assert orientation(0, 0, 1, 1, 2, 2) == 0
+
+    @given(coord, coord, coord, coord, coord, coord)
+    def test_antisymmetry(self, ax, ay, bx, by, cx, cy):
+        assert orientation(ax, ay, bx, by, cx, cy) == -orientation(
+            ax, ay, cx, cy, bx, by
+        )
+
+
+class TestSegments:
+    def test_crossing(self):
+        assert segments_intersect(0, 0, 2, 2, 0, 2, 2, 0)
+
+    def test_parallel_disjoint(self):
+        assert not segments_intersect(0, 0, 1, 0, 0, 1, 1, 1)
+
+    def test_touching_at_endpoint(self):
+        assert segments_intersect(0, 0, 1, 1, 1, 1, 2, 0)
+
+    def test_collinear_overlap(self):
+        assert segments_intersect(0, 0, 2, 0, 1, 0, 3, 0)
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect(0, 0, 1, 0, 2, 0, 3, 0)
+
+    def test_intersection_point_value(self):
+        pt = segment_intersection(0, 0, 2, 2, 0, 2, 2, 0)
+        assert pt == pytest.approx((1.0, 1.0))
+
+    def test_intersection_none_for_miss(self):
+        assert segment_intersection(0, 0, 1, 0, 0, 1, 1, 1) is None
+
+    def test_intersection_collinear_witness(self):
+        pt = segment_intersection(0, 0, 2, 0, 1, 0, 3, 0)
+        assert pt is not None
+        assert point_on_segment(pt[0], pt[1], 0, 0, 2, 0)
+        assert point_on_segment(pt[0], pt[1], 1, 0, 3, 0)
+
+    @given(coord, coord, coord, coord, coord, coord, coord, coord)
+    @settings(max_examples=200)
+    def test_symmetry(self, ax, ay, bx, by, cx, cy, dx, dy):
+        assert segments_intersect(ax, ay, bx, by, cx, cy, dx, dy) == (
+            segments_intersect(cx, cy, dx, dy, ax, ay, bx, by)
+        )
+
+
+class TestPointInRing:
+    def test_interior(self):
+        assert point_in_ring(2, 2, SQUARE)
+
+    def test_exterior(self):
+        assert not point_in_ring(5, 2, SQUARE)
+
+    def test_boundary_counts_inside(self):
+        assert point_in_ring(0, 2, SQUARE)
+        assert point_in_ring(0, 0, SQUARE)
+
+    def test_point_on_ring(self):
+        assert point_on_ring(2, 0, SQUARE)
+        assert not point_on_ring(2, 2, SQUARE)
+
+    def test_concave_ring(self):
+        # An L-shape: the notch is outside.
+        ring = [(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)]
+        assert point_in_ring(1, 3, ring)
+        assert not point_in_ring(3, 3, ring)
+
+
+class TestVectorizedAgreement:
+    @given(st.lists(st.tuples(coord, coord), min_size=30, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_points_in_ring_matches_scalar(self, points):
+        xs = np.array([p[0] for p in points])
+        ys = np.array([p[1] for p in points])
+        vec = points_in_ring(xs, ys, SQUARE)
+        for i in range(len(points)):
+            # Scalar test is boundary-inclusive; restrict the check to
+            # clearly off-boundary points.
+            on_edge = point_on_ring(xs[i], ys[i], SQUARE)
+            if not on_edge:
+                assert vec[i] == point_in_ring(xs[i], ys[i], SQUARE)
+
+    def test_points_in_polygon_honours_holes(self):
+        poly = Polygon(SQUARE, holes=[[(1, 1), (3, 1), (3, 3), (1, 3)]])
+        xs = np.array([2.0, 0.5, 5.0])
+        ys = np.array([2.0, 0.5, 5.0])
+        assert points_in_polygon(xs, ys, poly).tolist() == [False, True, False]
+
+
+class TestPointInPolygonWithHoles:
+    def test_hole_excluded(self):
+        poly = Polygon(SQUARE, holes=[[(1, 1), (3, 1), (3, 3), (1, 3)]])
+        assert not point_in_polygon(2, 2, poly)
+        assert point_in_polygon(0.5, 0.5, poly)
+
+    def test_hole_boundary_is_inside(self):
+        poly = Polygon(SQUARE, holes=[[(1, 1), (3, 1), (3, 3), (1, 3)]])
+        assert point_in_polygon(1, 2, poly)
+
+
+class TestPolygonIntersection:
+    def test_overlapping(self):
+        a = Polygon(SQUARE)
+        b = Polygon([(2, 2), (6, 2), (6, 6), (2, 6)])
+        assert polygon_intersects_polygon(a, b)
+
+    def test_disjoint(self):
+        a = Polygon(SQUARE)
+        b = Polygon([(10, 10), (12, 10), (12, 12), (10, 12)])
+        assert not polygon_intersects_polygon(a, b)
+
+    def test_containment_counts(self):
+        a = Polygon(SQUARE)
+        b = Polygon([(1, 1), (2, 1), (2, 2), (1, 2)])
+        assert polygon_intersects_polygon(a, b)
+        assert polygon_intersects_polygon(b, a)
+
+    def test_inside_hole_not_intersecting(self):
+        outer = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(2, 2), (8, 2), (8, 8), (2, 8)]],
+        )
+        inner = Polygon([(4, 4), (6, 4), (6, 6), (4, 6)])
+        assert not polygon_intersects_polygon(outer, inner)
+
+    def test_edge_touching(self):
+        a = Polygon(SQUARE)
+        b = Polygon([(4, 0), (8, 0), (8, 4)])
+        assert polygon_intersects_polygon(a, b)
+
+
+class TestRingArea:
+    def test_square_area(self):
+        assert ring_signed_area(SQUARE) == 16.0
+        assert ring_is_ccw(SQUARE)
+
+    def test_reversed_is_negative(self):
+        assert ring_signed_area(list(reversed(SQUARE))) == -16.0

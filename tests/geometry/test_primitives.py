@@ -1,0 +1,192 @@
+"""Tests for the typed geometry primitives."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import (
+    GeometryCollection,
+    LinearRing,
+    LineSegment,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+
+class TestPoint:
+    def test_dimension_and_bounds(self):
+        p = Point(1, 2)
+        assert p.dimension == 0
+        assert tuple(p.bounds) == (1, 2, 1, 2)
+
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_equality_and_hash(self):
+        assert Point(1, 2) == Point(1.0, 2.0)
+        assert hash(Point(1, 2)) == hash(Point(1, 2))
+        assert Point(1, 2) != Point(2, 1)
+
+    def test_unpack(self):
+        x, y = Point(3, 7)
+        assert (x, y) == (3, 7)
+
+
+class TestMultiPoint:
+    def test_requires_points(self):
+        with pytest.raises(ValueError):
+            MultiPoint([])
+
+    def test_iter_yields_points(self):
+        mp = MultiPoint([(0, 0), (1, 1)])
+        assert len(mp) == 2
+        assert list(mp) == [Point(0, 0), Point(1, 1)]
+
+
+class TestLineString:
+    def test_length(self):
+        line = LineString([(0, 0), (3, 0), (3, 4)])
+        assert line.length == 7.0
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            LineString([(0, 0)])
+
+    def test_segments(self):
+        segments = list(LineString([(0, 0), (1, 0), (1, 1)]).segments())
+        assert len(segments) == 2
+        assert segments[0].length == 1.0
+
+    def test_dimension(self):
+        assert LineString([(0, 0), (1, 1)]).dimension == 1
+
+
+class TestLineSegment:
+    def test_intersects(self):
+        a = LineSegment((0, 0), (2, 2))
+        b = LineSegment((0, 2), (2, 0))
+        c = LineSegment((3, 3), (4, 4))
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+
+class TestLinearRing:
+    def test_drops_closing_vertex(self):
+        ring = LinearRing([(0, 0), (1, 0), (1, 1), (0, 0)])
+        assert len(ring) == 3
+
+    def test_requires_three_distinct(self):
+        with pytest.raises(ValueError):
+            LinearRing([(0, 0), (1, 1), (0, 0)])
+
+    def test_orientation_helpers(self):
+        ccw = LinearRing([(0, 0), (1, 0), (1, 1)])
+        assert ccw.is_ccw
+        cw = ccw.reversed()
+        assert not cw.is_ccw
+        assert cw.oriented(ccw=True).is_ccw
+
+    def test_signed_area(self):
+        ring = LinearRing([(0, 0), (2, 0), (2, 2), (0, 2)])
+        assert ring.signed_area == 4.0
+        assert ring.area == 4.0
+
+    def test_is_simple(self):
+        simple = LinearRing([(0, 0), (2, 0), (2, 2), (0, 2)])
+        bowtie = LinearRing([(0, 0), (2, 2), (2, 0), (0, 2)])
+        assert simple.is_simple()
+        assert not bowtie.is_simple()
+
+    def test_closed_array(self):
+        ring = LinearRing([(0, 0), (1, 0), (0, 1)])
+        arr = ring.closed_array()
+        assert arr.shape == (4, 2)
+        assert (arr[0] == arr[-1]).all()
+
+
+class TestPolygon:
+    def test_winding_normalization(self):
+        # Clockwise shell input gets normalized to CCW; CCW hole to CW.
+        poly = Polygon(
+            [(0, 0), (0, 4), (4, 4), (4, 0)],  # clockwise
+            holes=[[(1, 1), (2, 1), (2, 2), (1, 2)]],  # ccw
+        )
+        assert poly.shell.is_ccw
+        assert not poly.holes[0].is_ccw
+
+    def test_area_subtracts_holes(self):
+        poly = Polygon(
+            [(0, 0), (4, 0), (4, 4), (0, 4)],
+            holes=[[(1, 1), (2, 1), (2, 2), (1, 2)]],
+        )
+        assert poly.area == 15.0
+
+    def test_contains_point(self):
+        poly = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert poly.contains_point(2, 2)
+        assert not poly.contains_point(5, 5)
+
+    def test_on_boundary(self):
+        poly = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert poly.on_boundary(2, 0)
+        assert not poly.on_boundary(2, 2)
+
+    def test_representative_point_is_interior(self):
+        poly = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)],
+                       holes=[[(3, 3), (7, 3), (7, 7), (3, 7)]])
+        rp = poly.representative_point()
+        assert poly.contains_point(rp.x, rp.y)
+        assert not poly.on_boundary(rp.x, rp.y)
+
+    def test_rings_iteration(self):
+        poly = Polygon(
+            [(0, 0), (4, 0), (4, 4), (0, 4)],
+            holes=[[(1, 1), (2, 1), (2, 2), (1, 2)]],
+        )
+        assert len(list(poly.rings())) == 2
+
+
+class TestMultiPolygon:
+    def test_area_and_contains(self):
+        mp = MultiPolygon([
+            Polygon([(0, 0), (2, 0), (2, 2), (0, 2)]),
+            Polygon([(5, 5), (7, 5), (7, 7), (5, 7)]),
+        ])
+        assert mp.area == 8.0
+        assert mp.contains_point(1, 1)
+        assert mp.contains_point(6, 6)
+        assert not mp.contains_point(3, 3)
+
+    def test_bounds_union(self):
+        mp = MultiPolygon([
+            Polygon([(0, 0), (2, 0), (2, 2), (0, 2)]),
+            Polygon([(5, 5), (7, 5), (7, 7), (5, 7)]),
+        ])
+        assert tuple(mp.bounds) == (0, 0, 7, 7)
+
+
+class TestGeometryCollection:
+    def test_figure3_object(self):
+        """The paper's Figure 3: polygons + a line + a point, one id."""
+        collection = GeometryCollection([
+            Polygon([(0, 0), (2, 0), (2, 2), (0, 2)]),
+            LineString([(2, 1), (5, 1)]),
+            Polygon([(5, 0), (7, 0), (7, 2), (5, 2)],
+                    holes=[[(5.5, 0.5), (6.5, 0.5), (6.5, 1.5), (5.5, 1.5)]]),
+            Point(6, 1),
+        ])
+        assert collection.dimension == 2
+        assert len(collection.primitives_of_dimension(0)) == 1
+        assert len(collection.primitives_of_dimension(1)) == 1
+        assert len(collection.primitives_of_dimension(2)) == 2
+
+    def test_vertex_array_concatenates(self):
+        collection = GeometryCollection([Point(0, 0), Point(1, 1)])
+        assert collection.vertex_array().shape == (2, 2)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            GeometryCollection([])

@@ -1,0 +1,102 @@
+"""Tests for affine transforms."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.primitives import LineString, Point, Polygon
+from repro.geometry.transforms import AffineTransform
+
+angle = st.floats(-math.pi, math.pi)
+shift = st.floats(-100, 100, allow_nan=False)
+scale = st.floats(0.1, 10.0)
+
+
+class TestConstructors:
+    def test_identity(self):
+        t = AffineTransform.identity()
+        assert t.is_identity
+        assert t.apply_point(3, 4) == (3, 4)
+
+    def test_translation(self):
+        t = AffineTransform.translation(2, -1)
+        assert t.apply_point(1, 1) == (3, 0)
+
+    def test_scaling_isotropic_default(self):
+        t = AffineTransform.scaling(2)
+        assert t.apply_point(1, 3) == (2, 6)
+
+    def test_rotation_quarter_turn(self):
+        t = AffineTransform.rotation(math.pi / 2)
+        x, y = t.apply_point(1, 0)
+        assert (x, y) == pytest.approx((0, 1), abs=1e-12)
+
+    def test_rotation_about_center(self):
+        t = AffineTransform.rotation(math.pi, center=(1, 1))
+        assert t.apply_point(2, 1) == pytest.approx((0, 1), abs=1e-12)
+
+    def test_window_to_window(self):
+        t = AffineTransform.window_to_window((0, 0, 10, 10), (0, 0, 1, 2))
+        assert t.apply_point(5, 5) == pytest.approx((0.5, 1.0))
+        assert t.apply_point(10, 0) == pytest.approx((1.0, 0.0))
+
+    def test_window_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            AffineTransform.window_to_window((0, 0, 0, 10), (0, 0, 1, 1))
+
+    def test_bad_matrix_shape_raises(self):
+        with pytest.raises(ValueError):
+            AffineTransform(np.eye(2))
+
+
+class TestAlgebra:
+    def test_composition_order(self):
+        # scale then translate (right applies first under @).
+        t = AffineTransform.translation(1, 0) @ AffineTransform.scaling(2)
+        assert t.apply_point(1, 1) == (3, 2)
+
+    @given(angle, shift, shift)
+    @settings(max_examples=60)
+    def test_inverse_roundtrip(self, a, dx, dy):
+        t = AffineTransform.rotation(a) @ AffineTransform.translation(dx, dy)
+        inv = t.inverse()
+        x, y = t.apply_point(3.0, -7.0)
+        assert inv.apply_point(x, y) == pytest.approx((3.0, -7.0), abs=1e-8)
+
+    def test_apply_array_matches_apply_point(self):
+        t = AffineTransform.rotation(0.3) @ AffineTransform.scaling(2, 3)
+        pts = np.array([[1.0, 2.0], [-4.0, 0.5]])
+        out = t.apply_array(pts)
+        for i in range(len(pts)):
+            assert tuple(out[i]) == pytest.approx(
+                t.apply_point(pts[i, 0], pts[i, 1])
+            )
+
+
+class TestGeometryApplication:
+    def test_point(self):
+        p = AffineTransform.translation(1, 1).apply_geometry(Point(0, 0))
+        assert isinstance(p, Point) and (p.x, p.y) == (1, 1)
+
+    def test_polygon_keeps_holes_and_area_scales(self):
+        poly = Polygon(
+            [(0, 0), (4, 0), (4, 4), (0, 4)],
+            holes=[[(1, 1), (2, 1), (2, 2), (1, 2)]],
+        )
+        out = AffineTransform.scaling(2).apply_geometry(poly)
+        assert isinstance(out, Polygon)
+        assert len(out.holes) == 1
+        assert out.area == pytest.approx(poly.area * 4)
+
+    def test_rotation_preserves_length(self):
+        line = LineString([(0, 0), (3, 4)])
+        out = AffineTransform.rotation(1.1).apply_geometry(line)
+        assert isinstance(out, LineString)
+        assert out.length == pytest.approx(line.length)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            AffineTransform.identity().apply_geometry("not a geometry")  # type: ignore[arg-type]

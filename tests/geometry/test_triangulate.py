@@ -1,0 +1,98 @@
+"""Tests for ear-clipping triangulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.polygons import hand_drawn_polygon
+from repro.geometry.primitives import Polygon
+from repro.geometry.triangulate import (
+    point_in_triangulation,
+    triangle_centroid,
+    triangulate_polygon,
+    triangulate_ring,
+    triangulation_area,
+)
+
+
+class TestSimpleRings:
+    def test_triangle_passthrough(self):
+        tris = triangulate_ring([(0, 0), (1, 0), (0, 1)])
+        assert len(tris) == 1
+
+    def test_square(self):
+        tris = triangulate_ring([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert len(tris) == 2
+        assert triangulation_area(tris) == pytest.approx(16.0)
+
+    def test_concave(self):
+        ring = [(0, 0), (4, 0), (4, 4), (2, 1.5), (0, 4)]
+        tris = triangulate_ring(ring)
+        assert len(tris) == 3
+        poly = Polygon(ring)
+        assert triangulation_area(tris) == pytest.approx(poly.area)
+
+    def test_collinear_vertex_dropped(self):
+        ring = [(0, 0), (2, 0), (4, 0), (4, 4), (0, 4)]
+        tris = triangulate_ring(ring)
+        assert triangulation_area(tris) == pytest.approx(16.0)
+
+    def test_empty_for_degenerate(self):
+        assert triangulate_ring([(0, 0), (1, 1)]) == []
+
+    def test_centroids_inside(self):
+        ring = [(0, 0), (4, 0), (4, 4), (2, 1.5), (0, 4)]
+        poly = Polygon(ring)
+        for tri in triangulate_ring(ring):
+            cx, cy = triangle_centroid(tri)
+            assert poly.contains_point(cx, cy)
+
+
+class TestWithHoles:
+    def test_square_with_hole_area(self):
+        poly = Polygon(
+            [(0, 0), (4, 0), (4, 4), (0, 4)],
+            holes=[[(1, 1), (2, 1), (2, 2), (1, 2)]],
+        )
+        tris = triangulate_polygon(poly)
+        assert triangulation_area(tris) == pytest.approx(poly.area)
+
+    def test_hole_excluded_from_coverage(self):
+        poly = Polygon(
+            [(0, 0), (4, 0), (4, 4), (0, 4)],
+            holes=[[(1, 1), (3, 1), (3, 3), (1, 3)]],
+        )
+        tris = triangulate_polygon(poly)
+        assert not point_in_triangulation(2, 2, tris)
+        assert point_in_triangulation(0.5, 0.5, tris)
+
+    def test_two_holes(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[
+                [(1, 1), (2, 1), (2, 2), (1, 2)],
+                [(7, 7), (8, 7), (8, 8), (7, 8)],
+            ],
+        )
+        tris = triangulate_polygon(poly)
+        assert triangulation_area(tris) == pytest.approx(poly.area)
+
+
+class TestPropertyBased:
+    @given(st.integers(0, 1000), st.integers(5, 24))
+    @settings(max_examples=40, deadline=None)
+    def test_area_preserved_on_random_star_polygons(self, seed, n_vertices):
+        poly = hand_drawn_polygon(
+            n_vertices=n_vertices, irregularity=0.5, seed=seed
+        )
+        tris = triangulate_polygon(poly)
+        assert triangulation_area(tris) == pytest.approx(poly.area, rel=1e-6)
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_triangle_count(self, seed):
+        poly = hand_drawn_polygon(n_vertices=12, irregularity=0.3, seed=seed)
+        tris = triangulate_polygon(poly)
+        # n - 2 triangles for a simple polygon with no holes.
+        assert len(tris) == len(poly.shell) - 2

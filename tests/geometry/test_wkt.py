@@ -1,0 +1,114 @@
+"""Tests for WKT serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.polygons import hand_drawn_polygon
+from repro.geometry.primitives import (
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+from repro.geometry.wkt import WKTParseError, from_wkt, to_wkt
+
+
+class TestWriting:
+    def test_point(self):
+        assert to_wkt(Point(1, 2)) == "POINT (1 2)"
+
+    def test_polygon_closes_rings(self):
+        poly = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        text = to_wkt(poly)
+        assert text.startswith("POLYGON ((")
+        assert text.count("0 0") == 2  # opening vertex repeated to close
+
+    def test_polygon_with_hole(self):
+        poly = Polygon(
+            [(0, 0), (4, 0), (4, 4), (0, 4)],
+            holes=[[(1, 1), (2, 1), (2, 2), (1, 2)]],
+        )
+        text = to_wkt(poly)
+        assert text.count("(") == 3  # outer + two rings
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            to_wkt("banana")  # type: ignore[arg-type]
+
+
+class TestParsing:
+    def test_point(self):
+        p = from_wkt("POINT (3 4)")
+        assert isinstance(p, Point) and (p.x, p.y) == (3, 4)
+
+    def test_multipoint_both_syntaxes(self):
+        a = from_wkt("MULTIPOINT ((1 2), (3 4))")
+        b = from_wkt("MULTIPOINT (1 2, 3 4)")
+        assert isinstance(a, MultiPoint) and isinstance(b, MultiPoint)
+        assert a.coords == b.coords
+
+    def test_linestring(self):
+        line = from_wkt("LINESTRING (0 0, 1 1, 2 0)")
+        assert isinstance(line, LineString) and len(line) == 3
+
+    def test_polygon_with_hole(self):
+        poly = from_wkt(
+            "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 2 1, 2 2, 1 2, 1 1))"
+        )
+        assert isinstance(poly, Polygon)
+        assert len(poly.holes) == 1
+        assert poly.area == pytest.approx(15.0)
+
+    def test_geometrycollection(self):
+        gc = from_wkt(
+            "GEOMETRYCOLLECTION (POINT (1 1), LINESTRING (0 0, 1 1))"
+        )
+        assert isinstance(gc, GeometryCollection) and len(gc) == 2
+
+    def test_case_insensitive(self):
+        assert isinstance(from_wkt("point (1 2)"), Point)
+
+    def test_malformed_raises(self):
+        with pytest.raises(WKTParseError):
+            from_wkt("POINT 1 2")
+        with pytest.raises(WKTParseError):
+            from_wkt("TRIANGLE ((0 0, 1 0, 0 1))")
+        with pytest.raises(WKTParseError):
+            from_wkt("POLYGON (())")
+
+
+class TestRoundTrips:
+    CASES = [
+        Point(1.5, -2.25),
+        MultiPoint([(0, 0), (1e-3, 12345.678)]),
+        LineString([(0, 0), (1, 1), (2, 0)]),
+        MultiLineString([[(0, 0), (1, 1)], [(2, 2), (3, 3), (4, 2)]]),
+        Polygon([(0, 0), (4, 0), (4, 4), (0, 4)],
+                holes=[[(1, 1), (2, 1), (2, 2), (1, 2)]]),
+        MultiPolygon([
+            Polygon([(0, 0), (1, 0), (1, 1)]),
+            Polygon([(5, 5), (6, 5), (6, 6), (5, 6)]),
+        ]),
+    ]
+
+    @pytest.mark.parametrize("geom", CASES, ids=lambda g: type(g).__name__)
+    def test_roundtrip_preserves_wkt(self, geom):
+        text = to_wkt(geom)
+        assert to_wkt(from_wkt(text)) == text
+
+    def test_collection_roundtrip(self):
+        gc = GeometryCollection([Point(0, 0), LineString([(0, 0), (1, 1)])])
+        assert to_wkt(from_wkt(to_wkt(gc))) == to_wkt(gc)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_random_polygon_roundtrip_geometry(self, seed):
+        poly = hand_drawn_polygon(n_vertices=12, seed=seed)
+        back = from_wkt(to_wkt(poly))
+        assert isinstance(back, Polygon)
+        assert back.area == pytest.approx(poly.area, rel=1e-6)
+        assert len(back.shell) == len(poly.shell)

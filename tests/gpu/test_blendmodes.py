@@ -1,0 +1,126 @@
+"""Tests for the generic blend-mode library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.blendmodes import ADD, BUILTIN_MODES, DESTINATION_OVER, MAX, MIN, SOURCE_OVER
+
+
+def _pair(data1, valid1, data2, valid2):
+    return (
+        np.asarray(data1, float), np.asarray(valid1, bool),
+        np.asarray(data2, float), np.asarray(valid2, bool),
+    )
+
+
+class TestSourceOver:
+    def test_source_wins_where_valid(self):
+        d, v = SOURCE_OVER(*_pair([[1.0, 2.0]], [[True]], [[9.0, 9.0]], [[True]]))
+        assert d.tolist() == [[9.0, 9.0]]
+        assert v.tolist() == [[True]]
+
+    def test_destination_survives_null_source(self):
+        d, v = SOURCE_OVER(*_pair([[1.0, 2.0]], [[True]], [[9.0, 9.0]], [[False]]))
+        assert d.tolist() == [[1.0, 2.0]]
+
+    def test_destination_over_keeps_first(self):
+        d, v = DESTINATION_OVER(
+            *_pair([[1.0, 2.0]], [[True]], [[9.0, 9.0]], [[True]])
+        )
+        assert d.tolist() == [[1.0, 2.0]]
+
+
+class TestAdd:
+    def test_sums_where_both_valid(self):
+        d, v = ADD(*_pair([[2.0]], [[True]], [[3.0]], [[True]]))
+        assert d.tolist() == [[5.0]]
+
+    def test_copy_where_one_valid(self):
+        d, v = ADD(*_pair([[2.0]], [[False]], [[3.0]], [[True]]))
+        assert d.tolist() == [[3.0]]
+        assert v.tolist() == [[True]]
+
+    def test_null_where_neither(self):
+        d, v = ADD(*_pair([[2.0]], [[False]], [[3.0]], [[False]]))
+        assert v.tolist() == [[False]]
+
+
+class TestMinMax:
+    def test_max(self):
+        d, _ = MAX(*_pair([[2.0]], [[True]], [[5.0]], [[True]]))
+        assert d.tolist() == [[5.0]]
+
+    def test_max_ignores_null(self):
+        d, _ = MAX(*_pair([[2.0]], [[True]], [[99.0]], [[False]]))
+        assert d.tolist() == [[2.0]]
+
+    def test_min(self):
+        d, _ = MIN(*_pair([[2.0]], [[True]], [[5.0]], [[True]]))
+        assert d.tolist() == [[2.0]]
+
+    def test_both_null_yields_zero_data(self):
+        d, v = MIN(*_pair([[2.0]], [[False]], [[5.0]], [[False]]))
+        assert d.tolist() == [[0.0]]
+        assert not v.any()
+
+
+class TestGroupedChannels:
+    def test_validity_broadcast_per_group(self):
+        # 4 channels, 2 groups: group 0 owns channels 0-1.
+        d1 = np.array([[1.0, 1.0, 2.0, 2.0]])
+        v1 = np.array([[True, False]])
+        d2 = np.array([[9.0, 9.0, 8.0, 8.0]])
+        v2 = np.array([[False, True]])
+        d, v = SOURCE_OVER(d1, v1, d2, v2)
+        assert d.tolist() == [[1.0, 1.0, 8.0, 8.0]]
+        assert v.tolist() == [[True, True]]
+
+
+values = st.lists(
+    st.floats(-100, 100, allow_nan=False), min_size=3, max_size=3
+)
+validity = st.booleans()
+
+
+class TestAlgebraicLaws:
+    @given(values, validity, values, validity, values, validity)
+    @settings(max_examples=60)
+    def test_add_associative(self, a, va, b, vb, c, vc):
+        d_a = np.array([a])
+        d_b = np.array([b])
+        d_c = np.array([c])
+        m_a = np.array([[va]])
+        m_b = np.array([[vb]])
+        m_c = np.array([[vc]])
+        left = ADD(*ADD(d_a, m_a, d_b, m_b), d_c, m_c)
+        right = ADD(d_a, m_a, *ADD(d_b, m_b, d_c, m_c))
+        np.testing.assert_allclose(left[0], right[0], atol=1e-9)
+        assert (left[1] == right[1]).all()
+
+    @given(values, validity, values, validity)
+    @settings(max_examples=60)
+    def test_add_commutative(self, a, va, b, vb):
+        d_a, d_b = np.array([a]), np.array([b])
+        m_a, m_b = np.array([[va]]), np.array([[vb]])
+        ab = ADD(d_a, m_a, d_b, m_b)
+        ba = ADD(d_b, m_b, d_a, m_a)
+        np.testing.assert_allclose(ab[0], ba[0], atol=1e-9)
+
+    @given(values, validity, values, validity, values, validity)
+    @settings(max_examples=60)
+    def test_source_over_associative(self, a, va, b, vb, c, vc):
+        d_a, d_b, d_c = np.array([a]), np.array([b]), np.array([c])
+        m_a, m_b, m_c = np.array([[va]]), np.array([[vb]]), np.array([[vc]])
+        left = SOURCE_OVER(*SOURCE_OVER(d_a, m_a, d_b, m_b), d_c, m_c)
+        right = SOURCE_OVER(d_a, m_a, *SOURCE_OVER(d_b, m_b, d_c, m_c))
+        np.testing.assert_allclose(left[0], right[0])
+        assert (left[1] == right[1]).all()
+
+    def test_metadata_flags(self):
+        assert ADD.associative and ADD.commutative
+        assert SOURCE_OVER.associative and not SOURCE_OVER.commutative
+        assert set(BUILTIN_MODES) == {
+            "source-over", "destination-over", "add", "max", "min",
+        }

@@ -1,0 +1,62 @@
+"""Tests for the device execution model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import DEFAULT_DEVICE, Device
+
+
+class TestProfiles:
+    def test_discrete_whole_frame(self):
+        device = Device.discrete()
+        assert list(device.row_tiles(100)) == [slice(0, 100)]
+
+    def test_integrated_tiles(self):
+        device = Device.integrated(tile_rows=16)
+        tiles = list(device.row_tiles(40))
+        assert tiles == [slice(0, 16), slice(16, 32), slice(32, 40)]
+
+    def test_integrated_invalid_tile_rows(self):
+        with pytest.raises(ValueError):
+            Device.integrated(tile_rows=0)
+
+    def test_tiles_cover_exactly(self):
+        device = Device.integrated(tile_rows=7)
+        covered = []
+        for tile in device.row_tiles(50):
+            covered.extend(range(tile.start, tile.stop))
+        assert covered == list(range(50))
+
+    def test_negative_height_raises(self):
+        with pytest.raises(ValueError):
+            list(DEFAULT_DEVICE.row_tiles(-1))
+
+    def test_zero_height(self):
+        assert list(Device.integrated(tile_rows=4).row_tiles(0)) == []
+
+
+class TestExecution:
+    def test_run_rows_invokes_per_tile(self):
+        device = Device.integrated(tile_rows=10)
+        calls = []
+        device.run_rows(25, calls.append)
+        assert len(calls) == 3
+
+    def test_elementwise_matches_direct(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((33, 8))
+        b = rng.random((33, 8))
+        out_tiled = np.empty_like(a)
+        Device.integrated(tile_rows=5).elementwise(
+            (a, b), lambda x, y: x * y + 1.0, out_tiled
+        )
+        out_whole = np.empty_like(a)
+        Device.discrete().elementwise(
+            (a, b), lambda x, y: x * y + 1.0, out_whole
+        )
+        assert np.array_equal(out_tiled, out_whole)
+        assert np.array_equal(out_tiled, a * b + 1.0)
+
+    def test_devices_are_value_objects(self):
+        assert Device.discrete() == Device.discrete()
+        assert Device.integrated(tile_rows=8) != Device.integrated(tile_rows=16)

@@ -1,0 +1,114 @@
+"""Tests for the framebuffer render target."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.blendmodes import ADD, SOURCE_OVER
+from repro.gpu.device import Device
+from repro.gpu.framebuffer import Framebuffer
+from repro.gpu.texture import Texture
+
+
+class TestDrawMask:
+    def test_fills_covered_pixels(self):
+        tex = Texture(4, 4, channels=2, groups=1)
+        fb = Framebuffer(tex)
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[1, 1] = mask[2, 2] = True
+        fb.draw_mask(mask, np.array([5.0, 6.0]), np.array([True]))
+        assert tex.data[1, 1].tolist() == [5.0, 6.0]
+        assert tex.valid[2, 2, 0]
+        assert not tex.valid[0, 0, 0]
+
+    def test_wrong_mask_shape_raises(self):
+        tex = Texture(4, 4, channels=2, groups=1)
+        fb = Framebuffer(tex)
+        with pytest.raises(ValueError):
+            fb.draw_mask(np.zeros((3, 3), bool), np.zeros(2), np.array([True]))
+
+    def test_wrong_value_shape_raises(self):
+        tex = Texture(4, 4, channels=2, groups=1)
+        fb = Framebuffer(tex)
+        with pytest.raises(ValueError):
+            fb.draw_mask(np.zeros((4, 4), bool), np.zeros(3), np.array([True]))
+
+    def test_tiled_device_equivalent(self):
+        mask = np.random.default_rng(0).random((16, 8)) > 0.5
+        results = []
+        for device in (Device.discrete(), Device.integrated(tile_rows=3)):
+            tex = Texture(16, 8, channels=1, groups=1)
+            fb = Framebuffer(tex, device=device)
+            fb.draw_mask(mask, np.array([2.0]), np.array([True]))
+            results.append((tex.data.copy(), tex.valid.copy()))
+        assert np.array_equal(results[0][0], results[1][0])
+        assert np.array_equal(results[0][1], results[1][1])
+
+
+class TestDrawCells:
+    def test_per_fragment_values(self):
+        tex = Texture(4, 4, channels=1, groups=1)
+        fb = Framebuffer(tex)
+        fb.draw_cells(
+            np.array([0, 3]), np.array([1, 2]),
+            np.array([[7.0], [8.0]]),
+            np.array([[True], [True]]),
+        )
+        assert tex.data[0, 1, 0] == 7.0
+        assert tex.data[3, 2, 0] == 8.0
+
+    def test_constant_broadcast(self):
+        tex = Texture(4, 4, channels=1, groups=1)
+        fb = Framebuffer(tex)
+        fb.draw_cells(
+            np.array([0, 1]), np.array([0, 1]),
+            np.array([3.0]), np.array([True]),
+        )
+        assert tex.data[0, 0, 0] == 3.0 and tex.data[1, 1, 0] == 3.0
+
+    def test_source_over_blending(self):
+        tex = Texture(2, 2, channels=1, groups=1)
+        fb = Framebuffer(tex, blend=SOURCE_OVER)
+        fb.draw_cells(np.array([0]), np.array([0]), np.array([1.0]),
+                      np.array([True]))
+        fb.draw_cells(np.array([0]), np.array([0]), np.array([2.0]),
+                      np.array([True]))
+        assert tex.data[0, 0, 0] == 2.0
+
+
+class TestScatterAdd:
+    def test_duplicate_cells_accumulate(self):
+        tex = Texture(2, 2, channels=1, groups=1)
+        fb = Framebuffer(tex, blend=ADD)
+        fb.scatter_add_cells(
+            np.array([0, 0, 0]), np.array([1, 1, 1]),
+            np.array([1.0]), np.array([True]),
+        )
+        assert tex.data[0, 1, 0] == 3.0
+        assert tex.valid[0, 1, 0]
+
+    def test_per_fragment_values(self):
+        tex = Texture(2, 2, channels=2, groups=1)
+        fb = Framebuffer(tex, blend=ADD)
+        fb.scatter_add_cells(
+            np.array([1, 1]), np.array([0, 0]),
+            np.array([[1.0, 10.0], [2.0, 20.0]]),
+            np.array([[True], [True]]),
+        )
+        assert tex.data[1, 0].tolist() == [3.0, 30.0]
+
+
+class TestBlendTexture:
+    def test_full_frame_blend(self):
+        dst = Texture(4, 4, channels=1, groups=1)
+        src = Texture(4, 4, channels=1, groups=1)
+        src.data[2, 2, 0] = 9.0
+        src.valid[2, 2, 0] = True
+        Framebuffer(dst, blend=ADD).blend_texture(src)
+        assert dst.data[2, 2, 0] == 9.0
+        assert dst.valid[2, 2, 0]
+
+    def test_shape_mismatch_raises(self):
+        dst = Texture(4, 4, channels=1, groups=1)
+        src = Texture(4, 5, channels=1, groups=1)
+        with pytest.raises(ValueError):
+            Framebuffer(dst).blend_texture(src)

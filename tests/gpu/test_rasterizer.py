@@ -1,0 +1,150 @@
+"""Tests for point / line / triangle rasterization kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.rasterizer import (
+    disk_mask,
+    halfspace_mask,
+    points_to_cells,
+    rasterize_points,
+    rasterize_segments,
+    rasterize_triangle,
+    rasterize_triangles,
+    ring_boundary_cells,
+    supercover_cells,
+)
+
+coord = st.floats(0.0, 31.9, allow_nan=False)
+
+
+class TestPoints:
+    def test_floor_binning(self):
+        rows, cols, inside = points_to_cells(
+            np.array([0.5, 3.9]), np.array([1.5, 0.0]), 8, 8
+        )
+        assert rows.tolist() == [1, 0]
+        assert cols.tolist() == [0, 3]
+        assert inside.all()
+
+    def test_outside_dropped(self):
+        rows, cols = rasterize_points(
+            np.array([-1.0, 4.0, 100.0]), np.array([2.0, 2.0, 2.0]), 8, 8
+        )
+        assert len(rows) == 1
+        assert (rows[0], cols[0]) == (2, 4)
+
+    def test_top_border_closed(self):
+        rows, cols, inside = points_to_cells(
+            np.array([8.0]), np.array([8.0]), 8, 8
+        )
+        assert inside.all()
+        assert (rows[0], cols[0]) == (7, 7)
+
+
+class TestSupercover:
+    def test_horizontal_line(self):
+        rows, cols = supercover_cells(0.5, 2.5, 6.5, 2.5, 8, 8)
+        assert set(rows.tolist()) == {2}
+        assert set(cols.tolist()) == set(range(7))
+
+    def test_diagonal_covers_both_sides(self):
+        # A 45-degree diagonal through cell corners touches all cells
+        # along the way — supercover must include them.
+        rows, cols = supercover_cells(0.0, 0.0, 4.0, 4.0, 8, 8)
+        cells = set(zip(rows.tolist(), cols.tolist()))
+        for i in range(4):
+            assert (i, i) in cells
+
+    def test_steep_line(self):
+        rows, cols = supercover_cells(1.5, 0.5, 1.5, 5.5, 8, 8)
+        assert set(cols.tolist()) == {1}
+        assert set(rows.tolist()) == set(range(6))
+
+    def test_degenerate_point_segment(self):
+        rows, cols = supercover_cells(3.5, 3.5, 3.5, 3.5, 8, 8)
+        assert (rows.tolist(), cols.tolist()) == ([3], [3])
+
+    def test_clipped_to_grid(self):
+        rows, cols = supercover_cells(-5.0, 2.5, 20.0, 2.5, 8, 8)
+        assert (cols >= 0).all() and (cols < 8).all()
+        assert set(cols.tolist()) == set(range(8))
+
+    @given(coord, coord, coord, coord)
+    @settings(max_examples=100, deadline=None)
+    def test_supercover_covers_samples(self, x0, y0, x1, y1):
+        """Every densely-sampled location on the segment lies in a
+        reported cell — the conservative guarantee."""
+        rows, cols = supercover_cells(x0, y0, x1, y1, 32, 32)
+        cells = set(zip(rows.tolist(), cols.tolist()))
+        for t in np.linspace(0, 1, 64):
+            x = x0 + t * (x1 - x0)
+            y = y0 + t * (y1 - y0)
+            r, c = int(min(y, 31.999)), int(min(x, 31.999))
+            assert (r, c) in cells
+
+
+class TestSegmentsAndRings:
+    def test_multiple_segments_deduplicated(self):
+        segments = np.array([
+            [0.5, 0.5, 3.5, 0.5],
+            [0.5, 0.5, 3.5, 0.5],  # duplicate
+        ])
+        rows, cols = rasterize_segments(segments, 8, 8)
+        assert len(rows) == len(set(zip(rows.tolist(), cols.tolist())))
+
+    def test_empty_input(self):
+        rows, cols = rasterize_segments(np.empty((0, 4)), 8, 8)
+        assert len(rows) == 0
+
+    def test_ring_boundary_square(self):
+        ring = np.array([[2.0, 2.0], [6.0, 2.0], [6.0, 6.0], [2.0, 6.0]])
+        rows, cols = ring_boundary_cells(ring, 10, 10)
+        cells = set(zip(rows.tolist(), cols.tolist()))
+        # 4x4 cell square perimeter plus the outer-touching edge cells.
+        assert (2, 2) in cells and (6, 6) in cells
+        assert (4, 4) not in cells  # interior untouched
+
+
+class TestTriangles:
+    def test_right_triangle_area(self):
+        rows, cols = rasterize_triangle(0, 0, 8, 0, 0, 8, 16, 16)
+        # Half of an 8x8 block, center sampling: close to 32 cells.
+        assert 24 <= len(rows) <= 40
+
+    def test_winding_invariance(self):
+        a = rasterize_triangle(1, 1, 6, 1, 3, 5, 8, 8)
+        b = rasterize_triangle(3, 5, 6, 1, 1, 1, 8, 8)
+        assert set(zip(*map(list, a))) == set(zip(*map(list, b)))
+
+    def test_offscreen_triangle_empty(self):
+        rows, cols = rasterize_triangle(-10, -10, -5, -10, -7, -5, 8, 8)
+        assert len(rows) == 0
+
+    def test_triangles_union(self):
+        tris = np.array([
+            [0, 0, 4, 0, 0, 4],
+            [4, 4, 4, 0, 0, 4],
+        ])
+        rows, cols = rasterize_triangles(tris, 8, 8)
+        cells = set(zip(rows.tolist(), cols.tolist()))
+        # The two triangles tile the square [0,4)x[0,4).
+        for r in range(4):
+            for c in range(4):
+                assert (r, c) in cells
+
+
+class TestAnalyticMasks:
+    def test_disk_mask(self):
+        mask = disk_mask(4.0, 4.0, 2.0, 8, 8)
+        assert mask[4, 4]
+        assert not mask[0, 0]
+        # Area close to pi * r^2 = 12.57.
+        assert 9 <= mask.sum() <= 16
+
+    def test_halfspace_mask(self):
+        mask = halfspace_mask(1.0, 0.0, -4.0, 8, 8)  # x < 4
+        assert mask[:, :3].all()
+        assert not mask[:, 4:].any()

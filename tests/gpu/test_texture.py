@@ -1,0 +1,95 @@
+"""Tests for textures."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.texture import Texture
+
+
+class TestConstruction:
+    def test_shape_and_groups(self):
+        tex = Texture(4, 6, channels=9, groups=3)
+        assert tex.shape == (4, 6, 9)
+        assert tex.channels_per_group == 3
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Texture(0, 4)
+
+    def test_channels_not_multiple_of_groups(self):
+        with pytest.raises(ValueError):
+            Texture(2, 2, channels=5, groups=2)
+
+    def test_starts_null(self):
+        tex = Texture(3, 3)
+        assert tex.nonnull_count() == 0
+        assert not tex.any_valid().any()
+
+
+class TestGroupViews:
+    def test_group_slice(self):
+        tex = Texture(2, 2, channels=9, groups=3)
+        assert tex.group_slice(1) == slice(3, 6)
+
+    def test_group_out_of_range(self):
+        tex = Texture(2, 2, channels=4, groups=2)
+        with pytest.raises(IndexError):
+            tex.group_slice(2)
+
+    def test_group_data_is_view(self):
+        tex = Texture(2, 2, channels=4, groups=2)
+        tex.group_data(1)[0, 0, 0] = 7.0
+        assert tex.data[0, 0, 2] == 7.0
+
+    def test_iter_groups(self):
+        tex = Texture(2, 2, channels=6, groups=3)
+        assert len(list(tex.iter_groups())) == 3
+
+
+class TestCopySemantics:
+    def test_copy_is_independent(self):
+        tex = Texture(2, 2)
+        clone = tex.copy()
+        clone.data[0, 0, 0] = 5.0
+        clone.valid[0, 0, 0] = True
+        assert tex.data[0, 0, 0] == 0.0
+        assert not tex.valid[0, 0, 0]
+
+    def test_like_matches_shape(self):
+        tex = Texture(3, 5, channels=9, groups=3)
+        blank = Texture.like(tex)
+        assert blank.shape == tex.shape
+        assert blank.nonnull_count() == 0
+
+    def test_clear(self):
+        tex = Texture(2, 2)
+        tex.data[:] = 1.0
+        tex.valid[:] = True
+        tex.clear()
+        assert tex.nonnull_count() == 0
+
+
+class TestGather:
+    def test_in_range_fetch(self):
+        tex = Texture(4, 4, channels=2, groups=1)
+        tex.data[2, 3] = [7.0, 8.0]
+        tex.valid[2, 3, 0] = True
+        data, valid = tex.gather(np.array([2]), np.array([3]))
+        assert data.tolist() == [[7.0, 8.0]]
+        assert valid.tolist() == [[True]]
+
+    def test_out_of_range_fetches_null(self):
+        tex = Texture(4, 4, channels=2, groups=1)
+        tex.data[0, 0] = [9.0, 9.0]
+        tex.valid[0, 0, 0] = True
+        data, valid = tex.gather(np.array([-1, 4, 0]), np.array([0, 0, -5]))
+        assert not valid.any()
+        assert (data == 0).all()
+
+    def test_mixed_batch(self):
+        tex = Texture(2, 2, channels=1, groups=1)
+        tex.data[1, 1, 0] = 3.0
+        tex.valid[1, 1, 0] = True
+        data, valid = tex.gather(np.array([1, 5]), np.array([1, 5]))
+        assert valid[0, 0] and not valid[1, 0]
+        assert data[0, 0] == 3.0 and data[1, 0] == 0.0

@@ -1,0 +1,85 @@
+"""Tests for the uniform grid index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.bbox import BoundingBox
+from repro.index.grid import GridIndex
+
+WINDOW = BoundingBox(0, 0, 100, 100)
+
+
+class TestBasics:
+    def test_invalid_resolution_raises(self):
+        with pytest.raises(ValueError):
+            GridIndex(WINDOW, 0, 4)
+
+    def test_insert_and_query(self):
+        index = GridIndex(WINDOW, 8, 8)
+        index.insert("a", BoundingBox(10, 10, 20, 20))
+        index.insert("b", BoundingBox(60, 60, 70, 70))
+        assert index.query(BoundingBox(0, 0, 30, 30)) == ["a"]
+        assert set(index.query(BoundingBox(0, 0, 100, 100))) == {"a", "b"}
+        assert len(index) == 2
+
+    def test_query_point(self):
+        index = GridIndex(WINDOW, 8, 8)
+        index.insert("a", BoundingBox(10, 10, 20, 20))
+        assert index.query_point(15, 15) == ["a"]
+        assert index.query_point(50, 50) == []
+
+    def test_item_spanning_cells_not_duplicated(self):
+        index = GridIndex(WINDOW, 8, 8)
+        index.insert("wide", BoundingBox(5, 5, 95, 95))
+        assert index.query(BoundingBox(0, 0, 100, 100)) == ["wide"]
+
+    def test_outside_window_clamped(self):
+        index = GridIndex(WINDOW, 8, 8)
+        index.insert("out", BoundingBox(150, 150, 160, 160))
+        assert index.query(BoundingBox(140, 140, 170, 170)) == ["out"]
+
+
+class TestBulkLoad:
+    def test_bulk_load_points(self):
+        index = GridIndex(WINDOW, 16, 16)
+        xs = np.array([10.0, 50.0, 90.0])
+        ys = np.array([10.0, 50.0, 90.0])
+        index.bulk_load_points(xs, ys, ids=["p0", "p1", "p2"])
+        assert index.query(BoundingBox(40, 40, 60, 60)) == ["p1"]
+        assert len(index) == 3
+
+    def test_bulk_load_default_ids(self):
+        index = GridIndex(WINDOW, 16, 16)
+        index.bulk_load_points(np.array([1.0]), np.array([1.0]))
+        assert index.query_point(1, 1) == [0]
+
+    def test_bulk_load_length_mismatch(self):
+        index = GridIndex(WINDOW, 4, 4)
+        with pytest.raises(ValueError):
+            index.bulk_load_points(np.array([1.0]), np.array([1.0]), ids=[1, 2])
+
+
+class TestAgainstBruteForce:
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)),
+            min_size=1, max_size=200,
+        ),
+        st.tuples(st.floats(0, 90), st.floats(0, 90),
+                  st.floats(1, 50), st.floats(1, 50)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_point_queries_match(self, points, query):
+        x0, y0, w, h = query
+        box = BoundingBox(x0, y0, min(x0 + w, 100), min(y0 + h, 100))
+        index = GridIndex(WINDOW, 8, 8)
+        xs = np.array([p[0] for p in points])
+        ys = np.array([p[1] for p in points])
+        index.bulk_load_points(xs, ys)
+        expected = {
+            i for i in range(len(points))
+            if box.contains_point(xs[i], ys[i])
+        }
+        assert set(index.query(box)) == expected

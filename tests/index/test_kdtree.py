@@ -1,0 +1,90 @@
+"""Tests for the k-d tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.kdtree import KDTree
+
+
+class TestConstruction:
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            KDTree(np.zeros((3, 3)))
+
+    def test_items_length_mismatch(self):
+        with pytest.raises(ValueError):
+            KDTree([(0, 0), (1, 1)], items=["only-one"])
+
+    def test_len(self):
+        tree = KDTree([(0, 0), (1, 1), (2, 2)])
+        assert len(tree) == 3
+
+
+class TestNearest:
+    def test_single_nearest(self):
+        tree = KDTree([(0, 0), (10, 0), (5, 5)])
+        [(item, d)] = tree.nearest(9, 1, k=1)
+        assert item == 1
+        assert d == pytest.approx(np.hypot(1, 1))
+
+    def test_custom_items(self):
+        tree = KDTree([(0, 0), (10, 10)], items=["origin", "corner"])
+        assert tree.nearest(1, 1, k=1)[0][0] == "origin"
+
+    def test_k_larger_than_tree(self):
+        tree = KDTree([(0, 0), (1, 1)])
+        assert len(tree.nearest(0, 0, k=10)) == 2
+
+    def test_zero_k(self):
+        tree = KDTree([(0, 0)])
+        assert tree.nearest(0, 0, k=0) == []
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(5)
+        pts = rng.uniform(0, 100, (800, 2))
+        tree = KDTree(pts)
+        for qx, qy in [(50, 50), (0, 0), (99, 1)]:
+            got = [item for item, _ in tree.nearest(qx, qy, k=15)]
+            d = np.hypot(pts[:, 0] - qx, pts[:, 1] - qy)
+            assert set(got) == set(np.argsort(d)[:15].tolist())
+
+    @given(
+        st.lists(st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+                 min_size=2, max_size=120),
+        st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_nearest_property(self, points, query, k):
+        qx, qy = query
+        tree = KDTree(points)
+        result = tree.nearest(qx, qy, k=k)
+        k_eff = min(k, len(points))
+        assert len(result) == k_eff
+        dists = [d for _, d in result]
+        assert dists == sorted(dists)
+        # The k-th smallest brute-force distance bounds every result.
+        arr = np.asarray(points, dtype=float)
+        brute = np.sort(np.hypot(arr[:, 0] - qx, arr[:, 1] - qy))
+        assert dists[-1] == pytest.approx(brute[k_eff - 1], abs=1e-9)
+
+
+class TestWithinRadius:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(6)
+        pts = rng.uniform(0, 100, (500, 2))
+        tree = KDTree(pts)
+        got = {item for item, _ in tree.within_radius(40, 60, 15)}
+        d = np.hypot(pts[:, 0] - 40, pts[:, 1] - 60)
+        assert got == set(np.nonzero(d <= 15)[0].tolist())
+
+    def test_sorted_by_distance(self):
+        tree = KDTree([(0, 0), (3, 0), (1, 0)])
+        items = [i for i, _ in tree.within_radius(0, 0, 5)]
+        assert items == [0, 2, 1]
+
+    def test_negative_radius_empty(self):
+        tree = KDTree([(0, 0)])
+        assert tree.within_radius(0, 0, -1) == []

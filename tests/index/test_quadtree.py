@@ -1,0 +1,75 @@
+"""Tests for the PR quadtree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.bbox import BoundingBox
+from repro.index.quadtree import QuadTree
+
+WINDOW = BoundingBox(0, 0, 100, 100)
+
+
+class TestBasics:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            QuadTree(WINDOW, capacity=0)
+
+    def test_insert_and_count(self):
+        tree = QuadTree(WINDOW, capacity=4)
+        for i in range(10):
+            tree.insert(i * 10.0, i * 10.0, i)
+        assert len(tree) == 10
+
+    def test_outside_window_raises(self):
+        tree = QuadTree(WINDOW)
+        with pytest.raises(ValueError):
+            tree.insert(200, 50, "x")
+
+    def test_split_happens(self):
+        tree = QuadTree(WINDOW, capacity=2)
+        rng = np.random.default_rng(0)
+        for i in range(50):
+            tree.insert(rng.uniform(0, 100), rng.uniform(0, 100), i)
+        assert tree.depth >= 2
+
+    def test_duplicate_positions_supported(self):
+        tree = QuadTree(WINDOW, capacity=2, max_depth=4)
+        for i in range(20):
+            tree.insert(50.0, 50.0, i)
+        # Max depth stops infinite splitting; all items retrievable.
+        got = tree.query(BoundingBox(49, 49, 51, 51))
+        assert sorted(got) == list(range(20))
+
+
+class TestQueries:
+    def test_query_matches_brute_force(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 100, (500, 2))
+        tree = QuadTree(WINDOW, capacity=8)
+        for i, (x, y) in enumerate(pts):
+            tree.insert(x, y, i)
+        box = BoundingBox(10, 30, 55, 80)
+        expected = {
+            i for i, (x, y) in enumerate(pts) if box.contains_point(x, y)
+        }
+        assert set(tree.query(box)) == expected
+
+    @given(
+        st.lists(st.tuples(st.floats(0, 100), st.floats(0, 100)),
+                 min_size=1, max_size=200),
+        st.tuples(st.floats(0, 100), st.floats(0, 100),
+                  st.floats(0, 100), st.floats(0, 100)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_query_equivalence_property(self, points, rect):
+        x0, y0, x1, y1 = rect
+        box = BoundingBox(min(x0, x1), min(y0, y1), max(x0, x1), max(y0, y1))
+        tree = QuadTree(WINDOW, capacity=4)
+        for i, (x, y) in enumerate(points):
+            tree.insert(x, y, i)
+        expected = {
+            i for i, (x, y) in enumerate(points) if box.contains_point(x, y)
+        }
+        assert set(tree.query(box)) == expected

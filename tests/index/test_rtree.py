@@ -1,0 +1,111 @@
+"""Tests for the STR-packed R-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.bbox import BoundingBox
+from repro.index.rtree import RTree
+
+
+def _point_items(points):
+    return [
+        (i, BoundingBox(x, y, x, y)) for i, (x, y) in enumerate(points)
+    ]
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = RTree([])
+        assert len(tree) == 0
+        assert tree.height == 0
+        assert tree.query(BoundingBox(0, 0, 1, 1)) == []
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ValueError):
+            RTree([], leaf_capacity=1)
+
+    def test_single_item(self):
+        tree = RTree([("x", BoundingBox(1, 1, 2, 2))])
+        assert tree.height == 1
+        assert tree.query(BoundingBox(0, 0, 3, 3)) == ["x"]
+
+    def test_height_grows_logarithmically(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 100, (2000, 2))
+        tree = RTree(_point_items(pts), leaf_capacity=16, fanout=16)
+        assert 2 <= tree.height <= 4
+
+    def test_leaf_boxes_cover_items(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 10, (100, 2))
+        tree = RTree(_point_items(pts), leaf_capacity=8)
+        union = BoundingBox.union_all(list(tree.iter_leaf_boxes()))
+        for x, y in pts:
+            assert union.contains_point(x, y)
+
+
+class TestQueries:
+    def test_box_query_matches_brute_force(self):
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(0, 100, (500, 2))
+        tree = RTree(_point_items(pts))
+        box = BoundingBox(25, 25, 60, 70)
+        expected = {
+            i for i, (x, y) in enumerate(pts) if box.contains_point(x, y)
+        }
+        assert set(tree.query(box)) == expected
+
+    def test_query_point(self):
+        tree = RTree([("a", BoundingBox(0, 0, 10, 10)),
+                      ("b", BoundingBox(20, 20, 30, 30))])
+        assert tree.query_point(5, 5) == ["a"]
+        assert tree.query_point(15, 15) == []
+
+    @given(
+        st.lists(st.tuples(st.floats(0, 100), st.floats(0, 100)),
+                 min_size=1, max_size=300),
+        st.tuples(st.floats(0, 100), st.floats(0, 100),
+                  st.floats(0, 100), st.floats(0, 100)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_query_equivalence_property(self, points, rect):
+        x0, y0, x1, y1 = rect
+        box = BoundingBox(min(x0, x1), min(y0, y1), max(x0, x1), max(y0, y1))
+        tree = RTree(_point_items(points), leaf_capacity=8, fanout=4)
+        expected = {
+            i for i, (x, y) in enumerate(points) if box.contains_point(x, y)
+        }
+        assert set(tree.query(box)) == expected
+
+
+class TestNearest:
+    def test_nearest_single(self):
+        pts = [(0.0, 0.0), (10.0, 0.0), (5.0, 5.0)]
+        tree = RTree(_point_items(pts))
+        [(item, dist)] = tree.nearest(9.0, 1.0, k=1)
+        assert item == 1
+        assert dist == pytest.approx(np.hypot(1.0, 1.0))
+
+    def test_nearest_k_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 100, (400, 2))
+        tree = RTree(_point_items(pts), leaf_capacity=8)
+        qx, qy = 37.0, 61.0
+        got = [item for item, _ in tree.nearest(qx, qy, k=10)]
+        d = np.hypot(pts[:, 0] - qx, pts[:, 1] - qy)
+        expected = set(np.argsort(d)[:10].tolist())
+        assert set(got) == expected
+
+    def test_nearest_distances_sorted(self):
+        rng = np.random.default_rng(4)
+        pts = rng.uniform(0, 10, (100, 2))
+        tree = RTree(_point_items(pts))
+        dists = [d for _, d in tree.nearest(5, 5, k=7)]
+        assert dists == sorted(dists)
+
+    def test_nearest_empty_and_zero_k(self):
+        assert RTree([]).nearest(0, 0, k=3) == []
+        tree = RTree([("a", BoundingBox(0, 0, 1, 1))])
+        assert tree.nearest(0, 0, k=0) == []

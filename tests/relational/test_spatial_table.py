@@ -1,0 +1,103 @@
+"""Tests for spatial tables and the canvas-tuple duality (Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.predicates import points_in_polygon
+from repro.geometry.primitives import Point, Polygon
+from repro.relational.spatial_table import SpatialTable
+
+
+@pytest.fixture
+def restaurants():
+    rng = np.random.default_rng(91)
+    xs = rng.uniform(0, 100, 300)
+    ys = rng.uniform(0, 100, 300)
+    geometry = np.array([Point(x, y) for x, y in zip(xs, ys)], dtype=object)
+    return SpatialTable({
+        "geometry": geometry,
+        "rating": rng.uniform(1, 5, 300),
+    }), xs, ys
+
+
+@pytest.fixture
+def query_polygon():
+    return Polygon([(20, 20), (80, 20), (80, 80), (20, 80)])
+
+
+class TestConstruction:
+    def test_geometry_column_required(self):
+        with pytest.raises(KeyError):
+            SpatialTable({"a": [1]}, geometry_columns=("geometry",))
+
+    def test_geometry_bounds(self, restaurants):
+        table, xs, ys = restaurants
+        bounds = table.geometry_bounds()
+        assert bounds.xmin == pytest.approx(xs.min())
+        assert bounds.ymax == pytest.approx(ys.max())
+
+
+class TestDuality:
+    def test_to_canvas_set_keys_are_row_ids(self, restaurants):
+        table, _, _ = restaurants
+        cs = table.to_canvas_set()
+        assert cs.keys.tolist() == table.row_ids.tolist()
+
+    def test_to_canvas_set_requires_points(self, query_polygon):
+        table = SpatialTable(
+            {"geometry": np.array([query_polygon], dtype=object)}
+        )
+        with pytest.raises(TypeError):
+            table.to_canvas_set()
+
+    def test_to_canvas_renders_all_rows(self, restaurants):
+        table, _, _ = restaurants
+        canvas = table.to_canvas(resolution=128)
+        # Each point lands in some pixel; density collisions allowed.
+        assert canvas.texture.nonnull_count() > 100
+
+    def test_from_selection_rejoins_tuples(self, restaurants, query_polygon):
+        table, xs, ys = restaurants
+        from repro.core.queries import polygonal_select_points
+
+        result = polygonal_select_points(
+            xs, ys, query_polygon, ids=table.row_ids, resolution=256
+        )
+        sub = table.from_selection(result)
+        assert sub.n_rows == len(result.ids)
+        # The non-spatial column came along for the ride.
+        assert len(sub["rating"]) == sub.n_rows
+
+
+class TestWhereInside:
+    def test_points_dispatch(self, restaurants, query_polygon):
+        table, xs, ys = restaurants
+        sub = table.where_inside(query_polygon, resolution=256)
+        truth = points_in_polygon(xs, ys, query_polygon).sum()
+        assert sub.n_rows == truth
+
+    def test_polygons_dispatch(self, query_polygon):
+        data_polys = np.array([
+            Polygon([(30, 30), (40, 30), (40, 40), (30, 40)]),   # inside
+            Polygon([(200, 200), (210, 200), (210, 210), (200, 210)]),
+        ], dtype=object)
+        table = SpatialTable({"geometry": data_polys, "zone": ["a", "b"]})
+        sub = table.where_inside(query_polygon, resolution=256)
+        assert sub.n_rows == 1
+        assert sub["zone"].tolist() == ["a"]
+
+    def test_composes_with_relational_select(self, restaurants, query_polygon):
+        """Section 7: spatial and relational operators interleave."""
+        table, xs, ys = restaurants
+        high_rated = table.select(lambda t: t["rating"] > 4.0)
+        sub = high_rated.where_inside(query_polygon, resolution=256)
+        inside = points_in_polygon(xs, ys, query_polygon)
+        truth = (inside & (table["rating"] > 4.0)).sum()
+        assert sub.n_rows == truth
+
+    def test_empty_table(self, query_polygon):
+        table = SpatialTable(
+            {"geometry": np.array([], dtype=object)}
+        )
+        sub = table.where_inside(query_polygon)
+        assert sub.n_rows == 0

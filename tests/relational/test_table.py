@@ -1,0 +1,101 @@
+"""Tests for the columnar relational table."""
+
+import numpy as np
+import pytest
+
+from repro.relational.table import Column, Table
+
+
+@pytest.fixture
+def people():
+    return Table({
+        "name": ["ann", "bob", "cid", "dee"],
+        "age": [30, 25, 35, 28],
+        "city": ["nyc", "sf", "nyc", "la"],
+    })
+
+
+class TestConstruction:
+    def test_row_ids_default(self, people):
+        assert people.row_ids.tolist() == [0, 1, 2, 3]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Table({"a": [1, 2], "b": [1]})
+
+    def test_column_must_be_1d(self):
+        with pytest.raises(ValueError):
+            Column("bad", np.zeros((2, 2)))
+
+    def test_missing_column_raises(self, people):
+        with pytest.raises(KeyError):
+            people.column("salary")
+
+
+class TestSelection:
+    def test_select_predicate(self, people):
+        adults = people.select(lambda t: t["age"] >= 30)
+        assert adults.n_rows == 2
+        assert adults["name"].tolist() == ["ann", "cid"]
+
+    def test_row_ids_stable_across_selection(self, people):
+        sub = people.select(lambda t: t["city"] == "nyc")
+        assert sub.row_ids.tolist() == [0, 2]
+        sub2 = sub.select(lambda t: t["age"] > 30)
+        assert sub2.row_ids.tolist() == [2]
+
+    def test_take_row_ids(self, people):
+        sub = people.take_row_ids(np.array([3, 1]))
+        assert set(sub["name"].tolist()) == {"bob", "dee"}
+
+    def test_bad_predicate_shape_raises(self, people):
+        with pytest.raises(ValueError):
+            people.select(lambda t: np.array([True]))
+
+
+class TestProjectionAndColumns:
+    def test_project(self, people):
+        sub = people.project(["name"])
+        assert sub.column_names == ["name"]
+        assert sub.n_rows == 4
+
+    def test_project_missing_raises(self, people):
+        with pytest.raises(KeyError):
+            people.project(["name", "salary"])
+
+    def test_with_column(self, people):
+        extended = people.with_column("salary", [1, 2, 3, 4])
+        assert "salary" in extended.column_names
+        assert people.column_names == ["name", "age", "city"]  # original
+
+
+class TestJoinAndSort:
+    def test_equi_join(self, people):
+        cities = Table({
+            "city": ["nyc", "sf"],
+            "state": ["NY", "CA"],
+        })
+        joined = people.equi_join(cities, "city", "city")
+        assert joined.n_rows == 3
+        by_name = dict(zip(joined["name"], joined["state"]))
+        assert by_name == {"ann": "NY", "cid": "NY", "bob": "CA"}
+
+    def test_join_name_collision_suffix(self, people):
+        other = Table({"name": ["ann"], "age": [99]})
+        joined = people.equi_join(other, "name", "name")
+        assert "age_right" in joined.column_names
+
+    def test_sort_by(self, people):
+        by_age = people.sort_by("age")
+        assert by_age["age"].tolist() == [25, 28, 30, 35]
+        desc = people.sort_by("age", descending=True)
+        assert desc["age"].tolist() == [35, 30, 28, 25]
+
+
+class TestRows:
+    def test_row_access(self, people):
+        row = people.row(1)
+        assert row == {"name": "bob", "age": 25, "city": "sf"}
+
+    def test_iter_rows(self, people):
+        assert len(list(people.iter_rows())) == 4

@@ -1,0 +1,130 @@
+"""End-to-end tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data.datasets import write_csv, write_geojson
+from repro.geometry.predicates import points_in_polygon
+from repro.geometry.primitives import Point, Polygon
+
+
+@pytest.fixture
+def data_files(tmp_path):
+    rng = np.random.default_rng(151)
+    xs = rng.uniform(0, 100, 500)
+    ys = rng.uniform(0, 100, 500)
+    fares = rng.uniform(1, 20, 500)
+    points = [Point(x, y) for x, y in zip(xs, ys)]
+    data_csv = tmp_path / "points.csv"
+    write_csv(data_csv, points, [{"fare": f} for f in fares])
+
+    query = Polygon([(20, 20), (80, 20), (80, 80), (20, 80)])
+    query_file = tmp_path / "region.geojson"
+    write_geojson(query_file, [query])
+    return data_csv, query_file, xs, ys, fares, query
+
+
+class TestSelect:
+    def test_counts_match_truth(self, data_files, capsys):
+        data_csv, query_file, xs, ys, _, query = data_files
+        code = main([
+            "select", "--data", str(data_csv), "--query", str(query_file),
+            "--resolution", "256",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        truth = int(points_in_polygon(xs, ys, query).sum())
+        assert payload["matched"] == truth
+        assert payload["total"] == 500
+        assert payload["ids"] is None
+
+    def test_ids_flag(self, data_files, capsys):
+        data_csv, query_file, xs, ys, _, query = data_files
+        main([
+            "select", "--data", str(data_csv), "--query", str(query_file),
+            "--resolution", "256", "--ids",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        truth = set(np.nonzero(points_in_polygon(xs, ys, query))[0].tolist())
+        assert set(payload["ids"]) == truth
+
+
+class TestCount:
+    def test_count(self, data_files, capsys):
+        data_csv, query_file, xs, ys, _, query = data_files
+        main(["count", "--data", str(data_csv), "--query", str(query_file),
+              "--resolution", "256"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["aggregate"] == "count"
+        assert payload["value"] == points_in_polygon(xs, ys, query).sum()
+
+    def test_sum_column(self, data_files, capsys):
+        data_csv, query_file, xs, ys, fares, query = data_files
+        main(["count", "--data", str(data_csv), "--query", str(query_file),
+              "--sum-column", "fare", "--resolution", "256"])
+        payload = json.loads(capsys.readouterr().out)
+        inside = points_in_polygon(xs, ys, query)
+        assert payload["value"] == pytest.approx(float(fares[inside].sum()))
+
+    def test_missing_column_errors(self, data_files):
+        data_csv, query_file, *_ = data_files
+        with pytest.raises(SystemExit):
+            main(["count", "--data", str(data_csv),
+                  "--query", str(query_file), "--sum-column", "nope"])
+
+
+class TestNearest:
+    def test_nearest_matches_brute_force(self, data_files, capsys):
+        data_csv, _, xs, ys, _, _ = data_files
+        main(["nearest", "--data", str(data_csv), "--at", "50,50",
+              "-k", "4", "--resolution", "256"])
+        payload = json.loads(capsys.readouterr().out)
+        d = np.hypot(xs - 50, ys - 50)
+        truth = set(np.argsort(d)[:4].tolist())
+        assert {row["id"] for row in payload} == truth
+        dists = [row["distance"] for row in payload]
+        assert dists == sorted(dists)
+
+    def test_bad_at_errors(self, data_files):
+        data_csv, *_ = data_files
+        with pytest.raises(SystemExit):
+            main(["nearest", "--data", str(data_csv), "--at", "fifty"])
+
+
+class TestInfo:
+    def test_describes_file(self, data_files, capsys):
+        data_csv, *_ = data_files
+        main(["info", "--data", str(data_csv)])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records"] == 500
+        assert payload["geometry_types"] == {"Point": 500}
+        assert "fare" in payload["property_keys"]
+
+    def test_unsupported_suffix_errors(self, tmp_path):
+        bad = tmp_path / "data.parquet"
+        bad.write_text("")
+        with pytest.raises(SystemExit):
+            main(["info", "--data", str(bad)])
+
+
+class TestMixedGeometryFile:
+    def test_select_dispatches_to_objects(self, tmp_path, capsys):
+        query = Polygon([(20, 20), (80, 20), (80, 80), (20, 80)])
+        from repro.geometry.primitives import LineString
+
+        records = [
+            Point(50, 50),
+            LineString([(0, 50), (100, 50)]),
+            Polygon([(85, 85), (95, 85), (95, 95), (85, 95)]),
+        ]
+        data_file = tmp_path / "mixed.geojson"
+        write_geojson(data_file, records)
+        query_file = tmp_path / "q.geojson"
+        write_geojson(query_file, [query])
+        main(["select", "--data", str(data_file), "--query", str(query_file),
+              "--resolution", "128", "--ids"])
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["ids"]) == {0, 1}

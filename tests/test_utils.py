@@ -1,0 +1,62 @@
+"""Tests for the timing utilities."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import BenchResult, Timer, benchmark_callable
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed >= 0.004
+        assert t.elapsed != first or first == 0.0
+
+
+class TestBenchmarkCallable:
+    def test_repeats_and_value(self):
+        calls = []
+        result = benchmark_callable("inc", lambda: calls.append(1) or len(calls),
+                                    repeats=3)
+        assert len(result.times) == 3
+        assert result.value == 3
+
+    def test_warmup_not_counted(self):
+        calls = []
+        result = benchmark_callable(
+            "w", lambda: calls.append(1), repeats=2, warmup=2
+        )
+        assert len(calls) == 4
+        assert len(result.times) == 2
+
+    def test_statistics(self):
+        result = BenchResult("x", times=[0.2, 0.1, 0.4])
+        assert result.best == 0.1
+        assert result.median == 0.2
+        assert result.mean == pytest.approx(0.7 / 3)
+
+    def test_speedup_over(self):
+        fast = BenchResult("fast", times=[0.1])
+        slow = BenchResult("slow", times=[0.4])
+        assert fast.speedup_over(slow) == pytest.approx(4.0)
+
+    def test_speedup_zero_median(self):
+        zero = BenchResult("zero", times=[0.0])
+        other = BenchResult("o", times=[1.0])
+        assert zero.speedup_over(other) == float("inf")
+
+    def test_minimum_one_repeat(self):
+        result = benchmark_callable("one", lambda: 42, repeats=0)
+        assert len(result.times) == 1
+        assert result.value == 42
