@@ -5,11 +5,21 @@ plan re-tests every point per polygon (cost grows linearly in the
 constraint count); the canvas plan only adds one cheap constraint
 blend per polygon.  The optimizer's cost model must track the
 measured crossover direction.
+
+Also reports the engine-era metrics: planner overhead (cost-model
+evaluation time per query) and the canvas-cache hit rate / warm-run
+speedup when the same constraints repeat.
+
+Run ``python benchmarks/bench_ablation_plans.py --dry-run`` for a tiny
+smoke version without pytest-benchmark (used by CI; plain pytest must
+be installed — the shared workload constants live in the conftest).
 """
 
 from __future__ import annotations
 
+import sys
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -17,7 +27,13 @@ import pytest
 from repro.baselines.gpu_baseline import gpu_baseline_select_multi
 from repro.data.polygons import hand_drawn_polygon, rescale_to_box
 from repro.core.optimizer import selection_plans
-from repro.core.queries import multi_polygonal_select
+from repro.engine import QueryEngine, SELECTION_BLENDED
+
+if __package__ in (None, ""):
+    # Invoked as a script (CI dry-run): put the repo root on sys.path
+    # so the suite's shared workload constants resolve.
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
 from benchmarks.conftest import QUERY_MBR, write_series
 
 RESOLUTION = 1024
@@ -42,6 +58,21 @@ def _slice(mbr_points):
     return xs[:n], ys[:n]
 
 
+def _run_blended_cold(xs, ys, polys):
+    """One cold blended-canvas execution (fresh engine, forced plan).
+
+    The ablation measures the canvas *plan*, so the engine's cost-based
+    choice and its cross-run cache are both pinned out of the loop.
+    """
+    from repro.core.queries import default_window
+
+    engine = QueryEngine()
+    return engine.select_points(
+        xs, ys, polys, window=default_window(xs, ys, polys),
+        resolution=RESOLUTION, force_plan=SELECTION_BLENDED,
+    )
+
+
 @pytest.mark.parametrize("n_polys", POLYGON_COUNTS)
 @pytest.mark.parametrize("plan", ["blended-canvas", "per-polygon-pip"])
 def test_plans(benchmark, plan, n_polys, mbr_points, constraint_pool):
@@ -50,8 +81,8 @@ def test_plans(benchmark, plan, n_polys, mbr_points, constraint_pool):
     benchmark.group = f"ablation-plans:polys={n_polys}"
     if plan == "blended-canvas":
         benchmark.pedantic(
-            multi_polygonal_select, args=(xs, ys, polys),
-            kwargs={"resolution": RESOLUTION}, rounds=2, iterations=1,
+            _run_blended_cold, args=(xs, ys, polys),
+            rounds=2, iterations=1,
         )
     else:
         benchmark.pedantic(
@@ -67,7 +98,7 @@ def test_plans_report(benchmark, mbr_points, constraint_pool):
         for n_polys in POLYGON_COUNTS:
             polys = constraint_pool[:n_polys]
             start = time.perf_counter()
-            multi_polygonal_select(xs, ys, polys, resolution=RESOLUTION)
+            _run_blended_cold(xs, ys, polys)
             t_canvas = time.perf_counter() - start
             start = time.perf_counter()
             gpu_baseline_select_multi(xs, ys, polys)
@@ -94,3 +125,115 @@ def test_plans_report(benchmark, mbr_points, constraint_pool):
     # The cost model ranks consistently at the extremes.
     many = selection_plans(N_POINTS, constraint_pool, (RESOLUTION, RESOLUTION))
     assert many[0].name == "blended-canvas"
+
+
+# ----------------------------------------------------------------------
+# Engine metrics: planner overhead and canvas-cache effectiveness
+# ----------------------------------------------------------------------
+def _planner_overhead_us(n_points: int, polys, repeats: int = 200) -> float:
+    """Mean time (microseconds) to enumerate + rank candidate plans."""
+    start = time.perf_counter()
+    for _ in range(repeats):
+        selection_plans(n_points, polys, (RESOLUTION, RESOLUTION))
+    return (time.perf_counter() - start) / repeats * 1e6
+
+
+def _cache_sweep(xs, ys, polys, resolution, runs: int = 3):
+    """Run the same constrained selection repeatedly on a fresh engine.
+
+    Forces the blended-canvas plan (the raster path is what the cache
+    accelerates) and returns per-run wall times plus final cache stats.
+    """
+    engine = QueryEngine()
+    times = []
+    for _ in range(runs):
+        start = time.perf_counter()
+        engine.select_points(
+            xs, ys, polys,
+            window=QUERY_MBR.expand(0.5),
+            resolution=resolution,
+            force_plan=SELECTION_BLENDED,
+        )
+        times.append(time.perf_counter() - start)
+    return times, engine.cache.stats()
+
+
+def _engine_report_rows(xs, ys, constraint_pool, polygon_counts):
+    rows = []
+    for n_polys in polygon_counts:
+        polys = constraint_pool[:n_polys]
+        plan_us = _planner_overhead_us(len(xs), polys)
+        times, stats = _cache_sweep(xs, ys, polys, RESOLUTION)
+        cold, warm = times[0], min(times[1:])
+        rows.append((n_polys, plan_us, cold, warm, stats.hit_rate))
+    return rows
+
+
+def test_engine_overhead_report(benchmark, mbr_points, constraint_pool):
+    """Planner overhead and canvas-cache hit rate alongside exec time."""
+
+    def run_report():
+        xs, ys = _slice(mbr_points)
+        rows = _engine_report_rows(xs, ys, constraint_pool, POLYGON_COUNTS)
+        lines = [
+            "# polys, planner overhead [us], cold run [s], warm run [s], "
+            "cache hit rate"
+        ]
+        lines += [
+            f"{n:2d} {us:8.2f} {cold:.4f} {warm:.4f} {rate:.3f}"
+            for n, us, cold, warm, rate in rows
+        ]
+        write_series("ablation_plans_engine", lines)
+        for line in lines:
+            print(line)
+        return rows
+
+    rows = benchmark.pedantic(run_report, rounds=1, iterations=1)
+
+    for n_polys, plan_us, cold, warm, hit_rate in rows:
+        # Planning must be noise next to execution (< 5% of a cold run).
+        assert plan_us * 1e-6 < 0.05 * cold, (plan_us, cold)
+        # Re-running the same constraints hits the canvas cache and
+        # never rasterizes twice.
+        assert hit_rate > 0.0
+        assert warm <= cold
+
+
+def main(argv=None) -> int:
+    """Standalone smoke entry point (CI: ``--dry-run``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dry-run", action="store_true",
+                        help="tiny workload, no pytest-benchmark")
+    args = parser.parse_args(argv)
+    if not args.dry_run:
+        parser.error("run the full suite via pytest; use --dry-run here")
+
+    rng = np.random.default_rng(7)
+    n = 5_000
+    xs = rng.uniform(QUERY_MBR.xmin, QUERY_MBR.xmax, n)
+    ys = rng.uniform(QUERY_MBR.ymin, QUERY_MBR.ymax, n)
+    pool = [
+        rescale_to_box(
+            hand_drawn_polygon(n_vertices=16, irregularity=0.4, seed=300 + i),
+            QUERY_MBR,
+        )
+        for i in range(4)
+    ]
+    print("# dry-run: engine ablation smoke")
+    for n_polys, plan_us, cold, warm, rate in _engine_report_rows(
+        xs, ys, pool, [1, 4]
+    ):
+        print(
+            f"polys={n_polys} planner={plan_us:.1f}us "
+            f"cold={cold * 1e3:.2f}ms warm={warm * 1e3:.2f}ms "
+            f"cache_hit_rate={rate:.2f}"
+        )
+        assert rate > 0.0, "cache produced no hits in dry-run"
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

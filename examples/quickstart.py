@@ -33,23 +33,33 @@ def main() -> None:
         [(25, 20), (70, 15), (80, 45), (60, 80), (30, 75), (15, 45)]
     )
 
-    # --- The one-liner -------------------------------------------------
+    # The query polygon rendered into a canvas: interior filled,
+    # boundary pixels conservatively flagged.
     window = BoundingBox(0, 0, 100, 100)
+    cq = Canvas.from_polygon(neighborhood, window, resolution=1024)
+
+    # --- The one-liner -------------------------------------------------
+    # Queries route through the cost-based engine, which would pick the
+    # cheaper physical plan for this workload; handing it the prebuilt
+    # constraint canvas pins the canvas-algebra plan this example walks
+    # through below.
     result = polygonal_select_points(
-        xs, ys, neighborhood, window=window, resolution=1024
+        xs, ys, neighborhood, window=window, resolution=1024,
+        constraint_canvas=cq,
     )
     print(f"restaurants inside the neighborhood: {len(result.ids)}")
     print(f"  raster candidates: {result.n_candidates}")
     print(f"  exact boundary tests paid: {result.n_exact_tests}")
 
+    from repro.engine import explain
+
+    print("\nengine explain():")
+    print(explain())
+
     # --- The same query, operator by operator (Figure 5) ---------------
     # Every record is conceptually its own canvas; the sparse canvas
     # set stores them columnarly ("created on the fly", Section 5.1).
     cp = CanvasSet.from_points(xs, ys)
-
-    # The query polygon is rendered into a canvas: interior filled,
-    # boundary pixels conservatively flagged.
-    cq = Canvas.from_polygon(neighborhood, window, resolution=1024)
 
     # Blend ⊙ merges each point canvas with the query canvas, and the
     # mask keeps points whose pixel has a 2-primitive incident.

@@ -5,6 +5,10 @@ Public surface:
 
 - :mod:`repro.core` — the canvas data model, the five-operator algebra,
   and the standard spatial queries of Section 4;
+- :mod:`repro.queries` — the query frontends (selection / join /
+  aggregate / knn / voronoi / od);
+- :mod:`repro.engine` — the plan-driven execution engine: cost-based
+  physical-plan choice, canvas caching, and ``explain()`` reports;
 - :mod:`repro.geometry` — the computational-geometry substrate;
 - :mod:`repro.gpu` — the simulated GPU raster pipeline;
 - :mod:`repro.index` — classical spatial indexes (filtering stage);

@@ -10,6 +10,15 @@ Usage::
     python -m repro count    --data points.csv --query region.geojson
     python -m repro nearest  --data points.csv --at 40.7,-74.0 -k 5
     python -m repro info     --data points.csv
+    python -m repro explain  --data points.csv --query region.geojson
+
+``explain`` runs a query through the plan-driven engine and reports
+the chosen physical plan, its estimated cost against the alternatives,
+and the canvas-cache statistics.  Plans that rasterize constraints
+(``blended-canvas``, ``join-then-aggregate``) serve repeated runs from
+the cache; the ``per-polygon-pip`` plan — often the cost-based choice
+for small inputs — rasterizes nothing, so it legitimately reports zero
+cache traffic (force ``--plan blended-canvas`` to see the cache work).
 
 Geometry files may be ``.csv`` (with a ``geometry`` WKT column) or
 ``.geojson`` / ``.json`` FeatureCollections.  The query file's first
@@ -27,9 +36,11 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.data.datasets import read_csv, read_geojson
+from repro.engine import QueryEngine
 from repro.geometry.primitives import Geometry, Point, Polygon
 from repro.core.queries import (
     aggregate_over_select,
+    default_window,
     knn,
     polygonal_select_objects,
     polygonal_select_points,
@@ -132,6 +143,53 @@ def _cmd_nearest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_query_polygons(path: str) -> list[Polygon]:
+    geometries, _ = _load_file(path)
+    polygons = [g for g in geometries if isinstance(g, Polygon)]
+    if not polygons:
+        raise SystemExit(f"{path}: no polygons found to use as constraints")
+    return polygons
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    polygons = _load_query_polygons(args.query)
+    xs, ys, _ = _load_points(args.data)
+    force = None if args.plan == "auto" else args.plan
+    # A fresh engine so the report and cache statistics cover exactly
+    # the runs below.
+    engine = QueryEngine()
+    try:
+        _run_explain_queries(engine, args, xs, ys, polygons, force)
+    except ValueError as exc:
+        # e.g. a plan name from the wrong query family for --mode.
+        raise SystemExit(f"explain: {exc}") from exc
+    print(
+        f"# {args.mode} query over {len(xs)} points, "
+        f"{len(polygons)} constraint polygon(s), "
+        f"{max(1, args.repeat)} run(s)"
+    )
+    print(engine.explain())
+    return 0
+
+
+def _run_explain_queries(engine, args, xs, ys, polygons, force) -> None:
+    window = default_window(xs, ys, polygons)
+    # RasterJoin is approximate by design, so forcing it implies the
+    # approximate contract even without --approx.
+    exact = not args.approx and force != "rasterjoin"
+    for _ in range(max(1, args.repeat)):
+        if args.mode == "select":
+            engine.select_points(
+                xs, ys, polygons, window=window,
+                resolution=args.resolution, exact=exact, force_plan=force,
+            )
+        else:
+            engine.aggregate_points(
+                xs, ys, polygons, window=window,
+                resolution=args.resolution, exact=exact, force_plan=force,
+            )
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     geometries, properties = _load_file(args.data)
     kinds: dict[str, int] = {}
@@ -183,6 +241,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_nearest.add_argument("--at", required=True, help="query point 'x,y'")
     p_nearest.add_argument("-k", type=int, default=5)
     p_nearest.set_defaults(func=_cmd_nearest)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="report the engine's physical plan choice and cache stats",
+    )
+    add_common(p_explain)
+    p_explain.add_argument("--query", required=True,
+                           help="constraint polygon file")
+    p_explain.add_argument(
+        "--mode", choices=["select", "join-aggregate"], default="select",
+        help="query family to explain (default: select)",
+    )
+    p_explain.add_argument(
+        "--plan",
+        choices=["auto", "blended-canvas", "per-polygon-pip",
+                 "rasterjoin", "join-then-aggregate"],
+        default="auto",
+        help="override the cost-based plan choice (EXPLAIN-style); "
+             "'rasterjoin' implies approximate results",
+    )
+    p_explain.add_argument(
+        "--repeat", type=int, default=2,
+        help="run the query N times (default 2); canvas-building plans "
+             "show cache hits on repeats, the PIP plan has none to show",
+    )
+    p_explain.add_argument(
+        "--approx", action="store_true",
+        help="run with exact=False; for join-aggregate this makes the "
+             "plan choice cost-based (exact results always need the "
+             "sample-level plan, so rasterjoin is otherwise inadmissible)",
+    )
+    p_explain.set_defaults(func=_cmd_explain)
 
     p_info = sub.add_parser("info", help="describe a data file")
     p_info.add_argument("--data", required=True)

@@ -12,10 +12,15 @@ Layering (bottom to top):
   derived and utility operators;
 - :mod:`repro.core.expressions` — composable expression trees and
   ASCII plan diagrams;
-- :mod:`repro.core.queries` — the standard queries of Section 4 as
-  algebraic expressions with exact boundary refinement;
 - :mod:`repro.core.rasterjoin` — Figure 8(c)'s RasterJoin plan;
-- :mod:`repro.core.optimizer` — cost-based plan choice (Section 7).
+- :mod:`repro.core.optimizer` — operator-level cost models and plan
+  pricing (Section 7).
+
+The standard queries of Section 4 live in :mod:`repro.queries` (this
+package re-exports them, and :mod:`repro.core.queries` remains as a
+compatibility shim); they execute through the cost-based engine in
+:mod:`repro.engine`, which picks a physical plan per query and caches
+constraint rasterizations.
 """
 
 from repro.core.canvas import Canvas

@@ -57,6 +57,26 @@ def _polygon_edges(polygons: Sequence[Polygon]) -> int:
     return total
 
 
+def _validate_workload(n_points: int, polygons: Sequence[Polygon]) -> None:
+    """Reject degenerate workloads instead of ranking zero-cost plans.
+
+    With no points or no polygons every candidate costs ~0 and the
+    "choice" is meaningless noise; callers (the engine short-circuits
+    empty inputs before planning) must not reach the optimizer with
+    them.
+    """
+    if n_points <= 0:
+        raise ValueError(
+            f"cannot plan over {n_points} points; the workload must "
+            "contain at least one point"
+        )
+    if not polygons:
+        raise ValueError(
+            "cannot plan without constraint polygons; the workload must "
+            "contain at least one polygon"
+        )
+
+
 def selection_plans(
     n_points: int,
     polygons: Sequence[Polygon],
@@ -64,6 +84,7 @@ def selection_plans(
     model: CostModel = CostModel(),
 ) -> list[PlanEstimate]:
     """Candidate plans for selecting points under polygon constraints."""
+    _validate_workload(n_points, polygons)
     height, width = resolution
     n_polys = len(polygons)
     edges = _polygon_edges(polygons)
@@ -119,6 +140,7 @@ def aggregation_plans(
     model: CostModel = CostModel(),
 ) -> list[PlanEstimate]:
     """Candidate plans for group-by-over-join aggregation."""
+    _validate_workload(n_points, polygons)
     height, width = resolution
     n_polys = len(polygons)
     frame = height * width * model.pixel_touch
@@ -163,6 +185,8 @@ def choose_aggregation_plan(
 def explain(plans: Sequence[PlanEstimate]) -> str:
     """Tabular rendering of candidate plans, cheapest first."""
     ordered = sorted(plans, key=lambda p: p.cost)
+    if not ordered:
+        return "no candidate plans"
     width = max(len(p.name) for p in ordered)
     lines = [f"{'plan'.ljust(width)}  {'est. cost':>12}  description"]
     for p in ordered:

@@ -1,1079 +1,30 @@
-"""Standard spatial queries as canvas-algebra expressions (Section 4).
+"""Backward-compatible shim: the query API moved to :mod:`repro.queries`.
 
-Every public function here is a direct transcription of one of the
-paper's algebraic expressions, executed through the operators of
-:mod:`repro.core.algebra` with exact boundary refinement
-(:mod:`repro.core.accuracy`).  Results come back as plain ids/values so
-callers never touch pixels, and each result carries enough bookkeeping
-(candidate counts, exact tests performed, the plan tree) for the
-benchmarks and the optimizer.
+The former monolith was split into a package of plan-driven frontends
+(selection / geometries / join / aggregate / knn / voronoi / od) that
+route through the cost-based execution engine in :mod:`repro.engine`.
+Import sites that target ``repro.core.queries`` keep working unchanged;
+new code should import from :mod:`repro.queries` (or :mod:`repro.core`)
+directly.
 """
 
-from __future__ import annotations
-
-import math
-from dataclasses import dataclass, field
-from typing import Callable, Literal, Sequence
-
-import numpy as np
-
-from repro.geometry.bbox import BoundingBox
-from repro.geometry.predicates import (
-    points_in_polygon,
-    polygon_intersects_polygon,
+from repro.queries import *  # noqa: F401,F403
+from repro.queries import __all__ as __all__  # noqa: F401
+from repro.queries.common import (  # noqa: F401
+    AggregateResult,
+    SelectionResult,
+    SelectMode,
+    _unique_ids,
+    build_constraint_canvas,
+    default_window,
 )
-from repro.geometry.primitives import Polygon
-from repro.gpu.device import DEFAULT_DEVICE, Device
-from repro.core import algebra
-from repro.core.accuracy import refine_point_samples
-from repro.core.blendfuncs import PIP_MERGE, POLY_MERGE
-from repro.core.canvas import Canvas, Resolution
-from repro.core.canvas_set import CanvasSet
-from repro.core.masks import (
-    mask_point_in_all_polygons,
-    mask_point_in_any_polygon,
-    mask_polygon_intersection,
-)
-from repro.core.objectinfo import (
-    DIM_AREA,
-    DIM_LINE,
-    DIM_POINT,
-    FIELD_COUNT,
-    FIELD_ID,
-    FIELD_VALUE,
-    channel,
-)
-
-SelectMode = Literal["any", "all"]
+from repro.engine.executor import _group_gamma  # noqa: F401
+from repro.engine.executor import aggregate_samples as _engine_aggregate_samples
 
 
-# ----------------------------------------------------------------------
-# Result containers
-# ----------------------------------------------------------------------
-@dataclass
-class SelectionResult:
-    """Outcome of a selection query.
-
-    Attributes
-    ----------
-    ids:
-        Sorted record ids satisfying the constraint (exact).
-    n_candidates:
-        Records that survived the raster mask before refinement.
-    n_exact_tests:
-        Exact geometric tests spent on boundary pixels.
-    samples:
-        The surviving canvas-set samples (for downstream composition).
-    """
-
-    ids: np.ndarray
-    n_candidates: int
-    n_exact_tests: int
-    samples: CanvasSet = field(repr=False, default_factory=CanvasSet.empty)
-
-    def __len__(self) -> int:
-        return len(self.ids)
-
-
-@dataclass
-class AggregateResult:
-    """Outcome of an aggregation query: group key -> aggregate value."""
-
-    groups: np.ndarray
-    values: np.ndarray
-    aggregate: str
-
-    def as_dict(self) -> dict[int, float]:
-        return {int(g): float(v) for g, v in zip(self.groups, self.values)}
-
-    def __len__(self) -> int:
-        return len(self.groups)
-
-
-# ----------------------------------------------------------------------
-# Shared helpers
-# ----------------------------------------------------------------------
-def _unique_ids(keys: np.ndarray) -> np.ndarray:
-    """``np.unique`` with a fast path for already-sorted-unique keys.
-
-    Point canvas sets carry one sample per record in id order, so
-    selection results are usually strictly increasing already; the
-    linear monotonicity check then skips the full unique machinery.
-    """
-    if len(keys) < 2:
-        return keys.copy()
-    diffs = np.diff(keys)
-    if (diffs > 0).all():
-        return keys.copy()
-    return np.unique(keys)
-
-
-def default_window(
-    xs: np.ndarray,
-    ys: np.ndarray,
-    polygons: Sequence[Polygon] = (),
-    margin: float = 0.01,
-) -> BoundingBox:
-    """The union MBR of the data and constraints, slightly expanded."""
-    boxes = []
-    if len(xs):
-        boxes.append(
-            BoundingBox(
-                float(np.min(xs)), float(np.min(ys)),
-                float(np.max(xs)), float(np.max(ys)),
-            )
-        )
-    boxes.extend(p.bounds for p in polygons)
-    if not boxes:
-        raise ValueError("cannot infer a window from empty inputs")
-    box = BoundingBox.union_all(boxes)
-    pad = margin * max(box.width, box.height, 1e-12)
-    return box.expand(pad)
-
-
-def build_constraint_canvas(
-    polygons: Sequence[Polygon],
-    window: BoundingBox,
-    resolution: Resolution,
-    device: Device = DEFAULT_DEVICE,
-) -> Canvas:
-    """``B*[⊕]`` over the constraint canvases (Figure 8(b) left branch).
-
-    Each polygon is rendered with count accumulation, so the blended
-    canvas's ``s[2][1]`` carries the per-pixel constraint coverage
-    count used by the masks ``Mp'`` (>= 1) and its conjunctive variant
-    (== n).
-    """
-    canvas = Canvas(window, resolution, device)
-    for i, polygon in enumerate(polygons, start=1):
-        canvas.draw_polygon(polygon, record_id=i, accumulate_count=True)
-    return canvas
-
-
-# ----------------------------------------------------------------------
-# 4.1 Selection queries
-# ----------------------------------------------------------------------
-def polygonal_select_points(
-    xs: np.ndarray,
-    ys: np.ndarray,
-    polygons: Polygon | Sequence[Polygon],
-    ids: np.ndarray | None = None,
-    window: BoundingBox | None = None,
-    resolution: Resolution = 1024,
-    device: Device = DEFAULT_DEVICE,
-    mode: SelectMode = "any",
-    exact: bool = True,
-    constraint_canvas: Canvas | None = None,
-) -> SelectionResult:
-    """``SELECT * FROM DP WHERE Location INSIDE Q`` (and Fig. 8(b)).
-
-    Implements ``M[Mp'](B[⊙](CP, B*[⊕](CQ)))``: the constraint
-    polygons are blended once into a single canvas; each point canvas
-    blends against it (a texture gather) and the mask keeps points with
-    coverage count >= 1 (*any*) or == n (*all*).  Boundary-pixel hits
-    are re-tested exactly unless ``exact=False`` (the paper's
-    approximate mode, where texture size bounds the error).
-    """
-    polys = [polygons] if isinstance(polygons, Polygon) else list(polygons)
-    if not polys:
-        raise ValueError("at least one constraint polygon is required")
-    xs = np.asarray(xs, dtype=np.float64)
-    ys = np.asarray(ys, dtype=np.float64)
-    if window is None:
-        window = default_window(xs, ys, polys)
-
-    if constraint_canvas is None:
-        constraint_canvas = build_constraint_canvas(
-            polys, window, resolution, device
-        )
-    point_set = CanvasSet.from_points(xs, ys, ids=ids)
-    blended = algebra.blend(point_set, constraint_canvas, PIP_MERGE)
-    predicate = (
-        mask_point_in_any_polygon(1.0)
-        if mode == "any"
-        else mask_point_in_all_polygons(float(len(polys)))
+def _aggregate_samples(samples, group_ids, aggregate, attr_channel=None):
+    """Legacy private helper with its pre-engine signature and result."""
+    groups, values = _engine_aggregate_samples(
+        samples, group_ids, aggregate, attr_channel
     )
-    masked = algebra.mask(blended, predicate)
-    assert isinstance(masked, CanvasSet)
-    n_candidates = masked.n_samples
-
-    n_tests = 0
-    if exact:
-        min_containing = 1 if mode == "any" else len(polys)
-        masked, n_tests = refine_point_samples(
-            masked, polys, min_containing=min_containing
-        )
-    return SelectionResult(
-        ids=_unique_ids(masked.keys),
-        n_candidates=n_candidates,
-        n_exact_tests=n_tests,
-        samples=masked,
-    )
-
-
-def multi_polygonal_select(
-    xs: np.ndarray,
-    ys: np.ndarray,
-    polygons: Sequence[Polygon],
-    mode: SelectMode = "any",
-    **kwargs,
-) -> SelectionResult:
-    """Disjunctive/conjunctive multi-polygon selection (Section 5.1)."""
-    return polygonal_select_points(xs, ys, list(polygons), mode=mode, **kwargs)
-
-
-def polygonal_select_polygons(
-    data_polygons: Sequence[Polygon],
-    query: Polygon,
-    ids: Sequence[int] | None = None,
-    window: BoundingBox | None = None,
-    resolution: Resolution = 1024,
-    device: Device = DEFAULT_DEVICE,
-    exact: bool = True,
-) -> SelectionResult:
-    """``SELECT * FROM DY WHERE Geometry INTERSECTS Q`` (Figure 6).
-
-    Implements ``M[My](B[⊕](CY, CQ))``: every data-polygon canvas
-    blends with the query canvas under ``⊕`` (counts add); the mask
-    keeps pixels with two incident 2-primitives.  Records whose only
-    surviving samples are boundary-flagged get an exact
-    polygon-intersects-polygon test.
-    """
-    polys = list(data_polygons)
-    id_list = list(ids) if ids is not None else list(range(len(polys)))
-    if window is None:
-        all_pts_x = np.array([query.bounds.xmin, query.bounds.xmax])
-        all_pts_y = np.array([query.bounds.ymin, query.bounds.ymax])
-        window = default_window(all_pts_x, all_pts_y, polys + [query])
-
-    frame = Canvas(window, resolution, device)
-    data_set = CanvasSet.from_polygons(polys, frame, ids=id_list)
-    query_canvas = Canvas.from_polygon(
-        query, window, resolution, record_id=1, device=device
-    )
-    blended = algebra.blend(data_set, query_canvas, POLY_MERGE)
-    masked = algebra.mask(blended, mask_polygon_intersection(2.0))
-    assert isinstance(masked, CanvasSet)
-    n_candidates = masked.n_records
-
-    if masked.is_empty():
-        return SelectionResult(
-            ids=np.empty(0, dtype=np.int64),
-            n_candidates=0,
-            n_exact_tests=0,
-            samples=masked,
-        )
-
-    if not exact:
-        return SelectionResult(
-            ids=_unique_ids(masked.keys),
-            n_candidates=n_candidates,
-            n_exact_tests=0,
-            samples=masked,
-        )
-
-    # A record with a surviving non-boundary sample intersects for sure
-    # (both coverages are pure-interior there); boundary-only records
-    # need the exact predicate.
-    certain = np.unique(masked.keys[~masked.boundary])
-    uncertain = np.setdiff1d(np.unique(masked.keys), certain)
-    by_id = {rid: poly for rid, poly in zip(id_list, polys)}
-    n_tests = 0
-    confirmed = [
-        rid
-        for rid in uncertain
-        if polygon_intersects_polygon(by_id[int(rid)], query)
-    ]
-    n_tests = len(uncertain)
-    result_ids = np.unique(
-        np.concatenate([certain, np.asarray(confirmed, dtype=np.int64)])
-    )
-    keep = np.isin(masked.keys, result_ids)
-    return SelectionResult(
-        ids=result_ids,
-        n_candidates=n_candidates,
-        n_exact_tests=n_tests,
-        samples=masked.filter_rows(keep),
-    )
-
-
-def polygonal_select_lines(
-    lines: Sequence["LineString"],
-    query: Polygon,
-    ids: Sequence[int] | None = None,
-    window: BoundingBox | None = None,
-    resolution: Resolution = 1024,
-    device: Device = DEFAULT_DEVICE,
-    exact: bool = True,
-) -> SelectionResult:
-    """``SELECT * FROM DL WHERE Geometry INTERSECTS Q`` for polylines.
-
-    Section 4's point: the *same* blend+mask expression handles
-    1-primitives — only the blend function swaps the S^3 slot it reads
-    (``LINE_MERGE`` instead of ``⊙``).  A line sample on a
-    pure-interior constraint pixel proves intersection (supercover
-    coverage means the line passes through that pixel); boundary-pixel
-    candidates fall back to the exact segment-polygon test.
-    """
-    from repro.geometry.predicates import linestring_intersects_polygon
-    from repro.geometry.primitives import LineString
-    from repro.core.blendfuncs import LINE_MERGE
-    from repro.core.masks import FieldCompare, NotNull
-
-    line_list = list(lines)
-    id_list = list(ids) if ids is not None else list(range(len(line_list)))
-    if window is None:
-        corner_x: list[float] = [query.bounds.xmin, query.bounds.xmax]
-        corner_y: list[float] = [query.bounds.ymin, query.bounds.ymax]
-        for line in line_list:
-            corner_x.extend([line.bounds.xmin, line.bounds.xmax])
-            corner_y.extend([line.bounds.ymin, line.bounds.ymax])
-        window = default_window(np.asarray(corner_x), np.asarray(corner_y))
-
-    frame = Canvas(window, resolution, device)
-    data_set = CanvasSet.from_linestrings(line_list, frame, ids=id_list)
-    query_canvas = Canvas.from_polygon(
-        query, window, resolution, record_id=1, device=device
-    )
-    blended = algebra.blend(data_set, query_canvas, LINE_MERGE)
-    predicate = NotNull(DIM_LINE) & FieldCompare(
-        DIM_AREA, FIELD_COUNT, ">=", 1.0
-    )
-    masked = algebra.mask(blended, predicate)
-    assert isinstance(masked, CanvasSet)
-    n_candidates = masked.n_records
-
-    if masked.is_empty():
-        return SelectionResult(
-            ids=np.empty(0, dtype=np.int64), n_candidates=0,
-            n_exact_tests=0, samples=masked,
-        )
-    if not exact:
-        return SelectionResult(
-            ids=np.unique(masked.keys), n_candidates=n_candidates,
-            n_exact_tests=0, samples=masked,
-        )
-
-    certain = np.unique(masked.keys[~masked.boundary])
-    uncertain = np.setdiff1d(np.unique(masked.keys), certain)
-    by_id = {rid: line for rid, line in zip(id_list, line_list)}
-    confirmed = [
-        rid for rid in uncertain
-        if linestring_intersects_polygon(by_id[int(rid)].coords, query)
-    ]
-    result_ids = np.unique(
-        np.concatenate([certain, np.asarray(confirmed, dtype=np.int64)])
-    )
-    keep = np.isin(masked.keys, result_ids)
-    return SelectionResult(
-        ids=result_ids,
-        n_candidates=n_candidates,
-        n_exact_tests=len(uncertain),
-        samples=masked.filter_rows(keep),
-    )
-
-
-def polygonal_select_objects(
-    geometries: Sequence,
-    query: Polygon,
-    ids: Sequence[int] | None = None,
-    window: BoundingBox | None = None,
-    resolution: Resolution = 1024,
-    device: Device = DEFAULT_DEVICE,
-    exact: bool = True,
-) -> SelectionResult:
-    """Selection over *heterogeneous* geometric objects (Figures 1 & 3).
-
-    The paper's motivating claim: because every record is a canvas,
-    "even if the data (restaurants) were represented as polygons
-    instead of points, the same set of operations could be applied."
-    This query accepts any mix of points, polylines, polygons, their
-    Multi* variants and :class:`GeometryCollection` records, decomposes
-    each object into its primitives (all carrying the record's id, as
-    in Figure 3), and runs the *same* blend+mask expression per
-    primitive dimension.  An object is selected when any of its
-    primitives intersects the query polygon.
-    """
-    from repro.geometry.primitives import (
-        Geometry,
-        GeometryCollection,
-        LineSegment,
-        LineString,
-        MultiLineString,
-        MultiPoint,
-        MultiPolygon,
-        Point,
-    )
-
-    geom_list = list(geometries)
-    record_ids = list(ids) if ids is not None else list(range(len(geom_list)))
-    if len(record_ids) != len(geom_list):
-        raise ValueError("ids must match geometry count")
-
-    # Decompose every object into primitives with surrogate ids.
-    point_xs: list[float] = []
-    point_ys: list[float] = []
-    point_records: list[int] = []
-    lines: list[LineString] = []
-    line_records: list[int] = []
-    polygons: list[Polygon] = []
-    polygon_records: list[int] = []
-
-    def decompose(geom: Geometry, rid: int) -> None:
-        if isinstance(geom, Point):
-            point_xs.append(geom.x)
-            point_ys.append(geom.y)
-            point_records.append(rid)
-        elif isinstance(geom, MultiPoint):
-            for x, y in geom.coords:
-                point_xs.append(x)
-                point_ys.append(y)
-                point_records.append(rid)
-        elif isinstance(geom, LineString):
-            lines.append(geom)
-            line_records.append(rid)
-        elif isinstance(geom, LineSegment):
-            lines.append(LineString([(geom.ax, geom.ay), (geom.bx, geom.by)]))
-            line_records.append(rid)
-        elif isinstance(geom, MultiLineString):
-            for line in geom.lines:
-                lines.append(line)
-                line_records.append(rid)
-        elif isinstance(geom, Polygon):
-            polygons.append(geom)
-            polygon_records.append(rid)
-        elif isinstance(geom, MultiPolygon):
-            for poly in geom.polygons:
-                polygons.append(poly)
-                polygon_records.append(rid)
-        elif isinstance(geom, GeometryCollection):
-            for part in geom.geometries:
-                decompose(part, rid)
-        else:
-            raise TypeError(
-                f"unsupported geometry type: {type(geom).__name__}"
-            )
-
-    for geom, rid in zip(geom_list, record_ids):
-        decompose(geom, rid)
-
-    if window is None:
-        all_x = [query.bounds.xmin, query.bounds.xmax] + point_xs
-        all_y = [query.bounds.ymin, query.bounds.ymax] + point_ys
-        shapes: list[Polygon | LineString] = list(polygons) + list(lines)
-        for shape in shapes:
-            all_x.extend([shape.bounds.xmin, shape.bounds.xmax])
-            all_y.extend([shape.bounds.ymin, shape.bounds.ymax])
-        window = default_window(np.asarray(all_x), np.asarray(all_y))
-
-    selected: set[int] = set()
-    n_candidates = 0
-    n_tests = 0
-
-    if point_xs:
-        result = polygonal_select_points(
-            np.asarray(point_xs), np.asarray(point_ys), query,
-            ids=np.arange(len(point_xs)), window=window,
-            resolution=resolution, device=device, exact=exact,
-        )
-        selected.update(point_records[i] for i in result.ids)
-        n_candidates += result.n_candidates
-        n_tests += result.n_exact_tests
-    if lines:
-        result = polygonal_select_lines(
-            lines, query, ids=list(range(len(lines))), window=window,
-            resolution=resolution, device=device, exact=exact,
-        )
-        selected.update(line_records[i] for i in result.ids)
-        n_candidates += result.n_candidates
-        n_tests += result.n_exact_tests
-    if polygons:
-        result = polygonal_select_polygons(
-            polygons, query, ids=list(range(len(polygons))), window=window,
-            resolution=resolution, device=device, exact=exact,
-        )
-        selected.update(polygon_records[i] for i in result.ids)
-        n_candidates += result.n_candidates
-        n_tests += result.n_exact_tests
-
-    return SelectionResult(
-        ids=np.asarray(sorted(selected), dtype=np.int64),
-        n_candidates=n_candidates,
-        n_exact_tests=n_tests,
-    )
-
-
-def range_select(
-    xs: np.ndarray,
-    ys: np.ndarray,
-    l1: tuple[float, float],
-    l2: tuple[float, float],
-    **kwargs,
-) -> SelectionResult:
-    """Rectangular range constraint via ``Rect[l1, l2]()`` (Section 4.1)."""
-    box = BoundingBox(
-        min(l1[0], l2[0]), min(l1[1], l2[1]),
-        max(l1[0], l2[0]), max(l1[1], l2[1]),
-    )
-    return polygonal_select_points(xs, ys, Polygon(box.corners), **kwargs)
-
-
-def halfspace_select(
-    xs: np.ndarray,
-    ys: np.ndarray,
-    a: float,
-    b: float,
-    c: float,
-    window: BoundingBox | None = None,
-    **kwargs,
-) -> SelectionResult:
-    """One-sided range constraint via ``HS[a, b, c]()`` (Section 4.1).
-
-    The half space is clipped to the query window, which must cover the
-    data (guaranteed by :func:`default_window` when *window* is None).
-    """
-    xs = np.asarray(xs, dtype=np.float64)
-    ys = np.asarray(ys, dtype=np.float64)
-    if window is None:
-        window = default_window(xs, ys)
-    from repro.geometry.clipping import clip_polygon_halfplane
-
-    clipped = clip_polygon_halfplane(window.corners, a, b, c)
-    if len(clipped) < 3:
-        return SelectionResult(
-            ids=np.empty(0, dtype=np.int64), n_candidates=0, n_exact_tests=0
-        )
-    return polygonal_select_points(
-        xs, ys, Polygon(clipped), window=window, **kwargs
-    )
-
-
-def distance_select(
-    xs: np.ndarray,
-    ys: np.ndarray,
-    center: tuple[float, float],
-    radius: float,
-    ids: np.ndarray | None = None,
-    window: BoundingBox | None = None,
-    resolution: Resolution = 1024,
-    device: Device = DEFAULT_DEVICE,
-    exact: bool = True,
-) -> SelectionResult:
-    """Distance-based selection via ``Circ[(x, y), d]()`` (Section 4.1).
-
-    Boundary pixels of the disk are refined with the exact distance
-    test (the circle's vector form), keeping the result exact.
-    """
-    xs = np.asarray(xs, dtype=np.float64)
-    ys = np.asarray(ys, dtype=np.float64)
-    if window is None:
-        window = default_window(xs, ys)
-        cx, cy = center
-        window = window.union(
-            BoundingBox(cx - radius, cy - radius, cx + radius, cy + radius)
-        ).expand(0.01 * radius)
-
-    constraint = Canvas.circle(center, radius, window, resolution, 1, device)
-    point_set = CanvasSet.from_points(xs, ys, ids=ids)
-    blended = algebra.blend(point_set, constraint, PIP_MERGE)
-    masked = algebra.mask(blended, mask_point_in_any_polygon(1.0))
-    assert isinstance(masked, CanvasSet)
-    n_candidates = masked.n_samples
-    n_tests = 0
-    if exact:
-        on_boundary = masked.boundary
-        n_tests = int(on_boundary.sum())
-        if n_tests:
-            d = np.hypot(
-                masked.xs[on_boundary] - center[0],
-                masked.ys[on_boundary] - center[1],
-            )
-            keep = np.ones(masked.n_samples, dtype=bool)
-            keep[np.nonzero(on_boundary)[0]] = d <= radius
-            masked = masked.filter_rows(keep)
-    return SelectionResult(
-        ids=_unique_ids(masked.keys),
-        n_candidates=n_candidates,
-        n_exact_tests=n_tests,
-        samples=masked,
-    )
-
-
-# ----------------------------------------------------------------------
-# 4.2 Join queries
-# ----------------------------------------------------------------------
-def spatial_join_points_polygons(
-    xs: np.ndarray,
-    ys: np.ndarray,
-    polygons: Sequence[Polygon],
-    point_ids: np.ndarray | None = None,
-    polygon_ids: Sequence[int] | None = None,
-    window: BoundingBox | None = None,
-    resolution: Resolution = 1024,
-    device: Device = DEFAULT_DEVICE,
-    exact: bool = True,
-) -> list[tuple[int, int]]:
-    """Type I join: ``DP.Location INSIDE DY.Geometry`` (Section 4.2).
-
-    The join is the selection expression with the single query polygon
-    replaced by the polygon *collection*; each member canvas of CY
-    blends with CP in turn.  Returns exact ``(point_id, polygon_id)``
-    pairs, sorted.
-    """
-    xs = np.asarray(xs, dtype=np.float64)
-    ys = np.asarray(ys, dtype=np.float64)
-    polys = list(polygons)
-    poly_ids = (
-        list(polygon_ids) if polygon_ids is not None else list(range(len(polys)))
-    )
-    if window is None:
-        window = default_window(xs, ys, polys)
-
-    pairs: list[tuple[int, int]] = []
-    for poly, pid in zip(polys, poly_ids):
-        result = polygonal_select_points(
-            xs, ys, poly, ids=point_ids,
-            window=window, resolution=resolution, device=device, exact=exact,
-        )
-        pairs.extend((int(point_id), int(pid)) for point_id in result.ids)
-    pairs.sort()
-    return pairs
-
-
-def spatial_join_polygons_polygons(
-    left: Sequence[Polygon],
-    right: Sequence[Polygon],
-    left_ids: Sequence[int] | None = None,
-    right_ids: Sequence[int] | None = None,
-    window: BoundingBox | None = None,
-    resolution: Resolution = 1024,
-    device: Device = DEFAULT_DEVICE,
-    exact: bool = True,
-) -> list[tuple[int, int]]:
-    """Type II join: ``DY1.Geometry INTERSECTS DY2.Geometry``."""
-    lids = list(left_ids) if left_ids is not None else list(range(len(left)))
-    rids = list(right_ids) if right_ids is not None else list(range(len(right)))
-    if window is None:
-        corners_x: list[float] = []
-        corners_y: list[float] = []
-        for p in list(left) + list(right):
-            corners_x.extend([p.bounds.xmin, p.bounds.xmax])
-            corners_y.extend([p.bounds.ymin, p.bounds.ymax])
-        window = default_window(
-            np.asarray(corners_x), np.asarray(corners_y)
-        )
-    pairs: list[tuple[int, int]] = []
-    for poly, rid in zip(right, rids):
-        result = polygonal_select_polygons(
-            list(left), poly, ids=lids,
-            window=window, resolution=resolution, device=device, exact=exact,
-        )
-        pairs.extend((int(lid), int(rid)) for lid in result.ids)
-    pairs.sort()
-    return pairs
-
-
-def distance_join(
-    left_xs: np.ndarray,
-    left_ys: np.ndarray,
-    right_xs: np.ndarray,
-    right_ys: np.ndarray,
-    distance: float,
-    left_ids: np.ndarray | None = None,
-    right_ids: np.ndarray | None = None,
-    window: BoundingBox | None = None,
-    resolution: Resolution = 1024,
-    device: Device = DEFAULT_DEVICE,
-) -> list[tuple[int, int]]:
-    """Type III join: each RHS point becomes a circle (Section 4.2)."""
-    left_xs = np.asarray(left_xs, dtype=np.float64)
-    left_ys = np.asarray(left_ys, dtype=np.float64)
-    right_xs = np.asarray(right_xs, dtype=np.float64)
-    right_ys = np.asarray(right_ys, dtype=np.float64)
-    rids = (
-        np.asarray(right_ids, dtype=np.int64)
-        if right_ids is not None
-        else np.arange(len(right_xs), dtype=np.int64)
-    )
-    if window is None:
-        all_x = np.concatenate([left_xs, right_xs])
-        all_y = np.concatenate([left_ys, right_ys])
-        window = default_window(all_x, all_y).expand(distance * 1.05)
-
-    pairs: list[tuple[int, int]] = []
-    for i in range(len(right_xs)):
-        result = distance_select(
-            left_xs, left_ys,
-            (float(right_xs[i]), float(right_ys[i])), distance,
-            ids=left_ids, window=window,
-            resolution=resolution, device=device,
-        )
-        pairs.extend((int(point_id), int(rids[i])) for point_id in result.ids)
-    pairs.sort()
-    return pairs
-
-
-# ----------------------------------------------------------------------
-# 4.3 Aggregate queries
-# ----------------------------------------------------------------------
-def _group_gamma(data: np.ndarray, valid: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """The paper's ``γc(s) = (s[2][0], 0)`` — group by containing polygon."""
-    gx = data[:, channel(DIM_AREA, FIELD_ID)] + 0.5
-    gy = np.full_like(gx, 0.5)
-    return gx, gy
-
-
-def _aggregate_samples(
-    samples: CanvasSet,
-    group_ids: Sequence[int],
-    aggregate: str,
-    attr_channel: int,
-) -> AggregateResult:
-    """``B*[+](G[γc](samples))`` read back per group id.
-
-    The accumulator canvas spans the id range ``[0, max_id + 1)`` with
-    one pixel per id — the "unique location per object" the paper's
-    value-driven transform targets.
-    """
-    groups = np.asarray(sorted(set(int(g) for g in group_ids)), dtype=np.int64)
-    if samples.is_empty():
-        fill = math.inf if aggregate == "min" else (-math.inf if aggregate == "max" else 0.0)
-        return AggregateResult(
-            groups=groups,
-            values=np.full(len(groups), 0.0 if aggregate in ("count", "sum", "avg") else fill),
-            aggregate=aggregate,
-        )
-    max_id = int(max(groups.max(), samples.field(DIM_AREA, FIELD_ID).max()))
-    window = BoundingBox(0.0, 0.0, float(max_id + 1), 1.0)
-    resolution = (1, max_id + 1)
-
-    if aggregate in ("count", "sum", "avg"):
-        acc = algebra.aggregate_canvas_set(
-            samples, _group_gamma, window, resolution
-        )
-        counts = acc.field(DIM_POINT, FIELD_COUNT)[0, :]
-        sums = acc.field(DIM_POINT, FIELD_VALUE)[0, :]
-        if aggregate == "count":
-            values = counts[groups]
-        elif aggregate == "sum":
-            values = sums[groups]
-        else:
-            with np.errstate(invalid="ignore", divide="ignore"):
-                avg = np.where(counts > 0, sums / np.maximum(counts, 1.0), 0.0)
-            values = avg[groups]
-        return AggregateResult(groups=groups, values=values, aggregate=aggregate)
-
-    if aggregate in ("min", "max"):
-        # The paper: "the + function can be modified appropriately" for
-        # other distributive aggregates — scatter-min/max is the GPU
-        # blend-equation MIN/MAX equivalent.
-        gx, _ = _group_gamma(samples.data, samples.valid)
-        slot = np.floor(gx).astype(np.int64)
-        init = math.inf if aggregate == "min" else -math.inf
-        acc_arr = np.full(max_id + 1, init, dtype=np.float64)
-        attr = samples.data[:, attr_channel]
-        ok = (slot >= 0) & (slot <= max_id)
-        if aggregate == "min":
-            np.minimum.at(acc_arr, slot[ok], attr[ok])
-        else:
-            np.maximum.at(acc_arr, slot[ok], attr[ok])
-        values = acc_arr[groups]
-        return AggregateResult(groups=groups, values=values, aggregate=aggregate)
-
-    raise ValueError(f"unsupported aggregate {aggregate!r}")
-
-
-def aggregate_over_select(
-    xs: np.ndarray,
-    ys: np.ndarray,
-    polygon: Polygon,
-    values: np.ndarray | None = None,
-    aggregate: str = "count",
-    window: BoundingBox | None = None,
-    resolution: Resolution = 1024,
-    device: Device = DEFAULT_DEVICE,
-    exact: bool = True,
-) -> float:
-    """``SELECT COUNT(*)/SUM(A) FROM DP WHERE Location INSIDE Q`` (Fig. 7).
-
-    Expression: ``B*[+](G[γc](M[Mp](B[⊙](CP, CQ))))``.
-    """
-    xs = np.asarray(xs, dtype=np.float64)
-    ys = np.asarray(ys, dtype=np.float64)
-    if window is None:
-        window = default_window(xs, ys, [polygon])
-    constraint = Canvas.from_polygon(
-        polygon, window, resolution, record_id=1, device=device
-    )
-    point_set = CanvasSet.from_points(xs, ys, values=values)
-    blended = algebra.blend(point_set, constraint, PIP_MERGE)
-    masked = algebra.mask(blended, mask_point_in_any_polygon(1.0))
-    assert isinstance(masked, CanvasSet)
-    if exact:
-        masked, _ = refine_point_samples(masked, [polygon])
-    result = _aggregate_samples(
-        masked, [1], aggregate,
-        attr_channel=channel(DIM_POINT, FIELD_VALUE),
-    )
-    return float(result.values[0])
-
-
-def join_aggregate(
-    xs: np.ndarray,
-    ys: np.ndarray,
-    polygons: Sequence[Polygon],
-    values: np.ndarray | None = None,
-    aggregate: str = "count",
-    polygon_ids: Sequence[int] | None = None,
-    window: BoundingBox | None = None,
-    resolution: Resolution = 1024,
-    device: Device = DEFAULT_DEVICE,
-    exact: bool = True,
-) -> AggregateResult:
-    """Group-by over a Type I join (Section 4.3).
-
-    ``SELECT agg(...) FROM DP, DY WHERE Location INSIDE Geometry
-    GROUP BY DY.ID`` — the selection expression per polygon feeds the
-    shared aggregation tail ``B*[+](G[γc](...))``; each polygon keeps
-    its own id so the transformed samples land in distinct slots.
-    """
-    xs = np.asarray(xs, dtype=np.float64)
-    ys = np.asarray(ys, dtype=np.float64)
-    polys = list(polygons)
-    ids = (
-        list(polygon_ids) if polygon_ids is not None else list(range(len(polys)))
-    )
-    if window is None:
-        window = default_window(xs, ys, polys)
-
-    collected: CanvasSet | None = None
-    for poly, pid in zip(polys, ids):
-        constraint = Canvas.from_polygon(
-            poly, window, resolution, record_id=pid, device=device
-        )
-        point_set = CanvasSet.from_points(xs, ys, values=values)
-        blended = algebra.blend(point_set, constraint, PIP_MERGE)
-        masked = algebra.mask(blended, mask_point_in_any_polygon(1.0))
-        assert isinstance(masked, CanvasSet)
-        if exact:
-            masked, _ = refine_point_samples(masked, [poly])
-        collected = masked if collected is None else collected.concat(masked)
-
-    if collected is None:
-        collected = CanvasSet.empty()
-    return _aggregate_samples(
-        collected, ids, aggregate,
-        attr_channel=channel(DIM_POINT, FIELD_VALUE),
-    )
-
-
-# ----------------------------------------------------------------------
-# 4.4 Nearest-neighbor queries
-# ----------------------------------------------------------------------
-def knn(
-    xs: np.ndarray,
-    ys: np.ndarray,
-    query_point: tuple[float, float],
-    k: int,
-    ids: np.ndarray | None = None,
-    window: BoundingBox | None = None,
-    resolution: Resolution = 1024,
-    device: Device = DEFAULT_DEVICE,
-    max_iterations: int = 64,
-) -> SelectionResult:
-    """kNN via concentric-circle counting (Section 4.4).
-
-    The paper's plan probes circles of increasing radii, masks the
-    count-equals-k circle to read off the radius ``r``, then reissues a
-    distance selection with ``r``.  A conceptually infinite circle set
-    is realized lazily as a bisection over the radius, each probe being
-    the full canvas pipeline (``Circ`` + blend + mask + aggregate).
-    """
-    xs = np.asarray(xs, dtype=np.float64)
-    ys = np.asarray(ys, dtype=np.float64)
-    if k < 1 or k > len(xs):
-        raise ValueError("k must be between 1 and the number of points")
-    if window is None:
-        window = default_window(xs, ys)
-        qx, qy = query_point
-        window = window.union(BoundingBox(qx, qy, qx, qy)).expand(
-            0.01 * max(window.width, window.height)
-        )
-
-    def count_within(radius: float) -> int:
-        result = distance_select(
-            xs, ys, query_point, radius,
-            ids=ids, window=window, resolution=resolution, device=device,
-        )
-        return len(result.ids)
-
-    lo = 0.0
-    hi = math.hypot(window.width, window.height)
-    # Grow hi until at least k points are inside (window diagonal is
-    # always enough since the window covers the data).
-    iterations = 0
-    while count_within(hi) < k and iterations < 8:
-        hi *= 2.0
-        iterations += 1
-
-    result_at_hi: SelectionResult | None = None
-    for _ in range(max_iterations):
-        mid = (lo + hi) / 2.0
-        result = distance_select(
-            xs, ys, query_point, mid,
-            ids=ids, window=window, resolution=resolution, device=device,
-        )
-        n = len(result.ids)
-        if n == k:
-            return result
-        if n < k:
-            lo = mid
-        else:
-            hi = mid
-            result_at_hi = result
-    # Ties or resolution floor: fall back to trimming the smallest
-    # enclosing probe by exact distance (the paper's ϵ-perturbation).
-    if result_at_hi is None:
-        result_at_hi = distance_select(
-            xs, ys, query_point, hi,
-            ids=ids, window=window, resolution=resolution, device=device,
-        )
-    sel = result_at_hi.samples
-    d = np.hypot(sel.xs - query_point[0], sel.ys - query_point[1])
-    order = np.argsort(d, kind="stable")[:k]
-    trimmed = sel.filter_rows(np.isin(np.arange(sel.n_samples), order))
-    return SelectionResult(
-        ids=_unique_ids(trimmed.keys),
-        n_candidates=result_at_hi.n_candidates,
-        n_exact_tests=result_at_hi.n_exact_tests + sel.n_samples,
-        samples=trimmed,
-    )
-
-
-# ----------------------------------------------------------------------
-# 4.5 Computational geometry: Voronoi stored procedure
-# ----------------------------------------------------------------------
-def voronoi(
-    points: np.ndarray,
-    window: BoundingBox,
-    resolution: Resolution = 512,
-    device: Device = DEFAULT_DEVICE,
-) -> Canvas:
-    """Voronoi diagram via iterated Value Transform (Section 4.5).
-
-    ``ComputeVoronoi``: starting from the empty canvas, insert one site
-    at a time with ``V[f_(xi, yi)]``; ``f`` claims every pixel whose
-    squared distance to the new site beats the stored one (kept in
-    ``s[2][1]``, exactly as the paper's ``f`` definition stores ``d^2``).
-    The result's ``s[2][0]`` is the owning site index.
-    """
-    pts = np.asarray(points, dtype=np.float64)
-    if pts.ndim != 2 or pts.shape[1] != 2:
-        raise ValueError("points must be an (n, 2) array")
-    canvas = Canvas.empty(window, resolution, device)
-    id_ch = channel(DIM_AREA, FIELD_ID)
-    d2_ch = channel(DIM_AREA, FIELD_COUNT)
-
-    for i in range(len(pts)):
-        px, py = float(pts[i, 0]), float(pts[i, 1])
-
-        def f(
-            gx: np.ndarray, gy: np.ndarray,
-            data: np.ndarray, valid: np.ndarray,
-            _site: int = i, _px: float = px, _py: float = py,
-        ) -> tuple[np.ndarray, np.ndarray]:
-            d2 = (gx - _px) ** 2 + (gy - _py) ** 2
-            out_data = data.copy()
-            out_valid = valid.copy()
-            was_null = ~valid[..., DIM_AREA]
-            closer = d2 < data[..., d2_ch]
-            claim = was_null | closer
-            out_data[..., id_ch] = np.where(claim, float(_site), data[..., id_ch])
-            out_data[..., d2_ch] = np.where(claim, d2, data[..., d2_ch])
-            out_valid[..., DIM_AREA] = True
-            return out_data, out_valid
-
-        canvas = algebra.value_transform(canvas, f)
-        assert isinstance(canvas, Canvas)
-    return canvas
-
-
-# ----------------------------------------------------------------------
-# 4.6 Complex queries: origin-destination double selection
-# ----------------------------------------------------------------------
-def od_select(
-    origin_xs: np.ndarray,
-    origin_ys: np.ndarray,
-    dest_xs: np.ndarray,
-    dest_ys: np.ndarray,
-    q1: Polygon,
-    q2: Polygon,
-    ids: np.ndarray | None = None,
-    window: BoundingBox | None = None,
-    resolution: Resolution = 1024,
-    device: Device = DEFAULT_DEVICE,
-    exact: bool = True,
-) -> SelectionResult:
-    """``Origin INSIDE Q1 AND Destination INSIDE Q2`` (Fig. 8(a)).
-
-    Expression: ``M[Mp'](B[⊙](G[γd](Corigin), CQ2))`` where ``Corigin``
-    is the origin selection and ``γd(s) = destination(s[0][0])`` jumps
-    each surviving record from its origin to its destination.
-    """
-    origin_xs = np.asarray(origin_xs, dtype=np.float64)
-    origin_ys = np.asarray(origin_ys, dtype=np.float64)
-    dest_xs = np.asarray(dest_xs, dtype=np.float64)
-    dest_ys = np.asarray(dest_ys, dtype=np.float64)
-    n = len(origin_xs)
-    key_ids = (
-        np.asarray(ids, dtype=np.int64) if ids is not None
-        else np.arange(n, dtype=np.int64)
-    )
-    if window is None:
-        all_x = np.concatenate([origin_xs, dest_xs])
-        all_y = np.concatenate([origin_ys, dest_ys])
-        window = default_window(all_x, all_y, [q1, q2])
-
-    # Stage 1: origin selection (the familiar expression).
-    origin_result = polygonal_select_points(
-        origin_xs, origin_ys, q1, ids=key_ids,
-        window=window, resolution=resolution, device=device, exact=exact,
-    )
-    surviving = origin_result.samples
-
-    # Stage 2: γd — value-driven transform to the destination location.
-    dest_x_by_id = dict(zip(key_ids.tolist(), dest_xs.tolist()))
-    dest_y_by_id = dict(zip(key_ids.tolist(), dest_ys.tolist()))
-
-    def gamma_dest(
-        data: np.ndarray, valid: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        rec = data[:, channel(DIM_POINT, FIELD_ID)].astype(np.int64)
-        nx = np.array([dest_x_by_id[int(r)] for r in rec], dtype=np.float64)
-        ny = np.array([dest_y_by_id[int(r)] for r in rec], dtype=np.float64)
-        return nx, ny
-
-    moved = algebra.geometric_transform_by_value(surviving, gamma_dest)
-    assert isinstance(moved, CanvasSet)
-    # Clear the stage-1 boundary flags: the destination test's
-    # uncertainty depends only on Q2's pixels.
-    moved.boundary[:] = False
-
-    # Stage 3: blend with CQ2 and mask (id 2 per the paper's CQi).
-    q2_canvas = Canvas.from_polygon(
-        q2, window, resolution, record_id=2, device=device
-    )
-    blended = algebra.blend(moved, q2_canvas, PIP_MERGE)
-    masked = algebra.mask(blended, mask_point_in_any_polygon(1.0))
-    assert isinstance(masked, CanvasSet)
-    n_candidates = masked.n_samples
-    n_tests = origin_result.n_exact_tests
-    if exact:
-        masked, extra = refine_point_samples(masked, [q2])
-        n_tests += extra
-    return SelectionResult(
-        ids=_unique_ids(masked.keys),
-        n_candidates=n_candidates,
-        n_exact_tests=n_tests,
-        samples=masked,
-    )
+    return AggregateResult(groups=groups, values=values, aggregate=aggregate)

@@ -1,0 +1,102 @@
+"""Plan-driven execution engine: planner + executor + canvas cache.
+
+This package turns the three previously disconnected layers of the
+reproduction into one pipeline:
+
+- :mod:`repro.core.expressions` / :mod:`repro.core.plans` supply the
+  *logical* plan trees (the paper's Figures 5–8);
+- :mod:`repro.core.optimizer` prices equivalent physical strategies
+  (Section 7);
+- :mod:`repro.engine.planner` chooses the strategy to run;
+- :mod:`repro.engine.executor` evaluates it, serving constraint
+  canvases from :mod:`repro.engine.cache` and recording an
+  :class:`~repro.engine.executor.ExecutionReport` per query.
+
+The public query functions in :mod:`repro.queries` all route through
+the module-level default engine.  Tests and benchmarks can steer plan
+choice by installing an engine with a custom cost model::
+
+    from repro.core.optimizer import CostModel
+    from repro.engine import QueryEngine, use_engine
+
+    with use_engine(QueryEngine(CostModel(edge_test=1e6))):
+        result = polygonal_select_points(xs, ys, polygon)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.engine.cache import CanvasCache, CacheStats, geometries_digest, geometry_digest
+from repro.engine.executor import (
+    AggregationOutcome,
+    ExecutionReport,
+    QueryEngine,
+    SelectionOutcome,
+    aggregate_samples,
+    unique_ids,
+)
+from repro.engine.planner import (
+    AGG_JOIN_THEN_AGG,
+    AGG_RASTERJOIN,
+    SELECTION_BLENDED,
+    SELECTION_PIP,
+    PlanChoice,
+    Planner,
+)
+
+__all__ = [
+    "AGG_JOIN_THEN_AGG",
+    "AGG_RASTERJOIN",
+    "AggregationOutcome",
+    "CacheStats",
+    "CanvasCache",
+    "ExecutionReport",
+    "PlanChoice",
+    "Planner",
+    "QueryEngine",
+    "SELECTION_BLENDED",
+    "SELECTION_PIP",
+    "SelectionOutcome",
+    "aggregate_samples",
+    "explain",
+    "geometries_digest",
+    "geometry_digest",
+    "get_engine",
+    "set_engine",
+    "unique_ids",
+    "use_engine",
+]
+
+_default_engine: QueryEngine | None = None
+
+
+def get_engine() -> QueryEngine:
+    """The process-wide default engine serving the query API."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = QueryEngine()
+    return _default_engine
+
+
+def set_engine(engine: QueryEngine) -> QueryEngine:
+    """Install *engine* as the default; returns the previous one."""
+    global _default_engine
+    previous = get_engine()
+    _default_engine = engine
+    return previous
+
+
+@contextmanager
+def use_engine(engine: QueryEngine):
+    """Temporarily route the query API through *engine*."""
+    previous = set_engine(engine)
+    try:
+        yield engine
+    finally:
+        set_engine(previous)
+
+
+def explain(last: int = 1) -> str:
+    """``explain()`` on the default engine (chosen plan, cost, cache)."""
+    return get_engine().explain(last=last)

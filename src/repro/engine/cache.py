@@ -1,0 +1,223 @@
+"""Canvas/rasterization cache for the plan-driven execution engine.
+
+Rasterizing constraint geometry is the dominant fixed cost of every
+canvas plan (Section 5.1 renders canvases "on the fly"), and real
+workloads repeat constraints: a dashboard re-issues the same polygon at
+every refresh, a benchmark sweep re-rasterizes the same hand-drawn
+constraint per input size, and a join builds one canvas per polygon per
+query.  The cache memoizes finished constraint canvases keyed on
+
+    (build recipe, geometry digest, window, resolution, device)
+
+so a repeated constraint costs one dictionary lookup instead of a full
+raster pass.  Cached canvases are treated as immutable by every
+consumer (blends only *gather* from the dense right-hand operand), so
+entries are shared, not copied.
+
+Eviction is LRU with a bounded entry count; statistics (hits, misses,
+evictions) feed the engine's ``explain()`` reports and the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.geometry.primitives import Geometry, Polygon
+
+CacheKey = tuple
+
+
+def geometry_digest(geometry: Geometry) -> str:
+    """Stable content digest of a geometry's exact vector form.
+
+    Polygons hash shell plus holes; every other geometry hashes its
+    vertex array.  Two geometries with identical coordinates share a
+    digest, so equal constraints hit the cache even when they are
+    distinct Python objects.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(type(geometry).__name__.encode())
+    if isinstance(geometry, Polygon):
+        h.update(geometry.shell.vertex_array().tobytes())
+        for hole in geometry.holes:
+            h.update(b"|hole|")
+            h.update(hole.vertex_array().tobytes())
+    else:
+        h.update(geometry.vertex_array().tobytes())
+    return h.hexdigest()
+
+
+def geometries_digest(geometries: Sequence[Geometry]) -> str:
+    """Order-sensitive combined digest of a geometry sequence."""
+    h = hashlib.blake2b(digest_size=16)
+    for geom in geometries:
+        h.update(geometry_digest(geom).encode())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of cache counters (cumulative since last ``clear``)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+    bytes_used: int = 0
+    max_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+            "bytes_used": self.bytes_used,
+            "max_bytes": self.max_bytes,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+def estimate_canvas_bytes(value) -> int:
+    """Array payload of a dense canvas (texture data + validity + flags).
+
+    Non-canvas values fall back to 0 — they still count toward the
+    entry bound, just not the byte budget.
+    """
+    total = 0
+    texture = getattr(value, "texture", None)
+    if texture is not None:
+        for attr in ("data", "valid"):
+            arr = getattr(texture, attr, None)
+            total += getattr(arr, "nbytes", 0)
+    total += getattr(getattr(value, "boundary", None), "nbytes", 0)
+    return total
+
+
+#: Default byte budget: ~12 full-resolution (1024x1024) canvases — room
+#: for the motivating multi-polygon joins to repeat without LRU churn,
+#: while still bounding steady-state memory.
+DEFAULT_MAX_BYTES = 1024 * 1024 * 1024
+
+
+class CanvasCache:
+    """LRU cache of rasterized canvases, bounded by entries *and* bytes.
+
+    A 1024x1024 canvas weighs ~80 MB, so an entry count alone would let
+    routine joins pin gigabytes; eviction runs until both the entry
+    cap and the byte budget hold (an oversized single entry is still
+    admitted — it evicts everything else and is dropped on the next
+    insert).  Values are whatever the builder returns; the cache never
+    copies them — consumers must not mutate entries.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        sizer: Callable[[object], int] = estimate_canvas_bytes,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        if max_bytes < 1:
+            raise ValueError("cache byte budget must be positive")
+        self.capacity = capacity
+        self.max_bytes = max_bytes
+        self._sizer = sizer
+        self._store: OrderedDict[CacheKey, tuple[object, int]] = OrderedDict()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def thread_counters(self) -> tuple[int, int]:
+        """(hits, misses) recorded by the calling thread only.
+
+        Monotonic per thread; snapshot before/after an execution to get
+        a per-query delta that concurrent queries cannot pollute.
+        """
+        return (
+            getattr(self._local, "hits", 0),
+            getattr(self._local, "misses", 0),
+        )
+
+    def _count(self, hit: bool) -> None:
+        if hit:
+            self._hits += 1
+            self._local.hits = getattr(self._local, "hits", 0) + 1
+        else:
+            self._misses += 1
+            self._local.misses = getattr(self._local, "misses", 0) + 1
+
+    def get_or_build(self, key: CacheKey, builder: Callable[[], object]):
+        """Return the cached value for *key*, building it on a miss.
+
+        The builder runs outside the lock (raster passes are long);
+        concurrent misses on the same key may build twice, with the
+        last builder winning — acceptable for idempotent raster output.
+        """
+        with self._lock:
+            if key in self._store:
+                self._count(hit=True)
+                self._store.move_to_end(key)
+                return self._store[key][0]
+        value = builder()
+        nbytes = self._sizer(value)
+        with self._lock:
+            self._count(hit=False)
+            if key in self._store:
+                self._bytes -= self._store[key][1]
+            self._store[key] = (value, nbytes)
+            self._store.move_to_end(key)
+            self._bytes += nbytes
+            while len(self._store) > 1 and (
+                len(self._store) > self.capacity
+                or self._bytes > self.max_bytes
+            ):
+                _, (_, evicted_bytes) = self._store.popitem(last=False)
+                self._bytes -= evicted_bytes
+                self._evictions += 1
+        return value
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._store),
+                capacity=self.capacity,
+                bytes_used=self._bytes,
+                max_bytes=self.max_bytes,
+            )
+
+    def clear(self) -> None:
+        """Drop all entries and reset counters."""
+        with self._lock:
+            self._store.clear()
+            self._bytes = 0
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._store

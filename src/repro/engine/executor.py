@@ -1,0 +1,643 @@
+"""Plan-driven query executor with canvas caching and explain reports.
+
+The executor is the single place where a chosen physical plan becomes
+work.  Query frontends (:mod:`repro.queries`) describe *what* to
+compute; :class:`Planner` decides *how* (cost-based, Section 7); this
+module runs the winning strategy:
+
+- ``blended-canvas`` selections build the Figure 8(b) expression tree
+  with :mod:`repro.core.expressions` nodes and evaluate it through the
+  algebra, pulling constraint canvases from the :class:`CanvasCache`;
+- ``per-polygon-pip`` selections run the traditional vectorized
+  point-in-polygon kernel (the paper's baseline strategy) — exact by
+  construction, cheapest for small inputs;
+- ``join-then-aggregate`` aggregations run the Section 4.3 plan with
+  per-polygon cached constraint canvases and exact refinement;
+- ``rasterjoin`` aggregations delegate to the Figure 8(c) plan.
+
+Every execution produces an :class:`ExecutionReport` — chosen plan,
+estimated cost, full candidate table, cache-hit delta, timings, and the
+rendered plan tree — which :meth:`QueryEngine.explain` formats for
+humans and the CLI ``explain`` subcommand prints.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.predicates import points_in_polygon
+from repro.geometry.primitives import Polygon
+from repro.gpu.device import DEFAULT_DEVICE, Device
+from repro.core import algebra, optimizer
+from repro.core.accuracy import refine_point_samples
+from repro.core.blendfuncs import PIP_MERGE
+from repro.core.canvas import Canvas, Resolution, _resolve_resolution
+from repro.core.canvas_set import CanvasSet
+from repro.core.expressions import InputNode, UtilityNode, render_plan
+from repro.core.masks import (
+    mask_point_in_all_polygons,
+    mask_point_in_any_polygon,
+)
+from repro.core.objectinfo import (
+    DIM_AREA,
+    DIM_POINT,
+    FIELD_COUNT,
+    FIELD_ID,
+    FIELD_VALUE,
+    channel,
+)
+from repro.core.optimizer import CostModel, PlanEstimate
+from repro.engine.cache import CanvasCache, geometries_digest, geometry_digest
+from repro.engine.planner import (
+    AGG_RASTERJOIN,
+    SELECTION_PIP,
+    Planner,
+)
+
+
+def unique_ids(keys: np.ndarray) -> np.ndarray:
+    """``np.unique`` with a fast path for already-sorted-unique keys.
+
+    Point canvas sets carry one sample per record in id order, so
+    selection results are usually strictly increasing already; the
+    linear monotonicity check then skips the full unique machinery.
+    """
+    if len(keys) < 2:
+        return keys.copy()
+    diffs = np.diff(keys)
+    if (diffs > 0).all():
+        return keys.copy()
+    return np.unique(keys)
+
+
+def _group_gamma(data: np.ndarray, valid: np.ndarray):
+    """The paper's ``γc(s) = (s[2][0], 0)`` — group by containing polygon."""
+    gx = data[:, channel(DIM_AREA, FIELD_ID)] + 0.5
+    gy = np.full_like(gx, 0.5)
+    return gx, gy
+
+
+def aggregate_samples(
+    samples: CanvasSet,
+    group_ids: Sequence[int],
+    aggregate: str,
+    attr_channel: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``B*[+](G[γc](samples))`` read back per group id.
+
+    The accumulator canvas spans the id range ``[0, max_id + 1)`` with
+    one pixel per id — the "unique location per object" the paper's
+    value-driven transform targets.  Returns ``(groups, values)``.
+    """
+    if attr_channel is None:
+        attr_channel = channel(DIM_POINT, FIELD_VALUE)
+    groups = np.asarray(sorted(set(int(g) for g in group_ids)), dtype=np.int64)
+    if samples.is_empty():
+        fill = math.inf if aggregate == "min" else (-math.inf if aggregate == "max" else 0.0)
+        values = np.full(
+            len(groups),
+            0.0 if aggregate in ("count", "sum", "avg") else fill,
+        )
+        return groups, values
+    max_id = int(max(groups.max(), samples.field(DIM_AREA, FIELD_ID).max()))
+    window = BoundingBox(0.0, 0.0, float(max_id + 1), 1.0)
+    resolution = (1, max_id + 1)
+
+    if aggregate in ("count", "sum", "avg"):
+        acc = algebra.aggregate_canvas_set(
+            samples, _group_gamma, window, resolution
+        )
+        counts = acc.field(DIM_POINT, FIELD_COUNT)[0, :]
+        sums = acc.field(DIM_POINT, FIELD_VALUE)[0, :]
+        if aggregate == "count":
+            return groups, counts[groups]
+        if aggregate == "sum":
+            return groups, sums[groups]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            avg = np.where(counts > 0, sums / np.maximum(counts, 1.0), 0.0)
+        return groups, avg[groups]
+
+    if aggregate in ("min", "max"):
+        # The paper: "the + function can be modified appropriately" for
+        # other distributive aggregates — scatter-min/max is the GPU
+        # blend-equation MIN/MAX equivalent.
+        gx, _ = _group_gamma(samples.data, samples.valid)
+        slot = np.floor(gx).astype(np.int64)
+        init = math.inf if aggregate == "min" else -math.inf
+        acc_arr = np.full(max_id + 1, init, dtype=np.float64)
+        attr = samples.data[:, attr_channel]
+        ok = (slot >= 0) & (slot <= max_id)
+        if aggregate == "min":
+            np.minimum.at(acc_arr, slot[ok], attr[ok])
+        else:
+            np.maximum.at(acc_arr, slot[ok], attr[ok])
+        return groups, acc_arr[groups]
+
+    raise ValueError(f"unsupported aggregate {aggregate!r}")
+
+
+# ----------------------------------------------------------------------
+# Reports and outcomes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExecutionReport:
+    """What one engine execution did and why."""
+
+    query: str
+    plan: str
+    estimated_cost: float
+    candidates: tuple[PlanEstimate, ...]
+    forced: str | None
+    cache_hits: int
+    cache_misses: int
+    planning_s: float
+    execution_s: float
+    plan_tree: str | None
+
+    def describe(self) -> str:
+        lines = [
+            f"query: {self.query}",
+            f"chosen plan: {self.plan} (estimated cost {self.estimated_cost:.4g})",
+        ]
+        if self.forced:
+            lines.append(f"choice forced: {self.forced}")
+        if self.candidates:
+            lines.append("candidate plans:")
+            lines.extend(
+                "  " + row
+                for row in optimizer.explain(list(self.candidates)).splitlines()
+            )
+        if self.plan_tree:
+            lines.append("plan tree:")
+            lines.extend("  " + row for row in self.plan_tree.splitlines())
+        lines.append(
+            f"canvas cache: {self.cache_hits} hits, "
+            f"{self.cache_misses} misses during this query"
+        )
+        lines.append(
+            f"timings: planning {self.planning_s * 1e6:.1f} us, "
+            f"execution {self.execution_s * 1e3:.3f} ms"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class SelectionOutcome:
+    """Raw executor output for a selection (frontends wrap this)."""
+
+    ids: np.ndarray
+    n_candidates: int
+    n_exact_tests: int
+    samples: CanvasSet
+    report: ExecutionReport
+
+
+@dataclass
+class AggregationOutcome:
+    """Raw executor output for an aggregation (frontends wrap this)."""
+
+    groups: np.ndarray
+    values: np.ndarray
+    aggregate: str
+    report: ExecutionReport
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class QueryEngine:
+    """Planner + executor + canvas cache behind the query API.
+
+    One engine instance owns one cost model and one cache; the
+    module-level default engine (see :mod:`repro.engine`) serves the
+    public query functions, while tests and benchmarks may instantiate
+    engines with custom cost models to steer plan choice.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel | None = None,
+        cache_capacity: int = 64,
+        cache_max_bytes: int | None = None,
+        history: int = 32,
+    ) -> None:
+        self.planner = Planner(cost_model or CostModel())
+        if cache_max_bytes is None:
+            self.cache = CanvasCache(cache_capacity)
+        else:
+            self.cache = CanvasCache(cache_capacity, max_bytes=cache_max_bytes)
+        self.reports: deque[ExecutionReport] = deque(maxlen=history)
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self.planner.cost_model
+
+    @property
+    def last_report(self) -> ExecutionReport | None:
+        return self.reports[-1] if self.reports else None
+
+    # ------------------------------------------------------------------
+    # Cached canvas construction (the GPU-facing seam)
+    # ------------------------------------------------------------------
+    def constraint_canvas(
+        self,
+        polygons: Sequence[Polygon],
+        window: BoundingBox,
+        resolution: Resolution,
+        device: Device = DEFAULT_DEVICE,
+    ) -> Canvas:
+        """``B*[⊕]`` over the constraint canvases, memoized.
+
+        Each polygon is rendered with count accumulation so the blended
+        canvas's area slot carries the per-pixel coverage count used by
+        the masks ``Mp'`` (>= 1) and its conjunctive variant (== n).
+        """
+        # Deferred import: the shared builder lives in the query layer.
+        from repro.queries.common import build_constraint_canvas
+
+        polys = list(polygons)
+        key = (
+            "constraint-blend",
+            geometries_digest(polys),
+            tuple(window),
+            _resolve_resolution(window, resolution),
+            device,
+        )
+        return self.cache.get_or_build(
+            key,
+            lambda: build_constraint_canvas(polys, window, resolution, device),
+        )
+
+    def polygon_canvas(
+        self,
+        polygon: Polygon,
+        window: BoundingBox,
+        resolution: Resolution,
+        record_id: int = 1,
+        device: Device = DEFAULT_DEVICE,
+    ) -> Canvas:
+        """Single-polygon query canvas (``CQ`` / one member of ``CY``), memoized."""
+        key = (
+            "polygon",
+            geometry_digest(polygon),
+            int(record_id),
+            tuple(window),
+            _resolve_resolution(window, resolution),
+            device,
+        )
+        return self.cache.get_or_build(
+            key,
+            lambda: Canvas.from_polygon(
+                polygon, window, resolution, record_id=record_id, device=device
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def select_points(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        polygons: Sequence[Polygon],
+        *,
+        ids: np.ndarray | None = None,
+        window: BoundingBox,
+        resolution: Resolution = 1024,
+        device: Device = DEFAULT_DEVICE,
+        mode: str = "any",
+        exact: bool = True,
+        constraint_canvas: Canvas | None = None,
+        force_plan: str | None = None,
+    ) -> SelectionOutcome:
+        """Plan and run a multi-constraint point selection."""
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        polys = list(polygons)
+        if not polys:
+            raise ValueError("at least one constraint polygon is required")
+        resolution_hw = _resolve_resolution(window, resolution)
+
+        if len(xs) == 0:
+            return self._empty_selection("selection: empty input")
+
+        t0 = time.perf_counter()
+        choice = self.planner.plan_selection(
+            len(xs), polys, resolution_hw, exact=exact,
+            prebuilt_canvas=constraint_canvas is not None,
+            force=force_plan,
+        )
+        t1 = time.perf_counter()
+        before_hits, before_misses = self.cache.thread_counters()
+
+        if choice.chosen.name == SELECTION_PIP:
+            result = self._run_selection_pip(
+                xs, ys, polys, ids, window, resolution_hw, mode
+            )
+            tree_text = (
+                "PIP kernel: crossing-count per (point, polygon) pair "
+                f"({len(polys)} polygons)"
+            )
+        else:
+            result, tree = self._run_selection_blended(
+                xs, ys, polys, ids, window, resolution, device, mode, exact,
+                constraint_canvas,
+            )
+            tree_text = render_plan(tree)
+        t2 = time.perf_counter()
+        after_hits, after_misses = self.cache.thread_counters()
+
+        report = ExecutionReport(
+            query="selection",
+            plan=choice.chosen.name,
+            estimated_cost=choice.chosen.cost,
+            candidates=choice.candidates,
+            forced=choice.forced,
+            cache_hits=after_hits - before_hits,
+            cache_misses=after_misses - before_misses,
+            planning_s=t1 - t0,
+            execution_s=t2 - t1,
+            plan_tree=tree_text,
+        )
+        self.reports.append(report)
+        ids_out, n_candidates, n_tests, samples = result
+        return SelectionOutcome(
+            ids=ids_out,
+            n_candidates=n_candidates,
+            n_exact_tests=n_tests,
+            samples=samples,
+            report=report,
+        )
+
+    def _run_selection_blended(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        polys: list[Polygon],
+        ids: np.ndarray | None,
+        window: BoundingBox,
+        resolution: Resolution,
+        device: Device,
+        mode: str,
+        exact: bool,
+        prebuilt: Canvas | None,
+    ):
+        """``M[Mp'](B[⊙](CP, B*[⊕](CQ)))`` as an expression tree."""
+        point_set = CanvasSet.from_points(xs, ys, ids=ids)
+        cp = InputNode(point_set, name="CP")
+        if prebuilt is not None:
+            cq: InputNode | UtilityNode = InputNode(prebuilt, name="B*[⊕](CQ)")
+        else:
+            cq = UtilityNode(
+                "B*[⊕]",
+                factory=lambda: self.constraint_canvas(
+                    polys, window, resolution, device
+                ),
+                params=f"CQ1..CQ{len(polys)}",
+            )
+        predicate = (
+            mask_point_in_any_polygon(1.0)
+            if mode == "any"
+            else mask_point_in_all_polygons(float(len(polys)))
+        )
+        tree = cp.blend(cq, PIP_MERGE).mask(predicate)
+        masked = tree.evaluate()
+        assert isinstance(masked, CanvasSet)
+        n_candidates = masked.n_samples
+        n_tests = 0
+        if exact:
+            min_containing = 1 if mode == "any" else len(polys)
+            masked, n_tests = refine_point_samples(
+                masked, polys, min_containing=min_containing
+            )
+        return (unique_ids(masked.keys), n_candidates, n_tests, masked), tree
+
+    def _run_selection_pip(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        polys: list[Polygon],
+        ids: np.ndarray | None,
+        window: BoundingBox,
+        resolution_hw: tuple[int, int],
+        mode: str,
+    ):
+        """Exact per-polygon PIP testing (the traditional plan).
+
+        Points outside the query window are dropped first, matching the
+        raster plan's gather semantics (out-of-window samples blend to
+        null); the crossing-count test then runs per polygon.  The
+        surviving samples carry the same constraint-side S^3 triple the
+        blended plan would have gathered — ``s[2] = (id of the last
+        covering constraint, coverage count, 0)`` — so downstream
+        composition (group-by containing polygon, OD-style transforms)
+        is plan-independent.
+        """
+        height, width = resolution_hw
+        dx = window.width / width
+        dy = window.height / height
+        cols = np.floor((xs - window.xmin) / dx).astype(np.int64)
+        rows = np.floor((ys - window.ymin) / dy).astype(np.int64)
+        in_frame = (
+            (rows >= 0) & (rows < height) & (cols >= 0) & (cols < width)
+        )
+        keys = (
+            np.asarray(ids, dtype=np.int64)
+            if ids is not None
+            else np.arange(len(xs), dtype=np.int64)
+        )
+        fx, fy = xs[in_frame], ys[in_frame]
+        counts = np.zeros(len(fx), dtype=np.int64)
+        last_id = np.zeros(len(fx), dtype=np.float64)
+        for i, poly in enumerate(polys, start=1):
+            inside = points_in_polygon(fx, fy, poly)
+            counts += inside
+            # Constraint canvases draw in order with ids 1..n, so the
+            # last covering polygon owns the pixel's id channel.
+            last_id[inside] = float(i)
+        need = 1 if mode == "any" else len(polys)
+        hit = counts >= need
+        sel_keys = keys[in_frame][hit]
+        samples = CanvasSet.from_points(fx[hit], fy[hit], ids=sel_keys)
+        samples.data[:, channel(DIM_AREA, FIELD_ID)] = last_id[hit]
+        samples.data[:, channel(DIM_AREA, FIELD_COUNT)] = counts[hit]
+        samples.valid[:, DIM_AREA] = True
+        n_tests = int(in_frame.sum()) * len(polys)
+        return unique_ids(sel_keys), int(hit.sum()), n_tests, samples
+
+    def _empty_selection(self, label: str) -> SelectionOutcome:
+        report = ExecutionReport(
+            query=label, plan="empty-input", estimated_cost=0.0,
+            candidates=(), forced="no input points", cache_hits=0,
+            cache_misses=0, planning_s=0.0, execution_s=0.0, plan_tree=None,
+        )
+        self.reports.append(report)
+        return SelectionOutcome(
+            ids=np.empty(0, dtype=np.int64), n_candidates=0, n_exact_tests=0,
+            samples=CanvasSet.empty(), report=report,
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def aggregate_points(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        polygons: Sequence[Polygon],
+        *,
+        values: np.ndarray | None = None,
+        aggregate: str = "count",
+        polygon_ids: Sequence[int] | None = None,
+        window: BoundingBox,
+        resolution: Resolution = 1024,
+        device: Device = DEFAULT_DEVICE,
+        exact: bool = True,
+        force_plan: str | None = None,
+    ) -> AggregationOutcome:
+        """Plan and run a group-by-over-join aggregation."""
+        if aggregate not in ("count", "sum", "avg", "min", "max"):
+            raise ValueError(f"unsupported aggregate {aggregate!r}")
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        polys = list(polygons)
+        ids = (
+            list(polygon_ids)
+            if polygon_ids is not None
+            else list(range(len(polys)))
+        )
+        resolution_hw = _resolve_resolution(window, resolution)
+
+        if not polys or len(xs) == 0:
+            groups, out_values = aggregate_samples(
+                CanvasSet.empty(), ids, aggregate
+            )
+            report = ExecutionReport(
+                query="join-aggregate: empty input", plan="empty-input",
+                estimated_cost=0.0, candidates=(), forced="no input",
+                cache_hits=0, cache_misses=0, planning_s=0.0,
+                execution_s=0.0, plan_tree=None,
+            )
+            self.reports.append(report)
+            return AggregationOutcome(groups, out_values, aggregate, report)
+
+        t0 = time.perf_counter()
+        choice = self.planner.plan_aggregation(
+            len(xs), polys, resolution_hw, exact=exact, aggregate=aggregate,
+            force=force_plan,
+        )
+        t1 = time.perf_counter()
+        before_hits, before_misses = self.cache.thread_counters()
+
+        if choice.chosen.name == AGG_RASTERJOIN:
+            # Deferred import: rasterjoin sits above the query layer.
+            from repro.core.rasterjoin import raster_join_aggregate
+
+            result = raster_join_aggregate(
+                xs, ys, polys, values=values, aggregate=aggregate,
+                polygon_ids=ids, window=window, resolution=resolution,
+                device=device,
+            )
+            groups, out_values = result.groups, result.values
+            tree_text = (
+                "B*[+](D*[γc](M[Mp](B[⊙](B*[+](CP), CY)))) — "
+                f"RasterJoin over {len(polys)} polygons"
+            )
+        else:
+            groups, out_values, tree_text = self._run_join_then_aggregate(
+                xs, ys, polys, ids, values, aggregate, window, resolution,
+                device, exact,
+            )
+        t2 = time.perf_counter()
+        after_hits, after_misses = self.cache.thread_counters()
+
+        report = ExecutionReport(
+            query="join-aggregate",
+            plan=choice.chosen.name,
+            estimated_cost=choice.chosen.cost,
+            candidates=choice.candidates,
+            forced=choice.forced,
+            cache_hits=after_hits - before_hits,
+            cache_misses=after_misses - before_misses,
+            planning_s=t1 - t0,
+            execution_s=t2 - t1,
+            plan_tree=tree_text,
+        )
+        self.reports.append(report)
+        return AggregationOutcome(groups, out_values, aggregate, report)
+
+    def _run_join_then_aggregate(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        polys: list[Polygon],
+        ids: list[int],
+        values: np.ndarray | None,
+        aggregate: str,
+        window: BoundingBox,
+        resolution: Resolution,
+        device: Device,
+        exact: bool,
+    ):
+        """``B*[+](G[γc](M[Mp](B[⊙](CP, CY))))`` per polygon, then merge."""
+        point_set = CanvasSet.from_points(xs, ys, values=values)
+        cp = InputNode(point_set, name="CP")
+        collected: CanvasSet | None = None
+        branch_tree = None
+        for poly, pid in zip(polys, ids):
+            cq = UtilityNode(
+                "CY",
+                factory=lambda p=poly, r=pid: self.polygon_canvas(
+                    p, window, resolution, record_id=r, device=device
+                ),
+                params=f"id={pid}",
+            )
+            tree = cp.blend(cq, PIP_MERGE).mask(mask_point_in_any_polygon(1.0))
+            branch_tree = tree
+            masked = tree.evaluate()
+            assert isinstance(masked, CanvasSet)
+            if exact:
+                masked, _ = refine_point_samples(masked, [poly])
+            collected = masked if collected is None else collected.concat(masked)
+
+        groups, out_values = aggregate_samples(
+            collected if collected is not None else CanvasSet.empty(),
+            ids, aggregate,
+        )
+        tree_text = ""
+        if branch_tree is not None:
+            tree_text = (
+                f"B*[+] ∘ G[γc] over {len(polys)} branches of:\n"
+                + render_plan(branch_tree)
+            )
+        return groups, out_values, tree_text
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def explain(self, last: int = 1) -> str:
+        """Human-readable report of the most recent execution(s).
+
+        Shows, per query: the chosen physical plan, its estimated cost,
+        the full candidate table, the rendered plan tree, and the
+        cache-hit delta — then the cumulative cache statistics.
+        """
+        if not self.reports:
+            return "no queries executed yet"
+        shown = list(self.reports)[-max(1, last):]
+        blocks = [report.describe() for report in shown]
+        stats = self.cache.stats()
+        blocks.append(
+            "cumulative canvas cache: "
+            f"{stats.hits} hits / {stats.misses} misses "
+            f"(hit rate {stats.hit_rate:.1%}), "
+            f"{stats.size}/{stats.capacity} entries"
+        )
+        return ("\n" + "-" * 60 + "\n").join(blocks)

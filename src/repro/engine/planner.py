@@ -1,0 +1,186 @@
+"""Physical-plan enumeration and cost-based choice.
+
+The paper's Section 7 argument — the algebra admits multiple equivalent
+plans, and operator-level cost models can rank them — is made
+operational here.  For each logical query the planner enumerates the
+admissible physical strategies, prices them with
+:class:`repro.core.optimizer.CostModel`, and returns a
+:class:`PlanChoice` the executor is bound to honor:
+
+- **selection** — ``blended-canvas`` (rasterize the constraints once,
+  one texture gather per point, Figure 8(b)) vs ``per-polygon-pip``
+  (the traditional vectorized point-in-polygon pass per constraint);
+- **aggregation** — ``join-then-aggregate`` (per-polygon gather then
+  group-by, Section 4.3) vs ``rasterjoin`` (merge all points first,
+  per-polygon work bounded by texture size, Figure 8(c)).
+
+Admissibility encodes result contracts, not preferences: approximate
+selection (``exact=False``) is *defined* as the raster pipeline, exact
+aggregation needs the sample-level plan (RasterJoin is approximate by
+design), and ``min``/``max`` only exist on the sample-level path.  When
+a contract pins the plan, the choice records the reason in ``forced``
+so ``explain()`` can say why the cost model was bypassed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.geometry.primitives import Polygon
+from repro.core import optimizer
+from repro.core.optimizer import CostModel, PlanEstimate
+
+#: Physical plan names (shared vocabulary with repro.core.optimizer).
+SELECTION_BLENDED = "blended-canvas"
+SELECTION_PIP = "per-polygon-pip"
+AGG_RASTERJOIN = "rasterjoin"
+AGG_JOIN_THEN_AGG = "join-then-aggregate"
+
+#: Aggregates computable on each aggregation plan.
+_RASTERJOIN_AGGREGATES = frozenset({"count", "sum", "avg"})
+_SAMPLE_AGGREGATES = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """The planner's verdict for one query.
+
+    Attributes
+    ----------
+    kind:
+        ``"selection"`` or ``"aggregation"``.
+    chosen:
+        The physical plan the executor must run.
+    candidates:
+        Every plan the optimizer priced, cheapest first (including
+        inadmissible ones, for explain output).
+    forced:
+        Reason the choice was pinned by a result contract instead of
+        the cost model; ``None`` when the cost model decided.
+    """
+
+    kind: str
+    chosen: PlanEstimate
+    candidates: tuple[PlanEstimate, ...]
+    forced: str | None = None
+
+
+@dataclass
+class Planner:
+    """Cost-based planner parameterized by a :class:`CostModel`.
+
+    Swapping the cost model swaps the executed physical plan — the
+    acceptance test of the engine refactor.
+    """
+
+    cost_model: CostModel = field(default_factory=CostModel)
+
+    # ------------------------------------------------------------------
+    def plan_selection(
+        self,
+        n_points: int,
+        polygons: Sequence[Polygon],
+        resolution: tuple[int, int],
+        exact: bool = True,
+        prebuilt_canvas: bool = False,
+        force: str | None = None,
+    ) -> PlanChoice:
+        """Choose how to select *n_points* under polygon constraints.
+
+        *force* names a physical plan to run regardless of cost (the
+        EXPLAIN-style user override); it still must be a priced
+        candidate.
+        """
+        candidates = tuple(
+            optimizer.selection_plans(
+                n_points, polygons, resolution, self.cost_model
+            )
+        )
+        if force is not None:
+            if force == SELECTION_PIP and not exact:
+                raise ValueError(
+                    "approximate mode is defined on the raster plan; the "
+                    "per-polygon-pip plan is exact — drop exact=False or "
+                    "the override"
+                )
+            if force == SELECTION_PIP and prebuilt_canvas:
+                raise ValueError(
+                    "a prebuilt constraint canvas requires the "
+                    "blended-canvas plan; the per-polygon-pip override "
+                    "would discard it"
+                )
+            return self._pick(
+                "selection", candidates, force,
+                forced=f"user override {force!r}",
+            )
+        if prebuilt_canvas:
+            return self._pick(
+                "selection", candidates, SELECTION_BLENDED,
+                forced="caller supplied a prebuilt constraint canvas",
+            )
+        if not exact:
+            # Approximate mode IS the raster pipeline: its error bound
+            # (texture size) and its zero-refinement contract only make
+            # sense on the blended plan.
+            return self._pick(
+                "selection", candidates, SELECTION_BLENDED,
+                forced="approximate mode is defined on the raster plan",
+            )
+        return PlanChoice("selection", candidates[0], candidates)
+
+    # ------------------------------------------------------------------
+    def plan_aggregation(
+        self,
+        n_points: int,
+        polygons: Sequence[Polygon],
+        resolution: tuple[int, int],
+        exact: bool = True,
+        aggregate: str = "count",
+        force: str | None = None,
+    ) -> PlanChoice:
+        """Choose how to aggregate points per polygon group."""
+        candidates = tuple(
+            optimizer.aggregation_plans(
+                n_points, polygons, resolution, self.cost_model
+            )
+        )
+        if force is not None:
+            if force == AGG_RASTERJOIN and exact:
+                raise ValueError(
+                    "rasterjoin is approximate by design; pass exact=False "
+                    "to force it"
+                )
+            if force == AGG_RASTERJOIN and aggregate not in _RASTERJOIN_AGGREGATES:
+                raise ValueError(
+                    f"rasterjoin cannot compute aggregate {aggregate!r}"
+                )
+            return self._pick(
+                "aggregation", candidates, force,
+                forced=f"user override {force!r}",
+            )
+        if exact:
+            return self._pick(
+                "aggregation", candidates, AGG_JOIN_THEN_AGG,
+                forced="exact results require sample-level refinement",
+            )
+        if aggregate not in _RASTERJOIN_AGGREGATES:
+            return self._pick(
+                "aggregation", candidates, AGG_JOIN_THEN_AGG,
+                forced=f"aggregate {aggregate!r} needs the sample-level plan",
+            )
+        return PlanChoice("aggregation", candidates[0], candidates)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pick(
+        kind: str,
+        candidates: tuple[PlanEstimate, ...],
+        name: str,
+        forced: str,
+    ) -> PlanChoice:
+        for plan in candidates:
+            if plan.name == name:
+                return PlanChoice(kind, plan, candidates, forced=forced)
+        known = ", ".join(sorted(p.name for p in candidates))
+        raise ValueError(f"unknown {kind} plan {name!r} (candidates: {known})")

@@ -1,0 +1,74 @@
+"""Standard spatial queries (Section 4) as plan-driven frontends.
+
+Successor of the former ``repro.core.queries`` monolith, split by query
+family.  Every public function keeps its original signature and exact
+results; what changed underneath is *how* queries execute: selections
+and aggregations describe logical plans and route through
+:mod:`repro.engine`, which enumerates the equivalent physical plans of
+Section 7, prices them with :class:`repro.core.optimizer.CostModel`,
+executes the winner, and serves repeated constraint rasterizations from
+its canvas cache.
+
+Modules:
+
+- :mod:`repro.queries.selection` — point selections (4.1), engine-routed;
+- :mod:`repro.queries.geometries` — polygon/line/object selections (4.1);
+- :mod:`repro.queries.join` — the three join types (4.2);
+- :mod:`repro.queries.aggregate` — aggregations (4.3), engine-routed;
+- :mod:`repro.queries.knn` — nearest neighbors (4.4);
+- :mod:`repro.queries.voronoi` — the Voronoi stored procedure (4.5);
+- :mod:`repro.queries.od` — origin-destination selection (4.6).
+"""
+
+from repro.queries.common import (
+    AggregateResult,
+    SelectionResult,
+    SelectMode,
+    build_constraint_canvas,
+    default_window,
+)
+from repro.queries.selection import (
+    distance_select,
+    halfspace_select,
+    multi_polygonal_select,
+    polygonal_select_points,
+    range_select,
+)
+from repro.queries.geometries import (
+    polygonal_select_lines,
+    polygonal_select_objects,
+    polygonal_select_polygons,
+)
+from repro.queries.join import (
+    distance_join,
+    spatial_join_points_polygons,
+    spatial_join_polygons_polygons,
+)
+from repro.queries.aggregate import aggregate_over_select, join_aggregate
+from repro.queries.knn import knn
+from repro.queries.voronoi import voronoi
+from repro.queries.od import od_select
+
+__all__ = [
+    "AggregateResult",
+    "SelectMode",
+    "SelectionResult",
+    "aggregate_over_select",
+    "build_constraint_canvas",
+    "default_window",
+    "distance_join",
+    "distance_select",
+    "halfspace_select",
+    "join_aggregate",
+    "knn",
+    "multi_polygonal_select",
+    "od_select",
+    "polygonal_select_lines",
+    "polygonal_select_objects",
+    "polygonal_select_points",
+    "polygonal_select_polygons",
+    "range_select",
+    "spatial_join_points_polygons",
+    "spatial_join_polygons_polygons",
+    "voronoi",
+]

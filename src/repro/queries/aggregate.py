@@ -1,0 +1,91 @@
+"""Aggregation queries (Figure 7 and Section 4.3) as engine-routed plans.
+
+The group-by-over-join aggregation is the paper's headline optimizer
+case: the exact sample-level plan (``join-then-aggregate``) and the
+RasterJoin plan of Figure 8(c) compute the same logical result with
+opposite scaling in point count vs polygon count.  The frontends here
+describe the query; :class:`repro.engine.executor.QueryEngine` picks
+and runs the physical plan (exact results always take the sample-level
+plan — RasterJoin is approximate by design and only admissible with
+``exact=False``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import Polygon
+from repro.gpu.device import DEFAULT_DEVICE, Device
+from repro.core.canvas import Resolution
+from repro.engine import get_engine
+from repro.queries.common import AggregateResult, default_window
+
+
+def aggregate_over_select(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    polygon: Polygon,
+    values: np.ndarray | None = None,
+    aggregate: str = "count",
+    window: BoundingBox | None = None,
+    resolution: Resolution = 1024,
+    device: Device = DEFAULT_DEVICE,
+    exact: bool = True,
+) -> float:
+    """``SELECT COUNT(*)/SUM(A) FROM DP WHERE Location INSIDE Q`` (Fig. 7).
+
+    Expression: ``B*[+](G[γc](M[Mp](B[⊙](CP, CQ))))`` — the
+    single-polygon instance of the join-aggregation, with the constraint
+    canvas drawn under id 1 so the count lands at slot ``C(1, 0)``.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if window is None:
+        window = default_window(xs, ys, [polygon])
+    outcome = get_engine().aggregate_points(
+        xs, ys, [polygon], values=values, aggregate=aggregate,
+        polygon_ids=[1], window=window, resolution=resolution,
+        device=device, exact=exact,
+    )
+    return float(outcome.values[0])
+
+
+def join_aggregate(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    polygons: Sequence[Polygon],
+    values: np.ndarray | None = None,
+    aggregate: str = "count",
+    polygon_ids: Sequence[int] | None = None,
+    window: BoundingBox | None = None,
+    resolution: Resolution = 1024,
+    device: Device = DEFAULT_DEVICE,
+    exact: bool = True,
+) -> AggregateResult:
+    """Group-by over a Type I join (Section 4.3).
+
+    ``SELECT agg(...) FROM DP, DY WHERE Location INSIDE Geometry
+    GROUP BY DY.ID`` — the engine chooses between the per-polygon
+    gather plan and RasterJoin (``exact=False`` only) and executes it
+    with cached constraint canvases.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    polys = list(polygons)
+    ids = (
+        list(polygon_ids) if polygon_ids is not None else list(range(len(polys)))
+    )
+    if window is None:
+        window = default_window(xs, ys, polys)
+
+    outcome = get_engine().aggregate_points(
+        xs, ys, polys, values=values, aggregate=aggregate,
+        polygon_ids=ids, window=window, resolution=resolution,
+        device=device, exact=exact,
+    )
+    return AggregateResult(
+        groups=outcome.groups, values=outcome.values, aggregate=aggregate
+    )

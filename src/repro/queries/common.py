@@ -1,0 +1,126 @@
+"""Shared result containers and helpers for the query frontends.
+
+The query modules in :mod:`repro.queries` describe queries and wrap
+engine outcomes; everything they share — result dataclasses, window
+inference, the constraint-canvas builder — lives here so the engine
+(:mod:`repro.engine`) and the frontends never import each other's
+internals in a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import Polygon
+from repro.gpu.device import DEFAULT_DEVICE, Device
+from repro.core.canvas import Canvas, Resolution
+from repro.core.canvas_set import CanvasSet
+from repro.engine.executor import unique_ids
+
+SelectMode = Literal["any", "all"]
+
+
+# ----------------------------------------------------------------------
+# Result containers
+# ----------------------------------------------------------------------
+@dataclass
+class SelectionResult:
+    """Outcome of a selection query.
+
+    Attributes
+    ----------
+    ids:
+        Sorted record ids satisfying the constraint (exact).
+    n_candidates:
+        Samples that survived the executed plan's filtering stage:
+        raster-mask survivors *before* refinement on the canvas plans,
+        final matches on the per-polygon PIP plan (which has no
+        approximate stage).  Compare across runs only when ``plan``
+        matches.
+    n_exact_tests:
+        Exact geometric tests performed (boundary refinement on the
+        canvas plans; full PIP tests on the per-polygon plan).
+    samples:
+        The surviving canvas-set samples (for downstream composition).
+        Plan-independent: both selection plans attach the constraint's
+        S^3 triple.
+    plan:
+        Name of the executed physical plan for engine-routed queries
+        (``None`` for queries with a single strategy).
+    """
+
+    ids: np.ndarray
+    n_candidates: int
+    n_exact_tests: int
+    samples: CanvasSet = field(repr=False, default_factory=CanvasSet.empty)
+    plan: str | None = None
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+
+@dataclass
+class AggregateResult:
+    """Outcome of an aggregation query: group key -> aggregate value."""
+
+    groups: np.ndarray
+    values: np.ndarray
+    aggregate: str
+
+    def as_dict(self) -> dict[int, float]:
+        return {int(g): float(v) for g, v in zip(self.groups, self.values)}
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def default_window(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    polygons: Sequence[Polygon] = (),
+    margin: float = 0.01,
+) -> BoundingBox:
+    """The union MBR of the data and constraints, slightly expanded."""
+    boxes = []
+    if len(xs):
+        boxes.append(
+            BoundingBox(
+                float(np.min(xs)), float(np.min(ys)),
+                float(np.max(xs)), float(np.max(ys)),
+            )
+        )
+    boxes.extend(p.bounds for p in polygons)
+    if not boxes:
+        raise ValueError("cannot infer a window from empty inputs")
+    box = BoundingBox.union_all(boxes)
+    pad = margin * max(box.width, box.height, 1e-12)
+    return box.expand(pad)
+
+
+def build_constraint_canvas(
+    polygons: Sequence[Polygon],
+    window: BoundingBox,
+    resolution: Resolution,
+    device: Device = DEFAULT_DEVICE,
+) -> Canvas:
+    """``B*[⊕]`` over the constraint canvases (Figure 8(b) left branch).
+
+    Builds a fresh, caller-owned canvas.  Engine-routed queries use the
+    memoized equivalent
+    :meth:`repro.engine.executor.QueryEngine.constraint_canvas` instead.
+    """
+    canvas = Canvas(window, resolution, device)
+    for i, polygon in enumerate(polygons, start=1):
+        canvas.draw_polygon(polygon, record_id=i, accumulate_count=True)
+    return canvas
+
+
+#: Legacy private alias (pre-engine name used by repro.core.queries).
+_unique_ids = unique_ids

@@ -1,0 +1,306 @@
+"""Selection over polygon, polyline and heterogeneous-object data sets.
+
+Section 4's point: the *same* blend+mask expression handles records of
+any primitive dimension — only the blend function swaps the S^3 slot it
+reads.  These queries run the canvas pipeline directly (their data sets
+are sparse per-record canvases, for which the paper discusses no
+alternative physical plan); point-primitive decomposition routes
+through the engine via :func:`repro.queries.selection.polygonal_select_points`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.predicates import polygon_intersects_polygon
+from repro.geometry.primitives import Polygon
+from repro.gpu.device import DEFAULT_DEVICE, Device
+from repro.core import algebra
+from repro.core.blendfuncs import POLY_MERGE
+from repro.core.canvas import Canvas, Resolution
+from repro.core.canvas_set import CanvasSet
+from repro.core.masks import mask_polygon_intersection
+from repro.core.objectinfo import DIM_AREA, DIM_LINE, FIELD_COUNT
+from repro.queries.common import SelectionResult, default_window
+from repro.queries.selection import polygonal_select_points
+
+
+def polygonal_select_polygons(
+    data_polygons: Sequence[Polygon],
+    query: Polygon,
+    ids: Sequence[int] | None = None,
+    window: BoundingBox | None = None,
+    resolution: Resolution = 1024,
+    device: Device = DEFAULT_DEVICE,
+    exact: bool = True,
+) -> SelectionResult:
+    """``SELECT * FROM DY WHERE Geometry INTERSECTS Q`` (Figure 6).
+
+    Implements ``M[My](B[⊕](CY, CQ))``: every data-polygon canvas
+    blends with the query canvas under ``⊕`` (counts add); the mask
+    keeps pixels with two incident 2-primitives.  Records whose only
+    surviving samples are boundary-flagged get an exact
+    polygon-intersects-polygon test.
+    """
+    polys = list(data_polygons)
+    id_list = list(ids) if ids is not None else list(range(len(polys)))
+    if window is None:
+        all_pts_x = np.array([query.bounds.xmin, query.bounds.xmax])
+        all_pts_y = np.array([query.bounds.ymin, query.bounds.ymax])
+        window = default_window(all_pts_x, all_pts_y, polys + [query])
+
+    frame = Canvas(window, resolution, device)
+    data_set = CanvasSet.from_polygons(polys, frame, ids=id_list)
+    query_canvas = Canvas.from_polygon(
+        query, window, resolution, record_id=1, device=device
+    )
+    blended = algebra.blend(data_set, query_canvas, POLY_MERGE)
+    masked = algebra.mask(blended, mask_polygon_intersection(2.0))
+    assert isinstance(masked, CanvasSet)
+    n_candidates = masked.n_records
+
+    if masked.is_empty():
+        return SelectionResult(
+            ids=np.empty(0, dtype=np.int64),
+            n_candidates=0,
+            n_exact_tests=0,
+            samples=masked,
+        )
+
+    if not exact:
+        return SelectionResult(
+            ids=np.unique(masked.keys),
+            n_candidates=n_candidates,
+            n_exact_tests=0,
+            samples=masked,
+        )
+
+    # A record with a surviving non-boundary sample intersects for sure
+    # (both coverages are pure-interior there); boundary-only records
+    # need the exact predicate.
+    certain = np.unique(masked.keys[~masked.boundary])
+    uncertain = np.setdiff1d(np.unique(masked.keys), certain)
+    by_id = {rid: poly for rid, poly in zip(id_list, polys)}
+    confirmed = [
+        rid
+        for rid in uncertain
+        if polygon_intersects_polygon(by_id[int(rid)], query)
+    ]
+    n_tests = len(uncertain)
+    result_ids = np.unique(
+        np.concatenate([certain, np.asarray(confirmed, dtype=np.int64)])
+    )
+    keep = np.isin(masked.keys, result_ids)
+    return SelectionResult(
+        ids=result_ids,
+        n_candidates=n_candidates,
+        n_exact_tests=n_tests,
+        samples=masked.filter_rows(keep),
+    )
+
+
+def polygonal_select_lines(
+    lines: Sequence["LineString"],
+    query: Polygon,
+    ids: Sequence[int] | None = None,
+    window: BoundingBox | None = None,
+    resolution: Resolution = 1024,
+    device: Device = DEFAULT_DEVICE,
+    exact: bool = True,
+) -> SelectionResult:
+    """``SELECT * FROM DL WHERE Geometry INTERSECTS Q`` for polylines.
+
+    The same blend+mask expression with ``LINE_MERGE`` instead of
+    ``⊙``.  A line sample on a pure-interior constraint pixel proves
+    intersection (supercover coverage means the line passes through
+    that pixel); boundary-pixel candidates fall back to the exact
+    segment-polygon test.
+    """
+    from repro.geometry.predicates import linestring_intersects_polygon
+    from repro.core.blendfuncs import LINE_MERGE
+    from repro.core.masks import FieldCompare, NotNull
+
+    line_list = list(lines)
+    id_list = list(ids) if ids is not None else list(range(len(line_list)))
+    if window is None:
+        corner_x: list[float] = [query.bounds.xmin, query.bounds.xmax]
+        corner_y: list[float] = [query.bounds.ymin, query.bounds.ymax]
+        for line in line_list:
+            corner_x.extend([line.bounds.xmin, line.bounds.xmax])
+            corner_y.extend([line.bounds.ymin, line.bounds.ymax])
+        window = default_window(np.asarray(corner_x), np.asarray(corner_y))
+
+    frame = Canvas(window, resolution, device)
+    data_set = CanvasSet.from_linestrings(line_list, frame, ids=id_list)
+    query_canvas = Canvas.from_polygon(
+        query, window, resolution, record_id=1, device=device
+    )
+    blended = algebra.blend(data_set, query_canvas, LINE_MERGE)
+    predicate = NotNull(DIM_LINE) & FieldCompare(
+        DIM_AREA, FIELD_COUNT, ">=", 1.0
+    )
+    masked = algebra.mask(blended, predicate)
+    assert isinstance(masked, CanvasSet)
+    n_candidates = masked.n_records
+
+    if masked.is_empty():
+        return SelectionResult(
+            ids=np.empty(0, dtype=np.int64), n_candidates=0,
+            n_exact_tests=0, samples=masked,
+        )
+    if not exact:
+        return SelectionResult(
+            ids=np.unique(masked.keys), n_candidates=n_candidates,
+            n_exact_tests=0, samples=masked,
+        )
+
+    certain = np.unique(masked.keys[~masked.boundary])
+    uncertain = np.setdiff1d(np.unique(masked.keys), certain)
+    by_id = {rid: line for rid, line in zip(id_list, line_list)}
+    confirmed = [
+        rid for rid in uncertain
+        if linestring_intersects_polygon(by_id[int(rid)].coords, query)
+    ]
+    result_ids = np.unique(
+        np.concatenate([certain, np.asarray(confirmed, dtype=np.int64)])
+    )
+    keep = np.isin(masked.keys, result_ids)
+    return SelectionResult(
+        ids=result_ids,
+        n_candidates=n_candidates,
+        n_exact_tests=len(uncertain),
+        samples=masked.filter_rows(keep),
+    )
+
+
+def polygonal_select_objects(
+    geometries: Sequence,
+    query: Polygon,
+    ids: Sequence[int] | None = None,
+    window: BoundingBox | None = None,
+    resolution: Resolution = 1024,
+    device: Device = DEFAULT_DEVICE,
+    exact: bool = True,
+) -> SelectionResult:
+    """Selection over *heterogeneous* geometric objects (Figures 1 & 3).
+
+    The paper's motivating claim: because every record is a canvas,
+    "even if the data (restaurants) were represented as polygons
+    instead of points, the same set of operations could be applied."
+    This query accepts any mix of points, polylines, polygons, their
+    Multi* variants and :class:`GeometryCollection` records, decomposes
+    each object into its primitives (all carrying the record's id, as
+    in Figure 3), and runs the *same* blend+mask expression per
+    primitive dimension.  An object is selected when any of its
+    primitives intersects the query polygon.
+    """
+    from repro.geometry.primitives import (
+        Geometry,
+        GeometryCollection,
+        LineSegment,
+        LineString,
+        MultiLineString,
+        MultiPoint,
+        MultiPolygon,
+        Point,
+    )
+
+    geom_list = list(geometries)
+    record_ids = list(ids) if ids is not None else list(range(len(geom_list)))
+    if len(record_ids) != len(geom_list):
+        raise ValueError("ids must match geometry count")
+
+    # Decompose every object into primitives with surrogate ids.
+    point_xs: list[float] = []
+    point_ys: list[float] = []
+    point_records: list[int] = []
+    lines: list[LineString] = []
+    line_records: list[int] = []
+    polygons: list[Polygon] = []
+    polygon_records: list[int] = []
+
+    def decompose(geom: Geometry, rid: int) -> None:
+        if isinstance(geom, Point):
+            point_xs.append(geom.x)
+            point_ys.append(geom.y)
+            point_records.append(rid)
+        elif isinstance(geom, MultiPoint):
+            for x, y in geom.coords:
+                point_xs.append(x)
+                point_ys.append(y)
+                point_records.append(rid)
+        elif isinstance(geom, LineString):
+            lines.append(geom)
+            line_records.append(rid)
+        elif isinstance(geom, LineSegment):
+            lines.append(LineString([(geom.ax, geom.ay), (geom.bx, geom.by)]))
+            line_records.append(rid)
+        elif isinstance(geom, MultiLineString):
+            for line in geom.lines:
+                lines.append(line)
+                line_records.append(rid)
+        elif isinstance(geom, Polygon):
+            polygons.append(geom)
+            polygon_records.append(rid)
+        elif isinstance(geom, MultiPolygon):
+            for poly in geom.polygons:
+                polygons.append(poly)
+                polygon_records.append(rid)
+        elif isinstance(geom, GeometryCollection):
+            for part in geom.geometries:
+                decompose(part, rid)
+        else:
+            raise TypeError(
+                f"unsupported geometry type: {type(geom).__name__}"
+            )
+
+    for geom, rid in zip(geom_list, record_ids):
+        decompose(geom, rid)
+
+    if window is None:
+        all_x = [query.bounds.xmin, query.bounds.xmax] + point_xs
+        all_y = [query.bounds.ymin, query.bounds.ymax] + point_ys
+        shapes: list[Polygon | LineString] = list(polygons) + list(lines)
+        for shape in shapes:
+            all_x.extend([shape.bounds.xmin, shape.bounds.xmax])
+            all_y.extend([shape.bounds.ymin, shape.bounds.ymax])
+        window = default_window(np.asarray(all_x), np.asarray(all_y))
+
+    selected: set[int] = set()
+    n_candidates = 0
+    n_tests = 0
+
+    if point_xs:
+        result = polygonal_select_points(
+            np.asarray(point_xs), np.asarray(point_ys), query,
+            ids=np.arange(len(point_xs)), window=window,
+            resolution=resolution, device=device, exact=exact,
+        )
+        selected.update(point_records[i] for i in result.ids)
+        n_candidates += result.n_candidates
+        n_tests += result.n_exact_tests
+    if lines:
+        result = polygonal_select_lines(
+            lines, query, ids=list(range(len(lines))), window=window,
+            resolution=resolution, device=device, exact=exact,
+        )
+        selected.update(line_records[i] for i in result.ids)
+        n_candidates += result.n_candidates
+        n_tests += result.n_exact_tests
+    if polygons:
+        result = polygonal_select_polygons(
+            polygons, query, ids=list(range(len(polygons))), window=window,
+            resolution=resolution, device=device, exact=exact,
+        )
+        selected.update(polygon_records[i] for i in result.ids)
+        n_candidates += result.n_candidates
+        n_tests += result.n_exact_tests
+
+    return SelectionResult(
+        ids=np.asarray(sorted(selected), dtype=np.int64),
+        n_candidates=n_candidates,
+        n_exact_tests=n_tests,
+    )

@@ -1,0 +1,131 @@
+"""Join queries (Section 4.2).
+
+A join is the selection expression with the single query geometry
+replaced by a *collection*: each member blends with the data canvases
+in turn.  The inner per-member selections route through the engine, so
+the cost model picks the physical strategy per member and repeated
+members (or repeated joins over the same polygon set) hit the canvas
+cache instead of re-rasterizing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import Polygon
+from repro.gpu.device import DEFAULT_DEVICE, Device
+from repro.core.canvas import Resolution
+from repro.queries.common import default_window
+from repro.queries.geometries import polygonal_select_polygons
+from repro.queries.selection import distance_select, polygonal_select_points
+
+
+def spatial_join_points_polygons(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    polygons: Sequence[Polygon],
+    point_ids: np.ndarray | None = None,
+    polygon_ids: Sequence[int] | None = None,
+    window: BoundingBox | None = None,
+    resolution: Resolution = 1024,
+    device: Device = DEFAULT_DEVICE,
+    exact: bool = True,
+) -> list[tuple[int, int]]:
+    """Type I join: ``DP.Location INSIDE DY.Geometry`` (Section 4.2).
+
+    Returns exact ``(point_id, polygon_id)`` pairs, sorted.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    polys = list(polygons)
+    poly_ids = (
+        list(polygon_ids) if polygon_ids is not None else list(range(len(polys)))
+    )
+    if window is None:
+        window = default_window(xs, ys, polys)
+
+    pairs: list[tuple[int, int]] = []
+    for poly, pid in zip(polys, poly_ids):
+        result = polygonal_select_points(
+            xs, ys, poly, ids=point_ids,
+            window=window, resolution=resolution, device=device, exact=exact,
+        )
+        pairs.extend((int(point_id), int(pid)) for point_id in result.ids)
+    pairs.sort()
+    return pairs
+
+
+def spatial_join_polygons_polygons(
+    left: Sequence[Polygon],
+    right: Sequence[Polygon],
+    left_ids: Sequence[int] | None = None,
+    right_ids: Sequence[int] | None = None,
+    window: BoundingBox | None = None,
+    resolution: Resolution = 1024,
+    device: Device = DEFAULT_DEVICE,
+    exact: bool = True,
+) -> list[tuple[int, int]]:
+    """Type II join: ``DY1.Geometry INTERSECTS DY2.Geometry``."""
+    lids = list(left_ids) if left_ids is not None else list(range(len(left)))
+    rids = list(right_ids) if right_ids is not None else list(range(len(right)))
+    if window is None:
+        corners_x: list[float] = []
+        corners_y: list[float] = []
+        for p in list(left) + list(right):
+            corners_x.extend([p.bounds.xmin, p.bounds.xmax])
+            corners_y.extend([p.bounds.ymin, p.bounds.ymax])
+        window = default_window(
+            np.asarray(corners_x), np.asarray(corners_y)
+        )
+    pairs: list[tuple[int, int]] = []
+    for poly, rid in zip(right, rids):
+        result = polygonal_select_polygons(
+            list(left), poly, ids=lids,
+            window=window, resolution=resolution, device=device, exact=exact,
+        )
+        pairs.extend((int(lid), int(rid)) for lid in result.ids)
+    pairs.sort()
+    return pairs
+
+
+def distance_join(
+    left_xs: np.ndarray,
+    left_ys: np.ndarray,
+    right_xs: np.ndarray,
+    right_ys: np.ndarray,
+    distance: float,
+    left_ids: np.ndarray | None = None,
+    right_ids: np.ndarray | None = None,
+    window: BoundingBox | None = None,
+    resolution: Resolution = 1024,
+    device: Device = DEFAULT_DEVICE,
+) -> list[tuple[int, int]]:
+    """Type III join: each RHS point becomes a circle (Section 4.2)."""
+    left_xs = np.asarray(left_xs, dtype=np.float64)
+    left_ys = np.asarray(left_ys, dtype=np.float64)
+    right_xs = np.asarray(right_xs, dtype=np.float64)
+    right_ys = np.asarray(right_ys, dtype=np.float64)
+    rids = (
+        np.asarray(right_ids, dtype=np.int64)
+        if right_ids is not None
+        else np.arange(len(right_xs), dtype=np.int64)
+    )
+    if window is None:
+        all_x = np.concatenate([left_xs, right_xs])
+        all_y = np.concatenate([left_ys, right_ys])
+        window = default_window(all_x, all_y).expand(distance * 1.05)
+
+    pairs: list[tuple[int, int]] = []
+    for i in range(len(right_xs)):
+        result = distance_select(
+            left_xs, left_ys,
+            (float(right_xs[i]), float(right_ys[i])), distance,
+            ids=left_ids, window=window,
+            resolution=resolution, device=device,
+        )
+        pairs.extend((int(point_id), int(rids[i])) for point_id in result.ids)
+    pairs.sort()
+    return pairs

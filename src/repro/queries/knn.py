@@ -1,0 +1,94 @@
+"""Nearest-neighbor queries (Section 4.4).
+
+kNN via concentric-circle counting: probe circles of increasing radii,
+mask the count-equals-k circle to read off the radius, then reissue a
+distance selection.  A conceptually infinite circle set is realized
+lazily as a bisection over the radius, each probe being the full canvas
+pipeline (``Circ`` + blend + mask + aggregate).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.gpu.device import DEFAULT_DEVICE, Device
+from repro.core.canvas import Resolution
+from repro.engine import unique_ids
+from repro.queries.common import SelectionResult, default_window
+from repro.queries.selection import distance_select
+
+
+def knn(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    query_point: tuple[float, float],
+    k: int,
+    ids: np.ndarray | None = None,
+    window: BoundingBox | None = None,
+    resolution: Resolution = 1024,
+    device: Device = DEFAULT_DEVICE,
+    max_iterations: int = 64,
+) -> SelectionResult:
+    """kNN via concentric-circle counting (Section 4.4)."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if k < 1 or k > len(xs):
+        raise ValueError("k must be between 1 and the number of points")
+    if window is None:
+        window = default_window(xs, ys)
+        qx, qy = query_point
+        window = window.union(BoundingBox(qx, qy, qx, qy)).expand(
+            0.01 * max(window.width, window.height)
+        )
+
+    def count_within(radius: float) -> int:
+        result = distance_select(
+            xs, ys, query_point, radius,
+            ids=ids, window=window, resolution=resolution, device=device,
+        )
+        return len(result.ids)
+
+    lo = 0.0
+    hi = math.hypot(window.width, window.height)
+    # Grow hi until at least k points are inside (window diagonal is
+    # always enough since the window covers the data).
+    iterations = 0
+    while count_within(hi) < k and iterations < 8:
+        hi *= 2.0
+        iterations += 1
+
+    result_at_hi: SelectionResult | None = None
+    for _ in range(max_iterations):
+        mid = (lo + hi) / 2.0
+        result = distance_select(
+            xs, ys, query_point, mid,
+            ids=ids, window=window, resolution=resolution, device=device,
+        )
+        n = len(result.ids)
+        if n == k:
+            return result
+        if n < k:
+            lo = mid
+        else:
+            hi = mid
+            result_at_hi = result
+    # Ties or resolution floor: fall back to trimming the smallest
+    # enclosing probe by exact distance (the paper's ϵ-perturbation).
+    if result_at_hi is None:
+        result_at_hi = distance_select(
+            xs, ys, query_point, hi,
+            ids=ids, window=window, resolution=resolution, device=device,
+        )
+    sel = result_at_hi.samples
+    d = np.hypot(sel.xs - query_point[0], sel.ys - query_point[1])
+    order = np.argsort(d, kind="stable")[:k]
+    trimmed = sel.filter_rows(np.isin(np.arange(sel.n_samples), order))
+    return SelectionResult(
+        ids=unique_ids(trimmed.keys),
+        n_candidates=result_at_hi.n_candidates,
+        n_exact_tests=result_at_hi.n_exact_tests + sel.n_samples,
+        samples=trimmed,
+    )

@@ -1,0 +1,187 @@
+"""Point-selection queries (Section 4.1) as engine-routed plans.
+
+Every public function here is a thin frontend: it normalizes its
+inputs, infers the query window, and hands a logical description to the
+plan-driven engine (:mod:`repro.engine`), which enumerates the
+equivalent physical plans of Figure 8(b) — the blended-canvas algebra
+expression vs the traditional per-polygon PIP pass — prices them with
+the cost model, and executes the winner.  Results are exact either way
+(boundary pixels are refined on the canvas plan; the PIP plan is exact
+by construction), so plan choice is invisible in the output.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import Polygon
+from repro.gpu.device import DEFAULT_DEVICE, Device
+from repro.core import algebra
+from repro.core.blendfuncs import PIP_MERGE
+from repro.core.canvas import Canvas, Resolution
+from repro.core.canvas_set import CanvasSet
+from repro.core.masks import mask_point_in_any_polygon
+from repro.engine import get_engine, unique_ids
+from repro.queries.common import (
+    SelectionResult,
+    SelectMode,
+    default_window,
+)
+
+
+def polygonal_select_points(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    polygons: Polygon | Sequence[Polygon],
+    ids: np.ndarray | None = None,
+    window: BoundingBox | None = None,
+    resolution: Resolution = 1024,
+    device: Device = DEFAULT_DEVICE,
+    mode: SelectMode = "any",
+    exact: bool = True,
+    constraint_canvas: Canvas | None = None,
+) -> SelectionResult:
+    """``SELECT * FROM DP WHERE Location INSIDE Q`` (and Fig. 8(b)).
+
+    The logical query is ``M[Mp'](B[⊙](CP, B*[⊕](CQ)))``; the engine
+    picks the physical plan.  On the blended-canvas plan the constraint
+    polygons rasterize once (served from the engine's canvas cache on
+    repeats) and each point costs one texture gather; boundary-pixel
+    hits are re-tested exactly unless ``exact=False`` (the paper's
+    approximate mode, where texture size bounds the error).  On the
+    per-polygon plan every point runs the exact crossing-count test per
+    constraint.
+    """
+    polys = [polygons] if isinstance(polygons, Polygon) else list(polygons)
+    if not polys:
+        raise ValueError("at least one constraint polygon is required")
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if window is None:
+        window = default_window(xs, ys, polys)
+
+    outcome = get_engine().select_points(
+        xs, ys, polys, ids=ids, window=window, resolution=resolution,
+        device=device, mode=mode, exact=exact,
+        constraint_canvas=constraint_canvas,
+    )
+    return SelectionResult(
+        ids=outcome.ids,
+        n_candidates=outcome.n_candidates,
+        n_exact_tests=outcome.n_exact_tests,
+        samples=outcome.samples,
+        plan=outcome.report.plan,
+    )
+
+
+def multi_polygonal_select(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    polygons: Sequence[Polygon],
+    mode: SelectMode = "any",
+    **kwargs,
+) -> SelectionResult:
+    """Disjunctive/conjunctive multi-polygon selection (Section 5.1)."""
+    return polygonal_select_points(xs, ys, list(polygons), mode=mode, **kwargs)
+
+
+def range_select(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    l1: tuple[float, float],
+    l2: tuple[float, float],
+    **kwargs,
+) -> SelectionResult:
+    """Rectangular range constraint via ``Rect[l1, l2]()`` (Section 4.1)."""
+    box = BoundingBox(
+        min(l1[0], l2[0]), min(l1[1], l2[1]),
+        max(l1[0], l2[0]), max(l1[1], l2[1]),
+    )
+    return polygonal_select_points(xs, ys, Polygon(box.corners), **kwargs)
+
+
+def halfspace_select(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    a: float,
+    b: float,
+    c: float,
+    window: BoundingBox | None = None,
+    **kwargs,
+) -> SelectionResult:
+    """One-sided range constraint via ``HS[a, b, c]()`` (Section 4.1).
+
+    The half space is clipped to the query window, which must cover the
+    data (guaranteed by :func:`default_window` when *window* is None).
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if window is None:
+        window = default_window(xs, ys)
+    from repro.geometry.clipping import clip_polygon_halfplane
+
+    clipped = clip_polygon_halfplane(window.corners, a, b, c)
+    if len(clipped) < 3:
+        return SelectionResult(
+            ids=np.empty(0, dtype=np.int64), n_candidates=0, n_exact_tests=0
+        )
+    return polygonal_select_points(
+        xs, ys, Polygon(clipped), window=window, **kwargs
+    )
+
+
+def distance_select(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    center: tuple[float, float],
+    radius: float,
+    ids: np.ndarray | None = None,
+    window: BoundingBox | None = None,
+    resolution: Resolution = 1024,
+    device: Device = DEFAULT_DEVICE,
+    exact: bool = True,
+) -> SelectionResult:
+    """Distance-based selection via ``Circ[(x, y), d]()`` (Section 4.1).
+
+    The constraint comes from a utility operator rather than stored
+    geometry, so this query runs the canvas pipeline directly (kNN's
+    radius probes never repeat a circle, so caching would not help).
+    Boundary pixels of the disk are refined with the exact distance
+    test, keeping the result exact.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if window is None:
+        window = default_window(xs, ys)
+        cx, cy = center
+        window = window.union(
+            BoundingBox(cx - radius, cy - radius, cx + radius, cy + radius)
+        ).expand(0.01 * radius)
+
+    constraint = Canvas.circle(center, radius, window, resolution, 1, device)
+    point_set = CanvasSet.from_points(xs, ys, ids=ids)
+    blended = algebra.blend(point_set, constraint, PIP_MERGE)
+    masked = algebra.mask(blended, mask_point_in_any_polygon(1.0))
+    assert isinstance(masked, CanvasSet)
+    n_candidates = masked.n_samples
+    n_tests = 0
+    if exact:
+        on_boundary = masked.boundary
+        n_tests = int(on_boundary.sum())
+        if n_tests:
+            d = np.hypot(
+                masked.xs[on_boundary] - center[0],
+                masked.ys[on_boundary] - center[1],
+            )
+            keep = np.ones(masked.n_samples, dtype=bool)
+            keep[np.nonzero(on_boundary)[0]] = d <= radius
+            masked = masked.filter_rows(keep)
+    return SelectionResult(
+        ids=unique_ids(masked.keys),
+        n_candidates=n_candidates,
+        n_exact_tests=n_tests,
+        samples=masked,
+    )

@@ -83,6 +83,26 @@ class TestAggregationPlans:
         assert choice.name == "join-then-aggregate"
 
 
+class TestDegenerateWorkloads:
+    """Zero-point / zero-polygon workloads must fail loudly instead of
+    silently ranking zero-cost plans."""
+
+    @pytest.mark.parametrize("plans", [selection_plans, aggregation_plans])
+    def test_zero_points_raise(self, plans):
+        with pytest.raises(ValueError, match="at least one point"):
+            plans(0, _polys(1), (256, 256))
+
+    @pytest.mark.parametrize("plans", [selection_plans, aggregation_plans])
+    def test_negative_points_raise(self, plans):
+        with pytest.raises(ValueError, match="at least one point"):
+            plans(-5, _polys(1), (256, 256))
+
+    @pytest.mark.parametrize("plans", [selection_plans, aggregation_plans])
+    def test_zero_polygons_raise(self, plans):
+        with pytest.raises(ValueError, match="at least one polygon"):
+            plans(1_000, [], (256, 256))
+
+
 class TestExplain:
     def test_renders_table(self):
         plans = selection_plans(10_000, _polys(2), (256, 256))
@@ -97,3 +117,7 @@ class TestExplain:
             10_000, _polys(1), (64, 64), model=expensive_gather
         )
         assert choice.name == "per-polygon-pip"
+
+    def test_empty_plan_list(self):
+        """No candidates must not crash ``max()`` — report it instead."""
+        assert explain([]) == "no candidate plans"

@@ -1,0 +1,143 @@
+"""Canvas cache: keys, LRU eviction, statistics."""
+
+import numpy as np
+import pytest
+
+from repro.data.polygons import hand_drawn_polygon
+from repro.geometry.primitives import LineString, Polygon
+from repro.engine.cache import (
+    CanvasCache,
+    geometries_digest,
+    geometry_digest,
+)
+
+SQUARE = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+
+
+class TestGeometryDigest:
+    def test_equal_coordinates_share_digest(self):
+        a = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        b = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        assert a is not b
+        assert geometry_digest(a) == geometry_digest(b)
+
+    def test_different_coordinates_differ(self):
+        other = Polygon([(0, 0), (11, 0), (10, 10), (0, 10)])
+        assert geometry_digest(SQUARE) != geometry_digest(other)
+
+    def test_holes_affect_digest(self):
+        holed = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]],
+        )
+        assert geometry_digest(SQUARE) != geometry_digest(holed)
+
+    def test_type_affects_digest(self):
+        line = LineString([(0, 0), (10, 0)])
+        seg_poly = Polygon([(0, 0), (10, 0), (5, 5)])
+        assert geometry_digest(line) != geometry_digest(seg_poly)
+
+    def test_sequence_digest_is_order_sensitive(self):
+        polys = [
+            hand_drawn_polygon(n_vertices=8, seed=i, center=(50, 50), radius=20)
+            for i in range(2)
+        ]
+        assert geometries_digest(polys) != geometries_digest(polys[::-1])
+
+
+class TestCanvasCache:
+    def test_hit_and_miss_counting(self):
+        cache = CanvasCache(capacity=4)
+        calls = []
+        for _ in range(3):
+            cache.get_or_build("k", lambda: calls.append(1) or "v")
+        stats = cache.stats()
+        assert len(calls) == 1
+        assert stats.misses == 1 and stats.hits == 2
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_lru_eviction(self):
+        cache = CanvasCache(capacity=2)
+        cache.get_or_build("a", lambda: 1)
+        cache.get_or_build("b", lambda: 2)
+        cache.get_or_build("a", lambda: 1)  # refresh a
+        cache.get_or_build("c", lambda: 3)  # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats().evictions == 1
+
+    def test_clear_resets(self):
+        cache = CanvasCache(capacity=2)
+        cache.get_or_build("a", lambda: 1)
+        cache.get_or_build("a", lambda: 1)
+        cache.clear()
+        stats = cache.stats()
+        assert len(cache) == 0
+        assert (stats.hits, stats.misses, stats.evictions) == (0, 0, 0)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            CanvasCache(capacity=0)
+        with pytest.raises(ValueError):
+            CanvasCache(max_bytes=0)
+
+    def test_byte_budget_evicts(self):
+        """Entries are bounded by bytes, not just count — a handful of
+        full-resolution canvases must not pin gigabytes."""
+        cache = CanvasCache(capacity=100, max_bytes=250,
+                            sizer=lambda v: 100)
+        cache.get_or_build("a", lambda: "va")
+        cache.get_or_build("b", lambda: "vb")
+        cache.get_or_build("c", lambda: "vc")  # 300 bytes > 250: evicts a
+        stats = cache.stats()
+        assert "a" not in cache and "b" in cache and "c" in cache
+        assert stats.bytes_used == 200
+        assert stats.evictions == 1
+
+    def test_oversized_entry_admitted_then_replaced(self):
+        cache = CanvasCache(capacity=100, max_bytes=50, sizer=lambda v: 80)
+        cache.get_or_build("big", lambda: "v")
+        assert "big" in cache  # single entry may exceed the budget
+        cache.get_or_build("next", lambda: "w")
+        stats = cache.stats()
+        assert "big" not in cache and "next" in cache
+        assert stats.bytes_used == 80
+
+    def test_thread_counters_track_calling_thread(self):
+        import threading
+
+        cache = CanvasCache(capacity=4)
+        cache.get_or_build("a", lambda: 1)
+        cache.get_or_build("a", lambda: 1)
+
+        def other():
+            cache.get_or_build("b", lambda: 2)
+            cache.get_or_build("b", lambda: 2)
+
+        t = threading.Thread(target=other)
+        t.start()
+        t.join()
+        # This thread saw exactly its own 1 hit / 1 miss; the global
+        # stats aggregate both threads.
+        assert cache.thread_counters() == (1, 1)
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (2, 2)
+
+    def test_engine_exposes_byte_budget(self):
+        from repro.engine import QueryEngine
+
+        engine = QueryEngine(cache_max_bytes=123)
+        assert engine.cache.max_bytes == 123
+
+    def test_real_canvas_bytes_measured(self):
+        from repro.core.canvas import Canvas
+        from repro.geometry.bbox import BoundingBox
+        from repro.engine.cache import estimate_canvas_bytes
+
+        canvas = Canvas(BoundingBox(0, 0, 10, 10), resolution=64)
+        estimate = estimate_canvas_bytes(canvas)
+        expected = (
+            canvas.texture.data.nbytes
+            + canvas.texture.valid.nbytes
+            + canvas.boundary.nbytes
+        )
+        assert estimate == expected > 0

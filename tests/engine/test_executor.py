@@ -1,0 +1,314 @@
+"""End-to-end engine behavior: plan routing, equivalence, cache, explain."""
+
+import numpy as np
+import pytest
+
+from repro.data.polygons import hand_drawn_polygon
+from repro.geometry.predicates import points_in_polygon
+from repro.geometry.primitives import Polygon
+from repro.core.optimizer import CostModel, choose_selection_plan
+from repro.engine import (
+    AGG_JOIN_THEN_AGG,
+    AGG_RASTERJOIN,
+    SELECTION_BLENDED,
+    SELECTION_PIP,
+    QueryEngine,
+    get_engine,
+    set_engine,
+    use_engine,
+)
+from repro.core.queries import (
+    aggregate_over_select,
+    join_aggregate,
+    multi_polygonal_select,
+    polygonal_select_points,
+)
+
+
+@pytest.fixture
+def cloud():
+    rng = np.random.default_rng(77)
+    return rng.uniform(0, 100, 3000), rng.uniform(0, 100, 3000)
+
+
+@pytest.fixture
+def constraint():
+    return hand_drawn_polygon(n_vertices=18, irregularity=0.35, seed=5,
+                              center=(50, 50), radius=30)
+
+
+def _truth(xs, ys, polygon):
+    return set(np.nonzero(points_in_polygon(xs, ys, polygon))[0].tolist())
+
+
+class TestPlanRouting:
+    """Acceptance: queries route through the planner, and swapping the
+    cost model weights changes the executed physical plan."""
+
+    def test_cost_model_swap_changes_executed_plan(self, cloud, constraint):
+        xs, ys = cloud
+        default_engine = QueryEngine()
+        with use_engine(default_engine):
+            result_pip = polygonal_select_points(xs, ys, constraint,
+                                                 resolution=512)
+        assert default_engine.last_report.plan == SELECTION_PIP
+
+        swapped_engine = QueryEngine(CostModel(edge_test=1e6))
+        with use_engine(swapped_engine):
+            result_blended = polygonal_select_points(xs, ys, constraint,
+                                                     resolution=512)
+        assert swapped_engine.last_report.plan == SELECTION_BLENDED
+
+        # Equivalent plans: identical exact results either way.
+        truth = _truth(xs, ys, constraint)
+        assert set(result_pip.ids.tolist()) == truth
+        assert set(result_blended.ids.tolist()) == truth
+
+    def test_chosen_plan_matches_optimizer_ranking(self, cloud, constraint):
+        """Satellite: engine choice == optimizer ranking, end to end."""
+        from repro.core.canvas import _resolve_resolution
+
+        xs, ys = cloud
+        engine = QueryEngine()
+        window = _window(xs, ys, constraint)
+        hw = _resolve_resolution(window, 512)
+        for n in (50, len(xs)):
+            with use_engine(engine):
+                polygonal_select_points(xs[:n], ys[:n], constraint,
+                                        window=window, resolution=512)
+            report = engine.last_report
+            expected = choose_selection_plan(
+                n, [constraint], hw, engine.cost_model
+            )
+            assert report.plan == expected.name
+            assert report.estimated_cost == pytest.approx(expected.cost)
+
+    def test_forced_plan_executes(self, cloud, constraint):
+        xs, ys = cloud
+        engine = QueryEngine()
+        outcome = engine.select_points(
+            xs, ys, [constraint], window=_window(xs, ys, constraint),
+            resolution=256, force_plan=SELECTION_BLENDED,
+        )
+        assert outcome.report.plan == SELECTION_BLENDED
+        assert "override" in outcome.report.forced
+        assert set(outcome.ids.tolist()) == _truth(xs, ys, constraint)
+
+    def test_samples_compose_identically_across_plans(self, cloud):
+        """The samples contract is plan-independent: the constraint-side
+        S^3 triple survives either physical plan, so downstream
+        group-by-containing-polygon composition gives the same answer."""
+        from repro.engine import aggregate_samples
+
+        xs, ys = cloud
+        polys = [
+            hand_drawn_polygon(n_vertices=12, seed=i, center=(25 + 50 * i, 50),
+                               radius=20)
+            for i in range(2)
+        ]
+        engine = QueryEngine()
+        window = _window(xs, ys, *polys)
+        per_plan = {}
+        for plan in (SELECTION_PIP, SELECTION_BLENDED):
+            outcome = engine.select_points(
+                xs, ys, polys, window=window, resolution=512,
+                force_plan=plan,
+            )
+            groups, values = aggregate_samples(
+                outcome.samples, [1, 2], "count"
+            )
+            per_plan[plan] = dict(zip(groups.tolist(), values.tolist()))
+        assert per_plan[SELECTION_PIP] == per_plan[SELECTION_BLENDED]
+        assert sum(per_plan[SELECTION_PIP].values()) > 0
+
+    def test_force_pip_with_approximate_mode_raises(self, cloud, constraint):
+        xs, ys = cloud
+        engine = QueryEngine()
+        with pytest.raises(ValueError, match="raster plan"):
+            engine.select_points(
+                xs, ys, [constraint], window=_window(xs, ys, constraint),
+                resolution=128, exact=False, force_plan=SELECTION_PIP,
+            )
+
+    def test_force_pip_with_prebuilt_canvas_raises(self, cloud, constraint):
+        from repro.core.queries import build_constraint_canvas
+
+        xs, ys = cloud
+        window = _window(xs, ys, constraint)
+        canvas = build_constraint_canvas([constraint], window, 128)
+        engine = QueryEngine()
+        with pytest.raises(ValueError, match="prebuilt"):
+            engine.select_points(
+                xs, ys, [constraint], window=window, resolution=128,
+                constraint_canvas=canvas, force_plan=SELECTION_PIP,
+            )
+
+    def test_mode_all_equivalent_across_plans(self, cloud):
+        xs, ys = cloud
+        polys = [
+            hand_drawn_polygon(n_vertices=14, seed=i, center=(50, 50),
+                               radius=35)
+            for i in range(2)
+        ]
+        truth = _truth(xs, ys, polys[0]) & _truth(xs, ys, polys[1])
+        engine = QueryEngine()
+        window = _window(xs, ys, *polys)
+        for plan in (SELECTION_PIP, SELECTION_BLENDED):
+            outcome = engine.select_points(
+                xs, ys, polys, window=window, resolution=512,
+                mode="all", force_plan=plan,
+            )
+            assert set(outcome.ids.tolist()) == truth, plan
+
+
+def _window(xs, ys, *polys):
+    from repro.core.queries import default_window
+
+    return default_window(xs, ys, list(polys))
+
+
+class TestAggregationRouting:
+    def test_exact_join_aggregate_uses_sample_plan(self, cloud):
+        xs, ys = cloud
+        polys = [
+            hand_drawn_polygon(n_vertices=12, seed=i, center=(30 + 20 * i, 50),
+                               radius=16)
+            for i in range(3)
+        ]
+        engine = QueryEngine()
+        with use_engine(engine):
+            result = join_aggregate(xs, ys, polys, resolution=256)
+        assert engine.last_report.plan == AGG_JOIN_THEN_AGG
+        for pid, poly in enumerate(polys):
+            assert result.as_dict()[pid] == len(_truth(xs, ys, poly))
+
+    def test_approximate_plan_follows_cost_model(self, cloud):
+        xs, ys = cloud
+        polys = [
+            hand_drawn_polygon(n_vertices=12, seed=i, center=(50, 50),
+                               radius=25)
+            for i in range(4)
+        ]
+        # Cheap pixels: RasterJoin's frame-bounded plan wins.
+        rj_engine = QueryEngine(CostModel(pixel_touch=1e-6))
+        with use_engine(rj_engine):
+            join_aggregate(xs, ys, polys, resolution=128, exact=False)
+        assert rj_engine.last_report.plan == AGG_RASTERJOIN
+
+        # Expensive pixels: the per-polygon gather plan wins.
+        jta_engine = QueryEngine(CostModel(pixel_touch=1e4))
+        with use_engine(jta_engine):
+            join_aggregate(xs, ys, polys, resolution=128, exact=False)
+        assert jta_engine.last_report.plan == AGG_JOIN_THEN_AGG
+
+    def test_aggregate_over_select_routes_engine(self, cloud, constraint):
+        xs, ys = cloud
+        engine = QueryEngine()
+        with use_engine(engine):
+            count = aggregate_over_select(xs, ys, constraint, resolution=512)
+        assert engine.last_report.query == "join-aggregate"
+        assert count == len(_truth(xs, ys, constraint))
+
+
+class TestCanvasCache:
+    """Acceptance: repeated execution of the same constraint shows
+    canvas-cache hits instead of re-rasterization."""
+
+    def test_repeated_selection_hits_cache(self, cloud, constraint):
+        xs, ys = cloud
+        engine = QueryEngine(CostModel(edge_test=1e6))  # steer to blended
+        with use_engine(engine):
+            first = polygonal_select_points(xs, ys, constraint,
+                                            resolution=256)
+            second = polygonal_select_points(xs, ys, constraint,
+                                             resolution=256)
+        assert first.ids.tolist() == second.ids.tolist()
+        stats = engine.cache.stats()
+        assert stats.hits >= 1
+        assert engine.last_report.cache_hits >= 1
+        assert engine.last_report.cache_misses == 0
+
+    def test_equal_polygon_objects_share_cache_entry(self, cloud):
+        xs, ys = cloud
+        coords = [(20, 20), (80, 25), (70, 80), (25, 70)]
+        engine = QueryEngine(CostModel(edge_test=1e6))
+        with use_engine(engine):
+            a = polygonal_select_points(xs, ys, Polygon(coords),
+                                        resolution=256)
+            b = polygonal_select_points(xs, ys, Polygon(coords),
+                                        resolution=256)
+        assert engine.cache.stats().hits >= 1
+        assert a.ids.tolist() == b.ids.tolist()
+
+    def test_repeated_join_aggregate_hits_cache(self, cloud):
+        xs, ys = cloud
+        polys = [
+            hand_drawn_polygon(n_vertices=12, seed=i, center=(30 + 20 * i, 50),
+                               radius=16)
+            for i in range(3)
+        ]
+        engine = QueryEngine()
+        with use_engine(engine):
+            join_aggregate(xs, ys, polys, resolution=256)
+            join_aggregate(xs, ys, polys, resolution=256)
+        assert engine.last_report.cache_hits >= len(polys)
+
+    def test_different_resolution_is_a_miss(self, cloud, constraint):
+        xs, ys = cloud
+        engine = QueryEngine(CostModel(edge_test=1e6))
+        with use_engine(engine):
+            polygonal_select_points(xs, ys, constraint, resolution=256)
+            polygonal_select_points(xs, ys, constraint, resolution=128)
+        stats = engine.cache.stats()
+        assert stats.hits == 0 and stats.misses == 2
+
+
+class TestExplain:
+    def test_explain_selection_and_aggregate(self, cloud, constraint):
+        xs, ys = cloud
+        engine = QueryEngine()
+        with use_engine(engine):
+            polygonal_select_points(xs, ys, constraint, resolution=256)
+            text_sel = engine.explain()
+            join_aggregate(xs, ys, [constraint], resolution=256)
+            text_agg = engine.explain()
+        for text, plans in (
+            (text_sel, (SELECTION_PIP, SELECTION_BLENDED)),
+            (text_agg, (AGG_JOIN_THEN_AGG, AGG_RASTERJOIN)),
+        ):
+            assert "chosen plan:" in text
+            assert "estimated cost" in text
+            assert "canvas cache" in text
+            assert all(p in text for p in plans)
+
+    def test_explain_without_queries(self):
+        assert QueryEngine().explain() == "no queries executed yet"
+
+    def test_empty_input_short_circuits(self, constraint):
+        engine = QueryEngine()
+        outcome = engine.select_points(
+            np.empty(0), np.empty(0), [constraint],
+            window=constraint.bounds.expand(1.0), resolution=64,
+        )
+        assert len(outcome.ids) == 0
+        assert outcome.report.plan == "empty-input"
+
+
+class TestEngineInstallation:
+    def test_use_engine_restores_previous(self):
+        original = get_engine()
+        temp = QueryEngine()
+        with use_engine(temp) as active:
+            assert active is temp
+            assert get_engine() is temp
+        assert get_engine() is original
+
+    def test_set_engine_returns_previous(self):
+        original = get_engine()
+        temp = QueryEngine()
+        previous = set_engine(temp)
+        try:
+            assert previous is original
+            assert get_engine() is temp
+        finally:
+            set_engine(original)

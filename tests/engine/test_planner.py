@@ -1,0 +1,137 @@
+"""Cost-based plan choice: crossover behavior and admissibility rules."""
+
+import pytest
+
+from repro.data.polygons import hand_drawn_polygon
+from repro.core.optimizer import CostModel, choose_selection_plan
+from repro.engine.planner import (
+    AGG_JOIN_THEN_AGG,
+    AGG_RASTERJOIN,
+    SELECTION_BLENDED,
+    SELECTION_PIP,
+    Planner,
+)
+
+RES = (512, 512)
+
+
+def _polys(n, vertices=24):
+    return [
+        hand_drawn_polygon(n_vertices=vertices, seed=i, center=(50, 50),
+                           radius=30)
+        for i in range(n)
+    ]
+
+
+class TestSelectionCrossover:
+    """Satellite: the chosen plan flips from per-polygon PIP to the
+    blended canvas as the point count grows (fixed raster cost
+    amortizes; per-point PIP cost does not)."""
+
+    @pytest.mark.parametrize(
+        "n_points,expected",
+        [
+            (100, SELECTION_PIP),
+            (1_000, SELECTION_PIP),
+            (1_000_000, SELECTION_BLENDED),
+            (50_000_000, SELECTION_BLENDED),
+        ],
+    )
+    def test_crossover_with_point_count(self, n_points, expected):
+        assert choose_selection_plan(n_points, _polys(1), RES).name == expected
+
+    def test_planner_agrees_with_optimizer(self):
+        planner = Planner()
+        for n_points in (100, 1_000, 1_000_000, 50_000_000):
+            choice = planner.plan_selection(n_points, _polys(2), RES)
+            assert choice.chosen.name == choose_selection_plan(
+                n_points, _polys(2), RES
+            ).name
+            assert choice.forced is None
+
+    def test_cost_model_swap_flips_choice(self):
+        """The optimizer is real: weights steer the physical plan."""
+        n_points, polys = 2_000, _polys(1)
+        default = Planner().plan_selection(n_points, polys, RES)
+        assert default.chosen.name == SELECTION_PIP
+        expensive_pip = Planner(CostModel(edge_test=1e6))
+        swapped = expensive_pip.plan_selection(n_points, polys, RES)
+        assert swapped.chosen.name == SELECTION_BLENDED
+
+
+class TestSelectionAdmissibility:
+    def test_approximate_mode_forces_blended(self):
+        choice = Planner().plan_selection(100, _polys(1), RES, exact=False)
+        assert choice.chosen.name == SELECTION_BLENDED
+        assert choice.forced is not None
+
+    def test_prebuilt_canvas_forces_blended(self):
+        choice = Planner().plan_selection(
+            100, _polys(1), RES, prebuilt_canvas=True
+        )
+        assert choice.chosen.name == SELECTION_BLENDED
+        assert "prebuilt" in choice.forced
+
+    def test_force_override(self):
+        choice = Planner().plan_selection(
+            100, _polys(1), RES, force=SELECTION_BLENDED
+        )
+        assert choice.chosen.name == SELECTION_BLENDED
+        assert "override" in choice.forced
+
+    def test_force_unknown_plan_raises(self):
+        with pytest.raises(ValueError, match="unknown selection plan"):
+            Planner().plan_selection(100, _polys(1), RES, force="quantum")
+
+    def test_candidates_sorted_cheapest_first(self):
+        choice = Planner().plan_selection(10_000, _polys(2), RES)
+        costs = [p.cost for p in choice.candidates]
+        assert costs == sorted(costs)
+
+
+class TestAggregationAdmissibility:
+    def test_exact_forces_join_then_aggregate(self):
+        choice = Planner().plan_aggregation(
+            100_000_000, _polys(16), (256, 256), exact=True
+        )
+        assert choice.chosen.name == AGG_JOIN_THEN_AGG
+        assert choice.forced is not None
+
+    def test_approximate_many_points_pick_rasterjoin(self):
+        choice = Planner().plan_aggregation(
+            100_000_000, _polys(16), (256, 256), exact=False
+        )
+        assert choice.chosen.name == AGG_RASTERJOIN
+        assert choice.forced is None
+
+    def test_min_max_need_sample_plan(self):
+        choice = Planner().plan_aggregation(
+            100_000_000, _polys(16), (256, 256), exact=False, aggregate="min"
+        )
+        assert choice.chosen.name == AGG_JOIN_THEN_AGG
+        assert "min" in choice.forced
+
+    def test_forcing_rasterjoin_with_exact_contract_raises(self):
+        """A forced plan must not silently break the result contract."""
+        with pytest.raises(ValueError, match="approximate"):
+            Planner().plan_aggregation(
+                1_000, _polys(2), RES, exact=True, force=AGG_RASTERJOIN
+            )
+
+    def test_forcing_rasterjoin_for_min_raises(self):
+        with pytest.raises(ValueError, match="cannot compute"):
+            Planner().plan_aggregation(
+                1_000, _polys(2), RES, exact=False, aggregate="min",
+                force=AGG_RASTERJOIN,
+            )
+
+    def test_cost_model_swap_flips_choice(self):
+        base = Planner().plan_aggregation(
+            1_000_000, _polys(8), (256, 256), exact=False
+        )
+        assert base.chosen.name == AGG_RASTERJOIN
+        costly_gather = Planner(CostModel(pixel_touch=1e4))
+        swapped = costly_gather.plan_aggregation(
+            1_000_000, _polys(8), (256, 256), exact=False
+        )
+        assert swapped.chosen.name == AGG_JOIN_THEN_AGG

@@ -110,6 +110,55 @@ class TestInfo:
             main(["info", "--data", str(bad)])
 
 
+class TestExplain:
+    def test_selection_report(self, data_files, capsys):
+        data_csv, query_file, *_ = data_files
+        code = main([
+            "explain", "--data", str(data_csv), "--query", str(query_file),
+            "--resolution", "256",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chosen plan:" in out
+        assert "estimated cost" in out
+        assert "canvas cache" in out
+        # Both physical candidates are priced in the report.
+        assert "per-polygon-pip" in out and "blended-canvas" in out
+
+    def test_join_aggregate_repeat_hits_cache(self, data_files, capsys):
+        data_csv, query_file, *_ = data_files
+        main([
+            "explain", "--data", str(data_csv), "--query", str(query_file),
+            "--mode", "join-aggregate", "--repeat", "2", "--resolution", "128",
+        ])
+        out = capsys.readouterr().out
+        assert "join-then-aggregate" in out and "rasterjoin" in out
+        # The second run reuses the rasterized constraint canvas.
+        assert "1 hits" in out
+
+    def test_approx_makes_aggregation_choice_cost_based(self, data_files,
+                                                        capsys):
+        data_csv, query_file, *_ = data_files
+        main([
+            "explain", "--data", str(data_csv), "--query", str(query_file),
+            "--mode", "join-aggregate", "--approx", "--resolution", "128",
+        ])
+        out = capsys.readouterr().out
+        assert "chosen plan:" in out
+        # Neither contract-forced nor user-forced: the cost model chose.
+        assert "choice forced" not in out
+
+    def test_plan_override(self, data_files, capsys):
+        data_csv, query_file, xs, ys, _, query = data_files
+        main([
+            "explain", "--data", str(data_csv), "--query", str(query_file),
+            "--plan", "blended-canvas", "--resolution", "128",
+        ])
+        out = capsys.readouterr().out
+        assert "chosen plan: blended-canvas" in out
+        assert "override" in out
+
+
 class TestMixedGeometryFile:
     def test_select_dispatches_to_objects(self, tmp_path, capsys):
         query = Polygon([(20, 20), (80, 20), (80, 80), (20, 80)])
