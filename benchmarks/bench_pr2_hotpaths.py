@@ -1,0 +1,324 @@
+"""PR 2 hot-path benchmark: before-vs-after knobs for the scatter-gather
+RasterJoin, bbox-clipped rasterization, and copy-eliding algebra ops.
+
+Each section times the seed-era strategy against the rewritten hot path
+on the same workload and verifies the results agree (bit-identical for
+the rasterjoin plans).  The measurements land in ``BENCH_PR2.json`` at
+the repo root — the start of the perf trajectory the ROADMAP asks for:
+
+- **rasterjoin** — :func:`repro.core.rasterjoin.raster_join_aggregate`
+  (scatter-gather) vs :func:`raster_join_aggregate_legacy` (the literal
+  per-polygon plan the seed shipped);
+- **draw_polygon** — bbox-clipped rasterization vs a faithful inline
+  reconstruction of the seed's full-frame fill;
+- **algebra** — ``blend``/``mask``/``value_transform`` with the new
+  ``out=`` seam vs the default copying semantics;
+- **engine_cache** — repeated engine-routed rasterjoin runs, showing
+  the canvas cache serving constraint coverage (cold vs warm + hits).
+
+Run ``python benchmarks/bench_pr2_hotpaths.py`` for the full workload
+(64 polygons at 1024x1024; writes ``BENCH_PR2.json``) or ``--dry-run``
+for a tiny smoke version used by CI (writes
+``benchmarks/out/bench_pr2_dry.json`` instead).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.polygons import hand_drawn_polygon
+from repro.geometry.bbox import BoundingBox
+from repro.gpu.rasterizer import ring_boundary_cells
+from repro.gpu.scanline import parity_fill
+from repro.core import algebra
+from repro.core.blendfuncs import PIP_MERGE
+from repro.core.canvas import Canvas
+from repro.core.masks import mask_point_in_any_polygon
+from repro.core.objectinfo import DIM_AREA, FIELD_COUNT, FIELD_ID, FIELD_VALUE, channel
+from repro.core.rasterjoin import (
+    raster_join_aggregate,
+    raster_join_aggregate_legacy,
+)
+from repro.engine import AGG_RASTERJOIN, QueryEngine
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FULL_JSON = REPO_ROOT / "BENCH_PR2.json"
+DRY_JSON = Path(__file__).resolve().parent / "out" / "bench_pr2_dry.json"
+
+WINDOW = BoundingBox(0.0, 0.0, 100.0, 100.0)
+
+
+def _workload(n_points: int, n_polys: int, seed: int = 11):
+    """Uniform points plus scattered hand-drawn district polygons."""
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(WINDOW.xmin, WINDOW.xmax, n_points)
+    ys = rng.uniform(WINDOW.ymin, WINDOW.ymax, n_points)
+    values = rng.uniform(0.0, 5.0, n_points)
+    polys = [
+        hand_drawn_polygon(
+            n_vertices=16, irregularity=0.4, seed=1000 + i,
+            center=(rng.uniform(12, 88), rng.uniform(12, 88)),
+            radius=rng.uniform(4, 14),
+        )
+        for i in range(n_polys)
+    ]
+    return xs, ys, values, polys
+
+
+def _best_of(fn, rounds: int) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+# ----------------------------------------------------------------------
+# Section 1: scatter-gather RasterJoin vs the legacy per-polygon plan
+# ----------------------------------------------------------------------
+def bench_rasterjoin(n_points: int, n_polys: int, resolution: int,
+                     rounds: int = 3) -> dict:
+    xs, ys, values, polys = _workload(n_points, n_polys)
+    kwargs = dict(window=WINDOW, resolution=resolution)
+
+    t_new_count, r_new = _best_of(
+        lambda: raster_join_aggregate(xs, ys, polys, aggregate="count", **kwargs),
+        rounds,
+    )
+    t_new_sum, s_new = _best_of(
+        lambda: raster_join_aggregate(xs, ys, polys, values=values,
+                                      aggregate="sum", **kwargs),
+        rounds,
+    )
+    t_leg_count, r_leg = _best_of(
+        lambda: raster_join_aggregate_legacy(xs, ys, polys, aggregate="count",
+                                             **kwargs),
+        1,
+    )
+    t_leg_sum, s_leg = _best_of(
+        lambda: raster_join_aggregate_legacy(xs, ys, polys, values=values,
+                                             aggregate="sum", **kwargs),
+        1,
+    )
+    identical = (
+        np.array_equal(r_new.groups, r_leg.groups)
+        and np.array_equal(r_new.values, r_leg.values)
+        and np.array_equal(s_new.values, s_leg.values)
+    )
+    return {
+        "n_points": n_points,
+        "n_polygons": n_polys,
+        "resolution": resolution,
+        "legacy_count_s": round(t_leg_count, 4),
+        "scatter_gather_count_s": round(t_new_count, 4),
+        "legacy_sum_s": round(t_leg_sum, 4),
+        "scatter_gather_sum_s": round(t_new_sum, 4),
+        "speedup_count": round(t_leg_count / max(t_new_count, 1e-9), 1),
+        "speedup_sum": round(t_leg_sum / max(t_new_sum, 1e-9), 1),
+        "bit_identical": bool(identical),
+    }
+
+
+# ----------------------------------------------------------------------
+# Section 2: bbox-clipped vs full-frame polygon rasterization
+# ----------------------------------------------------------------------
+def _draw_polygon_fullframe(canvas: Canvas, polygon, record_id: int) -> Canvas:
+    """The seed's full-frame ``draw_polygon``, reconstructed verbatim."""
+    rings = [canvas._ring_pixels(polygon.shell)]
+    rings.extend(canvas._ring_pixels(h) for h in polygon.holes)
+    interior = parity_fill(rings, canvas.height, canvas.width,
+                           device=canvas.device)
+    brows_list, bcols_list = [], []
+    for ring_px in rings:
+        br, bc = ring_boundary_cells(ring_px, canvas.height, canvas.width)
+        brows_list.append(br)
+        bcols_list.append(bc)
+    brows = np.concatenate(brows_list)
+    bcols = np.concatenate(bcols_list)
+    covered = interior.copy()
+    covered[brows, bcols] = True
+    data = canvas.texture.data
+    data[:, :, channel(DIM_AREA, FIELD_ID)][covered] = float(record_id)
+    data[:, :, channel(DIM_AREA, FIELD_COUNT)][covered] = 1.0
+    data[:, :, channel(DIM_AREA, FIELD_VALUE)][covered] = 0.0
+    canvas.texture.valid[:, :, DIM_AREA] |= covered
+    canvas.boundary[brows, bcols] = True
+    canvas.geometries[int(record_id)] = polygon
+    return canvas
+
+
+def bench_draw_polygon(n_polys: int, resolution: int, rounds: int = 3) -> dict:
+    _, _, _, polys = _workload(16, n_polys)
+
+    def clipped():
+        canvas = Canvas(WINDOW, resolution)
+        for i, poly in enumerate(polys, start=1):
+            canvas.draw_polygon(poly, record_id=i)
+        return canvas
+
+    def fullframe():
+        canvas = Canvas(WINDOW, resolution)
+        for i, poly in enumerate(polys, start=1):
+            _draw_polygon_fullframe(canvas, poly, record_id=i)
+        return canvas
+
+    t_clip, c_clip = _best_of(clipped, rounds)
+    t_full, c_full = _best_of(fullframe, 1)
+    identical = (
+        np.array_equal(c_clip.texture.data, c_full.texture.data)
+        and np.array_equal(c_clip.texture.valid, c_full.texture.valid)
+        and np.array_equal(c_clip.boundary, c_full.boundary)
+    )
+    return {
+        "n_polygons": n_polys,
+        "resolution": resolution,
+        "fullframe_s": round(t_full, 4),
+        "bbox_clipped_s": round(t_clip, 4),
+        "speedup": round(t_full / max(t_clip, 1e-9), 1),
+        "bit_identical": bool(identical),
+    }
+
+
+# ----------------------------------------------------------------------
+# Section 3: copying vs in-place algebra operators
+# ----------------------------------------------------------------------
+def bench_algebra_inplace(n_points: int, resolution: int,
+                          rounds: int = 3) -> dict:
+    xs, ys, _, polys = _workload(n_points, 4)
+    points = Canvas.from_points(xs, ys, WINDOW, resolution)
+    constraint = Canvas.from_polygon(polys[0], WINDOW, resolution)
+    predicate = mask_point_in_any_polygon(1.0)
+
+    def shift(gx, gy, data, valid):
+        return data + 1.0, valid
+
+    def copying():
+        blended = algebra.blend(points, constraint, PIP_MERGE)
+        masked = algebra.mask(blended, predicate)
+        return algebra.value_transform(masked, shift)
+
+    def in_place():
+        scratch = algebra.blend(points, constraint, PIP_MERGE)
+        algebra.mask(scratch, predicate, out=scratch)
+        return algebra.value_transform(scratch, shift, out=scratch)
+
+    t_copy, r_copy = _best_of(copying, rounds)
+    t_inpl, r_inpl = _best_of(in_place, rounds)
+    identical = (
+        np.array_equal(r_copy.texture.data, r_inpl.texture.data)
+        and np.array_equal(r_copy.texture.valid, r_inpl.texture.valid)
+    )
+    return {
+        "n_points": n_points,
+        "resolution": resolution,
+        "copying_s": round(t_copy, 4),
+        "in_place_s": round(t_inpl, 4),
+        "speedup": round(t_copy / max(t_inpl, 1e-9), 2),
+        "identical": bool(identical),
+    }
+
+
+# ----------------------------------------------------------------------
+# Section 4: the engine serving rasterjoin coverage from its cache
+# ----------------------------------------------------------------------
+def bench_engine_cache(n_points: int, n_polys: int, resolution: int,
+                       runs: int = 3) -> dict:
+    xs, ys, _, polys = _workload(n_points, n_polys)
+    engine = QueryEngine()
+    times = []
+    for _ in range(runs):
+        start = time.perf_counter()
+        engine.aggregate_points(
+            xs, ys, polys, window=WINDOW, resolution=resolution,
+            exact=False, force_plan=AGG_RASTERJOIN,
+        )
+        times.append(time.perf_counter() - start)
+    last = engine.last_report
+    stats = engine.cache.stats()
+    return {
+        "n_points": n_points,
+        "n_polygons": n_polys,
+        "resolution": resolution,
+        "cold_s": round(times[0], 4),
+        "warm_s": round(min(times[1:]), 4),
+        "warm_run_cache_hits": last.cache_hits,
+        "warm_run_cache_misses": last.cache_misses,
+        "cache_hit_rate": round(stats.hit_rate, 3),
+    }
+
+
+# ----------------------------------------------------------------------
+def run(n_points: int, n_polys: int, resolution: int, out_path: Path,
+        rounds: int = 3) -> dict:
+    report = {
+        "benchmark": "bench_pr2_hotpaths",
+        "generated": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "workload": {
+            "window": list(WINDOW),
+            "n_points": n_points,
+            "n_polygons": n_polys,
+            "resolution": resolution,
+        },
+        "rasterjoin": bench_rasterjoin(n_points, n_polys, resolution, rounds),
+        "draw_polygon": bench_draw_polygon(n_polys, resolution, rounds),
+        "algebra_inplace": bench_algebra_inplace(n_points, resolution, rounds),
+        "engine_cache": bench_engine_cache(n_points, n_polys, resolution),
+    }
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dry-run", action="store_true",
+                        help="tiny workload; smoke-checks the hot paths "
+                             "without touching BENCH_PR2.json")
+    args = parser.parse_args(argv)
+
+    if args.dry_run:
+        report = run(n_points=20_000, n_polys=12, resolution=256,
+                     out_path=DRY_JSON, rounds=2)
+    else:
+        report = run(n_points=500_000, n_polys=64, resolution=1024,
+                     out_path=FULL_JSON, rounds=3)
+
+    rj = report["rasterjoin"]
+    dp = report["draw_polygon"]
+    ai = report["algebra_inplace"]
+    ec = report["engine_cache"]
+    print(f"rasterjoin      legacy {rj['legacy_count_s']:.3f}s -> "
+          f"scatter-gather {rj['scatter_gather_count_s']:.3f}s "
+          f"({rj['speedup_count']}x, bit-identical={rj['bit_identical']})")
+    print(f"draw_polygon    full-frame {dp['fullframe_s']:.3f}s -> "
+          f"bbox-clipped {dp['bbox_clipped_s']:.3f}s ({dp['speedup']}x)")
+    print(f"algebra         copying {ai['copying_s']:.3f}s -> "
+          f"in-place {ai['in_place_s']:.3f}s ({ai['speedup']}x)")
+    print(f"engine cache    cold {ec['cold_s']:.3f}s -> warm {ec['warm_s']:.3f}s "
+          f"({ec['warm_run_cache_hits']} hits on the warm run)")
+
+    # Smoke assertions: equivalence always; the 5x bar on the full run.
+    assert rj["bit_identical"], "scatter-gather rasterjoin diverged from legacy"
+    assert dp["bit_identical"], "bbox-clipped rasterization diverged"
+    assert ai["identical"], "in-place algebra diverged from copying ops"
+    assert ec["warm_run_cache_hits"] >= 1, "rasterjoin coverage never hit cache"
+    if not args.dry_run:
+        assert rj["speedup_count"] >= 5.0, (
+            f"rasterjoin speedup {rj['speedup_count']}x below the 5x bar"
+        )
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    if __package__ in (None, ""):
+        sys.path.insert(0, str(REPO_ROOT))
+    raise SystemExit(main())

@@ -15,10 +15,18 @@ Usage::
 ``explain`` runs a query through the plan-driven engine and reports
 the chosen physical plan, its estimated cost against the alternatives,
 and the canvas-cache statistics.  Plans that rasterize constraints
-(``blended-canvas``, ``join-then-aggregate``) serve repeated runs from
-the cache; the ``per-polygon-pip`` plan — often the cost-based choice
-for small inputs — rasterizes nothing, so it legitimately reports zero
-cache traffic (force ``--plan blended-canvas`` to see the cache work).
+(``blended-canvas``, ``join-then-aggregate``, ``rasterjoin``) serve
+repeated runs from the cache; the ``per-polygon-pip`` plan — often the
+cost-based choice for small inputs — rasterizes nothing, so it
+legitimately reports zero cache traffic (force ``--plan
+blended-canvas`` to see the cache work).  Plan costs are bbox-aware:
+rasterization is clipped to each constraint's pixel bounding box, and
+the ``rasterjoin`` plan runs as a scatter-gather pass whose constraint
+coverage the engine memoizes (``--repeat 2`` shows the warm-run cache
+hits).  Library callers get the matching knobs directly: ``out=`` on
+the dense algebra operators elides per-operator texture copies, and
+``raster_join_aggregate(coverage_provider=...)`` is the seam the
+engine's cache plugs into.
 
 Geometry files may be ``.csv`` (with a ``geometry`` WKT column) or
 ``.geojson`` / ``.json`` FeatureCollections.  The query file's first

@@ -70,7 +70,12 @@ from repro.core.queries import (
     spatial_join_polygons_polygons,
     voronoi,
 )
-from repro.core.rasterjoin import raster_join_aggregate
+from repro.core.rasterjoin import (
+    PolygonCoverage,
+    polygon_coverage_cells,
+    raster_join_aggregate,
+    raster_join_aggregate_legacy,
+)
 
 __all__ = [
     "AGG_ADD",
@@ -112,7 +117,10 @@ __all__ = [
     "polygonal_select_polygons",
     "spatial_skyline",
     "range_select",
+    "PolygonCoverage",
+    "polygon_coverage_cells",
     "raster_join_aggregate",
+    "raster_join_aggregate_legacy",
     "rect",
     "spatial_join_points_polygons",
     "spatial_join_polygons_polygons",

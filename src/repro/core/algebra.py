@@ -183,6 +183,8 @@ def value_transform(
     canvas: AnyCanvas,
     f: Callable[[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
                 tuple[np.ndarray, np.ndarray]],
+    *,
+    out: Canvas | None = None,
 ) -> AnyCanvas:
     """``V[f]``: ``C'(x, y) = f(x, y, C(x, y))``.
 
@@ -190,11 +192,20 @@ def value_transform(
     ``(data, valid)``.  On a dense canvas it runs as a full-screen
     fragment pass (tile-by-tile per the canvas device); on a sparse set
     it maps over samples.
+
+    *out* (dense only) designates the canvas that receives the result —
+    pass ``out=canvas`` to transform in place, or another compatible
+    canvas the caller owns.  The fragment passes overwrite every texture
+    row, so no defensive copy of the operand is ever made; callers that
+    own their intermediates (e.g. the Voronoi site loop) skip one full
+    ``(H, W, 9)`` allocation per pass.
     """
     if isinstance(canvas, CanvasSet):
+        if out is not None:
+            raise ValueError("out= is only supported for dense canvases")
         return canvas.map_values(f)
 
-    out = canvas.copy()
+    target = _resolve_dense_out(canvas, out, copy_data=False)
     gx, gy = canvas.pixel_center_grids()
 
     def fragment_pass(rows: slice) -> None:
@@ -202,28 +213,75 @@ def value_transform(
             gx[rows], gy[rows],
             canvas.texture.data[rows], canvas.texture.valid[rows],
         )
-        out.texture.data[rows] = data
-        out.texture.valid[rows] = valid
+        target.texture.data[rows] = data
+        target.texture.valid[rows] = valid
 
     canvas.device.run_rows(canvas.height, fragment_pass)
-    return out
+    return target
+
+
+# ----------------------------------------------------------------------
+# Copy elision: the out= seam shared by the dense operators
+# ----------------------------------------------------------------------
+def _resolve_dense_out(
+    src: Canvas, out: Canvas | None, copy_data: bool
+) -> Canvas:
+    """The dense canvas an operator should write into.
+
+    ``out=None`` keeps value semantics (a fresh copy of *src*);
+    ``out is src`` runs the operator in place; any other *out* must be
+    a compatible canvas the caller owns — its buffers are reused and
+    its non-texture state (boundary, hybrid index) is refreshed from
+    *src*.  When *copy_data* is false the caller promises to overwrite
+    every texture cell, so the texture copy is skipped entirely.
+    """
+    if out is src:
+        return src
+    if out is None:
+        if copy_data:
+            return src.copy()
+        target = src.blank_like()
+    else:
+        if not src.compatible_with(out):
+            raise ValueError(
+                "out= canvas must share the operand's window/resolution"
+            )
+        target = out
+        if copy_data:
+            np.copyto(target.texture.data, src.texture.data)
+            np.copyto(target.texture.valid, src.texture.valid)
+    np.copyto(target.boundary, src.boundary)
+    target.geometries = dict(src.geometries)
+    return target
 
 
 # ----------------------------------------------------------------------
 # M — Mask
 # ----------------------------------------------------------------------
-def mask(canvas: AnyCanvas, predicate: MaskPredicate) -> AnyCanvas:
-    """``M[M]``: keep points whose triple is in the mask set, null the rest."""
+def mask(
+    canvas: AnyCanvas,
+    predicate: MaskPredicate,
+    *,
+    out: Canvas | None = None,
+) -> AnyCanvas:
+    """``M[M]``: keep points whose triple is in the mask set, null the rest.
+
+    *out* (dense only) receives the result — ``out=canvas`` masks in
+    place, any other compatible canvas reuses that canvas's buffers —
+    eliding the full-texture copy the default value semantics pay.
+    """
     if isinstance(canvas, CanvasSet):
+        if out is not None:
+            raise ValueError("out= is only supported for dense canvases")
         keep = predicate.test(canvas.data, canvas.valid)
         return canvas.filter_rows(keep)
 
-    out = canvas.copy()
     keep = predicate.test(canvas.texture.data, canvas.texture.valid)
-    out.texture.data[~keep] = 0.0
-    out.texture.valid[~keep] = False
-    out.boundary &= keep
-    return out
+    target = _resolve_dense_out(canvas, out, copy_data=True)
+    target.texture.data[~keep] = 0.0
+    target.texture.valid[~keep] = False
+    target.boundary &= keep
+    return target
 
 
 # ----------------------------------------------------------------------
@@ -233,26 +291,37 @@ def blend(
     left: AnyCanvas,
     right: Canvas,
     mode: BlendMode,
+    *,
+    out: Canvas | None = None,
 ) -> AnyCanvas:
     """``B[⊙](C1, C2)``: merge two canvases under blend function ⊙.
 
     Dense x dense runs a full-frame blend pass; sparse x dense runs the
     texture-gather path (one fetch per member-canvas sample) — the two
     realizations agree on shared queries (verified by tests).
+
+    *out* (dense x dense only) receives the result — ``out=left``
+    blends in place — so executors that own their intermediates skip
+    the per-operator full-texture copy.  Never pass a cached or
+    otherwise shared canvas as *out*.
     """
     if isinstance(left, CanvasSet):
+        if out is not None:
+            raise ValueError("out= is only supported for dense blends")
         return left.blend_with_canvas(right, mode)
     if not left.compatible_with(right):
         raise ValueError(
             "dense blend requires canvases with identical window/resolution"
         )
-    out = left.copy()
-    Framebuffer(out.texture, blend=mode, device=left.device).blend_texture(
+    if out is right and out is not left:
+        raise ValueError("out= must not alias the right blend operand")
+    target = _resolve_dense_out(left, out, copy_data=True)
+    Framebuffer(target.texture, blend=mode, device=left.device).blend_texture(
         right.texture
     )
-    out.boundary |= right.boundary
-    out.geometries.update(right.geometries)
-    return out
+    target.boundary |= right.boundary
+    target.geometries.update(right.geometries)
+    return target
 
 
 def multiway_blend(
@@ -262,13 +331,14 @@ def multiway_blend(
     """``B*[⊙]``: left fold of :func:`blend` over *canvases*.
 
     When *mode* is associative the grouping is semantically free
-    (Section 3.2); the fold is the canonical order.
+    (Section 3.2); the fold is the canonical order.  The fold owns its
+    accumulator, so every step after the initial copy blends in place.
     """
     if not canvases:
         raise ValueError("multiway blend requires at least one canvas")
     out = canvases[0].copy()
     for other in canvases[1:]:
-        out = blend(out, other, mode)  # type: ignore[assignment]
+        out = blend(out, other, mode, out=out)  # type: ignore[assignment]
     return out
 
 

@@ -37,6 +37,7 @@ from repro.gpu.device import DEFAULT_DEVICE, Device
 from repro.gpu.rasterizer import (
     disk_mask,
     halfspace_mask,
+    polygon_coverage,
     rasterize_points,
     rasterize_segments,
     ring_boundary_cells,
@@ -81,6 +82,34 @@ def _resolve_resolution(
     return height, width
 
 
+def world_points_to_cells(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    window: BoundingBox,
+    height: int,
+    width: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Bin world points into grid cells with *open* upper borders.
+
+    Returns ``(rows, cols, inside)`` where *inside* drops points on or
+    past the window's top/right edge.  This is the single source of
+    truth for point binning on the render path: ``Canvas.draw_points``
+    and the scatter stage of the rasterjoin plan both call it, so their
+    pixel attribution can never drift apart (the scatter-gather plan's
+    bit-identity depends on that).  Note the *closed*-border variant
+    lives in :func:`repro.gpu.rasterizer.points_to_cells` and is not
+    interchangeable.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    dx = window.width / width
+    dy = window.height / height
+    cols = np.floor((xs - window.xmin) / dx).astype(np.int64)
+    rows = np.floor((ys - window.ymin) / dy).astype(np.int64)
+    inside = (rows >= 0) & (rows < height) & (cols >= 0) & (cols < width)
+    return rows, cols, inside
+
+
 class Canvas:
     """A discrete canvas over a world window.
 
@@ -113,6 +142,7 @@ class Canvas:
         self.boundary = np.zeros((height, width), dtype=bool)
         self.geometries: dict[int, Geometry] = {}
         self.device = device
+        self._center_grids: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # Shape & coordinate mapping
@@ -154,12 +184,24 @@ class Canvas:
         return xs, ys
 
     def pixel_center_grids(self) -> tuple[np.ndarray, np.ndarray]:
-        """World-coordinate grids ``(X, Y)`` of all pixel centers."""
-        xs = self.window.xmin + (np.arange(self.width) + 0.5) * self.dx
-        ys = self.window.ymin + (np.arange(self.height) + 0.5) * self.dy
-        return np.broadcast_to(xs, (self.height, self.width)), np.broadcast_to(
-            ys[:, None], (self.height, self.width)
-        )
+        """World-coordinate grids ``(X, Y)`` of all pixel centers.
+
+        Memoized: the grids depend only on the (immutable) window and
+        resolution, so repeated full-screen fragment passes — e.g. the
+        per-site :func:`~repro.core.algebra.value_transform` loop of
+        the Voronoi query — reuse one read-only broadcast view instead
+        of rebuilding both grids per pass.
+        """
+        grids = getattr(self, "_center_grids", None)
+        if grids is None:
+            xs = self.window.xmin + (np.arange(self.width) + 0.5) * self.dx
+            ys = self.window.ymin + (np.arange(self.height) + 0.5) * self.dy
+            grids = (
+                np.broadcast_to(xs, (self.height, self.width)),
+                np.broadcast_to(ys[:, None], (self.height, self.width)),
+            )
+            self._center_grids = grids
+        return grids
 
     def _ring_pixels(self, ring: LinearRing) -> np.ndarray:
         px, py = self.world_to_pixel(
@@ -181,6 +223,7 @@ class Canvas:
         out.boundary = self.boundary.copy()
         out.geometries = dict(self.geometries)
         out.device = self.device
+        out._center_grids = getattr(self, "_center_grids", None)
         return out
 
     def blank_like(self) -> "Canvas":
@@ -191,6 +234,7 @@ class Canvas:
         out.boundary = np.zeros((self.height, self.width), dtype=bool)
         out.geometries = {}
         out.device = self.device
+        out._center_grids = getattr(self, "_center_grids", None)
         return out
 
     def compatible_with(self, other: "Canvas") -> bool:
@@ -258,15 +302,8 @@ class Canvas:
             if values is not None
             else np.zeros(n, dtype=np.float64)
         )
-        px, py = self.world_to_pixel(xs, ys)
-        rows, cols, inside = (
-            np.floor(py).astype(np.int64),
-            np.floor(px).astype(np.int64),
-            None,
-        )
-        inside = (
-            (rows >= 0) & (rows < self.height)
-            & (cols >= 0) & (cols < self.width)
+        rows, cols, inside = world_points_to_cells(
+            xs, ys, self.window, self.height, self.width
         )
         rows, cols = rows[inside], cols[inside]
         ids_in, vals_in = ids_arr[inside], vals[inside]
@@ -299,34 +336,32 @@ class Canvas:
         With ``accumulate_count=True`` the count channel adds 1 per
         polygon on covered pixels — the ``⊕`` blend used by
         polygon-polygon queries and multi-constraint disjunctions.
+
+        Rasterization is *bbox-clipped*: the even-odd fill and the
+        channel writes run inside the polygon's grid-clipped pixel
+        bounding box and scatter into the full texture, so the cost
+        scales with the geometry's footprint, not the frame size.  The
+        covered set is bit-identical to a full-frame fill.
         """
         rings = [self._ring_pixels(polygon.shell)]
         rings.extend(self._ring_pixels(h) for h in polygon.holes)
-        interior = parity_fill(rings, self.height, self.width, device=self.device)
-
-        brows_list = []
-        bcols_list = []
-        for ring_px in rings:
-            br, bc = ring_boundary_cells(ring_px, self.height, self.width)
-            brows_list.append(br)
-            bcols_list.append(bc)
-        brows = np.concatenate(brows_list)
-        bcols = np.concatenate(bcols_list)
-
-        covered = interior.copy()
-        covered[brows, bcols] = True
+        r0, c0, covered, brows, bcols = polygon_coverage(
+            rings, self.height, self.width, device=self.device
+        )
+        sub_h, sub_w = covered.shape
+        sub = (slice(r0, r0 + sub_h), slice(c0, c0 + sub_w))
 
         id_ch = channel(DIM_AREA, FIELD_ID)
         cnt_ch = channel(DIM_AREA, FIELD_COUNT)
         val_ch = channel(DIM_AREA, FIELD_VALUE)
         data = self.texture.data
-        data[:, :, id_ch][covered] = float(record_id)
+        data[sub[0], sub[1], id_ch][covered] = float(record_id)
         if accumulate_count:
-            data[:, :, cnt_ch][covered] += 1.0
+            data[sub[0], sub[1], cnt_ch][covered] += 1.0
         else:
-            data[:, :, cnt_ch][covered] = 1.0
-        data[:, :, val_ch][covered] = value
-        self.texture.valid[:, :, DIM_AREA] |= covered
+            data[sub[0], sub[1], cnt_ch][covered] = 1.0
+        data[sub[0], sub[1], val_ch][covered] = value
+        self.texture.valid[sub[0], sub[1], DIM_AREA] |= covered
         self.boundary[brows, bcols] = True
         self.geometries[int(record_id)] = polygon
         return self

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.geometry.bbox import BoundingBox
 from repro.geometry.primitives import Polygon
 
 
@@ -41,12 +42,22 @@ class CostModel:
     baseline path costs roughly one unit too (both are one fused
     multiply-compare inside a vectorized kernel); raster setup has a
     small per-row constant.
+
+    ``scatter`` and ``frame_sweep`` price the scatter-gather RasterJoin
+    plan, calibrated against ``benchmarks/bench_pr2_hotpaths.py``
+    timings on the simulated-GPU substrate: one bincount scatter per
+    point costs a bit more than a gather (~1.5x — the scatter builds
+    per-pixel partials for count *and* value), while a full-frame
+    allocation/scan pass (label grid, occupied-pixel scan) moves ~4x
+    less data per pixel than a 9-channel blend touch (~0.25x).
     """
 
     pixel_touch: float = 1.0
     gather: float = 1.0
     edge_test: float = 1.0
     raster_row_setup: float = 4.0
+    scatter: float = 1.5
+    frame_sweep: float = 0.25
 
 
 def _polygon_edges(polygons: Sequence[Polygon]) -> int:
@@ -55,6 +66,52 @@ def _polygon_edges(polygons: Sequence[Polygon]) -> int:
         total += len(p.shell)
         total += sum(len(h) for h in p.holes)
     return total
+
+
+def _bbox_pixel_fraction(
+    polygons: Sequence[Polygon], window: BoundingBox | None
+) -> float:
+    """Summed fraction of the frame each polygon's clipped bbox covers.
+
+    Rasterization is bbox-clipped, so the pixels a constraint canvas
+    actually sweeps are ``frac * H * W`` rather than the whole frame
+    per polygon.  Without a window (callers pricing plans in the
+    abstract) every polygon conservatively counts as a full frame —
+    the pre-clipping cost shape.
+    """
+    if window is None or window.width <= 0 or window.height <= 0:
+        return float(len(polygons))
+    total = 0.0
+    for p in polygons:
+        b = p.bounds
+        w = max(min(b.xmax, window.xmax) - max(b.xmin, window.xmin), 0.0)
+        h = max(min(b.ymax, window.ymax) - max(b.ymin, window.ymin), 0.0)
+        total += (w / window.width) * (h / window.height)
+    return total
+
+
+def _bbox_row_profile(
+    polygons: Sequence[Polygon], window: BoundingBox | None
+) -> tuple[float, float]:
+    """``(row_frac_sum, edge_rows)`` for the clipped raster row terms.
+
+    The clipped fill only sets up and scatters edges over each
+    polygon's bbox *rows*: ``row_frac_sum`` is the summed fraction of
+    frame rows swept (one full frame per polygon without a window) and
+    ``edge_rows`` is ``Σ edges_p * row_frac_p`` — the edge/row scatter
+    work, which the caller multiplies by the frame height.
+    """
+    if window is None or window.height <= 0:
+        return float(len(polygons)), float(_polygon_edges(polygons))
+    row_sum = 0.0
+    edge_rows = 0.0
+    for p in polygons:
+        b = p.bounds
+        h = max(min(b.ymax, window.ymax) - max(b.ymin, window.ymin), 0.0)
+        frac = h / window.height
+        row_sum += frac
+        edge_rows += _polygon_edges([p]) * frac
+    return row_sum, edge_rows
 
 
 def _validate_workload(n_points: int, polygons: Sequence[Polygon]) -> None:
@@ -82,20 +139,29 @@ def selection_plans(
     polygons: Sequence[Polygon],
     resolution: tuple[int, int],
     model: CostModel = CostModel(),
+    window: BoundingBox | None = None,
 ) -> list[PlanEstimate]:
-    """Candidate plans for selecting points under polygon constraints."""
+    """Candidate plans for selecting points under polygon constraints.
+
+    *window* (the query's world window, when the caller knows it) makes
+    the raster costs bbox-aware: constraint rasterization is clipped to
+    each polygon's pixel bounding box, so small constraints no longer
+    price as full-frame sweeps.
+    """
     _validate_workload(n_points, polygons)
     height, width = resolution
-    n_polys = len(polygons)
     edges = _polygon_edges(polygons)
+    raster_px = _bbox_pixel_fraction(polygons, window) * height * width
+    row_frac, edge_rows = _bbox_row_profile(polygons, window)
 
-    # Plan A — canvas algebra: rasterize each constraint once
-    # (edge-to-row scatter + parity cumsum over the frame), then one
-    # gather per point, independent of polygon count/complexity.
+    # Plan A — canvas algebra: rasterize each constraint once into its
+    # clipped bbox (edge-to-row scatter + parity cumsum over the bbox
+    # rows only), then one gather per point, independent of polygon
+    # count/complexity.
     raster_cost = (
-        n_polys * height * model.raster_row_setup
-        + edges * height * 0.01 * model.pixel_touch  # edge/row scatter
-        + n_polys * height * width * model.pixel_touch
+        row_frac * height * model.raster_row_setup
+        + edge_rows * height * 0.01 * model.pixel_touch  # edge/row scatter
+        + raster_px * model.pixel_touch
     )
     blended_cost = raster_cost + n_points * model.gather
     plans = [
@@ -128,9 +194,10 @@ def choose_selection_plan(
     polygons: Sequence[Polygon],
     resolution: tuple[int, int],
     model: CostModel = CostModel(),
+    window: BoundingBox | None = None,
 ) -> PlanEstimate:
     """The cheapest selection plan under the cost model."""
-    return selection_plans(n_points, polygons, resolution, model)[0]
+    return selection_plans(n_points, polygons, resolution, model, window)[0]
 
 
 def aggregation_plans(
@@ -138,26 +205,45 @@ def aggregation_plans(
     polygons: Sequence[Polygon],
     resolution: tuple[int, int],
     model: CostModel = CostModel(),
+    window: BoundingBox | None = None,
 ) -> list[PlanEstimate]:
-    """Candidate plans for group-by-over-join aggregation."""
+    """Candidate plans for group-by-over-join aggregation.
+
+    Costs track the scatter-gather RasterJoin execution: one bincount
+    scatter over the points, two cheap full-frame sweeps (label grid +
+    occupied-pixel scan), per-polygon work clipped to the polygon's
+    pixel bbox, and one gather per occupied pixel — instead of the
+    pre-rewrite per-polygon full-frame blend.
+    """
     _validate_workload(n_points, polygons)
     height, width = resolution
     n_polys = len(polygons)
-    frame = height * width * model.pixel_touch
+    frame = height * width
+    bbox_px = _bbox_pixel_fraction(polygons, window) * frame
 
-    # Join-then-aggregate: per polygon, gather every point then reduce.
-    join_then_agg = n_polys * (frame + n_points * model.gather)
-    # RasterJoin: one scatter pass over points, then per-polygon work
-    # bounded by the frame (mask + reduction over pixels).
-    rasterjoin = n_points * model.gather + n_polys * 2 * frame
+    # Join-then-aggregate: per polygon, rasterize the (bbox-clipped)
+    # constraint canvas and gather every point, then reduce.
+    join_then_agg = (
+        bbox_px * model.pixel_touch
+        + n_polys * n_points * model.gather
+    )
+    # RasterJoin (scatter-gather): scatter all points once, sweep the
+    # label grid + occupied pixels, fill each polygon's clipped bbox,
+    # gather the point-covered pixels.
+    rasterjoin = (
+        n_points * model.scatter
+        + 2 * frame * model.frame_sweep * model.pixel_touch
+        + bbox_px * model.pixel_touch
+        + min(n_points, frame) * model.gather
+    )
 
     plans = [
         PlanEstimate(
             name="rasterjoin",
             cost=rasterjoin,
             description=(
-                "B*[+](D*[γc](M[Mp](B[⊙](B*[+](CP), CY)))) — merge points "
-                "first, per-polygon cost bounded by texture size"
+                "B*[+](D*[γc](M[Mp](B[⊙](B*[+](CP), CY)))) — scatter points "
+                "once, label-grid join, per-polygon cost bounded by its bbox"
             ),
         ),
         PlanEstimate(
@@ -177,9 +263,10 @@ def choose_aggregation_plan(
     polygons: Sequence[Polygon],
     resolution: tuple[int, int],
     model: CostModel = CostModel(),
+    window: BoundingBox | None = None,
 ) -> PlanEstimate:
     """The cheapest aggregation plan under the cost model."""
-    return aggregation_plans(n_points, polygons, resolution, model)[0]
+    return aggregation_plans(n_points, polygons, resolution, model, window)[0]
 
 
 def explain(plans: Sequence[PlanEstimate]) -> str:

@@ -12,32 +12,148 @@ The advantage over the join-then-aggregate plan of Section 4.3: the
 blend's left side shrinks from n point canvases to one accumulator, so
 per-polygon work is bounded by the texture size instead of the point
 count — the trade the optimizer ablation (A3/E15) measures.
+
+Execution strategy (scatter-gather)
+-----------------------------------
+The expression above is realized without materializing any dense
+canvas:
+
+1. **Scatter** — all points merge into sparse per-pixel partial
+   aggregates (count and value sums) with one ``np.bincount`` pass,
+   the software analogue of GPU additive blending (``B*[+](CP)``).
+2. **Label** — each polygon runs one bbox-clipped parity fill and
+   claims its covered cells in a shared label grid; cells covered by
+   more than one polygon go to a small per-pixel overflow list, so
+   overlapping constraints each still see the full pixel.
+3. **Gather** — per polygon, the partial aggregates of its covered
+   *occupied* pixels reduce to the group totals (``M[Mp]`` + the
+   ``D*[γc]``/``B*[+]`` tail collapsed into one masked reduction).
+
+Total cost is ``O(H*W + N + Σ polygon-bbox-area)`` instead of the
+per-polygon full-frame ``O(P * H * W)`` of the literal plan, with
+bit-identical results at any resolution (the reductions visit the same
+pixels in the same order).  :func:`raster_join_aggregate_legacy` keeps
+the literal per-polygon plan as the equivalence/benchmark reference.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.primitives import Polygon
 from repro.gpu.device import DEFAULT_DEVICE, Device
+from repro.gpu.rasterizer import polygon_coverage
 from repro.core import algebra
 from repro.core.blendfuncs import PIP_MERGE
-from repro.core.canvas import Canvas, Resolution
+from repro.core.canvas import (
+    Canvas,
+    Resolution,
+    _resolve_resolution,
+    world_points_to_cells,
+)
 from repro.core.masks import mask_point_in_any_polygon
 from repro.core.objectinfo import (
-    DIM_AREA,
     DIM_POINT,
     FIELD_COUNT,
-    FIELD_ID,
     FIELD_VALUE,
     channel,
 )
 from repro.core.queries import AggregateResult, default_window
 
 
+# ----------------------------------------------------------------------
+# Constraint coverage (the sparse stand-in for a dense polygon canvas)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PolygonCoverage:
+    """Sparse covered-cell footprint of one constraint polygon.
+
+    The scatter-gather plan only needs to know *which* cells a polygon
+    covers (even-odd interior plus the conservative boundary ribbon),
+    so this is the cacheable equivalent of a dense constraint canvas at
+    a fraction of its memory: sorted flat pixel indices instead of an
+    ``(H, W, 9)`` texture.  Treated as immutable; the engine's
+    :class:`~repro.engine.cache.CanvasCache` shares instances across
+    repeated rasterjoin executions.
+    """
+
+    flat: np.ndarray  #: sorted int64 flat indices ``row * width + col``
+    height: int
+    width: int
+
+    @property
+    def cache_nbytes(self) -> int:
+        """Payload size for the canvas cache's byte budget."""
+        return int(self.flat.nbytes)
+
+
+#: Provider seam: maps ``(polygon, record_id)`` to its coverage.  The
+#: engine passes a memoized builder backed by its canvas cache, so
+#: repeated rasterjoin runs skip rasterization (and report cache hits
+#: in ``engine.explain()``); ``None`` rasterizes fresh per call.
+CoverageProvider = Callable[[Polygon, int], PolygonCoverage]
+
+
+def polygon_coverage_cells(
+    polygon: Polygon,
+    window: BoundingBox,
+    resolution: Resolution,
+    device: Device = DEFAULT_DEVICE,
+) -> PolygonCoverage:
+    """Rasterize one polygon's covered cells inside its clipped bbox.
+
+    Uses the same world-to-pixel transform and coverage kernel as
+    :meth:`Canvas.draw_polygon`, so the cell set matches a dense
+    constraint canvas exactly — without allocating one.
+    """
+    height, width = _resolve_resolution(window, resolution)
+    dx = window.width / width
+    dy = window.height / height
+    rings = []
+    for ring in (polygon.shell, *polygon.holes):
+        arr = ring.vertex_array()
+        px = (arr[:, 0] - window.xmin) / dx
+        py = (arr[:, 1] - window.ymin) / dy
+        rings.append(np.stack([px, py], axis=1))
+    r0, c0, covered, _, _ = polygon_coverage(rings, height, width, device=device)
+    rr, cc = np.nonzero(covered)
+    flat = (rr.astype(np.int64) + r0) * width + (cc.astype(np.int64) + c0)
+    return PolygonCoverage(flat=flat, height=height, width=width)
+
+
+def _validated_ids(
+    polygons: Sequence[Polygon], polygon_ids: Sequence[int] | None
+) -> list[int]:
+    """Group ids for the polygon list, validated.
+
+    Raises a clear ``ValueError`` on a length mismatch or duplicate
+    ids — a duplicate would silently merge two polygons into one group.
+    """
+    if polygon_ids is None:
+        return list(range(len(polygons)))
+    ids = [int(i) for i in polygon_ids]
+    if len(ids) != len(polygons):
+        raise ValueError(
+            f"polygon_ids has {len(ids)} entries for {len(polygons)} "
+            "polygons; they must pair one-to-one"
+        )
+    if len(set(ids)) != len(ids):
+        seen: set[int] = set()
+        dupes = sorted({i for i in ids if i in seen or seen.add(i)})
+        raise ValueError(
+            f"duplicate polygon_ids {dupes}: each polygon needs a "
+            "distinct group id (duplicates would silently merge groups)"
+        )
+    return ids
+
+
+# ----------------------------------------------------------------------
+# The plan
+# ----------------------------------------------------------------------
 def raster_join_aggregate(
     xs: np.ndarray,
     ys: np.ndarray,
@@ -48,6 +164,7 @@ def raster_join_aggregate(
     window: BoundingBox | None = None,
     resolution: Resolution = 1024,
     device: Device = DEFAULT_DEVICE,
+    coverage_provider: CoverageProvider | None = None,
 ) -> AggregateResult:
     """Aggregate points per polygon via the RasterJoin plan.
 
@@ -56,6 +173,12 @@ def raster_join_aggregate(
     pixel, and the texture size bounds the error (Section 5's
     "approximate result" remark).  Use
     :func:`repro.core.queries.join_aggregate` for the exact plan.
+
+    *coverage_provider*, when given, supplies each polygon's
+    :class:`PolygonCoverage` (the engine passes a canvas-cache-backed
+    builder so repeated constraints skip rasterization entirely).  The
+    provider must rasterize for the same window/resolution — a shape
+    mismatch raises ``ValueError``.
     """
     if aggregate not in ("count", "sum", "avg"):
         raise ValueError(
@@ -64,21 +187,146 @@ def raster_join_aggregate(
     xs = np.asarray(xs, dtype=np.float64)
     ys = np.asarray(ys, dtype=np.float64)
     polys = list(polygons)
-    ids = (
-        list(polygon_ids)
-        if polygon_ids is not None
-        else list(range(len(polys)))
-    )
+    ids = _validated_ids(polys, polygon_ids)
+    if window is None:
+        window = default_window(xs, ys, polys)
+    height, width = _resolve_resolution(window, resolution)
+
+    # Stage 1 — B*[+](CP): scatter all points into per-pixel partial
+    # aggregates (count and value sums), kept sparse: one bincount
+    # replaces the dense accumulator canvas.  The value-sum side is
+    # skipped entirely for count queries — it would never be read.
+    need_sums = aggregate in ("sum", "avg")
+    rows, cols, inside = world_points_to_cells(xs, ys, window, height, width)
+    flat_pts = rows[inside] * width + cols[inside]
+    n_cells = height * width
+    cnt_grid = np.bincount(flat_pts, minlength=n_cells)
+    occ = np.nonzero(cnt_grid)[0]  # sorted == row-major pixel order
+    occ_cnt = cnt_grid[occ].astype(np.float64)
+    if need_sums:
+        vals = (
+            np.asarray(values, dtype=np.float64)
+            if values is not None
+            else np.zeros(len(xs), dtype=np.float64)
+        )
+        sum_grid = np.bincount(
+            flat_pts, weights=vals[inside], minlength=n_cells
+        )
+        occ_sum = sum_grid[occ]
+    else:
+        occ_sum = None
+
+    # Stage 2 — CY as a shared label grid: one bbox-clipped fill per
+    # polygon claims its cells; overlap cells spill to a per-pixel
+    # overflow list so every covering polygon still sees them.
+    if coverage_provider is None:
+        def coverage_provider(poly: Polygon, pid: int) -> PolygonCoverage:
+            return polygon_coverage_cells(poly, window, resolution, device)
+
+    label = np.full(n_cells, -1, dtype=np.int64)
+    over_flat: list[np.ndarray] = []
+    over_label: list[np.ndarray] = []
+    for j, (poly, pid) in enumerate(zip(polys, ids)):
+        coverage = coverage_provider(poly, pid)
+        if (coverage.height, coverage.width) != (height, width):
+            raise ValueError(
+                "coverage provider rasterized for "
+                f"{coverage.height}x{coverage.width}, expected "
+                f"{height}x{width}"
+            )
+        cells = coverage.flat
+        taken = label[cells] >= 0
+        label[cells[~taken]] = j
+        clashes = cells[taken]
+        if len(clashes):
+            over_flat.append(clashes)
+            over_label.append(np.full(len(clashes), j, dtype=np.int64))
+
+    # Stages 3-4 — M[Mp] + D*[γc] + B*[+] collapsed into one gather:
+    # pair every point-occupied pixel with each covering polygon, then
+    # reduce the partial aggregates per polygon.  Pairs are kept in
+    # row-major pixel order so each reduction sums the exact pixel
+    # sequence the per-polygon masked reduction would.
+    occ_label = label[occ]
+    primary = occ_label >= 0
+    pair_pix = [np.nonzero(primary)[0]]
+    pair_label = [occ_label[primary]]
+    if over_flat:
+        of = np.concatenate(over_flat)
+        ol = np.concatenate(over_label)
+        pos = np.searchsorted(occ, of)
+        pos_ok = pos < len(occ)
+        hit = np.zeros(len(of), dtype=bool)
+        hit[pos_ok] = occ[pos[pos_ok]] == of[pos_ok]
+        pair_pix.append(pos[hit])
+        pair_label.append(ol[hit])
+    pix = np.concatenate(pair_pix)
+    lab = np.concatenate(pair_label)
+
+    counts = np.zeros(len(polys), dtype=np.float64)
+    sums = np.zeros(len(polys), dtype=np.float64)
+    if len(pix):
+        order = np.lexsort((pix, lab))
+        pix, lab = pix[order], lab[order]
+        seg_labels, seg_starts = np.unique(lab, return_index=True)
+        seg_ends = np.append(seg_starts[1:], len(lab))
+        for seg_label, start, end in zip(seg_labels, seg_starts, seg_ends):
+            counts[seg_label] = occ_cnt[pix[start:end]].sum()
+            if need_sums:
+                sums[seg_label] = occ_sum[pix[start:end]].sum()
+
+    ids_arr = np.asarray(ids, dtype=np.int64)
+    order = np.argsort(ids_arr)  # ids are unique, so this is total
+    groups = ids_arr[order]
+    if aggregate == "count":
+        out_values = counts[order]
+    elif aggregate == "sum":
+        out_values = sums[order]
+    else:
+        with np.errstate(invalid="ignore", divide="ignore"):
+            avg = np.where(counts > 0, sums / np.maximum(counts, 1.0), 0.0)
+        out_values = avg[order]
+    return AggregateResult(groups=groups, values=out_values, aggregate=aggregate)
+
+
+# ----------------------------------------------------------------------
+# Reference implementation (the literal per-polygon plan)
+# ----------------------------------------------------------------------
+def raster_join_aggregate_legacy(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    polygons: Sequence[Polygon],
+    values: np.ndarray | None = None,
+    aggregate: str = "count",
+    polygon_ids: Sequence[int] | None = None,
+    window: BoundingBox | None = None,
+    resolution: Resolution = 1024,
+    device: Device = DEFAULT_DEVICE,
+) -> AggregateResult:
+    """The literal Figure 8(c) plan: one dense blend+mask per polygon.
+
+    ``O(P * H * W)`` — every polygon pays a full-frame blend, mask and
+    reduction over the dense accumulator canvas.  Retained as the
+    bit-exact reference for the scatter-gather implementation
+    (equivalence tests, ``bench_pr2_hotpaths``); production callers use
+    :func:`raster_join_aggregate`.
+    """
+    if aggregate not in ("count", "sum", "avg"):
+        raise ValueError(
+            "raster_join_aggregate supports count/sum/avg aggregates"
+        )
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    polys = list(polygons)
+    ids = _validated_ids(polys, polygon_ids)
     if window is None:
         window = default_window(xs, ys, polys)
 
-    # Stage 1 — B*[+](CP): all points merge into one canvas of partial
-    # aggregates (per-pixel count and value sums).
     points_canvas = Canvas.from_points(
         xs, ys, window, resolution, values=values, device=device
     )
 
-    groups = np.asarray(sorted(set(int(i) for i in ids)), dtype=np.int64)
+    groups = np.asarray(sorted(set(ids)), dtype=np.int64)
     max_id = int(groups.max()) if len(groups) else 0
     counts = np.zeros(max_id + 1, dtype=np.float64)
     sums = np.zeros(max_id + 1, dtype=np.float64)
@@ -86,10 +334,6 @@ def raster_join_aggregate(
     cnt_ch = channel(DIM_POINT, FIELD_COUNT)
     val_ch = channel(DIM_POINT, FIELD_VALUE)
 
-    # Stages 2-4 per polygon canvas in CY: blend ⊙, mask Mp, then
-    # D*[γc] + B*[+] — realized as a masked reduction over the partial
-    # aggregates (each covered pixel is one dissected canvas; γc sends
-    # it to slot (polygon_id, 0); the + blend sums them).
     for poly, pid in zip(polys, ids):
         constraint = Canvas.from_polygon(
             poly, window, resolution, record_id=pid, device=device

@@ -93,9 +93,15 @@ class CacheStats:
 def estimate_canvas_bytes(value) -> int:
     """Array payload of a dense canvas (texture data + validity + flags).
 
-    Non-canvas values fall back to 0 — they still count toward the
-    entry bound, just not the byte budget.
+    Values that declare an explicit ``cache_nbytes`` (e.g. the sparse
+    :class:`~repro.core.rasterjoin.PolygonCoverage` footprints the
+    rasterjoin plan caches) report that; other non-canvas values fall
+    back to 0 — they still count toward the entry bound, just not the
+    byte budget.
     """
+    explicit = getattr(value, "cache_nbytes", None)
+    if explicit is not None:
+        return int(explicit)
     total = 0
     texture = getattr(value, "texture", None)
     if texture is not None:

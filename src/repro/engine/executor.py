@@ -299,6 +299,36 @@ class QueryEngine:
             ),
         )
 
+    def rasterjoin_coverage(
+        self,
+        polygon: Polygon,
+        window: BoundingBox,
+        resolution: Resolution,
+        device: Device = DEFAULT_DEVICE,
+    ):
+        """Clipped coverage footprint of one rasterjoin constraint, memoized.
+
+        This is the canvas-provider seam of the rasterjoin plan: the
+        scatter-gather execution only consumes each constraint's
+        covered-cell set, so the cache stores that sparse footprint
+        (a few KB) instead of an 80 MB dense canvas.  The key omits the
+        record id — the footprint is id-independent, so re-running the
+        join with a different group labelling still hits.
+        """
+        from repro.core.rasterjoin import polygon_coverage_cells
+
+        key = (
+            "rasterjoin-coverage",
+            geometry_digest(polygon),
+            tuple(window),
+            _resolve_resolution(window, resolution),
+            device,
+        )
+        return self.cache.get_or_build(
+            key,
+            lambda: polygon_coverage_cells(polygon, window, resolution, device),
+        )
+
     # ------------------------------------------------------------------
     # Selection
     # ------------------------------------------------------------------
@@ -332,7 +362,7 @@ class QueryEngine:
         choice = self.planner.plan_selection(
             len(xs), polys, resolution_hw, exact=exact,
             prebuilt_canvas=constraint_canvas is not None,
-            force=force_plan,
+            force=force_plan, window=window,
         )
         t1 = time.perf_counter()
         before_hits, before_misses = self.cache.thread_counters()
@@ -508,11 +538,12 @@ class QueryEngine:
         xs = np.asarray(xs, dtype=np.float64)
         ys = np.asarray(ys, dtype=np.float64)
         polys = list(polygons)
-        ids = (
-            list(polygon_ids)
-            if polygon_ids is not None
-            else list(range(len(polys)))
-        )
+        # Validate ids up front so the outcome cannot depend on which
+        # physical plan the cost model picks (rasterjoin would reject
+        # duplicates, join-then-aggregate would silently merge groups).
+        from repro.core.rasterjoin import _validated_ids
+
+        ids = _validated_ids(polys, polygon_ids)
         resolution_hw = _resolve_resolution(window, resolution)
 
         if not polys or len(xs) == 0:
@@ -531,7 +562,7 @@ class QueryEngine:
         t0 = time.perf_counter()
         choice = self.planner.plan_aggregation(
             len(xs), polys, resolution_hw, exact=exact, aggregate=aggregate,
-            force=force_plan,
+            force=force_plan, window=window,
         )
         t1 = time.perf_counter()
         before_hits, before_misses = self.cache.thread_counters()
@@ -544,11 +575,15 @@ class QueryEngine:
                 xs, ys, polys, values=values, aggregate=aggregate,
                 polygon_ids=ids, window=window, resolution=resolution,
                 device=device,
+                coverage_provider=lambda poly, pid: self.rasterjoin_coverage(
+                    poly, window, resolution, device
+                ),
             )
             groups, out_values = result.groups, result.values
             tree_text = (
                 "B*[+](D*[γc](M[Mp](B[⊙](B*[+](CP), CY)))) — "
-                f"RasterJoin over {len(polys)} polygons"
+                f"scatter-gather RasterJoin over {len(polys)} polygons "
+                "(constraint coverage served by the canvas cache)"
             )
         else:
             groups, out_values, tree_text = self._run_join_then_aggregate(

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.geometry.bbox import BoundingBox
 from repro.geometry.primitives import Polygon
 from repro.core import optimizer
 from repro.core.optimizer import CostModel, PlanEstimate
@@ -85,16 +86,20 @@ class Planner:
         exact: bool = True,
         prebuilt_canvas: bool = False,
         force: str | None = None,
+        window: BoundingBox | None = None,
     ) -> PlanChoice:
         """Choose how to select *n_points* under polygon constraints.
 
         *force* names a physical plan to run regardless of cost (the
         EXPLAIN-style user override); it still must be a priced
-        candidate.
+        candidate.  *window*, when known, makes the raster costs
+        bbox-aware (clipped rasterization prices small constraints
+        below a full-frame sweep).
         """
         candidates = tuple(
             optimizer.selection_plans(
-                n_points, polygons, resolution, self.cost_model
+                n_points, polygons, resolution, self.cost_model,
+                window=window,
             )
         )
         if force is not None:
@@ -138,11 +143,13 @@ class Planner:
         exact: bool = True,
         aggregate: str = "count",
         force: str | None = None,
+        window: BoundingBox | None = None,
     ) -> PlanChoice:
         """Choose how to aggregate points per polygon group."""
         candidates = tuple(
             optimizer.aggregation_plans(
-                n_points, polygons, resolution, self.cost_model
+                n_points, polygons, resolution, self.cost_model,
+                window=window,
             )
         )
         if force is not None:

@@ -19,6 +19,9 @@ import math
 
 import numpy as np
 
+from repro.gpu.device import DEFAULT_DEVICE, Device
+from repro.gpu.scanline import parity_fill
+
 
 def points_to_cells(
     xs: np.ndarray,
@@ -119,12 +122,16 @@ def rasterize_segments(
     segments: np.ndarray,
     height: int,
     width: int,
+    bbox: tuple[int, int, int, int] | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Supercover-rasterize many segments.
 
     *segments* is an ``(n, 4)`` array of ``(x0, y0, x1, y1)`` rows in
     pixel space.  Returns deduplicated ``(rows, cols)`` covering every
-    touched cell.
+    touched cell.  *bbox*, when given, is a ``(r0, r1, c0, c1)``
+    half-open pixel window: cells outside it are dropped (the returned
+    coordinates stay global), so callers rasterizing into a clipped
+    sub-texture never receive out-of-window cells.
     """
     segments = np.asarray(segments, dtype=np.float64)
     if segments.size == 0:
@@ -138,6 +145,10 @@ def rasterize_segments(
         all_cols.append(c)
     rows = np.concatenate(all_rows)
     cols = np.concatenate(all_cols)
+    if bbox is not None and len(rows):
+        r0, r1, c0, c1 = bbox
+        keep = (rows >= r0) & (rows < r1) & (cols >= c0) & (cols < c1)
+        rows, cols = rows[keep], cols[keep]
     if len(rows) == 0:
         return rows, cols
     flat = np.unique(rows * width + cols)
@@ -145,13 +156,69 @@ def rasterize_segments(
 
 
 def ring_boundary_cells(
-    ring: np.ndarray, height: int, width: int
+    ring: np.ndarray,
+    height: int,
+    width: int,
+    bbox: tuple[int, int, int, int] | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Conservative boundary cells of a closed ring (pixel-space vertices)."""
     ring = np.asarray(ring, dtype=np.float64)
     closed = np.concatenate([ring, ring[:1]])
     segments = np.concatenate([closed[:-1], closed[1:]], axis=1)
-    return rasterize_segments(segments, height, width)
+    return rasterize_segments(segments, height, width, bbox=bbox)
+
+
+# ----------------------------------------------------------------------
+# Bbox-clipped polygon coverage (interior + conservative boundary)
+# ----------------------------------------------------------------------
+def rings_pixel_bbox(
+    rings: "list[np.ndarray]", height: int, width: int
+) -> tuple[int, int, int, int]:
+    """Grid-clipped pixel bounding box ``(r0, r1, c0, c1)`` of a ring list.
+
+    The half-open window contains every cell the rings can touch —
+    interior fill *and* conservative (supercover) boundary — because
+    both land in cells between ``floor(min)`` and ``floor(max)`` of the
+    ring coordinates.  May be empty when the geometry lies off-grid.
+    """
+    xs = np.concatenate([np.asarray(r, dtype=np.float64)[:, 0] for r in rings])
+    ys = np.concatenate([np.asarray(r, dtype=np.float64)[:, 1] for r in rings])
+    c0 = min(max(int(math.floor(float(xs.min()))), 0), width)
+    c1 = min(max(int(math.floor(float(xs.max()))) + 1, 0), width)
+    r0 = min(max(int(math.floor(float(ys.min()))), 0), height)
+    r1 = min(max(int(math.floor(float(ys.max()))) + 1, 0), height)
+    return r0, r1, c0, c1
+
+
+def polygon_coverage(
+    rings: "list[np.ndarray]",
+    height: int,
+    width: int,
+    device: Device = DEFAULT_DEVICE,
+) -> tuple[int, int, np.ndarray, np.ndarray, np.ndarray]:
+    """Covered cells of a polygon, computed inside its clipped pixel bbox.
+
+    *rings* are pixel-space vertex arrays (shell first, then holes).
+    Returns ``(r0, c0, covered, brows, bcols)``: the bbox origin, a
+    bbox-local boolean mask of covered cells (even-odd interior plus
+    the conservative boundary ribbon), and the *global* boundary cell
+    coordinates.  Work scales with the bbox area, not the grid area,
+    and the mask is bit-identical to the corresponding slice of a
+    full-frame fill.
+    """
+    bbox = rings_pixel_bbox(rings, height, width)
+    r0, r1, c0, c1 = bbox
+    covered = parity_fill(rings, height, width, device=device, clip=bbox)
+    brows_list: list[np.ndarray] = []
+    bcols_list: list[np.ndarray] = []
+    for ring in rings:
+        br, bc = ring_boundary_cells(ring, height, width, bbox=bbox)
+        brows_list.append(br)
+        bcols_list.append(bc)
+    brows = np.concatenate(brows_list) if brows_list else np.empty(0, np.int64)
+    bcols = np.concatenate(bcols_list) if bcols_list else np.empty(0, np.int64)
+    covered[brows - r0, bcols - c0] = True
+    return r0, c0, covered, brows, bcols
 
 
 # ----------------------------------------------------------------------

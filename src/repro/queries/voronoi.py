@@ -51,6 +51,8 @@ def voronoi(
             out_valid[..., DIM_AREA] = True
             return out_data, out_valid
 
-        canvas = algebra.value_transform(canvas, f)
+        # The loop owns its accumulator canvas, so each site's
+        # full-screen pass runs in place instead of copying the frame.
+        canvas = algebra.value_transform(canvas, f, out=canvas)
         assert isinstance(canvas, Canvas)
     return canvas

@@ -1,0 +1,319 @@
+"""PR 2 exact-equivalence suites: the rewritten hot paths must agree
+bit-for-bit with the strategies they replaced.
+
+- bbox-clipped rasterization vs a full-grid fill of the same polygon;
+- scatter-gather RasterJoin vs the legacy per-polygon plan;
+- in-place (``out=``) algebra operators vs their copying defaults.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.polygons import hand_drawn_polygon
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import Polygon
+from repro.gpu.rasterizer import ring_boundary_cells
+from repro.gpu.scanline import parity_fill
+from repro.core import algebra
+from repro.core.blendfuncs import PIP_MERGE
+from repro.core.canvas import Canvas
+from repro.core.canvas_set import CanvasSet
+from repro.core.masks import NotNull, mask_point_in_any_polygon
+from repro.core.objectinfo import DIM_POINT
+from repro.core.rasterjoin import (
+    PolygonCoverage,
+    polygon_coverage_cells,
+    raster_join_aggregate,
+    raster_join_aggregate_legacy,
+)
+
+WINDOW = BoundingBox(0.0, 0.0, 100.0, 100.0)
+
+
+def _polys():
+    """Overlapping districts, one off-window spill, one with a hole."""
+    polys = [
+        hand_drawn_polygon(n_vertices=14, irregularity=0.35, seed=i,
+                           center=(30 + 8 * i, 45 + 4 * (i % 3)), radius=24)
+        for i in range(5)
+    ]
+    polys.append(Polygon([(-30, -30), (55, -30), (55, 55), (-30, 55)]))
+    polys.append(Polygon(
+        [(10, 10), (90, 10), (90, 90), (10, 90)],
+        holes=[[(30, 30), (60, 30), (60, 60), (30, 60)]],
+    ))
+    return polys
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(41)
+    n = 20_000
+    return (
+        rng.uniform(0, 100, n),
+        rng.uniform(0, 100, n),
+        rng.uniform(-3.0, 7.0, n),
+    )
+
+
+class TestClippedRasterization:
+    """``draw_polygon`` fills only the clipped bbox but must produce the
+    exact full-frame canvas."""
+
+    @pytest.mark.parametrize("resolution", [97, 256])
+    @pytest.mark.parametrize("poly_index", [0, 5, 6])
+    def test_draw_polygon_matches_fullframe_fill(self, resolution, poly_index):
+        poly = _polys()[poly_index]
+        canvas = Canvas.from_polygon(poly, WINDOW, resolution, record_id=3)
+
+        # Full-grid reference: unclipped fill + boundary, frame-wide writes.
+        ref = Canvas(WINDOW, resolution)
+        rings = [ref._ring_pixels(poly.shell)]
+        rings.extend(ref._ring_pixels(h) for h in poly.holes)
+        interior = parity_fill(rings, ref.height, ref.width)
+        brows, bcols = [], []
+        for ring_px in rings:
+            br, bc = ring_boundary_cells(ring_px, ref.height, ref.width)
+            brows.append(br)
+            bcols.append(bc)
+        covered = interior.copy()
+        covered[np.concatenate(brows), np.concatenate(bcols)] = True
+
+        assert np.array_equal(canvas.valid(2), covered)
+        assert np.array_equal(
+            canvas.boundary[np.concatenate(brows), np.concatenate(bcols)],
+            np.ones(len(np.concatenate(brows)), dtype=bool),
+        )
+        assert canvas.boundary.sum() == len(np.concatenate(brows))
+
+    def test_parity_fill_clip_is_a_slice_of_the_full_fill(self):
+        poly = _polys()[1]
+        ref = Canvas(WINDOW, 128)
+        rings = [ref._ring_pixels(poly.shell)]
+        full = parity_fill(rings, 128, 128)
+        for clip in [(0, 128, 0, 128), (10, 90, 20, 70), (0, 5, 0, 128),
+                     (60, 61, 60, 61), (120, 140, -10, 40)]:
+            r0 = max(clip[0], 0)
+            r1 = min(clip[1], 128)
+            c0 = max(clip[2], 0)
+            c1 = min(clip[3], 128)
+            clipped = parity_fill(rings, 128, 128, clip=clip)
+            assert clipped.shape == (max(r1 - r0, 0), max(c1 - c0, 0))
+            assert np.array_equal(clipped, full[r0:r1, c0:c1])
+
+    def test_offgrid_polygon_is_empty_but_indexed(self):
+        poly = Polygon([(200, 200), (240, 200), (240, 240)])
+        canvas = Canvas.from_polygon(poly, WINDOW, 64, record_id=9)
+        assert canvas.is_empty()
+        assert 9 in canvas.geometries
+
+    def test_coverage_cells_match_dense_constraint_canvas(self):
+        for poly in _polys():
+            coverage = polygon_coverage_cells(poly, WINDOW, 128)
+            dense = Canvas.from_polygon(poly, WINDOW, 128)
+            rows, cols = np.nonzero(dense.valid(2))
+            assert np.array_equal(coverage.flat, rows * dense.width + cols)
+            assert (coverage.height, coverage.width) == (128, 128)
+
+
+class TestScatterGatherRasterJoin:
+    @pytest.mark.parametrize("aggregate", ["count", "sum", "avg"])
+    @pytest.mark.parametrize("resolution", [97, 256])
+    def test_bit_identical_to_legacy(self, cloud, aggregate, resolution):
+        xs, ys, values = cloud
+        polys = _polys()
+        ids = [7, 3, 11, 0, 5, 2, 9]  # permuted, non-contiguous
+        new = raster_join_aggregate(
+            xs, ys, polys, values=values, aggregate=aggregate,
+            polygon_ids=ids, window=WINDOW, resolution=resolution,
+        )
+        legacy = raster_join_aggregate_legacy(
+            xs, ys, polys, values=values, aggregate=aggregate,
+            polygon_ids=ids, window=WINDOW, resolution=resolution,
+        )
+        assert np.array_equal(new.groups, legacy.groups)
+        assert np.array_equal(new.values, legacy.values)
+
+    def test_default_window_matches_legacy(self, cloud):
+        xs, ys, _ = cloud
+        polys = _polys()[:3]
+        new = raster_join_aggregate(xs, ys, polys, resolution=128)
+        legacy = raster_join_aggregate_legacy(xs, ys, polys, resolution=128)
+        assert np.array_equal(new.values, legacy.values)
+
+    def test_rectangular_resolution_matches_legacy(self, cloud):
+        xs, ys, _ = cloud
+        window = BoundingBox(0.0, 0.0, 100.0, 50.0)
+        polys = _polys()[:3]
+        new = raster_join_aggregate(
+            xs, ys, polys, window=window, resolution=(64, 256)
+        )
+        legacy = raster_join_aggregate_legacy(
+            xs, ys, polys, window=window, resolution=(64, 256)
+        )
+        assert np.array_equal(new.values, legacy.values)
+
+    def test_mismatched_ids_length_raises(self, cloud):
+        xs, ys, _ = cloud
+        with pytest.raises(ValueError, match="one-to-one"):
+            raster_join_aggregate(xs, ys, _polys()[:3], polygon_ids=[1, 2])
+
+    def test_duplicate_ids_raise(self, cloud):
+        xs, ys, _ = cloud
+        with pytest.raises(ValueError, match="duplicate polygon_ids"):
+            raster_join_aggregate(
+                xs, ys, _polys()[:3], polygon_ids=[4, 7, 4]
+            )
+
+    def test_coverage_provider_shape_mismatch_raises(self, cloud):
+        xs, ys, _ = cloud
+        bad = PolygonCoverage(
+            flat=np.empty(0, dtype=np.int64), height=32, width=32
+        )
+        with pytest.raises(ValueError, match="coverage provider"):
+            raster_join_aggregate(
+                xs, ys, _polys()[:1], window=WINDOW, resolution=128,
+                coverage_provider=lambda poly, pid: bad,
+            )
+
+    def test_coverage_provider_is_consulted_per_polygon(self, cloud):
+        xs, ys, _ = cloud
+        polys = _polys()[:3]
+        calls = []
+
+        def provider(poly, pid):
+            calls.append(pid)
+            return polygon_coverage_cells(poly, WINDOW, 128)
+
+        viaprov = raster_join_aggregate(
+            xs, ys, polys, polygon_ids=[5, 1, 3], window=WINDOW,
+            resolution=128, coverage_provider=provider,
+        )
+        plain = raster_join_aggregate(
+            xs, ys, polys, polygon_ids=[5, 1, 3], window=WINDOW,
+            resolution=128,
+        )
+        assert calls == [5, 1, 3]
+        assert np.array_equal(viaprov.values, plain.values)
+
+
+class TestInPlaceAlgebra:
+    """``out=`` operators must agree exactly with the copying defaults."""
+
+    @pytest.fixture()
+    def operands(self, cloud):
+        xs, ys, values = cloud
+        points = Canvas.from_points(
+            xs[:5000], ys[:5000], WINDOW, 128, values=values[:5000]
+        )
+        constraint = Canvas.from_polygon(_polys()[0], WINDOW, 128)
+        return points, constraint
+
+    @staticmethod
+    def _same(a: Canvas, b: Canvas) -> bool:
+        return (
+            np.array_equal(a.texture.data, b.texture.data)
+            and np.array_equal(a.texture.valid, b.texture.valid)
+            and np.array_equal(a.boundary, b.boundary)
+            and a.geometries.keys() == b.geometries.keys()
+        )
+
+    def test_blend_out_left(self, operands):
+        points, constraint = operands
+        expected = algebra.blend(points, constraint, PIP_MERGE)
+        scratch = points.copy()
+        result = algebra.blend(scratch, constraint, PIP_MERGE, out=scratch)
+        assert result is scratch
+        assert self._same(result, expected)
+
+    def test_blend_out_scratch_canvas(self, operands):
+        points, constraint = operands
+        expected = algebra.blend(points, constraint, PIP_MERGE)
+        scratch = points.blank_like()
+        result = algebra.blend(points, constraint, PIP_MERGE, out=scratch)
+        assert result is scratch
+        assert self._same(result, expected)
+        # The left operand stays untouched.
+        assert not points.texture.valid[:, :, 2].any()
+
+    def test_blend_out_right_operand_rejected(self, operands):
+        points, constraint = operands
+        with pytest.raises(ValueError, match="right blend operand"):
+            algebra.blend(points, constraint, PIP_MERGE, out=constraint)
+
+    def test_blend_out_incompatible_rejected(self, operands):
+        points, constraint = operands
+        other = Canvas(WINDOW, 64)
+        with pytest.raises(ValueError, match="window/resolution"):
+            algebra.blend(points, constraint, PIP_MERGE, out=other)
+
+    def test_mask_in_place(self, operands):
+        points, constraint = operands
+        blended = algebra.blend(points, constraint, PIP_MERGE)
+        expected = algebra.mask(blended, mask_point_in_any_polygon(1.0))
+        result = algebra.mask(
+            blended, mask_point_in_any_polygon(1.0), out=blended
+        )
+        assert result is blended
+        assert self._same(result, expected)
+
+    def test_value_transform_in_place(self, operands):
+        points, _ = operands
+
+        def bump(gx, gy, data, valid):
+            return data + gx[..., None] * 0.0 + 1.0, valid
+
+        expected = algebra.value_transform(points, bump)
+        scratch = points.copy()
+        result = algebra.value_transform(scratch, bump, out=scratch)
+        assert result is scratch
+        assert self._same(result, expected)
+
+    def test_value_transform_fresh_output_keeps_boundary_and_index(self):
+        constraint = Canvas.from_polygon(_polys()[0], WINDOW, 64, record_id=4)
+
+        def keep(gx, gy, data, valid):
+            return data, valid
+
+        out = algebra.value_transform(constraint, keep)
+        assert out is not constraint
+        assert np.array_equal(out.boundary, constraint.boundary)
+        assert 4 in out.geometries
+
+    def test_sparse_operands_reject_out(self, operands):
+        points, constraint = operands
+        sparse = CanvasSet.from_points(np.array([1.0]), np.array([2.0]))
+        with pytest.raises(ValueError, match="dense"):
+            algebra.blend(sparse, constraint, PIP_MERGE, out=constraint)
+        with pytest.raises(ValueError, match="dense"):
+            algebra.mask(sparse, NotNull(DIM_POINT), out=points)
+        with pytest.raises(ValueError, match="dense"):
+            algebra.value_transform(sparse, lambda *a: (a[2], a[3]), out=points)
+
+    def test_multiway_blend_does_not_mutate_inputs(self, operands):
+        points, constraint = operands
+        snapshot = constraint.texture.data.copy()
+        from repro.core.blendfuncs import POLY_MERGE
+
+        algebra.multiway_blend([constraint, constraint, constraint], POLY_MERGE)
+        assert np.array_equal(constraint.texture.data, snapshot)
+
+
+class TestPixelGridMemoization:
+    def test_grids_cached_and_correct(self):
+        canvas = Canvas(WINDOW, 32)
+        gx1, gy1 = canvas.pixel_center_grids()
+        gx2, gy2 = canvas.pixel_center_grids()
+        assert gx1 is gx2 and gy1 is gy2
+        xs, ys = canvas.pixel_to_world(
+            np.arange(canvas.height)[:, None].repeat(canvas.width, axis=1),
+            np.arange(canvas.width)[None, :].repeat(canvas.height, axis=0),
+        )
+        assert np.array_equal(gx1, xs)
+        assert np.array_equal(gy1, ys)
+
+    def test_copy_shares_the_cached_grids(self):
+        canvas = Canvas(WINDOW, 16)
+        gx, _ = canvas.pixel_center_grids()
+        dup = canvas.copy()
+        assert dup.pixel_center_grids()[0] is gx

@@ -121,3 +121,52 @@ class TestExplain:
     def test_empty_plan_list(self):
         """No candidates must not crash ``max()`` — report it instead."""
         assert explain([]) == "no candidate plans"
+
+
+class TestBboxAwareCosts:
+    """With a window, raster costs track clipped-bbox footprints."""
+
+    def test_small_bbox_cheapens_blended_plan(self):
+        from repro.geometry.bbox import BoundingBox
+
+        window = BoundingBox(0, 0, 1000, 1000)
+        small = _polys(4)  # radius 30 around (50, 50): ~0.4% of the frame
+        with_window = {
+            p.name: p.cost
+            for p in selection_plans(10_000, small, (512, 512), window=window)
+        }
+        without = {
+            p.name: p.cost
+            for p in selection_plans(10_000, small, (512, 512))
+        }
+        assert with_window["blended-canvas"] < without["blended-canvas"]
+        assert with_window["per-polygon-pip"] == without["per-polygon-pip"]
+
+    def test_small_bboxes_cheapen_rasterjoin(self):
+        from repro.geometry.bbox import BoundingBox
+
+        window = BoundingBox(0, 0, 1000, 1000)
+        costs = {
+            p.name: p.cost
+            for p in aggregation_plans(50_000, _polys(8), (512, 512),
+                                       window=window)
+        }
+        fallback = {
+            p.name: p.cost
+            for p in aggregation_plans(50_000, _polys(8), (512, 512))
+        }
+        assert costs["rasterjoin"] < fallback["rasterjoin"]
+        assert costs["join-then-aggregate"] < fallback["join-then-aggregate"]
+
+    def test_offwindow_polygon_contributes_nothing(self):
+        from repro.geometry.bbox import BoundingBox
+        from repro.core.optimizer import _bbox_pixel_fraction
+
+        # A window fully inside the polygon's bbox clips the fraction to 1.
+        window = BoundingBox(40, 40, 60, 60)
+        inside = _polys(1)  # bbox ~ (20..80) x (20..80)
+        assert _bbox_pixel_fraction(inside, window) == pytest.approx(1.0)
+        outside = _polys(1)
+        shifted = BoundingBox(500, 500, 510, 510)
+        assert _bbox_pixel_fraction(outside, shifted) == 0.0
+        assert _bbox_pixel_fraction(inside, None) == 1.0

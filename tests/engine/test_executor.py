@@ -78,7 +78,7 @@ class TestPlanRouting:
                                         window=window, resolution=512)
             report = engine.last_report
             expected = choose_selection_plan(
-                n, [constraint], hw, engine.cost_model
+                n, [constraint], hw, engine.cost_model, window=window
             )
             assert report.plan == expected.name
             assert report.estimated_cost == pytest.approx(expected.cost)
@@ -261,6 +261,83 @@ class TestCanvasCache:
             polygonal_select_points(xs, ys, constraint, resolution=128)
         stats = engine.cache.stats()
         assert stats.hits == 0 and stats.misses == 2
+
+
+class TestRasterJoinCoverageCache:
+    """Acceptance: the rasterjoin plan pulls constraint coverage through
+    the engine's canvas cache — repeated runs report hits in explain."""
+
+    @pytest.fixture
+    def districts(self):
+        return [
+            hand_drawn_polygon(n_vertices=12, seed=i, center=(25 + 15 * i, 50),
+                               radius=14)
+            for i in range(4)
+        ]
+
+    def _run(self, engine, xs, ys, polys, **kwargs):
+        return engine.aggregate_points(
+            xs, ys, polys, window=_window(xs, ys, *polys), resolution=256,
+            exact=False, force_plan=AGG_RASTERJOIN, **kwargs,
+        )
+
+    def test_repeated_rasterjoin_hits_cache(self, cloud, districts):
+        xs, ys = cloud
+        engine = QueryEngine()
+        first = self._run(engine, xs, ys, districts)
+        second = self._run(engine, xs, ys, districts)
+        assert first.report.cache_misses == len(districts)
+        assert first.report.cache_hits == 0
+        assert second.report.cache_hits == len(districts)
+        assert second.report.cache_misses == 0
+        assert np.array_equal(first.values, second.values)
+        assert "cache" in engine.explain()
+
+    def test_cached_coverage_is_id_independent(self, cloud, districts):
+        """Relabelling the groups must not force re-rasterization."""
+        xs, ys = cloud
+        engine = QueryEngine()
+        first = self._run(engine, xs, ys, districts)
+        relabel = self._run(engine, xs, ys, districts,
+                            polygon_ids=[9, 2, 7, 4])
+        assert relabel.report.cache_hits == len(districts)
+        by_group = dict(zip([9, 2, 7, 4], first.values))
+        relabelled = dict(zip(relabel.groups.tolist(),
+                              relabel.values.tolist()))
+        assert relabelled == {k: float(v) for k, v in by_group.items()}
+
+    def test_engine_result_matches_direct_rasterjoin(self, cloud, districts):
+        from repro.core.rasterjoin import raster_join_aggregate
+
+        xs, ys = cloud
+        engine = QueryEngine()
+        window = _window(xs, ys, *districts)
+        outcome = engine.aggregate_points(
+            xs, ys, districts, window=window, resolution=256, exact=False,
+            force_plan=AGG_RASTERJOIN,
+        )
+        direct = raster_join_aggregate(
+            xs, ys, districts, window=window, resolution=256
+        )
+        assert np.array_equal(outcome.groups, direct.groups)
+        assert np.array_equal(outcome.values, direct.values)
+
+    def test_duplicate_group_ids_rejected(self, cloud, districts):
+        xs, ys = cloud
+        engine = QueryEngine()
+        with pytest.raises(ValueError, match="duplicate"):
+            self._run(engine, xs, ys, districts, polygon_ids=[1, 1, 2, 3])
+
+    def test_duplicate_ids_rejected_regardless_of_plan(self, cloud, districts):
+        """Validation happens at the engine entry, so the outcome cannot
+        depend on which physical plan the cost model picks."""
+        xs, ys = cloud
+        engine = QueryEngine()
+        with pytest.raises(ValueError, match="duplicate"):
+            engine.aggregate_points(
+                xs, ys, districts, window=_window(xs, ys, *districts),
+                resolution=256, exact=True, polygon_ids=[1, 1, 2, 3],
+            )
 
 
 class TestExplain:

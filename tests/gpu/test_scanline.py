@@ -97,3 +97,47 @@ class TestMultiFill:
     def test_empty_polygon_list(self):
         cover = parity_fill_multi([], 8, 8)
         assert cover.sum() == 0
+
+
+class TestClippedFill:
+    """``clip=`` evaluates a pixel window yet matches the full fill."""
+
+    def test_clip_square(self):
+        full = parity_fill([SQUARE], 10, 10)
+        clipped = parity_fill([SQUARE], 10, 10, clip=(3, 7, 1, 9))
+        assert clipped.shape == (4, 8)
+        assert np.array_equal(clipped, full[3:7, 1:9])
+
+    def test_clip_with_hole(self):
+        full = parity_fill([SQUARE, HOLE], 10, 10)
+        clipped = parity_fill([SQUARE, HOLE], 10, 10, clip=(0, 10, 0, 10))
+        assert np.array_equal(clipped, full)
+
+    def test_clip_clamped_to_grid(self):
+        full = parity_fill([SQUARE], 10, 10)
+        clipped = parity_fill([SQUARE], 10, 10, clip=(-5, 99, -2, 99))
+        assert np.array_equal(clipped, full)
+
+    def test_empty_clip_window(self):
+        assert parity_fill([SQUARE], 10, 10, clip=(4, 4, 0, 10)).shape == (0, 10)
+        assert parity_fill([SQUARE], 10, 10, clip=(20, 30, 0, 10)).size == 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_polygon_any_window_is_a_slice(self, seed):
+        rng = np.random.default_rng(seed)
+        poly = hand_drawn_polygon(n_vertices=20, irregularity=0.45, seed=seed,
+                                  center=(16, 16), radius=14)
+        ring = poly.shell.vertex_array()
+        full = parity_fill([ring], 32, 32)
+        r0, c0 = rng.integers(0, 20, 2)
+        r1, c1 = r0 + rng.integers(1, 12), c0 + rng.integers(1, 12)
+        clipped = parity_fill([ring], 32, 32, clip=(r0, r1, c0, c1))
+        assert np.array_equal(clipped, full[r0:r1, c0:c1])
+
+    def test_tiled_device_matches_whole_frame(self):
+        ring = hand_drawn_polygon(n_vertices=12, seed=3, center=(10, 10),
+                                  radius=9).shell.vertex_array()
+        whole = parity_fill([ring], 24, 24, clip=(2, 20, 4, 18))
+        tiled = parity_fill([ring], 24, 24, clip=(2, 20, 4, 18),
+                            device=Device.integrated(tile_rows=3))
+        assert np.array_equal(whole, tiled)
