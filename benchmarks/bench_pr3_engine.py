@@ -1,0 +1,312 @@
+"""PR 3 engine benchmark: tree-wide copy elision, batch cache sharing,
+and the routed-query plan ablation.
+
+Three sections, each verifying result equivalence before timing:
+
+- **copy_elision** — a deep dense expression chain evaluated with the
+  legacy copying evaluator vs ownership-aware (``EvalContext``): the
+  owned chain pays zero full-texture copies, and the buffer counters
+  land in the report;
+- **batch_sharing** — a dashboard-style list of selections over the
+  same constraint set: one ``execute_batch`` on a shared engine vs the
+  unbatched baseline (a cold engine per query, i.e. no cross-query
+  cache), showing the batch rasterizing the constraints once;
+- **routed_plans** — the newly routed query kinds (distance, knn,
+  voronoi, od) timed under each forced physical plan, with the cost
+  model's auto choice recorded — the Section 7 ablation extended to
+  every frontend.
+
+Run ``python benchmarks/bench_pr3_engine.py`` for the full workload
+(writes ``BENCH_PR3.json`` at the repo root) or ``--dry-run`` for the
+tiny CI smoke version (writes ``benchmarks/out/bench_pr3_dry.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.polygons import hand_drawn_polygon
+from repro.geometry.bbox import BoundingBox
+from repro.core.blendfuncs import POLY_MERGE
+from repro.core.canvas import Canvas
+from repro.core.expressions import EvalContext, InputNode
+from repro.core.masks import FieldCompare, NotNull
+from repro.core.objectinfo import DIM_AREA, FIELD_COUNT
+from repro.engine import (
+    DISTANCE_CANVAS,
+    DISTANCE_DIRECT,
+    KNN_KDTREE,
+    KNN_PROBES,
+    OD_CANVAS,
+    OD_PIP,
+    VORONOI_ARGMIN,
+    VORONOI_ITERATED,
+    BatchQuery,
+    QueryEngine,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FULL_JSON = REPO_ROOT / "BENCH_PR3.json"
+DRY_JSON = Path(__file__).resolve().parent / "out" / "bench_pr3_dry.json"
+
+WINDOW = BoundingBox(0.0, 0.0, 100.0, 100.0)
+
+
+def _best_of(fn, rounds: int) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _scale(factor: float):
+    def f(gx, gy, data, valid):
+        return data * factor, valid.copy()
+
+    return f
+
+
+# ----------------------------------------------------------------------
+# Section 1: tree-wide copy elision
+# ----------------------------------------------------------------------
+def bench_copy_elision(resolution: int, depth: int, rounds: int = 3) -> dict:
+    """A deep owned chain: legacy copies per operator, ownership-aware
+    runs the whole tree in place on one buffer."""
+    polys = [
+        hand_drawn_polygon(n_vertices=14, irregularity=0.3, seed=70 + i,
+                           center=(30 + 8 * i, 50), radius=22)
+        for i in range(3)
+    ]
+
+    def build(leaf_owned: bool):
+        tree = InputNode(
+            Canvas.from_polygon(polys[0], WINDOW, resolution, record_id=1),
+            owned=leaf_owned,
+        )
+        for i in range(depth):
+            step = i % 3
+            if step == 0:
+                tree = tree.value_transform(_scale(1.01), name="x1.01")
+            elif step == 1:
+                tree = tree.mask(NotNull(DIM_AREA))
+            else:
+                other = InputNode(
+                    Canvas.from_polygon(
+                        polys[(i // 3) % 3], WINDOW, resolution,
+                        record_id=2 + i,
+                    ),
+                    owned=leaf_owned,
+                )
+                tree = tree.blend(other, POLY_MERGE)
+        return tree.mask(FieldCompare(DIM_AREA, FIELD_COUNT, ">=", 1.0))
+
+    t_legacy, legacy = _best_of(lambda: build(False).evaluate(), rounds)
+
+    ctx_holder = {}
+
+    def run_owned():
+        ctx = EvalContext()
+        result = build(True).evaluate(ctx)
+        ctx_holder["counters"] = ctx.take_counters()
+        return result
+
+    t_owned, owned = _best_of(run_owned, rounds)
+
+    identical = (
+        np.array_equal(legacy.texture.data, owned.texture.data)
+        and np.array_equal(legacy.texture.valid, owned.texture.valid)
+        and np.array_equal(legacy.boundary, owned.boundary)
+    )
+    counters = ctx_holder["counters"]
+    return {
+        "resolution": resolution,
+        "chain_depth": depth,
+        "legacy_s": round(t_legacy, 4),
+        "ownership_s": round(t_owned, 4),
+        "speedup": round(t_legacy / max(t_owned, 1e-9), 2),
+        "owned_full_copies": counters.full_copies,
+        "owned_inplace_ops": counters.inplace_ops,
+        "bit_identical": bool(identical),
+    }
+
+
+# ----------------------------------------------------------------------
+# Section 2: batch cache sharing
+# ----------------------------------------------------------------------
+def bench_batch_sharing(n_points: int, n_queries: int, resolution: int,
+                        rounds: int = 3) -> dict:
+    """One dashboard refresh: batched on a shared engine vs a cold
+    engine per query (the no-sharing baseline)."""
+    rng = np.random.default_rng(31)
+    xs = rng.uniform(0, 100, n_points)
+    ys = rng.uniform(0, 100, n_points)
+    districts = [
+        hand_drawn_polygon(n_vertices=14, irregularity=0.3, seed=80 + i,
+                           center=(25 + 12 * i, 50), radius=13)
+        for i in range(4)
+    ]
+    specs = [
+        BatchQuery.selection(xs, ys, districts, window=WINDOW,
+                             resolution=resolution)
+        for _ in range(n_queries)
+    ]
+
+    def sequential_cold():
+        return [
+            QueryEngine().select_points(
+                xs, ys, districts, window=WINDOW, resolution=resolution,
+                force_plan="blended-canvas",
+            )
+            for _ in range(n_queries)
+        ]
+
+    def batched():
+        engine = QueryEngine()
+        return engine.execute_batch([
+            BatchQuery.selection(xs, ys, districts, window=WINDOW,
+                                 resolution=resolution,
+                                 force_plan="blended-canvas")
+            for _ in range(n_queries)
+        ])
+
+    t_seq, seq_results = _best_of(sequential_cold, rounds)
+    t_batch, batch_outcome = _best_of(batched, rounds)
+    identical = all(
+        np.array_equal(a.ids, b.ids)
+        for a, b in zip(seq_results, batch_outcome.results)
+    )
+    return {
+        "n_points": n_points,
+        "n_queries": n_queries,
+        "resolution": resolution,
+        "sequential_cold_s": round(t_seq, 4),
+        "batched_s": round(t_batch, 4),
+        "speedup": round(t_seq / max(t_batch, 1e-9), 2),
+        "batch_cache_hits": batch_outcome.report.cache_hits,
+        "batch_cache_misses": batch_outcome.report.cache_misses,
+        "identical_results": bool(identical),
+    }
+
+
+# ----------------------------------------------------------------------
+# Section 3: routed-query plan ablation
+# ----------------------------------------------------------------------
+def bench_routed_plans(n_points: int, n_sites: int, resolution: int,
+                       rounds: int = 2) -> dict:
+    rng = np.random.default_rng(41)
+    xs = rng.uniform(0, 100, n_points)
+    ys = rng.uniform(0, 100, n_points)
+    dest_xs = rng.uniform(0, 100, n_points)
+    dest_ys = rng.uniform(0, 100, n_points)
+    sites = rng.uniform(10, 90, (n_sites, 2))
+    q1 = hand_drawn_polygon(n_vertices=12, irregularity=0.3, seed=1,
+                            center=(35, 40), radius=20)
+    q2 = hand_drawn_polygon(n_vertices=12, irregularity=0.3, seed=2,
+                            center=(65, 60), radius=20)
+    engine = QueryEngine()
+    out: dict = {}
+
+    def ablate(kind, plans, run, same):
+        rows = {}
+        results = {}
+        for plan in plans:
+            t, result = _best_of(lambda p=plan: run(p), rounds)
+            rows[plan] = round(t, 4)
+            results[plan] = result
+        auto = run(None)
+        rows["auto_choice"] = auto.report.plan
+        rows["equivalent"] = bool(same(*results.values()))
+        out[kind] = rows
+
+    ablate(
+        "distance", (DISTANCE_CANVAS, DISTANCE_DIRECT),
+        lambda plan: engine.select_distance(
+            xs, ys, (50.0, 50.0), 15.0, window=WINDOW,
+            resolution=resolution, force_plan=plan,
+        ),
+        lambda a, b: np.array_equal(a.ids, b.ids),
+    )
+    ablate(
+        "knn", (KNN_PROBES, KNN_KDTREE),
+        lambda plan: engine.knn(
+            xs, ys, (50.0, 50.0), 10, window=WINDOW,
+            resolution=resolution, force_plan=plan,
+        ),
+        lambda a, b: set(a.ids.tolist()) == set(b.ids.tolist()),
+    )
+    ablate(
+        "voronoi", (VORONOI_ITERATED, VORONOI_ARGMIN),
+        lambda plan: engine.voronoi(
+            sites, WINDOW, resolution=resolution, force_plan=plan
+        ),
+        lambda a, b: np.array_equal(a.canvas.texture.data,
+                                    b.canvas.texture.data),
+    )
+    ablate(
+        "od", (OD_CANVAS, OD_PIP),
+        lambda plan: engine.od_select(
+            xs, ys, dest_xs, dest_ys, q1, q2, window=WINDOW,
+            resolution=resolution, force_plan=plan,
+        ),
+        lambda a, b: np.array_equal(a.ids, b.ids),
+    )
+    return out
+
+
+def main(argv: list[str]) -> int:
+    dry = "--dry-run" in argv
+    if dry:
+        sizes = dict(
+            elision=dict(resolution=64, depth=6, rounds=1),
+            batch=dict(n_points=5_000, n_queries=3, resolution=128,
+                       rounds=1),
+            routed=dict(n_points=3_000, n_sites=6, resolution=64, rounds=1),
+        )
+        out_path = DRY_JSON
+    else:
+        sizes = dict(
+            elision=dict(resolution=1024, depth=12, rounds=3),
+            batch=dict(n_points=50_000, n_queries=8, resolution=1024,
+                       rounds=2),
+            routed=dict(n_points=100_000, n_sites=24, resolution=512,
+                        rounds=2),
+        )
+        out_path = FULL_JSON
+
+    print("== copy elision (deep owned chain) ==")
+    elision = bench_copy_elision(**sizes["elision"])
+    print(json.dumps(elision, indent=2))
+    print("== batch cache sharing ==")
+    batch = bench_batch_sharing(**sizes["batch"])
+    print(json.dumps(batch, indent=2))
+    print("== routed-query plan ablation ==")
+    routed = bench_routed_plans(**sizes["routed"])
+    print(json.dumps(routed, indent=2))
+
+    payload = {
+        "dry_run": dry,
+        "copy_elision": elision,
+        "batch_sharing": batch,
+        "routed_plans": routed,
+    }
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+    ok = (
+        elision["bit_identical"]
+        and elision["owned_full_copies"] == 0
+        and batch["identical_results"]
+        and all(row["equivalent"] for row in routed.values())
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -14,19 +14,28 @@ Usage::
 
 ``explain`` runs a query through the plan-driven engine and reports
 the chosen physical plan, its estimated cost against the alternatives,
-and the canvas-cache statistics.  Plans that rasterize constraints
-(``blended-canvas``, ``join-then-aggregate``, ``rasterjoin``) serve
-repeated runs from the cache; the ``per-polygon-pip`` plan — often the
-cost-based choice for small inputs — rasterizes nothing, so it
-legitimately reports zero cache traffic (force ``--plan
-blended-canvas`` to see the cache work).  Plan costs are bbox-aware:
-rasterization is clipped to each constraint's pixel bounding box, and
-the ``rasterjoin`` plan runs as a scatter-gather pass whose constraint
-coverage the engine memoizes (``--repeat 2`` shows the warm-run cache
-hits).  Library callers get the matching knobs directly: ``out=`` on
-the dense algebra operators elides per-operator texture copies, and
-``raster_join_aggregate(coverage_provider=...)`` is the seam the
-engine's cache plugs into.
+the canvas-cache statistics, and the run's buffer-traffic counters
+(full-texture copies / allocations / pool reuses / in-place ops from
+the ownership-aware expression evaluator).  Every query family routes
+through the engine, so ``--mode`` covers them all: ``select``,
+``join-aggregate``, ``distance``, ``knn``, ``voronoi`` and ``od``,
+each with (at least) two priced physical plans.  Plans that rasterize
+constraints (``blended-canvas``, ``join-then-aggregate``,
+``rasterjoin``, ``two-stage-canvas``, the geometry blends) serve
+repeated runs from the cache; kernel plans (``per-polygon-pip``,
+``direct-distance``, ``kdtree-refine``, ``per-pair-pip``) rasterize
+nothing, so they legitimately report zero cache traffic (force the
+canvas plan to see the cache work).  Plan costs are bbox-aware:
+rasterization is clipped to each constraint's pixel bounding box, the
+``join-then-aggregate`` gather is prefiltered to each polygon's
+clipped bbox, and the ``rasterjoin`` plan runs as a scatter-gather
+pass whose constraint coverage the engine memoizes (``--repeat 2``
+shows the warm-run cache hits).  Library callers get the matching
+knobs directly: ``QueryEngine.execute_batch`` plans a query list
+together (shared constraint canvases rasterize once), ``out=`` on the
+dense algebra operators elides per-operator texture copies, and
+cached canvases are frozen — mutating one raises instead of
+corrupting later hits.
 
 Geometry files may be ``.csv`` (with a ``geometry`` WKT column) or
 ``.geojson`` / ``.json`` FeatureCollections.  The query file's first
@@ -159,8 +168,33 @@ def _load_query_polygons(path: str) -> list[Polygon]:
     return polygons
 
 
+#: ``explain`` modes that read constraint polygons from ``--query``.
+_EXPLAIN_POLYGON_MODES = ("select", "join-aggregate", "od")
+
+
+def _parse_at(args: argparse.Namespace, xs, ys) -> tuple[float, float]:
+    if args.at is None:
+        return float(np.mean(xs)), float(np.mean(ys))
+    try:
+        qx, qy = (float(v) for v in args.at.split(","))
+    except ValueError as exc:
+        raise SystemExit("--at expects 'x,y'") from exc
+    return qx, qy
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
-    polygons = _load_query_polygons(args.query)
+    polygons: list[Polygon] = []
+    if args.mode in _EXPLAIN_POLYGON_MODES:
+        if args.query is None:
+            raise SystemExit(
+                f"explain --mode {args.mode} requires --query"
+            )
+        polygons = _load_query_polygons(args.query)
+        if args.mode == "od" and len(polygons) < 2:
+            raise SystemExit(
+                "explain --mode od needs two polygons in --query "
+                "(origin constraint Q1, destination constraint Q2)"
+            )
     xs, ys, _ = _load_points(args.data)
     force = None if args.plan == "auto" else args.plan
     # A fresh engine so the report and cache statistics cover exactly
@@ -171,9 +205,14 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     except ValueError as exc:
         # e.g. a plan name from the wrong query family for --mode.
         raise SystemExit(f"explain: {exc}") from exc
+    constraint = (
+        f"{len(polygons)} constraint polygon(s)"
+        if polygons
+        else "no polygon constraints"
+    )
     print(
         f"# {args.mode} query over {len(xs)} points, "
-        f"{len(polygons)} constraint polygon(s), "
+        f"{constraint}, "
         f"{max(1, args.repeat)} run(s)"
     )
     print(engine.explain())
@@ -181,20 +220,68 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _run_explain_queries(engine, args, xs, ys, polygons, force) -> None:
+    from repro.geometry.bbox import BoundingBox
+
     window = default_window(xs, ys, polygons)
     # RasterJoin is approximate by design, so forcing it implies the
     # approximate contract even without --approx.
     exact = not args.approx and force != "rasterjoin"
+    if args.mode == "distance":
+        cx, cy = _parse_at(args, xs, ys)
+        radius = args.radius
+        if radius is None:
+            radius = 0.25 * max(window.width, window.height)
+        window = window.union(
+            BoundingBox(cx - radius, cy - radius, cx + radius, cy + radius)
+        ).expand(0.01 * radius)
+    if args.mode == "od":
+        if args.dest_data is None:
+            raise SystemExit("explain --mode od requires --dest-data")
+        dest_xs, dest_ys, _ = _load_points(args.dest_data)
+        if len(dest_xs) != len(xs):
+            raise SystemExit(
+                "--dest-data must pair one destination per --data point"
+            )
+        window = default_window(
+            np.concatenate([xs, dest_xs]), np.concatenate([ys, dest_ys]),
+            polygons,
+        )
+
     for _ in range(max(1, args.repeat)):
         if args.mode == "select":
             engine.select_points(
                 xs, ys, polygons, window=window,
                 resolution=args.resolution, exact=exact, force_plan=force,
             )
-        else:
+        elif args.mode == "join-aggregate":
             engine.aggregate_points(
                 xs, ys, polygons, window=window,
                 resolution=args.resolution, exact=exact, force_plan=force,
+            )
+        elif args.mode == "distance":
+            engine.select_distance(
+                xs, ys, (cx, cy), radius, window=window,
+                resolution=args.resolution, exact=exact, force_plan=force,
+            )
+        elif args.mode == "knn":
+            if not 1 <= args.k <= len(xs):
+                raise SystemExit(
+                    f"-k must be between 1 and the {len(xs)} data points"
+                )
+            engine.knn(
+                xs, ys, _parse_at(args, xs, ys), args.k,
+                window=window, resolution=args.resolution, force_plan=force,
+            )
+        elif args.mode == "voronoi":
+            engine.voronoi(
+                np.stack([xs, ys], axis=1), window,
+                resolution=args.resolution, force_plan=force,
+            )
+        else:  # od
+            engine.od_select(
+                xs, ys, dest_xs, dest_ys, polygons[0], polygons[1],
+                window=window, resolution=args.resolution, exact=exact,
+                force_plan=force,
             )
 
 
@@ -255,19 +342,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="report the engine's physical plan choice and cache stats",
     )
     add_common(p_explain)
-    p_explain.add_argument("--query", required=True,
-                           help="constraint polygon file")
     p_explain.add_argument(
-        "--mode", choices=["select", "join-aggregate"], default="select",
+        "--query", default=None,
+        help="constraint polygon file (required for select, "
+             "join-aggregate and od; od takes Q1 and Q2 from its first "
+             "two polygons)",
+    )
+    p_explain.add_argument(
+        "--mode",
+        choices=["select", "join-aggregate", "distance", "knn", "voronoi",
+                 "od"],
+        default="select",
         help="query family to explain (default: select)",
     )
     p_explain.add_argument(
         "--plan",
         choices=["auto", "blended-canvas", "per-polygon-pip",
-                 "rasterjoin", "join-then-aggregate"],
+                 "rasterjoin", "join-then-aggregate",
+                 "circle-canvas", "direct-distance",
+                 "canvas-distance-probes", "kdtree-refine",
+                 "iterated-value-transform", "blocked-argmin",
+                 "two-stage-canvas", "per-pair-pip"],
         default="auto",
         help="override the cost-based plan choice (EXPLAIN-style); "
-             "'rasterjoin' implies approximate results",
+             "'rasterjoin' implies approximate results; the plan must "
+             "belong to the --mode family",
+    )
+    p_explain.add_argument(
+        "--at", default=None,
+        help="query point 'x,y' for distance/knn modes "
+             "(default: the data centroid)",
+    )
+    p_explain.add_argument(
+        "-k", type=int, default=5,
+        help="neighbor count for knn mode (default 5)",
+    )
+    p_explain.add_argument(
+        "--radius", type=float, default=None,
+        help="radius for distance mode (default: a quarter of the "
+             "window's longer side)",
+    )
+    p_explain.add_argument(
+        "--dest-data", default=None,
+        help="destination point file for od mode (pairs with --data "
+             "by record order)",
     )
     p_explain.add_argument(
         "--repeat", type=int, default=2,

@@ -255,6 +255,24 @@ def _resolve_dense_out(
     return target
 
 
+def copy_into(src: Canvas, out: Canvas) -> Canvas:
+    """Overwrite *out* with *src*'s full state (one full-texture copy).
+
+    The explicit form of the copy the value-semantics operators pay
+    implicitly: ownership-aware evaluators use it to seed a recycled
+    buffer from a cached operand before folding into it in place.
+    """
+    if src is out:
+        return out
+    if not src.compatible_with(out):
+        raise ValueError("copy_into requires a compatible target canvas")
+    np.copyto(out.texture.data, src.texture.data)
+    np.copyto(out.texture.valid, src.texture.valid)
+    np.copyto(out.boundary, src.boundary)
+    out.geometries = dict(src.geometries)
+    return out
+
+
 # ----------------------------------------------------------------------
 # M — Mask
 # ----------------------------------------------------------------------

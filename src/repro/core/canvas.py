@@ -110,6 +110,39 @@ def world_points_to_cells(
     return rows, cols, inside
 
 
+def clipped_pixel_bbox(
+    geometry: Geometry,
+    window: BoundingBox,
+    height: int,
+    width: int,
+    pad: int = 2,
+) -> tuple[int, int, int, int] | None:
+    """Inclusive pixel bounds ``(r0, r1, c0, c1)`` of a geometry's
+    conservative raster coverage, or ``None`` when it misses the frame.
+
+    The bounds over-cover by *pad* pixels so they contain the clipped
+    interior fill *and* the boundary ribbon of
+    :func:`repro.gpu.rasterizer.polygon_coverage` (which flags every
+    cell a ring crosses, at most one cell beyond the geometric bbox).
+    Used to prefilter per-polygon point gathers: a point outside this
+    box can never gather the polygon's coverage, so dropping it first
+    is exact.
+    """
+    bounds = geometry.bounds
+    dx = window.width / width
+    dy = window.height / height
+    c0 = int(np.floor((bounds.xmin - window.xmin) / dx)) - pad
+    c1 = int(np.floor((bounds.xmax - window.xmin) / dx)) + pad
+    r0 = int(np.floor((bounds.ymin - window.ymin) / dy)) - pad
+    r1 = int(np.floor((bounds.ymax - window.ymin) / dy)) + pad
+    if c1 < 0 or r1 < 0 or c0 > width - 1 or r0 > height - 1:
+        return None
+    return (
+        max(r0, 0), min(r1, height - 1),
+        max(c0, 0), min(c1, width - 1),
+    )
+
+
 class Canvas:
     """A discrete canvas over a world window.
 

@@ -1,4 +1,4 @@
-"""Composable algebraic expressions and plan diagrams.
+"""Composable algebraic expressions, plan diagrams, and buffer ownership.
 
 The paper visualizes query expressions as *plan diagrams* (Figures 5–8).
 This module gives the algebra an explicit expression-tree form: every
@@ -7,18 +7,200 @@ to canvases, and :func:`render_plan` prints the ASCII analogue of the
 paper's diagrams.  Because every node produces a canvas (or canvas
 collection), trees compose arbitrarily — the algebra's closure made
 syntactic.
+
+Evaluation comes in two flavours:
+
+- ``node.evaluate()`` — **legacy value semantics**: every operator
+  leaves its operands untouched, which on dense canvases means one
+  full-texture copy (or allocation) per operator.  Safe for any tree,
+  including ones whose leaves are cached/shared canvases.
+- ``node.evaluate(ctx)`` with an :class:`EvalContext` — **ownership
+  aware**: each dense leaf is tagged ``CACHED`` (immutable, the
+  evaluator may only gather/read from it) or ``OWNED`` (the evaluator
+  may mutate and recycle its buffer).  Operators thread the algebra's
+  ``out=`` seam through the tree, running in place on owned operands,
+  recycling dead intermediates through a :class:`BufferPool`, and
+  counting every full-texture copy/allocation they could not elide.
+  Results are bit-identical to the legacy evaluator; owned
+  intermediates cost *zero* full-texture copies.
+
+Ownership contract: marking a canvas ``OWNED`` (``InputNode(...,
+owned=True)``, ``UtilityNode(..., owned=True)``, or
+``ctx.mark_owned``) grants the evaluator permission to overwrite that
+buffer and hand it to later operators.  Never mark a cached, shared,
+or still-needed canvas as owned, and never reuse an owned leaf across
+two evaluations — the first one consumes it.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.gpu.blendmodes import BlendMode
+from repro.gpu.device import Device
 from repro.core import algebra
 from repro.core.algebra import AnyCanvas, PositionalGamma, ValueGamma
 from repro.core.canvas import Canvas
 from repro.core.canvas_set import CanvasSet
 from repro.core.masks import MaskPredicate
+
+#: Ownership tags (see :class:`EvalContext`).
+CACHED = "cached"
+OWNED = "owned"
+
+
+# ----------------------------------------------------------------------
+# Ownership-aware evaluation machinery
+# ----------------------------------------------------------------------
+@dataclass
+class EvalCounters:
+    """What one ownership-aware evaluation paid in buffer traffic.
+
+    Attributes
+    ----------
+    full_copies:
+        Full-texture copy passes — the price of consuming a ``CACHED``
+        dense operand with a copying operator.  Zero for trees whose
+        dense intermediates are all owned.
+    allocations:
+        Fresh full-texture allocations (no pooled buffer fit).
+    pool_reuses:
+        Dense buffers recycled from the :class:`BufferPool` instead of
+        allocated.
+    inplace_ops:
+        Operators that wrote straight into an owned operand (the elided
+        copies/allocations).
+    """
+
+    full_copies: int = 0
+    allocations: int = 0
+    pool_reuses: int = 0
+    inplace_ops: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "full_copies": self.full_copies,
+            "allocations": self.allocations,
+            "pool_reuses": self.pool_reuses,
+            "inplace_ops": self.inplace_ops,
+        }
+
+
+class BufferPool:
+    """Recycled dense-canvas buffers, keyed by (window, shape, device).
+
+    Dead intermediates released by the ownership-aware evaluator park
+    here; the next compatible acquire pops one instead of allocating a
+    fresh ``(H, W, 9)`` texture.  Contents of pooled buffers are
+    garbage — every acquirer overwrites them completely (the algebra's
+    ``out=`` contract).  The pool is deliberately tiny: it exists to
+    serve steady-state query loops, not to be a second cache.
+    """
+
+    def __init__(self, max_entries: int = 8) -> None:
+        if max_entries < 0:
+            raise ValueError("pool size must be non-negative")
+        self.max_entries = max_entries
+        self._buffers: dict[tuple, list[Canvas]] = {}
+        self._count = 0
+
+    @staticmethod
+    def _key(canvas: Canvas) -> tuple:
+        return (tuple(canvas.window), canvas.height, canvas.width,
+                canvas.device)
+
+    def acquire(self, like: Canvas) -> Canvas | None:
+        """A compatible pooled buffer, or ``None`` when none fits."""
+        stack = self._buffers.get(self._key(like))
+        if stack:
+            self._count -= 1
+            return stack.pop()
+        return None
+
+    def release(self, canvas: Canvas) -> None:
+        """Park *canvas* for reuse (dropped when the pool is full)."""
+        if self._count >= self.max_entries:
+            return
+        self._buffers.setdefault(self._key(canvas), []).append(canvas)
+        self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+
+class EvalContext:
+    """Ownership ledger + buffer pool + counters for one evaluation.
+
+    The context tracks which dense canvases the evaluation *owns* (may
+    mutate and recycle) by object identity; everything else is treated
+    as ``CACHED``.  Operator nodes consult it to decide between running
+    in place, reusing a pooled buffer, or paying the legacy copy.
+
+    A context may be reused across evaluations (the engine keeps one
+    pool per :class:`~repro.engine.executor.QueryEngine`); counters are
+    cumulative until :meth:`take_counters` snapshots and resets them.
+    """
+
+    def __init__(self, pool: BufferPool | None = None) -> None:
+        self.pool = pool if pool is not None else BufferPool()
+        self.counters = EvalCounters()
+        # The ledger maps id() -> the canvas itself.  Holding the
+        # reference is load-bearing: a bare id() set would let a dead
+        # owned canvas's address be reused by a brand-new CACHED canvas,
+        # which would then be falsely mutated in place.
+        self._owned: dict[int, Canvas] = {}
+
+    # -- ownership ledger ------------------------------------------------
+    def mark_owned(self, canvas: AnyCanvas) -> AnyCanvas:
+        """Tag *canvas* as OWNED: mutable and recyclable by operators."""
+        if isinstance(canvas, Canvas):
+            self._owned[id(canvas)] = canvas
+        return canvas
+
+    def ownership(self, value: AnyCanvas) -> str:
+        return OWNED if self.is_owned(value) else CACHED
+
+    def is_owned(self, value: AnyCanvas) -> bool:
+        return (
+            isinstance(value, Canvas)
+            and self._owned.get(id(value)) is value
+        )
+
+    # -- buffer lifecycle ------------------------------------------------
+    def acquire_like(self, src: Canvas) -> Canvas:
+        """An owned, compatible canvas whose contents may be garbage.
+
+        Pops a pooled buffer when one fits (counted as a reuse);
+        otherwise allocates a blank canvas (counted as an allocation).
+        The result is marked owned.
+        """
+        target = self.pool.acquire(src)
+        if target is not None:
+            self.counters.pool_reuses += 1
+        else:
+            self.counters.allocations += 1
+            target = src.blank_like()
+        self._owned[id(target)] = target
+        return target
+
+    def release(self, value: AnyCanvas) -> None:
+        """Return a dead owned intermediate's buffer to the pool."""
+        if self.is_owned(value):
+            del self._owned[id(value)]
+            self.pool.release(value)  # type: ignore[arg-type]
+
+    def consume(self, value: AnyCanvas, result: AnyCanvas) -> None:
+        """Release *value* unless it lives on as (part of) *result*."""
+        if value is not result:
+            self.release(value)
+
+    # -- counters --------------------------------------------------------
+    def take_counters(self) -> EvalCounters:
+        """Snapshot and reset the cumulative counters."""
+        taken = self.counters
+        self.counters = EvalCounters()
+        return taken
 
 
 class Node:
@@ -26,7 +208,8 @@ class Node:
 
     children: tuple["Node", ...] = ()
 
-    def evaluate(self) -> AnyCanvas:
+    def evaluate(self, ctx: EvalContext | None = None) -> AnyCanvas:
+        """Evaluate the tree; *ctx* enables ownership-aware execution."""
         raise NotImplementedError
 
     def label(self) -> str:
@@ -53,13 +236,22 @@ class Node:
 
 
 class InputNode(Node):
-    """A leaf holding an already-materialized canvas or canvas set."""
+    """A leaf holding an already-materialized canvas or canvas set.
 
-    def __init__(self, value: AnyCanvas, name: str = "C") -> None:
+    *owned* tags the value for ownership-aware evaluation: ``False``
+    (default) means the canvas is cached/shared and must never be
+    mutated; ``True`` hands its buffer to the evaluator.
+    """
+
+    def __init__(self, value: AnyCanvas, name: str = "C",
+                 owned: bool = False) -> None:
         self.value = value
         self.name = name
+        self.owned = owned
 
-    def evaluate(self) -> AnyCanvas:
+    def evaluate(self, ctx: EvalContext | None = None) -> AnyCanvas:
+        if ctx is not None and self.owned:
+            ctx.mark_owned(self.value)
         return self.value
 
     def label(self) -> str:
@@ -69,16 +261,28 @@ class InputNode(Node):
 
 
 class UtilityNode(Node):
-    """A leaf produced by a utility operator (Circ / Rect / HS)."""
+    """A leaf produced by a utility operator (Circ / Rect / HS).
+
+    *owned* declares whether the factory's product belongs to this
+    evaluation (a fresh rasterization) or to someone else (the engine's
+    canvas cache); cached products are never mutated in place.
+    """
 
     def __init__(self, kind: str, factory: Callable[[], Canvas],
-                 params: str = "") -> None:
+                 params: str = "", owned: bool = False) -> None:
         self.kind = kind
         self.factory = factory
         self.params = params
+        self.owned = owned
 
-    def evaluate(self) -> AnyCanvas:
-        return self.factory()
+    def evaluate(self, ctx: EvalContext | None = None) -> AnyCanvas:
+        value = self.factory()
+        if ctx is not None and self.owned and isinstance(value, Canvas):
+            # An owned factory product is a fresh rasterization this
+            # evaluation paid for — count it, unlike cached products.
+            ctx.counters.allocations += 1
+            ctx.mark_owned(value)
+        return value
 
     def label(self) -> str:
         return f"{self.kind}[{self.params}]()"
@@ -91,12 +295,28 @@ class BlendNode(Node):
         self.mode = mode
         self.children = (left, right)
 
-    def evaluate(self) -> AnyCanvas:
-        left = self.children[0].evaluate()
-        right = self.children[1].evaluate()
+    def evaluate(self, ctx: EvalContext | None = None) -> AnyCanvas:
+        left = self.children[0].evaluate(ctx)
+        right = self.children[1].evaluate(ctx)
         if not isinstance(right, Canvas):
             raise TypeError("blend right operand must be a dense canvas")
-        return algebra.blend(left, right, self.mode)
+        if ctx is None or isinstance(left, CanvasSet):
+            # Sparse x dense gathers copy what they read, so an owned
+            # right operand is dead afterwards and recycles; the legacy
+            # path keeps value semantics.
+            result = algebra.blend(left, right, self.mode)
+            if ctx is not None:
+                ctx.consume(right, result)
+            return result
+        if ctx.is_owned(left):
+            ctx.counters.inplace_ops += 1
+            result = algebra.blend(left, right, self.mode, out=left)
+        else:
+            target = ctx.acquire_like(left)
+            ctx.counters.full_copies += 1  # cached left must be copied in
+            result = algebra.blend(left, right, self.mode, out=target)
+        ctx.consume(right, result)
+        return result
 
     def label(self) -> str:
         return f"B[{self.mode.name}]"
@@ -111,14 +331,28 @@ class MultiwayBlendNode(Node):
         self.mode = mode
         self.children = tuple(children)
 
-    def evaluate(self) -> AnyCanvas:
-        values = [child.evaluate() for child in self.children]
+    def evaluate(self, ctx: EvalContext | None = None) -> AnyCanvas:
+        values = [child.evaluate(ctx) for child in self.children]
         canvases = []
         for value in values:
             if not isinstance(value, Canvas):
                 raise TypeError("multiway blend children must be dense canvases")
             canvases.append(value)
-        return algebra.multiway_blend(canvases, self.mode)
+        if ctx is None:
+            return algebra.multiway_blend(canvases, self.mode)
+        first = canvases[0]
+        if ctx.is_owned(first):
+            ctx.counters.inplace_ops += 1
+            acc = first
+        else:
+            acc = ctx.acquire_like(first)
+            ctx.counters.full_copies += 1
+            acc = algebra.copy_into(first, acc)
+        for other in canvases[1:]:
+            ctx.counters.inplace_ops += 1
+            acc = algebra.blend(acc, other, self.mode, out=acc)  # type: ignore[assignment]
+            ctx.consume(other, acc)
+        return acc
 
     def label(self) -> str:
         return f"B*[{self.mode.name}] (n={len(self.children)})"
@@ -131,8 +365,16 @@ class MaskNode(Node):
         self.predicate = predicate
         self.children = (child,)
 
-    def evaluate(self) -> AnyCanvas:
-        return algebra.mask(self.children[0].evaluate(), self.predicate)
+    def evaluate(self, ctx: EvalContext | None = None) -> AnyCanvas:
+        value = self.children[0].evaluate(ctx)
+        if ctx is None or not isinstance(value, Canvas):
+            return algebra.mask(value, self.predicate)
+        if ctx.is_owned(value):
+            ctx.counters.inplace_ops += 1
+            return algebra.mask(value, self.predicate, out=value)
+        target = ctx.acquire_like(value)
+        ctx.counters.full_copies += 1  # cached operand copied into target
+        return algebra.mask(value, self.predicate, out=target)
 
     def label(self) -> str:
         return f"M[{self.predicate.describe()}]"
@@ -149,11 +391,19 @@ class GeomTransformNode(Node):
         self.name = name
         self.children = (child,)
 
-    def evaluate(self) -> AnyCanvas:
-        value = self.children[0].evaluate()
+    def evaluate(self, ctx: EvalContext | None = None) -> AnyCanvas:
+        value = self.children[0].evaluate(ctx)
         if self.by_value:
-            return algebra.geometric_transform_by_value(value, self.gamma)
-        return algebra.geometric_transform(value, self.gamma)
+            result = algebra.geometric_transform_by_value(value, self.gamma)
+        else:
+            result = algebra.geometric_transform(value, self.gamma)
+        if ctx is not None and isinstance(value, Canvas):
+            if isinstance(result, Canvas):
+                # The transform allocated a fresh frame internally.
+                ctx.counters.allocations += 1
+                ctx.mark_owned(result)
+            ctx.consume(value, result)
+        return result
 
     def label(self) -> str:
         kind = "S3→R2" if self.by_value else "R2→R2"
@@ -168,8 +418,17 @@ class ValueTransformNode(Node):
         self.name = name
         self.children = (child,)
 
-    def evaluate(self) -> AnyCanvas:
-        return algebra.value_transform(self.children[0].evaluate(), self.f)
+    def evaluate(self, ctx: EvalContext | None = None) -> AnyCanvas:
+        value = self.children[0].evaluate(ctx)
+        if ctx is None or not isinstance(value, Canvas):
+            return algebra.value_transform(value, self.f)
+        if ctx.is_owned(value):
+            ctx.counters.inplace_ops += 1
+            return algebra.value_transform(value, self.f, out=value)
+        # The fragment passes overwrite every texture cell, so a cached
+        # operand costs an output buffer but never a texture copy.
+        target = ctx.acquire_like(value)
+        return algebra.value_transform(value, self.f, out=target)
 
     def label(self) -> str:
         return f"V[{self.name}]"
@@ -181,11 +440,14 @@ class DissectNode(Node):
     def __init__(self, child: Node) -> None:
         self.children = (child,)
 
-    def evaluate(self) -> AnyCanvas:
-        value = self.children[0].evaluate()
+    def evaluate(self, ctx: EvalContext | None = None) -> AnyCanvas:
+        value = self.children[0].evaluate(ctx)
         if not isinstance(value, Canvas):
             raise TypeError("dissect operates on dense canvases")
-        return algebra.dissect(value)
+        result = algebra.dissect(value)
+        if ctx is not None:
+            ctx.consume(value, result)
+        return result
 
     def label(self) -> str:
         return "D"
@@ -208,13 +470,19 @@ class AccumulateNode(Node):
         self.name = name
         self.children = (child,)
 
-    def evaluate(self) -> AnyCanvas:
-        value = self.children[0].evaluate()
-        if isinstance(value, Canvas):
-            value = algebra.dissect(value)
-        return algebra.aggregate_canvas_set(
-            value, self.gamma, self.window, self.resolution
+    def evaluate(self, ctx: EvalContext | None = None) -> AnyCanvas:
+        value = self.children[0].evaluate(ctx)
+        operand = value
+        if isinstance(operand, Canvas):
+            operand = algebra.dissect(operand)
+        result = algebra.aggregate_canvas_set(
+            operand, self.gamma, self.window, self.resolution
         )
+        if ctx is not None:
+            ctx.counters.allocations += 1  # the accumulator frame
+            ctx.mark_owned(result)
+            ctx.consume(value, result)
+        return result
 
     def label(self) -> str:
         return f"B*[+] ∘ G[{self.name}]"

@@ -17,6 +17,7 @@ predict wall-clock time.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -58,6 +59,14 @@ class CostModel:
     raster_row_setup: float = 4.0
     scatter: float = 1.5
     frame_sweep: float = 0.25
+    #: Cost of visiting one python k-d tree node (build or probe).
+    #: Scalar python work per node, but the competing canvas-probe
+    #: pipeline pays heavy per-probe constants too; the ratio is
+    #: calibrated against ``benchmarks/bench_pr3_engine.py``.
+    index_node: float = 2.5
+    #: Per-(point, polygon) bbox prefilter compare of the bbox-gathered
+    #: join-then-aggregate plan (one vectorized range test).
+    prefilter: float = 0.05
 
 
 def _polygon_edges(polygons: Sequence[Polygon]) -> int:
@@ -140,6 +149,7 @@ def selection_plans(
     resolution: tuple[int, int],
     model: CostModel = CostModel(),
     window: BoundingBox | None = None,
+    constraint_cached: bool = False,
 ) -> list[PlanEstimate]:
     """Candidate plans for selecting points under polygon constraints.
 
@@ -147,6 +157,13 @@ def selection_plans(
     the raster costs bbox-aware: constraint rasterization is clipped to
     each polygon's pixel bounding box, so small constraints no longer
     price as full-frame sweeps.
+
+    *constraint_cached* prices the blended plan knowing its constraint
+    canvas is already materialized (the engine's canvas cache holds it,
+    or an earlier query in the same batch will build it): the raster
+    cost drops out and only the per-point gathers remain — which is how
+    a repeated dashboard query can flip from the PIP plan to the canvas
+    plan on warm runs.
     """
     _validate_workload(n_points, polygons)
     height, width = resolution
@@ -163,6 +180,8 @@ def selection_plans(
         + edge_rows * height * 0.01 * model.pixel_touch  # edge/row scatter
         + raster_px * model.pixel_touch
     )
+    if constraint_cached:
+        raster_cost = 0.0
     blended_cost = raster_cost + n_points * model.gather
     plans = [
         PlanEstimate(
@@ -219,13 +238,19 @@ def aggregation_plans(
     height, width = resolution
     n_polys = len(polygons)
     frame = height * width
-    bbox_px = _bbox_pixel_fraction(polygons, window) * frame
+    bbox_frac = _bbox_pixel_fraction(polygons, window)
+    bbox_px = bbox_frac * frame
 
     # Join-then-aggregate: per polygon, rasterize the (bbox-clipped)
-    # constraint canvas and gather every point, then reduce.
+    # constraint canvas, prefilter the points to the polygon's clipped
+    # pixel bbox (one vectorized range test per point per polygon),
+    # and gather only the survivors, then reduce.  Without a window the
+    # bbox fraction degrades to one full frame per polygon — the
+    # pre-prefilter cost shape.
     join_then_agg = (
         bbox_px * model.pixel_touch
-        + n_polys * n_points * model.gather
+        + n_polys * n_points * model.prefilter * model.gather
+        + n_points * bbox_frac * model.gather
     )
     # RasterJoin (scatter-gather): scatter all points once, sweep the
     # label grid + occupied pixels, fill each polygon's clipped bbox,
@@ -267,6 +292,269 @@ def choose_aggregation_plan(
 ) -> PlanEstimate:
     """The cheapest aggregation plan under the cost model."""
     return aggregation_plans(n_points, polygons, resolution, model, window)[0]
+
+
+# ----------------------------------------------------------------------
+# The routed-query tail: distance / kNN / Voronoi / OD / geometry
+# selections (every public frontend prices at least two plans)
+# ----------------------------------------------------------------------
+def _geometry_edges(geometry) -> int:
+    """Primitive segment count of any geometry (PIP/intersection work)."""
+    if isinstance(geometry, Polygon):
+        return _polygon_edges([geometry])
+    vertices = getattr(geometry, "vertex_array", None)
+    if vertices is not None:
+        return max(len(vertices()) - 1, 1)
+    return 1
+
+
+def distance_plans(
+    n_points: int,
+    radius: float,
+    resolution: tuple[int, int],
+    model: CostModel = CostModel(),
+    window: BoundingBox | None = None,
+) -> list[PlanEstimate]:
+    """Candidate plans for a distance (``Circ``) selection.
+
+    The disk mask is evaluated over the whole frame (``Canvas.circle``
+    is not bbox-clipped), so the canvas plan pays a full-frame sweep
+    plus one gather per point; the direct plan is one vectorized
+    distance compare per point.
+    """
+    if n_points <= 0:
+        raise ValueError(
+            f"cannot plan over {n_points} points; the workload must "
+            "contain at least one point"
+        )
+    height, width = resolution
+    circle_cost = (
+        height * width * model.pixel_touch
+        + height * model.raster_row_setup
+        + n_points * model.gather
+    )
+    direct_cost = n_points * 2.0 * model.edge_test
+    plans = [
+        PlanEstimate(
+            name="circle-canvas",
+            cost=circle_cost,
+            description=(
+                "Circ[(x,y), d]() + one gather per point "
+                "(M[Mp'](B[⊙](CP, Circ)))"
+            ),
+        ),
+        PlanEstimate(
+            name="direct-distance",
+            cost=direct_cost,
+            description="vectorized exact distance test per point",
+        ),
+    ]
+    return sorted(plans, key=lambda p: p.cost)
+
+
+def knn_plans(
+    n_points: int,
+    k: int,
+    resolution: tuple[int, int],
+    model: CostModel = CostModel(),
+    window: BoundingBox | None = None,
+) -> list[PlanEstimate]:
+    """Candidate plans for k nearest neighbors (Section 4.4).
+
+    The concentric-circle plan bisection-probes the radius, each probe
+    being a full distance selection; the k-d tree plan pays a scalar
+    python build (``index_node`` per visited node) plus a short probe.
+    """
+    if n_points <= 0:
+        raise ValueError(
+            f"cannot plan over {n_points} points; the workload must "
+            "contain at least one point"
+        )
+    height, width = resolution
+    # Bisection resolves the k-th radius to pixel granularity.
+    probes = math.log2(max(height, width)) + 4.0
+    probe_cost = (
+        height * width * model.pixel_touch
+        + height * model.raster_row_setup
+        + n_points * model.gather
+    )
+    circles_cost = probes * probe_cost
+    log_n = math.log2(max(n_points, 2))
+    kdtree_cost = (
+        n_points * log_n * model.index_node        # build
+        + (k + log_n) * 4.0 * model.index_node     # probe
+    )
+    plans = [
+        PlanEstimate(
+            name="canvas-distance-probes",
+            cost=circles_cost,
+            description=(
+                "concentric Circ probes, bisected on the radius "
+                f"(~{probes:.0f} full distance selections)"
+            ),
+        ),
+        PlanEstimate(
+            name="kdtree-refine",
+            cost=kdtree_cost,
+            description="build a k-d tree over the points, probe k nearest",
+        ),
+    ]
+    return sorted(plans, key=lambda p: p.cost)
+
+
+def voronoi_plans(
+    n_sites: int,
+    resolution: tuple[int, int],
+    model: CostModel = CostModel(),
+) -> list[PlanEstimate]:
+    """Candidate plans for the Voronoi stored procedure (Section 4.5).
+
+    Both realize ``ComputeVoronoi`` exactly (bit-identical canvases);
+    they differ in constant factor only: one full-screen ``V[f]`` pass
+    per site vs a blocked argmin that streams site chunks over the
+    frame with cheap fused sweeps.
+    """
+    if n_sites <= 0:
+        raise ValueError("cannot plan a Voronoi diagram over zero sites")
+    height, width = resolution
+    frame = height * width
+    iterated_cost = n_sites * (
+        frame * model.pixel_touch + height * model.raster_row_setup
+    )
+    argmin_cost = (
+        n_sites * frame * model.frame_sweep * model.pixel_touch
+        + frame * model.pixel_touch
+    )
+    plans = [
+        PlanEstimate(
+            name="iterated-value-transform",
+            cost=iterated_cost,
+            description=(
+                "insert one site per V[f] full-screen pass "
+                "(the paper's ComputeVoronoi loop)"
+            ),
+        ),
+        PlanEstimate(
+            name="blocked-argmin",
+            cost=argmin_cost,
+            description=(
+                "stream site blocks over the frame, keep the running "
+                "nearest site per pixel (same claims, fused sweeps)"
+            ),
+        ),
+    ]
+    return sorted(plans, key=lambda p: p.cost)
+
+
+def od_plans(
+    n_points: int,
+    q1: Polygon,
+    q2: Polygon,
+    resolution: tuple[int, int],
+    model: CostModel = CostModel(),
+    window: BoundingBox | None = None,
+) -> list[PlanEstimate]:
+    """Candidate plans for the origin-destination double selection.
+
+    The canvas plan rasterizes both constraints (bbox-clipped) and pays
+    one gather per point at the origin stage plus one per survivor at
+    the destination stage; the per-pair plan runs the exact PIP kernel
+    against Q1 on all points and against Q2 on the survivors.  The
+    origin selectivity is estimated by Q1's clipped bbox fraction.
+    """
+    if n_points <= 0:
+        raise ValueError(
+            f"cannot plan over {n_points} points; the workload must "
+            "contain at least one point"
+        )
+    height, width = resolution
+    sel1 = min(_bbox_pixel_fraction([q1], window), 1.0)
+    raster_px = _bbox_pixel_fraction([q1, q2], window) * height * width
+    row_frac, edge_rows = _bbox_row_profile([q1, q2], window)
+    raster_cost = (
+        row_frac * height * model.raster_row_setup
+        + edge_rows * height * 0.01 * model.pixel_touch
+        + raster_px * model.pixel_touch
+    )
+    canvas_cost = (
+        raster_cost
+        + n_points * model.gather
+        + n_points * sel1 * model.gather
+    )
+    pip_cost = (
+        n_points * _polygon_edges([q1]) * model.edge_test
+        + n_points * sel1 * _polygon_edges([q2]) * model.edge_test
+    )
+    plans = [
+        PlanEstimate(
+            name="two-stage-canvas",
+            cost=canvas_cost,
+            description=(
+                "M[Mp'](B[⊙](G[γd](origin selection), CQ2)) — "
+                "Figure 8(a) as two canvas stages"
+            ),
+        ),
+        PlanEstimate(
+            name="per-pair-pip",
+            cost=pip_cost,
+            description=(
+                "exact PIP against Q1, then against Q2 on the survivors"
+            ),
+        ),
+    ]
+    return sorted(plans, key=lambda p: p.cost)
+
+
+def geometry_selection_plans(
+    data_geometries: Sequence,
+    query: Polygon,
+    resolution: tuple[int, int],
+    model: CostModel = CostModel(),
+    window: BoundingBox | None = None,
+) -> list[PlanEstimate]:
+    """Candidate plans for polygon/polyline INTERSECTS selections.
+
+    The canvas plan rasterizes the query and every data record
+    (bbox-clipped) and gathers once per covered data cell; the
+    predicate plan runs the exact pairwise intersection test per
+    record (edge-by-edge segment work).
+    """
+    if not data_geometries:
+        raise ValueError(
+            "cannot plan a geometry selection without data records"
+        )
+    height, width = resolution
+    frame = height * width
+    query_edges = _polygon_edges([query])
+    data_px = sum(
+        min(_bbox_pixel_fraction([g], window), 1.0) * frame
+        for g in data_geometries
+    )
+    query_px = min(_bbox_pixel_fraction([query], window), 1.0) * frame
+    canvas_cost = (
+        query_px * model.pixel_touch
+        + data_px * model.pixel_touch       # render each record
+        + data_px * model.gather            # one gather per covered cell
+    )
+    predicate_cost = float(
+        sum(_geometry_edges(g) for g in data_geometries)
+    ) * query_edges * model.edge_test
+    plans = [
+        PlanEstimate(
+            name="canvas-blend",
+            cost=canvas_cost,
+            description=(
+                "M[My](B[⊕](CY, CQ)) — blend every record canvas with "
+                "the query canvas, refine boundary-only records"
+            ),
+        ),
+        PlanEstimate(
+            name="per-record-predicate",
+            cost=predicate_cost,
+            description="exact pairwise intersection test per record",
+        ),
+    ]
+    return sorted(plans, key=lambda p: p.cost)
 
 
 def explain(plans: Sequence[PlanEstimate]) -> str:

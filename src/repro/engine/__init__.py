@@ -30,17 +30,31 @@ from contextlib import contextmanager
 from repro.engine.cache import CanvasCache, CacheStats, geometries_digest, geometry_digest
 from repro.engine.executor import (
     AggregationOutcome,
+    BatchOutcome,
+    BatchQuery,
+    BatchReport,
     ExecutionReport,
     QueryEngine,
     SelectionOutcome,
+    VoronoiOutcome,
     aggregate_samples,
     unique_ids,
 )
 from repro.engine.planner import (
     AGG_JOIN_THEN_AGG,
     AGG_RASTERJOIN,
+    DISTANCE_CANVAS,
+    DISTANCE_DIRECT,
+    GEOM_BLEND,
+    GEOM_PREDICATE,
+    KNN_KDTREE,
+    KNN_PROBES,
+    OD_CANVAS,
+    OD_PIP,
     SELECTION_BLENDED,
     SELECTION_PIP,
+    VORONOI_ARGMIN,
+    VORONOI_ITERATED,
     PlanChoice,
     Planner,
 )
@@ -49,15 +63,29 @@ __all__ = [
     "AGG_JOIN_THEN_AGG",
     "AGG_RASTERJOIN",
     "AggregationOutcome",
+    "BatchOutcome",
+    "BatchQuery",
+    "BatchReport",
     "CacheStats",
     "CanvasCache",
+    "DISTANCE_CANVAS",
+    "DISTANCE_DIRECT",
     "ExecutionReport",
+    "GEOM_BLEND",
+    "GEOM_PREDICATE",
+    "KNN_KDTREE",
+    "KNN_PROBES",
+    "OD_CANVAS",
+    "OD_PIP",
     "PlanChoice",
     "Planner",
     "QueryEngine",
     "SELECTION_BLENDED",
     "SELECTION_PIP",
     "SelectionOutcome",
+    "VORONOI_ARGMIN",
+    "VORONOI_ITERATED",
+    "VoronoiOutcome",
     "aggregate_samples",
     "explain",
     "geometries_digest",

@@ -118,6 +118,31 @@ def estimate_canvas_bytes(value) -> int:
 DEFAULT_MAX_BYTES = 1024 * 1024 * 1024
 
 
+def freeze_cached_value(value) -> None:
+    """Make a cached value's array payload read-only, in place.
+
+    Cache entries are shared, never copied, so a consumer writing into
+    one (e.g. passing a cached canvas as an algebra operator's ``out=``
+    target, or drawing onto it) would silently corrupt every later hit.
+    Flipping ``numpy``'s writeable flag turns that latent aliasing
+    hazard into an immediate ``ValueError`` at the offending write.
+
+    Covers dense canvases (texture data/valid + boundary flags) and
+    sparse :class:`~repro.core.rasterjoin.PolygonCoverage` footprints
+    (``flat``); unknown value shapes are left as they are.
+    """
+    texture = getattr(value, "texture", None)
+    if texture is not None:
+        for attr in ("data", "valid"):
+            arr = getattr(texture, attr, None)
+            if hasattr(arr, "setflags"):
+                arr.setflags(write=False)
+    for attr in ("boundary", "flat"):
+        arr = getattr(value, attr, None)
+        if hasattr(arr, "setflags"):
+            arr.setflags(write=False)
+
+
 class CanvasCache:
     """LRU cache of rasterized canvases, bounded by entries *and* bytes.
 
@@ -182,6 +207,10 @@ class CanvasCache:
                 self._store.move_to_end(key)
                 return self._store[key][0]
         value = builder()
+        # Entries are shared, never copied: freeze the array payload so
+        # a consumer mutating the entry raises instead of corrupting
+        # every later hit.
+        freeze_cached_value(value)
         nbytes = self._sizer(value)
         with self._lock:
             self._count(hit=False)

@@ -12,13 +12,28 @@ module runs the winning strategy:
   point-in-polygon kernel (the paper's baseline strategy) — exact by
   construction, cheapest for small inputs;
 - ``join-then-aggregate`` aggregations run the Section 4.3 plan with
-  per-polygon cached constraint canvases and exact refinement;
-- ``rasterjoin`` aggregations delegate to the Figure 8(c) plan.
+  per-polygon cached constraint canvases, a bbox-prefiltered gather
+  and exact refinement;
+- ``rasterjoin`` aggregations delegate to the Figure 8(c) plan;
+- distance, kNN, Voronoi, OD and geometry-record selections each run
+  their canvas realization or the competing exact kernel
+  (:meth:`QueryEngine.select_distance`, :meth:`QueryEngine.knn`,
+  :meth:`QueryEngine.voronoi`, :meth:`QueryEngine.od_select`,
+  :meth:`QueryEngine.select_geometry_records`).
+
+Expression trees evaluate under an ownership-aware
+:class:`~repro.core.expressions.EvalContext` sharing the engine's
+:class:`~repro.core.expressions.BufferPool`: owned intermediates run
+in place (zero full-texture copies), cached leaves are gathered from
+untouched, and the buffer counters land in the report.
+:meth:`QueryEngine.execute_batch` plans a list of queries together so
+shared constraint canvases rasterize once per batch.
 
 Every execution produces an :class:`ExecutionReport` — chosen plan,
-estimated cost, full candidate table, cache-hit delta, timings, and the
-rendered plan tree — which :meth:`QueryEngine.explain` formats for
-humans and the CLI ``explain`` subcommand prints.
+estimated cost, full candidate table, cache-hit delta, buffer
+counters, timings, and the rendered plan tree — which
+:meth:`QueryEngine.explain` formats for humans and the CLI ``explain``
+subcommand prints.
 """
 
 from __future__ import annotations
@@ -26,27 +41,50 @@ from __future__ import annotations
 import math
 import time
 from collections import deque
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Any, Sequence
 
 import numpy as np
 
 from repro.geometry.bbox import BoundingBox
-from repro.geometry.predicates import points_in_polygon
+from repro.geometry.predicates import (
+    linestring_intersects_polygon,
+    points_in_polygon,
+    polygon_intersects_polygon,
+)
 from repro.geometry.primitives import Polygon
 from repro.gpu.device import DEFAULT_DEVICE, Device
+from repro.index.kdtree import KDTree
 from repro.core import algebra, optimizer
 from repro.core.accuracy import refine_point_samples
-from repro.core.blendfuncs import PIP_MERGE
-from repro.core.canvas import Canvas, Resolution, _resolve_resolution
+from repro.core.blendfuncs import LINE_MERGE, PIP_MERGE, POLY_MERGE
+from repro.core.canvas import (
+    Canvas,
+    Resolution,
+    _resolve_resolution,
+    clipped_pixel_bbox,
+    world_points_to_cells,
+)
 from repro.core.canvas_set import CanvasSet
-from repro.core.expressions import InputNode, UtilityNode, render_plan
+from repro.core.expressions import (
+    BufferPool,
+    EvalContext,
+    EvalCounters,
+    InputNode,
+    UtilityNode,
+    ValueTransformNode,
+    render_plan,
+)
 from repro.core.masks import (
+    FieldCompare,
+    NotNull,
     mask_point_in_all_polygons,
     mask_point_in_any_polygon,
+    mask_polygon_intersection,
 )
 from repro.core.objectinfo import (
     DIM_AREA,
+    DIM_LINE,
     DIM_POINT,
     FIELD_COUNT,
     FIELD_ID,
@@ -57,7 +95,13 @@ from repro.core.optimizer import CostModel, PlanEstimate
 from repro.engine.cache import CanvasCache, geometries_digest, geometry_digest
 from repro.engine.planner import (
     AGG_RASTERJOIN,
+    DISTANCE_CANVAS,
+    GEOM_PREDICATE,
+    KNN_KDTREE,
+    OD_PIP,
+    SELECTION_BLENDED,
     SELECTION_PIP,
+    VORONOI_ITERATED,
     Planner,
 )
 
@@ -160,6 +204,13 @@ class ExecutionReport:
     planning_s: float
     execution_s: float
     plan_tree: str | None
+    #: Dense-buffer traffic of the ownership-aware evaluator: copies the
+    #: execution could not elide, fresh allocations, pooled reuses, and
+    #: operators that ran in place on owned intermediates.
+    copies: int = 0
+    allocations: int = 0
+    pool_reuses: int = 0
+    inplace_ops: int = 0
 
     def describe(self) -> str:
         lines = [
@@ -180,6 +231,12 @@ class ExecutionReport:
         lines.append(
             f"canvas cache: {self.cache_hits} hits, "
             f"{self.cache_misses} misses during this query"
+        )
+        lines.append(
+            f"buffers: {self.copies} full-texture copies, "
+            f"{self.allocations} allocations, "
+            f"{self.pool_reuses} pool reuses, "
+            f"{self.inplace_ops} in-place ops"
         )
         lines.append(
             f"timings: planning {self.planning_s * 1e6:.1f} us, "
@@ -209,6 +266,105 @@ class AggregationOutcome:
     report: ExecutionReport
 
 
+@dataclass
+class VoronoiOutcome:
+    """Raw executor output for the Voronoi stored procedure."""
+
+    canvas: Canvas
+    report: ExecutionReport
+
+
+@dataclass(frozen=True)
+class BatchQuery:
+    """One query of an :meth:`QueryEngine.execute_batch` submission.
+
+    *kind* selects the engine entry point; *kwargs* are its keyword
+    arguments (positional data arrays included).  The classmethod
+    constructors spell the supported kinds.
+    """
+
+    kind: str
+    kwargs: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def selection(cls, xs, ys, polygons, **kwargs) -> "BatchQuery":
+        return cls("selection", dict(kwargs, xs=xs, ys=ys, polygons=polygons))
+
+    @classmethod
+    def aggregation(cls, xs, ys, polygons, **kwargs) -> "BatchQuery":
+        return cls("aggregation", dict(kwargs, xs=xs, ys=ys, polygons=polygons))
+
+    @classmethod
+    def distance(cls, xs, ys, center, radius, **kwargs) -> "BatchQuery":
+        return cls(
+            "distance",
+            dict(kwargs, xs=xs, ys=ys, center=center, radius=radius),
+        )
+
+    @classmethod
+    def knn(cls, xs, ys, query_point, k, **kwargs) -> "BatchQuery":
+        return cls(
+            "knn", dict(kwargs, xs=xs, ys=ys, query_point=query_point, k=k)
+        )
+
+    @classmethod
+    def od(cls, origin_xs, origin_ys, dest_xs, dest_ys, q1, q2,
+           **kwargs) -> "BatchQuery":
+        return cls(
+            "od",
+            dict(kwargs, origin_xs=origin_xs, origin_ys=origin_ys,
+                 dest_xs=dest_xs, dest_ys=dest_ys, q1=q1, q2=q2),
+        )
+
+    @classmethod
+    def voronoi(cls, points, window, **kwargs) -> "BatchQuery":
+        return cls("voronoi", dict(kwargs, points=points, window=window))
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """What one batched execution shared across its member queries."""
+
+    n_queries: int
+    plans: tuple[tuple[str, str], ...]  #: (query kind, chosen plan) pairs
+    cache_hits: int
+    cache_misses: int
+    shared_constraint_sets: int  #: distinct constraint recipes reused >= twice
+    counters: EvalCounters
+    planning_s: float
+    execution_s: float
+
+    def describe(self) -> str:
+        lines = [
+            f"batch: {self.n_queries} queries",
+            "plans: " + ", ".join(f"{q}:{p}" for q, p in self.plans),
+            (
+                f"canvas cache: {self.cache_hits} hits, "
+                f"{self.cache_misses} misses across the batch "
+                f"({self.shared_constraint_sets} constraint set(s) shared)"
+            ),
+            (
+                f"buffers: {self.counters.full_copies} full-texture copies, "
+                f"{self.counters.allocations} allocations, "
+                f"{self.counters.pool_reuses} pool reuses, "
+                f"{self.counters.inplace_ops} in-place ops"
+            ),
+            (
+                f"timings: planning {self.planning_s * 1e3:.3f} ms, "
+                f"execution {self.execution_s * 1e3:.3f} ms"
+            ),
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class BatchOutcome:
+    """Per-query outcomes plus the batch-level sharing report."""
+
+    results: list
+    report: BatchReport
+
+
 # ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
@@ -227,6 +383,7 @@ class QueryEngine:
         cache_capacity: int = 64,
         cache_max_bytes: int | None = None,
         history: int = 32,
+        buffer_pool_size: int = 8,
     ) -> None:
         self.planner = Planner(cost_model or CostModel())
         if cache_max_bytes is None:
@@ -234,6 +391,13 @@ class QueryEngine:
         else:
             self.cache = CanvasCache(cache_capacity, max_bytes=cache_max_bytes)
         self.reports: deque[ExecutionReport] = deque(maxlen=history)
+        #: Dense buffers recycled across executions by the
+        #: ownership-aware expression evaluator.
+        self.buffer_pool = BufferPool(buffer_pool_size)
+
+    def _context(self) -> EvalContext:
+        """A fresh ownership ledger sharing the engine's buffer pool."""
+        return EvalContext(self.buffer_pool)
 
     @property
     def cost_model(self) -> CostModel:
@@ -332,6 +496,54 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # Selection
     # ------------------------------------------------------------------
+    def _report(
+        self,
+        query: str,
+        choice,
+        tree_text: str | None,
+        counters_before: tuple[int, int],
+        timings: tuple[float, float, float],
+        ctx: EvalContext | None = None,
+    ) -> ExecutionReport:
+        """Assemble, record and return one execution's report."""
+        after_hits, after_misses = self.cache.thread_counters()
+        t0, t1, t2 = timings
+        counters = ctx.take_counters() if ctx is not None else EvalCounters()
+        report = ExecutionReport(
+            query=query,
+            plan=choice.chosen.name,
+            estimated_cost=choice.chosen.cost,
+            candidates=choice.candidates,
+            forced=choice.forced,
+            cache_hits=after_hits - counters_before[0],
+            cache_misses=after_misses - counters_before[1],
+            planning_s=t1 - t0,
+            execution_s=t2 - t1,
+            plan_tree=tree_text,
+            copies=counters.full_copies,
+            allocations=counters.allocations,
+            pool_reuses=counters.pool_reuses,
+            inplace_ops=counters.inplace_ops,
+        )
+        self.reports.append(report)
+        return report
+
+    def _constraint_key(
+        self,
+        polys: list[Polygon],
+        window: BoundingBox,
+        resolution: Resolution,
+        device: Device,
+    ) -> tuple:
+        """Cache key of the blended constraint canvas for *polys*."""
+        return (
+            "constraint-blend",
+            geometries_digest(polys),
+            tuple(window),
+            _resolve_resolution(window, resolution),
+            device,
+        )
+
     def select_points(
         self,
         xs: np.ndarray,
@@ -346,8 +558,16 @@ class QueryEngine:
         exact: bool = True,
         constraint_canvas: Canvas | None = None,
         force_plan: str | None = None,
+        constraint_cached: bool | None = None,
     ) -> SelectionOutcome:
-        """Plan and run a multi-constraint point selection."""
+        """Plan and run a multi-constraint point selection.
+
+        *constraint_cached* overrides the planner's knowledge of
+        whether the blended constraint canvas is already materialized;
+        ``None`` auto-detects from the engine's canvas cache (a warm
+        cache drops the blended plan's raster cost, which can flip the
+        choice away from the PIP plan on repeat queries).
+        """
         xs = np.asarray(xs, dtype=np.float64)
         ys = np.asarray(ys, dtype=np.float64)
         polys = list(polygons)
@@ -357,15 +577,22 @@ class QueryEngine:
 
         if len(xs) == 0:
             return self._empty_selection("selection: empty input")
+        if constraint_cached is None:
+            constraint_cached = (
+                self._constraint_key(polys, window, resolution, device)
+                in self.cache
+            )
 
         t0 = time.perf_counter()
         choice = self.planner.plan_selection(
             len(xs), polys, resolution_hw, exact=exact,
             prebuilt_canvas=constraint_canvas is not None,
             force=force_plan, window=window,
+            constraint_cached=constraint_cached or constraint_canvas is not None,
         )
         t1 = time.perf_counter()
-        before_hits, before_misses = self.cache.thread_counters()
+        before = self.cache.thread_counters()
+        ctx = self._context()
 
         if choice.chosen.name == SELECTION_PIP:
             result = self._run_selection_pip(
@@ -378,25 +605,14 @@ class QueryEngine:
         else:
             result, tree = self._run_selection_blended(
                 xs, ys, polys, ids, window, resolution, device, mode, exact,
-                constraint_canvas,
+                constraint_canvas, ctx,
             )
             tree_text = render_plan(tree)
         t2 = time.perf_counter()
-        after_hits, after_misses = self.cache.thread_counters()
 
-        report = ExecutionReport(
-            query="selection",
-            plan=choice.chosen.name,
-            estimated_cost=choice.chosen.cost,
-            candidates=choice.candidates,
-            forced=choice.forced,
-            cache_hits=after_hits - before_hits,
-            cache_misses=after_misses - before_misses,
-            planning_s=t1 - t0,
-            execution_s=t2 - t1,
-            plan_tree=tree_text,
+        report = self._report(
+            "selection", choice, tree_text, before, (t0, t1, t2), ctx
         )
-        self.reports.append(report)
         ids_out, n_candidates, n_tests, samples = result
         return SelectionOutcome(
             ids=ids_out,
@@ -418,6 +634,7 @@ class QueryEngine:
         mode: str,
         exact: bool,
         prebuilt: Canvas | None,
+        ctx: EvalContext | None = None,
     ):
         """``M[Mp'](B[⊙](CP, B*[⊕](CQ)))`` as an expression tree."""
         point_set = CanvasSet.from_points(xs, ys, ids=ids)
@@ -438,7 +655,7 @@ class QueryEngine:
             else mask_point_in_all_polygons(float(len(polys)))
         )
         tree = cp.blend(cq, PIP_MERGE).mask(predicate)
-        masked = tree.evaluate()
+        masked = tree.evaluate(ctx)
         assert isinstance(masked, CanvasSet)
         n_candidates = masked.n_samples
         n_tests = 0
@@ -565,7 +782,8 @@ class QueryEngine:
             force=force_plan, window=window,
         )
         t1 = time.perf_counter()
-        before_hits, before_misses = self.cache.thread_counters()
+        before = self.cache.thread_counters()
+        ctx = self._context()
 
         if choice.chosen.name == AGG_RASTERJOIN:
             # Deferred import: rasterjoin sits above the query layer.
@@ -588,24 +806,13 @@ class QueryEngine:
         else:
             groups, out_values, tree_text = self._run_join_then_aggregate(
                 xs, ys, polys, ids, values, aggregate, window, resolution,
-                device, exact,
+                device, exact, ctx,
             )
         t2 = time.perf_counter()
-        after_hits, after_misses = self.cache.thread_counters()
 
-        report = ExecutionReport(
-            query="join-aggregate",
-            plan=choice.chosen.name,
-            estimated_cost=choice.chosen.cost,
-            candidates=choice.candidates,
-            forced=choice.forced,
-            cache_hits=after_hits - before_hits,
-            cache_misses=after_misses - before_misses,
-            planning_s=t1 - t0,
-            execution_s=t2 - t1,
-            plan_tree=tree_text,
+        report = self._report(
+            "join-aggregate", choice, tree_text, before, (t0, t1, t2), ctx
         )
-        self.reports.append(report)
         return AggregationOutcome(groups, out_values, aggregate, report)
 
     def _run_join_then_aggregate(
@@ -620,13 +827,39 @@ class QueryEngine:
         resolution: Resolution,
         device: Device,
         exact: bool,
+        ctx: EvalContext | None = None,
     ):
-        """``B*[+](G[γc](M[Mp](B[⊙](CP, CY))))`` per polygon, then merge."""
+        """``B*[+](G[γc](M[Mp](B[⊙](CP, CY))))`` per polygon, then merge.
+
+        The per-polygon gather is *bbox-prefiltered*: only points
+        inside the polygon's clipped pixel bounding box (padded to
+        cover the conservative boundary ribbon) enter the blend — a
+        point outside the box can never gather the polygon's coverage,
+        so dropping it first is exact and compounds with the clipped
+        rasterization (the gather now scales with ``Σ points-in-bbox``
+        instead of ``P * N``).
+        """
+        height, width = _resolve_resolution(window, resolution)
+        rows, cols, inside = world_points_to_cells(
+            xs, ys, window, height, width
+        )
         point_set = CanvasSet.from_points(xs, ys, values=values)
-        cp = InputNode(point_set, name="CP")
         collected: CanvasSet | None = None
         branch_tree = None
         for poly, pid in zip(polys, ids):
+            bbox = clipped_pixel_bbox(poly, window, height, width)
+            if bbox is None:
+                continue  # constraint misses the frame: no samples
+            r0, r1, c0, c1 = bbox
+            in_bbox = (
+                inside
+                & (rows >= r0) & (rows <= r1)
+                & (cols >= c0) & (cols <= c1)
+            )
+            if not in_bbox.any():
+                continue
+            subset = point_set.filter_rows(in_bbox)
+            cp = InputNode(subset, name=f"CP∩bbox(id={pid})")
             cq = UtilityNode(
                 "CY",
                 factory=lambda p=poly, r=pid: self.polygon_canvas(
@@ -636,7 +869,7 @@ class QueryEngine:
             )
             tree = cp.blend(cq, PIP_MERGE).mask(mask_point_in_any_polygon(1.0))
             branch_tree = tree
-            masked = tree.evaluate()
+            masked = tree.evaluate(ctx)
             assert isinstance(masked, CanvasSet)
             if exact:
                 masked, _ = refine_point_samples(masked, [poly])
@@ -649,10 +882,878 @@ class QueryEngine:
         tree_text = ""
         if branch_tree is not None:
             tree_text = (
-                f"B*[+] ∘ G[γc] over {len(polys)} branches of:\n"
+                f"B*[+] ∘ G[γc] over {len(polys)} bbox-prefiltered "
+                "branches of:\n"
                 + render_plan(branch_tree)
             )
         return groups, out_values, tree_text
+
+    # ------------------------------------------------------------------
+    # Distance selection (Section 4.1, the Circ utility constraint)
+    # ------------------------------------------------------------------
+    def select_distance(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        center: tuple[float, float],
+        radius: float,
+        *,
+        ids: np.ndarray | None = None,
+        window: BoundingBox,
+        resolution: Resolution = 1024,
+        device: Device = DEFAULT_DEVICE,
+        exact: bool = True,
+        force_plan: str | None = None,
+    ) -> SelectionOutcome:
+        """Plan and run a within-radius point selection."""
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if len(xs) == 0:
+            return self._empty_selection("distance-selection: empty input")
+        resolution_hw = _resolve_resolution(window, resolution)
+
+        t0 = time.perf_counter()
+        choice = self.planner.plan_distance(
+            len(xs), radius, resolution_hw, exact=exact, force=force_plan,
+            window=window,
+        )
+        t1 = time.perf_counter()
+        before = self.cache.thread_counters()
+        ctx = self._context()
+
+        if choice.chosen.name == DISTANCE_CANVAS:
+            result, tree_text = self._run_distance_canvas(
+                xs, ys, center, radius, ids, window, resolution, device,
+                exact, ctx,
+            )
+        else:
+            result = self._run_distance_direct(
+                xs, ys, center, radius, ids, window, resolution_hw
+            )
+            tree_text = "direct kernel: exact distance compare per point"
+        t2 = time.perf_counter()
+
+        report = self._report(
+            "distance-selection", choice, tree_text, before, (t0, t1, t2), ctx
+        )
+        ids_out, n_candidates, n_tests, samples = result
+        return SelectionOutcome(
+            ids=ids_out, n_candidates=n_candidates, n_exact_tests=n_tests,
+            samples=samples, report=report,
+        )
+
+    def _run_distance_canvas(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        center: tuple[float, float],
+        radius: float,
+        ids: np.ndarray | None,
+        window: BoundingBox,
+        resolution: Resolution,
+        device: Device,
+        exact: bool,
+        ctx: EvalContext | None,
+    ):
+        """``M[Mp'](B[⊙](CP, Circ[(x, y), d]()))`` with boundary refinement.
+
+        Radius probes never repeat a circle (kNN bisects fresh radii),
+        so the circle canvas is rasterized per call rather than cached;
+        it is *owned*, so the evaluator recycles its buffer.
+        """
+        circ = UtilityNode(
+            "Circ",
+            factory=lambda: Canvas.circle(
+                center, radius, window, resolution, 1, device
+            ),
+            params=f"({center[0]:g}, {center[1]:g}), d={radius:g}",
+            owned=True,
+        )
+        point_set = CanvasSet.from_points(xs, ys, ids=ids)
+        tree = InputNode(point_set, name="CP").blend(circ, PIP_MERGE).mask(
+            mask_point_in_any_polygon(1.0)
+        )
+        masked = tree.evaluate(ctx)
+        assert isinstance(masked, CanvasSet)
+        n_candidates = masked.n_samples
+        n_tests = 0
+        if exact:
+            on_boundary = masked.boundary
+            n_tests = int(on_boundary.sum())
+            if n_tests:
+                d = np.hypot(
+                    masked.xs[on_boundary] - center[0],
+                    masked.ys[on_boundary] - center[1],
+                )
+                keep = np.ones(masked.n_samples, dtype=bool)
+                keep[np.nonzero(on_boundary)[0]] = d <= radius
+                masked = masked.filter_rows(keep)
+        return (
+            (unique_ids(masked.keys), n_candidates, n_tests, masked),
+            render_plan(tree),
+        )
+
+    def _run_distance_direct(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        center: tuple[float, float],
+        radius: float,
+        ids: np.ndarray | None,
+        window: BoundingBox,
+        resolution_hw: tuple[int, int],
+    ):
+        """One vectorized exact distance compare per in-frame point.
+
+        Matches the raster plan's gather semantics (out-of-window
+        samples blend to null, surviving samples carry the disk's
+        constraint-side S^3 triple).
+        """
+        height, width = resolution_hw
+        _, _, inside = world_points_to_cells(xs, ys, window, height, width)
+        keys = (
+            np.asarray(ids, dtype=np.int64)
+            if ids is not None
+            else np.arange(len(xs), dtype=np.int64)
+        )
+        fx, fy, fkeys = xs[inside], ys[inside], keys[inside]
+        d = np.hypot(fx - center[0], fy - center[1])
+        hit = d <= radius
+        samples = CanvasSet.from_points(fx[hit], fy[hit], ids=fkeys[hit])
+        samples.data[:, channel(DIM_AREA, FIELD_ID)] = 1.0
+        samples.data[:, channel(DIM_AREA, FIELD_COUNT)] = 1.0
+        samples.valid[:, DIM_AREA] = True
+        return (
+            unique_ids(fkeys[hit]), int(hit.sum()), int(inside.sum()), samples
+        )
+
+    # ------------------------------------------------------------------
+    # k nearest neighbors (Section 4.4)
+    # ------------------------------------------------------------------
+    def knn(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        query_point: tuple[float, float],
+        k: int,
+        *,
+        ids: np.ndarray | None = None,
+        window: BoundingBox,
+        resolution: Resolution = 1024,
+        device: Device = DEFAULT_DEVICE,
+        max_iterations: int = 64,
+        force_plan: str | None = None,
+    ) -> SelectionOutcome:
+        """Plan and run a k-nearest-neighbor query (both plans exact)."""
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if k < 1 or k > len(xs):
+            raise ValueError("k must be between 1 and the number of points")
+        resolution_hw = _resolve_resolution(window, resolution)
+
+        t0 = time.perf_counter()
+        choice = self.planner.plan_knn(
+            len(xs), k, resolution_hw, force=force_plan, window=window
+        )
+        t1 = time.perf_counter()
+        before = self.cache.thread_counters()
+        ctx = self._context()
+
+        if choice.chosen.name == KNN_KDTREE:
+            result = self._run_knn_kdtree(
+                xs, ys, query_point, k, ids, window, resolution_hw
+            )
+            tree_text = (
+                f"k-d tree probe: k={k} over {len(xs)} points "
+                "(exact index refinement)"
+            )
+        else:
+            result = self._run_knn_probes(
+                xs, ys, query_point, k, ids, window, resolution, device,
+                max_iterations, ctx,
+            )
+            tree_text = (
+                f"bisected Circ[(x, y), r]() probes to the count-{k} "
+                "radius, each probe a full distance selection"
+            )
+        t2 = time.perf_counter()
+
+        report = self._report(
+            "knn", choice, tree_text, before, (t0, t1, t2), ctx
+        )
+        ids_out, n_candidates, n_tests, samples = result
+        return SelectionOutcome(
+            ids=ids_out, n_candidates=n_candidates, n_exact_tests=n_tests,
+            samples=samples, report=report,
+        )
+
+    def _run_knn_kdtree(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        query_point: tuple[float, float],
+        k: int,
+        ids: np.ndarray | None,
+        window: BoundingBox,
+        resolution_hw: tuple[int, int],
+    ):
+        """Exact kNN through the k-d tree index (the oracle plan).
+
+        Out-of-window points are dropped first, matching the canvas
+        plan's gather semantics — both plans answer kNN over the
+        in-frame points, so plan choice stays invisible in the output.
+        """
+        height, width = resolution_hw
+        _, _, inside = world_points_to_cells(xs, ys, window, height, width)
+        keys = (
+            np.asarray(ids, dtype=np.int64)
+            if ids is not None
+            else np.arange(len(xs), dtype=np.int64)
+        )
+        fx, fy, fkeys = xs[inside], ys[inside], keys[inside]
+        tree = KDTree(np.stack([fx, fy], axis=1), items=fkeys.tolist())
+        qx, qy = query_point
+        found = tree.nearest(float(qx), float(qy), k=k)
+        sel = np.asarray(sorted(int(item) for item, _ in found),
+                         dtype=np.int64)
+        member = np.isin(fkeys, sel)
+        samples = CanvasSet.from_points(fx[member], fy[member],
+                                        ids=fkeys[member])
+        return sel, len(sel), tree.last_visited, samples
+
+    def _run_knn_probes(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        query_point: tuple[float, float],
+        k: int,
+        ids: np.ndarray | None,
+        window: BoundingBox,
+        resolution: Resolution,
+        device: Device,
+        max_iterations: int,
+        ctx: EvalContext | None,
+    ):
+        """Concentric-circle counting: bisect the radius whose disk
+        holds exactly k points, falling back to an exact trim on ties
+        (the paper's ϵ-perturbation)."""
+        total_tests = 0
+
+        def probe(radius: float):
+            nonlocal total_tests
+            result, _ = self._run_distance_canvas(
+                xs, ys, query_point, radius, ids, window, resolution,
+                device, True, ctx,
+            )
+            total_tests += result[2]
+            return result
+
+        lo = 0.0
+        # The largest query-point-to-corner distance bounds the distance
+        # to every in-frame point, even when the query point lies far
+        # outside the window (the window diagonal alone would not).
+        qx, qy = query_point
+        hi = max(
+            math.hypot(cx - qx, cy - qy)
+            for cx in (window.xmin, window.xmax)
+            for cy in (window.ymin, window.ymax)
+        )
+        hi = max(hi, math.hypot(window.width, window.height))
+        # Safety net: grow hi until at least k points are inside.
+        iterations = 0
+        while len(probe(hi)[0]) < k and iterations < 8:
+            hi *= 2.0
+            iterations += 1
+
+        result_at_hi = None
+        for _ in range(max_iterations):
+            mid = (lo + hi) / 2.0
+            result = probe(mid)
+            n = len(result[0])
+            if n == k:
+                return (result[0], result[1], total_tests, result[3])
+            if n < k:
+                lo = mid
+            else:
+                hi = mid
+                result_at_hi = result
+        # Ties or resolution floor: trim the smallest enclosing probe by
+        # exact distance.
+        if result_at_hi is None:
+            result_at_hi = probe(hi)
+        sel = result_at_hi[3]
+        d = np.hypot(sel.xs - query_point[0], sel.ys - query_point[1])
+        order = np.argsort(d, kind="stable")[:k]
+        trimmed = sel.filter_rows(np.isin(np.arange(sel.n_samples), order))
+        total_tests += sel.n_samples
+        return (
+            unique_ids(trimmed.keys), result_at_hi[1], total_tests, trimmed
+        )
+
+    # ------------------------------------------------------------------
+    # Voronoi (Section 4.5)
+    # ------------------------------------------------------------------
+    def voronoi(
+        self,
+        points: np.ndarray,
+        window: BoundingBox,
+        resolution: Resolution = 512,
+        device: Device = DEFAULT_DEVICE,
+        force_plan: str | None = None,
+    ) -> VoronoiOutcome:
+        """Plan and run ``ComputeVoronoi`` (bit-identical plans)."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ValueError("points must be an (n, 2) array")
+        resolution_hw = _resolve_resolution(window, resolution)
+        if len(pts) == 0:
+            report = ExecutionReport(
+                query="voronoi: empty input", plan="empty-input",
+                estimated_cost=0.0, candidates=(), forced="no sites",
+                cache_hits=0, cache_misses=0, planning_s=0.0,
+                execution_s=0.0, plan_tree=None,
+            )
+            self.reports.append(report)
+            return VoronoiOutcome(Canvas.empty(window, resolution, device),
+                                  report)
+
+        t0 = time.perf_counter()
+        choice = self.planner.plan_voronoi(
+            len(pts), resolution_hw, force=force_plan
+        )
+        t1 = time.perf_counter()
+        before = self.cache.thread_counters()
+        ctx = self._context()
+
+        if choice.chosen.name == VORONOI_ITERATED:
+            canvas, tree_text = self._run_voronoi_iterated(
+                pts, window, resolution, device, ctx
+            )
+        else:
+            canvas, tree_text = self._run_voronoi_argmin(
+                pts, window, resolution, device, ctx
+            )
+        t2 = time.perf_counter()
+
+        report = self._report(
+            "voronoi", choice, tree_text, before, (t0, t1, t2), ctx
+        )
+        return VoronoiOutcome(canvas, report)
+
+    @staticmethod
+    def _voronoi_site_transform(site: int, px: float, py: float):
+        """The paper's ``f``: claim pixels whose d² beats the stored one."""
+        id_ch = channel(DIM_AREA, FIELD_ID)
+        d2_ch = channel(DIM_AREA, FIELD_COUNT)
+
+        def f(gx, gy, data, valid):
+            d2 = (gx - px) ** 2 + (gy - py) ** 2
+            out_data = data.copy()
+            out_valid = valid.copy()
+            was_null = ~valid[..., DIM_AREA]
+            closer = d2 < data[..., d2_ch]
+            claim = was_null | closer
+            out_data[..., id_ch] = np.where(claim, float(site),
+                                            data[..., id_ch])
+            out_data[..., d2_ch] = np.where(claim, d2, data[..., d2_ch])
+            out_valid[..., DIM_AREA] = True
+            return out_data, out_valid
+
+        return f
+
+    def _run_voronoi_iterated(
+        self,
+        pts: np.ndarray,
+        window: BoundingBox,
+        resolution: Resolution,
+        device: Device,
+        ctx: EvalContext | None,
+    ):
+        """One ``V[f]`` full-screen pass per site, in place on the owned
+        accumulator (zero copies: the chain's only buffer is the frame)."""
+        canvas = Canvas.empty(window, resolution, device)
+        if ctx is not None:
+            ctx.counters.allocations += 1
+            ctx.mark_owned(canvas)
+        for i in range(len(pts)):
+            f = self._voronoi_site_transform(
+                i, float(pts[i, 0]), float(pts[i, 1])
+            )
+            node = ValueTransformNode(
+                f, InputNode(canvas, name="C", owned=True),
+                name=f"f_site{i}",
+            )
+            result = node.evaluate(ctx) if ctx is not None else (
+                algebra.value_transform(canvas, f, out=canvas)
+            )
+            assert isinstance(result, Canvas)
+            canvas = result
+        tree_text = (
+            f"V[f_site0] ∘ ... ∘ V[f_site{len(pts) - 1}] "
+            f"(n={len(pts)} full-screen passes, in place on the owned "
+            "accumulator)"
+        )
+        return canvas, tree_text
+
+    def _run_voronoi_argmin(
+        self,
+        pts: np.ndarray,
+        window: BoundingBox,
+        resolution: Resolution,
+        device: Device,
+        ctx: EvalContext | None,
+        block: int = 8,
+    ):
+        """Blocked argmin over site chunks — bit-identical to the
+        iterated plan (same d² arithmetic; strict-< keeps the earliest
+        site on ties, matching ``np.argmin``'s first-minimum rule)."""
+        canvas = Canvas.empty(window, resolution, device)
+        if ctx is not None:
+            ctx.counters.allocations += 1
+            ctx.mark_owned(canvas)
+        gx, gy = canvas.pixel_center_grids()
+        best_d2 = np.full((canvas.height, canvas.width), np.inf)
+        owner = np.zeros((canvas.height, canvas.width))
+        for start in range(0, len(pts), block):
+            chunk = pts[start:start + block]
+            d2 = (
+                (gx[None, :, :] - chunk[:, 0, None, None]) ** 2
+                + (gy[None, :, :] - chunk[:, 1, None, None]) ** 2
+            )
+            idx = np.argmin(d2, axis=0)
+            dmin = np.min(d2, axis=0)
+            closer = dmin < best_d2
+            owner = np.where(closer, (start + idx).astype(np.float64), owner)
+            best_d2 = np.where(closer, dmin, best_d2)
+        canvas.texture.data[:, :, channel(DIM_AREA, FIELD_ID)] = owner
+        canvas.texture.data[:, :, channel(DIM_AREA, FIELD_COUNT)] = best_d2
+        canvas.texture.valid[:, :, DIM_AREA] = True
+        tree_text = (
+            f"blocked argmin over {len(pts)} sites "
+            f"(chunks of {block}, running nearest per pixel)"
+        )
+        return canvas, tree_text
+
+    # ------------------------------------------------------------------
+    # Origin-destination double selection (Section 4.6, Figure 8(a))
+    # ------------------------------------------------------------------
+    def od_select(
+        self,
+        origin_xs: np.ndarray,
+        origin_ys: np.ndarray,
+        dest_xs: np.ndarray,
+        dest_ys: np.ndarray,
+        q1: Polygon,
+        q2: Polygon,
+        *,
+        ids: np.ndarray | None = None,
+        window: BoundingBox,
+        resolution: Resolution = 1024,
+        device: Device = DEFAULT_DEVICE,
+        exact: bool = True,
+        force_plan: str | None = None,
+    ) -> SelectionOutcome:
+        """Plan and run ``Origin INSIDE Q1 AND Destination INSIDE Q2``."""
+        origin_xs = np.asarray(origin_xs, dtype=np.float64)
+        origin_ys = np.asarray(origin_ys, dtype=np.float64)
+        dest_xs = np.asarray(dest_xs, dtype=np.float64)
+        dest_ys = np.asarray(dest_ys, dtype=np.float64)
+        n = len(origin_xs)
+        key_ids = (
+            np.asarray(ids, dtype=np.int64) if ids is not None
+            else np.arange(n, dtype=np.int64)
+        )
+        if n == 0:
+            return self._empty_selection("od-selection: empty input")
+        resolution_hw = _resolve_resolution(window, resolution)
+
+        t0 = time.perf_counter()
+        choice = self.planner.plan_od(
+            n, q1, q2, resolution_hw, exact=exact, force=force_plan,
+            window=window,
+        )
+        t1 = time.perf_counter()
+        before = self.cache.thread_counters()
+        ctx = self._context()
+
+        if choice.chosen.name == OD_PIP:
+            result = self._run_od_pip(
+                origin_xs, origin_ys, dest_xs, dest_ys, q1, q2, key_ids,
+                window, resolution_hw,
+            )
+            tree_text = (
+                "PIP kernel: Q1 on origins, Q2 on surviving destinations"
+            )
+        else:
+            result, tree_text = self._run_od_canvas(
+                origin_xs, origin_ys, dest_xs, dest_ys, q1, q2, key_ids,
+                window, resolution, device, exact, ctx,
+            )
+        t2 = time.perf_counter()
+
+        report = self._report(
+            "od-selection", choice, tree_text, before, (t0, t1, t2), ctx
+        )
+        ids_out, n_candidates, n_tests, samples = result
+        return SelectionOutcome(
+            ids=ids_out, n_candidates=n_candidates, n_exact_tests=n_tests,
+            samples=samples, report=report,
+        )
+
+    def _run_od_canvas(
+        self,
+        origin_xs: np.ndarray,
+        origin_ys: np.ndarray,
+        dest_xs: np.ndarray,
+        dest_ys: np.ndarray,
+        q1: Polygon,
+        q2: Polygon,
+        key_ids: np.ndarray,
+        window: BoundingBox,
+        resolution: Resolution,
+        device: Device,
+        exact: bool,
+        ctx: EvalContext | None,
+    ):
+        """``M[Mp'](B[⊙](G[γd](Corigin), CQ2))`` — both constraint
+        canvases served by the engine's cache."""
+        # Stage 1: origin selection through the blended-canvas pipeline.
+        stage1, stage1_tree = self._run_selection_blended(
+            origin_xs, origin_ys, [q1], key_ids, window, resolution,
+            device, "any", exact, None, ctx,
+        )
+        _, _, n_tests1, surviving = stage1
+
+        # Stage 2: γd — value-driven transform to the destination
+        # (vectorized id -> destination lookup via sorted search).
+        order = np.argsort(key_ids, kind="stable")
+        sorted_keys = key_ids[order]
+
+        def gamma_dest(data, valid):
+            rec = data[:, channel(DIM_POINT, FIELD_ID)].astype(np.int64)
+            pos = order[np.searchsorted(sorted_keys, rec)]
+            return dest_xs[pos], dest_ys[pos]
+
+        moved = algebra.geometric_transform_by_value(surviving, gamma_dest)
+        assert isinstance(moved, CanvasSet)
+        # Clear the stage-1 boundary flags: the destination test's
+        # uncertainty depends only on Q2's pixels.
+        moved.boundary[:] = False
+
+        # Stage 3: blend with CQ2 (cached, id 2 per the paper's CQi).
+        cq2 = UtilityNode(
+            "CY",
+            factory=lambda: self.polygon_canvas(
+                q2, window, resolution, record_id=2, device=device
+            ),
+            params="CQ2 id=2",
+        )
+        stage2_tree = InputNode(moved, name="G[γd](Corigin)").blend(
+            cq2, PIP_MERGE
+        ).mask(mask_point_in_any_polygon(1.0))
+        masked = stage2_tree.evaluate(ctx)
+        assert isinstance(masked, CanvasSet)
+        n_candidates = masked.n_samples
+        n_tests = n_tests1
+        if exact:
+            masked, extra = refine_point_samples(masked, [q2])
+            n_tests += extra
+        tree_text = (
+            render_plan(stage2_tree)
+            + "\nwhere G[γd](Corigin) jumps the survivors of:\n"
+            + render_plan(stage1_tree)
+        )
+        return (
+            (unique_ids(masked.keys), n_candidates, n_tests, masked),
+            tree_text,
+        )
+
+    def _run_od_pip(
+        self,
+        origin_xs: np.ndarray,
+        origin_ys: np.ndarray,
+        dest_xs: np.ndarray,
+        dest_ys: np.ndarray,
+        q1: Polygon,
+        q2: Polygon,
+        key_ids: np.ndarray,
+        window: BoundingBox,
+        resolution_hw: tuple[int, int],
+    ):
+        """Exact PIP per stage, mirroring the canvas plan's window
+        semantics (out-of-window origins/destinations drop)."""
+        height, width = resolution_hw
+        _, _, in_origin = world_points_to_cells(
+            origin_xs, origin_ys, window, height, width
+        )
+        sel1 = np.zeros(len(origin_xs), dtype=bool)
+        sel1[in_origin] = points_in_polygon(
+            origin_xs[in_origin], origin_ys[in_origin], q1
+        )
+        _, _, in_dest = world_points_to_cells(
+            dest_xs, dest_ys, window, height, width
+        )
+        cand = sel1 & in_dest
+        hit = np.zeros(len(origin_xs), dtype=bool)
+        hit[cand] = points_in_polygon(dest_xs[cand], dest_ys[cand], q2)
+        sel_keys = key_ids[hit]
+        samples = CanvasSet.from_points(
+            dest_xs[hit], dest_ys[hit], ids=sel_keys
+        )
+        samples.data[:, channel(DIM_AREA, FIELD_ID)] = 2.0
+        samples.data[:, channel(DIM_AREA, FIELD_COUNT)] = 1.0
+        samples.valid[:, DIM_AREA] = True
+        n_tests = int(in_origin.sum()) + int(cand.sum())
+        return unique_ids(sel_keys), int(hit.sum()), n_tests, samples
+
+    # ------------------------------------------------------------------
+    # Geometry-record selections (Section 4.1, Figure 6)
+    # ------------------------------------------------------------------
+    _GEOMETRY_KINDS: dict[str, dict[str, Any]] = {
+        "polygons": dict(
+            blend_mode=POLY_MERGE,
+            predicate=lambda: mask_polygon_intersection(2.0),
+            build=CanvasSet.from_polygons,
+            exact_test=lambda geom, query: polygon_intersects_polygon(
+                geom, query
+            ),
+            label="CY (data polygons)",
+        ),
+        "lines": dict(
+            blend_mode=LINE_MERGE,
+            predicate=lambda: NotNull(DIM_LINE) & FieldCompare(
+                DIM_AREA, FIELD_COUNT, ">=", 1.0
+            ),
+            build=CanvasSet.from_linestrings,
+            exact_test=lambda geom, query: linestring_intersects_polygon(
+                geom.coords, query
+            ),
+            label="CL (data polylines)",
+        ),
+    }
+
+    def select_geometry_records(
+        self,
+        kind: str,
+        geometries: Sequence,
+        query: Polygon,
+        *,
+        ids: Sequence[int] | None = None,
+        window: BoundingBox,
+        resolution: Resolution = 1024,
+        device: Device = DEFAULT_DEVICE,
+        exact: bool = True,
+        force_plan: str | None = None,
+    ) -> SelectionOutcome:
+        """Plan and run ``Geometry INTERSECTS Q`` over polygon or
+        polyline records.
+
+        The ``canvas-blend`` plan produces the composable sample set;
+        the ``per-record-predicate`` plan returns ids only (its result
+        set has no raster samples to expose).
+        """
+        if kind not in self._GEOMETRY_KINDS:
+            known = ", ".join(sorted(self._GEOMETRY_KINDS))
+            raise ValueError(f"unknown geometry kind {kind!r} (use {known})")
+        config = self._GEOMETRY_KINDS[kind]
+        geom_list = list(geometries)
+        id_list = list(ids) if ids is not None else list(range(len(geom_list)))
+        if len(id_list) != len(geom_list):
+            raise ValueError("ids must match geometry count")
+        if not geom_list:
+            return self._empty_selection("geometry-selection: empty input")
+        resolution_hw = _resolve_resolution(window, resolution)
+
+        t0 = time.perf_counter()
+        choice = self.planner.plan_geometry_selection(
+            geom_list, query, resolution_hw, exact=exact, force=force_plan,
+            window=window,
+        )
+        t1 = time.perf_counter()
+        before = self.cache.thread_counters()
+        ctx = self._context()
+
+        if choice.chosen.name == GEOM_PREDICATE:
+            result = self._run_geometry_predicate(
+                config, geom_list, id_list, query
+            )
+            tree_text = (
+                "exact pairwise intersection test per record "
+                f"({len(geom_list)} records)"
+            )
+        else:
+            result, tree_text = self._run_geometry_blend(
+                config, geom_list, id_list, query, window, resolution,
+                device, exact, ctx,
+            )
+        t2 = time.perf_counter()
+
+        report = self._report(
+            "geometry-selection", choice, tree_text, before, (t0, t1, t2),
+            ctx,
+        )
+        ids_out, n_candidates, n_tests, samples = result
+        return SelectionOutcome(
+            ids=ids_out, n_candidates=n_candidates, n_exact_tests=n_tests,
+            samples=samples, report=report,
+        )
+
+    def _run_geometry_blend(
+        self,
+        config: dict[str, Any],
+        geom_list: list,
+        id_list: list[int],
+        query: Polygon,
+        window: BoundingBox,
+        resolution: Resolution,
+        device: Device,
+        exact: bool,
+        ctx: EvalContext | None,
+    ):
+        """``M[My](B[⊕](CY, CQ))`` with boundary-only-record refinement."""
+        frame = Canvas(window, resolution, device)
+        data_set = config["build"](geom_list, frame, ids=id_list)
+        cq = UtilityNode(
+            "CQ",
+            factory=lambda: self.polygon_canvas(
+                query, window, resolution, record_id=1, device=device
+            ),
+            params="query",
+        )
+        tree = InputNode(data_set, name=config["label"]).blend(
+            cq, config["blend_mode"]
+        ).mask(config["predicate"]())
+        masked = tree.evaluate(ctx)
+        assert isinstance(masked, CanvasSet)
+        n_candidates = masked.n_records
+        tree_text = render_plan(tree)
+
+        if masked.is_empty():
+            return (
+                (np.empty(0, dtype=np.int64), 0, 0, masked), tree_text
+            )
+        if not exact:
+            return (
+                (np.unique(masked.keys), n_candidates, 0, masked), tree_text
+            )
+
+        # A record with a surviving non-boundary sample intersects for
+        # sure; boundary-only records need the exact predicate.
+        certain = np.unique(masked.keys[~masked.boundary])
+        uncertain = np.setdiff1d(np.unique(masked.keys), certain)
+        by_id = {rid: geom for rid, geom in zip(id_list, geom_list)}
+        confirmed = [
+            rid for rid in uncertain
+            if config["exact_test"](by_id[int(rid)], query)
+        ]
+        result_ids = np.unique(
+            np.concatenate([certain, np.asarray(confirmed, dtype=np.int64)])
+        )
+        keep = np.isin(masked.keys, result_ids)
+        return (
+            (result_ids, n_candidates, len(uncertain),
+             masked.filter_rows(keep)),
+            tree_text,
+        )
+
+    @staticmethod
+    def _run_geometry_predicate(
+        config: dict[str, Any],
+        geom_list: list,
+        id_list: list[int],
+        query: Polygon,
+    ):
+        """Exact pairwise intersection per record (the traditional plan)."""
+        matches = sorted(
+            int(rid)
+            for rid, geom in zip(id_list, geom_list)
+            if config["exact_test"](geom, query)
+        )
+        result_ids = np.asarray(matches, dtype=np.int64)
+        return (
+            result_ids, len(result_ids), len(geom_list), CanvasSet.empty()
+        )
+
+    # ------------------------------------------------------------------
+    # Batched execution
+    # ------------------------------------------------------------------
+    def execute_batch(self, queries: Sequence[BatchQuery]) -> BatchOutcome:
+        """Plan and run a list of queries as one pass.
+
+        Member queries share the engine's canvas cache, so repeated
+        constraint sets rasterize once across the whole batch; during
+        the shared planning sweep, a selection whose constraint canvas
+        an *earlier* member will materialize is priced cache-aware,
+        letting the cost model pick the blended plan for every member
+        after the first.  Results come back in submission order next to
+        a :class:`BatchReport` of what the batch shared.
+        """
+        specs = list(queries)
+        dispatch = {
+            "selection": self.select_points,
+            "aggregation": self.aggregate_points,
+            "distance": self.select_distance,
+            "knn": self.knn,
+            "od": self.od_select,
+            "voronoi": self.voronoi,
+        }
+        t0 = time.perf_counter()
+        recipe_keys: list[tuple | None] = []
+        recipe_counts: dict[tuple, int] = {}
+        for spec in specs:
+            if spec.kind not in dispatch:
+                known = ", ".join(sorted(dispatch))
+                raise ValueError(
+                    f"unknown batch query kind {spec.kind!r} (use {known})"
+                )
+            key = None
+            if spec.kind == "selection" and "window" in spec.kwargs:
+                key = self._constraint_key(
+                    list(spec.kwargs["polygons"]),
+                    spec.kwargs["window"],
+                    spec.kwargs.get("resolution", 1024),
+                    spec.kwargs.get("device", DEFAULT_DEVICE),
+                )
+                recipe_counts[key] = recipe_counts.get(key, 0) + 1
+            recipe_keys.append(key)
+        shared = sum(1 for count in recipe_counts.values() if count > 1)
+        before = self.cache.thread_counters()
+        t1 = time.perf_counter()
+
+        will_cache: set[tuple] = set()
+        results: list = []
+        plans: list[tuple[str, str]] = []
+        counters = EvalCounters()
+        for spec, key in zip(specs, recipe_keys):
+            kwargs = dict(spec.kwargs)
+            if key is not None:
+                kwargs.setdefault(
+                    "constraint_cached", key in self.cache or key in will_cache
+                )
+            outcome = dispatch[spec.kind](**kwargs)
+            report = outcome.report
+            plans.append((spec.kind, report.plan))
+            counters.full_copies += report.copies
+            counters.allocations += report.allocations
+            counters.pool_reuses += report.pool_reuses
+            counters.inplace_ops += report.inplace_ops
+            if key is not None and report.plan == SELECTION_BLENDED:
+                will_cache.add(key)
+            results.append(outcome)
+        t2 = time.perf_counter()
+        after = self.cache.thread_counters()
+
+        report = BatchReport(
+            n_queries=len(specs),
+            plans=tuple(plans),
+            cache_hits=after[0] - before[0],
+            cache_misses=after[1] - before[1],
+            shared_constraint_sets=shared,
+            counters=counters,
+            planning_s=t1 - t0,
+            execution_s=t2 - t1,
+        )
+        return BatchOutcome(results, report)
 
     # ------------------------------------------------------------------
     # Introspection

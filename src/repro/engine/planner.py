@@ -12,7 +12,18 @@ admissible physical strategies, prices them with
   (the traditional vectorized point-in-polygon pass per constraint);
 - **aggregation** — ``join-then-aggregate`` (per-polygon gather then
   group-by, Section 4.3) vs ``rasterjoin`` (merge all points first,
-  per-polygon work bounded by texture size, Figure 8(c)).
+  per-polygon work bounded by texture size, Figure 8(c));
+- **distance selection** — ``circle-canvas`` (the ``Circ`` utility
+  canvas plus gathers) vs ``direct-distance`` (one vectorized exact
+  distance compare per point);
+- **kNN** — ``canvas-distance-probes`` (bisected concentric-circle
+  counting, Section 4.4) vs ``kdtree-refine`` (exact index probe);
+- **Voronoi** — ``iterated-value-transform`` (one ``V[f]`` pass per
+  site, Section 4.5) vs ``blocked-argmin`` (bit-identical fused sweep);
+- **OD selection** — ``two-stage-canvas`` (Figure 8(a)) vs
+  ``per-pair-pip`` (exact PIP per stage);
+- **geometry selection** — ``canvas-blend`` (Figure 6) vs
+  ``per-record-predicate`` (exact pairwise intersection tests).
 
 Admissibility encodes result contracts, not preferences: approximate
 selection (``exact=False``) is *defined* as the raster pipeline, exact
@@ -37,6 +48,16 @@ SELECTION_BLENDED = "blended-canvas"
 SELECTION_PIP = "per-polygon-pip"
 AGG_RASTERJOIN = "rasterjoin"
 AGG_JOIN_THEN_AGG = "join-then-aggregate"
+DISTANCE_CANVAS = "circle-canvas"
+DISTANCE_DIRECT = "direct-distance"
+KNN_PROBES = "canvas-distance-probes"
+KNN_KDTREE = "kdtree-refine"
+VORONOI_ITERATED = "iterated-value-transform"
+VORONOI_ARGMIN = "blocked-argmin"
+OD_CANVAS = "two-stage-canvas"
+OD_PIP = "per-pair-pip"
+GEOM_BLEND = "canvas-blend"
+GEOM_PREDICATE = "per-record-predicate"
 
 #: Aggregates computable on each aggregation plan.
 _RASTERJOIN_AGGREGATES = frozenset({"count", "sum", "avg"})
@@ -87,6 +108,7 @@ class Planner:
         prebuilt_canvas: bool = False,
         force: str | None = None,
         window: BoundingBox | None = None,
+        constraint_cached: bool = False,
     ) -> PlanChoice:
         """Choose how to select *n_points* under polygon constraints.
 
@@ -94,12 +116,15 @@ class Planner:
         EXPLAIN-style user override); it still must be a priced
         candidate.  *window*, when known, makes the raster costs
         bbox-aware (clipped rasterization prices small constraints
-        below a full-frame sweep).
+        below a full-frame sweep).  *constraint_cached* tells the cost
+        model the blended plan's constraint canvas is already
+        materialized (engine cache hit, or an earlier query in the same
+        batch builds it), dropping its raster cost.
         """
         candidates = tuple(
             optimizer.selection_plans(
                 n_points, polygons, resolution, self.cost_model,
-                window=window,
+                window=window, constraint_cached=constraint_cached,
             )
         )
         if force is not None:
@@ -177,6 +202,148 @@ class Planner:
                 forced=f"aggregate {aggregate!r} needs the sample-level plan",
             )
         return PlanChoice("aggregation", candidates[0], candidates)
+
+    # ------------------------------------------------------------------
+    def plan_distance(
+        self,
+        n_points: int,
+        radius: float,
+        resolution: tuple[int, int],
+        exact: bool = True,
+        force: str | None = None,
+        window: BoundingBox | None = None,
+    ) -> PlanChoice:
+        """Choose how to select points within *radius* of a center."""
+        candidates = tuple(
+            optimizer.distance_plans(
+                n_points, radius, resolution, self.cost_model, window=window
+            )
+        )
+        if force is not None:
+            if force == DISTANCE_DIRECT and not exact:
+                raise ValueError(
+                    "approximate mode is defined on the raster plan; the "
+                    "direct-distance plan is exact — drop exact=False or "
+                    "the override"
+                )
+            return self._pick(
+                "distance-selection", candidates, force,
+                forced=f"user override {force!r}",
+            )
+        if not exact:
+            return self._pick(
+                "distance-selection", candidates, DISTANCE_CANVAS,
+                forced="approximate mode is defined on the raster plan",
+            )
+        return PlanChoice("distance-selection", candidates[0], candidates)
+
+    # ------------------------------------------------------------------
+    def plan_knn(
+        self,
+        n_points: int,
+        k: int,
+        resolution: tuple[int, int],
+        force: str | None = None,
+        window: BoundingBox | None = None,
+    ) -> PlanChoice:
+        """Choose how to find the k nearest neighbors (both plans exact)."""
+        candidates = tuple(
+            optimizer.knn_plans(
+                n_points, k, resolution, self.cost_model, window=window
+            )
+        )
+        if force is not None:
+            return self._pick(
+                "knn", candidates, force, forced=f"user override {force!r}"
+            )
+        return PlanChoice("knn", candidates[0], candidates)
+
+    # ------------------------------------------------------------------
+    def plan_voronoi(
+        self,
+        n_sites: int,
+        resolution: tuple[int, int],
+        force: str | None = None,
+    ) -> PlanChoice:
+        """Choose how to compute the Voronoi diagram (bit-identical plans)."""
+        candidates = tuple(
+            optimizer.voronoi_plans(n_sites, resolution, self.cost_model)
+        )
+        if force is not None:
+            return self._pick(
+                "voronoi", candidates, force, forced=f"user override {force!r}"
+            )
+        return PlanChoice("voronoi", candidates[0], candidates)
+
+    # ------------------------------------------------------------------
+    def plan_od(
+        self,
+        n_points: int,
+        q1: Polygon,
+        q2: Polygon,
+        resolution: tuple[int, int],
+        exact: bool = True,
+        force: str | None = None,
+        window: BoundingBox | None = None,
+    ) -> PlanChoice:
+        """Choose how to run the origin-destination double selection."""
+        candidates = tuple(
+            optimizer.od_plans(
+                n_points, q1, q2, resolution, self.cost_model, window=window
+            )
+        )
+        if force is not None:
+            if force == OD_PIP and not exact:
+                raise ValueError(
+                    "approximate mode is defined on the raster plan; the "
+                    "per-pair-pip plan is exact — drop exact=False or the "
+                    "override"
+                )
+            return self._pick(
+                "od-selection", candidates, force,
+                forced=f"user override {force!r}",
+            )
+        if not exact:
+            return self._pick(
+                "od-selection", candidates, OD_CANVAS,
+                forced="approximate mode is defined on the raster plan",
+            )
+        return PlanChoice("od-selection", candidates[0], candidates)
+
+    # ------------------------------------------------------------------
+    def plan_geometry_selection(
+        self,
+        data_geometries: Sequence,
+        query: Polygon,
+        resolution: tuple[int, int],
+        exact: bool = True,
+        force: str | None = None,
+        window: BoundingBox | None = None,
+    ) -> PlanChoice:
+        """Choose how to select polygon/polyline records INTERSECTS Q."""
+        candidates = tuple(
+            optimizer.geometry_selection_plans(
+                data_geometries, query, resolution, self.cost_model,
+                window=window,
+            )
+        )
+        if force is not None:
+            if force == GEOM_PREDICATE and not exact:
+                raise ValueError(
+                    "approximate mode is defined on the raster plan; the "
+                    "per-record-predicate plan is exact — drop exact=False "
+                    "or the override"
+                )
+            return self._pick(
+                "geometry-selection", candidates, force,
+                forced=f"user override {force!r}",
+            )
+        if not exact:
+            return self._pick(
+                "geometry-selection", candidates, GEOM_BLEND,
+                forced="approximate mode is defined on the raster plan",
+            )
+        return PlanChoice("geometry-selection", candidates[0], candidates)
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -44,6 +44,10 @@ class KDTree:
         if len(ids) != len(coords):
             raise ValueError("items length must match point count")
         self._size = len(coords)
+        #: Nodes visited by the most recent :meth:`nearest` call — the
+        #: exact-distance-evaluation count the engine's kNN plan
+        #: reports as ``n_exact_tests``.
+        self.last_visited = 0
         records = [
             (float(coords[i, 0]), float(coords[i, 1]), ids[i])
             for i in range(len(coords))
@@ -101,6 +105,7 @@ class KDTree:
                 visit(far)
 
         visit(self._root)
+        self.last_visited = counter
         ordered = sorted(best, key=lambda t: -t[0])
         return [(item, -neg_d) for neg_d, _, item in ordered]
 

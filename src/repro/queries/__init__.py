@@ -2,12 +2,14 @@
 
 Successor of the former ``repro.core.queries`` monolith, split by query
 family.  Every public function keeps its original signature and exact
-results; what changed underneath is *how* queries execute: selections
-and aggregations describe logical plans and route through
+results; what changed underneath is *how* queries execute: **every**
+frontend — selections, aggregations, distance, kNN, Voronoi, OD and
+the geometry selections — describes a logical plan and routes through
 :mod:`repro.engine`, which enumerates the equivalent physical plans of
-Section 7, prices them with :class:`repro.core.optimizer.CostModel`,
-executes the winner, and serves repeated constraint rasterizations from
-its canvas cache.
+Section 7 (at least two per family), prices them with
+:class:`repro.core.optimizer.CostModel`, executes the winner, serves
+repeated constraint rasterizations from its canvas cache, and records
+an :class:`~repro.engine.executor.ExecutionReport` per query.
 
 Modules:
 

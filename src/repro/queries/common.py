@@ -46,8 +46,13 @@ class SelectionResult:
         canvas plans; full PIP tests on the per-polygon plan).
     samples:
         The surviving canvas-set samples (for downstream composition).
-        Plan-independent: both selection plans attach the constraint's
-        S^3 triple.
+        For *point* selections this is plan-independent: every physical
+        plan attaches the constraint's S^3 triple.  For geometry-record
+        selections only the ``canvas-blend`` plan produces raster
+        samples; the ``per-record-predicate`` kernel returns ids with an
+        empty sample set — compose on ``samples`` only after forcing
+        the canvas plan (``force_plan=GEOM_BLEND`` through the engine)
+        or checking ``plan``.
     plan:
         Name of the executed physical plan for engine-routed queries
         (``None`` for queries with a single strategy).

@@ -2,10 +2,16 @@
 
 Section 4's point: the *same* blend+mask expression handles records of
 any primitive dimension — only the blend function swaps the S^3 slot it
-reads.  These queries run the canvas pipeline directly (their data sets
-are sparse per-record canvases, for which the paper discusses no
-alternative physical plan); point-primitive decomposition routes
-through the engine via :func:`repro.queries.selection.polygonal_select_points`.
+reads.  The frontends here describe the query; the engine prices the
+canvas-blend expression against a per-record exact-predicate pass and
+executes the winner (heterogeneous objects decompose into per-dimension
+selections that each route through the engine).
+
+Result ids are plan-independent; ``SelectionResult.samples`` is not:
+the predicate kernel has no raster stage, so it returns an empty sample
+set.  Callers composing on samples should force the canvas plan
+(``engine.select_geometry_records(..., force_plan=GEOM_BLEND)``) or
+check ``result.plan``.
 """
 
 from __future__ import annotations
@@ -15,17 +21,22 @@ from typing import Sequence
 import numpy as np
 
 from repro.geometry.bbox import BoundingBox
-from repro.geometry.predicates import polygon_intersects_polygon
 from repro.geometry.primitives import Polygon
 from repro.gpu.device import DEFAULT_DEVICE, Device
-from repro.core import algebra
-from repro.core.blendfuncs import POLY_MERGE
-from repro.core.canvas import Canvas, Resolution
-from repro.core.canvas_set import CanvasSet
-from repro.core.masks import mask_polygon_intersection
-from repro.core.objectinfo import DIM_AREA, DIM_LINE, FIELD_COUNT
+from repro.core.canvas import Resolution
+from repro.engine import get_engine
 from repro.queries.common import SelectionResult, default_window
 from repro.queries.selection import polygonal_select_points
+
+
+def _wrap(outcome) -> SelectionResult:
+    return SelectionResult(
+        ids=outcome.ids,
+        n_candidates=outcome.n_candidates,
+        n_exact_tests=outcome.n_exact_tests,
+        samples=outcome.samples,
+        plan=outcome.report.plan,
+    )
 
 
 def polygonal_select_polygons(
@@ -39,67 +50,23 @@ def polygonal_select_polygons(
 ) -> SelectionResult:
     """``SELECT * FROM DY WHERE Geometry INTERSECTS Q`` (Figure 6).
 
-    Implements ``M[My](B[⊕](CY, CQ))``: every data-polygon canvas
-    blends with the query canvas under ``⊕`` (counts add); the mask
-    keeps pixels with two incident 2-primitives.  Records whose only
-    surviving samples are boundary-flagged get an exact
-    polygon-intersects-polygon test.
+    The logical query is ``M[My](B[⊕](CY, CQ))``: every data-polygon
+    canvas blends with the query canvas under ``⊕`` (counts add); the
+    mask keeps pixels with two incident 2-primitives, and records whose
+    only surviving samples are boundary-flagged get an exact
+    polygon-intersects-polygon test.  The engine prices that canvas
+    plan against the per-record exact predicate and runs the winner.
     """
     polys = list(data_polygons)
-    id_list = list(ids) if ids is not None else list(range(len(polys)))
     if window is None:
         all_pts_x = np.array([query.bounds.xmin, query.bounds.xmax])
         all_pts_y = np.array([query.bounds.ymin, query.bounds.ymax])
         window = default_window(all_pts_x, all_pts_y, polys + [query])
 
-    frame = Canvas(window, resolution, device)
-    data_set = CanvasSet.from_polygons(polys, frame, ids=id_list)
-    query_canvas = Canvas.from_polygon(
-        query, window, resolution, record_id=1, device=device
-    )
-    blended = algebra.blend(data_set, query_canvas, POLY_MERGE)
-    masked = algebra.mask(blended, mask_polygon_intersection(2.0))
-    assert isinstance(masked, CanvasSet)
-    n_candidates = masked.n_records
-
-    if masked.is_empty():
-        return SelectionResult(
-            ids=np.empty(0, dtype=np.int64),
-            n_candidates=0,
-            n_exact_tests=0,
-            samples=masked,
-        )
-
-    if not exact:
-        return SelectionResult(
-            ids=np.unique(masked.keys),
-            n_candidates=n_candidates,
-            n_exact_tests=0,
-            samples=masked,
-        )
-
-    # A record with a surviving non-boundary sample intersects for sure
-    # (both coverages are pure-interior there); boundary-only records
-    # need the exact predicate.
-    certain = np.unique(masked.keys[~masked.boundary])
-    uncertain = np.setdiff1d(np.unique(masked.keys), certain)
-    by_id = {rid: poly for rid, poly in zip(id_list, polys)}
-    confirmed = [
-        rid
-        for rid in uncertain
-        if polygon_intersects_polygon(by_id[int(rid)], query)
-    ]
-    n_tests = len(uncertain)
-    result_ids = np.unique(
-        np.concatenate([certain, np.asarray(confirmed, dtype=np.int64)])
-    )
-    keep = np.isin(masked.keys, result_ids)
-    return SelectionResult(
-        ids=result_ids,
-        n_candidates=n_candidates,
-        n_exact_tests=n_tests,
-        samples=masked.filter_rows(keep),
-    )
+    return _wrap(get_engine().select_geometry_records(
+        "polygons", polys, query, ids=ids, window=window,
+        resolution=resolution, device=device, exact=exact,
+    ))
 
 
 def polygonal_select_lines(
@@ -114,17 +81,13 @@ def polygonal_select_lines(
     """``SELECT * FROM DL WHERE Geometry INTERSECTS Q`` for polylines.
 
     The same blend+mask expression with ``LINE_MERGE`` instead of
-    ``⊙``.  A line sample on a pure-interior constraint pixel proves
+    ``⊙``: a line sample on a pure-interior constraint pixel proves
     intersection (supercover coverage means the line passes through
     that pixel); boundary-pixel candidates fall back to the exact
-    segment-polygon test.
+    segment-polygon test.  Plan choice (canvas vs per-record predicate)
+    is the engine's.
     """
-    from repro.geometry.predicates import linestring_intersects_polygon
-    from repro.core.blendfuncs import LINE_MERGE
-    from repro.core.masks import FieldCompare, NotNull
-
     line_list = list(lines)
-    id_list = list(ids) if ids is not None else list(range(len(line_list)))
     if window is None:
         corner_x: list[float] = [query.bounds.xmin, query.bounds.xmax]
         corner_y: list[float] = [query.bounds.ymin, query.bounds.ymax]
@@ -133,47 +96,10 @@ def polygonal_select_lines(
             corner_y.extend([line.bounds.ymin, line.bounds.ymax])
         window = default_window(np.asarray(corner_x), np.asarray(corner_y))
 
-    frame = Canvas(window, resolution, device)
-    data_set = CanvasSet.from_linestrings(line_list, frame, ids=id_list)
-    query_canvas = Canvas.from_polygon(
-        query, window, resolution, record_id=1, device=device
-    )
-    blended = algebra.blend(data_set, query_canvas, LINE_MERGE)
-    predicate = NotNull(DIM_LINE) & FieldCompare(
-        DIM_AREA, FIELD_COUNT, ">=", 1.0
-    )
-    masked = algebra.mask(blended, predicate)
-    assert isinstance(masked, CanvasSet)
-    n_candidates = masked.n_records
-
-    if masked.is_empty():
-        return SelectionResult(
-            ids=np.empty(0, dtype=np.int64), n_candidates=0,
-            n_exact_tests=0, samples=masked,
-        )
-    if not exact:
-        return SelectionResult(
-            ids=np.unique(masked.keys), n_candidates=n_candidates,
-            n_exact_tests=0, samples=masked,
-        )
-
-    certain = np.unique(masked.keys[~masked.boundary])
-    uncertain = np.setdiff1d(np.unique(masked.keys), certain)
-    by_id = {rid: line for rid, line in zip(id_list, line_list)}
-    confirmed = [
-        rid for rid in uncertain
-        if linestring_intersects_polygon(by_id[int(rid)].coords, query)
-    ]
-    result_ids = np.unique(
-        np.concatenate([certain, np.asarray(confirmed, dtype=np.int64)])
-    )
-    keep = np.isin(masked.keys, result_ids)
-    return SelectionResult(
-        ids=result_ids,
-        n_candidates=n_candidates,
-        n_exact_tests=len(uncertain),
-        samples=masked.filter_rows(keep),
-    )
+    return _wrap(get_engine().select_geometry_records(
+        "lines", line_list, query, ids=ids, window=window,
+        resolution=resolution, device=device, exact=exact,
+    ))
 
 
 def polygonal_select_objects(

@@ -1,24 +1,23 @@
-"""Nearest-neighbor queries (Section 4.4).
+"""Nearest-neighbor queries (Section 4.4) as engine-routed plans.
 
 kNN via concentric-circle counting: probe circles of increasing radii,
 mask the count-equals-k circle to read off the radius, then reissue a
-distance selection.  A conceptually infinite circle set is realized
-lazily as a bisection over the radius, each probe being the full canvas
-pipeline (``Circ`` + blend + mask + aggregate).
+distance selection.  The frontend describes the query; the engine
+prices that canvas plan against an exact k-d tree probe and executes
+the winner (both exact, so plan choice is invisible in the output —
+force ``canvas-distance-probes`` through the engine to see the paper's
+bisection run).
 """
 
 from __future__ import annotations
-
-import math
 
 import numpy as np
 
 from repro.geometry.bbox import BoundingBox
 from repro.gpu.device import DEFAULT_DEVICE, Device
 from repro.core.canvas import Resolution
-from repro.engine import unique_ids
+from repro.engine import get_engine
 from repro.queries.common import SelectionResult, default_window
-from repro.queries.selection import distance_select
 
 
 def knn(
@@ -32,7 +31,7 @@ def knn(
     device: Device = DEFAULT_DEVICE,
     max_iterations: int = 64,
 ) -> SelectionResult:
-    """kNN via concentric-circle counting (Section 4.4)."""
+    """k nearest neighbors (Section 4.4), cost-planned by the engine."""
     xs = np.asarray(xs, dtype=np.float64)
     ys = np.asarray(ys, dtype=np.float64)
     if k < 1 or k > len(xs):
@@ -44,51 +43,14 @@ def knn(
             0.01 * max(window.width, window.height)
         )
 
-    def count_within(radius: float) -> int:
-        result = distance_select(
-            xs, ys, query_point, radius,
-            ids=ids, window=window, resolution=resolution, device=device,
-        )
-        return len(result.ids)
-
-    lo = 0.0
-    hi = math.hypot(window.width, window.height)
-    # Grow hi until at least k points are inside (window diagonal is
-    # always enough since the window covers the data).
-    iterations = 0
-    while count_within(hi) < k and iterations < 8:
-        hi *= 2.0
-        iterations += 1
-
-    result_at_hi: SelectionResult | None = None
-    for _ in range(max_iterations):
-        mid = (lo + hi) / 2.0
-        result = distance_select(
-            xs, ys, query_point, mid,
-            ids=ids, window=window, resolution=resolution, device=device,
-        )
-        n = len(result.ids)
-        if n == k:
-            return result
-        if n < k:
-            lo = mid
-        else:
-            hi = mid
-            result_at_hi = result
-    # Ties or resolution floor: fall back to trimming the smallest
-    # enclosing probe by exact distance (the paper's ϵ-perturbation).
-    if result_at_hi is None:
-        result_at_hi = distance_select(
-            xs, ys, query_point, hi,
-            ids=ids, window=window, resolution=resolution, device=device,
-        )
-    sel = result_at_hi.samples
-    d = np.hypot(sel.xs - query_point[0], sel.ys - query_point[1])
-    order = np.argsort(d, kind="stable")[:k]
-    trimmed = sel.filter_rows(np.isin(np.arange(sel.n_samples), order))
+    outcome = get_engine().knn(
+        xs, ys, query_point, k, ids=ids, window=window,
+        resolution=resolution, device=device, max_iterations=max_iterations,
+    )
     return SelectionResult(
-        ids=unique_ids(trimmed.keys),
-        n_candidates=result_at_hi.n_candidates,
-        n_exact_tests=result_at_hi.n_exact_tests + sel.n_samples,
-        samples=trimmed,
+        ids=outcome.ids,
+        n_candidates=outcome.n_candidates,
+        n_exact_tests=outcome.n_exact_tests,
+        samples=outcome.samples,
+        plan=outcome.report.plan,
     )

@@ -1,10 +1,11 @@
 """Complex queries: origin-destination double selection (Section 4.6).
 
 The OD query composes two selections through the value-driven
-geometric transform ``γd``: the origin stage is an ordinary
-(engine-routed) selection, surviving records jump to their destination
-coordinates, and the destination stage blends against the second
-constraint canvas.
+geometric transform ``γd``.  The frontend infers the window and hands
+the logical query to the engine, which prices the two-stage canvas
+plan of Figure 8(a) (origin selection, ``γd`` jump, blend against the
+cached ``CQ2`` canvas) against an exact per-pair PIP kernel and runs
+the winner.
 """
 
 from __future__ import annotations
@@ -14,16 +15,9 @@ import numpy as np
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.primitives import Polygon
 from repro.gpu.device import DEFAULT_DEVICE, Device
-from repro.core import algebra
-from repro.core.accuracy import refine_point_samples
-from repro.core.blendfuncs import PIP_MERGE
-from repro.core.canvas import Canvas, Resolution
-from repro.core.canvas_set import CanvasSet
-from repro.core.masks import mask_point_in_any_polygon
-from repro.core.objectinfo import DIM_POINT, FIELD_ID, channel
-from repro.engine import unique_ids
+from repro.core.canvas import Resolution
+from repro.engine import get_engine
 from repro.queries.common import SelectionResult, default_window
-from repro.queries.selection import polygonal_select_points
 
 
 def od_select(
@@ -41,64 +35,28 @@ def od_select(
 ) -> SelectionResult:
     """``Origin INSIDE Q1 AND Destination INSIDE Q2`` (Fig. 8(a)).
 
-    Expression: ``M[Mp'](B[⊙](G[γd](Corigin), CQ2))`` where ``Corigin``
-    is the origin selection and ``γd(s) = destination(s[0][0])`` jumps
-    each surviving record from its origin to its destination.
+    Logical expression: ``M[Mp'](B[⊙](G[γd](Corigin), CQ2))`` where
+    ``Corigin`` is the origin selection and ``γd(s)`` jumps each
+    surviving record from its origin to its destination.  The engine
+    picks the physical plan; results are exact either way.
     """
     origin_xs = np.asarray(origin_xs, dtype=np.float64)
     origin_ys = np.asarray(origin_ys, dtype=np.float64)
     dest_xs = np.asarray(dest_xs, dtype=np.float64)
     dest_ys = np.asarray(dest_ys, dtype=np.float64)
-    n = len(origin_xs)
-    key_ids = (
-        np.asarray(ids, dtype=np.int64) if ids is not None
-        else np.arange(n, dtype=np.int64)
-    )
     if window is None:
         all_x = np.concatenate([origin_xs, dest_xs])
         all_y = np.concatenate([origin_ys, dest_ys])
         window = default_window(all_x, all_y, [q1, q2])
 
-    # Stage 1: origin selection (the familiar engine-routed expression).
-    origin_result = polygonal_select_points(
-        origin_xs, origin_ys, q1, ids=key_ids,
+    outcome = get_engine().od_select(
+        origin_xs, origin_ys, dest_xs, dest_ys, q1, q2, ids=ids,
         window=window, resolution=resolution, device=device, exact=exact,
     )
-    surviving = origin_result.samples
-
-    # Stage 2: γd — value-driven transform to the destination location.
-    dest_x_by_id = dict(zip(key_ids.tolist(), dest_xs.tolist()))
-    dest_y_by_id = dict(zip(key_ids.tolist(), dest_ys.tolist()))
-
-    def gamma_dest(
-        data: np.ndarray, valid: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        rec = data[:, channel(DIM_POINT, FIELD_ID)].astype(np.int64)
-        nx = np.array([dest_x_by_id[int(r)] for r in rec], dtype=np.float64)
-        ny = np.array([dest_y_by_id[int(r)] for r in rec], dtype=np.float64)
-        return nx, ny
-
-    moved = algebra.geometric_transform_by_value(surviving, gamma_dest)
-    assert isinstance(moved, CanvasSet)
-    # Clear the stage-1 boundary flags: the destination test's
-    # uncertainty depends only on Q2's pixels.
-    moved.boundary[:] = False
-
-    # Stage 3: blend with CQ2 and mask (id 2 per the paper's CQi).
-    q2_canvas = Canvas.from_polygon(
-        q2, window, resolution, record_id=2, device=device
-    )
-    blended = algebra.blend(moved, q2_canvas, PIP_MERGE)
-    masked = algebra.mask(blended, mask_point_in_any_polygon(1.0))
-    assert isinstance(masked, CanvasSet)
-    n_candidates = masked.n_samples
-    n_tests = origin_result.n_exact_tests
-    if exact:
-        masked, extra = refine_point_samples(masked, [q2])
-        n_tests += extra
     return SelectionResult(
-        ids=unique_ids(masked.keys),
-        n_candidates=n_candidates,
-        n_exact_tests=n_tests,
-        samples=masked,
+        ids=outcome.ids,
+        n_candidates=outcome.n_candidates,
+        n_exact_tests=outcome.n_exact_tests,
+        samples=outcome.samples,
+        plan=outcome.report.plan,
     )

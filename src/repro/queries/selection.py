@@ -19,12 +19,8 @@ import numpy as np
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.primitives import Polygon
 from repro.gpu.device import DEFAULT_DEVICE, Device
-from repro.core import algebra
-from repro.core.blendfuncs import PIP_MERGE
 from repro.core.canvas import Canvas, Resolution
-from repro.core.canvas_set import CanvasSet
-from repro.core.masks import mask_point_in_any_polygon
-from repro.engine import get_engine, unique_ids
+from repro.engine import get_engine
 from repro.queries.common import (
     SelectionResult,
     SelectMode,
@@ -146,11 +142,11 @@ def distance_select(
 ) -> SelectionResult:
     """Distance-based selection via ``Circ[(x, y), d]()`` (Section 4.1).
 
-    The constraint comes from a utility operator rather than stored
-    geometry, so this query runs the canvas pipeline directly (kNN's
-    radius probes never repeat a circle, so caching would not help).
-    Boundary pixels of the disk are refined with the exact distance
-    test, keeping the result exact.
+    The logical query is ``M[Mp'](B[⊙](CP, Circ))``; the engine prices
+    the canvas realization (disk rasterization + one gather per point,
+    boundary pixels refined with the exact distance test) against the
+    direct vectorized distance kernel and runs the winner — results
+    are exact either way.
     """
     xs = np.asarray(xs, dtype=np.float64)
     ys = np.asarray(ys, dtype=np.float64)
@@ -161,27 +157,14 @@ def distance_select(
             BoundingBox(cx - radius, cy - radius, cx + radius, cy + radius)
         ).expand(0.01 * radius)
 
-    constraint = Canvas.circle(center, radius, window, resolution, 1, device)
-    point_set = CanvasSet.from_points(xs, ys, ids=ids)
-    blended = algebra.blend(point_set, constraint, PIP_MERGE)
-    masked = algebra.mask(blended, mask_point_in_any_polygon(1.0))
-    assert isinstance(masked, CanvasSet)
-    n_candidates = masked.n_samples
-    n_tests = 0
-    if exact:
-        on_boundary = masked.boundary
-        n_tests = int(on_boundary.sum())
-        if n_tests:
-            d = np.hypot(
-                masked.xs[on_boundary] - center[0],
-                masked.ys[on_boundary] - center[1],
-            )
-            keep = np.ones(masked.n_samples, dtype=bool)
-            keep[np.nonzero(on_boundary)[0]] = d <= radius
-            masked = masked.filter_rows(keep)
+    outcome = get_engine().select_distance(
+        xs, ys, center, radius, ids=ids, window=window,
+        resolution=resolution, device=device, exact=exact,
+    )
     return SelectionResult(
-        ids=unique_ids(masked.keys),
-        n_candidates=n_candidates,
-        n_exact_tests=n_tests,
-        samples=masked,
+        ids=outcome.ids,
+        n_candidates=outcome.n_candidates,
+        n_exact_tests=outcome.n_exact_tests,
+        samples=outcome.samples,
+        plan=outcome.report.plan,
     )

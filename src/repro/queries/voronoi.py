@@ -1,4 +1,13 @@
-"""Computational geometry via the algebra: Voronoi (Section 4.5)."""
+"""Computational geometry via the algebra: Voronoi (Section 4.5).
+
+``ComputeVoronoi`` is described here and executed by the engine, which
+prices the paper's iterated ``V[f]`` insertion loop against a blocked
+argmin sweep (bit-identical results — same d² arithmetic and the same
+first-site-wins tie rule) and records an
+:class:`~repro.engine.executor.ExecutionReport` with the run's buffer
+counters (the iterated plan runs every full-screen pass in place on the
+one owned accumulator: zero full-texture copies).
+"""
 
 from __future__ import annotations
 
@@ -6,9 +15,8 @@ import numpy as np
 
 from repro.geometry.bbox import BoundingBox
 from repro.gpu.device import DEFAULT_DEVICE, Device
-from repro.core import algebra
 from repro.core.canvas import Canvas, Resolution
-from repro.core.objectinfo import DIM_AREA, FIELD_COUNT, FIELD_ID, channel
+from repro.engine import get_engine
 
 
 def voronoi(
@@ -17,42 +25,13 @@ def voronoi(
     resolution: Resolution = 512,
     device: Device = DEFAULT_DEVICE,
 ) -> Canvas:
-    """Voronoi diagram via iterated Value Transform (Section 4.5).
+    """Voronoi diagram via the canvas algebra (Section 4.5).
 
-    ``ComputeVoronoi``: starting from the empty canvas, insert one site
-    at a time with ``V[f_(xi, yi)]``; ``f`` claims every pixel whose
-    squared distance to the new site beats the stored one (kept in
-    ``s[2][1]``, exactly as the paper's ``f`` definition stores ``d^2``).
-    The result's ``s[2][0]`` is the owning site index.
+    The result's ``s[2][0]`` is the owning site index and ``s[2][1]``
+    the squared distance to it (exactly the paper's ``f`` definition);
+    the executed physical plan is the engine's cost-based choice.
     """
-    pts = np.asarray(points, dtype=np.float64)
-    if pts.ndim != 2 or pts.shape[1] != 2:
-        raise ValueError("points must be an (n, 2) array")
-    canvas = Canvas.empty(window, resolution, device)
-    id_ch = channel(DIM_AREA, FIELD_ID)
-    d2_ch = channel(DIM_AREA, FIELD_COUNT)
-
-    for i in range(len(pts)):
-        px, py = float(pts[i, 0]), float(pts[i, 1])
-
-        def f(
-            gx: np.ndarray, gy: np.ndarray,
-            data: np.ndarray, valid: np.ndarray,
-            _site: int = i, _px: float = px, _py: float = py,
-        ) -> tuple[np.ndarray, np.ndarray]:
-            d2 = (gx - _px) ** 2 + (gy - _py) ** 2
-            out_data = data.copy()
-            out_valid = valid.copy()
-            was_null = ~valid[..., DIM_AREA]
-            closer = d2 < data[..., d2_ch]
-            claim = was_null | closer
-            out_data[..., id_ch] = np.where(claim, float(_site), data[..., id_ch])
-            out_data[..., d2_ch] = np.where(claim, d2, data[..., d2_ch])
-            out_valid[..., DIM_AREA] = True
-            return out_data, out_valid
-
-        # The loop owns its accumulator canvas, so each site's
-        # full-screen pass runs in place instead of copying the frame.
-        canvas = algebra.value_transform(canvas, f, out=canvas)
-        assert isinstance(canvas, Canvas)
-    return canvas
+    outcome = get_engine().voronoi(
+        points, window, resolution=resolution, device=device
+    )
+    return outcome.canvas

@@ -1,0 +1,296 @@
+"""Ownership-aware expression evaluation vs the legacy copying evaluator.
+
+The acceptance bar of the buffer-pool refactor: random expression trees
+evaluated with an :class:`EvalContext` must be *bit-identical* to the
+legacy value-semantics evaluation, owned dense intermediates must cost
+zero full-texture copies, and cached leaves must come through untouched.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.bbox import BoundingBox
+from repro.core.blendfuncs import PIP_MERGE, POLY_MERGE
+from repro.core.canvas import Canvas
+from repro.core.canvas_set import CanvasSet
+from repro.core.expressions import (
+    BufferPool,
+    EvalContext,
+    InputNode,
+    MultiwayBlendNode,
+    Node,
+)
+from repro.core.masks import FieldCompare, NotNull, mask_point_in_any_polygon
+from repro.core.objectinfo import DIM_AREA, FIELD_COUNT
+
+WINDOW = BoundingBox(0.0, 0.0, 10.0, 10.0)
+RES = 32
+
+
+# ----------------------------------------------------------------------
+# Deterministic random trees
+# ----------------------------------------------------------------------
+def _leaf_canvas(rng: np.random.Generator, record_id: int) -> Canvas:
+    kind = rng.integers(0, 3)
+    if kind == 0:
+        cx, cy = rng.uniform(2, 8, 2)
+        r = rng.uniform(1, 3)
+        pts = [
+            (cx + r * np.cos(t), cy + r * np.sin(t))
+            for t in np.linspace(0, 2 * np.pi, 5, endpoint=False)
+        ]
+        from repro.geometry.primitives import Polygon
+
+        return Canvas.from_polygon(Polygon(pts), WINDOW, RES,
+                                   record_id=record_id)
+    if kind == 1:
+        cx, cy = rng.uniform(2, 8, 2)
+        return Canvas.circle((cx, cy), rng.uniform(1, 3), WINDOW, RES,
+                             record_id=record_id)
+    return Canvas.halfspace(
+        rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-5, 5),
+        WINDOW, RES, record_id=record_id,
+    )
+
+
+def _scale_values(factor: float):
+    def f(gx, gy, data, valid):
+        return data * factor, valid.copy()
+
+    return f
+
+
+def _random_spec(rng: np.random.Generator, depth: int):
+    """A nested op spec; leaves record their (seed, owned) identity."""
+    if depth == 0 or rng.random() < 0.25:
+        return ("leaf", int(rng.integers(0, 2 ** 31)), bool(rng.random() < 0.5))
+    op = rng.choice(["blend", "mask", "vt", "multi"])
+    if op == "blend":
+        return ("blend", _random_spec(rng, depth - 1),
+                ("leaf", int(rng.integers(0, 2 ** 31)),
+                 bool(rng.random() < 0.5)))
+    if op == "mask":
+        return ("mask", int(rng.integers(0, 2)), _random_spec(rng, depth - 1))
+    if op == "vt":
+        return ("vt", float(rng.uniform(0.5, 2.0)),
+                _random_spec(rng, depth - 1))
+    n = int(rng.integers(2, 4))
+    return ("multi", tuple(_random_spec(rng, depth - 1) for _ in range(n)))
+
+
+def _build(spec, owned_enabled: bool, cached_leaves: list[Canvas],
+           counter=[0]) -> Node:
+    """Materialize the spec with fresh leaf canvases.
+
+    Every build call with the same spec produces bit-identical leaves
+    (the leaf seed is part of the spec), so legacy and ownership-aware
+    evaluations see the same inputs.  Cached (non-owned) leaves are
+    recorded so tests can assert they were not mutated.
+    """
+    kind = spec[0]
+    if kind == "leaf":
+        _, seed, owned = spec
+        leaf_rng = np.random.default_rng(seed)
+        record_id = int(leaf_rng.integers(1, 50))
+        canvas = _leaf_canvas(leaf_rng, record_id)
+        is_owned = owned and owned_enabled
+        if not is_owned:
+            cached_leaves.append(canvas)
+        return InputNode(canvas, name=f"C{record_id}", owned=is_owned)
+    if kind == "blend":
+        left = _build(spec[1], owned_enabled, cached_leaves)
+        right = _build(spec[2], owned_enabled, cached_leaves)
+        return left.blend(right, POLY_MERGE)
+    if kind == "mask":
+        predicate = (
+            NotNull(DIM_AREA) if spec[1] == 0
+            else FieldCompare(DIM_AREA, FIELD_COUNT, ">=", 1.0)
+        )
+        return _build(spec[2], owned_enabled, cached_leaves).mask(predicate)
+    if kind == "vt":
+        return _build(spec[2], owned_enabled, cached_leaves).value_transform(
+            _scale_values(spec[1]), name=f"x{spec[1]:.2f}"
+        )
+    return MultiwayBlendNode(
+        POLY_MERGE, [_build(s, owned_enabled, cached_leaves) for s in spec[1]]
+    )
+
+
+def _assert_canvas_equal(a: Canvas, b: Canvas) -> None:
+    np.testing.assert_array_equal(a.texture.data, b.texture.data)
+    np.testing.assert_array_equal(a.texture.valid, b.texture.valid)
+    np.testing.assert_array_equal(a.boundary, b.boundary)
+    assert set(a.geometries) == set(b.geometries)
+
+
+def _snapshot(canvas: Canvas):
+    return (
+        canvas.texture.data.copy(), canvas.texture.valid.copy(),
+        canvas.boundary.copy(),
+    )
+
+
+class TestRandomTreeEquivalence:
+    """Property-style: ownership-aware == legacy, bit for bit."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_dense_trees_bit_identical(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        spec = _random_spec(rng, depth=int(rng.integers(1, 4)))
+
+        legacy = _build(spec, owned_enabled=False, cached_leaves=[]).evaluate()
+        cached: list[Canvas] = []
+        ctx = EvalContext()
+        tree = _build(spec, owned_enabled=True, cached_leaves=cached)
+        snapshots = [_snapshot(c) for c in cached]
+        result = tree.evaluate(ctx)
+
+        assert isinstance(legacy, Canvas) and isinstance(result, Canvas)
+        _assert_canvas_equal(legacy, result)
+        # Cached (shared) leaves must come through untouched.
+        for canvas, (data, valid, boundary) in zip(cached, snapshots):
+            np.testing.assert_array_equal(canvas.texture.data, data)
+            np.testing.assert_array_equal(canvas.texture.valid, valid)
+            np.testing.assert_array_equal(canvas.boundary, boundary)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_sparse_selection_trees_bit_identical(self, seed):
+        """CP blend+mask trees (the engine's selection shape)."""
+        rng = np.random.default_rng(2000 + seed)
+        n = 200
+        xs = rng.uniform(0, 10, n)
+        ys = rng.uniform(0, 10, n)
+        spec = _random_spec(rng, depth=2)
+
+        def run(owned_enabled, ctx):
+            dense = _build(spec, owned_enabled, cached_leaves=[])
+            tree = InputNode(
+                CanvasSet.from_points(xs, ys), name="CP"
+            ).blend(dense, PIP_MERGE).mask(mask_point_in_any_polygon(1.0))
+            return tree.evaluate(ctx)
+
+        legacy = run(False, None)
+        ownership = run(True, EvalContext())
+        assert isinstance(legacy, CanvasSet)
+        assert isinstance(ownership, CanvasSet)
+        np.testing.assert_array_equal(legacy.keys, ownership.keys)
+        np.testing.assert_array_equal(legacy.data, ownership.data)
+        np.testing.assert_array_equal(legacy.valid, ownership.valid)
+        np.testing.assert_array_equal(legacy.boundary, ownership.boundary)
+
+
+class TestOwnershipCounters:
+    def test_owned_chain_pays_zero_copies(self):
+        """A chain over one owned leaf runs wholly in place."""
+        rng = np.random.default_rng(7)
+        canvas = _leaf_canvas(rng, record_id=1)
+        ctx = EvalContext()
+        tree = InputNode(canvas, owned=True).mask(
+            NotNull(DIM_AREA)
+        ).value_transform(_scale_values(2.0)).mask(
+            FieldCompare(DIM_AREA, FIELD_COUNT, ">=", 1.0)
+        )
+        result = tree.evaluate(ctx)
+        assert result is canvas  # in place end to end
+        assert ctx.counters.full_copies == 0
+        assert ctx.counters.allocations == 0
+        assert ctx.counters.inplace_ops == 3
+
+    def test_cached_leaf_costs_one_copy(self):
+        rng = np.random.default_rng(8)
+        canvas = _leaf_canvas(rng, record_id=1)
+        ctx = EvalContext()
+        result = InputNode(canvas).mask(NotNull(DIM_AREA)).evaluate(ctx)
+        assert result is not canvas
+        assert ctx.counters.full_copies == 1
+        assert ctx.counters.allocations == 1
+        # A chain over the cached leaf pays the one copy up front, then
+        # every later operator runs in place on the owned intermediate.
+        ctx2 = EvalContext()
+        chained = InputNode(canvas).mask(NotNull(DIM_AREA)).value_transform(
+            _scale_values(2.0)
+        ).evaluate(ctx2)
+        assert ctx2.counters.full_copies == 1
+        assert ctx2.counters.inplace_ops == 1
+        legacy = InputNode(canvas).mask(NotNull(DIM_AREA)).value_transform(
+            _scale_values(2.0)
+        ).evaluate()
+        _assert_canvas_equal(chained, legacy)
+
+    def test_multiway_fold_recycles_consumed_children(self):
+        rng = np.random.default_rng(9)
+        leaves = [_leaf_canvas(rng, record_id=i + 1) for i in range(3)]
+        pool = BufferPool()
+        ctx = EvalContext(pool)
+        tree = MultiwayBlendNode(
+            POLY_MERGE,
+            [InputNode(c, owned=True) for c in leaves],
+        )
+        result = tree.evaluate(ctx)
+        assert result is leaves[0]
+        assert ctx.counters.full_copies == 0
+        # The two consumed children were released into the pool.
+        assert len(pool) == 2
+
+    def test_pool_reuse_across_evaluations(self):
+        rng = np.random.default_rng(10)
+        pool = BufferPool()
+        for i in range(3):
+            canvas = _leaf_canvas(rng, record_id=1)
+            ctx = EvalContext(pool)
+            InputNode(canvas).mask(NotNull(DIM_AREA)).evaluate(ctx)
+            if i == 0:
+                assert ctx.counters.allocations == 1
+        # Nothing was released (results stay live), so no reuses yet;
+        # released buffers do get reacquired:
+        canvas = _leaf_canvas(rng, record_id=2)
+        ctx = EvalContext(pool)
+        out = InputNode(canvas).mask(NotNull(DIM_AREA)).evaluate(ctx)
+        ctx.release(out)
+        ctx2 = EvalContext(pool)
+        before = len(pool)
+        assert before >= 1
+        InputNode(canvas).mask(NotNull(DIM_AREA)).evaluate(ctx2)
+        assert ctx2.counters.pool_reuses == 1
+        assert len(pool) == before - 1
+
+    def test_ledger_holds_references_against_id_reuse(self):
+        """The ownership ledger must keep owned canvases alive: a bare
+        id() set would let a dead owned canvas's address be recycled by
+        a fresh CACHED canvas, which would then be mutated in place."""
+        import weakref
+
+        rng = np.random.default_rng(13)
+        canvas = _leaf_canvas(rng, record_id=1)
+        ctx = EvalContext()
+        ctx.mark_owned(canvas)
+        ref = weakref.ref(canvas)
+        del canvas
+        assert ref() is not None  # ledger keeps it alive -> no id reuse
+        fresh = _leaf_canvas(rng, record_id=2)
+        assert not ctx.is_owned(fresh)
+
+    def test_sparse_blend_releases_owned_right_operand(self):
+        """Gathers copy what they read, so an owned dense operand of a
+        sparse blend is dead afterwards and must recycle."""
+        rng = np.random.default_rng(14)
+        pool = BufferPool()
+        ctx = EvalContext(pool)
+        dense = _leaf_canvas(rng, record_id=1)
+        tree = InputNode(
+            CanvasSet.from_points(np.array([5.0]), np.array([5.0])),
+            name="CP",
+        ).blend(InputNode(dense, owned=True), PIP_MERGE)
+        tree.evaluate(ctx)
+        assert len(pool) == 1
+        assert not ctx.is_owned(dense)
+
+    def test_legacy_evaluate_untouched_by_default(self):
+        """No ctx: value semantics, leaves never mutated."""
+        rng = np.random.default_rng(11)
+        canvas = _leaf_canvas(rng, record_id=1)
+        data, valid, boundary = _snapshot(canvas)
+        InputNode(canvas, owned=True).mask(NotNull(DIM_AREA)).evaluate()
+        np.testing.assert_array_equal(canvas.texture.data, data)
+        np.testing.assert_array_equal(canvas.texture.valid, valid)
+        np.testing.assert_array_equal(canvas.boundary, boundary)

@@ -1,0 +1,177 @@
+"""Batched execution: equivalence with sequential runs, constraint
+sharing through the cache, and batch-aware plan choice."""
+
+import numpy as np
+import pytest
+
+from repro.data.polygons import hand_drawn_polygon
+from repro.geometry.bbox import BoundingBox
+from repro.core.optimizer import CostModel
+from repro.engine import (
+    SELECTION_BLENDED,
+    SELECTION_PIP,
+    BatchQuery,
+    QueryEngine,
+)
+
+WINDOW = BoundingBox(0.0, 0.0, 100.0, 100.0)
+
+
+@pytest.fixture
+def cloud():
+    rng = np.random.default_rng(33)
+    return rng.uniform(0, 100, 2000), rng.uniform(0, 100, 2000)
+
+
+@pytest.fixture
+def districts():
+    return [
+        hand_drawn_polygon(n_vertices=12, seed=i, center=(30 + 15 * i, 50),
+                           radius=14)
+        for i in range(3)
+    ]
+
+
+def _mixed_batch(xs, ys, districts, rng):
+    """A randomized dashboard-style batch over shared constraints."""
+    specs = []
+    for _ in range(rng.integers(4, 8)):
+        kind = rng.choice(["selection", "aggregation", "distance", "knn"])
+        if kind == "selection":
+            specs.append(BatchQuery.selection(
+                xs, ys, districts, window=WINDOW, resolution=256
+            ))
+        elif kind == "aggregation":
+            specs.append(BatchQuery.aggregation(
+                xs, ys, districts, window=WINDOW, resolution=256,
+                polygon_ids=[1, 2, 3],
+            ))
+        elif kind == "distance":
+            specs.append(BatchQuery.distance(
+                xs, ys, (float(rng.uniform(20, 80)), 50.0), 12.0,
+                window=WINDOW, resolution=256,
+            ))
+        else:
+            specs.append(BatchQuery.knn(
+                xs, ys, (50.0, 50.0), int(rng.integers(1, 9)),
+                window=WINDOW, resolution=256,
+            ))
+    return specs
+
+
+def _result_key(outcome):
+    if hasattr(outcome, "ids"):
+        return ("sel", outcome.ids.tolist())
+    if hasattr(outcome, "groups"):
+        return ("agg", outcome.groups.tolist(), outcome.values.tolist())
+    return ("canvas", outcome.canvas.texture.data.tolist())
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_batch_matches_sequential(self, cloud, districts, seed):
+        """Randomized batches produce exactly the per-query results a
+        sequential engine would."""
+        xs, ys = cloud
+        rng = np.random.default_rng(500 + seed)
+        specs = _mixed_batch(xs, ys, districts, rng)
+
+        batch_engine = QueryEngine()
+        batch = batch_engine.execute_batch(specs)
+
+        sequential_engine = QueryEngine()
+        dispatch = {
+            "selection": sequential_engine.select_points,
+            "aggregation": sequential_engine.aggregate_points,
+            "distance": sequential_engine.select_distance,
+            "knn": sequential_engine.knn,
+            "od": sequential_engine.od_select,
+            "voronoi": sequential_engine.voronoi,
+        }
+        assert batch.report.n_queries == len(specs)
+        for spec, outcome in zip(specs, batch.results):
+            expected = dispatch[spec.kind](**spec.kwargs)
+            assert _result_key(expected) == _result_key(outcome)
+
+    def test_voronoi_and_od_batch_members(self, cloud):
+        xs, ys = cloud
+        rng = np.random.default_rng(21)
+        sites = rng.uniform(10, 90, (5, 2))
+        q1 = hand_drawn_polygon(n_vertices=10, seed=1, center=(35, 40),
+                                radius=18)
+        q2 = hand_drawn_polygon(n_vertices=10, seed=2, center=(65, 60),
+                                radius=18)
+        dest_xs = xs[::-1].copy()
+        dest_ys = ys[::-1].copy()
+        engine = QueryEngine()
+        batch = engine.execute_batch([
+            BatchQuery.voronoi(sites, WINDOW, resolution=48),
+            BatchQuery.od(xs, ys, dest_xs, dest_ys, q1, q2,
+                          window=WINDOW, resolution=256),
+        ])
+        assert [kind for kind, _ in batch.report.plans] == ["voronoi", "od"]
+        assert batch.results[0].canvas is not None
+        assert batch.results[1].ids is not None
+
+    def test_unknown_kind_rejected(self, cloud):
+        with pytest.raises(ValueError, match="unknown batch query kind"):
+            QueryEngine().execute_batch([BatchQuery("tessellate", {})])
+
+
+class TestBatchSharing:
+    def test_shared_constraints_rasterize_once(self, cloud, districts):
+        """A dashboard batch re-issuing the same constraints pays one
+        rasterization for the whole batch."""
+        xs, ys = cloud
+        engine = QueryEngine(CostModel(edge_test=1e6))  # steer to blended
+        batch = engine.execute_batch([
+            BatchQuery.selection(xs, ys, districts, window=WINDOW,
+                                 resolution=256)
+            for _ in range(4)
+        ])
+        report = batch.report
+        assert report.shared_constraint_sets == 1
+        assert report.cache_misses == 1  # one build for four queries
+        assert report.cache_hits == 3
+        ids = [o.ids.tolist() for o in batch.results]
+        assert all(i == ids[0] for i in ids)
+
+    def test_batch_aware_planning_flips_later_members(self, cloud, districts):
+        """With default weights a small selection picks PIP — but when
+        an earlier batch member materializes the constraint canvas, the
+        later members price it as cached and flip to the blended plan."""
+        xs, ys = cloud
+        small_xs, small_ys = xs[:80], ys[:80]
+        engine = QueryEngine()
+        batch = engine.execute_batch([
+            # Large member: blended wins and builds the canvas.
+            BatchQuery.selection(xs, ys, districts, window=WINDOW,
+                                 resolution=512,
+                                 force_plan=SELECTION_BLENDED),
+            # Small members: PIP would win cold, blended wins warm.
+            BatchQuery.selection(small_xs, small_ys, districts,
+                                 window=WINDOW, resolution=512),
+            BatchQuery.selection(small_xs, small_ys, districts,
+                                 window=WINDOW, resolution=512),
+        ])
+        plans = [plan for _, plan in batch.report.plans]
+        assert plans == [SELECTION_BLENDED] * 3
+        # Without the batch (and with a cold engine), the small query
+        # picks PIP.
+        cold = QueryEngine().select_points(
+            small_xs, small_ys, districts, window=WINDOW, resolution=512
+        )
+        assert cold.report.plan == SELECTION_PIP
+
+    def test_batch_report_describe(self, cloud, districts):
+        xs, ys = cloud
+        engine = QueryEngine(CostModel(edge_test=1e6))
+        batch = engine.execute_batch([
+            BatchQuery.selection(xs, ys, districts, window=WINDOW,
+                                 resolution=128)
+            for _ in range(2)
+        ])
+        text = batch.report.describe()
+        assert "batch: 2 queries" in text
+        assert "canvas cache" in text
+        assert "buffers" in text

@@ -141,3 +141,73 @@ class TestCanvasCache:
             + canvas.boundary.nbytes
         )
         assert estimate == expected > 0
+
+
+class TestImmutabilityGuard:
+    """Cached values are frozen: a consumer mutating an entry raises
+    instead of silently corrupting later hits (the latent aliasing
+    hazard of shared, never-copied entries)."""
+
+    def _cached_canvas(self, resolution=32):
+        from repro.geometry.bbox import BoundingBox
+        from repro.core.canvas import Canvas
+
+        cache = CanvasCache(capacity=4)
+        window = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        key = ("polygon", geometry_digest(SQUARE), 1)
+        canvas = cache.get_or_build(
+            key,
+            lambda: Canvas.from_polygon(SQUARE, window, resolution,
+                                        record_id=1),
+        )
+        return cache, key, canvas
+
+    def test_writing_cached_texture_raises(self):
+        _, _, canvas = self._cached_canvas()
+        with pytest.raises(ValueError, match="read-only"):
+            canvas.texture.data[0, 0, 0] = 1.0
+        with pytest.raises(ValueError, match="read-only"):
+            canvas.texture.valid[0, 0, 0] = True
+        with pytest.raises(ValueError, match="read-only"):
+            canvas.boundary[0, 0] = True
+
+    def test_drawing_on_cached_canvas_raises(self):
+        _, _, canvas = self._cached_canvas()
+        with pytest.raises(ValueError):
+            canvas.draw_polygon(SQUARE, record_id=9)
+
+    def test_cached_canvas_rejected_as_out_target(self):
+        """Passing a cached canvas as an operator's out= buffer fails at
+        the first write instead of corrupting the entry."""
+        from repro.core import algebra
+        from repro.core.masks import NotNull
+        from repro.core.objectinfo import DIM_AREA
+
+        _, _, canvas = self._cached_canvas()
+        with pytest.raises(ValueError):
+            algebra.mask(canvas, NotNull(DIM_AREA), out=canvas)
+
+    def test_copy_of_cached_canvas_is_writable(self):
+        _, _, canvas = self._cached_canvas()
+        clone = canvas.copy()
+        clone.texture.data[0, 0, 0] = 5.0  # must not raise
+        assert clone.texture.data[0, 0, 0] == 5.0
+
+    def test_cache_hits_unaffected_by_freeze(self):
+        cache, key, canvas = self._cached_canvas()
+        again = cache.get_or_build(key, lambda: pytest.fail("rebuilt"))
+        assert again is canvas
+        assert cache.stats().hits == 1
+
+    def test_coverage_footprints_frozen(self):
+        from repro.geometry.bbox import BoundingBox
+        from repro.core.rasterjoin import polygon_coverage_cells
+
+        cache = CanvasCache(capacity=4)
+        window = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        coverage = cache.get_or_build(
+            ("rasterjoin-coverage", geometry_digest(SQUARE)),
+            lambda: polygon_coverage_cells(SQUARE, window, 32),
+        )
+        with pytest.raises(ValueError, match="read-only"):
+            coverage.flat[0] = 0

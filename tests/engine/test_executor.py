@@ -184,13 +184,17 @@ class TestAggregationRouting:
 
     def test_approximate_plan_follows_cost_model(self, cloud):
         xs, ys = cloud
+        # Many overlapping constraints: the bbox-prefiltered gather of
+        # join-then-aggregate still pays per (polygon, bbox point),
+        # while rasterjoin gathers each occupied pixel once.
         polys = [
             hand_drawn_polygon(n_vertices=12, seed=i, center=(50, 50),
                                radius=25)
-            for i in range(4)
+            for i in range(12)
         ]
-        # Cheap pixels: RasterJoin's frame-bounded plan wins.
-        rj_engine = QueryEngine(CostModel(pixel_touch=1e-6))
+        # Cheap pixels and cheap point scatter: RasterJoin's
+        # frame-bounded plan wins.
+        rj_engine = QueryEngine(CostModel(pixel_touch=1e-6, scatter=1e-3))
         with use_engine(rj_engine):
             join_aggregate(xs, ys, polys, resolution=128, exact=False)
         assert rj_engine.last_report.plan == AGG_RASTERJOIN

@@ -1,0 +1,417 @@
+"""Universal plan routing: knn/voronoi/od/distance/geometry queries
+execute through the engine with (at least) two priced physical plans
+each, equivalent results across plans, and recorded reports."""
+
+import numpy as np
+import pytest
+
+from repro.data.polygons import hand_drawn_polygon
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.predicates import points_in_polygon
+from repro.geometry.primitives import LineString, Polygon
+from repro.index.kdtree import KDTree
+from repro.core.optimizer import CostModel
+from repro.engine import (
+    DISTANCE_CANVAS,
+    DISTANCE_DIRECT,
+    GEOM_BLEND,
+    GEOM_PREDICATE,
+    KNN_KDTREE,
+    KNN_PROBES,
+    OD_CANVAS,
+    OD_PIP,
+    SELECTION_BLENDED,
+    SELECTION_PIP,
+    VORONOI_ARGMIN,
+    VORONOI_ITERATED,
+    QueryEngine,
+    use_engine,
+)
+from repro.queries import (
+    distance_select,
+    join_aggregate,
+    knn,
+    od_select,
+    polygonal_select_lines,
+    polygonal_select_polygons,
+    voronoi,
+)
+
+WINDOW = BoundingBox(0.0, 0.0, 100.0, 100.0)
+
+
+@pytest.fixture
+def cloud():
+    rng = np.random.default_rng(90)
+    return rng.uniform(0, 100, 1500), rng.uniform(0, 100, 1500)
+
+
+class TestDistanceRouting:
+    def test_plans_equivalent_and_match_truth(self, cloud):
+        xs, ys = cloud
+        center, radius = (47.0, 52.0), 18.0
+        truth = set(
+            np.nonzero(np.hypot(xs - center[0], ys - center[1]) <= radius)[0]
+            .tolist()
+        )
+        engine = QueryEngine()
+        for plan in (DISTANCE_CANVAS, DISTANCE_DIRECT):
+            outcome = engine.select_distance(
+                xs, ys, center, radius, window=WINDOW, resolution=512,
+                force_plan=plan,
+            )
+            assert outcome.report.plan == plan
+            assert set(outcome.ids.tolist()) == truth, plan
+
+    def test_frontend_records_report(self, cloud):
+        xs, ys = cloud
+        engine = QueryEngine()
+        with use_engine(engine):
+            result = distance_select(xs, ys, (50, 50), 10.0, resolution=256)
+        assert engine.last_report.query == "distance-selection"
+        assert result.plan == engine.last_report.plan
+        assert len(engine.last_report.candidates) == 2
+
+    def test_approx_forces_canvas_plan(self, cloud):
+        xs, ys = cloud
+        engine = QueryEngine()
+        outcome = engine.select_distance(
+            xs, ys, (50, 50), 10.0, window=WINDOW, resolution=256,
+            exact=False,
+        )
+        assert outcome.report.plan == DISTANCE_CANVAS
+        assert "raster plan" in outcome.report.forced
+        with pytest.raises(ValueError, match="raster plan"):
+            engine.select_distance(
+                xs, ys, (50, 50), 10.0, window=WINDOW, resolution=256,
+                exact=False, force_plan=DISTANCE_DIRECT,
+            )
+
+    def test_samples_carry_constraint_triple_across_plans(self, cloud):
+        from repro.core.objectinfo import DIM_AREA, FIELD_ID
+
+        xs, ys = cloud
+        engine = QueryEngine()
+        for plan in (DISTANCE_CANVAS, DISTANCE_DIRECT):
+            outcome = engine.select_distance(
+                xs, ys, (50, 50), 15.0, window=WINDOW, resolution=512,
+                force_plan=plan,
+            )
+            assert outcome.samples.valid[:, DIM_AREA].all()
+            assert (outcome.samples.field(DIM_AREA, FIELD_ID) == 1.0).all()
+
+
+class TestKnnRouting:
+    def test_plans_match_kdtree_oracle(self, cloud):
+        xs, ys = cloud
+        query = (43.0, 57.0)
+        k = 10
+        tree = KDTree(np.stack([xs, ys], axis=1))
+        expected = {item for item, _ in tree.nearest(*query, k=k)}
+        engine = QueryEngine()
+        for plan in (KNN_KDTREE, KNN_PROBES):
+            outcome = engine.knn(
+                xs, ys, query, k, window=WINDOW, resolution=512,
+                force_plan=plan,
+            )
+            assert outcome.report.plan == plan
+            assert set(outcome.ids.tolist()) == expected, plan
+
+    def test_cost_model_steers_plan(self, cloud):
+        xs, ys = cloud
+        probes_engine = QueryEngine(CostModel(index_node=1e9))
+        outcome = probes_engine.knn(
+            xs, ys, (50, 50), 5, window=WINDOW, resolution=64
+        )
+        assert outcome.report.plan == KNN_PROBES
+        kdtree_engine = QueryEngine()
+        outcome = kdtree_engine.knn(
+            xs, ys, (50, 50), 5, window=WINDOW, resolution=512
+        )
+        assert outcome.report.plan == KNN_KDTREE
+
+    def test_frontend_records_report(self, cloud):
+        xs, ys = cloud
+        engine = QueryEngine()
+        with use_engine(engine):
+            result = knn(xs, ys, (50.0, 50.0), 7, resolution=256)
+        assert engine.last_report.query == "knn"
+        assert len(result.ids) == 7
+
+    def test_query_point_far_outside_window_plans_agree(self, cloud):
+        """The probe radius must bound out-of-window query points too:
+        both plans return the full k and the same ids."""
+        xs, ys = cloud
+        query = (5000.0, 5000.0)
+        k = 5
+        engine = QueryEngine()
+        per_plan = {}
+        for plan in (KNN_KDTREE, KNN_PROBES):
+            outcome = engine.knn(
+                xs, ys, query, k, window=WINDOW, resolution=256,
+                force_plan=plan,
+            )
+            assert len(outcome.ids) == k, plan
+            per_plan[plan] = set(outcome.ids.tolist())
+        assert per_plan[KNN_KDTREE] == per_plan[KNN_PROBES]
+
+    def test_probe_plan_counts_and_recycles_circle_buffers(self, cloud):
+        xs, ys = cloud
+        engine = QueryEngine()
+        outcome = engine.knn(
+            xs, ys, (50.0, 50.0), 5, window=WINDOW, resolution=128,
+            force_plan=KNN_PROBES,
+        )
+        # Every bisection probe rasterized one owned circle canvas...
+        assert outcome.report.allocations >= 2
+        # ...whose buffer was released after the gather consumed it.
+        assert len(engine.buffer_pool) >= 1
+
+
+class TestVoronoiRouting:
+    def test_plans_bit_identical(self):
+        rng = np.random.default_rng(5)
+        pts = rng.uniform(10, 90, (13, 2))
+        engine = QueryEngine()
+        canvases = {}
+        for plan in (VORONOI_ITERATED, VORONOI_ARGMIN):
+            outcome = engine.voronoi(
+                pts, WINDOW, resolution=64, force_plan=plan
+            )
+            assert outcome.report.plan == plan
+            canvases[plan] = outcome.canvas
+        a, b = canvases[VORONOI_ITERATED], canvases[VORONOI_ARGMIN]
+        np.testing.assert_array_equal(a.texture.data, b.texture.data)
+        np.testing.assert_array_equal(a.texture.valid, b.texture.valid)
+
+    def test_iterated_plan_runs_in_place(self):
+        rng = np.random.default_rng(6)
+        pts = rng.uniform(10, 90, (9, 2))
+        engine = QueryEngine()
+        outcome = engine.voronoi(
+            pts, WINDOW, resolution=64, force_plan=VORONOI_ITERATED
+        )
+        report = outcome.report
+        assert report.copies == 0
+        assert report.allocations == 1  # the single owned accumulator
+        assert report.inplace_ops == len(pts)
+
+    def test_frontend_records_report(self):
+        rng = np.random.default_rng(7)
+        pts = rng.uniform(10, 90, (6, 2))
+        engine = QueryEngine()
+        with use_engine(engine):
+            canvas = voronoi(pts, WINDOW, resolution=48)
+        assert engine.last_report.query == "voronoi"
+        from repro.core.objectinfo import DIM_AREA
+
+        assert canvas.valid(DIM_AREA).all()
+
+
+class TestOdRouting:
+    @pytest.fixture
+    def od_data(self):
+        rng = np.random.default_rng(51)
+        n = 2000
+        return (
+            rng.uniform(0, 100, n), rng.uniform(0, 100, n),
+            rng.uniform(0, 100, n), rng.uniform(0, 100, n),
+        )
+
+    @pytest.fixture
+    def q1(self):
+        return hand_drawn_polygon(n_vertices=12, irregularity=0.3, seed=1,
+                                  center=(30, 35), radius=20)
+
+    @pytest.fixture
+    def q2(self):
+        return hand_drawn_polygon(n_vertices=12, irregularity=0.3, seed=2,
+                                  center=(70, 65), radius=22)
+
+    def test_plans_equivalent_and_match_truth(self, od_data, q1, q2):
+        ox, oy, dx, dy = od_data
+        truth = set(
+            np.nonzero(
+                points_in_polygon(ox, oy, q1) & points_in_polygon(dx, dy, q2)
+            )[0].tolist()
+        )
+        engine = QueryEngine()
+        for plan in (OD_CANVAS, OD_PIP):
+            outcome = engine.od_select(
+                ox, oy, dx, dy, q1, q2, window=WINDOW, resolution=512,
+                force_plan=plan,
+            )
+            assert outcome.report.plan == plan
+            assert set(outcome.ids.tolist()) == truth, plan
+
+    def test_canvas_plan_uses_cached_constraints(self, od_data, q1, q2):
+        ox, oy, dx, dy = od_data
+        engine = QueryEngine()
+        first = engine.od_select(
+            ox, oy, dx, dy, q1, q2, window=WINDOW, resolution=256,
+            force_plan=OD_CANVAS,
+        )
+        second = engine.od_select(
+            ox, oy, dx, dy, q1, q2, window=WINDOW, resolution=256,
+            force_plan=OD_CANVAS,
+        )
+        assert first.report.cache_misses >= 2  # CQ1 blend + CQ2
+        assert second.report.cache_hits >= 2
+        assert second.report.cache_misses == 0
+        assert first.ids.tolist() == second.ids.tolist()
+
+    def test_approx_forces_canvas_plan(self, od_data, q1, q2):
+        ox, oy, dx, dy = od_data
+        engine = QueryEngine()
+        outcome = engine.od_select(
+            ox, oy, dx, dy, q1, q2, window=WINDOW, resolution=128,
+            exact=False,
+        )
+        assert outcome.report.plan == OD_CANVAS
+        with pytest.raises(ValueError, match="raster plan"):
+            engine.od_select(
+                ox, oy, dx, dy, q1, q2, window=WINDOW, resolution=128,
+                exact=False, force_plan=OD_PIP,
+            )
+
+    def test_frontend_records_report(self, od_data, q1, q2):
+        ox, oy, dx, dy = od_data
+        engine = QueryEngine()
+        with use_engine(engine):
+            result = od_select(ox, oy, dx, dy, q1, q2, resolution=256)
+        assert engine.last_report.query == "od-selection"
+        assert result.plan == engine.last_report.plan
+
+
+class TestGeometryRouting:
+    @pytest.fixture
+    def data_polygons(self):
+        return [
+            hand_drawn_polygon(n_vertices=10, seed=i,
+                               center=(15 + 11 * i, 40 + (i % 3) * 15),
+                               radius=9)
+            for i in range(7)
+        ]
+
+    @pytest.fixture
+    def query(self):
+        return Polygon([(25, 25), (75, 30), (70, 75), (20, 70)])
+
+    def test_polygon_plans_equivalent(self, data_polygons, query):
+        engine = QueryEngine()
+        results = {}
+        for plan in (GEOM_BLEND, GEOM_PREDICATE):
+            outcome = engine.select_geometry_records(
+                "polygons", data_polygons, query, window=WINDOW,
+                resolution=512, force_plan=plan,
+            )
+            assert outcome.report.plan == plan
+            results[plan] = set(outcome.ids.tolist())
+        assert results[GEOM_BLEND] == results[GEOM_PREDICATE]
+        assert results[GEOM_BLEND]  # non-trivial workload
+
+    def test_line_plans_equivalent(self, query):
+        rng = np.random.default_rng(12)
+        lines = [
+            LineString(
+                [tuple(p) for p in rng.uniform(5, 95, (4, 2))]
+            )
+            for _ in range(8)
+        ]
+        engine = QueryEngine()
+        results = {}
+        for plan in (GEOM_BLEND, GEOM_PREDICATE):
+            outcome = engine.select_geometry_records(
+                "lines", lines, query, window=WINDOW, resolution=512,
+                force_plan=plan,
+            )
+            results[plan] = set(outcome.ids.tolist())
+        assert results[GEOM_BLEND] == results[GEOM_PREDICATE]
+
+    def test_frontends_record_reports(self, data_polygons, query):
+        engine = QueryEngine()
+        with use_engine(engine):
+            polygonal_select_polygons(data_polygons, query, resolution=256)
+            assert engine.last_report.query == "geometry-selection"
+            lines = [LineString([(10, 10), (90, 90)])]
+            polygonal_select_lines(lines, query, resolution=256)
+            assert engine.last_report.query == "geometry-selection"
+
+    def test_unknown_kind_raises(self, query):
+        with pytest.raises(ValueError, match="unknown geometry kind"):
+            QueryEngine().select_geometry_records(
+                "points", [], query, window=WINDOW
+            )
+
+
+class TestCacheAwareSelectionPlanning:
+    def test_warm_cache_flips_pip_to_blended(self, cloud):
+        """Once the constraint canvas is cached, the blended plan's
+        raster cost drops out and the cost model flips the choice."""
+        xs, ys = cloud
+        xs, ys = xs[:100], ys[:100]  # small input: PIP wins cold
+        poly = hand_drawn_polygon(n_vertices=18, seed=3, center=(50, 50),
+                                  radius=30)
+        engine = QueryEngine()
+        cold = engine.select_points(
+            xs, ys, [poly], window=WINDOW, resolution=512
+        )
+        assert cold.report.plan == SELECTION_PIP
+        # Materialize the canvas (forced), then re-plan cost-based.
+        engine.select_points(
+            xs, ys, [poly], window=WINDOW, resolution=512,
+            force_plan=SELECTION_BLENDED,
+        )
+        warm = engine.select_points(
+            xs, ys, [poly], window=WINDOW, resolution=512
+        )
+        assert warm.report.plan == SELECTION_BLENDED
+        assert warm.report.cache_hits >= 1
+        assert cold.ids.tolist() == warm.ids.tolist()
+
+
+class TestJoinAggregatePrefilter:
+    """The bbox-prefiltered gather is exact, including constraints that
+    straddle or miss the window."""
+
+    def test_matches_truth_with_partial_and_missing_constraints(self, cloud):
+        xs, ys = cloud
+        polys = [
+            hand_drawn_polygon(n_vertices=12, seed=1, center=(50, 50),
+                               radius=20),
+            # Straddles the window edge.
+            Polygon([(-20, 40), (15, 40), (15, 70), (-20, 70)]),
+            # Entirely outside the frame.
+            Polygon([(200, 200), (210, 200), (210, 210), (200, 210)]),
+        ]
+        engine = QueryEngine()
+        with use_engine(engine):
+            result = join_aggregate(
+                xs, ys, polys, window=WINDOW, resolution=256
+            )
+        assert engine.last_report.plan == "join-then-aggregate"
+        for pid, poly in enumerate(polys):
+            truth = int(points_in_polygon(xs, ys, poly).sum())
+            assert result.as_dict()[pid] == truth
+
+    @pytest.mark.parametrize("aggregate", ["sum", "min", "max"])
+    def test_value_aggregates_match_brute_force(self, cloud, aggregate):
+        xs, ys = cloud
+        rng = np.random.default_rng(4)
+        values = rng.uniform(-5, 5, len(xs))
+        poly = hand_drawn_polygon(n_vertices=12, seed=2, center=(40, 60),
+                                  radius=18)
+        inside = points_in_polygon(xs, ys, poly)
+        if aggregate == "sum":
+            truth = values[inside].sum()
+        elif aggregate == "min":
+            truth = values[inside].min()
+        else:
+            truth = values[inside].max()
+        engine = QueryEngine()
+        with use_engine(engine):
+            result = join_aggregate(
+                xs, ys, [poly], values=values, aggregate=aggregate,
+                window=WINDOW, resolution=256,
+            )
+        assert result.values[0] == pytest.approx(truth)

@@ -158,6 +158,75 @@ class TestExplain:
         assert "chosen plan: blended-canvas" in out
         assert "override" in out
 
+    def test_buffer_counters_reported(self, data_files, capsys):
+        data_csv, query_file, *_ = data_files
+        main([
+            "explain", "--data", str(data_csv), "--query", str(query_file),
+            "--resolution", "128",
+        ])
+        out = capsys.readouterr().out
+        assert "full-texture copies" in out
+        assert "in-place ops" in out
+
+    @pytest.mark.parametrize("mode, both_plans", [
+        ("distance", ("circle-canvas", "direct-distance")),
+        ("knn", ("canvas-distance-probes", "kdtree-refine")),
+        ("voronoi", ("iterated-value-transform", "blocked-argmin")),
+    ])
+    def test_routed_modes(self, data_files, capsys, mode, both_plans):
+        data_csv, *_ = data_files
+        code = main([
+            "explain", "--data", str(data_csv), "--mode", mode,
+            "--resolution", "64", "--repeat", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chosen plan:" in out
+        for plan in both_plans:
+            assert plan in out
+
+    def test_od_mode(self, data_files, tmp_path, capsys):
+        data_csv, *_ = data_files
+        rng = np.random.default_rng(9)
+        dests = [Point(x, y) for x, y in zip(rng.uniform(0, 100, 500),
+                                             rng.uniform(0, 100, 500))]
+        dest_csv = tmp_path / "dests.csv"
+        write_csv(dest_csv, dests, [{} for _ in dests])
+        q_file = tmp_path / "od_query.geojson"
+        write_geojson(q_file, [
+            Polygon([(10, 10), (60, 10), (60, 60), (10, 60)]),
+            Polygon([(40, 40), (90, 40), (90, 90), (40, 90)]),
+        ])
+        code = main([
+            "explain", "--data", str(data_csv), "--dest-data", str(dest_csv),
+            "--query", str(q_file), "--mode", "od", "--resolution", "128",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "two-stage-canvas" in out and "per-pair-pip" in out
+
+    def test_polygon_modes_require_query(self, data_files):
+        data_csv, *_ = data_files
+        with pytest.raises(SystemExit, match="requires --query"):
+            main(["explain", "--data", str(data_csv)])
+
+    def test_wrong_family_plan_rejected(self, data_files):
+        data_csv, *_ = data_files
+        with pytest.raises(SystemExit, match="unknown"):
+            main([
+                "explain", "--data", str(data_csv), "--mode", "knn",
+                "--plan", "blocked-argmin", "--resolution", "64",
+            ])
+
+    @pytest.mark.parametrize("k", ["0", "100000"])
+    def test_knn_invalid_k_rejected(self, data_files, k):
+        data_csv, *_ = data_files
+        with pytest.raises(SystemExit, match="-k must be"):
+            main([
+                "explain", "--data", str(data_csv), "--mode", "knn",
+                "-k", k, "--resolution", "64",
+            ])
+
 
 class TestMixedGeometryFile:
     def test_select_dispatches_to_objects(self, tmp_path, capsys):
