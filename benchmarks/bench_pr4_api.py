@@ -1,0 +1,242 @@
+"""PR 4 API benchmark: spec-dispatch overhead and serve throughput.
+
+Two sections, each verifying result equivalence before timing:
+
+- **spec_dispatch** — the same selection and kNN workloads executed
+  three ways: straight engine calls (no declarative layer), the legacy
+  frontend signatures (now spec-constructing sugar), and the full
+  service path (``Session.run(spec_from_dict(json.loads(line)))`` with
+  a registry-referenced dataset).  The acceptance bar for the PR: the
+  full spec path costs **< 5%** over the engine-direct call.
+- **serve** — queries/sec of the JSON-lines loop on a warm session
+  (constraint canvases cached after the first request), for a repeated
+  dashboard selection and a mixed select/knn/aggregate stream.
+
+Run ``python benchmarks/bench_pr4_api.py`` for the full workload
+(writes ``BENCH_PR4.json`` at the repo root) or ``--dry-run`` for the
+tiny CI smoke version (writes ``benchmarks/out/bench_pr4_dry.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import (
+    AggregateSpec,
+    ConstraintSpec,
+    DatasetRegistry,
+    GeometryData,
+    SelectSpec,
+    Session,
+    serve_lines,
+    spec_from_dict,
+)
+from repro.data.polygons import hand_drawn_polygon, rescale_to_box
+from repro.engine import QueryEngine
+from repro.geometry.bbox import BoundingBox
+from repro.queries import knn as knn_frontend
+from repro.queries import polygonal_select_points
+from repro.queries.common import default_window
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FULL_JSON = REPO_ROOT / "BENCH_PR4.json"
+DRY_JSON = Path(__file__).resolve().parent / "out" / "bench_pr4_dry.json"
+
+WINDOW = BoundingBox(0.0, 0.0, 100.0, 100.0)
+
+
+def _best_of(fn, rounds: int) -> tuple[float, object]:
+    best = np.inf
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_spec_dispatch(n_points: int, resolution: int, rounds: int) -> dict:
+    """Engine-direct vs frontend vs full JSON spec path, same workload."""
+    rng = np.random.default_rng(40)
+    xs = rng.uniform(0, 100, n_points)
+    ys = rng.uniform(0, 100, n_points)
+    poly = rescale_to_box(
+        hand_drawn_polygon(seed=3, n_vertices=24),
+        BoundingBox(20.0, 20.0, 80.0, 80.0),
+    )
+    window = default_window(xs, ys, [poly])
+
+    registry = DatasetRegistry().register("bench", (xs, ys))
+    session = Session(registry, engine=QueryEngine())
+    engine = session.engine
+
+    select_line = json.dumps(SelectSpec(
+        dataset="bench", constraints=[ConstraintSpec.polygon(poly)],
+        resolution=resolution,
+    ).to_dict())
+    knn_line = json.dumps({
+        "spec": "knn", "version": 1, "dataset": "bench",
+        "query_point": [50.0, 50.0], "k": 10, "resolution": resolution,
+    })
+
+    out: dict = {"n_points": n_points, "resolution": resolution}
+    workloads = {
+        "select": dict(
+            engine_direct=lambda: engine.select_points(
+                xs, ys, [poly], window=window, resolution=resolution
+            ),
+            frontend=lambda: polygonal_select_points(
+                xs, ys, poly, resolution=resolution
+            ),
+            spec_json=lambda: session.run(
+                spec_from_dict(json.loads(select_line))
+            ),
+        ),
+        "knn": dict(
+            engine_direct=lambda: engine.knn(
+                xs, ys, (50.0, 50.0), 10,
+                window=_knn_window(xs, ys, (50.0, 50.0)),
+                resolution=resolution,
+            ),
+            frontend=lambda: knn_frontend(
+                xs, ys, (50.0, 50.0), 10, resolution=resolution
+            ),
+            spec_json=lambda: session.run(
+                spec_from_dict(json.loads(knn_line))
+            ),
+        ),
+    }
+    for name, paths in workloads.items():
+        ids = {}
+        timings = {}
+        for path_name, fn in paths.items():
+            # Warm once (fills the canvas cache identically for all
+            # paths), then take the best of `rounds`.
+            reference = fn()
+            timings[path_name], result = _best_of(fn, rounds)
+            got = result.ids if hasattr(result, "ids") else result
+            ids[path_name] = np.asarray(got)
+            del reference
+        assert all(
+            np.array_equal(ids["engine_direct"], other)
+            for other in ids.values()
+        ), f"{name}: paths disagree"
+        overhead = (
+            100.0 * (timings["spec_json"] - timings["engine_direct"])
+            / timings["engine_direct"]
+        )
+        out[name] = {
+            "engine_direct_ms": timings["engine_direct"] * 1e3,
+            "frontend_ms": timings["frontend"] * 1e3,
+            "spec_json_ms": timings["spec_json"] * 1e3,
+            "spec_overhead_pct": overhead,
+            "meets_5pct_bar": bool(overhead < 5.0),
+        }
+        print(
+            f"  {name:<7} engine {timings['engine_direct'] * 1e3:8.2f} ms | "
+            f"frontend {timings['frontend'] * 1e3:8.2f} ms | "
+            f"spec+json {timings['spec_json'] * 1e3:8.2f} ms | "
+            f"overhead {overhead:+.2f}%"
+        )
+    return out
+
+
+def _knn_window(xs, ys, query_point):
+    base = default_window(xs, ys)
+    qx, qy = query_point
+    return base.union(BoundingBox(qx, qy, qx, qy)).expand(
+        0.01 * max(base.width, base.height)
+    )
+
+
+def bench_serve(n_points: int, resolution: int, n_requests: int) -> dict:
+    """Queries/sec of the JSON-lines loop on a warm session."""
+    rng = np.random.default_rng(41)
+    xs = rng.uniform(0, 100, n_points)
+    ys = rng.uniform(0, 100, n_points)
+    poly = rescale_to_box(
+        hand_drawn_polygon(seed=5, n_vertices=24),
+        BoundingBox(15.0, 25.0, 75.0, 85.0),
+    )
+    registry = DatasetRegistry().register("bench", (xs, ys))
+    session = Session(registry, engine=QueryEngine())
+
+    select_spec = SelectSpec(
+        dataset="bench", constraints=[ConstraintSpec.polygon(poly)],
+        resolution=resolution,
+    ).to_dict()
+    mixed_specs = [
+        select_spec,
+        {"spec": "knn", "version": 1, "dataset": "bench",
+         "query_point": [30.0, 60.0], "k": 5, "resolution": resolution},
+        AggregateSpec(
+            dataset="bench", polygons=GeometryData([poly], ids=[1]),
+            resolution=resolution,
+        ).to_dict(),
+    ]
+
+    out: dict = {"n_points": n_points, "resolution": resolution,
+                 "n_requests": n_requests}
+    for name, stream in (
+        ("repeated_select", [select_spec] * n_requests),
+        ("mixed_families",
+         [mixed_specs[i % len(mixed_specs)] for i in range(n_requests)]),
+    ):
+        lines = [json.dumps(spec) for spec in stream]
+        # Warm the cache so the steady state is measured, as a service
+        # would see it.
+        for _ in serve_lines(lines[:3], session):
+            pass
+        t0 = time.perf_counter()
+        answered = 0
+        for response in serve_lines(lines, session):
+            assert json.loads(response)["ok"]
+            answered += 1
+        elapsed = time.perf_counter() - t0
+        out[name] = {
+            "queries_per_sec": answered / elapsed,
+            "mean_latency_ms": elapsed / answered * 1e3,
+        }
+        print(
+            f"  serve {name:<16} {answered / elapsed:8.1f} q/s "
+            f"({elapsed / answered * 1e3:.2f} ms/query)"
+        )
+    return out
+
+
+def main(argv: list[str]) -> int:
+    dry = "--dry-run" in argv
+    if dry:
+        dispatch_cfg = dict(n_points=5_000, resolution=128, rounds=3)
+        serve_cfg = dict(n_points=5_000, resolution=128, n_requests=12)
+        target = DRY_JSON
+    else:
+        dispatch_cfg = dict(n_points=500_000, resolution=512, rounds=5)
+        serve_cfg = dict(n_points=200_000, resolution=512, n_requests=60)
+        target = FULL_JSON
+
+    print(f"spec dispatch overhead ({dispatch_cfg['n_points']} points, "
+          f"{dispatch_cfg['resolution']}^2):")
+    dispatch = bench_spec_dispatch(**dispatch_cfg)
+    print(f"serve throughput ({serve_cfg['n_points']} points, warm cache):")
+    throughput = bench_serve(**serve_cfg)
+
+    payload = {
+        "benchmark": "pr4_api",
+        "mode": "dry-run" if dry else "full",
+        "spec_dispatch": dispatch,
+        "serve": throughput,
+    }
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

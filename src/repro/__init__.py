@@ -3,10 +3,13 @@ Algebra for Spatial Queries" (Doraiswamy & Freire, SIGMOD 2020).
 
 Public surface:
 
+- :mod:`repro.api` — the declarative layer: typed JSON-round-trippable
+  query specs, the dataset registry, and the ``Session`` facade (the
+  service-callable entry point; ``python -m repro serve`` speaks it);
 - :mod:`repro.core` — the canvas data model, the five-operator algebra,
   and the standard spatial queries of Section 4;
 - :mod:`repro.queries` — the query frontends (selection / join /
-  aggregate / knn / voronoi / od);
+  aggregate / knn / voronoi / od), thin sugar over :mod:`repro.api`;
 - :mod:`repro.engine` — the plan-driven execution engine: cost-based
   physical-plan choice, canvas caching, and ``explain()`` reports;
 - :mod:`repro.geometry` — the computational-geometry substrate;
@@ -48,6 +51,12 @@ from repro.core import (
     spatial_join_points_polygons,
     voronoi,
 )
+
+# The declarative layer imports after repro.core: its Session pulls in
+# the engine and (lazily) the query frontends, which the core chain has
+# fully initialized by this point — importing it first would re-enter
+# repro.api mid-load through the frontends' spec imports.
+from repro.api import DatasetRegistry, Session
 from repro.gpu import Device
 
 __version__ = "1.0.0"
@@ -56,8 +65,10 @@ __all__ = [
     "AggregateResult",
     "Canvas",
     "CanvasSet",
+    "DatasetRegistry",
     "Device",
     "SelectionResult",
+    "Session",
     "aggregate_over_select",
     "distance_select",
     "join_aggregate",

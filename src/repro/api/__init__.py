@@ -1,0 +1,98 @@
+"""repro.api — the declarative, service-callable query layer (PR 4).
+
+Everything below this package speaks live Python objects; everything
+above it can speak JSON.  The three pieces:
+
+- :mod:`repro.api.specs` — typed, versioned query specs for all seven
+  query families, with eager validation and ``to_dict``/``from_dict``
+  round trips (:class:`SpecError` on anything malformed);
+- :mod:`repro.api.registry` — :class:`DatasetRegistry`, resolving the
+  dataset names inside specs (registered arrays, ``synthetic:`` /
+  ``taxi:`` / ``file:`` schemes);
+- :mod:`repro.api.session` — :class:`Session`, which executes specs on
+  the plan-driven engine (``run`` / ``run_batch`` / ``explain``), and
+  :mod:`repro.api.serve`, the JSON-lines service loop behind
+  ``python -m repro serve``.
+
+The legacy functions in :mod:`repro.queries` are thin sugar over this
+layer::
+
+    from repro.api import (
+        ConstraintSpec, DatasetRegistry, SelectSpec, Session,
+    )
+
+    registry = DatasetRegistry()
+    session = Session(registry)
+    spec = SelectSpec(
+        dataset="taxi:pickups?n=10000",
+        constraints=[ConstraintSpec.rect((2, 2), (12, 30))],
+    )
+    result = session.run(spec)              # == the legacy call
+    line = json.dumps(spec.to_dict())       # ship it anywhere
+"""
+
+from repro.api.registry import DatasetRegistry
+from repro.api.serve import (
+    default_serve_session,
+    handle_request,
+    report_summary,
+    result_summary,
+    serve,
+    serve_lines,
+)
+from repro.api.session import BatchRun, Session, default_session
+from repro.api.specs import (
+    AGGREGATES,
+    CONSTRAINT_KINDS,
+    GEOMETRY_SELECT_KINDS,
+    JOIN_KINDS,
+    SPEC_FAMILIES,
+    AggregateSpec,
+    ConstraintSpec,
+    GeometryData,
+    GeometrySpec,
+    JoinSpec,
+    KnnSpec,
+    OdSpec,
+    PointData,
+    QuerySpec,
+    SelectSpec,
+    SpecError,
+    TripData,
+    VoronoiSpec,
+    WindowSpec,
+    spec_from_dict,
+)
+
+__all__ = [
+    "AGGREGATES",
+    "AggregateSpec",
+    "BatchRun",
+    "CONSTRAINT_KINDS",
+    "ConstraintSpec",
+    "DatasetRegistry",
+    "GEOMETRY_SELECT_KINDS",
+    "GeometryData",
+    "GeometrySpec",
+    "JOIN_KINDS",
+    "JoinSpec",
+    "KnnSpec",
+    "OdSpec",
+    "PointData",
+    "QuerySpec",
+    "SPEC_FAMILIES",
+    "SelectSpec",
+    "Session",
+    "SpecError",
+    "TripData",
+    "VoronoiSpec",
+    "WindowSpec",
+    "default_serve_session",
+    "default_session",
+    "handle_request",
+    "report_summary",
+    "result_summary",
+    "serve",
+    "serve_lines",
+    "spec_from_dict",
+]

@@ -1,0 +1,381 @@
+"""Dataset resolution: the names inside a spec become arrays here.
+
+A spec that references its data by *name* is self-contained off-process
+— the JSON line ``{"spec": "select", "dataset": "taxi:pickups?n=5000",
+...}`` carries everything a remote ``serve`` loop needs.  The registry
+resolves three kinds of references:
+
+- **registered names** — in-memory arrays, geometry lists, or
+  :class:`~repro.data.taxi.TaxiTrips` tables installed with
+  :meth:`DatasetRegistry.register` (these take precedence);
+- **generator schemes** — ``synthetic:uniform?n=10000&seed=0``,
+  ``synthetic:gaussian?n=10000&clusters=8``, ``taxi:pickups?n=50000``,
+  ``taxi:dropoffs?...``, ``taxi:trips?...`` (deterministic per seed,
+  so two processes resolving the same reference see the same data);
+- **files** — ``file:points.csv`` / ``file:region.geojson`` through
+  :mod:`repro.data.datasets`.
+
+Scheme and file resolutions are memoized per reference string, so a
+``serve`` loop answering many specs over the same named dataset loads
+or generates it once.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping
+from urllib.parse import parse_qsl
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import Geometry, Point
+from repro.api.specs import (
+    GeometryData,
+    PointData,
+    SpecError,
+    TripData,
+)
+
+#: Inline payload union (what resolution produces).
+DatasetPayload = Any  # PointData | GeometryData | TripData
+
+#: Default world window for the synthetic generators.
+_SYNTH_WINDOW = (0.0, 0.0, 100.0, 100.0)
+
+#: Largest generator size a reference may request.  The schemes are
+#: reachable from untrusted serve requests; one absurd `n` must not be
+#: able to OOM the service process.
+MAX_GENERATED_POINTS = 10_000_000
+
+
+def _parse_params(query: str, ref: str) -> dict[str, str]:
+    if not query:
+        return {}
+    try:
+        return dict(parse_qsl(query, strict_parsing=True))
+    except ValueError as exc:
+        raise SpecError(f"dataset {ref!r}: malformed parameters") from exc
+
+
+def _int_param(params: Mapping[str, str], key: str, default: int,
+               ref: str) -> int:
+    raw = params.get(key)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise SpecError(
+            f"dataset {ref!r}: {key} must be an integer, got {raw!r}"
+        ) from exc
+
+
+def _float_param(params: Mapping[str, str], key: str, default: float,
+                 ref: str) -> float:
+    raw = params.get(key)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise SpecError(
+            f"dataset {ref!r}: {key} must be a number, got {raw!r}"
+        ) from exc
+
+
+def _size_param(params: Mapping[str, str], ref: str, default: int) -> int:
+    n = _int_param(params, "n", default, ref)
+    if n < 0:
+        raise SpecError(f"dataset {ref!r}: n must be non-negative")
+    if n > MAX_GENERATED_POINTS:
+        raise SpecError(
+            f"dataset {ref!r}: n={n} exceeds the generator cap of "
+            f"{MAX_GENERATED_POINTS} (register larger data explicitly)"
+        )
+    return n
+
+
+def _window_param(params: Mapping[str, str], ref: str) -> BoundingBox:
+    raw = params.get("window")
+    if raw is None:
+        return BoundingBox(*_SYNTH_WINDOW)
+    parts = raw.split(",")
+    if len(parts) != 4:
+        raise SpecError(
+            f"dataset {ref!r}: window must be 'xmin,ymin,xmax,ymax'"
+        )
+    try:
+        return BoundingBox(*(float(p) for p in parts))
+    except ValueError as exc:
+        raise SpecError(f"dataset {ref!r}: bad window {raw!r}") from exc
+
+
+def _check_params(params: Mapping[str, str], allowed: set[str],
+                  ref: str) -> None:
+    extra = set(params) - allowed
+    if extra:
+        raise SpecError(
+            f"dataset {ref!r}: unknown parameters {sorted(extra)} "
+            f"(allowed: {sorted(allowed)})"
+        )
+
+
+class DatasetRegistry:
+    """Resolves the dataset references inside query specs.
+
+    ``register`` installs in-memory data under a name; the generator
+    and file schemes work without registration.  One registry serves
+    one :class:`~repro.api.session.Session` (and its ``serve`` loop).
+    """
+
+    #: Resolved scheme/file references kept memoized at once.  Bounded:
+    #: a serve stream cycling distinct `seed=K` refs must not grow the
+    #: process without limit (each resolution can be ~100s of MB).
+    MAX_CACHED_RESOLUTIONS = 8
+
+    def __init__(self, allow_files: bool = True) -> None:
+        self._entries: dict[str, DatasetPayload] = {}
+        #: LRU by insertion order (dict preserves it; hits re-insert).
+        self._cache: dict[str, DatasetPayload] = {}
+        #: ``file:`` reads filesystem paths named by the *request* —
+        #: fine for local Python callers and the operator CLI, but a
+        #: serve boundary facing untrusted clients must disable it.
+        self.allow_files = allow_files
+
+    # -- registration ----------------------------------------------------
+    def register(self, name: str, data: Any) -> "DatasetRegistry":
+        """Install *data* under *name* (returns self for chaining).
+
+        Accepts the inline payload types (:class:`PointData`,
+        :class:`GeometryData`, :class:`TripData`), a
+        :class:`~repro.data.taxi.TaxiTrips` table, an ``(xs, ys)``
+        or ``(xs, ys, ids)`` tuple, an ``(n, 2)`` coordinate array, or
+        a list of geometries.
+        """
+        if not isinstance(name, str) or not name:
+            raise SpecError("dataset name must be a non-empty string")
+        self._entries[name] = self._coerce(name, data)
+        return self
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    @staticmethod
+    def _coerce(name: str, data: Any) -> DatasetPayload:
+        if isinstance(data, (PointData, GeometryData, TripData)):
+            return data
+        # TaxiTrips-shaped tables register as trips (duck-typed so the
+        # registry does not import the data package at module load).
+        if hasattr(data, "pickup_x") and hasattr(data, "dropoff_x"):
+            return TripData(
+                data.pickup_x, data.pickup_y,
+                data.dropoff_x, data.dropoff_y,
+                ids=getattr(data, "ids", None),
+            )
+        if isinstance(data, np.ndarray) and data.ndim == 2 and data.shape[1] == 2:
+            return PointData(data[:, 0], data[:, 1])
+        # Geometry sequences before the (xs, ys) tuple branch: a tuple
+        # of 2-3 geometries must register as geometry data, not be
+        # misread as coordinate columns.
+        if isinstance(data, (list, tuple)) and data and all(
+            isinstance(g, Geometry) for g in data
+        ):
+            return GeometryData(list(data))
+        if isinstance(data, tuple) and len(data) in (2, 3):
+            return PointData(*data)
+        raise SpecError(
+            f"cannot register dataset {name!r}: unsupported payload type "
+            f"{type(data).__name__}"
+        )
+
+    # -- resolution ------------------------------------------------------
+    def resolve(self, ref: Any) -> DatasetPayload:
+        """Inline payloads pass through; strings resolve by name/scheme."""
+        if isinstance(ref, (PointData, GeometryData, TripData)):
+            return ref
+        if not isinstance(ref, str):
+            raise SpecError(
+                f"dataset reference must be a string or inline payload, "
+                f"got {type(ref).__name__}"
+            )
+        if ref in self._entries:
+            return self._entries[ref]
+        if ref in self._cache:
+            payload = self._cache.pop(ref)  # re-insert: LRU freshness
+            self._cache[ref] = payload
+            return payload
+        payload = self._resolve_scheme(ref)
+        while len(self._cache) >= self.MAX_CACHED_RESOLUTIONS:
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[ref] = payload
+        return payload
+
+    def resolve_points(self, ref: Any, family: str) -> PointData:
+        payload = self.resolve(ref)
+        if isinstance(payload, PointData):
+            return payload
+        kind = "trips" if isinstance(payload, TripData) else "geometries"
+        raise SpecError(
+            f"{family} spec: dataset {_describe(ref)} holds {kind}, "
+            f"but a point dataset is required"
+        )
+
+    def resolve_geometries(self, ref: Any, family: str) -> GeometryData:
+        payload = self.resolve(ref)
+        if isinstance(payload, GeometryData):
+            return payload
+        kind = "trips" if isinstance(payload, TripData) else "points"
+        raise SpecError(
+            f"{family} spec: dataset {_describe(ref)} holds {kind}, "
+            f"but a geometry dataset is required"
+        )
+
+    def resolve_trips(self, ref: Any, family: str) -> TripData:
+        payload = self.resolve(ref)
+        if isinstance(payload, TripData):
+            return payload
+        kind = ("points" if isinstance(payload, PointData) else "geometries")
+        raise SpecError(
+            f"{family} spec: dataset {_describe(ref)} holds {kind}, "
+            f"but a trips dataset is required"
+        )
+
+    # -- built-in schemes ------------------------------------------------
+    def _resolve_scheme(self, ref: str) -> DatasetPayload:
+        base, _, query = ref.partition("?")
+        params = _parse_params(query, ref)
+        if base in ("synthetic:uniform", "synthetic:gaussian"):
+            return self._resolve_synthetic(base, params, ref)
+        if base in ("taxi", "taxi:trips", "taxi:pickups", "taxi:dropoffs"):
+            return self._resolve_taxi(base, params, ref)
+        if base.startswith("file:"):
+            if not self.allow_files:
+                raise SpecError(
+                    f"dataset {ref!r}: file: references are disabled in "
+                    "this registry (serve boundary); register the data "
+                    "under a name instead"
+                )
+            _check_params(params, {"value"}, ref)
+            return self._resolve_file(
+                base[len("file:"):], ref, value_column=params.get("value")
+            )
+        registered = ", ".join(self.names()) or "none registered"
+        raise SpecError(
+            f"unknown dataset {ref!r} (registered: {registered}; schemes: "
+            f"synthetic:uniform, synthetic:gaussian, taxi[:pickups|"
+            f"dropoffs|trips], file:<path>)"
+        )
+
+    @staticmethod
+    def _resolve_synthetic(base: str, params: Mapping[str, str],
+                           ref: str) -> PointData:
+        from repro.data.synthetic import gaussian_mixture_points, uniform_points
+
+        window = _window_param(params, ref)
+        n = _size_param(params, ref, default=10_000)
+        seed = _int_param(params, "seed", 0, ref)
+        if base.endswith("uniform"):
+            _check_params(params, {"n", "seed", "window"}, ref)
+            xs, ys = uniform_points(n, window, seed=seed)
+        else:
+            _check_params(
+                params,
+                {"n", "seed", "window", "clusters", "spread",
+                 "uniform_fraction"},
+                ref,
+            )
+            clusters = _int_param(params, "clusters", 8, ref)
+            # Same boundary rationale as the n cap: per-cluster arrays
+            # must not let one request OOM the process.
+            if not 1 <= clusters <= 100_000:
+                raise SpecError(
+                    f"dataset {ref!r}: clusters must be in [1, 100000]"
+                )
+            xs, ys = gaussian_mixture_points(
+                n, window,
+                n_clusters=clusters,
+                spread=_float_param(params, "spread", 0.08, ref),
+                uniform_fraction=_float_param(
+                    params, "uniform_fraction", 0.15, ref
+                ),
+                seed=seed,
+            )
+        return PointData(xs, ys)
+
+    @staticmethod
+    def _resolve_taxi(base: str, params: Mapping[str, str],
+                      ref: str) -> DatasetPayload:
+        from repro.data.taxi import generate_taxi_trips
+
+        _check_params(params, {"n", "seed"}, ref)
+        n = _size_param(params, ref, default=50_000)
+        trips = generate_taxi_trips(n, seed=_int_param(params, "seed", 7, ref))
+        variant = base.partition(":")[2] or "trips"
+        if variant == "pickups":
+            return PointData(trips.pickup_x, trips.pickup_y, ids=trips.ids,
+                             values=trips.fare)
+        if variant == "dropoffs":
+            return PointData(trips.dropoff_x, trips.dropoff_y, ids=trips.ids,
+                             values=trips.fare)
+        return TripData(trips.pickup_x, trips.pickup_y,
+                        trips.dropoff_x, trips.dropoff_y, ids=trips.ids)
+
+    @staticmethod
+    def _resolve_file(
+        path: str, ref: str, value_column: str | None = None
+    ) -> DatasetPayload:
+        from repro.data.datasets import read_csv, read_geojson
+
+        if not path:
+            raise SpecError(f"dataset {ref!r}: empty file path")
+        suffix = Path(path).suffix.lower()
+        reader = {".csv": read_csv, ".geojson": read_geojson,
+                  ".json": read_geojson}.get(suffix)
+        if reader is None:
+            raise SpecError(
+                f"dataset {ref!r}: unsupported file type "
+                f"(use .csv or .geojson)"
+            )
+        try:
+            geometries, properties = reader(path)
+        except OSError as exc:
+            raise SpecError(
+                f"dataset {ref!r}: cannot read {path}: {exc}"
+            ) from exc
+        except (ValueError, TypeError, KeyError) as exc:
+            # Loader parse errors keep the reference context so a
+            # multi-dataset spec names which ref is malformed.
+            raise SpecError(f"dataset {ref!r}: {exc}") from exc
+        if geometries and all(isinstance(g, Point) for g in geometries):
+            values = None
+            if value_column is not None:
+                # `file:pts.csv?value=fare` — attach a numeric property
+                # column so sum/avg/min/max aggregates have something
+                # to aggregate.
+                try:
+                    values = np.array(
+                        [float(p[value_column]) for p in properties]
+                    )
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise SpecError(
+                        f"dataset {ref!r}: cannot read numeric column "
+                        f"{value_column!r}: {exc}"
+                    ) from exc
+            return PointData(
+                np.array([g.x for g in geometries]),
+                np.array([g.y for g in geometries]),
+                values=values,
+            )
+        if value_column is not None:
+            raise SpecError(
+                f"dataset {ref!r}: value= applies to point files only"
+            )
+        return GeometryData(geometries)
+
+
+def _describe(ref: Any) -> str:
+    return repr(ref) if isinstance(ref, str) else "<inline>"

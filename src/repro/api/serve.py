@@ -1,0 +1,252 @@
+"""``python -m repro serve`` — the JSON-lines query service loop.
+
+The first traffic-facing entry point of the engine: specs come in one
+JSON object per line on stdin, result summaries plus execution reports
+go out one JSON object per line on stdout.  The protocol:
+
+- ``{"spec": "<family>", ...}`` — one query spec
+  (:func:`repro.api.specs.spec_from_dict` form) → ``{"ok": true,
+  "result": {...}, "report": {...}}``;
+- ``{"batch": [<spec>, ...]}`` — a spec list planned together through
+  :meth:`~repro.api.session.Session.run_batch` → ``{"ok": true,
+  "results": [...], "report": {...}}``;
+- malformed lines / failing specs → ``{"ok": false, "error": "..."}``
+  (the loop never dies on a bad request);
+- blank lines are ignored; EOF ends the loop.
+
+Everything here is plain data: :func:`result_summary` is the single
+place a query result becomes JSON, shared by ``serve``, the ``query``
+CLI subcommand, and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, IO, Iterable
+
+import numpy as np
+
+from repro.api.session import BatchRun, Session
+from repro.api.specs import SpecError
+
+#: Largest id/pair list a summary inlines before truncating.
+MAX_INLINE_RESULTS = 10_000
+
+#: Largest spec list one ``{"batch": [...]}`` request may carry — the
+#: same boundary rationale as the resolution/generator caps: one line
+#: must not pin the single-threaded loop indefinitely.
+MAX_BATCH_REQUEST = 256
+
+
+def result_summary(result: Any) -> dict[str, Any]:
+    """One query result as a JSON-ready summary dict.
+
+    Dispatches on result shape: selection results carry ids and
+    filtering counters, aggregations their group table, Voronoi runs a
+    canvas digest, joins their pair list.  Large id/pair lists truncate
+    at :data:`MAX_INLINE_RESULTS` (``truncated: true`` marks it).
+    """
+    from repro.core.canvas import Canvas
+    from repro.queries.common import AggregateResult, SelectionResult
+
+    if isinstance(result, SelectionResult):
+        return {
+            "type": "selection",
+            "matched": len(result.ids),
+            # Slice before tolist: a million-row match must not build a
+            # million Python ints just to keep the first page.
+            "ids": result.ids[:MAX_INLINE_RESULTS].tolist(),
+            "truncated": len(result.ids) > MAX_INLINE_RESULTS,
+            "n_candidates": int(result.n_candidates),
+            "n_exact_tests": int(result.n_exact_tests),
+            "plan": result.plan,
+        }
+    if isinstance(result, AggregateResult):
+        return {
+            "type": "aggregate",
+            "aggregate": result.aggregate,
+            "groups": result.groups.tolist(),
+            # min/max over an empty group is ±inf, which is not JSON —
+            # strict clients (JSON.parse, jq) must still parse the line.
+            "values": [
+                value if np.isfinite(value) else None
+                for value in result.values.tolist()
+            ],
+        }
+    if isinstance(result, Canvas):
+        return {
+            "type": "canvas",
+            "height": result.height,
+            "width": result.width,
+            "nonnull_pixels": int(result.texture.nonnull_count()),
+        }
+    if isinstance(result, list):  # join pair lists
+        truncated = len(result) > MAX_INLINE_RESULTS
+        return {
+            "type": "pairs",
+            "matched": len(result),
+            "pairs": [list(pair) for pair in result[:MAX_INLINE_RESULTS]],
+            "truncated": truncated,
+        }
+    raise TypeError(f"no summary for result type {type(result).__name__}")
+
+
+def report_summary(report: Any) -> dict[str, Any]:
+    """An :class:`ExecutionReport` (or batch report) as a JSON dict."""
+    if hasattr(report, "plans"):  # BatchReport
+        return {
+            "n_queries": report.n_queries,
+            "plans": [list(pair) for pair in report.plans],
+            "cache_hits": report.cache_hits,
+            "cache_misses": report.cache_misses,
+            "shared_constraint_sets": report.shared_constraint_sets,
+            "planning_ms": report.planning_s * 1e3,
+            "execution_ms": report.execution_s * 1e3,
+        }
+    return {
+        "plan": report.plan,
+        "estimated_cost": report.estimated_cost,
+        "forced": report.forced,
+        "cache_hits": report.cache_hits,
+        "cache_misses": report.cache_misses,
+        "planning_ms": report.planning_s * 1e3,
+        "execution_ms": report.execution_s * 1e3,
+        "buffers": {
+            "full_copies": report.copies,
+            "allocations": report.allocations,
+            "pool_reuses": report.pool_reuses,
+            "inplace_ops": report.inplace_ops,
+        },
+    }
+
+
+def handle_request(
+    request: Any, session: Session, max_batch: int | None = None
+) -> dict[str, Any]:
+    """Answer one decoded request object (spec or batch).
+
+    *max_batch* bounds ``{"batch": [...]}`` lengths; the serve loop
+    passes :data:`MAX_BATCH_REQUEST`, while trusted callers (the
+    ``query`` CLI) leave it unbounded.
+    """
+    if not isinstance(request, dict):
+        return {"ok": False,
+                "error": f"request must be an object, got "
+                         f"{type(request).__name__}"}
+    try:
+        if "batch" in request:
+            extra = set(request) - {"batch"}
+            if extra:
+                raise SpecError(
+                    f"batch request: unknown keys {sorted(extra)}"
+                )
+            if not isinstance(request["batch"], list):
+                raise SpecError("batch request: 'batch' must be a list")
+            if max_batch is not None and len(request["batch"]) > max_batch:
+                raise SpecError(
+                    f"batch request: {len(request['batch'])} specs exceed "
+                    f"the {max_batch}-member cap per request"
+                )
+            run: BatchRun = session.run_batch(request["batch"])
+            return {
+                "ok": True,
+                "results": [result_summary(r) for r in run.results],
+                "report": report_summary(run.report),
+            }
+        session.take_reports()  # drop anything older than this request
+        result = session.run(request)
+        reports, produced = session.take_reports()
+        payload: dict[str, Any] = {
+            "ok": True,
+            "result": result_summary(result),
+        }
+        if reports:
+            payload["report"] = report_summary(reports[-1])
+            if produced > 1:
+                # True engine-execution count, not the bounded history's
+                # length (a 40-member join on a 32-entry deque).
+                payload["report"]["sub_reports"] = produced
+        else:
+            # The protocol promises a report on every success; a spec
+            # that resolved empty without planning gets the zero form —
+            # built through report_summary so the schema cannot drift
+            # from normal responses.
+            from repro.engine import ExecutionReport
+
+            payload["report"] = report_summary(ExecutionReport(
+                query="empty", plan="empty-input", estimated_cost=0.0,
+                candidates=(), forced="resolved without planning",
+                cache_hits=0, cache_misses=0, planning_s=0.0,
+                execution_s=0.0, plan_tree=None,
+            ))
+        return payload
+    except (SpecError, ValueError, TypeError) as exc:
+        return {"ok": False, "error": str(exc)}
+    except Exception as exc:  # noqa: BLE001 — the loop must never die
+        # Anything a request provokes (MemoryError on an absurd size,
+        # an OSError from a file: dataset, a latent engine bug) is that
+        # request's problem, not the service's: answer in-band.
+        return {
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+
+
+def default_serve_session() -> Session:
+    """A session hardened for the traffic boundary: requests name their
+    data via registered names or generator schemes, never ``file:``
+    paths on the server, and join fan-out is capped so one request
+    cannot pin the loop with millions of sequential selections."""
+    from repro.api.registry import DatasetRegistry
+
+    return Session(DatasetRegistry(allow_files=False),
+                   max_join_members=1_000)
+
+
+def serve_lines(
+    lines: Iterable[str], session: Session | None = None
+) -> Iterable[str]:
+    """The pure core of the serve loop: JSON lines in, JSON lines out.
+
+    Without an explicit *session*, a file-scheme-disabled one is built
+    (see :func:`default_serve_session`) — pass your own session to
+    trade that hardening for local convenience.
+    """
+    session = session if session is not None else default_serve_session()
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+        except Exception as exc:  # noqa: BLE001 — the loop must never die
+            # Not just JSONDecodeError: a hostile line can provoke
+            # RecursionError ('['*3000) or MemoryError from the parser.
+            yield json.dumps({"ok": False, "error": f"bad JSON: {exc}"})
+            continue
+        response = handle_request(request, session,
+                                  max_batch=MAX_BATCH_REQUEST)
+        try:
+            # allow_nan=False: emitting RFC-invalid Infinity/NaN would
+            # break strict JSON-lines clients mid-stream; degrade to an
+            # in-band error instead.
+            yield json.dumps(response, allow_nan=False)
+        except ValueError:
+            yield json.dumps(
+                {"ok": False,
+                 "error": "response contained non-finite numbers"}
+            )
+
+
+def serve(
+    stream_in: IO[str],
+    stream_out: IO[str],
+    session: Session | None = None,
+) -> int:
+    """Run the loop over text streams (flushing per line, for pipes)."""
+    count = 0
+    for response in serve_lines(stream_in, session):
+        stream_out.write(response + "\n")
+        stream_out.flush()
+        count += 1
+    return count

@@ -1,0 +1,886 @@
+"""The Session facade: specs in, engine-executed results out.
+
+A :class:`Session` owns (or borrows) a :class:`~repro.engine.executor.
+QueryEngine`, a :class:`~repro.api.registry.DatasetRegistry`, and the
+defaults every spec inherits (resolution, device).  It is the single
+entry point the service layer talks through:
+
+- :meth:`Session.run` — execute one spec (or its dict form) and return
+  the same result object the legacy frontend for that family returns
+  (``SelectionResult``, ``AggregateResult``, ``Canvas``, pair lists);
+- :meth:`Session.run_batch` — plan a list of specs together through
+  :meth:`~repro.engine.executor.QueryEngine.execute_batch` (shared
+  constraint canvases rasterize once across the batch);
+- :meth:`Session.explain` — run a spec and return the engine's
+  plan/cost/cache report for it.
+
+The legacy functions in :mod:`repro.queries` are thin sugar over this
+layer: each one builds the equivalent spec and hands it to the
+process-default session (:func:`default_session`), which routes through
+the process-default engine — so ``use_engine()`` contexts keep
+steering them, and spec-driven and direct calls are bit-identical by
+construction.
+
+The *normalization* rules each family applied before PR 4 (window
+inference, id defaulting, the half-space clip) live here now, keyed by
+family — a spec with ``window=None`` resolves its window exactly the
+way the legacy frontend did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import (
+    GeometryCollection,
+    LineSegment,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+from repro.gpu.device import DEFAULT_DEVICE, Device
+from repro.core.canvas import Canvas
+from repro.engine import BatchQuery, BatchReport, QueryEngine, get_engine
+from repro.engine.executor import BATCH_KINDS
+from repro.api.registry import DatasetRegistry
+from repro.api.specs import (
+    AggregateSpec,
+    GeometrySpec,
+    JoinSpec,
+    KnnSpec,
+    OdSpec,
+    QuerySpec,
+    SelectSpec,
+    SpecError,
+    VoronoiSpec,
+    spec_from_dict,
+)
+
+
+def _common():
+    """The query-layer result containers (imported lazily: the query
+    frontends import this module at load time)."""
+    from repro.queries import common
+
+    return common
+
+
+def _wrap_selection(outcome):
+    common = _common()
+    return common.SelectionResult(
+        ids=outcome.ids,
+        n_candidates=outcome.n_candidates,
+        n_exact_tests=outcome.n_exact_tests,
+        samples=outcome.samples,
+        plan=outcome.report.plan,
+    )
+
+
+def _wrap_aggregate(outcome):
+    common = _common()
+    return common.AggregateResult(
+        groups=outcome.groups, values=outcome.values,
+        aggregate=outcome.aggregate,
+    )
+
+
+def _empty_selection_result():
+    common = _common()
+    return common.SelectionResult(
+        ids=np.empty(0, dtype=np.int64), n_candidates=0, n_exact_tests=0
+    )
+
+
+@dataclass
+class _Described:
+    """One spec resolved to a concrete engine call (or a known-empty
+    result that needs no engine at all)."""
+
+    kind: str = ""
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    wrap: Callable[[Any], Any] = lambda outcome: outcome
+    empty_result: Any = None
+
+
+@dataclass
+class BatchRun:
+    """What :meth:`Session.run_batch` returns: per-spec results (in
+    submission order) plus the engine's batch-sharing report."""
+
+    results: list[Any]
+    report: BatchReport
+
+
+
+
+class Session:
+    """Engine + registry + defaults behind the declarative query API.
+
+    Parameters
+    ----------
+    registry:
+        Resolves string dataset references inside specs.  A fresh
+        registry (generator/file schemes only) when omitted.
+    resolution:
+        Default canvas resolution for specs that leave theirs unset
+        (family defaults apply when this is also ``None``).
+    device:
+        Default execution device.
+    engine:
+        An explicit engine to run on.  When omitted *and* no engine
+        knobs are given, the session routes through the process-default
+        engine (so it shares its cache with the legacy functions and
+        honours ``use_engine()``); passing ``cost_model`` /
+        ``cache_capacity`` / ``cache_max_bytes`` builds a private one.
+    """
+
+    def __init__(
+        self,
+        registry: DatasetRegistry | None = None,
+        *,
+        resolution: int | None = None,
+        device: Device = DEFAULT_DEVICE,
+        engine: QueryEngine | None = None,
+        cost_model=None,
+        cache_capacity: int | None = None,
+        cache_max_bytes: int | None = None,
+        max_join_members: int | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else DatasetRegistry()
+        self.resolution = resolution
+        self.device = device
+        #: Largest join fan-out (right-side member count) this session
+        #: will execute.  None = unbounded, matching the legacy join
+        #: functions; the serve boundary sets a cap so one request
+        #: cannot pin the loop with millions of sequential selections.
+        self.max_join_members = max_join_members
+        engine_knobs = (
+            cost_model is not None
+            or cache_capacity is not None
+            or cache_max_bytes is not None
+        )
+        if engine is not None and engine_knobs:
+            raise ValueError(
+                "pass either an explicit engine or engine knobs "
+                "(cost_model/cache_capacity/cache_max_bytes), not both — "
+                "the knobs would be silently ignored"
+            )
+        if engine is None and engine_knobs:
+            kwargs: dict[str, Any] = {}
+            if cost_model is not None:
+                kwargs["cost_model"] = cost_model
+            if cache_capacity is not None:
+                kwargs["cache_capacity"] = cache_capacity
+            if cache_max_bytes is not None:
+                kwargs["cache_max_bytes"] = cache_max_bytes
+            engine = QueryEngine(**kwargs)
+        self._engine = engine
+        #: (engine, last report identity, monotonic count) marker into
+        #: the engine's report history (see take_reports).  None until
+        #: the engine is first touched, so reports predating the
+        #: session are never attributed to it; keyed on the engine so a
+        #: use_engine() switch re-anchors instead of mixing tallies.
+        self._report_marker: tuple[Any, Any, int] | None = None
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The engine specs execute on (process default unless owned)."""
+        return self._engine if self._engine is not None else get_engine()
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        spec: QuerySpec | Mapping[str, Any],
+        *,
+        device: Device | None = None,
+        constraint_canvas: Canvas | None = None,
+        force_plan: str | None = None,
+    ) -> Any:
+        """Execute one spec and return its family's result object.
+
+        *constraint_canvas* (polygon selections only) and *force_plan*
+        are runtime execution knobs, not part of the serializable spec.
+        """
+        spec = self._coerce_spec(spec)
+        self._anchor_reports()
+        device = device if device is not None else self.device
+        if constraint_canvas is not None and not isinstance(spec, SelectSpec):
+            raise SpecError("constraint_canvas applies to select specs only")
+        if isinstance(spec, GeometrySpec):
+            return self._run_geometry(spec, device, force_plan)
+        if isinstance(spec, JoinSpec):
+            if force_plan is not None:
+                raise SpecError(
+                    "join specs take no force_plan (each member is "
+                    "planned individually)"
+                )
+            return self._run_join(spec, device)
+        desc = self._describe(
+            spec, device, constraint_canvas=constraint_canvas,
+            force_plan=force_plan,
+        )
+        if desc.empty_result is not None:
+            return desc.empty_result
+        # BATCH_KINDS is the executor's own kind→method table, so this
+        # dispatch and execute_batch can never drift apart.
+        outcome = getattr(self.engine, BATCH_KINDS[desc.kind])(
+            **desc.kwargs
+        )
+        return desc.wrap(outcome)
+
+    def run_batch(self, specs: Sequence[QuerySpec | Mapping[str, Any]]) -> BatchRun:
+        """Plan and run a list of specs as one engine batch.
+
+        Members map onto :meth:`QueryEngine.execute_batch`, so shared
+        constraint sets rasterize once and later members are priced
+        cache-aware.  Geometry and join specs are not batchable (they
+        expand to per-member engine calls); submit them via
+        :meth:`run`.
+        """
+        self._anchor_reports()
+        described = []
+        for i, spec in enumerate(specs):
+            try:
+                described.append(
+                    self._describe(self._coerce_spec(spec), self.device)
+                )
+            except (SpecError, ValueError, TypeError) as exc:
+                # Name the offending member: a 20-spec batch error
+                # without an index is not actionable.
+                raise SpecError(f"batch[{i}]: {exc}") from exc
+        live = [
+            (i, desc) for i, desc in enumerate(described)
+            if desc.empty_result is None
+        ]
+        outcome = self.engine.execute_batch(
+            [BatchQuery(desc.kind, desc.kwargs) for _, desc in live]
+        )
+        results: list[Any] = [None] * len(described)
+        for (i, desc), result in zip(live, outcome.results):
+            results[i] = desc.wrap(result)
+        for i, desc in enumerate(described):
+            if desc.empty_result is not None:
+                results[i] = desc.empty_result
+        report = outcome.report
+        if len(live) != len(described):
+            # Members that resolved empty without an engine call still
+            # occupy a submission slot: keep report.plans aligned with
+            # results so clients can pair plans[i] with results[i].
+            plans: list[tuple[str, str]] = []
+            live_plans = iter(report.plans)
+            for desc in described:
+                if desc.empty_result is not None:
+                    plans.append(("selection", "empty-input"))
+                else:
+                    plans.append(next(live_plans))
+            report = BatchReport(
+                n_queries=len(described),
+                plans=tuple(plans),
+                cache_hits=report.cache_hits,
+                cache_misses=report.cache_misses,
+                shared_constraint_sets=report.shared_constraint_sets,
+                counters=report.counters,
+                planning_s=report.planning_s,
+                execution_s=report.execution_s,
+            )
+        return BatchRun(results=results, report=report)
+
+    def explain(
+        self,
+        spec: QuerySpec | Mapping[str, Any],
+        **runtime: Any,
+    ) -> str:
+        """Run *spec* and return the engine's report(s) for that run."""
+        self.take_reports()  # drop anything older than this run
+        self.run(spec, **runtime)
+        produced, _ = self.take_reports()
+        if not produced:
+            # e.g. a half-space that clips to nothing, or a join over an
+            # empty member list — showing the previous query's report
+            # here would misattribute it.
+            return (
+                "no engine execution: the spec resolved to an empty "
+                "result without planning"
+            )
+        return self.engine.explain(last=len(produced))
+
+    def _anchor_reports(self) -> None:
+        """Pin the report marker to the engine's current state the
+        first time this session touches it — anything recorded earlier
+        (other callers on the shared default engine) is not ours.
+        A changed engine (``use_engine()`` around a default session)
+        re-anchors: tallies never mix across engines."""
+        engine = self.engine
+        if self._report_marker is None or self._report_marker[0] is not engine:
+            self._report_marker = (engine, engine.last_report,
+                                   engine.report_count)
+
+    def take_reports(self) -> tuple[list, int]:
+        """Reports produced since the last call (or the session's first
+        query).
+
+        Returns ``(reports, produced)`` where *produced* is the true
+        count from the engine's monotonic tally — the bounded report
+        deque can hold fewer than were produced (e.g. a 40-member join
+        on a 32-entry history), in which case ``len(reports) <
+        produced``.
+        """
+        self._anchor_reports()
+        engine, marker, marker_count = self._report_marker
+        produced_count = max(0, engine.report_count - marker_count)
+        produced: list = []
+        for report in reversed(engine.reports):
+            if report is marker or len(produced) >= produced_count:
+                break
+            produced.append(report)
+        produced.reverse()
+        self._report_marker = (engine, engine.last_report,
+                               engine.report_count)
+        return produced, produced_count
+
+    # ------------------------------------------------------------------
+    # Spec resolution helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce_spec(spec: QuerySpec | Mapping[str, Any]) -> QuerySpec:
+        if isinstance(spec, QuerySpec):
+            return spec
+        if isinstance(spec, Mapping):
+            return spec_from_dict(spec)
+        raise SpecError(
+            f"expected a query spec or spec dict, got {type(spec).__name__}"
+        )
+
+    def _resolution(self, spec: QuerySpec, default: int = 1024):
+        if getattr(spec, "resolution", None) is not None:
+            return spec.resolution
+        if self.resolution is not None:
+            return self.resolution
+        return default
+
+    @staticmethod
+    def _window(spec: QuerySpec) -> BoundingBox | None:
+        return spec.window.to_box() if spec.window is not None else None
+
+    @staticmethod
+    def _check_records(data, ref, want: type, family: str, what: str):
+        """Record-type contract for *reference-resolved* geometry data.
+
+        Inline payloads were checked at spec construction (and are
+        skipped here — no redundant per-query sweep), but a string
+        reference resolves only now: without this, a mistyped ref
+        would crash deep in a kernel instead of raising a SpecError.
+        """
+        if isinstance(ref, str):
+            for i, geom in enumerate(data.geometries):
+                if not isinstance(geom, want):
+                    raise SpecError(
+                        f"{family} spec: {what} record {i} must be "
+                        f"{want.__name__}, got {type(geom).__name__}"
+                    )
+        return data
+
+    # ------------------------------------------------------------------
+    # Family execution: single-engine-call families describe themselves
+    # ------------------------------------------------------------------
+    def _describe(
+        self,
+        spec: QuerySpec,
+        device: Device,
+        constraint_canvas: Canvas | None = None,
+        force_plan: str | None = None,
+    ) -> _Described:
+        if isinstance(spec, SelectSpec):
+            return self._describe_select(
+                spec, device, constraint_canvas, force_plan
+            )
+        if isinstance(spec, AggregateSpec):
+            return self._describe_aggregate(spec, device, force_plan)
+        if isinstance(spec, KnnSpec):
+            return self._describe_knn(spec, device, force_plan)
+        if isinstance(spec, VoronoiSpec):
+            return self._describe_voronoi(spec, device, force_plan)
+        if isinstance(spec, OdSpec):
+            return self._describe_od(spec, device, force_plan)
+        raise SpecError(
+            f"family {spec.FAMILY!r} is not batchable — run geometry and "
+            "join specs individually via Session.run"
+        )
+
+    def _describe_select(
+        self,
+        spec: SelectSpec,
+        device: Device,
+        constraint_canvas: Canvas | None,
+        force_plan: str | None,
+    ) -> _Described:
+        common = _common()
+        data = self.registry.resolve_points(spec.dataset, spec.FAMILY)
+        xs, ys, ids = data.xs, data.ys, data.ids
+        resolution = self._resolution(spec)
+        window = self._window(spec)
+        kinds = {c.kind for c in spec.constraints}
+
+        if kinds == {"circle"}:
+            if constraint_canvas is not None:
+                raise SpecError(
+                    "select spec: constraint_canvas applies to polygon "
+                    "constraints only"
+                )
+            constraint = spec.constraints[0]
+            center, radius = constraint.center, constraint.radius
+            assert center is not None and radius is not None
+            if window is None:
+                cx, cy = center
+                window = common.default_window(xs, ys).union(
+                    BoundingBox(cx - radius, cy - radius,
+                                cx + radius, cy + radius)
+                ).expand(0.01 * radius)
+            return _Described(
+                kind="distance",
+                kwargs=dict(
+                    xs=xs, ys=ys, center=center, radius=radius, ids=ids,
+                    window=window, resolution=resolution, device=device,
+                    exact=spec.exact, force_plan=force_plan,
+                ),
+                wrap=_wrap_selection,
+            )
+
+        if kinds == {"halfspace"}:
+            assert spec.constraints[0].coefficients is not None
+            a, b, c = spec.constraints[0].coefficients
+            if window is None:
+                window = common.default_window(xs, ys)
+            from repro.geometry.clipping import clip_polygon_halfplane
+
+            clipped = clip_polygon_halfplane(window.corners, a, b, c)
+            if len(clipped) < 3:
+                return _Described(empty_result=_empty_selection_result())
+            polys = [Polygon(clipped)]
+        else:
+            polys = [c.as_polygon() for c in spec.constraints]
+            if window is None:
+                window = common.default_window(xs, ys, polys)
+
+        return _Described(
+            kind="selection",
+            kwargs=dict(
+                xs=xs, ys=ys, polygons=polys, ids=ids, window=window,
+                resolution=resolution, device=device, mode=spec.mode,
+                exact=spec.exact, constraint_canvas=constraint_canvas,
+                force_plan=force_plan,
+            ),
+            wrap=_wrap_selection,
+        )
+
+    def _describe_aggregate(
+        self, spec: AggregateSpec, device: Device, force_plan: str | None
+    ) -> _Described:
+        common = _common()
+        data = self.registry.resolve_points(spec.dataset, spec.FAMILY)
+        groups = self._check_records(
+            self.registry.resolve_geometries(spec.polygons, spec.FAMILY),
+            spec.polygons, Polygon, spec.FAMILY, "group",
+        )
+        if isinstance(spec.polygons, str):
+            from repro.api.specs import _check_unique_group_ids
+
+            _check_unique_group_ids(groups.ids, spec.FAMILY)
+        if spec.aggregate != "count" and data.values is None:
+            # Without a values column, sum/avg/min/max would confidently
+            # return zeros — reject instead of answering wrong.
+            raise SpecError(
+                f"aggregate spec: {spec.aggregate!r} needs a dataset "
+                "with values (inline values=, taxi:pickups fares, or "
+                "file:…?value=<column>)"
+            )
+        polys = list(groups.geometries)
+        ids = (
+            list(groups.ids) if groups.ids is not None
+            else list(range(len(polys)))
+        )
+        window = self._window(spec)
+        if window is None:
+            window = common.default_window(data.xs, data.ys, polys)
+        return _Described(
+            kind="aggregation",
+            kwargs=dict(
+                xs=data.xs, ys=data.ys, polygons=polys, values=data.values,
+                aggregate=spec.aggregate, polygon_ids=ids, window=window,
+                resolution=self._resolution(spec), device=device,
+                exact=spec.exact, force_plan=force_plan,
+            ),
+            wrap=_wrap_aggregate,
+        )
+
+    def _describe_knn(
+        self, spec: KnnSpec, device: Device, force_plan: str | None
+    ) -> _Described:
+        common = _common()
+        data = self.registry.resolve_points(spec.dataset, spec.FAMILY)
+        xs, ys = data.xs, data.ys
+        if spec.k < 1 or spec.k > len(xs):
+            raise ValueError("k must be between 1 and the number of points")
+        window = self._window(spec)
+        if window is None:
+            base = common.default_window(xs, ys)
+            qx, qy = spec.query_point
+            window = base.union(BoundingBox(qx, qy, qx, qy)).expand(
+                0.01 * max(base.width, base.height)
+            )
+        return _Described(
+            kind="knn",
+            kwargs=dict(
+                xs=xs, ys=ys, query_point=spec.query_point, k=spec.k,
+                ids=data.ids, window=window,
+                resolution=self._resolution(spec), device=device,
+                max_iterations=spec.max_iterations, force_plan=force_plan,
+            ),
+            wrap=_wrap_selection,
+        )
+
+    def _describe_voronoi(
+        self, spec: VoronoiSpec, device: Device, force_plan: str | None
+    ) -> _Described:
+        data = self.registry.resolve_points(spec.dataset, spec.FAMILY)
+        assert spec.window is not None
+        return _Described(
+            kind="voronoi",
+            kwargs=dict(
+                points=np.stack([data.xs, data.ys], axis=1),
+                window=spec.window.to_box(),
+                resolution=self._resolution(spec, default=512),
+                device=device, force_plan=force_plan,
+            ),
+            wrap=lambda outcome: outcome.canvas,
+        )
+
+    def _describe_od(
+        self, spec: OdSpec, device: Device, force_plan: str | None
+    ) -> _Described:
+        common = _common()
+        trips = self.registry.resolve_trips(spec.dataset, spec.FAMILY)
+        assert isinstance(spec.q1, Polygon) and isinstance(spec.q2, Polygon)
+        window = self._window(spec)
+        if window is None:
+            all_x = np.concatenate([trips.origin_xs, trips.dest_xs])
+            all_y = np.concatenate([trips.origin_ys, trips.dest_ys])
+            window = common.default_window(all_x, all_y, [spec.q1, spec.q2])
+        return _Described(
+            kind="od",
+            kwargs=dict(
+                origin_xs=trips.origin_xs, origin_ys=trips.origin_ys,
+                dest_xs=trips.dest_xs, dest_ys=trips.dest_ys,
+                q1=spec.q1, q2=spec.q2, ids=trips.ids, window=window,
+                resolution=self._resolution(spec), device=device,
+                exact=spec.exact, force_plan=force_plan,
+            ),
+            wrap=_wrap_selection,
+        )
+
+    # ------------------------------------------------------------------
+    # Geometry-record selections (single call or per-dimension expansion)
+    # ------------------------------------------------------------------
+    def _run_geometry(
+        self, spec: GeometrySpec, device: Device, force_plan: str | None
+    ):
+        common = _common()
+        data = self.registry.resolve_geometries(spec.dataset, spec.FAMILY)
+        query = spec.query
+        assert isinstance(query, Polygon)
+        resolution = self._resolution(spec)
+        window = self._window(spec)
+
+        if spec.kind == "objects":
+            if force_plan is not None:
+                raise SpecError(
+                    "geometry spec: force_plan is undefined for kind "
+                    "'objects' (per-dimension sub-queries use different "
+                    "plan families)"
+                )
+            return self._run_geometry_objects(
+                data.geometries, data.ids, query, window, resolution, device,
+                spec.exact,
+            )
+
+        self._check_records(
+            data, spec.dataset,
+            Polygon if spec.kind == "polygons" else LineString,
+            spec.FAMILY, spec.kind,
+        )
+        geom_list = list(data.geometries)
+        ids = list(data.ids) if data.ids is not None else None
+        if window is None:
+            if spec.kind == "polygons":
+                corner_x = np.array([query.bounds.xmin, query.bounds.xmax])
+                corner_y = np.array([query.bounds.ymin, query.bounds.ymax])
+                window = common.default_window(
+                    corner_x, corner_y, geom_list + [query]
+                )
+            else:
+                corner_x = [query.bounds.xmin, query.bounds.xmax]
+                corner_y = [query.bounds.ymin, query.bounds.ymax]
+                for line in geom_list:
+                    corner_x.extend([line.bounds.xmin, line.bounds.xmax])
+                    corner_y.extend([line.bounds.ymin, line.bounds.ymax])
+                window = common.default_window(
+                    np.asarray(corner_x), np.asarray(corner_y)
+                )
+        outcome = self.engine.select_geometry_records(
+            spec.kind, geom_list, query, ids=ids, window=window,
+            resolution=resolution, device=device, exact=spec.exact,
+            force_plan=force_plan,
+        )
+        return _wrap_selection(outcome)
+
+    def _run_geometry_objects(
+        self,
+        geometries: Sequence,
+        ids: Sequence[int] | None,
+        query: Polygon,
+        window: BoundingBox | None,
+        resolution,
+        device: Device,
+        exact: bool,
+    ):
+        """Heterogeneous-object selection (Figures 1 & 3): decompose
+        every record into primitives and run the same blend+mask
+        expression per dimension."""
+        common = _common()
+        geom_list = list(geometries)
+        record_ids = list(ids) if ids is not None else list(range(len(geom_list)))
+        if len(record_ids) != len(geom_list):
+            raise ValueError("ids must match geometry count")
+
+        point_xs: list[float] = []
+        point_ys: list[float] = []
+        point_records: list[int] = []
+        lines: list[LineString] = []
+        line_records: list[int] = []
+        polygons: list[Polygon] = []
+        polygon_records: list[int] = []
+
+        def decompose(geom, rid: int) -> None:
+            if isinstance(geom, Point):
+                point_xs.append(geom.x)
+                point_ys.append(geom.y)
+                point_records.append(rid)
+            elif isinstance(geom, MultiPoint):
+                for x, y in geom.coords:
+                    point_xs.append(x)
+                    point_ys.append(y)
+                    point_records.append(rid)
+            elif isinstance(geom, LineString):
+                lines.append(geom)
+                line_records.append(rid)
+            elif isinstance(geom, LineSegment):
+                lines.append(
+                    LineString([(geom.ax, geom.ay), (geom.bx, geom.by)])
+                )
+                line_records.append(rid)
+            elif isinstance(geom, MultiLineString):
+                for line in geom.lines:
+                    lines.append(line)
+                    line_records.append(rid)
+            elif isinstance(geom, Polygon):
+                polygons.append(geom)
+                polygon_records.append(rid)
+            elif isinstance(geom, MultiPolygon):
+                for poly in geom.polygons:
+                    polygons.append(poly)
+                    polygon_records.append(rid)
+            elif isinstance(geom, GeometryCollection):
+                for part in geom.geometries:
+                    decompose(part, rid)
+            else:
+                raise TypeError(
+                    f"unsupported geometry type: {type(geom).__name__}"
+                )
+
+        for geom, rid in zip(geom_list, record_ids):
+            decompose(geom, rid)
+
+        if window is None:
+            all_x = [query.bounds.xmin, query.bounds.xmax] + point_xs
+            all_y = [query.bounds.ymin, query.bounds.ymax] + point_ys
+            shapes: list[Polygon | LineString] = list(polygons) + list(lines)
+            for shape in shapes:
+                all_x.extend([shape.bounds.xmin, shape.bounds.xmax])
+                all_y.extend([shape.bounds.ymin, shape.bounds.ymax])
+            window = common.default_window(np.asarray(all_x), np.asarray(all_y))
+
+        selected: set[int] = set()
+        n_candidates = 0
+        n_tests = 0
+
+        if point_xs:
+            outcome = self.engine.select_points(
+                np.asarray(point_xs, dtype=np.float64),
+                np.asarray(point_ys, dtype=np.float64),
+                [query], ids=np.arange(len(point_xs)), window=window,
+                resolution=resolution, device=device, exact=exact,
+            )
+            selected.update(point_records[i] for i in outcome.ids)
+            n_candidates += outcome.n_candidates
+            n_tests += outcome.n_exact_tests
+        if lines:
+            outcome = self.engine.select_geometry_records(
+                "lines", lines, query, ids=list(range(len(lines))),
+                window=window, resolution=resolution, device=device,
+                exact=exact,
+            )
+            selected.update(line_records[i] for i in outcome.ids)
+            n_candidates += outcome.n_candidates
+            n_tests += outcome.n_exact_tests
+        if polygons:
+            outcome = self.engine.select_geometry_records(
+                "polygons", polygons, query, ids=list(range(len(polygons))),
+                window=window, resolution=resolution, device=device,
+                exact=exact,
+            )
+            selected.update(polygon_records[i] for i in outcome.ids)
+            n_candidates += outcome.n_candidates
+            n_tests += outcome.n_exact_tests
+
+        return common.SelectionResult(
+            ids=np.asarray(sorted(selected), dtype=np.int64),
+            n_candidates=n_candidates,
+            n_exact_tests=n_tests,
+        )
+
+    # ------------------------------------------------------------------
+    # Joins (one engine-planned selection per member)
+    # ------------------------------------------------------------------
+    def _check_join_fanout(self, count: int, family: str) -> None:
+        if (self.max_join_members is not None
+                and count > self.max_join_members):
+            raise SpecError(
+                f"{family} spec: join fan-out of {count} members exceeds "
+                f"this session's cap of {self.max_join_members}"
+            )
+
+    def _run_join(self, spec: JoinSpec, device: Device) -> list[tuple[int, int]]:
+        common = _common()
+        resolution = self._resolution(spec)
+        window = self._window(spec)
+
+        if spec.kind == "points-polygons":
+            left = self.registry.resolve_points(spec.left, spec.FAMILY)
+            right = self._check_records(
+                self.registry.resolve_geometries(spec.right, spec.FAMILY),
+                spec.right, Polygon, spec.FAMILY, "right",
+            )
+            polys = list(right.geometries)
+            self._check_join_fanout(len(polys), spec.FAMILY)
+            poly_ids = (
+                list(right.ids) if right.ids is not None
+                else list(range(len(polys)))
+            )
+            if window is None:
+                window = common.default_window(left.xs, left.ys, polys)
+            pairs: list[tuple[int, int]] = []
+            for poly, pid in zip(polys, poly_ids):
+                outcome = self.engine.select_points(
+                    left.xs, left.ys, [poly], ids=left.ids, window=window,
+                    resolution=resolution, device=device, exact=spec.exact,
+                )
+                pairs.extend(
+                    (int(point_id), int(pid)) for point_id in outcome.ids
+                )
+            pairs.sort()
+            return pairs
+
+        if spec.kind == "polygons-polygons":
+            left = self._check_records(
+                self.registry.resolve_geometries(spec.left, spec.FAMILY),
+                spec.left, Polygon, spec.FAMILY, "left",
+            )
+            right = self._check_records(
+                self.registry.resolve_geometries(spec.right, spec.FAMILY),
+                spec.right, Polygon, spec.FAMILY, "right",
+            )
+            self._check_join_fanout(len(right.geometries), spec.FAMILY)
+            lids = (
+                list(left.ids) if left.ids is not None
+                else list(range(len(left.geometries)))
+            )
+            rids = (
+                list(right.ids) if right.ids is not None
+                else list(range(len(right.geometries)))
+            )
+            if window is None:
+                corners_x: list[float] = []
+                corners_y: list[float] = []
+                for p in list(left.geometries) + list(right.geometries):
+                    corners_x.extend([p.bounds.xmin, p.bounds.xmax])
+                    corners_y.extend([p.bounds.ymin, p.bounds.ymax])
+                window = common.default_window(
+                    np.asarray(corners_x), np.asarray(corners_y)
+                )
+            pairs = []
+            for poly, rid in zip(right.geometries, rids):
+                outcome = self.engine.select_geometry_records(
+                    "polygons", list(left.geometries), poly, ids=lids,
+                    window=window, resolution=resolution, device=device,
+                    exact=spec.exact,
+                )
+                pairs.extend((int(lid), int(rid)) for lid in outcome.ids)
+            pairs.sort()
+            return pairs
+
+        # distance join: each RHS point becomes a circle constraint.
+        left = self.registry.resolve_points(spec.left, spec.FAMILY)
+        right = self.registry.resolve_points(spec.right, spec.FAMILY)
+        assert spec.distance is not None
+        self._check_join_fanout(len(right.xs), spec.FAMILY)
+        rids_arr = (
+            right.ids if right.ids is not None
+            else np.arange(len(right.xs), dtype=np.int64)
+        )
+        if window is None:
+            all_x = np.concatenate([left.xs, right.xs])
+            all_y = np.concatenate([left.ys, right.ys])
+            window = common.default_window(all_x, all_y).expand(
+                spec.distance * 1.05
+            )
+        pairs = []
+        for i in range(len(right.xs)):
+            outcome = self.engine.select_distance(
+                left.xs, left.ys,
+                (float(right.xs[i]), float(right.ys[i])), spec.distance,
+                ids=left.ids, window=window, resolution=resolution,
+                device=device, exact=spec.exact,
+            )
+            pairs.extend(
+                (int(point_id), int(rids_arr[i])) for point_id in outcome.ids
+            )
+        pairs.sort()
+        return pairs
+
+
+# ----------------------------------------------------------------------
+# The process-default session (what the legacy functions are sugar over)
+# ----------------------------------------------------------------------
+_default_session: Session | None = None
+
+
+def default_session() -> Session:
+    """The shared session behind the legacy query functions.
+
+    It holds no private engine: it always routes through the
+    process-default engine, so ``use_engine()`` contexts steer the
+    legacy API exactly as before PR 4.
+    """
+    global _default_session
+    if _default_session is None:
+        _default_session = Session()
+    return _default_session

@@ -1,0 +1,1144 @@
+"""Typed, versioned, JSON-round-trippable query specifications.
+
+Every query family the engine executes has a spec dataclass here: a
+*declarative* description of one query that can leave the process —
+``to_dict()`` produces a plain-JSON mapping, ``from_dict()`` restores
+it, and the round trip is a fixpoint (``to_dict ∘ from_dict ∘ to_dict``
+is the identity on the dict form).  Specs validate eagerly: a bad
+``k``, a negative radius, an empty constraint list or a malformed
+geometry raises :class:`SpecError` (a ``ValueError``) at construction
+time, with a family-specific message, *before* any planning or data
+loading happens.
+
+The dict form is versioned per family::
+
+    {"spec": "select", "version": 1, "dataset": ..., ...}
+
+``spec_from_dict`` dispatches on the ``spec`` key and rejects unknown
+families, missing/mismatched versions, unknown keys, and type errors —
+the strictness a service boundary needs.
+
+Datasets inside a spec are either **references** (strings resolved by
+:class:`repro.api.registry.DatasetRegistry` — named registrations,
+``synthetic:``/``taxi:``/``file:`` schemes) or **inline payloads**
+(:class:`PointData`, :class:`GeometryData`, :class:`TripData`), so a
+serialized spec is self-contained off-process when it uses references
+or small inline data.
+
+This module deliberately imports no engine code: specs are pure
+descriptions.  :class:`repro.api.session.Session` turns them into work.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.geojson import GeoJSONError, from_geojson, to_geojson
+from repro.geometry.primitives import Geometry, LineString, Polygon
+
+
+class SpecError(ValueError):
+    """A query spec failed eager validation (or could not be parsed)."""
+
+
+def _fail(family: str, message: str) -> "SpecError":
+    return SpecError(f"{family} spec: {message}")
+
+
+def _require(condition: bool, family: str, message: str) -> None:
+    if not condition:
+        raise _fail(family, message)
+
+
+def _finite_float(value: Any, family: str, name: str) -> float:
+    try:
+        out = float(value)
+    except (TypeError, ValueError) as exc:
+        raise _fail(family, f"{name} must be a number, got {value!r}") from exc
+    if not np.isfinite(out):
+        raise _fail(family, f"{name} must be finite, got {out!r}")
+    return out
+
+
+def _point2(value: Any, family: str, name: str) -> tuple[float, float]:
+    if isinstance(value, str):
+        # A string IS a two-char sequence — "12" must not silently
+        # parse as the point (1, 2).
+        raise _fail(family, f"{name} must be an (x, y) pair, not a string")
+    try:
+        x, y = value
+    except (TypeError, ValueError) as exc:
+        raise _fail(family, f"{name} must be an (x, y) pair") from exc
+    return (_finite_float(x, family, f"{name}.x"),
+            _finite_float(y, family, f"{name}.y"))
+
+
+# ----------------------------------------------------------------------
+# Shared sub-specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WindowSpec:
+    """A query window (world-space bounding box) inside a spec."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        for name in ("xmin", "ymin", "xmax", "ymax"):
+            object.__setattr__(
+                self, name, _finite_float(getattr(self, name), "window", name)
+            )
+        _require(self.xmax > self.xmin, "window", "xmax must exceed xmin")
+        _require(self.ymax > self.ymin, "window", "ymax must exceed ymin")
+
+    @classmethod
+    def from_box(cls, box: BoundingBox) -> "WindowSpec":
+        return cls(box.xmin, box.ymin, box.xmax, box.ymax)
+
+    def to_box(self) -> BoundingBox:
+        return BoundingBox(self.xmin, self.ymin, self.xmax, self.ymax)
+
+    def to_dict(self) -> dict[str, float]:
+        return {"xmin": self.xmin, "ymin": self.ymin,
+                "xmax": self.xmax, "ymax": self.ymax}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WindowSpec":
+        if not isinstance(data, Mapping):
+            raise _fail("window", f"expected a mapping, got {type(data).__name__}")
+        extra = set(data) - {"xmin", "ymin", "xmax", "ymax"}
+        _require(not extra, "window", f"unknown keys {sorted(extra)}")
+        missing = {"xmin", "ymin", "xmax", "ymax"} - set(data)
+        _require(not missing, "window", f"missing keys {sorted(missing)}")
+        return cls(data["xmin"], data["ymin"], data["xmax"], data["ymax"])
+
+
+#: Constraint kinds and the utility operators they correspond to.
+CONSTRAINT_KINDS = ("polygon", "rect", "halfspace", "circle")
+
+
+@dataclass(frozen=True)
+class ConstraintSpec:
+    """One selection constraint: a query region in utility-operator form.
+
+    ``polygon`` wraps an arbitrary polygon (``CQ``); ``rect`` is
+    ``Rect[l1, l2]()``; ``halfspace`` is ``HS[a, b, c]()`` (the region
+    ``ax + by + c < 0``, clipped to the query window at execution
+    time); ``circle`` is ``Circ[center, radius]()``.
+    """
+
+    kind: str
+    geometry: Polygon | None = None
+    l1: tuple[float, float] | None = None
+    l2: tuple[float, float] | None = None
+    coefficients: tuple[float, float, float] | None = None
+    center: tuple[float, float] | None = None
+    radius: float | None = None
+
+    def __post_init__(self) -> None:
+        fam = "constraint"
+        _require(
+            self.kind in CONSTRAINT_KINDS, fam,
+            f"unknown kind {self.kind!r} (use one of {', '.join(CONSTRAINT_KINDS)})",
+        )
+        if self.kind == "polygon":
+            _require(
+                isinstance(self.geometry, Polygon), fam,
+                "polygon constraint requires a Polygon geometry",
+            )
+        elif self.kind == "rect":
+            object.__setattr__(self, "l1", _point2(self.l1, fam, "l1"))
+            object.__setattr__(self, "l2", _point2(self.l2, fam, "l2"))
+            _require(
+                self.l1[0] != self.l2[0] and self.l1[1] != self.l2[1], fam,
+                "rect constraint must have positive area",
+            )
+        elif self.kind == "halfspace":
+            coeffs = self.coefficients
+            if isinstance(coeffs, str):
+                raise _fail(fam, "halfspace requires (a, b, c), not a string")
+            try:
+                a, b, c = coeffs  # type: ignore[misc]
+            except (TypeError, ValueError) as exc:
+                raise _fail(fam, "halfspace requires (a, b, c)") from exc
+            a = _finite_float(a, fam, "a")
+            b = _finite_float(b, fam, "b")
+            c = _finite_float(c, fam, "c")
+            _require(a != 0 or b != 0, fam, "halfspace requires a or b nonzero")
+            object.__setattr__(self, "coefficients", (a, b, c))
+        else:  # circle
+            object.__setattr__(
+                self, "center", _point2(self.center, fam, "center")
+            )
+            radius = _finite_float(self.radius, fam, "radius")
+            _require(radius > 0, fam, "circle radius must be positive")
+            object.__setattr__(self, "radius", radius)
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def polygon(cls, polygon: Polygon) -> "ConstraintSpec":
+        return cls(kind="polygon", geometry=polygon)
+
+    @classmethod
+    def rect(cls, l1: Sequence[float], l2: Sequence[float]) -> "ConstraintSpec":
+        # No tuple() here: _point2 must see a raw string to reject it
+        # ("12" would otherwise silently become the point (1, 2)).
+        return cls(kind="rect", l1=l1, l2=l2)  # type: ignore[arg-type]
+
+    @classmethod
+    def halfspace(cls, a: float, b: float, c: float) -> "ConstraintSpec":
+        return cls(kind="halfspace", coefficients=(a, b, c))
+
+    @classmethod
+    def circle(
+        cls, center: Sequence[float], radius: float
+    ) -> "ConstraintSpec":
+        return cls(kind="circle", center=center,  # type: ignore[arg-type]
+                   radius=radius)
+
+    # -- execution-side conversion --------------------------------------
+    def as_polygon(self) -> Polygon:
+        """The constraint as a polygon (polygon and rect kinds only)."""
+        if self.kind == "polygon":
+            assert self.geometry is not None
+            return self.geometry
+        if self.kind == "rect":
+            assert self.l1 is not None and self.l2 is not None
+            box = BoundingBox(
+                min(self.l1[0], self.l2[0]), min(self.l1[1], self.l2[1]),
+                max(self.l1[0], self.l2[0]), max(self.l1[1], self.l2[1]),
+            )
+            return Polygon(box.corners)
+        raise _fail(
+            "constraint", f"{self.kind} constraint has no direct polygon form"
+        )
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        if self.kind == "polygon":
+            assert self.geometry is not None
+            return {"kind": "polygon", "geometry": to_geojson(self.geometry)}
+        if self.kind == "rect":
+            assert self.l1 is not None and self.l2 is not None
+            return {"kind": "rect", "l1": list(self.l1), "l2": list(self.l2)}
+        if self.kind == "halfspace":
+            assert self.coefficients is not None
+            return {"kind": "halfspace",
+                    "coefficients": list(self.coefficients)}
+        assert self.center is not None and self.radius is not None
+        return {"kind": "circle", "center": list(self.center),
+                "radius": self.radius}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ConstraintSpec":
+        fam = "constraint"
+        if not isinstance(data, Mapping):
+            raise _fail(fam, f"expected a mapping, got {type(data).__name__}")
+        kind = data.get("kind")
+        _require(kind in CONSTRAINT_KINDS, fam, f"unknown kind {kind!r}")
+        allowed = {
+            "polygon": {"kind", "geometry"},
+            "rect": {"kind", "l1", "l2"},
+            "halfspace": {"kind", "coefficients"},
+            "circle": {"kind", "center", "radius"},
+        }[kind]
+        extra = set(data) - allowed
+        _require(not extra, fam, f"unknown keys {sorted(extra)} for {kind!r}")
+        missing = allowed - set(data)
+        _require(not missing, fam, f"missing keys {sorted(missing)}")
+        if kind == "polygon":
+            geom = _geometry_from_dict(data["geometry"], fam)
+            _require(
+                isinstance(geom, Polygon), fam,
+                "polygon constraint geometry must be a GeoJSON Polygon",
+            )
+            return cls.polygon(geom)  # type: ignore[arg-type]
+        if kind == "rect":
+            return cls.rect(data["l1"], data["l2"])
+        if kind == "halfspace":
+            coeffs = data["coefficients"]
+            _require(
+                isinstance(coeffs, Sequence) and not isinstance(coeffs, str)
+                and len(coeffs) == 3,
+                fam, "coefficients must be [a, b, c]",
+            )
+            return cls.halfspace(*coeffs)
+        return cls.circle(data["center"], data["radius"])
+
+
+def _geometry_from_dict(data: Any, family: str) -> Geometry:
+    try:
+        return from_geojson(data)
+    except (GeoJSONError, ValueError, TypeError, KeyError) as exc:
+        raise _fail(family, f"malformed geometry: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Inline dataset payloads
+# ----------------------------------------------------------------------
+def _as_float_column(values: Any, family: str, name: str) -> np.ndarray:
+    # Non-finite entries are allowed: legacy frontends always accepted
+    # NaN/Inf coordinates (they fall outside every query window and
+    # simply never match), and a per-call isfinite sweep would tax the
+    # hot path.  Scalar spec parameters stay strict via _finite_float.
+    try:
+        arr = np.asarray(values, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise _fail(family, f"{name} must be numeric") from exc
+    if arr.ndim != 1:
+        raise _fail(family, f"{name} must be one-dimensional")
+    return arr
+
+
+@dataclass
+class PointData:
+    """An inline point dataset: coordinate columns plus optional
+    per-record ids and values."""
+
+    xs: np.ndarray
+    ys: np.ndarray
+    ids: np.ndarray | None = None
+    values: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        fam = "points dataset"
+        self.xs = _as_float_column(self.xs, fam, "xs")
+        self.ys = _as_float_column(self.ys, fam, "ys")
+        _require(len(self.xs) == len(self.ys), fam,
+                 "xs and ys must have equal length")
+        if self.ids is not None:
+            try:
+                self.ids = np.asarray(self.ids, dtype=np.int64)
+            except (TypeError, ValueError, OverflowError) as exc:
+                raise _fail(fam, "ids must be integers") from exc
+            _require(self.ids.ndim == 1 and len(self.ids) == len(self.xs),
+                     fam, "ids must pair one id per point")
+        if self.values is not None:
+            self.values = _as_float_column(self.values, fam, "values")
+            _require(len(self.values) == len(self.xs), fam,
+                     "values must pair one value per point")
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "kind": "points",
+            "xs": self.xs.tolist(),
+            "ys": self.ys.tolist(),
+        }
+        if self.ids is not None:
+            out["ids"] = self.ids.tolist()
+        if self.values is not None:
+            out["values"] = self.values.tolist()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PointData":
+        fam = "points dataset"
+        extra = set(data) - {"kind", "xs", "ys", "ids", "values"}
+        _require(not extra, fam, f"unknown keys {sorted(extra)}")
+        missing = {"xs", "ys"} - set(data)
+        _require(not missing, fam, f"missing keys {sorted(missing)}")
+        return cls(data["xs"], data["ys"], ids=data.get("ids"),
+                   values=data.get("values"))
+
+
+@dataclass
+class GeometryData:
+    """An inline geometry dataset: records of arbitrary geometry type."""
+
+    geometries: list[Geometry]
+    ids: list[int] | None = None
+
+    def __post_init__(self) -> None:
+        fam = "geometry dataset"
+        self.geometries = list(self.geometries)
+        for geom in self.geometries:
+            if not isinstance(geom, Geometry):
+                # TypeError, not SpecError: a non-geometry record is a
+                # Python typing mistake, matching the legacy contract.
+                raise TypeError(
+                    f"unsupported geometry type: {type(geom).__name__}"
+                )
+        if self.ids is not None:
+            try:
+                self.ids = [int(i) for i in self.ids]
+            except (TypeError, ValueError) as exc:
+                raise _fail(fam, "ids must be integers") from exc
+            _require(len(self.ids) == len(self.geometries), fam,
+                     "ids must pair one id per geometry")
+
+    def __len__(self) -> int:
+        return len(self.geometries)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "kind": "geometries",
+            "geometries": [to_geojson(g) for g in self.geometries],
+        }
+        if self.ids is not None:
+            out["ids"] = list(self.ids)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "GeometryData":
+        fam = "geometry dataset"
+        extra = set(data) - {"kind", "geometries", "ids"}
+        _require(not extra, fam, f"unknown keys {sorted(extra)}")
+        _require("geometries" in data, fam, "missing key 'geometries'")
+        geoms = [
+            _geometry_from_dict(g, fam) for g in data["geometries"]
+        ]
+        return cls(geoms, ids=data.get("ids"))
+
+
+@dataclass
+class TripData:
+    """An inline origin-destination dataset (the OD query's input)."""
+
+    origin_xs: np.ndarray
+    origin_ys: np.ndarray
+    dest_xs: np.ndarray
+    dest_ys: np.ndarray
+    ids: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        fam = "trips dataset"
+        self.origin_xs = _as_float_column(self.origin_xs, fam, "origin_xs")
+        self.origin_ys = _as_float_column(self.origin_ys, fam, "origin_ys")
+        self.dest_xs = _as_float_column(self.dest_xs, fam, "dest_xs")
+        self.dest_ys = _as_float_column(self.dest_ys, fam, "dest_ys")
+        n = len(self.origin_xs)
+        _require(
+            len(self.origin_ys) == n and len(self.dest_xs) == n
+            and len(self.dest_ys) == n,
+            fam, "origin and destination columns must have equal length",
+        )
+        if self.ids is not None:
+            try:
+                self.ids = np.asarray(self.ids, dtype=np.int64)
+            except (TypeError, ValueError, OverflowError) as exc:
+                raise _fail(fam, "ids must be integers") from exc
+            _require(self.ids.ndim == 1 and len(self.ids) == n, fam,
+                     "ids must pair one id per trip")
+
+    def __len__(self) -> int:
+        return len(self.origin_xs)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "kind": "trips",
+            "origin_xs": self.origin_xs.tolist(),
+            "origin_ys": self.origin_ys.tolist(),
+            "dest_xs": self.dest_xs.tolist(),
+            "dest_ys": self.dest_ys.tolist(),
+        }
+        if self.ids is not None:
+            out["ids"] = self.ids.tolist()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TripData":
+        fam = "trips dataset"
+        keys = {"origin_xs", "origin_ys", "dest_xs", "dest_ys"}
+        extra = set(data) - keys - {"kind", "ids"}
+        _require(not extra, fam, f"unknown keys {sorted(extra)}")
+        missing = keys - set(data)
+        _require(not missing, fam, f"missing keys {sorted(missing)}")
+        return cls(data["origin_xs"], data["origin_ys"],
+                   data["dest_xs"], data["dest_ys"], ids=data.get("ids"))
+
+
+#: A dataset inside a spec: a registry reference or an inline payload.
+DatasetRef = Any  # str | PointData | GeometryData | TripData
+
+_DATASET_KINDS = {
+    "points": PointData,
+    "geometries": GeometryData,
+    "trips": TripData,
+}
+
+
+def _dataset_to_dict(dataset: DatasetRef) -> Any:
+    if isinstance(dataset, str):
+        return dataset
+    return dataset.to_dict()
+
+
+def _dataset_from_dict(value: Any, family: str) -> DatasetRef:
+    if isinstance(value, str):
+        _require(bool(value), family, "dataset reference must be non-empty")
+        return value
+    if isinstance(value, (PointData, GeometryData, TripData)):
+        return value
+    if isinstance(value, Mapping):
+        kind = value.get("kind")
+        _require(
+            kind in _DATASET_KINDS, family,
+            f"unknown dataset kind {kind!r} "
+            f"(use one of {', '.join(sorted(_DATASET_KINDS))})",
+        )
+        return _DATASET_KINDS[kind].from_dict(value)
+    raise _fail(
+        family,
+        f"dataset must be a reference string or inline payload, "
+        f"got {type(value).__name__}",
+    )
+
+
+def _validate_dataset(
+    dataset: DatasetRef, family: str, *allowed: type
+) -> DatasetRef:
+    resolved = _dataset_from_dict(dataset, family)
+    if not isinstance(resolved, str) and not isinstance(resolved, allowed):
+        names = " or ".join(t.__name__ for t in allowed)
+        raise _fail(
+            family,
+            f"dataset must resolve to {names}, "
+            f"got {type(resolved).__name__}",
+        )
+    return resolved
+
+
+# ----------------------------------------------------------------------
+# Spec base plumbing
+# ----------------------------------------------------------------------
+def _window_field(value: Any, family: str) -> WindowSpec | None:
+    if value is None or isinstance(value, WindowSpec):
+        return value
+    if isinstance(value, BoundingBox):
+        return WindowSpec.from_box(value)
+    if isinstance(value, Mapping):
+        return WindowSpec.from_dict(value)
+    if (isinstance(value, Sequence) and not isinstance(value, str)
+            and len(value) == 4):
+        return WindowSpec(*value)
+    raise _fail(family, f"window must be a WindowSpec/mapping/4-tuple, "
+                        f"got {type(value).__name__}")
+
+
+def _int_field(value: Any, family: str, name: str) -> int | None:
+    """Coerce an integer-like value (int, numpy integer) to int."""
+    if isinstance(value, bool):
+        raise _fail(family, f"{name} must be an integer, got {value!r}")
+    try:
+        return operator.index(value)
+    except TypeError:
+        raise _fail(family, f"{name} must be an integer, got {value!r}") \
+            from None
+
+
+#: Largest canvas side a *parsed* spec may request.  Spec dicts arrive
+#: from untrusted serve requests, where one request must not be able to
+#: allocate a canvas that OOM-kills the loop before MemoryError can be
+#: answered in-band (a 4096² texture is ~1.2 GB; 8192² would already be
+#: ~5 GB).  Specs constructed directly in Python are trusted and
+#: uncapped — the legacy frontends never rejected large resolutions.
+MAX_RESOLUTION = 4096
+
+#: Largest kNN bisection budget a *parsed* spec may request — the same
+#: boundary rationale as MAX_RESOLUTION: one untrusted request must not
+#: pin the loop for an unbounded number of full-frame probes.
+MAX_PARSED_ITERATIONS = 10_000
+
+
+def _resolution_field(value: Any, family: str) -> Any:
+    if value is None:
+        return None
+    if isinstance(value, Sequence) and len(value) == 2:
+        h = _int_field(value[0], family, "resolution height")
+        w = _int_field(value[1], family, "resolution width")
+        _require(h > 0 and w > 0, family,
+                 "resolution pair must be positive integers")
+        return (h, w)
+    size = _int_field(value, family, "resolution")
+    _require(size > 0, family, "resolution must be positive")
+    return size
+
+
+def _resolution_to_dict(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+def _resolution_from_dict(value: Any, family: str) -> Any:
+    """Parse + cap a resolution arriving in dict form (the untrusted
+    boundary — see MAX_RESOLUTION)."""
+    if isinstance(value, list):
+        _require(len(value) == 2, family, "resolution list must be [h, w]")
+        value = (value[0], value[1])
+    if value is None:
+        return None
+    sides = value if isinstance(value, tuple) else (value,)
+    for side in sides:
+        if isinstance(side, int) and side > MAX_RESOLUTION:
+            raise _fail(
+                family,
+                f"resolution {side} exceeds the {MAX_RESOLUTION} cap for "
+                f"specs parsed from dicts",
+            )
+    return value
+
+
+def _bool_field(value: Any, family: str, name: str) -> bool:
+    _require(isinstance(value, bool), family, f"{name} must be a boolean")
+    return value
+
+
+class QuerySpec:
+    """Base class for the seven query-family specs."""
+
+    FAMILY: str = ""
+    VERSION: int = 1
+
+    def to_dict(self) -> dict[str, Any]:
+        raise NotImplementedError
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QuerySpec":
+        raise NotImplementedError
+
+    @classmethod
+    def _check_envelope(
+        cls, data: Mapping[str, Any], allowed: set[str]
+    ) -> None:
+        fam = cls.FAMILY
+        if not isinstance(data, Mapping):
+            raise _fail(fam, f"expected a mapping, got {type(data).__name__}")
+        _require(data.get("spec") == fam, fam,
+                 f"'spec' key must be {fam!r}, got {data.get('spec')!r}")
+        version = data.get("version")
+        if version != cls.VERSION:
+            raise _fail(
+                fam,
+                f"version {version!r} not supported "
+                f"(this build speaks version {cls.VERSION})",
+            )
+        extra = set(data) - allowed - {"spec", "version"}
+        _require(not extra, fam, f"unknown keys {sorted(extra)}")
+
+    def _envelope(self) -> dict[str, Any]:
+        return {"spec": self.FAMILY, "version": self.VERSION}
+
+
+# ----------------------------------------------------------------------
+# The seven families
+# ----------------------------------------------------------------------
+@dataclass
+class SelectSpec(QuerySpec):
+    """Point selection (Section 4.1): points under region constraints.
+
+    Multiple ``polygon``/``rect`` constraints combine under *mode*
+    (``"any"`` disjunctive / ``"all"`` conjunctive).  ``circle`` and
+    ``halfspace`` constraints must stand alone (they are their own
+    utility-operator queries).
+    """
+
+    FAMILY = "select"
+
+    dataset: DatasetRef = None
+    constraints: tuple[ConstraintSpec, ...] = ()
+    mode: str = "any"
+    exact: bool = True
+    window: WindowSpec | None = None
+    resolution: Any = None
+
+    def __post_init__(self) -> None:
+        fam = self.FAMILY
+        self.dataset = _validate_dataset(self.dataset, fam, PointData)
+        self.constraints = tuple(
+            c if isinstance(c, ConstraintSpec) else ConstraintSpec.from_dict(c)
+            for c in self.constraints
+        )
+        _require(len(self.constraints) > 0, fam,
+                 "at least one constraint polygon is required")
+        _require(self.mode in ("any", "all"), fam,
+                 f"mode must be 'any' or 'all', got {self.mode!r}")
+        self.exact = _bool_field(self.exact, fam, "exact")
+        self.window = _window_field(self.window, fam)
+        self.resolution = _resolution_field(self.resolution, fam)
+        solo = [c for c in self.constraints if c.kind in ("circle", "halfspace")]
+        if solo and len(self.constraints) > 1:
+            raise _fail(
+                fam,
+                f"a {solo[0].kind} constraint must be the only constraint",
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        out = self._envelope()
+        out.update(
+            dataset=_dataset_to_dict(self.dataset),
+            constraints=[c.to_dict() for c in self.constraints],
+            mode=self.mode,
+            exact=self.exact,
+            window=self.window.to_dict() if self.window else None,
+            resolution=_resolution_to_dict(self.resolution),
+        )
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SelectSpec":
+        cls._check_envelope(data, {"dataset", "constraints", "mode", "exact",
+                                   "window", "resolution"})
+        _require("dataset" in data and "constraints" in data, cls.FAMILY,
+                 "missing keys among ['constraints', 'dataset']")
+        constraints = data["constraints"]
+        _require(isinstance(constraints, Sequence), cls.FAMILY,
+                 "constraints must be a list")
+        return cls(
+            dataset=_dataset_from_dict(data["dataset"], cls.FAMILY),
+            constraints=tuple(
+                ConstraintSpec.from_dict(c) for c in constraints
+            ),
+            mode=data.get("mode", "any"),
+            exact=data.get("exact", True),
+            window=_window_field(data.get("window"), cls.FAMILY),
+            resolution=_resolution_from_dict(
+                data.get("resolution"), cls.FAMILY
+            ),
+        )
+
+
+#: Geometry-record selection sub-kinds (each matches one legacy frontend).
+GEOMETRY_SELECT_KINDS = ("polygons", "lines", "objects")
+
+
+@dataclass
+class GeometrySpec(QuerySpec):
+    """Geometry-record selection (Figure 6): records INTERSECTS a query
+    polygon.  *kind* pins the record type contract: ``polygons`` and
+    ``lines`` are homogeneous; ``objects`` accepts any geometry mix and
+    decomposes per record (Figure 3)."""
+
+    FAMILY = "geometry"
+
+    dataset: DatasetRef = None
+    query: Polygon | None = None
+    kind: str = "objects"
+    exact: bool = True
+    window: WindowSpec | None = None
+    resolution: Any = None
+
+    def __post_init__(self) -> None:
+        fam = self.FAMILY
+        self.dataset = _validate_dataset(self.dataset, fam, GeometryData)
+        _require(
+            self.kind in GEOMETRY_SELECT_KINDS, fam,
+            f"unknown kind {self.kind!r} "
+            f"(use one of {', '.join(GEOMETRY_SELECT_KINDS)})",
+        )
+        if isinstance(self.query, Mapping):
+            self.query = _geometry_from_dict(self.query, fam)  # type: ignore[assignment]
+        _require(isinstance(self.query, Polygon), fam,
+                 "query must be a Polygon")
+        if isinstance(self.dataset, GeometryData):
+            want = {"polygons": Polygon, "lines": LineString}.get(self.kind)
+            if want is not None:
+                for i, geom in enumerate(self.dataset.geometries):
+                    _require(
+                        isinstance(geom, want), fam,
+                        f"kind {self.kind!r} requires {want.__name__} "
+                        f"records; record {i} is {type(geom).__name__}",
+                    )
+        self.exact = _bool_field(self.exact, fam, "exact")
+        self.window = _window_field(self.window, fam)
+        self.resolution = _resolution_field(self.resolution, fam)
+
+    def to_dict(self) -> dict[str, Any]:
+        out = self._envelope()
+        assert isinstance(self.query, Polygon)
+        out.update(
+            dataset=_dataset_to_dict(self.dataset),
+            query=to_geojson(self.query),
+            kind=self.kind,
+            exact=self.exact,
+            window=self.window.to_dict() if self.window else None,
+            resolution=_resolution_to_dict(self.resolution),
+        )
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "GeometrySpec":
+        cls._check_envelope(data, {"dataset", "query", "kind", "exact",
+                                   "window", "resolution"})
+        missing = {"dataset", "query"} - set(data)
+        _require(not missing, cls.FAMILY, f"missing keys {sorted(missing)}")
+        return cls(
+            dataset=_dataset_from_dict(data["dataset"], cls.FAMILY),
+            query=_geometry_from_dict(data["query"], cls.FAMILY),  # type: ignore[arg-type]
+            kind=data.get("kind", "objects"),
+            exact=data.get("exact", True),
+            window=_window_field(data.get("window"), cls.FAMILY),
+            resolution=_resolution_from_dict(
+                data.get("resolution"), cls.FAMILY
+            ),
+        )
+
+
+#: Join kinds (the paper's three join types, Section 4.2).
+JOIN_KINDS = ("points-polygons", "polygons-polygons", "distance")
+
+
+@dataclass
+class JoinSpec(QuerySpec):
+    """Spatial join (Section 4.2): Type I (points x polygons), Type II
+    (polygons x polygons), or Type III (distance join, RHS points
+    become circles)."""
+
+    FAMILY = "join"
+
+    kind: str = "points-polygons"
+    left: DatasetRef = None
+    right: DatasetRef = None
+    distance: float | None = None
+    exact: bool = True
+    window: WindowSpec | None = None
+    resolution: Any = None
+
+    def __post_init__(self) -> None:
+        fam = self.FAMILY
+        _require(self.kind in JOIN_KINDS, fam,
+                 f"unknown kind {self.kind!r} "
+                 f"(use one of {', '.join(JOIN_KINDS)})")
+        if self.kind == "points-polygons":
+            self.left = _validate_dataset(self.left, fam, PointData)
+            self.right = _validate_dataset(self.right, fam, GeometryData)
+        elif self.kind == "polygons-polygons":
+            self.left = _validate_dataset(self.left, fam, GeometryData)
+            self.right = _validate_dataset(self.right, fam, GeometryData)
+        else:
+            self.left = _validate_dataset(self.left, fam, PointData)
+            self.right = _validate_dataset(self.right, fam, PointData)
+        if self.kind == "distance":
+            _require(self.distance is not None, fam,
+                     "distance join requires a distance")
+            dist = _finite_float(self.distance, fam, "distance")
+            _require(dist > 0, fam, "join distance must be positive")
+            self.distance = dist
+        else:
+            _require(self.distance is None, fam,
+                     f"{self.kind} join takes no distance")
+        for side, name in ((self.left, "left"), (self.right, "right")):
+            if isinstance(side, GeometryData):
+                for i, geom in enumerate(side.geometries):
+                    _require(isinstance(geom, Polygon), fam,
+                             f"{name} record {i} must be a Polygon, "
+                             f"got {type(geom).__name__}")
+        self.exact = _bool_field(self.exact, fam, "exact")
+        self.window = _window_field(self.window, fam)
+        self.resolution = _resolution_field(self.resolution, fam)
+
+    def to_dict(self) -> dict[str, Any]:
+        out = self._envelope()
+        out.update(
+            kind=self.kind,
+            left=_dataset_to_dict(self.left),
+            right=_dataset_to_dict(self.right),
+            distance=self.distance,
+            exact=self.exact,
+            window=self.window.to_dict() if self.window else None,
+            resolution=_resolution_to_dict(self.resolution),
+        )
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JoinSpec":
+        cls._check_envelope(data, {"kind", "left", "right", "distance",
+                                   "exact", "window", "resolution"})
+        missing = {"left", "right"} - set(data)
+        _require(not missing, cls.FAMILY, f"missing keys {sorted(missing)}")
+        return cls(
+            kind=data.get("kind", "points-polygons"),
+            left=_dataset_from_dict(data["left"], cls.FAMILY),
+            right=_dataset_from_dict(data["right"], cls.FAMILY),
+            distance=data.get("distance"),
+            exact=data.get("exact", True),
+            window=_window_field(data.get("window"), cls.FAMILY),
+            resolution=_resolution_from_dict(
+                data.get("resolution"), cls.FAMILY
+            ),
+        )
+
+
+#: Aggregates the engine computes (Section 4.3).
+AGGREGATES = ("count", "sum", "avg", "min", "max")
+
+
+def _check_unique_group_ids(ids, family: str) -> None:
+    """Duplicate group ids would silently merge aggregation groups (or
+    fail deep in the rasterjoin kernel) — reject them eagerly so batch
+    errors can still name the offending member."""
+    if ids is None:
+        return
+    seen: set[int] = set()
+    dupes: set[int] = set()
+    for i in ids:
+        (dupes if i in seen else seen).add(int(i))
+    _require(not dupes, family,
+             f"duplicate polygon ids {sorted(dupes)}")
+
+
+@dataclass
+class AggregateSpec(QuerySpec):
+    """Group-by-over-join aggregation (Section 4.3): aggregate point
+    values per containing polygon."""
+
+    FAMILY = "aggregate"
+
+    dataset: DatasetRef = None
+    polygons: DatasetRef = None
+    aggregate: str = "count"
+    exact: bool = True
+    window: WindowSpec | None = None
+    resolution: Any = None
+
+    def __post_init__(self) -> None:
+        fam = self.FAMILY
+        self.dataset = _validate_dataset(self.dataset, fam, PointData)
+        self.polygons = _validate_dataset(self.polygons, fam, GeometryData)
+        _require(self.aggregate in AGGREGATES, fam,
+                 f"unsupported aggregate {self.aggregate!r} "
+                 f"(use one of {', '.join(AGGREGATES)})")
+        if isinstance(self.polygons, GeometryData):
+            for i, geom in enumerate(self.polygons.geometries):
+                _require(isinstance(geom, Polygon), fam,
+                         f"group record {i} must be a Polygon, "
+                         f"got {type(geom).__name__}")
+            _check_unique_group_ids(self.polygons.ids, fam)
+        self.exact = _bool_field(self.exact, fam, "exact")
+        self.window = _window_field(self.window, fam)
+        self.resolution = _resolution_field(self.resolution, fam)
+
+    def to_dict(self) -> dict[str, Any]:
+        out = self._envelope()
+        out.update(
+            dataset=_dataset_to_dict(self.dataset),
+            polygons=_dataset_to_dict(self.polygons),
+            aggregate=self.aggregate,
+            exact=self.exact,
+            window=self.window.to_dict() if self.window else None,
+            resolution=_resolution_to_dict(self.resolution),
+        )
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AggregateSpec":
+        cls._check_envelope(data, {"dataset", "polygons", "aggregate",
+                                   "exact", "window", "resolution"})
+        missing = {"dataset", "polygons"} - set(data)
+        _require(not missing, cls.FAMILY, f"missing keys {sorted(missing)}")
+        return cls(
+            dataset=_dataset_from_dict(data["dataset"], cls.FAMILY),
+            polygons=_dataset_from_dict(data["polygons"], cls.FAMILY),
+            aggregate=data.get("aggregate", "count"),
+            exact=data.get("exact", True),
+            window=_window_field(data.get("window"), cls.FAMILY),
+            resolution=_resolution_from_dict(
+                data.get("resolution"), cls.FAMILY
+            ),
+        )
+
+
+@dataclass
+class KnnSpec(QuerySpec):
+    """k-nearest-neighbor query (Section 4.4)."""
+
+    FAMILY = "knn"
+
+    dataset: DatasetRef = None
+    query_point: tuple[float, float] = (0.0, 0.0)
+    k: int = 1
+    window: WindowSpec | None = None
+    resolution: Any = None
+    max_iterations: int = 64
+
+    def __post_init__(self) -> None:
+        fam = self.FAMILY
+        self.dataset = _validate_dataset(self.dataset, fam, PointData)
+        self.query_point = _point2(self.query_point, fam, "query_point")
+        self.k = _int_field(self.k, fam, "k")
+        _require(self.k >= 1, fam,
+                 f"k must be a positive integer, got {self.k}")
+        self.max_iterations = _int_field(
+            self.max_iterations, fam, "max_iterations"
+        )
+        _require(self.max_iterations >= 1, fam,
+                 "max_iterations must be a positive integer")
+        self.window = _window_field(self.window, fam)
+        self.resolution = _resolution_field(self.resolution, fam)
+
+    def to_dict(self) -> dict[str, Any]:
+        out = self._envelope()
+        out.update(
+            dataset=_dataset_to_dict(self.dataset),
+            query_point=list(self.query_point),
+            k=self.k,
+            window=self.window.to_dict() if self.window else None,
+            resolution=_resolution_to_dict(self.resolution),
+            max_iterations=self.max_iterations,
+        )
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "KnnSpec":
+        cls._check_envelope(data, {"dataset", "query_point", "k", "window",
+                                   "resolution", "max_iterations"})
+        missing = {"dataset", "query_point", "k"} - set(data)
+        _require(not missing, cls.FAMILY, f"missing keys {sorted(missing)}")
+        iterations = data.get("max_iterations", 64)
+        if isinstance(iterations, int) and iterations > MAX_PARSED_ITERATIONS:
+            raise _fail(
+                cls.FAMILY,
+                f"max_iterations {iterations} exceeds the "
+                f"{MAX_PARSED_ITERATIONS} cap for specs parsed from dicts",
+            )
+        return cls(
+            dataset=_dataset_from_dict(data["dataset"], cls.FAMILY),
+            query_point=data["query_point"],
+            k=data["k"],
+            window=_window_field(data.get("window"), cls.FAMILY),
+            resolution=_resolution_from_dict(
+                data.get("resolution"), cls.FAMILY
+            ),
+            max_iterations=data.get("max_iterations", 64),
+        )
+
+
+@dataclass
+class VoronoiSpec(QuerySpec):
+    """The ``ComputeVoronoi`` stored procedure (Section 4.5).
+
+    Unlike the selection families, the window is part of the query
+    definition (the diagram is computed over it), so it is required.
+    """
+
+    FAMILY = "voronoi"
+
+    dataset: DatasetRef = None
+    window: WindowSpec | None = None
+    resolution: Any = None
+
+    def __post_init__(self) -> None:
+        fam = self.FAMILY
+        self.dataset = _validate_dataset(self.dataset, fam, PointData)
+        self.window = _window_field(self.window, fam)
+        _require(self.window is not None, fam,
+                 "a window is required (the diagram is computed over it)")
+        self.resolution = _resolution_field(self.resolution, fam)
+
+    def to_dict(self) -> dict[str, Any]:
+        out = self._envelope()
+        assert self.window is not None
+        out.update(
+            dataset=_dataset_to_dict(self.dataset),
+            window=self.window.to_dict(),
+            resolution=_resolution_to_dict(self.resolution),
+        )
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "VoronoiSpec":
+        cls._check_envelope(data, {"dataset", "window", "resolution"})
+        missing = {"dataset", "window"} - set(data)
+        _require(not missing, cls.FAMILY, f"missing keys {sorted(missing)}")
+        return cls(
+            dataset=_dataset_from_dict(data["dataset"], cls.FAMILY),
+            window=_window_field(data["window"], cls.FAMILY),
+            resolution=_resolution_from_dict(
+                data.get("resolution"), cls.FAMILY
+            ),
+        )
+
+
+@dataclass
+class OdSpec(QuerySpec):
+    """Origin-destination double selection (Section 4.6, Figure 8(a))."""
+
+    FAMILY = "od"
+
+    dataset: DatasetRef = None
+    q1: Polygon | None = None
+    q2: Polygon | None = None
+    exact: bool = True
+    window: WindowSpec | None = None
+    resolution: Any = None
+
+    def __post_init__(self) -> None:
+        fam = self.FAMILY
+        self.dataset = _validate_dataset(self.dataset, fam, TripData)
+        for name in ("q1", "q2"):
+            value = getattr(self, name)
+            if isinstance(value, Mapping):
+                value = _geometry_from_dict(value, fam)
+                setattr(self, name, value)
+            _require(isinstance(value, Polygon), fam,
+                     f"{name} must be a Polygon")
+        self.exact = _bool_field(self.exact, fam, "exact")
+        self.window = _window_field(self.window, fam)
+        self.resolution = _resolution_field(self.resolution, fam)
+
+    def to_dict(self) -> dict[str, Any]:
+        out = self._envelope()
+        assert isinstance(self.q1, Polygon) and isinstance(self.q2, Polygon)
+        out.update(
+            dataset=_dataset_to_dict(self.dataset),
+            q1=to_geojson(self.q1),
+            q2=to_geojson(self.q2),
+            exact=self.exact,
+            window=self.window.to_dict() if self.window else None,
+            resolution=_resolution_to_dict(self.resolution),
+        )
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "OdSpec":
+        cls._check_envelope(data, {"dataset", "q1", "q2", "exact", "window",
+                                   "resolution"})
+        missing = {"dataset", "q1", "q2"} - set(data)
+        _require(not missing, cls.FAMILY, f"missing keys {sorted(missing)}")
+        return cls(
+            dataset=_dataset_from_dict(data["dataset"], cls.FAMILY),
+            q1=_geometry_from_dict(data["q1"], cls.FAMILY),  # type: ignore[arg-type]
+            q2=_geometry_from_dict(data["q2"], cls.FAMILY),  # type: ignore[arg-type]
+            exact=data.get("exact", True),
+            window=_window_field(data.get("window"), cls.FAMILY),
+            resolution=_resolution_from_dict(
+                data.get("resolution"), cls.FAMILY
+            ),
+        )
+
+
+#: family name -> spec class, the service boundary's dispatch table.
+SPEC_FAMILIES: dict[str, type[QuerySpec]] = {
+    cls.FAMILY: cls
+    for cls in (SelectSpec, GeometrySpec, JoinSpec, AggregateSpec,
+                KnnSpec, VoronoiSpec, OdSpec)
+}
+
+
+def spec_from_dict(data: Mapping[str, Any]) -> QuerySpec:
+    """Parse any family's spec dict (the inverse of ``spec.to_dict()``).
+
+    Dispatches on the ``"spec"`` key; unknown families, bad versions,
+    unknown keys and malformed payloads raise :class:`SpecError`.
+    """
+    if not isinstance(data, Mapping):
+        raise SpecError(
+            f"spec must be a mapping, got {type(data).__name__}"
+        )
+    family = data.get("spec")
+    if family not in SPEC_FAMILIES:
+        known = ", ".join(sorted(SPEC_FAMILIES))
+        raise SpecError(
+            f"unknown spec family {family!r} (known families: {known})"
+        )
+    return SPEC_FAMILIES[family].from_dict(data)

@@ -11,6 +11,21 @@ Usage::
     python -m repro nearest  --data points.csv --at 40.7,-74.0 -k 5
     python -m repro info     --data points.csv
     python -m repro explain  --data points.csv --query region.geojson
+    python -m repro explain  --spec query.json --repeat 3
+    python -m repro query    --spec query.json
+    python -m repro serve    < specs.jsonl > answers.jsonl
+
+``query`` and ``serve`` speak the declarative spec layer
+(:mod:`repro.api`): a spec file is the JSON form of one query family's
+:class:`~repro.api.specs.QuerySpec` (``{"spec": "select", "version":
+1, "dataset": "taxi:pickups?n=50000", ...}``), self-contained
+off-process through the dataset registry's reference schemes.
+``query`` answers one spec (or a ``{"batch": [...]}`` document);
+``serve`` is the JSON-lines loop — one spec per stdin line, one
+result-summary + report object per stdout line, errors reported
+in-band (``{"ok": false, ...}``) without killing the loop.  ``explain
+--spec`` runs any spec file through a fresh engine and prints the
+plan/cost/cache report.
 
 ``explain`` runs a query through the plan-driven engine and reports
 the chosen physical plan, its estimated cost against the alternatives,
@@ -52,6 +67,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.api import Session, SpecError, handle_request, serve, spec_from_dict
 from repro.data.datasets import read_csv, read_geojson
 from repro.engine import QueryEngine
 from repro.geometry.primitives import Geometry, Point, Polygon
@@ -182,7 +198,88 @@ def _parse_at(args: argparse.Namespace, xs, ys) -> tuple[float, float]:
     return qx, qy
 
 
+def _load_spec_document(path: str) -> dict[str, Any]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            document = json.load(fh)
+    except OSError as exc:
+        raise SystemExit(f"cannot read spec file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise SystemExit(f"{path}: spec document must be a JSON object")
+    return document
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    document = _load_spec_document(args.spec)
+    response = handle_request(document, Session())
+    if not response.get("ok"):
+        raise SystemExit(f"query: {response.get('error')}")
+    json.dump(response, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # The traffic boundary: no session passed, so serve builds the
+    # hardened default (file: dataset references disabled).
+    serve(sys.stdin, sys.stdout)
+    return 0
+
+
+def _cmd_explain_spec(args: argparse.Namespace) -> int:
+    # The spec file fully describes the query; silently ignoring
+    # query-shaping flags would print a report that contradicts them.
+    conflicting = [
+        flag for flag, value in (
+            ("--data", args.data is not None),
+            ("--mode", args.mode != "select"),
+            ("--at", args.at is not None),
+            ("-k", args.k is not None),
+            ("--radius", args.radius is not None),
+            ("--resolution", args.resolution is not None),
+            ("--dest-data", args.dest_data is not None),
+            ("--approx", args.approx),
+            ("--query", args.query is not None),
+        ) if value
+    ]
+    if conflicting:
+        raise SystemExit(
+            f"explain --spec describes the query itself; drop "
+            f"{', '.join(conflicting)} (only --plan and --repeat apply)"
+        )
+    document = _load_spec_document(args.spec)
+    force = None if args.plan == "auto" else args.plan
+    # A fresh engine so the report and cache statistics cover exactly
+    # the runs below.
+    engine = QueryEngine()
+    session = Session(engine=engine)
+    try:
+        spec = spec_from_dict(document)
+        for _ in range(max(1, args.repeat)):
+            session.run(spec, force_plan=force)
+    except (SpecError, ValueError) as exc:
+        raise SystemExit(f"explain: {exc}") from exc
+    print(
+        f"# {spec.FAMILY} spec from {args.spec}, "
+        f"{max(1, args.repeat)} run(s)"
+    )
+    print(engine.explain())
+    return 0
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
+    if args.spec is not None:
+        return _cmd_explain_spec(args)
+    if args.data is None:
+        raise SystemExit("explain requires --data (or --spec file.json)")
+    # Fill the None-sentinel defaults (see build_parser) for the
+    # classic path.
+    if args.resolution is None:
+        args.resolution = 1024
+    if args.k is None:
+        args.k = 5
     polygons: list[Polygon] = []
     if args.mode in _EXPLAIN_POLYGON_MODES:
         if args.query is None:
@@ -337,11 +434,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_nearest.add_argument("-k", type=int, default=5)
     p_nearest.set_defaults(func=_cmd_nearest)
 
+    p_query = sub.add_parser(
+        "query",
+        help="run a declarative query spec (JSON file) through a session",
+    )
+    p_query.add_argument(
+        "--spec", required=True,
+        help="spec file: one query family's JSON spec, or a "
+             "'{\"batch\": [...]}' document planned as one engine batch",
+    )
+    p_query.set_defaults(func=_cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="JSON-lines query service: specs on stdin, result "
+             "summaries + reports on stdout",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
     p_explain = sub.add_parser(
         "explain",
         help="report the engine's physical plan choice and cache stats",
     )
-    add_common(p_explain)
+    p_explain.add_argument(
+        "--data", default=None,
+        help="data file (.csv/.geojson); required unless --spec is given",
+    )
+    # None-sentinel defaults so --spec can detect (and reject) flags
+    # the spec file already pins; the classic path fills them in below.
+    p_explain.add_argument(
+        "--resolution", type=int, default=None,
+        help="canvas resolution (default 1024)",
+    )
+    p_explain.add_argument(
+        "--spec", default=None,
+        help="explain a declarative spec file instead of --data/--query "
+             "(any family; --plan and --repeat still apply)",
+    )
     p_explain.add_argument(
         "--query", default=None,
         help="constraint polygon file (required for select, "
@@ -374,7 +503,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: the data centroid)",
     )
     p_explain.add_argument(
-        "-k", type=int, default=5,
+        "-k", type=int, default=None,
         help="neighbor count for knn mode (default 5)",
     )
     p_explain.add_argument(

@@ -270,6 +270,19 @@ class Canvas:
         out._center_grids = getattr(self, "_center_grids", None)
         return out
 
+    def clear(self) -> "Canvas":
+        """Reset to the empty canvas in place (recycled-buffer seam).
+
+        Utility operators that accept an ``out=`` canvas call this to
+        discard whatever a pooled buffer previously held: data and
+        validity zero out, boundary flags drop, and the hybrid index
+        empties.  Returns self.
+        """
+        self.texture.clear()
+        self.boundary.fill(False)
+        self.geometries.clear()
+        return self
+
     def compatible_with(self, other: "Canvas") -> bool:
         """Same window and resolution (required by dense binary blends)."""
         return (
@@ -519,16 +532,35 @@ class Canvas:
         resolution: Resolution = 512,
         record_id: int = 1,
         device: Device = DEFAULT_DEVICE,
+        out: "Canvas | None" = None,
     ) -> "Canvas":
         """``Circ[(x, y), r]()`` — canvas of a disk 2-primitive.
 
         The exact disk is kept in the hybrid index (as a dense regular
         polygon approximation for the vector fallback, plus exact
         center/radius refinement in :mod:`repro.core.accuracy`).
+
+        *out*, when given, is rasterized into instead of a fresh
+        allocation: its prior contents are discarded (``clear()``) and
+        it must match *window*/*resolution*/*device*.  This is the
+        recycling seam the kNN bisection loop threads a pooled buffer
+        through — never pass a cached or shared canvas.
         """
         if radius <= 0:
             raise ValueError("circle radius must be positive")
-        out = cls(window, resolution, device)
+        if out is None:
+            out = cls(window, resolution, device)
+        else:
+            if (
+                tuple(out.window) != tuple(window)
+                or (out.height, out.width) != _resolve_resolution(window, resolution)
+                or out.device != device
+            ):
+                raise ValueError(
+                    "out canvas must match the circle's window, resolution "
+                    "and device"
+                )
+            out.clear()
         cx, cy = center
         pcx, pcy = out.world_to_pixel(np.array([cx]), np.array([cy]))
         pr_x = radius / out.dx

@@ -112,7 +112,20 @@ class BufferPool:
 
     def acquire(self, like: Canvas) -> Canvas | None:
         """A compatible pooled buffer, or ``None`` when none fits."""
-        stack = self._buffers.get(self._key(like))
+        return self.acquire_shape(
+            tuple(like.window), like.height, like.width, like.device
+        )
+
+    def acquire_shape(
+        self, window: tuple, height: int, width: int, device
+    ) -> Canvas | None:
+        """Pop a pooled buffer by shape key, without a template canvas.
+
+        Lets factories that have not rasterized anything yet (e.g. the
+        ``Circ`` utility in a probe loop) check the pool before paying
+        an allocation.
+        """
+        stack = self._buffers.get((window, height, width, device))
         if stack:
             self._count -= 1
             return stack.pop()
@@ -181,6 +194,30 @@ class EvalContext:
         else:
             self.counters.allocations += 1
             target = src.blank_like()
+        self._owned[id(target)] = target
+        return target
+
+    def acquire_frame(self, window, resolution, device) -> Canvas:
+        """An owned dense frame for *window*, pooled when one fits.
+
+        Unlike :meth:`acquire_like` there is no template canvas — the
+        shape key is computed from the window/resolution pair — so
+        utility-operator factories (``Circ`` in the kNN probe loop) can
+        recycle a buffer *instead of* rasterizing into a fresh one.
+        Contents are garbage either way; the caller must overwrite
+        completely (``Canvas.circle(out=...)`` clears first).
+        """
+        from repro.core.canvas import _resolve_resolution
+
+        height, width = _resolve_resolution(window, resolution)
+        target = self.pool.acquire_shape(
+            tuple(window), height, width, device
+        )
+        if target is not None:
+            self.counters.pool_reuses += 1
+        else:
+            self.counters.allocations += 1
+            target = Canvas(window, resolution, device)
         self._owned[id(target)] = target
         return target
 

@@ -106,6 +106,19 @@ from repro.engine.planner import (
 )
 
 
+#: Batchable query kind -> QueryEngine method name.  The single source
+#: of truth for both :meth:`QueryEngine.execute_batch` and the spec
+#: layer's batch description (repro.api.session).
+BATCH_KINDS = {
+    "selection": "select_points",
+    "aggregation": "aggregate_points",
+    "distance": "select_distance",
+    "knn": "knn",
+    "od": "od_select",
+    "voronoi": "voronoi",
+}
+
+
 def unique_ids(keys: np.ndarray) -> np.ndarray:
     """``np.unique`` with a fast path for already-sorted-unique keys.
 
@@ -391,9 +404,18 @@ class QueryEngine:
         else:
             self.cache = CanvasCache(cache_capacity, max_bytes=cache_max_bytes)
         self.reports: deque[ExecutionReport] = deque(maxlen=history)
+        #: Monotonic count of every report ever recorded — the bounded
+        #: deque above forgets, so consumers tracking "reports since X"
+        #: (Session.take_reports) need the true tally.
+        self.report_count = 0
         #: Dense buffers recycled across executions by the
         #: ownership-aware expression evaluator.
         self.buffer_pool = BufferPool(buffer_pool_size)
+
+    def record_report(self, report: ExecutionReport) -> None:
+        """Append to the bounded report history, keeping the true count."""
+        self.reports.append(report)
+        self.report_count += 1
 
     def _context(self) -> EvalContext:
         """A fresh ownership ledger sharing the engine's buffer pool."""
@@ -525,7 +547,7 @@ class QueryEngine:
             pool_reuses=counters.pool_reuses,
             inplace_ops=counters.inplace_ops,
         )
-        self.reports.append(report)
+        self.record_report(report)
         return report
 
     def _constraint_key(
@@ -725,7 +747,7 @@ class QueryEngine:
             candidates=(), forced="no input points", cache_hits=0,
             cache_misses=0, planning_s=0.0, execution_s=0.0, plan_tree=None,
         )
-        self.reports.append(report)
+        self.record_report(report)
         return SelectionOutcome(
             ids=np.empty(0, dtype=np.int64), n_candidates=0, n_exact_tests=0,
             samples=CanvasSet.empty(), report=report,
@@ -773,7 +795,7 @@ class QueryEngine:
                 cache_hits=0, cache_misses=0, planning_s=0.0,
                 execution_s=0.0, plan_tree=None,
             )
-            self.reports.append(report)
+            self.record_report(report)
             return AggregationOutcome(groups, out_values, aggregate, report)
 
         t0 = time.perf_counter()
@@ -906,6 +928,11 @@ class QueryEngine:
         force_plan: str | None = None,
     ) -> SelectionOutcome:
         """Plan and run a within-radius point selection."""
+        if radius <= 0:
+            # Early, plan-independent: the direct kernel would silently
+            # return nothing while the canvas plan would raise deep in
+            # Canvas.circle.
+            raise ValueError("distance-selection radius must be positive")
         xs = np.asarray(xs, dtype=np.float64)
         ys = np.asarray(ys, dtype=np.float64)
         if len(xs) == 0:
@@ -958,16 +985,31 @@ class QueryEngine:
         """``M[Mp'](B[⊙](CP, Circ[(x, y), d]()))`` with boundary refinement.
 
         Radius probes never repeat a circle (kNN bisects fresh radii),
-        so the circle canvas is rasterized per call rather than cached;
-        it is *owned*, so the evaluator recycles its buffer.
+        so the circle canvas is never cached; under an ownership
+        context it rasterizes *into a recycled pooled frame*
+        (``Canvas.circle(out=...)``): the blend consumes the owned disk
+        and releases its buffer, so a kNN bisection run pays one
+        allocation on the first probe and a pool reuse per probe after
+        that — visible in the report's buffer counters.
         """
+        if ctx is not None:
+            # acquire_frame marks the buffer owned and counts the
+            # reuse/allocation itself, so the node must not re-count.
+            factory = lambda: Canvas.circle(  # noqa: E731
+                center, radius, window, resolution, 1, device,
+                out=ctx.acquire_frame(window, resolution, device),
+            )
+            owned = False
+        else:
+            factory = lambda: Canvas.circle(  # noqa: E731
+                center, radius, window, resolution, 1, device
+            )
+            owned = True
         circ = UtilityNode(
             "Circ",
-            factory=lambda: Canvas.circle(
-                center, radius, window, resolution, 1, device
-            ),
+            factory=factory,
             params=f"({center[0]:g}, {center[1]:g}), d={radius:g}",
-            owned=True,
+            owned=owned,
         )
         point_set = CanvasSet.from_points(xs, ys, ids=ids)
         tree = InputNode(point_set, name="CP").blend(circ, PIP_MERGE).mask(
@@ -1213,7 +1255,7 @@ class QueryEngine:
                 cache_hits=0, cache_misses=0, planning_s=0.0,
                 execution_s=0.0, plan_tree=None,
             )
-            self.reports.append(report)
+            self.record_report(report)
             return VoronoiOutcome(Canvas.empty(window, resolution, device),
                                   report)
 
@@ -1690,12 +1732,7 @@ class QueryEngine:
         """
         specs = list(queries)
         dispatch = {
-            "selection": self.select_points,
-            "aggregation": self.aggregate_points,
-            "distance": self.select_distance,
-            "knn": self.knn,
-            "od": self.od_select,
-            "voronoi": self.voronoi,
+            kind: getattr(self, name) for kind, name in BATCH_KINDS.items()
         }
         t0 = time.perf_counter()
         recipe_keys: list[tuple | None] = []

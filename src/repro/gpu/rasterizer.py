@@ -96,18 +96,48 @@ def supercover_cells(
     if len(t) < 2:
         t = np.array([0.0, 1.0])
     mid = (t[:-1] + t[1:]) / 2.0
-    mx = x0 + mid * dx
-    my = y0 + mid * dy
-    cols = np.floor(mx).astype(np.int64)
-    rows = np.floor(my).astype(np.int64)
 
-    # A cut exactly on a grid line belongs to both adjacent cells; the
-    # midpoint picks one.  Add the cells of the endpoints too so corner
-    # touches at t=0/1 are never missed.
-    end_cols = np.floor(np.array([x0, x1])).astype(np.int64)
-    end_rows = np.floor(np.array([y0, y1])).astype(np.int64)
-    cols = np.concatenate([cols, end_cols])
-    rows = np.concatenate([rows, end_rows])
+    # Workhorse cells: one per piece midpoint plus the two endpoints —
+    # a transversal grid crossing's side cells are covered by the
+    # midpoints of its adjacent pieces, so interior cuts need no cells
+    # of their own.
+    base_px = np.concatenate([x0 + mid * dx, (x0, x1)])
+    base_py = np.concatenate([y0 + mid * dy, (y0, y1)])
+    cols = np.floor(base_px).astype(np.int64)
+    rows = np.floor(base_py).astype(np.int64)
+
+    # Closed-set touches the midpoint rule misses: a sample exactly on
+    # a grid line touches both adjacent cells along that axis — a
+    # midpoint or endpoint on a line (segment riding a column boundary,
+    # endpoint landing on one), or a cut on *both* lines (the diagonal
+    # (3,0)-(0,3) through lattice corners (2,1)/(1,2)).  Exact
+    # crossings are measure-zero, so the 4-way lo/hi expansion runs on
+    # an (almost always empty) subset; the 1e-9 snap absorbs float
+    # jitter in the crossing parameters.
+    cut_px = x0 + t * dx
+    cut_py = y0 + t * dy
+
+    def _on_line(vals: np.ndarray) -> np.ndarray:
+        return np.abs(vals - np.rint(vals)) < 1e-9
+
+    base_touch = _on_line(base_px) | _on_line(base_py)
+    cut_touch = _on_line(cut_px) & _on_line(cut_py)
+    if base_touch.any() or cut_touch.any():
+        ex = np.concatenate([base_px[base_touch], cut_px[cut_touch]])
+        ey = np.concatenate([base_py[base_touch], cut_py[cut_touch]])
+
+        def axis_cells(vals: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            base = np.floor(vals)
+            snap = np.rint(vals)
+            on = np.abs(vals - snap) < 1e-9
+            lo = np.where(on, snap - 1.0, base).astype(np.int64)
+            hi = np.where(on, snap, base).astype(np.int64)
+            return lo, hi
+
+        col_lo, col_hi = axis_cells(ex)
+        row_lo, row_hi = axis_cells(ey)
+        cols = np.concatenate([cols, col_lo, col_hi, col_lo, col_hi])
+        rows = np.concatenate([rows, row_lo, row_lo, row_hi, row_hi])
 
     keep = (rows >= 0) & (rows < height) & (cols >= 0) & (cols < width)
     rows, cols = rows[keep], cols[keep]

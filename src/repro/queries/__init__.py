@@ -1,15 +1,17 @@
-"""Standard spatial queries (Section 4) as plan-driven frontends.
+"""Standard spatial queries (Section 4) as spec-constructing sugar.
 
 Successor of the former ``repro.core.queries`` monolith, split by query
 family.  Every public function keeps its original signature and exact
-results; what changed underneath is *how* queries execute: **every**
-frontend — selections, aggregations, distance, kNN, Voronoi, OD and
-the geometry selections — describes a logical plan and routes through
-:mod:`repro.engine`, which enumerates the equivalent physical plans of
-Section 7 (at least two per family), prices them with
-:class:`repro.core.optimizer.CostModel`, executes the winner, serves
-repeated constraint rasterizations from its canvas cache, and records
-an :class:`~repro.engine.executor.ExecutionReport` per query.
+results; since PR 4 each one is a thin wrapper that builds the
+equivalent declarative spec (:mod:`repro.api.specs`) and hands it to
+the process-default :class:`~repro.api.session.Session` — the same
+service-callable path ``python -m repro serve`` answers from.  The
+session routes through :mod:`repro.engine`, which enumerates the
+equivalent physical plans of Section 7 (at least two per family),
+prices them with :class:`repro.core.optimizer.CostModel`, executes the
+winner, serves repeated constraint rasterizations from its canvas
+cache, and records an :class:`~repro.engine.executor.ExecutionReport`
+per query.
 
 Modules:
 

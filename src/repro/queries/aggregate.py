@@ -1,11 +1,12 @@
-"""Aggregation queries (Figure 7 and Section 4.3) as engine-routed plans.
+"""Aggregation queries (Figure 7 and Section 4.3) as spec sugar.
 
 The group-by-over-join aggregation is the paper's headline optimizer
 case: the exact sample-level plan (``join-then-aggregate``) and the
 RasterJoin plan of Figure 8(c) compute the same logical result with
-opposite scaling in point count vs polygon count.  The frontends here
-describe the query; :class:`repro.engine.executor.QueryEngine` picks
-and runs the physical plan (exact results always take the sample-level
+opposite scaling in point count vs polygon count.  The wrappers here
+build :class:`~repro.api.specs.AggregateSpec` descriptions; the
+session-backed :class:`~repro.engine.executor.QueryEngine` picks and
+runs the physical plan (exact results always take the sample-level
 plan — RasterJoin is approximate by design and only admissible with
 ``exact=False``).
 """
@@ -20,8 +21,9 @@ from repro.geometry.bbox import BoundingBox
 from repro.geometry.primitives import Polygon
 from repro.gpu.device import DEFAULT_DEVICE, Device
 from repro.core.canvas import Resolution
-from repro.engine import get_engine
-from repro.queries.common import AggregateResult, default_window
+from repro.api.session import default_session
+from repro.api.specs import AggregateSpec, GeometryData, PointData
+from repro.queries.common import AggregateResult
 
 
 def aggregate_over_select(
@@ -41,16 +43,16 @@ def aggregate_over_select(
     single-polygon instance of the join-aggregation, with the constraint
     canvas drawn under id 1 so the count lands at slot ``C(1, 0)``.
     """
-    xs = np.asarray(xs, dtype=np.float64)
-    ys = np.asarray(ys, dtype=np.float64)
-    if window is None:
-        window = default_window(xs, ys, [polygon])
-    outcome = get_engine().aggregate_points(
-        xs, ys, [polygon], values=values, aggregate=aggregate,
-        polygon_ids=[1], window=window, resolution=resolution,
-        device=device, exact=exact,
+    spec = AggregateSpec(
+        dataset=PointData(xs, ys, values=values),
+        polygons=GeometryData([polygon], ids=[1]),
+        aggregate=aggregate,
+        exact=exact,
+        window=window,
+        resolution=resolution,
     )
-    return float(outcome.values[0])
+    result = default_session().run(spec, device=device)
+    return float(result.values[0])
 
 
 def join_aggregate(
@@ -72,20 +74,15 @@ def join_aggregate(
     gather plan and RasterJoin (``exact=False`` only) and executes it
     with cached constraint canvases.
     """
-    xs = np.asarray(xs, dtype=np.float64)
-    ys = np.asarray(ys, dtype=np.float64)
-    polys = list(polygons)
-    ids = (
-        list(polygon_ids) if polygon_ids is not None else list(range(len(polys)))
+    spec = AggregateSpec(
+        dataset=PointData(xs, ys, values=values),
+        polygons=GeometryData(
+            list(polygons),
+            ids=list(polygon_ids) if polygon_ids is not None else None,
+        ),
+        aggregate=aggregate,
+        exact=exact,
+        window=window,
+        resolution=resolution,
     )
-    if window is None:
-        window = default_window(xs, ys, polys)
-
-    outcome = get_engine().aggregate_points(
-        xs, ys, polys, values=values, aggregate=aggregate,
-        polygon_ids=ids, window=window, resolution=resolution,
-        device=device, exact=exact,
-    )
-    return AggregateResult(
-        groups=outcome.groups, values=outcome.values, aggregate=aggregate
-    )
+    return default_session().run(spec, device=device)

@@ -2,15 +2,17 @@
 
 Section 4's point: the *same* blend+mask expression handles records of
 any primitive dimension — only the blend function swaps the S^3 slot it
-reads.  The frontends here describe the query; the engine prices the
-canvas-blend expression against a per-record exact-predicate pass and
-executes the winner (heterogeneous objects decompose into per-dimension
-selections that each route through the engine).
+reads.  The wrappers here build :class:`~repro.api.specs.GeometrySpec`
+descriptions (``kind`` pins the record-type contract) and the session
+executes them: the engine prices the canvas-blend expression against a
+per-record exact-predicate pass per dimension, and heterogeneous
+objects decompose into per-dimension selections that each route through
+the engine.
 
 Result ids are plan-independent; ``SelectionResult.samples`` is not:
 the predicate kernel has no raster stage, so it returns an empty sample
 set.  Callers composing on samples should force the canvas plan
-(``engine.select_geometry_records(..., force_plan=GEOM_BLEND)``) or
+(``session.run(spec, force_plan=GEOM_BLEND)`` through the engine) or
 check ``result.plan``.
 """
 
@@ -18,25 +20,36 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.primitives import Polygon
 from repro.gpu.device import DEFAULT_DEVICE, Device
 from repro.core.canvas import Resolution
-from repro.engine import get_engine
-from repro.queries.common import SelectionResult, default_window
-from repro.queries.selection import polygonal_select_points
+from repro.api.session import default_session
+from repro.api.specs import GeometryData, GeometrySpec
+from repro.queries.common import SelectionResult
 
 
-def _wrap(outcome) -> SelectionResult:
-    return SelectionResult(
-        ids=outcome.ids,
-        n_candidates=outcome.n_candidates,
-        n_exact_tests=outcome.n_exact_tests,
-        samples=outcome.samples,
-        plan=outcome.report.plan,
+def _run_geometry(
+    kind: str,
+    geometries: Sequence,
+    query: Polygon,
+    ids: Sequence[int] | None,
+    window: BoundingBox | None,
+    resolution: Resolution,
+    device: Device,
+    exact: bool,
+) -> SelectionResult:
+    spec = GeometrySpec(
+        dataset=GeometryData(
+            list(geometries), ids=list(ids) if ids is not None else None
+        ),
+        query=query,
+        kind=kind,
+        exact=exact,
+        window=window,
+        resolution=resolution,
     )
+    return default_session().run(spec, device=device)
 
 
 def polygonal_select_polygons(
@@ -57,16 +70,10 @@ def polygonal_select_polygons(
     polygon-intersects-polygon test.  The engine prices that canvas
     plan against the per-record exact predicate and runs the winner.
     """
-    polys = list(data_polygons)
-    if window is None:
-        all_pts_x = np.array([query.bounds.xmin, query.bounds.xmax])
-        all_pts_y = np.array([query.bounds.ymin, query.bounds.ymax])
-        window = default_window(all_pts_x, all_pts_y, polys + [query])
-
-    return _wrap(get_engine().select_geometry_records(
-        "polygons", polys, query, ids=ids, window=window,
-        resolution=resolution, device=device, exact=exact,
-    ))
+    return _run_geometry(
+        "polygons", data_polygons, query, ids, window, resolution, device,
+        exact,
+    )
 
 
 def polygonal_select_lines(
@@ -87,19 +94,9 @@ def polygonal_select_lines(
     segment-polygon test.  Plan choice (canvas vs per-record predicate)
     is the engine's.
     """
-    line_list = list(lines)
-    if window is None:
-        corner_x: list[float] = [query.bounds.xmin, query.bounds.xmax]
-        corner_y: list[float] = [query.bounds.ymin, query.bounds.ymax]
-        for line in line_list:
-            corner_x.extend([line.bounds.xmin, line.bounds.xmax])
-            corner_y.extend([line.bounds.ymin, line.bounds.ymax])
-        window = default_window(np.asarray(corner_x), np.asarray(corner_y))
-
-    return _wrap(get_engine().select_geometry_records(
-        "lines", line_list, query, ids=ids, window=window,
-        resolution=resolution, device=device, exact=exact,
-    ))
+    return _run_geometry(
+        "lines", lines, query, ids, window, resolution, device, exact
+    )
 
 
 def polygonal_select_objects(
@@ -123,110 +120,6 @@ def polygonal_select_objects(
     primitive dimension.  An object is selected when any of its
     primitives intersects the query polygon.
     """
-    from repro.geometry.primitives import (
-        Geometry,
-        GeometryCollection,
-        LineSegment,
-        LineString,
-        MultiLineString,
-        MultiPoint,
-        MultiPolygon,
-        Point,
-    )
-
-    geom_list = list(geometries)
-    record_ids = list(ids) if ids is not None else list(range(len(geom_list)))
-    if len(record_ids) != len(geom_list):
-        raise ValueError("ids must match geometry count")
-
-    # Decompose every object into primitives with surrogate ids.
-    point_xs: list[float] = []
-    point_ys: list[float] = []
-    point_records: list[int] = []
-    lines: list[LineString] = []
-    line_records: list[int] = []
-    polygons: list[Polygon] = []
-    polygon_records: list[int] = []
-
-    def decompose(geom: Geometry, rid: int) -> None:
-        if isinstance(geom, Point):
-            point_xs.append(geom.x)
-            point_ys.append(geom.y)
-            point_records.append(rid)
-        elif isinstance(geom, MultiPoint):
-            for x, y in geom.coords:
-                point_xs.append(x)
-                point_ys.append(y)
-                point_records.append(rid)
-        elif isinstance(geom, LineString):
-            lines.append(geom)
-            line_records.append(rid)
-        elif isinstance(geom, LineSegment):
-            lines.append(LineString([(geom.ax, geom.ay), (geom.bx, geom.by)]))
-            line_records.append(rid)
-        elif isinstance(geom, MultiLineString):
-            for line in geom.lines:
-                lines.append(line)
-                line_records.append(rid)
-        elif isinstance(geom, Polygon):
-            polygons.append(geom)
-            polygon_records.append(rid)
-        elif isinstance(geom, MultiPolygon):
-            for poly in geom.polygons:
-                polygons.append(poly)
-                polygon_records.append(rid)
-        elif isinstance(geom, GeometryCollection):
-            for part in geom.geometries:
-                decompose(part, rid)
-        else:
-            raise TypeError(
-                f"unsupported geometry type: {type(geom).__name__}"
-            )
-
-    for geom, rid in zip(geom_list, record_ids):
-        decompose(geom, rid)
-
-    if window is None:
-        all_x = [query.bounds.xmin, query.bounds.xmax] + point_xs
-        all_y = [query.bounds.ymin, query.bounds.ymax] + point_ys
-        shapes: list[Polygon | LineString] = list(polygons) + list(lines)
-        for shape in shapes:
-            all_x.extend([shape.bounds.xmin, shape.bounds.xmax])
-            all_y.extend([shape.bounds.ymin, shape.bounds.ymax])
-        window = default_window(np.asarray(all_x), np.asarray(all_y))
-
-    selected: set[int] = set()
-    n_candidates = 0
-    n_tests = 0
-
-    if point_xs:
-        result = polygonal_select_points(
-            np.asarray(point_xs), np.asarray(point_ys), query,
-            ids=np.arange(len(point_xs)), window=window,
-            resolution=resolution, device=device, exact=exact,
-        )
-        selected.update(point_records[i] for i in result.ids)
-        n_candidates += result.n_candidates
-        n_tests += result.n_exact_tests
-    if lines:
-        result = polygonal_select_lines(
-            lines, query, ids=list(range(len(lines))), window=window,
-            resolution=resolution, device=device, exact=exact,
-        )
-        selected.update(line_records[i] for i in result.ids)
-        n_candidates += result.n_candidates
-        n_tests += result.n_exact_tests
-    if polygons:
-        result = polygonal_select_polygons(
-            polygons, query, ids=list(range(len(polygons))), window=window,
-            resolution=resolution, device=device, exact=exact,
-        )
-        selected.update(polygon_records[i] for i in result.ids)
-        n_candidates += result.n_candidates
-        n_tests += result.n_exact_tests
-
-    return SelectionResult(
-        ids=np.asarray(sorted(selected), dtype=np.int64),
-        n_candidates=n_candidates,
-        n_exact_tests=n_tests,
+    return _run_geometry(
+        "objects", geometries, query, ids, window, resolution, device, exact
     )

@@ -2,10 +2,11 @@
 
 A join is the selection expression with the single query geometry
 replaced by a *collection*: each member blends with the data canvases
-in turn.  The inner per-member selections route through the engine, so
-the cost model picks the physical strategy per member and repeated
-members (or repeated joins over the same polygon set) hit the canvas
-cache instead of re-rasterizing.
+in turn.  The wrappers here build :class:`~repro.api.specs.JoinSpec`
+descriptions; the session expands a join into one engine-planned
+selection per member, so the cost model picks the physical strategy
+per member and repeated members (or repeated joins over the same
+polygon set) hit the canvas cache instead of re-rasterizing.
 """
 
 from __future__ import annotations
@@ -18,9 +19,8 @@ from repro.geometry.bbox import BoundingBox
 from repro.geometry.primitives import Polygon
 from repro.gpu.device import DEFAULT_DEVICE, Device
 from repro.core.canvas import Resolution
-from repro.queries.common import default_window
-from repro.queries.geometries import polygonal_select_polygons
-from repro.queries.selection import distance_select, polygonal_select_points
+from repro.api.session import default_session
+from repro.api.specs import GeometryData, JoinSpec, PointData
 
 
 def spatial_join_points_polygons(
@@ -38,24 +38,18 @@ def spatial_join_points_polygons(
 
     Returns exact ``(point_id, polygon_id)`` pairs, sorted.
     """
-    xs = np.asarray(xs, dtype=np.float64)
-    ys = np.asarray(ys, dtype=np.float64)
-    polys = list(polygons)
-    poly_ids = (
-        list(polygon_ids) if polygon_ids is not None else list(range(len(polys)))
+    spec = JoinSpec(
+        kind="points-polygons",
+        left=PointData(xs, ys, ids=point_ids),
+        right=GeometryData(
+            list(polygons),
+            ids=list(polygon_ids) if polygon_ids is not None else None,
+        ),
+        exact=exact,
+        window=window,
+        resolution=resolution,
     )
-    if window is None:
-        window = default_window(xs, ys, polys)
-
-    pairs: list[tuple[int, int]] = []
-    for poly, pid in zip(polys, poly_ids):
-        result = polygonal_select_points(
-            xs, ys, poly, ids=point_ids,
-            window=window, resolution=resolution, device=device, exact=exact,
-        )
-        pairs.extend((int(point_id), int(pid)) for point_id in result.ids)
-    pairs.sort()
-    return pairs
+    return default_session().run(spec, device=device)
 
 
 def spatial_join_polygons_polygons(
@@ -69,26 +63,20 @@ def spatial_join_polygons_polygons(
     exact: bool = True,
 ) -> list[tuple[int, int]]:
     """Type II join: ``DY1.Geometry INTERSECTS DY2.Geometry``."""
-    lids = list(left_ids) if left_ids is not None else list(range(len(left)))
-    rids = list(right_ids) if right_ids is not None else list(range(len(right)))
-    if window is None:
-        corners_x: list[float] = []
-        corners_y: list[float] = []
-        for p in list(left) + list(right):
-            corners_x.extend([p.bounds.xmin, p.bounds.xmax])
-            corners_y.extend([p.bounds.ymin, p.bounds.ymax])
-        window = default_window(
-            np.asarray(corners_x), np.asarray(corners_y)
-        )
-    pairs: list[tuple[int, int]] = []
-    for poly, rid in zip(right, rids):
-        result = polygonal_select_polygons(
-            list(left), poly, ids=lids,
-            window=window, resolution=resolution, device=device, exact=exact,
-        )
-        pairs.extend((int(lid), int(rid)) for lid in result.ids)
-    pairs.sort()
-    return pairs
+    spec = JoinSpec(
+        kind="polygons-polygons",
+        left=GeometryData(
+            list(left), ids=list(left_ids) if left_ids is not None else None
+        ),
+        right=GeometryData(
+            list(right),
+            ids=list(right_ids) if right_ids is not None else None,
+        ),
+        exact=exact,
+        window=window,
+        resolution=resolution,
+    )
+    return default_session().run(spec, device=device)
 
 
 def distance_join(
@@ -103,29 +91,17 @@ def distance_join(
     resolution: Resolution = 1024,
     device: Device = DEFAULT_DEVICE,
 ) -> list[tuple[int, int]]:
-    """Type III join: each RHS point becomes a circle (Section 4.2)."""
-    left_xs = np.asarray(left_xs, dtype=np.float64)
-    left_ys = np.asarray(left_ys, dtype=np.float64)
-    right_xs = np.asarray(right_xs, dtype=np.float64)
-    right_ys = np.asarray(right_ys, dtype=np.float64)
-    rids = (
-        np.asarray(right_ids, dtype=np.int64)
-        if right_ids is not None
-        else np.arange(len(right_xs), dtype=np.int64)
-    )
-    if window is None:
-        all_x = np.concatenate([left_xs, right_xs])
-        all_y = np.concatenate([left_ys, right_ys])
-        window = default_window(all_x, all_y).expand(distance * 1.05)
+    """Type III join: each RHS point becomes a circle (Section 4.2).
 
-    pairs: list[tuple[int, int]] = []
-    for i in range(len(right_xs)):
-        result = distance_select(
-            left_xs, left_ys,
-            (float(right_xs[i]), float(right_ys[i])), distance,
-            ids=left_ids, window=window,
-            resolution=resolution, device=device,
-        )
-        pairs.extend((int(point_id), int(rids[i])) for point_id in result.ids)
-    pairs.sort()
-    return pairs
+    The join *distance* must be positive — violations raise before
+    planning.
+    """
+    spec = JoinSpec(
+        kind="distance",
+        left=PointData(left_xs, left_ys, ids=left_ids),
+        right=PointData(right_xs, right_ys, ids=right_ids),
+        distance=distance,
+        window=window,
+        resolution=resolution,
+    )
+    return default_session().run(spec, device=device)

@@ -1,11 +1,12 @@
-"""Nearest-neighbor queries (Section 4.4) as engine-routed plans.
+"""Nearest-neighbor queries (Section 4.4) as spec-constructing sugar.
 
 kNN via concentric-circle counting: probe circles of increasing radii,
 mask the count-equals-k circle to read off the radius, then reissue a
-distance selection.  The frontend describes the query; the engine
-prices that canvas plan against an exact k-d tree probe and executes
-the winner (both exact, so plan choice is invisible in the output —
-force ``canvas-distance-probes`` through the engine to see the paper's
+distance selection.  The wrapper builds a
+:class:`~repro.api.specs.KnnSpec` and the session-backed engine prices
+that canvas plan against an exact k-d tree probe and executes the
+winner (both exact, so plan choice is invisible in the output — force
+``canvas-distance-probes`` through the engine to see the paper's
 bisection run).
 """
 
@@ -16,8 +17,9 @@ import numpy as np
 from repro.geometry.bbox import BoundingBox
 from repro.gpu.device import DEFAULT_DEVICE, Device
 from repro.core.canvas import Resolution
-from repro.engine import get_engine
-from repro.queries.common import SelectionResult, default_window
+from repro.api.session import default_session
+from repro.api.specs import KnnSpec, PointData
+from repro.queries.common import SelectionResult
 
 
 def knn(
@@ -31,26 +33,17 @@ def knn(
     device: Device = DEFAULT_DEVICE,
     max_iterations: int = 64,
 ) -> SelectionResult:
-    """k nearest neighbors (Section 4.4), cost-planned by the engine."""
-    xs = np.asarray(xs, dtype=np.float64)
-    ys = np.asarray(ys, dtype=np.float64)
-    if k < 1 or k > len(xs):
-        raise ValueError("k must be between 1 and the number of points")
-    if window is None:
-        window = default_window(xs, ys)
-        qx, qy = query_point
-        window = window.union(BoundingBox(qx, qy, qx, qy)).expand(
-            0.01 * max(window.width, window.height)
-        )
+    """k nearest neighbors (Section 4.4), cost-planned by the engine.
 
-    outcome = get_engine().knn(
-        xs, ys, query_point, k, ids=ids, window=window,
-        resolution=resolution, device=device, max_iterations=max_iterations,
+    ``k`` must be a positive integer no larger than the point count —
+    violations raise ``ValueError`` before any planning happens.
+    """
+    spec = KnnSpec(
+        dataset=PointData(xs, ys, ids=ids),
+        query_point=query_point,
+        k=k,
+        window=window,
+        resolution=resolution,
+        max_iterations=max_iterations,
     )
-    return SelectionResult(
-        ids=outcome.ids,
-        n_candidates=outcome.n_candidates,
-        n_exact_tests=outcome.n_exact_tests,
-        samples=outcome.samples,
-        plan=outcome.report.plan,
-    )
+    return default_session().run(spec, device=device)

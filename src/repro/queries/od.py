@@ -1,11 +1,11 @@
 """Complex queries: origin-destination double selection (Section 4.6).
 
 The OD query composes two selections through the value-driven
-geometric transform ``γd``.  The frontend infers the window and hands
-the logical query to the engine, which prices the two-stage canvas
-plan of Figure 8(a) (origin selection, ``γd`` jump, blend against the
-cached ``CQ2`` canvas) against an exact per-pair PIP kernel and runs
-the winner.
+geometric transform ``γd``.  The wrapper builds an
+:class:`~repro.api.specs.OdSpec`; the session infers the window and
+the engine prices the two-stage canvas plan of Figure 8(a) (origin
+selection, ``γd`` jump, blend against the cached ``CQ2`` canvas)
+against an exact per-pair PIP kernel and runs the winner.
 """
 
 from __future__ import annotations
@@ -16,8 +16,9 @@ from repro.geometry.bbox import BoundingBox
 from repro.geometry.primitives import Polygon
 from repro.gpu.device import DEFAULT_DEVICE, Device
 from repro.core.canvas import Resolution
-from repro.engine import get_engine
-from repro.queries.common import SelectionResult, default_window
+from repro.api.session import default_session
+from repro.api.specs import OdSpec, TripData
+from repro.queries.common import SelectionResult
 
 
 def od_select(
@@ -40,23 +41,12 @@ def od_select(
     surviving record from its origin to its destination.  The engine
     picks the physical plan; results are exact either way.
     """
-    origin_xs = np.asarray(origin_xs, dtype=np.float64)
-    origin_ys = np.asarray(origin_ys, dtype=np.float64)
-    dest_xs = np.asarray(dest_xs, dtype=np.float64)
-    dest_ys = np.asarray(dest_ys, dtype=np.float64)
-    if window is None:
-        all_x = np.concatenate([origin_xs, dest_xs])
-        all_y = np.concatenate([origin_ys, dest_ys])
-        window = default_window(all_x, all_y, [q1, q2])
-
-    outcome = get_engine().od_select(
-        origin_xs, origin_ys, dest_xs, dest_ys, q1, q2, ids=ids,
-        window=window, resolution=resolution, device=device, exact=exact,
+    spec = OdSpec(
+        dataset=TripData(origin_xs, origin_ys, dest_xs, dest_ys, ids=ids),
+        q1=q1,
+        q2=q2,
+        exact=exact,
+        window=window,
+        resolution=resolution,
     )
-    return SelectionResult(
-        ids=outcome.ids,
-        n_candidates=outcome.n_candidates,
-        n_exact_tests=outcome.n_exact_tests,
-        samples=outcome.samples,
-        plan=outcome.report.plan,
-    )
+    return default_session().run(spec, device=device)

@@ -1,13 +1,18 @@
-"""Point-selection queries (Section 4.1) as engine-routed plans.
+"""Point-selection queries (Section 4.1) as spec-constructing sugar.
 
-Every public function here is a thin frontend: it normalizes its
-inputs, infers the query window, and hands a logical description to the
-plan-driven engine (:mod:`repro.engine`), which enumerates the
-equivalent physical plans of Figure 8(b) — the blended-canvas algebra
-expression vs the traditional per-polygon PIP pass — prices them with
-the cost model, and executes the winner.  Results are exact either way
-(boundary pixels are refined on the canvas plan; the PIP plan is exact
-by construction), so plan choice is invisible in the output.
+Since PR 4 every public function here is a *wrapper*: it wraps its
+arguments into the equivalent declarative spec
+(:class:`repro.api.specs.SelectSpec`) and hands it to the
+process-default :class:`repro.api.session.Session`, which resolves the
+window exactly as these functions always did and executes through the
+plan-driven engine (:mod:`repro.engine`).  Results are bit-identical
+to the pre-spec implementations — the spec layer is the API now, and
+these signatures are its convenience form.
+
+Validation is eager: an empty constraint list, a non-positive radius,
+or a degenerate rectangle raises
+:class:`~repro.api.specs.SpecError` (a ``ValueError``) before any
+planning happens.
 """
 
 from __future__ import annotations
@@ -20,12 +25,34 @@ from repro.geometry.bbox import BoundingBox
 from repro.geometry.primitives import Polygon
 from repro.gpu.device import DEFAULT_DEVICE, Device
 from repro.core.canvas import Canvas, Resolution
-from repro.engine import get_engine
-from repro.queries.common import (
-    SelectionResult,
-    SelectMode,
-    default_window,
-)
+from repro.api.session import default_session
+from repro.api.specs import ConstraintSpec, PointData, SelectSpec
+from repro.queries.common import SelectionResult, SelectMode
+
+
+def _run_select(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    constraints: Sequence[ConstraintSpec],
+    ids: np.ndarray | None = None,
+    window: BoundingBox | None = None,
+    resolution: Resolution = 1024,
+    device: Device = DEFAULT_DEVICE,
+    mode: SelectMode = "any",
+    exact: bool = True,
+    constraint_canvas: Canvas | None = None,
+) -> SelectionResult:
+    spec = SelectSpec(
+        dataset=PointData(xs, ys, ids=ids),
+        constraints=tuple(constraints),
+        mode=mode,
+        exact=exact,
+        window=window,
+        resolution=resolution,
+    )
+    return default_session().run(
+        spec, device=device, constraint_canvas=constraint_canvas
+    )
 
 
 def polygonal_select_points(
@@ -52,24 +79,10 @@ def polygonal_select_points(
     constraint.
     """
     polys = [polygons] if isinstance(polygons, Polygon) else list(polygons)
-    if not polys:
-        raise ValueError("at least one constraint polygon is required")
-    xs = np.asarray(xs, dtype=np.float64)
-    ys = np.asarray(ys, dtype=np.float64)
-    if window is None:
-        window = default_window(xs, ys, polys)
-
-    outcome = get_engine().select_points(
-        xs, ys, polys, ids=ids, window=window, resolution=resolution,
-        device=device, mode=mode, exact=exact,
-        constraint_canvas=constraint_canvas,
-    )
-    return SelectionResult(
-        ids=outcome.ids,
-        n_candidates=outcome.n_candidates,
-        n_exact_tests=outcome.n_exact_tests,
-        samples=outcome.samples,
-        plan=outcome.report.plan,
+    return _run_select(
+        xs, ys, [ConstraintSpec.polygon(p) for p in polys],
+        ids=ids, window=window, resolution=resolution, device=device,
+        mode=mode, exact=exact, constraint_canvas=constraint_canvas,
     )
 
 
@@ -92,11 +105,7 @@ def range_select(
     **kwargs,
 ) -> SelectionResult:
     """Rectangular range constraint via ``Rect[l1, l2]()`` (Section 4.1)."""
-    box = BoundingBox(
-        min(l1[0], l2[0]), min(l1[1], l2[1]),
-        max(l1[0], l2[0]), max(l1[1], l2[1]),
-    )
-    return polygonal_select_points(xs, ys, Polygon(box.corners), **kwargs)
+    return _run_select(xs, ys, [ConstraintSpec.rect(l1, l2)], **kwargs)
 
 
 def halfspace_select(
@@ -111,21 +120,11 @@ def halfspace_select(
     """One-sided range constraint via ``HS[a, b, c]()`` (Section 4.1).
 
     The half space is clipped to the query window, which must cover the
-    data (guaranteed by :func:`default_window` when *window* is None).
+    data (guaranteed by the session's window inference when *window* is
+    None); a clip that leaves no region selects nothing.
     """
-    xs = np.asarray(xs, dtype=np.float64)
-    ys = np.asarray(ys, dtype=np.float64)
-    if window is None:
-        window = default_window(xs, ys)
-    from repro.geometry.clipping import clip_polygon_halfplane
-
-    clipped = clip_polygon_halfplane(window.corners, a, b, c)
-    if len(clipped) < 3:
-        return SelectionResult(
-            ids=np.empty(0, dtype=np.int64), n_candidates=0, n_exact_tests=0
-        )
-    return polygonal_select_points(
-        xs, ys, Polygon(clipped), window=window, **kwargs
+    return _run_select(
+        xs, ys, [ConstraintSpec.halfspace(a, b, c)], window=window, **kwargs
     )
 
 
@@ -148,23 +147,8 @@ def distance_select(
     direct vectorized distance kernel and runs the winner — results
     are exact either way.
     """
-    xs = np.asarray(xs, dtype=np.float64)
-    ys = np.asarray(ys, dtype=np.float64)
-    if window is None:
-        window = default_window(xs, ys)
-        cx, cy = center
-        window = window.union(
-            BoundingBox(cx - radius, cy - radius, cx + radius, cy + radius)
-        ).expand(0.01 * radius)
-
-    outcome = get_engine().select_distance(
-        xs, ys, center, radius, ids=ids, window=window,
-        resolution=resolution, device=device, exact=exact,
-    )
-    return SelectionResult(
-        ids=outcome.ids,
-        n_candidates=outcome.n_candidates,
-        n_exact_tests=outcome.n_exact_tests,
-        samples=outcome.samples,
-        plan=outcome.report.plan,
+    return _run_select(
+        xs, ys, [ConstraintSpec.circle(center, radius)],
+        ids=ids, window=window, resolution=resolution, device=device,
+        exact=exact,
     )

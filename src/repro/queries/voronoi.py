@@ -1,6 +1,7 @@
 """Computational geometry via the algebra: Voronoi (Section 4.5).
 
-``ComputeVoronoi`` is described here and executed by the engine, which
+``ComputeVoronoi`` is described by a
+:class:`~repro.api.specs.VoronoiSpec` and executed by the engine, which
 prices the paper's iterated ``V[f]`` insertion loop against a blocked
 argmin sweep (bit-identical results — same d² arithmetic and the same
 first-site-wins tie rule) and records an
@@ -16,7 +17,8 @@ import numpy as np
 from repro.geometry.bbox import BoundingBox
 from repro.gpu.device import DEFAULT_DEVICE, Device
 from repro.core.canvas import Canvas, Resolution
-from repro.engine import get_engine
+from repro.api.session import default_session
+from repro.api.specs import PointData, VoronoiSpec
 
 
 def voronoi(
@@ -31,7 +33,12 @@ def voronoi(
     the squared distance to it (exactly the paper's ``f`` definition);
     the executed physical plan is the engine's cost-based choice.
     """
-    outcome = get_engine().voronoi(
-        points, window, resolution=resolution, device=device
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError("points must be an (n, 2) array")
+    spec = VoronoiSpec(
+        dataset=PointData(pts[:, 0], pts[:, 1]),
+        window=window,
+        resolution=resolution,
     )
-    return outcome.canvas
+    return default_session().run(spec, device=device)

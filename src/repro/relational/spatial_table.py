@@ -14,16 +14,20 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from repro.api.session import default_session
+from repro.api.specs import (
+    ConstraintSpec,
+    GeometryData,
+    GeometrySpec,
+    PointData,
+    SelectSpec,
+)
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.primitives import Geometry, Point, Polygon
 from repro.gpu.device import DEFAULT_DEVICE, Device
 from repro.core.canvas import Canvas, Resolution
 from repro.core.canvas_set import CanvasSet
-from repro.core.queries import (
-    SelectionResult,
-    polygonal_select_points,
-    polygonal_select_polygons,
-)
+from repro.core.queries import SelectionResult
 from repro.relational.table import Table
 
 
@@ -136,7 +140,12 @@ class SpatialTable(Table):
 
         Dispatches on the geometry type of the column: points run the
         Figure 5 plan, polygons the Figure 6 plan — the "same operators,
-        different data" reuse the paper motivates with Figure 1.
+        different data" reuse the paper motivates with Figure 1.  The
+        table emits the equivalent declarative spec
+        (:class:`~repro.api.specs.SelectSpec` /
+        :class:`~repro.api.specs.GeometrySpec`) and runs it through the
+        process-default session, so relational verbs speak the same
+        service API as every other frontend.
         """
         geoms = self.geometries(column)
         if not geoms:
@@ -144,20 +153,26 @@ class SpatialTable(Table):
         if isinstance(geoms[0], Point):
             xs = np.array([g.x for g in geoms])  # type: ignore[union-attr]
             ys = np.array([g.y for g in geoms])  # type: ignore[union-attr]
-            result = polygonal_select_points(
-                xs, ys, query, ids=self.row_ids,
-                resolution=resolution, device=device,
+            spec = SelectSpec(
+                dataset=PointData(xs, ys, ids=self.row_ids),
+                constraints=[ConstraintSpec.polygon(query)],
+                resolution=resolution,
             )
         elif isinstance(geoms[0], Polygon):
-            result = polygonal_select_polygons(
-                [g for g in geoms if isinstance(g, Polygon)], query,
-                ids=self.row_ids.tolist(),
-                resolution=resolution, device=device,
+            spec = GeometrySpec(
+                dataset=GeometryData(
+                    [g for g in geoms if isinstance(g, Polygon)],
+                    ids=self.row_ids.tolist(),
+                ),
+                query=query,
+                kind="polygons",
+                resolution=resolution,
             )
         else:
             raise TypeError(
                 f"where_inside does not support {type(geoms[0]).__name__}"
             )
+        result = default_session().run(spec, device=device)
         return self.from_selection(result)
 
     def _empty_like(self) -> "SpatialTable":

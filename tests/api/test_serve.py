@@ -1,0 +1,364 @@
+"""The JSON-lines service loop: specs in, summaries + reports out."""
+
+import importlib
+import io
+import json
+
+import numpy as np
+import pytest
+
+#: The serve *module* (the package attribute of the same name is the
+#: serve() function, so a plain ``import repro.api.serve`` would shadow).
+serve_mod = importlib.import_module("repro.api.serve")
+from repro.api import (
+    ConstraintSpec,
+    DatasetRegistry,
+    PointData,
+    SelectSpec,
+    Session,
+    result_summary,
+    serve,
+    serve_lines,
+)
+from repro.geometry.primitives import Polygon
+from repro.queries import polygonal_select_points
+
+POLY = Polygon([(20, 20), (80, 20), (80, 80), (20, 80)])
+
+
+def spec_line(**overrides):
+    spec = {
+        "spec": "select",
+        "version": 1,
+        "dataset": "synthetic:uniform?n=400&seed=6",
+        "constraints": [
+            {"kind": "polygon",
+             "geometry": {"type": "Polygon",
+                          "coordinates": [[[20, 20], [80, 20], [80, 80],
+                                           [20, 80], [20, 20]]]}}
+        ],
+        "resolution": 128,
+    }
+    spec.update(overrides)
+    return json.dumps(spec)
+
+
+class TestServeLines:
+    def test_answers_specs_end_to_end(self):
+        lines = [
+            spec_line(),
+            json.dumps({"spec": "knn", "version": 1,
+                        "dataset": "synthetic:uniform?n=400&seed=6",
+                        "query_point": [50, 50], "k": 3,
+                        "resolution": 128}),
+        ]
+        out = [json.loads(line) for line in serve_lines(lines)]
+        assert all(o["ok"] for o in out)
+        assert out[0]["result"]["type"] == "selection"
+        assert out[0]["report"]["plan"] in ("per-polygon-pip",
+                                            "blended-canvas")
+        assert out[1]["result"]["matched"] == 3
+
+    def test_matches_direct_call(self):
+        registry = DatasetRegistry()
+        data = registry.resolve("synthetic:uniform?n=400&seed=6")
+        truth = polygonal_select_points(data.xs, data.ys, POLY,
+                                        resolution=128)
+        out = json.loads(next(iter(serve_lines([spec_line()]))))
+        assert out["result"]["matched"] == len(truth.ids)
+        assert out["result"]["ids"] == truth.ids.tolist()
+
+    def test_bad_json_does_not_kill_loop(self):
+        lines = ["{broken", spec_line(), ""]
+        out = [json.loads(line) for line in serve_lines(lines)]
+        assert len(out) == 2  # blank line skipped
+        assert out[0]["ok"] is False and "bad JSON" in out[0]["error"]
+        assert out[1]["ok"] is True
+
+    def test_spec_error_reported_in_band(self):
+        lines = [
+            json.dumps({"spec": "select", "version": 1,
+                        "dataset": "synthetic:uniform?n=10",
+                        "constraints": []}),
+            json.dumps({"spec": "warp", "version": 1}),
+            json.dumps({"spec": "select", "version": 3,
+                        "dataset": "x", "constraints": []}),
+        ]
+        out = [json.loads(line) for line in serve_lines(lines)]
+        assert [o["ok"] for o in out] == [False, False, False]
+        assert "at least one constraint" in out[0]["error"]
+        assert "unknown spec family" in out[1]["error"]
+        assert "version" in out[2]["error"]
+
+    def test_batch_request(self):
+        line = json.dumps({
+            "batch": [json.loads(spec_line()), json.loads(spec_line())]
+        })
+        out = json.loads(next(iter(serve_lines([line]))))
+        assert out["ok"] is True
+        assert len(out["results"]) == 2
+        assert out["report"]["n_queries"] == 2
+        assert out["results"][0]["matched"] == out["results"][1]["matched"]
+
+    def test_non_object_request(self):
+        out = json.loads(next(iter(serve_lines(["[1, 2]"]))))
+        assert out["ok"] is False
+
+    def test_absurd_generator_size_rejected_in_band(self):
+        # One untrusted request must not be able to OOM the service.
+        line = spec_line(dataset="synthetic:uniform?n=2000000000000")
+        out = json.loads(next(iter(serve_lines([line]))))
+        assert out["ok"] is False
+        assert "generator cap" in out["error"]
+
+    def test_absurd_resolution_rejected_in_band(self):
+        line = spec_line(resolution=1_000_000)
+        out = json.loads(next(iter(serve_lines([line]))))
+        assert out["ok"] is False
+        assert "cap" in out["error"]
+
+    def test_unexpected_exception_answered_in_band(self, monkeypatch):
+        # The loop survives even bugs outside the ValueError family.
+        session = Session()
+        monkeypatch.setattr(
+            session, "run",
+            lambda *a, **k: (_ for _ in ()).throw(MemoryError("14.6 TiB")),
+        )
+        out = json.loads(next(iter(serve_lines([spec_line()], session))))
+        assert out["ok"] is False
+        assert "MemoryError" in out["error"]
+
+    def test_file_scheme_disabled_at_serve_boundary(self, tmp_path):
+        # Untrusted requests must not be able to read server paths; a
+        # session-less serve_lines uses the hardened default registry.
+        path = tmp_path / "secrets.csv"
+        path.write_text('geometry\n"POINT (50 50)"\n')
+        line = spec_line(dataset=f"file:{path}")
+        out = json.loads(next(iter(serve_lines([line]))))
+        assert out["ok"] is False
+        assert "file: references are disabled" in out["error"]
+        # An explicitly-passed local session keeps the convenience.
+        out = json.loads(next(iter(serve_lines([line], Session()))))
+        assert out["ok"] is True and out["result"]["matched"] == 1
+
+    def test_dict_parsed_resolution_cap_spares_python_callers(self):
+        from repro.api import SelectSpec as SS
+        from repro.api import SpecError, spec_from_dict
+        from repro.api.specs import MAX_RESOLUTION
+
+        # Trusted Python construction: uncapped, like the legacy API.
+        spec = SS(dataset=PointData(np.array([1.0]), np.array([1.0])),
+                  constraints=[ConstraintSpec.polygon(POLY)],
+                  resolution=4 * MAX_RESOLUTION)
+        assert spec.resolution == 4 * MAX_RESOLUTION
+        # The same value in dict form (the untrusted boundary) rejects.
+        with pytest.raises(SpecError, match=f"{MAX_RESOLUTION} cap"):
+            spec_from_dict(spec.to_dict())
+
+    def test_mistyped_dataset_ref_is_spec_error(self):
+        # A string ref resolves at run time; the record-type contract
+        # must still surface as a SpecError, not a kernel crash.
+        from repro.api import GeometrySpec
+        from repro.geometry.primitives import LineString
+
+        registry = DatasetRegistry().register(
+            "lines", [LineString([(0, 0), (1, 1)])]
+        )
+        session = Session(registry)
+        spec = GeometrySpec(dataset="lines", query=POLY, kind="polygons",
+                            resolution=64)
+        out = json.loads(next(iter(serve_lines(
+            [json.dumps(spec.to_dict())], session
+        ))))
+        assert out["ok"] is False
+        assert "must be Polygon" in out["error"]
+
+    def test_stream_interface(self):
+        stream_in = io.StringIO(spec_line() + "\n")
+        stream_out = io.StringIO()
+        count = serve(stream_in, stream_out, Session())
+        assert count == 1
+        assert json.loads(stream_out.getvalue())["ok"] is True
+
+    def test_session_registry_serves_named_data(self):
+        rng = np.random.default_rng(12)
+        xs, ys = rng.uniform(0, 100, 300), rng.uniform(0, 100, 300)
+        session = Session(DatasetRegistry().register("live", (xs, ys)))
+        out = json.loads(
+            next(iter(serve_lines([spec_line(dataset="live")], session)))
+        )
+        truth = polygonal_select_points(xs, ys, POLY, resolution=128)
+        assert out["result"]["matched"] == len(truth.ids)
+
+
+class TestSummaries:
+    def test_selection_truncation(self, monkeypatch):
+        monkeypatch.setattr(serve_mod, "MAX_INLINE_RESULTS", 5)
+        rng = np.random.default_rng(3)
+        xs, ys = rng.uniform(30, 70, 50), rng.uniform(30, 70, 50)
+        result = Session().run(SelectSpec(
+            dataset=PointData(xs, ys),
+            constraints=[ConstraintSpec.polygon(POLY)], resolution=128,
+        ))
+        summary = result_summary(result)
+        assert summary["matched"] == 50
+        assert len(summary["ids"]) == 5
+        assert summary["truncated"] is True
+
+    def test_min_over_empty_group_is_valid_json(self):
+        # min over a group with no points is +inf Python-side; the wire
+        # form must stay RFC-parseable (null, not Infinity).
+        line = json.dumps({
+            "spec": "aggregate", "version": 1,
+            "dataset": {"kind": "points", "xs": [50.0], "ys": [50.0],
+                        "values": [7.5]},
+            "polygons": {"kind": "geometries", "geometries": [
+                {"type": "Polygon",
+                 "coordinates": [[[0, 0], [5, 0], [5, 5], [0, 5], [0, 0]]]}
+            ]},
+            "aggregate": "min", "resolution": 64,
+        })
+        raw = next(iter(serve_lines([line])))
+        assert "Infinity" not in raw
+        answer = json.loads(raw)
+        assert answer["ok"] is True
+        assert answer["result"]["values"] == [None]
+
+    def test_nan_points_never_match_but_serve(self):
+        spec = SelectSpec(
+            dataset=PointData(np.array([50.0, np.nan]),
+                              np.array([50.0, np.nan])),
+            constraints=[ConstraintSpec.polygon(POLY)],
+            window=(0.0, 0.0, 100.0, 100.0), resolution=64,
+        )
+        with np.errstate(invalid="ignore"):  # NaN→int cast in the kernel
+            result = Session().run(spec)
+        assert result.ids.tolist() == [0]
+
+    def test_pairs_summary(self):
+        summary = result_summary([(1, 2), (3, 4)])
+        assert summary == {"type": "pairs", "matched": 2,
+                           "pairs": [[1, 2], [3, 4]], "truncated": False}
+
+    def test_unknown_result_type(self):
+        with pytest.raises(TypeError):
+            result_summary(object())
+
+
+class TestReportTally:
+    def test_sub_reports_counts_beyond_history_bound(self):
+        """A 40-member join on a 32-entry report deque must report the
+        true engine-execution count, not the deque length."""
+        from repro.api import JoinSpec
+        from repro.engine import QueryEngine
+
+        rng = np.random.default_rng(9)
+        xs, ys = rng.uniform(0, 100, 60), rng.uniform(0, 100, 60)
+        polys = [
+            Polygon([(x, y), (x + 8, y), (x + 8, y + 8), (x, y + 8)])
+            for x, y in rng.uniform(0, 90, (40, 2))
+        ]
+        session = Session(engine=QueryEngine(history=32))
+        spec = JoinSpec(
+            kind="points-polygons",
+            left={"kind": "points", "xs": xs.tolist(), "ys": ys.tolist()},
+            right={"kind": "geometries",
+                   "geometries": [
+                       {"type": "Polygon",
+                        "coordinates": [[list(pt) for pt in
+                                         p.shell.coords]
+                                        + [list(p.shell.coords[0])]]}
+                       for p in polys
+                   ]},
+            resolution=64,
+        )
+        out = json.loads(next(iter(serve_lines(
+            [json.dumps(spec.to_dict())], session
+        ))))
+        assert out["ok"] is True
+        assert out["report"]["sub_reports"] == 40
+
+
+class TestLoopResilience:
+    def test_hostile_nesting_does_not_kill_loop(self):
+        lines = ["[" * 3000 + "]" * 3000, spec_line()]
+        out = [json.loads(line) for line in serve_lines(lines)]
+        assert out[0]["ok"] is False
+        assert out[1]["ok"] is True
+
+    def test_engine_and_knobs_conflict(self):
+        from repro.engine import QueryEngine
+
+        with pytest.raises(ValueError, match="not both"):
+            Session(engine=QueryEngine(), cache_max_bytes=1_000_000)
+
+
+class TestProtocolShape:
+    def test_empty_short_circuit_still_reports(self):
+        # Half space excluding the window: no engine call, but the
+        # protocol's report key must still be present.
+        line = spec_line(constraints=[
+            {"kind": "halfspace", "coefficients": [0.0, 1.0, 1e9]}
+        ])
+        out = json.loads(next(iter(serve_lines([line]))))
+        assert out["ok"] is True
+        assert out["result"]["matched"] == 0
+        assert out["report"]["plan"] == "empty-input"
+
+    def test_batch_plans_align_with_results(self):
+        empty = json.loads(spec_line(constraints=[
+            {"kind": "halfspace", "coefficients": [0.0, 1.0, 1e9]}
+        ]))
+        live = json.loads(spec_line())
+        line = json.dumps({"batch": [empty, live]})
+        out = json.loads(next(iter(serve_lines([line]))))
+        assert out["ok"] is True
+        assert out["report"]["n_queries"] == 2
+        assert len(out["report"]["plans"]) == 2
+        assert out["report"]["plans"][0][1] == "empty-input"
+        assert out["results"][0]["matched"] == 0
+        assert out["results"][1]["matched"] > 0
+
+
+class TestWorkCaps:
+    def test_batch_length_cap(self):
+        line = json.dumps({"batch": [json.loads(spec_line())] * 300})
+        out = json.loads(next(iter(serve_lines([line]))))
+        assert out["ok"] is False
+        assert "cap per request" in out["error"]
+
+    def test_join_fanout_cap_at_serve_boundary(self):
+        line = json.dumps({
+            "spec": "join", "version": 1, "kind": "distance",
+            "left": "synthetic:uniform?n=50&seed=1",
+            "right": "synthetic:uniform?n=5000&seed=2",
+            "distance": 1.0, "resolution": 64,
+        })
+        out = json.loads(next(iter(serve_lines([line]))))
+        assert out["ok"] is False
+        assert "fan-out" in out["error"]
+        # A trusted Python session stays uncapped (legacy parity).
+        result = Session().run(json.loads(line))
+        assert isinstance(result, list)
+
+    def test_value_aggregate_without_values_rejected(self):
+        line = json.dumps({
+            "spec": "aggregate", "version": 1,
+            "dataset": "synthetic:uniform?n=50&seed=1",
+            "polygons": {"kind": "geometries", "geometries": [
+                {"type": "Polygon",
+                 "coordinates": [[[20, 20], [80, 20], [80, 80],
+                                  [20, 80], [20, 20]]]}]},
+            "aggregate": "sum", "resolution": 64,
+        })
+        out = json.loads(next(iter(serve_lines([line]))))
+        assert out["ok"] is False
+        assert "needs a dataset with values" in out["error"]
+
+    def test_cli_query_batch_not_capped(self):
+        from repro.api import handle_request
+
+        batch = {"batch": [json.loads(spec_line())] * 300}
+        out = handle_request(batch, Session())  # trusted path: no cap
+        assert out["ok"] is True
+        assert out["report"]["n_queries"] == 300

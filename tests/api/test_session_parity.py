@@ -1,0 +1,581 @@
+"""Session execution: every family's JSON-round-tripped spec is
+bit-identical to the direct legacy frontend call, batches map onto the
+engine's batch planner, and the registry resolves references."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    AggregateSpec,
+    ConstraintSpec,
+    DatasetRegistry,
+    GeometryData,
+    GeometrySpec,
+    JoinSpec,
+    KnnSpec,
+    OdSpec,
+    PointData,
+    SelectSpec,
+    Session,
+    SpecError,
+    TripData,
+    VoronoiSpec,
+    WindowSpec,
+    spec_from_dict,
+)
+from repro.core.optimizer import CostModel
+from repro.data.taxi import generate_taxi_trips
+from repro.engine import QueryEngine, use_engine
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import LineString, Point, Polygon
+from repro.queries import (
+    distance_join,
+    distance_select,
+    halfspace_select,
+    join_aggregate,
+    knn,
+    od_select,
+    polygonal_select_lines,
+    polygonal_select_objects,
+    polygonal_select_points,
+    polygonal_select_polygons,
+    range_select,
+    spatial_join_points_polygons,
+    spatial_join_polygons_polygons,
+    voronoi,
+)
+
+POLY = Polygon([(20, 20), (80, 20), (80, 80), (20, 80)])
+POLY2 = Polygon([(10, 40), (60, 10), (90, 60), (40, 95)])
+WINDOW = BoundingBox(0, 0, 100, 100)
+RES = 128
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(402)
+    return rng.uniform(0, 100, 800), rng.uniform(0, 100, 800)
+
+
+def roundtrip(spec):
+    """Force the spec through its JSON text form."""
+    return spec_from_dict(json.loads(json.dumps(spec.to_dict())))
+
+
+def assert_selection_equal(a, b):
+    assert np.array_equal(a.ids, b.ids)
+    assert a.n_candidates == b.n_candidates
+    assert a.n_exact_tests == b.n_exact_tests
+    assert a.plan == b.plan
+
+
+class TestParity:
+    """run(from_dict(to_dict(spec))) == the direct frontend call."""
+
+    def test_select_polygons(self, cloud):
+        xs, ys = cloud
+        direct = polygonal_select_points(
+            xs, ys, [POLY, POLY2], mode="all", resolution=RES
+        )
+        spec = SelectSpec(
+            dataset=PointData(xs, ys),
+            constraints=[ConstraintSpec.polygon(POLY),
+                         ConstraintSpec.polygon(POLY2)],
+            mode="all", resolution=RES,
+        )
+        assert_selection_equal(Session().run(roundtrip(spec)), direct)
+
+    def test_select_rect(self, cloud):
+        xs, ys = cloud
+        direct = range_select(xs, ys, (25, 30), (70, 90), resolution=RES)
+        spec = SelectSpec(
+            dataset=PointData(xs, ys),
+            constraints=[ConstraintSpec.rect((25, 30), (70, 90))],
+            resolution=RES,
+        )
+        assert_selection_equal(Session().run(roundtrip(spec)), direct)
+
+    def test_select_halfspace(self, cloud):
+        xs, ys = cloud
+        direct = halfspace_select(xs, ys, 1.0, -1.0, 5.0, resolution=RES)
+        spec = SelectSpec(
+            dataset=PointData(xs, ys),
+            constraints=[ConstraintSpec.halfspace(1.0, -1.0, 5.0)],
+            resolution=RES,
+        )
+        assert_selection_equal(Session().run(roundtrip(spec)), direct)
+
+    def test_select_halfspace_degenerate_clip(self, cloud):
+        xs, ys = cloud
+        # A half space excluding the whole window selects nothing, with
+        # no engine call at all.
+        direct = halfspace_select(xs, ys, 1.0, 0.0, 1e9, resolution=RES)
+        spec = SelectSpec(
+            dataset=PointData(xs, ys),
+            constraints=[ConstraintSpec.halfspace(1.0, 0.0, 1e9)],
+            resolution=RES,
+        )
+        result = Session().run(roundtrip(spec))
+        assert len(result.ids) == 0 == len(direct.ids)
+
+    def test_select_circle(self, cloud):
+        xs, ys = cloud
+        direct = distance_select(xs, ys, (48.0, 52.0), 17.5, resolution=RES)
+        spec = SelectSpec(
+            dataset=PointData(xs, ys),
+            constraints=[ConstraintSpec.circle((48.0, 52.0), 17.5)],
+            resolution=RES,
+        )
+        assert_selection_equal(Session().run(roundtrip(spec)), direct)
+
+    def test_knn(self, cloud):
+        xs, ys = cloud
+        direct = knn(xs, ys, (50.0, 50.0), 7, resolution=RES)
+        spec = KnnSpec(
+            dataset=PointData(xs, ys), query_point=(50.0, 50.0), k=7,
+            resolution=RES,
+        )
+        assert_selection_equal(Session().run(roundtrip(spec)), direct)
+
+    def test_aggregate(self, cloud):
+        xs, ys = cloud
+        values = np.hypot(xs - 50, ys - 50)
+        direct = join_aggregate(
+            xs, ys, [POLY, POLY2], values=values, aggregate="sum",
+            polygon_ids=[4, 9], resolution=RES,
+        )
+        spec = AggregateSpec(
+            dataset=PointData(xs, ys, values=values),
+            polygons=GeometryData([POLY, POLY2], ids=[4, 9]),
+            aggregate="sum", resolution=RES,
+        )
+        result = Session().run(roundtrip(spec))
+        assert np.array_equal(result.groups, direct.groups)
+        assert np.array_equal(result.values, direct.values)
+
+    def test_voronoi(self):
+        rng = np.random.default_rng(8)
+        pts = rng.uniform(5, 95, (9, 2))
+        direct = voronoi(pts, WINDOW, resolution=64)
+        spec = VoronoiSpec(
+            dataset=PointData(pts[:, 0], pts[:, 1]),
+            window=WindowSpec.from_box(WINDOW), resolution=64,
+        )
+        canvas = Session().run(roundtrip(spec))
+        assert np.array_equal(canvas.texture.data, direct.texture.data)
+        assert np.array_equal(canvas.texture.valid, direct.texture.valid)
+
+    def test_od(self, cloud):
+        xs, ys = cloud
+        dxs, dys = ys[::-1].copy(), xs[::-1].copy()
+        direct = od_select(xs, ys, dxs, dys, POLY, POLY2, resolution=RES)
+        spec = OdSpec(
+            dataset=TripData(xs, ys, dxs, dys), q1=POLY, q2=POLY2,
+            resolution=RES,
+        )
+        assert_selection_equal(Session().run(roundtrip(spec)), direct)
+
+    def test_geometry_polygons(self):
+        rng = np.random.default_rng(31)
+        polys = [
+            Polygon([(x, y), (x + 12, y), (x + 12, y + 12), (x, y + 12)])
+            for x, y in rng.uniform(0, 85, (14, 2))
+        ]
+        direct = polygonal_select_polygons(polys, POLY, resolution=RES)
+        spec = GeometrySpec(
+            dataset=GeometryData(polys), query=POLY, kind="polygons",
+            resolution=RES,
+        )
+        assert_selection_equal(Session().run(roundtrip(spec)), direct)
+
+    def test_geometry_lines(self):
+        rng = np.random.default_rng(32)
+        lines = [
+            LineString(rng.uniform(0, 100, (4, 2)).tolist())
+            for _ in range(10)
+        ]
+        direct = polygonal_select_lines(lines, POLY, resolution=RES)
+        spec = GeometrySpec(
+            dataset=GeometryData(lines), query=POLY, kind="lines",
+            resolution=RES,
+        )
+        assert_selection_equal(Session().run(roundtrip(spec)), direct)
+
+    def test_geometry_objects(self):
+        rng = np.random.default_rng(33)
+        records = [
+            Point(30.0, 30.0),
+            LineString([(5, 5), (95, 95)]),
+            POLY2,
+            Point(1.0, 1.0),
+        ]
+        direct = polygonal_select_objects(records, POLY, resolution=RES)
+        spec = GeometrySpec(
+            dataset=GeometryData(records), query=POLY, kind="objects",
+            resolution=RES,
+        )
+        result = Session().run(roundtrip(spec))
+        assert np.array_equal(result.ids, direct.ids)
+        assert result.n_candidates == direct.n_candidates
+        assert result.n_exact_tests == direct.n_exact_tests
+
+    def test_join_points_polygons(self, cloud):
+        xs, ys = cloud
+        direct = spatial_join_points_polygons(
+            xs[:200], ys[:200], [POLY, POLY2], polygon_ids=[11, 22],
+            resolution=RES,
+        )
+        spec = JoinSpec(
+            kind="points-polygons",
+            left=PointData(xs[:200], ys[:200]),
+            right=GeometryData([POLY, POLY2], ids=[11, 22]),
+            resolution=RES,
+        )
+        assert Session().run(roundtrip(spec)) == direct
+
+    def test_join_polygons_polygons(self):
+        rng = np.random.default_rng(34)
+        left = [
+            Polygon([(x, y), (x + 15, y), (x + 15, y + 15), (x, y + 15)])
+            for x, y in rng.uniform(0, 80, (6, 2))
+        ]
+        direct = spatial_join_polygons_polygons(
+            left, [POLY, POLY2], resolution=RES
+        )
+        spec = JoinSpec(
+            kind="polygons-polygons",
+            left=GeometryData(left),
+            right=GeometryData([POLY, POLY2]),
+            resolution=RES,
+        )
+        assert Session().run(roundtrip(spec)) == direct
+
+    def test_join_distance(self, cloud):
+        xs, ys = cloud
+        direct = distance_join(
+            xs[:120], ys[:120], xs[120:126], ys[120:126], 9.0,
+            resolution=RES,
+        )
+        spec = JoinSpec(
+            kind="distance",
+            left=PointData(xs[:120], ys[:120]),
+            right=PointData(xs[120:126], ys[120:126]),
+            distance=9.0, resolution=RES,
+        )
+        assert Session().run(roundtrip(spec)) == direct
+
+
+class TestSession:
+    def test_run_accepts_dict(self, cloud):
+        xs, ys = cloud
+        spec = SelectSpec(
+            dataset=PointData(xs, ys),
+            constraints=[ConstraintSpec.polygon(POLY)], resolution=RES,
+        )
+        result = Session().run(spec.to_dict())
+        assert len(result.ids) > 0
+
+    def test_default_session_tracks_use_engine(self, cloud):
+        """Legacy frontends (now spec sugar) still honour use_engine()."""
+        xs, ys = cloud
+        blended = QueryEngine(CostModel(edge_test=1e9))
+        with use_engine(blended):
+            result = polygonal_select_points(xs, ys, POLY, resolution=RES)
+        assert result.plan == "blended-canvas"
+        assert blended.last_report is not None
+
+    def test_private_engine(self, cloud):
+        xs, ys = cloud
+        session = Session(cost_model=CostModel(edge_test=1e9))
+        spec = SelectSpec(
+            dataset=PointData(xs, ys),
+            constraints=[ConstraintSpec.polygon(POLY)], resolution=RES,
+        )
+        result = session.run(spec)
+        assert result.plan == "blended-canvas"
+        assert session.engine.last_report is not None
+        # ...and the process-default engine did not see the query.
+        assert session.engine is not Session().engine
+
+    def test_session_resolution_default(self, cloud):
+        xs, ys = cloud
+        session = Session(resolution=64)
+        spec = SelectSpec(
+            dataset=PointData(xs, ys),
+            constraints=[ConstraintSpec.polygon(POLY)],
+        )
+        direct = polygonal_select_points(xs, ys, POLY, resolution=64)
+        assert_selection_equal(session.run(spec), direct)
+
+    def test_force_plan_runtime_knob(self, cloud):
+        xs, ys = cloud
+        session = Session(engine=QueryEngine())
+        spec = SelectSpec(
+            dataset=PointData(xs, ys),
+            constraints=[ConstraintSpec.polygon(POLY)], resolution=RES,
+        )
+        result = session.run(spec, force_plan="blended-canvas")
+        assert result.plan == "blended-canvas"
+
+    def test_explain_text(self, cloud):
+        xs, ys = cloud
+        session = Session(engine=QueryEngine())
+        spec = KnnSpec(dataset=PointData(xs, ys),
+                       query_point=(50.0, 50.0), k=3, resolution=RES)
+        text = session.explain(spec)
+        assert "chosen plan" in text
+        assert "candidate plans" in text
+
+    def test_explain_never_shows_stale_report(self, cloud):
+        xs, ys = cloud
+        session = Session(engine=QueryEngine())
+        session.explain(SelectSpec(
+            dataset=PointData(xs, ys),
+            constraints=[ConstraintSpec.polygon(POLY)], resolution=RES,
+        ))
+        # A half space excluding the window short-circuits with no
+        # engine run — the previous query's report must not leak in.
+        text = session.explain(SelectSpec(
+            dataset=PointData(xs, ys),
+            constraints=[ConstraintSpec.halfspace(1.0, 0.0, 1e9)],
+            resolution=RES,
+        ))
+        assert "no engine execution" in text
+        assert "chosen plan" not in text
+
+    def test_rejects_non_spec(self):
+        with pytest.raises(SpecError, match="query spec"):
+            Session().run(42)
+
+    def test_constraint_canvas_only_for_select(self, cloud):
+        xs, ys = cloud
+        spec = KnnSpec(dataset=PointData(xs, ys),
+                       query_point=(0.0, 0.0), k=1, resolution=RES)
+        with pytest.raises(SpecError, match="constraint_canvas"):
+            Session().run(spec, constraint_canvas=object())
+
+    def test_knn_k_larger_than_data(self):
+        spec = KnnSpec(dataset=PointData(np.arange(3.0), np.arange(3.0)),
+                       query_point=(0.0, 0.0), k=5, resolution=RES)
+        with pytest.raises(ValueError, match="k must be between"):
+            Session().run(spec)
+
+
+class TestBatch:
+    def test_batch_matches_individual_runs(self, cloud):
+        xs, ys = cloud
+        specs = [
+            SelectSpec(dataset=PointData(xs, ys),
+                       constraints=[ConstraintSpec.polygon(POLY)],
+                       resolution=RES),
+            SelectSpec(dataset=PointData(xs, ys),
+                       constraints=[ConstraintSpec.circle((50, 50), 20.0)],
+                       resolution=RES),
+            AggregateSpec(dataset=PointData(xs, ys),
+                          polygons=GeometryData([POLY]), resolution=RES),
+            KnnSpec(dataset=PointData(xs, ys), query_point=(40.0, 60.0),
+                    k=4, resolution=RES),
+        ]
+        batch = Session(engine=QueryEngine()).run_batch(
+            [roundtrip(s) for s in specs]
+        )
+        single = Session(engine=QueryEngine())
+        assert batch.report.n_queries == 4
+        for spec, got in zip(specs[:2], batch.results[:2]):
+            assert_selection_equal(got, single.run(spec))
+        agg = single.run(specs[2])
+        assert np.array_equal(batch.results[2].values, agg.values)
+        assert_selection_equal(batch.results[3], single.run(specs[3]))
+
+    def test_batch_shares_constraints(self, cloud):
+        xs, ys = cloud
+        spec = SelectSpec(
+            dataset=PointData(xs, ys),
+            constraints=[ConstraintSpec.polygon(POLY)], resolution=RES,
+        )
+        engine = QueryEngine(CostModel(edge_test=1e9))  # force canvas plan
+        batch = Session(engine=engine).run_batch([spec, spec, spec])
+        assert batch.report.shared_constraint_sets == 1
+        assert batch.report.cache_hits >= 2
+
+    def test_geometry_not_batchable(self):
+        spec = GeometrySpec(dataset=GeometryData([POLY]), query=POLY2,
+                            kind="polygons", resolution=RES)
+        with pytest.raises(SpecError, match="not batchable"):
+            Session().run_batch([spec])
+
+    def test_batch_errors_name_the_member(self, cloud):
+        xs, ys = cloud
+        good = SelectSpec(dataset=PointData(xs, ys),
+                          constraints=[ConstraintSpec.polygon(POLY)],
+                          resolution=RES)
+        bad = KnnSpec(dataset=PointData(xs[:3], ys[:3]),
+                      query_point=(0.0, 0.0), k=50, resolution=RES)
+        with pytest.raises(SpecError, match=r"batch\[1\].*k must be"):
+            Session().run_batch([good, bad])
+
+
+class TestRegistry:
+    def test_register_and_resolve_arrays(self, cloud):
+        xs, ys = cloud
+        registry = DatasetRegistry().register("mine", (xs, ys))
+        data = registry.resolve("mine")
+        assert np.array_equal(data.xs, xs)
+
+    def test_spec_by_reference_matches_inline(self, cloud):
+        xs, ys = cloud
+        registry = DatasetRegistry().register("cloud", (xs, ys))
+        session = Session(registry)
+        by_ref = session.run(SelectSpec(
+            dataset="cloud",
+            constraints=[ConstraintSpec.polygon(POLY)], resolution=RES,
+        ))
+        inline = session.run(SelectSpec(
+            dataset=PointData(xs, ys),
+            constraints=[ConstraintSpec.polygon(POLY)], resolution=RES,
+        ))
+        assert_selection_equal(by_ref, inline)
+
+    def test_synthetic_scheme_deterministic(self):
+        registry = DatasetRegistry()
+        a = registry.resolve("synthetic:uniform?n=500&seed=9")
+        b = DatasetRegistry().resolve("synthetic:uniform?n=500&seed=9")
+        assert np.array_equal(a.xs, b.xs)
+        assert len(a) == 500
+
+    def test_synthetic_gaussian(self):
+        data = DatasetRegistry().resolve(
+            "synthetic:gaussian?n=300&clusters=3&seed=2"
+        )
+        assert len(data) == 300
+
+    def test_taxi_variants_align(self):
+        registry = DatasetRegistry()
+        trips = registry.resolve("taxi:trips?n=400&seed=3")
+        pickups = registry.resolve("taxi:pickups?n=400&seed=3")
+        dropoffs = registry.resolve("taxi:dropoffs?n=400&seed=3")
+        reference = generate_taxi_trips(400, seed=3)
+        assert np.array_equal(trips.origin_xs, reference.pickup_x)
+        assert np.array_equal(pickups.xs, reference.pickup_x)
+        assert np.array_equal(dropoffs.xs, reference.dropoff_x)
+        assert np.array_equal(pickups.values, reference.fare)
+
+    def test_resolution_is_cached(self):
+        registry = DatasetRegistry()
+        a = registry.resolve("taxi:pickups?n=200&seed=1")
+        b = registry.resolve("taxi:pickups?n=200&seed=1")
+        assert a is b
+
+    def test_resolution_cache_is_bounded(self):
+        registry = DatasetRegistry()
+        first = registry.resolve("synthetic:uniform?n=10&seed=0")
+        for seed in range(1, registry.MAX_CACHED_RESOLUTIONS + 1):
+            registry.resolve(f"synthetic:uniform?n=10&seed={seed}")
+        assert len(registry._cache) == registry.MAX_CACHED_RESOLUTIONS
+        # The oldest entry was evicted: re-resolving regenerates it.
+        assert registry.resolve("synthetic:uniform?n=10&seed=0") is not first
+
+    def test_registered_name_takes_precedence(self, cloud):
+        xs, ys = cloud
+        registry = DatasetRegistry().register(
+            "taxi:pickups?n=200&seed=1", (xs, ys)
+        )
+        assert np.array_equal(
+            registry.resolve("taxi:pickups?n=200&seed=1").xs, xs
+        )
+
+    def test_unknown_reference(self):
+        with pytest.raises(SpecError, match="unknown dataset"):
+            DatasetRegistry().resolve("nope")
+
+    def test_register_tuple_of_geometries(self):
+        # A 2-tuple of polygons is geometry data, not (xs, ys) columns.
+        registry = DatasetRegistry().register("zones", (POLY, POLY2))
+        data = registry.resolve("zones")
+        assert isinstance(data, GeometryData)
+        assert len(data) == 2
+
+    def test_kind_mismatch(self):
+        registry = DatasetRegistry()
+        with pytest.raises(SpecError, match="trips dataset is required"):
+            registry.resolve_trips("synthetic:uniform?n=10", "od")
+
+    def test_file_scheme(self, tmp_path):
+        from repro.data.datasets import write_geojson
+
+        path = tmp_path / "pts.geojson"
+        write_geojson(path, [Point(1.0, 2.0), Point(3.0, 4.0)])
+        data = DatasetRegistry().resolve(f"file:{path}")
+        assert np.array_equal(data.xs, [1.0, 3.0])
+
+    def test_file_scheme_value_column(self, tmp_path):
+        from repro.data.datasets import write_csv
+
+        path = tmp_path / "pts.csv"
+        write_csv(path, [Point(1.0, 1.0), Point(2.0, 2.0)],
+                  [{"fare": 10.0}, {"fare": 20.0}])
+        data = DatasetRegistry().resolve(f"file:{path}?value=fare")
+        assert np.array_equal(data.values, [10.0, 20.0])
+        with pytest.raises(SpecError, match="numeric column 'nope'"):
+            DatasetRegistry().resolve(f"file:{path}?value=nope")
+
+    def test_take_reports_reanchors_on_engine_switch(self, cloud):
+        """use_engine() around a default session must not leak another
+        engine's report tally into this session's attribution."""
+        from repro.engine import use_engine
+
+        xs, ys = cloud
+        session = Session()  # tracks the process-default engine
+        spec = SelectSpec(
+            dataset=PointData(xs, ys),
+            constraints=[ConstraintSpec.polygon(POLY)], resolution=RES,
+        )
+        session.run(spec)
+        session.take_reports()  # consume
+        with use_engine(QueryEngine()):
+            reports, produced = session.take_reports()
+            assert produced == 0 and reports == []
+        reports, produced = session.take_reports()
+        assert produced == 0 and reports == []  # already consumed on A
+
+    def test_take_reports_ignores_presession_history(self, cloud):
+        xs, ys = cloud
+        engine = QueryEngine()
+        engine.knn(xs, ys, (50.0, 50.0), 2,
+                   window=WINDOW, resolution=RES)  # someone else's query
+        session = Session(engine=engine)
+        session.run(SelectSpec(
+            dataset=PointData(xs, ys),
+            constraints=[ConstraintSpec.polygon(POLY)], resolution=RES,
+        ))
+        reports, produced = session.take_reports()
+        assert produced == 1 and len(reports) == 1
+        assert reports[0].query == "selection"
+
+    def test_bad_scheme_params(self):
+        with pytest.raises(SpecError, match="unknown parameters"):
+            DatasetRegistry().resolve("taxi:pickups?speed=11")
+
+
+class TestBatchErrorAttribution:
+    def test_duplicate_ids_fail_with_member_index(self, cloud):
+        xs, ys = cloud
+        good = SelectSpec(dataset=PointData(xs, ys),
+                          constraints=[ConstraintSpec.polygon(POLY)],
+                          resolution=RES)
+        bad = {"spec": "aggregate", "version": 1,
+               "dataset": {"kind": "points", "xs": [1.0], "ys": [1.0]},
+               "polygons": {"kind": "geometries",
+                            "geometries": [
+                                {"type": "Polygon",
+                                 "coordinates": [[[0, 0], [5, 0], [5, 5],
+                                                  [0, 5], [0, 0]]]},
+                                {"type": "Polygon",
+                                 "coordinates": [[[1, 1], [6, 1], [6, 6],
+                                                  [1, 6], [1, 1]]]}],
+                            "ids": [3, 3]},
+               "resolution": 64}
+        with pytest.raises(SpecError, match=r"batch\[1\].*duplicate"):
+            Session().run_batch([good, bad])

@@ -1,0 +1,366 @@
+"""Spec layer: round-trip stability and eager validation/rejection."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    AggregateSpec,
+    ConstraintSpec,
+    GeometryData,
+    GeometrySpec,
+    JoinSpec,
+    KnnSpec,
+    OdSpec,
+    PointData,
+    SelectSpec,
+    SpecError,
+    TripData,
+    VoronoiSpec,
+    WindowSpec,
+    spec_from_dict,
+)
+from repro.geometry.primitives import LineString, Polygon
+
+POLY = Polygon([(20, 20), (80, 20), (80, 80), (20, 80)])
+HOLEY = Polygon(
+    [(0, 0), (10, 0), (10, 10), (0, 10)],
+    holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]],
+)
+LINE = LineString([(5, 5), (40, 60), (90, 10)])
+
+RNG = np.random.default_rng(77)
+XS = RNG.uniform(0, 100, 50)
+YS = RNG.uniform(0, 100, 50)
+
+
+def every_family_spec():
+    """One representative, fully-populated spec per family."""
+    points = PointData(XS, YS, ids=np.arange(50), values=np.ones(50))
+    return [
+        SelectSpec(
+            dataset=points,
+            constraints=[ConstraintSpec.polygon(POLY),
+                         ConstraintSpec.rect((1, 2), (30, 40))],
+            mode="all", exact=False,
+            window=WindowSpec(0, 0, 100, 100), resolution=256,
+        ),
+        SelectSpec(
+            dataset="synthetic:uniform?n=100&seed=1",
+            constraints=[ConstraintSpec.circle((50, 50), 12.5)],
+            resolution=128,
+        ),
+        SelectSpec(
+            dataset=PointData(XS, YS),
+            constraints=[ConstraintSpec.halfspace(1.0, -2.0, 30.0)],
+            resolution=128,
+        ),
+        GeometrySpec(
+            dataset=GeometryData([HOLEY, POLY], ids=[7, 9]),
+            query=POLY, kind="polygons", resolution=[64, 128],
+        ),
+        GeometrySpec(
+            dataset=GeometryData([LINE]), query=POLY, kind="lines",
+            resolution=128,
+        ),
+        JoinSpec(
+            kind="points-polygons",
+            left=PointData(XS, YS),
+            right=GeometryData([POLY], ids=[3]),
+            resolution=128,
+        ),
+        JoinSpec(
+            kind="distance",
+            left=PointData(XS[:10], YS[:10]),
+            right=PointData(XS[10:15], YS[10:15]),
+            distance=4.5, resolution=128,
+        ),
+        AggregateSpec(
+            dataset=PointData(XS, YS, values=np.ones(50)),
+            polygons=GeometryData([POLY], ids=[1]),
+            aggregate="sum", resolution=128,
+        ),
+        KnnSpec(
+            dataset=PointData(XS, YS), query_point=(50.0, 50.0), k=5,
+            resolution=128, max_iterations=32,
+        ),
+        VoronoiSpec(
+            dataset=PointData(XS[:8], YS[:8]),
+            window=WindowSpec(0, 0, 100, 100), resolution=64,
+        ),
+        OdSpec(
+            dataset=TripData(XS[:20], YS[:20], XS[20:40], YS[20:40],
+                             ids=np.arange(20)),
+            q1=POLY, q2=HOLEY, resolution=128,
+        ),
+    ]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "spec", every_family_spec(),
+        ids=lambda s: f"{s.FAMILY}-{id(s) % 1000}",
+    )
+    def test_to_from_to_is_fixpoint(self, spec):
+        """``to_dict ∘ from_dict ∘ to_dict`` is the identity on dicts."""
+        d1 = spec.to_dict()
+        d2 = spec_from_dict(d1).to_dict()
+        assert d1 == d2
+
+    @pytest.mark.parametrize(
+        "spec", every_family_spec(),
+        ids=lambda s: f"{s.FAMILY}-{id(s) % 1000}",
+    )
+    def test_survives_json_text(self, spec):
+        """The dict form is actual JSON, not just a dict of objects."""
+        text = json.dumps(spec.to_dict())
+        restored = spec_from_dict(json.loads(text))
+        assert restored.to_dict() == spec.to_dict()
+
+    def test_polygon_holes_round_trip(self):
+        spec = GeometrySpec(
+            dataset=GeometryData([HOLEY]), query=POLY, kind="polygons"
+        )
+        restored = spec_from_dict(spec.to_dict())
+        geom = restored.dataset.geometries[0]
+        assert len(geom.holes) == 1
+        assert geom.area == pytest.approx(HOLEY.area)
+
+    def test_inline_arrays_bit_identical(self):
+        spec = SelectSpec(
+            dataset=PointData(XS, YS, ids=np.arange(50)),
+            constraints=[ConstraintSpec.polygon(POLY)],
+        )
+        restored = spec_from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert np.array_equal(restored.dataset.xs, XS)
+        assert np.array_equal(restored.dataset.ys, YS)
+        assert restored.dataset.xs.dtype == np.float64
+
+
+class TestEagerValidation:
+    def test_spec_error_is_value_error(self):
+        assert issubclass(SpecError, ValueError)
+
+    def test_empty_constraints(self):
+        with pytest.raises(SpecError, match="at least one constraint"):
+            SelectSpec(dataset=PointData(XS, YS), constraints=[])
+
+    def test_zero_and_negative_k(self):
+        for bad in (0, -3):
+            with pytest.raises(SpecError, match="k must be"):
+                KnnSpec(dataset=PointData(XS, YS),
+                        query_point=(0, 0), k=bad)
+
+    def test_non_integer_k(self):
+        with pytest.raises(SpecError, match="k must be"):
+            KnnSpec(dataset=PointData(XS, YS), query_point=(0, 0), k=2.5)
+
+    def test_negative_radius(self):
+        for bad in (0.0, -1.0):
+            with pytest.raises(SpecError, match="radius must be positive"):
+                ConstraintSpec.circle((0, 0), bad)
+
+    def test_nonfinite_radius(self):
+        with pytest.raises(SpecError, match="finite"):
+            ConstraintSpec.circle((0, 0), float("inf"))
+
+    def test_degenerate_rect(self):
+        with pytest.raises(SpecError, match="positive area"):
+            ConstraintSpec.rect((5, 5), (5, 9))
+
+    def test_halfspace_needs_gradient(self):
+        with pytest.raises(SpecError, match="a or b nonzero"):
+            ConstraintSpec.halfspace(0.0, 0.0, 1.0)
+
+    def test_circle_must_stand_alone(self):
+        with pytest.raises(SpecError, match="only constraint"):
+            SelectSpec(
+                dataset=PointData(XS, YS),
+                constraints=[ConstraintSpec.circle((0, 0), 1.0),
+                             ConstraintSpec.polygon(POLY)],
+            )
+
+    def test_bad_mode(self):
+        with pytest.raises(SpecError, match="mode"):
+            SelectSpec(dataset=PointData(XS, YS),
+                       constraints=[ConstraintSpec.polygon(POLY)],
+                       mode="most")
+
+    def test_bad_window(self):
+        with pytest.raises(SpecError, match="xmax"):
+            WindowSpec(10, 0, 0, 10)
+
+    def test_mismatched_columns(self):
+        with pytest.raises(SpecError, match="equal length"):
+            PointData(XS, YS[:-1])
+
+    def test_ids_length(self):
+        with pytest.raises(SpecError, match="one id per point"):
+            PointData(XS, YS, ids=np.arange(3))
+
+    def test_nonfinite_coordinates_tolerated(self):
+        # Legacy parity: NaN/Inf points never match a query but must
+        # not raise (only scalar parameters are strict about finiteness).
+        data = PointData(np.array([0.0, np.nan]), np.array([0.0, np.inf]))
+        assert len(data) == 2
+
+    def test_numpy_integer_scalars_accepted(self):
+        # k computed as len(arr)//10 on numpy data is np.int64.
+        spec = KnnSpec(dataset=PointData(XS, YS), query_point=(1.0, 2.0),
+                       k=np.int64(3), resolution=np.int64(64),
+                       max_iterations=np.int64(16))
+        assert spec.k == 3 and isinstance(spec.k, int)
+        assert spec.resolution == 64
+        assert json.dumps(spec.to_dict())  # still plain JSON
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(SpecError, match="unsupported aggregate"):
+            AggregateSpec(dataset=PointData(XS, YS),
+                          polygons=GeometryData([POLY]),
+                          aggregate="median")
+
+    def test_aggregate_group_must_be_polygon(self):
+        with pytest.raises(SpecError, match="must be a Polygon"):
+            AggregateSpec(dataset=PointData(XS, YS),
+                          polygons=GeometryData([LINE]))
+
+    def test_join_distance_required_and_positive(self):
+        left = PointData(XS[:5], YS[:5])
+        right = PointData(XS[5:9], YS[5:9])
+        with pytest.raises(SpecError, match="requires a distance"):
+            JoinSpec(kind="distance", left=left, right=right)
+        with pytest.raises(SpecError, match="positive"):
+            JoinSpec(kind="distance", left=left, right=right, distance=-2.0)
+
+    def test_join_kind_dataset_types(self):
+        with pytest.raises(SpecError, match="must resolve to PointData"):
+            JoinSpec(kind="points-polygons",
+                     left=GeometryData([POLY]),
+                     right=GeometryData([POLY]))
+
+    def test_geometry_kind_contract(self):
+        with pytest.raises(SpecError, match="requires Polygon records"):
+            GeometrySpec(dataset=GeometryData([LINE]), query=POLY,
+                         kind="polygons")
+
+    def test_voronoi_requires_window(self):
+        with pytest.raises(SpecError, match="window is required"):
+            VoronoiSpec(dataset=PointData(XS[:4], YS[:4]))
+
+    def test_od_polygon_constraints(self):
+        trips = TripData(XS[:5], YS[:5], XS[5:10], YS[5:10])
+        with pytest.raises(SpecError, match="q2 must be a Polygon"):
+            OdSpec(dataset=trips, q1=POLY, q2=None)
+
+
+class TestRejection:
+    """Malformed / mis-versioned dicts are rejected at the boundary."""
+
+    def good(self):
+        return SelectSpec(
+            dataset="synthetic:uniform?n=10",
+            constraints=[ConstraintSpec.polygon(POLY)],
+        ).to_dict()
+
+    def test_unknown_family(self):
+        with pytest.raises(SpecError, match="unknown spec family"):
+            spec_from_dict({"spec": "teleport", "version": 1})
+
+    def test_not_a_mapping(self):
+        with pytest.raises(SpecError, match="mapping"):
+            spec_from_dict([1, 2, 3])
+
+    def test_missing_version(self):
+        d = self.good()
+        del d["version"]
+        with pytest.raises(SpecError, match="version"):
+            spec_from_dict(d)
+
+    def test_future_version(self):
+        d = self.good()
+        d["version"] = 2
+        with pytest.raises(SpecError, match="version 2"):
+            spec_from_dict(d)
+
+    def test_unknown_keys(self):
+        d = self.good()
+        d["shard"] = 3
+        with pytest.raises(SpecError, match="unknown keys"):
+            spec_from_dict(d)
+
+    def test_missing_required_keys(self):
+        d = self.good()
+        del d["constraints"]
+        with pytest.raises(SpecError, match="missing keys"):
+            spec_from_dict(d)
+
+    def test_malformed_geometry(self):
+        d = self.good()
+        d["constraints"] = [{"kind": "polygon",
+                             "geometry": {"type": "Banana"}}]
+        with pytest.raises(SpecError, match="malformed geometry|unknown"):
+            spec_from_dict(d)
+
+    def test_bad_constraint_kind(self):
+        d = self.good()
+        d["constraints"] = [{"kind": "hexagram"}]
+        with pytest.raises(SpecError, match="unknown kind"):
+            spec_from_dict(d)
+
+    def test_bad_dataset_kind(self):
+        d = self.good()
+        d["dataset"] = {"kind": "tensors", "xs": [1]}
+        with pytest.raises(SpecError, match="unknown dataset kind"):
+            spec_from_dict(d)
+
+    def test_bad_resolution(self):
+        d = self.good()
+        d["resolution"] = -5
+        with pytest.raises(SpecError, match="resolution"):
+            spec_from_dict(d)
+
+    def test_version_is_per_family(self):
+        d = self.good()
+        assert d["version"] == SelectSpec.VERSION == 1
+        assert d["spec"] == "select"
+
+
+class TestBoundaryHardening:
+    """Untrusted-boundary caps and string/sequence confusions."""
+
+    def test_strings_do_not_parse_as_sequences(self):
+        with pytest.raises(SpecError, match="not a string"):
+            ConstraintSpec.rect("12", "89")
+        with pytest.raises(SpecError, match="not a string"):
+            ConstraintSpec(kind="halfspace", coefficients="123")
+        with pytest.raises(SpecError, match="window"):
+            SelectSpec(dataset=PointData(XS, YS),
+                       constraints=[ConstraintSpec.polygon(POLY)],
+                       window="1234")
+        d = {"spec": "select", "version": 1,
+             "dataset": {"kind": "points", "xs": [1.0], "ys": [1.0]},
+             "constraints": [{"kind": "halfspace", "coefficients": "123"}]}
+        with pytest.raises(SpecError, match=r"\[a, b, c\]"):
+            spec_from_dict(d)
+
+    def test_parsed_max_iterations_cap(self):
+        d = KnnSpec(dataset=PointData(XS, YS), query_point=(1.0, 1.0),
+                    k=2, max_iterations=10**9).to_dict()
+        with pytest.raises(SpecError, match="10000 cap"):
+            spec_from_dict(d)
+
+    def test_gaussian_clusters_cap(self):
+        from repro.api import DatasetRegistry
+
+        with pytest.raises(SpecError, match="clusters"):
+            DatasetRegistry().resolve(
+                "synthetic:gaussian?n=1&clusters=2000000000"
+            )
+
+    def test_duplicate_group_ids_rejected_eagerly(self):
+        with pytest.raises(SpecError, match=r"duplicate polygon ids \[3\]"):
+            AggregateSpec(
+                dataset=PointData(XS, YS),
+                polygons=GeometryData([POLY, HOLEY], ids=[3, 3]),
+            )

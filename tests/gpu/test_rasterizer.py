@@ -72,6 +72,23 @@ class TestSupercover:
         assert (cols >= 0).all() and (cols < 8).all()
         assert set(cols.tolist()) == set(range(8))
 
+    def test_segment_riding_a_column_boundary(self):
+        """A closed segment lying exactly on a grid line touches the
+        cells on both sides for its whole length."""
+        rows, cols = supercover_cells(3.0, 0.2, 3.0, 0.8, 8, 8)
+        assert set(zip(rows.tolist(), cols.tolist())) == {(0, 2), (0, 3)}
+
+    def test_diagonal_through_lattice_corners(self):
+        """A segment crossing lattice corners exactly touches all four
+        adjacent cells at each corner (hypothesis-found regression:
+        (3,0)-(0,3) through (2,1) and (1,2) missed (1,2) and (2,1))."""
+        rows, cols = supercover_cells(3.0, 0.0, 0.0, 3.0, 32, 32)
+        cells = set(zip(rows.tolist(), cols.tolist()))
+        for corner_r, corner_c in ((1, 2), (2, 1)):
+            for dr in (-1, 0):
+                for dc in (-1, 0):
+                    assert (corner_r + dr, corner_c + dc) in cells
+
     @given(coord, coord, coord, coord)
     @settings(max_examples=100, deadline=None)
     def test_supercover_covers_samples(self, x0, y0, x1, y1):

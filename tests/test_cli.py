@@ -246,3 +246,107 @@ class TestMixedGeometryFile:
               "--resolution", "128", "--ids"])
         payload = json.loads(capsys.readouterr().out)
         assert set(payload["ids"]) == {0, 1}
+
+
+class TestSpecCommands:
+    """The declarative entry points: query / serve / explain --spec."""
+
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        spec = {
+            "spec": "select",
+            "version": 1,
+            "dataset": "synthetic:uniform?n=300&seed=4",
+            "constraints": [
+                {"kind": "rect", "l1": [20, 20], "l2": [80, 80]}
+            ],
+            "resolution": 128,
+        }
+        path = tmp_path / "query.json"
+        path.write_text(json.dumps(spec))
+        return path, spec
+
+    def test_query_spec_file(self, spec_file, capsys):
+        path, spec = spec_file
+        assert main(["query", "--spec", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        from repro.api import DatasetRegistry
+        from repro.geometry.predicates import points_in_polygon
+
+        data = DatasetRegistry().resolve(spec["dataset"])
+        query = Polygon([(20, 20), (80, 20), (80, 80), (20, 80)])
+        truth = int(points_in_polygon(data.xs, data.ys, query).sum())
+        assert payload["result"]["matched"] == truth
+        assert "plan" in payload["report"]
+
+    def test_query_batch_document(self, spec_file, tmp_path, capsys):
+        path, spec = spec_file
+        batch = tmp_path / "batch.json"
+        batch.write_text(json.dumps({"batch": [spec, spec]}))
+        assert main(["query", "--spec", str(batch)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["report"]["n_queries"] == 2
+
+    def test_query_invalid_spec_exits(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"spec": "select", "version": 1,
+                                    "dataset": "x", "constraints": []}))
+        with pytest.raises(SystemExit, match="at least one constraint"):
+            main(["query", "--spec", str(path)])
+
+    def test_query_unreadable_file_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read spec file"):
+            main(["query", "--spec", str(tmp_path / "missing.json")])
+
+    def test_explain_spec_file(self, spec_file, capsys):
+        path, _ = spec_file
+        assert main(["explain", "--spec", str(path), "--repeat", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "# select spec from" in out
+        assert "chosen plan" in out
+
+    def test_explain_spec_with_forced_plan(self, spec_file, capsys):
+        path, _ = spec_file
+        assert main([
+            "explain", "--spec", str(path), "--plan", "blended-canvas",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "blended-canvas" in out
+        assert "user override" in out
+
+    def test_explain_requires_data_or_spec(self):
+        with pytest.raises(SystemExit, match="requires --data"):
+            main(["explain"])
+
+    def test_serve_loop_stdin_stdout(self, spec_file, capsys, monkeypatch):
+        import io
+        path, spec = spec_file
+        lines = json.dumps(spec) + "\nnot json\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        assert main(["serve"]) == 0
+        answers = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert [a["ok"] for a in answers] == [True, False]
+        assert answers[0]["result"]["type"] == "selection"
+
+    def test_explain_spec_rejects_conflicting_flags(self, spec_file):
+        path, _ = spec_file
+        with pytest.raises(SystemExit, match="drop --mode"):
+            main(["explain", "--spec", str(path), "--mode", "knn"])
+
+    def test_explain_spec_rejects_k_and_resolution(self, spec_file):
+        path, _ = spec_file
+        with pytest.raises(SystemExit, match="drop -k"):
+            main(["explain", "--spec", str(path), "-k", "9"])
+        with pytest.raises(SystemExit, match="drop --resolution"):
+            main(["explain", "--spec", str(path), "--resolution", "256"])
+
+    def test_explain_spec_rejects_data_flag(self, spec_file, tmp_path):
+        path, _ = spec_file
+        with pytest.raises(SystemExit, match="drop --data"):
+            main(["explain", "--spec", str(path),
+                  "--data", str(tmp_path / "x.csv")])
