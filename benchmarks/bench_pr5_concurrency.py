@@ -1,0 +1,261 @@
+"""PR 5 concurrency benchmark: parallel batches, result cache, serve.
+
+Three sections, each verifying result equivalence before timing:
+
+- **parallel_batch** — wall-clock of ``execute_batch`` at 8 and 16
+  independent members as the worker count grows (1, 2, 4, 8).  Members
+  are distinct selections (distinct constraint canvases), so the
+  speedup measures genuine overlap of rasterize+gather work, not cache
+  sharing.  The acceptance bar: **>= 1.5x** on the 8-member batch at
+  the best worker count.  Thread-level speedup needs hardware threads:
+  the JSON records ``cpu_count`` next to the measurements, and on a
+  single-CPU host (where *no* threading design can beat serial
+  wall-clock) the bar is reported as ``not_applicable`` rather than
+  silently failed.
+- **result_cache** — latency of a warm spec-digest result-cache hit vs
+  the cold run of the same spec (`Session(result_cache_max_bytes=…)`).
+- **serve_workers** — queries/sec of the JSON-lines loop over a mixed
+  spec stream at 1, 2 and 4 workers, same shared session semantics as
+  ``python -m repro serve --workers N``.
+
+Run ``python benchmarks/bench_pr5_concurrency.py`` for the full
+workload (writes ``BENCH_PR5.json`` at the repo root) or ``--dry-run``
+for the tiny CI smoke version (writes
+``benchmarks/out/bench_pr5_dry.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import (
+    ConstraintSpec,
+    DatasetRegistry,
+    SelectSpec,
+    Session,
+    serve_lines,
+)
+from repro.data.polygons import hand_drawn_polygon, rescale_to_box
+from repro.engine import BatchQuery, QueryEngine
+from repro.geometry.bbox import BoundingBox
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FULL_JSON = REPO_ROOT / "BENCH_PR5.json"
+DRY_JSON = Path(__file__).resolve().parent / "out" / "bench_pr5_dry.json"
+
+WINDOW = BoundingBox(0.0, 0.0, 100.0, 100.0)
+
+
+def _member_polygons(n_members: int) -> list:
+    """Distinct constraint polygons — one canvas build per member."""
+    return [
+        rescale_to_box(
+            hand_drawn_polygon(seed=seed, n_vertices=28),
+            BoundingBox(5.0 + 2 * seed, 5.0, 60.0 + 2 * seed, 75.0),
+        )
+        for seed in range(n_members)
+    ]
+
+
+def _selection_batch(xs, ys, polygons, resolution) -> list[BatchQuery]:
+    return [
+        BatchQuery.selection(
+            xs, ys, [poly], window=WINDOW, resolution=resolution,
+            force_plan="blended-canvas",
+        )
+        for poly in polygons
+    ]
+
+
+def bench_parallel_batch(n_points: int, resolution: int,
+                         worker_counts: tuple[int, ...],
+                         rounds: int = 2) -> dict:
+    """Batch wall-clock vs workers at 8 and 16 independent members."""
+    import os
+
+    cpus = os.cpu_count() or 1
+    rng = np.random.default_rng(50)
+    xs = rng.uniform(0, 100, n_points)
+    ys = rng.uniform(0, 100, n_points)
+    out: dict = {"n_points": n_points, "resolution": resolution,
+                 "cpu_count": cpus}
+    for n_members in (8, 16):
+        polygons = _member_polygons(n_members)
+        reference = None
+        rows = {}
+        for workers in worker_counts:
+            best = np.inf
+            for _ in range(rounds):
+                # A fresh engine per round: a warm canvas cache would
+                # let later configurations skip the rasterization the
+                # earlier ones paid.
+                engine = QueryEngine(max_workers=workers)
+                batch = _selection_batch(xs, ys, polygons, resolution)
+                t0 = time.perf_counter()
+                outcome = engine.execute_batch(batch)
+                best = min(best, time.perf_counter() - t0)
+                fingerprints = [o.ids.tobytes() for o in outcome.results]
+                if reference is None:
+                    reference = fingerprints
+                assert fingerprints == reference, (
+                    f"{workers}-worker batch diverged from serial"
+                )
+            rows[str(workers)] = best * 1e3
+            print(
+                f"  batch {n_members:>2} members x {workers} worker(s): "
+                f"{best * 1e3:8.2f} ms"
+            )
+        serial_ms = rows[str(worker_counts[0])]
+        best_workers, best_ms = min(rows.items(), key=lambda kv: kv[1])
+        speedup = serial_ms / best_ms
+        # On one hardware thread no software design can beat serial
+        # wall-clock for CPU-bound members — report the bar as
+        # inapplicable instead of silently failed so multi-core runs
+        # (CI, real deployments) carry the meaningful verdict.
+        bar = bool(speedup >= 1.5) if cpus > 1 else "not_applicable"
+        out[f"members_{n_members}"] = {
+            "wall_ms_by_workers": rows,
+            "best_workers": int(best_workers),
+            "speedup_at_best": speedup,
+            "meets_1_5x_bar": bar,
+        }
+        print(
+            f"  -> {n_members} members: {speedup:.2f}x at "
+            f"{best_workers} workers (cpus: {cpus})"
+        )
+    return out
+
+
+def bench_result_cache(n_points: int, resolution: int, rounds: int) -> dict:
+    """Warm result-cache hit latency vs the cold run of the same spec."""
+    registry = DatasetRegistry()
+    rng = np.random.default_rng(51)
+    registry.register("bench", (rng.uniform(0, 100, n_points),
+                                rng.uniform(0, 100, n_points)))
+    poly = rescale_to_box(hand_drawn_polygon(seed=9, n_vertices=24),
+                          BoundingBox(20.0, 20.0, 80.0, 80.0))
+    spec = SelectSpec(dataset="bench",
+                      constraints=[ConstraintSpec.polygon(poly)],
+                      resolution=resolution)
+
+    cold_session = Session(registry, engine=QueryEngine())
+    t0 = time.perf_counter()
+    cold_result = cold_session.run(spec)
+    cold_s = time.perf_counter() - t0
+
+    warm_session = Session(registry, engine=QueryEngine(),
+                           result_cache_max_bytes=64 * 1024 * 1024)
+    first = warm_session.run(spec)  # populate
+    best_warm = np.inf
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        warm_result = warm_session.run(spec)
+        best_warm = min(best_warm, time.perf_counter() - t0)
+    assert np.array_equal(cold_result.ids, first.ids)
+    assert warm_result is first  # the shared frozen entry
+    stats = warm_session.result_cache.stats()
+    out = {
+        "n_points": n_points,
+        "resolution": resolution,
+        "cold_ms": cold_s * 1e3,
+        "warm_hit_ms": best_warm * 1e3,
+        "speedup": cold_s / best_warm,
+        "cache": stats.as_dict(),
+    }
+    print(
+        f"  result cache: cold {cold_s * 1e3:8.2f} ms -> warm hit "
+        f"{best_warm * 1e3:8.3f} ms ({cold_s / best_warm:.0f}x)"
+    )
+    return out
+
+
+def bench_serve_workers(n_points: int, resolution: int,
+                        n_requests: int) -> dict:
+    """Threaded serve q/s over a mixed stream, 1 / 2 / 4 workers."""
+    rng = np.random.default_rng(52)
+    xs = rng.uniform(0, 100, n_points)
+    ys = rng.uniform(0, 100, n_points)
+    polys = _member_polygons(6)
+    lines = [
+        json.dumps(SelectSpec(
+            dataset="bench",
+            constraints=[ConstraintSpec.polygon(polys[i % len(polys)])],
+            resolution=resolution,
+        ).to_dict())
+        for i in range(n_requests)
+    ]
+
+    out: dict = {"n_points": n_points, "resolution": resolution,
+                 "n_requests": n_requests}
+    reference = None
+    for workers in (1, 2, 4):
+        registry = DatasetRegistry(allow_files=False).register(
+            "bench", (xs, ys)
+        )
+        session = Session(registry, engine=QueryEngine(),
+                          max_join_members=1_000)
+        t0 = time.perf_counter()
+        matched = []
+        for response in serve_lines(iter(lines), session, workers=workers):
+            payload = json.loads(response)
+            assert payload["ok"]
+            matched.append(payload["result"]["matched"])
+        elapsed = time.perf_counter() - t0
+        if reference is None:
+            reference = matched
+        assert matched == reference, "threaded serve answers diverged"
+        out[f"workers_{workers}"] = {
+            "queries_per_sec": len(lines) / elapsed,
+            "mean_latency_ms": elapsed / len(lines) * 1e3,
+        }
+        print(
+            f"  serve x{workers} worker(s): "
+            f"{len(lines) / elapsed:8.1f} q/s "
+            f"({elapsed / len(lines) * 1e3:.2f} ms/query)"
+        )
+    return out
+
+
+def main(argv: list[str]) -> int:
+    dry = "--dry-run" in argv
+    if dry:
+        batch_cfg = dict(n_points=4_000, resolution=128,
+                         worker_counts=(1, 2))
+        cache_cfg = dict(n_points=4_000, resolution=128, rounds=3)
+        serve_cfg = dict(n_points=4_000, resolution=128, n_requests=8)
+        target = DRY_JSON
+    else:
+        batch_cfg = dict(n_points=200_000, resolution=512,
+                         worker_counts=(1, 2, 4, 8))
+        cache_cfg = dict(n_points=200_000, resolution=512, rounds=5)
+        serve_cfg = dict(n_points=100_000, resolution=256, n_requests=48)
+        target = FULL_JSON
+
+    print(f"parallel batch ({batch_cfg['n_points']} points, "
+          f"{batch_cfg['resolution']}^2):")
+    batch = bench_parallel_batch(**batch_cfg)
+    print("result cache:")
+    cache = bench_result_cache(**cache_cfg)
+    print("threaded serve:")
+    serve = bench_serve_workers(**serve_cfg)
+
+    payload = {
+        "benchmark": "pr5_concurrency",
+        "mode": "dry-run" if dry else "full",
+        "parallel_batch": batch,
+        "result_cache": cache,
+        "serve_workers": serve,
+    }
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -32,6 +32,11 @@ layer::
 """
 
 from repro.api.registry import DatasetRegistry
+from repro.api.result_cache import (
+    ResultCache,
+    ResultCacheStats,
+    spec_digest,
+)
 from repro.api.serve import (
     default_serve_session,
     handle_request,
@@ -80,6 +85,8 @@ __all__ = [
     "OdSpec",
     "PointData",
     "QuerySpec",
+    "ResultCache",
+    "ResultCacheStats",
     "SPEC_FAMILIES",
     "SelectSpec",
     "Session",
@@ -94,5 +101,6 @@ __all__ = [
     "result_summary",
     "serve",
     "serve_lines",
+    "spec_digest",
     "spec_from_dict",
 ]

@@ -22,6 +22,8 @@ or generates it once.
 
 from __future__ import annotations
 
+import threading
+
 from pathlib import Path
 from typing import Any, Mapping
 from urllib.parse import parse_qsl
@@ -142,6 +144,14 @@ class DatasetRegistry:
         #: fine for local Python callers and the operator CLI, but a
         #: serve boundary facing untrusted clients must disable it.
         self.allow_files = allow_files
+        #: Mutation fingerprint: bumps on every ``register``, so
+        #: consumers keying derived state on registry contents (the
+        #: session's spec-level result cache) are invalidated the
+        #: moment a name can resolve differently.
+        self.generation = 0
+        #: Guards the memoized-resolution LRU — a threaded serve front
+        #: resolves references from many workers at once.
+        self._resolve_lock = threading.Lock()
 
     # -- registration ----------------------------------------------------
     def register(self, name: str, data: Any) -> "DatasetRegistry":
@@ -156,6 +166,7 @@ class DatasetRegistry:
         if not isinstance(name, str) or not name:
             raise SpecError("dataset name must be a non-empty string")
         self._entries[name] = self._coerce(name, data)
+        self.generation += 1
         return self
 
     def names(self) -> list[str]:
@@ -204,14 +215,19 @@ class DatasetRegistry:
             )
         if ref in self._entries:
             return self._entries[ref]
-        if ref in self._cache:
-            payload = self._cache.pop(ref)  # re-insert: LRU freshness
-            self._cache[ref] = payload
-            return payload
+        with self._resolve_lock:
+            if ref in self._cache:
+                payload = self._cache.pop(ref)  # re-insert: LRU freshness
+                self._cache[ref] = payload
+                return payload
+        # Generators/file reads run outside the lock (they can take
+        # seconds); two threads racing the same ref may both generate,
+        # but the schemes are deterministic so either result is right.
         payload = self._resolve_scheme(ref)
-        while len(self._cache) >= self.MAX_CACHED_RESOLUTIONS:
-            self._cache.pop(next(iter(self._cache)))
-        self._cache[ref] = payload
+        with self._resolve_lock:
+            while len(self._cache) >= self.MAX_CACHED_RESOLUTIONS:
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[ref] = payload
         return payload
 
     def resolve_points(self, ref: Any, family: str) -> PointData:

@@ -1,0 +1,349 @@
+"""Spec-level result cache: a repeated query never re-executes.
+
+The canvas cache (:mod:`repro.engine.cache`) memoizes the *inputs* of
+canvas plans; this layer memoizes whole query *results*, keyed on what
+a query semantically is — a canonical digest of the spec's versioned
+``to_dict()`` form — plus the dataset state it ran against (the
+registry's mutation fingerprint).  A dashboard re-issuing the same
+JSON line answers from one dictionary lookup, skipping planning,
+rasterization, and refinement entirely.
+
+Keying rules:
+
+- :func:`spec_digest` canonicalizes through the spec layer itself:
+  dict inputs round-trip through :func:`~repro.api.specs.spec_from_dict`
+  first, then the ``to_dict()`` form is serialized with sorted keys —
+  so the digest is a fixpoint under ``from_dict(to_dict(spec))`` and
+  insensitive to JSON key order, while any semantic difference
+  (k, radius, window, constraints, dataset reference, resolution …)
+  changes the canonical dict and therefore the digest.
+- The session adds the registry's ``generation`` counter to the key:
+  ``register()`` bumps it, so results computed against superseded data
+  can never be served again (they age out of the LRU).
+- Specs naming ``file:`` datasets are never cached — a file's content
+  can change without the registry noticing.
+
+Entries are the result objects themselves, shared and frozen (their
+array payloads become read-only on insert), byte-bounded with LRU
+eviction exactly like the canvas cache.  Thread-safe: a threaded serve
+front consults one cache from every worker.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.api.specs import (
+    GeometryData,
+    PointData,
+    QuerySpec,
+    TripData,
+    spec_from_dict,
+)
+
+#: Default byte budget — results (id lists, group tables) are small
+#: next to canvases, so 64 MiB holds thousands of warm queries.
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+
+def canonical_spec_dict(spec: QuerySpec | Mapping[str, Any]) -> dict[str, Any]:
+    """The canonical dict form of *spec* (validated, key-complete).
+
+    Dict inputs are validated and normalized through
+    :func:`~repro.api.specs.spec_from_dict` so two dicts spelling the
+    same query (key order, equivalent scalar types) canonicalize
+    identically; spec objects just serialize.
+    """
+    if not isinstance(spec, QuerySpec):
+        spec = spec_from_dict(spec)
+    return spec.to_dict()
+
+
+def _update_optional(h, arr) -> None:
+    """Hash an optional array with a presence marker (``ids=None`` and
+    ``ids=[]`` must not collide)."""
+    if arr is None:
+        h.update(b"|absent|")
+    else:
+        h.update(b"|present|")
+        h.update(np.ascontiguousarray(arr).tobytes())
+
+
+def _inline_payload_token(payload) -> str:
+    """A ref-string stand-in for an inline dataset: its array digest.
+
+    Digesting a large inline payload through ``to_dict`` would build
+    million-element Python lists and a multi-MB JSON string on *every*
+    lookup — including warm hits.  Hashing the raw array bytes instead
+    keeps the digest O(bytes) with no Python-object blowup, and is
+    stable across the JSON round trip (``tolist`` → ``from_dict`` is
+    exact for float64).
+    """
+    h = hashlib.blake2b(digest_size=16)
+    if isinstance(payload, PointData):
+        h.update(b"points")
+        h.update(np.ascontiguousarray(payload.xs).tobytes())
+        h.update(np.ascontiguousarray(payload.ys).tobytes())
+        _update_optional(h, payload.ids)
+        _update_optional(h, payload.values)
+    elif isinstance(payload, TripData):
+        h.update(b"trips")
+        for arr in (payload.origin_xs, payload.origin_ys,
+                    payload.dest_xs, payload.dest_ys):
+            h.update(np.ascontiguousarray(arr).tobytes())
+        _update_optional(h, payload.ids)
+    else:
+        assert isinstance(payload, GeometryData)
+        from repro.engine.cache import geometries_digest
+
+        h.update(b"geometries")
+        h.update(geometries_digest(payload.geometries).encode())
+        _update_optional(
+            h,
+            np.asarray(payload.ids, dtype=np.int64)
+            if payload.ids is not None else None,
+        )
+    return "inline-digest:" + h.hexdigest()
+
+
+def _with_inline_tokens(spec: QuerySpec) -> QuerySpec:
+    """Replace inline dataset payloads with their digest tokens.
+
+    The token is a plain (non-resolvable) reference string, so the
+    rebuilt spec serializes in O(1) regardless of payload size while
+    staying a valid spec of the same family.
+    """
+    changed: dict[str, str] = {}
+    for attr in ("dataset", "left", "right", "polygons"):
+        value = getattr(spec, attr, None)
+        if isinstance(value, (PointData, GeometryData, TripData)):
+            changed[attr] = _inline_payload_token(value)
+    return dataclasses.replace(spec, **changed) if changed else spec
+
+
+def spec_digest(spec: QuerySpec | Mapping[str, Any]) -> str:
+    """Canonical content digest of a query spec.
+
+    A fixpoint under ``from_dict(to_dict(spec))`` and insensitive to
+    dict key order; distinct for specs differing in any semantic field.
+    Inline dataset payloads are hashed from their raw array bytes (see
+    :func:`_inline_payload_token`), so the digest never materializes a
+    large payload as Python lists.
+    """
+    if not isinstance(spec, QuerySpec):
+        spec = spec_from_dict(spec)
+    canonical = json.dumps(
+        _with_inline_tokens(spec).to_dict(),
+        sort_keys=True,
+        separators=(",", ":"),
+        # NaN coordinates are tolerated by the legacy query contract;
+        # allow them in the digest serialization too (this JSON never
+        # goes on the wire).
+        allow_nan=True,
+    )
+    return hashlib.blake2b(canonical.encode(), digest_size=16).hexdigest()
+
+
+def _array_bytes(*arrays) -> int:
+    return sum(getattr(arr, "nbytes", 0) for arr in arrays if arr is not None)
+
+
+def estimate_result_bytes(result: Any) -> int:
+    """Approximate array payload of one query result.
+
+    Covers the four result shapes the session produces: selection
+    results (ids + sample set), aggregate tables, Voronoi canvases,
+    and join pair lists.  Unknown shapes count 0 bytes — they still
+    occupy an entry slot.
+    """
+    from repro.core.canvas import Canvas
+    from repro.queries.common import AggregateResult, SelectionResult
+
+    if isinstance(result, SelectionResult):
+        total = _array_bytes(result.ids)
+        samples = result.samples
+        if samples is not None:
+            total += _array_bytes(
+                samples.xs, samples.ys, samples.keys, samples.data,
+                samples.valid, samples.boundary,
+            )
+        return total
+    if isinstance(result, AggregateResult):
+        return _array_bytes(result.groups, result.values)
+    if isinstance(result, Canvas):
+        return _array_bytes(
+            result.texture.data, result.texture.valid,
+            getattr(result, "boundary", None),
+        )
+    if isinstance(result, list):  # join pair lists
+        return 16 * len(result)
+    return 0
+
+
+def _freeze_array(arr) -> None:
+    if hasattr(arr, "setflags"):
+        arr.setflags(write=False)
+
+
+def freeze_result(result: Any) -> None:
+    """Make a cached result's array payload read-only, in place.
+
+    Cache entries are shared across every future hit; a consumer
+    writing into one would corrupt them all.  Like the canvas cache,
+    flipping numpy's writeable flag turns the latent hazard into an
+    immediate ``ValueError`` at the offending write.  Join pair lists
+    (plain Python) cannot be frozen — the cache returns a shallow copy
+    of those per hit instead.
+    """
+    from repro.core.canvas import Canvas
+    from repro.queries.common import AggregateResult, SelectionResult
+
+    if isinstance(result, SelectionResult):
+        _freeze_array(result.ids)
+        samples = result.samples
+        if samples is not None:
+            for arr in (samples.xs, samples.ys, samples.keys,
+                        samples.data, samples.valid, samples.boundary):
+                _freeze_array(arr)
+    elif isinstance(result, AggregateResult):
+        _freeze_array(result.groups)
+        _freeze_array(result.values)
+    elif isinstance(result, Canvas):
+        _freeze_array(result.texture.data)
+        _freeze_array(result.texture.valid)
+        _freeze_array(getattr(result, "boundary", None))
+
+
+@dataclass(frozen=True)
+class ResultCacheStats:
+    """Snapshot of result-cache counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+    bytes_used: int
+    max_bytes: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+            "bytes_used": self.bytes_used,
+            "max_bytes": self.max_bytes,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class ResultCache:
+    """Byte-bounded, thread-safe LRU of finished query results.
+
+    Keys are whatever hashable tuple the caller builds (the session
+    uses ``(spec digest, registry generation, session defaults)``).
+    Values freeze on insert and are shared on every hit — except list
+    results (join pairs), which are shallow-copied per hit because
+    Python lists cannot be frozen.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        sizer: Callable[[Any], int] = estimate_result_bytes,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("result cache capacity must be at least 1")
+        if max_bytes < 1:
+            raise ValueError("result cache byte budget must be positive")
+        self.capacity = capacity
+        self.max_bytes = max_bytes
+        self._sizer = sizer
+        self._store: OrderedDict[tuple, tuple[Any, int]] = OrderedDict()
+        self._lock = threading.Lock()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: tuple):
+        """``(hit, value)`` — the flag disambiguates a cached ``None``."""
+        with self._lock:
+            entry = self._store.get(key)
+            if entry is None:
+                self._misses += 1
+                return False, None
+            self._hits += 1
+            self._store.move_to_end(key)
+            value = entry[0]
+        if isinstance(value, list):
+            value = list(value)
+        return True, value
+
+    def put(self, key: tuple, value: Any) -> None:
+        if isinstance(value, list):
+            # Lists cannot be frozen, so the cache must own a private
+            # copy: storing the caller's list would let the miss-path
+            # caller mutate their result and silently corrupt every
+            # later hit (hits are copied on the way out for the same
+            # reason).
+            value = list(value)
+        freeze_result(value)
+        nbytes = self._sizer(value)
+        with self._lock:
+            if key in self._store:
+                self._bytes -= self._store[key][1]
+            self._store[key] = (value, nbytes)
+            self._store.move_to_end(key)
+            self._bytes += nbytes
+            while len(self._store) > 1 and (
+                len(self._store) > self.capacity
+                or self._bytes > self.max_bytes
+            ):
+                _, (_, evicted) = self._store.popitem(last=False)
+                self._bytes -= evicted
+                self._evictions += 1
+
+    def stats(self) -> ResultCacheStats:
+        with self._lock:
+            return ResultCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._store),
+                capacity=self.capacity,
+                bytes_used=self._bytes,
+                max_bytes=self.max_bytes,
+            )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+            self._bytes = 0
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._store

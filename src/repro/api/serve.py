@@ -14,6 +14,18 @@ go out one JSON object per line on stdout.  The protocol:
   (the loop never dies on a bad request);
 - blank lines are ignored; EOF ends the loop.
 
+With ``workers > 1`` (``python -m repro serve --workers N``) requests
+execute concurrently on a thread pool against one shared session —
+the engine's canvas cache single-flights concurrent misses, report
+attribution is per-thread, and an optional spec-digest result cache
+(``--result-cache-mb``) answers repeated specs without planning.
+**Ordering guarantee:** responses are written in request order, one
+per non-blank input line, whatever order the workers finish in — line
+*k* of the output always answers non-blank line *k* of the input.  A
+bounded in-flight window (a few times the worker count) provides
+backpressure so an arbitrarily long input stream never piles up in
+memory.
+
 Everything here is plain data: :func:`result_summary` is the single
 place a query result becomes JSON, shared by ``serve``, the ``query``
 CLI subcommand, and the benchmark harness.
@@ -22,6 +34,10 @@ CLI subcommand, and the benchmark harness.
 from __future__ import annotations
 
 import json
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from queue import Empty, Queue
 from typing import Any, IO, Iterable
 
 import numpy as np
@@ -192,60 +208,137 @@ def handle_request(
         }
 
 
-def default_serve_session() -> Session:
+def default_serve_session(
+    result_cache_max_bytes: int | None = None,
+) -> Session:
     """A session hardened for the traffic boundary: requests name their
     data via registered names or generator schemes, never ``file:``
     paths on the server, and join fan-out is capped so one request
-    cannot pin the loop with millions of sequential selections."""
+    cannot pin the loop with millions of sequential selections.
+    *result_cache_max_bytes* opts the session into the spec-digest
+    result cache (see :mod:`repro.api.result_cache`)."""
     from repro.api.registry import DatasetRegistry
 
     return Session(DatasetRegistry(allow_files=False),
-                   max_join_members=1_000)
+                   max_join_members=1_000,
+                   result_cache_max_bytes=result_cache_max_bytes)
+
+
+def _answer_line(line: str, session: Session) -> dict[str, Any]:
+    """Decode and answer one non-blank request line, errors in-band."""
+    try:
+        request = json.loads(line)
+    except Exception as exc:  # noqa: BLE001 — the loop must never die
+        # Not just JSONDecodeError: a hostile line can provoke
+        # RecursionError ('['*3000) or MemoryError from the parser.
+        return {"ok": False, "error": f"bad JSON: {exc}"}
+    return handle_request(request, session, max_batch=MAX_BATCH_REQUEST)
+
+
+def _render_response(response: dict[str, Any]) -> str:
+    try:
+        # allow_nan=False: emitting RFC-invalid Infinity/NaN would
+        # break strict JSON-lines clients mid-stream; degrade to an
+        # in-band error instead.
+        return json.dumps(response, allow_nan=False)
+    except ValueError:
+        return json.dumps(
+            {"ok": False, "error": "response contained non-finite numbers"}
+        )
 
 
 def serve_lines(
-    lines: Iterable[str], session: Session | None = None
+    lines: Iterable[str],
+    session: Session | None = None,
+    workers: int = 1,
 ) -> Iterable[str]:
     """The pure core of the serve loop: JSON lines in, JSON lines out.
 
     Without an explicit *session*, a file-scheme-disabled one is built
     (see :func:`default_serve_session`) — pass your own session to
     trade that hardening for local convenience.
+
+    With *workers* > 1, requests are answered concurrently on a thread
+    pool sharing that one session.  Responses still come back in
+    request order (completed-out-of-order answers wait for their
+    turn), each one is emitted as soon as it reaches the head of the
+    line — an interactive client that sends one request and waits for
+    its answer before the next is never deadlocked on more input — and
+    a bounded in-flight window keeps memory flat on endless streams.
     """
     session = session if session is not None else default_serve_session()
-    for line in lines:
-        line = line.strip()
-        if not line:
-            continue
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    if workers == 1:
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            yield _render_response(_answer_line(line, session))
+        return
+
+    # Reading input and draining responses must not block each other:
+    # a request/response client sends line k+1 only after reading
+    # answer k, so blocking on `next(lines)` while answer k sits
+    # completed in the queue would deadlock both sides.  A reader
+    # thread feeds a bounded queue (its maxsize is the backpressure)
+    # and the generator blocks only on the head-of-line *future*,
+    # which is exactly the response it must emit next.
+    window = 4 * workers
+    feed: Queue = Queue(maxsize=window)
+    _EOF = object()
+
+    def reader() -> None:
         try:
-            request = json.loads(line)
-        except Exception as exc:  # noqa: BLE001 — the loop must never die
-            # Not just JSONDecodeError: a hostile line can provoke
-            # RecursionError ('['*3000) or MemoryError from the parser.
-            yield json.dumps({"ok": False, "error": f"bad JSON: {exc}"})
-            continue
-        response = handle_request(request, session,
-                                  max_batch=MAX_BATCH_REQUEST)
-        try:
-            # allow_nan=False: emitting RFC-invalid Infinity/NaN would
-            # break strict JSON-lines clients mid-stream; degrade to an
-            # in-band error instead.
-            yield json.dumps(response, allow_nan=False)
-        except ValueError:
-            yield json.dumps(
-                {"ok": False,
-                 "error": "response contained non-finite numbers"}
-            )
+            for line in lines:
+                line = line.strip()
+                if line:
+                    feed.put(line)
+        finally:
+            feed.put(_EOF)
+
+    pending: deque = deque()
+    with ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix="repro-serve"
+    ) as pool:
+        # Daemon: an abandoned generator must not pin the process on a
+        # blocked stdin read.
+        threading.Thread(target=reader, daemon=True,
+                         name="repro-serve-reader").start()
+        eof = False
+        while not eof or pending:
+            # Admit every line already waiting (up to the window)
+            # without blocking, so the pool stays busy...
+            while not eof and len(pending) < window:
+                try:
+                    item = feed.get_nowait()
+                except Empty:
+                    break
+                if item is _EOF:
+                    eof = True
+                else:
+                    pending.append(pool.submit(_answer_line, item, session))
+            if pending:
+                # ...then block on the head-of-line answer only: it is
+                # emitted the moment it completes, input or no input.
+                yield _render_response(pending.popleft().result())
+            elif not eof:
+                item = feed.get()
+                if item is _EOF:
+                    eof = True
+                else:
+                    pending.append(pool.submit(_answer_line, item, session))
 
 
 def serve(
     stream_in: IO[str],
     stream_out: IO[str],
     session: Session | None = None,
+    workers: int = 1,
 ) -> int:
     """Run the loop over text streams (flushing per line, for pipes)."""
     count = 0
-    for response in serve_lines(stream_in, session):
+    for response in serve_lines(stream_in, session, workers=workers):
         stream_out.write(response + "\n")
         stream_out.flush()
         count += 1

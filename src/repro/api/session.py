@@ -29,6 +29,9 @@ way the legacy frontend did.
 
 from __future__ import annotations
 
+import threading
+import time
+
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
@@ -47,9 +50,10 @@ from repro.geometry.primitives import (
 )
 from repro.gpu.device import DEFAULT_DEVICE, Device
 from repro.core.canvas import Canvas
-from repro.engine import BatchQuery, BatchReport, QueryEngine, get_engine
+from repro.engine import BatchQuery, BatchReport, ExecutionReport, QueryEngine, get_engine
 from repro.engine.executor import BATCH_KINDS
 from repro.api.registry import DatasetRegistry
+from repro.api.result_cache import ResultCache, spec_digest
 from repro.api.specs import (
     AggregateSpec,
     GeometrySpec,
@@ -138,7 +142,17 @@ class Session:
         knobs are given, the session routes through the process-default
         engine (so it shares its cache with the legacy functions and
         honours ``use_engine()``); passing ``cost_model`` /
-        ``cache_capacity`` / ``cache_max_bytes`` builds a private one.
+        ``cache_capacity`` / ``cache_max_bytes`` / ``max_workers``
+        builds a private one.
+    result_cache_max_bytes:
+        Byte budget for the spec-level result cache.  ``None`` (the
+        default) disables it: every ``run`` executes.  With a budget,
+        a repeated spec (canonical ``to_dict`` digest + registry
+        generation) answers from the cache without planning — the hit
+        is recorded as a ``result-cache-hit`` report, visible in
+        ``explain``.  Cached results are shared and frozen; ``file:``
+        dataset references and runtime-knob runs (``force_plan``,
+        ``constraint_canvas``) always bypass the cache.
     """
 
     def __init__(
@@ -152,6 +166,9 @@ class Session:
         cache_capacity: int | None = None,
         cache_max_bytes: int | None = None,
         max_join_members: int | None = None,
+        max_workers: int | None = None,
+        result_cache_max_bytes: int | None = None,
+        result_cache_capacity: int = 1024,
     ) -> None:
         self.registry = registry if registry is not None else DatasetRegistry()
         self.resolution = resolution
@@ -165,12 +182,13 @@ class Session:
             cost_model is not None
             or cache_capacity is not None
             or cache_max_bytes is not None
+            or max_workers is not None
         )
         if engine is not None and engine_knobs:
             raise ValueError(
                 "pass either an explicit engine or engine knobs "
-                "(cost_model/cache_capacity/cache_max_bytes), not both — "
-                "the knobs would be silently ignored"
+                "(cost_model/cache_capacity/cache_max_bytes/max_workers), "
+                "not both — the knobs would be silently ignored"
             )
         if engine is None and engine_knobs:
             kwargs: dict[str, Any] = {}
@@ -180,14 +198,35 @@ class Session:
                 kwargs["cache_capacity"] = cache_capacity
             if cache_max_bytes is not None:
                 kwargs["cache_max_bytes"] = cache_max_bytes
+            if max_workers is not None:
+                kwargs["max_workers"] = max_workers
             engine = QueryEngine(**kwargs)
         self._engine = engine
-        #: (engine, last report identity, monotonic count) marker into
-        #: the engine's report history (see take_reports).  None until
-        #: the engine is first touched, so reports predating the
-        #: session are never attributed to it; keyed on the engine so a
-        #: use_engine() switch re-anchors instead of mixing tallies.
-        self._report_marker: tuple[Any, Any, int] | None = None
+        #: Spec-digest result cache (None = disabled, the default).
+        self.result_cache: ResultCache | None = (
+            ResultCache(
+                capacity=result_cache_capacity,
+                max_bytes=result_cache_max_bytes,
+            )
+            if result_cache_max_bytes is not None
+            else None
+        )
+        #: The registry the result cache's entries were computed
+        #: against.  Holding the reference (not an id(), which a
+        #: garbage collector could recycle) lets run() detect a
+        #: swapped-in replacement registry and drop every entry —
+        #: same-generation, different-data registries must never
+        #: serve each other's results.
+        self._result_cache_registry = self.registry
+        #: Per-thread (engine, monotonic count) marker into the
+        #: engine's *thread-local* report stream (see take_reports).
+        #: Unset until a thread first touches the engine, so reports
+        #: predating the session are never attributed to it; keyed on
+        #: the engine so a use_engine() switch re-anchors instead of
+        #: mixing tallies.  Thread-local because a threaded serve front
+        #: shares one session across workers — each thread's requests
+        #: must see their own reports only.
+        self._report_markers = threading.local()
 
     @property
     def engine(self) -> QueryEngine:
@@ -208,13 +247,51 @@ class Session:
         """Execute one spec and return its family's result object.
 
         *constraint_canvas* (polygon selections only) and *force_plan*
-        are runtime execution knobs, not part of the serializable spec.
+        are runtime execution knobs, not part of the serializable spec
+        — runs carrying either always bypass the result cache.
         """
         spec = self._coerce_spec(spec)
         self._anchor_reports()
         device = device if device is not None else self.device
         if constraint_canvas is not None and not isinstance(spec, SelectSpec):
             raise SpecError("constraint_canvas applies to select specs only")
+        cache_key = None
+        if (
+            self.result_cache is not None
+            and constraint_canvas is None
+            and force_plan is None
+            and self._spec_cacheable(spec)
+        ):
+            if self._result_cache_registry is not self.registry:
+                # The registry was swapped wholesale: every cached
+                # result was computed against data this session can no
+                # longer resolve the same way.
+                self.result_cache.clear()
+                self._result_cache_registry = self.registry
+            cache_key = (
+                spec_digest(spec), self.registry.generation,
+                self.resolution, device,
+            )
+            t_lookup = time.perf_counter()
+            hit, value = self.result_cache.get(cache_key)
+            if hit:
+                self._record_result_cache_hit(
+                    spec, time.perf_counter() - t_lookup
+                )
+                return value
+        result = self._execute(spec, device, constraint_canvas, force_plan)
+        if cache_key is not None:
+            self.result_cache.put(cache_key, result)
+        return result
+
+    def _execute(
+        self,
+        spec: QuerySpec,
+        device: Device,
+        constraint_canvas: Canvas | None,
+        force_plan: str | None,
+    ) -> Any:
+        """Run one coerced spec through the engine (no result cache)."""
         if isinstance(spec, GeometrySpec):
             return self._run_geometry(spec, device, force_plan)
         if isinstance(spec, JoinSpec):
@@ -237,14 +314,61 @@ class Session:
         )
         return desc.wrap(outcome)
 
-    def run_batch(self, specs: Sequence[QuerySpec | Mapping[str, Any]]) -> BatchRun:
+    @staticmethod
+    def _spec_cacheable(spec: QuerySpec) -> bool:
+        """Whether a result computed for *spec* stays valid.
+
+        ``file:`` dataset references are the one escape hatch from the
+        registry's generation fingerprint — a file's content can change
+        under a stable reference string — so specs naming one are
+        never result-cached.
+        """
+        refs = [
+            getattr(spec, attr, None)
+            for attr in ("dataset", "left", "right", "polygons")
+        ]
+        return not any(
+            isinstance(ref, str) and ref.startswith("file:") for ref in refs
+        )
+
+    def _record_result_cache_hit(self, spec: QuerySpec, lookup_s: float) -> None:
+        """Surface a result-cache hit in the engine's report stream.
+
+        A hit skips planning and execution entirely, but silence would
+        make ``explain`` (and take_reports consumers) misattribute the
+        previous query's report — record a zero-cost report naming the
+        cache instead.
+        """
+        stats = self.result_cache.stats() if self.result_cache else None
+        self.engine.record_report(ExecutionReport(
+            query=f"{spec.FAMILY} [result cache]",
+            plan="result-cache-hit",
+            estimated_cost=0.0,
+            candidates=(),
+            forced=(
+                "spec-digest result cache"
+                + (f" ({stats.hits} hits / {stats.misses} misses)"
+                   if stats else "")
+            ),
+            cache_hits=0, cache_misses=0,
+            planning_s=0.0, execution_s=lookup_s, plan_tree=None,
+        ))
+
+    def run_batch(
+        self,
+        specs: Sequence[QuerySpec | Mapping[str, Any]],
+        *,
+        max_workers: int | None = None,
+    ) -> BatchRun:
         """Plan and run a list of specs as one engine batch.
 
         Members map onto :meth:`QueryEngine.execute_batch`, so shared
         constraint sets rasterize once and later members are priced
-        cache-aware.  Geometry and join specs are not batchable (they
-        expand to per-member engine calls); submit them via
-        :meth:`run`.
+        cache-aware.  With *max_workers* > 1 (or an engine built with
+        ``max_workers=…``), independent members execute concurrently on
+        a thread pool with bit-identical per-member outcomes.  Geometry
+        and join specs are not batchable (they expand to per-member
+        engine calls); submit them via :meth:`run`.
         """
         self._anchor_reports()
         described = []
@@ -262,7 +386,8 @@ class Session:
             if desc.empty_result is None
         ]
         outcome = self.engine.execute_batch(
-            [BatchQuery(desc.kind, desc.kwargs) for _, desc in live]
+            [BatchQuery(desc.kind, desc.kwargs) for _, desc in live],
+            max_workers=max_workers,
         )
         results: list[Any] = [None] * len(described)
         for (i, desc), result in zip(live, outcome.results):
@@ -273,15 +398,25 @@ class Session:
         report = outcome.report
         if len(live) != len(described):
             # Members that resolved empty without an engine call still
-            # occupy a submission slot: keep report.plans aligned with
-            # results so clients can pair plans[i] with results[i].
+            # occupy a submission slot: keep report.plans (and member
+            # indices) aligned with results so clients can pair
+            # plans[i] with results[i].
             plans: list[tuple[str, str]] = []
+            members = []
             live_plans = iter(report.plans)
-            for desc in described:
+            live_members = iter(report.members)
+            for i, desc in enumerate(described):
                 if desc.empty_result is not None:
                     plans.append(("selection", "empty-input"))
                 else:
                     plans.append(next(live_plans))
+                    member = next(live_members, None)
+                    if member is not None:
+                        members.append(type(member)(
+                            index=i, kind=member.kind, plan=member.plan,
+                            execution_s=member.execution_s,
+                            worker=member.worker,
+                        ))
             report = BatchReport(
                 n_queries=len(described),
                 plans=tuple(plans),
@@ -291,6 +426,8 @@ class Session:
                 counters=report.counters,
                 planning_s=report.planning_s,
                 execution_s=report.execution_s,
+                members=tuple(members),
+                max_workers=report.max_workers,
             )
         return BatchRun(results=results, report=report)
 
@@ -311,40 +448,48 @@ class Session:
                 "no engine execution: the spec resolved to an empty "
                 "result without planning"
             )
-        return self.engine.explain(last=len(produced))
+        # Render exactly the reports this run produced (the calling
+        # thread's own stream) — reading the global tail instead could
+        # show a concurrent request's report.
+        return self.engine.format_reports(produced)
 
     def _anchor_reports(self) -> None:
-        """Pin the report marker to the engine's current state the
-        first time this session touches it — anything recorded earlier
-        (other callers on the shared default engine) is not ours.
-        A changed engine (``use_engine()`` around a default session)
-        re-anchors: tallies never mix across engines."""
+        """Pin the calling thread's report marker to the engine's
+        current per-thread tally the first time this thread touches it
+        — anything recorded earlier (other callers on the shared
+        default engine) is not ours.  A changed engine
+        (``use_engine()`` around a default session) re-anchors:
+        tallies never mix across engines."""
         engine = self.engine
-        if self._report_marker is None or self._report_marker[0] is not engine:
-            self._report_marker = (engine, engine.last_report,
-                                   engine.report_count)
+        marker = getattr(self._report_markers, "marker", None)
+        if marker is None or marker[0] is not engine:
+            self._report_markers.marker = (
+                engine, engine.thread_report_count()
+            )
 
     def take_reports(self) -> tuple[list, int]:
-        """Reports produced since the last call (or the session's first
-        query).
+        """Reports produced *by the calling thread* since its last call
+        (or this thread's first query on the session).
 
         Returns ``(reports, produced)`` where *produced* is the true
-        count from the engine's monotonic tally — the bounded report
-        deque can hold fewer than were produced (e.g. a 40-member join
-        on a 32-entry history), in which case ``len(reports) <
-        produced``.
+        count from the engine's monotonic per-thread tally — the
+        bounded report deque can hold fewer than were produced (e.g. a
+        40-member join on a 32-entry history), in which case
+        ``len(reports) < produced``.
+
+        Attribution is per-thread by construction: a threaded serve
+        front sharing one session never sees a neighbour request's
+        reports here.  (Members of a ``run_batch`` with ``max_workers
+        > 1`` execute on pool threads — their per-member reports live
+        in the :class:`~repro.engine.BatchReport`, not this stream.)
         """
         self._anchor_reports()
-        engine, marker, marker_count = self._report_marker
-        produced_count = max(0, engine.report_count - marker_count)
-        produced: list = []
-        for report in reversed(engine.reports):
-            if report is marker or len(produced) >= produced_count:
-                break
-            produced.append(report)
-        produced.reverse()
-        self._report_marker = (engine, engine.last_report,
-                               engine.report_count)
+        engine, marker_count = self._report_markers.marker
+        count_now = engine.thread_report_count()
+        produced_count = max(0, count_now - marker_count)
+        reports = list(engine.thread_reports())
+        produced = reports[len(reports) - min(produced_count, len(reports)):]
+        self._report_markers.marker = (engine, count_now)
         return produced, produced_count
 
     # ------------------------------------------------------------------

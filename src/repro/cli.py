@@ -14,6 +14,7 @@ Usage::
     python -m repro explain  --spec query.json --repeat 3
     python -m repro query    --spec query.json
     python -m repro serve    < specs.jsonl > answers.jsonl
+    python -m repro serve    --workers 4 --result-cache-mb 64
 
 ``query`` and ``serve`` speak the declarative spec layer
 (:mod:`repro.api`): a spec file is the JSON form of one query family's
@@ -23,9 +24,15 @@ off-process through the dataset registry's reference schemes.
 ``query`` answers one spec (or a ``{"batch": [...]}`` document);
 ``serve`` is the JSON-lines loop — one spec per stdin line, one
 result-summary + report object per stdout line, errors reported
-in-band (``{"ok": false, ...}``) without killing the loop.  ``explain
---spec`` runs any spec file through a fresh engine and prints the
-plan/cost/cache report.
+in-band (``{"ok": false, ...}``) without killing the loop.  ``serve
+--workers N`` answers requests concurrently on one shared session
+while writing responses in request order (output line k answers
+non-blank input line k), and ``--result-cache-mb`` enables the
+spec-digest result cache (repeated specs answer without planning;
+hits show as plan ``result-cache-hit`` — the library-side knob is
+``Session(result_cache_max_bytes=…)``).  ``explain --spec`` runs any
+spec file through a fresh engine and prints the plan/cost/cache
+report.
 
 ``explain`` runs a query through the plan-driven engine and reports
 the chosen physical plan, its estimated cost against the alternatives,
@@ -222,9 +229,22 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    # The traffic boundary: no session passed, so serve builds the
-    # hardened default (file: dataset references disabled).
-    serve(sys.stdin, sys.stdout)
+    # The traffic boundary: build the hardened default session (file:
+    # dataset references disabled), optionally with the spec-digest
+    # result cache, and fan requests over a worker pool.
+    from repro.api import default_serve_session
+
+    if args.workers < 1:
+        raise SystemExit("serve: --workers must be at least 1")
+    if args.result_cache_mb is not None and args.result_cache_mb <= 0:
+        raise SystemExit("serve: --result-cache-mb must be positive")
+    session = default_serve_session(
+        result_cache_max_bytes=(
+            args.result_cache_mb * 1024 * 1024
+            if args.result_cache_mb is not None else None
+        ),
+    )
+    serve(sys.stdin, sys.stdout, session, workers=args.workers)
     return 0
 
 
@@ -449,6 +469,29 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="JSON-lines query service: specs on stdin, result "
              "summaries + reports on stdout",
+        description=(
+            "JSON-lines query service: one spec (or {\"batch\": [...]}) "
+            "per stdin line, one result summary + report per stdout "
+            "line, errors in-band ({\"ok\": false}). With --workers N "
+            "requests execute concurrently on one shared session; "
+            "responses are still written in request order (output line "
+            "k answers non-blank input line k), with a bounded "
+            "in-flight window for backpressure. --result-cache-mb "
+            "enables the spec-digest result cache (the library knob is "
+            "Session(result_cache_max_bytes=...)): repeated specs "
+            "answer from cache, reported as plan 'result-cache-hit'."
+        ),
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker threads answering requests concurrently "
+             "(default 1 = serial; responses stay in request order)",
+    )
+    p_serve.add_argument(
+        "--result-cache-mb", type=int, default=None,
+        help="enable the spec-digest result cache with this byte "
+             "budget in MiB (default: disabled); repeated specs "
+             "answer without re-planning",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

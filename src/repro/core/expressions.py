@@ -34,6 +34,8 @@ two evaluations — the first one consumes it.
 
 from __future__ import annotations
 
+import threading
+
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -96,6 +98,11 @@ class BufferPool:
     garbage — every acquirer overwrites them completely (the algebra's
     ``out=`` contract).  The pool is deliberately tiny: it exists to
     serve steady-state query loops, not to be a second cache.
+
+    Thread-safe: one engine's pool is shared by every member of a
+    parallel batch, and acquire/release are atomic pops/pushes under a
+    lock — a buffer handed to one evaluation can never be handed to a
+    second until the first releases it.
     """
 
     def __init__(self, max_entries: int = 8) -> None:
@@ -104,6 +111,7 @@ class BufferPool:
         self.max_entries = max_entries
         self._buffers: dict[tuple, list[Canvas]] = {}
         self._count = 0
+        self._lock = threading.Lock()
 
     @staticmethod
     def _key(canvas: Canvas) -> tuple:
@@ -125,21 +133,24 @@ class BufferPool:
         ``Circ`` utility in a probe loop) check the pool before paying
         an allocation.
         """
-        stack = self._buffers.get((window, height, width, device))
-        if stack:
-            self._count -= 1
-            return stack.pop()
-        return None
+        with self._lock:
+            stack = self._buffers.get((window, height, width, device))
+            if stack:
+                self._count -= 1
+                return stack.pop()
+            return None
 
     def release(self, canvas: Canvas) -> None:
         """Park *canvas* for reuse (dropped when the pool is full)."""
-        if self._count >= self.max_entries:
-            return
-        self._buffers.setdefault(self._key(canvas), []).append(canvas)
-        self._count += 1
+        with self._lock:
+            if self._count >= self.max_entries:
+                return
+            self._buffers.setdefault(self._key(canvas), []).append(canvas)
+            self._count += 1
 
     def __len__(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
 
 class EvalContext:
@@ -293,7 +304,10 @@ class InputNode(Node):
 
     def label(self) -> str:
         if isinstance(self.value, CanvasSet):
-            return f"{self.name} (canvas set, {self.value.n_records} records)"
+            # n_samples, not n_records: a label must not pay a full
+            # np.unique over a million-sample set just to render the
+            # plan tree (it showed up as ~1/3 of a selection's time).
+            return f"{self.name} (canvas set, {self.value.n_samples} samples)"
         return f"{self.name} (canvas {self.value.height}x{self.value.width})"
 
 

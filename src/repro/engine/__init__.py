@@ -30,6 +30,7 @@ from contextlib import contextmanager
 from repro.engine.cache import CanvasCache, CacheStats, geometries_digest, geometry_digest
 from repro.engine.executor import (
     AggregationOutcome,
+    BatchMember,
     BatchOutcome,
     BatchQuery,
     BatchReport,
@@ -63,6 +64,7 @@ __all__ = [
     "AGG_JOIN_THEN_AGG",
     "AGG_RASTERJOIN",
     "AggregationOutcome",
+    "BatchMember",
     "BatchOutcome",
     "BatchQuery",
     "BatchReport",

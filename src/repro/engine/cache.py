@@ -14,9 +14,15 @@ raster pass.  Cached canvases are treated as immutable by every
 consumer (blends only *gather* from the dense right-hand operand), so
 entries are shared, not copied.
 
+Misses are *single-flight*: when several threads miss the same key at
+once (a parallel batch whose members share a constraint set), exactly
+one of them runs the builder while the rest wait on the in-flight
+build and share its frozen result — a raster pass never runs twice for
+one key, no matter how many threads race to it.
+
 Eviction is LRU with a bounded entry count; statistics (hits, misses,
-evictions) feed the engine's ``explain()`` reports and the ablation
-benchmarks.
+evictions, builds, single-flight waits) feed the engine's ``explain()``
+reports and the ablation benchmarks.
 """
 
 from __future__ import annotations
@@ -71,6 +77,12 @@ class CacheStats:
     capacity: int
     bytes_used: int = 0
     max_bytes: int = 0
+    #: Builder invocations — with single-flight misses this equals the
+    #: number of *unique* keys ever built, however many threads raced.
+    builds: int = 0
+    #: Misses that waited on another thread's in-flight build instead
+    #: of running the builder themselves.
+    single_flight_waits: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -86,6 +98,8 @@ class CacheStats:
             "capacity": self.capacity,
             "bytes_used": self.bytes_used,
             "max_bytes": self.max_bytes,
+            "builds": self.builds,
+            "single_flight_waits": self.single_flight_waits,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -143,6 +157,23 @@ def freeze_cached_value(value) -> None:
             arr.setflags(write=False)
 
 
+class _InFlightBuild:
+    """One key's in-progress build: an event the waiters block on plus
+    the slot the leader publishes its result (or failure) into.
+
+    Waiters read the value from the slot, not the store — even if LRU
+    pressure evicts the entry the instant it lands, every thread that
+    raced the miss still shares the one built value.
+    """
+
+    __slots__ = ("event", "value", "failed")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: object | None = None
+        self.failed = False
+
+
 class CanvasCache:
     """LRU cache of rasterized canvases, bounded by entries *and* bytes.
 
@@ -152,6 +183,12 @@ class CanvasCache:
     admitted — it evicts everything else and is dropped on the next
     insert).  Values are whatever the builder returns; the cache never
     copies them — consumers must not mutate entries.
+
+    Thread-safe, with *single-flight* misses: concurrent misses on one
+    key elect a leader that runs the builder (outside the lock — raster
+    passes are long) while every other thread waits and shares the
+    frozen result.  A failing builder releases its waiters, which then
+    re-elect and retry.
     """
 
     def __init__(
@@ -170,10 +207,13 @@ class CanvasCache:
         self._store: OrderedDict[CacheKey, tuple[object, int]] = OrderedDict()
         self._lock = threading.Lock()
         self._local = threading.local()
+        self._inflight: dict[CacheKey, _InFlightBuild] = {}
         self._bytes = 0
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._builds = 0
+        self._single_flight_waits = 0
 
     def thread_counters(self) -> tuple[int, int]:
         """(hits, misses) recorded by the calling thread only.
@@ -197,36 +237,69 @@ class CanvasCache:
     def get_or_build(self, key: CacheKey, builder: Callable[[], object]):
         """Return the cached value for *key*, building it on a miss.
 
-        The builder runs outside the lock (raster passes are long);
-        concurrent misses on the same key may build twice, with the
-        last builder winning — acceptable for idempotent raster output.
+        The builder runs outside the lock (raster passes are long) but
+        under a per-key single-flight guard: concurrent misses on the
+        same key build exactly once, with every waiter sharing the one
+        frozen value.  Waiters count as cache hits (they paid a wait,
+        not a raster pass), so serial and parallel runs of the same
+        workload report the same hit/miss split.
         """
-        with self._lock:
-            if key in self._store:
-                self._count(hit=True)
+        while True:
+            with self._lock:
+                if key in self._store:
+                    self._count(hit=True)
+                    self._store.move_to_end(key)
+                    return self._store[key][0]
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlightBuild()
+                    self._inflight[key] = flight
+                    leader = True
+                else:
+                    leader = False
+                    self._single_flight_waits += 1
+            if not leader:
+                flight.event.wait()
+                if not flight.failed:
+                    with self._lock:
+                        self._count(hit=True)
+                    return flight.value
+                continue  # the leader's builder raised: re-elect and retry
+            try:
+                value = builder()
+                # Entries are shared, never copied: freeze the array
+                # payload so a consumer mutating the entry raises
+                # instead of corrupting every later hit.  Freeze and
+                # sizing stay inside the guarded region — a raising
+                # sizer must release the waiters too, not wedge the
+                # key forever.
+                freeze_cached_value(value)
+                nbytes = self._sizer(value)
+            except BaseException:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                flight.failed = True
+                flight.event.set()
+                raise
+            with self._lock:
+                self._count(hit=False)
+                self._builds += 1
+                if key in self._store:
+                    self._bytes -= self._store[key][1]
+                self._store[key] = (value, nbytes)
                 self._store.move_to_end(key)
-                return self._store[key][0]
-        value = builder()
-        # Entries are shared, never copied: freeze the array payload so
-        # a consumer mutating the entry raises instead of corrupting
-        # every later hit.
-        freeze_cached_value(value)
-        nbytes = self._sizer(value)
-        with self._lock:
-            self._count(hit=False)
-            if key in self._store:
-                self._bytes -= self._store[key][1]
-            self._store[key] = (value, nbytes)
-            self._store.move_to_end(key)
-            self._bytes += nbytes
-            while len(self._store) > 1 and (
-                len(self._store) > self.capacity
-                or self._bytes > self.max_bytes
-            ):
-                _, (_, evicted_bytes) = self._store.popitem(last=False)
-                self._bytes -= evicted_bytes
-                self._evictions += 1
-        return value
+                self._bytes += nbytes
+                while len(self._store) > 1 and (
+                    len(self._store) > self.capacity
+                    or self._bytes > self.max_bytes
+                ):
+                    _, (_, evicted_bytes) = self._store.popitem(last=False)
+                    self._bytes -= evicted_bytes
+                    self._evictions += 1
+                self._inflight.pop(key, None)
+            flight.value = value
+            flight.event.set()
+            return value
 
     def stats(self) -> CacheStats:
         with self._lock:
@@ -238,16 +311,21 @@ class CanvasCache:
                 capacity=self.capacity,
                 bytes_used=self._bytes,
                 max_bytes=self.max_bytes,
+                builds=self._builds,
+                single_flight_waits=self._single_flight_waits,
             )
 
     def clear(self) -> None:
-        """Drop all entries and reset counters."""
+        """Drop all entries and reset counters (in-flight builds keep
+        their guards: a build racing a clear still completes once)."""
         with self._lock:
             self._store.clear()
             self._bytes = 0
             self._hits = 0
             self._misses = 0
             self._evictions = 0
+            self._builds = 0
+            self._single_flight_waits = 0
 
     def __len__(self) -> int:
         with self._lock:

@@ -39,8 +39,10 @@ subcommand prints.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -294,10 +296,16 @@ class BatchQuery:
     *kind* selects the engine entry point; *kwargs* are its keyword
     arguments (positional data arrays included).  The classmethod
     constructors spell the supported kinds.
+
+    *parallel* is the member-level opt-out of threaded batch
+    execution: a ``False`` member always runs on the submitting thread
+    after the parallel wave completes, even when the engine executes
+    the rest of the batch on a worker pool.
     """
 
     kind: str
     kwargs: dict[str, Any] = field(default_factory=dict)
+    parallel: bool = True
 
     @classmethod
     def selection(cls, xs, ys, polygons, **kwargs) -> "BatchQuery":
@@ -335,6 +343,22 @@ class BatchQuery:
 
 
 @dataclass(frozen=True)
+class BatchMember:
+    """One batch member's execution record: where and how long it ran.
+
+    *worker* is the executing thread's name — the submitting thread for
+    serial batches and opt-out members, a pool thread otherwise — so a
+    report can show which members actually overlapped.
+    """
+
+    index: int
+    kind: str
+    plan: str
+    execution_s: float
+    worker: str
+
+
+@dataclass(frozen=True)
 class BatchReport:
     """What one batched execution shared across its member queries."""
 
@@ -346,10 +370,15 @@ class BatchReport:
     counters: EvalCounters
     planning_s: float
     execution_s: float
+    #: Per-member timing + worker attribution, in submission order.
+    members: tuple[BatchMember, ...] = ()
+    #: Worker threads this batch was allowed to spread over (1 = serial).
+    max_workers: int = 1
 
     def describe(self) -> str:
         lines = [
-            f"batch: {self.n_queries} queries",
+            f"batch: {self.n_queries} queries "
+            f"({self.max_workers} worker(s))",
             "plans: " + ", ".join(f"{q}:{p}" for q, p in self.plans),
             (
                 f"canvas cache: {self.cache_hits} hits, "
@@ -367,6 +396,11 @@ class BatchReport:
                 f"execution {self.execution_s * 1e3:.3f} ms"
             ),
         ]
+        for member in self.members:
+            lines.append(
+                f"  member[{member.index}] {member.kind}:{member.plan} "
+                f"{member.execution_s * 1e3:.3f} ms on {member.worker}"
+            )
         return "\n".join(lines)
 
 
@@ -397,7 +431,10 @@ class QueryEngine:
         cache_max_bytes: int | None = None,
         history: int = 32,
         buffer_pool_size: int = 8,
+        max_workers: int = 1,
     ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
         self.planner = Planner(cost_model or CostModel())
         if cache_max_bytes is None:
             self.cache = CanvasCache(cache_capacity)
@@ -408,14 +445,49 @@ class QueryEngine:
         #: deque above forgets, so consumers tracking "reports since X"
         #: (Session.take_reports) need the true tally.
         self.report_count = 0
+        #: Default worker-thread cap for :meth:`execute_batch` (1 keeps
+        #: the pre-concurrency serial behaviour).
+        self.max_workers = max_workers
+        self._history = history
+        self._report_lock = threading.Lock()
+        #: Per-thread report history mirror: parallel batch members and
+        #: threaded serve workers record from many threads at once, so
+        #: "reports since X" attribution (Session.take_reports) reads
+        #: the calling thread's own stream, never a neighbour's.
+        self._report_local = threading.local()
         #: Dense buffers recycled across executions by the
         #: ownership-aware expression evaluator.
         self.buffer_pool = BufferPool(buffer_pool_size)
 
+    def _thread_report_state(self) -> tuple[deque, int]:
+        """(bounded report deque, monotonic count) of the calling thread."""
+        local = self._report_local
+        if not hasattr(local, "reports"):
+            local.reports = deque(maxlen=self._history)
+            local.count = 0
+        return local.reports, local.count
+
+    def thread_report_count(self) -> int:
+        """Reports the calling thread has recorded on this engine."""
+        return self._thread_report_state()[1]
+
+    def thread_reports(self) -> deque:
+        """The calling thread's bounded report history (own stream only)."""
+        return self._thread_report_state()[0]
+
     def record_report(self, report: ExecutionReport) -> None:
-        """Append to the bounded report history, keeping the true count."""
-        self.reports.append(report)
-        self.report_count += 1
+        """Append to the bounded report history, keeping the true count.
+
+        Thread-safe: the global deque/tally mutate under a lock, and
+        the report is mirrored into the calling thread's own stream for
+        cross-thread-pollution-free attribution.
+        """
+        with self._report_lock:
+            self.reports.append(report)
+            self.report_count += 1
+        local_reports, _ = self._thread_report_state()
+        local_reports.append(report)
+        self._report_local.count += 1
 
     def _context(self) -> EvalContext:
         """A fresh ownership ledger sharing the engine's buffer pool."""
@@ -427,7 +499,8 @@ class QueryEngine:
 
     @property
     def last_report(self) -> ExecutionReport | None:
-        return self.reports[-1] if self.reports else None
+        with self._report_lock:
+            return self.reports[-1] if self.reports else None
 
     # ------------------------------------------------------------------
     # Cached canvas construction (the GPU-facing seam)
@@ -1719,18 +1792,87 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # Batched execution
     # ------------------------------------------------------------------
-    def execute_batch(self, queries: Sequence[BatchQuery]) -> BatchOutcome:
+    def _predict_selection_caching(
+        self, specs: list[BatchQuery], recipe_keys: list[tuple | None]
+    ) -> list[bool | None]:
+        """Per-member ``constraint_cached`` flags, resolved up front.
+
+        The serial executor decided each member's flag at execution
+        time (earlier members had already run); a parallel batch has no
+        "earlier", so the planning sweep replays the serial decision
+        deterministically: walk members in submission order, ask the
+        planner which plan each selection would choose, and mark its
+        constraint key as materialized for everyone after it.  The
+        planner is deterministic, so the prediction *is* the serial
+        outcome — plan choices and reports match serial execution
+        bit-for-bit regardless of worker count or completion order.
+        """
+        will_cache: set[tuple] = set()
+        flags: list[bool | None] = []
+        for spec, key in zip(specs, recipe_keys):
+            if key is None:
+                flags.append(None)
+                continue
+            kw = spec.kwargs
+            explicit = kw.get("constraint_cached")
+            flag = (
+                explicit if explicit is not None
+                else (key in self.cache or key in will_cache)
+            )
+            flags.append(flag)
+            xs = kw.get("xs")
+            if xs is None or len(xs) == 0:
+                continue  # empty-input members never plan or rasterize
+            prebuilt = kw.get("constraint_canvas") is not None
+            try:
+                choice = self.planner.plan_selection(
+                    len(xs), list(kw["polygons"]),
+                    _resolve_resolution(
+                        kw["window"], kw.get("resolution", 1024)
+                    ),
+                    exact=kw.get("exact", True),
+                    prebuilt_canvas=prebuilt,
+                    force=kw.get("force_plan"),
+                    window=kw["window"],
+                    constraint_cached=bool(flag) or prebuilt,
+                )
+            except (ValueError, TypeError):
+                continue  # the member itself will raise at execution
+            if choice.chosen.name == SELECTION_BLENDED and not prebuilt:
+                will_cache.add(key)
+        return flags
+
+    def execute_batch(
+        self,
+        queries: Sequence[BatchQuery],
+        max_workers: int | None = None,
+    ) -> BatchOutcome:
         """Plan and run a list of queries as one pass.
 
         Member queries share the engine's canvas cache, so repeated
         constraint sets rasterize once across the whole batch; during
         the shared planning sweep, a selection whose constraint canvas
-        an *earlier* member will materialize is priced cache-aware,
-        letting the cost model pick the blended plan for every member
-        after the first.  Results come back in submission order next to
-        a :class:`BatchReport` of what the batch shared.
+        another member will materialize is priced cache-aware, letting
+        the cost model pick the blended plan for every member after the
+        first.  Results come back in submission order next to a
+        :class:`BatchReport` of what the batch shared.
+
+        With *max_workers* > 1 (argument or the engine's default),
+        independent members execute concurrently on a thread pool:
+        shared state (canvas cache, buffer pool, report history) is
+        thread-safe, concurrent misses on one constraint single-flight
+        into one raster pass, and per-member outcomes are bit-identical
+        to serial execution — the planning sweep resolves all
+        cache-aware pricing up front, so plan choices cannot depend on
+        completion order.  Members constructed with ``parallel=False``
+        opt out: they run on the submitting thread after the parallel
+        wave.
         """
         specs = list(queries)
+        if max_workers is None:
+            max_workers = self.max_workers
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
         dispatch = {
             kind: getattr(self, name) for kind, name in BATCH_KINDS.items()
         }
@@ -1754,41 +1896,87 @@ class QueryEngine:
                 recipe_counts[key] = recipe_counts.get(key, 0) + 1
             recipe_keys.append(key)
         shared = sum(1 for count in recipe_counts.values() if count > 1)
-        before = self.cache.thread_counters()
+        pooled = [i for i, spec in enumerate(specs) if spec.parallel]
+        serial_only = [i for i, spec in enumerate(specs) if not spec.parallel]
+        use_pool = max_workers > 1 and len(pooled) > 1
+        # The prediction sweep re-prices each selection, so only the
+        # pooled path (which has no "earlier member" to learn from)
+        # pays it; a serial batch plans each member exactly once, with
+        # flags resolved incrementally exactly as before.
+        cached_flags = (
+            self._predict_selection_caching(specs, recipe_keys)
+            if use_pool else [None] * len(specs)
+        )
         t1 = time.perf_counter()
 
-        will_cache: set[tuple] = set()
+        def run_member(index: int) -> tuple[Any, float, str]:
+            spec = specs[index]
+            kwargs = dict(spec.kwargs)
+            if cached_flags[index] is not None:
+                kwargs.setdefault("constraint_cached", cached_flags[index])
+            started = time.perf_counter()
+            outcome = dispatch[spec.kind](**kwargs)
+            elapsed = time.perf_counter() - started
+            return outcome, elapsed, threading.current_thread().name
+
+        executions: list[tuple[Any, float, str] | None] = [None] * len(specs)
+        if use_pool:
+            workers = min(max_workers, len(pooled))
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-batch"
+            ) as pool:
+                futures = {i: pool.submit(run_member, i) for i in pooled}
+                for i in pooled:
+                    executions[i] = futures[i].result()
+            for i in serial_only:
+                executions[i] = run_member(i)
+        else:
+            workers = 1
+            will_cache: set[tuple] = set()
+            for i in sorted(pooled + serial_only):
+                key = recipe_keys[i]
+                if key is not None:
+                    cached_flags[i] = key in self.cache or key in will_cache
+                executions[i] = run_member(i)
+                if key is not None and (
+                    executions[i][0].report.plan == SELECTION_BLENDED
+                ):
+                    will_cache.add(key)
+        t2 = time.perf_counter()
+
         results: list = []
         plans: list[tuple[str, str]] = []
+        members: list[BatchMember] = []
         counters = EvalCounters()
-        for spec, key in zip(specs, recipe_keys):
-            kwargs = dict(spec.kwargs)
-            if key is not None:
-                kwargs.setdefault(
-                    "constraint_cached", key in self.cache or key in will_cache
-                )
-            outcome = dispatch[spec.kind](**kwargs)
+        cache_hits = cache_misses = 0
+        for i, execution in enumerate(executions):
+            assert execution is not None
+            outcome, elapsed, worker = execution
             report = outcome.report
-            plans.append((spec.kind, report.plan))
+            plans.append((specs[i].kind, report.plan))
+            members.append(BatchMember(
+                index=i, kind=specs[i].kind, plan=report.plan,
+                execution_s=elapsed, worker=worker,
+            ))
             counters.full_copies += report.copies
             counters.allocations += report.allocations
             counters.pool_reuses += report.pool_reuses
             counters.inplace_ops += report.inplace_ops
-            if key is not None and report.plan == SELECTION_BLENDED:
-                will_cache.add(key)
+            cache_hits += report.cache_hits
+            cache_misses += report.cache_misses
             results.append(outcome)
-        t2 = time.perf_counter()
-        after = self.cache.thread_counters()
 
         report = BatchReport(
             n_queries=len(specs),
             plans=tuple(plans),
-            cache_hits=after[0] - before[0],
-            cache_misses=after[1] - before[1],
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
             shared_constraint_sets=shared,
             counters=counters,
             planning_s=t1 - t0,
             execution_s=t2 - t1,
+            members=tuple(members),
+            max_workers=workers,
         )
         return BatchOutcome(results, report)
 
@@ -1802,10 +1990,19 @@ class QueryEngine:
         the full candidate table, the rendered plan tree, and the
         cache-hit delta — then the cumulative cache statistics.
         """
-        if not self.reports:
+        # Snapshot under the lock: iterating the shared deque while a
+        # pool/serve thread records a report raises RuntimeError.
+        with self._report_lock:
+            shown = list(self.reports)[-max(1, last):]
+        if not shown:
             return "no queries executed yet"
-        shown = list(self.reports)[-max(1, last):]
-        blocks = [report.describe() for report in shown]
+        return self.format_reports(shown)
+
+    def format_reports(self, reports: Sequence[ExecutionReport]) -> str:
+        """Render *reports* in ``explain``'s format (callers that track
+        their own report streams — Session's per-thread attribution —
+        pass exactly the reports they mean, never the global tail)."""
+        blocks = [report.describe() for report in reports]
         stats = self.cache.stats()
         blocks.append(
             "cumulative canvas cache: "

@@ -1,0 +1,66 @@
+"""Shared fixtures for the concurrency battery.
+
+Everything here hammers *one* engine/session from many threads, so the
+fixtures produce deterministic inputs (fixed seeds) and helpers for
+barrier-synchronized thread starts — every thread blocks on the
+barrier, then all of them hit the shared structure in the same
+instant, maximizing the chance that a latent race actually fires.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import Polygon
+
+
+@pytest.fixture(scope="session")
+def window() -> BoundingBox:
+    return BoundingBox(0.0, 0.0, 100.0, 100.0)
+
+
+@pytest.fixture(scope="session")
+def cloud() -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(7)
+    n = 8_000
+    return rng.uniform(0, 100, n), rng.uniform(0, 100, n)
+
+
+@pytest.fixture(scope="session")
+def polygons() -> list[Polygon]:
+    """Eight distinct constraint rectangles (distinct cache keys)."""
+    return [
+        Polygon([(5 + 8 * i, 5), (35 + 8 * i, 5),
+                 (35 + 8 * i, 80), (5 + 8 * i, 80)])
+        for i in range(8)
+    ]
+
+
+def run_threads(n_threads: int, target, *args):
+    """Start *n_threads* running ``target(thread_index, barrier, *args)``
+    behind one barrier; join them and re-raise the first failure."""
+    barrier = threading.Barrier(n_threads)
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    def wrapped(index: int) -> None:
+        try:
+            target(index, barrier, *args)
+        except BaseException as exc:  # noqa: BLE001 — surfaced below
+            with lock:
+                errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,), name=f"hammer-{i}")
+        for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]

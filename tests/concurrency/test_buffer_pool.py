@@ -1,0 +1,112 @@
+"""BufferPool under contention: no buffer serves two live evaluations.
+
+The pool recycles dense ``(H, W, 9)`` textures between queries.  If
+two threads could ever pop the same buffer, both evaluations would
+rasterize into one texture and silently corrupt each other — the worst
+kind of concurrency bug, because results stay plausible.  The tracking
+subclass below turns that into a hard failure at the exact handout.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.expressions import BufferPool
+from repro.core.canvas import Canvas
+from repro.engine import QueryEngine
+from repro.geometry.bbox import BoundingBox
+
+from tests.concurrency.conftest import run_threads
+
+
+class TrackingPool(BufferPool):
+    """A BufferPool that fails the instant a live buffer is re-handed.
+
+    ``live`` holds the ids of buffers currently checked out; an
+    acquire returning a buffer already in the set is the corruption
+    the lock exists to prevent.
+    """
+
+    def __init__(self, max_entries: int = 8) -> None:
+        super().__init__(max_entries)
+        self.live: set[int] = set()
+        self.double_handouts = 0
+        self.handouts = 0
+        self._track_lock = threading.Lock()
+
+    def acquire_shape(self, window, height, width, device):
+        buffer = super().acquire_shape(window, height, width, device)
+        if buffer is not None:
+            with self._track_lock:
+                self.handouts += 1
+                if id(buffer) in self.live:
+                    self.double_handouts += 1
+                self.live.add(id(buffer))
+        return buffer
+
+    def release(self, canvas) -> None:
+        with self._track_lock:
+            self.live.discard(id(canvas))
+        super().release(canvas)
+
+
+class TestPoolExclusivity:
+    def test_raw_pool_no_double_handout(self):
+        """Direct hammer: 8 threads cycling acquire/release on one
+        shape never receive a buffer someone else still holds."""
+        pool = TrackingPool(max_entries=4)
+        window = BoundingBox(0, 0, 10, 10)
+
+        def hammer(index, barrier):
+            barrier.wait()
+            for _ in range(200):
+                buffer = pool.acquire_shape(tuple(window), 16, 16, "cpu")
+                if buffer is None:
+                    buffer = Canvas(window, 16, "cpu")
+                # Touch the buffer so a shared handout would interleave.
+                buffer.texture.data[0, 0, 0] = index
+                assert buffer.texture.data[0, 0, 0] == index
+                pool.release(buffer)
+
+        run_threads(8, hammer)
+        assert pool.double_handouts == 0
+        assert pool.handouts > 0  # buffers actually recycled
+
+    def test_engine_pool_exclusive_under_parallel_knn(self, cloud, window):
+        """Engine-level stress: parallel kNN probe loops recycle pooled
+        frames heavily; the tracking pool proves exclusivity."""
+        engine = QueryEngine(max_workers=4)
+        engine.buffer_pool = TrackingPool(8)
+        xs, ys = cloud
+
+        def hammer(index, barrier):
+            barrier.wait()
+            for repeat in range(2):
+                engine.knn(
+                    xs, ys, (20.0 + 7 * index, 30.0 + 5 * repeat), 5,
+                    window=window, resolution=128,
+                    force_plan="canvas-distance-probes",
+                )
+
+        run_threads(6, hammer)
+        assert engine.buffer_pool.double_handouts == 0
+
+    def test_pool_count_consistent_after_hammer(self):
+        """The pool's entry count never goes negative or exceeds the
+        cap, even when releases race acquires."""
+        pool = BufferPool(max_entries=4)
+        window = BoundingBox(0, 0, 10, 10)
+        seed_canvases = [Canvas(window, 8, "cpu") for _ in range(8)]
+
+        def hammer(index, barrier):
+            barrier.wait()
+            for i in range(300):
+                got = pool.acquire_shape(tuple(window), 8, 8, "cpu")
+                pool.release(got if got is not None
+                             else seed_canvases[index])
+
+        run_threads(8, hammer)
+        assert 0 <= len(pool) <= 4

@@ -1,0 +1,176 @@
+"""Parallel ``execute_batch``: bit-identical to serial, attributed.
+
+The batch entry point is the first place the engine overlaps real
+work, so this suite pins the contract down hard: same results, same
+plan choices, same hit/miss split as serial execution — regardless of
+worker count, member mix, or completion order — plus per-member
+timing/worker attribution in the report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import BatchQuery, QueryEngine
+
+
+def make_batch(cloud, polygons, window, n_members=16):
+    """A deterministic mixed batch: repeated selections (shared
+    constraint sets), an aggregation, a distance query and a knn."""
+    xs, ys = cloud
+    members = []
+    for i in range(n_members - 3):
+        poly = polygons[i % 4]  # 4 distinct recipes, each repeated
+        members.append(
+            BatchQuery.selection(xs, ys, [poly], window=window,
+                                 resolution=128)
+        )
+    members.append(
+        BatchQuery.aggregation(xs, ys, polygons[:3], window=window,
+                               resolution=128)
+    )
+    members.append(
+        BatchQuery.distance(xs, ys, (50.0, 50.0), 20.0, window=window,
+                            resolution=128)
+    )
+    members.append(BatchQuery.knn(xs, ys, (30.0, 40.0), 5, window=window,
+                                  resolution=128))
+    return members
+
+
+def outcome_fingerprint(outcome):
+    """The comparable payload of one member outcome."""
+    if hasattr(outcome, "ids"):
+        return ("sel", outcome.ids.tobytes(), outcome.n_candidates,
+                outcome.n_exact_tests)
+    if hasattr(outcome, "groups"):
+        return ("agg", outcome.groups.tobytes(), outcome.values.tobytes(),
+                outcome.aggregate)
+    raise AssertionError(f"unexpected outcome {type(outcome).__name__}")
+
+
+class TestBitIdentical:
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    def test_parallel_matches_serial(self, cloud, polygons, window, workers):
+        serial = QueryEngine().execute_batch(
+            make_batch(cloud, polygons, window)
+        )
+        parallel = QueryEngine(max_workers=workers).execute_batch(
+            make_batch(cloud, polygons, window)
+        )
+        assert [outcome_fingerprint(o) for o in serial.results] == [
+            outcome_fingerprint(o) for o in parallel.results
+        ]
+        # Same plan choices: the planning sweep resolves cache-aware
+        # pricing up front, so completion order cannot flip a plan.
+        assert serial.report.plans == parallel.report.plans
+        # Same cache traffic: single-flight turns racing misses into
+        # (1 miss + k hits), exactly the serial split.
+        assert serial.report.cache_hits == parallel.report.cache_hits
+        assert serial.report.cache_misses == parallel.report.cache_misses
+        assert serial.report.shared_constraint_sets == (
+            parallel.report.shared_constraint_sets
+        )
+
+    def test_repeated_runs_are_stable(self, cloud, polygons, window):
+        """Ten parallel runs on one engine: all bit-identical."""
+        engine = QueryEngine(max_workers=4)
+        fingerprints = [
+            [outcome_fingerprint(o)
+             for o in engine.execute_batch(
+                 make_batch(cloud, polygons, window)).results]
+            for _ in range(10)
+        ]
+        assert all(fp == fingerprints[0] for fp in fingerprints)
+
+
+class TestAttribution:
+    def test_member_report_covers_every_member(self, cloud, polygons, window):
+        engine = QueryEngine(max_workers=4)
+        outcome = engine.execute_batch(make_batch(cloud, polygons, window))
+        report = outcome.report
+        assert report.max_workers == 4
+        assert len(report.members) == report.n_queries
+        assert [m.index for m in report.members] == list(
+            range(report.n_queries)
+        )
+        for member, (kind, plan) in zip(report.members, report.plans):
+            assert member.kind == kind
+            assert member.plan == plan
+            assert member.execution_s >= 0.0
+        workers_used = {m.worker for m in report.members}
+        assert all(w.startswith("repro-batch") for w in workers_used)
+        assert len(workers_used) > 1  # the batch actually spread out
+
+    def test_serial_engine_reports_one_worker(self, cloud, polygons, window):
+        outcome = QueryEngine().execute_batch(
+            make_batch(cloud, polygons, window)
+        )
+        assert outcome.report.max_workers == 1
+        assert len({m.worker for m in outcome.report.members}) == 1
+
+    def test_describe_mentions_members(self, cloud, polygons, window):
+        outcome = QueryEngine(max_workers=2).execute_batch(
+            make_batch(cloud, polygons, window, n_members=4)
+        )
+        text = outcome.report.describe()
+        assert "member[0]" in text and "2 worker(s)" in text
+
+
+class TestOptOut:
+    def test_parallel_false_members_run_on_caller(self, cloud, polygons,
+                                                  window):
+        import threading
+
+        xs, ys = cloud
+        members = [
+            BatchQuery.selection(xs, ys, [polygons[i % 4]], window=window,
+                                 resolution=128)
+            for i in range(6)
+        ]
+        members.append(BatchQuery(
+            "distance",
+            dict(xs=xs, ys=ys, center=(50.0, 50.0), radius=15.0,
+                 window=window, resolution=128),
+            parallel=False,
+        ))
+        outcome = QueryEngine(max_workers=4).execute_batch(members)
+        opt_out = outcome.report.members[-1]
+        assert opt_out.worker == threading.current_thread().name
+        pooled = outcome.report.members[:-1]
+        assert all(m.worker.startswith("repro-batch") for m in pooled)
+
+    def test_all_opt_out_runs_serially(self, cloud, polygons, window):
+        xs, ys = cloud
+        members = [
+            BatchQuery("selection",
+                       dict(xs=xs, ys=ys, polygons=[polygons[0]],
+                            window=window, resolution=128),
+                       parallel=False)
+            for _ in range(3)
+        ]
+        outcome = QueryEngine(max_workers=4).execute_batch(members)
+        assert outcome.report.max_workers == 1
+
+
+class TestValidation:
+    def test_bad_max_workers_rejected(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            QueryEngine(max_workers=0)
+        with pytest.raises(ValueError, match="max_workers"):
+            QueryEngine().execute_batch([], max_workers=0)
+
+    def test_unknown_kind_still_rejected(self, cloud, window):
+        xs, ys = cloud
+        with pytest.raises(ValueError, match="unknown batch query kind"):
+            QueryEngine(max_workers=4).execute_batch(
+                [BatchQuery("nope", dict(xs=xs, ys=ys, window=window))]
+            )
+
+    def test_member_error_propagates(self, cloud, window):
+        xs, ys = cloud
+        members = [
+            BatchQuery.selection(xs, ys, [], window=window, resolution=64)
+        ]
+        with pytest.raises(ValueError, match="at least one constraint"):
+            QueryEngine(max_workers=4).execute_batch(members * 2)

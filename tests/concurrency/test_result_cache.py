@@ -1,0 +1,201 @@
+"""Spec-digest result cache: warm hits, invalidation, explain, threads.
+
+The acceptance contract: warm hits are bit-identical to cold runs and
+visible in ``explain``; ``register`` invalidates; entries are frozen;
+``file:`` refs bypass; the cache is safe to hit from many threads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    AggregateSpec,
+    ConstraintSpec,
+    DatasetRegistry,
+    GeometryData,
+    ResultCache,
+    SelectSpec,
+    Session,
+)
+from repro.engine import QueryEngine
+from repro.geometry.primitives import Polygon
+
+from tests.concurrency.conftest import run_threads
+
+
+def select_spec(seed=0):
+    return SelectSpec(
+        dataset=f"synthetic:uniform?n=4000&seed={seed}",
+        constraints=[ConstraintSpec.rect((10, 10), (70, 60))],
+        resolution=128,
+    )
+
+
+def cached_session(**kwargs) -> Session:
+    return Session(engine=QueryEngine(),
+                   result_cache_max_bytes=8 * 1024 * 1024, **kwargs)
+
+
+class TestWarmHits:
+    def test_warm_hit_is_bit_identical_and_shared(self):
+        session = cached_session()
+        spec = select_spec()
+        cold = session.run(spec)
+        warm = session.run(spec)
+        assert warm is cold  # the entry itself, not a recompute
+        assert (warm.ids == cold.ids).all()
+        stats = session.result_cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+
+    def test_hit_skips_the_engine(self):
+        engine = QueryEngine()
+        session = Session(engine=engine,
+                          result_cache_max_bytes=8 * 1024 * 1024)
+        spec = select_spec()
+        session.run(spec)
+        executed_before = engine.cache.stats().builds
+        session.run(spec)
+        # No new canvas work: the warm run never reached the engine's
+        # planner or cache.
+        assert engine.cache.stats().builds == executed_before
+
+    def test_hit_visible_in_explain(self):
+        session = cached_session()
+        spec = select_spec()
+        cold_text = session.explain(spec)  # also warms the cache
+        warm_text = session.explain(spec)
+        assert "result-cache-hit" not in cold_text
+        assert "result-cache-hit" in warm_text
+        assert "spec-digest result cache" in warm_text
+
+    def test_hit_recorded_in_take_reports(self):
+        session = cached_session()
+        spec = select_spec()
+        session.run(spec)
+        session.take_reports()
+        session.run(spec)
+        reports, produced = session.take_reports()
+        assert produced == 1
+        assert reports[0].plan == "result-cache-hit"
+
+    def test_dict_and_object_forms_share_an_entry(self):
+        session = cached_session()
+        spec = select_spec()
+        cold = session.run(spec.to_dict())
+        warm = session.run(spec)
+        assert warm is cold
+
+
+class TestKeying:
+    def test_semantic_change_misses(self):
+        session = cached_session()
+        a = session.run(select_spec(seed=0))
+        b = session.run(select_spec(seed=1))
+        assert session.result_cache.stats().hits == 0
+        assert not (len(a.ids) == len(b.ids)
+                    and (a.ids == b.ids).all())
+
+    def test_register_invalidates(self):
+        registry = DatasetRegistry()
+        rng = np.random.default_rng(3)
+        registry.register("pts", (rng.random(500) * 100,
+                                  rng.random(500) * 100))
+        session = Session(registry, engine=QueryEngine(),
+                          result_cache_max_bytes=8 * 1024 * 1024)
+        spec = SelectSpec(dataset="pts",
+                          constraints=[ConstraintSpec.rect((0, 0), (50, 50))],
+                          resolution=128)
+        first = session.run(spec)
+        registry.register("pts", (rng.random(500) * 100,
+                                  rng.random(500) * 100))
+        second = session.run(spec)  # must recompute on the new data
+        assert session.result_cache.stats().hits == 0
+        assert second is not first
+
+    def test_file_refs_bypass(self, tmp_path):
+        csv = tmp_path / "pts.csv"
+        csv.write_text(
+            "geometry\n" + "\n".join(
+                f'"POINT ({i} {i})"' for i in range(20)
+            )
+        )
+        session = cached_session()
+        spec = SelectSpec(dataset=f"file:{csv}",
+                          constraints=[ConstraintSpec.rect((0, 0), (10, 10))],
+                          resolution=64)
+        session.run(spec)
+        session.run(spec)
+        stats = session.result_cache.stats()
+        assert stats.hits == 0 and stats.misses == 0  # never consulted
+
+    def test_runtime_knobs_bypass(self):
+        session = cached_session()
+        spec = select_spec()
+        session.run(spec, force_plan="per-polygon-pip")
+        session.run(spec, force_plan="per-polygon-pip")
+        stats = session.result_cache.stats()
+        assert stats.hits == 0 and stats.misses == 0
+
+
+class TestEntryIntegrity:
+    def test_cached_result_is_frozen(self):
+        session = cached_session()
+        result = session.run(select_spec())
+        with pytest.raises(ValueError):
+            result.ids[0] = 999
+
+    def test_aggregate_results_cache_too(self):
+        session = cached_session()
+        polys = [Polygon([(10, 10), (50, 10), (50, 50), (10, 50)]),
+                 Polygon([(50, 50), (90, 50), (90, 90), (50, 90)])]
+        spec = AggregateSpec(dataset="taxi:pickups?n=3000",
+                             polygons=GeometryData(polys),
+                             aggregate="count", resolution=128)
+        cold = session.run(spec)
+        warm = session.run(spec)
+        assert warm is cold
+        assert (warm.groups == cold.groups).all()
+        with pytest.raises(ValueError):
+            warm.values[0] = -1.0
+
+    def test_byte_budget_evicts(self):
+        cache = ResultCache(capacity=1024, max_bytes=1)
+        cache.put(("a",), [(1, 2)] * 10)
+        cache.put(("b",), [(3, 4)] * 10)
+        assert cache.stats().size == 1  # the budget held
+        assert cache.stats().evictions == 1
+
+    def test_list_results_copy_per_hit(self):
+        cache = ResultCache()
+        cache.put(("pairs",), [(1, 2), (3, 4)])
+        hit, first = cache.get(("pairs",))
+        assert hit
+        first.append((9, 9))  # a caller mutating its copy...
+        _, second = cache.get(("pairs",))
+        assert second == [(1, 2), (3, 4)]  # ...cannot poison the entry
+
+
+class TestThreaded:
+    def test_many_threads_one_compute(self):
+        """8 threads x 4 repeats on one spec: every result identical,
+        and the engine executed at most a thread-count of times (each
+        thread's first miss may overlap before the first put lands)."""
+        engine = QueryEngine()
+        session = Session(engine=engine,
+                          result_cache_max_bytes=8 * 1024 * 1024)
+        spec = select_spec()
+        results = {}
+
+        def hammer(index, barrier):
+            barrier.wait()
+            for repeat in range(4):
+                results[(index, repeat)] = session.run(spec)
+
+        run_threads(8, hammer)
+        fingerprints = {r.ids.tobytes() for r in results.values()}
+        assert len(fingerprints) == 1
+        stats = session.result_cache.stats()
+        assert stats.hits >= 8 * 4 - 8  # at most one miss per thread
+        assert stats.misses <= 8

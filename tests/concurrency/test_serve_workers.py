@@ -1,0 +1,146 @@
+"""Threaded serve: interleaved requests, responses matched in order.
+
+The serve contract under ``--workers N``: output line *k* answers
+non-blank input line *k*, bad lines answer in-band without killing the
+loop, and one shared session serves every worker safely.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    ConstraintSpec,
+    KnnSpec,
+    SelectSpec,
+    Session,
+    default_serve_session,
+    serve_lines,
+)
+from repro.engine import QueryEngine
+
+
+def tagged_request_lines(n=24):
+    """Distinguishable requests: each one's answer reveals which
+    request produced it (distinct k for knn, distinct seeds for
+    selects), plus interleaved malformed lines and blanks."""
+    lines = []
+    expectations = []  # (kind, expected marker)
+    for i in range(n):
+        which = i % 4
+        if which == 0:
+            k = 1 + (i % 7)
+            lines.append(json.dumps(KnnSpec(
+                dataset="synthetic:uniform?n=3000&seed=1",
+                query_point=(50.0, 50.0), k=k, resolution=128,
+            ).to_dict()))
+            expectations.append(("knn", k))
+        elif which == 1:
+            seed = i
+            lines.append(json.dumps(SelectSpec(
+                dataset=f"synthetic:uniform?n=2000&seed={seed}",
+                constraints=[ConstraintSpec.rect((0, 0), (60, 60))],
+                resolution=128,
+            ).to_dict()))
+            expectations.append(("select", seed))
+        elif which == 2:
+            lines.append("{ this is not json")
+            expectations.append(("bad", None))
+        else:
+            lines.append("")  # blank: skipped, no response
+            expectations.append(("blank", None))
+    return lines, expectations
+
+
+def reference_matches(expectations):
+    """Serial ground truth for the select members, keyed by seed."""
+    session = Session(engine=QueryEngine())
+    matches = {}
+    for kind, marker in expectations:
+        if kind == "select" and marker not in matches:
+            result = session.run(SelectSpec(
+                dataset=f"synthetic:uniform?n=2000&seed={marker}",
+                constraints=[ConstraintSpec.rect((0, 0), (60, 60))],
+                resolution=128,
+            ))
+            matches[marker] = len(result.ids)
+    return matches
+
+
+class TestServeWorkers:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_interleaved_stream_matches_requests(self, workers):
+        lines, expectations = tagged_request_lines()
+        responses = list(serve_lines(iter(lines), workers=workers))
+        non_blank = [e for e in expectations if e[0] != "blank"]
+        assert len(responses) == len(non_blank)
+        matches = reference_matches(expectations)
+        for raw, (kind, marker) in zip(responses, non_blank):
+            payload = json.loads(raw)
+            if kind == "bad":
+                assert payload["ok"] is False
+                assert "bad JSON" in payload["error"]
+            elif kind == "knn":
+                assert payload["ok"] is True
+                # k neighbours — the response proves which request
+                # produced it.
+                assert payload["result"]["matched"] == marker
+            else:  # select
+                assert payload["ok"] is True
+                assert payload["result"]["matched"] == matches[marker]
+
+    def test_threaded_equals_serial_output(self):
+        lines, _ = tagged_request_lines()
+        serial = list(serve_lines(iter(lines), workers=1))
+        threaded = list(serve_lines(iter(lines), workers=4))
+
+        def stable(raw):
+            payload = json.loads(raw)
+            payload.pop("report", None)  # timings differ run to run
+            return payload
+
+        assert [stable(r) for r in serial] == [stable(r) for r in threaded]
+
+    def test_batch_requests_work_threaded(self):
+        spec = SelectSpec(
+            dataset="synthetic:uniform?n=2000&seed=5",
+            constraints=[ConstraintSpec.rect((0, 0), (50, 50))],
+            resolution=128,
+        ).to_dict()
+        lines = [json.dumps({"batch": [spec, spec]})] * 6
+        responses = [
+            json.loads(r)
+            for r in serve_lines(iter(lines), workers=3)
+        ]
+        assert all(r["ok"] for r in responses)
+        matched = {
+            tuple(res["matched"] for res in r["results"])
+            for r in responses
+        }
+        assert len(matched) == 1  # all six identical
+
+    def test_result_cache_session_serves_hits(self):
+        session = default_serve_session(
+            result_cache_max_bytes=8 * 1024 * 1024
+        )
+        spec = json.dumps(SelectSpec(
+            dataset="synthetic:uniform?n=2000&seed=9",
+            constraints=[ConstraintSpec.rect((0, 0), (40, 40))],
+            resolution=128,
+        ).to_dict())
+        responses = [
+            json.loads(r)
+            for r in serve_lines(iter([spec] * 8), session, workers=4)
+        ]
+        matched = {r["result"]["matched"] for r in responses}
+        assert len(matched) == 1
+        plans = [r["report"]["plan"] for r in responses]
+        assert "result-cache-hit" in plans
+        stats = session.result_cache.stats()
+        assert stats.hits >= 1
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            list(serve_lines(iter([]), workers=0))

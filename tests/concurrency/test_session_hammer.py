@@ -1,0 +1,128 @@
+"""N threads x M repeated specs against ONE session: the core battery.
+
+Every thread runs the same deterministic spec mix through a single
+shared :class:`Session` (barrier-synchronized start), then the suite
+asserts what the concurrency layer promises:
+
+- bit-identical results vs a serial reference run;
+- exactly one canvas build per unique constraint (single-flight);
+- ``take_reports`` attribution correct per thread — each thread sees
+  exactly its own reports, in its own order, never a neighbour's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import ConstraintSpec, KnnSpec, SelectSpec, Session
+from repro.engine import QueryEngine
+
+from tests.concurrency.conftest import run_threads
+
+N_THREADS = 8
+M_REPEATS = 3
+
+
+def spec_mix():
+    """Deterministic specs: 4 distinct selections + 1 knn, repeated."""
+    selects = [
+        SelectSpec(
+            dataset=f"synthetic:uniform?n=4000&seed={seed}",
+            constraints=[ConstraintSpec.rect((10 + seed, 10),
+                                             (60 + seed, 70))],
+            resolution=128,
+        )
+        for seed in range(4)
+    ]
+    knn = KnnSpec(dataset="synthetic:uniform?n=4000&seed=0",
+                  query_point=(50.0, 50.0), k=7, resolution=128)
+    return selects + [knn]
+
+
+def fingerprint(result) -> tuple:
+    return (result.ids.tobytes(), int(result.n_candidates),
+            int(result.n_exact_tests))
+
+
+class TestSessionHammer:
+    def test_bit_identical_and_single_flight(self):
+        serial_engine = QueryEngine()
+        serial_session = Session(engine=serial_engine)
+        reference = {
+            i: fingerprint(serial_session.run(spec))
+            for i, spec in enumerate(spec_mix())
+        }
+
+        engine = QueryEngine()
+        session = Session(engine=engine)
+        observed: dict[tuple[int, int, int], tuple] = {}
+
+        def hammer(index, barrier):
+            barrier.wait()
+            for repeat in range(M_REPEATS):
+                for i, spec in enumerate(spec_mix()):
+                    observed[(index, repeat, i)] = fingerprint(
+                        session.run(spec)
+                    )
+
+        run_threads(N_THREADS, hammer)
+
+        assert len(observed) == N_THREADS * M_REPEATS * len(spec_mix())
+        for (_, _, i), fp in observed.items():
+            assert fp == reference[i]
+
+        # Single-flight: however many threads and repeats hammered the
+        # shared cache, each unique constraint built exactly as often
+        # as one serial pass over the spec mix built it — once per key.
+        assert engine.cache.stats().builds == serial_engine.cache.stats().builds
+
+    def test_take_reports_attribution_per_thread(self):
+        """Each thread's take_reports returns exactly its own stream."""
+        engine = QueryEngine(history=128)
+        session = Session(engine=engine)
+        specs = spec_mix()
+        per_thread: dict[int, tuple[list, int]] = {}
+
+        def hammer(index, barrier):
+            session.take_reports()  # anchor this thread before the race
+            barrier.wait()
+            # Each thread runs a *different number* of queries so a
+            # cross-thread mixup cannot cancel out numerically.
+            n_queries = 1 + index
+            for i in range(n_queries):
+                session.run(specs[i % len(specs)])
+            per_thread[index] = session.take_reports()
+
+        run_threads(N_THREADS, hammer)
+
+        for index, (reports, produced) in per_thread.items():
+            assert produced == 1 + index
+            assert len(reports) == 1 + index
+            # knn probes aside, every report here is a selection —
+            # and each one was recorded by this thread's own run loop.
+            for report in reports:
+                assert report.query in ("selection", "knn")
+
+        # The engine's global tally saw everything exactly once.
+        assert engine.report_count >= sum(
+            1 + i for i in range(N_THREADS)
+        )
+
+    def test_bounded_history_tally_still_true_per_thread(self):
+        """A thread overflowing the bounded history still gets the true
+        produced count (len(reports) < produced)."""
+        engine = QueryEngine(history=4)
+        session = Session(engine=engine)
+        spec = spec_mix()[0]
+
+        def hammer(index, barrier):
+            session.take_reports()
+            barrier.wait()
+            for _ in range(6):
+                session.run(spec)
+            reports, produced = session.take_reports()
+            assert produced == 6
+            assert len(reports) == 4  # bounded deque forgot the rest
+
+        run_threads(4, hammer)
