@@ -190,8 +190,10 @@ def bench_serve_workers(n_points: int, resolution: int,
         for i in range(n_requests)
     ]
 
+    # Worker throughput is meaningless without the core count it ran
+    # on (parallel_batch already records it; keep the sections aligned).
     out: dict = {"n_points": n_points, "resolution": resolution,
-                 "n_requests": n_requests}
+                 "n_requests": n_requests, "cpu_count": os.cpu_count() or 1}
     reference = None
     for workers in (1, 2, 4):
         registry = DatasetRegistry(allow_files=False).register(

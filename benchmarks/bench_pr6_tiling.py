@@ -1,0 +1,288 @@
+"""PR 6 tiling benchmark: warm tiles under pan/zoom, high-res feasibility.
+
+Three sections, each verifying result equivalence before timing:
+
+- **pan_zoom** — a dashboard-style pan circuit: one fixed constraint
+  set, ~24 viewport windows walking the perimeter of a pan grid in
+  exact tile-sized steps, repeated for several rounds.  Both engines
+  get the *same* canvas-cache byte budget; the whole-frame engine must
+  rasterize per (constraint set, window) pair, so the circuit's
+  working set blows the budget and every round stays cold, while the
+  tiled engine re-gathers from lattice tiles shared across windows and
+  is fully warm from round 2.  The acceptance bar: **>= 2x**
+  wall-clock on rounds 2+ (tiled vs whole-frame re-execution).
+- **high_resolution** — one 4096x4096 selection through the tiled path
+  under a cache byte budget (256 MiB) that a single full-frame canvas
+  (~1.27 GiB) could not even enter; tiles build, serve their gather,
+  and age out without the peak footprint ever exceeding the budget.
+- **tiled_vs_frame** — the honest cold ablation: same query, fresh
+  caches, whole-frame vs tiled.  Tiling pays per-tile overhead when
+  nothing is warm; this records the price the pan/zoom reuse buys back.
+
+Run ``python benchmarks/bench_pr6_tiling.py`` for the full workload
+(writes ``BENCH_PR6.json`` at the repo root) or ``--dry-run`` for the
+tiny CI smoke version (writes ``benchmarks/out/bench_pr6_dry.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.polygons import hand_drawn_polygon, rescale_to_box
+from repro.engine import QueryEngine
+from repro.geometry.bbox import BoundingBox
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FULL_JSON = REPO_ROOT / "BENCH_PR6.json"
+DRY_JSON = Path(__file__).resolve().parent / "out" / "bench_pr6_dry.json"
+
+#: Bytes of a whole-frame canvas at HxW: a 9-channel float64 texture,
+#: a 3-group validity mask, and a boundary byte per pixel.  Kept as
+#: arithmetic (not an allocation) so the high-resolution section can
+#: price the full-frame alternative without materialising it.
+FRAME_BYTES_PER_PIXEL = 9 * 8 + 3 * 1 + 1
+
+
+def _scatter_polygons(n: int, domain: BoundingBox, seed0: int = 7) -> list:
+    """Constraint polygons spread across *domain* so every viewport of
+    the pan circuit overlaps a few of them."""
+    rng = np.random.default_rng(seed0)
+    polys = []
+    for i in range(n):
+        cx = rng.uniform(domain.xmin, domain.xmax)
+        cy = rng.uniform(domain.ymin, domain.ymax)
+        half_w = rng.uniform(0.25, 0.45) * (domain.xmax - domain.xmin) / 2
+        half_h = rng.uniform(0.25, 0.45) * (domain.ymax - domain.ymin) / 2
+        polys.append(rescale_to_box(
+            hand_drawn_polygon(seed=seed0 + i, n_vertices=40),
+            BoundingBox(cx - half_w, cy - half_h, cx + half_w, cy + half_h),
+        ))
+    return polys
+
+
+def _pan_circuit(n_cols: int, n_rows: int, step: float,
+                 size: float) -> list[BoundingBox]:
+    """Viewport windows walking the perimeter of an (n_cols x n_rows)
+    pan grid in *step*-sized moves — the classic dashboard pan loop.
+    *step* must be the world size of one tile so consecutive windows
+    share lattice tiles exactly."""
+    positions = (
+        [(i, 0) for i in range(n_cols)]
+        + [(n_cols - 1, j) for j in range(1, n_rows)]
+        + [(i, n_rows - 1) for i in range(n_cols - 2, -1, -1)]
+        + [(0, j) for j in range(n_rows - 2, 0, -1)]
+    )
+    return [
+        BoundingBox(i * step, j * step, i * step + size, j * step + size)
+        for i, j in positions
+    ]
+
+
+def _run_circuit(engine: QueryEngine, xs, ys, polys, windows,
+                 resolution: int, tiling: int | None) -> tuple[float, list]:
+    """One round of the circuit on *engine*; returns (seconds, ids)."""
+    matched = []
+    t0 = time.perf_counter()
+    for window in windows:
+        result = engine.select_points(
+            xs, ys, polys, window=window, resolution=resolution,
+            exact=False, tiling=tiling,
+            force_plan=None if tiling is not None else "blended-canvas",
+        )
+        matched.append(result.ids)
+    return time.perf_counter() - t0, matched
+
+
+def bench_pan_zoom(n_points: int, resolution: int, tiling: int,
+                   n_cols: int, n_rows: int, rounds: int,
+                   cache_mb: int) -> dict:
+    """Warm-tile pan circuit vs whole-frame re-execution, same budget."""
+    tile_world = 1.0 / tiling  # window is 1.0 wide at `resolution` px
+    windows = _pan_circuit(n_cols, n_rows, step=tile_world, size=1.0)
+    span = BoundingBox.union_all(windows)
+    rng = np.random.default_rng(60)
+    xs = rng.uniform(span.xmin, span.xmax, n_points)
+    ys = rng.uniform(span.ymin, span.ymax, n_points)
+    polys = _scatter_polygons(8, span)
+
+    budget = cache_mb * 1024 * 1024
+    # Entry capacity far above the tile count: the byte budget must be
+    # the binding constraint for both engines, not the LRU entry cap.
+    frame_engine = QueryEngine(cache_capacity=8192, cache_max_bytes=budget)
+    tiled_engine = QueryEngine(cache_capacity=8192, cache_max_bytes=budget)
+
+    frame_rounds, tiled_rounds = [], []
+    reference = None
+    for _ in range(rounds):
+        f_sec, f_ids = _run_circuit(frame_engine, xs, ys, polys, windows,
+                                    resolution, tiling=None)
+        t_sec, t_ids = _run_circuit(tiled_engine, xs, ys, polys, windows,
+                                    resolution, tiling=tiling)
+        for a, b in zip(f_ids, t_ids):
+            assert np.array_equal(a, b), "tiled pan answers diverged"
+        if reference is None:
+            reference = f_ids
+        frame_rounds.append(f_sec)
+        tiled_rounds.append(t_sec)
+        print(f"  pan round: frame {f_sec * 1e3:8.1f} ms   "
+              f"tiled {t_sec * 1e3:8.1f} ms")
+
+    last = tiled_engine.reports[-1]
+    warm_frame = sum(frame_rounds[1:])
+    warm_tiled = sum(tiled_rounds[1:])
+    return {
+        "n_points": n_points,
+        "resolution": resolution,
+        "tiling": tiling,
+        "n_windows": len(windows),
+        "rounds": rounds,
+        "cache_max_bytes": budget,
+        "frame_round_s": frame_rounds,
+        "tiled_round_s": tiled_rounds,
+        "frame_cache_bytes_used": frame_engine.cache.stats().bytes_used,
+        "tiled_cache_bytes_used": tiled_engine.cache.stats().bytes_used,
+        "last_query_tiles": {"lattice": last.tiles, "hits": last.tile_hits,
+                             "misses": last.tile_misses},
+        "warm_speedup": warm_frame / warm_tiled,
+    }
+
+
+def bench_high_resolution(n_points: int, resolution: int, tiling: int,
+                          cache_mb: int) -> dict:
+    """One high-resolution tiled selection under a byte budget the
+    whole-frame canvas would exceed on its own."""
+    window = BoundingBox(0.0, 0.0, 1.0, 1.0)
+    rng = np.random.default_rng(61)
+    xs = rng.uniform(0.0, 1.0, n_points)
+    ys = rng.uniform(0.0, 1.0, n_points)
+    polys = [rescale_to_box(
+        hand_drawn_polygon(seed=62, n_vertices=48),
+        BoundingBox(0.05, 0.05, 0.95, 0.95),
+    )]
+
+    budget = cache_mb * 1024 * 1024
+    frame_bytes = resolution * resolution * FRAME_BYTES_PER_PIXEL
+    engine = QueryEngine(cache_capacity=256, cache_max_bytes=budget)
+    t0 = time.perf_counter()
+    result = engine.select_points(
+        xs, ys, polys, window=window, resolution=resolution,
+        exact=False, tiling=tiling,
+    )
+    elapsed = time.perf_counter() - t0
+    peak = engine.cache.stats().bytes_used
+    report = engine.reports[-1]
+    print(f"  {resolution}x{resolution} tiled selection: "
+          f"{elapsed * 1e3:.1f} ms, cache peak "
+          f"{peak / 2**20:.1f} MiB of {cache_mb} MiB budget "
+          f"(full frame would be {frame_bytes / 2**20:.1f} MiB)")
+    return {
+        "n_points": n_points,
+        "resolution": resolution,
+        "tiling": tiling,
+        "matched": int(len(result.ids)),
+        "elapsed_s": elapsed,
+        "cache_max_bytes": budget,
+        "cache_bytes_used": peak,
+        "full_frame_bytes": frame_bytes,
+        "frame_exceeds_budget": frame_bytes > budget,
+        "tiles": {"lattice": report.tiles, "hits": report.tile_hits,
+                  "misses": report.tile_misses},
+    }
+
+
+def bench_tiled_vs_frame(n_points: int, resolution: int,
+                         tiling: int) -> dict:
+    """Cold ablation: fresh caches, one run each way, same answers."""
+    window = BoundingBox(0.0, 0.0, 1.0, 1.0)
+    rng = np.random.default_rng(63)
+    xs = rng.uniform(0.0, 1.0, n_points)
+    ys = rng.uniform(0.0, 1.0, n_points)
+    polys = _scatter_polygons(6, window, seed0=64)
+
+    frame_engine = QueryEngine()
+    tiled_engine = QueryEngine()
+    t0 = time.perf_counter()
+    frame = frame_engine.select_points(
+        xs, ys, polys, window=window, resolution=resolution,
+        exact=False, force_plan="blended-canvas",
+    )
+    frame_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    tiled = tiled_engine.select_points(
+        xs, ys, polys, window=window, resolution=resolution,
+        exact=False, tiling=tiling,
+    )
+    tiled_s = time.perf_counter() - t0
+    assert np.array_equal(frame.ids, tiled.ids), "cold ablation diverged"
+    print(f"  cold: frame {frame_s * 1e3:8.1f} ms   "
+          f"tiled {tiled_s * 1e3:8.1f} ms "
+          f"(x{tiled_s / frame_s:.2f} cold overhead)")
+    return {
+        "n_points": n_points,
+        "resolution": resolution,
+        "tiling": tiling,
+        "frame_cold_s": frame_s,
+        "tiled_cold_s": tiled_s,
+        "tiled_over_frame": tiled_s / frame_s,
+    }
+
+
+def main(argv: list[str]) -> int:
+    dry = "--dry-run" in argv
+    if dry:
+        pan_cfg = dict(n_points=3_000, resolution=64, tiling=2,
+                       n_cols=4, n_rows=3, rounds=2, cache_mb=4)
+        hires_cfg = dict(n_points=5_000, resolution=512, tiling=4,
+                         cache_mb=4)
+        ablation_cfg = dict(n_points=3_000, resolution=64, tiling=2)
+        target = DRY_JSON
+    else:
+        pan_cfg = dict(n_points=30_000, resolution=256, tiling=4,
+                       n_cols=9, n_rows=5, rounds=4, cache_mb=64)
+        hires_cfg = dict(n_points=100_000, resolution=4096, tiling=8,
+                         cache_mb=256)
+        ablation_cfg = dict(n_points=30_000, resolution=512, tiling=4)
+        target = FULL_JSON
+
+    print("# pan_zoom")
+    pan = bench_pan_zoom(**pan_cfg)
+    print(f"  warm-round speedup: x{pan['warm_speedup']:.2f}")
+    print("# high_resolution")
+    hires = bench_high_resolution(**hires_cfg)
+    print("# tiled_vs_frame (cold)")
+    ablation = bench_tiled_vs_frame(**ablation_cfg)
+
+    payload = {
+        "benchmark": "pr6_tiling",
+        "dry_run": dry,
+        "pan_zoom": pan,
+        "high_resolution": hires,
+        "tiled_vs_frame": ablation,
+    }
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {target}")
+
+    if not dry:
+        # The acceptance bars, enforced where the numbers are produced.
+        assert pan["warm_speedup"] >= 2.0, (
+            f"warm-tile pan speedup x{pan['warm_speedup']:.2f} < x2"
+        )
+        assert hires["cache_bytes_used"] <= hires["cache_max_bytes"], (
+            "tile cache exceeded its byte budget"
+        )
+        assert hires["frame_exceeds_budget"], (
+            "high-res section must use a budget below one full frame"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

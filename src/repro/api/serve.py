@@ -119,7 +119,7 @@ def report_summary(report: Any) -> dict[str, Any]:
             "planning_ms": report.planning_s * 1e3,
             "execution_ms": report.execution_s * 1e3,
         }
-    return {
+    out = {
         "plan": report.plan,
         "estimated_cost": report.estimated_cost,
         "forced": report.forced,
@@ -134,6 +134,15 @@ def report_summary(report: Any) -> dict[str, Any]:
             "inplace_ops": report.inplace_ops,
         },
     }
+    # getattr-safe: summaries also render synthetic reports (result
+    # cache hits, empty inputs) that predate the tiled fields.
+    if getattr(report, "tiles", 0) > 0:
+        out["tiles"] = {
+            "lattice": report.tiles,
+            "hits": report.tile_hits,
+            "misses": report.tile_misses,
+        }
+    return out
 
 
 def handle_request(

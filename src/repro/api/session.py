@@ -137,6 +137,10 @@ class Session:
         (family defaults apply when this is also ``None``).
     device:
         Default execution device.
+    tiling:
+        Default K×K tile-lattice execution for specs that leave their
+        ``tiling`` unset.  ``None`` (the default) keeps whole-frame
+        execution; a spec's own ``tiling`` always wins over this.
     engine:
         An explicit engine to run on.  When omitted *and* no engine
         knobs are given, the session routes through the process-default
@@ -161,6 +165,7 @@ class Session:
         *,
         resolution: int | None = None,
         device: Device = DEFAULT_DEVICE,
+        tiling: int | None = None,
         engine: QueryEngine | None = None,
         cost_model=None,
         cache_capacity: int | None = None,
@@ -173,6 +178,9 @@ class Session:
         self.registry = registry if registry is not None else DatasetRegistry()
         self.resolution = resolution
         self.device = device
+        from repro.api.specs import _tiling_field
+
+        self.tiling = _tiling_field(tiling, "session")
         #: Largest join fan-out (right-side member count) this session
         #: will execute.  None = unbounded, matching the legacy join
         #: functions; the serve boundary sets a cap so one request
@@ -516,6 +524,13 @@ class Session:
     def _window(spec: QuerySpec) -> BoundingBox | None:
         return spec.window.to_box() if spec.window is not None else None
 
+    def _tiling(self, spec: QuerySpec) -> int | None:
+        """Effective tile-lattice K for *spec*: its own knob, else the
+        session default (kNN has no knob — its radius probes never
+        repeat a constraint, so tiling it would only add overhead)."""
+        tiling = getattr(spec, "tiling", None)
+        return tiling if tiling is not None else self.tiling
+
     @staticmethod
     def _check_records(data, ref, want: type, family: str, what: str):
         """Record-type contract for *reference-resolved* geometry data.
@@ -596,6 +611,7 @@ class Session:
                     xs=xs, ys=ys, center=center, radius=radius, ids=ids,
                     window=window, resolution=resolution, device=device,
                     exact=spec.exact, force_plan=force_plan,
+                    tiling=self._tiling(spec),
                 ),
                 wrap=_wrap_selection,
             )
@@ -622,7 +638,7 @@ class Session:
                 xs=xs, ys=ys, polygons=polys, ids=ids, window=window,
                 resolution=resolution, device=device, mode=spec.mode,
                 exact=spec.exact, constraint_canvas=constraint_canvas,
-                force_plan=force_plan,
+                force_plan=force_plan, tiling=self._tiling(spec),
             ),
             wrap=_wrap_selection,
         )
@@ -663,6 +679,7 @@ class Session:
                 aggregate=spec.aggregate, polygon_ids=ids, window=window,
                 resolution=self._resolution(spec), device=device,
                 exact=spec.exact, force_plan=force_plan,
+                tiling=self._tiling(spec),
             ),
             wrap=_wrap_aggregate,
         )
@@ -705,6 +722,7 @@ class Session:
                 window=spec.window.to_box(),
                 resolution=self._resolution(spec, default=512),
                 device=device, force_plan=force_plan,
+                tiling=self._tiling(spec),
             ),
             wrap=lambda outcome: outcome.canvas,
         )
@@ -728,6 +746,7 @@ class Session:
                 q1=spec.q1, q2=spec.q2, ids=trips.ids, window=window,
                 resolution=self._resolution(spec), device=device,
                 exact=spec.exact, force_plan=force_plan,
+                tiling=self._tiling(spec),
             ),
             wrap=_wrap_selection,
         )
@@ -754,7 +773,7 @@ class Session:
                 )
             return self._run_geometry_objects(
                 data.geometries, data.ids, query, window, resolution, device,
-                spec.exact,
+                spec.exact, self._tiling(spec),
             )
 
         self._check_records(
@@ -783,7 +802,7 @@ class Session:
         outcome = self.engine.select_geometry_records(
             spec.kind, geom_list, query, ids=ids, window=window,
             resolution=resolution, device=device, exact=spec.exact,
-            force_plan=force_plan,
+            force_plan=force_plan, tiling=self._tiling(spec),
         )
         return _wrap_selection(outcome)
 
@@ -796,6 +815,7 @@ class Session:
         resolution,
         device: Device,
         exact: bool,
+        tiling: int | None = None,
     ):
         """Heterogeneous-object selection (Figures 1 & 3): decompose
         every record into primitives and run the same blend+mask
@@ -873,6 +893,7 @@ class Session:
                 np.asarray(point_ys, dtype=np.float64),
                 [query], ids=np.arange(len(point_xs)), window=window,
                 resolution=resolution, device=device, exact=exact,
+                tiling=tiling,
             )
             selected.update(point_records[i] for i in outcome.ids)
             n_candidates += outcome.n_candidates
@@ -881,7 +902,7 @@ class Session:
             outcome = self.engine.select_geometry_records(
                 "lines", lines, query, ids=list(range(len(lines))),
                 window=window, resolution=resolution, device=device,
-                exact=exact,
+                exact=exact, tiling=tiling,
             )
             selected.update(line_records[i] for i in outcome.ids)
             n_candidates += outcome.n_candidates
@@ -890,7 +911,7 @@ class Session:
             outcome = self.engine.select_geometry_records(
                 "polygons", polygons, query, ids=list(range(len(polygons))),
                 window=window, resolution=resolution, device=device,
-                exact=exact,
+                exact=exact, tiling=tiling,
             )
             selected.update(polygon_records[i] for i in outcome.ids)
             n_candidates += outcome.n_candidates
@@ -937,6 +958,7 @@ class Session:
                 outcome = self.engine.select_points(
                     left.xs, left.ys, [poly], ids=left.ids, window=window,
                     resolution=resolution, device=device, exact=spec.exact,
+                    tiling=self._tiling(spec),
                 )
                 pairs.extend(
                     (int(point_id), int(pid)) for point_id in outcome.ids
@@ -976,7 +998,7 @@ class Session:
                 outcome = self.engine.select_geometry_records(
                     "polygons", list(left.geometries), poly, ids=lids,
                     window=window, resolution=resolution, device=device,
-                    exact=spec.exact,
+                    exact=spec.exact, tiling=self._tiling(spec),
                 )
                 pairs.extend((int(lid), int(rid)) for lid in outcome.ids)
             pairs.sort()
@@ -1003,7 +1025,7 @@ class Session:
                 left.xs, left.ys,
                 (float(right.xs[i]), float(right.ys[i])), spec.distance,
                 ids=left.ids, window=window, resolution=resolution,
-                device=device, exact=spec.exact,
+                device=device, exact=spec.exact, tiling=self._tiling(spec),
             )
             pairs.extend(
                 (int(point_id), int(rids_arr[i])) for point_id in outcome.ids

@@ -594,6 +594,23 @@ def _bool_field(value: Any, family: str, name: str) -> bool:
     return value
 
 
+#: Largest tile lattice a spec may request per axis.  A 64x64 lattice
+#: over the 4096-cap resolution already means 64-pixel tiles; finer
+#: shards would drown the per-tile bookkeeping in overhead.
+MAX_TILING = 64
+
+
+def _tiling_field(value: Any, family: str) -> int | None:
+    """Validate the tiled-execution knob: ``None`` (whole-frame, the
+    default) or the K of a K×K tile lattice."""
+    if value is None:
+        return None
+    tiling = _int_field(value, family, "tiling")
+    _require(2 <= tiling <= MAX_TILING, family,
+             f"tiling must be between 2 and {MAX_TILING}, got {tiling}")
+    return tiling
+
+
 class QuerySpec:
     """Base class for the seven query-family specs."""
 
@@ -651,6 +668,7 @@ class SelectSpec(QuerySpec):
     exact: bool = True
     window: WindowSpec | None = None
     resolution: Any = None
+    tiling: int | None = None
 
     def __post_init__(self) -> None:
         fam = self.FAMILY
@@ -666,6 +684,7 @@ class SelectSpec(QuerySpec):
         self.exact = _bool_field(self.exact, fam, "exact")
         self.window = _window_field(self.window, fam)
         self.resolution = _resolution_field(self.resolution, fam)
+        self.tiling = _tiling_field(self.tiling, fam)
         solo = [c for c in self.constraints if c.kind in ("circle", "halfspace")]
         if solo and len(self.constraints) > 1:
             raise _fail(
@@ -683,12 +702,14 @@ class SelectSpec(QuerySpec):
             window=self.window.to_dict() if self.window else None,
             resolution=_resolution_to_dict(self.resolution),
         )
+        if self.tiling is not None:
+            out["tiling"] = self.tiling
         return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SelectSpec":
         cls._check_envelope(data, {"dataset", "constraints", "mode", "exact",
-                                   "window", "resolution"})
+                                   "window", "resolution", "tiling"})
         _require("dataset" in data and "constraints" in data, cls.FAMILY,
                  "missing keys among ['constraints', 'dataset']")
         constraints = data["constraints"]
@@ -705,6 +726,7 @@ class SelectSpec(QuerySpec):
             resolution=_resolution_from_dict(
                 data.get("resolution"), cls.FAMILY
             ),
+            tiling=data.get("tiling"),
         )
 
 
@@ -727,6 +749,7 @@ class GeometrySpec(QuerySpec):
     exact: bool = True
     window: WindowSpec | None = None
     resolution: Any = None
+    tiling: int | None = None
 
     def __post_init__(self) -> None:
         fam = self.FAMILY
@@ -752,6 +775,7 @@ class GeometrySpec(QuerySpec):
         self.exact = _bool_field(self.exact, fam, "exact")
         self.window = _window_field(self.window, fam)
         self.resolution = _resolution_field(self.resolution, fam)
+        self.tiling = _tiling_field(self.tiling, fam)
 
     def to_dict(self) -> dict[str, Any]:
         out = self._envelope()
@@ -764,12 +788,14 @@ class GeometrySpec(QuerySpec):
             window=self.window.to_dict() if self.window else None,
             resolution=_resolution_to_dict(self.resolution),
         )
+        if self.tiling is not None:
+            out["tiling"] = self.tiling
         return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "GeometrySpec":
         cls._check_envelope(data, {"dataset", "query", "kind", "exact",
-                                   "window", "resolution"})
+                                   "window", "resolution", "tiling"})
         missing = {"dataset", "query"} - set(data)
         _require(not missing, cls.FAMILY, f"missing keys {sorted(missing)}")
         return cls(
@@ -781,6 +807,7 @@ class GeometrySpec(QuerySpec):
             resolution=_resolution_from_dict(
                 data.get("resolution"), cls.FAMILY
             ),
+            tiling=data.get("tiling"),
         )
 
 
@@ -803,6 +830,7 @@ class JoinSpec(QuerySpec):
     exact: bool = True
     window: WindowSpec | None = None
     resolution: Any = None
+    tiling: int | None = None
 
     def __post_init__(self) -> None:
         fam = self.FAMILY
@@ -836,6 +864,7 @@ class JoinSpec(QuerySpec):
         self.exact = _bool_field(self.exact, fam, "exact")
         self.window = _window_field(self.window, fam)
         self.resolution = _resolution_field(self.resolution, fam)
+        self.tiling = _tiling_field(self.tiling, fam)
 
     def to_dict(self) -> dict[str, Any]:
         out = self._envelope()
@@ -848,12 +877,14 @@ class JoinSpec(QuerySpec):
             window=self.window.to_dict() if self.window else None,
             resolution=_resolution_to_dict(self.resolution),
         )
+        if self.tiling is not None:
+            out["tiling"] = self.tiling
         return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "JoinSpec":
         cls._check_envelope(data, {"kind", "left", "right", "distance",
-                                   "exact", "window", "resolution"})
+                                   "exact", "window", "resolution", "tiling"})
         missing = {"left", "right"} - set(data)
         _require(not missing, cls.FAMILY, f"missing keys {sorted(missing)}")
         return cls(
@@ -866,6 +897,7 @@ class JoinSpec(QuerySpec):
             resolution=_resolution_from_dict(
                 data.get("resolution"), cls.FAMILY
             ),
+            tiling=data.get("tiling"),
         )
 
 
@@ -900,6 +932,7 @@ class AggregateSpec(QuerySpec):
     exact: bool = True
     window: WindowSpec | None = None
     resolution: Any = None
+    tiling: int | None = None
 
     def __post_init__(self) -> None:
         fam = self.FAMILY
@@ -917,6 +950,7 @@ class AggregateSpec(QuerySpec):
         self.exact = _bool_field(self.exact, fam, "exact")
         self.window = _window_field(self.window, fam)
         self.resolution = _resolution_field(self.resolution, fam)
+        self.tiling = _tiling_field(self.tiling, fam)
 
     def to_dict(self) -> dict[str, Any]:
         out = self._envelope()
@@ -928,12 +962,14 @@ class AggregateSpec(QuerySpec):
             window=self.window.to_dict() if self.window else None,
             resolution=_resolution_to_dict(self.resolution),
         )
+        if self.tiling is not None:
+            out["tiling"] = self.tiling
         return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "AggregateSpec":
         cls._check_envelope(data, {"dataset", "polygons", "aggregate",
-                                   "exact", "window", "resolution"})
+                                   "exact", "window", "resolution", "tiling"})
         missing = {"dataset", "polygons"} - set(data)
         _require(not missing, cls.FAMILY, f"missing keys {sorted(missing)}")
         return cls(
@@ -945,6 +981,7 @@ class AggregateSpec(QuerySpec):
             resolution=_resolution_from_dict(
                 data.get("resolution"), cls.FAMILY
             ),
+            tiling=data.get("tiling"),
         )
 
 
@@ -1026,6 +1063,7 @@ class VoronoiSpec(QuerySpec):
     dataset: DatasetRef = None
     window: WindowSpec | None = None
     resolution: Any = None
+    tiling: int | None = None
 
     def __post_init__(self) -> None:
         fam = self.FAMILY
@@ -1034,6 +1072,7 @@ class VoronoiSpec(QuerySpec):
         _require(self.window is not None, fam,
                  "a window is required (the diagram is computed over it)")
         self.resolution = _resolution_field(self.resolution, fam)
+        self.tiling = _tiling_field(self.tiling, fam)
 
     def to_dict(self) -> dict[str, Any]:
         out = self._envelope()
@@ -1043,11 +1082,14 @@ class VoronoiSpec(QuerySpec):
             window=self.window.to_dict(),
             resolution=_resolution_to_dict(self.resolution),
         )
+        if self.tiling is not None:
+            out["tiling"] = self.tiling
         return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "VoronoiSpec":
-        cls._check_envelope(data, {"dataset", "window", "resolution"})
+        cls._check_envelope(data, {"dataset", "window", "resolution",
+                                   "tiling"})
         missing = {"dataset", "window"} - set(data)
         _require(not missing, cls.FAMILY, f"missing keys {sorted(missing)}")
         return cls(
@@ -1056,6 +1098,7 @@ class VoronoiSpec(QuerySpec):
             resolution=_resolution_from_dict(
                 data.get("resolution"), cls.FAMILY
             ),
+            tiling=data.get("tiling"),
         )
 
 
@@ -1071,6 +1114,7 @@ class OdSpec(QuerySpec):
     exact: bool = True
     window: WindowSpec | None = None
     resolution: Any = None
+    tiling: int | None = None
 
     def __post_init__(self) -> None:
         fam = self.FAMILY
@@ -1085,6 +1129,7 @@ class OdSpec(QuerySpec):
         self.exact = _bool_field(self.exact, fam, "exact")
         self.window = _window_field(self.window, fam)
         self.resolution = _resolution_field(self.resolution, fam)
+        self.tiling = _tiling_field(self.tiling, fam)
 
     def to_dict(self) -> dict[str, Any]:
         out = self._envelope()
@@ -1097,12 +1142,14 @@ class OdSpec(QuerySpec):
             window=self.window.to_dict() if self.window else None,
             resolution=_resolution_to_dict(self.resolution),
         )
+        if self.tiling is not None:
+            out["tiling"] = self.tiling
         return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "OdSpec":
         cls._check_envelope(data, {"dataset", "q1", "q2", "exact", "window",
-                                   "resolution"})
+                                   "resolution", "tiling"})
         missing = {"dataset", "q1", "q2"} - set(data)
         _require(not missing, cls.FAMILY, f"missing keys {sorted(missing)}")
         return cls(
@@ -1114,6 +1161,7 @@ class OdSpec(QuerySpec):
             resolution=_resolution_from_dict(
                 data.get("resolution"), cls.FAMILY
             ),
+            tiling=data.get("tiling"),
         )
 
 

@@ -236,6 +236,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.workers < 1:
         raise SystemExit("serve: --workers must be at least 1")
+    import os
+
+    cpus = os.cpu_count() or 1
+    if args.workers > cpus:
+        # A warning, not an error: oversubscription is legal (workers
+        # block on I/O too) but usually a misconfiguration worth
+        # flagging before the loop goes quiet reading stdin.
+        print(
+            f"serve: --workers {args.workers} exceeds the "
+            f"{cpus} CPU(s) available; extra workers will mostly "
+            f"contend rather than add throughput",
+            file=sys.stderr,
+        )
     if args.result_cache_mb is not None and args.result_cache_mb <= 0:
         raise SystemExit("serve: --result-cache-mb must be positive")
     session = default_serve_session(
@@ -262,6 +275,7 @@ def _cmd_explain_spec(args: argparse.Namespace) -> int:
             ("--dest-data", args.dest_data is not None),
             ("--approx", args.approx),
             ("--query", args.query is not None),
+            ("--tiling", args.tiling is not None),
         ) if value
     ]
     if conflicting:
@@ -312,6 +326,10 @@ def _cmd_explain(args: argparse.Namespace) -> int:
                 "explain --mode od needs two polygons in --query "
                 "(origin constraint Q1, destination constraint Q2)"
             )
+    if args.tiling is not None and args.mode == "knn":
+        raise SystemExit(
+            "explain --mode knn has no canvas plan to tile; drop --tiling"
+        )
     xs, ys, _ = _load_points(args.data)
     force = None if args.plan == "auto" else args.plan
     # A fresh engine so the report and cache statistics cover exactly
@@ -369,16 +387,19 @@ def _run_explain_queries(engine, args, xs, ys, polygons, force) -> None:
             engine.select_points(
                 xs, ys, polygons, window=window,
                 resolution=args.resolution, exact=exact, force_plan=force,
+                tiling=args.tiling,
             )
         elif args.mode == "join-aggregate":
             engine.aggregate_points(
                 xs, ys, polygons, window=window,
                 resolution=args.resolution, exact=exact, force_plan=force,
+                tiling=args.tiling,
             )
         elif args.mode == "distance":
             engine.select_distance(
                 xs, ys, (cx, cy), radius, window=window,
                 resolution=args.resolution, exact=exact, force_plan=force,
+                tiling=args.tiling,
             )
         elif args.mode == "knn":
             if not 1 <= args.k <= len(xs):
@@ -393,12 +414,13 @@ def _run_explain_queries(engine, args, xs, ys, polygons, force) -> None:
             engine.voronoi(
                 np.stack([xs, ys], axis=1), window,
                 resolution=args.resolution, force_plan=force,
+                tiling=args.tiling,
             )
         else:  # od
             engine.od_select(
                 xs, ys, dest_xs, dest_ys, polygons[0], polygons[1],
                 window=window, resolution=args.resolution, exact=exact,
-                force_plan=force,
+                force_plan=force, tiling=args.tiling,
             )
 
 
@@ -534,11 +556,20 @@ def build_parser() -> argparse.ArgumentParser:
                  "circle-canvas", "direct-distance",
                  "canvas-distance-probes", "kdtree-refine",
                  "iterated-value-transform", "blocked-argmin",
-                 "two-stage-canvas", "per-pair-pip"],
+                 "two-stage-canvas", "per-pair-pip",
+                 "blended-canvas-tiled", "join-then-aggregate-tiled",
+                 "circle-canvas-tiled", "blocked-argmin-tiled",
+                 "two-stage-canvas-tiled"],
         default="auto",
         help="override the cost-based plan choice (EXPLAIN-style); "
              "'rasterjoin' implies approximate results; the plan must "
-             "belong to the --mode family",
+             "belong to the --mode family; '*-tiled' plans also need "
+             "--tiling",
+    )
+    p_explain.add_argument(
+        "--tiling", type=int, default=None,
+        help="shard canvas plans into KxK tiles with a tile-granular "
+             "cache (default: whole-frame; repeats show warm tiles)",
     )
     p_explain.add_argument(
         "--at", default=None,

@@ -342,6 +342,28 @@ def blend(
     return target
 
 
+def blend_tiled(
+    left: CanvasSet,
+    grid,
+    tile_lookup: Callable,
+    mode: BlendMode,
+    geometries: dict | None = None,
+) -> CanvasSet:
+    """``B[⊙](C1, C2)`` with the dense operand materialized per tile.
+
+    The tile-sharded realization of the sparse x dense blend: *grid* is
+    a :class:`repro.core.tiling.TileGrid` over the dense operand's
+    frame and *tile_lookup* produces (or fetches from cache) the tile
+    rasters on demand.  Bit-identical to ``blend(left, stitched, mode)``
+    — see :meth:`repro.core.canvas_set.CanvasSet.blend_with_tiles`.
+    Only defined for sparse left operands: dense x dense tiling is the
+    executor's stitching concern, not an algebra operator.
+    """
+    if not isinstance(left, CanvasSet):
+        raise TypeError("blend_tiled requires a CanvasSet left operand")
+    return left.blend_with_tiles(grid, tile_lookup, mode, geometries=geometries)
+
+
 def multiway_blend(
     canvases: Sequence[Canvas],
     mode: BlendMode,

@@ -28,7 +28,7 @@ import numpy as np
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.primitives import Geometry, Polygon
 from repro.gpu.blendmodes import BlendMode
-from repro.core.canvas import Canvas
+from repro.core.canvas import Canvas, world_points_to_cells
 from repro.core.objectinfo import (
     DIM_AREA,
     DIM_LINE,
@@ -316,6 +316,68 @@ class CanvasSet:
         return CanvasSet(
             self.keys, self.xs, self.ys, data, valid,
             boundary=on_boundary, geometries=geometries,
+        )
+
+    def blend_with_tiles(
+        self,
+        grid,
+        tile_lookup: Callable,
+        mode: BlendMode,
+        geometries: dict | None = None,
+    ) -> "CanvasSet":
+        """``B[mode](self_i, C)`` where ``C`` is materialized per tile.
+
+        Tile-sharded twin of :meth:`blend_with_canvas`: samples are
+        binned to pixels with the same single-source-of-truth floor
+        arithmetic, grouped by the tile of ``grid`` (a
+        :class:`repro.core.tiling.TileGrid`) that owns their pixel, and
+        each group fetches its triples from ``tile_lookup(tile)`` — a
+        tile-sized raster (or ``None`` for a provably blank tile, which
+        gathers null exactly like a blank frame pixel).  The assembled
+        gather arrays are then combined with *mode* in one shot, so the
+        result is bit-identical to blending against the stitched frame.
+
+        The dense side's hybrid index is supplied by the caller via
+        *geometries* (tiles carry no index of their own).
+        """
+        rows, cols, inside = world_points_to_cells(
+            self.xs, self.ys, grid.window, grid.height, grid.width
+        )
+        m = len(self.keys)
+        gathered_data = np.zeros((m, N_CHANNELS), dtype=np.float64)
+        gathered_valid = np.zeros((m, N_GROUPS), dtype=bool)
+        gathered_boundary = np.zeros(m, dtype=bool)
+        idx = np.nonzero(inside)[0]
+        if len(idx):
+            tr = grid.row_tile_of(rows[idx])
+            tc = grid.col_tile_of(cols[idx])
+            composite = tr * grid.n_tile_cols + tc
+            order = np.argsort(composite, kind="stable")
+            sorted_idx = idx[order]
+            sorted_comp = composite[order]
+            uniq, starts = np.unique(sorted_comp, return_index=True)
+            bounds = np.append(starts, len(sorted_comp))
+            for u, s0, s1 in zip(uniq, bounds[:-1], bounds[1:]):
+                tile = grid.tile_at(
+                    int(u) // grid.n_tile_cols, int(u) % grid.n_tile_cols
+                )
+                tile_canvas = tile_lookup(tile)
+                if tile_canvas is None:
+                    continue
+                members = sorted_idx[s0:s1]
+                lr = rows[members] - tile.r0
+                lc = cols[members] - tile.c0
+                gathered_data[members] = tile_canvas.texture.data[lr, lc, :]
+                gathered_valid[members] = tile_canvas.texture.valid[lr, lc, :]
+                gathered_boundary[members] = tile_canvas.boundary[lr, lc]
+        data, valid = mode(self.data, self.valid, gathered_data, gathered_valid)
+        on_boundary = self.boundary | gathered_boundary
+        merged = dict(self.geometries)
+        if geometries:
+            merged.update(geometries)
+        return CanvasSet(
+            self.keys, self.xs, self.ys, data, valid,
+            boundary=on_boundary, geometries=merged,
         )
 
     def filter_rows(self, keep: np.ndarray) -> "CanvasSet":

@@ -339,6 +339,32 @@ class UtilityNode(Node):
         return f"{self.kind}[{self.params}]()"
 
 
+class TiledGatherNode(Node):
+    """A blend/gather whose dense operand is materialized tile by tile.
+
+    The tiled plans replace ``B[⊙](child, UtilityNode)`` with this
+    node: *gather* closes over the tile grid, the tile cache and the
+    blend mode (see the tiled runners in
+    :mod:`repro.engine.executor`), so the dense frame never exists as
+    a whole.  The child's product is consumed exactly as a sparse
+    blend would consume it — the gather returns a fresh
+    :class:`~repro.core.canvas_set.CanvasSet` and never mutates tiles,
+    which may be frozen cache entries.
+    """
+
+    def __init__(self, child: Node, gather: Callable,
+                 label_text: str) -> None:
+        self.children = (child,)
+        self._gather = gather
+        self._label = label_text
+
+    def evaluate(self, ctx: EvalContext | None = None) -> AnyCanvas:
+        return self._gather(self.children[0].evaluate(ctx))
+
+    def label(self) -> str:
+        return self._label
+
+
 class BlendNode(Node):
     """``B[⊙](left, right)`` — right must evaluate to a dense canvas."""
 

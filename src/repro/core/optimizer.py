@@ -67,6 +67,11 @@ class CostModel:
     #: Per-(point, polygon) bbox prefilter compare of the bbox-gathered
     #: join-then-aggregate plan (one vectorized range test).
     prefilter: float = 0.05
+    #: Fixed per-tile overhead of the tiled plans: a cache probe, a
+    #: lattice intersection and a small-array dispatch per tile.  Keeps
+    #: absurdly fine tilings from pricing as free once their raster
+    #: work is warm.
+    tile_overhead: float = 64.0
 
 
 def _polygon_edges(polygons: Sequence[Polygon]) -> int:
@@ -123,6 +128,26 @@ def _bbox_row_profile(
     return row_sum, edge_rows
 
 
+def _tiled_terms(
+    model: CostModel,
+    tiling: int,
+    warm_tiles: int,
+    total_tiles: int,
+) -> tuple[float, float]:
+    """``(cold_fraction, overhead)`` of a K×K tiled raster candidate.
+
+    The tiled plan re-rasterizes only the tiles missing from the tile
+    cache — a *warm_tiles*/*total_tiles* fraction of the raster/sweep
+    work drops out — and pays :attr:`CostModel.tile_overhead` per tile
+    for the probes and stitching bookkeeping.  *total_tiles* defaults
+    to ``tiling²`` when the caller has not built the lattice yet (a
+    lattice-aligned grid may carry one extra partial tile per axis).
+    """
+    tiles = total_tiles if total_tiles > 0 else tiling * tiling
+    warm_frac = min(warm_tiles / tiles, 1.0) if tiles else 0.0
+    return 1.0 - warm_frac, tiles * model.tile_overhead
+
+
 def _validate_workload(n_points: int, polygons: Sequence[Polygon]) -> None:
     """Reject degenerate workloads instead of ranking zero-cost plans.
 
@@ -150,6 +175,9 @@ def selection_plans(
     model: CostModel = CostModel(),
     window: BoundingBox | None = None,
     constraint_cached: bool = False,
+    tiling: int | None = None,
+    warm_tiles: int = 0,
+    total_tiles: int = 0,
 ) -> list[PlanEstimate]:
     """Candidate plans for selecting points under polygon constraints.
 
@@ -164,6 +192,12 @@ def selection_plans(
     cost drops out and only the per-point gathers remain — which is how
     a repeated dashboard query can flip from the PIP plan to the canvas
     plan on warm runs.
+
+    *tiling* adds the K×K tile-sharded variant of the blended plan:
+    the raster work shrinks by the warm-tile fraction
+    (*warm_tiles*/*total_tiles* — the engine probes its tile cache
+    before planning), the gathers are unchanged, and each tile pays
+    :attr:`CostModel.tile_overhead`.
     """
     _validate_workload(n_points, polygons)
     height, width = resolution
@@ -205,6 +239,20 @@ def selection_plans(
             description="point-in-polygon test per (point, polygon) pair",
         )
     )
+
+    if tiling is not None:
+        cold, overhead = _tiled_terms(model, tiling, warm_tiles, total_tiles)
+        plans.append(
+            PlanEstimate(
+                name="blended-canvas-tiled",
+                cost=raster_cost * cold + n_points * model.gather + overhead,
+                description=(
+                    f"B*[⊕] sharded into a {tiling}x{tiling} tile lattice; "
+                    "warm tiles gather from the tile cache, cold tiles "
+                    "re-rasterize"
+                ),
+            )
+        )
     return sorted(plans, key=lambda p: p.cost)
 
 
@@ -225,6 +273,9 @@ def aggregation_plans(
     resolution: tuple[int, int],
     model: CostModel = CostModel(),
     window: BoundingBox | None = None,
+    tiling: int | None = None,
+    warm_tiles: int = 0,
+    total_tiles: int = 0,
 ) -> list[PlanEstimate]:
     """Candidate plans for group-by-over-join aggregation.
 
@@ -280,6 +331,24 @@ def aggregation_plans(
             ),
         ),
     ]
+    if tiling is not None:
+        cold, overhead = _tiled_terms(model, tiling, warm_tiles, total_tiles)
+        tiled_cost = (
+            bbox_px * model.pixel_touch * cold
+            + n_polys * n_points * model.prefilter * model.gather
+            + n_points * bbox_frac * model.gather
+            + overhead
+        )
+        plans.append(
+            PlanEstimate(
+                name="join-then-aggregate-tiled",
+                cost=tiled_cost,
+                description=(
+                    f"per-polygon gather against a {tiling}x{tiling} tile "
+                    "lattice; warm tiles skip rasterization"
+                ),
+            )
+        )
     return sorted(plans, key=lambda p: p.cost)
 
 
@@ -314,6 +383,9 @@ def distance_plans(
     resolution: tuple[int, int],
     model: CostModel = CostModel(),
     window: BoundingBox | None = None,
+    tiling: int | None = None,
+    warm_tiles: int = 0,
+    total_tiles: int = 0,
 ) -> list[PlanEstimate]:
     """Candidate plans for a distance (``Circ``) selection.
 
@@ -349,6 +421,22 @@ def distance_plans(
             description="vectorized exact distance test per point",
         ),
     ]
+    if tiling is not None:
+        cold, overhead = _tiled_terms(model, tiling, warm_tiles, total_tiles)
+        sweep_cost = (
+            height * width * model.pixel_touch
+            + height * model.raster_row_setup
+        )
+        plans.append(
+            PlanEstimate(
+                name="circle-canvas-tiled",
+                cost=sweep_cost * cold + n_points * model.gather + overhead,
+                description=(
+                    f"Circ sharded into a {tiling}x{tiling} tile lattice; "
+                    "warm tiles gather from the tile cache"
+                ),
+            )
+        )
     return sorted(plans, key=lambda p: p.cost)
 
 
@@ -406,6 +494,9 @@ def voronoi_plans(
     n_sites: int,
     resolution: tuple[int, int],
     model: CostModel = CostModel(),
+    tiling: int | None = None,
+    warm_tiles: int = 0,
+    total_tiles: int = 0,
 ) -> list[PlanEstimate]:
     """Candidate plans for the Voronoi stored procedure (Section 4.5).
 
@@ -443,6 +534,23 @@ def voronoi_plans(
             ),
         ),
     ]
+    if tiling is not None:
+        cold, overhead = _tiled_terms(model, tiling, warm_tiles, total_tiles)
+        tiled_cost = (
+            n_sites * frame * model.frame_sweep * model.pixel_touch * cold
+            + frame * model.pixel_touch
+            + overhead
+        )
+        plans.append(
+            PlanEstimate(
+                name="blocked-argmin-tiled",
+                cost=tiled_cost,
+                description=(
+                    f"blocked argmin per {tiling}x{tiling} lattice tile; "
+                    "warm tiles reuse cached owner/d² planes"
+                ),
+            )
+        )
     return sorted(plans, key=lambda p: p.cost)
 
 
@@ -453,6 +561,9 @@ def od_plans(
     resolution: tuple[int, int],
     model: CostModel = CostModel(),
     window: BoundingBox | None = None,
+    tiling: int | None = None,
+    warm_tiles: int = 0,
+    total_tiles: int = 0,
 ) -> list[PlanEstimate]:
     """Candidate plans for the origin-destination double selection.
 
@@ -502,6 +613,27 @@ def od_plans(
             ),
         ),
     ]
+    if tiling is not None:
+        cold, overhead = _tiled_terms(
+            model, tiling, warm_tiles,
+            total_tiles if total_tiles > 0 else 2 * tiling * tiling,
+        )
+        tiled_cost = (
+            raster_cost * cold
+            + n_points * model.gather
+            + n_points * sel1 * model.gather
+            + overhead
+        )
+        plans.append(
+            PlanEstimate(
+                name="two-stage-canvas-tiled",
+                cost=tiled_cost,
+                description=(
+                    f"both canvas stages sharded into {tiling}x{tiling} "
+                    "tile lattices; warm tiles skip rasterization"
+                ),
+            )
+        )
     return sorted(plans, key=lambda p: p.cost)
 
 
@@ -511,6 +643,9 @@ def geometry_selection_plans(
     resolution: tuple[int, int],
     model: CostModel = CostModel(),
     window: BoundingBox | None = None,
+    tiling: int | None = None,
+    warm_tiles: int = 0,
+    total_tiles: int = 0,
 ) -> list[PlanEstimate]:
     """Candidate plans for polygon/polyline INTERSECTS selections.
 
@@ -554,6 +689,24 @@ def geometry_selection_plans(
             description="exact pairwise intersection test per record",
         ),
     ]
+    if tiling is not None:
+        cold, overhead = _tiled_terms(model, tiling, warm_tiles, total_tiles)
+        tiled_cost = (
+            query_px * model.pixel_touch * cold
+            + data_px * model.pixel_touch
+            + data_px * model.gather
+            + overhead
+        )
+        plans.append(
+            PlanEstimate(
+                name="canvas-blend-tiled",
+                cost=tiled_cost,
+                description=(
+                    f"query canvas sharded into a {tiling}x{tiling} tile "
+                    "lattice; the record set gathers tile by tile"
+                ),
+            )
+        )
     return sorted(plans, key=lambda p: p.cost)
 
 

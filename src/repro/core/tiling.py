@@ -1,0 +1,451 @@
+"""Tiled canvas execution: lattice-aligned tiles and per-tile builders.
+
+The canvas algebra is pixel-local — blends, masks and value transforms
+combine a pixel's triples using that pixel alone — so every dense
+canvas a plan materializes can be sharded into tiles and rebuilt
+piecewise, bit-identically to the whole-frame pass.  This module holds
+the geometry of that sharding plus the per-tile raster builders; the
+engine (:mod:`repro.engine.executor`) keys the tiles into its
+:class:`~repro.engine.cache.CanvasCache` so a panned or zoomed window
+re-rasterizes only the newly exposed tiles.
+
+Two properties carry the correctness argument:
+
+- **Frame-based arithmetic.**  Every builder evaluates the *frame's*
+  expressions on index subranges (``np.arange(c0, c1) + 0.5`` instead
+  of ``np.arange(W)[c0:c1] + 0.5`` — bitwise equal), or slices a
+  memoized frame-level coverage mask.  A tile's pixels are therefore
+  bit-identical to the corresponding slice of the whole-frame raster,
+  unconditionally.
+- **Global lattice alignment.**  Tile boundaries sit on a lattice
+  anchored at world coordinates that are integer multiples of the
+  pixel size, not at the window origin.  Two windows with the same
+  pixel size and the same lattice phase (an integer-pixel pan) share
+  interior tiles, so their cache keys — which embed the *global* tile
+  coordinates, the pixel size and the phase — collide exactly when
+  the tiles' contents agree.  Cross-window reuse is exact whenever
+  the pan arithmetic is (e.g. power-of-two windows panned by whole
+  pixels, the dashboard case); windows whose floats disagree in the
+  last ulp simply get distinct keys and rebuild.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import Polygon
+from repro.gpu.device import DEFAULT_DEVICE, Device
+from repro.gpu.rasterizer import coverage_tile_slice, polygon_coverage
+from repro.gpu.texture import Texture
+from repro.core.canvas import clipped_pixel_bbox
+from repro.core.objectinfo import (
+    DIM_AREA,
+    FIELD_COUNT,
+    FIELD_ID,
+    FIELD_VALUE,
+    N_CHANNELS,
+    N_GROUPS,
+    channel,
+)
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One tile of a :class:`TileGrid`.
+
+    ``r0/r1/c0/c1`` are frame-local half-open pixel bounds; ``gr0``
+    etc. are the same bounds on the global pixel lattice (frame-local
+    plus the window's lattice offset) — the coordinates cache keys use
+    so integer-pixel pans share tiles.
+    """
+
+    r0: int
+    r1: int
+    c0: int
+    c1: int
+    gr0: int
+    gr1: int
+    gc0: int
+    gc1: int
+
+    @property
+    def height(self) -> int:
+        return self.r1 - self.r0
+
+    @property
+    def width(self) -> int:
+        return self.c1 - self.c0
+
+
+def _lattice_starts(g0: int, n: int, t: int) -> np.ndarray:
+    """Frame-local start offsets of lattice-aligned tiles.
+
+    Global pixel indices divisible by *t* open a tile; *g0* is the
+    global index of frame-local pixel 0.  The first (and last) tile may
+    be partial, so a K-way split yields K or K+1 tiles per axis.
+    """
+    b = (-g0) % t
+    first = b if b else t
+    return np.asarray([0] + list(range(first, n, t)), dtype=np.int64)
+
+
+class TileGrid:
+    """Lattice-aligned tiling of one canvas frame.
+
+    *tiling* asks for a K×K split; edge tiles shrink (and one extra
+    partial tile per axis may appear) so interior tile boundaries land
+    on the global lattice ``{i * tile_span_px}`` regardless of where
+    the window starts.
+    """
+
+    def __init__(
+        self,
+        window: BoundingBox,
+        height: int,
+        width: int,
+        tiling: int,
+    ) -> None:
+        if tiling < 1:
+            raise ValueError("tiling must be at least 1")
+        self.window = window
+        self.height = height
+        self.width = width
+        self.tiling = tiling
+        # Same expressions as Canvas.dx/.dy — keys must match frames.
+        self.dx = window.width / width
+        self.dy = window.height / height
+        self.g0x = int(math.floor(window.xmin / self.dx))
+        self.g0y = int(math.floor(window.ymin / self.dy))
+        #: Sub-pixel offset of the window origin from the lattice; part
+        #: of every tile key, so only windows on the same lattice share.
+        self.phase_x = window.xmin - self.g0x * self.dx
+        self.phase_y = window.ymin - self.g0y * self.dy
+        self.tile_h = -(-height // tiling)
+        self.tile_w = -(-width // tiling)
+        self.row_starts = _lattice_starts(self.g0y, height, self.tile_h)
+        self.col_starts = _lattice_starts(self.g0x, width, self.tile_w)
+        self.n_tile_rows = len(self.row_starts)
+        self.n_tile_cols = len(self.col_starts)
+        row_ends = np.append(self.row_starts[1:], height)
+        col_ends = np.append(self.col_starts[1:], width)
+        self._tiles: list[Tile] = []
+        for i in range(self.n_tile_rows):
+            r0, r1 = int(self.row_starts[i]), int(row_ends[i])
+            for j in range(self.n_tile_cols):
+                c0, c1 = int(self.col_starts[j]), int(col_ends[j])
+                self._tiles.append(Tile(
+                    r0=r0, r1=r1, c0=c0, c1=c1,
+                    gr0=self.g0y + r0, gr1=self.g0y + r1,
+                    gc0=self.g0x + c0, gc1=self.g0x + c1,
+                ))
+
+    @property
+    def n_tiles(self) -> int:
+        return len(self._tiles)
+
+    def tiles(self) -> list[Tile]:
+        """All tiles, row-major."""
+        return list(self._tiles)
+
+    def tile_at(self, i: int, j: int) -> Tile:
+        return self._tiles[i * self.n_tile_cols + j]
+
+    def row_tile_of(self, rows: np.ndarray) -> np.ndarray:
+        """Tile-row index of each frame-local pixel row."""
+        return np.searchsorted(self.row_starts, rows, side="right") - 1
+
+    def col_tile_of(self, cols: np.ndarray) -> np.ndarray:
+        """Tile-column index of each frame-local pixel column."""
+        return np.searchsorted(self.col_starts, cols, side="right") - 1
+
+
+def tile_key(
+    recipe, digest: str, tile: Tile, grid: TileGrid, device: Device
+) -> tuple:
+    """Cache key of one tile of one raster recipe.
+
+    Global lattice coordinates + pixel size + lattice phase identify
+    the tile's world footprint exactly; *recipe*/*digest* identify what
+    is drawn on it.  Integer-pixel pans of the same-resolution window
+    preserve every component, so unchanged tiles hit.
+    """
+    return (
+        "tile", recipe, digest,
+        tile.gr0, tile.gr1, tile.gc0, tile.gc1,
+        grid.dx, grid.dy, grid.phase_x, grid.phase_y,
+        device,
+    )
+
+
+class TileCanvas:
+    """A tile-sized dense raster: texture channels + boundary flags.
+
+    Duck-types the slice of :class:`~repro.core.canvas.Canvas` the
+    gather path reads (``texture.data``, ``texture.valid``,
+    ``boundary``) — and the slice the cache's sizer and freezer touch —
+    without a window of its own: the owning :class:`TileGrid` supplies
+    world placement.
+    """
+
+    __slots__ = ("texture", "boundary")
+
+    def __init__(self, height: int, width: int) -> None:
+        self.texture = Texture(height, width, N_CHANNELS, N_GROUPS)
+        self.boundary = np.zeros((height, width), dtype=bool)
+
+
+class ArgminTile:
+    """One tile of the blocked-argmin Voronoi sweep (owner + running d²)."""
+
+    __slots__ = ("owner", "best_d2", "cache_nbytes")
+
+    def __init__(self, owner: np.ndarray, best_d2: np.ndarray) -> None:
+        self.owner = owner
+        self.best_d2 = best_d2
+        #: Explicit byte size for the cache's byte-bounded LRU (the
+        #: default sizer only understands texture-shaped values).
+        self.cache_nbytes = int(owner.nbytes + best_d2.nbytes)
+
+
+def array_digest(arr: np.ndarray) -> str:
+    """Content digest of a float array (tile-recipe identity)."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.ascontiguousarray(arr, dtype=np.float64).tobytes())
+    return h.hexdigest()
+
+
+def circle_digest(center: tuple[float, float], radius: float) -> str:
+    """Digest of a ``Circ[(x, y), r]`` recipe."""
+    return array_digest(np.array([center[0], center[1], radius]))
+
+
+class CoverageMemo:
+    """Per-query memo of frame-level polygon coverage and pixel bboxes.
+
+    Tile builders slice a *frame-level* coverage mask so every tile is
+    bit-identical to the whole-frame fill by construction; the memo
+    computes that mask once per polygon per query, however many tiles
+    consume it.  Keyed by caller-assigned integer slots (polygon order),
+    so equal polygons in different roles stay distinct.
+    """
+
+    def __init__(
+        self,
+        window: BoundingBox,
+        height: int,
+        width: int,
+        device: Device = DEFAULT_DEVICE,
+    ) -> None:
+        self.window = window
+        self.height = height
+        self.width = width
+        self.device = device
+        # Same expressions as Canvas.dx/.dy (bit-identity requires it).
+        self.dx = window.width / width
+        self.dy = window.height / height
+        self._coverage: dict[int, tuple] = {}
+        self._bbox: dict[int, tuple[int, int, int, int] | None] = {}
+
+    def _ring_pixels(self, ring) -> np.ndarray:
+        arr = ring.vertex_array()
+        px = (arr[:, 0] - self.window.xmin) / self.dx
+        py = (arr[:, 1] - self.window.ymin) / self.dy
+        return np.stack([px, py], axis=1)
+
+    def coverage(self, slot: int, polygon: Polygon) -> tuple:
+        """``(r0, c0, covered, brows, bcols)`` of *polygon* on the frame."""
+        got = self._coverage.get(slot)
+        if got is None:
+            rings = [self._ring_pixels(polygon.shell)]
+            rings.extend(self._ring_pixels(h) for h in polygon.holes)
+            got = polygon_coverage(
+                rings, self.height, self.width, device=self.device
+            )
+            self._coverage[slot] = got
+        return got
+
+    def bbox(self, slot: int, polygon: Polygon):
+        """Inclusive conservative pixel bbox of *polygon* (or ``None``)."""
+        if slot not in self._bbox:
+            self._bbox[slot] = clipped_pixel_bbox(
+                polygon, self.window, self.height, self.width
+            )
+        return self._bbox[slot]
+
+
+def bbox_intersects_tile(
+    bbox: tuple[int, int, int, int] | None, tile: Tile
+) -> bool:
+    """Does an inclusive pixel bbox overlap a (half-open) tile span?"""
+    if bbox is None:
+        return False
+    r0, r1, c0, c1 = bbox
+    return (
+        r1 >= tile.r0 and r0 < tile.r1 and c1 >= tile.c0 and c0 < tile.c1
+    )
+
+
+def build_polygon_tile(
+    tile: Tile,
+    entries: list[tuple[int, int, Polygon, float]],
+    memo: CoverageMemo,
+    accumulate_count: bool = False,
+) -> TileCanvas:
+    """Rasterize polygons onto one tile, bit-identical to the frame.
+
+    *entries* is ``[(slot, record_id, polygon, value), ...]`` in draw
+    order; each polygon's memoized frame-level coverage is sliced to
+    the tile and written with exactly the per-pixel operations of
+    :meth:`~repro.core.canvas.Canvas.draw_polygon` (last id wins,
+    counts accumulate or overwrite, validity ORs) — slicing commutes
+    with all of them.
+    """
+    out = TileCanvas(tile.height, tile.width)
+    id_ch = channel(DIM_AREA, FIELD_ID)
+    cnt_ch = channel(DIM_AREA, FIELD_COUNT)
+    val_ch = channel(DIM_AREA, FIELD_VALUE)
+    data = out.texture.data
+    valid = out.texture.valid
+    for slot, record_id, polygon, value in entries:
+        if not bbox_intersects_tile(memo.bbox(slot, polygon), tile):
+            continue
+        r0, c0, covered, brows, bcols = memo.coverage(slot, polygon)
+        sliced = coverage_tile_slice(
+            r0, c0, covered, tile.r0, tile.r1, tile.c0, tile.c1
+        )
+        if sliced is not None:
+            ir0, ic0, sub = sliced
+            tr = slice(ir0 - tile.r0, ir0 - tile.r0 + sub.shape[0])
+            tc = slice(ic0 - tile.c0, ic0 - tile.c0 + sub.shape[1])
+            data[tr, tc, id_ch][sub] = float(record_id)
+            if accumulate_count:
+                data[tr, tc, cnt_ch][sub] += 1.0
+            else:
+                data[tr, tc, cnt_ch][sub] = 1.0
+            data[tr, tc, val_ch][sub] = value
+            valid[tr, tc, DIM_AREA] |= sub
+        if len(brows):
+            keep = (
+                (brows >= tile.r0) & (brows < tile.r1)
+                & (bcols >= tile.c0) & (bcols < tile.c1)
+            )
+            if keep.any():
+                out.boundary[
+                    brows[keep] - tile.r0, bcols[keep] - tile.c0
+                ] = True
+    return out
+
+
+def circle_tile_bbox(
+    center: tuple[float, float],
+    radius: float,
+    grid: TileGrid,
+    pad: int = 2,
+) -> tuple[int, int, int, int] | None:
+    """Inclusive pixel bbox containing a circle's cover-or-near ribbon.
+
+    Conservative analogue of :func:`~repro.core.canvas.clipped_pixel_bbox`
+    for ``Canvas.circle``: the *near* test admits pixels out to
+    normalized distance ``1 + cell_margin``, so the box extends the
+    pixel radius by that factor (plus *pad* for the center-sampling
+    half-pixel).
+    """
+    cx, cy = center
+    pcx = (cx - grid.window.xmin) / grid.dx
+    pcy = (cy - grid.window.ymin) / grid.dy
+    pr_x = radius / grid.dx
+    pr_y = radius / grid.dy
+    cell_margin = 1.0 / pr_x + 1.0 / pr_y
+    ex = pr_x * (1.0 + cell_margin)
+    ey = pr_y * (1.0 + cell_margin)
+    c0 = int(math.floor(pcx - ex)) - pad
+    c1 = int(math.floor(pcx + ex)) + pad
+    r0 = int(math.floor(pcy - ey)) - pad
+    r1 = int(math.floor(pcy + ey)) + pad
+    if c1 < 0 or r1 < 0 or c0 > grid.width - 1 or r0 > grid.height - 1:
+        return None
+    return (
+        max(r0, 0), min(r1, grid.height - 1),
+        max(c0, 0), min(c1, grid.width - 1),
+    )
+
+
+def build_circle_tile(
+    tile: Tile,
+    center: tuple[float, float],
+    radius: float,
+    grid: TileGrid,
+    record_id: int = 1,
+) -> TileCanvas:
+    """One tile of ``Circ[(x, y), r]()``, bit-identical to the frame.
+
+    Evaluates :meth:`~repro.core.canvas.Canvas.circle`'s expressions on
+    the tile's index subrange: the pixel-center coordinates, the
+    normalized distance, the cover and near masks and every channel
+    write are elementwise, so the subrange result equals the full-frame
+    slice bit for bit.
+    """
+    out = TileCanvas(tile.height, tile.width)
+    cx, cy = center
+    pcx = (cx - grid.window.xmin) / grid.dx
+    pcy = (cy - grid.window.ymin) / grid.dy
+    pr_x = radius / grid.dx
+    pr_y = radius / grid.dy
+    ys = np.arange(tile.r0, tile.r1, dtype=np.float64) + 0.5
+    xs = np.arange(tile.c0, tile.c1, dtype=np.float64) + 0.5
+    norm = (
+        ((xs[None, :] - pcx) / pr_x) ** 2
+        + ((ys[:, None] - pcy) / pr_y) ** 2
+    )
+    covered = norm <= 1.0
+    cell_margin = (1.0 / pr_x + 1.0 / pr_y)
+    near = np.abs(np.sqrt(norm) - 1.0) <= cell_margin
+    id_ch = channel(DIM_AREA, FIELD_ID)
+    cnt_ch = channel(DIM_AREA, FIELD_COUNT)
+    cover_or_near = covered | near
+    out.texture.data[:, :, id_ch][cover_or_near] = float(record_id)
+    out.texture.data[:, :, cnt_ch][cover_or_near] = 1.0
+    out.texture.valid[:, :, DIM_AREA] |= cover_or_near
+    out.boundary |= near
+    return out
+
+
+def build_argmin_tile(
+    tile: Tile,
+    points: np.ndarray,
+    grid: TileGrid,
+    block: int = 8,
+) -> ArgminTile:
+    """One tile of the blocked-argmin Voronoi sweep.
+
+    Mirrors the executor's whole-frame loop on the tile's pixel-center
+    subrange: same chunking, same strict-``<`` claim rule, same float
+    expressions — so the stitched owner/d² planes are bit-identical.
+    """
+    xs = grid.window.xmin + (
+        np.arange(tile.c0, tile.c1, dtype=np.float64) + 0.5
+    ) * grid.dx
+    ys = grid.window.ymin + (
+        np.arange(tile.r0, tile.r1, dtype=np.float64) + 0.5
+    ) * grid.dy
+    gx = np.broadcast_to(xs, (tile.height, tile.width))
+    gy = np.broadcast_to(ys[:, None], (tile.height, tile.width))
+    best_d2 = np.full((tile.height, tile.width), np.inf)
+    owner = np.zeros((tile.height, tile.width))
+    for start in range(0, len(points), block):
+        chunk = points[start:start + block]
+        d2 = (
+            (gx[None, :, :] - chunk[:, 0, None, None]) ** 2
+            + (gy[None, :, :] - chunk[:, 1, None, None]) ** 2
+        )
+        idx = np.argmin(d2, axis=0)
+        dmin = np.min(d2, axis=0)
+        closer = dmin < best_d2
+        owner = np.where(closer, (start + idx).astype(np.float64), owner)
+        best_d2 = np.where(closer, dmin, best_d2)
+    return ArgminTile(owner, best_d2)

@@ -141,9 +141,13 @@ def freeze_cached_value(value) -> None:
     Flipping ``numpy``'s writeable flag turns that latent aliasing
     hazard into an immediate ``ValueError`` at the offending write.
 
-    Covers dense canvases (texture data/valid + boundary flags) and
+    Covers dense canvases (texture data/valid + boundary flags),
     sparse :class:`~repro.core.rasterjoin.PolygonCoverage` footprints
-    (``flat``); unknown value shapes are left as they are.
+    (``flat``) and per-tile rasters —
+    :class:`~repro.core.tiling.TileCanvas` shares the texture/boundary
+    attributes and :class:`~repro.core.tiling.ArgminTile` carries
+    ``owner``/``best_d2`` planes; unknown value shapes are left as
+    they are.
     """
     texture = getattr(value, "texture", None)
     if texture is not None:
@@ -151,7 +155,7 @@ def freeze_cached_value(value) -> None:
             arr = getattr(texture, attr, None)
             if hasattr(arr, "setflags"):
                 arr.setflags(write=False)
-    for attr in ("boundary", "flat"):
+    for attr in ("boundary", "flat", "owner", "best_d2"):
         arr = getattr(value, attr, None)
         if hasattr(arr, "setflags"):
             arr.setflags(write=False)

@@ -63,6 +63,7 @@ from repro.core.blendfuncs import LINE_MERGE, PIP_MERGE, POLY_MERGE
 from repro.core.canvas import (
     Canvas,
     Resolution,
+    _circle_polygon,
     _resolve_resolution,
     clipped_pixel_bbox,
     world_points_to_cells,
@@ -73,6 +74,7 @@ from repro.core.expressions import (
     EvalContext,
     EvalCounters,
     InputNode,
+    TiledGatherNode,
     UtilityNode,
     ValueTransformNode,
     render_plan,
@@ -94,15 +96,33 @@ from repro.core.objectinfo import (
     channel,
 )
 from repro.core.optimizer import CostModel, PlanEstimate
+from repro.core.tiling import (
+    CoverageMemo,
+    TileGrid,
+    array_digest,
+    bbox_intersects_tile,
+    build_argmin_tile,
+    build_circle_tile,
+    build_polygon_tile,
+    circle_digest,
+    circle_tile_bbox,
+    tile_key,
+)
 from repro.engine.cache import CanvasCache, geometries_digest, geometry_digest
 from repro.engine.planner import (
+    AGG_JOIN_THEN_AGG_TILED,
     AGG_RASTERJOIN,
     DISTANCE_CANVAS,
+    DISTANCE_CANVAS_TILED,
+    GEOM_BLEND_TILED,
     GEOM_PREDICATE,
     KNN_KDTREE,
+    OD_CANVAS_TILED,
     OD_PIP,
     SELECTION_BLENDED,
+    SELECTION_BLENDED_TILED,
     SELECTION_PIP,
+    VORONOI_ARGMIN_TILED,
     VORONOI_ITERATED,
     Planner,
 )
@@ -226,6 +246,12 @@ class ExecutionReport:
     allocations: int = 0
     pool_reuses: int = 0
     inplace_ops: int = 0
+    #: Tiled-plan detail: lattice tiles the plan spanned and how the
+    #: tile cache split them (hits reuse a cached tile raster, misses
+    #: rasterize one).  All zero for whole-frame plans.
+    tiles: int = 0
+    tile_hits: int = 0
+    tile_misses: int = 0
 
     def describe(self) -> str:
         lines = [
@@ -247,6 +273,11 @@ class ExecutionReport:
             f"canvas cache: {self.cache_hits} hits, "
             f"{self.cache_misses} misses during this query"
         )
+        if self.tiles > 0:
+            lines.append(
+                f"tile cache: {self.tile_hits} warm / "
+                f"{self.tile_misses} cold of {self.tiles} lattice tiles"
+            )
         lines.append(
             f"buffers: {self.copies} full-texture copies, "
             f"{self.allocations} allocations, "
@@ -599,11 +630,18 @@ class QueryEngine:
         counters_before: tuple[int, int],
         timings: tuple[float, float, float],
         ctx: EvalContext | None = None,
+        tile_stats: tuple[int, int, int] | None = None,
     ) -> ExecutionReport:
-        """Assemble, record and return one execution's report."""
+        """Assemble, record and return one execution's report.
+
+        *tile_stats* is the tiled plans' ``(tiles, hits, misses)``
+        triple; tile lookups also count into the overall cache delta
+        (they are cache traffic), the triple is the per-tile split.
+        """
         after_hits, after_misses = self.cache.thread_counters()
         t0, t1, t2 = timings
         counters = ctx.take_counters() if ctx is not None else EvalCounters()
+        tiles, tile_hits, tile_misses = tile_stats or (0, 0, 0)
         report = ExecutionReport(
             query=query,
             plan=choice.chosen.name,
@@ -619,9 +657,65 @@ class QueryEngine:
             allocations=counters.allocations,
             pool_reuses=counters.pool_reuses,
             inplace_ops=counters.inplace_ops,
+            tiles=tiles,
+            tile_hits=tile_hits,
+            tile_misses=tile_misses,
         )
         self.record_report(report)
         return report
+
+    # ------------------------------------------------------------------
+    # Tiled execution plumbing (PR 6)
+    # ------------------------------------------------------------------
+    def _count_warm_tiles(
+        self,
+        grid: TileGrid,
+        recipe,
+        digest: str,
+        device: Device,
+    ) -> int:
+        """How many of *grid*'s tiles for one recipe are already cached.
+
+        A pre-planning probe (``in`` is lock-guarded but counter-free),
+        so the cost model can price the tiled candidate's cold
+        fraction without perturbing hit/miss statistics.
+        """
+        return sum(
+            1 for tile in grid.tiles()
+            if tile_key(recipe, digest, tile, grid, device) in self.cache
+        )
+
+    def _polygon_tile_lookup(
+        self,
+        recipe,
+        digest: str,
+        entries: list,
+        memo: CoverageMemo,
+        grid: TileGrid,
+        device: Device,
+        accumulate_count: bool = False,
+    ):
+        """``tile -> TileCanvas | None`` closure over the tile cache.
+
+        Tiles outside every entry's conservative pixel bbox are
+        provably blank — the gather skips them without a cache entry
+        (``None`` fetches null, exactly what a blank frame pixel
+        gathers).  The skip is a function of the recipe digest alone,
+        so it is deterministic across queries sharing the key.
+        """
+        def lookup(tile):
+            if not any(
+                bbox_intersects_tile(memo.bbox(slot, poly), tile)
+                for slot, _, poly, _ in entries
+            ):
+                return None
+            return self.cache.get_or_build(
+                tile_key(recipe, digest, tile, grid, device),
+                lambda: build_polygon_tile(
+                    tile, entries, memo, accumulate_count
+                ),
+            )
+        return lookup
 
     def _constraint_key(
         self,
@@ -654,6 +748,7 @@ class QueryEngine:
         constraint_canvas: Canvas | None = None,
         force_plan: str | None = None,
         constraint_cached: bool | None = None,
+        tiling: int | None = None,
     ) -> SelectionOutcome:
         """Plan and run a multi-constraint point selection.
 
@@ -662,6 +757,10 @@ class QueryEngine:
         ``None`` auto-detects from the engine's canvas cache (a warm
         cache drops the blended plan's raster cost, which can flip the
         choice away from the PIP plan on repeat queries).
+
+        *tiling* runs the blended plan tile-sharded on a K×K lattice
+        with per-tile cache entries — bit-identical results, but a
+        panned window re-rasterizes only its cold tiles.
         """
         xs = np.asarray(xs, dtype=np.float64)
         ys = np.asarray(ys, dtype=np.float64)
@@ -679,15 +778,25 @@ class QueryEngine:
             )
 
         t0 = time.perf_counter()
+        grid = None
+        warm = total = 0
+        if tiling is not None:
+            grid = TileGrid(window, *resolution_hw, tiling)
+            total = grid.n_tiles
+            warm = self._count_warm_tiles(
+                grid, "constraint", geometries_digest(polys), device
+            )
         choice = self.planner.plan_selection(
             len(xs), polys, resolution_hw, exact=exact,
             prebuilt_canvas=constraint_canvas is not None,
             force=force_plan, window=window,
             constraint_cached=constraint_cached or constraint_canvas is not None,
+            tiling=tiling, warm_tiles=warm, total_tiles=total,
         )
         t1 = time.perf_counter()
         before = self.cache.thread_counters()
         ctx = self._context()
+        tile_stats = None
 
         if choice.chosen.name == SELECTION_PIP:
             result = self._run_selection_pip(
@@ -696,6 +805,11 @@ class QueryEngine:
             tree_text = (
                 "PIP kernel: crossing-count per (point, polygon) pair "
                 f"({len(polys)} polygons)"
+            )
+        elif choice.chosen.name == SELECTION_BLENDED_TILED:
+            assert grid is not None
+            result, tree_text, tile_stats = self._run_selection_blended_tiled(
+                xs, ys, polys, ids, grid, device, mode, exact, ctx
             )
         else:
             result, tree = self._run_selection_blended(
@@ -706,7 +820,8 @@ class QueryEngine:
         t2 = time.perf_counter()
 
         report = self._report(
-            "selection", choice, tree_text, before, (t0, t1, t2), ctx
+            "selection", choice, tree_text, before, (t0, t1, t2), ctx,
+            tile_stats=tile_stats,
         )
         ids_out, n_candidates, n_tests, samples = result
         return SelectionOutcome(
@@ -760,6 +875,72 @@ class QueryEngine:
                 masked, polys, min_containing=min_containing
             )
         return (unique_ids(masked.keys), n_candidates, n_tests, masked), tree
+
+    def _run_selection_blended_tiled(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        polys: list[Polygon],
+        ids: np.ndarray | None,
+        grid: TileGrid,
+        device: Device,
+        mode: str,
+        exact: bool,
+        ctx: EvalContext | None = None,
+    ):
+        """Tile-sharded blended selection over a K×K lattice.
+
+        Same algebra as :meth:`_run_selection_blended`, but the
+        constraint raster is built per lattice tile under tile-granular
+        cache keys and the gather reads each point's S^3 triple straight
+        from its owning tile — bit-identical to the whole-frame blend,
+        while a panned/zoomed window re-rasterizes only its cold tiles.
+        """
+        point_set = CanvasSet.from_points(xs, ys, ids=ids)
+        cp = InputNode(point_set, name="CP")
+        digest = geometries_digest(polys)
+        memo = CoverageMemo(grid.window, grid.height, grid.width, device)
+        entries = [(i, i, poly, 0.0) for i, poly in enumerate(polys, start=1)]
+        lookup = self._polygon_tile_lookup(
+            "constraint", digest, entries, memo, grid, device,
+            accumulate_count=True,
+        )
+        provided = {i: poly for i, poly in enumerate(polys, start=1)}
+        label = (
+            f"TiledGather[⊙ {grid.n_tile_rows}x{grid.n_tile_cols}]"
+            f"(CP, B*[⊕](CQ1..CQ{len(polys)}))"
+        )
+
+        def gather(left):
+            return algebra.blend_tiled(
+                left, grid, lookup, PIP_MERGE, geometries=provided
+            )
+
+        predicate = (
+            mask_point_in_any_polygon(1.0)
+            if mode == "any"
+            else mask_point_in_all_polygons(float(len(polys)))
+        )
+        tree = TiledGatherNode(cp, gather, label).mask(predicate)
+        before = self.cache.thread_counters()
+        masked = tree.evaluate(ctx)
+        after = self.cache.thread_counters()
+        assert isinstance(masked, CanvasSet)
+        n_candidates = masked.n_samples
+        n_tests = 0
+        if exact:
+            min_containing = 1 if mode == "any" else len(polys)
+            masked, n_tests = refine_point_samples(
+                masked, polys, min_containing=min_containing
+            )
+        tile_stats = (
+            grid.n_tiles, after[0] - before[0], after[1] - before[1]
+        )
+        return (
+            (unique_ids(masked.keys), n_candidates, n_tests, masked),
+            render_plan(tree),
+            tile_stats,
+        )
 
     def _run_selection_pip(
         self,
@@ -843,6 +1024,7 @@ class QueryEngine:
         device: Device = DEFAULT_DEVICE,
         exact: bool = True,
         force_plan: str | None = None,
+        tiling: int | None = None,
     ) -> AggregationOutcome:
         """Plan and run a group-by-over-join aggregation."""
         if aggregate not in ("count", "sum", "avg", "min", "max"):
@@ -872,13 +1054,26 @@ class QueryEngine:
             return AggregationOutcome(groups, out_values, aggregate, report)
 
         t0 = time.perf_counter()
+        grid = None
+        warm = total = 0
+        if tiling is not None:
+            grid = TileGrid(window, *resolution_hw, tiling)
+            total = grid.n_tiles * len(polys)
+            warm = sum(
+                self._count_warm_tiles(
+                    grid, ("polygon", pid), geometry_digest(poly), device
+                )
+                for poly, pid in zip(polys, ids)
+            )
         choice = self.planner.plan_aggregation(
             len(xs), polys, resolution_hw, exact=exact, aggregate=aggregate,
             force=force_plan, window=window,
+            tiling=tiling, warm_tiles=warm, total_tiles=total,
         )
         t1 = time.perf_counter()
         before = self.cache.thread_counters()
         ctx = self._context()
+        tile_stats = None
 
         if choice.chosen.name == AGG_RASTERJOIN:
             # Deferred import: rasterjoin sits above the query layer.
@@ -898,6 +1093,14 @@ class QueryEngine:
                 f"scatter-gather RasterJoin over {len(polys)} polygons "
                 "(constraint coverage served by the canvas cache)"
             )
+        elif choice.chosen.name == AGG_JOIN_THEN_AGG_TILED:
+            assert grid is not None
+            groups, out_values, tree_text, tile_stats = (
+                self._run_join_then_aggregate_tiled(
+                    xs, ys, polys, ids, values, aggregate, grid, device,
+                    exact, ctx,
+                )
+            )
         else:
             groups, out_values, tree_text = self._run_join_then_aggregate(
                 xs, ys, polys, ids, values, aggregate, window, resolution,
@@ -906,7 +1109,8 @@ class QueryEngine:
         t2 = time.perf_counter()
 
         report = self._report(
-            "join-aggregate", choice, tree_text, before, (t0, t1, t2), ctx
+            "join-aggregate", choice, tree_text, before, (t0, t1, t2), ctx,
+            tile_stats=tile_stats,
         )
         return AggregationOutcome(groups, out_values, aggregate, report)
 
@@ -983,6 +1187,93 @@ class QueryEngine:
             )
         return groups, out_values, tree_text
 
+    def _run_join_then_aggregate_tiled(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        polys: list[Polygon],
+        ids: list[int],
+        values: np.ndarray | None,
+        aggregate: str,
+        grid: TileGrid,
+        device: Device,
+        exact: bool,
+        ctx: EvalContext | None = None,
+    ):
+        """Tile-sharded join-then-aggregate: per-polygon tiled gathers.
+
+        Each polygon branch keeps the untiled plan's bbox prefilter and
+        exact refinement, but its constraint raster is served per
+        lattice tile under ``("polygon", pid)`` cache keys — a repeated
+        join over a panned window rebuilds only the tiles the pan
+        exposed.
+        """
+        rows, cols, inside = world_points_to_cells(
+            xs, ys, grid.window, grid.height, grid.width
+        )
+        point_set = CanvasSet.from_points(xs, ys, values=values)
+        memo = CoverageMemo(grid.window, grid.height, grid.width, device)
+        collected: CanvasSet | None = None
+        branch_text = None
+        before = self.cache.thread_counters()
+        for poly, pid in zip(polys, ids):
+            bbox = clipped_pixel_bbox(poly, grid.window, grid.height,
+                                      grid.width)
+            if bbox is None:
+                continue  # constraint misses the frame: no samples
+            r0, r1, c0, c1 = bbox
+            in_bbox = (
+                inside
+                & (rows >= r0) & (rows <= r1)
+                & (cols >= c0) & (cols <= c1)
+            )
+            if not in_bbox.any():
+                continue
+            subset = point_set.filter_rows(in_bbox)
+            cp = InputNode(subset, name=f"CP∩bbox(id={pid})")
+            lookup = self._polygon_tile_lookup(
+                ("polygon", pid), geometry_digest(poly),
+                [(pid, pid, poly, 0.0)], memo, grid, device,
+            )
+
+            def gather(left, lk=lookup, p=poly, r=pid):
+                return algebra.blend_tiled(
+                    left, grid, lk, PIP_MERGE, geometries={r: p}
+                )
+
+            label = (
+                f"TiledGather[⊙ {grid.n_tile_rows}x{grid.n_tile_cols}]"
+                f"(CP∩bbox, CY id={pid})"
+            )
+            tree = TiledGatherNode(cp, gather, label).mask(
+                mask_point_in_any_polygon(1.0)
+            )
+            branch_text = render_plan(tree)
+            masked = tree.evaluate(ctx)
+            assert isinstance(masked, CanvasSet)
+            if exact:
+                masked, _ = refine_point_samples(masked, [poly])
+            collected = masked if collected is None else collected.concat(masked)
+        after = self.cache.thread_counters()
+
+        groups, out_values = aggregate_samples(
+            collected if collected is not None else CanvasSet.empty(),
+            ids, aggregate,
+        )
+        tree_text = ""
+        if branch_text is not None:
+            tree_text = (
+                f"B*[+] ∘ G[γc] over {len(polys)} bbox-prefiltered "
+                "tiled branches of:\n"
+                + branch_text
+            )
+        tile_stats = (
+            grid.n_tiles * len(polys),
+            after[0] - before[0],
+            after[1] - before[1],
+        )
+        return groups, out_values, tree_text, tile_stats
+
     # ------------------------------------------------------------------
     # Distance selection (Section 4.1, the Circ utility constraint)
     # ------------------------------------------------------------------
@@ -999,6 +1290,7 @@ class QueryEngine:
         device: Device = DEFAULT_DEVICE,
         exact: bool = True,
         force_plan: str | None = None,
+        tiling: int | None = None,
     ) -> SelectionOutcome:
         """Plan and run a within-radius point selection."""
         if radius <= 0:
@@ -1013,18 +1305,33 @@ class QueryEngine:
         resolution_hw = _resolve_resolution(window, resolution)
 
         t0 = time.perf_counter()
+        grid = None
+        warm = total = 0
+        if tiling is not None:
+            grid = TileGrid(window, *resolution_hw, tiling)
+            total = grid.n_tiles
+            warm = self._count_warm_tiles(
+                grid, "circle", circle_digest(center, radius), device
+            )
         choice = self.planner.plan_distance(
             len(xs), radius, resolution_hw, exact=exact, force=force_plan,
             window=window,
+            tiling=tiling, warm_tiles=warm, total_tiles=total,
         )
         t1 = time.perf_counter()
         before = self.cache.thread_counters()
         ctx = self._context()
+        tile_stats = None
 
         if choice.chosen.name == DISTANCE_CANVAS:
             result, tree_text = self._run_distance_canvas(
                 xs, ys, center, radius, ids, window, resolution, device,
                 exact, ctx,
+            )
+        elif choice.chosen.name == DISTANCE_CANVAS_TILED:
+            assert grid is not None
+            result, tree_text, tile_stats = self._run_distance_canvas_tiled(
+                xs, ys, center, radius, ids, grid, device, exact, ctx
             )
         else:
             result = self._run_distance_direct(
@@ -1034,7 +1341,8 @@ class QueryEngine:
         t2 = time.perf_counter()
 
         report = self._report(
-            "distance-selection", choice, tree_text, before, (t0, t1, t2), ctx
+            "distance-selection", choice, tree_text, before, (t0, t1, t2), ctx,
+            tile_stats=tile_stats,
         )
         ids_out, n_candidates, n_tests, samples = result
         return SelectionOutcome(
@@ -1106,6 +1414,82 @@ class QueryEngine:
         return (
             (unique_ids(masked.keys), n_candidates, n_tests, masked),
             render_plan(tree),
+        )
+
+    def _run_distance_canvas_tiled(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        center: tuple[float, float],
+        radius: float,
+        ids: np.ndarray | None,
+        grid: TileGrid,
+        device: Device,
+        exact: bool,
+        ctx: EvalContext | None,
+    ):
+        """Tile-sharded ``Circ`` constraint with the same boundary
+        refinement as :meth:`_run_distance_canvas`.
+
+        Unlike kNN's one-shot radius probes, an interactive
+        within-radius query *does* repeat (the same facility circle over
+        a panned window), so here the disk raster is cached per lattice
+        tile under a ``circle_digest`` key; tiles outside the disk's
+        conservative pixel bbox stay un-built.
+        """
+        point_set = CanvasSet.from_points(xs, ys, ids=ids)
+        cp = InputNode(point_set, name="CP")
+        digest = circle_digest(center, radius)
+        circle_bbox = circle_tile_bbox(center, radius, grid)
+
+        def lookup(tile):
+            if circle_bbox is None or not bbox_intersects_tile(
+                circle_bbox, tile
+            ):
+                return None
+            return self.cache.get_or_build(
+                tile_key("circle", digest, tile, grid, device),
+                lambda: build_circle_tile(tile, center, radius, grid),
+            )
+
+        provided = {1: _circle_polygon(center[0], center[1], radius)}
+        label = (
+            f"TiledGather[⊙ {grid.n_tile_rows}x{grid.n_tile_cols}]"
+            f"(CP, Circ[({center[0]:g}, {center[1]:g}), d={radius:g}])"
+        )
+
+        def gather(left):
+            return algebra.blend_tiled(
+                left, grid, lookup, PIP_MERGE, geometries=provided
+            )
+
+        tree = TiledGatherNode(cp, gather, label).mask(
+            mask_point_in_any_polygon(1.0)
+        )
+        before = self.cache.thread_counters()
+        masked = tree.evaluate(ctx)
+        after = self.cache.thread_counters()
+        assert isinstance(masked, CanvasSet)
+        n_candidates = masked.n_samples
+        n_tests = 0
+        if exact:
+            on_boundary = masked.boundary
+            n_tests = int(on_boundary.sum())
+            if n_tests:
+                d = np.hypot(
+                    masked.xs[on_boundary] - center[0],
+                    masked.ys[on_boundary] - center[1],
+                )
+                keep = np.ones(masked.n_samples, dtype=bool)
+                keep[np.nonzero(on_boundary)[0]] = d <= radius
+                masked = masked.filter_rows(keep)
+        tile_stats = (
+            grid.n_tiles, after[0] - before[0], after[1] - before[1]
+        )
+        return (
+            (unique_ids(masked.keys), n_candidates, n_tests, masked),
+            render_plan(tree),
+            tile_stats,
         )
 
     def _run_distance_direct(
@@ -1315,6 +1699,7 @@ class QueryEngine:
         resolution: Resolution = 512,
         device: Device = DEFAULT_DEVICE,
         force_plan: str | None = None,
+        tiling: int | None = None,
     ) -> VoronoiOutcome:
         """Plan and run ``ComputeVoronoi`` (bit-identical plans)."""
         pts = np.asarray(points, dtype=np.float64)
@@ -1333,16 +1718,31 @@ class QueryEngine:
                                   report)
 
         t0 = time.perf_counter()
+        grid = None
+        warm = total = 0
+        if tiling is not None:
+            grid = TileGrid(window, *resolution_hw, tiling)
+            total = grid.n_tiles
+            warm = self._count_warm_tiles(
+                grid, ("argmin", 8), array_digest(pts), device
+            )
         choice = self.planner.plan_voronoi(
-            len(pts), resolution_hw, force=force_plan
+            len(pts), resolution_hw, force=force_plan,
+            tiling=tiling, warm_tiles=warm, total_tiles=total,
         )
         t1 = time.perf_counter()
         before = self.cache.thread_counters()
         ctx = self._context()
+        tile_stats = None
 
         if choice.chosen.name == VORONOI_ITERATED:
             canvas, tree_text = self._run_voronoi_iterated(
                 pts, window, resolution, device, ctx
+            )
+        elif choice.chosen.name == VORONOI_ARGMIN_TILED:
+            assert grid is not None
+            canvas, tree_text, tile_stats = self._run_voronoi_argmin_tiled(
+                pts, grid, device, ctx
             )
         else:
             canvas, tree_text = self._run_voronoi_argmin(
@@ -1351,7 +1751,8 @@ class QueryEngine:
         t2 = time.perf_counter()
 
         report = self._report(
-            "voronoi", choice, tree_text, before, (t0, t1, t2), ctx
+            "voronoi", choice, tree_text, before, (t0, t1, t2), ctx,
+            tile_stats=tile_stats,
         )
         return VoronoiOutcome(canvas, report)
 
@@ -1449,6 +1850,51 @@ class QueryEngine:
         )
         return canvas, tree_text
 
+    def _run_voronoi_argmin_tiled(
+        self,
+        pts: np.ndarray,
+        grid: TileGrid,
+        device: Device,
+        ctx: EvalContext | None,
+        block: int = 8,
+    ):
+        """Blocked argmin computed per lattice tile, stitched into one
+        owned frame — the lone tiled plan that materializes a full
+        canvas (Voronoi's output *is* the frame).  Each tile's
+        owner/d² planes cache under an ``("argmin", block)`` key, so a
+        repeated diagram over a panned window recomputes only the
+        newly exposed tiles."""
+        canvas = Canvas.empty(
+            grid.window, (grid.height, grid.width), device
+        )
+        if ctx is not None:
+            ctx.counters.allocations += 1
+            ctx.mark_owned(canvas)
+        digest = array_digest(pts)
+        before = self.cache.thread_counters()
+        owner = np.zeros((grid.height, grid.width))
+        best_d2 = np.full((grid.height, grid.width), np.inf)
+        for tile in grid.tiles():
+            part = self.cache.get_or_build(
+                tile_key(("argmin", block), digest, tile, grid, device),
+                lambda t=tile: build_argmin_tile(t, pts, grid, block),
+            )
+            owner[tile.r0:tile.r1, tile.c0:tile.c1] = part.owner
+            best_d2[tile.r0:tile.r1, tile.c0:tile.c1] = part.best_d2
+        after = self.cache.thread_counters()
+        canvas.texture.data[:, :, channel(DIM_AREA, FIELD_ID)] = owner
+        canvas.texture.data[:, :, channel(DIM_AREA, FIELD_COUNT)] = best_d2
+        canvas.texture.valid[:, :, DIM_AREA] = True
+        tree_text = (
+            f"blocked argmin over {len(pts)} sites, sharded on a "
+            f"{grid.n_tile_rows}x{grid.n_tile_cols} lattice "
+            f"(chunks of {block}, per-tile owner/d² planes cached)"
+        )
+        tile_stats = (
+            grid.n_tiles, after[0] - before[0], after[1] - before[1]
+        )
+        return canvas, tree_text, tile_stats
+
     # ------------------------------------------------------------------
     # Origin-destination double selection (Section 4.6, Figure 8(a))
     # ------------------------------------------------------------------
@@ -1467,6 +1913,7 @@ class QueryEngine:
         device: Device = DEFAULT_DEVICE,
         exact: bool = True,
         force_plan: str | None = None,
+        tiling: int | None = None,
     ) -> SelectionOutcome:
         """Plan and run ``Origin INSIDE Q1 AND Destination INSIDE Q2``."""
         origin_xs = np.asarray(origin_xs, dtype=np.float64)
@@ -1483,13 +1930,25 @@ class QueryEngine:
         resolution_hw = _resolve_resolution(window, resolution)
 
         t0 = time.perf_counter()
+        grid = None
+        warm = total = 0
+        if tiling is not None:
+            grid = TileGrid(window, *resolution_hw, tiling)
+            total = 2 * grid.n_tiles
+            warm = self._count_warm_tiles(
+                grid, "constraint", geometries_digest([q1]), device
+            ) + self._count_warm_tiles(
+                grid, ("polygon", 2), geometry_digest(q2), device
+            )
         choice = self.planner.plan_od(
             n, q1, q2, resolution_hw, exact=exact, force=force_plan,
             window=window,
+            tiling=tiling, warm_tiles=warm, total_tiles=total,
         )
         t1 = time.perf_counter()
         before = self.cache.thread_counters()
         ctx = self._context()
+        tile_stats = None
 
         if choice.chosen.name == OD_PIP:
             result = self._run_od_pip(
@@ -1499,6 +1958,12 @@ class QueryEngine:
             tree_text = (
                 "PIP kernel: Q1 on origins, Q2 on surviving destinations"
             )
+        elif choice.chosen.name == OD_CANVAS_TILED:
+            assert grid is not None
+            result, tree_text, tile_stats = self._run_od_canvas_tiled(
+                origin_xs, origin_ys, dest_xs, dest_ys, q1, q2, key_ids,
+                grid, device, exact, ctx,
+            )
         else:
             result, tree_text = self._run_od_canvas(
                 origin_xs, origin_ys, dest_xs, dest_ys, q1, q2, key_ids,
@@ -1507,7 +1972,8 @@ class QueryEngine:
         t2 = time.perf_counter()
 
         report = self._report(
-            "od-selection", choice, tree_text, before, (t0, t1, t2), ctx
+            "od-selection", choice, tree_text, before, (t0, t1, t2), ctx,
+            tile_stats=tile_stats,
         )
         ids_out, n_candidates, n_tests, samples = result
         return SelectionOutcome(
@@ -1581,6 +2047,89 @@ class QueryEngine:
         return (
             (unique_ids(masked.keys), n_candidates, n_tests, masked),
             tree_text,
+        )
+
+    def _run_od_canvas_tiled(
+        self,
+        origin_xs: np.ndarray,
+        origin_ys: np.ndarray,
+        dest_xs: np.ndarray,
+        dest_ys: np.ndarray,
+        q1: Polygon,
+        q2: Polygon,
+        key_ids: np.ndarray,
+        grid: TileGrid,
+        device: Device,
+        exact: bool,
+        ctx: EvalContext | None,
+    ):
+        """Two-stage OD selection with both constraint rasters served
+        per lattice tile (stage 1 under the ``constraint`` recipe,
+        stage 2's CQ2 under ``("polygon", 2)``)."""
+        # Stage 1: tiled origin selection.
+        stage1, stage1_text, stats1 = self._run_selection_blended_tiled(
+            origin_xs, origin_ys, [q1], key_ids, grid, device, "any",
+            exact, ctx,
+        )
+        _, _, n_tests1, surviving = stage1
+
+        # Stage 2: γd — value-driven transform to the destination.
+        order = np.argsort(key_ids, kind="stable")
+        sorted_keys = key_ids[order]
+
+        def gamma_dest(data, valid):
+            rec = data[:, channel(DIM_POINT, FIELD_ID)].astype(np.int64)
+            pos = order[np.searchsorted(sorted_keys, rec)]
+            return dest_xs[pos], dest_ys[pos]
+
+        moved = algebra.geometric_transform_by_value(surviving, gamma_dest)
+        assert isinstance(moved, CanvasSet)
+        # Clear the stage-1 boundary flags: the destination test's
+        # uncertainty depends only on Q2's pixels.
+        moved.boundary[:] = False
+
+        # Stage 3: tiled blend with CQ2 (id 2 per the paper's CQi).
+        memo = CoverageMemo(grid.window, grid.height, grid.width, device)
+        lookup = self._polygon_tile_lookup(
+            ("polygon", 2), geometry_digest(q2), [(2, 2, q2, 0.0)],
+            memo, grid, device,
+        )
+
+        def gather(left):
+            return algebra.blend_tiled(
+                left, grid, lookup, PIP_MERGE, geometries={2: q2}
+            )
+
+        label = (
+            f"TiledGather[⊙ {grid.n_tile_rows}x{grid.n_tile_cols}]"
+            "(G[γd](Corigin), CQ2 id=2)"
+        )
+        stage2_tree = TiledGatherNode(
+            InputNode(moved, name="G[γd](Corigin)"), gather, label
+        ).mask(mask_point_in_any_polygon(1.0))
+        before = self.cache.thread_counters()
+        masked = stage2_tree.evaluate(ctx)
+        after = self.cache.thread_counters()
+        assert isinstance(masked, CanvasSet)
+        n_candidates = masked.n_samples
+        n_tests = n_tests1
+        if exact:
+            masked, extra = refine_point_samples(masked, [q2])
+            n_tests += extra
+        tree_text = (
+            render_plan(stage2_tree)
+            + "\nwhere G[γd](Corigin) jumps the survivors of:\n"
+            + stage1_text
+        )
+        tile_stats = (
+            stats1[0] + grid.n_tiles,
+            stats1[1] + after[0] - before[0],
+            stats1[2] + after[1] - before[1],
+        )
+        return (
+            (unique_ids(masked.keys), n_candidates, n_tests, masked),
+            tree_text,
+            tile_stats,
         )
 
     def _run_od_pip(
@@ -1659,6 +2208,7 @@ class QueryEngine:
         device: Device = DEFAULT_DEVICE,
         exact: bool = True,
         force_plan: str | None = None,
+        tiling: int | None = None,
     ) -> SelectionOutcome:
         """Plan and run ``Geometry INTERSECTS Q`` over polygon or
         polyline records.
@@ -1680,13 +2230,23 @@ class QueryEngine:
         resolution_hw = _resolve_resolution(window, resolution)
 
         t0 = time.perf_counter()
+        grid = None
+        warm = total = 0
+        if tiling is not None:
+            grid = TileGrid(window, *resolution_hw, tiling)
+            total = grid.n_tiles
+            warm = self._count_warm_tiles(
+                grid, ("polygon", 1), geometry_digest(query), device
+            )
         choice = self.planner.plan_geometry_selection(
             geom_list, query, resolution_hw, exact=exact, force=force_plan,
             window=window,
+            tiling=tiling, warm_tiles=warm, total_tiles=total,
         )
         t1 = time.perf_counter()
         before = self.cache.thread_counters()
         ctx = self._context()
+        tile_stats = None
 
         if choice.chosen.name == GEOM_PREDICATE:
             result = self._run_geometry_predicate(
@@ -1695,6 +2255,11 @@ class QueryEngine:
             tree_text = (
                 "exact pairwise intersection test per record "
                 f"({len(geom_list)} records)"
+            )
+        elif choice.chosen.name == GEOM_BLEND_TILED:
+            assert grid is not None
+            result, tree_text, tile_stats = self._run_geometry_blend_tiled(
+                config, geom_list, id_list, query, grid, device, exact, ctx
             )
         else:
             result, tree_text = self._run_geometry_blend(
@@ -1705,7 +2270,7 @@ class QueryEngine:
 
         report = self._report(
             "geometry-selection", choice, tree_text, before, (t0, t1, t2),
-            ctx,
+            ctx, tile_stats=tile_stats,
         )
         ids_out, n_candidates, n_tests, samples = result
         return SelectionOutcome(
@@ -1769,6 +2334,84 @@ class QueryEngine:
             (result_ids, n_candidates, len(uncertain),
              masked.filter_rows(keep)),
             tree_text,
+        )
+
+    def _run_geometry_blend_tiled(
+        self,
+        config: dict[str, Any],
+        geom_list: list,
+        id_list: list[int],
+        query: Polygon,
+        grid: TileGrid,
+        device: Device,
+        exact: bool,
+        ctx: EvalContext | None,
+    ):
+        """``M[My](B[⊕](CY, CQ))`` with the query raster served per
+        lattice tile — the record-side sample set still builds whole
+        frame (it is the query's *data*, distinct every call), but the
+        query constraint caches under ``("polygon", 1)`` tile keys so a
+        panned intersection query re-rasterizes only its cold tiles."""
+        frame = Canvas(grid.window, (grid.height, grid.width), device)
+        data_set = config["build"](geom_list, frame, ids=id_list)
+        memo = CoverageMemo(grid.window, grid.height, grid.width, device)
+        lookup = self._polygon_tile_lookup(
+            ("polygon", 1), geometry_digest(query), [(1, 1, query, 0.0)],
+            memo, grid, device,
+        )
+
+        def gather(left):
+            return algebra.blend_tiled(
+                left, grid, lookup, config["blend_mode"],
+                geometries={1: query},
+            )
+
+        label = (
+            f"TiledGather[⊕ {grid.n_tile_rows}x{grid.n_tile_cols}]"
+            f"({config['label']}, CQ query)"
+        )
+        tree = TiledGatherNode(
+            InputNode(data_set, name=config["label"]), gather, label
+        ).mask(config["predicate"]())
+        before = self.cache.thread_counters()
+        masked = tree.evaluate(ctx)
+        after = self.cache.thread_counters()
+        assert isinstance(masked, CanvasSet)
+        n_candidates = masked.n_records
+        tree_text = render_plan(tree)
+        tile_stats = (
+            grid.n_tiles, after[0] - before[0], after[1] - before[1]
+        )
+
+        if masked.is_empty():
+            return (
+                (np.empty(0, dtype=np.int64), 0, 0, masked), tree_text,
+                tile_stats,
+            )
+        if not exact:
+            return (
+                (np.unique(masked.keys), n_candidates, 0, masked), tree_text,
+                tile_stats,
+            )
+
+        # A record with a surviving non-boundary sample intersects for
+        # sure; boundary-only records need the exact predicate.
+        certain = np.unique(masked.keys[~masked.boundary])
+        uncertain = np.setdiff1d(np.unique(masked.keys), certain)
+        by_id = {rid: geom for rid, geom in zip(id_list, geom_list)}
+        confirmed = [
+            rid for rid in uncertain
+            if config["exact_test"](by_id[int(rid)], query)
+        ]
+        result_ids = np.unique(
+            np.concatenate([certain, np.asarray(confirmed, dtype=np.int64)])
+        )
+        keep = np.isin(masked.keys, result_ids)
+        return (
+            (result_ids, n_candidates, len(uncertain),
+             masked.filter_rows(keep)),
+            tree_text,
+            tile_stats,
         )
 
     @staticmethod
@@ -1835,6 +2478,7 @@ class QueryEngine:
                     force=kw.get("force_plan"),
                     window=kw["window"],
                     constraint_cached=bool(flag) or prebuilt,
+                    tiling=kw.get("tiling"),
                 )
             except (ValueError, TypeError):
                 continue  # the member itself will raise at execution

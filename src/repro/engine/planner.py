@@ -59,6 +59,17 @@ OD_PIP = "per-pair-pip"
 GEOM_BLEND = "canvas-blend"
 GEOM_PREDICATE = "per-record-predicate"
 
+#: Tile-sharded variants of the canvas plans (PR 6).  kNN has no tiled
+#: variant (its bisection probes use query-specific radii that defeat
+#: tile reuse) and neither does rasterjoin (its cached coverage
+#: footprints are already sparse and small).
+SELECTION_BLENDED_TILED = "blended-canvas-tiled"
+AGG_JOIN_THEN_AGG_TILED = "join-then-aggregate-tiled"
+DISTANCE_CANVAS_TILED = "circle-canvas-tiled"
+VORONOI_ARGMIN_TILED = "blocked-argmin-tiled"
+OD_CANVAS_TILED = "two-stage-canvas-tiled"
+GEOM_BLEND_TILED = "canvas-blend-tiled"
+
 #: Aggregates computable on each aggregation plan.
 _RASTERJOIN_AGGREGATES = frozenset({"count", "sum", "avg"})
 _SAMPLE_AGGREGATES = frozenset({"count", "sum", "avg", "min", "max"})
@@ -109,6 +120,9 @@ class Planner:
         force: str | None = None,
         window: BoundingBox | None = None,
         constraint_cached: bool = False,
+        tiling: int | None = None,
+        warm_tiles: int = 0,
+        total_tiles: int = 0,
     ) -> PlanChoice:
         """Choose how to select *n_points* under polygon constraints.
 
@@ -120,11 +134,20 @@ class Planner:
         model the blended plan's constraint canvas is already
         materialized (engine cache hit, or an earlier query in the same
         batch builds it), dropping its raster cost.
+
+        *tiling* (the user's K×K knob) admits and selects the
+        tile-sharded blended plan; *warm_tiles*/*total_tiles* — the
+        engine's pre-planning tile-cache probe — price how much raster
+        work the tile cache already holds.  A prebuilt constraint
+        canvas still wins: it is a whole-frame artifact, so tiling is
+        ignored for that query.
         """
         candidates = tuple(
             optimizer.selection_plans(
                 n_points, polygons, resolution, self.cost_model,
                 window=window, constraint_cached=constraint_cached,
+                tiling=tiling, warm_tiles=warm_tiles,
+                total_tiles=total_tiles,
             )
         )
         if force is not None:
@@ -152,10 +175,17 @@ class Planner:
         if not exact:
             # Approximate mode IS the raster pipeline: its error bound
             # (texture size) and its zero-refinement contract only make
-            # sense on the blended plan.
+            # sense on the blended plan (tiled or whole-frame — the two
+            # are bit-identical).
             return self._pick(
-                "selection", candidates, SELECTION_BLENDED,
+                "selection", candidates,
+                SELECTION_BLENDED_TILED if tiling is not None
+                else SELECTION_BLENDED,
                 forced="approximate mode is defined on the raster plan",
+            )
+        if tiling is not None:
+            return self._tiled_choice(
+                "selection", candidates, SELECTION_BLENDED_TILED, tiling
             )
         return PlanChoice("selection", candidates[0], candidates)
 
@@ -169,12 +199,21 @@ class Planner:
         aggregate: str = "count",
         force: str | None = None,
         window: BoundingBox | None = None,
+        tiling: int | None = None,
+        warm_tiles: int = 0,
+        total_tiles: int = 0,
     ) -> PlanChoice:
-        """Choose how to aggregate points per polygon group."""
+        """Choose how to aggregate points per polygon group.
+
+        *tiling* admits the tile-sharded join-then-aggregate plan
+        (rasterjoin has no tiled variant — its cached coverage
+        footprints are sparse already).
+        """
         candidates = tuple(
             optimizer.aggregation_plans(
                 n_points, polygons, resolution, self.cost_model,
-                window=window,
+                window=window, tiling=tiling, warm_tiles=warm_tiles,
+                total_tiles=total_tiles,
             )
         )
         if force is not None:
@@ -191,15 +230,23 @@ class Planner:
                 "aggregation", candidates, force,
                 forced=f"user override {force!r}",
             )
+        sample_plan = (
+            AGG_JOIN_THEN_AGG_TILED if tiling is not None
+            else AGG_JOIN_THEN_AGG
+        )
         if exact:
             return self._pick(
-                "aggregation", candidates, AGG_JOIN_THEN_AGG,
+                "aggregation", candidates, sample_plan,
                 forced="exact results require sample-level refinement",
             )
         if aggregate not in _RASTERJOIN_AGGREGATES:
             return self._pick(
-                "aggregation", candidates, AGG_JOIN_THEN_AGG,
+                "aggregation", candidates, sample_plan,
                 forced=f"aggregate {aggregate!r} needs the sample-level plan",
+            )
+        if tiling is not None:
+            return self._tiled_choice(
+                "aggregation", candidates, AGG_JOIN_THEN_AGG_TILED, tiling
             )
         return PlanChoice("aggregation", candidates[0], candidates)
 
@@ -212,11 +259,16 @@ class Planner:
         exact: bool = True,
         force: str | None = None,
         window: BoundingBox | None = None,
+        tiling: int | None = None,
+        warm_tiles: int = 0,
+        total_tiles: int = 0,
     ) -> PlanChoice:
         """Choose how to select points within *radius* of a center."""
         candidates = tuple(
             optimizer.distance_plans(
-                n_points, radius, resolution, self.cost_model, window=window
+                n_points, radius, resolution, self.cost_model, window=window,
+                tiling=tiling, warm_tiles=warm_tiles,
+                total_tiles=total_tiles,
             )
         )
         if force is not None:
@@ -232,8 +284,15 @@ class Planner:
             )
         if not exact:
             return self._pick(
-                "distance-selection", candidates, DISTANCE_CANVAS,
+                "distance-selection", candidates,
+                DISTANCE_CANVAS_TILED if tiling is not None
+                else DISTANCE_CANVAS,
                 forced="approximate mode is defined on the raster plan",
+            )
+        if tiling is not None:
+            return self._tiled_choice(
+                "distance-selection", candidates, DISTANCE_CANVAS_TILED,
+                tiling,
             )
         return PlanChoice("distance-selection", candidates[0], candidates)
 
@@ -264,14 +323,24 @@ class Planner:
         n_sites: int,
         resolution: tuple[int, int],
         force: str | None = None,
+        tiling: int | None = None,
+        warm_tiles: int = 0,
+        total_tiles: int = 0,
     ) -> PlanChoice:
         """Choose how to compute the Voronoi diagram (bit-identical plans)."""
         candidates = tuple(
-            optimizer.voronoi_plans(n_sites, resolution, self.cost_model)
+            optimizer.voronoi_plans(
+                n_sites, resolution, self.cost_model, tiling=tiling,
+                warm_tiles=warm_tiles, total_tiles=total_tiles,
+            )
         )
         if force is not None:
             return self._pick(
                 "voronoi", candidates, force, forced=f"user override {force!r}"
+            )
+        if tiling is not None:
+            return self._tiled_choice(
+                "voronoi", candidates, VORONOI_ARGMIN_TILED, tiling
             )
         return PlanChoice("voronoi", candidates[0], candidates)
 
@@ -285,11 +354,16 @@ class Planner:
         exact: bool = True,
         force: str | None = None,
         window: BoundingBox | None = None,
+        tiling: int | None = None,
+        warm_tiles: int = 0,
+        total_tiles: int = 0,
     ) -> PlanChoice:
         """Choose how to run the origin-destination double selection."""
         candidates = tuple(
             optimizer.od_plans(
-                n_points, q1, q2, resolution, self.cost_model, window=window
+                n_points, q1, q2, resolution, self.cost_model, window=window,
+                tiling=tiling, warm_tiles=warm_tiles,
+                total_tiles=total_tiles,
             )
         )
         if force is not None:
@@ -305,8 +379,13 @@ class Planner:
             )
         if not exact:
             return self._pick(
-                "od-selection", candidates, OD_CANVAS,
+                "od-selection", candidates,
+                OD_CANVAS_TILED if tiling is not None else OD_CANVAS,
                 forced="approximate mode is defined on the raster plan",
+            )
+        if tiling is not None:
+            return self._tiled_choice(
+                "od-selection", candidates, OD_CANVAS_TILED, tiling
             )
         return PlanChoice("od-selection", candidates[0], candidates)
 
@@ -319,12 +398,16 @@ class Planner:
         exact: bool = True,
         force: str | None = None,
         window: BoundingBox | None = None,
+        tiling: int | None = None,
+        warm_tiles: int = 0,
+        total_tiles: int = 0,
     ) -> PlanChoice:
         """Choose how to select polygon/polyline records INTERSECTS Q."""
         candidates = tuple(
             optimizer.geometry_selection_plans(
                 data_geometries, query, resolution, self.cost_model,
-                window=window,
+                window=window, tiling=tiling, warm_tiles=warm_tiles,
+                total_tiles=total_tiles,
             )
         )
         if force is not None:
@@ -340,10 +423,39 @@ class Planner:
             )
         if not exact:
             return self._pick(
-                "geometry-selection", candidates, GEOM_BLEND,
+                "geometry-selection", candidates,
+                GEOM_BLEND_TILED if tiling is not None else GEOM_BLEND,
                 forced="approximate mode is defined on the raster plan",
             )
+        if tiling is not None:
+            return self._tiled_choice(
+                "geometry-selection", candidates, GEOM_BLEND_TILED, tiling
+            )
         return PlanChoice("geometry-selection", candidates[0], candidates)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def _tiled_choice(
+        cls,
+        kind: str,
+        candidates: tuple[PlanEstimate, ...],
+        name: str,
+        tiling: int,
+    ) -> PlanChoice:
+        """Select the tiled plan a ``tiling=K`` request asks for.
+
+        The knob is a commitment, not a hint — the executor always
+        runs the tiled plan so the tile cache warms up for the next
+        pan.  ``forced`` stays ``None`` when the cost model agreed
+        (warm tiles priced it cheapest); otherwise it records that the
+        user's knob overrode a (cold-cache) cost ranking.
+        """
+        if candidates[0].name == name:
+            return PlanChoice(kind, candidates[0], candidates)
+        return cls._pick(
+            kind, candidates, name,
+            forced=f"tiling={tiling} requested (cold tile cache)",
+        )
 
     # ------------------------------------------------------------------
     @staticmethod

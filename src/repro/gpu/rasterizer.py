@@ -251,6 +251,35 @@ def polygon_coverage(
     return r0, c0, covered, brows, bcols
 
 
+def coverage_tile_slice(
+    r0: int,
+    c0: int,
+    covered: np.ndarray,
+    tr0: int,
+    tr1: int,
+    tc0: int,
+    tc1: int,
+) -> tuple[int, int, np.ndarray] | None:
+    """Restrict a bbox-local coverage mask to one tile's pixel span.
+
+    *covered* sits at frame origin ``(r0, c0)`` (as returned by
+    :func:`polygon_coverage`); the tile spans the half-open frame
+    ranges ``[tr0, tr1) x [tc0, tc1)``.  Returns ``(ir0, ic0, sub)``
+    — the frame origin of the intersection and a *view* of the mask
+    over it — or ``None`` when mask and tile are disjoint.  Because
+    ``sub`` is a plain slice, writing through it per-tile is
+    bit-identical to writing the whole mask on the frame.
+    """
+    sub_h, sub_w = covered.shape
+    ir0 = max(r0, tr0)
+    ir1 = min(r0 + sub_h, tr1)
+    ic0 = max(c0, tc0)
+    ic1 = min(c0 + sub_w, tc1)
+    if ir0 >= ir1 or ic0 >= ic1:
+        return None
+    return ir0, ic0, covered[ir0 - r0:ir1 - r0, ic0 - c0:ic1 - c0]
+
+
 # ----------------------------------------------------------------------
 # Triangle rasterization (edge functions)
 # ----------------------------------------------------------------------

@@ -364,3 +364,42 @@ class TestBoundaryHardening:
                 dataset=PointData(XS, YS),
                 polygons=GeometryData([POLY, HOLEY], ids=[3, 3]),
             )
+
+
+class TestTilingField:
+    """The PR 6 ``tiling`` knob: validated, serialized, family-scoped."""
+
+    def test_round_trips_when_set(self):
+        spec = SelectSpec(
+            dataset=PointData(XS, YS),
+            constraints=[ConstraintSpec.polygon(POLY)],
+            tiling=4,
+        )
+        d = spec.to_dict()
+        assert d["tiling"] == 4
+        assert spec_from_dict(d).tiling == 4
+
+    def test_omitted_from_dict_when_none(self):
+        spec = SelectSpec(dataset=PointData(XS, YS),
+                          constraints=[ConstraintSpec.polygon(POLY)])
+        assert spec.tiling is None
+        assert "tiling" not in spec.to_dict()
+
+    @pytest.mark.parametrize("bad", [1, 0, -3, 65, 1000])
+    def test_out_of_range_rejected(self, bad):
+        with pytest.raises(SpecError, match="tiling"):
+            SelectSpec(dataset=PointData(XS, YS),
+                       constraints=[ConstraintSpec.polygon(POLY)],
+                       tiling=bad)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(SpecError, match="tiling"):
+            VoronoiSpec(dataset=PointData(XS, YS),
+                        window=WindowSpec(0, 0, 100, 100), tiling="4x4")
+
+    def test_knn_has_no_tiling_key(self):
+        d = KnnSpec(dataset=PointData(XS, YS), query_point=(1.0, 1.0),
+                    k=2).to_dict()
+        d["tiling"] = 4
+        with pytest.raises(SpecError, match="unknown keys"):
+            spec_from_dict(d)

@@ -1,0 +1,162 @@
+"""Tile-cache semantics: hit/miss attribution, freezing, byte sizing.
+
+The tile cache is the whole point of tiled execution — panning reuses
+unchanged tiles — so its observable contract is pinned here:
+
+- a panned window's :class:`ExecutionReport` splits the lattice into
+  warm and cold tiles exactly (the overlap is warm, the newly exposed
+  strip is cold);
+- cached tile entries are frozen — writing into one raises instead of
+  corrupting every later hit;
+- tile entries size correctly into the byte-bounded LRU (the dense
+  sizer for :class:`TileCanvas`, the explicit ``cache_nbytes`` for
+  :class:`ArgminTile`), and eviction keeps the budget honest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.tiling import ArgminTile, TileCanvas
+from repro.data.polygons import hand_drawn_polygon, rescale_to_box
+from repro.engine import QueryEngine
+from repro.engine.cache import estimate_canvas_bytes
+from repro.geometry.bbox import BoundingBox
+
+#: A constraint spanning well past every window below, so each lattice
+#: tile the window touches really gets built.
+DOMAIN_POLY = rescale_to_box(
+    hand_drawn_polygon(seed=11, n_vertices=16),
+    BoundingBox(-1.0, -1.0, 3.0, 3.0),
+)
+
+
+def _select(engine, window, tiling=4, seed=12, n=300):
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(window.xmin - 0.3, window.xmax + 0.3, n)
+    ys = rng.uniform(window.ymin - 0.3, window.ymax + 0.3, n)
+    return engine.select_points(
+        xs, ys, [DOMAIN_POLY], window=window, resolution=64,
+        tiling=tiling,
+    )
+
+
+class TestPanHitMissSplit:
+    def test_cold_then_pan(self):
+        engine = QueryEngine()
+        # Window aligned to the tile lattice: 1.0 wide, K=4 → tiles are
+        # 0.25 world units, and a 0.25 pan is exactly one tile.
+        first = _select(engine, BoundingBox(0.0, 0.0, 1.0, 1.0))
+        report = first.report
+        assert report.tiles == 16
+        assert (report.tile_hits, report.tile_misses) == (0, 16)
+
+        panned = _select(engine, BoundingBox(0.25, 0.0, 1.25, 1.0))
+        report = panned.report
+        # 4x4 lattice shifted one column: 12 shared tiles warm, the
+        # newly exposed column of 4 cold.
+        assert report.tiles == 16
+        assert (report.tile_hits, report.tile_misses) == (12, 4)
+
+        again = _select(engine, BoundingBox(0.25, 0.0, 1.25, 1.0))
+        assert (again.report.tile_hits, again.report.tile_misses) == (16, 0)
+
+    def test_describe_mentions_tiles(self):
+        engine = QueryEngine()
+        result = _select(engine, BoundingBox(0.0, 0.0, 1.0, 1.0))
+        text = result.report.describe()
+        assert "tile cache: 0 warm / 16 cold of 16 lattice tiles" in text
+
+    def test_untiled_report_has_no_tile_section(self):
+        engine = QueryEngine()
+        rng = np.random.default_rng(13)
+        xs = rng.uniform(0, 1, 200)
+        ys = rng.uniform(0, 1, 200)
+        result = engine.select_points(
+            xs, ys, [DOMAIN_POLY], window=BoundingBox(0, 0, 1, 1),
+            resolution=64, force_plan="blended-canvas",
+        )
+        assert result.report.tiles == 0
+        assert "tile cache" not in result.report.describe()
+
+
+class TestFrozenTileEntries:
+    def _tile_entries(self, engine, kind):
+        return [
+            value for (value, _) in engine.cache._store.values()
+            if isinstance(value, kind)
+        ]
+
+    def test_tile_canvas_entries_frozen(self):
+        engine = QueryEngine()
+        _select(engine, BoundingBox(0.0, 0.0, 1.0, 1.0))
+        entries = self._tile_entries(engine, TileCanvas)
+        assert entries
+        for tile in entries:
+            with pytest.raises(ValueError):
+                tile.texture.data[0, 0, 0] = 99.0
+            with pytest.raises(ValueError):
+                tile.texture.valid[0, 0, 0] = True
+            with pytest.raises(ValueError):
+                tile.boundary[0, 0] = True
+
+    def test_argmin_tile_entries_frozen(self):
+        engine = QueryEngine()
+        rng = np.random.default_rng(14)
+        pts = np.stack([rng.uniform(0, 1, 9), rng.uniform(0, 1, 9)], axis=1)
+        engine.voronoi(pts, BoundingBox(0, 0, 1, 1), resolution=64, tiling=4)
+        entries = self._tile_entries(engine, ArgminTile)
+        assert entries
+        for tile in entries:
+            with pytest.raises(ValueError):
+                tile.owner[0, 0] = 1.0
+            with pytest.raises(ValueError):
+                tile.best_d2[0, 0] = 0.0
+
+
+class TestTileEntrySizing:
+    def test_tile_canvas_sizer(self):
+        tile = TileCanvas(16, 24)
+        expected = (
+            tile.texture.data.nbytes
+            + tile.texture.valid.nbytes
+            + tile.boundary.nbytes
+        )
+        assert expected > 0
+        assert estimate_canvas_bytes(tile) == expected
+
+    def test_argmin_tile_sizer(self):
+        owner = np.zeros((16, 24))
+        best_d2 = np.full((16, 24), np.inf)
+        tile = ArgminTile(owner, best_d2)
+        assert estimate_canvas_bytes(tile) == owner.nbytes + best_d2.nbytes
+
+    def test_cache_accounts_tile_bytes_exactly(self):
+        engine = QueryEngine()
+        _select(engine, BoundingBox(0.0, 0.0, 1.0, 1.0))
+        stats = engine.cache.stats()
+        expected = sum(
+            nbytes for (_, nbytes) in engine.cache._store.values()
+        )
+        assert stats.bytes_used == expected
+        assert expected == sum(
+            estimate_canvas_bytes(value)
+            for (value, _) in engine.cache._store.values()
+        )
+
+    def test_byte_budget_bounds_tile_entries(self):
+        # Budget sized for a handful of 16x16 tiles: the 4x4 lattice of
+        # a 64px frame cannot all stay resident, and the LRU must evict
+        # rather than overrun.
+        tile_bytes = estimate_canvas_bytes(TileCanvas(16, 16))
+        budget = 5 * tile_bytes
+        engine = QueryEngine(cache_capacity=512, cache_max_bytes=budget)
+        result = _select(engine, BoundingBox(0.0, 0.0, 1.0, 1.0))
+        assert result.report.tile_misses == 16  # all built...
+        assert engine.cache.stats().bytes_used <= budget  # ...few kept
+
+        # And the answer under eviction matches the unbounded engine's.
+        roomy = QueryEngine()
+        reference = _select(roomy, BoundingBox(0.0, 0.0, 1.0, 1.0))
+        assert np.array_equal(result.ids, reference.ids)

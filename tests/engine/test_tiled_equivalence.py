@@ -1,0 +1,288 @@
+"""Property suite: tiled execution is bit-identical to whole-frame.
+
+The tiled runners shard each canvas plan into a KxK lattice of tiles
+and stitch per-tile gathers; this suite pins the contract that the
+stitch is *exactly* the whole-frame answer — not approximately, but
+array-equal on every output the outcome exposes — across:
+
+- tile counts that divide the resolution evenly and ones that do not
+  (prime resolutions force ragged edge tiles),
+- odd window offsets (the lattice is anchored to the global grid, so
+  a window rarely starts on a tile boundary),
+- empty tiles (constraints confined to a corner leave most of the
+  lattice unbuilt — the gather must read those as null, not stale).
+
+Every family with a tiled plan is covered: selection, join-aggregate,
+distance, Voronoi, OD and geometry-record selection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.data.polygons import hand_drawn_polygon, rescale_to_box
+from repro.engine import QueryEngine
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import LineString
+
+
+#: Resolutions mixing divisible and non-divisible tile splits: 48 and
+#: 64 divide evenly for small K, 97/101/103 are prime (every K ragged),
+#: (60, 84) exercises a non-square frame.
+RESOLUTIONS = [(48, 48), (64, 64), (60, 84), (97, 103), (101, 64)]
+
+tilings = st.integers(min_value=2, max_value=6)
+resolutions = st.sampled_from(RESOLUTIONS)
+seeds = st.integers(min_value=0, max_value=10_000)
+# Odd offsets so the window's corner lands mid-tile on the lattice.
+offsets = st.floats(min_value=-1.53, max_value=1.71,
+                    allow_nan=False, allow_infinity=False)
+sizes = st.floats(min_value=0.6, max_value=2.4,
+                  allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def windows(draw):
+    x0 = draw(offsets)
+    y0 = draw(offsets)
+    return BoundingBox(x0, y0, x0 + draw(sizes), y0 + draw(sizes))
+
+
+def _points(seed: int, n: int, window: BoundingBox):
+    """Points spread wider than the window so some land out of frame."""
+    rng = np.random.default_rng(seed)
+    pad_x, pad_y = 0.3 * window.width, 0.3 * window.height
+    xs = rng.uniform(window.xmin - pad_x, window.xmax + pad_x, n)
+    ys = rng.uniform(window.ymin - pad_y, window.ymax + pad_y, n)
+    return xs, ys
+
+
+def _polygons(seed: int, n: int, window: BoundingBox) -> list:
+    """Constraints of varying footprint: some span the window, some sit
+    in a corner (leaving most tiles empty), some poke past the edge."""
+    rng = np.random.default_rng(seed + 1)
+    polys = []
+    for i in range(n):
+        cx = rng.uniform(window.xmin, window.xmax)
+        cy = rng.uniform(window.ymin, window.ymax)
+        hw = rng.uniform(0.08, 0.6) * window.width
+        hh = rng.uniform(0.08, 0.6) * window.height
+        polys.append(rescale_to_box(
+            hand_drawn_polygon(seed=seed + i, n_vertices=12),
+            BoundingBox(cx - hw, cy - hh, cx + hw, cy + hh),
+        ))
+    return polys
+
+
+def _assert_selection_equal(frame, tiled) -> None:
+    assert np.array_equal(frame.ids, tiled.ids)
+    assert frame.n_candidates == tiled.n_candidates
+    assert frame.n_exact_tests == tiled.n_exact_tests
+    fs, ts = frame.samples, tiled.samples
+    if fs is None or ts is None:
+        assert fs is ts
+        return
+    assert np.array_equal(fs.keys, ts.keys)
+    assert np.array_equal(fs.xs, ts.xs)
+    assert np.array_equal(fs.ys, ts.ys)
+    assert np.array_equal(fs.data, ts.data)
+    assert np.array_equal(fs.valid, ts.valid)
+    assert np.array_equal(fs.boundary, ts.boundary)
+
+
+def _pair() -> tuple[QueryEngine, QueryEngine]:
+    """Fresh engines per example: no cache state crosses examples."""
+    return QueryEngine(), QueryEngine()
+
+
+class TestSelectionEquivalence:
+    @given(tiling=tilings, resolution=resolutions, seed=seeds,
+           window=windows(), exact=st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_bit_identical(self, tiling, resolution, seed, window, exact):
+        xs, ys = _points(seed, 150, window)
+        polys = _polygons(seed, 3, window)
+        frame_engine, tiled_engine = _pair()
+        frame = frame_engine.select_points(
+            xs, ys, polys, window=window, resolution=resolution,
+            exact=exact, force_plan="blended-canvas",
+        )
+        tiled = tiled_engine.select_points(
+            xs, ys, polys, window=window, resolution=resolution,
+            exact=exact, tiling=tiling,
+        )
+        assert tiled.report.plan == "blended-canvas-tiled"
+        _assert_selection_equal(frame, tiled)
+
+    def test_empty_tiles_stay_null(self):
+        # A constraint confined to one corner: most lattice tiles are
+        # never built, and the gather must treat them as null space.
+        window = BoundingBox(0.0, 0.0, 8.0, 8.0)
+        xs, ys = _points(3, 400, window)
+        corner = rescale_to_box(
+            hand_drawn_polygon(seed=4, n_vertices=14),
+            BoundingBox(0.2, 0.2, 1.4, 1.4),
+        )
+        frame_engine, tiled_engine = _pair()
+        frame = frame_engine.select_points(
+            xs, ys, [corner], window=window, resolution=96,
+            force_plan="blended-canvas",
+        )
+        tiled = tiled_engine.select_points(
+            xs, ys, [corner], window=window, resolution=96, tiling=6,
+        )
+        _assert_selection_equal(frame, tiled)
+        report = tiled.report
+        assert report.tiles == 36
+        # Only the corner tiles were ever rasterized.
+        assert 0 < report.tile_misses < report.tiles
+
+    def test_non_divisible_resolution_has_ragged_tiles(self):
+        window = BoundingBox(-0.13, -0.21, 1.07, 0.93)
+        xs, ys = _points(5, 200, window)
+        polys = _polygons(5, 2, window)
+        for tiling in (3, 4, 7):  # none divides 97 or 103
+            frame_engine, tiled_engine = _pair()
+            frame = frame_engine.select_points(
+                xs, ys, polys, window=window, resolution=(97, 103),
+                force_plan="blended-canvas",
+            )
+            tiled = tiled_engine.select_points(
+                xs, ys, polys, window=window, resolution=(97, 103),
+                tiling=tiling,
+            )
+            _assert_selection_equal(frame, tiled)
+
+
+class TestAggregateEquivalence:
+    @given(tiling=tilings, resolution=resolutions, seed=seeds,
+           window=windows(),
+           aggregate=st.sampled_from(["count", "sum", "avg", "min", "max"]))
+    @settings(max_examples=20, deadline=None)
+    def test_bit_identical(self, tiling, resolution, seed, window,
+                           aggregate):
+        xs, ys = _points(seed, 150, window)
+        rng = np.random.default_rng(seed + 2)
+        values = rng.uniform(-5.0, 5.0, len(xs))
+        polys = _polygons(seed, 3, window)
+        frame_engine, tiled_engine = _pair()
+        frame = frame_engine.aggregate_points(
+            xs, ys, polys, values=values, aggregate=aggregate,
+            window=window, resolution=resolution,
+            force_plan="join-then-aggregate",
+        )
+        tiled = tiled_engine.aggregate_points(
+            xs, ys, polys, values=values, aggregate=aggregate,
+            window=window, resolution=resolution, tiling=tiling,
+        )
+        assert tiled.report.plan == "join-then-aggregate-tiled"
+        assert np.array_equal(frame.groups, tiled.groups)
+        assert np.array_equal(frame.values, tiled.values)
+
+
+class TestDistanceEquivalence:
+    @given(tiling=tilings, resolution=resolutions, seed=seeds,
+           window=windows(), exact=st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_bit_identical(self, tiling, resolution, seed, window, exact):
+        xs, ys = _points(seed, 150, window)
+        rng = np.random.default_rng(seed + 3)
+        center = (rng.uniform(window.xmin, window.xmax),
+                  rng.uniform(window.ymin, window.ymax))
+        radius = rng.uniform(0.1, 0.5) * min(window.width, window.height)
+        frame_engine, tiled_engine = _pair()
+        frame = frame_engine.select_distance(
+            xs, ys, center, radius, window=window, resolution=resolution,
+            exact=exact, force_plan="circle-canvas",
+        )
+        tiled = tiled_engine.select_distance(
+            xs, ys, center, radius, window=window, resolution=resolution,
+            exact=exact, tiling=tiling,
+        )
+        assert tiled.report.plan == "circle-canvas-tiled"
+        _assert_selection_equal(frame, tiled)
+
+
+class TestVoronoiEquivalence:
+    @given(tiling=tilings, resolution=resolutions, seed=seeds,
+           window=windows())
+    @settings(max_examples=15, deadline=None)
+    def test_bit_identical(self, tiling, resolution, seed, window):
+        rng = np.random.default_rng(seed + 4)
+        n_sites = int(rng.integers(2, 24))
+        pts = np.stack([
+            rng.uniform(window.xmin, window.xmax, n_sites),
+            rng.uniform(window.ymin, window.ymax, n_sites),
+        ], axis=1)
+        frame_engine, tiled_engine = _pair()
+        frame = frame_engine.voronoi(
+            pts, window, resolution=resolution, force_plan="blocked-argmin",
+        )
+        tiled = tiled_engine.voronoi(
+            pts, window, resolution=resolution, tiling=tiling,
+        )
+        assert tiled.report.plan == "blocked-argmin-tiled"
+        assert np.array_equal(frame.canvas.texture.data,
+                              tiled.canvas.texture.data)
+        assert np.array_equal(frame.canvas.texture.valid,
+                              tiled.canvas.texture.valid)
+
+
+class TestOdEquivalence:
+    @given(tiling=tilings, resolution=resolutions, seed=seeds,
+           window=windows(), exact=st.booleans())
+    @settings(max_examples=15, deadline=None)
+    def test_bit_identical(self, tiling, resolution, seed, window, exact):
+        xs, ys = _points(seed, 120, window)
+        dxs, dys = _points(seed + 5, 120, window)
+        q1, q2 = _polygons(seed + 6, 2, window)
+        frame_engine, tiled_engine = _pair()
+        frame = frame_engine.od_select(
+            xs, ys, dxs, dys, q1, q2, window=window, resolution=resolution,
+            exact=exact, force_plan="two-stage-canvas",
+        )
+        tiled = tiled_engine.od_select(
+            xs, ys, dxs, dys, q1, q2, window=window, resolution=resolution,
+            exact=exact, tiling=tiling,
+        )
+        assert tiled.report.plan == "two-stage-canvas-tiled"
+        _assert_selection_equal(frame, tiled)
+
+
+def _linestrings(seed: int, n: int, window: BoundingBox) -> list:
+    rng = np.random.default_rng(seed + 7)
+    lines = []
+    for _ in range(n):
+        k = int(rng.integers(2, 6))
+        xs = rng.uniform(window.xmin, window.xmax, k)
+        ys = rng.uniform(window.ymin, window.ymax, k)
+        lines.append(LineString(list(zip(xs, ys))))
+    return lines
+
+
+class TestGeometryEquivalence:
+    @given(tiling=tilings, resolution=resolutions, seed=seeds,
+           window=windows(), kind=st.sampled_from(["polygons", "lines"]),
+           exact=st.booleans())
+    @settings(max_examples=15, deadline=None)
+    def test_bit_identical(self, tiling, resolution, seed, window, kind,
+                           exact):
+        if kind == "polygons":
+            geoms = _polygons(seed + 8, 6, window)
+        else:
+            geoms = _linestrings(seed, 6, window)
+        query = _polygons(seed + 9, 1, window)[0]
+        frame_engine, tiled_engine = _pair()
+        frame = frame_engine.select_geometry_records(
+            kind, geoms, query, window=window, resolution=resolution,
+            exact=exact, force_plan="canvas-blend",
+        )
+        tiled = tiled_engine.select_geometry_records(
+            kind, geoms, query, window=window, resolution=resolution,
+            exact=exact, tiling=tiling,
+        )
+        assert tiled.report.plan == "canvas-blend-tiled"
+        _assert_selection_equal(frame, tiled)
