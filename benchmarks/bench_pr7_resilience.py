@@ -1,0 +1,293 @@
+"""PR 7 resilience benchmark: what the safety rails cost and deliver.
+
+Three sections:
+
+- **checkpoint_overhead** — the PR 6 warm pan circuit (tiled, fully
+  warm from round 2) run twice on identical engines: once with no
+  deadline, once with a generous 60 s budget so every checkpoint
+  executes its comparison and nothing ever aborts.  The acceptance
+  bar: warm-round overhead **< 5%**.  Answers are asserted identical
+  first — checkpoints observe, they never change results.
+- **shed_latency** — a window-saturating synthetic stream against a
+  2-worker serve loop whose requests are slowed by an injected delay
+  and whose admission backlog is capped: overload must shed in-band,
+  and a shed answer must come back far faster than a served one
+  (that is the entire point of shedding).  The session's caches and
+  pool run under a ``MemoryGovernor`` budget and usage is recorded.
+- **deadline_abort_latency** — repeated runs of a raster query under
+  tiny budgets, measuring the overshoot past the budget at which the
+  typed abort actually lands (the "within one checkpoint" guarantee,
+  as a distribution: p50/p95/max overshoot).
+
+Run ``python benchmarks/bench_pr7_resilience.py`` for the full
+workload or ``--dry-run`` for the CI smoke version; both write
+``BENCH_PR7.json`` at the repo root (the dry run is marked as such in
+the payload).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import Session
+from repro.api.serve import serve_lines
+from repro.api.specs import VoronoiSpec, WindowSpec
+from repro.data.polygons import hand_drawn_polygon, rescale_to_box
+from repro.engine import QueryEngine
+from repro.geometry.bbox import BoundingBox
+from repro.resilience import (
+    AdmissionController,
+    Deadline,
+    DeadlineExceeded,
+    MemoryGovernor,
+)
+from repro.testing import FaultPlan, FaultRule, inject
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TARGET_JSON = REPO_ROOT / "BENCH_PR7.json"
+
+
+def _scatter_polygons(n: int, domain: BoundingBox, seed0: int = 7) -> list:
+    rng = np.random.default_rng(seed0)
+    polys = []
+    for i in range(n):
+        cx = rng.uniform(domain.xmin, domain.xmax)
+        cy = rng.uniform(domain.ymin, domain.ymax)
+        half_w = rng.uniform(0.25, 0.45) * (domain.xmax - domain.xmin) / 2
+        half_h = rng.uniform(0.25, 0.45) * (domain.ymax - domain.ymin) / 2
+        polys.append(rescale_to_box(
+            hand_drawn_polygon(seed=seed0 + i, n_vertices=40),
+            BoundingBox(cx - half_w, cy - half_h, cx + half_w, cy + half_h),
+        ))
+    return polys
+
+
+def _pan_circuit(n_cols: int, n_rows: int, step: float,
+                 size: float) -> list[BoundingBox]:
+    positions = (
+        [(i, 0) for i in range(n_cols)]
+        + [(n_cols - 1, j) for j in range(1, n_rows)]
+        + [(i, n_rows - 1) for i in range(n_cols - 2, -1, -1)]
+        + [(0, j) for j in range(n_rows - 2, 0, -1)]
+    )
+    return [
+        BoundingBox(i * step, j * step, i * step + size, j * step + size)
+        for i, j in positions
+    ]
+
+
+def _run_circuit(engine: QueryEngine, xs, ys, polys, windows,
+                 resolution: int, tiling: int,
+                 deadline_s: float | None) -> tuple[float, list]:
+    matched = []
+    t0 = time.perf_counter()
+    for window in windows:
+        result = engine.select_points(
+            xs, ys, polys, window=window, resolution=resolution,
+            exact=False, tiling=tiling,
+            deadline=Deadline(deadline_s) if deadline_s else None,
+        )
+        matched.append(result.ids)
+    return time.perf_counter() - t0, matched
+
+
+def bench_checkpoint_overhead(n_points: int, resolution: int, tiling: int,
+                              n_cols: int, n_rows: int,
+                              rounds: int) -> dict:
+    """Warm pan circuit with vs without a (never-hit) deadline."""
+    tile_world = 1.0 / tiling
+    windows = _pan_circuit(n_cols, n_rows, step=tile_world, size=1.0)
+    span = BoundingBox.union_all(windows)
+    rng = np.random.default_rng(70)
+    xs = rng.uniform(span.xmin, span.xmax, n_points)
+    ys = rng.uniform(span.ymin, span.ymax, n_points)
+    polys = _scatter_polygons(8, span)
+
+    bare_engine = QueryEngine(cache_capacity=8192)
+    deadlined_engine = QueryEngine(cache_capacity=8192)
+    bare_rounds, deadlined_rounds = [], []
+    for _ in range(rounds):
+        b_sec, b_ids = _run_circuit(bare_engine, xs, ys, polys, windows,
+                                    resolution, tiling, deadline_s=None)
+        d_sec, d_ids = _run_circuit(deadlined_engine, xs, ys, polys,
+                                    windows, resolution, tiling,
+                                    deadline_s=60.0)
+        for a, b in zip(b_ids, d_ids):
+            assert np.array_equal(a, b), "checkpoints changed answers"
+        bare_rounds.append(b_sec)
+        deadlined_rounds.append(d_sec)
+        print(f"  pan round: bare {b_sec * 1e3:8.1f} ms   "
+              f"deadlined {d_sec * 1e3:8.1f} ms")
+
+    warm_bare = sum(bare_rounds[1:])
+    warm_deadlined = sum(deadlined_rounds[1:])
+    overhead = warm_deadlined / warm_bare - 1.0
+    return {
+        "n_points": n_points,
+        "resolution": resolution,
+        "tiling": tiling,
+        "n_windows": len(windows),
+        "rounds": rounds,
+        "bare_round_s": bare_rounds,
+        "deadlined_round_s": deadlined_rounds,
+        "warm_overhead_fraction": overhead,
+    }
+
+
+def bench_shed_latency(n_requests: int, workers: int, max_pending: int,
+                       delay_s: float, budget_mb: int) -> dict:
+    """Window-saturating stream: per-response latency, shed vs served."""
+    governor = MemoryGovernor(budget_mb * 1024 * 1024)
+    session = Session(memory_governor=governor)
+    admission = AdmissionController(max_pending=max_pending)
+    spec = VoronoiSpec(
+        dataset="synthetic:uniform?n=400&seed=7",
+        window=WindowSpec(0.0, 0.0, 100.0, 100.0),
+        resolution=128,
+    )
+    lines = [json.dumps(spec.to_dict())] * n_requests
+
+    plan = FaultPlan(FaultRule(site="serve.request", action="delay",
+                               delay_s=delay_s, probability=1.0, seed=70))
+    gaps: list[tuple[str, float]] = []
+    with inject(plan):
+        t0 = time.perf_counter()
+        last = t0
+        for raw in serve_lines(iter(lines), session, workers=workers,
+                               window=4 * workers, admission=admission):
+            now = time.perf_counter()
+            response = json.loads(raw)
+            kind = "shed" if response.get("code") == "shed" else "served"
+            gaps.append((kind, now - last))
+            last = now
+        total = time.perf_counter() - t0
+
+    shed_gaps = sorted(g for kind, g in gaps if kind == "shed")
+    served_gaps = sorted(g for kind, g in gaps if kind == "served")
+    usage = governor.usage()
+    print(f"  {len(shed_gaps)} shed / {len(served_gaps)} served "
+          f"in {total * 1e3:.0f} ms; governor usage "
+          f"{usage / 2**20:.2f} MiB of {budget_mb} MiB")
+    return {
+        "n_requests": n_requests,
+        "workers": workers,
+        "max_pending": max_pending,
+        "injected_delay_s": delay_s,
+        "total_s": total,
+        "shed_count": len(shed_gaps),
+        "served_count": len(served_gaps),
+        "shed_gap_p50_ms": _pctl(shed_gaps, 0.5) * 1e3,
+        "served_gap_p50_ms": _pctl(served_gaps, 0.5) * 1e3,
+        "governor_budget_bytes": governor.budget_bytes,
+        "governor_usage_bytes": usage,
+        "usage_within_budget": usage <= governor.budget_bytes,
+    }
+
+
+def _pctl(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(q * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+def bench_deadline_abort_latency(repeats: int, budgets_ms: list[float],
+                                 n_sites: int, resolution: int) -> dict:
+    """How far past its budget a raster query overshoots before the
+    typed abort lands — the 'within one checkpoint' bound, measured."""
+    session = Session()
+    rows = []
+    for budget_ms in budgets_ms:
+        overshoots = []
+        for _ in range(repeats):
+            spec = VoronoiSpec(
+                dataset=f"synthetic:uniform?n={n_sites}&seed=9",
+                window=WindowSpec(0.0, 0.0, 100.0, 100.0),
+                resolution=resolution,
+                deadline_ms=budget_ms,
+            )
+            t0 = time.perf_counter()
+            try:
+                session.run(spec)
+                continue  # finished inside the budget: nothing to record
+            except DeadlineExceeded:
+                elapsed_ms = (time.perf_counter() - t0) * 1e3
+            overshoots.append(max(0.0, elapsed_ms - budget_ms))
+        overshoots.sort()
+        if overshoots:
+            rows.append({
+                "budget_ms": budget_ms,
+                "aborted": len(overshoots),
+                "overshoot_p50_ms": _pctl(overshoots, 0.5),
+                "overshoot_p95_ms": _pctl(overshoots, 0.95),
+                "overshoot_max_ms": overshoots[-1],
+            })
+            print(f"  budget {budget_ms:6.1f} ms: "
+                  f"{len(overshoots)}/{repeats} aborted, overshoot "
+                  f"p50 {rows[-1]['overshoot_p50_ms']:.2f} ms  "
+                  f"p95 {rows[-1]['overshoot_p95_ms']:.2f} ms")
+    return {
+        "repeats": repeats,
+        "n_sites": n_sites,
+        "resolution": resolution,
+        "by_budget": rows,
+    }
+
+
+def main(argv: list[str]) -> int:
+    dry = "--dry-run" in argv
+    if dry:
+        overhead_cfg = dict(n_points=3_000, resolution=64, tiling=2,
+                            n_cols=4, n_rows=3, rounds=2)
+        shed_cfg = dict(n_requests=24, workers=2, max_pending=2,
+                        delay_s=0.02, budget_mb=64)
+        abort_cfg = dict(repeats=5, budgets_ms=[2.0, 10.0],
+                         n_sites=200, resolution=256)
+    else:
+        overhead_cfg = dict(n_points=30_000, resolution=256, tiling=4,
+                            n_cols=9, n_rows=5, rounds=4)
+        shed_cfg = dict(n_requests=200, workers=2, max_pending=4,
+                        delay_s=0.02, budget_mb=256)
+        abort_cfg = dict(repeats=25, budgets_ms=[1.0, 2.0, 5.0, 20.0],
+                         n_sites=600, resolution=512)
+
+    print("# checkpoint_overhead")
+    overhead = bench_checkpoint_overhead(**overhead_cfg)
+    print(f"  warm-round checkpoint overhead: "
+          f"{overhead['warm_overhead_fraction'] * 100:+.2f}%")
+    print("# shed_latency")
+    shed = bench_shed_latency(**shed_cfg)
+    print("# deadline_abort_latency")
+    aborts = bench_deadline_abort_latency(**abort_cfg)
+
+    payload = {
+        "benchmark": "pr7_resilience",
+        "dry_run": dry,
+        "checkpoint_overhead": overhead,
+        "shed_latency": shed,
+        "deadline_abort_latency": aborts,
+    }
+    with open(TARGET_JSON, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {TARGET_JSON}")
+
+    assert shed["usage_within_budget"], "governor budget exceeded"
+    assert shed["shed_count"] > 0, "overload run must actually shed"
+    if not dry:
+        # The acceptance bar, enforced where the number is produced.
+        assert overhead["warm_overhead_fraction"] < 0.05, (
+            f"checkpoint overhead "
+            f"{overhead['warm_overhead_fraction'] * 100:.2f}% >= 5%"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

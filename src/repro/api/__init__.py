@@ -14,6 +14,12 @@ above it can speak JSON.  The three pieces:
   :mod:`repro.api.serve`, the JSON-lines service loop behind
   ``python -m repro serve``.
 
+The resilience layer (:mod:`repro.resilience`) plugs in at this level:
+specs and sessions carry ``deadline_ms`` budgets, the serve loop takes
+an :class:`~repro.resilience.AdmissionController` for load shedding,
+and a :class:`~repro.resilience.MemoryGovernor` places the caches and
+buffer pool under one byte budget (re-exported here for convenience).
+
 The legacy functions in :mod:`repro.queries` are thin sugar over this
 layer::
 
@@ -46,6 +52,14 @@ from repro.api.serve import (
     serve_lines,
 )
 from repro.api.session import BatchRun, Session, default_session
+from repro.resilience import (
+    AdmissionController,
+    Cancelled,
+    Deadline,
+    DeadlineExceeded,
+    ERROR_CODES,
+    MemoryGovernor,
+)
 from repro.api.specs import (
     AGGREGATES,
     CONSTRAINT_KINDS,
@@ -71,11 +85,17 @@ from repro.api.specs import (
 
 __all__ = [
     "AGGREGATES",
+    "AdmissionController",
     "AggregateSpec",
     "BatchRun",
     "CONSTRAINT_KINDS",
+    "Cancelled",
     "ConstraintSpec",
     "DatasetRegistry",
+    "Deadline",
+    "DeadlineExceeded",
+    "ERROR_CODES",
+    "MemoryGovernor",
     "GEOMETRY_SELECT_KINDS",
     "GeometryData",
     "GeometrySpec",

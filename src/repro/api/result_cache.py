@@ -137,11 +137,17 @@ def spec_digest(spec: QuerySpec | Mapping[str, Any]) -> str:
     Inline dataset payloads are hashed from their raw array bytes (see
     :func:`_inline_payload_token`), so the digest never materializes a
     large payload as Python lists.
+
+    ``deadline_ms`` is *excluded*: a deadline bounds how long a query
+    may run, not what it computes, so the same query with different
+    budgets must hit the same cached result.
     """
     if not isinstance(spec, QuerySpec):
         spec = spec_from_dict(spec)
+    payload = _with_inline_tokens(spec).to_dict()
+    payload.pop("deadline_ms", None)
     canonical = json.dumps(
-        _with_inline_tokens(spec).to_dict(),
+        payload,
         sort_keys=True,
         separators=(",", ":"),
         # NaN coordinates are tolerated by the legacy query contract;
@@ -233,6 +239,9 @@ class ResultCacheStats:
     capacity: int
     bytes_used: int
     max_bytes: int
+    #: Results returned to the caller but not parked in the store
+    #: because the MemoryGovernor refused admission under pressure.
+    admission_skips: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -248,6 +257,7 @@ class ResultCacheStats:
             "capacity": self.capacity,
             "bytes_used": self.bytes_used,
             "max_bytes": self.max_bytes,
+            "admission_skips": self.admission_skips,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -274,6 +284,10 @@ class ResultCache:
             raise ValueError("result cache byte budget must be positive")
         self.capacity = capacity
         self.max_bytes = max_bytes
+        #: Optional MemoryGovernor (set via ``governor.attach``).
+        #: Always consulted OUTSIDE ``self._lock`` — its usage scan
+        #: takes each component's lock.
+        self.governor = None
         self._sizer = sizer
         self._store: OrderedDict[tuple, tuple[Any, int]] = OrderedDict()
         self._lock = threading.Lock()
@@ -281,6 +295,28 @@ class ResultCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._admission_skips = 0
+
+    @property
+    def bytes_used(self) -> int:
+        """Current byte footprint of the store (governor's usage hook)."""
+        with self._lock:
+            return self._bytes
+
+    def evict_lru(self) -> int:
+        """Evict the least-recently-used result; bytes freed (0 if empty).
+
+        The MemoryGovernor's shrink hook — may empty the cache
+        entirely (results are cheap to recompute next to rasters,
+        which is why the governor shrinks this cache first).
+        """
+        with self._lock:
+            if not self._store:
+                return 0
+            _, (_, nbytes) = self._store.popitem(last=False)
+            self._bytes -= nbytes
+            self._evictions += 1
+            return nbytes
 
     def get(self, key: tuple):
         """``(hit, value)`` — the flag disambiguates a cached ``None``."""
@@ -306,6 +342,13 @@ class ResultCache:
             value = list(value)
         freeze_result(value)
         nbytes = self._sizer(value)
+        # Governor admission is decided outside self._lock: its usage
+        # scan takes every attached component's lock.
+        governor = self.governor
+        if governor is not None and not governor.admit(nbytes):
+            with self._lock:
+                self._admission_skips += 1
+            return
         with self._lock:
             if key in self._store:
                 self._bytes -= self._store[key][1]
@@ -319,6 +362,8 @@ class ResultCache:
                 _, (_, evicted) = self._store.popitem(last=False)
                 self._bytes -= evicted
                 self._evictions += 1
+        if governor is not None:
+            governor.rebalance()
 
     def stats(self) -> ResultCacheStats:
         with self._lock:
@@ -330,6 +375,7 @@ class ResultCache:
                 capacity=self.capacity,
                 bytes_used=self._bytes,
                 max_bytes=self.max_bytes,
+                admission_skips=self._admission_skips,
             )
 
     def clear(self) -> None:
@@ -339,6 +385,7 @@ class ResultCache:
             self._hits = 0
             self._misses = 0
             self._evictions = 0
+            self._admission_skips = 0
 
     def __len__(self) -> int:
         with self._lock:

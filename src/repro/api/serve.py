@@ -10,9 +10,21 @@ go out one JSON object per line on stdout.  The protocol:
 - ``{"batch": [<spec>, ...]}`` — a spec list planned together through
   :meth:`~repro.api.session.Session.run_batch` → ``{"ok": true,
   "results": [...], "report": {...}}``;
-- malformed lines / failing specs → ``{"ok": false, "error": "..."}``
-  (the loop never dies on a bad request);
+- malformed lines / failing specs → ``{"ok": false, "code": "...",
+  "error": "..."}`` (the loop never dies on a bad request); ``code``
+  is one of :data:`repro.resilience.ERROR_CODES` — a stable,
+  machine-readable taxonomy (``bad_request``, ``deadline``,
+  ``cancelled``, ``shed``, ``too_costly``, ``memory``, ``internal``)
+  so clients can branch without parsing message text;
 - blank lines are ignored; EOF ends the loop.
+
+With an :class:`~repro.resilience.AdmissionController` the loop sheds
+load instead of queueing without bound: a request arriving while the
+in-flight backlog is at ``max_pending`` (or while the memory governor
+reports shed-level pressure) is answered in-band with ``{"ok": false,
+"code": "shed", "retry_after_ms": ...}`` — still in request order —
+and absurdly priced requests are rejected (``code: "too_costly"``)
+straight from the cost model's pre-estimate, before any planning.
 
 With ``workers > 1`` (``python -m repro serve --workers N``) requests
 execute concurrently on a thread pool against one shared session —
@@ -44,6 +56,8 @@ import numpy as np
 
 from repro.api.session import BatchRun, Session
 from repro.api.specs import SpecError
+from repro.resilience import AdmissionController, DeadlineExceeded, MemoryGovernor
+from repro.testing.faults import maybe_fire
 
 #: Largest id/pair list a summary inlines before truncating.
 MAX_INLINE_RESULTS = 10_000
@@ -155,7 +169,7 @@ def handle_request(
     ``query`` CLI) leave it unbounded.
     """
     if not isinstance(request, dict):
-        return {"ok": False,
+        return {"ok": False, "code": "bad_request",
                 "error": f"request must be an object, got "
                          f"{type(request).__name__}"}
     try:
@@ -205,42 +219,82 @@ def handle_request(
                 execution_s=0.0, plan_tree=None,
             ))
         return payload
+    except DeadlineExceeded as exc:
+        # exc.code distinguishes a blown budget ("deadline") from an
+        # explicit cancel ("cancelled"); both aborted cooperatively at
+        # a checkpoint, so the session's caches hold only whole frozen
+        # entries and the loop answers in-band.
+        return {"ok": False, "code": exc.code, "error": str(exc)}
     except (SpecError, ValueError, TypeError) as exc:
-        return {"ok": False, "error": str(exc)}
+        return {"ok": False, "code": "bad_request", "error": str(exc)}
+    except MemoryError as exc:
+        return {"ok": False, "code": "memory",
+                "error": f"MemoryError: {exc}"}
     except Exception as exc:  # noqa: BLE001 — the loop must never die
-        # Anything a request provokes (MemoryError on an absurd size,
-        # an OSError from a file: dataset, a latent engine bug) is that
-        # request's problem, not the service's: answer in-band.
+        # Anything else a request provokes (an OSError from a file:
+        # dataset, a latent engine bug) is that request's problem, not
+        # the service's: answer in-band.
         return {
             "ok": False,
+            "code": "internal",
             "error": f"{type(exc).__name__}: {exc}",
         }
 
 
 def default_serve_session(
     result_cache_max_bytes: int | None = None,
+    *,
+    deadline_ms: float | None = None,
+    memory_budget_bytes: int | None = None,
 ) -> Session:
     """A session hardened for the traffic boundary: requests name their
     data via registered names or generator schemes, never ``file:``
     paths on the server, and join fan-out is capped so one request
     cannot pin the loop with millions of sequential selections.
     *result_cache_max_bytes* opts the session into the spec-digest
-    result cache (see :mod:`repro.api.result_cache`)."""
+    result cache (see :mod:`repro.api.result_cache`); *deadline_ms*
+    sets the default per-request execution budget; a
+    *memory_budget_bytes* places the session's caches and buffer pool
+    under one :class:`~repro.resilience.MemoryGovernor` budget."""
     from repro.api.registry import DatasetRegistry
 
+    governor = (
+        MemoryGovernor(memory_budget_bytes)
+        if memory_budget_bytes is not None
+        else None
+    )
     return Session(DatasetRegistry(allow_files=False),
                    max_join_members=1_000,
-                   result_cache_max_bytes=result_cache_max_bytes)
+                   result_cache_max_bytes=result_cache_max_bytes,
+                   deadline_ms=deadline_ms,
+                   memory_governor=governor)
 
 
-def _answer_line(line: str, session: Session) -> dict[str, Any]:
+def _answer_line(
+    line: str,
+    session: Session,
+    admission: AdmissionController | None = None,
+) -> dict[str, Any]:
     """Decode and answer one non-blank request line, errors in-band."""
     try:
         request = json.loads(line)
     except Exception as exc:  # noqa: BLE001 — the loop must never die
         # Not just JSONDecodeError: a hostile line can provoke
         # RecursionError ('['*3000) or MemoryError from the parser.
-        return {"ok": False, "error": f"bad JSON: {exc}"}
+        return {"ok": False, "code": "bad_request",
+                "error": f"bad JSON: {exc}"}
+    try:
+        maybe_fire("serve.request")
+    except MemoryError as exc:
+        return {"ok": False, "code": "memory",
+                "error": f"MemoryError: {exc}"}
+    except Exception as exc:  # noqa: BLE001 — injected faults answer in-band
+        return {"ok": False, "code": "internal",
+                "error": f"{type(exc).__name__}: {exc}"}
+    if admission is not None:
+        rejection = admission.cost_precheck(request)
+        if rejection is not None:
+            return rejection
     return handle_request(request, session, max_batch=MAX_BATCH_REQUEST)
 
 
@@ -256,10 +310,41 @@ def _render_response(response: dict[str, Any]) -> str:
         )
 
 
+class _Ready:
+    """A pre-completed future stand-in: a shed response enters the
+    pending deque exactly like a submitted request, so the in-order
+    emission loop needs no special case."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: dict[str, Any]) -> None:
+        self._value = value
+
+    def result(self) -> dict[str, Any]:
+        return self._value
+
+
+def _validated_window(window: int | None, workers: int) -> int:
+    if window is None:
+        return 4 * workers
+    if isinstance(window, bool) or not isinstance(window, int):
+        raise ValueError(f"window must be an integer, got {window!r}")
+    if window < workers:
+        # A window smaller than the pool guarantees idle workers: the
+        # in-flight cap would starve the very threads it feeds.
+        raise ValueError(
+            f"window must be at least workers ({workers}), got {window}"
+        )
+    return window
+
+
 def serve_lines(
     lines: Iterable[str],
     session: Session | None = None,
     workers: int = 1,
+    *,
+    window: int | None = None,
+    admission: AdmissionController | None = None,
 ) -> Iterable[str]:
     """The pure core of the serve loop: JSON lines in, JSON lines out.
 
@@ -273,17 +358,34 @@ def serve_lines(
     turn), each one is emitted as soon as it reaches the head of the
     line — an interactive client that sends one request and waits for
     its answer before the next is never deadlocked on more input — and
-    a bounded in-flight window keeps memory flat on endless streams.
+    a bounded in-flight *window* (default ``4 * workers``; must be at
+    least *workers*) keeps memory flat on endless streams.
+
+    An *admission* controller turns overload into in-band ``shed``
+    responses instead of unbounded queueing: a line arriving while
+    ``admission.max_pending`` requests are already in flight (or while
+    the memory governor says shed) is answered immediately with
+    ``code: "shed"`` — in request order, like every other response —
+    and its cost pre-estimate can reject ``too_costly`` requests
+    before planning.  Closing the generator early (client gone) shuts
+    the worker pool down without waiting, cancelling requests nobody
+    will read.
     """
     session = session if session is not None else default_serve_session()
     if workers < 1:
         raise ValueError("workers must be at least 1")
+    window = _validated_window(window, workers)
     if workers == 1:
         for line in lines:
             line = line.strip()
             if not line:
                 continue
-            yield _render_response(_answer_line(line, session))
+            if admission is not None and admission.overloaded(0):
+                # Sequential serve never has a backlog; this is the
+                # memory governor's shed tier speaking.
+                yield _render_response(admission.shed_response())
+                continue
+            yield _render_response(_answer_line(line, session, admission))
         return
 
     # Reading input and draining responses must not block each other:
@@ -293,7 +395,6 @@ def serve_lines(
     # thread feeds a bounded queue (its maxsize is the backpressure)
     # and the generator blocks only on the head-of-line *future*,
     # which is exactly the response it must emit next.
-    window = 4 * workers
     feed: Queue = Queue(maxsize=window)
     _EOF = object()
 
@@ -306,10 +407,19 @@ def serve_lines(
         finally:
             feed.put(_EOF)
 
+    def admit(item: str) -> Any:
+        if admission is not None and admission.overloaded(
+            sum(1 for f in pending if not isinstance(f, _Ready))
+        ):
+            return _Ready(admission.shed_response())
+        return pool.submit(_answer_line, item, session, admission)
+
     pending: deque = deque()
-    with ThreadPoolExecutor(
+    pool = ThreadPoolExecutor(
         max_workers=workers, thread_name_prefix="repro-serve"
-    ) as pool:
+    )
+    graceful = False
+    try:
         # Daemon: an abandoned generator must not pin the process on a
         # blocked stdin read.
         threading.Thread(target=reader, daemon=True,
@@ -326,7 +436,7 @@ def serve_lines(
                 if item is _EOF:
                     eof = True
                 else:
-                    pending.append(pool.submit(_answer_line, item, session))
+                    pending.append(admit(item))
             if pending:
                 # ...then block on the head-of-line answer only: it is
                 # emitted the moment it completes, input or no input.
@@ -336,7 +446,17 @@ def serve_lines(
                 if item is _EOF:
                     eof = True
                 else:
-                    pending.append(pool.submit(_answer_line, item, session))
+                    pending.append(admit(item))
+        graceful = True
+    finally:
+        if graceful:
+            pool.shutdown(wait=True)
+        else:
+            # The consumer abandoned the generator mid-stream
+            # (GeneratorExit lands here from the yield): nobody will
+            # read the in-flight answers, so don't compute them — and
+            # never leak the pool's threads.
+            pool.shutdown(wait=False, cancel_futures=True)
 
 
 def serve(
@@ -344,10 +464,14 @@ def serve(
     stream_out: IO[str],
     session: Session | None = None,
     workers: int = 1,
+    *,
+    window: int | None = None,
+    admission: AdmissionController | None = None,
 ) -> int:
     """Run the loop over text streams (flushing per line, for pipes)."""
     count = 0
-    for response in serve_lines(stream_in, session, workers=workers):
+    for response in serve_lines(stream_in, session, workers=workers,
+                                window=window, admission=admission):
         stream_out.write(response + "\n")
         stream_out.flush()
         count += 1

@@ -54,6 +54,7 @@ from repro.engine import BatchQuery, BatchReport, ExecutionReport, QueryEngine, 
 from repro.engine.executor import BATCH_KINDS
 from repro.api.registry import DatasetRegistry
 from repro.api.result_cache import ResultCache, spec_digest
+from repro.resilience import Deadline, MemoryGovernor, check_deadline
 from repro.api.specs import (
     AggregateSpec,
     GeometrySpec,
@@ -157,6 +158,22 @@ class Session:
         ``explain``.  Cached results are shared and frozen; ``file:``
         dataset references and runtime-knob runs (``force_plan``,
         ``constraint_canvas``) always bypass the cache.
+    deadline_ms:
+        Default per-request execution budget in milliseconds.  A spec's
+        own ``deadline_ms`` always wins; ``None`` (the default) means
+        unbounded.  A run that exhausts its budget aborts at the next
+        engine checkpoint with :class:`~repro.resilience.
+        DeadlineExceeded` — cooperative, so the abort lands within one
+        checkpoint (one tile, one polygon sweep, one probe) of the
+        budget, never mid-kernel.
+    memory_governor:
+        A :class:`~repro.resilience.MemoryGovernor` to place this
+        session's caches and buffer pool under one shared byte budget.
+        The governor is attached to the session's engine at
+        construction time (canvas cache + buffer pool) and to the
+        result cache when one is enabled; under pressure it shrinks
+        cache admission, forces tiled plans (see :meth:`_tiling`), and
+        tells the serve layer to shed.
     """
 
     def __init__(
@@ -174,13 +191,17 @@ class Session:
         max_workers: int | None = None,
         result_cache_max_bytes: int | None = None,
         result_cache_capacity: int = 1024,
+        deadline_ms: float | None = None,
+        memory_governor: MemoryGovernor | None = None,
     ) -> None:
         self.registry = registry if registry is not None else DatasetRegistry()
         self.resolution = resolution
         self.device = device
-        from repro.api.specs import _tiling_field
+        from repro.api.specs import _deadline_field, _tiling_field
 
         self.tiling = _tiling_field(tiling, "session")
+        self.deadline_ms = _deadline_field(deadline_ms, "session")
+        self.memory_governor = memory_governor
         #: Largest join fan-out (right-side member count) this session
         #: will execute.  None = unbounded, matching the legacy join
         #: functions; the serve boundary sets a cap so one request
@@ -219,6 +240,17 @@ class Session:
             if result_cache_max_bytes is not None
             else None
         )
+        if memory_governor is not None:
+            # Place every byte-holding component this session routes
+            # through under the one shared budget.  Attached once, at
+            # construction: a later use_engine() switch deliberately
+            # does not re-home the governor.
+            engine_now = self.engine
+            memory_governor.attach(
+                canvas_cache=engine_now.cache,
+                buffer_pool=engine_now.buffer_pool,
+                result_cache=self.result_cache,
+            )
         #: The registry the result cache's entries were computed
         #: against.  Holding the reference (not an id(), which a
         #: garbage collector could recycle) lets run() detect a
@@ -527,9 +559,34 @@ class Session:
     def _tiling(self, spec: QuerySpec) -> int | None:
         """Effective tile-lattice K for *spec*: its own knob, else the
         session default (kNN has no knob — its radius probes never
-        repeat a constraint, so tiling it would only add overhead)."""
+        repeat a constraint, so tiling it would only add overhead).
+        When neither is set and a memory governor reports critical
+        pressure, the governor's fallback lattice is used — tiled
+        execution bounds peak working-set to one tile instead of one
+        full frame, which is exactly what a memory-pressed process
+        needs."""
         tiling = getattr(spec, "tiling", None)
-        return tiling if tiling is not None else self.tiling
+        if tiling is not None:
+            return tiling
+        if self.tiling is not None:
+            return self.tiling
+        governor = self.memory_governor
+        if governor is not None:
+            return governor.force_tiling()
+        return None
+
+    def _deadline_for(self, spec: QuerySpec) -> Deadline | None:
+        """A fresh countdown for one run of *spec* (or ``None``).
+
+        The spec's own ``deadline_ms`` wins over the session default;
+        the clock starts *here* — at describe time — so the budget is
+        wall-clock from admission, including registry resolution and
+        planning, not just kernel time.
+        """
+        deadline_ms = getattr(spec, "deadline_ms", None)
+        if deadline_ms is None:
+            deadline_ms = self.deadline_ms
+        return Deadline.after_ms(deadline_ms) if deadline_ms is not None else None
 
     @staticmethod
     def _check_records(data, ref, want: type, family: str, what: str):
@@ -612,6 +669,7 @@ class Session:
                     window=window, resolution=resolution, device=device,
                     exact=spec.exact, force_plan=force_plan,
                     tiling=self._tiling(spec),
+                    deadline=self._deadline_for(spec),
                 ),
                 wrap=_wrap_selection,
             )
@@ -639,6 +697,7 @@ class Session:
                 resolution=resolution, device=device, mode=spec.mode,
                 exact=spec.exact, constraint_canvas=constraint_canvas,
                 force_plan=force_plan, tiling=self._tiling(spec),
+                deadline=self._deadline_for(spec),
             ),
             wrap=_wrap_selection,
         )
@@ -680,6 +739,7 @@ class Session:
                 resolution=self._resolution(spec), device=device,
                 exact=spec.exact, force_plan=force_plan,
                 tiling=self._tiling(spec),
+                deadline=self._deadline_for(spec),
             ),
             wrap=_wrap_aggregate,
         )
@@ -706,6 +766,7 @@ class Session:
                 ids=data.ids, window=window,
                 resolution=self._resolution(spec), device=device,
                 max_iterations=spec.max_iterations, force_plan=force_plan,
+                deadline=self._deadline_for(spec),
             ),
             wrap=_wrap_selection,
         )
@@ -723,6 +784,7 @@ class Session:
                 resolution=self._resolution(spec, default=512),
                 device=device, force_plan=force_plan,
                 tiling=self._tiling(spec),
+                deadline=self._deadline_for(spec),
             ),
             wrap=lambda outcome: outcome.canvas,
         )
@@ -747,6 +809,7 @@ class Session:
                 resolution=self._resolution(spec), device=device,
                 exact=spec.exact, force_plan=force_plan,
                 tiling=self._tiling(spec),
+                deadline=self._deadline_for(spec),
             ),
             wrap=_wrap_selection,
         )
@@ -763,6 +826,7 @@ class Session:
         assert isinstance(query, Polygon)
         resolution = self._resolution(spec)
         window = self._window(spec)
+        deadline = self._deadline_for(spec)
 
         if spec.kind == "objects":
             if force_plan is not None:
@@ -773,7 +837,7 @@ class Session:
                 )
             return self._run_geometry_objects(
                 data.geometries, data.ids, query, window, resolution, device,
-                spec.exact, self._tiling(spec),
+                spec.exact, self._tiling(spec), deadline,
             )
 
         self._check_records(
@@ -803,6 +867,7 @@ class Session:
             spec.kind, geom_list, query, ids=ids, window=window,
             resolution=resolution, device=device, exact=spec.exact,
             force_plan=force_plan, tiling=self._tiling(spec),
+            deadline=deadline,
         )
         return _wrap_selection(outcome)
 
@@ -816,6 +881,7 @@ class Session:
         device: Device,
         exact: bool,
         tiling: int | None = None,
+        deadline: Deadline | None = None,
     ):
         """Heterogeneous-object selection (Figures 1 & 3): decompose
         every record into primitives and run the same blend+mask
@@ -893,7 +959,7 @@ class Session:
                 np.asarray(point_ys, dtype=np.float64),
                 [query], ids=np.arange(len(point_xs)), window=window,
                 resolution=resolution, device=device, exact=exact,
-                tiling=tiling,
+                tiling=tiling, deadline=deadline,
             )
             selected.update(point_records[i] for i in outcome.ids)
             n_candidates += outcome.n_candidates
@@ -902,7 +968,7 @@ class Session:
             outcome = self.engine.select_geometry_records(
                 "lines", lines, query, ids=list(range(len(lines))),
                 window=window, resolution=resolution, device=device,
-                exact=exact, tiling=tiling,
+                exact=exact, tiling=tiling, deadline=deadline,
             )
             selected.update(line_records[i] for i in outcome.ids)
             n_candidates += outcome.n_candidates
@@ -911,7 +977,7 @@ class Session:
             outcome = self.engine.select_geometry_records(
                 "polygons", polygons, query, ids=list(range(len(polygons))),
                 window=window, resolution=resolution, device=device,
-                exact=exact, tiling=tiling,
+                exact=exact, tiling=tiling, deadline=deadline,
             )
             selected.update(polygon_records[i] for i in outcome.ids)
             n_candidates += outcome.n_candidates
@@ -938,6 +1004,7 @@ class Session:
         common = _common()
         resolution = self._resolution(spec)
         window = self._window(spec)
+        deadline = self._deadline_for(spec)
 
         if spec.kind == "points-polygons":
             left = self.registry.resolve_points(spec.left, spec.FAMILY)
@@ -955,10 +1022,11 @@ class Session:
                 window = common.default_window(left.xs, left.ys, polys)
             pairs: list[tuple[int, int]] = []
             for poly, pid in zip(polys, poly_ids):
+                check_deadline(deadline, "join-member")
                 outcome = self.engine.select_points(
                     left.xs, left.ys, [poly], ids=left.ids, window=window,
                     resolution=resolution, device=device, exact=spec.exact,
-                    tiling=self._tiling(spec),
+                    tiling=self._tiling(spec), deadline=deadline,
                 )
                 pairs.extend(
                     (int(point_id), int(pid)) for point_id in outcome.ids
@@ -995,10 +1063,12 @@ class Session:
                 )
             pairs = []
             for poly, rid in zip(right.geometries, rids):
+                check_deadline(deadline, "join-member")
                 outcome = self.engine.select_geometry_records(
                     "polygons", list(left.geometries), poly, ids=lids,
                     window=window, resolution=resolution, device=device,
                     exact=spec.exact, tiling=self._tiling(spec),
+                    deadline=deadline,
                 )
                 pairs.extend((int(lid), int(rid)) for lid in outcome.ids)
             pairs.sort()
@@ -1021,11 +1091,13 @@ class Session:
             )
         pairs = []
         for i in range(len(right.xs)):
+            check_deadline(deadline, "join-member")
             outcome = self.engine.select_distance(
                 left.xs, left.ys,
                 (float(right.xs[i]), float(right.ys[i])), spec.distance,
                 ids=left.ids, window=window, resolution=resolution,
                 device=device, exact=spec.exact, tiling=self._tiling(spec),
+                deadline=deadline,
             )
             pairs.extend(
                 (int(point_id), int(rids_arr[i])) for point_id in outcome.ids

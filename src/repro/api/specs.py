@@ -31,6 +31,7 @@ descriptions.  :class:`repro.api.session.Session` turns them into work.
 
 from __future__ import annotations
 
+import math
 import operator
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
@@ -611,6 +612,26 @@ def _tiling_field(value: Any, family: str) -> int | None:
     return tiling
 
 
+def _deadline_field(value: Any, family: str) -> float | None:
+    """Validate the per-request deadline budget: ``None`` (no budget,
+    the default) or a positive finite millisecond count.
+
+    The budget starts counting when the engine call begins (the spec
+    itself carries no clock); execution aborts within one cooperative
+    checkpoint of it with a typed ``deadline`` error answered in-band.
+    """
+    if value is None:
+        return None
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        family, "deadline_ms must be a number",
+    )
+    deadline_ms = float(value)
+    _require(math.isfinite(deadline_ms) and deadline_ms > 0, family,
+             f"deadline_ms must be positive and finite, got {value!r}")
+    return deadline_ms
+
+
 class QuerySpec:
     """Base class for the seven query-family specs."""
 
@@ -669,6 +690,7 @@ class SelectSpec(QuerySpec):
     window: WindowSpec | None = None
     resolution: Any = None
     tiling: int | None = None
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         fam = self.FAMILY
@@ -685,6 +707,7 @@ class SelectSpec(QuerySpec):
         self.window = _window_field(self.window, fam)
         self.resolution = _resolution_field(self.resolution, fam)
         self.tiling = _tiling_field(self.tiling, fam)
+        self.deadline_ms = _deadline_field(self.deadline_ms, fam)
         solo = [c for c in self.constraints if c.kind in ("circle", "halfspace")]
         if solo and len(self.constraints) > 1:
             raise _fail(
@@ -704,12 +727,15 @@ class SelectSpec(QuerySpec):
         )
         if self.tiling is not None:
             out["tiling"] = self.tiling
+        if self.deadline_ms is not None:
+            out["deadline_ms"] = self.deadline_ms
         return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SelectSpec":
         cls._check_envelope(data, {"dataset", "constraints", "mode", "exact",
-                                   "window", "resolution", "tiling"})
+                                   "window", "resolution", "tiling",
+                                   "deadline_ms"})
         _require("dataset" in data and "constraints" in data, cls.FAMILY,
                  "missing keys among ['constraints', 'dataset']")
         constraints = data["constraints"]
@@ -727,6 +753,7 @@ class SelectSpec(QuerySpec):
                 data.get("resolution"), cls.FAMILY
             ),
             tiling=data.get("tiling"),
+            deadline_ms=data.get("deadline_ms"),
         )
 
 
@@ -750,6 +777,7 @@ class GeometrySpec(QuerySpec):
     window: WindowSpec | None = None
     resolution: Any = None
     tiling: int | None = None
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         fam = self.FAMILY
@@ -776,6 +804,7 @@ class GeometrySpec(QuerySpec):
         self.window = _window_field(self.window, fam)
         self.resolution = _resolution_field(self.resolution, fam)
         self.tiling = _tiling_field(self.tiling, fam)
+        self.deadline_ms = _deadline_field(self.deadline_ms, fam)
 
     def to_dict(self) -> dict[str, Any]:
         out = self._envelope()
@@ -790,12 +819,15 @@ class GeometrySpec(QuerySpec):
         )
         if self.tiling is not None:
             out["tiling"] = self.tiling
+        if self.deadline_ms is not None:
+            out["deadline_ms"] = self.deadline_ms
         return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "GeometrySpec":
         cls._check_envelope(data, {"dataset", "query", "kind", "exact",
-                                   "window", "resolution", "tiling"})
+                                   "window", "resolution", "tiling",
+                                   "deadline_ms"})
         missing = {"dataset", "query"} - set(data)
         _require(not missing, cls.FAMILY, f"missing keys {sorted(missing)}")
         return cls(
@@ -808,6 +840,7 @@ class GeometrySpec(QuerySpec):
                 data.get("resolution"), cls.FAMILY
             ),
             tiling=data.get("tiling"),
+            deadline_ms=data.get("deadline_ms"),
         )
 
 
@@ -831,6 +864,7 @@ class JoinSpec(QuerySpec):
     window: WindowSpec | None = None
     resolution: Any = None
     tiling: int | None = None
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         fam = self.FAMILY
@@ -865,6 +899,7 @@ class JoinSpec(QuerySpec):
         self.window = _window_field(self.window, fam)
         self.resolution = _resolution_field(self.resolution, fam)
         self.tiling = _tiling_field(self.tiling, fam)
+        self.deadline_ms = _deadline_field(self.deadline_ms, fam)
 
     def to_dict(self) -> dict[str, Any]:
         out = self._envelope()
@@ -879,12 +914,15 @@ class JoinSpec(QuerySpec):
         )
         if self.tiling is not None:
             out["tiling"] = self.tiling
+        if self.deadline_ms is not None:
+            out["deadline_ms"] = self.deadline_ms
         return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "JoinSpec":
         cls._check_envelope(data, {"kind", "left", "right", "distance",
-                                   "exact", "window", "resolution", "tiling"})
+                                   "exact", "window", "resolution", "tiling",
+                                   "deadline_ms"})
         missing = {"left", "right"} - set(data)
         _require(not missing, cls.FAMILY, f"missing keys {sorted(missing)}")
         return cls(
@@ -898,6 +936,7 @@ class JoinSpec(QuerySpec):
                 data.get("resolution"), cls.FAMILY
             ),
             tiling=data.get("tiling"),
+            deadline_ms=data.get("deadline_ms"),
         )
 
 
@@ -933,6 +972,7 @@ class AggregateSpec(QuerySpec):
     window: WindowSpec | None = None
     resolution: Any = None
     tiling: int | None = None
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         fam = self.FAMILY
@@ -951,6 +991,7 @@ class AggregateSpec(QuerySpec):
         self.window = _window_field(self.window, fam)
         self.resolution = _resolution_field(self.resolution, fam)
         self.tiling = _tiling_field(self.tiling, fam)
+        self.deadline_ms = _deadline_field(self.deadline_ms, fam)
 
     def to_dict(self) -> dict[str, Any]:
         out = self._envelope()
@@ -964,12 +1005,15 @@ class AggregateSpec(QuerySpec):
         )
         if self.tiling is not None:
             out["tiling"] = self.tiling
+        if self.deadline_ms is not None:
+            out["deadline_ms"] = self.deadline_ms
         return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "AggregateSpec":
         cls._check_envelope(data, {"dataset", "polygons", "aggregate",
-                                   "exact", "window", "resolution", "tiling"})
+                                   "exact", "window", "resolution", "tiling",
+                                   "deadline_ms"})
         missing = {"dataset", "polygons"} - set(data)
         _require(not missing, cls.FAMILY, f"missing keys {sorted(missing)}")
         return cls(
@@ -982,6 +1026,7 @@ class AggregateSpec(QuerySpec):
                 data.get("resolution"), cls.FAMILY
             ),
             tiling=data.get("tiling"),
+            deadline_ms=data.get("deadline_ms"),
         )
 
 
@@ -997,6 +1042,7 @@ class KnnSpec(QuerySpec):
     window: WindowSpec | None = None
     resolution: Any = None
     max_iterations: int = 64
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         fam = self.FAMILY
@@ -1012,6 +1058,7 @@ class KnnSpec(QuerySpec):
                  "max_iterations must be a positive integer")
         self.window = _window_field(self.window, fam)
         self.resolution = _resolution_field(self.resolution, fam)
+        self.deadline_ms = _deadline_field(self.deadline_ms, fam)
 
     def to_dict(self) -> dict[str, Any]:
         out = self._envelope()
@@ -1023,12 +1070,15 @@ class KnnSpec(QuerySpec):
             resolution=_resolution_to_dict(self.resolution),
             max_iterations=self.max_iterations,
         )
+        if self.deadline_ms is not None:
+            out["deadline_ms"] = self.deadline_ms
         return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "KnnSpec":
         cls._check_envelope(data, {"dataset", "query_point", "k", "window",
-                                   "resolution", "max_iterations"})
+                                   "resolution", "max_iterations",
+                                   "deadline_ms"})
         missing = {"dataset", "query_point", "k"} - set(data)
         _require(not missing, cls.FAMILY, f"missing keys {sorted(missing)}")
         iterations = data.get("max_iterations", 64)
@@ -1047,6 +1097,7 @@ class KnnSpec(QuerySpec):
                 data.get("resolution"), cls.FAMILY
             ),
             max_iterations=data.get("max_iterations", 64),
+            deadline_ms=data.get("deadline_ms"),
         )
 
 
@@ -1064,6 +1115,7 @@ class VoronoiSpec(QuerySpec):
     window: WindowSpec | None = None
     resolution: Any = None
     tiling: int | None = None
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         fam = self.FAMILY
@@ -1073,6 +1125,7 @@ class VoronoiSpec(QuerySpec):
                  "a window is required (the diagram is computed over it)")
         self.resolution = _resolution_field(self.resolution, fam)
         self.tiling = _tiling_field(self.tiling, fam)
+        self.deadline_ms = _deadline_field(self.deadline_ms, fam)
 
     def to_dict(self) -> dict[str, Any]:
         out = self._envelope()
@@ -1084,12 +1137,14 @@ class VoronoiSpec(QuerySpec):
         )
         if self.tiling is not None:
             out["tiling"] = self.tiling
+        if self.deadline_ms is not None:
+            out["deadline_ms"] = self.deadline_ms
         return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "VoronoiSpec":
         cls._check_envelope(data, {"dataset", "window", "resolution",
-                                   "tiling"})
+                                   "tiling", "deadline_ms"})
         missing = {"dataset", "window"} - set(data)
         _require(not missing, cls.FAMILY, f"missing keys {sorted(missing)}")
         return cls(
@@ -1099,6 +1154,7 @@ class VoronoiSpec(QuerySpec):
                 data.get("resolution"), cls.FAMILY
             ),
             tiling=data.get("tiling"),
+            deadline_ms=data.get("deadline_ms"),
         )
 
 
@@ -1115,6 +1171,7 @@ class OdSpec(QuerySpec):
     window: WindowSpec | None = None
     resolution: Any = None
     tiling: int | None = None
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         fam = self.FAMILY
@@ -1130,6 +1187,7 @@ class OdSpec(QuerySpec):
         self.window = _window_field(self.window, fam)
         self.resolution = _resolution_field(self.resolution, fam)
         self.tiling = _tiling_field(self.tiling, fam)
+        self.deadline_ms = _deadline_field(self.deadline_ms, fam)
 
     def to_dict(self) -> dict[str, Any]:
         out = self._envelope()
@@ -1144,12 +1202,14 @@ class OdSpec(QuerySpec):
         )
         if self.tiling is not None:
             out["tiling"] = self.tiling
+        if self.deadline_ms is not None:
+            out["deadline_ms"] = self.deadline_ms
         return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "OdSpec":
         cls._check_envelope(data, {"dataset", "q1", "q2", "exact", "window",
-                                   "resolution", "tiling"})
+                                   "resolution", "tiling", "deadline_ms"})
         missing = {"dataset", "q1", "q2"} - set(data)
         _require(not missing, cls.FAMILY, f"missing keys {sorted(missing)}")
         return cls(
@@ -1162,6 +1222,7 @@ class OdSpec(QuerySpec):
                 data.get("resolution"), cls.FAMILY
             ),
             tiling=data.get("tiling"),
+            deadline_ms=data.get("deadline_ms"),
         )
 
 

@@ -251,13 +251,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     if args.result_cache_mb is not None and args.result_cache_mb <= 0:
         raise SystemExit("serve: --result-cache-mb must be positive")
+    if args.window is not None and args.window < args.workers:
+        raise SystemExit(
+            f"serve: --window must be at least --workers "
+            f"({args.workers}), got {args.window}"
+        )
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        raise SystemExit("serve: --deadline-ms must be positive")
+    if args.memory_budget_mb is not None and args.memory_budget_mb <= 0:
+        raise SystemExit("serve: --memory-budget-mb must be positive")
+    if args.max_pending < 1:
+        raise SystemExit("serve: --max-pending must be at least 1")
+    if args.max_cost is not None and args.max_cost <= 0:
+        raise SystemExit("serve: --max-cost must be positive")
     session = default_serve_session(
         result_cache_max_bytes=(
             args.result_cache_mb * 1024 * 1024
             if args.result_cache_mb is not None else None
         ),
+        deadline_ms=args.deadline_ms,
+        memory_budget_bytes=(
+            args.memory_budget_mb * 1024 * 1024
+            if args.memory_budget_mb is not None else None
+        ),
     )
-    serve(sys.stdin, sys.stdout, session, workers=args.workers)
+    from repro.resilience import AdmissionController
+
+    admission = AdmissionController(
+        max_pending=args.max_pending,
+        max_cost=args.max_cost,
+        governor=session.memory_governor,
+    )
+    serve(sys.stdin, sys.stdout, session, workers=args.workers,
+          window=args.window, admission=admission)
     return 0
 
 
@@ -514,6 +540,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the spec-digest result cache with this byte "
              "budget in MiB (default: disabled); repeated specs "
              "answer without re-planning",
+    )
+    p_serve.add_argument(
+        "--window", type=int, default=None,
+        help="bounded in-flight request window for --workers > 1 "
+             "(default: 4x workers; must be at least --workers)",
+    )
+    p_serve.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="default per-request execution budget in milliseconds; "
+             "a request past its budget aborts at the next engine "
+             "checkpoint and answers in-band with code 'deadline' "
+             "(a spec's own deadline_ms wins; default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--memory-budget-mb", type=int, default=None,
+        help="process byte budget (MiB) shared by the canvas cache, "
+             "result cache and buffer pool; under pressure the memory "
+             "governor shrinks cache admission, forces tiled plans, "
+             "then sheds (default: ungoverned)",
+    )
+    p_serve.add_argument(
+        "--max-pending", type=int, default=64,
+        help="in-flight backlog past which new requests are shed "
+             "in-band with code 'shed' (default 64)",
+    )
+    p_serve.add_argument(
+        "--max-cost", type=float, default=None,
+        help="admission ceiling on a request's pre-estimated cost "
+             "(CostModel units: ~resolution^2 x members); pricier "
+             "requests are rejected in-band with code 'too_costly' "
+             "before planning (default: no ceiling)",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

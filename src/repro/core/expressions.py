@@ -46,10 +46,23 @@ from repro.core.algebra import AnyCanvas, PositionalGamma, ValueGamma
 from repro.core.canvas import Canvas
 from repro.core.canvas_set import CanvasSet
 from repro.core.masks import MaskPredicate
+from repro.resilience.deadline import Deadline, check_deadline
+from repro.testing.faults import maybe_fire
 
 #: Ownership tags (see :class:`EvalContext`).
 CACHED = "cached"
 OWNED = "owned"
+
+
+def _canvas_nbytes(canvas: Canvas) -> int:
+    """Array payload of one pooled buffer (texture planes + boundary)."""
+    total = 0
+    texture = getattr(canvas, "texture", None)
+    if texture is not None:
+        for attr in ("data", "valid"):
+            total += getattr(getattr(texture, attr, None), "nbytes", 0)
+    total += getattr(getattr(canvas, "boundary", None), "nbytes", 0)
+    return total
 
 
 # ----------------------------------------------------------------------
@@ -109,9 +122,30 @@ class BufferPool:
         if max_entries < 0:
             raise ValueError("pool size must be non-negative")
         self.max_entries = max_entries
+        #: Optional MemoryGovernor (set via ``governor.attach``).  At
+        #: critical pressure the pool drops released buffers instead
+        #: of parking them.  Consulted OUTSIDE ``self._lock`` only.
+        self.governor = None
         self._buffers: dict[tuple, list[Canvas]] = {}
         self._count = 0
+        self._bytes = 0
         self._lock = threading.Lock()
+
+    @property
+    def bytes_used(self) -> int:
+        """Byte footprint of parked buffers (governor's usage hook)."""
+        with self._lock:
+            return self._bytes
+
+    def trim(self) -> int:
+        """Drop every parked buffer; bytes freed (governor's last
+        resort — pools clear only after both caches are empty)."""
+        with self._lock:
+            freed = self._bytes
+            self._buffers.clear()
+            self._count = 0
+            self._bytes = 0
+            return freed
 
     @staticmethod
     def _key(canvas: Canvas) -> tuple:
@@ -133,20 +167,30 @@ class BufferPool:
         ``Circ`` utility in a probe loop) check the pool before paying
         an allocation.
         """
+        maybe_fire("pool.acquire")
         with self._lock:
             stack = self._buffers.get((window, height, width, device))
             if stack:
                 self._count -= 1
-                return stack.pop()
+                buffer = stack.pop()
+                self._bytes -= _canvas_nbytes(buffer)
+                return buffer
             return None
 
     def release(self, canvas: Canvas) -> None:
-        """Park *canvas* for reuse (dropped when the pool is full)."""
+        """Park *canvas* for reuse (dropped when the pool is full, or
+        when the MemoryGovernor reports critical pressure — under
+        pressure, freeing beats recycling)."""
+        governor = self.governor
+        if governor is not None \
+                and governor.pressure() >= governor.critical_fraction:
+            return
         with self._lock:
             if self._count >= self.max_entries:
                 return
             self._buffers.setdefault(self._key(canvas), []).append(canvas)
             self._count += 1
+            self._bytes += _canvas_nbytes(canvas)
 
     def __len__(self) -> int:
         with self._lock:
@@ -164,10 +208,20 @@ class EvalContext:
     A context may be reused across evaluations (the engine keeps one
     pool per :class:`~repro.engine.executor.QueryEngine`); counters are
     cumulative until :meth:`take_counters` snapshots and resets them.
+
+    *deadline* is the request's cooperative time budget: buffer
+    acquisitions double as checkpoints (they precede every dense frame
+    pass, so an expired evaluation aborts before its next expensive
+    raster rather than after).
     """
 
-    def __init__(self, pool: BufferPool | None = None) -> None:
+    def __init__(
+        self,
+        pool: BufferPool | None = None,
+        deadline: Deadline | None = None,
+    ) -> None:
         self.pool = pool if pool is not None else BufferPool()
+        self.deadline = deadline
         self.counters = EvalCounters()
         # The ledger maps id() -> the canvas itself.  Holding the
         # reference is load-bearing: a bare id() set would let a dead
@@ -199,6 +253,7 @@ class EvalContext:
         otherwise allocates a blank canvas (counted as an allocation).
         The result is marked owned.
         """
+        check_deadline(self.deadline, "buffer-acquire")
         target = self.pool.acquire(src)
         if target is not None:
             self.counters.pool_reuses += 1
@@ -220,6 +275,7 @@ class EvalContext:
         """
         from repro.core.canvas import _resolve_resolution
 
+        check_deadline(self.deadline, "buffer-acquire")
         height, width = _resolve_resolution(window, resolution)
         target = self.pool.acquire_shape(
             tuple(window), height, width, device

@@ -43,6 +43,7 @@ from repro.gpu.device import DEFAULT_DEVICE, Device
 from repro.gpu.rasterizer import coverage_tile_slice, polygon_coverage
 from repro.gpu.texture import Texture
 from repro.core.canvas import clipped_pixel_bbox
+from repro.testing.faults import maybe_fire
 from repro.core.objectinfo import (
     DIM_AREA,
     FIELD_COUNT,
@@ -305,6 +306,7 @@ def build_polygon_tile(
     counts accumulate or overwrite, validity ORs) — slicing commutes
     with all of them.
     """
+    maybe_fire("tile.build")
     out = TileCanvas(tile.height, tile.width)
     id_ch = channel(DIM_AREA, FIELD_ID)
     cnt_ch = channel(DIM_AREA, FIELD_COUNT)
@@ -390,6 +392,7 @@ def build_circle_tile(
     write are elementwise, so the subrange result equals the full-frame
     slice bit for bit.
     """
+    maybe_fire("tile.build")
     out = TileCanvas(tile.height, tile.width)
     cx, cy = center
     pcx = (cx - grid.window.xmin) / grid.dx
@@ -427,6 +430,7 @@ def build_argmin_tile(
     subrange: same chunking, same strict-``<`` claim rule, same float
     expressions — so the stitched owner/d² planes are bit-identical.
     """
+    maybe_fire("tile.build")
     xs = grid.window.xmin + (
         np.arange(tile.c0, tile.c1, dtype=np.float64) + 0.5
     ) * grid.dx

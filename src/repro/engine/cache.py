@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.geometry.primitives import Geometry, Polygon
+from repro.testing.faults import maybe_fire
 
 CacheKey = tuple
 
@@ -83,6 +84,9 @@ class CacheStats:
     #: Misses that waited on another thread's in-flight build instead
     #: of running the builder themselves.
     single_flight_waits: int = 0
+    #: Built values returned to the caller but not parked in the store
+    #: because the MemoryGovernor refused admission under pressure.
+    admission_skips: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -100,6 +104,7 @@ class CacheStats:
             "max_bytes": self.max_bytes,
             "builds": self.builds,
             "single_flight_waits": self.single_flight_waits,
+            "admission_skips": self.admission_skips,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -207,6 +212,11 @@ class CanvasCache:
             raise ValueError("cache byte budget must be positive")
         self.capacity = capacity
         self.max_bytes = max_bytes
+        #: Optional MemoryGovernor (set via ``governor.attach``); when
+        #: present it gates admission and triggers cross-cache
+        #: rebalancing.  Always consulted OUTSIDE ``self._lock`` —
+        #: its usage scan takes each component's lock.
+        self.governor = None
         self._sizer = sizer
         self._store: OrderedDict[CacheKey, tuple[object, int]] = OrderedDict()
         self._lock = threading.Lock()
@@ -218,6 +228,28 @@ class CanvasCache:
         self._evictions = 0
         self._builds = 0
         self._single_flight_waits = 0
+        self._admission_skips = 0
+
+    @property
+    def bytes_used(self) -> int:
+        """Current byte footprint of the store (governor's usage hook)."""
+        with self._lock:
+            return self._bytes
+
+    def evict_lru(self) -> int:
+        """Evict the least-recently-used entry; bytes freed (0 if empty).
+
+        The MemoryGovernor's shrink hook: unlike internal eviction it
+        may empty the cache entirely — under process-wide pressure an
+        empty cache beats an OOM.
+        """
+        with self._lock:
+            if not self._store:
+                return 0
+            _, (_, nbytes) = self._store.popitem(last=False)
+            self._bytes -= nbytes
+            self._evictions += 1
+            return nbytes
 
     def thread_counters(self) -> tuple[int, int]:
         """(hits, misses) recorded by the calling thread only.
@@ -270,6 +302,7 @@ class CanvasCache:
                     return flight.value
                 continue  # the leader's builder raised: re-elect and retry
             try:
+                maybe_fire("cache.builder")
                 value = builder()
                 # Entries are shared, never copied: freeze the array
                 # payload so a consumer mutating the entry raises
@@ -285,24 +318,36 @@ class CanvasCache:
                 flight.failed = True
                 flight.event.set()
                 raise
+            # Governor admission is decided outside self._lock: its
+            # usage scan takes every attached component's lock.
+            governor = self.governor
+            admit = governor is None or governor.admit(nbytes)
             with self._lock:
                 self._count(hit=False)
                 self._builds += 1
-                if key in self._store:
-                    self._bytes -= self._store[key][1]
-                self._store[key] = (value, nbytes)
-                self._store.move_to_end(key)
-                self._bytes += nbytes
-                while len(self._store) > 1 and (
-                    len(self._store) > self.capacity
-                    or self._bytes > self.max_bytes
-                ):
-                    _, (_, evicted_bytes) = self._store.popitem(last=False)
-                    self._bytes -= evicted_bytes
-                    self._evictions += 1
+                if admit:
+                    if key in self._store:
+                        self._bytes -= self._store[key][1]
+                    self._store[key] = (value, nbytes)
+                    self._store.move_to_end(key)
+                    self._bytes += nbytes
+                    while len(self._store) > 1 and (
+                        len(self._store) > self.capacity
+                        or self._bytes > self.max_bytes
+                    ):
+                        _, (_, evicted_bytes) = self._store.popitem(last=False)
+                        self._bytes -= evicted_bytes
+                        self._evictions += 1
+                else:
+                    # Under pressure the built value still answers this
+                    # request (and its single-flight waiters) — it just
+                    # never parks in the store.
+                    self._admission_skips += 1
                 self._inflight.pop(key, None)
             flight.value = value
             flight.event.set()
+            if governor is not None and admit:
+                governor.rebalance()
             return value
 
     def stats(self) -> CacheStats:
@@ -317,6 +362,7 @@ class CanvasCache:
                 max_bytes=self.max_bytes,
                 builds=self._builds,
                 single_flight_waits=self._single_flight_waits,
+                admission_skips=self._admission_skips,
             )
 
     def clear(self) -> None:
@@ -330,6 +376,7 @@ class CanvasCache:
             self._evictions = 0
             self._builds = 0
             self._single_flight_waits = 0
+            self._admission_skips = 0
 
     def __len__(self) -> int:
         with self._lock:

@@ -109,6 +109,7 @@ from repro.core.tiling import (
     tile_key,
 )
 from repro.engine.cache import CanvasCache, geometries_digest, geometry_digest
+from repro.resilience.deadline import Deadline, check_deadline
 from repro.engine.planner import (
     AGG_JOIN_THEN_AGG_TILED,
     AGG_RASTERJOIN,
@@ -520,9 +521,13 @@ class QueryEngine:
         local_reports.append(report)
         self._report_local.count += 1
 
-    def _context(self) -> EvalContext:
-        """A fresh ownership ledger sharing the engine's buffer pool."""
-        return EvalContext(self.buffer_pool)
+    def _context(self, deadline: Deadline | None = None) -> EvalContext:
+        """A fresh ownership ledger sharing the engine's buffer pool.
+
+        *deadline* rides along on the context so every buffer
+        acquisition inside the evaluation doubles as a cooperative
+        checkpoint."""
+        return EvalContext(self.buffer_pool, deadline)
 
     @property
     def cost_model(self) -> CostModel:
@@ -694,6 +699,7 @@ class QueryEngine:
         grid: TileGrid,
         device: Device,
         accumulate_count: bool = False,
+        deadline: Deadline | None = None,
     ):
         """``tile -> TileCanvas | None`` closure over the tile cache.
 
@@ -702,8 +708,12 @@ class QueryEngine:
         (``None`` fetches null, exactly what a blank frame pixel
         gathers).  The skip is a function of the recipe digest alone,
         so it is deterministic across queries sharing the key.
+
+        Each lookup is a deadline checkpoint: tiled plans abort within
+        one tile of their budget.
         """
         def lookup(tile):
+            check_deadline(deadline, "tile-build")
             if not any(
                 bbox_intersects_tile(memo.bbox(slot, poly), tile)
                 for slot, _, poly, _ in entries
@@ -749,6 +759,7 @@ class QueryEngine:
         force_plan: str | None = None,
         constraint_cached: bool | None = None,
         tiling: int | None = None,
+        deadline: Deadline | None = None,
     ) -> SelectionOutcome:
         """Plan and run a multi-constraint point selection.
 
@@ -795,12 +806,12 @@ class QueryEngine:
         )
         t1 = time.perf_counter()
         before = self.cache.thread_counters()
-        ctx = self._context()
+        ctx = self._context(deadline)
         tile_stats = None
 
         if choice.chosen.name == SELECTION_PIP:
             result = self._run_selection_pip(
-                xs, ys, polys, ids, window, resolution_hw, mode
+                xs, ys, polys, ids, window, resolution_hw, mode, deadline
             )
             tree_text = (
                 "PIP kernel: crossing-count per (point, polygon) pair "
@@ -904,6 +915,7 @@ class QueryEngine:
         lookup = self._polygon_tile_lookup(
             "constraint", digest, entries, memo, grid, device,
             accumulate_count=True,
+            deadline=ctx.deadline if ctx is not None else None,
         )
         provided = {i: poly for i, poly in enumerate(polys, start=1)}
         label = (
@@ -951,6 +963,7 @@ class QueryEngine:
         window: BoundingBox,
         resolution_hw: tuple[int, int],
         mode: str,
+        deadline: Deadline | None = None,
     ):
         """Exact per-polygon PIP testing (the traditional plan).
 
@@ -980,6 +993,7 @@ class QueryEngine:
         counts = np.zeros(len(fx), dtype=np.int64)
         last_id = np.zeros(len(fx), dtype=np.float64)
         for i, poly in enumerate(polys, start=1):
+            check_deadline(deadline, "polygon-sweep")
             inside = points_in_polygon(fx, fy, poly)
             counts += inside
             # Constraint canvases draw in order with ids 1..n, so the
@@ -1025,6 +1039,7 @@ class QueryEngine:
         exact: bool = True,
         force_plan: str | None = None,
         tiling: int | None = None,
+        deadline: Deadline | None = None,
     ) -> AggregationOutcome:
         """Plan and run a group-by-over-join aggregation."""
         if aggregate not in ("count", "sum", "avg", "min", "max"):
@@ -1072,20 +1087,26 @@ class QueryEngine:
         )
         t1 = time.perf_counter()
         before = self.cache.thread_counters()
-        ctx = self._context()
+        ctx = self._context(deadline)
         tile_stats = None
 
         if choice.chosen.name == AGG_RASTERJOIN:
             # Deferred import: rasterjoin sits above the query layer.
             from repro.core.rasterjoin import raster_join_aggregate
 
+            def coverage_provider(poly, pid):
+                # One checkpoint per constraint — the rasterjoin's
+                # natural polygon-sweep granularity.
+                check_deadline(deadline, "polygon-sweep")
+                return self.rasterjoin_coverage(
+                    poly, window, resolution, device
+                )
+
             result = raster_join_aggregate(
                 xs, ys, polys, values=values, aggregate=aggregate,
                 polygon_ids=ids, window=window, resolution=resolution,
                 device=device,
-                coverage_provider=lambda poly, pid: self.rasterjoin_coverage(
-                    poly, window, resolution, device
-                ),
+                coverage_provider=coverage_provider,
             )
             groups, out_values = result.groups, result.values
             tree_text = (
@@ -1146,6 +1167,9 @@ class QueryEngine:
         collected: CanvasSet | None = None
         branch_tree = None
         for poly, pid in zip(polys, ids):
+            check_deadline(
+                ctx.deadline if ctx is not None else None, "polygon-sweep"
+            )
             bbox = clipped_pixel_bbox(poly, window, height, width)
             if bbox is None:
                 continue  # constraint misses the frame: no samples
@@ -1217,6 +1241,9 @@ class QueryEngine:
         branch_text = None
         before = self.cache.thread_counters()
         for poly, pid in zip(polys, ids):
+            check_deadline(
+                ctx.deadline if ctx is not None else None, "polygon-sweep"
+            )
             bbox = clipped_pixel_bbox(poly, grid.window, grid.height,
                                       grid.width)
             if bbox is None:
@@ -1234,6 +1261,7 @@ class QueryEngine:
             lookup = self._polygon_tile_lookup(
                 ("polygon", pid), geometry_digest(poly),
                 [(pid, pid, poly, 0.0)], memo, grid, device,
+                deadline=ctx.deadline if ctx is not None else None,
             )
 
             def gather(left, lk=lookup, p=poly, r=pid):
@@ -1291,6 +1319,7 @@ class QueryEngine:
         exact: bool = True,
         force_plan: str | None = None,
         tiling: int | None = None,
+        deadline: Deadline | None = None,
     ) -> SelectionOutcome:
         """Plan and run a within-radius point selection."""
         if radius <= 0:
@@ -1320,7 +1349,7 @@ class QueryEngine:
         )
         t1 = time.perf_counter()
         before = self.cache.thread_counters()
-        ctx = self._context()
+        ctx = self._context(deadline)
         tile_stats = None
 
         if choice.chosen.name == DISTANCE_CANVAS:
@@ -1443,6 +1472,9 @@ class QueryEngine:
         circle_bbox = circle_tile_bbox(center, radius, grid)
 
         def lookup(tile):
+            check_deadline(
+                ctx.deadline if ctx is not None else None, "tile-build"
+            )
             if circle_bbox is None or not bbox_intersects_tile(
                 circle_bbox, tile
             ):
@@ -1542,6 +1574,7 @@ class QueryEngine:
         device: Device = DEFAULT_DEVICE,
         max_iterations: int = 64,
         force_plan: str | None = None,
+        deadline: Deadline | None = None,
     ) -> SelectionOutcome:
         """Plan and run a k-nearest-neighbor query (both plans exact)."""
         xs = np.asarray(xs, dtype=np.float64)
@@ -1556,7 +1589,7 @@ class QueryEngine:
         )
         t1 = time.perf_counter()
         before = self.cache.thread_counters()
-        ctx = self._context()
+        ctx = self._context(deadline)
 
         if choice.chosen.name == KNN_KDTREE:
             result = self._run_knn_kdtree(
@@ -1640,6 +1673,9 @@ class QueryEngine:
 
         def probe(radius: float):
             nonlocal total_tests
+            check_deadline(
+                ctx.deadline if ctx is not None else None, "knn-probe"
+            )
             result, _ = self._run_distance_canvas(
                 xs, ys, query_point, radius, ids, window, resolution,
                 device, True, ctx,
@@ -1700,6 +1736,7 @@ class QueryEngine:
         device: Device = DEFAULT_DEVICE,
         force_plan: str | None = None,
         tiling: int | None = None,
+        deadline: Deadline | None = None,
     ) -> VoronoiOutcome:
         """Plan and run ``ComputeVoronoi`` (bit-identical plans)."""
         pts = np.asarray(points, dtype=np.float64)
@@ -1732,7 +1769,7 @@ class QueryEngine:
         )
         t1 = time.perf_counter()
         before = self.cache.thread_counters()
-        ctx = self._context()
+        ctx = self._context(deadline)
         tile_stats = None
 
         if choice.chosen.name == VORONOI_ITERATED:
@@ -1792,6 +1829,9 @@ class QueryEngine:
             ctx.counters.allocations += 1
             ctx.mark_owned(canvas)
         for i in range(len(pts)):
+            check_deadline(
+                ctx.deadline if ctx is not None else None, "voronoi-site"
+            )
             f = self._voronoi_site_transform(
                 i, float(pts[i, 0]), float(pts[i, 1])
             )
@@ -1831,6 +1871,9 @@ class QueryEngine:
         best_d2 = np.full((canvas.height, canvas.width), np.inf)
         owner = np.zeros((canvas.height, canvas.width))
         for start in range(0, len(pts), block):
+            check_deadline(
+                ctx.deadline if ctx is not None else None, "voronoi-chunk"
+            )
             chunk = pts[start:start + block]
             d2 = (
                 (gx[None, :, :] - chunk[:, 0, None, None]) ** 2
@@ -1875,6 +1918,9 @@ class QueryEngine:
         owner = np.zeros((grid.height, grid.width))
         best_d2 = np.full((grid.height, grid.width), np.inf)
         for tile in grid.tiles():
+            check_deadline(
+                ctx.deadline if ctx is not None else None, "tile-build"
+            )
             part = self.cache.get_or_build(
                 tile_key(("argmin", block), digest, tile, grid, device),
                 lambda t=tile: build_argmin_tile(t, pts, grid, block),
@@ -1914,6 +1960,7 @@ class QueryEngine:
         exact: bool = True,
         force_plan: str | None = None,
         tiling: int | None = None,
+        deadline: Deadline | None = None,
     ) -> SelectionOutcome:
         """Plan and run ``Origin INSIDE Q1 AND Destination INSIDE Q2``."""
         origin_xs = np.asarray(origin_xs, dtype=np.float64)
@@ -1947,7 +1994,7 @@ class QueryEngine:
         )
         t1 = time.perf_counter()
         before = self.cache.thread_counters()
-        ctx = self._context()
+        ctx = self._context(deadline)
         tile_stats = None
 
         if choice.chosen.name == OD_PIP:
@@ -2093,6 +2140,7 @@ class QueryEngine:
         lookup = self._polygon_tile_lookup(
             ("polygon", 2), geometry_digest(q2), [(2, 2, q2, 0.0)],
             memo, grid, device,
+            deadline=ctx.deadline if ctx is not None else None,
         )
 
         def gather(left):
@@ -2209,6 +2257,7 @@ class QueryEngine:
         exact: bool = True,
         force_plan: str | None = None,
         tiling: int | None = None,
+        deadline: Deadline | None = None,
     ) -> SelectionOutcome:
         """Plan and run ``Geometry INTERSECTS Q`` over polygon or
         polyline records.
@@ -2245,7 +2294,7 @@ class QueryEngine:
         )
         t1 = time.perf_counter()
         before = self.cache.thread_counters()
-        ctx = self._context()
+        ctx = self._context(deadline)
         tile_stats = None
 
         if choice.chosen.name == GEOM_PREDICATE:
@@ -2358,6 +2407,7 @@ class QueryEngine:
         lookup = self._polygon_tile_lookup(
             ("polygon", 1), geometry_digest(query), [(1, 1, query, 0.0)],
             memo, grid, device,
+            deadline=ctx.deadline if ctx is not None else None,
         )
 
         def gather(left):
@@ -2490,6 +2540,7 @@ class QueryEngine:
         self,
         queries: Sequence[BatchQuery],
         max_workers: int | None = None,
+        deadline: Deadline | None = None,
     ) -> BatchOutcome:
         """Plan and run a list of queries as one pass.
 
@@ -2554,10 +2605,16 @@ class QueryEngine:
         t1 = time.perf_counter()
 
         def run_member(index: int) -> tuple[Any, float, str]:
+            # One checkpoint per batch member: an expired batch stops
+            # launching members (already-running ones abort at their own
+            # checkpoints).
+            check_deadline(deadline, "batch-member")
             spec = specs[index]
             kwargs = dict(spec.kwargs)
             if cached_flags[index] is not None:
                 kwargs.setdefault("constraint_cached", cached_flags[index])
+            if deadline is not None:
+                kwargs.setdefault("deadline", deadline)
             started = time.perf_counter()
             outcome = dispatch[spec.kind](**kwargs)
             elapsed = time.perf_counter() - started

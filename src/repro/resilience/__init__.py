@@ -1,0 +1,64 @@
+"""Resilience layer: deadlines, admission control, memory governance.
+
+PR 5/6 made the engine fast but *trusting*: one hostile request (a
+4096² Voronoi, a builder dying mid-tile, a MemoryError inside a blend)
+could pin a serve worker forever, and the three byte budgets (canvas
+cache, result cache, buffer pool) were governed independently, so they
+could jointly exceed any real memory limit.  This package supplies the
+non-blocking local decisions that fix that:
+
+- :mod:`repro.resilience.deadline` — per-request :class:`Deadline`
+  budgets with cooperative cancellation, checked at cheap natural
+  checkpoints (per tile build, per batch member, per bisection probe,
+  per polygon sweep) so any request aborts within one checkpoint of
+  its budget with a typed :class:`DeadlineExceeded` answered in-band;
+- :mod:`repro.resilience.admission` — bounded admission for the serve
+  loop with typed in-band shed responses and CostModel-backed
+  pre-estimates that reject absurd work before planning;
+- :mod:`repro.resilience.governor` — one process-wide
+  :class:`MemoryGovernor` byte budget spanning canvas cache + result
+  cache + buffer pool, with pressure-tiered degradation (shrink cache
+  admission → force tiled plans → shed).
+
+The error-code taxonomy every serve response speaks is defined here
+(:data:`ERROR_CODES`) and recorded in
+``docs/adr/0001-degradation-policy.md``.
+"""
+
+from repro.resilience.admission import (
+    AdmissionController,
+    estimate_request_cost,
+)
+from repro.resilience.deadline import (
+    Cancelled,
+    Deadline,
+    DeadlineExceeded,
+    ResilienceError,
+    check_deadline,
+)
+from repro.resilience.governor import MemoryGovernor
+
+#: The stable machine-readable ``code`` taxonomy of serve error
+#: responses (see docs/adr/0001-degradation-policy.md).  Every
+#: ``{"ok": false}`` line names exactly one of these.
+ERROR_CODES = (
+    "bad_request",   # malformed JSON / spec validation failure
+    "deadline",      # the request's deadline_ms budget expired
+    "cancelled",     # the request was cooperatively cancelled
+    "shed",          # admission queue full / memory pressure: retry later
+    "too_costly",    # pre-estimated cost exceeds the admission ceiling
+    "memory",        # MemoryError while executing the request
+    "internal",      # anything else the request provoked
+)
+
+__all__ = [
+    "AdmissionController",
+    "Cancelled",
+    "Deadline",
+    "DeadlineExceeded",
+    "ERROR_CODES",
+    "MemoryGovernor",
+    "ResilienceError",
+    "check_deadline",
+    "estimate_request_cost",
+]

@@ -1,0 +1,188 @@
+"""Admission control and load shedding for the serve front.
+
+Two cheap, local gates run before a request is allowed to consume a
+worker slot:
+
+1. **backlog shedding** — the serve loop keeps a bounded count of
+   requests that are read but not yet admitted to the in-flight
+   window; past :attr:`AdmissionController.max_pending` new lines are
+   answered in-band with a typed shed response
+   (``{"ok": false, "code": "shed", "retry_after_ms": …}``) instead of
+   queueing without bound.  The :class:`~repro.resilience.governor.\
+MemoryGovernor` can force the same response when the process is over
+   its byte budget.
+2. **cost pre-estimates** — :func:`estimate_request_cost` prices the
+   request from its raw envelope (resolution² pixels × member count ×
+   the CostModel's pixel-touch unit price) *before* any parsing or
+   planning, so absurd work (a 4096² voronoi batch ×256) is rejected
+   with ``code: "too_costly"`` for fractions of a microsecond rather
+   than minutes of raster time.
+
+Both answers are in-band JSON lines — the connection stays healthy and
+the client gets a machine-readable reason plus a retry hint, matching
+the coordination-free degradation posture in the ADR
+(``docs/adr/0001-degradation-policy.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.optimizer import CostModel
+
+#: Resolution assumed when a request does not name one (mirrors the
+#: engine-side default frame edge).
+DEFAULT_RESOLUTION = 1024
+
+#: Default bound on read-but-not-admitted requests before shedding.
+DEFAULT_MAX_PENDING = 64
+
+#: Default retry hint (ms) stamped on shed responses.
+DEFAULT_RETRY_AFTER_MS = 50
+
+
+def _member_count(request: Mapping[str, Any]) -> int:
+    """How many frame passes the request plausibly fans out to.
+
+    Deliberately coarse: geometry/count comes from obviously countable
+    list fields only, and anything malformed contributes nothing — the
+    spec layer rejects malformed requests with real messages; this
+    estimator must never reject work the spec layer would accept as
+    small.
+    """
+    members = 1
+    for field in ("constraints", "polygons"):
+        value = request.get(field)
+        if isinstance(value, list) and value:
+            members = max(members, len(value))
+    for field in ("query", "left", "right", "q1", "q2"):
+        value = request.get(field)
+        if isinstance(value, Mapping):
+            inner = value.get("polygons") or value.get("constraints")
+            if isinstance(inner, list) and inner:
+                members = max(members, len(inner))
+    return members
+
+
+def _resolution_pixels(request: Mapping[str, Any]) -> float:
+    value = request.get("resolution", DEFAULT_RESOLUTION)
+    if isinstance(value, Mapping):
+        dims = [v for v in value.values() if isinstance(v, (int, float))]
+        if len(dims) == 2 and all(v > 0 for v in dims):
+            return float(dims[0]) * float(dims[1])
+        return float(DEFAULT_RESOLUTION) ** 2
+    if isinstance(value, (int, float)) and not isinstance(value, bool) \
+            and value > 0:
+        return float(value) ** 2
+    return float(DEFAULT_RESOLUTION) ** 2
+
+
+def estimate_request_cost(
+    request: Any, cost_model: CostModel | None = None
+) -> float:
+    """Price a raw (unparsed) serve request in CostModel units.
+
+    An upper-level sanity bound, not a plan estimate: the planner's own
+    CostModel prices *plans* after parsing; this prices the *envelope*
+    so a hostile request is refused before any work.  Malformed
+    requests price as 0 — spec validation owns rejecting those with a
+    real message.
+    """
+    model = cost_model or CostModel()
+    if not isinstance(request, Mapping):
+        return 0.0
+    batch = request.get("batch")
+    if isinstance(batch, list):
+        return sum(estimate_request_cost(member, model) for member in batch)
+    if "spec" not in request:
+        return 0.0
+    return _resolution_pixels(request) * _member_count(request) \
+        * model.pixel_touch
+
+
+class AdmissionController:
+    """The serve loop's bounded-admission + cost-gate policy object.
+
+    Stateless about individual requests — the serve loop owns the
+    actual pending count (it already tracks its in-flight window) and
+    asks this object for decisions, so the controller needs no lock
+    and can be shared across serve loops.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        retry_after_ms: int = DEFAULT_RETRY_AFTER_MS,
+        max_cost: float | None = None,
+        cost_model: CostModel | None = None,
+        governor: Any = None,
+    ) -> None:
+        max_pending = int(max_pending)
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        retry_after_ms = int(retry_after_ms)
+        if retry_after_ms < 1:
+            raise ValueError("retry_after_ms must be at least 1")
+        if max_cost is not None:
+            max_cost = float(max_cost)
+            if not max_cost > 0:
+                raise ValueError("max_cost must be positive")
+        self.max_pending = max_pending
+        self.retry_after_ms = retry_after_ms
+        self.max_cost = max_cost
+        self.cost_model = cost_model or CostModel()
+        self.governor = governor
+        self.shed_count = 0
+        self.cost_rejections = 0
+
+    # -- decisions -------------------------------------------------------
+    def overloaded(self, pending: int) -> bool:
+        """Must the serve loop shed instead of queueing one more line?"""
+        if pending >= self.max_pending:
+            return True
+        governor = self.governor
+        return governor is not None and governor.should_shed()
+
+    def shed_response(self) -> dict[str, Any]:
+        """The in-band line answering a shed request."""
+        self.shed_count += 1
+        return {
+            "ok": False,
+            "code": "shed",
+            "error": "server overloaded, retry later",
+            "retry_after_ms": self.retry_after_ms,
+        }
+
+    def cost_precheck(self, request: Any) -> dict[str, Any] | None:
+        """Reject absurd work before planning; ``None`` admits.
+
+        Returns the in-band ``too_costly`` response when the envelope's
+        pre-estimated cost exceeds ``max_cost`` (no ceiling configured
+        means every request passes).
+        """
+        if self.max_cost is None:
+            return None
+        cost = estimate_request_cost(request, self.cost_model)
+        if cost <= self.max_cost:
+            return None
+        self.cost_rejections += 1
+        return {
+            "ok": False,
+            "code": "too_costly",
+            "error": (
+                f"estimated cost {cost:.0f} exceeds the admission "
+                f"ceiling {self.max_cost:.0f}"
+            ),
+            "estimated_cost": cost,
+            "max_cost": self.max_cost,
+        }
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "max_pending": self.max_pending,
+            "retry_after_ms": self.retry_after_ms,
+            "max_cost": self.max_cost,
+            "shed_count": self.shed_count,
+            "cost_rejections": self.cost_rejections,
+        }

@@ -1,0 +1,158 @@
+"""Per-request deadlines with cooperative cancellation.
+
+A :class:`Deadline` is a monotonic budget created at the request
+boundary (``deadline_ms`` on a spec, the session default, or a direct
+engine kwarg) and carried through execution in the
+:class:`~repro.core.expressions.EvalContext` and the engine's loop
+kwargs.  Execution never preempts anything: the budget is *checked* at
+cheap natural checkpoints — one per tile build, per batch member, per
+kNN bisection probe, per polygon sweep, per buffer acquisition — so a
+request aborts within one checkpoint of its budget, with a typed
+:class:`DeadlineExceeded` the serve loop answers in-band
+(``{"ok": false, "code": "deadline", ...}``).
+
+Cancellation is the same mechanism from the other side:
+:meth:`Deadline.cancel` (any thread, or a fault-injection rule) flips
+a flag that the next checkpoint turns into :class:`Cancelled`.  There
+is no forced unwinding — a cancelled builder dies at its next
+checkpoint, the canvas cache's single-flight seam releases its waiters
+and re-elects a leader, and no partially-built entry is ever published
+(entries only land after the builder returns).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+class ResilienceError(RuntimeError):
+    """Base of the typed, in-band-answerable resilience failures.
+
+    ``code`` is the stable machine-readable taxonomy entry the serve
+    loop copies into the response (see
+    :data:`repro.resilience.ERROR_CODES`).
+    """
+
+    code = "internal"
+
+
+class DeadlineExceeded(ResilienceError):
+    """A request ran past its deadline budget and aborted cooperatively."""
+
+    code = "deadline"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        budget_ms: float | None = None,
+        elapsed_ms: float | None = None,
+        checkpoint: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.budget_ms = budget_ms
+        self.elapsed_ms = elapsed_ms
+        self.checkpoint = checkpoint
+
+
+class Cancelled(DeadlineExceeded):
+    """The request was cancelled (cooperatively, at a checkpoint).
+
+    A subclass of :class:`DeadlineExceeded` so every abort path — the
+    budget expiring or an explicit :meth:`Deadline.cancel` — unwinds
+    through the same typed family; the serve loop distinguishes the
+    two by ``code``.
+    """
+
+    code = "cancelled"
+
+
+class Deadline:
+    """One request's monotonic time budget plus a cancellation flag.
+
+    Cheap by construction: :meth:`check` is a flag test plus one
+    ``clock()`` call, so sprinkling checkpoints through tile loops and
+    polygon sweeps costs well under the 5% clean-path bar.  ``checks``
+    counts every checkpoint passed (approximate under concurrent
+    checkpointing — it feeds benchmarks, not correctness).
+
+    Thread-safety: :meth:`cancel` may be called from any thread (it
+    sets a single flag, atomic under the GIL); everything else is
+    called by the executing request's threads.
+    """
+
+    __slots__ = ("budget_s", "checks", "_t0", "_clock", "_cancelled")
+
+    def __init__(
+        self, budget_s: float, *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        budget_s = float(budget_s)
+        if not budget_s > 0:
+            raise ValueError("deadline budget must be positive")
+        self.budget_s = budget_s
+        self.checks = 0
+        self._clock = clock
+        self._t0 = clock()
+        self._cancelled = False
+
+    @classmethod
+    def after_ms(
+        cls, ms: float, *, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        return cls(ms / 1e3, clock=clock)
+
+    # -- state -----------------------------------------------------------
+    def cancel(self) -> None:
+        """Request cooperative cancellation: the next checkpoint raises."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def elapsed_s(self) -> float:
+        return self._clock() - self._t0
+
+    def remaining_s(self) -> float:
+        return self.budget_s - self.elapsed_s()
+
+    def expired(self) -> bool:
+        return self._cancelled or self.remaining_s() <= 0.0
+
+    # -- the checkpoint --------------------------------------------------
+    def check(self, checkpoint: str = "") -> None:
+        """Raise :class:`Cancelled`/:class:`DeadlineExceeded` when due.
+
+        The one call every checkpoint site makes; returning normally
+        means the request may proceed to its next unit of work.
+        """
+        self.checks += 1
+        if self._cancelled:
+            raise Cancelled(
+                f"request cancelled at checkpoint {checkpoint!r}",
+                budget_ms=self.budget_s * 1e3,
+                elapsed_ms=self.elapsed_s() * 1e3,
+                checkpoint=checkpoint,
+            )
+        elapsed = self.elapsed_s()
+        if elapsed > self.budget_s:
+            raise DeadlineExceeded(
+                f"deadline of {self.budget_s * 1e3:.1f} ms exceeded "
+                f"({elapsed * 1e3:.1f} ms elapsed) at checkpoint "
+                f"{checkpoint!r}",
+                budget_ms=self.budget_s * 1e3,
+                elapsed_ms=elapsed * 1e3,
+                checkpoint=checkpoint,
+            )
+
+
+def check_deadline(deadline: Deadline | None, checkpoint: str = "") -> None:
+    """The ``None``-tolerant checkpoint helper loop sites call.
+
+    The undeadlined clean path pays exactly one ``is not None`` test —
+    that is the whole overhead story of this layer.
+    """
+    if deadline is not None:
+        deadline.check(checkpoint)

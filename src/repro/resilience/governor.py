@@ -1,0 +1,222 @@
+"""One process-wide byte budget across every canvas-holding component.
+
+Before this layer, three independently-bounded LRUs (canvas cache,
+result cache, buffer pool) could *jointly* exceed any real memory
+limit while each stayed inside its own budget.  The
+:class:`MemoryGovernor` owns one budget spanning all three and applies
+**pressure-tiered degradation** instead of letting the process OOM:
+
+====================  =================================================
+tier (usage/budget)   behaviour
+====================  =================================================
+``ok``      < 70%     everything admits; caches grow freely
+``elevated``≥ 70%     shrink cache admission: a new entry only admits
+                      when it fits the remaining headroom
+``critical``≥ 90%     caches stop admitting new entries; the buffer
+                      pool drops released buffers instead of parking
+                      them; sessions force tiled plans (bounded peak
+                      frames) for specs that left ``tiling`` unset
+``shed``    ≥ 100%    the serve admission controller sheds new
+                      requests in-band until rebalancing frees space
+====================  =================================================
+
+After every insert the owning cache calls :meth:`rebalance`, which
+evicts LRU entries from the largest consumer (result cache before
+canvas cache — results are cheap to recompute relative to rasters)
+until the combined usage fits the budget again, clearing the buffer
+pool as the last resort.  All calls into components happen **without**
+holding any governor lock, and components call the governor only
+outside their own locks — there is no lock-ordering cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+#: Pressure-tier boundaries (fractions of the byte budget).
+ELEVATED_FRACTION = 0.7
+CRITICAL_FRACTION = 0.9
+
+
+class MemoryGovernor:
+    """One byte budget spanning canvas cache + result cache + pool.
+
+    Components attach via :meth:`attach`; each must expose
+    ``bytes_used`` (int property or 0-arg method) and, for caches,
+    ``evict_lru() -> int`` (bytes freed, 0 when empty), and for pools
+    ``trim() -> int``.  The governor never copies or owns data — it
+    only reads usage and asks components to shrink.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        *,
+        tile_fallback: int = 8,
+        elevated_fraction: float = ELEVATED_FRACTION,
+        critical_fraction: float = CRITICAL_FRACTION,
+    ) -> None:
+        budget_bytes = int(budget_bytes)
+        if budget_bytes < 1:
+            raise ValueError("memory budget must be positive")
+        if not 0.0 < elevated_fraction < critical_fraction <= 1.0:
+            raise ValueError(
+                "tier fractions must satisfy 0 < elevated < critical <= 1"
+            )
+        if not 2 <= tile_fallback <= 64:
+            raise ValueError("tile_fallback must be between 2 and 64")
+        self.budget_bytes = budget_bytes
+        self.tile_fallback = tile_fallback
+        self.elevated_fraction = elevated_fraction
+        self.critical_fraction = critical_fraction
+        self._caches: list[Any] = []   # evictable, LRU-ordered consumers
+        self._pools: list[Any] = []    # trimmable consumers
+        # The lock guards only the governor's own counters/lists; it is
+        # never held across a call into an attached component.
+        self._lock = threading.Lock()
+        self._rebalances = 0
+        self._forced_evictions = 0
+        self._admissions_denied = 0
+
+    # -- wiring ----------------------------------------------------------
+    def attach(
+        self,
+        *,
+        canvas_cache: Any = None,
+        result_cache: Any = None,
+        buffer_pool: Any = None,
+    ) -> "MemoryGovernor":
+        """Wire components under this budget (any subset, idempotent).
+
+        Eviction order on pressure is attachment-independent: result
+        caches shrink before canvas caches (results are cheap to
+        recompute next to raster passes), pools clear last.
+        """
+        with self._lock:
+            # result caches first in the eviction scan order
+            if result_cache is not None and result_cache not in self._caches:
+                self._caches.insert(0, result_cache)
+            if canvas_cache is not None and canvas_cache not in self._caches:
+                self._caches.append(canvas_cache)
+            if buffer_pool is not None and buffer_pool not in self._pools:
+                self._pools.append(buffer_pool)
+        for component in (canvas_cache, result_cache, buffer_pool):
+            if component is not None:
+                component.governor = self
+        return self
+
+    @staticmethod
+    def _bytes_of(component: Any) -> int:
+        used = getattr(component, "bytes_used", 0)
+        return int(used() if callable(used) else used)
+
+    # -- pressure --------------------------------------------------------
+    def usage(self) -> int:
+        """Combined bytes across every attached component."""
+        with self._lock:
+            components = list(self._caches) + list(self._pools)
+        return sum(self._bytes_of(c) for c in components)
+
+    def pressure(self) -> float:
+        return self.usage() / self.budget_bytes
+
+    def tier(self) -> str:
+        """``"ok"`` / ``"elevated"`` / ``"critical"`` / ``"shed"``."""
+        fraction = self.pressure()
+        if fraction >= 1.0:
+            return "shed"
+        if fraction >= self.critical_fraction:
+            return "critical"
+        if fraction >= self.elevated_fraction:
+            return "elevated"
+        return "ok"
+
+    # -- tiered decisions ------------------------------------------------
+    def admit(self, nbytes: int) -> bool:
+        """May a cache admit a new *nbytes* entry right now?
+
+        ``ok`` admits everything (rebalance evicts afterwards if the
+        insert overshoots); ``elevated`` admits only entries that fit
+        the remaining headroom; ``critical`` and above admit nothing —
+        the caller still *returns* the built value, it just never
+        parks in a cache.
+        """
+        used = self.usage()
+        fraction = used / self.budget_bytes
+        if fraction < self.elevated_fraction:
+            return True
+        if fraction < self.critical_fraction \
+                and used + int(nbytes) <= self.budget_bytes:
+            return True
+        with self._lock:
+            self._admissions_denied += 1
+        return False
+
+    def force_tiling(self) -> int | None:
+        """The tile-lattice K sessions must force at critical pressure
+        (``None`` below it): a K×K-sharded plan bounds its peak frame
+        allocation to ~1/K² of the whole-frame plan's."""
+        if self.pressure() >= self.critical_fraction:
+            return self.tile_fallback
+        return None
+
+    def should_shed(self) -> bool:
+        """Whether the serve front must shed new requests right now."""
+        return self.pressure() >= 1.0
+
+    # -- enforcement -----------------------------------------------------
+    def rebalance(self) -> int:
+        """Evict until combined usage fits the budget; bytes freed.
+
+        Victim choice is deterministic: always the attached cache
+        currently holding the most bytes (result caches win ties by
+        their earlier scan position), one LRU entry at a time; pools
+        are cleared only when every cache is empty.  Runs without any
+        governor lock held across component calls, so concurrent
+        rebalances are safe — at worst both evict, which only
+        overshoots downward.
+        """
+        freed = 0
+        with self._lock:
+            caches = list(self._caches)
+            pools = list(self._pools)
+        while self.usage() > self.budget_bytes:
+            victim = None
+            victim_bytes = 0
+            for cache in caches:
+                used = self._bytes_of(cache)
+                if used > victim_bytes:
+                    victim, victim_bytes = cache, used
+            step = int(victim.evict_lru()) if victim is not None else 0
+            if step <= 0:
+                for pool in pools:
+                    step += int(pool.trim())
+            if step <= 0:
+                break  # nothing left to shrink: live buffers own the rest
+            freed += step
+            with self._lock:
+                self._forced_evictions += 1
+        with self._lock:
+            self._rebalances += 1
+        return freed
+
+    # -- introspection ---------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            caches = list(self._caches)
+            pools = list(self._pools)
+            counters = {
+                "rebalances": self._rebalances,
+                "forced_evictions": self._forced_evictions,
+                "admissions_denied": self._admissions_denied,
+            }
+        usage = sum(self._bytes_of(c) for c in caches + pools)
+        return {
+            "budget_bytes": self.budget_bytes,
+            "usage_bytes": usage,
+            "pressure": round(usage / self.budget_bytes, 4),
+            "tier": self.tier(),
+            "components": len(caches) + len(pools),
+            **counters,
+        }

@@ -1,0 +1,23 @@
+"""Deterministic test instrumentation shipped inside the package.
+
+Lives under ``repro`` (not ``tests/``) because the injection seams are
+compiled into production call sites — a disabled seam must cost one
+module-global ``None`` check and nothing else.  See
+:mod:`repro.testing.faults`.
+"""
+
+from repro.testing.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    inject,
+    maybe_fire,
+)
+
+__all__ = [
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "inject",
+    "maybe_fire",
+]

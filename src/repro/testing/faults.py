@@ -1,0 +1,198 @@
+"""Deterministic fault injection at the engine's failure seams.
+
+The resilience battery needs to prove that the cache is never corrupt,
+no waiter hangs, and results stay bit-identical after a fault — which
+requires *provoking* faults exactly where real ones happen: inside a
+canvas builder, inside a pool acquisition, around a serve request,
+inside a tile build.  Those seams each carry one call::
+
+    maybe_fire("cache.builder")
+
+which is a module-global ``None`` check when no plan is active (the
+production cost of the harness), and consults the installed
+:class:`FaultPlan` when one is.
+
+Determinism: a rule fires either at explicit 1-based call indices
+(``at={1, 3}``) or by probability drawn from a rule-owned seeded
+``random.Random`` — same plan, same workload, same thread count ⇒ the
+same faults.  Counters are per-site under a single lock.
+
+Actions:
+
+``raise``   raise :class:`FaultInjected` (a plain ``RuntimeError`` —
+            deliberately *not* a resilience-typed error, so the battery
+            proves arbitrary builder failures unwind safely);
+``memory``  raise ``MemoryError`` (exercises the governor/serve
+            ``memory`` code path);
+``delay``   sleep ``delay_s`` then continue (turns a fast site into a
+            slow one so deadlines and shedding can be hit on purpose);
+``cancel``  call ``target.cancel()`` on the rule's
+            :class:`~repro.resilience.deadline.Deadline` and continue —
+            the *next* deadline checkpoint raises ``Cancelled``,
+            exactly how real cross-thread cancellation lands.
+
+Installation is process-global by design (the seams are reached from
+worker threads the test did not create); :func:`inject` is a context
+manager that restores the previous plan and refuses to nest.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "inject",
+    "maybe_fire",
+]
+
+ACTIONS = ("raise", "memory", "delay", "cancel")
+
+#: Seams compiled into the engine (documentation + typo guard).
+SITES = (
+    "cache.builder",   # inside CanvasCache.get_or_build, before builder()
+    "pool.acquire",    # inside BufferPool.acquire_shape, before reuse/miss
+    "serve.request",   # inside _answer_line, before handling the request
+    "tile.build",      # inside core.tiling build_* helpers
+)
+
+
+class FaultInjected(RuntimeError):
+    """The error an injected ``raise`` rule throws at its seam."""
+
+
+@dataclass
+class FaultRule:
+    """One deterministic trigger at one seam.
+
+    Exactly one of ``at`` (1-based call indices at the site) or
+    ``probability`` (seeded per-call coin) selects firing calls.
+    """
+
+    site: str
+    action: str = "raise"
+    at: frozenset[int] = frozenset()
+    probability: float = 0.0
+    seed: int = 0
+    delay_s: float = 0.01
+    target: Any = None           # Deadline for action == "cancel"
+    max_fires: int | None = None
+    fired: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; expected one of {SITES}"
+            )
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; "
+                f"expected one of {ACTIONS}"
+            )
+        if self.at and self.probability:
+            raise ValueError("give either call indices or a probability")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        if self.action == "cancel" and self.target is None:
+            raise ValueError("a cancel rule needs a Deadline target")
+        self.at = frozenset(int(i) for i in self.at)
+        if any(i < 1 for i in self.at):
+            raise ValueError("call indices are 1-based")
+        self._rng = random.Random(self.seed)
+
+    def should_fire(self, call_index: int) -> bool:
+        if self.max_fires is not None and self.fired >= self.max_fires:
+            return False
+        if self.at:
+            return call_index in self.at
+        if self.probability:
+            return self._rng.random() < self.probability
+        return False
+
+    def fire(self) -> None:
+        self.fired += 1
+        if self.action == "raise":
+            raise FaultInjected(
+                f"injected fault at {self.site} (fire #{self.fired})"
+            )
+        if self.action == "memory":
+            raise MemoryError(
+                f"injected memory pressure at {self.site}"
+            )
+        if self.action == "cancel":
+            self.target.cancel()
+            return
+        time.sleep(self.delay_s)  # action == "delay"
+
+
+class FaultPlan:
+    """A set of rules plus per-site call counters.
+
+    The counters make index-based rules deterministic for serial
+    workloads and are the battery's observability hook
+    (:meth:`calls`) for parallel ones.
+    """
+
+    def __init__(self, *rules: FaultRule) -> None:
+        self.rules = list(rules)
+        self._lock = threading.Lock()
+        self._calls: dict[str, int] = {}
+
+    def add(self, rule: FaultRule) -> "FaultPlan":
+        with self._lock:
+            self.rules.append(rule)
+        return self
+
+    def calls(self, site: str) -> int:
+        with self._lock:
+            return self._calls.get(site, 0)
+
+    def fire(self, site: str) -> None:
+        with self._lock:
+            index = self._calls.get(site, 0) + 1
+            self._calls[site] = index
+            due = [r for r in self.rules
+                   if r.site == site and r.should_fire(index)]
+        # Actions run outside the lock: delay must not serialise other
+        # sites, and raise must not leave the lock held.
+        for rule in due:
+            rule.fire()
+
+
+_active: FaultPlan | None = None
+_install_lock = threading.Lock()
+
+
+def maybe_fire(site: str) -> None:
+    """The seam call.  One global ``None`` check when no plan is active."""
+    plan = _active
+    if plan is not None:
+        plan.fire(site)
+
+
+@contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install *plan* process-wide for the duration of the block.
+
+    Refuses to nest: overlapping plans would make firing order depend
+    on test ordering, which is exactly the nondeterminism this module
+    exists to remove.
+    """
+    global _active
+    with _install_lock:
+        if _active is not None:
+            raise RuntimeError("a FaultPlan is already installed")
+        _active = plan
+    try:
+        yield plan
+    finally:
+        with _install_lock:
+            _active = None

@@ -137,3 +137,83 @@ class TestFrozenSharedEntries:
         canvas = engine.constraint_canvas(polygons[:2], window, 64)
         with pytest.raises(ValueError):
             canvas.texture.data[0, 0, 0] = 1.0
+
+
+class TestLeaderFailureInjection:
+    """Satellite of the resilience PR: a *deterministically* injected
+    builder fault (the fault harness, not a hand-rigged builder) must
+    release every waiter, re-elect exactly one new leader, and leave
+    the stats consistent."""
+
+    def test_injected_leader_failure_releases_and_reelects(self):
+        from repro.testing import FaultInjected, FaultPlan, FaultRule, inject
+
+        cache = CanvasCache(capacity=4)
+        builds = []
+
+        def builder():
+            builds.append(threading.current_thread().name)
+            time.sleep(0.02)  # hold the flight open so waiters pile up
+            return object()
+
+        results = {}
+        failures = []
+
+        def hammer(index, barrier):
+            barrier.wait()
+            try:
+                results[index] = cache.get_or_build(("k",), builder)
+            except FaultInjected as exc:
+                failures.append(exc)
+
+        # The first builder call at the seam dies before building;
+        # every retry proceeds normally.
+        with inject(FaultPlan(FaultRule(site="cache.builder", at={1}))):
+            run_threads(8, hammer)
+
+        # Exactly one thread (the first leader) saw the injected fault;
+        # everyone else was released, re-elected one new leader, and
+        # shares the one successfully built value.
+        assert len(failures) == 1
+        assert len(results) == 7
+        first = next(iter(results.values()))
+        assert all(value is first for value in results.values())
+        assert len(builds) == 1  # the failed leader never reached builder()
+        stats = cache.stats()
+        assert stats.builds == 1
+        # The key is clean: no wedged in-flight entry, a later call hits.
+        assert cache.get_or_build(("k",), builder) is first
+        assert len(builds) == 1
+        assert cache.stats().hits == stats.hits + 1
+
+    def test_all_leaders_fail_no_waiter_hangs(self):
+        from repro.testing import FaultInjected, FaultPlan, FaultRule, inject
+
+        cache = CanvasCache(capacity=4)
+
+        def builder():  # pragma: no cover - the fault fires first
+            return object()
+
+        outcomes = {}
+
+        def hammer(index, barrier):
+            barrier.wait()
+            try:
+                cache.get_or_build(("k",), builder)
+            except FaultInjected:
+                outcomes[index] = "raised"
+            else:
+                outcomes[index] = "built"
+
+        # Every builder attempt dies: each racer eventually becomes a
+        # leader, fails, and unwinds — nobody hangs, nothing caches.
+        with inject(FaultPlan(
+            FaultRule(site="cache.builder", probability=1.0, seed=3)
+        )):
+            run_threads(6, hammer)
+
+        assert set(outcomes.values()) == {"raised"}
+        assert len(outcomes) == 6
+        stats = cache.stats()
+        assert stats.builds == 0
+        assert stats.bytes_used == 0

@@ -1,0 +1,35 @@
+"""Shared fixtures for the resilience battery.
+
+Small, deterministic workloads: every test here is about *failure
+behaviour* (aborts, shedding, eviction, injected faults), so the
+queries themselves stay tiny and fixed-seed — the interesting part is
+what happens around them.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import ConstraintSpec, SelectSpec
+from repro.geometry.primitives import Polygon
+
+#: One cheap, deterministic select spec (reference dataset: nothing to
+#: upload, bit-identical across runs).
+DATASET = "synthetic:uniform?n=4000&seed=11"
+
+
+@pytest.fixture()
+def select_spec() -> SelectSpec:
+    poly = Polygon([(10.0, 10.0), (90.0, 10.0), (90.0, 90.0), (10.0, 90.0)])
+    return SelectSpec(
+        dataset=DATASET,
+        constraints=(ConstraintSpec.polygon(poly),),
+        resolution=128,
+    )
+
+
+@pytest.fixture()
+def select_line(select_spec) -> str:
+    return json.dumps(select_spec.to_dict())

@@ -1,0 +1,206 @@
+"""Admission control and load shedding at the serve boundary.
+
+Three layers under test: the envelope cost estimator (prices raw
+requests before parsing), the :class:`AdmissionController` policy
+object, and the serve loop integration — overload answered in-band
+with ``code: "shed"`` in request order, absurd work rejected with
+``code: "too_costly"`` before planning, and an abandoned generator
+shutting its worker pool down (no leaked threads).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.api.serve import serve_lines
+from repro.core.optimizer import CostModel
+from repro.resilience import AdmissionController, estimate_request_cost
+from repro.testing import FaultPlan, FaultRule, inject
+
+from tests.resilience.conftest import DATASET
+
+
+UNIT = CostModel().pixel_touch
+
+
+class TestCostEstimator:
+    def test_non_mapping_and_missing_spec_price_zero(self):
+        assert estimate_request_cost(None) == 0.0
+        assert estimate_request_cost([1, 2]) == 0.0
+        assert estimate_request_cost("{}") == 0.0
+        assert estimate_request_cost({"resolution": 4096}) == 0.0
+
+    def test_resolution_squared_times_members(self):
+        request = {
+            "spec": "select",
+            "resolution": 128,
+            "constraints": [{"kind": "rect"}, {"kind": "rect"},
+                            {"kind": "polygon"}],
+        }
+        assert estimate_request_cost(request) == 128 * 128 * 3 * UNIT
+
+    def test_default_resolution_when_unset_or_malformed(self):
+        base = 1024.0 ** 2 * UNIT
+        assert estimate_request_cost({"spec": "voronoi"}) == base
+        assert estimate_request_cost(
+            {"spec": "voronoi", "resolution": True}) == base
+        assert estimate_request_cost(
+            {"spec": "voronoi", "resolution": -5}) == base
+        assert estimate_request_cost(
+            {"spec": "voronoi", "resolution": "big"}) == base
+
+    def test_mapping_resolution_multiplies_dims(self):
+        request = {"spec": "select",
+                   "resolution": {"height": 100, "width": 200}}
+        assert estimate_request_cost(request) == 100 * 200 * UNIT
+
+    def test_nested_member_lists_count(self):
+        request = {
+            "spec": "geometry",
+            "resolution": 64,
+            "query": {"polygons": [1, 2, 3, 4]},
+        }
+        assert estimate_request_cost(request) == 64 * 64 * 4 * UNIT
+
+    def test_batch_sums_members(self):
+        member = {"spec": "select", "resolution": 32}
+        request = {"batch": [member, member, member]}
+        assert estimate_request_cost(request) \
+            == 3 * estimate_request_cost(member)
+
+
+class TestControllerPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_pending=0)
+        with pytest.raises(ValueError):
+            AdmissionController(retry_after_ms=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_cost=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_cost=-1.5)
+
+    def test_overloaded_by_backlog(self):
+        admission = AdmissionController(max_pending=3)
+        assert not admission.overloaded(2)
+        assert admission.overloaded(3)
+        assert admission.overloaded(10)
+
+    def test_overloaded_by_governor_shed_tier(self):
+        class _Governor:
+            shed = False
+
+            def should_shed(self) -> bool:
+                return self.shed
+
+        governor = _Governor()
+        admission = AdmissionController(max_pending=100, governor=governor)
+        assert not admission.overloaded(0)
+        governor.shed = True
+        assert admission.overloaded(0)
+
+    def test_shed_response_shape_and_count(self):
+        admission = AdmissionController(retry_after_ms=75)
+        response = admission.shed_response()
+        assert response["ok"] is False
+        assert response["code"] == "shed"
+        assert response["retry_after_ms"] == 75
+        admission.shed_response()
+        assert admission.stats()["shed_count"] == 2
+
+    def test_cost_precheck(self):
+        no_ceiling = AdmissionController()
+        huge = {"spec": "voronoi", "resolution": 8192}
+        assert no_ceiling.cost_precheck(huge) is None
+
+        admission = AdmissionController(max_cost=1e6)
+        assert admission.cost_precheck(
+            {"spec": "select", "resolution": 128}) is None
+        rejection = admission.cost_precheck(huge)
+        assert rejection["ok"] is False
+        assert rejection["code"] == "too_costly"
+        assert rejection["estimated_cost"] > rejection["max_cost"] == 1e6
+        assert admission.stats()["cost_rejections"] == 1
+
+
+class TestServeIntegration:
+    def test_too_costly_rejected_in_band(self, select_line):
+        admission = AdmissionController(max_cost=1.0)
+        out = [json.loads(r)
+               for r in serve_lines(iter([select_line]),
+                                    admission=admission)]
+        assert out[0]["ok"] is False
+        assert out[0]["code"] == "too_costly"
+        assert admission.cost_rejections == 1
+
+    def test_window_must_cover_workers(self):
+        with pytest.raises(ValueError, match="window must be at least"):
+            list(serve_lines(iter([]), workers=4, window=2))
+        with pytest.raises(ValueError, match="must be an integer"):
+            list(serve_lines(iter([]), workers=2, window=True))
+        # Exactly workers is the floor, not an error.
+        assert list(serve_lines(iter([]), workers=2, window=2)) == []
+
+    def test_sequential_serve_sheds_on_governor_pressure(self, select_line):
+        class _Governor:
+            def should_shed(self) -> bool:
+                return True
+
+        admission = AdmissionController(governor=_Governor())
+        out = [json.loads(r)
+               for r in serve_lines(iter([select_line] * 3),
+                                    admission=admission)]
+        assert [r["code"] for r in out] == ["shed"] * 3
+        assert admission.shed_count == 3
+
+    def test_overload_sheds_in_band_and_in_order(self, select_line):
+        """Slow workers + a tiny backlog bound: some requests shed, the
+        rest answer correctly, and output order matches input order
+        (every line gets exactly one answer)."""
+        n = 16
+        admission = AdmissionController(max_pending=2)
+        plan = FaultPlan(FaultRule(
+            site="serve.request", action="delay", delay_s=0.05,
+            probability=1.0, seed=7,
+        ))
+        with inject(plan):
+            out = [json.loads(r)
+                   for r in serve_lines(iter([select_line] * n),
+                                        workers=2, window=12,
+                                        admission=admission)]
+        assert len(out) == n
+        shed = [r for r in out if r.get("code") == "shed"]
+        served = [r for r in out if r.get("ok")]
+        assert len(shed) + len(served) == n
+        assert shed, "a 2-deep backlog under 50ms delays must shed"
+        assert served, "shedding must not starve the pool entirely"
+        assert len(shed) == admission.shed_count
+        for response in shed:
+            assert response["retry_after_ms"] >= 1
+        matched = {r["result"]["matched"] for r in served}
+        assert len(matched) == 1  # identical queries, identical answers
+
+    def test_abandoned_generator_shuts_down_pool(self, select_line):
+        """Satellite: closing the generator mid-stream must not leak
+        the worker pool's threads (shutdown with cancel_futures)."""
+
+        def endless():
+            while True:
+                yield select_line
+
+        gen = serve_lines(endless(), workers=2)
+        assert json.loads(next(gen))["ok"] is True
+        gen.close()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            workers = [t for t in threading.enumerate()
+                       if t.name.startswith("repro-serve_")]
+            if not workers:
+                break
+            time.sleep(0.01)
+        assert not [t for t in threading.enumerate()
+                    if t.name.startswith("repro-serve_")]

@@ -1,0 +1,194 @@
+"""Deadlines and cooperative cancellation, unit level through serve.
+
+The contract under test: a request with ``deadline_ms`` aborts within
+one checkpoint of its budget, raising a *typed* error the serve loop
+answers in-band; a request with a generous budget is bit-identical to
+an undeadlined run (checkpoints observe, they never change results);
+and :meth:`Deadline.cancel` from any thread lands as ``Cancelled`` at
+the next checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import Session, spec_from_dict
+from repro.api.serve import serve_lines
+from repro.api.specs import SpecError, VoronoiSpec, WindowSpec
+from repro.resilience import (
+    Cancelled,
+    Deadline,
+    DeadlineExceeded,
+    check_deadline,
+)
+
+from tests.resilience.conftest import DATASET
+
+
+class TestDeadlineUnit:
+    def test_budget_must_be_positive(self):
+        for bad in (0, -1, -0.5):
+            with pytest.raises(ValueError):
+                Deadline(bad)
+
+    def test_check_passes_inside_budget(self):
+        clock = iter([0.0, 1.0, 2.0, 9.9]).__next__
+        deadline = Deadline(10.0, clock=clock)
+        deadline.check("a")
+        deadline.check("b")
+        deadline.check("c")
+        assert deadline.checks == 3
+
+    def test_check_raises_one_checkpoint_past_budget(self):
+        """The abort lands at the first checkpoint *after* the budget —
+        the formal 'within one checkpoint' guarantee."""
+        clock = iter([0.0, 5.0, 10.0, 10.1]).__next__
+        deadline = Deadline(10.0, clock=clock)
+        deadline.check("inside")          # 5.0 — fine
+        deadline.check("at-the-edge")     # 10.0 — not yet past
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            deadline.check("past")        # 10.1 — the very next check
+        exc = excinfo.value
+        assert exc.code == "deadline"
+        assert exc.checkpoint == "past"
+        assert exc.budget_ms == pytest.approx(10_000.0)
+        assert exc.elapsed_ms == pytest.approx(10_100.0)
+
+    def test_cancel_beats_budget_and_types_differently(self):
+        deadline = Deadline(60.0)
+        deadline.cancel()
+        with pytest.raises(Cancelled) as excinfo:
+            deadline.check("tile-build")
+        assert excinfo.value.code == "cancelled"
+        # Cancelled IS a DeadlineExceeded: one typed family to catch.
+        assert isinstance(excinfo.value, DeadlineExceeded)
+
+    def test_check_deadline_none_is_noop(self):
+        check_deadline(None, "anything")  # the clean-path cost: one test
+
+    def test_after_ms(self):
+        deadline = Deadline.after_ms(250.0)
+        assert deadline.budget_s == pytest.approx(0.25)
+
+
+class TestSpecField:
+    def test_round_trip_and_rejection(self, select_spec):
+        data = select_spec.to_dict()
+        assert "deadline_ms" not in data  # unset stays absent
+        data["deadline_ms"] = 125.5
+        spec = spec_from_dict(data)
+        assert spec.deadline_ms == 125.5
+        assert spec.to_dict()["deadline_ms"] == 125.5
+        for bad in (0, -3, "soon", True, float("nan")):
+            with pytest.raises(SpecError):
+                spec_from_dict({**data, "deadline_ms": bad})
+
+
+def _voronoi(deadline_ms=None):
+    return VoronoiSpec(
+        dataset="synthetic:uniform?n=300&seed=5",
+        window=WindowSpec(0.0, 0.0, 100.0, 100.0),
+        resolution=256,
+        deadline_ms=deadline_ms,
+    )
+
+
+class TestSessionDeadlines:
+    def test_expired_budget_aborts_with_checkpoint(self):
+        session = Session()
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            session.run(_voronoi(deadline_ms=1e-4))
+        assert excinfo.value.checkpoint  # named site, not a bare raise
+
+    def test_generous_budget_is_bit_identical(self, select_spec):
+        session = Session()
+        baseline = session.run(select_spec)
+        spec = spec_from_dict(
+            {**select_spec.to_dict(), "deadline_ms": 60_000.0}
+        )
+        deadlined = session.run(spec)
+        assert np.array_equal(baseline.ids, deadlined.ids)
+        assert baseline.n_candidates == deadlined.n_candidates
+        assert baseline.n_exact_tests == deadlined.n_exact_tests
+
+    def test_session_default_applies_and_spec_wins(self):
+        session = Session(deadline_ms=1e-4)
+        with pytest.raises(DeadlineExceeded):
+            session.run(_voronoi())
+        # The spec's own generous budget overrides the tiny default.
+        session.run(_voronoi(deadline_ms=60_000.0))
+
+    def test_join_members_checkpoint(self):
+        from repro.api.specs import JoinSpec
+
+        session = Session()
+        spec = JoinSpec(
+            kind="distance",
+            left="synthetic:uniform?n=1000&seed=1",
+            right="synthetic:uniform?n=40&seed=2",
+            distance=5.0,
+            deadline_ms=1e-4,
+        )
+        with pytest.raises(DeadlineExceeded):
+            session.run(spec)
+
+    def test_batch_member_carries_its_own_deadline(self, select_spec):
+        session = Session()
+        good = select_spec.to_dict()
+        baseline = session.run(select_spec)
+        run = session.run_batch(
+            [dict(good, deadline_ms=60_000.0), good]
+        )
+        assert np.array_equal(run.results[0].ids, baseline.ids)
+        assert np.array_equal(run.results[1].ids, baseline.ids)
+
+
+class TestServeInBand:
+    def test_deadline_answers_in_band_with_code(self):
+        line = json.dumps(_voronoi(deadline_ms=1e-4).to_dict())
+        good = json.dumps(_voronoi(deadline_ms=60_000.0).to_dict())
+        out = [json.loads(r) for r in serve_lines(iter([line, good]))]
+        assert out[0]["ok"] is False
+        assert out[0]["code"] == "deadline"
+        assert "deadline" in out[0]["error"]
+        # The loop survived: the next request still answers.
+        assert out[1]["ok"] is True
+
+    def test_serve_default_deadline_knob(self):
+        from repro.api.serve import default_serve_session
+
+        session = default_serve_session(deadline_ms=1e-4)
+        line = json.dumps(_voronoi().to_dict())
+        out = [json.loads(r) for r in serve_lines(iter([line]), session)]
+        assert out[0]["ok"] is False and out[0]["code"] == "deadline"
+
+
+class TestCancellation:
+    def test_cross_thread_cancel_lands_at_next_checkpoint(self):
+        """An injected ``cancel`` action flips the deadline flag at the
+        pool seam inside the kNN probe loop; the request dies as
+        ``cancelled`` (not ``deadline``) at the next checkpoint."""
+        from repro.engine import QueryEngine
+        from repro.geometry.bbox import BoundingBox
+        from repro.testing import FaultPlan, FaultRule, inject
+
+        engine = QueryEngine()
+        rng = np.random.default_rng(3)
+        xs, ys = rng.uniform(0, 100, 3000), rng.uniform(0, 100, 3000)
+        deadline = Deadline(60.0)
+        plan = FaultPlan(FaultRule(
+            site="pool.acquire", action="cancel", at={1}, target=deadline,
+        ))
+        with inject(plan):
+            with pytest.raises(Cancelled) as excinfo:
+                engine.knn(
+                    xs, ys, (50.0, 50.0), 5,
+                    window=BoundingBox(0, 0, 100, 100), resolution=256,
+                    deadline=deadline, force_plan="canvas-distance-probes",
+                )
+        assert excinfo.value.code == "cancelled"
+        assert excinfo.value.checkpoint == "knn-probe"
+        assert plan.calls("pool.acquire") >= 1

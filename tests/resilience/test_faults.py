@@ -1,0 +1,217 @@
+"""The deterministic fault-injection harness, and what it proves.
+
+Unit half: rules validate eagerly, fire deterministically (explicit
+call indices or a rule-seeded coin), cap at ``max_fires``, and the
+:func:`inject` context manager refuses to nest and always restores the
+clean path.
+
+Integration half — the actual resilience claims:
+
+- a builder that dies mid-flight leaves the canvas cache *empty* at
+  that key, never corrupt, and a clean retry on the same engine is
+  bit-identical to a never-faulted fresh run;
+- a tile builder that dies unwinds the tiled plan the same way;
+- the serve loop answers injected faults in-band (``internal`` /
+  ``memory`` codes) and a clean parallel rerun matches a serial one
+  byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import Session, spec_from_dict
+from repro.api.serve import serve_lines
+from repro.engine import QueryEngine
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import Polygon
+from repro.testing import FaultInjected, FaultPlan, FaultRule, inject
+from repro.testing.faults import maybe_fire
+
+from tests.resilience.conftest import DATASET
+
+
+class TestRuleValidation:
+    def test_unknown_site_and_action(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultRule(site="cache.bilder")
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultRule(site="cache.builder", action="explode")
+
+    def test_indices_xor_probability(self):
+        with pytest.raises(ValueError, match="either call indices"):
+            FaultRule(site="cache.builder", at={1}, probability=0.5)
+        with pytest.raises(ValueError, match="within"):
+            FaultRule(site="cache.builder", probability=1.5)
+
+    def test_cancel_needs_target(self):
+        with pytest.raises(ValueError, match="needs a Deadline"):
+            FaultRule(site="pool.acquire", action="cancel")
+
+    def test_indices_are_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultRule(site="cache.builder", at={0})
+
+
+class TestDeterministicFiring:
+    def test_fires_at_exact_call_indices(self):
+        plan = FaultPlan(FaultRule(site="cache.builder", at={2, 4}))
+        with inject(plan):
+            maybe_fire("cache.builder")                  # 1: clean
+            with pytest.raises(FaultInjected):
+                maybe_fire("cache.builder")              # 2: fires
+            maybe_fire("pool.acquire")                   # other site: clean
+            maybe_fire("cache.builder")                  # 3: clean
+            with pytest.raises(FaultInjected):
+                maybe_fire("cache.builder")              # 4: fires
+        assert plan.calls("cache.builder") == 4
+        assert plan.calls("pool.acquire") == 1
+
+    def test_seeded_probability_is_reproducible(self):
+        def pattern() -> list[bool]:
+            rule = FaultRule(site="serve.request",
+                             probability=0.4, seed=123)
+            fired = []
+            plan = FaultPlan(rule)
+            with inject(plan):
+                for _ in range(50):
+                    try:
+                        maybe_fire("serve.request")
+                        fired.append(False)
+                    except FaultInjected:
+                        fired.append(True)
+            return fired
+
+        first, second = pattern(), pattern()
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_max_fires_caps_a_probabilistic_rule(self):
+        rule = FaultRule(site="tile.build", probability=1.0,
+                         seed=1, max_fires=2)
+        plan = FaultPlan(rule)
+        with inject(plan):
+            for _ in range(2):
+                with pytest.raises(FaultInjected):
+                    maybe_fire("tile.build")
+            maybe_fire("tile.build")  # capped: clean from here on
+            maybe_fire("tile.build")
+        assert rule.fired == 2
+
+    def test_delay_action_sleeps(self):
+        plan = FaultPlan(FaultRule(site="serve.request", action="delay",
+                                   delay_s=0.05, at={1}))
+        with inject(plan):
+            t0 = time.monotonic()
+            maybe_fire("serve.request")
+            assert time.monotonic() - t0 >= 0.05
+
+    def test_inject_refuses_nesting_and_restores(self):
+        with inject(FaultPlan()):
+            with pytest.raises(RuntimeError, match="already installed"):
+                with inject(FaultPlan()):
+                    pass
+        # Clean path restored: a would-fire rule is simply absent.
+        maybe_fire("cache.builder")
+
+
+def _selection(engine: QueryEngine, *, tiling: int | None = None):
+    rng = np.random.default_rng(21)
+    xs, ys = rng.uniform(0, 100, 3000), rng.uniform(0, 100, 3000)
+    poly = Polygon([(15.0, 15.0), (85.0, 15.0), (85.0, 85.0), (15.0, 85.0)])
+    return engine.select_points(
+        xs, ys, [poly], window=BoundingBox(0, 0, 100, 100),
+        resolution=128, tiling=tiling,
+    )
+
+
+class TestEngineUnwindsClean:
+    def test_builder_fault_leaves_cache_empty_then_identical_retry(self):
+        baseline = _selection(QueryEngine())
+
+        engine = QueryEngine()
+        plan = FaultPlan(FaultRule(site="cache.builder", at={1}))
+        with inject(plan):
+            with pytest.raises(FaultInjected):
+                _selection(engine)
+        # The failed build never produced an entry — not a corrupt one.
+        stats = engine.cache.stats()
+        assert stats.size == 0
+        assert stats.builds == 0
+        assert stats.bytes_used == 0
+        # A clean retry on the SAME engine is bit-identical to a
+        # never-faulted fresh run.
+        retry = _selection(engine)
+        assert np.array_equal(retry.ids, baseline.ids)
+        assert engine.cache.stats().builds == 1
+
+    def test_tile_fault_unwinds_then_identical_retry(self):
+        baseline = _selection(QueryEngine(), tiling=4)
+
+        engine = QueryEngine()
+        plan = FaultPlan(FaultRule(site="tile.build", at={1}))
+        with inject(plan):
+            with pytest.raises(FaultInjected):
+                _selection(engine, tiling=4)
+        retry = _selection(engine, tiling=4)
+        assert np.array_equal(retry.ids, baseline.ids)
+        # And the tiled result agrees with the whole-frame one.
+        assert np.array_equal(retry.ids, _selection(QueryEngine()).ids)
+
+    def test_memory_fault_surfaces_as_memory_error(self):
+        engine = QueryEngine()
+        plan = FaultPlan(FaultRule(site="cache.builder", action="memory",
+                                   at={1}))
+        with inject(plan):
+            with pytest.raises(MemoryError):
+                _selection(engine)
+        retry = _selection(engine)
+        assert len(retry.ids) > 0
+
+
+class TestServeFaults:
+    def test_injected_faults_answer_in_band(self, select_line):
+        plan = FaultPlan(
+            FaultRule(site="serve.request", at={1}),
+            FaultRule(site="serve.request", action="memory", at={2}),
+        )
+        with inject(plan):
+            out = [json.loads(r) for r in serve_lines(
+                iter([select_line] * 3))]
+        assert out[0]["code"] == "internal"
+        assert "FaultInjected" in out[0]["error"]
+        assert out[1]["code"] == "memory"
+        assert out[2]["ok"] is True  # the loop survived both faults
+
+    def test_builder_fault_during_serve_then_clean_parallel_rerun(
+        self, select_line,
+    ):
+        """A builder dying under a live serve answers in-band; the
+        rerun (clean, 4 workers) matches a serial never-faulted run."""
+        lines = [select_line] * 8
+        serial = [json.loads(r) for r in serve_lines(iter(lines))]
+        assert all(r["ok"] for r in serial)
+
+        session = Session()
+        plan = FaultPlan(FaultRule(site="cache.builder",
+                                   probability=0.5, seed=5, max_fires=3))
+        with inject(plan):
+            faulted = [json.loads(r) for r in serve_lines(
+                iter(lines), session, workers=4)]
+        assert len(faulted) == 8
+        failures = [r for r in faulted if not r["ok"]]
+        for response in failures:
+            assert response["code"] == "internal"
+            assert "FaultInjected" in response["error"]
+
+        clean = [json.loads(r) for r in serve_lines(
+            iter(lines), session, workers=4)]
+        assert all(r["ok"] for r in clean)
+        for response in clean:
+            assert response["result"]["ids"] == serial[0]["result"]["ids"]
+            assert response["result"]["matched"] \
+                == serial[0]["result"]["matched"]

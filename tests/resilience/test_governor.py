@@ -1,0 +1,241 @@
+"""The MemoryGovernor: one byte budget, tiered degradation, rebalance.
+
+Unit tests drive the governor with stub components (exact byte
+arithmetic); integration tests attach it to the real canvas cache /
+result cache / buffer pool and prove admission shrinks, tiling is
+forced, and rebalance evicts from the largest consumer first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import QueryEngine
+from repro.engine.cache import CanvasCache
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import Polygon
+from repro.resilience import MemoryGovernor
+
+
+class _StubCache:
+    """A governor component with scriptable usage and LRU eviction."""
+
+    def __init__(self, entries: list[int]) -> None:
+        self.entries = list(entries)  # nbytes per entry, LRU first
+        self.governor = None
+
+    @property
+    def bytes_used(self) -> int:
+        return sum(self.entries)
+
+    def evict_lru(self) -> int:
+        return self.entries.pop(0) if self.entries else 0
+
+
+class _StubPool:
+    def __init__(self, nbytes: int) -> None:
+        self.nbytes = nbytes
+        self.governor = None
+
+    @property
+    def bytes_used(self) -> int:
+        return self.nbytes
+
+    def trim(self) -> int:
+        freed, self.nbytes = self.nbytes, 0
+        return freed
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryGovernor(0)
+        with pytest.raises(ValueError):
+            MemoryGovernor(100, elevated_fraction=0.9, critical_fraction=0.7)
+        with pytest.raises(ValueError):
+            MemoryGovernor(100, tile_fallback=1)
+
+    def test_attach_is_idempotent(self):
+        governor = MemoryGovernor(1000)
+        cache = _StubCache([10])
+        governor.attach(canvas_cache=cache)
+        governor.attach(canvas_cache=cache)
+        assert governor.stats()["components"] == 1
+        assert cache.governor is governor
+
+
+class TestTiers:
+    def test_tier_ladder(self):
+        governor = MemoryGovernor(1000)
+        cache = _StubCache([])
+        governor.attach(canvas_cache=cache)
+        assert governor.tier() == "ok"
+        cache.entries = [700]
+        assert governor.tier() == "elevated"
+        cache.entries = [900]
+        assert governor.tier() == "critical"
+        cache.entries = [1000]
+        assert governor.tier() == "shed"
+
+    def test_admit_by_tier(self):
+        governor = MemoryGovernor(1000)
+        cache = _StubCache([])
+        governor.attach(canvas_cache=cache)
+        # ok: everything admits (rebalance trues up afterwards)
+        assert governor.admit(10_000)
+        # elevated: only entries that fit the remaining headroom
+        cache.entries = [750]
+        assert governor.admit(250)
+        assert not governor.admit(251)
+        # critical: nothing admits
+        cache.entries = [950]
+        assert not governor.admit(1)
+        assert governor.stats()["admissions_denied"] == 2
+
+    def test_force_tiling_and_shed(self):
+        governor = MemoryGovernor(1000, tile_fallback=4)
+        cache = _StubCache([500])
+        governor.attach(canvas_cache=cache)
+        assert governor.force_tiling() is None
+        assert not governor.should_shed()
+        cache.entries = [950]
+        assert governor.force_tiling() == 4
+        assert not governor.should_shed()
+        cache.entries = [1100]
+        assert governor.should_shed()
+
+
+class TestRebalance:
+    def test_largest_consumer_evicts_first(self):
+        governor = MemoryGovernor(100)
+        small = _StubCache([30])
+        big = _StubCache([60, 60])
+        governor.attach(result_cache=small, canvas_cache=big)
+        freed = governor.rebalance()  # 150 -> fits after one eviction
+        assert freed == 60
+        assert big.entries == [60]
+        assert small.entries == [30]  # untouched: it was never largest
+
+    def test_result_cache_wins_ties(self):
+        governor = MemoryGovernor(100)
+        result = _StubCache([60])
+        canvas = _StubCache([60])
+        governor.attach(canvas_cache=canvas, result_cache=result)
+        governor.rebalance()
+        assert result.entries == []  # results are cheap to recompute
+        assert canvas.entries == [60]
+
+    def test_pool_trims_last(self):
+        governor = MemoryGovernor(50)
+        cache = _StubCache([80])
+        pool = _StubPool(80)
+        governor.attach(canvas_cache=cache, buffer_pool=pool)
+        governor.rebalance()
+        assert cache.entries == []   # cache emptied first
+        assert pool.nbytes == 0      # then the pool
+        assert governor.usage() == 0
+
+    def test_rebalance_stops_at_budget(self):
+        """Eviction is need-based: once usage fits, survivors stay."""
+        governor = MemoryGovernor(100)
+        cache = _StubCache([80])
+        pool = _StubPool(15)
+        governor.attach(canvas_cache=cache, buffer_pool=pool)
+        assert governor.rebalance() == 0  # 95 <= 100: nothing to do
+        assert cache.entries == [80]
+        assert pool.nbytes == 15
+
+    def test_no_progress_terminates(self):
+        """An un-shrinkable overage (live buffers) must not spin."""
+        governor = MemoryGovernor(10)
+
+        class _Stuck:
+            bytes_used = 100
+            governor = None
+
+            def evict_lru(self) -> int:
+                return 0
+
+        governor.attach(canvas_cache=_Stuck())
+        assert governor.rebalance() == 0  # returned, didn't hang
+
+
+class _SizedValue:
+    """A cacheable value with an explicit byte footprint (the cache's
+    sizer honours ``cache_nbytes``)."""
+
+    def __init__(self, nbytes: int) -> None:
+        self.cache_nbytes = nbytes
+
+
+class TestCanvasCacheIntegration:
+    def test_admission_denied_under_critical_pressure(self):
+        cache = CanvasCache(capacity=32)
+        governor = MemoryGovernor(1000).attach(canvas_cache=cache)
+        ballast = _StubCache([980])
+        governor.attach(result_cache=ballast)
+        value = cache.get_or_build(("hot",), lambda: _SizedValue(100))
+        # The build still returned a value to its caller...
+        assert value.cache_nbytes == 100
+        # ...but the cache skipped the insert: a repeat rebuilds.
+        stats = cache.stats()
+        assert stats.admission_skips == 1
+        assert stats.bytes_used == 0
+        cache.get_or_build(("hot",), lambda: _SizedValue(100))
+        assert cache.stats().builds == 2
+
+    def test_rebalance_evicts_down_to_budget(self):
+        """A big entry admitted at the ``ok`` tier (which admits
+        everything) pushes usage over budget; the post-insert rebalance
+        evicts LRU entries until it fits again."""
+        cache = CanvasCache(capacity=64)
+        governor = MemoryGovernor(10_000).attach(canvas_cache=cache)
+        for i in range(6):
+            cache.get_or_build((i,), lambda: _SizedValue(1024))
+        assert governor.tier() == "ok"  # 6144 < 7000: big entry admits
+        cache.get_or_build(("big",), lambda: _SizedValue(8192))
+        assert 0 < governor.usage() <= governor.budget_bytes
+        assert cache.stats().size < 7
+        assert governor.stats()["forced_evictions"] > 0
+        # The newest (largest) entry survived; LRU smalls were evicted.
+        assert ("big",) in cache
+
+    def test_engine_workload_stays_under_budget(self):
+        """A real raster workload against a tiny budget: usage is
+        bounded, queries stay correct."""
+        engine = QueryEngine()
+        governor = MemoryGovernor(256 * 1024).attach(
+            canvas_cache=engine.cache, buffer_pool=engine.buffer_pool,
+        )
+        rng = np.random.default_rng(9)
+        xs, ys = rng.uniform(0, 100, 2000), rng.uniform(0, 100, 2000)
+        window = BoundingBox(0, 0, 100, 100)
+        baseline = None
+        for round_ in range(3):
+            for i in range(6):
+                poly = Polygon([(5 + i, 5), (90, 5), (90, 90), (5 + i, 90)])
+                out = engine.select_points(
+                    xs, ys, [poly], window=window, resolution=128,
+                )
+                if i == 0:
+                    if baseline is None:
+                        baseline = out.ids
+                    else:
+                        assert np.array_equal(out.ids, baseline)
+            assert governor.usage() <= governor.budget_bytes \
+                + 256 * 1024  # one in-flight entry of slack
+
+
+class TestResultCacheIntegration:
+    def test_result_cache_admission_and_eviction(self):
+        from repro.api.result_cache import ResultCache
+
+        cache = ResultCache(capacity=64, max_bytes=1 << 20)
+        governor = MemoryGovernor(1 << 20).attach(result_cache=cache)
+        ballast = _StubCache([(1 << 20) - 100])
+        governor.attach(canvas_cache=ballast)
+        cache.put(("k",), np.zeros(1024))  # far over the headroom
+        assert cache.stats().admission_skips == 1
+        hit, _ = cache.get(("k",))
+        assert not hit
