@@ -52,6 +52,11 @@ from repro.api.serve import (
     serve_lines,
 )
 from repro.api.session import BatchRun, Session, default_session
+from repro.api.shm import (
+    AttachedPlane,
+    SharedDatasetPlane,
+    StaleGeneration,
+)
 from repro.resilience import (
     AdmissionController,
     Cancelled,
@@ -87,6 +92,7 @@ __all__ = [
     "AGGREGATES",
     "AdmissionController",
     "AggregateSpec",
+    "AttachedPlane",
     "BatchRun",
     "CONSTRAINT_KINDS",
     "Cancelled",
@@ -110,7 +116,9 @@ __all__ = [
     "SPEC_FAMILIES",
     "SelectSpec",
     "Session",
+    "SharedDatasetPlane",
     "SpecError",
+    "StaleGeneration",
     "TripData",
     "VoronoiSpec",
     "WindowSpec",

@@ -172,6 +172,33 @@ class DatasetRegistry:
     def names(self) -> list[str]:
         return sorted(self._entries)
 
+    def publish(self) -> "SharedDatasetPlane":
+        """Export every resolved dataset into shared-memory segments.
+
+        Returns a :class:`~repro.api.shm.SharedDatasetPlane` stamped
+        with this registry's current :attr:`generation`.  Registered
+        names and currently memoized scheme resolutions are both
+        published, so worker processes attach the exact arrays the
+        coordinator resolved instead of regenerating them; schemes
+        resolved *after* publication are regenerated worker-side (they
+        are deterministic per reference string, so results agree).
+
+        The caller owns the plane: pair it with
+        :meth:`~repro.api.shm.SharedDatasetPlane.release` (or
+        ``close``) so the segments unlink.  Registering more data
+        afterwards bumps the generation and obsoletes the plane —
+        consumers (the session's process backend) republish on
+        mismatch.
+        """
+        from repro.api.shm import SharedDatasetPlane
+
+        plane = SharedDatasetPlane(self.generation)
+        with self._resolve_lock:
+            memoized = dict(self._cache)
+        for name, payload in {**memoized, **self._entries}.items():
+            plane.publish_dataset(name, payload)
+        return plane
+
     def __contains__(self, name: str) -> bool:
         return name in self._entries
 

@@ -56,6 +56,7 @@ import numpy as np
 
 from repro.api.session import BatchRun, Session
 from repro.api.specs import SpecError
+from repro.engine.process_pool import WorkerLost
 from repro.resilience import AdmissionController, DeadlineExceeded, MemoryGovernor
 from repro.testing.faults import maybe_fire
 
@@ -225,6 +226,11 @@ def handle_request(
         # a checkpoint, so the session's caches hold only whole frozen
         # entries and the loop answers in-band.
         return {"ok": False, "code": exc.code, "error": str(exc)}
+    except WorkerLost as exc:
+        # A process-backend worker died mid-request and its respawned
+        # replacement died too.  The request never executed (dispatch
+        # is all-or-nothing), so the client may simply retry.
+        return {"ok": False, "code": exc.code, "error": str(exc)}
     except (SpecError, ValueError, TypeError) as exc:
         return {"ok": False, "code": "bad_request", "error": str(exc)}
     except MemoryError as exc:
@@ -246,6 +252,7 @@ def default_serve_session(
     *,
     deadline_ms: float | None = None,
     memory_budget_bytes: int | None = None,
+    process_workers: int | None = None,
 ) -> Session:
     """A session hardened for the traffic boundary: requests name their
     data via registered names or generator schemes, never ``file:``
@@ -255,7 +262,10 @@ def default_serve_session(
     result cache (see :mod:`repro.api.result_cache`); *deadline_ms*
     sets the default per-request execution budget; a
     *memory_budget_bytes* places the session's caches and buffer pool
-    under one :class:`~repro.resilience.MemoryGovernor` budget."""
+    under one :class:`~repro.resilience.MemoryGovernor` budget;
+    *process_workers* routes execution to a worker-process fleet over
+    a shared-memory dataset plane (``Session(process_workers=…)``) —
+    close the session when the serve loop ends."""
     from repro.api.registry import DatasetRegistry
 
     governor = (
@@ -267,7 +277,8 @@ def default_serve_session(
                    max_join_members=1_000,
                    result_cache_max_bytes=result_cache_max_bytes,
                    deadline_ms=deadline_ms,
-                   memory_governor=governor)
+                   memory_governor=governor,
+                   process_workers=process_workers)
 
 
 def _answer_line(
@@ -467,12 +478,32 @@ def serve(
     *,
     window: int | None = None,
     admission: AdmissionController | None = None,
+    process_workers: int | None = None,
 ) -> int:
-    """Run the loop over text streams (flushing per line, for pipes)."""
+    """Run the loop over text streams (flushing per line, for pipes).
+
+    With *process_workers*, a session-private process backend executes
+    requests in worker processes (see :class:`Session`); the backend —
+    and its shared-memory segments — are torn down when the loop ends,
+    even if the input stream is abandoned mid-serve.
+    """
+    owned = None
+    if session is None:
+        session = default_serve_session(process_workers=process_workers)
+        owned = session
+    elif process_workers is not None:
+        raise ValueError(
+            "process_workers configures the default session; pass a "
+            "Session built with process_workers=... instead"
+        )
     count = 0
-    for response in serve_lines(stream_in, session, workers=workers,
-                                window=window, admission=admission):
-        stream_out.write(response + "\n")
-        stream_out.flush()
-        count += 1
+    try:
+        for response in serve_lines(stream_in, session, workers=workers,
+                                    window=window, admission=admission):
+            stream_out.write(response + "\n")
+            stream_out.flush()
+            count += 1
+    finally:
+        if owned is not None:
+            owned.close()
     return count

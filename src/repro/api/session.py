@@ -149,6 +149,18 @@ class Session:
         honours ``use_engine()``); passing ``cost_model`` /
         ``cache_capacity`` / ``cache_max_bytes`` / ``max_workers``
         builds a private one.
+    process_workers:
+        Worker-*process* count for the process-parallel backend.
+        ``None`` (the default) executes in-process.  With N ≥ 1 the
+        session lazily publishes its registry's datasets into shared
+        memory, spawns N persistent workers that attach zero-copy, and
+        ships spec/batch execution to them — planning, result caching,
+        and report bookkeeping stay on the coordinator, so outcomes,
+        plan choices, and cache hit/miss splits are bit-identical to
+        an in-process session.  Runtime-knob runs (``force_plan``,
+        ``constraint_canvas``) always execute in-process.  Call
+        :meth:`close` (or use the session as a context manager) to
+        release the workers and shared segments deterministically.
     result_cache_max_bytes:
         Byte budget for the spec-level result cache.  ``None`` (the
         default) disables it: every ``run`` executes.  With a budget,
@@ -189,6 +201,7 @@ class Session:
         cache_max_bytes: int | None = None,
         max_join_members: int | None = None,
         max_workers: int | None = None,
+        process_workers: int | None = None,
         result_cache_max_bytes: int | None = None,
         result_cache_capacity: int = 1024,
         deadline_ms: float | None = None,
@@ -207,6 +220,22 @@ class Session:
         #: functions; the serve boundary sets a cap so one request
         #: cannot pin the loop with millions of sequential selections.
         self.max_join_members = max_join_members
+        if process_workers is not None:
+            if process_workers < 1:
+                raise ValueError("process_workers must be at least 1")
+            if engine is not None:
+                raise ValueError(
+                    "process_workers builds a session-private engine "
+                    "and attaches a process backend to it; an explicit "
+                    "engine cannot be combined with it"
+                )
+        #: Worker-process count for the process-parallel backend
+        #: (None = in-process execution, the default).  The backend
+        #: itself is built lazily on first execution — publishing the
+        #: registry's datasets into shared memory and spawning the
+        #: fleet — and rebuilt when the registry generation moves.
+        self.process_workers = process_workers
+        self._process_backend = None
         engine_knobs = (
             cost_model is not None
             or cache_capacity is not None
@@ -230,6 +259,11 @@ class Session:
             if max_workers is not None:
                 kwargs["max_workers"] = max_workers
             engine = QueryEngine(**kwargs)
+        if process_workers is not None and engine is None:
+            # The backend attaches to the session's engine; sharing the
+            # process-default engine would leak the attachment to
+            # unrelated callers, so process sessions always own one.
+            engine = QueryEngine()
         self._engine = engine
         #: Spec-digest result cache (None = disabled, the default).
         self.result_cache: ResultCache | None = (
@@ -332,7 +366,14 @@ class Session:
         force_plan: str | None,
     ) -> Any:
         """Run one coerced spec through the engine (no result cache)."""
+        backend = (
+            self._ensure_backend()
+            if constraint_canvas is None and force_plan is None
+            else None
+        )
         if isinstance(spec, GeometrySpec):
+            if backend is not None:
+                return self._run_spec_process(spec, device, backend)
             return self._run_geometry(spec, device, force_plan)
         if isinstance(spec, JoinSpec):
             if force_plan is not None:
@@ -340,6 +381,8 @@ class Session:
                     "join specs take no force_plan (each member is "
                     "planned individually)"
                 )
+            if backend is not None:
+                return self._run_spec_process(spec, device, backend)
             return self._run_join(spec, device)
         desc = self._describe(
             spec, device, constraint_canvas=constraint_canvas,
@@ -347,12 +390,133 @@ class Session:
         )
         if desc.empty_result is not None:
             return desc.empty_result
+        if backend is not None:
+            # Description (dataset resolution, window/resolution
+            # defaults, validation) happened here on the coordinator;
+            # only the execution ships.  Arrays the shared plane
+            # exported cross as zero-copy references.
+            outcome = self.engine.run_member_process(
+                desc.kind, desc.kwargs, backend
+            )
+            return desc.wrap(outcome)
         # BATCH_KINDS is the executor's own kind→method table, so this
         # dispatch and execute_batch can never drift apart.
         outcome = getattr(self.engine, BATCH_KINDS[desc.kind])(
             **desc.kwargs
         )
         return desc.wrap(outcome)
+
+    # ------------------------------------------------------------------
+    # Process backend lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_backend(self):
+        """The live process backend, (re)built lazily.
+
+        ``None`` for in-process sessions.  A registry generation that
+        moved since the last publish obsoletes the plane — the old
+        backend closes (segments unlink once workers detach) and a
+        fresh publish + fleet spawn replaces it, so workers never
+        answer from stale data.
+        """
+        if self.process_workers is None:
+            return None
+        backend = self._process_backend
+        if (
+            backend is not None
+            and not backend.closed
+            and backend.generation == self.registry.generation
+        ):
+            return backend
+        from repro.engine.process_pool import ProcessBackend
+
+        self._teardown_backend()
+        plane = self.registry.publish()
+        engine = self.engine
+        settings = {
+            "resolution": self.resolution,
+            "device": self.device,
+            "tiling": self.tiling,
+            "deadline_ms": self.deadline_ms,
+            "max_join_members": self.max_join_members,
+            "allow_files": self.registry.allow_files,
+            "cost_model": engine.cost_model,
+            "cache_capacity": engine.cache.capacity,
+            "cache_max_bytes": engine.cache.max_bytes,
+        }
+        try:
+            backend = ProcessBackend(
+                self.process_workers,
+                manifest=plane.manifest(),
+                settings=settings,
+                plane=plane,
+            )
+        except Exception:
+            plane.release()
+            raise
+        engine.attach_process_backend(backend)
+        self._process_backend = backend
+        return backend
+
+    def _teardown_backend(self) -> None:
+        backend = self._process_backend
+        self._process_backend = None
+        if backend is not None:
+            if self._engine is not None:
+                self._engine.detach_process_backend()
+            backend.close()
+
+    def close(self) -> None:
+        """Release process-backend resources (workers + shared plane).
+
+        Idempotent, and a no-op for in-process sessions.  The session
+        remains usable afterwards — the next execution simply rebuilds
+        the backend — but closing before discarding the session is
+        what guarantees no segment or worker process outlives it
+        (atexit only covers forgotten ones).
+        """
+        self._teardown_backend()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _run_spec_process(self, spec: QuerySpec, device: Device, backend):
+        """Ship one whole spec to a worker's Session (geometry/join).
+
+        These families expand to several engine calls, so they cross
+        as serialized specs and run on the worker's mirrored session.
+        The worker returns the family result plus the reports the run
+        produced (re-recorded here for ``take_reports``/``explain``)
+        and any constraint canvases it newly cached (folded into the
+        backend's warm-key map for later batch predictions).
+        """
+        import hashlib
+
+        from repro.engine.process_worker import run_spec_task
+
+        # The spec object itself crosses (specs are picklable
+        # dataclasses); its dataset *references* resolve worker-side
+        # against the attached plane, so only inline payloads cost a
+        # real copy.
+        payload = {
+            "generation": backend.generation,
+            "spec": spec,
+            "device": device,
+        }
+        digest = hashlib.blake2b(
+            spec_digest(spec).encode(), digest_size=8
+        ).digest()
+        call = backend.dispatch(
+            int.from_bytes(digest, "big"), run_spec_task, payload
+        )
+        out = call.result()
+        for report in out["reports"]:
+            self.engine.record_report(report)
+        for key in out["warm_keys"]:
+            backend.note_warm(key, call.worker)
+        return out["result"]
 
     @staticmethod
     def _spec_cacheable(spec: QuerySpec) -> bool:
@@ -425,6 +589,10 @@ class Session:
             (i, desc) for i, desc in enumerate(described)
             if desc.empty_result is None
         ]
+        # Process sessions publish/refresh the backend before the
+        # engine dispatches — execute_batch then routes members to the
+        # attached fleet instead of threads.
+        self._ensure_backend()
         outcome = self.engine.execute_batch(
             [BatchQuery(desc.kind, desc.kwargs) for _, desc in live],
             max_workers=max_workers,

@@ -1,0 +1,472 @@
+"""Shared-memory dataset plane: zero-copy data for process workers.
+
+The process backend (PR 8) ships *specs* to worker processes, never
+data: :meth:`DatasetRegistry.publish` exports every registered
+dataset's resolved arrays into ``multiprocessing.shared_memory``
+segments, and workers attach the segments read-only at spawn.  A
+dispatched spec (or batch member / tile build) then references its
+arrays by segment name — a few bytes on the pickle path regardless of
+dataset size — in the spirit of keeping the data plane off the
+serialization path entirely.
+
+Three cooperating pieces:
+
+- :class:`SharedDatasetPlane` — the coordinator-side owner of the
+  segments.  Reference-counted (`acquire`/`release`) so several
+  sessions can share one plane; the last release unlinks every
+  segment, and an ``atexit`` hook sweeps anything still alive at
+  interpreter shutdown so an abandoned session cannot leak ``/dev/shm``
+  entries.
+- :class:`AttachedPlane` — the worker-side view.  Attaches each
+  segment zero-copy (``np.ndarray`` over ``shm.buf``) and immediately
+  unregisters it from the worker's ``resource_tracker``: the
+  coordinator's unlink is the single authoritative cleanup, so workers
+  must neither warn about "leaked" segments at exit nor race the
+  coordinator to destroy them.
+- :func:`encode_payload` / :func:`decode_payload` — substitute
+  published arrays with tiny segment references inside arbitrary
+  kwargs structures (and restore them worker-side), so engine-level
+  batch members and tile builds cross the boundary without re-pickling
+  their data.
+
+The manifest is a plain dict (name, dtype, shape, generation) — JSON-
+and pickle-friendly by construction.  Every manifest and every
+dispatched task carries the registry ``generation`` it was published
+at; a worker asked to execute against a different generation answers
+with a typed :class:`StaleGeneration` marker instead of silently
+reading replaced data.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import secrets
+import threading
+from multiprocessing import shared_memory
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.api.specs import GeometryData, PointData, TripData
+
+__all__ = [
+    "AttachedPlane",
+    "SharedDatasetPlane",
+    "StaleGeneration",
+    "decode_payload",
+    "encode_payload",
+    "live_plane_count",
+]
+
+#: Segment-name prefix — lifecycle tests scan ``/dev/shm`` for it.
+SEGMENT_PREFIX = "repro_shm"
+
+#: Marker key of an encoded array reference inside a payload.
+_REF_KEY = "__repro_shm_ref__"
+
+
+class StaleGeneration(RuntimeError):
+    """A worker was asked to execute against a superseded manifest.
+
+    Raised (coordinator-side, from the worker's typed answer) when a
+    task's expected registry generation does not match the generation
+    the worker's plane was published at.  The session layer reacts by
+    republishing and respawning — never by silently executing against
+    replaced data.
+    """
+
+
+def _segment_name() -> str:
+    return f"{SEGMENT_PREFIX}_{os.getpid()}_{secrets.token_hex(6)}"
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+_live_planes: "set[SharedDatasetPlane]" = set()
+_live_lock = threading.Lock()
+
+
+def _atexit_sweep() -> None:
+    # Interpreter shutdown: unlink whatever a crashed/abandoned caller
+    # left behind.  Copy under the lock — close() mutates the set.
+    with _live_lock:
+        planes = list(_live_planes)
+    for plane in planes:
+        plane.close()
+
+
+atexit.register(_atexit_sweep)
+
+
+def live_plane_count() -> int:
+    """How many planes still own segments (lifecycle-test hook)."""
+    with _live_lock:
+        return len(_live_planes)
+
+
+class SharedDatasetPlane:
+    """Owns the shared-memory segments of one published registry state.
+
+    Built by :meth:`DatasetRegistry.publish`; do not construct
+    directly.  The plane is reference-counted: every consumer that
+    holds it calls :meth:`acquire` and pairs it with :meth:`release`;
+    the last release (or an explicit :meth:`close`, or interpreter
+    exit) unlinks every segment.
+    """
+
+    def __init__(self, generation: int) -> None:
+        self.generation = generation
+        self._segments: list[shared_memory.SharedMemory] = []
+        #: id(array) -> encoded reference, for payload substitution.
+        #: Keyed on object identity: the registry hands out the same
+        #: resolved array objects on every resolve, so identity is the
+        #: cheap, exact "is this array published?" test.
+        self._exports: dict[int, dict[str, Any]] = {}
+        #: Keep the exported arrays alive — id() keys are only unique
+        #: while the object is; letting the source array die would let
+        #: an unrelated new array alias its export entry.
+        self._export_anchors: list[np.ndarray] = []
+        self._datasets: dict[str, dict[str, Any]] = {}
+        self._refs = 1
+        self._closed = False
+        self._lock = threading.Lock()
+        with _live_lock:
+            _live_planes.add(self)
+
+    # -- publication (registry-side) -----------------------------------
+    def _new_segment(self, nbytes: int) -> shared_memory.SharedMemory:
+        seg = shared_memory.SharedMemory(
+            create=True, size=max(1, nbytes), name=_segment_name()
+        )
+        self._segments.append(seg)
+        return seg
+
+    def _publish_array(self, arr: np.ndarray) -> dict[str, Any]:
+        ref = self._exports.get(id(arr))
+        if ref is not None:
+            return ref
+        arr = np.ascontiguousarray(arr)
+        if arr.nbytes == 0:
+            ref = {
+                "kind": "empty",
+                "dtype": str(arr.dtype),
+                "shape": list(arr.shape),
+            }
+        else:
+            seg = self._new_segment(arr.nbytes)
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+            view[...] = arr
+            ref = {
+                "kind": "array",
+                "segment": seg.name,
+                "dtype": str(arr.dtype),
+                "shape": list(arr.shape),
+            }
+        self._exports[id(arr)] = ref
+        self._export_anchors.append(arr)
+        return ref
+
+    def _publish_pickle(self, obj: Any) -> dict[str, Any]:
+        blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        seg = self._new_segment(len(blob))
+        seg.buf[: len(blob)] = blob
+        return {"kind": "pickle", "segment": seg.name, "nbytes": len(blob)}
+
+    def publish_dataset(self, name: str, payload: Any) -> None:
+        """Export one resolved dataset payload into segments."""
+        if isinstance(payload, PointData):
+            roles = {
+                "xs": self._publish_array(payload.xs),
+                "ys": self._publish_array(payload.ys),
+            }
+            if payload.ids is not None:
+                roles["ids"] = self._publish_array(payload.ids)
+            if payload.values is not None:
+                roles["values"] = self._publish_array(payload.values)
+            self._datasets[name] = {"type": "points", "roles": roles}
+        elif isinstance(payload, TripData):
+            roles = {
+                "origin_xs": self._publish_array(payload.origin_xs),
+                "origin_ys": self._publish_array(payload.origin_ys),
+                "dest_xs": self._publish_array(payload.dest_xs),
+                "dest_ys": self._publish_array(payload.dest_ys),
+            }
+            if payload.ids is not None:
+                roles["ids"] = self._publish_array(payload.ids)
+            self._datasets[name] = {"type": "trips", "roles": roles}
+        elif isinstance(payload, GeometryData):
+            # Geometries are object graphs, not flat buffers: one
+            # pickled segment, one unpickle per worker at attach time
+            # (documented cost — geometry datasets are orders of
+            # magnitude smaller than point datasets).
+            self._datasets[name] = {
+                "type": "geometries",
+                "blob": self._publish_pickle(
+                    (payload.geometries, payload.ids)
+                ),
+            }
+        else:  # pragma: no cover — registry coercion precludes this
+            raise TypeError(
+                f"cannot publish dataset {name!r}: unsupported payload "
+                f"type {type(payload).__name__}"
+            )
+
+    # -- payload substitution ------------------------------------------
+    def export_ref(self, arr: np.ndarray) -> dict[str, Any] | None:
+        """The encoded reference of *arr* if it was published."""
+        return self._exports.get(id(arr))
+
+    def manifest(self) -> dict[str, Any]:
+        """The plain-dict description workers attach from."""
+        return {
+            "generation": self.generation,
+            "datasets": self._datasets,
+        }
+
+    @property
+    def segment_names(self) -> list[str]:
+        return [seg.name for seg in self._segments]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(seg.size for seg in self._segments)
+
+    # -- lifecycle ------------------------------------------------------
+    def acquire(self) -> "SharedDatasetPlane":
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("plane is closed")
+            self._refs += 1
+        return self
+
+    def release(self) -> None:
+        with self._lock:
+            self._refs -= 1
+            if self._refs > 0:
+                return
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Unlink every segment (idempotent; also the atexit path)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            segments, self._segments = self._segments, []
+            self._exports.clear()
+            self._export_anchors.clear()
+        for seg in segments:
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover — exported views live
+                pass
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover — already gone
+                pass
+        with _live_lock:
+            _live_planes.discard(self)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _owns_fresh_tracker() -> bool:
+    """Whether this process would start its *own* resource tracker.
+
+    A ``spawn``/``forkserver`` worker starts a fresh tracker on first
+    use; a ``fork`` worker inherits the coordinator's already-running
+    tracker (shared pipe).  The distinction decides the untrack policy
+    below — must be sampled *before* the first attach, which is what
+    starts a fresh tracker.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        return resource_tracker._resource_tracker._pid is None
+    except Exception:  # pragma: no cover — tracker impl detail shifted
+        return False
+
+
+def _untrack(seg: shared_memory.SharedMemory) -> None:
+    """Drop *seg* from this process's own resource tracker.
+
+    Attaching registers the segment with the attaching process's
+    ``resource_tracker`` (CPython < 3.13 offers no opt-out), which
+    would (a) warn about "leaked" segments at worker exit and (b) let
+    a dying worker's tracker unlink segments the coordinator still
+    serves.  The coordinator's close/atexit is the one authoritative
+    cleanup, so a worker with its own tracker unregisters immediately
+    after attach.  (A ``fork`` worker shares the coordinator's tracker
+    — registration is set-semantics there, so the attach was a no-op
+    and unregistering would instead erase the *coordinator's* entry;
+    the caller skips untracking in that case.)
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:  # pragma: no cover — tracker impl detail shifted
+        pass
+
+
+class AttachedPlane:
+    """A worker process's zero-copy view of a published plane."""
+
+    def __init__(self, manifest: Mapping[str, Any]) -> None:
+        self.generation = int(manifest["generation"])
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._arrays: dict[str, np.ndarray] = {}
+        self._payloads: dict[str, Any] = {}
+        self._untrack = _owns_fresh_tracker()
+        for name, entry in manifest["datasets"].items():
+            self._payloads[name] = self._build_payload(entry)
+
+    # -- attachment -----------------------------------------------------
+    def _segment(self, name: str) -> shared_memory.SharedMemory:
+        seg = self._segments.get(name)
+        if seg is None:
+            seg = shared_memory.SharedMemory(name=name)
+            if self._untrack:
+                _untrack(seg)
+            self._segments[name] = seg
+        return seg
+
+    def attach_array(self, ref: Mapping[str, Any]) -> np.ndarray:
+        """One encoded reference → a read-only zero-copy array."""
+        if ref["kind"] == "empty":
+            return np.empty(tuple(ref["shape"]), dtype=np.dtype(ref["dtype"]))
+        cached = self._arrays.get(ref["segment"])
+        if cached is not None:
+            return cached
+        seg = self._segment(ref["segment"])
+        arr = np.ndarray(
+            tuple(ref["shape"]), dtype=np.dtype(ref["dtype"]), buffer=seg.buf
+        )
+        # The segments are shared with the coordinator and every other
+        # worker: any in-place write would corrupt all of them at once.
+        arr.flags.writeable = False
+        self._arrays[ref["segment"]] = arr
+        return arr
+
+    def _attach_pickle(self, ref: Mapping[str, Any]) -> Any:
+        seg = self._segment(ref["segment"])
+        return pickle.loads(bytes(seg.buf[: ref["nbytes"]]))
+
+    def _build_payload(self, entry: Mapping[str, Any]) -> Any:
+        kind = entry["type"]
+        if kind == "geometries":
+            geometries, ids = self._attach_pickle(entry["blob"])
+            return GeometryData(geometries, ids=ids)
+        roles = {
+            role: self.attach_array(ref)
+            for role, ref in entry["roles"].items()
+        }
+        if kind == "points":
+            return PointData(
+                roles["xs"], roles["ys"],
+                ids=roles.get("ids"), values=roles.get("values"),
+            )
+        if kind == "trips":
+            return TripData(
+                roles["origin_xs"], roles["origin_ys"],
+                roles["dest_xs"], roles["dest_ys"],
+                ids=roles.get("ids"),
+            )
+        raise ValueError(f"unknown dataset type {kind!r} in manifest")
+
+    # -- access ---------------------------------------------------------
+    def dataset_names(self) -> list[str]:
+        return sorted(self._payloads)
+
+    def payloads(self) -> dict[str, Any]:
+        return dict(self._payloads)
+
+    def check_generation(self, expected: int) -> None:
+        if expected != self.generation:
+            raise StaleGeneration(
+                f"task expects registry generation {expected}, worker "
+                f"plane was published at generation {self.generation}"
+            )
+
+    def detach(self) -> None:
+        """Close (never unlink) every attached segment."""
+        self._payloads.clear()
+        self._arrays.clear()
+        segments, self._segments = self._segments, {}
+        for seg in segments.values():
+            try:
+                seg.close()
+            except BufferError:
+                # A decoded view is still alive somewhere; the mapping
+                # dies with the process, and the coordinator owns the
+                # unlink either way.
+                pass
+
+
+# ----------------------------------------------------------------------
+# Payload substitution
+# ----------------------------------------------------------------------
+def encode_payload(obj: Any, plane: SharedDatasetPlane | None) -> Any:
+    """Replace published arrays inside *obj* with segment references.
+
+    Walks dicts / lists / tuples; any ndarray the plane exported
+    becomes a few-byte reference, everything else passes through to be
+    pickled normally (small inline payloads, geometry objects,
+    scalars).  With no plane, *obj* is returned unchanged.
+    """
+    if plane is None:
+        return obj
+    return _encode(obj, plane)
+
+
+def _rebuild(obj: Any, items: list) -> Any:
+    """Reassemble a walked list/tuple, preserving the original object
+    (and its exact type — ``BoundingBox`` and friends subclass tuple)
+    whenever no element was substituted."""
+    if len(items) == len(obj) and all(
+        new is old for new, old in zip(items, obj)
+    ):
+        return obj
+    if isinstance(obj, tuple):
+        cls = type(obj)
+        try:
+            return cls(items)
+        except TypeError:
+            # NamedTuple-style constructors take positional fields.
+            return cls(*items)
+    return items
+
+
+def _encode(obj: Any, plane: SharedDatasetPlane) -> Any:
+    if isinstance(obj, np.ndarray):
+        ref = plane.export_ref(obj)
+        return {_REF_KEY: ref} if ref is not None else obj
+    if isinstance(obj, dict):
+        return {key: _encode(value, plane) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return _rebuild(obj, [_encode(item, plane) for item in obj])
+    return obj
+
+
+def decode_payload(obj: Any, plane: AttachedPlane | None) -> Any:
+    """Restore segment references inside *obj* to zero-copy arrays."""
+    if isinstance(obj, dict):
+        if _REF_KEY in obj:
+            if plane is None:
+                raise RuntimeError(
+                    "payload references a shared-memory segment but no "
+                    "plane is attached in this process"
+                )
+            return plane.attach_array(obj[_REF_KEY])
+        return {key: decode_payload(value, plane) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return _rebuild(obj, [decode_payload(item, plane) for item in obj])
+    return obj

@@ -228,27 +228,44 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_serve_workers(
+    workers: int, process_workers: int | None
+) -> None:
+    """One validation path for both serve worker axes.
+
+    Thread workers and process workers share the same machine, so the
+    oversubscription check counts them *together*: ``--workers 4
+    --process-workers 4`` on a 4-CPU box is 8 execution lanes.  Bad
+    counts are errors; oversubscription is legal (threads block on I/O
+    too) but flagged before the loop goes quiet reading stdin.
+    """
+    if workers < 1:
+        raise SystemExit("serve: --workers must be at least 1")
+    if process_workers is not None and process_workers < 1:
+        raise SystemExit("serve: --process-workers must be at least 1")
+    import os
+
+    cpus = os.cpu_count() or 1
+    total = workers + (process_workers or 0)
+    if total > cpus:
+        lanes = f"--workers {workers}"
+        if process_workers:
+            lanes += f" plus --process-workers {process_workers}"
+        print(
+            f"serve: {lanes} exceeds the "
+            f"{cpus} CPU(s) available; extra workers will mostly "
+            f"contend rather than add throughput",
+            file=sys.stderr,
+        )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     # The traffic boundary: build the hardened default session (file:
     # dataset references disabled), optionally with the spec-digest
     # result cache, and fan requests over a worker pool.
     from repro.api import default_serve_session
 
-    if args.workers < 1:
-        raise SystemExit("serve: --workers must be at least 1")
-    import os
-
-    cpus = os.cpu_count() or 1
-    if args.workers > cpus:
-        # A warning, not an error: oversubscription is legal (workers
-        # block on I/O too) but usually a misconfiguration worth
-        # flagging before the loop goes quiet reading stdin.
-        print(
-            f"serve: --workers {args.workers} exceeds the "
-            f"{cpus} CPU(s) available; extra workers will mostly "
-            f"contend rather than add throughput",
-            file=sys.stderr,
-        )
+    _validate_serve_workers(args.workers, args.process_workers)
     if args.result_cache_mb is not None and args.result_cache_mb <= 0:
         raise SystemExit("serve: --result-cache-mb must be positive")
     if args.window is not None and args.window < args.workers:
@@ -274,6 +291,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.memory_budget_mb * 1024 * 1024
             if args.memory_budget_mb is not None else None
         ),
+        process_workers=args.process_workers,
     )
     from repro.resilience import AdmissionController
 
@@ -282,8 +300,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_cost=args.max_cost,
         governor=session.memory_governor,
     )
-    serve(sys.stdin, sys.stdout, session, workers=args.workers,
-          window=args.window, admission=admission)
+    try:
+        serve(sys.stdin, sys.stdout, session, workers=args.workers,
+              window=args.window, admission=admission)
+    finally:
+        # The process backend (if any) holds shared-memory segments
+        # and worker processes; tear them down even on a broken pipe.
+        session.close()
     return 0
 
 
@@ -534,6 +557,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker threads answering requests concurrently "
              "(default 1 = serial; responses stay in request order)",
+    )
+    p_serve.add_argument(
+        "--process-workers", type=int, default=None,
+        help="execute requests in this many worker *processes* "
+             "(shared-memory dataset plane; results bit-identical to "
+             "serial). Composes with --workers: threads dispatch, "
+             "processes execute (default: in-process execution)",
     )
     p_serve.add_argument(
         "--result-cache-mb", type=int, default=None,

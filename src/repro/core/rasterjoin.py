@@ -97,6 +97,13 @@ class PolygonCoverage:
 #: in ``engine.explain()``); ``None`` rasterizes fresh per call.
 CoverageProvider = Callable[[Polygon, int], PolygonCoverage]
 
+#: ``(flat_cells, weights_or_None, n_cells) -> (counts, sums_or_None)``
+#: or ``None`` to decline and run the local scatter instead.
+ScatterRunner = Callable[
+    [np.ndarray, "np.ndarray | None", int],
+    "tuple[np.ndarray, np.ndarray | None] | None",
+]
+
 
 def polygon_coverage_cells(
     polygon: Polygon,
@@ -165,6 +172,7 @@ def raster_join_aggregate(
     resolution: Resolution = 1024,
     device: Device = DEFAULT_DEVICE,
     coverage_provider: CoverageProvider | None = None,
+    scatter_runner: ScatterRunner | None = None,
 ) -> AggregateResult:
     """Aggregate points per polygon via the RasterJoin plan.
 
@@ -179,6 +187,15 @@ def raster_join_aggregate(
     builder so repeated constraints skip rasterization entirely).  The
     provider must rasterize for the same window/resolution — a shape
     mismatch raises ``ValueError``.
+
+    *scatter_runner*, when given, may execute stage 1's bincount
+    scatter sharded by pixel range (the engine passes a
+    process-backend runner).  It receives ``(flat_cells, weights,
+    n_cells)`` — *weights* is ``None`` for count queries — and returns
+    ``(counts, sums)`` or ``None`` to decline, in which case the local
+    scatter runs.  np.bincount accumulates in input order and a
+    pixel-range shard preserves that order, so a sharded scatter is
+    bit-identical to the local one.
     """
     if aggregate not in ("count", "sum", "avg"):
         raise ValueError(
@@ -200,21 +217,31 @@ def raster_join_aggregate(
     rows, cols, inside = world_points_to_cells(xs, ys, window, height, width)
     flat_pts = rows[inside] * width + cols[inside]
     n_cells = height * width
-    cnt_grid = np.bincount(flat_pts, minlength=n_cells)
-    occ = np.nonzero(cnt_grid)[0]  # sorted == row-major pixel order
-    occ_cnt = cnt_grid[occ].astype(np.float64)
+    weights = None
     if need_sums:
         vals = (
             np.asarray(values, dtype=np.float64)
             if values is not None
             else np.zeros(len(xs), dtype=np.float64)
         )
-        sum_grid = np.bincount(
-            flat_pts, weights=vals[inside], minlength=n_cells
-        )
-        occ_sum = sum_grid[occ]
+        weights = vals[inside]
+    sharded = (
+        scatter_runner(flat_pts, weights, n_cells)
+        if scatter_runner is not None
+        else None
+    )
+    if sharded is not None:
+        cnt_grid, sum_grid = sharded
     else:
-        occ_sum = None
+        cnt_grid = np.bincount(flat_pts, minlength=n_cells)
+        sum_grid = (
+            np.bincount(flat_pts, weights=weights, minlength=n_cells)
+            if need_sums
+            else None
+        )
+    occ = np.nonzero(cnt_grid)[0]  # sorted == row-major pixel order
+    occ_cnt = cnt_grid[occ].astype(np.float64)
+    occ_sum = sum_grid[occ] if need_sums else None
 
     # Stage 2 — CY as a shared label grid: one bbox-clipped fill per
     # polygon claims its cells; overlap cells spill to a per-pixel

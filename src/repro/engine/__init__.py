@@ -41,6 +41,11 @@ from repro.engine.executor import (
     aggregate_samples,
     unique_ids,
 )
+from repro.engine.process_pool import (
+    ProcessBackend,
+    WorkerLost,
+    WorkerTaskError,
+)
 from repro.engine.planner import (
     AGG_JOIN_THEN_AGG,
     AGG_RASTERJOIN,
@@ -81,6 +86,7 @@ __all__ = [
     "OD_PIP",
     "PlanChoice",
     "Planner",
+    "ProcessBackend",
     "QueryEngine",
     "SELECTION_BLENDED",
     "SELECTION_PIP",
@@ -88,6 +94,8 @@ __all__ = [
     "VORONOI_ARGMIN",
     "VORONOI_ITERATED",
     "VoronoiOutcome",
+    "WorkerLost",
+    "WorkerTaskError",
     "aggregate_samples",
     "explain",
     "geometries_digest",

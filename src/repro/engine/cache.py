@@ -236,6 +236,16 @@ class CanvasCache:
         with self._lock:
             return self._bytes
 
+    def keys(self) -> list:
+        """Snapshot of the stored keys, LRU-first.
+
+        The process backend's warm-key harvest diffs this around a
+        worker-side run to learn which constraint canvases the run
+        materialized; entries, not contents, so it is cheap.
+        """
+        with self._lock:
+            return list(self._store)
+
     def evict_lru(self) -> int:
         """Evict the least-recently-used entry; bytes freed (0 if empty).
 

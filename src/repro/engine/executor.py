@@ -38,6 +38,7 @@ subcommand prints.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import threading
 import time
@@ -109,7 +110,11 @@ from repro.core.tiling import (
     tile_key,
 )
 from repro.engine.cache import CanvasCache, geometries_digest, geometry_digest
-from repro.resilience.deadline import Deadline, check_deadline
+from repro.resilience.deadline import (
+    Deadline,
+    DeadlineExceeded,
+    check_deadline,
+)
 from repro.engine.planner import (
     AGG_JOIN_THEN_AGG_TILED,
     AGG_RASTERJOIN,
@@ -490,6 +495,216 @@ class QueryEngine:
         #: Dense buffers recycled across executions by the
         #: ownership-aware expression evaluator.
         self.buffer_pool = BufferPool(buffer_pool_size)
+        #: Optional :class:`~repro.engine.process_pool.ProcessBackend`.
+        #: When attached (by a ``Session(process_workers=…)`` or
+        #: :meth:`execute_batch`'s ``process_workers``), batch members
+        #: and tiled builds fan out to worker processes; ``None`` (the
+        #: default) keeps every execution in-process.
+        self._process_backend = None
+
+    # ------------------------------------------------------------------
+    # Process backend plumbing
+    # ------------------------------------------------------------------
+    @property
+    def process_backend(self):
+        return self._process_backend
+
+    def attach_process_backend(self, backend) -> None:
+        """Route batch members and tiled builds through *backend*.
+
+        The backend is caller-owned (the session that published the
+        shared plane closes it); attaching only changes *where* work
+        executes — planning, cache-aware pricing, and report
+        bookkeeping stay on this engine, which is what keeps process
+        runs bit-identical to serial ones.
+        """
+        self._process_backend = backend
+
+    def detach_process_backend(self) -> None:
+        self._process_backend = None
+
+    def _ensure_own_backend(self, workers: int):
+        """Engine-owned backend for direct ``execute_batch`` callers.
+
+        No shared plane (the engine has no registry): member kwargs
+        ship whole by pickle — correct, just without the zero-copy
+        fast path a Session-published plane provides.
+        """
+        from repro.engine.process_pool import ProcessBackend
+
+        backend = self._process_backend
+        if backend is not None and not backend.closed:
+            if backend.workers != workers:
+                raise ValueError(
+                    f"a process backend with {backend.workers} worker(s) "
+                    f"is already attached; detach it before asking for "
+                    f"{workers}"
+                )
+            return backend
+        backend = ProcessBackend(
+            workers,
+            settings={
+                "cost_model": self.cost_model,
+                "cache_capacity": self.cache.capacity,
+                "cache_max_bytes": self.cache.max_bytes,
+            },
+        )
+        self._process_backend = backend
+        return backend
+
+    def close_process_backend(self) -> None:
+        """Close and detach the engine's backend (if any)."""
+        backend = self._process_backend
+        self._process_backend = None
+        if backend is not None:
+            backend.close()
+
+    def _member_affinity(
+        self, kind: str, kwargs: dict, recipe_key: tuple | None
+    ) -> int:
+        """Stable slot-routing digest for one batch member.
+
+        A function of the member's cache determinants (constraint
+        recipe, polygon set, circle, OD pair, site array), so members
+        that would share canvas-cache entries land on the same worker
+        and warm the same worker-private cache — the routing that keeps
+        process hit/miss splits identical to serial's shared cache.
+        """
+        if recipe_key is not None:
+            basis = ("recipe", recipe_key)
+        elif kind == "aggregation" and "polygons" in kwargs:
+            basis = ("agg", geometries_digest(list(kwargs["polygons"])))
+        elif kind == "distance" and "center" in kwargs:
+            basis = (
+                "dist", repr(kwargs.get("center")),
+                repr(kwargs.get("radius")),
+            )
+        elif kind == "od":
+            basis = ("od", repr(kwargs.get("q1")), repr(kwargs.get("q2")))
+        else:
+            basis = (kind,)
+        digest = hashlib.blake2b(
+            repr(basis).encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big")
+
+    def _dispatch_member(
+        self, backend, kind: str, kwargs: dict, affinity: int
+    ):
+        """Ship one described member to its affinity slot.
+
+        Dataset arrays the backend's plane exported travel as
+        shared-memory references (attached zero-copy worker-side); a
+        coordinator Deadline is converted to its remaining budget and
+        rebuilt fresh in the worker so checkpoints keep working.
+        """
+        from repro.api.shm import encode_payload
+        from repro.engine.process_worker import run_member_task
+
+        kwargs = dict(kwargs)
+        deadline = kwargs.pop("deadline", None)
+        payload = {
+            "generation": backend.generation,
+            "kind": kind,
+            "kwargs": encode_payload(kwargs, backend.plane),
+        }
+        if deadline is not None:
+            check_deadline(deadline, "process-dispatch")
+            payload["deadline_budget_s"] = max(
+                deadline.remaining_s(), 1e-4
+            )
+        return backend.dispatch(affinity, run_member_task, payload)
+
+    def run_member_process(self, kind: str, kwargs: dict, backend):
+        """Run one described member on the process backend.
+
+        The session's single-spec path for batchable families.  The
+        cache-aware ``constraint_cached`` pricing flag is resolved
+        here from the backend's warm-key map (the process analogue of
+        ``key in self.cache``), and a blended selection's key is noted
+        back so later predictions replay serial cache state.
+        """
+        kwargs = dict(kwargs)
+        key = None
+        if kind == "selection" and "window" in kwargs:
+            key = self._constraint_key(
+                list(kwargs["polygons"]),
+                kwargs["window"],
+                kwargs.get("resolution", 1024),
+                kwargs.get("device", DEFAULT_DEVICE),
+            )
+            if (
+                kwargs.get("constraint_cached") is None
+                and kwargs.get("constraint_canvas") is None
+            ):
+                kwargs["constraint_cached"] = key in backend.warm_keys
+        call = self._dispatch_member(
+            backend, kind, kwargs,
+            self._member_affinity(kind, kwargs, key),
+        )
+        outcome = call.result()
+        self.record_report(outcome.report)
+        if (
+            key is not None
+            and outcome.report.plan == SELECTION_BLENDED
+            and kwargs.get("constraint_canvas") is None
+        ):
+            backend.note_warm(key, call.worker)
+        return outcome
+
+    def _process_scatter_runner(self, deadline: Deadline | None):
+        """Rasterjoin stage-1 scatter sharded across the worker fleet.
+
+        ``None`` without a multi-worker backend.  The runner itself
+        returns ``None`` (declining, local scatter runs) on any worker
+        trouble — sharding is an optimization seam, not a correctness
+        one — but lets the deadline family propagate.
+        """
+        backend = self._process_backend
+        if backend is None or backend.workers < 2:
+            return None
+
+        def runner(flat, weights, n_cells):
+            from repro.engine.process_worker import scatter_shard_task
+
+            shards = backend.workers
+            if n_cells < shards or len(flat) == 0:
+                return None
+            bounds = [
+                n_cells * s // shards for s in range(shards + 1)
+            ]
+            try:
+                check_deadline(deadline, "scatter-dispatch")
+                calls = []
+                for s in range(shards):
+                    lo, hi = bounds[s], bounds[s + 1]
+                    mask = (flat >= lo) & (flat < hi)
+                    payload = {
+                        "generation": backend.generation,
+                        "flat": flat[mask],
+                        "weights": (
+                            weights[mask] if weights is not None else None
+                        ),
+                        "lo": lo,
+                        "hi": hi,
+                    }
+                    calls.append(backend.dispatch_to(
+                        s, scatter_shard_task, payload
+                    ))
+                parts = [call.result() for call in calls]
+            except DeadlineExceeded:
+                raise
+            except Exception:  # noqa: BLE001 — decline, scatter locally
+                return None
+            counts = np.concatenate([p["counts"] for p in parts])
+            sums = (
+                np.concatenate([p["sums"] for p in parts])
+                if weights is not None
+                else None
+            )
+            return counts, sums
+
+        return runner
 
     def _thread_report_state(self) -> tuple[deque, int]:
         """(bounded report deque, monotonic count) of the calling thread."""
@@ -711,21 +926,107 @@ class QueryEngine:
 
         Each lookup is a deadline checkpoint: tiled plans abort within
         one tile of their budget.
+
+        With a process backend attached, the cold tiles fan out to the
+        workers up front and land here through the same single-flight
+        ``get_or_build`` seam a local build would use — hit/miss
+        accounting and stitch order are untouched, only the builder's
+        CPU moves.
         """
-        def lookup(tile):
-            check_deadline(deadline, "tile-build")
-            if not any(
+        def hits(tile) -> bool:
+            return any(
                 bbox_intersects_tile(memo.bbox(slot, poly), tile)
                 for slot, _, poly, _ in entries
-            ):
+            )
+
+        prefetched: dict = {}
+        if self._process_backend is not None:
+            from repro.api.shm import encode_payload
+
+            backend = self._process_backend
+            cold = [
+                tile for tile in grid.tiles()
+                if hits(tile)
+                and tile_key(recipe, digest, tile, grid, device)
+                not in self.cache
+            ]
+            prefetched = self._prefetch_tiles(
+                backend, cold,
+                {
+                    "kind": "polygon",
+                    "entries": encode_payload(
+                        list(entries), backend.plane
+                    ),
+                    "grid": grid,
+                    "device": device,
+                    "accumulate_count": accumulate_count,
+                },
+                deadline,
+            )
+
+        def lookup(tile):
+            check_deadline(deadline, "tile-build")
+            if not hits(tile):
                 return None
+            key = tile_key(recipe, digest, tile, grid, device)
+            built = prefetched.pop((tile.r0, tile.c0), None)
+            if built is not None:
+                return self.cache.get_or_build(key, lambda: built)
             return self.cache.get_or_build(
-                tile_key(recipe, digest, tile, grid, device),
+                key,
                 lambda: build_polygon_tile(
                     tile, entries, memo, accumulate_count
                 ),
             )
         return lookup
+
+    def _prefetch_tiles(
+        self,
+        backend,
+        cold_tiles: list,
+        base_payload: dict,
+        deadline: Deadline | None,
+    ) -> dict:
+        """Fan a tiled plan's cold builds out to the worker fleet.
+
+        Returns ``{(r0, c0): built_tile}`` for whatever the workers
+        delivered; anything missing (a dead worker, a stale plane, an
+        injected worker fault) silently falls back to a local build —
+        the builders are pure, so the fallback is bit-identical.  Only
+        the deadline family propagates: an expired budget must abort
+        the request whether its tiles were local or remote.
+        """
+        if not cold_tiles or len(cold_tiles) < 2:
+            return {}
+        check_deadline(deadline, "tile-prefetch")
+        from repro.engine.process_worker import build_tiles_task
+
+        shards = min(backend.workers, len(cold_tiles))
+        chunks = [cold_tiles[s::shards] for s in range(shards)]
+        calls = []
+        try:
+            for slot, chunk in enumerate(chunks):
+                payload = dict(base_payload)
+                payload["tiles"] = chunk
+                payload["generation"] = backend.generation
+                calls.append(
+                    (chunk, backend.dispatch_to(
+                        slot, build_tiles_task, payload
+                    ))
+                )
+        except Exception:  # noqa: BLE001 — prefetch is best-effort
+            return {}
+        out: dict = {}
+        for chunk, call in calls:
+            try:
+                built = call.result()
+            except DeadlineExceeded:
+                raise
+            except Exception:  # noqa: BLE001 — fall back to local builds
+                continue
+            for tile, value in zip(chunk, built):
+                out[(tile.r0, tile.c0)] = value
+        return out
 
     def _constraint_key(
         self,
@@ -1107,6 +1408,7 @@ class QueryEngine:
                 polygon_ids=ids, window=window, resolution=resolution,
                 device=device,
                 coverage_provider=coverage_provider,
+                scatter_runner=self._process_scatter_runner(deadline),
             )
             groups, out_values = result.groups, result.values
             tree_text = (
@@ -1471,6 +1773,25 @@ class QueryEngine:
         digest = circle_digest(center, radius)
         circle_bbox = circle_tile_bbox(center, radius, grid)
 
+        prefetched: dict = {}
+        if self._process_backend is not None and circle_bbox is not None:
+            cold = [
+                tile for tile in grid.tiles()
+                if bbox_intersects_tile(circle_bbox, tile)
+                and tile_key("circle", digest, tile, grid, device)
+                not in self.cache
+            ]
+            prefetched = self._prefetch_tiles(
+                self._process_backend, cold,
+                {
+                    "kind": "circle",
+                    "center": center,
+                    "radius": radius,
+                    "grid": grid,
+                },
+                ctx.deadline if ctx is not None else None,
+            )
+
         def lookup(tile):
             check_deadline(
                 ctx.deadline if ctx is not None else None, "tile-build"
@@ -1479,8 +1800,12 @@ class QueryEngine:
                 circle_bbox, tile
             ):
                 return None
+            key = tile_key("circle", digest, tile, grid, device)
+            built = prefetched.pop((tile.r0, tile.c0), None)
+            if built is not None:
+                return self.cache.get_or_build(key, lambda: built)
             return self.cache.get_or_build(
-                tile_key("circle", digest, tile, grid, device),
+                key,
                 lambda: build_circle_tile(tile, center, radius, grid),
             )
 
@@ -1914,6 +2239,26 @@ class QueryEngine:
             ctx.counters.allocations += 1
             ctx.mark_owned(canvas)
         digest = array_digest(pts)
+        prefetched: dict = {}
+        if self._process_backend is not None:
+            from repro.api.shm import encode_payload
+
+            backend = self._process_backend
+            cold = [
+                tile for tile in grid.tiles()
+                if tile_key(("argmin", block), digest, tile, grid, device)
+                not in self.cache
+            ]
+            prefetched = self._prefetch_tiles(
+                backend, cold,
+                {
+                    "kind": "argmin",
+                    "points": encode_payload(pts, backend.plane),
+                    "grid": grid,
+                    "block": block,
+                },
+                ctx.deadline if ctx is not None else None,
+            )
         before = self.cache.thread_counters()
         owner = np.zeros((grid.height, grid.width))
         best_d2 = np.full((grid.height, grid.width), np.inf)
@@ -1921,10 +2266,15 @@ class QueryEngine:
             check_deadline(
                 ctx.deadline if ctx is not None else None, "tile-build"
             )
-            part = self.cache.get_or_build(
-                tile_key(("argmin", block), digest, tile, grid, device),
-                lambda t=tile: build_argmin_tile(t, pts, grid, block),
-            )
+            built = prefetched.pop((tile.r0, tile.c0), None)
+            key = tile_key(("argmin", block), digest, tile, grid, device)
+            if built is not None:
+                part = self.cache.get_or_build(key, lambda: built)
+            else:
+                part = self.cache.get_or_build(
+                    key,
+                    lambda t=tile: build_argmin_tile(t, pts, grid, block),
+                )
             owner[tile.r0:tile.r1, tile.c0:tile.c1] = part.owner
             best_d2[tile.r0:tile.r1, tile.c0:tile.c1] = part.best_d2
         after = self.cache.thread_counters()
@@ -2486,7 +2836,10 @@ class QueryEngine:
     # Batched execution
     # ------------------------------------------------------------------
     def _predict_selection_caching(
-        self, specs: list[BatchQuery], recipe_keys: list[tuple | None]
+        self,
+        specs: list[BatchQuery],
+        recipe_keys: list[tuple | None],
+        extra_warm: set | None = None,
     ) -> list[bool | None]:
         """Per-member ``constraint_cached`` flags, resolved up front.
 
@@ -2499,8 +2852,14 @@ class QueryEngine:
         planner is deterministic, so the prediction *is* the serial
         outcome — plan choices and reports match serial execution
         bit-for-bit regardless of worker count or completion order.
+
+        *extra_warm* extends the "already materialized" set beyond this
+        engine's own cache: the process backend passes its warm-key map
+        (constraint canvases living in affinity-routed worker caches),
+        which plays the role ``key in self.cache`` plays in-process.
         """
         will_cache: set[tuple] = set()
+        warm = extra_warm if extra_warm is not None else ()
         flags: list[bool | None] = []
         for spec, key in zip(specs, recipe_keys):
             if key is None:
@@ -2510,7 +2869,11 @@ class QueryEngine:
             explicit = kw.get("constraint_cached")
             flag = (
                 explicit if explicit is not None
-                else (key in self.cache or key in will_cache)
+                else (
+                    key in self.cache
+                    or key in will_cache
+                    or key in warm
+                )
             )
             flags.append(flag)
             xs = kw.get("xs")
@@ -2541,6 +2904,7 @@ class QueryEngine:
         queries: Sequence[BatchQuery],
         max_workers: int | None = None,
         deadline: Deadline | None = None,
+        process_workers: int | None = None,
     ) -> BatchOutcome:
         """Plan and run a list of queries as one pass.
 
@@ -2562,12 +2926,28 @@ class QueryEngine:
         completion order.  Members constructed with ``parallel=False``
         opt out: they run on the submitting thread after the parallel
         wave.
+
+        With *process_workers* (argument, or a backend already attached
+        by a ``Session(process_workers=…)``), independent members ship
+        to worker *processes* instead: planning and the cache-aware
+        prediction sweep stay here, workers only execute, and
+        digest-affinity routing keeps per-member outcomes, plan
+        choices, and hit/miss splits bit-identical to serial.  A worker
+        death respawns and retries once, then raises
+        :class:`~repro.engine.process_pool.WorkerLost`.
         """
         specs = list(queries)
         if max_workers is None:
             max_workers = self.max_workers
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        backend = self._process_backend
+        if process_workers is not None:
+            if process_workers < 1:
+                raise ValueError("process_workers must be at least 1")
+            backend = self._ensure_own_backend(process_workers)
+        elif backend is not None and backend.closed:
+            backend = None
         dispatch = {
             kind: getattr(self, name) for kind, name in BATCH_KINDS.items()
         }
@@ -2593,15 +2973,27 @@ class QueryEngine:
         shared = sum(1 for count in recipe_counts.values() if count > 1)
         pooled = [i for i, spec in enumerate(specs) if spec.parallel]
         serial_only = [i for i, spec in enumerate(specs) if not spec.parallel]
-        use_pool = max_workers > 1 and len(pooled) > 1
+        use_processes = backend is not None and len(pooled) > 0
+        use_pool = (
+            not use_processes and max_workers > 1 and len(pooled) > 1
+        )
         # The prediction sweep re-prices each selection, so only the
         # pooled path (which has no "earlier member" to learn from)
         # pays it; a serial batch plans each member exactly once, with
-        # flags resolved incrementally exactly as before.
-        cached_flags = (
-            self._predict_selection_caching(specs, recipe_keys)
-            if use_pool else [None] * len(specs)
-        )
+        # flags resolved incrementally exactly as before.  The process
+        # path always pays it, extended by the backend's warm-key map
+        # (worker-resident constraint canvases the coordinator's own
+        # cache cannot see).
+        if use_processes:
+            cached_flags = self._predict_selection_caching(
+                specs, recipe_keys, extra_warm=backend.warm_keys
+            )
+        elif use_pool:
+            cached_flags = self._predict_selection_caching(
+                specs, recipe_keys
+            )
+        else:
+            cached_flags = [None] * len(specs)
         t1 = time.perf_counter()
 
         def run_member(index: int) -> tuple[Any, float, str]:
@@ -2621,7 +3013,50 @@ class QueryEngine:
             return outcome, elapsed, threading.current_thread().name
 
         executions: list[tuple[Any, float, str] | None] = [None] * len(specs)
-        if use_pool:
+        if use_processes:
+            workers = backend.workers
+            calls: dict[int, tuple[Any, float]] = {}
+            for i in pooled:
+                check_deadline(deadline, "batch-member")
+                spec = specs[i]
+                kwargs = dict(spec.kwargs)
+                if cached_flags[i] is not None:
+                    kwargs.setdefault(
+                        "constraint_cached", cached_flags[i]
+                    )
+                if deadline is not None:
+                    kwargs.setdefault("deadline", deadline)
+                affinity = self._member_affinity(
+                    spec.kind, kwargs, recipe_keys[i]
+                )
+                calls[i] = (
+                    self._dispatch_member(
+                        backend, spec.kind, kwargs, affinity
+                    ),
+                    time.perf_counter(),
+                )
+            for i in pooled:
+                call, started = calls[i]
+                outcome = call.result()
+                executions[i] = (
+                    outcome,
+                    time.perf_counter() - started,
+                    f"proc-{call.worker}",
+                )
+                # Worker-side reports never reach this engine's stream
+                # on their own — re-record them (in submission order)
+                # so take_reports/explain see the batch.
+                self.record_report(outcome.report)
+                key = recipe_keys[i]
+                if (
+                    key is not None
+                    and outcome.report.plan == SELECTION_BLENDED
+                    and specs[i].kwargs.get("constraint_canvas") is None
+                ):
+                    backend.note_warm(key, call.worker)
+            for i in serial_only:
+                executions[i] = run_member(i)
+        elif use_pool:
             workers = min(max_workers, len(pooled))
             with ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="repro-batch"

@@ -1,0 +1,284 @@
+"""Coordinator side of the process-parallel execution backend.
+
+A :class:`ProcessBackend` is N worker *slots*, each a single-process
+``ProcessPoolExecutor`` initialized with the shared-memory dataset
+plane's manifest and the coordinator's mirrored session settings.
+One-process-per-slot (rather than one N-process pool) is what makes
+**digest-affinity routing** possible: a dispatch picks its slot as
+``affinity % N``, so every request touching the same cache recipe
+(same constraint set, same tile digest) lands on the same worker and
+warms the same worker-private canvas cache — the process analogue of
+PR 5's shared-cache hit/miss accounting, which is how serial and
+process-parallel runs keep bit-identical hit/miss splits.
+
+Failure contract (the PR 5 bar, across a process boundary):
+
+- a worker exception ships in-band and re-raises here as itself;
+- a worker *death* (kill fault, OOM) breaks its slot's pool — the
+  dispatch retires the pool, respawns the slot (bumping its 1-based
+  spawn generation, which re-snapshots fault rules via
+  :func:`~repro.testing.faults.worker_rules`), and retries once;
+- a second death raises :class:`WorkerLost` (``code="worker_lost"``),
+  which the serve layer answers in-band — never a hang;
+- the warm-key map is slot-tagged, so a respawn (fresh, cold caches)
+  forgets exactly that slot's keys and batch prediction stays honest.
+
+Lifecycle: backends register in a module-level live set and are
+closed by ``atexit`` if the owner forgot; closing shuts every pool
+down (joining the processes) and releases the coordinator's shared
+plane, which unlinks the segments once the refcount drains.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import pickle
+import threading
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Any, Callable
+
+from repro.engine.process_worker import init_worker, ping_task
+from repro.resilience import ResilienceError
+from repro.testing.faults import worker_rules
+
+__all__ = ["ProcessBackend", "WorkerLost", "WorkerTaskError"]
+
+
+class WorkerLost(ResilienceError):
+    """A worker process died and its respawned replacement died too.
+
+    The request was never executed (tasks are dispatched, not
+    checkpointed mid-flight), so retrying the request is always safe.
+    """
+
+    code = "worker_lost"
+
+
+class WorkerTaskError(RuntimeError):
+    """A worker raised an exception that could not be pickled back.
+
+    Carries the worker-side ``TypeName: message`` rendering; the
+    original traceback stays in the worker's stderr.
+    """
+
+
+_live_backends: set["ProcessBackend"] = set()
+_live_lock = threading.Lock()
+
+
+def _atexit_close() -> None:
+    with _live_lock:
+        backends = list(_live_backends)
+    for backend in backends:
+        try:
+            backend.close()
+        except Exception:  # noqa: BLE001 — atexit must not raise
+            pass
+
+
+atexit.register(_atexit_close)
+
+
+def _unwrap(envelope: dict) -> Any:
+    if envelope["ok"]:
+        return envelope["value"]
+    error = envelope["error"]
+    if isinstance(error, BaseException):
+        raise error
+    raise WorkerTaskError(str(error))
+
+
+class _Call:
+    """One dispatched task: a future plus the respawn-retry policy."""
+
+    def __init__(
+        self,
+        backend: "ProcessBackend",
+        slot: int,
+        task: Callable[[dict], dict],
+        payload: dict,
+    ) -> None:
+        self._backend = backend
+        self._task = task
+        self._payload = payload
+        self.worker = slot
+        self._pool, self._future = backend._submit(slot, task, payload)
+
+    def result(self, timeout: float | None = None) -> Any:
+        backend = self._backend
+        try:
+            return _unwrap(self._future.result(timeout))
+        except BrokenExecutor as first:
+            backend._retire(self.worker, self._pool)
+            pool, future = backend._submit(
+                self.worker, self._task, self._payload
+            )
+            try:
+                return _unwrap(future.result(timeout))
+            except BrokenExecutor as exc:
+                backend._retire(self.worker, pool)
+                raise WorkerLost(
+                    f"worker slot {self.worker} died twice running "
+                    f"{self._task.__name__} (first: {first!r})"
+                ) from exc
+
+
+class ProcessBackend:
+    """A fixed fleet of worker slots over one shared dataset plane."""
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        manifest: dict | None = None,
+        settings: dict | None = None,
+        plane: Any = None,
+        start_method: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("process workers must be at least 1")
+        self.workers = int(workers)
+        self.manifest = manifest
+        #: Registry generation the plane was published at (None when
+        #: the backend runs plane-less, e.g. engine-owned).
+        self.generation = (
+            manifest["generation"] if manifest is not None else None
+        )
+        self.settings = dict(settings or {})
+        # Fail at construction, not at first dispatch: an unpicklable
+        # cost model or device object would otherwise surface as an
+        # inscrutable broken pool.
+        try:
+            pickle.dumps(self.settings)
+        except Exception as exc:
+            raise ValueError(
+                "process backend settings must pickle (cost_model and "
+                f"device cross the process boundary): {exc}"
+            ) from exc
+        #: Coordinator-side SharedDatasetPlane (owned: released on
+        #: close, which unlinks the segments).
+        self.plane = plane
+        #: Constraint-blend keys materialized worker-side, tagged with
+        #: the slot that holds them — feeds the batch planner's
+        #: cache-aware prediction, and a slot respawn forgets its keys.
+        self._warm_keys: dict[tuple, int] = {}
+        if start_method is None:
+            start_method = (
+                "fork"
+                if "fork" in mp.get_all_start_methods()
+                else "spawn"
+            )
+        self._ctx = mp.get_context(start_method)
+        self._pools: list[ProcessPoolExecutor | None] = [None] * workers
+        self._spawns = [0] * workers
+        self._lock = threading.Lock()
+        self._closed = False
+        with _live_lock:
+            _live_backends.add(self)
+
+    # -- warm-key map ----------------------------------------------------
+    def note_warm(self, key: tuple, slot: int) -> None:
+        self._warm_keys[key] = slot
+
+    @property
+    def warm_keys(self) -> set:
+        return set(self._warm_keys)
+
+    # -- dispatch --------------------------------------------------------
+    def slot_for(self, affinity: int) -> int:
+        return affinity % self.workers
+
+    def dispatch(
+        self, affinity: int, task: Callable[[dict], dict], payload: dict
+    ) -> _Call:
+        return _Call(self, self.slot_for(affinity), task, payload)
+
+    def dispatch_to(
+        self, slot: int, task: Callable[[dict], dict], payload: dict
+    ) -> _Call:
+        return _Call(self, slot % self.workers, task, payload)
+
+    def broadcast(
+        self, task: Callable[[dict], dict], payload: dict
+    ) -> list[Any]:
+        calls = [
+            self.dispatch_to(slot, task, payload)
+            for slot in range(self.workers)
+        ]
+        return [call.result() for call in calls]
+
+    def worker_pids(self) -> list[int]:
+        return [info["pid"] for info in self.broadcast(ping_task, {})]
+
+    def attach_stats(self) -> list[dict]:
+        """Per-slot ping payloads (pid, spawn generation, attach cost)."""
+        return self.broadcast(ping_task, {})
+
+    # -- pool management -------------------------------------------------
+    def _submit(
+        self, slot: int, task: Callable[[dict], dict], payload: dict
+    ):
+        for _ in range(2):
+            with self._lock:
+                if self._closed:
+                    raise RuntimeError("process backend is closed")
+                pool = self._pools[slot]
+                if pool is None:
+                    self._spawns[slot] += 1
+                    generation = self._spawns[slot]
+                    pool = ProcessPoolExecutor(
+                        max_workers=1,
+                        mp_context=self._ctx,
+                        initializer=init_worker,
+                        initargs=(
+                            self.manifest,
+                            self.settings,
+                            worker_rules(generation),
+                            generation,
+                        ),
+                    )
+                    self._pools[slot] = pool
+            try:
+                return pool, pool.submit(task, payload)
+            except BrokenExecutor:
+                # The pool broke between dispatches (e.g. an earlier
+                # kill): retire it and loop once onto a fresh spawn.
+                self._retire(slot, pool)
+        raise WorkerLost(
+            f"worker slot {slot} could not accept {task.__name__}"
+        )
+
+    def _retire(self, slot: int, pool: ProcessPoolExecutor) -> None:
+        """Drop *pool* from its slot (if still current) and forget the
+        slot's warm keys — a respawned worker starts cache-cold."""
+        with self._lock:
+            if self._pools[slot] is pool:
+                self._pools[slot] = None
+                for key in [
+                    k for k, s in self._warm_keys.items() if s == slot
+                ]:
+                    del self._warm_keys[key]
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut every slot down (joining processes) and release the
+        plane.  Idempotent; also run by atexit for forgotten backends."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pools = [p for p in self._pools if p is not None]
+            self._pools = [None] * self.workers
+            self._warm_keys.clear()
+        for pool in pools:
+            pool.shutdown(wait=True, cancel_futures=True)
+        if self.plane is not None:
+            self.plane.release()
+            self.plane = None
+        with _live_lock:
+            _live_backends.discard(self)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

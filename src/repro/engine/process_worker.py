@@ -1,0 +1,300 @@
+"""Worker-process side of the process-parallel execution backend.
+
+Each worker slot of a :class:`~repro.engine.process_pool.ProcessBackend`
+is a single-process ``ProcessPoolExecutor`` whose initializer runs
+:func:`init_worker` exactly once: install the fault rules shipped for
+this spawn generation, attach the shared-memory dataset plane
+zero-copy, and build a private :class:`~repro.api.session.Session` +
+:class:`~repro.engine.executor.QueryEngine` mirroring the
+coordinator's settings (resolution, device, tiling, cost model, cache
+knobs) — but **never** a result cache: the coordinator's spec-digest
+gate is the only result cache, so a worker always executes.
+
+Everything after init is one of the task functions below, each a
+plain top-level callable (picklable by reference) that returns an
+envelope ``{"ok": True, "value": ...}`` or ``{"ok": False, "error":
+exc}`` — worker exceptions ship *in-band* whenever they pickle, so
+the coordinator re-raises the original typed error (``SpecError``,
+``DeadlineExceeded``, ``FaultInjected``, ...) instead of a broken
+pool.  Only an actual process death (the ``kill`` fault action, a
+real OOM kill) breaks the pool, and the backend's dispatch turns that
+into respawn-and-retry-once, then
+:class:`~repro.engine.process_pool.WorkerLost`.
+
+Every task starts at the ``worker.execute`` fault seam and checks the
+payload's registry generation against the attached plane's, so a
+stale dispatch is rejected with
+:class:`~repro.api.shm.StaleGeneration` rather than silently
+answering from outdated data.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from typing import Any
+
+import numpy as np
+
+# NOTE: repro.api modules import lazily inside the functions below —
+# importing the api package here would be circular (api.session imports
+# the engine package, which imports this module's pool).
+from repro.core.tiling import (
+    CoverageMemo,
+    build_argmin_tile,
+    build_circle_tile,
+    build_polygon_tile,
+)
+from repro.testing.faults import install_worker_plan, maybe_fire
+
+__all__ = [
+    "build_tiles_task",
+    "init_worker",
+    "ping_task",
+    "run_member_task",
+    "run_spec_task",
+    "scatter_shard_task",
+]
+
+#: Per-process worker state, populated once by :func:`init_worker`.
+_STATE: dict[str, Any] = {
+    "plane": None,
+    "session": None,
+    "engine": None,
+    "spawn_generation": 0,
+    "attach_s": 0.0,
+}
+
+
+def init_worker(
+    manifest: dict | None,
+    settings: dict,
+    fault_rules: list,
+    spawn_generation: int,
+) -> None:
+    """Process-pool initializer: faults, plane, session — in that order.
+
+    Fault rules install first so even initialization-time seams could
+    fire; the plane attaches next (zero-copy numpy views over the
+    coordinator's segments); then a worker-private registry is filled
+    with the attached payloads and wrapped in a Session/engine built
+    from the coordinator's mirrored *settings*.
+    """
+    install_worker_plan(fault_rules)
+    _STATE["spawn_generation"] = spawn_generation
+
+    from repro.api.shm import AttachedPlane
+
+    t0 = time.perf_counter()
+    plane = AttachedPlane(manifest) if manifest is not None else None
+    _STATE["plane"] = plane
+    _STATE["attach_s"] = time.perf_counter() - t0
+
+    # Imported here, not at module level: repro.api.session imports the
+    # executor, which lazily imports this module — a top-level import
+    # would be circular.
+    from repro.api.registry import DatasetRegistry
+    from repro.api.session import Session
+    from repro.engine.executor import QueryEngine
+
+    registry = DatasetRegistry(
+        allow_files=bool(settings.get("allow_files", True))
+    )
+    if plane is not None:
+        # The payloads were coerced/validated coordinator-side before
+        # publishing; installing them directly (rather than through
+        # register(), which would re-coerce and bump the generation)
+        # keeps the attached arrays zero-copy and the worker's
+        # generation bookkeeping out of the picture — the *plane*
+        # generation is the one that matters, checked per task.
+        for name, payload in plane.payloads().items():
+            registry._entries[name] = payload
+
+    engine_kwargs: dict[str, Any] = {}
+    for knob in ("cost_model", "cache_capacity", "cache_max_bytes"):
+        if settings.get(knob) is not None:
+            engine_kwargs[knob] = settings[knob]
+    engine = QueryEngine(**engine_kwargs)
+    session = Session(
+        registry,
+        resolution=settings.get("resolution"),
+        device=settings.get("device", "cpu"),
+        tiling=settings.get("tiling"),
+        engine=engine,
+        max_join_members=settings.get("max_join_members"),
+        deadline_ms=settings.get("deadline_ms"),
+    )
+    _STATE["engine"] = engine
+    _STATE["session"] = session
+
+
+def _check_generation(payload: dict) -> None:
+    plane = _STATE["plane"]
+    expected = payload.get("generation")
+    if plane is not None and expected is not None:
+        plane.check_generation(expected)
+
+
+def _shippable(exc: BaseException) -> Any:
+    """The exception itself when it pickles, else a string marker."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return f"{type(exc).__name__}: {exc}"
+
+
+def _guarded(fn) -> dict:
+    """Run *fn* behind the worker fault seam; ship errors in-band."""
+    try:
+        maybe_fire("worker.execute")
+        return {"ok": True, "value": fn()}
+    except Exception as exc:  # noqa: BLE001 — errors must cross in-band
+        return {"ok": False, "error": _shippable(exc)}
+
+
+# ----------------------------------------------------------------------
+# Task functions (dispatched by the backend; picklable by reference)
+# ----------------------------------------------------------------------
+
+def run_spec_task(payload: dict) -> dict:
+    """Run one full spec dict through the worker's Session.
+
+    Used for geometry and join specs (which expand to several engine
+    calls coordinator-side and therefore ship as whole specs).  Returns
+    the family result, the reports the run produced (re-recorded on
+    the coordinator's engine for ``take_reports``/``explain``), and
+    any constraint-blend canvas keys the run newly materialized — the
+    coordinator folds those into the backend's warm-key map so later
+    batch predictions replay the serial cache state.
+    """
+    def run() -> dict:
+        _check_generation(payload)
+        session = _STATE["session"]
+        engine = _STATE["engine"]
+        session.take_reports()  # drop anything stale on this thread
+        before = set(engine.cache.keys())
+        result = session.run(payload["spec"], device=payload.get("device"))
+        reports, _ = session.take_reports()
+        warm = [
+            key for key in engine.cache.keys()
+            if key not in before
+            and isinstance(key, tuple)
+            and key and key[0] == "constraint-blend"
+        ]
+        return {"result": result, "reports": reports, "warm_keys": warm}
+
+    return _guarded(run)
+
+
+def run_member_task(payload: dict) -> dict:
+    """Run one described engine member (``BATCH_KINDS`` dispatch).
+
+    The kwargs arrive shm-encoded: dataset arrays come back as
+    read-only zero-copy views over the attached plane.  A coordinator
+    deadline ships as its *remaining* budget (monotonic clocks are
+    system-wide, but the Deadline object itself carries a clock
+    callable and is rebuilt fresh here so checkpoints work unchanged).
+    """
+    def run() -> Any:
+        _check_generation(payload)
+        from repro.api.shm import decode_payload
+        from repro.engine.executor import BATCH_KINDS
+        from repro.resilience import Deadline
+
+        engine = _STATE["engine"]
+        kwargs = decode_payload(payload["kwargs"], _STATE["plane"])
+        budget_s = payload.get("deadline_budget_s")
+        if budget_s is not None:
+            kwargs["deadline"] = Deadline(budget_s)
+        return getattr(engine, BATCH_KINDS[payload["kind"]])(**kwargs)
+
+    return _guarded(run)
+
+
+def build_tiles_task(payload: dict) -> dict:
+    """Build a chunk of cold tiles for one tiled plan.
+
+    Pure function of the payload: polygon tiles rebuild their coverage
+    through a fresh :class:`CoverageMemo` (memoization only — results
+    are bit-identical to the coordinator's), circle and argmin tiles
+    are closed-form.  The returned tile canvases land in the
+    coordinator's single-flight cache in deterministic order.
+    """
+    def run() -> list:
+        _check_generation(payload)
+        from repro.api.shm import decode_payload
+
+        kind = payload["kind"]
+        grid = payload["grid"]
+        tiles = payload["tiles"]
+        if kind == "polygon":
+            entries = decode_payload(payload["entries"], _STATE["plane"])
+            memo = CoverageMemo(
+                grid.window, grid.height, grid.width, payload["device"]
+            )
+            acc = payload["accumulate_count"]
+            return [
+                build_polygon_tile(tile, entries, memo, acc)
+                for tile in tiles
+            ]
+        if kind == "circle":
+            center = payload["center"]
+            radius = payload["radius"]
+            return [
+                build_circle_tile(tile, center, radius, grid)
+                for tile in tiles
+            ]
+        if kind == "argmin":
+            pts = decode_payload(payload["points"], _STATE["plane"])
+            block = payload["block"]
+            return [
+                build_argmin_tile(tile, pts, grid, block)
+                for tile in tiles
+            ]
+        raise ValueError(f"unknown tile kind {kind!r}")
+
+    return _guarded(run)
+
+
+def scatter_shard_task(payload: dict) -> dict:
+    """One pixel-range shard of rasterjoin's bincount scatter.
+
+    ``flat`` holds the flat cell indices falling in ``[lo, hi)`` in
+    their original point order — np.bincount accumulates sequentially,
+    so each bin's partial sum adds the same values in the same order
+    as the unsharded scatter and the concatenated result is
+    bit-identical.
+    """
+    def run() -> dict:
+        _check_generation(payload)
+        flat = payload["flat"] - payload["lo"]
+        length = payload["hi"] - payload["lo"]
+        out: dict[str, Any] = {
+            "counts": np.bincount(flat, minlength=length)
+        }
+        weights = payload.get("weights")
+        if weights is not None:
+            out["sums"] = np.bincount(
+                flat, weights=weights, minlength=length
+            )
+        return out
+
+    return _guarded(run)
+
+
+def ping_task(payload: dict) -> dict:
+    """Liveness/introspection probe (pids, attach cost, plane state)."""
+    def run() -> dict:
+        plane = _STATE["plane"]
+        return {
+            "pid": os.getpid(),
+            "spawn_generation": _STATE["spawn_generation"],
+            "attach_s": _STATE["attach_s"],
+            "datasets": (
+                sorted(plane.dataset_names()) if plane is not None else []
+            ),
+        }
+
+    return _guarded(run)

@@ -48,6 +48,8 @@ ERROR_CODES = (
     "shed",          # admission queue full / memory pressure: retry later
     "too_costly",    # pre-estimated cost exceeds the admission ceiling
     "memory",        # MemoryError while executing the request
+    "worker_lost",   # a process-backend worker died and its respawned
+                     # replacement died too (request not executed)
     "internal",      # anything else the request provoked
 )
 

@@ -29,15 +29,34 @@ Actions:
 ``cancel``  call ``target.cancel()`` on the rule's
             :class:`~repro.resilience.deadline.Deadline` and continue —
             the *next* deadline checkpoint raises ``Cancelled``,
-            exactly how real cross-thread cancellation lands.
+            exactly how real cross-thread cancellation lands;
+``kill``    ``os._exit(1)`` — the process dies without cleanup,
+            exactly how an OOM-killed or segfaulted worker dies.  Only
+            meaningful at the ``worker.*`` sites: killing the
+            coordinator would kill the test.
 
 Installation is process-global by design (the seams are reached from
 worker threads the test did not create); :func:`inject` is a context
 manager that restores the previous plan and refuses to nest.
+
+Worker processes (PR 8)
+-----------------------
+``inject`` installs into *this* process's memory, which a spawned
+worker never sees.  The process backend bridges the gap: at every
+worker spawn (and respawn after a crash) it snapshots the active
+plan's ``worker.*``-site rules via :func:`worker_rules` and ships them
+in the worker initializer, which installs them with
+:func:`install_worker_plan`.  Rules carry an optional
+``spawn_generations`` filter — ``spawn_generations={1}`` fires only in
+the first process spawned into a worker slot, so a test can kill the
+original worker deterministically and still prove its respawned
+replacement answers cleanly.  ``cancel`` rules never ship (a Deadline
+target is meaningless across processes).
 """
 
 from __future__ import annotations
 
+import os
 import random
 import threading
 import time
@@ -50,10 +69,12 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "inject",
+    "install_worker_plan",
     "maybe_fire",
+    "worker_rules",
 ]
 
-ACTIONS = ("raise", "memory", "delay", "cancel")
+ACTIONS = ("raise", "memory", "delay", "cancel", "kill")
 
 #: Seams compiled into the engine (documentation + typo guard).
 SITES = (
@@ -61,6 +82,7 @@ SITES = (
     "pool.acquire",    # inside BufferPool.acquire_shape, before reuse/miss
     "serve.request",   # inside _answer_line, before handling the request
     "tile.build",      # inside core.tiling build_* helpers
+    "worker.execute",  # inside every process-backend worker task
 )
 
 
@@ -84,6 +106,11 @@ class FaultRule:
     delay_s: float = 0.01
     target: Any = None           # Deadline for action == "cancel"
     max_fires: int | None = None
+    #: Worker-process filter: when non-empty, the rule only ships to
+    #: process-backend workers whose 1-based spawn generation (first
+    #: spawn into a slot = 1, first respawn = 2, ...) is in the set.
+    #: Empty = every spawn.  Ignored for in-process firing.
+    spawn_generations: frozenset[int] = frozenset()
     fired: int = 0
     _rng: random.Random = field(init=False, repr=False)
 
@@ -103,9 +130,19 @@ class FaultRule:
             raise ValueError("probability must be within [0, 1]")
         if self.action == "cancel" and self.target is None:
             raise ValueError("a cancel rule needs a Deadline target")
+        if self.action == "kill" and not self.site.startswith("worker."):
+            raise ValueError(
+                "kill rules apply to worker.* sites only — at any other "
+                "site the process being killed is the caller itself"
+            )
         self.at = frozenset(int(i) for i in self.at)
         if any(i < 1 for i in self.at):
             raise ValueError("call indices are 1-based")
+        self.spawn_generations = frozenset(
+            int(i) for i in self.spawn_generations
+        )
+        if any(i < 1 for i in self.spawn_generations):
+            raise ValueError("spawn generations are 1-based")
         self._rng = random.Random(self.seed)
 
     def should_fire(self, call_index: int) -> bool:
@@ -130,6 +167,11 @@ class FaultRule:
         if self.action == "cancel":
             self.target.cancel()
             return
+        if self.action == "kill":
+            # A real worker death: no cleanup, no exception, no exit
+            # handlers — the coordinator sees a broken pool, exactly
+            # like an OOM kill.
+            os._exit(1)
         time.sleep(self.delay_s)  # action == "delay"
 
 
@@ -169,6 +211,50 @@ class FaultPlan:
 
 _active: FaultPlan | None = None
 _install_lock = threading.Lock()
+
+
+def worker_rules(spawn_generation: int) -> list[FaultRule]:
+    """Snapshot the active plan's worker-site rules for one spawn.
+
+    Called by the process backend at worker (re)spawn time.  Returns
+    fresh rule copies (fire counters and RNG state reset — each worker
+    process counts its own calls), filtered to ``worker.*`` sites, to
+    rules whose ``spawn_generations`` admit this spawn, and to actions
+    that make sense across a process boundary (``cancel`` targets a
+    coordinator-side Deadline object, so it never ships).
+    """
+    plan = _active
+    if plan is None:
+        return []
+    shipped = []
+    for rule in plan.rules:
+        if not rule.site.startswith("worker."):
+            continue
+        if rule.action == "cancel":
+            continue
+        if rule.spawn_generations and (
+            spawn_generation not in rule.spawn_generations
+        ):
+            continue
+        shipped.append(FaultRule(
+            site=rule.site, action=rule.action, at=rule.at,
+            probability=rule.probability, seed=rule.seed,
+            delay_s=rule.delay_s, max_fires=rule.max_fires,
+            spawn_generations=rule.spawn_generations,
+        ))
+    return shipped
+
+
+def install_worker_plan(rules: list[FaultRule]) -> None:
+    """Install shipped rules inside a worker process (initializer hook).
+
+    Not a context manager: a worker's plan lives for the process's
+    lifetime, and the coordinator controls it by respawning with a new
+    snapshot.  An empty list clears the plan.
+    """
+    global _active
+    with _install_lock:
+        _active = FaultPlan(*rules) if rules else None
 
 
 def maybe_fire(site: str) -> None:

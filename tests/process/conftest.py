@@ -1,0 +1,115 @@
+"""Shared fixtures for the process-backend battery.
+
+The battery's central claim is *bit-identity*: a session with
+``process_workers=N`` must produce exactly the outcomes — ids, plans,
+cache hit/miss splits — of the same session run in-process.  The
+fixtures therefore build *paired* sessions over identically-registered
+registries, and the helpers compare results field-for-field with
+``array_equal`` (never ``allclose``).
+
+Process sessions own shared-memory segments and worker processes, so
+everything that builds one must close it — the ``paired`` factory
+tracks and closes its sessions at teardown, and
+:func:`shm_segments` snapshots ``/dev/shm`` for leak scans.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import DatasetRegistry, PointData, Session, TripData
+from repro.api.shm import SEGMENT_PREFIX
+from repro.core.optimizer import CostModel
+from repro.geometry.primitives import Polygon
+
+RES = 128
+
+POLY = Polygon([(20, 20), (80, 20), (80, 80), (20, 80)])
+POLY2 = Polygon([(10, 40), (60, 10), (90, 60), (40, 95)])
+
+
+@pytest.fixture(scope="session")
+def cloud() -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(1204)
+    n = 2_000
+    return rng.uniform(0, 100, n), rng.uniform(0, 100, n)
+
+
+def make_registry(cloud) -> DatasetRegistry:
+    """One registry shape shared by every parity pair."""
+    xs, ys = cloud
+    values = np.hypot(xs - 50.0, ys - 50.0)
+    registry = DatasetRegistry()
+    registry.register("pts", (xs, ys))
+    registry.register("ptsv", PointData(xs, ys, values=values))
+    registry.register(
+        "trips",
+        TripData(xs, ys, ys[::-1].copy(), xs[::-1].copy()),
+    )
+    return registry
+
+
+@pytest.fixture
+def paired(cloud):
+    """Factory for (serial, process) session pairs with shared knobs.
+
+    Both sessions see byte-identical registries; only the execution
+    backend differs.  Every session built through the factory is
+    closed at teardown, so a failing test cannot leak segments into
+    the next one.
+    """
+    opened: list[Session] = []
+
+    def build(process_workers: int = 2, **knobs) -> tuple[Session, Session]:
+        # A cost-model knob (even the default one) makes each session
+        # build a *private* engine — comparing against the process-wide
+        # default engine would inherit canvas-cache state from earlier
+        # tests and corrupt the hit/miss parity checks.
+        knobs.setdefault("cost_model", CostModel())
+        serial = Session(make_registry(cloud), resolution=RES, **knobs)
+        proc = Session(
+            make_registry(cloud), resolution=RES,
+            process_workers=process_workers, **knobs,
+        )
+        opened.extend((serial, proc))
+        return serial, proc
+
+    yield build
+    for session in opened:
+        session.close()
+
+
+def shm_segments() -> set[str]:
+    """Names of live shared-memory segments published by this library."""
+    try:
+        return {
+            name for name in os.listdir("/dev/shm")
+            if name.startswith(SEGMENT_PREFIX)
+        }
+    except FileNotFoundError:  # non-Linux: fall back to "can't scan"
+        pytest.skip("no /dev/shm to scan for leaked segments")
+
+
+def assert_selection_equal(a, b):
+    assert np.array_equal(a.ids, b.ids)
+    assert a.n_candidates == b.n_candidates
+    assert a.n_exact_tests == b.n_exact_tests
+    assert a.plan == b.plan
+
+
+def assert_result_equal(a, b):
+    """Bit-identity across every family's result shape."""
+    assert type(a) is type(b)
+    if hasattr(a, "ids"):
+        assert_selection_equal(a, b)
+    elif hasattr(a, "groups"):
+        assert np.array_equal(a.groups, b.groups)
+        assert np.array_equal(a.values, b.values)
+    elif hasattr(a, "texture"):
+        assert np.array_equal(a.texture.data, b.texture.data)
+        assert np.array_equal(a.texture.valid, b.texture.valid)
+    else:
+        assert a == b

@@ -1,0 +1,148 @@
+"""Nothing outlives the session: segments, workers, tracker state.
+
+A process backend owns two kinds of leakable state — ``/dev/shm``
+segments (survive the process!) and worker processes.  These tests
+close sessions through every exit path the backend has (explicit
+close, abandoned serve generator, injected worker crash, interpreter
+exit) and then scan for leftovers.  The interpreter-exit path runs in
+a subprocess so the assertion also covers resource-tracker noise: a
+KeyError traceback from the tracker at shutdown means the
+register/unregister bookkeeping double-counted a segment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.api import ConstraintSpec, SelectSpec, Session, serve_lines
+from repro.engine.process_pool import WorkerLost
+from repro.testing.faults import FaultPlan, FaultRule, inject
+
+from tests.process.conftest import POLY, make_registry, shm_segments
+
+SPEC = SelectSpec(dataset="pts", constraints=[ConstraintSpec.polygon(POLY)])
+
+
+def assert_pids_exit(pids, timeout_s=10.0):
+    """Poll until every pid is gone (they are not our direct children)."""
+    deadline = time.monotonic() + timeout_s
+    pending = set(pids)
+    while pending and time.monotonic() < deadline:
+        for pid in list(pending):
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                pending.discard(pid)
+        if pending:
+            time.sleep(0.05)
+    assert not pending, f"worker processes survived close: {pending}"
+
+
+class TestClose:
+    def test_close_releases_segments_and_workers(self, cloud):
+        before = shm_segments()
+        session = Session(make_registry(cloud), resolution=128,
+                          process_workers=2)
+        session.run(SPEC)
+        backend = session._ensure_backend()
+        pids = backend.worker_pids()
+        assert len(pids) >= 1
+        assert shm_segments() - before, "backend published no segments"
+        session.close()
+        assert shm_segments() - before == set()
+        assert_pids_exit(pids)
+        # The session stays usable: the next run rebuilds the backend.
+        session.run(SPEC)
+        session.close()
+        assert shm_segments() - before == set()
+
+    def test_close_after_injected_crash(self, cloud):
+        before = shm_segments()
+        session = Session(make_registry(cloud), resolution=128,
+                          process_workers=1)
+        with inject(FaultPlan(
+            FaultRule(site="worker.execute", action="kill", at={1})
+        )):
+            with pytest.raises(WorkerLost):
+                session.run(SPEC)
+        session.close()
+        assert shm_segments() - before == set()
+
+    def test_context_manager_closes(self, cloud):
+        before = shm_segments()
+        with Session(make_registry(cloud), resolution=128,
+                     process_workers=1) as session:
+            session.run(SPEC)
+        assert shm_segments() - before == set()
+
+
+class TestAbandonedServe:
+    def test_abandoned_generator_then_close_leaks_nothing(self, cloud):
+        before = shm_segments()
+        session = Session(make_registry(cloud), resolution=128,
+                          process_workers=1)
+        line = json.dumps({
+            "spec": "select", "version": 1, "dataset": "pts",
+            "constraints": [
+                {"kind": "polygon",
+                 "geometry": {"type": "Polygon",
+                              "coordinates": [[[20, 20], [80, 20],
+                                               [80, 80], [20, 80],
+                                               [20, 20]]]}}
+            ],
+            "resolution": 128,
+        })
+        gen = serve_lines([line] * 5, session)
+        json.loads(next(gen))  # client reads one answer, then vanishes
+        gen.close()
+        session.close()
+        assert shm_segments() - before == set()
+
+
+SUBPROCESS_SCRIPT = """
+import numpy as np
+from repro.api import ConstraintSpec, SelectSpec, Session
+from repro.geometry.primitives import Polygon
+
+rng = np.random.default_rng(5)
+session = Session(resolution=128, process_workers=2)
+session.registry.register("pts", (rng.uniform(0, 100, 500),
+                                  rng.uniform(0, 100, 500)))
+poly = Polygon([(20, 20), (80, 20), (80, 80), (20, 80)])
+spec = SelectSpec(dataset="pts", constraints=[ConstraintSpec.polygon(poly)])
+result = session.run(spec)
+print("MATCHED", len(result.ids))
+{closing}
+"""
+
+
+class TestInterpreterExit:
+    @pytest.mark.parametrize("closing", ["session.close()", "pass"],
+                             ids=["explicit-close", "atexit-sweep"])
+    def test_subprocess_exits_tracker_clean(self, closing):
+        # Both exit paths must leave /dev/shm clean *and* produce no
+        # resource-tracker stderr (KeyError / leaked shared_memory
+        # warnings betray double-unregister or missed cleanup).
+        before = shm_segments()
+        proc = subprocess.run(
+            [sys.executable, "-c",
+             SUBPROCESS_SCRIPT.format(closing=closing)],
+            capture_output=True, text=True, timeout=120,
+            env={**os.environ,
+                 "PYTHONPATH": os.pathsep.join(
+                     filter(None, ["src", os.environ.get("PYTHONPATH")])
+                 )},
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__)))),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "MATCHED" in proc.stdout
+        assert "resource_tracker" not in proc.stderr, proc.stderr
+        assert "Traceback" not in proc.stderr, proc.stderr
+        assert shm_segments() - before == set()

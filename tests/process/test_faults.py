@@ -1,0 +1,116 @@
+"""Worker-death and worker-error behavior of the process backend.
+
+Three tiers, all deterministic (seeded/indexed rules at the
+``worker.execute`` seam):
+
+- *errors* pickle and ship in-band — the coordinator re-raises the
+  original typed exception, the pool survives;
+- a *transient* kill (first spawn only) breaks the pool once; the
+  backend respawns the slot and the retry answers bit-identically;
+- a *persistent* kill exhausts the one retry and surfaces as
+  :class:`WorkerLost` — in-band with a stable error code at the serve
+  boundary, never a hang.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ConstraintSpec, ERROR_CODES, SelectSpec, handle_request
+from repro.engine.process_pool import WorkerLost
+from repro.testing.faults import FaultInjected, FaultPlan, FaultRule, inject
+
+from tests.process.conftest import POLY, assert_selection_equal
+
+SPEC = SelectSpec(dataset="pts", constraints=[ConstraintSpec.polygon(POLY)])
+
+
+def kill_rule(**kw) -> FaultRule:
+    return FaultRule(site="worker.execute", action="kill", at={1}, **kw)
+
+
+class TestInBandErrors:
+    def test_raise_ships_typed_and_pool_survives(self, paired):
+        serial, proc = paired(1)
+        expected = serial.run(SPEC)
+        with inject(FaultPlan(
+            FaultRule(site="worker.execute", action="raise", at={1})
+        )):
+            with pytest.raises(FaultInjected):
+                proc.run(SPEC)
+            # Same worker process, next call: the error was in-band,
+            # not a pool break.
+            assert_selection_equal(proc.run(SPEC), expected)
+
+    def test_delay_changes_nothing_but_time(self, paired):
+        serial, proc = paired(1)
+        expected = serial.run(SPEC)
+        with inject(FaultPlan(
+            FaultRule(site="worker.execute", action="delay", at={1},
+                      delay_s=0.05)
+        )):
+            assert_selection_equal(proc.run(SPEC), expected)
+
+
+class TestWorkerDeath:
+    def test_transient_kill_respawns_and_answers_identically(self, paired):
+        serial, proc = paired(1)
+        expected = serial.run(SPEC)
+        with inject(FaultPlan(kill_rule(spawn_generations={1}))):
+            # First dispatch kills the gen-1 worker; the respawned
+            # gen-2 worker (rule filtered out) answers the retry.
+            result = proc.run(SPEC)
+        assert_selection_equal(result, expected)
+        backend = proc._ensure_backend()
+        (stats,) = backend.attach_stats()
+        assert stats["spawn_generation"] == 2
+
+    def test_persistent_kill_raises_worker_lost(self, paired):
+        _, proc = paired(1)
+        with inject(FaultPlan(kill_rule())):
+            with pytest.raises(WorkerLost) as info:
+                proc.run(SPEC)
+        assert info.value.code == "worker_lost"
+        assert "worker_lost" in ERROR_CODES
+
+    def test_worker_lost_is_in_band_at_the_serve_boundary(self, paired):
+        _, proc = paired(1)
+        request = {
+            "spec": "select", "version": 1, "dataset": "pts",
+            "constraints": [
+                {"kind": "polygon",
+                 "geometry": {"type": "Polygon",
+                              "coordinates": [[[20, 20], [80, 20],
+                                               [80, 80], [20, 80],
+                                               [20, 20]]]}}
+            ],
+            "resolution": 128,
+        }
+        with inject(FaultPlan(kill_rule())):
+            response = handle_request(request, proc)
+        assert response["ok"] is False
+        assert response["code"] == "worker_lost"
+
+    def test_clean_rerun_after_fault_plan_clears(self, paired):
+        serial, proc = paired(1)
+        expected = serial.run(SPEC)
+        with inject(FaultPlan(kill_rule())):
+            with pytest.raises(WorkerLost):
+                proc.run(SPEC)
+        # Plan gone: the next run respawns with an empty rule set and
+        # is bit-identical to serial.
+        assert_selection_equal(proc.run(SPEC), expected)
+
+    def test_kill_on_one_slot_spares_the_other(self, paired):
+        serial, proc = paired(2)
+        expected = serial.run(SPEC)
+        with inject(FaultPlan(kill_rule(spawn_generations={1}))):
+            result = proc.run(SPEC)
+        assert_selection_equal(result, expected)
+        backend = proc._ensure_backend()
+        generations = sorted(
+            s["spawn_generation"] for s in backend.attach_stats()
+        )
+        # Only the slot that executed (and died) respawned; dispatch
+        # routes this spec to one slot by digest affinity.
+        assert generations == [1, 2]

@@ -1,0 +1,287 @@
+"""Bit-identity of the process backend across all seven spec families.
+
+The planner runs on the coordinator in both modes, dataset arrays
+cross as shared-memory views, and the execution kernels are pure — so
+a process session must reproduce the serial session's outcomes
+*exactly*: same ids, same plans, same cache hit/miss splits.  Every
+test here runs the same specs through a serial and a process session
+and compares field-for-field.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    AggregateSpec,
+    ConstraintSpec,
+    GeometryData,
+    GeometrySpec,
+    JoinSpec,
+    KnnSpec,
+    OdSpec,
+    PointData,
+    SelectSpec,
+    VoronoiSpec,
+    WindowSpec,
+)
+from repro.core.optimizer import CostModel
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.primitives import LineString, Point, Polygon
+
+from tests.process.conftest import (
+    POLY,
+    POLY2,
+    RES,
+    assert_result_equal,
+    assert_selection_equal,
+)
+
+pytestmark = pytest.mark.parametrize("workers", [1, 2])
+
+#: Steers selection planning to the blended-canvas plan, which is the
+#: one that exercises the constraint cache (and therefore the
+#: backend's warm-key map).
+BLEND = CostModel(edge_test=1e6)
+
+
+def run_and_report(session, spec, n=1):
+    """Run *spec* *n* times; (results, [(plan, hits, misses)] per run)."""
+    results, reports = [], []
+    for _ in range(n):
+        session.take_reports()
+        results.append(session.run(spec))
+        produced, _ = session.take_reports()
+        reports.extend(
+            (r.plan, r.cache_hits, r.cache_misses) for r in produced
+        )
+    return results, reports
+
+
+def assert_run_parity(serial, proc, spec, n=1):
+    s_results, s_reports = run_and_report(serial, spec, n)
+    p_results, p_reports = run_and_report(proc, spec, n)
+    for a, b in zip(s_results, p_results):
+        assert_result_equal(a, b)
+    assert s_reports == p_reports
+    return s_results[0]
+
+
+class TestFamilies:
+    def test_select_pip(self, paired, workers):
+        # pixel_touch inflated so the planner prefers the PIP plan —
+        # the uncached path, distinct from the blended test below.
+        serial, proc = paired(workers, cost_model=CostModel(pixel_touch=1e6))
+        spec = SelectSpec(
+            dataset="pts", constraints=[ConstraintSpec.polygon(POLY)],
+        )
+        result = assert_run_parity(serial, proc, spec)
+        assert result.plan == "per-polygon-pip"
+
+    def test_select_blended_replays_cache_state(self, paired, workers):
+        # Three runs of one spec: miss, hit, hit — the process session
+        # must report the same split, which requires the coordinator's
+        # warm-key map to mirror the worker's canvas cache.
+        serial, proc = paired(workers, cost_model=BLEND)
+        spec = SelectSpec(
+            dataset="pts",
+            constraints=[ConstraintSpec.polygon(POLY),
+                         ConstraintSpec.polygon(POLY2)],
+        )
+        result = assert_run_parity(serial, proc, spec, n=3)
+        assert result.plan == "blended-canvas"
+
+    def test_knn(self, paired, workers):
+        serial, proc = paired(workers)
+        spec = KnnSpec(dataset="pts", query_point=(50.0, 50.0), k=9)
+        assert_run_parity(serial, proc, spec)
+
+    def test_aggregate(self, paired, workers):
+        serial, proc = paired(workers)
+        spec = AggregateSpec(
+            dataset="ptsv",
+            polygons=GeometryData([POLY, POLY2], ids=[4, 9]),
+            aggregate="sum",
+        )
+        assert_run_parity(serial, proc, spec)
+
+    def test_voronoi(self, paired, workers):
+        serial, proc = paired(workers)
+        rng = np.random.default_rng(77)
+        pts = rng.uniform(5, 95, (11, 2))
+        spec = VoronoiSpec(
+            dataset=PointData(pts[:, 0], pts[:, 1]),
+            window=WindowSpec.from_box(BoundingBox(0, 0, 100, 100)),
+            resolution=64,
+        )
+        assert_run_parity(serial, proc, spec)
+
+    def test_od(self, paired, workers):
+        serial, proc = paired(workers)
+        spec = OdSpec(dataset="trips", q1=POLY, q2=POLY2)
+        assert_run_parity(serial, proc, spec)
+
+    def test_geometry(self, paired, workers):
+        # Geometry specs cross whole (run_spec_task) and execute on the
+        # worker's mirrored Session.
+        serial, proc = paired(workers)
+        records = [
+            Point(30.0, 30.0),
+            LineString([(5, 5), (95, 95)]),
+            POLY2,
+            Point(1.0, 1.0),
+        ]
+        spec = GeometrySpec(
+            dataset=GeometryData(records), query=POLY, kind="objects",
+        )
+        assert_run_parity(serial, proc, spec)
+
+    def test_join(self, paired, workers):
+        serial, proc = paired(workers)
+        rng = np.random.default_rng(34)
+        left = [
+            Polygon([(x, y), (x + 15, y), (x + 15, y + 15), (x, y + 15)])
+            for x, y in rng.uniform(0, 80, (6, 2))
+        ]
+        spec = JoinSpec(
+            kind="polygons-polygons",
+            left=GeometryData(left),
+            right=GeometryData([POLY, POLY2]),
+        )
+        assert_run_parity(serial, proc, spec)
+
+    def test_spec_dict_form(self, paired, workers):
+        # The JSON-facing path (dicts, named datasets) through the
+        # same machinery.
+        serial, proc = paired(workers)
+        spec = {
+            "spec": "select", "version": 1, "dataset": "pts",
+            "constraints": [
+                {"kind": "polygon",
+                 "geometry": {"type": "Polygon",
+                              "coordinates": [[[20, 20], [80, 20],
+                                               [80, 80], [20, 80],
+                                               [20, 20]]]}}
+            ],
+            "resolution": RES,
+        }
+        assert_run_parity(serial, proc, spec)
+
+
+class TestBatch:
+    def test_batch_parity(self, paired, workers):
+        # Four members sharing one constraint recipe: the serial batch
+        # reports 1 miss + 3 hits; the process batch must report the
+        # same split (digest-affinity routing colocates the sharers).
+        serial, proc = paired(workers, cost_model=BLEND)
+        members = [
+            {"spec": "select", "version": 1, "dataset": "pts",
+             "constraints": [
+                 {"kind": "polygon",
+                  "geometry": {"type": "Polygon",
+                               "coordinates": [[[20, 20], [80, 20],
+                                                [80, 80], [20, 80],
+                                                [20, 20]]]}}
+             ],
+             "resolution": RES}
+            for _ in range(4)
+        ]
+        s_run = serial.run_batch(members)
+        p_run = proc.run_batch(members)
+        for a, b in zip(s_run.results, p_run.results):
+            assert_result_equal(a, b)
+        assert s_run.report.plans == p_run.report.plans
+        assert s_run.report.cache_hits == p_run.report.cache_hits
+        assert s_run.report.cache_misses == p_run.report.cache_misses
+        assert p_run.report.cache_hits == 3
+        # The executing lane is a worker process, not a local thread.
+        assert all(
+            m.worker.startswith("proc-") for m in p_run.report.members
+        )
+
+    def test_batch_mixed_families(self, paired, workers):
+        serial, proc = paired(workers)
+        members = [
+            SelectSpec(dataset="pts",
+                       constraints=[ConstraintSpec.polygon(POLY)]),
+            KnnSpec(dataset="pts", query_point=(40.0, 60.0), k=5),
+            AggregateSpec(
+                dataset="ptsv",
+                polygons=GeometryData([POLY, POLY2]),
+                aggregate="count",
+            ),
+            OdSpec(dataset="trips", q1=POLY, q2=POLY2),
+        ]
+        s_run = serial.run_batch(members)
+        p_run = proc.run_batch(members)
+        for a, b in zip(s_run.results, p_run.results):
+            assert_result_equal(a, b)
+        assert s_run.report.plans == p_run.report.plans
+
+    def test_registry_update_rebuilds_plane(self, paired, workers, cloud):
+        # Registering new data obsoletes the published plane; the next
+        # run must answer from the *new* arrays, not the stale segments.
+        serial, proc = paired(workers)
+        spec = SelectSpec(
+            dataset="pts", constraints=[ConstraintSpec.polygon(POLY)],
+        )
+        assert_run_parity(serial, proc, spec)
+        gen_before = proc._ensure_backend().generation
+        xs, ys = cloud
+        serial.registry.register("pts", (xs[:500], ys[:500]))
+        proc.registry.register("pts", (xs[:500], ys[:500]))
+        result = assert_run_parity(serial, proc, spec)
+        assert result.ids.max() < 500
+        assert proc._ensure_backend().generation > gen_before
+
+
+class TestEngineOwnedBackend:
+    def test_execute_batch_process_workers(self, cloud, workers):
+        # The engine-level knob, no Session and no shared plane:
+        # arrays pickle per task, results stay bit-identical.
+        from repro.engine import BatchQuery, QueryEngine
+
+        from repro.geometry.bbox import BoundingBox
+
+        xs, ys = cloud
+        queries = [
+            BatchQuery.selection(xs, ys, [POLY, POLY2],
+                                 window=BoundingBox(0, 0, 100, 100),
+                                 resolution=RES, mode="all")
+            for _ in range(3)
+        ]
+        serial_engine = QueryEngine(cost_model=BLEND)
+        base = serial_engine.execute_batch(queries)
+        engine = QueryEngine(cost_model=BLEND)
+        try:
+            batch = engine.execute_batch(queries, process_workers=workers)
+        finally:
+            engine.close_process_backend()
+        for a, b in zip(base.results, batch.results):
+            assert np.array_equal(a.ids, b.ids)
+        assert base.report.plans == batch.report.plans
+        assert base.report.cache_hits == batch.report.cache_hits
+        assert base.report.cache_misses == batch.report.cache_misses
+
+
+class TestTiled:
+    def test_tiled_selection_parity(self, paired, workers):
+        # Tiling splits the blended canvas into per-tile cache entries;
+        # cold tiles fan out to workers and land in the coordinator's
+        # cache, so a second run must be all hits — same as serial.
+        serial, proc = paired(workers, cost_model=BLEND, tiling=32)
+        spec = SelectSpec(
+            dataset="pts",
+            constraints=[ConstraintSpec.polygon(POLY),
+                         ConstraintSpec.polygon(POLY2)],
+        )
+        assert_run_parity(serial, proc, spec, n=2)
+
+    def test_tiled_distance_parity(self, paired, workers):
+        serial, proc = paired(workers, tiling=32)
+        spec = SelectSpec(
+            dataset="pts",
+            constraints=[ConstraintSpec.circle((50.0, 50.0), 22.0)],
+        )
+        assert_run_parity(serial, proc, spec, n=2)

@@ -1,0 +1,123 @@
+"""The serve boundary and CLI over the process backend.
+
+Process execution must be invisible to serve clients: same response
+JSON (modulo timing fields), same in-band error codes, responses in
+request order.  The CLI's two worker axes (--workers threads,
+--process-workers processes) validate through one path.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.api import Session, serve, serve_lines
+from repro.cli import _validate_serve_workers, main
+
+
+
+
+def spec_line(seed=6, **overrides):
+    spec = {
+        "spec": "select", "version": 1,
+        "dataset": f"synthetic:uniform?n=400&seed={seed}",
+        "constraints": [
+            {"kind": "polygon",
+             "geometry": {"type": "Polygon",
+                          "coordinates": [[[20, 20], [80, 20], [80, 80],
+                                           [20, 80], [20, 20]]]}}
+        ],
+        "resolution": 128,
+    }
+    spec.update(overrides)
+    return json.dumps(spec)
+
+
+def strip_timings(response: dict) -> dict:
+    report = dict(response.get("report") or {})
+    for key in list(report):
+        if key.endswith("_s") or key.endswith("_ms"):
+            report.pop(key)
+    return {**response, "report": report}
+
+
+class TestServeParity:
+    def test_process_serve_matches_serial_serve(self):
+        lines = [spec_line(), spec_line(seed=7),
+                 json.dumps({"spec": "knn", "version": 1,
+                             "dataset": "synthetic:uniform?n=400&seed=6",
+                             "query_point": [50, 50], "k": 3,
+                             "resolution": 128})]
+        serial_out = [json.loads(l) for l in serve_lines(list(lines))]
+        with Session(process_workers=2) as proc_session:
+            proc_out = [
+                json.loads(l)
+                for l in serve_lines(list(lines), proc_session)
+            ]
+        assert [strip_timings(o) for o in serial_out] == \
+               [strip_timings(o) for o in proc_out]
+
+    def test_threads_dispatch_processes_execute(self):
+        # --workers and --process-workers compose: thread workers feed
+        # the process backend concurrently; responses stay in order.
+        lines = [spec_line(seed=s) for s in range(5)]
+        serial_out = [json.loads(l) for l in serve_lines(list(lines))]
+        with Session(process_workers=2) as proc_session:
+            proc_out = [
+                json.loads(l)
+                for l in serve_lines(list(lines), proc_session, workers=2)
+            ]
+        assert [strip_timings(o) for o in serial_out] == \
+               [strip_timings(o) for o in proc_out]
+
+    def test_serve_owns_and_closes_the_default_session(self):
+        from tests.process.conftest import shm_segments
+
+        before = shm_segments()
+        out = io.StringIO()
+        count = serve(io.StringIO(spec_line() + "\n"), out,
+                      process_workers=1)
+        assert count == 1
+        assert json.loads(out.getvalue())["ok"] is True
+        assert shm_segments() - before == set()
+
+    def test_serve_rejects_process_workers_with_explicit_session(self):
+        with pytest.raises(ValueError, match="process_workers"):
+            serve(io.StringIO(""), io.StringIO(), Session(),
+                  process_workers=2)
+
+
+class TestWorkerValidation:
+    def test_rejects_nonpositive_thread_workers(self):
+        with pytest.raises(SystemExit, match="--workers"):
+            _validate_serve_workers(0, None)
+
+    def test_rejects_nonpositive_process_workers(self):
+        with pytest.raises(SystemExit, match="--process-workers"):
+            _validate_serve_workers(1, 0)
+        with pytest.raises(SystemExit, match="--process-workers"):
+            _validate_serve_workers(1, -3)
+
+    def test_oversubscription_warns_on_combined_total(self, capsys):
+        import os
+        cpus = os.cpu_count() or 1
+        _validate_serve_workers(1, cpus)  # 1 + cpus > cpus
+        err = capsys.readouterr().err
+        assert "exceeds" in err
+        assert f"--process-workers {cpus}" in err
+
+    def test_within_budget_is_silent(self, capsys):
+        _validate_serve_workers(1, None)
+        assert capsys.readouterr().err == ""
+
+    def test_cli_serve_rejects_bad_process_workers(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--process-workers", "0"])
+
+    def test_cli_serve_runs_with_process_workers(self, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO(spec_line() + "\n"))
+        assert main(["serve", "--process-workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out.strip().splitlines()[-1])["ok"] is True

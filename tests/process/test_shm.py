@@ -1,0 +1,150 @@
+"""Shared-memory dataset plane lifecycle: publish, attach, unlink.
+
+The plane is the ownership boundary of the process backend: the
+coordinator publishes the registry's arrays once, workers attach
+zero-copy read-only views, and refcounting (plus an atexit sweep)
+guarantees the segments unlink exactly once — a leaked ``/dev/shm``
+entry survives the process and eats kernel memory until reboot, so
+every test here ends with a leak scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import DatasetRegistry, PointData
+from repro.api.shm import (
+    AttachedPlane,
+    StaleGeneration,
+    decode_payload,
+    encode_payload,
+    live_plane_count,
+)
+
+from tests.process.conftest import make_registry, shm_segments
+
+
+@pytest.fixture
+def registry(cloud) -> DatasetRegistry:
+    return make_registry(cloud)
+
+
+class TestPublishAttach:
+    def test_attached_arrays_are_equal_and_read_only(self, registry, cloud):
+        xs, ys = cloud
+        plane = registry.publish()
+        try:
+            attached = AttachedPlane(plane.manifest())
+            pts = attached.payloads()["pts"]
+            assert np.array_equal(pts.xs, xs)
+            assert np.array_equal(pts.ys, ys)
+            # Shared pages: a write here would corrupt every process
+            # attached to the same segment.
+            assert not pts.xs.flags.writeable
+            with pytest.raises(ValueError):
+                pts.xs[0] = -1.0
+            attached.detach()
+        finally:
+            plane.release()
+
+    def test_manifest_names_every_dataset(self, registry):
+        plane = registry.publish()
+        try:
+            manifest = plane.manifest()
+            assert set(manifest["datasets"]) == {"pts", "ptsv", "trips"}
+            assert manifest["generation"] == registry.generation
+        finally:
+            plane.release()
+
+    def test_generation_mismatch_rejected(self, registry):
+        plane = registry.publish()
+        try:
+            attached = AttachedPlane(plane.manifest())
+            attached.check_generation(plane.generation)  # fine
+            with pytest.raises(StaleGeneration):
+                attached.check_generation(plane.generation + 1)
+            attached.detach()
+        finally:
+            plane.release()
+
+
+class TestLifecycle:
+    def test_release_unlinks_segments(self, registry):
+        before = shm_segments()
+        plane = registry.publish()
+        created = shm_segments() - before
+        assert created, "publish created no segments"
+        plane.release()
+        assert shm_segments() & created == set()
+
+    def test_refcount_holds_segments_until_last_release(self, registry):
+        before = shm_segments()
+        plane = registry.publish()
+        plane.acquire()
+        created = shm_segments() - before
+        plane.release()  # one holder left
+        assert shm_segments() & created == created
+        plane.release()  # last holder
+        assert shm_segments() & created == set()
+
+    def test_close_is_idempotent(self, registry):
+        count_before = live_plane_count()
+        plane = registry.publish()
+        assert live_plane_count() == count_before + 1
+        plane.close()
+        plane.close()
+        plane.release()
+        assert plane.closed
+        assert live_plane_count() == count_before
+
+    def test_no_segments_leak_across_publish_cycles(self, registry):
+        before = shm_segments()
+        for _ in range(3):
+            plane = registry.publish()
+            AttachedPlane(plane.manifest()).detach()
+            plane.release()
+        assert shm_segments() - before == set()
+
+
+class TestPayloadCodec:
+    def test_roundtrip_preserves_structure(self, registry, cloud):
+        xs, ys = cloud
+        plane = registry.publish()
+        try:
+            attached = AttachedPlane(plane.manifest())
+            payload = {
+                "kwargs": {
+                    "xs": xs, "ys": ys,
+                    "pair": (xs, 3.5),
+                    "nested": [{"again": ys}],
+                    "empty": np.empty(0, dtype=np.float64),
+                    "scalar": 7,
+                },
+            }
+            decoded = decode_payload(
+                encode_payload(payload, plane), attached
+            )
+            kwargs = decoded["kwargs"]
+            assert np.array_equal(kwargs["xs"], xs)
+            assert isinstance(kwargs["pair"], tuple)
+            assert np.array_equal(kwargs["pair"][0], xs)
+            assert kwargs["pair"][1] == 3.5
+            assert np.array_equal(kwargs["nested"][0]["again"], ys)
+            assert kwargs["empty"].size == 0
+            assert kwargs["scalar"] == 7
+            # Published arrays crossed by reference, not by copy.
+            assert not kwargs["xs"].flags.writeable
+            attached.detach()
+        finally:
+            plane.release()
+
+    def test_unpublished_arrays_cross_by_value(self, registry):
+        plane = registry.publish()
+        try:
+            loose = np.arange(5, dtype=np.float64)
+            encoded = encode_payload({"a": loose}, plane)
+            decoded = decode_payload(encoded, None)
+            assert np.array_equal(decoded["a"], loose)
+        finally:
+            plane.release()
