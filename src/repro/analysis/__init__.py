@@ -1,0 +1,63 @@
+"""`repro.analysis` — the repo's executable invariant contracts.
+
+PRs 1–8 grew the engine into a concurrent, process-parallel service
+whose correctness rests on invariants that were *written down* (the
+ROADMAP architecture section, ADR 0001/0002) but enforced only by
+reviewer vigilance: cached canvases are immutable and must never flow
+into an ``out=`` seam, ``repro/queries/*`` routes through the engine
+rather than calling ``core.algebra`` directly, shared state is touched
+under its lock, serve errors carry a stable :data:`ERROR_CODES` code,
+shared-memory segments always reach an unlink path.  This package
+turns those prose invariants into stdlib-``ast`` static analysis so
+every future PR lands against a machine-checked contract:
+
+    python -m repro.analysis [--format json|text] [paths ...]
+    python -m repro.analysis --list-rules
+
+The rule set (see ``docs/adr/0003-static-invariant-checking.md`` for
+each rule's provenance and the allowlist policy):
+
+===================  ===============================================
+rule id              invariant
+===================  ===============================================
+layering             package import matrix is acyclic (core never
+                     imports engine/api; queries never call
+                     core.algebra directly — the PR 3 contract)
+cached-out           values derived from CanvasCache getters never
+                     flow into ``out=`` or an in-place numpy op
+lock-discipline      attributes ever written under ``with
+                     self._lock`` are never touched outside it
+error-envelope       every ``{"ok": False}`` envelope built in
+                     serve.py/cli.py carries a stable ERROR_CODES code
+shm-lifecycle        every ``SharedMemory(create=True)`` is dominated
+                     by a try/finally or registered-cleanup unlink
+deadline-checkpoint  loops annotated ``# deadline-seam:`` contain a
+                     deadline check call
+spec-digest          every ``*Spec`` dataclass field is serialized by
+                     ``to_dict`` or listed in the documented
+                     policy-excluded set
+===================  ===============================================
+
+Per-line allowlisting uses ``# repro-lint: disable=<rule>[,<rule>] --
+<justification>``; the justification text is mandatory — a bare
+disable is itself reported (``lint-pragma``).  A whole-line pragma
+comment applies to the next line, so long constructs stay readable.
+
+The analyzer is self-contained over the stdlib ``ast``/``tokenize``
+modules — it never imports the modules it checks, so a module with an
+import-time side effect (or an import error) is still analyzable.
+"""
+
+from repro.analysis.base import Finding, ModuleInfo, Rule, all_rules, get_rule
+from repro.analysis.runner import analyze_paths, analyze_source, render_findings
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "get_rule",
+    "render_findings",
+]

@@ -1,0 +1,79 @@
+"""``python -m repro.analysis`` — the repro-lint CLI.
+
+Usage::
+
+    python -m repro.analysis [--format text|json] [--rules a,b] [paths...]
+    python -m repro.analysis --list-rules
+
+Paths default to ``src`` and ``tests`` (whichever exist under the
+current directory).  Exit codes, stable for CI: 0 — no findings;
+1 — findings (the gate fails); 2 — usage error (unknown rule, no
+analyzable paths).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.analysis.base import get_rule
+from repro.analysis.runner import (
+    analyze_paths,
+    render_findings,
+    render_rule_table,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro-lint: the repo's invariant contracts as "
+                    "static analysis (see --list-rules)",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories to analyze "
+                             "(default: src tests)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="fmt",
+                        help="output format (default: text)")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table (id, severity, "
+                             "invariant) and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rule_table())
+        return 0
+
+    rules = None
+    if args.rules is not None:
+        try:
+            rules = [get_rule(rule_id.strip())
+                     for rule_id in args.rules.split(",") if rule_id.strip()]
+        except KeyError as exc:
+            print(f"repro-lint: {exc.args[0]}", file=sys.stderr)
+            return 2
+        if not rules:
+            print("repro-lint: --rules selected nothing", file=sys.stderr)
+            return 2
+
+    paths = args.paths or [p for p in ("src", "tests") if os.path.isdir(p)]
+    if not paths:
+        print("repro-lint: no paths given and no src/tests directory "
+              "under the current directory", file=sys.stderr)
+        return 2
+
+    findings, files_checked = analyze_paths(paths, rules)
+    if files_checked == 0:
+        print(f"repro-lint: no .py files under {paths}", file=sys.stderr)
+        return 2
+    print(render_findings(findings, files_checked, args.fmt))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

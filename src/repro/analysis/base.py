@@ -1,0 +1,249 @@
+"""Analysis framework core: findings, the rule registry, module info.
+
+A *rule* encodes one repo invariant as a pure function over a parsed
+module (``ModuleInfo``: path, dotted module name, source lines, AST,
+allowlist pragmas).  Rules never import the code they inspect — a
+module that fails at import time is still checkable, and the analyzer
+cannot be broken by the very bug it is hunting.
+
+Allowlist pragmas
+-----------------
+A finding on line *N* is suppressed by a pragma on line *N*, or by a
+pragma that is the *only* content of line *N-1* (for constructs too
+long to share a line with their justification)::
+
+    self._hits += 1  # repro-lint: disable=lock-discipline -- callers hold self._lock
+
+    # repro-lint: disable=cached-out -- copy made two lines up
+    blend(a, b, out=canvas)
+
+The justification after ``--`` is mandatory: a disable pragma without
+one (or naming an unknown rule) is itself reported as a
+``lint-pragma`` finding, which cannot be suppressed.  This keeps the
+allowlist honest — every exception to a contract carries its written
+reason in the diff that introduced it.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Iterable
+
+#: Pragma grammar (on real comments only — docstrings showing the
+#: syntax do not activate it): ``disable=`` then rule ids, then a
+#: mandatory ``--``-separated justification.
+_PRAGMA_RE = re.compile(
+    r"repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\- ]+?)"
+    r"(?:\s+--\s*(?P<why>.*))?\s*$"
+)
+
+#: Severity levels, most severe first (orders --list-rules output).
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+
+@dataclass
+class Pragma:
+    """One parsed ``repro-lint: disable=`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+    #: True when the pragma is the whole line (applies to the next line).
+    standalone: bool
+
+
+@dataclass
+class ModuleInfo:
+    """Everything a rule may inspect about one source module."""
+
+    path: str
+    #: Dotted module name when the file sits under a ``repro`` package
+    #: root (``repro.engine.cache``); None for scripts/tests outside it.
+    module: str | None
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    pragmas: list[Pragma] = field(default_factory=list)
+    #: line number -> comment text (``#`` included), real comments only.
+    comments: dict[int, str] = field(default_factory=dict)
+
+    def disabled_rules(self, line: int) -> set[str]:
+        """Rules allowlisted for findings anchored at *line*."""
+        disabled: set[str] = set()
+        for pragma in self.pragmas:
+            if not pragma.justification:
+                continue  # bare pragmas never suppress (see lint-pragma)
+            if pragma.line == line or (pragma.standalone
+                                       and pragma.line == line - 1):
+                disabled.update(pragma.rules)
+        return disabled
+
+
+def extract_comments(source: str, lines: list[str]) -> dict[int, str]:
+    """Real ``#`` comments by line number, via :mod:`tokenize`.
+
+    Tokenizing (rather than regex-scanning lines) keeps docstrings and
+    string literals that merely *show* pragma/annotation syntax from
+    activating it.  Files the tokenizer rejects fall back to a crude
+    per-line scan — a partially broken file must still honor its
+    pragmas so the parse-error finding is the only one reported.
+    """
+    comments: dict[int, str] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenizeError, SyntaxError, IndentationError):
+        for lineno, text in enumerate(lines, start=1):
+            if "#" in text:
+                comments[lineno] = text[text.index("#"):]
+    return comments
+
+
+def parse_pragmas(comments: dict[int, str],
+                  lines: list[str]) -> list[Pragma]:
+    """Parse allowlist pragmas out of the module's comments."""
+    pragmas: list[Pragma] = []
+    for lineno in sorted(comments):
+        match = _PRAGMA_RE.search(comments[lineno])
+        if match is None:
+            continue
+        rules = tuple(
+            name.strip() for name in match.group("rules").split(",")
+            if name.strip()
+        )
+        why = (match.group("why") or "").strip()
+        line_text = lines[lineno - 1] if lineno <= len(lines) else ""
+        pragmas.append(Pragma(
+            line=lineno,
+            rules=rules,
+            justification=why,
+            standalone=line_text.strip().startswith("#"),
+        ))
+    return pragmas
+
+
+def module_name_for(path: str) -> str | None:
+    """Dotted module name of *path* when it lives under a package root.
+
+    The heuristic that matters for the layering matrix: any path
+    component named ``repro`` starts the dotted name, so both
+    ``src/repro/engine/cache.py`` and a test fixture staged under
+    ``tmp/repro/core/bad.py`` resolve.  Files outside a ``repro`` tree
+    (tests, benchmarks) return None — package-scoped rules skip them.
+    """
+    parts = path.replace("\\", "/").split("/")
+    if "repro" not in parts:
+        return None
+    tail = parts[parts.index("repro"):]
+    if tail[-1].endswith(".py"):
+        tail[-1] = tail[-1][:-3]
+    if tail[-1] == "__init__":
+        tail = tail[:-1]
+    return ".".join(tail)
+
+
+class Rule:
+    """Base class: subclass, set the metadata, implement ``check``."""
+
+    #: Stable rule id (the allowlist key and CLI/JSON name).
+    id: str = ""
+    severity: str = "error"
+    #: One-line statement of the invariant (``--list-rules`` output).
+    invariant: str = ""
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleInfo, node: ast.AST | int,
+                message: str) -> Finding:
+        if isinstance(node, ast.AST):
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        else:
+            line, col = node, 0
+        return Finding(
+            rule=self.id, path=module.path, line=line, col=col,
+            message=message, severity=self.severity,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (by id) to the global registry."""
+    if not rule_cls.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule_cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.id!r}")
+    if rule_cls.severity not in SEVERITIES:
+        raise ValueError(f"rule {rule_cls.id}: bad severity "
+                         f"{rule_cls.severity!r}")
+    _REGISTRY[rule_cls.id] = rule_cls()
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, id-sorted (stable CLI/JSON ordering)."""
+    import repro.analysis.rules  # noqa: F401 -- registration side effect
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    import repro.analysis.rules  # noqa: F401 -- registration side effect
+
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def known_rule_ids() -> set[str]:
+    import repro.analysis.rules  # noqa: F401 -- registration side effect
+
+    return set(_REGISTRY)
+
+
+def iter_parents(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    """Child → parent map for rules that need ancestor context."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents

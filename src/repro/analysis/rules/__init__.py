@@ -1,0 +1,17 @@
+"""Rule modules — importing this package registers every rule.
+
+Each module defines one rule class decorated with
+:func:`repro.analysis.base.register`; the import below is the
+registration side effect the framework relies on.  Add new rules by
+dropping a module here and importing it.
+"""
+
+from repro.analysis.rules import (  # noqa: F401 -- registration imports
+    cached_out,
+    checkpoints,
+    envelopes,
+    layering,
+    locks,
+    shm_lifecycle,
+    spec_digest,
+)

@@ -1,0 +1,192 @@
+"""Rule ``cached-out`` — frozen cache entries never flow into ``out=``.
+
+Cache entries (canvas cache, tile cache, coverage footprints) are
+shared, never copied: every consumer of ``CanvasCache.get_or_build``
+holds the *same* object every later hit will receive.  The entries
+are frozen (numpy ``writeable=False``) so a mutating consumer raises
+at runtime — but that safety net triggers in production, on the
+unlucky request that aliased a warm entry.  This rule moves the catch
+to review time: any value *derived from* a cache getter that reaches
+an ``out=`` keyword argument (the algebra's in-place seam) or an
+in-place operation is flagged.
+
+Taint model (intra-function, flow-insensitive — deliberately simple):
+
+- seeds: the result of any ``*.get_or_build(...)`` call, plus calls
+  to names listed in :data:`CACHE_GETTERS` (``constraint_canvas`` is
+  the engine's public cached-canvas accessor);
+- propagation: assignment, tuple unpacking, attribute access
+  (``entry.texture.data`` is the entry's own buffer), subscripts,
+  conditional expressions; a *call* on a tainted value clears taint
+  (``entry.texture.data.copy()`` is the documented remedy and
+  returns a fresh buffer);
+- sinks: ``out=<tainted>`` keywords, augmented assignment on a
+  tainted target, and item assignment into a tainted base.
+
+False positives are possible (a reassigned name stays tainted); that
+is what the per-line allowlist with a written justification is for —
+an aliasing hazard subtle enough to defeat the model deserves a
+comment explaining why it is safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import Finding, ModuleInfo, Rule, register
+
+#: Method/function names whose return value is a shared cache entry.
+CACHE_GETTERS = frozenset({"get_or_build", "constraint_canvas"})
+
+_SCOPE_BARRIERS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _scope_walk(root: ast.AST):
+    """``ast.walk`` limited to *root*'s own scope.
+
+    Nested function/class definitions are yielded (their header lives
+    in this scope) but not entered — each nested function gets its own
+    taint pass, so descending here would double-report its sinks.
+    Lambdas stay in the enclosing scope: they share its names.
+    """
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _SCOPE_BARRIERS):
+                continue
+            stack.append(child)
+
+
+def _is_cache_getter_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in CACHE_GETTERS
+    if isinstance(func, ast.Name):
+        return func.id in CACHE_GETTERS
+    return False
+
+
+class _FunctionTaint:
+    """One function's taint pass: collect tainted names, then sinks."""
+
+    def __init__(self, rule: Rule, module: ModuleInfo) -> None:
+        self.rule = rule
+        self.module = module
+        self.tainted: set[str] = set()
+        self.findings: list[Finding] = []
+
+    # -- taint predicate -------------------------------------------------
+    def is_tainted(self, node: ast.AST) -> bool:
+        if _is_cache_getter_call(node):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.tainted
+        if isinstance(node, ast.Attribute):
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.Subscript):
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.IfExp):
+            return self.is_tainted(node.body) or self.is_tainted(node.orelse)
+        if isinstance(node, ast.BoolOp):
+            return any(self.is_tainted(value) for value in node.values)
+        if isinstance(node, ast.NamedExpr):
+            return self.is_tainted(node.value)
+        # Any other call launders taint: .copy()/np.array(...) return
+        # fresh buffers, and modelling every numpy view-returning
+        # function would drown the rule in false positives.
+        return False
+
+    # -- taint collection (fixpoint over assignments) --------------------
+    def collect(self, func: ast.AST) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for node in _scope_walk(func):
+                targets: list[ast.expr] = []
+                value: ast.expr | None = None
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) and node.value:
+                    targets, value = [node.target], node.value
+                elif isinstance(node, ast.NamedExpr):
+                    targets, value = [node.target], node.value
+                if value is None or not self.is_tainted(value):
+                    continue
+                for target in targets:
+                    for name in _target_names(target):
+                        if name not in self.tainted:
+                            self.tainted.add(name)
+                            changed = True
+
+    # -- sinks -----------------------------------------------------------
+    def find_sinks(self, func: ast.AST) -> None:
+        for node in _scope_walk(func):
+            if isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg == "out" and self.is_tainted(
+                        keyword.value
+                    ):
+                        self.findings.append(self.rule.finding(
+                            self.module, node,
+                            "cache-derived value passed as out= — "
+                            "cached entries are shared and frozen; "
+                            "write into a fresh/owned buffer instead "
+                            "(.copy() the entry if it must seed the "
+                            "output)",
+                        ))
+            elif isinstance(node, ast.AugAssign):
+                if self.is_tainted(node.target):
+                    self.findings.append(self.rule.finding(
+                        self.module, node,
+                        "in-place operation on a cache-derived value "
+                        "— cached entries are shared and frozen; "
+                        "operate on a copy",
+                    ))
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and self.is_tainted(
+                        target.value
+                    ):
+                        self.findings.append(self.rule.finding(
+                            self.module, node,
+                            "item assignment into a cache-derived "
+                            "value — cached entries are shared and "
+                            "frozen; write into a copy",
+                        ))
+
+
+def _target_names(target: ast.expr) -> list[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for element in target.elts:
+            names.extend(_target_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []
+
+
+@register
+class CachedOutRule(Rule):
+    id = "cached-out"
+    severity = "error"
+    invariant = ("values derived from cache getters never flow into "
+                 "out= keywords or in-place numpy operations")
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            taint = _FunctionTaint(self, module)
+            taint.collect(node)
+            # Sinks with inline seeds (blend(..., out=x.get_or_build(k)))
+            # need no named taint, so always run the sink pass.
+            taint.find_sinks(node)
+            yield from taint.findings

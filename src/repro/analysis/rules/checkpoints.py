@@ -1,0 +1,102 @@
+"""Rule ``deadline-checkpoint`` — annotated seams actually checkpoint.
+
+The PR 7 deadline design is *cooperative*: a request aborts within
+one checkpoint of its budget because every long-running engine loop
+calls :func:`repro.resilience.check_deadline` (or ``Deadline.check``)
+per iteration.  The guarantee is exactly as strong as the checkpoint
+coverage — a new executor loop without a checkpoint silently extends
+the worst-case overshoot from "one tile" to "the whole query", and
+nothing at runtime notices until an operator wonders why a deadline
+landed seconds late.
+
+Coverage is declared in the source with a seam annotation on (or
+immediately above) the loop header::
+
+    # deadline-seam: tile-build
+    for tile_key in plan.tile_keys:
+        check_deadline(deadline, "tile-build")
+        ...
+
+The rule enforces both directions of the contract:
+
+- an annotated loop whose body contains no ``check_deadline(...)`` /
+  ``*.check(...)`` call is flagged (the seam rotted);
+- an annotation with no ``for``/``while`` loop on the same or next
+  line is flagged (the anchor rotted — e.g. the loop was refactored
+  away and the comment stayed).
+
+The annotation is deliberately explicit rather than inferred ("any
+loop over tiles"): which loops are deadline seams is a *policy*
+decision recorded in ADR 0001, and the annotation puts that decision
+in the diff where review can see it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.base import Finding, ModuleInfo, Rule, register
+
+#: Seam annotation grammar: ``# deadline-seam: <checkpoint-name>``.
+SEAM_RE = re.compile(r"#\s*deadline-seam:\s*(?P<name>[A-Za-z0-9_\-]+)")
+
+#: Call names that count as a checkpoint inside an annotated loop.
+CHECK_CALLS = frozenset({"check_deadline", "check"})
+
+
+def _loop_has_check(loop: ast.AST) -> bool:
+    for node in ast.walk(loop):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name in CHECK_CALLS:
+            return True
+    return False
+
+
+@register
+class DeadlineCheckpointRule(Rule):
+    id = "deadline-checkpoint"
+    severity = "error"
+    invariant = ("loops annotated `# deadline-seam:` contain a "
+                 "check_deadline/Deadline.check call")
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        seams: dict[int, str] = {}
+        for lineno, text in module.comments.items():
+            match = SEAM_RE.search(text)
+            if match is not None:
+                seams[lineno] = match.group("name")
+        if not seams:
+            return
+        loops_by_line: dict[int, ast.AST] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.While, ast.AsyncFor)):
+                loops_by_line.setdefault(node.lineno, node)
+        for lineno, seam_name in sorted(seams.items()):
+            # Trailing comment on the loop line, or a whole-line
+            # comment directly above the header.
+            loop = loops_by_line.get(lineno) or loops_by_line.get(lineno + 1)
+            if loop is None:
+                yield self.finding(
+                    module, lineno,
+                    f"deadline-seam annotation {seam_name!r} has no "
+                    f"for/while loop on this or the next line — the "
+                    f"seam it documented was moved or removed; move "
+                    f"the annotation with the loop",
+                )
+                continue
+            if not _loop_has_check(loop):
+                yield self.finding(
+                    module, loop,
+                    f"loop annotated as deadline seam {seam_name!r} "
+                    f"contains no check_deadline/Deadline.check call — "
+                    f"requests in this loop cannot abort until it "
+                    f"finishes (ADR 0001 cooperative-cancellation "
+                    f"contract)",
+                )

@@ -1,0 +1,108 @@
+"""Rule ``error-envelope`` — serve errors speak the stable taxonomy.
+
+ADR 0001 fixed the machine-readable error contract: every
+``{"ok": false}`` line the service emits carries exactly one ``code``
+drawn from :data:`repro.resilience.ERROR_CODES`, so clients branch on
+codes, never on message text.  The contract lives or dies at the
+construction sites — one forgotten ``"code"`` key in a new except
+branch and a client's retry logic silently stops matching.
+
+The rule checks every dict literal (and ``dict(...)`` call) that maps
+``"ok"`` to ``False`` inside the serve-boundary modules
+(:data:`TARGET_BASENAMES` — ``serve.py`` and ``cli.py``, where the
+envelopes are built):
+
+- a ``"code"`` key must be present;
+- when its value is a string literal, it must be a member of the
+  taxonomy (dynamic values like ``exc.code`` are trusted — the typed
+  exceptions carry their own codes, regression-tested at runtime).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable
+
+from repro.analysis.base import Finding, ModuleInfo, Rule, register
+
+#: Files whose error envelopes face clients.  Basename-scoped so the
+#: rule follows the module wherever the tree (or a test fixture)
+#: puts it.
+TARGET_BASENAMES = frozenset({"serve.py", "cli.py"})
+
+#: The stable taxonomy, mirrored from repro.resilience.ERROR_CODES.
+#: Mirrored, not imported: the analyzer must parse the contract even
+#: when the package under inspection cannot be imported, and a
+#: mismatch here fails the meta-test that compares the two at runtime
+#: (tests/analysis/test_error_envelope.py).
+ERROR_CODES = (
+    "bad_request",
+    "deadline",
+    "cancelled",
+    "shed",
+    "too_costly",
+    "memory",
+    "worker_lost",
+    "internal",
+)
+
+
+def _const(node: ast.AST | None):
+    return node.value if isinstance(node, ast.Constant) else _NOT_CONST
+
+
+_NOT_CONST = object()
+
+
+def _envelope_items(node: ast.AST) -> list[tuple[str, ast.AST]] | None:
+    """``[(key, value_node), ...]`` when *node* builds a literal dict
+    with constant string keys; None otherwise."""
+    if isinstance(node, ast.Dict):
+        items = []
+        for key, value in zip(node.keys, node.values):
+            if not (isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)):
+                return None  # **spread / dynamic key: not checkable
+            items.append((key.value, value))
+        return items
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id == "dict" and not node.args):
+        return [(kw.arg, kw.value) for kw in node.keywords
+                if kw.arg is not None]
+    return None
+
+
+@register
+class ErrorEnvelopeRule(Rule):
+    id = "error-envelope"
+    severity = "error"
+    invariant = ('every {"ok": False} envelope in serve.py/cli.py '
+                 "carries a code key from ERROR_CODES")
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        if os.path.basename(module.path) not in TARGET_BASENAMES:
+            return
+        for node in ast.walk(module.tree):
+            items = _envelope_items(node)
+            if items is None:
+                continue
+            mapping = dict(items)
+            if "ok" not in mapping or _const(mapping["ok"]) is not False:
+                continue
+            if "code" not in mapping:
+                yield self.finding(
+                    module, node,
+                    '{"ok": False} envelope has no "code" key — every '
+                    "serve error must name one stable ERROR_CODES code "
+                    "(ADR 0001)",
+                )
+                continue
+            code = _const(mapping["code"])
+            if code is not _NOT_CONST and code not in ERROR_CODES:
+                yield self.finding(
+                    module, node,
+                    f'error envelope code {code!r} is not in '
+                    f"ERROR_CODES {ERROR_CODES}; extend the taxonomy "
+                    f"in repro.resilience (and ADR 0001) first",
+                )

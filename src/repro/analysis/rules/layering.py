@@ -1,0 +1,165 @@
+"""Rule ``layering`` — the package import matrix (the PR 1/3 contract).
+
+The engine's layers compose strictly downward::
+
+    repro.cli
+      repro.api          (specs / session / serve / registry / shm)
+        repro.engine     (planner / executor / caches / process pool)
+          repro.core     (canvas algebra, expressions, optimizer, tiling)
+            repro.geometry, repro.gpu, repro.index  (leaf kernels)
+
+A lower layer importing an upper one creates an import cycle waiting
+to happen and — worse — lets kernel code reach around the planner.
+The two contracts called out in ROADMAP ("Architecture") are encoded
+here verbatim: ``repro.core`` may not import ``repro.engine`` or
+``repro.api``, and ``repro/queries/*`` may not call ``core.algebra``
+directly (every query family routes through the engine since PR 3, so
+a direct algebra call would execute outside plan pricing, reporting,
+deadlines, and the canvas cache).
+
+The matrix below is *deny-list* shaped: absent pairs are allowed, so
+adding a package defaults to unconstrained until a contract is
+written down for it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.base import Finding, ModuleInfo, Rule, register
+
+#: package prefix -> import prefixes it must never depend on.
+#: Checked by prefix: ``repro.core`` constrains ``repro.core.canvas``
+#: too, and forbidding ``repro.engine`` forbids every submodule.
+FORBIDDEN_IMPORTS: dict[str, tuple[str, ...]] = {
+    # The kernel layer must stay callable without the service stack.
+    "repro.core": (
+        "repro.engine", "repro.api", "repro.queries", "repro.cli",
+        "repro.baselines", "repro.relational",
+    ),
+    # Leaf packages: pure kernels with no upward knowledge.
+    "repro.geometry": ("repro.core", "repro.engine", "repro.api",
+                       "repro.queries"),
+    "repro.gpu": ("repro.core", "repro.engine", "repro.api"),
+    "repro.index": ("repro.core", "repro.engine", "repro.api"),
+    "repro.data": ("repro.core", "repro.engine", "repro.api"),
+    "repro.utils": ("repro.core", "repro.engine", "repro.api",
+                    "repro.queries"),
+    # Cross-cutting layers imported *by* the engine: importing it back
+    # would cycle (testing.faults and resilience.deadline are wired
+    # into engine hot loops).
+    "repro.testing": ("repro.core", "repro.engine", "repro.api",
+                      "repro.queries"),
+    "repro.resilience": ("repro.engine", "repro.api", "repro.queries"),
+    # The engine serves the api layer, never consumes it.
+    "repro.engine": ("repro.api", "repro.cli"),
+    "repro.api": ("repro.cli",),
+    # The PR 3 contract: queries are thin spec sugar over the engine;
+    # calling the dense algebra directly would bypass plan pricing,
+    # caches, reports, and deadlines.
+    "repro.queries": ("repro.core.algebra",),
+    # Baselines are the independent reference implementations the
+    # engine is measured against — sharing its kernels or caches would
+    # make the comparison circular.
+    "repro.baselines": ("repro.core.algebra", "repro.engine",
+                        "repro.api"),
+    # The analyzer checks these layers; importing their internals
+    # would let the very bug it hunts break the hunt.
+    "repro.analysis": ("repro.engine", "repro.api", "repro.core",
+                       "repro.queries"),
+}
+
+#: (source prefix, forbidden prefix) -> import targets carved out of
+#: the ban.  The one entry is the PR 8 data plane: the shared-memory
+#: codec lives in ``repro.api.shm`` (next to the registry that
+#: publishes it) but is *consumed* by the engine's process backend —
+#: a deliberate, ADR-0002-documented hole in "engine never imports
+#: api".  Everything else in repro.api stays off-limits to the engine.
+MATRIX_EXCEPTIONS: dict[tuple[str, str], tuple[str, ...]] = {
+    ("repro.engine", "repro.api"): ("repro.api.shm",),
+}
+
+#: Source modules exempt from one forbidden prefix entirely.  The
+#: worker entry point hosts a *mirrored Session* in the worker process
+#: (geometry/join specs ship whole and execute there — ADR 0002), so
+#: it is the engine's designated bridge back into the api layer.
+MODULE_EXEMPTIONS: dict[str, tuple[str, ...]] = {
+    "repro.engine.process_worker": ("repro.api",),
+}
+
+
+def _imported_targets(tree: ast.Module,
+                      module: str | None) -> Iterator[tuple[str, ast.AST]]:
+    """Every dotted import target in *tree* (absolute form), with node.
+
+    ``from x import a, b`` yields ``x.a`` and ``x.b`` — the per-name
+    resolution is what catches ``from repro.core import algebra``.
+    Relative imports resolve against the module's own package.
+    """
+    package = module.rsplit(".", 1)[0] if module and "." in module else ""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name, node
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = package.split(".") if package else []
+                # one level = current package; each extra level pops.
+                base_parts = base_parts[: len(base_parts) - (node.level - 1)]
+                base = ".".join(
+                    part for part in base_parts + [node.module or ""] if part
+                )
+            else:
+                base = node.module or ""
+            if not base:
+                continue
+            yield base, node
+            for alias in node.names:
+                if alias.name != "*":
+                    yield f"{base}.{alias.name}", node
+
+
+def _matches(target: str, forbidden: str) -> bool:
+    return target == forbidden or target.startswith(forbidden + ".")
+
+
+@register
+class LayeringRule(Rule):
+    id = "layering"
+    severity = "error"
+    invariant = ("package import matrix stays acyclic: core never "
+                 "imports engine/api, queries never import core.algebra")
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        if module.module is None or not module.module.startswith("repro"):
+            return
+        constraints = [
+            (prefix, forbidden)
+            for prefix, forbidden_list in FORBIDDEN_IMPORTS.items()
+            if _matches(module.module, prefix)
+            for forbidden in forbidden_list
+        ]
+        if not constraints:
+            return
+        exempt = MODULE_EXEMPTIONS.get(module.module, ())
+        seen: set[tuple[str, int]] = set()
+        for target, node in _imported_targets(module.tree, module.module):
+            for prefix, forbidden in constraints:
+                if not _matches(target, forbidden):
+                    continue
+                if any(_matches(forbidden, ex) for ex in exempt):
+                    continue
+                allowed = MATRIX_EXCEPTIONS.get((prefix, forbidden), ())
+                if any(_matches(target, ex) for ex in allowed):
+                    continue
+                key = (forbidden, node.lineno)
+                if key in seen:
+                    continue  # one finding per import stmt + target
+                seen.add(key)
+                yield self.finding(
+                    module, node,
+                    f"{module.module} must not import {forbidden} "
+                    f"(imports {target}); the layering matrix in "
+                    f"repro/analysis/rules/layering.py forbids it",
+                )

@@ -1,0 +1,182 @@
+"""Rule ``lock-discipline`` — guarded-by inference over class state.
+
+The concurrency seams of PR 5/7/8 (canvas cache, result cache, buffer
+pool, memory governor, process pool, shared-memory plane) all follow
+one idiom: a class owns a ``threading.Lock`` attribute and every
+touch of its mutable state happens inside ``with self._lock``.  The
+idiom is load-bearing — an unguarded read of ``self._store`` races
+the eviction loop; an unguarded counter write loses increments — but
+nothing enforced it until now.
+
+Inference, per class:
+
+1. *Lock attributes*: any ``self.X = threading.Lock()`` (or
+   ``RLock``/``Condition``) assignment, whatever ``X`` is called.
+2. *Guarded attributes*: every ``self.Y`` **assigned** anywhere
+   inside a ``with self.X:`` block (for a known lock attribute X).
+   Writing under the lock is the class author declaring "Y is shared
+   mutable state".
+3. *Violations*: any read or write of a guarded ``self.Y`` outside
+   such a ``with`` block, in any method.
+
+Conventions the inference respects (all documented in ADR 0003):
+
+- ``__init__``/``__post_init__``/``__del__``/``__enter__``/
+  ``__exit__`` are exempt — construction happens-before sharing, and
+  teardown owns the object again.
+- Methods whose name ends in ``_locked`` are exempt: the suffix is
+  this repo's "caller must hold the lock" marker (the rule still
+  checks that *callers* of such helpers touch state lawfully, because
+  the helper's own accesses are the exempt ones, not the call site's
+  surrounding state).
+- The lock attributes themselves are never flagged (taking the lock
+  requires reading it).
+
+Anything else is either a real race or a deliberate unguarded access
+(monotonic flag reads, single-threaded teardown) that deserves its
+written justification in an allowlist pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import Finding, ModuleInfo, Rule, register
+
+#: Constructor names whose result is a lock-like guard object.
+LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition"})
+
+#: Methods exempt from the outside-the-lock check.
+EXEMPT_METHODS = frozenset({
+    "__init__", "__post_init__", "__del__", "__enter__", "__exit__",
+})
+
+
+def _is_lock_factory_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in LOCK_FACTORIES
+    if isinstance(func, ast.Name):
+        return func.id in LOCK_FACTORIES
+    return False
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``self.X`` → ``"X"``; anything else → None."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _is_exempt(method: ast.AST) -> bool:
+    name = getattr(method, "name", "")
+    return name in EXEMPT_METHODS or name.endswith("_locked")
+
+
+class _ClassAnalysis:
+    """Guarded-by facts for one class body."""
+
+    def __init__(self, cls: ast.ClassDef) -> None:
+        self.cls = cls
+        self.methods = [
+            node for node in cls.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        self.lock_attrs = self._find_lock_attrs()
+        self.guarded = self._find_guarded_attrs()
+
+    def _find_lock_attrs(self) -> set[str]:
+        locks: set[str] = set()
+        for method in self.methods:
+            for node in ast.walk(method):
+                if isinstance(node, ast.Assign) and _is_lock_factory_call(
+                    node.value
+                ):
+                    for target in node.targets:
+                        attr = _self_attr(target)
+                        if attr is not None:
+                            locks.add(attr)
+        return locks
+
+    def _with_guards_lock(self, node: ast.With) -> bool:
+        return any(
+            _self_attr(item.context_expr) in self.lock_attrs
+            for item in node.items
+        )
+
+    def _find_guarded_attrs(self) -> set[str]:
+        guarded: set[str] = set()
+        for method in self.methods:
+            for node in ast.walk(method):
+                if isinstance(node, ast.With) and self._with_guards_lock(node):
+                    for inner in ast.walk(node):
+                        targets: list[ast.expr] = []
+                        if isinstance(inner, ast.Assign):
+                            targets = inner.targets
+                        elif isinstance(inner, (ast.AugAssign, ast.AnnAssign)):
+                            targets = [inner.target]
+                        for target in targets:
+                            attr = _self_attr(target)
+                            if attr is not None:
+                                guarded.add(attr)
+                            # tuple targets: `a, self._x = ...`
+                            if isinstance(target, (ast.Tuple, ast.List)):
+                                for element in target.elts:
+                                    attr = _self_attr(element)
+                                    if attr is not None:
+                                        guarded.add(attr)
+        return guarded - self.lock_attrs
+
+
+def _unguarded_accesses(method: ast.AST, analysis: _ClassAnalysis):
+    """Yield ``(node, attr)`` for guarded-attr accesses outside the lock.
+
+    Iterative scope walk that tracks whether the path from the method
+    root passes through a lock-holding ``with``; nested defs are
+    entered (a closure touching ``self`` state runs on some thread
+    too) but lambdas submitted to executors keep their own findings.
+    """
+    stack: list[tuple[ast.AST, bool]] = [(method, False)]
+    while stack:
+        node, locked = stack.pop()
+        if isinstance(node, ast.With) and analysis._with_guards_lock(node):
+            locked = True
+        attr = _self_attr(node)
+        if attr is not None and attr in analysis.guarded and not locked:
+            yield node, attr
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, locked))
+
+
+@register
+class LockDisciplineRule(Rule):
+    id = "lock-discipline"
+    severity = "error"
+    invariant = ("attributes ever written under `with self._lock` are "
+                 "never read or written outside it")
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            analysis = _ClassAnalysis(node)
+            if not analysis.lock_attrs or not analysis.guarded:
+                continue
+            for method in analysis.methods:
+                if _is_exempt(method):
+                    continue
+                for access, attr in _unguarded_accesses(method, analysis):
+                    yield self.finding(
+                        module, access,
+                        f"self.{attr} is written under "
+                        f"`with self.{sorted(analysis.lock_attrs)[0]}` "
+                        f"elsewhere in {node.name} but accessed here "
+                        f"outside the lock ({method.name}); guard the "
+                        f"access, rename the helper *_locked, or "
+                        f"justify with an allowlist pragma",
+                    )

@@ -1,0 +1,132 @@
+"""Rule ``shm-lifecycle`` — every created segment reaches an unlink.
+
+A ``multiprocessing.shared_memory.SharedMemory(create=True)`` segment
+is a *kernel* object: abandon the Python handle and the ``/dev/shm``
+entry stays until reboot, silently eating the host's memory budget
+(PR 8's leak scans exist because this failure mode is invisible in
+tests that never look).  ADR 0002 fixed the ownership policy — the
+coordinator that creates a segment is the one authority that unlinks
+it — and this rule checks the *shape* of that policy at every
+creation site.  A creation is compliant when either:
+
+1. it is lexically dominated by a ``try`` whose ``finally`` (or an
+   exception handler) reaches a ``.unlink(...)`` call — the local
+   scope-bound pattern; or
+2. it happens inside a class that (a) defines some method calling
+   ``.unlink(...)`` and (b) lives in a module that registers cleanup
+   (`atexit.register(...)` at any level) — the registered-cleanup
+   pattern :class:`~repro.api.shm.SharedDatasetPlane` uses, where
+   instances are tracked in a module registry swept at exit.
+
+Anything else — a bare ``SharedMemory(create=True)`` whose unlink
+depends on a happy path — is flagged.  The rule is about *reachability
+of the unlink*, not its runtime correctness; refcount bugs remain the
+province of the PR 8 lifecycle tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    iter_parents,
+    register,
+)
+
+
+def _is_shm_create(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None
+    )
+    if name != "SharedMemory":
+        return False
+    return any(
+        kw.arg == "create" and isinstance(kw.value, ast.Constant)
+        and kw.value.value is True
+        for kw in node.keywords
+    )
+
+
+def _calls_unlink(nodes: list[ast.stmt]) -> bool:
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "unlink"):
+                return True
+    return False
+
+
+def _module_registers_atexit(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if name == "register" and isinstance(func, ast.Attribute) and \
+                    isinstance(func.value, ast.Name) and \
+                    func.value.id == "atexit":
+                return True
+            if name == "register" and isinstance(func, ast.Name):
+                # `from atexit import register` style
+                return True
+    return False
+
+
+def _class_has_unlink_method(cls: ast.ClassDef) -> bool:
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _calls_unlink(node.body):
+                return True
+    return False
+
+
+@register
+class ShmLifecycleRule(Rule):
+    id = "shm-lifecycle"
+    severity = "error"
+    invariant = ("every SharedMemory(create=True) is dominated by a "
+                 "try/finally or registered-cleanup path reaching unlink")
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        creates = [
+            node for node in ast.walk(module.tree) if _is_shm_create(node)
+        ]
+        if not creates:
+            return
+        parents = iter_parents(module.tree)
+        module_atexit = _module_registers_atexit(module.tree)
+        for create in creates:
+            if self._is_covered(create, parents, module_atexit):
+                continue
+            yield self.finding(
+                module, create,
+                "SharedMemory(create=True) with no unlink path: wrap "
+                "the segment's lifetime in try/finally reaching "
+                ".unlink(), or own it in a class with an unlink-ing "
+                "close() registered for atexit cleanup (ADR 0002)",
+            )
+
+    def _is_covered(self, create: ast.AST, parents, module_atexit: bool
+                    ) -> bool:
+        node: ast.AST | None = create
+        while node is not None:
+            if isinstance(node, ast.Try):
+                if _calls_unlink(node.finalbody):
+                    return True
+                if any(_calls_unlink(handler.body)
+                       for handler in node.handlers):
+                    return True
+            if isinstance(node, ast.ClassDef):
+                if module_atexit and _class_has_unlink_method(node):
+                    return True
+            node = parents.get(node)
+        return False

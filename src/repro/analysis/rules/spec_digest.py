@@ -1,0 +1,137 @@
+"""Rule ``spec-digest`` — new spec fields cannot silently skip the key.
+
+The result cache (PR 5) keys on a canonical digest of each spec's
+``to_dict()`` form: two specs that serialize identically share a
+cached result.  That makes ``to_dict`` coverage a *correctness*
+surface — a field added to a ``*Spec`` dataclass but forgotten in its
+``to_dict`` would leave the digest blind to it, and two genuinely
+different queries would collide on one cache entry, returning wrong
+results with a confident cache-hit report.
+
+The contract, per dataclass whose name ends in ``Spec`` and defines
+``to_dict``: every declared field must either
+
+- appear as a string literal inside the class body (its ``to_dict``
+  emits it as a key and ``from_dict`` reads it back — the *semantic
+  digest set*), or
+- be a member of the module's documented policy-excluded set — a
+  module-level assignment named :data:`EXCLUDED_SET_NAMES` (the repo's
+  is ``DIGEST_POLICY_EXCLUDED`` in :mod:`repro.api.specs`, holding
+  ``deadline_ms``: a budget bounds how long a query may run, not what
+  it computes, so it is popped from the digest by
+  :func:`repro.api.result_cache.spec_digest`).
+
+A field in neither set fails the build until the author decides —
+and writes down — whether the field is semantics or policy.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import Finding, ModuleInfo, Rule, register
+
+#: Module-level names recognized as the policy-excluded field set.
+EXCLUDED_SET_NAMES = frozenset({
+    "DIGEST_POLICY_EXCLUDED",
+    "POLICY_EXCLUDED_FIELDS",
+})
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for deco in cls.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else None
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _declared_fields(cls: ast.ClassDef) -> list[tuple[str, ast.AnnAssign]]:
+    fields = []
+    for node in cls.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            name = node.target.id
+            if name.startswith("_"):
+                continue
+            annotation = ast.dump(node.annotation)
+            if "ClassVar" in annotation:
+                continue
+            fields.append((name, node))
+    return fields
+
+
+def _string_literals(cls: ast.ClassDef) -> set[str]:
+    found: set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            found.add(node.value)
+    return found
+
+
+def _excluded_fields(tree: ast.Module) -> set[str]:
+    excluded: set[str] = set()
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        names = {
+            target.id for target in targets if isinstance(target, ast.Name)
+        }
+        if not names & EXCLUDED_SET_NAMES:
+            continue
+        for inner in ast.walk(value):
+            if isinstance(inner, ast.Constant) and isinstance(
+                inner.value, str
+            ):
+                excluded.add(inner.value)
+    return excluded
+
+
+def _defines_to_dict(cls: ast.ClassDef) -> bool:
+    return any(
+        isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and node.name == "to_dict"
+        for node in cls.body
+    )
+
+
+@register
+class SpecDigestRule(Rule):
+    id = "spec-digest"
+    severity = "error"
+    invariant = ("every *Spec dataclass field is serialized by to_dict "
+                 "or listed in the policy-excluded set")
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        excluded = _excluded_fields(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith("Spec"):
+                continue
+            if not _is_dataclass(node) or not _defines_to_dict(node):
+                continue
+            literals = _string_literals(node)
+            for field_name, field_node in _declared_fields(node):
+                if field_name in literals or field_name in excluded:
+                    continue
+                yield self.finding(
+                    module, field_node,
+                    f"{node.name}.{field_name} appears neither as a "
+                    f"to_dict key nor in the policy-excluded set "
+                    f"(DIGEST_POLICY_EXCLUDED) — the result-cache "
+                    f"digest cannot see it, so two different queries "
+                    f"would share one cache entry; serialize it or "
+                    f"document the exclusion",
+                )

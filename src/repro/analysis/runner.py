@@ -1,0 +1,177 @@
+"""Analyzer driver: collect files, run rules, filter allowlists, render.
+
+The driver is where the allowlist policy is *enforced* rather than
+merely parsed: findings on allowlisted lines are dropped, but a
+pragma without a justification — or naming a rule that does not
+exist — becomes a ``lint-pragma`` finding that no pragma can
+suppress.  Exit codes are stable for CI: 0 clean, 1 findings,
+2 usage/internal error (see ``__main__``).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from typing import Sequence
+
+from repro.analysis.base import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    all_rules,
+    extract_comments,
+    known_rule_ids,
+    module_name_for,
+    parse_pragmas,
+)
+
+#: Directory names never descended into.
+SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".hypothesis", ".pytest_cache", "node_modules",
+    ".ruff_cache",
+})
+
+
+def collect_files(paths: Sequence[str]) -> list[str]:
+    """Every ``.py`` file under *paths* (files pass through), sorted."""
+    out: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d not in SKIP_DIRS and not d.startswith(".")
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    out.append(os.path.join(dirpath, filename))
+    return sorted(set(out))
+
+
+def load_module(path: str, source: str | None = None) -> ModuleInfo:
+    if source is None:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    comments = extract_comments(source, lines)
+    return ModuleInfo(
+        path=path,
+        module=module_name_for(path),
+        source=source,
+        tree=tree,
+        lines=lines,
+        pragmas=parse_pragmas(comments, lines),
+        comments=comments,
+    )
+
+
+def _pragma_findings(module: ModuleInfo, known: set[str]) -> list[Finding]:
+    findings = []
+    for pragma in module.pragmas:
+        if not pragma.justification:
+            findings.append(Finding(
+                rule="lint-pragma", path=module.path, line=pragma.line,
+                col=0, severity="error",
+                message=("allowlist pragma without justification — "
+                         "write `# repro-lint: disable=<rule> -- <why "
+                         "this exception is safe>`"),
+            ))
+        for rule_id in pragma.rules:
+            if rule_id not in known:
+                findings.append(Finding(
+                    rule="lint-pragma", path=module.path, line=pragma.line,
+                    col=0, severity="error",
+                    message=(f"allowlist pragma names unknown rule "
+                             f"{rule_id!r}; known rules: "
+                             f"{sorted(known)}"),
+                ))
+    return findings
+
+
+def analyze_module(module: ModuleInfo,
+                   rules: Sequence[Rule] | None = None) -> list[Finding]:
+    """All surviving findings for one loaded module."""
+    rules = list(all_rules()) if rules is None else list(rules)
+    known = known_rule_ids()
+    findings = _pragma_findings(module, known)
+    for rule in rules:
+        for finding in rule.check(module):
+            if finding.rule in module.disabled_rules(finding.line):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def analyze_source(source: str, path: str = "<string>",
+                   rules: Sequence[Rule] | None = None) -> list[Finding]:
+    """Analyze a source string (the fixture-test entry point)."""
+    return analyze_module(load_module(path, source), rules)
+
+
+def analyze_paths(paths: Sequence[str],
+                  rules: Sequence[Rule] | None = None
+                  ) -> tuple[list[Finding], int]:
+    """``(findings, files_checked)`` over every ``.py`` file in *paths*.
+
+    A file the parser rejects yields a ``parse-error`` finding rather
+    than crashing the run — a syntax error must fail the gate, not
+    the tool.
+    """
+    findings: list[Finding] = []
+    files = collect_files(paths)
+    for path in files:
+        try:
+            module = load_module(path)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            findings.append(Finding(
+                rule="parse-error", path=path,
+                line=getattr(exc, "lineno", None) or 1, col=0,
+                severity="error", message=f"cannot analyze: {exc}",
+            ))
+            continue
+        findings.extend(analyze_module(module, rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, len(files)
+
+
+def render_findings(findings: Sequence[Finding], files_checked: int,
+                    fmt: str = "text") -> str:
+    if fmt == "json":
+        return json.dumps({
+            "ok": not findings,
+            "files_checked": files_checked,
+            "findings": [finding.as_dict() for finding in findings],
+        }, indent=2, sort_keys=True)
+    lines = [finding.render() for finding in findings]
+    if findings:
+        noun = "finding" if len(findings) == 1 else "findings"
+        lines.append(
+            f"repro-lint: {len(findings)} {noun} in "
+            f"{len({f.path for f in findings})} file(s) "
+            f"({files_checked} checked)"
+        )
+    else:
+        lines.append(f"repro-lint: {files_checked} file(s) clean")
+    return "\n".join(lines)
+
+
+def render_rule_table() -> str:
+    """The ``--list-rules`` table: id, severity, one-line invariant."""
+    rules = all_rules()
+    width = max(len(rule.id) for rule in rules)
+    lines = [f"{'rule'.ljust(width)}  severity  invariant",
+             f"{'-' * width}  --------  ---------"]
+    for rule in rules:
+        lines.append(
+            f"{rule.id.ljust(width)}  {rule.severity:<8}  {rule.invariant}"
+        )
+    lines.append("")
+    lines.append("allowlist: # repro-lint: disable=<rule>[,<rule>] -- "
+                 "<mandatory justification>")
+    lines.append("details:   docs/adr/0003-static-invariant-checking.md")
+    return "\n".join(lines)

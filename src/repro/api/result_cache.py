@@ -42,6 +42,7 @@ from typing import Any, Callable, Mapping
 import numpy as np
 
 from repro.api.specs import (
+    DIGEST_POLICY_EXCLUDED,
     GeometryData,
     PointData,
     QuerySpec,
@@ -138,14 +139,16 @@ def spec_digest(spec: QuerySpec | Mapping[str, Any]) -> str:
     :func:`_inline_payload_token`), so the digest never materializes a
     large payload as Python lists.
 
-    ``deadline_ms`` is *excluded*: a deadline bounds how long a query
+    Fields in :data:`repro.api.specs.DIGEST_POLICY_EXCLUDED` (today:
+    ``deadline_ms``) are *excluded*: a deadline bounds how long a query
     may run, not what it computes, so the same query with different
     budgets must hit the same cached result.
     """
     if not isinstance(spec, QuerySpec):
         spec = spec_from_dict(spec)
     payload = _with_inline_tokens(spec).to_dict()
-    payload.pop("deadline_ms", None)
+    for field in DIGEST_POLICY_EXCLUDED:
+        payload.pop(field, None)
     canonical = json.dumps(
         payload,
         sort_keys=True,

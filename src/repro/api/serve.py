@@ -316,8 +316,11 @@ def _render_response(response: dict[str, Any]) -> str:
         # in-band error instead.
         return json.dumps(response, allow_nan=False)
     except ValueError:
+        # Degraded responses are still errors a client must classify:
+        # carry the stable taxonomy code like every other error line.
         return json.dumps(
-            {"ok": False, "error": "response contained non-finite numbers"}
+            {"ok": False, "code": "internal",
+             "error": "response contained non-finite numbers"}
         )
 
 

@@ -1189,6 +1189,7 @@ class Session:
             if window is None:
                 window = common.default_window(left.xs, left.ys, polys)
             pairs: list[tuple[int, int]] = []
+            # deadline-seam: join-member
             for poly, pid in zip(polys, poly_ids):
                 check_deadline(deadline, "join-member")
                 outcome = self.engine.select_points(
@@ -1230,6 +1231,7 @@ class Session:
                     np.asarray(corners_x), np.asarray(corners_y)
                 )
             pairs = []
+            # deadline-seam: join-member
             for poly, rid in zip(right.geometries, rids):
                 check_deadline(deadline, "join-member")
                 outcome = self.engine.select_geometry_records(
@@ -1258,6 +1260,7 @@ class Session:
                 spec.distance * 1.05
             )
         pairs = []
+        # deadline-seam: join-member
         for i in range(len(right.xs)):
             check_deadline(deadline, "join-member")
             outcome = self.engine.select_distance(

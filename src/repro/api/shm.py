@@ -45,7 +45,7 @@ import pickle
 import secrets
 import threading
 from multiprocessing import shared_memory
-from typing import Any, Iterable, Mapping
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -141,7 +141,16 @@ class SharedDatasetPlane:
         seg = shared_memory.SharedMemory(
             create=True, size=max(1, nbytes), name=_segment_name()
         )
-        self._segments.append(seg)
+        # Under the lock: publication racing a close() must either see
+        # the segment swapped out (and unlinked) or append-after-close
+        # — appending to the list close() already swapped would leak
+        # the segment past the sweep.
+        with self._lock:
+            if self._closed:
+                seg.close()
+                seg.unlink()
+                raise RuntimeError("plane is closed")
+            self._segments.append(seg)
         return seg
 
     def _publish_array(self, arr: np.ndarray) -> dict[str, Any]:
@@ -228,11 +237,13 @@ class SharedDatasetPlane:
 
     @property
     def segment_names(self) -> list[str]:
-        return [seg.name for seg in self._segments]
+        with self._lock:
+            return [seg.name for seg in self._segments]
 
     @property
     def total_bytes(self) -> int:
-        return sum(seg.size for seg in self._segments)
+        with self._lock:
+            return sum(seg.size for seg in self._segments)
 
     # -- lifecycle ------------------------------------------------------
     def acquire(self) -> "SharedDatasetPlane":
@@ -251,7 +262,8 @@ class SharedDatasetPlane:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
 
     def close(self) -> None:
         """Unlink every segment (idempotent; also the atexit path)."""

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import math
 import operator
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
 import numpy as np
@@ -630,6 +630,15 @@ def _deadline_field(value: Any, family: str) -> float | None:
     _require(math.isfinite(deadline_ms) and deadline_ms > 0, family,
              f"deadline_ms must be positive and finite, got {value!r}")
     return deadline_ms
+
+
+#: Spec fields excluded from the result-cache digest *by policy*: they
+#: bound how a query runs, not what it computes, so two specs differing
+#: only here must hit the same cached result.  ``spec_digest`` in
+#: :mod:`repro.api.result_cache` pops exactly this set, and the
+#: ``spec-digest`` lint treats membership here as the documented way to
+#: keep a field out of the digest.
+DIGEST_POLICY_EXCLUDED: frozenset[str] = frozenset({"deadline_ms"})
 
 
 class QuerySpec:

@@ -32,7 +32,6 @@ from repro.geometry.transforms import AffineTransform
 from repro.gpu.blendmodes import BlendMode
 from repro.gpu.device import DEFAULT_DEVICE, Device
 from repro.gpu.framebuffer import Framebuffer
-from repro.core.blendfuncs import AGG_ADD
 from repro.core.canvas import Canvas, Resolution
 from repro.core.canvas_set import CanvasSet
 from repro.core.masks import MaskPredicate

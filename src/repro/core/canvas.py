@@ -17,8 +17,6 @@ discretization, exactly as in the paper:
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
-
 import numpy as np
 
 from repro.geometry.bbox import BoundingBox
@@ -35,14 +33,11 @@ from repro.geometry.primitives import (
 )
 from repro.gpu.device import DEFAULT_DEVICE, Device
 from repro.gpu.rasterizer import (
-    disk_mask,
     halfspace_mask,
     polygon_coverage,
-    rasterize_points,
     rasterize_segments,
     ring_boundary_cells,
 )
-from repro.gpu.scanline import parity_fill
 from repro.gpu.texture import Texture
 from repro.core.objectinfo import (
     DIM_AREA,

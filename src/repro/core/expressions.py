@@ -36,11 +36,10 @@ from __future__ import annotations
 
 import threading
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.gpu.blendmodes import BlendMode
-from repro.gpu.device import Device
 from repro.core import algebra
 from repro.core.algebra import AnyCanvas, PositionalGamma, ValueGamma
 from repro.core.canvas import Canvas

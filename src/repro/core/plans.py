@@ -18,7 +18,7 @@ import numpy as np
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.primitives import Polygon
 from repro.gpu.device import DEFAULT_DEVICE, Device
-from repro.core.blendfuncs import AGG_ADD, PIP_MERGE, POLY_MERGE
+from repro.core.blendfuncs import PIP_MERGE, POLY_MERGE
 from repro.core.canvas import Canvas, Resolution
 from repro.core.canvas_set import CanvasSet
 from repro.core.expressions import (

@@ -8,8 +8,11 @@ new code should import from :mod:`repro.queries` (or :mod:`repro.core`)
 directly.
 """
 
+# repro-lint: disable=layering -- legacy shim forwarding the pre-PR1 import path
 from repro.queries import *  # noqa: F401,F403
+# repro-lint: disable=layering -- legacy shim (see above)
 from repro.queries import __all__ as __all__  # noqa: F401
+# repro-lint: disable=layering -- legacy shim (see above)
 from repro.queries.common import (  # noqa: F401
     AggregateResult,
     SelectionResult,
@@ -18,7 +21,9 @@ from repro.queries.common import (  # noqa: F401
     build_constraint_canvas,
     default_window,
 )
+# repro-lint: disable=layering -- legacy shim (see above)
 from repro.engine.executor import _group_gamma  # noqa: F401
+# repro-lint: disable=layering -- legacy shim (see above)
 from repro.engine.executor import aggregate_samples as _engine_aggregate_samples
 
 

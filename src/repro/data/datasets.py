@@ -15,7 +15,6 @@ from repro.geometry.geojson import (
     feature,
     feature_collection,
     from_geojson,
-    to_geojson,
 )
 from repro.geometry.primitives import Geometry
 from repro.geometry.wkt import from_wkt, to_wkt

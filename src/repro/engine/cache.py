@@ -272,7 +272,9 @@ class CanvasCache:
             getattr(self._local, "misses", 0),
         )
 
-    def _count(self, hit: bool) -> None:
+    def _count_locked(self, hit: bool) -> None:
+        # *_locked suffix: callers hold self._lock (the lock-discipline
+        # lint's caller-holds-the-lock convention).
         if hit:
             self._hits += 1
             self._local.hits = getattr(self._local, "hits", 0) + 1
@@ -293,7 +295,7 @@ class CanvasCache:
         while True:
             with self._lock:
                 if key in self._store:
-                    self._count(hit=True)
+                    self._count_locked(hit=True)
                     self._store.move_to_end(key)
                     return self._store[key][0]
                 flight = self._inflight.get(key)
@@ -308,7 +310,7 @@ class CanvasCache:
                 flight.event.wait()
                 if not flight.failed:
                     with self._lock:
-                        self._count(hit=True)
+                        self._count_locked(hit=True)
                     return flight.value
                 continue  # the leader's builder raised: re-elect and retry
             try:
@@ -333,7 +335,7 @@ class CanvasCache:
             governor = self.governor
             admit = governor is None or governor.admit(nbytes)
             with self._lock:
-                self._count(hit=False)
+                self._count_locked(hit=False)
                 self._builds += 1
                 if admit:
                     if key in self._store:

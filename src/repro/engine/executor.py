@@ -1293,6 +1293,7 @@ class QueryEngine:
         fx, fy = xs[in_frame], ys[in_frame]
         counts = np.zeros(len(fx), dtype=np.int64)
         last_id = np.zeros(len(fx), dtype=np.float64)
+        # deadline-seam: polygon-sweep
         for i, poly in enumerate(polys, start=1):
             check_deadline(deadline, "polygon-sweep")
             inside = points_in_polygon(fx, fy, poly)
@@ -1468,6 +1469,7 @@ class QueryEngine:
         point_set = CanvasSet.from_points(xs, ys, values=values)
         collected: CanvasSet | None = None
         branch_tree = None
+        # deadline-seam: polygon-sweep
         for poly, pid in zip(polys, ids):
             check_deadline(
                 ctx.deadline if ctx is not None else None, "polygon-sweep"
@@ -1542,6 +1544,7 @@ class QueryEngine:
         collected: CanvasSet | None = None
         branch_text = None
         before = self.cache.thread_counters()
+        # deadline-seam: polygon-sweep
         for poly, pid in zip(polys, ids):
             check_deadline(
                 ctx.deadline if ctx is not None else None, "polygon-sweep"
@@ -2153,6 +2156,7 @@ class QueryEngine:
         if ctx is not None:
             ctx.counters.allocations += 1
             ctx.mark_owned(canvas)
+        # deadline-seam: voronoi-site
         for i in range(len(pts)):
             check_deadline(
                 ctx.deadline if ctx is not None else None, "voronoi-site"
@@ -2195,6 +2199,7 @@ class QueryEngine:
         gx, gy = canvas.pixel_center_grids()
         best_d2 = np.full((canvas.height, canvas.width), np.inf)
         owner = np.zeros((canvas.height, canvas.width))
+        # deadline-seam: voronoi-chunk
         for start in range(0, len(pts), block):
             check_deadline(
                 ctx.deadline if ctx is not None else None, "voronoi-chunk"
@@ -2262,6 +2267,7 @@ class QueryEngine:
         before = self.cache.thread_counters()
         owner = np.zeros((grid.height, grid.width))
         best_d2 = np.full((grid.height, grid.width), np.inf)
+        # deadline-seam: tile-argmin
         for tile in grid.tiles():
             check_deadline(
                 ctx.deadline if ctx is not None else None, "tile-build"
@@ -3016,6 +3022,7 @@ class QueryEngine:
         if use_processes:
             workers = backend.workers
             calls: dict[int, tuple[Any, float]] = {}
+            # deadline-seam: batch-member
             for i in pooled:
                 check_deadline(deadline, "batch-member")
                 spec = specs[i]

@@ -281,4 +281,5 @@ class ProcessBackend:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed

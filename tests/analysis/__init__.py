@@ -1,0 +1,2 @@
+"""Static-analyzer (repro-lint) test battery — package so ``test_cli``
+does not collide with the top-level CLI suite."""

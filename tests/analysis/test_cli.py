@@ -1,0 +1,97 @@
+"""The repro-lint CLI: formats, rule selection, stable exit codes."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+CLEAN = "X = 1\n"
+
+VIOLATING = textwrap.dedent("""
+    from repro.engine import executor
+""").lstrip("\n")
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """A mini source tree with one clean and one violating module."""
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "fine.py").write_text(CLEAN)
+    (pkg / "bad.py").write_text(VIOLATING)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tree, capsys):
+        assert main([str(tree / "repro" / "core" / "fine.py")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tree, capsys):
+        assert main([str(tree)]) == 1
+        out = capsys.readouterr().out
+        assert "layering" in out
+        assert "repro-lint: 1 finding" in out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["--rules", "no-such-rule", "src"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_empty_rule_selection_exits_two(self, capsys):
+        assert main(["--rules", ",", "src"]) == 2
+
+    def test_no_paths_anywhere_exits_two(self, tmp_path, monkeypatch,
+                                          capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main([]) == 2
+
+    def test_syntax_error_fails_the_gate_not_the_tool(self, tmp_path,
+                                                      capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def oops(:\n")
+        assert main([str(bad)]) == 1
+        assert "parse-error" in capsys.readouterr().out
+
+
+class TestFormats:
+    def test_json_output_is_machine_readable(self, tree, capsys):
+        assert main(["--format", "json", str(tree)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["files_checked"] == 2
+        [finding] = payload["findings"]
+        assert finding["rule"] == "layering"
+        assert finding["line"] == 1
+        assert finding["severity"] == "error"
+
+    def test_json_clean_shape(self, tree, capsys):
+        assert main(["--format", "json",
+                     str(tree / "repro" / "core" / "fine.py")]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"ok": True, "files_checked": 1, "findings": []}
+
+    def test_text_findings_are_path_line_col_anchored(self, tree, capsys):
+        main([str(tree)])
+        first = capsys.readouterr().out.splitlines()[0]
+        assert first.startswith(str(tree / "repro" / "core" / "bad.py"))
+        assert ":1:0: layering [error]" in first
+
+
+class TestRuleSelection:
+    def test_rules_flag_restricts_the_run(self, tree, capsys):
+        # The violating module only breaks layering; selecting another
+        # rule must come back clean.
+        assert main(["--rules", "cached-out", str(tree)]) == 0
+
+    def test_list_rules_names_all_seven(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("layering", "cached-out", "lock-discipline",
+                        "error-envelope", "shm-lifecycle",
+                        "deadline-checkpoint", "spec-digest"):
+            assert rule_id in out
+        assert "repro-lint: disable=" in out

@@ -1,0 +1,144 @@
+"""Analyzer framework: pragmas, comment extraction, registry, naming.
+
+These tests pin the *mechanics* every rule relies on — if pragma
+parsing or module naming drifts, every per-rule fixture test below it
+becomes meaningless, so the framework gets its own contract tests.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import all_rules, analyze_source, get_rule
+from repro.analysis.base import (
+    extract_comments,
+    module_name_for,
+    parse_pragmas,
+)
+from repro.analysis.runner import load_module
+
+
+def src(text: str) -> str:
+    return textwrap.dedent(text).lstrip("\n")
+
+
+EXPECTED_RULE_IDS = [
+    "cached-out",
+    "deadline-checkpoint",
+    "error-envelope",
+    "layering",
+    "lock-discipline",
+    "shm-lifecycle",
+    "spec-digest",
+]
+
+
+class TestRegistry:
+    def test_all_seven_rules_registered_in_stable_order(self):
+        assert [rule.id for rule in all_rules()] == EXPECTED_RULE_IDS
+
+    def test_every_rule_states_its_invariant(self):
+        for rule in all_rules():
+            assert rule.invariant, f"{rule.id} has no invariant line"
+            assert rule.severity in ("error", "warning")
+
+    def test_unknown_rule_raises_with_known_ids(self):
+        with pytest.raises(KeyError, match="layering"):
+            get_rule("no-such-rule")
+
+
+class TestModuleNaming:
+    def test_src_layout_resolves(self):
+        assert module_name_for("src/repro/engine/cache.py") == \
+            "repro.engine.cache"
+
+    def test_package_init_names_the_package(self):
+        assert module_name_for("src/repro/api/__init__.py") == "repro.api"
+
+    def test_fixture_staging_dir_resolves(self):
+        # The seeded-violation battery stages copies under tmp/repro/…;
+        # the layering matrix must still see their dotted names.
+        assert module_name_for("/tmp/x7/repro/core/bad.py") == \
+            "repro.core.bad"
+
+    def test_paths_outside_repro_have_no_module(self):
+        assert module_name_for("tests/engine/test_cache.py") is None
+
+
+class TestCommentExtraction:
+    def test_docstrings_do_not_count_as_comments(self):
+        source = src('''
+            """Docs showing # deadline-seam: example syntax."""
+            x = 1  # real comment
+        ''')
+        comments = extract_comments(source, source.splitlines())
+        assert list(comments) == [2]
+        assert comments[2] == "# real comment"
+
+    def test_string_literal_pragmas_are_inert(self):
+        source = src('''
+            BAD = "x  # repro-lint: disable=layering -- not a comment"
+        ''')
+        comments = extract_comments(source, source.splitlines())
+        pragmas = parse_pragmas(comments, source.splitlines())
+        assert pragmas == []
+
+
+class TestPragmas:
+    def test_trailing_pragma_suppresses_its_line_only(self):
+        module = load_module("x.py", src("""
+            import threading
+
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._n += 1
+
+                def peek(self):
+                    return self._n  # repro-lint: disable=lock-discipline -- monotonic read
+        """))
+        assert module.disabled_rules(14) == {"lock-discipline"}
+        assert module.disabled_rules(13) == set()
+        assert module.disabled_rules(15) == set()
+
+    def test_standalone_pragma_covers_the_next_line(self):
+        module = load_module("x.py", src("""
+            # repro-lint: disable=layering -- legacy shim
+            import os
+        """))
+        assert module.disabled_rules(2) == {"layering"}
+
+    def test_multi_rule_pragma(self):
+        module = load_module("x.py", src("""
+            x = 1  # repro-lint: disable=layering, cached-out -- both apply here
+        """))
+        assert module.disabled_rules(1) == {"layering", "cached-out"}
+
+    def test_bare_pragma_never_suppresses_and_is_reported(self):
+        findings = analyze_source(src("""
+            import os  # repro-lint: disable=layering
+        """))
+        assert [f.rule for f in findings] == ["lint-pragma"]
+        assert "without justification" in findings[0].message
+
+    def test_unknown_rule_in_pragma_is_reported(self):
+        findings = analyze_source(src("""
+            import os  # repro-lint: disable=made-up-rule -- trust me
+        """))
+        assert [f.rule for f in findings] == ["lint-pragma"]
+        assert "made-up-rule" in findings[0].message
+
+    def test_lint_pragma_findings_cannot_be_self_suppressed(self):
+        # A pragma trying to allowlist the pragma police is still
+        # reported — the allowlist stays honest.
+        findings = analyze_source(src("""
+            import os  # repro-lint: disable=layering,lint-pragma
+        """))
+        assert any(f.rule == "lint-pragma" for f in findings)

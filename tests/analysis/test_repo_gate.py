@@ -1,0 +1,114 @@
+"""The gate itself: the repo passes, and seeded violations do not.
+
+Two meta-tests keep the analyzer honest in both directions.  The
+clean-repo test is what CI enforces (exit 0 over src+tests, through
+the same CLI CI invokes).  The seeded battery stages scratch copies
+of *real* repo modules, injects one violation each of the taint,
+lock-discipline and error-envelope rules, and asserts every seed is
+caught at its exact line — proof the rules bite production-shaped
+code, not just hand-rolled fixtures.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestRepoIsClean:
+    def test_cli_gate_over_src_and_tests_exits_zero(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "src", "tests"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=300,
+        )
+        assert result.returncode == 0, (
+            f"repro-lint gate failed:\n{result.stdout}{result.stderr}"
+        )
+        assert "clean" in result.stdout
+
+
+CACHED_OUT_SEED = '''
+
+def _seeded_cached_out_violation(cache, key, blend, other):
+    entry = cache.get_or_build(key, list)
+    blend(other, out=entry)
+'''
+
+LOCK_SEED = '''
+
+class _SeededRacyCounter:
+    def __init__(self):
+        import threading
+        self._lock = threading.Lock()
+        self._races = 0
+
+    def bump(self):
+        with self._lock:
+            self._races += 1
+
+    def peek(self):
+        return self._races
+'''
+
+ENVELOPE_SEED = '''
+
+def _seeded_bare_envelope(exc):
+    return {"ok": False, "error": str(exc)}
+'''
+
+
+def stage(tmp_path: Path, rel: str, seed: str) -> Path:
+    """Copy a real repo module under tmp/repro/… and append *seed*."""
+    source = REPO_ROOT / "src" / rel
+    target = tmp_path / Path(rel)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copy(source, target)
+    if seed:
+        with open(target, "a", encoding="utf-8") as handle:
+            handle.write(seed)
+    return target
+
+
+class TestSeededViolations:
+    def test_unseeded_copies_stay_clean(self, tmp_path):
+        for rel in ("repro/engine/cache.py", "repro/api/serve.py",
+                    "repro/api/shm.py"):
+            stage(tmp_path, rel, "")
+        findings, files = analyze_paths([str(tmp_path)])
+        assert files == 3
+        assert findings == []
+
+    def test_each_seed_is_caught_at_its_line(self, tmp_path):
+        staged = {
+            "cached-out": stage(tmp_path, "repro/engine/cache.py",
+                                CACHED_OUT_SEED),
+            "lock-discipline": stage(tmp_path, "repro/api/shm.py",
+                                     LOCK_SEED),
+            "error-envelope": stage(tmp_path, "repro/api/serve.py",
+                                    ENVELOPE_SEED),
+        }
+        findings, _ = analyze_paths([str(tmp_path)])
+        by_rule = {finding.rule: finding for finding in findings}
+        assert set(by_rule) == set(staged), (
+            f"expected exactly the three seeded rules, got: "
+            f"{[f.render() for f in findings]}"
+        )
+        for rule_id, path in staged.items():
+            finding = by_rule[rule_id]
+            assert finding.path == str(path)
+            # Anchored inside the appended seed, not the pristine code.
+            pristine_len = len(
+                (REPO_ROOT / "src" / path.relative_to(tmp_path))
+                .read_text().splitlines()
+            )
+            seeded_len = len(path.read_text().splitlines())
+            assert pristine_len < finding.line <= seeded_len, (
+                f"{rule_id} anchored at {finding.line}, expected within "
+                f"the seed ({pristine_len}..{seeded_len})"
+            )

@@ -1,0 +1,97 @@
+"""Rule fixtures: ``cached-out`` — cache-entry taint into out=/in-place."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_source, get_rule
+
+RULES = [get_rule("cached-out")]
+
+
+def findings(source: str):
+    return analyze_source(textwrap.dedent(source).lstrip("\n"),
+                          "src/repro/engine/x.py", RULES)
+
+
+class TestFires:
+    def test_tainted_name_reaches_out_keyword(self):
+        out = findings("""
+            def build(cache, key, blend, other):
+                entry = cache.get_or_build(key, list)
+                blend(other, out=entry)
+        """)
+        assert len(out) == 1
+        assert "out=" in out[0].message
+
+    def test_inline_getter_as_out_needs_no_name(self):
+        out = findings("""
+            def build(cache, key, blend, other):
+                blend(other, out=cache.get_or_build(key, list))
+        """)
+        assert len(out) == 1
+
+    def test_augassign_on_tainted(self):
+        out = findings("""
+            def bump(engine, polys, window):
+                canvas = engine.constraint_canvas(polys, window, 128)
+                canvas += 1
+        """)
+        assert len(out) == 1
+        assert "in-place" in out[0].message
+
+    def test_item_assignment_through_attribute_chain(self):
+        out = findings("""
+            def poke(cache, key):
+                entry = cache.get_or_build(key, list)
+                entry.texture.data[0, 0, 0] = 1.0
+        """)
+        assert len(out) == 1
+        assert "item assignment" in out[0].message
+
+    def test_taint_propagates_through_reassignment(self):
+        out = findings("""
+            def chain(cache, key, blend, other):
+                entry = cache.get_or_build(key, list)
+                alias = entry
+                view = alias.texture
+                blend(other, out=view)
+        """)
+        assert len(out) == 1
+
+
+class TestSilent:
+    def test_copy_launders_taint(self):
+        assert findings("""
+            def build(cache, key, blend, other):
+                entry = cache.get_or_build(key, list)
+                fresh = entry.copy()
+                blend(other, out=fresh)
+                fresh[0] = 1.0
+        """) == []
+
+    def test_untainted_out_is_fine(self):
+        assert findings("""
+            def build(blend, a, b, scratch):
+                blend(a, b, out=scratch)
+        """) == []
+
+    def test_nested_function_not_double_reported(self):
+        out = findings("""
+            def outer(cache, key, blend):
+                def inner():
+                    entry = cache.get_or_build(key, list)
+                    blend(entry, out=entry)
+                return inner
+        """)
+        assert len(out) == 1
+
+
+class TestAllowlisted:
+    def test_standalone_pragma_suppresses_the_sink(self):
+        assert findings("""
+            def poke(cache, key):
+                entry = cache.get_or_build(key, list)
+                # repro-lint: disable=cached-out -- test fixture mutates deliberately
+                entry.texture.data[0] = 1.0
+        """) == []

@@ -1,0 +1,95 @@
+"""Rule fixtures: ``deadline-checkpoint`` — annotated seams checkpoint."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_source, get_rule
+
+RULES = [get_rule("deadline-checkpoint")]
+
+
+def findings(source: str):
+    return analyze_source(textwrap.dedent(source).lstrip("\n"),
+                          "src/repro/engine/x.py", RULES)
+
+
+class TestFires:
+    def test_annotated_loop_without_checkpoint(self):
+        out = findings("""
+            def run(tiles, work):
+                # deadline-seam: tile-build
+                for tile in tiles:
+                    work(tile)
+        """)
+        assert len(out) == 1
+        assert "tile-build" in out[0].message
+        assert "check_deadline" in out[0].message
+
+    def test_dangling_annotation_with_no_loop(self):
+        out = findings("""
+            def run(tiles, work):
+                # deadline-seam: tile-build
+                total = sum(work(tile) for tile in tiles)
+                return total
+        """)
+        assert len(out) == 1
+        assert "moved or removed" in out[0].message
+
+
+class TestSilent:
+    def test_check_deadline_per_iteration(self):
+        assert findings("""
+            def run(tiles, work, deadline, check_deadline):
+                # deadline-seam: tile-build
+                for tile in tiles:
+                    check_deadline(deadline, "tile-build")
+                    work(tile)
+        """) == []
+
+    def test_method_form_deadline_check(self):
+        assert findings("""
+            def run(tiles, work, deadline):
+                # deadline-seam: tile-build
+                while tiles:
+                    deadline.check("tile-build")
+                    work(tiles.pop())
+        """) == []
+
+    def test_trailing_annotation_on_the_loop_line(self):
+        assert findings("""
+            def run(tiles, work, deadline, check_deadline):
+                for tile in tiles:  # deadline-seam: tile-build
+                    check_deadline(deadline, "tile-build")
+                    work(tile)
+        """) == []
+
+    def test_unannotated_loops_are_out_of_scope(self):
+        # Which loops are seams is a policy decision made in the diff;
+        # the rule only polices declared seams.
+        assert findings("""
+            def run(tiles, work):
+                for tile in tiles:
+                    work(tile)
+        """) == []
+
+    def test_docstring_examples_do_not_activate(self):
+        assert findings('''
+            def run(tiles, work):
+                """Each seam is annotated::
+
+                    # deadline-seam: tile-build
+                    for tile in tiles: ...
+                """
+                return [work(t) for t in tiles]
+        ''') == []
+
+
+class TestAllowlisted:
+    def test_pragma_on_the_flagged_loop(self):
+        assert findings("""
+            def run(tiles, work):
+                # repro-lint: disable=deadline-checkpoint -- checkpoint lives inside work()
+                for tile in tiles:  # deadline-seam: tile-build
+                    work(tile)
+        """) == []

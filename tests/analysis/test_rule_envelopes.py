@@ -1,0 +1,93 @@
+"""Rule fixtures: ``error-envelope`` — the serve error taxonomy.
+
+Includes the mirror meta-test: the rule carries its own copy of
+ERROR_CODES (the analyzer must not import the code it inspects), and
+this is where a drifted copy fails the build.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_source, get_rule
+from repro.analysis.rules.envelopes import ERROR_CODES as MIRROR
+from repro.resilience import ERROR_CODES
+
+RULES = [get_rule("error-envelope")]
+
+
+def findings(source: str, path: str = "src/repro/api/serve.py"):
+    return analyze_source(textwrap.dedent(source).lstrip("\n"), path, RULES)
+
+
+def test_mirrored_taxonomy_matches_the_canonical_one():
+    assert tuple(MIRROR) == tuple(ERROR_CODES)
+
+
+class TestFires:
+    def test_envelope_without_code_key(self):
+        out = findings("""
+            def answer(exc):
+                return {"ok": False, "error": str(exc)}
+        """)
+        assert len(out) == 1
+        assert 'no "code" key' in out[0].message
+
+    def test_code_outside_the_taxonomy(self):
+        out = findings("""
+            def answer(exc):
+                return {"ok": False, "code": "oops", "error": str(exc)}
+        """)
+        assert len(out) == 1
+        assert "'oops'" in out[0].message
+
+    def test_dict_call_form_is_checked_too(self):
+        out = findings("""
+            def answer(exc):
+                return dict(ok=False, error=str(exc))
+        """)
+        assert len(out) == 1
+
+    def test_cli_is_a_serve_boundary_too(self):
+        out = findings("""
+            def answer(exc):
+                return {"ok": False, "error": str(exc)}
+        """, path="src/repro/cli.py")
+        assert len(out) == 1
+
+
+class TestSilent:
+    def test_taxonomy_code_passes(self):
+        assert findings("""
+            def answer(exc):
+                return {"ok": False, "code": "deadline", "error": str(exc)}
+        """) == []
+
+    def test_dynamic_code_is_trusted(self):
+        # Typed exceptions carry their own .code; the runtime parity
+        # tests own that contract.
+        assert findings("""
+            def answer(exc):
+                return {"ok": False, "code": exc.code, "error": str(exc)}
+        """) == []
+
+    def test_ok_true_envelopes_are_not_error_envelopes(self):
+        assert findings("""
+            def answer(result):
+                return {"ok": True, "result": result}
+        """) == []
+
+    def test_non_boundary_modules_build_dicts_freely(self):
+        assert findings("""
+            def answer(exc):
+                return {"ok": False, "error": str(exc)}
+        """, path="src/repro/engine/executor.py") == []
+
+
+class TestAllowlisted:
+    def test_pragma_suppresses_a_deliberate_bare_envelope(self):
+        assert findings("""
+            def answer(exc):
+                # repro-lint: disable=error-envelope -- pre-handshake reject, no taxonomy yet
+                return {"ok": False, "error": str(exc)}
+        """) == []

@@ -1,0 +1,78 @@
+"""Rule fixtures: ``layering`` — the package import deny-matrix."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_source, get_rule
+
+RULES = [get_rule("layering")]
+
+
+def findings(source: str, path: str):
+    return analyze_source(textwrap.dedent(source).lstrip("\n"), path, RULES)
+
+
+class TestFires:
+    def test_core_importing_engine(self):
+        out = findings("""
+            from repro.engine import executor
+        """, "src/repro/core/bad.py")
+        assert len(out) == 1
+        assert out[0].rule == "layering"
+        assert "repro.engine" in out[0].message
+
+    def test_from_import_resolves_per_name(self):
+        # `from repro.core import algebra` must catch the *name*, not
+        # just the base module — the PR 3 queries contract.
+        out = findings("""
+            from repro.core import algebra
+        """, "src/repro/queries/bad.py")
+        assert len(out) == 1
+        assert "repro.core.algebra" in out[0].message
+
+    def test_relative_import_resolves(self):
+        out = findings("""
+            from ..engine import executor
+        """, "src/repro/core/sub.py")
+        assert len(out) == 1
+        assert "repro.engine" in out[0].message
+
+    def test_engine_importing_api_outside_the_shm_carveout(self):
+        out = findings("""
+            from repro.api.session import Session
+        """, "src/repro/engine/bad.py")
+        assert len(out) == 1
+
+
+class TestSilent:
+    def test_core_importing_geometry_is_downward(self):
+        assert findings("""
+            from repro.geometry.primitives import Polygon
+        """, "src/repro/core/fine.py") == []
+
+    def test_engine_may_import_api_shm_carveout(self):
+        # The ADR-0002 data-plane hole: repro.api.shm only.
+        assert findings("""
+            from repro.api.shm import encode_payload
+        """, "src/repro/engine/fine.py") == []
+
+    def test_process_worker_module_exemption(self):
+        # The worker hosts a mirrored Session (ADR 0002): the one
+        # module allowed to import the api layer wholesale.
+        assert findings("""
+            from repro.api.session import Session
+        """, "src/repro/engine/process_worker.py") == []
+
+    def test_files_outside_a_repro_tree_are_skipped(self):
+        assert findings("""
+            from repro.engine import executor
+        """, "benchmarks/bench.py") == []
+
+
+class TestAllowlisted:
+    def test_pragma_with_justification_suppresses(self):
+        assert findings("""
+            # repro-lint: disable=layering -- legacy shim kept for import compat
+            from repro.engine import executor
+        """, "src/repro/core/queries.py") == []

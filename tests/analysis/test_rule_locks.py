@@ -1,0 +1,96 @@
+"""Rule fixtures: ``lock-discipline`` — guarded-by inference."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_source, get_rule
+
+RULES = [get_rule("lock-discipline")]
+
+
+def findings(source: str):
+    return analyze_source(textwrap.dedent(source).lstrip("\n"),
+                          "src/repro/engine/x.py", RULES)
+
+
+COUNTER = """
+    import threading
+
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._hits = 0
+
+        def bump(self):
+            with self._lock:
+                self._hits += 1
+
+        def {reader}
+"""
+
+
+class TestFires:
+    def test_unguarded_read_of_guarded_attr(self):
+        out = findings(COUNTER.format(reader="""peek(self):
+            return self._hits"""))
+        assert len(out) == 1
+        assert "_hits" in out[0].message
+        assert "peek" in out[0].message
+
+    def test_unguarded_write(self):
+        out = findings(COUNTER.format(reader="""reset(self):
+            self._hits = 0"""))
+        assert len(out) == 1
+
+    def test_closure_inside_method_is_still_checked(self):
+        out = findings(COUNTER.format(reader="""defer(self, pool):
+            pool.submit(lambda: None)
+            def late():
+                return self._hits
+            return late"""))
+        assert len(out) == 1
+
+
+class TestSilent:
+    def test_guarded_read(self):
+        assert findings(COUNTER.format(reader="""peek(self):
+            with self._lock:
+                return self._hits""")) == []
+
+    def test_init_is_exempt_construction_happens_before_sharing(self):
+        # The shared COUNTER fixture's __init__ writes self._hits = 0
+        # unguarded; the guarded reader variant stays clean, so the
+        # exemption held.
+        assert findings(COUNTER.format(reader="""peek(self):
+            with self._lock:
+                return self._hits""")) == []
+
+    def test_locked_suffix_marks_caller_holds_lock(self):
+        assert findings(COUNTER.format(reader="""peek_locked(self):
+            return self._hits""")) == []
+
+    def test_class_without_lock_attribute_is_unconstrained(self):
+        assert findings("""
+            class Plain:
+                def __init__(self):
+                    self._hits = 0
+
+                def bump(self):
+                    self._hits += 1
+        """) == []
+
+    def test_unguarded_attrs_of_locked_class_are_unconstrained(self):
+        # Only attributes *written under the lock* are inferred as
+        # shared state; immutable config set in __init__ stays free.
+        assert findings(COUNTER.format(reader="""name(self):
+            return self._label""")) == []
+
+
+class TestAllowlisted:
+    def test_trailing_pragma_with_justification(self):
+        assert findings(COUNTER.format(
+            reader="""peek(self):
+            return self._hits  # repro-lint: disable=lock-discipline -- racy stats read"""
+        )) == []

@@ -1,0 +1,114 @@
+"""Rule fixtures: ``shm-lifecycle`` — every segment reaches an unlink."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_source, get_rule
+
+RULES = [get_rule("shm-lifecycle")]
+
+
+def findings(source: str):
+    return analyze_source(textwrap.dedent(source).lstrip("\n"),
+                          "src/repro/api/x.py", RULES)
+
+
+class TestFires:
+    def test_bare_create_with_no_unlink_path(self):
+        out = findings("""
+            from multiprocessing import shared_memory
+
+            def leak(nbytes):
+                seg = shared_memory.SharedMemory(create=True, size=nbytes)
+                return seg
+        """)
+        assert len(out) == 1
+        assert "unlink" in out[0].message
+
+    def test_class_owner_without_registered_cleanup(self):
+        # An unlink-ing close() is not enough: nothing guarantees it
+        # runs.  The ADR 0002 pattern needs the atexit sweep too.
+        out = findings("""
+            from multiprocessing import shared_memory
+
+            class Plane:
+                def open(self, nbytes):
+                    self._seg = shared_memory.SharedMemory(
+                        create=True, size=nbytes
+                    )
+
+                def close(self):
+                    self._seg.unlink()
+        """)
+        assert len(out) == 1
+
+
+class TestSilent:
+    def test_try_finally_dominating_the_create(self):
+        assert findings("""
+            from multiprocessing import shared_memory
+
+            def scoped(nbytes, use):
+                seg = None
+                try:
+                    seg = shared_memory.SharedMemory(
+                        create=True, size=nbytes
+                    )
+                    use(seg)
+                finally:
+                    if seg is not None:
+                        seg.unlink()
+        """) == []
+
+    def test_exception_handler_unlink_counts(self):
+        assert findings("""
+            from multiprocessing import shared_memory
+
+            def guarded(nbytes, publish):
+                try:
+                    seg = shared_memory.SharedMemory(
+                        create=True, size=nbytes
+                    )
+                    publish(seg)
+                except Exception:
+                    seg.unlink()
+                    raise
+        """) == []
+
+    def test_class_owner_with_atexit_sweep(self):
+        assert findings("""
+            import atexit
+            from multiprocessing import shared_memory
+
+            class Plane:
+                def open(self, nbytes):
+                    self._seg = shared_memory.SharedMemory(
+                        create=True, size=nbytes
+                    )
+
+                def close(self):
+                    self._seg.unlink()
+
+            atexit.register(Plane.close)
+        """) == []
+
+    def test_attach_without_create_is_not_ownership(self):
+        assert findings("""
+            from multiprocessing import shared_memory
+
+            def attach(name):
+                return shared_memory.SharedMemory(name=name)
+        """) == []
+
+
+class TestAllowlisted:
+    def test_pragma_with_justification(self):
+        assert findings("""
+            from multiprocessing import shared_memory
+
+            def probe(nbytes):
+                # repro-lint: disable=shm-lifecycle -- probe segment, unlinked by caller fixture
+                seg = shared_memory.SharedMemory(create=True, size=nbytes)
+                return seg
+        """) == []

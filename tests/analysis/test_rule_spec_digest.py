@@ -1,0 +1,155 @@
+"""Rule fixtures: ``spec-digest`` — no field silently skips the key.
+
+Also the live-contract checks: the real spec module's policy-excluded
+set exists and the result-cache digest actually honors it.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_source, get_rule
+
+RULES = [get_rule("spec-digest")]
+
+
+def findings(source: str):
+    return analyze_source(textwrap.dedent(source).lstrip("\n"),
+                          "src/repro/api/specs.py", RULES)
+
+
+class TestFires:
+    def test_field_absent_from_to_dict(self):
+        out = findings("""
+            from dataclasses import dataclass
+
+
+            @dataclass
+            class FooSpec:
+                alpha: int
+                beta: int = 0
+
+                def to_dict(self):
+                    return {"alpha": self.alpha}
+        """)
+        assert len(out) == 1
+        assert "FooSpec.beta" in out[0].message
+
+
+class TestSilent:
+    def test_all_fields_serialized(self):
+        assert findings("""
+            from dataclasses import dataclass
+
+
+            @dataclass
+            class FooSpec:
+                alpha: int
+                beta: int = 0
+
+                def to_dict(self):
+                    return {"alpha": self.alpha, "beta": self.beta}
+        """) == []
+
+    def test_policy_excluded_field(self):
+        assert findings("""
+            from dataclasses import dataclass
+
+            DIGEST_POLICY_EXCLUDED = frozenset({"deadline_ms"})
+
+
+            @dataclass
+            class FooSpec:
+                alpha: int
+                deadline_ms: float | None = None
+
+                def to_dict(self):
+                    return {"alpha": self.alpha}
+        """) == []
+
+    def test_private_and_classvar_fields_ignored(self):
+        assert findings("""
+            from dataclasses import dataclass
+            from typing import ClassVar
+
+
+            @dataclass
+            class FooSpec:
+                FAMILY: ClassVar[str] = "foo"
+                alpha: int
+                _scratch: int = 0
+
+                def to_dict(self):
+                    return {"alpha": self.alpha}
+        """) == []
+
+    def test_non_spec_dataclasses_unconstrained(self):
+        assert findings("""
+            from dataclasses import dataclass
+
+
+            @dataclass
+            class FooResult:
+                alpha: int
+
+                def to_dict(self):
+                    return {}
+        """) == []
+
+    def test_spec_without_to_dict_unconstrained(self):
+        assert findings("""
+            from dataclasses import dataclass
+
+
+            @dataclass
+            class FooSpec:
+                alpha: int
+        """) == []
+
+
+class TestAllowlisted:
+    def test_pragma_on_the_field_line(self):
+        assert findings("""
+            from dataclasses import dataclass
+
+
+            @dataclass
+            class FooSpec:
+                alpha: int
+                beta: int = 0  # repro-lint: disable=spec-digest -- wire format lands next PR
+                def to_dict(self):
+                    return {"alpha": self.alpha}
+        """) == []
+
+
+class TestLiveContract:
+    def test_repo_policy_set_names_deadline_ms(self):
+        from repro.api.specs import DIGEST_POLICY_EXCLUDED
+
+        assert "deadline_ms" in DIGEST_POLICY_EXCLUDED
+
+    def test_digest_pops_exactly_the_policy_set(self):
+        import numpy as np
+
+        from repro.api import ConstraintSpec, PointData, SelectSpec
+        from repro.api.result_cache import spec_digest
+        from repro.geometry.primitives import Polygon
+
+        poly = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        xs, ys = np.array([1.0, 5.0]), np.array([1.0, 5.0])
+
+        def spec(deadline_ms):
+            return SelectSpec(
+                dataset=PointData(xs, ys),
+                constraints=[ConstraintSpec.polygon(poly)],
+                resolution=64, deadline_ms=deadline_ms,
+            )
+
+        # Policy field: budgets must share the cache entry.
+        assert spec_digest(spec(None)) == spec_digest(spec(500.0))
+        # Semantic field: resolution must not.
+        other = SelectSpec(
+            dataset=PointData(xs, ys),
+            constraints=[ConstraintSpec.polygon(poly)], resolution=128,
+        )
+        assert spec_digest(spec(None)) != spec_digest(other)

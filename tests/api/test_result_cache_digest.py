@@ -14,7 +14,6 @@ its contract is pinned by generated specs across families:
 
 from __future__ import annotations
 
-import pytest
 
 from hypothesis import given, settings, strategies as st
 

@@ -244,6 +244,19 @@ class TestSummaries:
         with pytest.raises(TypeError):
             result_summary(object())
 
+    def test_unrenderable_response_degrades_with_taxonomy_code(self):
+        # A response that defeats allow_nan=False serialization still
+        # reaches the client as a classifiable error: ok=False plus a
+        # stable "code" from the error taxonomy, like every other
+        # error line (regression: the degraded envelope used to omit
+        # the code entirely).
+        raw = serve_mod._render_response({"ok": True,
+                                          "result": float("inf")})
+        answer = json.loads(raw)
+        assert answer["ok"] is False
+        assert answer["code"] == "internal"
+        assert "non-finite" in answer["error"]
+
 
 class TestReportTally:
     def test_sub_reports_counts_beyond_history_bound(self):

@@ -1,7 +1,6 @@
 """Tests for the parallel CPU baseline."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.cpu_parallel import parallel_cpu_select
 from repro.baselines.cpu_pip import cpu_select

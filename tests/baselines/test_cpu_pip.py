@@ -1,7 +1,6 @@
 """Tests for the scalar CPU baseline."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.cpu_pip import (
     cpu_select,

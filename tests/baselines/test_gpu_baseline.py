@@ -1,7 +1,6 @@
 """Tests for the traditional-GPU (vectorized PIP) baseline."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.gpu_baseline import (
     gpu_baseline_select,

@@ -11,8 +11,6 @@ from __future__ import annotations
 
 import threading
 
-import numpy as np
-import pytest
 
 from repro.core.expressions import BufferPool
 from repro.core.canvas import Canvas

@@ -12,8 +12,6 @@ asserts what the concurrency layer promises:
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.api import ConstraintSpec, KnnSpec, SelectSpec, Session
 from repro.engine import QueryEngine

@@ -136,6 +136,7 @@ class TestFrozenSharedEntries:
         engine = QueryEngine()
         canvas = engine.constraint_canvas(polygons[:2], window, 64)
         with pytest.raises(ValueError):
+            # repro-lint: disable=cached-out -- test asserts the frozen entry raises
             canvas.texture.data[0, 0, 0] = 1.0
 
 

@@ -7,7 +7,6 @@ mask/blend commutation where it must hold.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

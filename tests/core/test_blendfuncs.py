@@ -1,6 +1,5 @@
 """Tests for the paper's blend functions ⊙, ⊕ and +."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -11,8 +10,6 @@ from repro.core.objectinfo import (
     DIM_LINE,
     DIM_POINT,
     Info,
-    N_CHANNELS,
-    N_GROUPS,
     channel,
     triple_values,
 )

@@ -5,7 +5,7 @@ import pytest
 
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.primitives import Polygon
-from repro.core.blendfuncs import PIP_MERGE, POLY_MERGE
+from repro.core.blendfuncs import PIP_MERGE
 from repro.core.canvas import Canvas
 from repro.core.canvas_set import CanvasSet
 from repro.core.objectinfo import (

@@ -1,6 +1,5 @@
 """Tests for the S^3 object-information layout."""
 
-import numpy as np
 import pytest
 
 from repro.core.objectinfo import (

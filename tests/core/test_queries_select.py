@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.data.polygons import hand_drawn_polygon
-from repro.geometry.bbox import BoundingBox
 from repro.geometry.predicates import (
     points_in_polygon,
     polygon_intersects_polygon,

@@ -1,9 +1,8 @@
 """Tests for the synthetic taxi-trip generator."""
 
 import numpy as np
-import pytest
 
-from repro.data.taxi import NYC_WINDOW, TaxiTrips, generate_taxi_trips
+from repro.data.taxi import NYC_WINDOW, generate_taxi_trips
 
 
 class TestGeneration:

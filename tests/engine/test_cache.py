@@ -1,6 +1,5 @@
 """Canvas cache: keys, LRU eviction, statistics."""
 
-import numpy as np
 import pytest
 
 from repro.data.polygons import hand_drawn_polygon
@@ -210,4 +209,5 @@ class TestImmutabilityGuard:
             lambda: polygon_coverage_cells(SQUARE, window, 32),
         )
         with pytest.raises(ValueError, match="read-only"):
+            # repro-lint: disable=cached-out -- test asserts the frozen entry raises
             coverage.flat[0] = 0

@@ -20,7 +20,6 @@ from repro.engine import (
 from repro.core.queries import (
     aggregate_over_select,
     join_aggregate,
-    multi_polygonal_select,
     polygonal_select_points,
 )
 

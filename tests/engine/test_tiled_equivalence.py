@@ -19,7 +19,6 @@ distance, Voronoi, OD and geometry-record selection.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from hypothesis import given, settings, strategies as st
 

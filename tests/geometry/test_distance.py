@@ -1,6 +1,5 @@
 """Tests for geometry distances."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Tests for the typed geometry primitives."""
 
-import numpy as np
 import pytest
 
 from repro.geometry.primitives import (
@@ -8,7 +7,6 @@ from repro.geometry.primitives import (
     LinearRing,
     LineSegment,
     LineString,
-    MultiLineString,
     MultiPoint,
     MultiPolygon,
     Point,

@@ -35,7 +35,6 @@ from tests.process.conftest import (
     POLY2,
     RES,
     assert_result_equal,
-    assert_selection_equal,
 )
 
 pytestmark = pytest.mark.parametrize("workers", [1, 2])

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.api import DatasetRegistry, PointData
+from repro.api import DatasetRegistry
 from repro.api.shm import (
     AttachedPlane,
     StaleGeneration,
@@ -104,6 +104,19 @@ class TestLifecycle:
             plane = registry.publish()
             AttachedPlane(plane.manifest()).detach()
             plane.release()
+        assert shm_segments() - before == set()
+
+    def test_publish_after_close_raises_and_leaks_nothing(self, registry):
+        # Regression for the publication-vs-close race the lock lint
+        # surfaced: a publish landing after close() must not append a
+        # segment the closing sweep already missed.  The late publish
+        # unlinks its own segment and raises instead.
+        before = shm_segments()
+        plane = registry.publish()
+        plane.release()
+        assert plane.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            plane._publish_array(np.arange(8, dtype=np.float64))
         assert shm_segments() - before == set()
 
 

@@ -21,7 +21,6 @@ from repro.core.optimizer import CostModel
 from repro.resilience import AdmissionController, estimate_request_cost
 from repro.testing import FaultPlan, FaultRule, inject
 
-from tests.resilience.conftest import DATASET
 
 
 UNIT = CostModel().pixel_touch

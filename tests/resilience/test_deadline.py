@@ -25,7 +25,6 @@ from repro.resilience import (
     check_deadline,
 )
 
-from tests.resilience.conftest import DATASET
 
 
 class TestDeadlineUnit:

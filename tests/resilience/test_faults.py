@@ -24,7 +24,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.api import Session, spec_from_dict
+from repro.api import Session
 from repro.api.serve import serve_lines
 from repro.engine import QueryEngine
 from repro.geometry.bbox import BoundingBox
@@ -32,7 +32,6 @@ from repro.geometry.primitives import Polygon
 from repro.testing import FaultInjected, FaultPlan, FaultRule, inject
 from repro.testing.faults import maybe_fire
 
-from tests.resilience.conftest import DATASET
 
 
 class TestRuleValidation:

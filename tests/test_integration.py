@@ -12,7 +12,7 @@ from repro.baselines.cpu_pip import cpu_select_multi
 from repro.baselines.gpu_baseline import gpu_baseline_select_multi
 from repro.baselines.join_baselines import nested_loop_join_aggregate
 from repro.data.polygons import calibrate_selectivity, hand_drawn_polygon, rescale_to_box
-from repro.data.taxi import NYC_WINDOW, generate_taxi_trips
+from repro.data.taxi import generate_taxi_trips
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.predicates import points_in_polygon
 from repro.gpu.device import Device
